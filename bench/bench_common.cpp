@@ -1,0 +1,130 @@
+#include "bench_common.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace mga::bench {
+
+const char* variant_name(Variant variant) {
+  switch (variant) {
+    case Variant::kMga: return "MGA";
+    case Variant::kMgaStatic: return "MGA-Static";
+    case Variant::kProgramlOnly: return "PROGRAML";
+    case Variant::kProgramlStatic: return "PROGRAML-Static";
+    case Variant::kIr2vecOnly: return "IR2Vec";
+    case Variant::kIr2vecStatic: return "IR2Vec-Static";
+    case Variant::kDynamicOnly: return "Dynamic Only";
+  }
+  return "?";
+}
+
+core::MgaModelConfig variant_config(Variant variant) {
+  core::MgaModelConfig config;
+  switch (variant) {
+    case Variant::kMga:
+      break;
+    case Variant::kMgaStatic:
+      config.use_extra = false;
+      break;
+    case Variant::kProgramlOnly:
+      config.use_vector = false;
+      break;
+    case Variant::kProgramlStatic:
+      config.use_vector = false;
+      config.use_extra = false;
+      break;
+    case Variant::kIr2vecOnly:
+      config.use_graph = false;
+      break;
+    case Variant::kIr2vecStatic:
+      config.use_graph = false;
+      config.use_extra = false;
+      break;
+    case Variant::kDynamicOnly:
+      config.use_graph = false;
+      config.use_vector = false;
+      break;
+  }
+  return config;
+}
+
+core::SpeedupSummary run_variant(const dataset::OmpDataset& data, Variant variant,
+                                 const std::vector<int>& train_samples,
+                                 const std::vector<int>& val_samples, std::uint64_t seed) {
+  core::TrainConfig train_config;
+  train_config.seed = seed;
+  core::OmpExperiment experiment(data, variant_config(variant), train_config);
+  const core::OmpEvalResult result = experiment.run(train_samples, val_samples);
+  return core::summarize_predictions(data, result.sample_indices, result.predicted);
+}
+
+const char* tuner_name(Tuner tuner) {
+  switch (tuner) {
+    case Tuner::kYtopt: return "ytopt";
+    case Tuner::kOpenTuner: return "OpenTuner";
+    case Tuner::kBliss: return "BLISS";
+  }
+  return "?";
+}
+
+TunerEvaluation run_tuner(const dataset::OmpDataset& data, Tuner tuner,
+                          const std::vector<int>& val_samples, std::size_t budget,
+                          std::uint64_t seed) {
+  MGA_CHECK(!val_samples.empty());
+  util::Rng rng(seed);
+
+  // One session per kernel; the probe objective is the loop's total runtime
+  // over its validation inputs (what re-executing the instrumented
+  // application measures).
+  std::map<int, std::vector<int>> by_kernel;
+  for (const int sample_index : val_samples)
+    by_kernel[data.samples[static_cast<std::size_t>(sample_index)].kernel_id].push_back(
+        sample_index);
+
+  std::vector<int> ordered_samples;
+  std::vector<int> predicted;
+  double total_evaluations = 0.0;
+
+  for (const auto& [kernel, members] : by_kernel) {
+    // Each probe is one real (noisy) execution: repeated runs of the same
+    // configuration differ by a few percent, and a tuner that trusts a lucky
+    // sample keeps a suboptimal configuration — the effect that separates
+    // the search strategies in practice.
+    util::Rng noise = rng.fork();
+    baselines::TuningProblem problem(data.space, [&, noise](int config_index) mutable {
+      double total = 0.0;
+      for (const int sample_index : members)
+        total += data.samples[static_cast<std::size_t>(sample_index)]
+                     .seconds[static_cast<std::size_t>(config_index)];
+      return total * std::exp(0.06 * noise.normal());
+    });
+    baselines::TuneResult result;
+    util::Rng session = rng.fork();
+    switch (tuner) {
+      case Tuner::kYtopt:
+        result = baselines::ytopt_like(problem, budget, session);
+        break;
+      case Tuner::kOpenTuner:
+        result = baselines::open_tuner_like(problem, budget, session);
+        break;
+      case Tuner::kBliss:
+        result = baselines::bliss_like(problem, budget, session);
+        break;
+    }
+    for (const int sample_index : members) {
+      ordered_samples.push_back(sample_index);
+      predicted.push_back(result.best_index);
+    }
+    total_evaluations += static_cast<double>(result.evaluations);
+  }
+
+  TunerEvaluation evaluation;
+  evaluation.summary = core::summarize_predictions(data, ordered_samples, predicted);
+  evaluation.mean_evaluations =
+      total_evaluations / static_cast<double>(by_kernel.size());
+  return evaluation;
+}
+
+}  // namespace mga::bench

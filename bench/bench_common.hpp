@@ -1,0 +1,60 @@
+// Shared helpers for the per-figure experiment benches: fold runners for the
+// MGA model and its unimodal/ablation variants, and the search-tuner
+// evaluation loop (one tuning session per validation sample, as the paper
+// runs ytopt/OpenTuner/BLISS).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baselines/search_tuners.hpp"
+#include "core/experiment.hpp"
+#include "core/metrics.hpp"
+#include "dataset/splits.hpp"
+
+namespace mga::bench {
+
+/// Named model variants of the paper's comparison.
+enum class Variant {
+  kMga,            // both modalities + counters
+  kMgaStatic,      // both modalities, no counters
+  kProgramlOnly,   // graph modality + counters
+  kProgramlStatic, // graph modality only
+  kIr2vecOnly,     // vector modality + counters
+  kIr2vecStatic,   // vector modality only
+  kDynamicOnly,    // counters only
+};
+
+[[nodiscard]] const char* variant_name(Variant variant);
+
+[[nodiscard]] core::MgaModelConfig variant_config(Variant variant);
+
+/// Train on train_samples / evaluate on val_samples with a model variant and
+/// summarize speedups.
+[[nodiscard]] core::SpeedupSummary run_variant(const dataset::OmpDataset& data,
+                                               Variant variant,
+                                               const std::vector<int>& train_samples,
+                                               const std::vector<int>& val_samples,
+                                               std::uint64_t seed = 42);
+
+/// Search-tuner kinds evaluated per validation sample.
+enum class Tuner { kYtopt, kOpenTuner, kBliss };
+
+[[nodiscard]] const char* tuner_name(Tuner tuner);
+
+struct TunerEvaluation {
+  core::SpeedupSummary summary;
+  double mean_evaluations = 0.0;  // code executions per tuning session
+};
+
+/// Run one tuner session per validation *kernel* (the paper's protocol: a
+/// search tuner picks one configuration per loop by re-executing it, and has
+/// no per-input adaptation — unlike the MGA tuner's counter features). The
+/// objective each probe evaluates is the loop's total runtime across its
+/// validation inputs; the found configuration then applies to every input of
+/// that kernel. `budget` is the number of probes per session.
+[[nodiscard]] TunerEvaluation run_tuner(const dataset::OmpDataset& data, Tuner tuner,
+                                        const std::vector<int>& val_samples,
+                                        std::size_t budget, std::uint64_t seed = 99);
+
+}  // namespace mga::bench

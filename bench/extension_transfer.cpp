@@ -1,0 +1,85 @@
+// Extension (§7 future work): transfer learning toward an online tuner.
+//
+// The paper's conclusion names transfer learning across machines as the next
+// step beyond the §4.1.5 counter-rescaling portability. This bench measures
+// it directly: a model trained on Comet Lake is fine-tuned with k labeled
+// kernels from the Skylake target (k = 0, 2, 4, 8, 16) and evaluated on the
+// remaining Skylake kernels. The curve quantifies how many target-machine
+// measurements close the cross-machine gap — the data a practitioner needs
+// to decide between rescaled-counter reuse and a short fine-tuning run.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace mga;
+
+/// Train on source samples + k target kernels, evaluate on the remaining
+/// target kernels. Both datasets share the kernel list and configuration
+/// space cardinality (threads 1..8), so samples can be merged directly.
+double transfer_gmean(const dataset::OmpDataset& source, const dataset::OmpDataset& target,
+                      int k_target_kernels, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<int> kernel_ids(target.kernels.size());
+  for (std::size_t i = 0; i < kernel_ids.size(); ++i) kernel_ids[i] = static_cast<int>(i);
+  rng.shuffle(kernel_ids);
+
+  // Merged dataset: all source samples plus the k fine-tuning target kernels;
+  // evaluation on the remaining target kernels.
+  dataset::OmpDataset merged = source;
+  std::vector<int> train_samples;
+  for (std::size_t s = 0; s < source.samples.size(); ++s)
+    train_samples.push_back(static_cast<int>(s));
+
+  std::vector<int> val_samples;
+  for (std::size_t i = 0; i < kernel_ids.size(); ++i) {
+    const int kernel = kernel_ids[i];
+    const bool fine_tune = static_cast<int>(i) < k_target_kernels;
+    for (std::size_t s = 0; s < target.samples.size(); ++s) {
+      if (target.samples[s].kernel_id != kernel) continue;
+      const int merged_index = static_cast<int>(merged.samples.size());
+      merged.samples.push_back(target.samples[s]);
+      (fine_tune ? train_samples : val_samples).push_back(merged_index);
+    }
+  }
+
+  const auto summary = bench::run_variant(merged, bench::Variant::kMga, train_samples,
+                                          val_samples, seed);
+  return summary.normalized;
+}
+
+}  // namespace
+
+int main() {
+  const hwsim::MachineConfig comet = hwsim::comet_lake();
+  // Target with the same thread-space cardinality: an 8-core Broadwell.
+  const hwsim::MachineConfig target = hwsim::broadwell();
+
+  // A reduced input grid keeps the sweep quick while spanning the cache
+  // hierarchy.
+  std::vector<double> inputs;
+  {
+    const auto all = dataset::input_sizes_30();
+    for (std::size_t i = 0; i < all.size(); i += 3) inputs.push_back(all[i]);
+  }
+  const auto specs = corpus::openmp_suite();
+  const dataset::OmpDataset source =
+      dataset::build_omp_dataset(specs, comet, dataset::thread_space(comet), inputs);
+  const dataset::OmpDataset target_data =
+      dataset::build_omp_dataset(specs, target, dataset::thread_space(target), inputs);
+
+  std::cout << "=== Extension: transfer learning " << comet.name << " -> " << target.name
+            << " (paper §7 future work) ===\n";
+  util::Table table({"fine-tuning kernels from target", "normalized speedup on target"});
+  for (const int k : {0, 2, 4, 8, 16}) {
+    table.add_row({std::to_string(k),
+                   util::fmt_double(transfer_gmean(source, target_data, k, 31337), 3)});
+  }
+  table.print(std::cout);
+  std::cout << "(0 = zero-shot reuse of the source model; rising values show how many\n"
+               " target-machine kernels close the cross-machine gap)\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 1 — motivation.
+//  (a) execution time of Rodinia kmeans at thread counts 1..8 on the 8-core
+//      Comet Lake machine (paper: four thread counts beat the 8-thread
+//      default, up to 27% faster);
+//  (b) distribution of best thread counts over all 45 loops x 30 inputs
+//      (paper: ~64% of combinations need a non-default thread count).
+#include <iostream>
+
+#include "corpus/spec.hpp"
+#include "dataset/dataset.hpp"
+#include "hwsim/cpu_model.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mga;
+  const hwsim::MachineConfig machine = hwsim::comet_lake();
+
+  std::cout << "=== Figure 1a: kmeans execution time vs thread count ===\n";
+  const corpus::GeneratedKernel kmeans =
+      corpus::generate(corpus::find_kernel("rodinia/kmeans"));
+  const double input_bytes = 8.0 * 1024 * 1024;  // L3-straddling input
+  util::Table fig1a({"threads", "seconds", "vs 8-thread default"});
+  const double default_seconds =
+      hwsim::cpu_execute(kmeans.workload, machine, input_bytes,
+                         hwsim::default_config(machine))
+          .seconds;
+  double best_seconds = default_seconds;
+  for (int threads = 1; threads <= machine.hardware_threads(); ++threads) {
+    const double seconds =
+        hwsim::cpu_execute(kmeans.workload, machine, input_bytes,
+                           {threads, hwsim::Schedule::kStatic, 0})
+            .seconds;
+    best_seconds = std::min(best_seconds, seconds);
+    fig1a.add_row({std::to_string(threads), util::fmt_double(seconds, 4),
+                   util::fmt_speedup(default_seconds / seconds)});
+  }
+  fig1a.print(std::cout);
+  std::cout << "best improvement over default: "
+            << util::fmt_percent(1.0 - best_seconds / default_seconds) << "\n\n";
+
+  std::cout << "=== Figure 1b: best-thread distribution over 45 loops x 30 inputs ===\n";
+  const dataset::OmpDataset data =
+      dataset::build_omp_dataset(corpus::openmp_suite(), machine,
+                                 dataset::thread_space(machine), dataset::input_sizes_30());
+  std::vector<std::size_t> histogram(static_cast<std::size_t>(machine.hardware_threads()) + 1,
+                                     0);
+  std::size_t non_default = 0;
+  for (const auto& sample : data.samples) {
+    const int best_threads = data.space[static_cast<std::size_t>(sample.label)].threads;
+    ++histogram[static_cast<std::size_t>(best_threads)];
+    if (best_threads != machine.hardware_threads()) ++non_default;
+  }
+  util::Table fig1b({"best threads", "share of (loop, input) pairs"});
+  for (int threads = 1; threads <= machine.hardware_threads(); ++threads)
+    fig1b.add_row({std::to_string(threads),
+                   util::fmt_percent(static_cast<double>(histogram[static_cast<std::size_t>(
+                                         threads)]) /
+                                     static_cast<double>(data.samples.size()))});
+  fig1b.print(std::cout);
+  std::cout << "combinations needing tuning (paper: ~64%): "
+            << util::fmt_percent(static_cast<double>(non_default) /
+                                 static_cast<double>(data.samples.size()))
+            << "\n";
+  return 0;
+}

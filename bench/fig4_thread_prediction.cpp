@@ -1,0 +1,85 @@
+// Figure 4 — OpenMP thread prediction, 5-fold cross-validation over loops.
+// Compares Default / ytopt / OpenTuner / BLISS / PROGRAML / IR2Vec / MGA
+// against the brute-force oracle, reporting per-fold normalized speedups and
+// the cross-fold geometric means (paper: MGA 3.4x vs oracle 3.62x; ytopt
+// 1.46x, OpenTuner 2.33x, BLISS 1.67x, PROGRAML 2.79x, IR2Vec 3.17x; MGA
+// per-fold 2.71/4.68/8.09/3.51/1.31x and ~86% accuracy).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mga;
+  const hwsim::MachineConfig machine = hwsim::comet_lake();
+  const dataset::OmpDataset data =
+      dataset::build_omp_dataset(corpus::openmp_suite(), machine,
+                                 dataset::thread_space(machine), dataset::input_sizes_30());
+
+  util::Rng fold_rng(2023);
+  const auto folds = dataset::k_fold(data.kernels.size(), 5, fold_rng);
+
+  const bench::Variant dl_variants[] = {bench::Variant::kProgramlOnly,
+                                        bench::Variant::kIr2vecOnly, bench::Variant::kMga};
+  const bench::Tuner tuners[] = {bench::Tuner::kYtopt, bench::Tuner::kOpenTuner,
+                                 bench::Tuner::kBliss};
+
+  util::Table table({"approach", "fold1", "fold2", "fold3", "fold4", "fold5",
+                     "gmean speedup", "normalized vs oracle"});
+
+  // Oracle and default rows share the fold structure.
+  std::vector<std::vector<double>> oracle_per_fold(5);
+  std::vector<double> oracle_gmeans;
+  for (std::size_t f = 0; f < folds.size(); ++f) {
+    const auto val = core::samples_of_kernels(data, folds[f]);
+    std::vector<int> oracle_labels;
+    for (const int s : val) oracle_labels.push_back(data.samples[static_cast<std::size_t>(s)].label);
+    const auto summary = core::summarize_predictions(data, val, oracle_labels);
+    oracle_gmeans.push_back(summary.gmean_speedup);
+  }
+
+  const auto add_row = [&](const std::string& name, const std::vector<double>& per_fold) {
+    std::vector<std::string> cells = {name};
+    for (const double s : per_fold) cells.push_back(util::fmt_speedup(s));
+    const double gmean = util::geometric_mean(per_fold);
+    cells.push_back(util::fmt_speedup(gmean));
+    cells.push_back(util::fmt_double(gmean / util::geometric_mean(oracle_gmeans)));
+    table.add_row(std::move(cells));
+  };
+
+  add_row("Default", std::vector<double>(5, 1.0));
+
+  for (const auto tuner : tuners) {
+    std::vector<double> per_fold;
+    for (std::size_t f = 0; f < folds.size(); ++f) {
+      const auto val = core::samples_of_kernels(data, folds[f]);
+      per_fold.push_back(bench::run_tuner(data, tuner, val, /*budget=*/6).summary
+                             .gmean_speedup);
+    }
+    add_row(bench::tuner_name(tuner), per_fold);
+  }
+
+  std::vector<double> mga_accuracy;
+  for (const auto variant : dl_variants) {
+    std::vector<double> per_fold;
+    for (std::size_t f = 0; f < folds.size(); ++f) {
+      const auto val_kernels = folds[f];
+      const auto train_kernels = dataset::complement(val_kernels, data.kernels.size());
+      const auto summary = bench::run_variant(
+          data, variant, core::samples_of_kernels(data, train_kernels),
+          core::samples_of_kernels(data, val_kernels), /*seed=*/1000 + f);
+      per_fold.push_back(summary.gmean_speedup);
+      if (variant == bench::Variant::kMga) mga_accuracy.push_back(summary.accuracy);
+    }
+    add_row(bench::variant_name(variant), per_fold);
+  }
+
+  add_row("Oracle", oracle_gmeans);
+
+  std::cout << "=== Figure 4: thread prediction, 5-fold CV (speedup over default) ===\n";
+  table.print(std::cout);
+  std::cout << "MGA gmean accuracy across folds (paper: ~86%): "
+            << util::fmt_percent(util::geometric_mean(mga_accuracy)) << "\n";
+  return 0;
+}

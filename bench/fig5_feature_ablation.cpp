@@ -1,0 +1,55 @@
+// Figure 5 — impact of static and dynamic features (randomized 80/20 split).
+// Red bars (paper): static+dynamic — MGA 3.9x, IR2Vec 3.6x, PROGRAML 3.0x.
+// Green bars: static only — 2.8x / 2.5x / 2.5x. Blue bar: dynamic only 2.1x.
+// Yellow bars: ytopt / OpenTuner / BLISS for reference.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mga;
+  const hwsim::MachineConfig machine = hwsim::comet_lake();
+  const dataset::OmpDataset data =
+      dataset::build_omp_dataset(corpus::openmp_suite(), machine,
+                                 dataset::thread_space(machine), dataset::input_sizes_30());
+
+  // Randomized 80/20 split over loops (the paper's validation protocol for
+  // this ablation).
+  util::Rng rng(555);
+  const auto split = dataset::holdout(data.kernels.size(), 0.2, rng);
+  const auto train = core::samples_of_kernels(data, split.retained);
+  const auto val = core::samples_of_kernels(data, split.held_out);
+
+  util::Table table({"model", "features", "gmean speedup"});
+
+  for (const auto tuner :
+       {bench::Tuner::kYtopt, bench::Tuner::kOpenTuner, bench::Tuner::kBliss}) {
+    const auto evaluation = bench::run_tuner(data, tuner, val, /*budget=*/6);
+    table.add_row({bench::tuner_name(tuner), "search",
+                   util::fmt_speedup(evaluation.summary.gmean_speedup)});
+  }
+
+  table.add_row({"Dynamic Only", "counters only",
+                 util::fmt_speedup(bench::run_variant(data, bench::Variant::kDynamicOnly,
+                                                      train, val)
+                                       .gmean_speedup)});
+
+  const std::pair<bench::Variant, bench::Variant> pairs[] = {
+      {bench::Variant::kProgramlStatic, bench::Variant::kProgramlOnly},
+      {bench::Variant::kIr2vecStatic, bench::Variant::kIr2vecOnly},
+      {bench::Variant::kMgaStatic, bench::Variant::kMga},
+  };
+  for (const auto& [static_variant, full_variant] : pairs) {
+    table.add_row({bench::variant_name(static_variant), "static only",
+                   util::fmt_speedup(
+                       bench::run_variant(data, static_variant, train, val).gmean_speedup)});
+    table.add_row({bench::variant_name(full_variant), "static + dynamic",
+                   util::fmt_speedup(
+                       bench::run_variant(data, full_variant, train, val).gmean_speedup)});
+  }
+
+  std::cout << "=== Figure 5: static vs dynamic feature ablation (80/20 split) ===\n";
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 7 / Table 2 — scaling to the 147-configuration search space
+// (threads x schedule x chunk) on the 10-core/20-thread Skylake machine,
+// leave-one-out over 30 applications (Polybench + Rodinia subset + LULESH).
+// Paper: MGA gmean 2.23x vs oracle 2.38x; >=0.95x oracle in 21/30 apps,
+// >=0.85x in 28/30; beats ytopt/OpenTuner/BLISS in 28/29/26 of 30.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mga;
+  const hwsim::MachineConfig machine = hwsim::skylake_sp();
+  const dataset::OmpDataset data =
+      dataset::build_omp_dataset(corpus::large_space_suite(), machine,
+                                 dataset::large_space(machine), dataset::input_sizes_30());
+  std::cout << "search space: " << data.space.size() << " configurations\n";
+
+  util::Table table({"application", "ytopt", "OpenTuner", "BLISS", "MGA", "oracle",
+                     "MGA normalized"});
+  std::vector<double> mga_gmeans, oracle_gmeans, normalized;
+  int beats_ytopt = 0, beats_opentuner = 0, beats_bliss = 0;
+
+  const auto loo = dataset::leave_one_out(data.kernels.size());
+  for (std::size_t app = 0; app < loo.size(); ++app) {
+    const auto val_kernels = loo[app];
+    const auto train_kernels = dataset::complement(val_kernels, data.kernels.size());
+    const auto val = core::samples_of_kernels(data, val_kernels);
+    const auto train = core::samples_of_kernels(data, train_kernels);
+
+    const auto mga = bench::run_variant(data, bench::Variant::kMga, train, val,
+                                        /*seed=*/7000 + app);
+    const double ytopt =
+        bench::run_tuner(data, bench::Tuner::kYtopt, val, 30).summary.gmean_speedup;
+    const double opentuner =
+        bench::run_tuner(data, bench::Tuner::kOpenTuner, val, 30).summary.gmean_speedup;
+    const double bliss =
+        bench::run_tuner(data, bench::Tuner::kBliss, val, 30).summary.gmean_speedup;
+
+    mga_gmeans.push_back(mga.gmean_speedup);
+    oracle_gmeans.push_back(mga.oracle_speedup);
+    normalized.push_back(mga.normalized);
+    if (mga.gmean_speedup > ytopt) ++beats_ytopt;
+    if (mga.gmean_speedup > opentuner) ++beats_opentuner;
+    if (mga.gmean_speedup > bliss) ++beats_bliss;
+
+    table.add_row({data.kernels[app].name, util::fmt_speedup(ytopt),
+                   util::fmt_speedup(opentuner), util::fmt_speedup(bliss),
+                   util::fmt_speedup(mga.gmean_speedup),
+                   util::fmt_speedup(mga.oracle_speedup), util::fmt_double(mga.normalized)});
+  }
+
+  std::cout << "=== Figure 7: threads+schedule+chunk, leave-one-out over 30 apps ===\n";
+  table.print(std::cout);
+
+  int ge95 = 0, ge85 = 0;
+  for (const double n : normalized) {
+    if (n >= 0.95) ++ge95;
+    if (n >= 0.85) ++ge85;
+  }
+  std::cout << "MGA gmean " << util::fmt_speedup(util::geometric_mean(mga_gmeans))
+            << " vs oracle " << util::fmt_speedup(util::geometric_mean(oracle_gmeans))
+            << " (paper: 2.23x vs 2.38x)\n";
+  std::cout << ">=0.95x oracle: " << ge95 << "/30 (paper: 21/30); >=0.85x: " << ge85
+            << "/30 (paper: 28/30)\n";
+  std::cout << "MGA beats ytopt/OpenTuner/BLISS in " << beats_ytopt << "/" << beats_opentuner
+            << "/" << beats_bliss << " of 30 (paper: 28/29/26)\n";
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Figure 9 — µ-architecture portability. A model trained on Comet Lake data
+// predicts thread counts for single-socket 8-core Broadwell and Sandy Bridge
+// machines without retraining: the validation kernel is profiled twice on the
+// target machine, its cache counters are scaled by the cache-size ratios
+// between target and training machines (the paper's formula), branch
+// mispredictions are divided by reference cycles, and the normalized features
+// are fed to the pre-trained model. Leave-one-out over 25 Polybench kernels
+// with STANDARD and LARGE inputs.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace mga;
+
+/// Paper's §4.1.5 counter scaling: target-machine counters expressed in
+/// training-machine units.
+hwsim::PapiCounters scale_counters(const hwsim::PapiCounters& target,
+                                   const hwsim::MachineConfig& target_machine,
+                                   const hwsim::MachineConfig& train_machine) {
+  hwsim::PapiCounters scaled = target;
+  scaled.l1_cache_misses *= target_machine.l1_kb / train_machine.l1_kb;
+  scaled.l2_cache_misses *= target_machine.l2_kb / train_machine.l2_kb;
+  scaled.l3_load_misses *= target_machine.l3_mb / train_machine.l3_mb;
+  // Branch counters normalized by reference cycles, re-expressed on the
+  // training machine's cycle budget.
+  const double cycle_ratio = scaled.cpu_clock_cycles > 0.0
+                                 ? train_machine.frequency_ghz / target_machine.frequency_ghz
+                                 : 1.0;
+  scaled.mispredicted_branches *= cycle_ratio;
+  return scaled;
+}
+
+struct PortabilityRow {
+  double predicted_speedup = 1.0;
+  double oracle_speedup = 1.0;
+};
+
+std::vector<PortabilityRow> run_target(const dataset::OmpDataset& train_data,
+                                       const hwsim::MachineConfig& target_machine,
+                                       const std::vector<int>& polybench_ids,
+                                       const std::vector<double>& val_inputs) {
+  std::vector<PortabilityRow> rows;
+  for (const int kernel : polybench_ids) {
+    // Merged dataset: Comet Lake training samples + target-machine validation
+    // samples for the left-out kernel with scaled counters.
+    dataset::OmpDataset merged = train_data;
+    std::vector<int> val_samples;
+    for (const double input : val_inputs) {
+      dataset::OmpSample sample;
+      sample.kernel_id = kernel;
+      sample.input_bytes = input;
+      const auto profile = hwsim::cpu_execute(
+          merged.workloads[static_cast<std::size_t>(kernel)], target_machine, input,
+          hwsim::default_config(target_machine));
+      sample.counters = scale_counters(profile.counters, target_machine, train_data.machine);
+      sample.default_seconds = profile.seconds;
+      double best = 0.0;
+      for (std::size_t c = 0; c < merged.space.size(); ++c) {
+        const double seconds =
+            hwsim::cpu_execute(merged.workloads[static_cast<std::size_t>(kernel)],
+                               target_machine, input, merged.space[c])
+                .seconds;
+        sample.seconds.push_back(seconds);
+        if (c == 0 || seconds < best) {
+          best = seconds;
+          sample.label = static_cast<int>(c);
+        }
+      }
+      val_samples.push_back(static_cast<int>(merged.samples.size()));
+      merged.samples.push_back(std::move(sample));
+    }
+
+    std::vector<int> train_samples;
+    for (std::size_t s = 0; s < train_data.samples.size(); ++s)
+      if (train_data.samples[s].kernel_id != kernel)
+        train_samples.push_back(static_cast<int>(s));
+
+    const auto summary = bench::run_variant(merged, bench::Variant::kMga, train_samples,
+                                            val_samples, /*seed=*/9000 + kernel);
+    rows.push_back({summary.gmean_speedup, summary.oracle_speedup});
+  }
+  return rows;
+}
+
+}  // namespace
+
+int main() {
+  const hwsim::MachineConfig comet = hwsim::comet_lake();
+  const dataset::OmpDataset data = dataset::build_omp_dataset(
+      corpus::openmp_suite(), comet, dataset::thread_space(comet), dataset::input_sizes_30());
+
+  std::vector<int> polybench_ids;
+  for (std::size_t k = 0; k < data.kernels.size(); ++k)
+    if (data.kernels[k].suite == "polybench") polybench_ids.push_back(static_cast<int>(k));
+
+  // STANDARD- and LARGE-class Polybench inputs (sized relative to the
+  // simulated machines' caches, the regime where configuration matters).
+  const std::vector<double> val_inputs = {2.0 * 1024 * 1024, 16.0 * 1024 * 1024};
+
+  const auto sandy = run_target(data, hwsim::sandy_bridge(), polybench_ids, val_inputs);
+  const auto broad = run_target(data, hwsim::broadwell(), polybench_ids, val_inputs);
+
+  std::cout << "=== Figure 9: portability — Comet-Lake-trained model on Sandy Bridge (SB) "
+               "and Broadwell (BW) ===\n";
+  util::Table table({"kernel", "Predicted-SB", "Oracle-SB", "Predicted-BW", "Oracle-BW"});
+  std::vector<double> predicted_sb, oracle_sb, predicted_bw, oracle_bw;
+  for (std::size_t i = 0; i < polybench_ids.size(); ++i) {
+    const auto& name = data.kernels[static_cast<std::size_t>(polybench_ids[i])].name;
+    table.add_row({name, util::fmt_speedup(sandy[i].predicted_speedup),
+                   util::fmt_speedup(sandy[i].oracle_speedup),
+                   util::fmt_speedup(broad[i].predicted_speedup),
+                   util::fmt_speedup(broad[i].oracle_speedup)});
+    predicted_sb.push_back(sandy[i].predicted_speedup);
+    oracle_sb.push_back(sandy[i].oracle_speedup);
+    predicted_bw.push_back(broad[i].predicted_speedup);
+    oracle_bw.push_back(broad[i].oracle_speedup);
+  }
+  table.print(std::cout);
+  std::cout << "Sandy Bridge: predicted " << util::fmt_speedup(util::geometric_mean(predicted_sb))
+            << " vs oracle " << util::fmt_speedup(util::geometric_mean(oracle_sb)) << "\n";
+  std::cout << "Broadwell:    predicted " << util::fmt_speedup(util::geometric_mean(predicted_bw))
+            << " vs oracle " << util::fmt_speedup(util::geometric_mean(oracle_bw)) << "\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Google-benchmark microbenchmarks for the performance-critical substrates:
+// tensor ops / autograd, GNN message passing, PROGRAML graph construction,
+// IR2Vec encoding, and simulator throughput. These guard the training-cost
+// engineering described in DESIGN.md §5.
+#include <benchmark/benchmark.h>
+
+#include "corpus/spec.hpp"
+#include "hwsim/cpu_model.hpp"
+#include "ir2vec/encoder.hpp"
+#include "models/gnn.hpp"
+#include "nn/ops.hpp"
+#include "programl/builder.hpp"
+
+namespace {
+
+using namespace mga;
+
+void BM_MatMul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  const nn::Tensor a = nn::Tensor::randn(rng, n, n, 1.0f);
+  const nn::Tensor b = nn::Tensor::randn(rng, n, n, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::matmul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_AutogradBackward(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(2);
+  const nn::Tensor w1 = nn::Tensor::randn(rng, n, n, 0.1f, true);
+  const nn::Tensor w2 = nn::Tensor::randn(rng, n, n, 0.1f, true);
+  const nn::Tensor x = nn::Tensor::randn(rng, 16, n, 1.0f);
+  for (auto _ : state) {
+    nn::Tensor loss = nn::mean_all(nn::relu(nn::matmul(nn::relu(nn::matmul(x, w1)), w2)));
+    loss.backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+BENCHMARK(BM_AutogradBackward)->Arg(32)->Arg(64);
+
+void BM_GraphConstruction(benchmark::State& state) {
+  const auto specs = corpus::openmp_suite();
+  const auto& spec = specs[static_cast<std::size_t>(state.range(0))];
+  const auto kernel = corpus::generate(spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(programl::build_graph(*kernel.module));
+  }
+}
+BENCHMARK(BM_GraphConstruction)->Arg(0)->Arg(20)->Arg(44);
+
+void BM_Ir2vecEncoding(benchmark::State& state) {
+  const auto specs = corpus::openmp_suite();
+  const auto kernel = corpus::generate(specs[static_cast<std::size_t>(state.range(0))]);
+  const ir2vec::Encoder encoder;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.encode_module(*kernel.module));
+  }
+}
+BENCHMARK(BM_Ir2vecEncoding)->Arg(0)->Arg(44);
+
+void BM_HeteroGnnForward(benchmark::State& state) {
+  const auto specs = corpus::openmp_suite();
+  const auto kernel = corpus::generate(specs[static_cast<std::size_t>(state.range(0))]);
+  const auto graph = programl::build_graph(*kernel.module);
+  util::Rng rng(3);
+  const models::HeteroGnn gnn(rng, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gnn.forward(graph));
+  }
+}
+BENCHMARK(BM_HeteroGnnForward)->Arg(0)->Arg(20)->Arg(44);
+
+void BM_SimulatorRun(benchmark::State& state) {
+  const auto specs = corpus::openmp_suite();
+  const auto kernel = corpus::generate(specs[5]);
+  const auto machine = hwsim::comet_lake();
+  int threads = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hwsim::cpu_execute(kernel.workload, machine, 1e7,
+                                                {1 + threads++ % 8,
+                                                 hwsim::Schedule::kDynamic, 8}));
+  }
+}
+BENCHMARK(BM_SimulatorRun);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,167 @@
+// Table 3 + §4.2.2 — heterogeneous device mapping (CPU vs GPU) on the
+// 256-kernel / 670-points-per-device OpenCL dataset, 10-fold stratified CV.
+// Compares Grewe et al. / DeepTune / inst2vec / PROGRAML / IR2Vec / MGA.
+// Paper accuracies (NVIDIA / AMD): 74.56/70.29, 80.88/83.24, 82.65/82.35,
+// 80/86.6, 89.68/92.82, and MGA 97.9/97.7 with F1 0.98/0.97; speedups vs
+// static mapping: MGA 1.3x (NVIDIA, oracle 1.34x) and 1.62x (AMD, oracle
+// 1.66x).
+#include <iostream>
+#include <memory>
+
+#include "baselines/devmap.hpp"
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace mga;
+
+struct DeviceResult {
+  double accuracy = 0.0;
+  double f1 = 0.0;
+  double speedup = 1.0;        // vs static mapping
+  double oracle_speedup = 1.0;
+};
+
+/// Speedup of a prediction set vs the static (majority-device) mapping,
+/// computed as in §4.2.2.
+double speedup_vs_static(const dataset::OclDataset& data, const std::vector<int>& samples,
+                         const std::vector<int>& predicted, int static_label) {
+  std::vector<double> speedups;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const auto& sample = data.samples[static_cast<std::size_t>(samples[i])];
+    const double static_seconds =
+        static_label == 1 ? sample.gpu_seconds : sample.cpu_seconds;
+    const double chosen_seconds =
+        predicted[i] == 1 ? sample.gpu_seconds : sample.cpu_seconds;
+    speedups.push_back(static_seconds / chosen_seconds);
+  }
+  return util::geometric_mean(speedups);
+}
+
+DeviceResult evaluate_predictions(const dataset::OclDataset& data,
+                                  const std::vector<int>& samples,
+                                  const std::vector<int>& predicted, int static_label) {
+  std::vector<int> actual;
+  std::vector<int> oracle;
+  for (const int s : samples) {
+    actual.push_back(data.samples[static_cast<std::size_t>(s)].label);
+    oracle.push_back(data.samples[static_cast<std::size_t>(s)].label);
+  }
+  DeviceResult result;
+  result.accuracy = util::accuracy(predicted, actual);
+  result.f1 = util::f1_score(predicted, actual);
+  result.speedup = speedup_vs_static(data, samples, predicted, static_label);
+  result.oracle_speedup = speedup_vs_static(data, samples, oracle, static_label);
+  return result;
+}
+
+/// 10-fold stratified evaluation of one approach; returns pooled metrics.
+template <typename PredictFold>
+DeviceResult cross_validate(const dataset::OclDataset& data, PredictFold&& predict_fold,
+                            int static_label) {
+  util::Rng rng(4242);
+  std::vector<int> labels;
+  for (const auto& sample : data.samples) labels.push_back(sample.label);
+  const auto folds = dataset::stratified_k_fold(labels, 10, rng);
+
+  std::vector<int> all_samples;
+  std::vector<int> all_predicted;
+  for (const auto& fold : folds) {
+    std::vector<int> train;
+    {
+      const auto train_set = dataset::complement(fold, data.samples.size());
+      train.assign(train_set.begin(), train_set.end());
+    }
+    const std::vector<int> predicted = predict_fold(train, fold);
+    all_samples.insert(all_samples.end(), fold.begin(), fold.end());
+    all_predicted.insert(all_predicted.end(), predicted.begin(), predicted.end());
+  }
+  return evaluate_predictions(data, all_samples, all_predicted, static_label);
+}
+
+DeviceResult run_mga(const dataset::OclDataset& data, const core::MgaModelConfig& config,
+                     int static_label) {
+  return cross_validate(
+      data,
+      [&](const std::vector<int>& train, const std::vector<int>& val) {
+        core::TrainConfig tc;
+        tc.epochs = 12;
+        core::DeviceMappingExperiment experiment(data, config, tc);
+        const auto result = experiment.run(train, val);
+        // Reorder predictions into `val` order.
+        std::vector<int> by_sample(data.samples.size(), 0);
+        for (std::size_t i = 0; i < result.sample_indices.size(); ++i)
+          by_sample[static_cast<std::size_t>(result.sample_indices[i])] = result.predicted[i];
+        std::vector<int> ordered;
+        for (const int s : val) ordered.push_back(by_sample[static_cast<std::size_t>(s)]);
+        return ordered;
+      },
+      static_label);
+}
+
+DeviceResult run_baseline(const dataset::OclDataset& data,
+                          baselines::DeviceMappingBaseline& model, int static_label) {
+  return cross_validate(
+      data,
+      [&](const std::vector<int>& train, const std::vector<int>& val) {
+        model.fit(data, train);
+        return model.predict(data, val);
+      },
+      static_label);
+}
+
+void run_device(const char* device_name, const hwsim::GpuConfig& gpu) {
+  const dataset::OclDataset data =
+      dataset::build_ocl_dataset(corpus::opencl_suite(), gpu, hwsim::ivy_bridge_i7_3820());
+
+  // Static mapping baseline defines the speedup denominator.
+  baselines::StaticMappingBaseline static_mapping;
+  std::vector<int> all(data.samples.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+  static_mapping.fit(data, all);
+  const int static_label = static_mapping.majority_label();
+
+  std::cout << "\n=== Table 3 (" << device_name << " GPU: " << gpu.name << ") ===\n";
+  util::Table table({"approach", "accuracy", "F1", "speedup vs static", "oracle speedup"});
+
+  baselines::GreweBaseline grewe;
+  baselines::DeepTuneBaseline deeptune;
+  baselines::Inst2vecBaseline inst2vec;
+  const struct {
+    const char* name;
+    baselines::DeviceMappingBaseline* model;
+  } comparators[] = {
+      {"Grewe et al.", &grewe}, {"DeepTune", &deeptune}, {"inst2vec", &inst2vec}};
+  for (const auto& comparator : comparators) {
+    const DeviceResult result = run_baseline(data, *comparator.model, static_label);
+    table.add_row({comparator.name, util::fmt_percent(result.accuracy, 2),
+                   util::fmt_double(result.f1), util::fmt_speedup(result.speedup),
+                   util::fmt_speedup(result.oracle_speedup)});
+  }
+
+  const struct {
+    const char* name;
+    bench::Variant variant;
+  } dl_models[] = {{"PROGRAML", bench::Variant::kProgramlOnly},
+                   {"IR2Vec", bench::Variant::kIr2vecOnly},
+                   {"MGA (ours)", bench::Variant::kMga}};
+  for (const auto& dl : dl_models) {
+    core::MgaModelConfig config = bench::variant_config(dl.variant);
+    config.use_extra = true;  // transfer + workgroup sizes are always inputs here
+    const DeviceResult result = run_mga(data, config, static_label);
+    table.add_row({dl.name, util::fmt_percent(result.accuracy, 2),
+                   util::fmt_double(result.f1), util::fmt_speedup(result.speedup),
+                   util::fmt_speedup(result.oracle_speedup)});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  run_device("NVIDIA", hwsim::gtx_970());
+  run_device("AMD", hwsim::tahiti_7970());
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Heterogeneous device mapping (§4.2): train the MGA model to decide, per
+// (OpenCL kernel, transfer size, workgroup size), whether the CPU or the GPU
+// executes faster — including the paper's makea corner case where the same
+// kernel maps to the GPU at small inputs and to the CPU at large ones.
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "dataset/splits.hpp"
+#include "hwsim/gpu_model.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mga;
+  const hwsim::GpuConfig gpu = hwsim::gtx_970();
+  const hwsim::MachineConfig host = hwsim::ivy_bridge_i7_3820();
+  const dataset::OclDataset data =
+      dataset::build_ocl_dataset(corpus::opencl_suite(), gpu, host);
+  std::cout << "dataset: " << data.kernels.size() << " OpenCL kernels, "
+            << data.samples.size() << " labeled points (" << gpu.name << " vs " << host.name
+            << ")\n";
+
+  // Single stratified fold for the demo (the bench runs all ten).
+  util::Rng rng(7);
+  std::vector<int> labels;
+  for (const auto& sample : data.samples) labels.push_back(sample.label);
+  const auto folds = dataset::stratified_k_fold(labels, 10, rng);
+  const auto val = folds[0];
+  const auto train = dataset::complement(val, data.samples.size());
+
+  std::cout << "training multimodal device-mapping model...\n\n";
+  core::DeviceMappingExperiment experiment(data, core::MgaModelConfig{});
+  const core::DeviceMappingResult result = experiment.run(train, val);
+
+  std::vector<int> actual;
+  for (const int s : result.sample_indices)
+    actual.push_back(data.samples[static_cast<std::size_t>(s)].label);
+  std::cout << "validation accuracy: "
+            << util::fmt_percent(util::accuracy(result.predicted, actual)) << ", F1 "
+            << util::fmt_double(util::f1_score(result.predicted, actual)) << "\n\n";
+
+  // The makea corner case, straight from the simulator.
+  const corpus::KernelSpec makea = corpus::find_kernel("npb/CG-makea-k0");
+  const corpus::GeneratedKernel kernel = corpus::generate(makea);
+  util::Table table({"transfer size", "CPU time", "GPU time", "faster device"});
+  for (const double transfer : {64.0 * 1024, 1e6, 16e6, 128e6}) {
+    const double cpu_seconds = hwsim::cpu_reference_seconds(kernel.workload, host, transfer);
+    const double gpu_seconds =
+        hwsim::gpu_execute(kernel.workload, gpu, transfer, 256).seconds;
+    table.add_row({util::fmt_double(transfer / 1024.0, 0) + " KB",
+                   util::fmt_double(cpu_seconds * 1e3, 2) + " ms",
+                   util::fmt_double(gpu_seconds * 1e3, 2) + " ms",
+                   gpu_seconds < cpu_seconds ? "GPU" : "CPU"});
+  }
+  std::cout << "call-heavy " << makea.name << " (cf. §4.2.2 corner case):\n";
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,91 @@
+// OpenMP auto-tuning over the full Table 2 search space (threads x schedule x
+// chunk) on the 20-thread Skylake machine — the §4.1.4 scenario. Trains on
+// all applications except a target, then tunes the target across input sizes
+// and compares with the three search-tuner baselines.
+//
+// Usage: openmp_autotune [kernel-name]   (default: polybench/covariance)
+#include <iostream>
+#include <string>
+
+#include "baselines/search_tuners.hpp"
+#include "core/experiment.hpp"
+#include "core/metrics.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mga;
+  const std::string target = argc > 1 ? argv[1] : "polybench/covariance";
+
+  const hwsim::MachineConfig machine = hwsim::skylake_sp();
+  const dataset::OmpDataset data =
+      dataset::build_omp_dataset(corpus::large_space_suite(), machine,
+                                 dataset::large_space(machine), dataset::input_sizes_30());
+  std::cout << "search space: " << data.space.size() << " configurations on "
+            << machine.name << " (" << machine.hardware_threads() << " hardware threads)\n";
+
+  int target_id = -1;
+  for (std::size_t k = 0; k < data.kernels.size(); ++k)
+    if (data.kernels[k].name == target) target_id = static_cast<int>(k);
+  if (target_id < 0) {
+    std::cerr << "unknown kernel '" << target << "'; available:\n";
+    for (const auto& kernel : data.kernels) std::cerr << "  " << kernel.name << "\n";
+    return 1;
+  }
+
+  std::vector<int> train_samples;
+  std::vector<int> val_samples;
+  for (std::size_t s = 0; s < data.samples.size(); ++s)
+    (data.samples[s].kernel_id == target_id ? val_samples : train_samples)
+        .push_back(static_cast<int>(s));
+
+  std::cout << "training MGA on the other " << data.kernels.size() - 1
+            << " applications...\n";
+  core::OmpExperiment experiment(data, core::MgaModelConfig{});
+  const core::OmpEvalResult result = experiment.run(train_samples, val_samples);
+
+  util::Table table({"input", "MGA config (threads/schedule/chunk)", "MGA speedup",
+                     "oracle config", "oracle speedup"});
+  const auto config_string = [](const hwsim::OmpConfig& config) {
+    return std::to_string(config.threads) + "/" +
+           std::string(hwsim::schedule_name(config.schedule)) + "/" +
+           std::to_string(config.chunk);
+  };
+  for (std::size_t i = 0; i < result.sample_indices.size(); i += 5) {
+    const auto& sample = data.samples[static_cast<std::size_t>(result.sample_indices[i])];
+    const auto predicted = static_cast<std::size_t>(result.predicted[i]);
+    const auto oracle = static_cast<std::size_t>(sample.label);
+    table.add_row({util::fmt_double(sample.input_bytes / 1024.0, 0) + " KB",
+                   config_string(data.space[predicted]),
+                   util::fmt_speedup(sample.default_seconds / sample.seconds[predicted]),
+                   config_string(data.space[oracle]),
+                   util::fmt_speedup(sample.default_seconds / sample.seconds[oracle])});
+  }
+  table.print(std::cout);
+
+  const auto summary =
+      core::summarize_predictions(data, result.sample_indices, result.predicted);
+  std::cout << "\n" << target << ": MGA " << util::fmt_speedup(summary.gmean_speedup)
+            << " vs oracle " << util::fmt_speedup(summary.oracle_speedup)
+            << " — 2 profiling runs per input, no search.\n";
+
+  // Search-tuner comparison on the largest input (one session each).
+  const auto& big = data.samples[static_cast<std::size_t>(val_samples.back())];
+  util::Rng rng(2024);
+  std::cout << "\nsearch-tuner sessions on the largest input (10 evaluations each):\n";
+  for (int which = 0; which < 3; ++which) {
+    baselines::TuningProblem problem(data.space, [&big](int c) {
+      return big.seconds[static_cast<std::size_t>(c)];
+    });
+    util::Rng session = rng.fork();
+    baselines::TuneResult tuned;
+    const char* name = "";
+    switch (which) {
+      case 0: name = "ytopt    "; tuned = baselines::ytopt_like(problem, 10, session); break;
+      case 1: name = "OpenTuner"; tuned = baselines::open_tuner_like(problem, 10, session); break;
+      default: name = "BLISS    "; tuned = baselines::bliss_like(problem, 10, session); break;
+    }
+    std::cout << "  " << name << ": " << tuned.evaluations << " executions -> "
+              << util::fmt_speedup(big.default_seconds / tuned.best_seconds) << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,140 @@
+#include "baselines/decision_tree.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace mga::baselines {
+
+namespace {
+
+[[nodiscard]] double gini(const std::map<int, std::size_t>& counts, std::size_t total) {
+  if (total == 0) return 0.0;
+  double impurity = 1.0;
+  for (const auto& [label, count] : counts) {
+    const double p = static_cast<double>(count) / static_cast<double>(total);
+    impurity -= p * p;
+  }
+  return impurity;
+}
+
+[[nodiscard]] int majority(const std::map<int, std::size_t>& counts) {
+  int best_label = 0;
+  std::size_t best_count = 0;
+  for (const auto& [label, count] : counts)
+    if (count > best_count) {
+      best_count = count;
+      best_label = label;
+    }
+  return best_label;
+}
+
+}  // namespace
+
+void DecisionTree::fit(const std::vector<std::vector<double>>& rows,
+                       const std::vector<int>& labels, DecisionTreeConfig config) {
+  MGA_CHECK(!rows.empty() && rows.size() == labels.size());
+  nodes_.clear();
+  std::vector<int> indices(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) indices[i] = static_cast<int>(i);
+  build(rows, labels, std::move(indices), 0, config);
+}
+
+int DecisionTree::build(const std::vector<std::vector<double>>& rows,
+                        const std::vector<int>& labels, std::vector<int> indices, int depth,
+                        const DecisionTreeConfig& config) {
+  std::map<int, std::size_t> counts;
+  for (const int i : indices) ++counts[labels[static_cast<std::size_t>(i)]];
+
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.push_back({});
+  nodes_[static_cast<std::size_t>(node_index)].label = majority(counts);
+
+  const bool pure = counts.size() == 1;
+  if (pure || depth >= config.max_depth || indices.size() < config.min_samples_split)
+    return node_index;
+
+  // Exhaustive best split search over feature/threshold midpoints.
+  const std::size_t num_features = rows.front().size();
+  const double parent_gini = gini(counts, indices.size());
+  double best_gain = 1e-9;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  for (std::size_t f = 0; f < num_features; ++f) {
+    std::vector<double> values;
+    values.reserve(indices.size());
+    for (const int i : indices) values.push_back(rows[static_cast<std::size_t>(i)][f]);
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    for (std::size_t v = 0; v + 1 < values.size(); ++v) {
+      const double threshold = (values[v] + values[v + 1]) / 2.0;
+      std::map<int, std::size_t> left_counts;
+      std::map<int, std::size_t> right_counts;
+      std::size_t left_total = 0;
+      for (const int i : indices) {
+        if (rows[static_cast<std::size_t>(i)][f] <= threshold) {
+          ++left_counts[labels[static_cast<std::size_t>(i)]];
+          ++left_total;
+        } else {
+          ++right_counts[labels[static_cast<std::size_t>(i)]];
+        }
+      }
+      const std::size_t right_total = indices.size() - left_total;
+      if (left_total == 0 || right_total == 0) continue;
+      const double weighted =
+          (static_cast<double>(left_total) * gini(left_counts, left_total) +
+           static_cast<double>(right_total) * gini(right_counts, right_total)) /
+          static_cast<double>(indices.size());
+      const double gain = parent_gini - weighted;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = threshold;
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_index;  // no useful split
+
+  std::vector<int> left_indices;
+  std::vector<int> right_indices;
+  for (const int i : indices) {
+    if (rows[static_cast<std::size_t>(i)][static_cast<std::size_t>(best_feature)] <=
+        best_threshold)
+      left_indices.push_back(i);
+    else
+      right_indices.push_back(i);
+  }
+
+  const int left = build(rows, labels, std::move(left_indices), depth + 1, config);
+  const int right = build(rows, labels, std::move(right_indices), depth + 1, config);
+  Node& node = nodes_[static_cast<std::size_t>(node_index)];
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
+  return node_index;
+}
+
+int DecisionTree::predict(const std::vector<double>& row) const {
+  MGA_CHECK_MSG(!nodes_.empty(), "DecisionTree: predict before fit");
+  int index = 0;
+  for (;;) {
+    const Node& node = nodes_[static_cast<std::size_t>(index)];
+    if (node.feature < 0) return node.label;
+    index = row[static_cast<std::size_t>(node.feature)] <= node.threshold ? node.left
+                                                                          : node.right;
+  }
+}
+
+std::vector<int> DecisionTree::predict_all(
+    const std::vector<std::vector<double>>& rows) const {
+  std::vector<int> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(predict(row));
+  return out;
+}
+
+}  // namespace mga::baselines

@@ -1,0 +1,42 @@
+// CART decision tree (Gini impurity, axis-aligned splits) — the model behind
+// the Grewe et al. device-mapping baseline, which the original paper built on
+// handcrafted static features plus runtime sizes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+namespace mga::baselines {
+
+struct DecisionTreeConfig {
+  int max_depth = 6;
+  std::size_t min_samples_split = 4;
+};
+
+class DecisionTree {
+ public:
+  void fit(const std::vector<std::vector<double>>& rows, const std::vector<int>& labels,
+           DecisionTreeConfig config = {});
+
+  [[nodiscard]] int predict(const std::vector<double>& row) const;
+  [[nodiscard]] std::vector<int> predict_all(
+      const std::vector<std::vector<double>>& rows) const;
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int feature = -1;        // -1 = leaf
+    double threshold = 0.0;  // go left if value <= threshold
+    int left = -1;
+    int right = -1;
+    int label = 0;           // leaf prediction
+  };
+
+  int build(const std::vector<std::vector<double>>& rows, const std::vector<int>& labels,
+            std::vector<int> indices, int depth, const DecisionTreeConfig& config);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace mga::baselines

@@ -1,0 +1,180 @@
+#include "baselines/devmap.hpp"
+
+#include <cmath>
+
+#include "ir/stats.hpp"
+#include "ir2vec/encoder.hpp"
+#include "util/check.hpp"
+
+namespace mga::baselines {
+
+namespace {
+
+/// Per-kernel IR statistics, computed once from the regenerated modules.
+std::vector<ir::IRStats> kernel_stats(const dataset::OclDataset& data) {
+  std::vector<ir::IRStats> stats;
+  stats.reserve(data.kernels.size());
+  for (const auto& spec : data.kernels) {
+    const corpus::GeneratedKernel kernel = corpus::generate(spec);
+    stats.push_back(ir::compute_stats(*kernel.module));
+  }
+  return stats;
+}
+
+}  // namespace
+
+// --- static mapping ---------------------------------------------------------
+
+void StaticMappingBaseline::fit(const dataset::OclDataset& data,
+                                const std::vector<int>& train) {
+  std::size_t gpu_count = 0;
+  for (const int i : train)
+    gpu_count += static_cast<std::size_t>(data.samples[static_cast<std::size_t>(i)].label);
+  majority_ = 2 * gpu_count >= train.size() ? 1 : 0;
+}
+
+std::vector<int> StaticMappingBaseline::predict(const dataset::OclDataset&,
+                                                const std::vector<int>& val) {
+  return std::vector<int>(val.size(), majority_);
+}
+
+// --- Grewe et al. -----------------------------------------------------------
+
+std::vector<double> GreweBaseline::features(const dataset::OclDataset& data,
+                                            const dataset::OclSample& sample) {
+  // Grewe's handcrafted *static* features: compute-to-memory ratio, data
+  // transfer size, memory access count, a coalescing proxy (branch density —
+  // divergent kernels coalesce poorly), computation-to-transfer ratio and
+  // the local work size. All derived from the IR and runtime sizes only —
+  // never from simulator-internal workload fields.
+  static thread_local const dataset::OclDataset* cached_data = nullptr;
+  static thread_local std::vector<ir::IRStats> cached_stats;
+  if (cached_data != &data) {
+    cached_stats = kernel_stats(data);
+    cached_data = &data;
+  }
+  const auto& stats = cached_stats[static_cast<std::size_t>(sample.kernel_id)];
+  return {
+      stats.compute_to_memory_ratio(),
+      std::log(sample.transfer_bytes),
+      static_cast<double>(stats.memory_ops),
+      stats.branch_density(),
+      static_cast<double>(stats.arithmetic_ops) / std::log(sample.transfer_bytes),
+      std::log2(static_cast<double>(sample.workgroup_size)),
+  };
+}
+
+void GreweBaseline::fit(const dataset::OclDataset& data, const std::vector<int>& train) {
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  rows.reserve(train.size());
+  for (const int i : train) {
+    const auto& sample = data.samples[static_cast<std::size_t>(i)];
+    rows.push_back(features(data, sample));
+    labels.push_back(sample.label);
+  }
+  tree_.fit(rows, labels);
+}
+
+std::vector<int> GreweBaseline::predict(const dataset::OclDataset& data,
+                                        const std::vector<int>& val) {
+  std::vector<int> out;
+  out.reserve(val.size());
+  for (const int i : val)
+    out.push_back(tree_.predict(features(data, data.samples[static_cast<std::size_t>(i)])));
+  return out;
+}
+
+// --- DeepTune ----------------------------------------------------------------
+
+namespace {
+
+/// Normalized opcode histogram — the mean-pooled token-embedding stand-in for
+/// DeepTune's sequence encoder.
+std::vector<float> opcode_histogram(const ir::IRStats& stats) {
+  std::vector<float> hist(ir::kNumOpcodes, 0.0f);
+  const double total = std::max<std::size_t>(1, stats.instruction_count);
+  for (std::size_t op = 0; op < ir::kNumOpcodes; ++op)
+    hist[op] = static_cast<float>(stats.opcode_histogram[op] / total);
+  return hist;
+}
+
+}  // namespace
+
+std::vector<float> DeepTuneBaseline::sample_features(const dataset::OclDataset& data,
+                                                     const dataset::OclSample& sample) const {
+  std::vector<float> f = token_embedding_[static_cast<std::size_t>(sample.kernel_id)];
+  f.push_back(static_cast<float>(std::log(sample.transfer_bytes) / 30.0));
+  f.push_back(static_cast<float>(std::log2(static_cast<double>(sample.workgroup_size)) / 10.0));
+  return f;
+}
+
+void DeepTuneBaseline::fit(const dataset::OclDataset& data, const std::vector<int>& train) {
+  const auto stats = kernel_stats(data);
+  token_embedding_.clear();
+  token_embedding_.reserve(stats.size());
+  for (const auto& s : stats) token_embedding_.push_back(opcode_histogram(s));
+
+  std::vector<std::vector<float>> rows;
+  std::vector<int> labels;
+  for (const int i : train) {
+    const auto& sample = data.samples[static_cast<std::size_t>(i)];
+    rows.push_back(sample_features(data, sample));
+    labels.push_back(sample.label);
+  }
+  classifier_.fit(rows, labels, 2);
+}
+
+std::vector<int> DeepTuneBaseline::predict(const dataset::OclDataset& data,
+                                           const std::vector<int>& val) {
+  std::vector<std::vector<float>> rows;
+  rows.reserve(val.size());
+  for (const int i : val)
+    rows.push_back(sample_features(data, data.samples[static_cast<std::size_t>(i)]));
+  return classifier_.predict_all(rows);
+}
+
+// --- inst2vec ------------------------------------------------------------------
+
+std::vector<float> Inst2vecBaseline::sample_features(const dataset::OclDataset& data,
+                                                     const dataset::OclSample& sample) const {
+  (void)data;
+  std::vector<float> f = kernel_vectors_[static_cast<std::size_t>(sample.kernel_id)];
+  f.push_back(static_cast<float>(std::log(sample.transfer_bytes) / 30.0));
+  f.push_back(static_cast<float>(std::log2(static_cast<double>(sample.workgroup_size)) / 10.0));
+  return f;
+}
+
+void Inst2vecBaseline::fit(const dataset::OclDataset& data, const std::vector<int>& train) {
+  // Flow-free (symbolic-only) encoding: inst2vec embeds statements without
+  // IR2Vec's flow-aware propagation.
+  ir2vec::EncoderOptions options;
+  options.flow_iterations = 0;
+  const ir2vec::Encoder encoder(options);
+  kernel_vectors_.clear();
+  kernel_vectors_.reserve(data.kernels.size());
+  for (const auto& spec : data.kernels) {
+    const corpus::GeneratedKernel kernel = corpus::generate(spec);
+    kernel_vectors_.push_back(encoder.encode_module(*kernel.module));
+  }
+
+  std::vector<std::vector<float>> rows;
+  std::vector<int> labels;
+  for (const int i : train) {
+    const auto& sample = data.samples[static_cast<std::size_t>(i)];
+    rows.push_back(sample_features(data, sample));
+    labels.push_back(sample.label);
+  }
+  classifier_.fit(rows, labels, 2);
+}
+
+std::vector<int> Inst2vecBaseline::predict(const dataset::OclDataset& data,
+                                           const std::vector<int>& val) {
+  std::vector<std::vector<float>> rows;
+  rows.reserve(val.size());
+  for (const int i : val)
+    rows.push_back(sample_features(data, data.samples[static_cast<std::size_t>(i)]));
+  return classifier_.predict_all(rows);
+}
+
+}  // namespace mga::baselines

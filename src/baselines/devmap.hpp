@@ -1,0 +1,89 @@
+// Device-mapping comparator models for Table 3.
+//
+// Each follows the representation recipe of the cited paper at reproduction
+// scale (see DESIGN.md §1): Grewe et al. = decision tree on handcrafted
+// static features + runtime sizes; DeepTune = learned token-sequence
+// embeddings (mean-pooled) + MLP; inst2vec = pretrained statement embeddings
+// (flow-free IR2Vec seed encoding) + MLP; static mapping = majority device.
+#pragma once
+
+#include <vector>
+
+#include "baselines/decision_tree.hpp"
+#include "baselines/mlp_classifier.hpp"
+#include "dataset/dataset.hpp"
+
+namespace mga::baselines {
+
+/// Common evaluation interface: fit on training samples, predict labels for
+/// validation samples (both index into data.samples).
+class DeviceMappingBaseline {
+ public:
+  virtual ~DeviceMappingBaseline() = default;
+  virtual void fit(const dataset::OclDataset& data, const std::vector<int>& train) = 0;
+  [[nodiscard]] virtual std::vector<int> predict(const dataset::OclDataset& data,
+                                                 const std::vector<int>& val) = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// Majority-class static mapping (the speedup baseline of §4.2.2).
+class StaticMappingBaseline final : public DeviceMappingBaseline {
+ public:
+  void fit(const dataset::OclDataset& data, const std::vector<int>& train) override;
+  [[nodiscard]] std::vector<int> predict(const dataset::OclDataset& data,
+                                         const std::vector<int>& val) override;
+  [[nodiscard]] const char* name() const override { return "static-mapping"; }
+  [[nodiscard]] int majority_label() const noexcept { return majority_; }
+
+ private:
+  int majority_ = 0;
+};
+
+/// Grewe et al. (CGO'13): decision tree over handcrafted features.
+class GreweBaseline final : public DeviceMappingBaseline {
+ public:
+  void fit(const dataset::OclDataset& data, const std::vector<int>& train) override;
+  [[nodiscard]] std::vector<int> predict(const dataset::OclDataset& data,
+                                         const std::vector<int>& val) override;
+  [[nodiscard]] const char* name() const override { return "grewe"; }
+
+  /// The handcrafted feature vector (exposed for tests).
+  [[nodiscard]] static std::vector<double> features(const dataset::OclDataset& data,
+                                                    const dataset::OclSample& sample);
+
+ private:
+  DecisionTree tree_;
+};
+
+/// DeepTune (PACT'17): learned token embeddings, mean-pooled, + MLP.
+class DeepTuneBaseline final : public DeviceMappingBaseline {
+ public:
+  void fit(const dataset::OclDataset& data, const std::vector<int>& train) override;
+  [[nodiscard]] std::vector<int> predict(const dataset::OclDataset& data,
+                                         const std::vector<int>& val) override;
+  [[nodiscard]] const char* name() const override { return "deeptune"; }
+
+ private:
+  [[nodiscard]] std::vector<float> sample_features(const dataset::OclDataset& data,
+                                                   const dataset::OclSample& sample) const;
+  std::vector<std::vector<float>> token_embedding_;  // opcode histogram embedding
+  MlpClassifier classifier_;
+};
+
+/// inst2vec (NeurIPS'18): pretrained statement embeddings (flow-free seed
+/// encoding), mean-pooled, + MLP.
+class Inst2vecBaseline final : public DeviceMappingBaseline {
+ public:
+  void fit(const dataset::OclDataset& data, const std::vector<int>& train) override;
+  [[nodiscard]] std::vector<int> predict(const dataset::OclDataset& data,
+                                         const std::vector<int>& val) override;
+  [[nodiscard]] const char* name() const override { return "inst2vec"; }
+
+ private:
+  [[nodiscard]] std::vector<float> sample_features(const dataset::OclDataset& data,
+                                                   const dataset::OclSample& sample) const;
+  std::vector<std::vector<float>> kernel_vectors_;  // flow-free encodings
+  MlpClassifier classifier_;
+};
+
+}  // namespace mga::baselines

@@ -1,0 +1,60 @@
+#include "baselines/mlp_classifier.hpp"
+
+#include "util/check.hpp"
+
+namespace mga::baselines {
+
+namespace {
+
+nn::Tensor to_tensor(const std::vector<std::vector<float>>& rows) {
+  MGA_CHECK(!rows.empty());
+  const std::size_t cols = rows.front().size();
+  std::vector<float> flat;
+  flat.reserve(rows.size() * cols);
+  for (const auto& row : rows) {
+    MGA_CHECK_MSG(row.size() == cols, "MlpClassifier: ragged rows");
+    flat.insert(flat.end(), row.begin(), row.end());
+  }
+  return nn::Tensor::from_data(std::move(flat), rows.size(), cols);
+}
+
+}  // namespace
+
+void MlpClassifier::fit(const std::vector<std::vector<float>>& rows,
+                        const std::vector<int>& labels, std::size_t num_classes,
+                        MlpConfig config) {
+  MGA_CHECK(!rows.empty() && rows.size() == labels.size());
+  util::Rng rng(config.seed);
+  hidden_ = std::make_unique<nn::Linear>(rng, rows.front().size(), config.hidden_dim);
+  output_ = std::make_unique<nn::Linear>(rng, config.hidden_dim, num_classes);
+
+  std::vector<nn::Tensor> params;
+  nn::collect(params, hidden_->parameters());
+  nn::collect(params, output_->parameters());
+  nn::AdamWConfig opt_config;
+  opt_config.learning_rate = config.learning_rate;
+  opt_config.weight_decay = config.weight_decay;
+  nn::AdamW optimizer(params, opt_config);
+
+  const nn::Tensor inputs = to_tensor(rows);
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    const nn::Tensor logits = output_->forward(nn::relu(hidden_->forward(inputs)));
+    nn::Tensor loss = nn::softmax_cross_entropy(logits, labels);
+    optimizer.zero_grad();
+    loss.backward();
+    optimizer.step();
+  }
+}
+
+int MlpClassifier::predict(const std::vector<float>& row) const {
+  return predict_all({row}).front();
+}
+
+std::vector<int> MlpClassifier::predict_all(
+    const std::vector<std::vector<float>>& rows) const {
+  MGA_CHECK_MSG(hidden_ != nullptr, "MlpClassifier: predict before fit");
+  const nn::Tensor logits = output_->forward(nn::relu(hidden_->forward(to_tensor(rows))));
+  return nn::argmax_rows(logits);
+}
+
+}  // namespace mga::baselines

@@ -1,0 +1,36 @@
+// Small generic MLP classifier over fixed feature vectors, used by the
+// DeepTune-like and inst2vec-like device-mapping comparators.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.hpp"
+#include "nn/optim.hpp"
+
+namespace mga::baselines {
+
+struct MlpConfig {
+  std::size_t hidden_dim = 32;
+  int epochs = 80;
+  double learning_rate = 3e-3;
+  double weight_decay = 1e-4;
+  std::uint64_t seed = 17;
+};
+
+class MlpClassifier {
+ public:
+  MlpClassifier() = default;
+
+  void fit(const std::vector<std::vector<float>>& rows, const std::vector<int>& labels,
+           std::size_t num_classes, MlpConfig config = {});
+
+  [[nodiscard]] int predict(const std::vector<float>& row) const;
+  [[nodiscard]] std::vector<int> predict_all(const std::vector<std::vector<float>>& rows) const;
+
+ private:
+  std::unique_ptr<nn::Linear> hidden_;
+  std::unique_ptr<nn::Linear> output_;
+};
+
+}  // namespace mga::baselines

@@ -1,0 +1,414 @@
+#include "baselines/search_tuners.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace mga::baselines {
+
+TuningProblem::TuningProblem(std::vector<hwsim::OmpConfig> space,
+                             std::function<double(int)> evaluate_seconds)
+    : space_(std::move(space)), evaluate_seconds_(std::move(evaluate_seconds)) {
+  MGA_CHECK(!space_.empty() && evaluate_seconds_ != nullptr);
+}
+
+double TuningProblem::evaluate(int index) const {
+  MGA_CHECK(index >= 0 && static_cast<std::size_t>(index) < space_.size());
+  ++evaluations_;
+  return evaluate_seconds_(index);
+}
+
+std::vector<double> TuningProblem::coordinates(int index) const {
+  const auto& c = space_.at(static_cast<std::size_t>(index));
+  // Normalize by observed ranges over the space.
+  int max_threads = 1;
+  int max_chunk = 1;
+  for (const auto& s : space_) {
+    max_threads = std::max(max_threads, s.threads);
+    max_chunk = std::max(max_chunk, s.chunk);
+  }
+  return {static_cast<double>(c.threads) / max_threads,
+          static_cast<double>(c.schedule) / 2.0,
+          std::log2(1.0 + c.chunk) / std::log2(1.0 + max_chunk)};
+}
+
+std::vector<int> TuningProblem::neighbours(int index) const {
+  const auto& base = space_.at(static_cast<std::size_t>(index));
+  std::vector<int> result;
+  for (std::size_t i = 0; i < space_.size(); ++i) {
+    if (static_cast<int>(i) == index) continue;
+    const auto& c = space_[i];
+    int diffs = 0;
+    if (c.threads != base.threads) ++diffs;
+    if (c.schedule != base.schedule) ++diffs;
+    if (c.chunk != base.chunk) ++diffs;
+    if (diffs == 1) result.push_back(static_cast<int>(i));
+  }
+  return result;
+}
+
+namespace {
+
+struct Incumbent {
+  int index = -1;
+  double seconds = std::numeric_limits<double>::infinity();
+
+  void offer(int candidate, double value) {
+    if (value < seconds) {
+      seconds = value;
+      index = candidate;
+    }
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// OpenTuner-like
+
+TuneResult open_tuner_like(TuningProblem& problem, std::size_t budget, util::Rng& rng) {
+  MGA_CHECK(budget >= 1);
+  problem.reset_evaluations();
+  Incumbent best;
+  std::map<int, double> cache;
+
+  const auto probe = [&](int index) {
+    const auto it = cache.find(index);
+    if (it != cache.end()) return it->second;
+    const double value = problem.evaluate(index);
+    cache[index] = value;
+    best.offer(index, value);
+    return value;
+  };
+
+  // Technique ensemble with AUC-bandit credit assignment: each technique
+  // earns credit when its probe improves the incumbent; selection follows
+  // an exponentially decayed improvement score plus exploration bonus.
+  enum Technique { kRandom = 0, kHillClimb = 1, kPattern = 2, kNumTechniques = 3 };
+  double credit[kNumTechniques] = {1.0, 1.0, 1.0};
+  std::size_t uses[kNumTechniques] = {1, 1, 1};
+
+  // Seed with one random probe.
+  probe(static_cast<int>(rng.uniform_index(problem.size())));
+
+  while (problem.evaluations() < budget && cache.size() < problem.size()) {
+    // UCB-style technique selection.
+    int technique = 0;
+    double best_score = -1.0;
+    const double total_uses = static_cast<double>(uses[0] + uses[1] + uses[2]);
+    for (int t = 0; t < kNumTechniques; ++t) {
+      const double score = credit[t] / uses[t] +
+                           0.6 * std::sqrt(std::log(total_uses) / uses[t]);
+      if (score > best_score) {
+        best_score = score;
+        technique = t;
+      }
+    }
+
+    const double before = best.seconds;
+    switch (technique) {
+      case kRandom:
+        probe(static_cast<int>(rng.uniform_index(problem.size())));
+        break;
+      case kHillClimb: {
+        const auto moves = problem.neighbours(best.index);
+        if (moves.empty()) {
+          probe(static_cast<int>(rng.uniform_index(problem.size())));
+        } else {
+          probe(moves[rng.uniform_index(moves.size())]);
+        }
+        break;
+      }
+      case kPattern: {
+        // Torczon-style: reflect the last improving move direction — here
+        // approximated by probing the neighbour with extreme thread count.
+        const auto moves = problem.neighbours(best.index);
+        if (moves.empty()) {
+          probe(static_cast<int>(rng.uniform_index(problem.size())));
+        } else {
+          int extreme = moves.front();
+          for (const int candidate : moves)
+            if (problem.config(candidate).threads > problem.config(extreme).threads)
+              extreme = candidate;
+          probe(extreme);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    ++uses[technique];
+    credit[technique] = 0.8 * credit[technique] +
+                        (best.seconds < before ? 1.0 : 0.0);
+  }
+
+  return {best.index, best.seconds, problem.evaluations()};
+}
+
+// ---------------------------------------------------------------------------
+// ytopt-like (GP + expected improvement)
+
+namespace {
+
+/// Tiny exact GP on normalized coordinates (N <= budget, so cubic solves are
+/// trivial). RBF kernel, fixed length scale, jitter noise.
+class GaussianProcess {
+ public:
+  void fit(const std::vector<std::vector<double>>& xs, const std::vector<double>& ys) {
+    xs_ = xs;
+    const std::size_t n = xs.size();
+    // Standardize targets.
+    mean_ = util::mean(ys);
+    std_ = std::max(1e-9, util::stddev(ys));
+    ys_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) ys_[i] = (ys[i] - mean_) / std_;
+
+    // K + sigma^2 I, solved by Gauss-Jordan into alpha = K^-1 y.
+    std::vector<std::vector<double>> k(n, std::vector<double>(n, 0.0));
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) k[i][j] = kernel(xs[i], xs[j]);
+      k[i][i] += 1e-4;
+    }
+    alpha_ = solve(k, ys_);
+  }
+
+  [[nodiscard]] std::pair<double, double> predict(const std::vector<double>& x) const {
+    const std::size_t n = xs_.size();
+    double mu = 0.0;
+    std::vector<double> kv(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      kv[i] = kernel(x, xs_[i]);
+      mu += kv[i] * alpha_[i];
+    }
+    // Crude predictive variance: prior minus explained part (clamped).
+    double explained = 0.0;
+    for (std::size_t i = 0; i < n; ++i) explained += kv[i] * kv[i];
+    const double var = std::max(1e-6, 1.0 - explained / (1.0 + static_cast<double>(n)));
+    return {mu * std_ + mean_, std::sqrt(var) * std_};
+  }
+
+ private:
+  [[nodiscard]] static double kernel(const std::vector<double>& a,
+                                     const std::vector<double>& b) {
+    double d2 = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) d2 += (a[i] - b[i]) * (a[i] - b[i]);
+    return std::exp(-d2 / (2.0 * 0.25 * 0.25 * a.size()));
+  }
+
+  [[nodiscard]] static std::vector<double> solve(std::vector<std::vector<double>> a,
+                                                 std::vector<double> b) {
+    const std::size_t n = b.size();
+    for (std::size_t col = 0; col < n; ++col) {
+      // Partial pivot.
+      std::size_t pivot = col;
+      for (std::size_t r = col + 1; r < n; ++r)
+        if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+      std::swap(a[col], a[pivot]);
+      std::swap(b[col], b[pivot]);
+      const double diag = a[col][col];
+      for (std::size_t r = 0; r < n; ++r) {
+        if (r == col) continue;
+        const double factor = a[r][col] / diag;
+        for (std::size_t c = col; c < n; ++c) a[r][c] -= factor * a[col][c];
+        b[r] -= factor * b[col];
+      }
+    }
+    std::vector<double> x(n);
+    for (std::size_t i = 0; i < n; ++i) x[i] = b[i] / a[i][i];
+    return x;
+  }
+
+  std::vector<std::vector<double>> xs_;
+  std::vector<double> ys_;
+  std::vector<double> alpha_;
+  double mean_ = 0.0;
+  double std_ = 1.0;
+};
+
+}  // namespace
+
+TuneResult ytopt_like(TuningProblem& problem, std::size_t budget, util::Rng& rng) {
+  MGA_CHECK(budget >= 2);
+  problem.reset_evaluations();
+  Incumbent best;
+  std::vector<int> probed;
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+
+  const auto probe = [&](int index) {
+    const double value = problem.evaluate(index);
+    probed.push_back(index);
+    xs.push_back(problem.coordinates(index));
+    ys.push_back(std::log(value));
+    best.offer(index, value);
+  };
+
+  // Random initialization (3 points or half the budget).
+  const std::size_t init = std::min<std::size_t>(3, budget / 2 + 1);
+  for (std::size_t i = 0; i < init; ++i)
+    probe(static_cast<int>(rng.uniform_index(problem.size())));
+
+  while (problem.evaluations() < budget) {
+    GaussianProcess gp;
+    gp.fit(xs, ys);
+    // Expected improvement over all unprobed configurations.
+    const double incumbent_log = std::log(best.seconds);
+    int best_candidate = -1;
+    double best_ei = -1.0;
+    for (std::size_t i = 0; i < problem.size(); ++i) {
+      const int index = static_cast<int>(i);
+      if (std::find(probed.begin(), probed.end(), index) != probed.end()) continue;
+      const auto [mu, sigma] = gp.predict(problem.coordinates(index));
+      const double z = (incumbent_log - mu) / sigma;
+      const double ei =
+          sigma * (z * util::normal_cdf(z) +
+                   std::exp(-0.5 * z * z) / std::sqrt(2.0 * 3.14159265358979));
+      if (ei > best_ei) {
+        best_ei = ei;
+        best_candidate = index;
+      }
+    }
+    if (best_candidate < 0) break;  // space exhausted
+    probe(best_candidate);
+  }
+
+  return {best.index, best.seconds, problem.evaluations()};
+}
+
+// ---------------------------------------------------------------------------
+// BLISS-like
+
+namespace {
+
+/// Ridge regression on (optionally quadratic) features.
+class RidgeSurrogate {
+ public:
+  RidgeSurrogate(bool quadratic, double lambda) : quadratic_(quadratic), lambda_(lambda) {}
+
+  [[nodiscard]] std::vector<double> features(const std::vector<double>& x) const {
+    std::vector<double> f = {1.0};
+    f.insert(f.end(), x.begin(), x.end());
+    if (quadratic_)
+      for (std::size_t i = 0; i < x.size(); ++i)
+        for (std::size_t j = i; j < x.size(); ++j) f.push_back(x[i] * x[j]);
+    return f;
+  }
+
+  void fit(const std::vector<std::vector<double>>& xs, const std::vector<double>& ys) {
+    const std::size_t d = features(xs.front()).size();
+    std::vector<std::vector<double>> ata(d, std::vector<double>(d, 0.0));
+    std::vector<double> atb(d, 0.0);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const auto f = features(xs[i]);
+      for (std::size_t a = 0; a < d; ++a) {
+        atb[a] += f[a] * ys[i];
+        for (std::size_t b = 0; b < d; ++b) ata[a][b] += f[a] * f[b];
+      }
+    }
+    for (std::size_t a = 0; a < d; ++a) ata[a][a] += lambda_;
+    weights_ = gauss_solve(std::move(ata), std::move(atb));
+  }
+
+  [[nodiscard]] double predict(const std::vector<double>& x) const {
+    const auto f = features(x);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < f.size(); ++i) acc += f[i] * weights_[i];
+    return acc;
+  }
+
+ private:
+  [[nodiscard]] static std::vector<double> gauss_solve(std::vector<std::vector<double>> a,
+                                                       std::vector<double> b) {
+    const std::size_t n = b.size();
+    for (std::size_t col = 0; col < n; ++col) {
+      std::size_t pivot = col;
+      for (std::size_t r = col + 1; r < n; ++r)
+        if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+      std::swap(a[col], a[pivot]);
+      std::swap(b[col], b[pivot]);
+      const double diag = a[col][col] != 0.0 ? a[col][col] : 1e-12;
+      for (std::size_t r = 0; r < n; ++r) {
+        if (r == col) continue;
+        const double factor = a[r][col] / diag;
+        for (std::size_t c = col; c < n; ++c) a[r][c] -= factor * a[col][c];
+        b[r] -= factor * b[col];
+      }
+    }
+    std::vector<double> x(n);
+    for (std::size_t i = 0; i < n; ++i)
+      x[i] = b[i] / (a[i][i] != 0.0 ? a[i][i] : 1e-12);
+    return x;
+  }
+
+  bool quadratic_;
+  double lambda_;
+  std::vector<double> weights_;
+};
+
+}  // namespace
+
+TuneResult bliss_like(TuningProblem& problem, std::size_t budget, util::Rng& rng) {
+  MGA_CHECK(budget >= 2);
+  problem.reset_evaluations();
+  Incumbent best;
+  std::vector<int> probed;
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+
+  const auto probe = [&](int index) {
+    const double value = problem.evaluate(index);
+    probed.push_back(index);
+    xs.push_back(problem.coordinates(index));
+    ys.push_back(std::log(value));
+    best.offer(index, value);
+  };
+
+  const std::size_t init = std::min<std::size_t>(3, budget / 2 + 1);
+  for (std::size_t i = 0; i < init; ++i)
+    probe(static_cast<int>(rng.uniform_index(problem.size())));
+
+  // Pool of lightweight models; a bandit keeps per-model credit based on
+  // whether the model's suggestion improved the incumbent.
+  RidgeSurrogate linear(false, 1e-3);
+  RidgeSurrogate quadratic(true, 1e-3);
+  double credit[2] = {1.0, 1.0};
+  std::size_t uses[2] = {1, 1};
+
+  while (problem.evaluations() < budget) {
+    linear.fit(xs, ys);
+    quadratic.fit(xs, ys);
+
+    const int model = credit[0] / uses[0] + 0.4 * rng.uniform() >=
+                              credit[1] / uses[1] + 0.4 * rng.uniform()
+                          ? 0
+                          : 1;
+    const RidgeSurrogate& surrogate = model == 0 ? linear : quadratic;
+
+    int candidate = -1;
+    double best_acq = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < problem.size(); ++i) {
+      const int index = static_cast<int>(i);
+      if (std::find(probed.begin(), probed.end(), index) != probed.end()) continue;
+      // Lower-confidence-bound flavoured acquisition with random tie noise.
+      const double acq = surrogate.predict(problem.coordinates(index)) +
+                         0.05 * rng.normal();
+      if (acq < best_acq) {
+        best_acq = acq;
+        candidate = index;
+      }
+    }
+    if (candidate < 0) break;
+    const double before = best.seconds;
+    probe(candidate);
+    ++uses[model];
+    credit[model] = 0.8 * credit[model] + (best.seconds < before ? 1.0 : 0.0);
+  }
+
+  return {best.index, best.seconds, problem.evaluations()};
+}
+
+}  // namespace mga::baselines

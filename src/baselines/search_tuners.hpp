@@ -1,0 +1,68 @@
+// Search/surrogate auto-tuner baselines of §4.1.2: an OpenTuner-like
+// multi-technique search (AUC bandit over random / hill-climb / pattern
+// search), a ytopt-like Bayesian optimizer (GP surrogate + expected
+// improvement) and a BLISS-like pool of lightweight surrogate models.
+//
+// All three consume the same black-box interface the paper gives the real
+// tools: a configuration space plus an objective that runs the code (here:
+// one simulator evaluation per probe) and returns the runtime.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "hwsim/workload.hpp"
+#include "util/rng.hpp"
+
+namespace mga::baselines {
+
+/// Black-box tuning problem over an indexed configuration space with a
+/// structured (threads, schedule, chunk) coordinate view for neighbourhood
+/// moves and surrogate features.
+class TuningProblem {
+ public:
+  TuningProblem(std::vector<hwsim::OmpConfig> space,
+                std::function<double(int)> evaluate_seconds);
+
+  [[nodiscard]] std::size_t size() const noexcept { return space_.size(); }
+  [[nodiscard]] const hwsim::OmpConfig& config(int index) const { return space_.at(index); }
+
+  /// Runtime of configuration `index`; counts one evaluation.
+  [[nodiscard]] double evaluate(int index) const;
+
+  [[nodiscard]] std::size_t evaluations() const noexcept { return evaluations_; }
+  void reset_evaluations() noexcept { evaluations_ = 0; }
+
+  /// Normalized coordinates in [0,1]^3 for surrogate models.
+  [[nodiscard]] std::vector<double> coordinates(int index) const;
+
+  /// Indices whose configuration differs in exactly one dimension step.
+  [[nodiscard]] std::vector<int> neighbours(int index) const;
+
+ private:
+  std::vector<hwsim::OmpConfig> space_;
+  std::function<double(int)> evaluate_seconds_;
+  mutable std::size_t evaluations_ = 0;
+};
+
+struct TuneResult {
+  int best_index = 0;
+  double best_seconds = 0.0;
+  std::size_t evaluations = 0;
+};
+
+/// OpenTuner-like: AUC-bandit ensemble of search techniques.
+[[nodiscard]] TuneResult open_tuner_like(TuningProblem& problem, std::size_t budget,
+                                         util::Rng& rng);
+
+/// ytopt-like: Gaussian-process Bayesian optimization with expected
+/// improvement (the paper runs it with "maximum evaluations set to ten").
+[[nodiscard]] TuneResult ytopt_like(TuningProblem& problem, std::size_t budget,
+                                    util::Rng& rng);
+
+/// BLISS-like: bandit-selected pool of lightweight surrogate models (ridge
+/// regression, quadratic features, nearest-neighbour), UCB acquisition.
+[[nodiscard]] TuneResult bliss_like(TuningProblem& problem, std::size_t budget,
+                                    util::Rng& rng);
+
+}  // namespace mga::baselines

@@ -1,0 +1,274 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_set>
+
+#include "nn/optim.hpp"
+#include "util/check.hpp"
+
+namespace mga::core {
+
+namespace {
+
+/// Group sample indices by kernel id (stable order).
+[[nodiscard]] std::map<int, std::vector<int>> group_by_kernel(
+    const std::vector<int>& samples, const auto& all_samples) {
+  std::map<int, std::vector<int>> groups;
+  for (const int index : samples)
+    groups[all_samples[static_cast<std::size_t>(index)].kernel_id].push_back(index);
+  return groups;
+}
+
+}  // namespace
+
+std::vector<std::vector<float>> rank_scaled_vectors(
+    const std::vector<std::vector<float>>& vectors, const std::vector<int>& train_kernels) {
+  dataset::GaussianRankScaler scaler;
+  std::vector<std::vector<double>> train_rows;
+  train_rows.reserve(train_kernels.size());
+  for (const int k : train_kernels) {
+    const auto& v = vectors[static_cast<std::size_t>(k)];
+    train_rows.emplace_back(v.begin(), v.end());
+  }
+  scaler.fit(train_rows);
+
+  std::vector<std::vector<float>> scaled;
+  scaled.reserve(vectors.size());
+  for (const auto& v : vectors) {
+    const std::vector<double> row(v.begin(), v.end());
+    const std::vector<double> transformed = scaler.transform(row);
+    scaled.emplace_back(transformed.begin(), transformed.end());
+  }
+  return scaled;
+}
+
+// ---------------------------------------------------------------------------
+// OpenMP
+
+OmpExperiment::OmpExperiment(const dataset::OmpDataset& data, MgaModelConfig model_config,
+                             TrainConfig train_config)
+    : data_(data), model_config_(model_config), train_config_(train_config) {
+  model_config_.num_classes = data.num_classes();
+  model_config_.extra_dim = hwsim::PapiCounters::kNumSelected;
+  model_config_.dae.input_dim = data.vectors.empty() ? 0 : data.vectors.front().size();
+}
+
+std::vector<float> OmpExperiment::counter_features(const dataset::OmpSample& sample) const {
+  // log1p compresses the decades spanned by the 30 input sizes; min-max then
+  // lands in [0,1] as §3.2 prescribes for the fused feature vector.
+  const auto raw = sample.counters.selected();
+  std::vector<double> logged(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) logged[i] = std::log1p(raw[i]);
+  const std::vector<double> scaled = counter_scaler_.transform(logged);
+  return {scaled.begin(), scaled.end()};
+}
+
+OmpEvalResult OmpExperiment::run(const std::vector<int>& train_samples,
+                                 const std::vector<int>& val_samples) {
+  MGA_CHECK(!train_samples.empty() && !val_samples.empty());
+  util::Rng rng(train_config_.seed);
+
+  // --- feature preparation (train statistics only) --------------------------
+  {
+    std::vector<std::vector<double>> rows;
+    rows.reserve(train_samples.size());
+    for (const int index : train_samples) {
+      const auto raw = data_.samples[static_cast<std::size_t>(index)].counters.selected();
+      std::vector<double> logged(raw.size());
+      for (std::size_t i = 0; i < raw.size(); ++i) logged[i] = std::log1p(raw[i]);
+      rows.push_back(std::move(logged));
+    }
+    counter_scaler_.fit(rows);
+  }
+
+  std::vector<int> train_kernels;
+  {
+    std::unordered_set<int> seen;
+    for (const int index : train_samples)
+      if (seen.insert(data_.samples[static_cast<std::size_t>(index)].kernel_id).second)
+        train_kernels.push_back(data_.samples[static_cast<std::size_t>(index)].kernel_id);
+  }
+  const std::vector<std::vector<float>> scaled_vectors =
+      rank_scaled_vectors(data_.vectors, train_kernels);
+
+  // --- model ----------------------------------------------------------------
+  MgaModel model(rng, model_config_);
+  {
+    std::vector<std::vector<float>> dae_rows;
+    dae_rows.reserve(train_kernels.size());
+    for (const int k : train_kernels)
+      dae_rows.push_back(scaled_vectors[static_cast<std::size_t>(k)]);
+    model.pretrain_dae(dae_rows, rng);
+  }
+
+  nn::AdamWConfig opt_config;
+  opt_config.learning_rate = train_config_.learning_rate;
+  opt_config.weight_decay = train_config_.weight_decay;
+  nn::AdamW optimizer(model.trainable_parameters(), opt_config);
+  auto params = model.trainable_parameters();
+
+  // --- training: one optimizer step per kernel group ------------------------
+  auto groups = group_by_kernel(train_samples, data_.samples);
+  std::vector<int> kernel_order;
+  for (const auto& [kernel, _] : groups) kernel_order.push_back(kernel);
+
+  double train_accuracy = 0.0;
+  for (int epoch = 0; epoch < train_config_.epochs; ++epoch) {
+    rng.shuffle(kernel_order);
+    std::size_t correct = 0;
+    std::size_t total = 0;
+    for (const int kernel : kernel_order) {
+      const auto& members = groups[kernel];
+      std::vector<std::vector<float>> extra;
+      std::vector<int> labels;
+      extra.reserve(members.size());
+      for (const int index : members) {
+        const auto& sample = data_.samples[static_cast<std::size_t>(index)];
+        extra.push_back(counter_features(sample));
+        labels.push_back(sample.label);
+      }
+      const nn::Tensor logits = model.forward_group(
+          data_.graphs[static_cast<std::size_t>(kernel)],
+          scaled_vectors[static_cast<std::size_t>(kernel)], extra, members.size());
+      nn::Tensor loss = nn::softmax_cross_entropy(logits, labels);
+      optimizer.zero_grad();
+      loss.backward();
+      nn::clip_grad_norm(params, train_config_.grad_clip);
+      optimizer.step();
+
+      const std::vector<int> predictions = nn::argmax_rows(logits);
+      for (std::size_t i = 0; i < predictions.size(); ++i)
+        if (predictions[i] == labels[i]) ++correct;
+      total += predictions.size();
+    }
+    train_accuracy = static_cast<double>(correct) / static_cast<double>(total);
+  }
+
+  // --- validation -----------------------------------------------------------
+  OmpEvalResult result;
+  result.train_accuracy = train_accuracy;
+  auto val_groups = group_by_kernel(val_samples, data_.samples);
+  for (const auto& [kernel, members] : val_groups) {
+    std::vector<std::vector<float>> extra;
+    extra.reserve(members.size());
+    for (const int index : members)
+      extra.push_back(counter_features(data_.samples[static_cast<std::size_t>(index)]));
+    const nn::Tensor logits = model.forward_group(
+        data_.graphs[static_cast<std::size_t>(kernel)],
+        scaled_vectors[static_cast<std::size_t>(kernel)], extra, members.size());
+    const std::vector<int> predictions = nn::argmax_rows(logits);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      result.sample_indices.push_back(members[i]);
+      result.predicted.push_back(predictions[i]);
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Device mapping
+
+DeviceMappingExperiment::DeviceMappingExperiment(const dataset::OclDataset& data,
+                                                 MgaModelConfig model_config,
+                                                 TrainConfig train_config)
+    : data_(data), model_config_(model_config), train_config_(train_config) {
+  model_config_.num_classes = 2;
+  model_config_.extra_dim = 2;  // transfer size, workgroup size
+  model_config_.dae.input_dim = data.vectors.empty() ? 0 : data.vectors.front().size();
+}
+
+std::vector<float> DeviceMappingExperiment::size_features(
+    const dataset::OclSample& sample) const {
+  const std::vector<double> raw = {std::log(sample.transfer_bytes),
+                                   std::log2(static_cast<double>(sample.workgroup_size))};
+  const std::vector<double> scaled = size_scaler_.transform(raw);
+  return {scaled.begin(), scaled.end()};
+}
+
+DeviceMappingResult DeviceMappingExperiment::run(const std::vector<int>& train_samples,
+                                                 const std::vector<int>& val_samples) {
+  MGA_CHECK(!train_samples.empty() && !val_samples.empty());
+  util::Rng rng(train_config_.seed);
+
+  {
+    std::vector<std::vector<double>> rows;
+    rows.reserve(train_samples.size());
+    for (const int index : train_samples) {
+      const auto& sample = data_.samples[static_cast<std::size_t>(index)];
+      rows.push_back({std::log(sample.transfer_bytes),
+                      std::log2(static_cast<double>(sample.workgroup_size))});
+    }
+    size_scaler_.fit(rows);
+  }
+
+  std::vector<int> train_kernels;
+  {
+    std::unordered_set<int> seen;
+    for (const int index : train_samples)
+      if (seen.insert(data_.samples[static_cast<std::size_t>(index)].kernel_id).second)
+        train_kernels.push_back(data_.samples[static_cast<std::size_t>(index)].kernel_id);
+  }
+  const std::vector<std::vector<float>> scaled_vectors =
+      rank_scaled_vectors(data_.vectors, train_kernels);
+
+  MgaModel model(rng, model_config_);
+  {
+    std::vector<std::vector<float>> dae_rows;
+    for (const int k : train_kernels)
+      dae_rows.push_back(scaled_vectors[static_cast<std::size_t>(k)]);
+    model.pretrain_dae(dae_rows, rng);
+  }
+
+  nn::AdamWConfig opt_config;
+  opt_config.learning_rate = train_config_.learning_rate;
+  opt_config.weight_decay = train_config_.weight_decay;
+  nn::AdamW optimizer(model.trainable_parameters(), opt_config);
+  auto params = model.trainable_parameters();
+
+  auto groups = group_by_kernel(train_samples, data_.samples);
+  std::vector<int> kernel_order;
+  for (const auto& [kernel, _] : groups) kernel_order.push_back(kernel);
+
+  for (int epoch = 0; epoch < train_config_.epochs; ++epoch) {
+    rng.shuffle(kernel_order);
+    for (const int kernel : kernel_order) {
+      const auto& members = groups[kernel];
+      std::vector<std::vector<float>> extra;
+      std::vector<int> labels;
+      for (const int index : members) {
+        const auto& sample = data_.samples[static_cast<std::size_t>(index)];
+        extra.push_back(size_features(sample));
+        labels.push_back(sample.label);
+      }
+      const nn::Tensor logits = model.forward_group(
+          data_.graphs[static_cast<std::size_t>(kernel)],
+          scaled_vectors[static_cast<std::size_t>(kernel)], extra, members.size());
+      nn::Tensor loss = nn::softmax_cross_entropy(logits, labels);
+      optimizer.zero_grad();
+      loss.backward();
+      nn::clip_grad_norm(params, train_config_.grad_clip);
+      optimizer.step();
+    }
+  }
+
+  DeviceMappingResult result;
+  auto val_groups = group_by_kernel(val_samples, data_.samples);
+  for (const auto& [kernel, members] : val_groups) {
+    std::vector<std::vector<float>> extra;
+    for (const int index : members)
+      extra.push_back(size_features(data_.samples[static_cast<std::size_t>(index)]));
+    const nn::Tensor logits = model.forward_group(
+        data_.graphs[static_cast<std::size_t>(kernel)],
+        scaled_vectors[static_cast<std::size_t>(kernel)], extra, members.size());
+    const std::vector<int> predictions = nn::argmax_rows(logits);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      result.sample_indices.push_back(members[i]);
+      result.predicted.push_back(predictions[i]);
+    }
+  }
+  return result;
+}
+
+}  // namespace mga::core

@@ -1,0 +1,80 @@
+// Experiment drivers: end-to-end train/evaluate pipelines for the two tasks.
+//
+// OmpExperiment implements the paper's OpenMP protocol: Gaussian-rank scale
+// the IR2Vec vectors and pretrain the DAE on training kernels, log+min-max
+// scale the training counters, then train the fused model with AdamW using
+// grouped-by-kernel batches, and predict configurations for validation
+// samples. DeviceMappingExperiment does the same with (transfer, workgroup)
+// sizes as the dynamic features and CPU/GPU as the classes.
+#pragma once
+
+#include <optional>
+
+#include "core/mga_model.hpp"
+#include "dataset/dataset.hpp"
+#include "dataset/scaler.hpp"
+
+namespace mga::core {
+
+struct TrainConfig {
+  int epochs = 36;
+  double learning_rate = 2.5e-3;
+  double weight_decay = 1e-4;
+  double grad_clip = 5.0;
+  std::uint64_t seed = 42;
+};
+
+struct OmpEvalResult {
+  std::vector<int> sample_indices;  // validation samples, dataset order
+  std::vector<int> predicted;      // chosen config index per sample
+  double train_accuracy = 0.0;
+};
+
+class OmpExperiment {
+ public:
+  OmpExperiment(const dataset::OmpDataset& data, MgaModelConfig model_config,
+                TrainConfig train_config = {});
+
+  /// Train on `train_samples`, predict for `val_samples` (both index into
+  /// data.samples). Kernel-disjointness between the two sets is the caller's
+  /// protocol decision (k-fold over kernels, input holdout, ...).
+  [[nodiscard]] OmpEvalResult run(const std::vector<int>& train_samples,
+                                  const std::vector<int>& val_samples);
+
+ private:
+  [[nodiscard]] std::vector<float> counter_features(const dataset::OmpSample& sample) const;
+
+  const dataset::OmpDataset& data_;
+  MgaModelConfig model_config_;
+  TrainConfig train_config_;
+  dataset::MinMaxScaler counter_scaler_;
+};
+
+struct DeviceMappingResult {
+  std::vector<int> sample_indices;
+  std::vector<int> predicted;  // 0 = CPU, 1 = GPU
+};
+
+class DeviceMappingExperiment {
+ public:
+  DeviceMappingExperiment(const dataset::OclDataset& data, MgaModelConfig model_config,
+                          TrainConfig train_config = {});
+
+  [[nodiscard]] DeviceMappingResult run(const std::vector<int>& train_samples,
+                                        const std::vector<int>& val_samples);
+
+ private:
+  [[nodiscard]] std::vector<float> size_features(const dataset::OclSample& sample) const;
+
+  const dataset::OclDataset& data_;
+  MgaModelConfig model_config_;
+  TrainConfig train_config_;
+  dataset::MinMaxScaler size_scaler_;
+};
+
+/// Shared helper: Gaussian-rank scale the per-kernel IR2Vec vectors fitted on
+/// the training kernels, returning scaled rows for all kernels.
+[[nodiscard]] std::vector<std::vector<float>> rank_scaled_vectors(
+    const std::vector<std::vector<float>>& vectors, const std::vector<int>& train_kernels);
+
+}  // namespace mga::core

@@ -1,0 +1,57 @@
+#include "core/metrics.hpp"
+
+#include <unordered_set>
+
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace mga::core {
+
+std::vector<double> per_sample_speedups(const dataset::OmpDataset& data,
+                                        const std::vector<int>& sample_indices,
+                                        const std::vector<int>& predicted) {
+  MGA_CHECK(sample_indices.size() == predicted.size());
+  std::vector<double> speedups;
+  speedups.reserve(sample_indices.size());
+  for (std::size_t i = 0; i < sample_indices.size(); ++i) {
+    const auto& sample = data.samples[static_cast<std::size_t>(sample_indices[i])];
+    const double chosen = sample.seconds[static_cast<std::size_t>(predicted[i])];
+    speedups.push_back(sample.default_seconds / chosen);
+  }
+  return speedups;
+}
+
+SpeedupSummary summarize_predictions(const dataset::OmpDataset& data,
+                                     const std::vector<int>& sample_indices,
+                                     const std::vector<int>& predicted) {
+  MGA_CHECK(!sample_indices.empty() && sample_indices.size() == predicted.size());
+  SpeedupSummary summary;
+  const std::vector<double> achieved = per_sample_speedups(data, sample_indices, predicted);
+
+  std::vector<double> oracle;
+  oracle.reserve(sample_indices.size());
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < sample_indices.size(); ++i) {
+    const auto& sample = data.samples[static_cast<std::size_t>(sample_indices[i])];
+    oracle.push_back(sample.default_seconds /
+                     sample.seconds[static_cast<std::size_t>(sample.label)]);
+    if (predicted[i] == sample.label) ++correct;
+  }
+
+  summary.gmean_speedup = util::geometric_mean(achieved);
+  summary.oracle_speedup = util::geometric_mean(oracle);
+  summary.normalized = summary.gmean_speedup / summary.oracle_speedup;
+  summary.accuracy = static_cast<double>(correct) / static_cast<double>(predicted.size());
+  return summary;
+}
+
+std::vector<int> samples_of_kernels(const dataset::OmpDataset& data,
+                                    const std::vector<int>& kernel_ids) {
+  const std::unordered_set<int> wanted(kernel_ids.begin(), kernel_ids.end());
+  std::vector<int> result;
+  for (std::size_t i = 0; i < data.samples.size(); ++i)
+    if (wanted.contains(data.samples[i].kernel_id)) result.push_back(static_cast<int>(i));
+  return result;
+}
+
+}  // namespace mga::core

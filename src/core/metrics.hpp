@@ -1,0 +1,34 @@
+// Evaluation metrics matching the paper's reporting conventions:
+// speedup = runtime_default / runtime_predicted, aggregated by geometric
+// mean, optionally normalized by the oracle (brute-force) speedup.
+#pragma once
+
+#include <vector>
+
+#include "dataset/dataset.hpp"
+
+namespace mga::core {
+
+struct SpeedupSummary {
+  double gmean_speedup = 1.0;     // predicted configuration vs default
+  double oracle_speedup = 1.0;    // best configuration vs default
+  double normalized = 1.0;        // gmean / oracle
+  double accuracy = 0.0;          // exact-label accuracy
+};
+
+/// Summarize predictions over a set of samples. `predicted[i]` is the config
+/// index chosen for `sample_indices[i]`.
+[[nodiscard]] SpeedupSummary summarize_predictions(const dataset::OmpDataset& data,
+                                                   const std::vector<int>& sample_indices,
+                                                   const std::vector<int>& predicted);
+
+/// Per-sample speedups (default / predicted) for custom aggregation.
+[[nodiscard]] std::vector<double> per_sample_speedups(const dataset::OmpDataset& data,
+                                                      const std::vector<int>& sample_indices,
+                                                      const std::vector<int>& predicted);
+
+/// Sample indices whose kernel id is in `kernel_ids`.
+[[nodiscard]] std::vector<int> samples_of_kernels(const dataset::OmpDataset& data,
+                                                  const std::vector<int>& kernel_ids);
+
+}  // namespace mga::core

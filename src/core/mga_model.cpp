@@ -1,0 +1,79 @@
+#include "core/mga_model.hpp"
+
+#include "util/check.hpp"
+
+namespace mga::core {
+
+namespace {
+
+[[nodiscard]] std::size_t fusion_input_dim(const MgaModelConfig& c) {
+  std::size_t dim = 0;
+  if (c.use_graph) dim += c.gnn.output_dim;
+  if (c.use_vector) dim += c.vector_passthrough ? c.dae.input_dim : c.dae.code_dim;
+  if (c.use_extra) dim += c.extra_dim;
+  MGA_CHECK_MSG(dim > 0, "MgaModel: all modalities disabled");
+  return dim;
+}
+
+}  // namespace
+
+MgaModel::MgaModel(util::Rng& rng, MgaModelConfig config)
+    : config_(config),
+      fusion_hidden_(rng, fusion_input_dim(config), config.mlp_hidden),
+      fusion_out_(rng, config.mlp_hidden, config.num_classes) {
+  if (config_.use_graph) gnn_ = std::make_unique<models::HeteroGnn>(rng, config_.gnn);
+  if (config_.use_vector && !config_.vector_passthrough)
+    dae_ = std::make_unique<models::DenoisingAutoencoder>(rng, config_.dae);
+}
+
+void MgaModel::pretrain_dae(const std::vector<std::vector<float>>& rows, util::Rng& rng) {
+  if (dae_ != nullptr && rows.size() >= 2) dae_->pretrain(rows, rng);
+}
+
+nn::Tensor MgaModel::forward_group(const programl::ProgramGraph& graph,
+                                   const std::vector<float>& vector,
+                                   const std::vector<std::vector<float>>& extra_rows,
+                                   std::size_t group_size) const {
+  MGA_CHECK(group_size > 0);
+
+  // Static modalities: one forward per kernel, late-fused.
+  nn::Tensor shared;
+  if (config_.use_graph) {
+    shared = gnn_->forward(graph);
+  }
+  if (config_.use_vector) {
+    const nn::Tensor code =
+        config_.vector_passthrough
+            ? nn::Tensor::from_data(std::vector<float>(vector), 1, vector.size())
+            : dae_->encode(vector).detach();  // frozen encoder
+    shared = shared.defined() ? nn::concat_cols(shared, code) : code;
+  }
+
+  // Broadcast across the group and append per-sample dynamic features.
+  nn::Tensor batch;
+  if (shared.defined()) batch = nn::row_repeat(shared, group_size);
+  if (config_.use_extra) {
+    MGA_CHECK_MSG(extra_rows.size() == group_size, "extra feature row count mismatch");
+    std::vector<float> flat;
+    flat.reserve(group_size * config_.extra_dim);
+    for (const auto& row : extra_rows) {
+      MGA_CHECK_MSG(row.size() == config_.extra_dim, "extra feature width mismatch");
+      flat.insert(flat.end(), row.begin(), row.end());
+    }
+    const nn::Tensor extra =
+        nn::Tensor::from_data(std::move(flat), group_size, config_.extra_dim);
+    batch = batch.defined() ? nn::concat_cols(batch, extra) : extra;
+  }
+
+  return fusion_out_.forward(nn::relu(fusion_hidden_.forward(batch)));
+}
+
+std::vector<nn::Tensor> MgaModel::trainable_parameters() const {
+  std::vector<nn::Tensor> params;
+  if (gnn_ != nullptr) nn::collect(params, gnn_->parameters());
+  nn::collect(params, fusion_hidden_.parameters());
+  nn::collect(params, fusion_out_.parameters());
+  return params;
+}
+
+}  // namespace mga::core

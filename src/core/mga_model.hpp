@@ -1,0 +1,63 @@
+// The MGA multimodal model (§3): heterogeneous GNN over the PROGRAML graph
+// modality + denoising autoencoder over the IR2Vec vector modality, late-
+// fused with experiment-specific dynamic features (performance counters for
+// OpenMP, transfer/workgroup sizes for OpenCL) into a one-hidden-layer MLP
+// classifier over runtime configurations.
+//
+// Ablation switches reproduce the paper's unimodal and static/dynamic-only
+// baselines: PROGRAML-only (use_vector=false), IR2Vec-only (use_graph=false),
+// static-only (use_extra=false), dynamic-only (both static modalities off).
+#pragma once
+
+#include "models/dae.hpp"
+#include "models/gnn.hpp"
+#include "programl/graph.hpp"
+
+namespace mga::core {
+
+struct MgaModelConfig {
+  bool use_graph = true;
+  bool use_vector = true;
+  bool use_extra = true;
+  /// Ablation: bypass the DAE and feed the (rank-scaled) IR2Vec vector into
+  /// the fusion MLP directly (the "no autoencoder" variant of §3.2's choice).
+  bool vector_passthrough = false;
+  std::size_t extra_dim = 5;
+  std::size_t mlp_hidden = 64;  // single hidden layer (§6: "very shallow")
+  std::size_t num_classes = 8;
+  models::HeteroGnnConfig gnn;
+  models::DaeConfig dae;
+};
+
+class MgaModel {
+ public:
+  MgaModel(util::Rng& rng, MgaModelConfig config);
+
+  /// Self-supervised pretraining of the vector modality (no-op when the
+  /// vector modality is disabled). `rows` must be Gaussian-rank scaled.
+  void pretrain_dae(const std::vector<std::vector<float>>& rows, util::Rng& rng);
+
+  /// Logits for a group of samples sharing one kernel. The static modalities
+  /// are evaluated once and broadcast across the group — the grouped-batching
+  /// scheme described in DESIGN.md §5. `extra_rows` is [group_size x
+  /// extra_dim] (ignored but size-checked when use_extra is false).
+  [[nodiscard]] nn::Tensor forward_group(const programl::ProgramGraph& graph,
+                                         const std::vector<float>& vector,
+                                         const std::vector<std::vector<float>>& extra_rows,
+                                         std::size_t group_size) const;
+
+  /// Trainable parameters: GNN + fusion MLP. The DAE is pretrained and then
+  /// frozen (self-supervised stage), so it is excluded here.
+  [[nodiscard]] std::vector<nn::Tensor> trainable_parameters() const;
+
+  [[nodiscard]] const MgaModelConfig& config() const noexcept { return config_; }
+
+ private:
+  MgaModelConfig config_;
+  std::unique_ptr<models::HeteroGnn> gnn_;
+  std::unique_ptr<models::DenoisingAutoencoder> dae_;
+  nn::Linear fusion_hidden_;
+  nn::Linear fusion_out_;
+};
+
+}  // namespace mga::core

@@ -1,0 +1,197 @@
+#include "core/tuner.hpp"
+
+#include <cmath>
+
+#include "ir2vec/encoder.hpp"
+#include "nn/serialize.hpp"
+#include "programl/builder.hpp"
+#include "util/check.hpp"
+
+namespace mga::core {
+
+struct MgaTuner::State {
+  MgaTunerOptions options;
+  dataset::OmpDataset data;
+  dataset::MinMaxScaler counter_scaler;
+  std::vector<std::vector<float>> scaled_vectors;
+  std::unique_ptr<MgaModel> model;
+
+  [[nodiscard]] std::vector<float> counter_features(const hwsim::PapiCounters& counters) const {
+    const auto raw = counters.selected();
+    std::vector<double> logged(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) logged[i] = std::log1p(raw[i]);
+    const std::vector<double> scaled = counter_scaler.transform(logged);
+    return {scaled.begin(), scaled.end()};
+  }
+};
+
+namespace {
+
+void normalize_options(MgaTunerOptions& options) {
+  if (options.space.empty()) options.space = dataset::thread_space(options.machine);
+  if (options.training_kernels.empty()) options.training_kernels = corpus::openmp_suite();
+  if (options.input_sizes.empty()) options.input_sizes = dataset::input_sizes_30();
+}
+
+std::unique_ptr<MgaTuner::State> build_state(MgaTunerOptions options) {
+  normalize_options(options);
+  auto state = std::make_unique<MgaTuner::State>();
+  state->options = options;
+  state->data = dataset::build_omp_dataset(options.training_kernels, options.machine,
+                                           options.space, options.input_sizes);
+
+  // Feature statistics over the whole training corpus.
+  std::vector<std::vector<double>> rows;
+  rows.reserve(state->data.samples.size());
+  for (const auto& sample : state->data.samples) {
+    const auto raw = sample.counters.selected();
+    std::vector<double> logged(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) logged[i] = std::log1p(raw[i]);
+    rows.push_back(std::move(logged));
+  }
+  state->counter_scaler.fit(rows);
+
+  std::vector<int> all_kernels;
+  for (std::size_t k = 0; k < state->data.kernels.size(); ++k)
+    all_kernels.push_back(static_cast<int>(k));
+  state->scaled_vectors = rank_scaled_vectors(state->data.vectors, all_kernels);
+
+  MgaModelConfig model_config = options.model;
+  model_config.num_classes = state->data.num_classes();
+  model_config.extra_dim = hwsim::PapiCounters::kNumSelected;
+  model_config.dae.input_dim = state->data.vectors.front().size();
+  util::Rng rng(options.training.seed);
+  state->model = std::make_unique<MgaModel>(rng, model_config);
+  return state;
+}
+
+/// Named parameter list of a model (order defines the names).
+nn::NamedTensors named_parameters(const MgaModel& model) {
+  nn::NamedTensors named;
+  const auto params = model.trainable_parameters();
+  for (std::size_t i = 0; i < params.size(); ++i)
+    named.emplace_back("p" + std::to_string(i), params[i]);
+  return named;
+}
+
+}  // namespace
+
+MgaTuner MgaTuner::train(MgaTunerOptions options) {
+  auto state = build_state(std::move(options));
+
+  // Same training procedure as OmpExperiment (grouped-by-kernel batches,
+  // AdamW, frozen pretrained DAE), but over the whole corpus: the facade's
+  // contract is "train on everything, deploy on unseen loops".
+  util::Rng rng(state->options.training.seed);
+  {
+    std::vector<std::vector<float>> dae_rows = state->scaled_vectors;
+    state->model->pretrain_dae(dae_rows, rng);
+  }
+  nn::AdamWConfig opt_config;
+  opt_config.learning_rate = state->options.training.learning_rate;
+  opt_config.weight_decay = state->options.training.weight_decay;
+  nn::AdamW optimizer(state->model->trainable_parameters(), opt_config);
+  auto params = state->model->trainable_parameters();
+
+  std::vector<int> kernel_order;
+  for (std::size_t k = 0; k < state->data.kernels.size(); ++k)
+    kernel_order.push_back(static_cast<int>(k));
+
+  const auto inputs_per_kernel = state->options.input_sizes.size();
+  for (int epoch = 0; epoch < state->options.training.epochs; ++epoch) {
+    rng.shuffle(kernel_order);
+    for (const int kernel : kernel_order) {
+      std::vector<std::vector<float>> extra;
+      std::vector<int> labels;
+      for (std::size_t i = 0; i < inputs_per_kernel; ++i) {
+        const auto& sample =
+            state->data.samples[static_cast<std::size_t>(kernel) * inputs_per_kernel + i];
+        extra.push_back(state->counter_features(sample.counters));
+        labels.push_back(sample.label);
+      }
+      const nn::Tensor logits = state->model->forward_group(
+          state->data.graphs[static_cast<std::size_t>(kernel)],
+          state->scaled_vectors[static_cast<std::size_t>(kernel)], extra, extra.size());
+      nn::Tensor loss = nn::softmax_cross_entropy(logits, labels);
+      optimizer.zero_grad();
+      loss.backward();
+      nn::clip_grad_norm(params, state->options.training.grad_clip);
+      optimizer.step();
+    }
+  }
+  return MgaTuner(std::move(state));
+}
+
+hwsim::OmpConfig MgaTuner::tune(const corpus::KernelSpec& kernel, double input_bytes) const {
+  // Static representations for the (possibly unseen) kernel.
+  const corpus::GeneratedKernel generated = corpus::generate(kernel);
+  const programl::ProgramGraph graph = programl::build_graph(*generated.module);
+  const ir2vec::Encoder encoder;
+  std::vector<float> vector = encoder.encode_module(*generated.module);
+  {
+    // Rank-scale with the training distribution: reuse the fitted transform
+    // by appending the kernel to the stored corpus statistics.
+    std::vector<int> train_ids;
+    for (std::size_t k = 0; k < state_->data.kernels.size(); ++k)
+      train_ids.push_back(static_cast<int>(k));
+    auto vectors = state_->data.vectors;
+    vectors.push_back(vector);
+    vector = rank_scaled_vectors(vectors, train_ids).back();
+  }
+
+  // One profiling run at the default configuration (the paper's two-run
+  // budget; one run suffices when the system reports all five counters).
+  const hwsim::RunResult profile =
+      hwsim::cpu_execute(generated.workload, state_->options.machine, input_bytes,
+                         hwsim::default_config(state_->options.machine));
+
+  const nn::Tensor logits = state_->model->forward_group(
+      graph, vector, {state_->counter_features(profile.counters)}, 1);
+  const int predicted = nn::argmax_rows(logits).front();
+  return state_->options.space[static_cast<std::size_t>(predicted)];
+}
+
+double MgaTuner::speedup_over_default(const corpus::KernelSpec& kernel,
+                                      double input_bytes) const {
+  const corpus::GeneratedKernel generated = corpus::generate(kernel);
+  const hwsim::OmpConfig tuned = tune(kernel, input_bytes);
+  const double default_seconds =
+      hwsim::cpu_execute(generated.workload, state_->options.machine, input_bytes,
+                         hwsim::default_config(state_->options.machine))
+          .seconds;
+  const double tuned_seconds =
+      hwsim::cpu_execute(generated.workload, state_->options.machine, input_bytes, tuned)
+          .seconds;
+  return default_seconds / tuned_seconds;
+}
+
+void MgaTuner::save(const std::string& path) const {
+  nn::save_tensors_file(named_parameters(*state_->model), path);
+}
+
+MgaTuner MgaTuner::load(const std::string& path, MgaTunerOptions options) {
+  auto state = build_state(std::move(options));
+  // DAE must match the pretraining the saved model was fused with; rerun the
+  // deterministic pretraining, then restore the trained fusion parameters.
+  util::Rng rng(state->options.training.seed);
+  state->model->pretrain_dae(state->scaled_vectors, rng);
+  const nn::NamedTensors stored = nn::load_tensors_file(path);
+  nn::NamedTensors target = named_parameters(*state->model);
+  nn::restore_into(stored, target);
+  return MgaTuner(std::move(state));
+}
+
+const hwsim::MachineConfig& MgaTuner::machine() const noexcept {
+  return state_->options.machine;
+}
+
+const std::vector<hwsim::OmpConfig>& MgaTuner::space() const noexcept {
+  return state_->options.space;
+}
+
+MgaTuner::MgaTuner(std::unique_ptr<State> state) : state_(std::move(state)) {}
+MgaTuner::MgaTuner(MgaTuner&&) noexcept = default;
+MgaTuner& MgaTuner::operator=(MgaTuner&&) noexcept = default;
+MgaTuner::~MgaTuner() = default;
+
+}  // namespace mga::core

@@ -1,0 +1,70 @@
+// MgaTuner — the library's user-facing facade.
+//
+// Wraps the full §3 pipeline behind three calls:
+//
+//   auto tuner = MgaTuner::train(MgaTunerOptions{});     // or load(path)
+//   hwsim::OmpConfig cfg = tuner.tune(spec, input_bytes); // 1 profiling run
+//   tuner.save(path);                                     // reuse later
+//
+// `tune` performs exactly what the paper's inference does: profile the loop
+// once at the default configuration to collect the five counters, push the
+// kernel's PROGRAML graph and IR2Vec vector through the trained multimodal
+// model, and return the predicted configuration.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/experiment.hpp"
+
+namespace mga::core {
+
+struct MgaTunerOptions {
+  hwsim::MachineConfig machine = hwsim::comet_lake();
+  /// Configuration space; empty = thread space of `machine`.
+  std::vector<hwsim::OmpConfig> space;
+  /// Training corpus; empty = the full 45-loop OpenMP suite.
+  std::vector<corpus::KernelSpec> training_kernels;
+  /// Training input sizes; empty = the paper's 30 sizes.
+  std::vector<double> input_sizes;
+  MgaModelConfig model;
+  TrainConfig training;
+};
+
+class MgaTuner {
+ public:
+  /// Build the dataset, pretrain the DAE and train the fused model.
+  [[nodiscard]] static MgaTuner train(MgaTunerOptions options = {});
+
+  /// Predict the best configuration for a kernel at an input size. Profiles
+  /// the kernel once (simulated) at the default configuration for counters.
+  [[nodiscard]] hwsim::OmpConfig tune(const corpus::KernelSpec& kernel,
+                                      double input_bytes) const;
+
+  /// Achieved speedup of the tuned configuration over the default (one extra
+  /// simulated run; useful for reporting).
+  [[nodiscard]] double speedup_over_default(const corpus::KernelSpec& kernel,
+                                            double input_bytes) const;
+
+  /// Persist / restore the trained parameters (scalers and dataset statistics
+  /// are re-derived from the training options, which are stored alongside).
+  void save(const std::string& path) const;
+  [[nodiscard]] static MgaTuner load(const std::string& path, MgaTunerOptions options = {});
+
+  [[nodiscard]] const hwsim::MachineConfig& machine() const noexcept;
+  [[nodiscard]] const std::vector<hwsim::OmpConfig>& space() const noexcept;
+
+  MgaTuner(MgaTuner&&) noexcept;
+  MgaTuner& operator=(MgaTuner&&) noexcept;
+  ~MgaTuner();
+
+  /// Opaque implementation record (public so the out-of-line builders in
+  /// tuner.cpp can construct it; clients never see the definition).
+  struct State;
+
+ private:
+  explicit MgaTuner(std::unique_ptr<State> state);
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace mga::core

@@ -1,0 +1,422 @@
+// IR emission and workload derivation per kernel family. Both sides read the
+// same FamilyParams so that the static representations (graphs, vectors) and
+// the simulated dynamic behaviour stay mutually predictive.
+#include <algorithm>
+#include <cmath>
+
+#include "corpus/spec.hpp"
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace mga::corpus {
+
+const char* family_name(Family family) noexcept {
+  switch (family) {
+    case Family::kDenseLinalg: return "dense-linalg";
+    case Family::kMatVec: return "matvec";
+    case Family::kTriSolve: return "trisolve";
+    case Family::kStencil: return "stencil";
+    case Family::kReduction: return "reduction";
+    case Family::kDataMining: return "datamining";
+    case Family::kGraph: return "graph";
+    case Family::kParticle: return "particle";
+    case Family::kSortScan: return "sortscan";
+    case Family::kSpectral: return "spectral";
+    case Family::kMonteCarlo: return "montecarlo";
+  }
+  return "?";
+}
+
+namespace {
+
+using ir::IRBuilder;
+using ir::Opcode;
+using ir::Type;
+
+/// Builds the kernel function: a perfect loop nest of `nest_depth` with a
+/// family-specific inner body.
+class KernelEmitter {
+ public:
+  KernelEmitter(const KernelSpec& spec, ir::Module& module)
+      : spec_(spec), module_(module), builder_(module) {}
+
+  void emit() {
+    emit_globals();
+    emit_callees();
+    emit_kernel_function();
+    const auto errors = ir::verify_module(module_);
+    MGA_CHECK_MSG(errors.empty(), "corpus emitted invalid IR for " + spec_.name + ": " +
+                                      (errors.empty() ? "" : errors.front()));
+  }
+
+ private:
+  void emit_globals() {
+    for (int a = 0; a < spec_.params.arrays; ++a)
+      arrays_.push_back(module_.add_global("arr" + std::to_string(a)));
+    result_global_ = module_.add_global("result");
+  }
+
+  void emit_callees() {
+    if (spec_.params.extern_calls > 0) {
+      extern_fn_ = module_.add_function("sqrt", Type::kF64, /*is_declaration=*/true);
+      extern_fn_->add_argument(Type::kF64, "%a0");
+    }
+    if (spec_.params.helper_calls > 0) {
+      // Defined helper with its own small parallel-ish loop body — this is
+      // what makes call edges (and the paper's makea corner case) non-trivial.
+      helper_fn_ = module_.add_function("helper", Type::kF64);
+      ir::Argument* x = helper_fn_->add_argument(Type::kF64, "%x");
+      ir::BasicBlock* body = helper_fn_->add_block("entry");
+      builder_.set_insert_point(body);
+      ir::Value* v = builder_.binary(Opcode::kFMul, x, x);
+      v = builder_.binary(Opcode::kFAdd, v, builder_.const_f64(1.0));
+      if (extern_fn_ != nullptr) {
+        v = builder_.call(extern_fn_, {v});
+      }
+      builder_.ret(v);
+    }
+  }
+
+  void emit_kernel_function() {
+    kernel_ = module_.add_function("kernel", Type::kVoid);
+    n_arg_ = kernel_->add_argument(Type::kI64, "%n");
+    for (std::size_t a = 0; a < arrays_.size(); ++a)
+      kernel_->add_argument(Type::kPtr, "%p" + std::to_string(a));
+
+    ir::BasicBlock* entry = kernel_->add_block("entry");
+    ir::BasicBlock* exit = kernel_->add_block("exit");
+
+    builder_.set_insert_point(entry);
+    // Loop nest, outermost first.
+    ir::BasicBlock* preheader = entry;
+    ir::BasicBlock* after = exit;
+    std::vector<ir::Instruction*> induction;
+    std::vector<ir::BasicBlock*> headers;
+    std::vector<ir::BasicBlock*> latches;
+    for (int depth = 0; depth < spec_.params.nest_depth; ++depth) {
+      const std::string tag = std::to_string(depth);
+      ir::BasicBlock* header = kernel_->add_block("l" + tag + ".header");
+      ir::BasicBlock* body = kernel_->add_block("l" + tag + ".body");
+      ir::BasicBlock* latch = kernel_->add_block("l" + tag + ".latch");
+
+      builder_.set_insert_point(preheader);
+      builder_.br(header);
+
+      builder_.set_insert_point(header);
+      ir::Instruction* iv = builder_.phi(Type::kI64);
+      ir::Instruction* cond = builder_.icmp(iv, n_arg_);
+      builder_.cond_br(cond, body, after);
+      IRBuilder::add_phi_incoming(iv, builder_.const_i64(0), preheader);
+
+      builder_.set_insert_point(latch);
+      ir::Instruction* next = builder_.binary(Opcode::kAdd, iv, builder_.const_i64(1));
+      builder_.br(header);
+      IRBuilder::add_phi_incoming(iv, next, latch);
+
+      induction.push_back(iv);
+      headers.push_back(header);
+      latches.push_back(latch);
+      preheader = body;
+      after = latch;
+    }
+
+    // `preheader` is now the innermost body block; `after` its latch.
+    builder_.set_insert_point(preheader);
+    emit_inner_body(induction, after);
+
+    builder_.set_insert_point(exit);
+    builder_.ret();
+  }
+
+  /// Address of arrays_[array] at a (possibly transformed) index.
+  ir::Value* address(int array, ir::Value* index) {
+    return builder_.gep(arrays_[static_cast<std::size_t>(array) % arrays_.size()], index);
+  }
+
+  ir::Value* load_f64(int array, ir::Value* index) {
+    return builder_.load(Type::kF64, address(array, index));
+  }
+
+  /// Emit the family-specific inner body; must end with a branch to `latch`.
+  void emit_inner_body(const std::vector<ir::Instruction*>& ivs, ir::BasicBlock* latch) {
+    ir::Value* i = ivs.back();           // innermost induction variable
+    ir::Value* outer = ivs.front();      // outermost (== i for depth 1)
+
+    switch (spec_.family) {
+      case Family::kDenseLinalg:
+      case Family::kMatVec: {
+        ir::Value* a = load_f64(0, i);
+        ir::Value* b = load_f64(1, outer);
+        ir::Value* acc = builder_.binary(Opcode::kFMul, a, b);
+        acc = arith_chain(acc, a);
+        builder_.store(acc, address(spec_.params.arrays - 1, i));
+        builder_.br(latch);
+        return;
+      }
+      case Family::kTriSolve: {
+        // Loop-carried dependence: reads element i-1 written by the previous
+        // iteration, then divides — the serial-better structure.
+        ir::Value* prev_index =
+            builder_.binary(Opcode::kSub, i, builder_.const_i64(1));
+        ir::Value* prev = load_f64(0, prev_index);
+        ir::Value* diag = load_f64(1, i);
+        ir::Value* v = builder_.binary(Opcode::kFSub, load_f64(0, i), prev);
+        v = builder_.binary(Opcode::kFDiv, v, diag);
+        v = arith_chain(v, prev);
+        builder_.store(v, address(0, i));
+        builder_.fence();
+        builder_.br(latch);
+        return;
+      }
+      case Family::kStencil: {
+        ir::Value* left =
+            load_f64(0, builder_.binary(Opcode::kSub, i, builder_.const_i64(1)));
+        ir::Value* center = load_f64(0, i);
+        ir::Value* right =
+            load_f64(0, builder_.binary(Opcode::kAdd, i, builder_.const_i64(1)));
+        ir::Value* sum = builder_.binary(Opcode::kFAdd, left, right);
+        sum = builder_.binary(Opcode::kFAdd, sum, center);
+        sum = builder_.binary(Opcode::kFMul, sum, builder_.const_f64(0.3333));
+        sum = arith_chain(sum, center);
+        builder_.store(sum, address(1, i));
+        builder_.br(latch);
+        return;
+      }
+      case Family::kReduction: {
+        ir::Value* a = load_f64(0, i);
+        ir::Value* b = load_f64(1 % spec_.params.arrays, i);
+        ir::Value* v = builder_.binary(Opcode::kFMul, a, b);
+        v = arith_chain(v, a);
+        if (spec_.params.has_reduction) {
+          builder_.atomic_rmw(result_global_, v);
+        } else {
+          builder_.store(v, address(spec_.params.arrays - 1, i));
+        }
+        builder_.br(latch);
+        return;
+      }
+      case Family::kDataMining: {
+        // Distance computation with a data-dependent "new minimum" branch.
+        ir::Value* point = load_f64(0, i);
+        ir::Value* centroid = load_f64(1, outer);
+        ir::Value* diff = builder_.binary(Opcode::kFSub, point, centroid);
+        ir::Value* dist = builder_.binary(Opcode::kFMul, diff, diff);
+        dist = arith_chain(dist, diff);
+        ir::Value* best = load_f64(spec_.params.arrays - 1, i);
+        ir::Value* is_better = builder_.fcmp(dist, best);
+        emit_branch_diamond(is_better, dist, i, latch);
+        return;
+      }
+      case Family::kGraph: {
+        // Indirect access through an index array, then a visited check.
+        ir::Value* raw = builder_.load(Type::kI64, address(0, i));
+        ir::Value* masked =
+            builder_.binary(Opcode::kAnd, raw, builder_.const_i64(1023));
+        ir::Value* neighbour = load_f64(1, masked);
+        ir::Value* flag = builder_.fcmp(neighbour, builder_.const_f64(0.0));
+        emit_branch_diamond(flag, neighbour, masked, latch);
+        return;
+      }
+      case Family::kParticle: {
+        ir::Value* x = load_f64(0, i);
+        ir::Value* y = load_f64(1, i);
+        ir::Value* d = builder_.binary(Opcode::kFMul, x, x);
+        ir::Value* d2 = builder_.binary(Opcode::kFMul, y, y);
+        d = builder_.binary(Opcode::kFAdd, d, d2);
+        d = arith_chain(d, x);
+        for (int c = 0; c < spec_.params.helper_calls; ++c)
+          d = builder_.call(helper_fn_, {d});
+        for (int c = 0; c < spec_.params.extern_calls; ++c)
+          d = builder_.call(extern_fn_, {d});
+        builder_.store(d, address(spec_.params.arrays - 1, i));
+        builder_.br(latch);
+        return;
+      }
+      case Family::kSortScan: {
+        ir::Value* v = builder_.load(Type::kI64, address(0, i));
+        ir::Value* partner = builder_.binary(Opcode::kXor, i, builder_.const_i64(16));
+        ir::Value* w = builder_.load(Type::kI64, address(0, partner));
+        for (int c = 0; c < spec_.params.arith_chain; ++c) {
+          v = builder_.binary(c % 2 == 0 ? Opcode::kShl : Opcode::kXor, v,
+                              builder_.const_i64(1 + c % 3));
+        }
+        ir::Value* swap = builder_.icmp(v, w);
+        emit_int_branch_diamond(swap, v, w, i, partner, latch);
+        return;
+      }
+      case Family::kSpectral: {
+        // Butterfly: stride-2 paired accesses, add/sub outputs.
+        ir::Value* even = builder_.binary(Opcode::kShl, i, builder_.const_i64(1));
+        ir::Value* odd = builder_.binary(Opcode::kAdd, even, builder_.const_i64(1));
+        ir::Value* a = load_f64(0, even);
+        ir::Value* b = load_f64(0, odd);
+        ir::Value* twiddle = load_f64(1, i);
+        ir::Value* bt = builder_.binary(Opcode::kFMul, b, twiddle);
+        ir::Value* lo = builder_.binary(Opcode::kFAdd, a, bt);
+        ir::Value* hi = builder_.binary(Opcode::kFSub, a, bt);
+        lo = arith_chain(lo, twiddle);
+        builder_.store(lo, address(2 % spec_.params.arrays, even));
+        builder_.store(hi, address(2 % spec_.params.arrays, odd));
+        builder_.br(latch);
+        return;
+      }
+      case Family::kMonteCarlo: {
+        // Path simulation: transcendental calls + accept/reject branch.
+        ir::Value* u = load_f64(0, i);
+        ir::Value* v = builder_.binary(Opcode::kFMul, u, builder_.const_f64(1.61803));
+        v = arith_chain(v, u);
+        for (int c = 0; c < spec_.params.extern_calls; ++c)
+          v = builder_.call(extern_fn_, {v});
+        ir::Value* accept = builder_.fcmp(v, builder_.const_f64(0.5));
+        emit_branch_diamond(accept, v, i, latch);
+        return;
+      }
+    }
+    MGA_CHECK_MSG(false, "unhandled family");
+  }
+
+  /// then/else diamond around a store (plus optional atomic accumulate).
+  void emit_branch_diamond(ir::Value* condition, ir::Value* payload, ir::Value* index,
+                           ir::BasicBlock* latch) {
+    ir::BasicBlock* then_block = kernel_->add_block("then" + std::to_string(block_id_));
+    ir::BasicBlock* else_block = kernel_->add_block("else" + std::to_string(block_id_));
+    ++block_id_;
+    builder_.cond_br(condition, then_block, else_block);
+
+    builder_.set_insert_point(then_block);
+    builder_.store(payload, address(spec_.params.arrays - 1, index));
+    if (spec_.params.has_reduction) builder_.atomic_rmw(result_global_, payload);
+    builder_.br(latch);
+
+    builder_.set_insert_point(else_block);
+    ir::Value* decayed = builder_.binary(Opcode::kFMul, payload, builder_.const_f64(0.99));
+    builder_.store(decayed, address(spec_.params.arrays - 1, index));
+    builder_.br(latch);
+  }
+
+  /// Integer swap diamond for sorting networks.
+  void emit_int_branch_diamond(ir::Value* condition, ir::Value* a, ir::Value* b,
+                               ir::Value* i, ir::Value* j, ir::BasicBlock* latch) {
+    ir::BasicBlock* then_block = kernel_->add_block("swap" + std::to_string(block_id_));
+    ir::BasicBlock* else_block = kernel_->add_block("keep" + std::to_string(block_id_));
+    ++block_id_;
+    builder_.cond_br(condition, then_block, else_block);
+
+    builder_.set_insert_point(then_block);
+    builder_.store(b, address(0, i));
+    builder_.store(a, address(0, j));
+    builder_.br(latch);
+
+    builder_.set_insert_point(else_block);
+    builder_.store(a, address(0, i));
+    builder_.br(latch);
+  }
+
+  /// Family-independent arithmetic chain lengthener (reads `seed` so the
+  /// chain is data-dependent, alternates add/mul).
+  ir::Value* arith_chain(ir::Value* value, ir::Value* seed) {
+    for (int c = 0; c < spec_.params.arith_chain; ++c) {
+      value = builder_.binary(c % 2 == 0 ? Opcode::kFAdd : Opcode::kFMul, value,
+                              c % 3 == 0 ? seed : static_cast<ir::Value*>(
+                                                      builder_.const_f64(0.5 + c)));
+    }
+    return value;
+  }
+
+  const KernelSpec& spec_;
+  ir::Module& module_;
+  IRBuilder builder_;
+  ir::Function* kernel_ = nullptr;
+  ir::Function* helper_fn_ = nullptr;
+  ir::Function* extern_fn_ = nullptr;
+  ir::Argument* n_arg_ = nullptr;
+  std::vector<ir::Global*> arrays_;
+  ir::Global* result_global_ = nullptr;
+  int block_id_ = 0;
+};
+
+struct FamilyProfile {
+  double locality, irregularity, branches, sync, parallel_fraction;
+  double dependency_penalty, gpu_divergence, work_exponent, shared_fraction;
+};
+
+[[nodiscard]] FamilyProfile family_profile(Family family) {
+  switch (family) {
+    case Family::kDenseLinalg:
+      return {0.85, 0.02, 0.02, 0.0, 0.995, 0.0, 0.05, 1.18, 0.50};
+    case Family::kMatVec:
+      return {0.55, 0.03, 0.02, 0.0, 0.99, 0.0, 0.05, 1.0, 0.45};
+    case Family::kTriSolve:
+      return {0.60, 0.20, 0.10, 0.012, 0.55, 0.35, 0.60, 1.0, 0.30};
+    case Family::kStencil:
+      return {0.80, 0.04, 0.03, 0.0, 0.995, 0.0, 0.08, 1.02, 0.15};
+    case Family::kReduction:
+      return {0.30, 0.03, 0.02, 0.0, 0.99, 0.0, 0.10, 1.0, 0.08};
+    case Family::kDataMining:
+      return {0.45, 0.30, 0.50, 0.0015, 0.98, 0.0, 0.35, 1.05, 0.40};
+    case Family::kGraph:
+      return {0.12, 0.65, 0.80, 0.0008, 0.97, 0.0, 0.70, 1.0, 0.50};
+    case Family::kParticle:
+      return {0.60, 0.35, 0.15, 0.0, 0.99, 0.0, 0.25, 1.15, 0.35};
+    case Family::kSortScan:
+      return {0.40, 0.10, 0.40, 0.0, 0.985, 0.05, 0.30, 1.05, 0.10};
+    case Family::kSpectral:
+      return {0.50, 0.05, 0.05, 0.0, 0.99, 0.0, 0.15, 1.08, 0.20};
+    case Family::kMonteCarlo:
+      return {0.90, 0.45, 0.70, 0.001, 0.999, 0.0, 0.50, 1.0, 0.05};
+  }
+  return {};
+}
+
+[[nodiscard]] hwsim::KernelWorkload derive_workload(const KernelSpec& spec) {
+  const FamilyProfile profile = family_profile(spec.family);
+  const FamilyParams& p = spec.params;
+
+  hwsim::KernelWorkload w;
+  w.name = spec.name;
+  w.flops_per_elem = p.arith_chain * (1.0 + 0.6 * (p.nest_depth - 1)) + 2.0;
+  w.bytes_per_elem = 8.0 * (p.arrays + 1);
+  w.branches_per_elem = profile.branches + (p.has_branch ? 0.6 : 0.0);
+  w.sync_per_elem = profile.sync + (p.has_reduction ? 0.003 : 0.0);
+  w.calls_per_elem = static_cast<double>(p.helper_calls + p.extern_calls);
+  w.working_set_factor = 0.6 + 0.2 * p.arrays;
+  w.locality = 0.5 * profile.locality + 0.5 * p.reuse;
+  w.parallel_fraction = profile.parallel_fraction;
+  w.irregularity = std::max(profile.irregularity, p.imbalance);
+  w.branch_predictability = p.has_branch ? 0.80 : 0.97;
+  w.dependency_penalty = profile.dependency_penalty;
+  w.gpu_divergence = profile.gpu_divergence;
+  w.work_exponent = profile.work_exponent;
+  w.shared_fraction = profile.shared_fraction;
+
+  // Per-kernel deterministic individuality (~±8%) so that same-family
+  // applications remain distinguishable, keyed on the kernel name.
+  util::Rng rng(util::fnv1a(spec.name));
+  const auto jitter = [&rng](double& field, double sigma) {
+    field *= std::exp(sigma * rng.normal());
+  };
+  jitter(w.flops_per_elem, 0.08);
+  jitter(w.bytes_per_elem, 0.08);
+  jitter(w.working_set_factor, 0.10);
+  w.locality = std::clamp(w.locality * std::exp(0.08 * rng.normal()), 0.02, 0.98);
+  w.irregularity = std::clamp(w.irregularity + 0.03 * rng.normal(), 0.0, 1.0);
+  return w;
+}
+
+}  // namespace
+
+GeneratedKernel generate(const KernelSpec& spec) {
+  MGA_CHECK_MSG(spec.params.nest_depth >= 1 && spec.params.nest_depth <= 3,
+                "nest_depth must be 1..3");
+  MGA_CHECK_MSG(spec.params.arrays >= 1, "at least one array required");
+
+  GeneratedKernel result;
+  result.module = std::make_unique<ir::Module>(spec.name);
+  KernelEmitter(spec, *result.module).emit();
+  result.workload = derive_workload(spec);
+  return result;
+}
+
+}  // namespace mga::corpus

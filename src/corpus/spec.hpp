@@ -1,0 +1,88 @@
+// Kernel corpus: parameterized generators that stand in for the benchmark
+// suites of the paper's Table 1 (see DESIGN.md §1 for the substitution
+// rationale). Every named application maps to a *family* (structural
+// template) plus parameters; generation emits
+//   (a) a mini-IR module for the kernel (consumed by PROGRAML / IR2Vec), and
+//   (b) the matching KernelWorkload descriptor (consumed by hwsim).
+// The two are derived from the same parameters, so the static representations
+// genuinely carry information about execution behaviour — the property the
+// paper's learning task depends on.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hwsim/workload.hpp"
+#include "ir/function.hpp"
+
+namespace mga::corpus {
+
+/// Structural kernel families covering the Table 1 suites.
+enum class Family {
+  kDenseLinalg,   // gemm/2mm/3mm/syrk/… triple nests, high reuse
+  kMatVec,        // atax/bicg/mvt/… double nests, streaming dots
+  kTriSolve,      // trisolv/durbin: loop-carried dependences (serial wins)
+  kStencil,       // jacobi/fdtd/seidel/convolution/hotspot/srad
+  kReduction,     // stream/correlation/covariance/dotproduct
+  kDataMining,    // kmeans/streamcluster: branchy distance reductions
+  kGraph,         // bfs/b+tree/nw/pathfinder: irregular, indirect accesses
+  kParticle,      // lavaMD/lulesh/cfd/particlefilter: heavy compute + calls
+  kSortScan,      // bitonic/scan/prefix/sort: integer, log-depth passes
+  kSpectral,      // fft/fdtd3d/walsh: strided butterflies
+  kMonteCarlo,    // blackscholes/EP/mersenne: branchy, call-rich, private state
+};
+
+[[nodiscard]] const char* family_name(Family family) noexcept;
+
+/// Structure knobs. Each named application sets these differently; the IR
+/// emitter and the workload derivation both read them.
+struct FamilyParams {
+  int nest_depth = 2;      // perfect-nest loop depth (1..3)
+  int arith_chain = 4;     // floating (or int) ops in the inner body
+  int arrays = 2;          // distinct arrays referenced
+  bool has_branch = false; // data-dependent branch in the body
+  bool has_reduction = false;  // atomic accumulation
+  int helper_calls = 0;    // calls to a defined helper function per iteration
+  int extern_calls = 0;    // calls to external declarations (sqrt/exp)
+  double reuse = 0.5;      // 0..1 cache-reuse knob
+  double imbalance = 0.0;  // 0..1 iteration-cost variance knob
+};
+
+struct KernelSpec {
+  std::string name;   // "polybench/2mm"
+  std::string suite;  // "polybench"
+  Family family = Family::kDenseLinalg;
+  FamilyParams params;
+};
+
+struct GeneratedKernel {
+  std::unique_ptr<ir::Module> module;
+  hwsim::KernelWorkload workload;
+};
+
+/// Emit IR + workload for a spec. Deterministic: equal specs yield
+/// byte-identical IR text and identical workloads.
+[[nodiscard]] GeneratedKernel generate(const KernelSpec& spec);
+
+// --- suites -----------------------------------------------------------------
+
+/// The 45 OpenMP loops of §4.1 (STREAM, DataRaceBench, Polybench, NAS,
+/// Rodinia, LULESH).
+[[nodiscard]] std::vector<KernelSpec> openmp_suite();
+
+/// The 30 applications of the §4.1.4 large-search-space experiment
+/// (Polybench + Rodinia + LULESH, Fig. 7's x-axis).
+[[nodiscard]] std::vector<KernelSpec> large_space_suite();
+
+/// The 25 Polybench kernels used for the §4.1.5 portability study.
+[[nodiscard]] std::vector<KernelSpec> polybench_kernels();
+
+/// The 256 OpenCL kernels of §4.2 (AMD SDK, NPB, NVIDIA SDK, Parboil,
+/// Polybench, Rodinia, SHOC).
+[[nodiscard]] std::vector<KernelSpec> opencl_suite();
+
+/// Lookup by name in any of the suites above; throws if unknown.
+[[nodiscard]] KernelSpec find_kernel(const std::string& name);
+
+}  // namespace mga::corpus

@@ -1,0 +1,291 @@
+// Named kernel inventories matching the paper's Table 1 benchmark suites.
+// Each named application gets a family + parameters chosen to reflect its
+// real structure (e.g. gemm = depth-3 dense linalg with high reuse; bfs =
+// irregular graph traversal; kmeans = branchy distance mining).
+#include <algorithm>
+
+#include "corpus/spec.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace mga::corpus {
+
+namespace {
+
+KernelSpec spec(std::string suite, std::string app, Family family, FamilyParams params) {
+  KernelSpec s;
+  s.name = suite + "/" + app;
+  s.suite = std::move(suite);
+  s.family = family;
+  s.params = params;
+  return s;
+}
+
+/// Polybench: the 25 kernels the paper's Fig. 7 / Fig. 9 enumerate.
+std::vector<KernelSpec> polybench() {
+  using F = Family;
+  std::vector<KernelSpec> out;
+  const std::string pb = "polybench";
+  // Dense linear algebra, depth-3 nests.
+  out.push_back(spec(pb, "2mm", F::kDenseLinalg, {3, 6, 4, false, false, 0, 0, 0.85, 0.0}));
+  out.push_back(spec(pb, "lu", F::kDenseLinalg, {3, 5, 2, false, false, 0, 0, 0.75, 0.08}));
+  out.push_back(spec(pb, "syrk", F::kDenseLinalg, {3, 5, 2, false, false, 0, 0, 0.8, 0.0}));
+  out.push_back(spec(pb, "gemm", F::kDenseLinalg, {3, 6, 3, false, false, 0, 0, 0.88, 0.0}));
+  out.push_back(spec(pb, "syr2k", F::kDenseLinalg, {3, 7, 3, false, false, 0, 0, 0.8, 0.0}));
+  out.push_back(spec(pb, "symm", F::kDenseLinalg, {3, 6, 3, false, false, 0, 0, 0.78, 0.05}));
+  out.push_back(spec(pb, "trmm", F::kDenseLinalg, {3, 5, 2, false, false, 0, 0, 0.74, 0.12}));
+  out.push_back(
+      spec(pb, "cholesky", F::kDenseLinalg, {3, 6, 2, true, false, 0, 1, 0.7, 0.2}));
+  out.push_back(
+      spec(pb, "gramschmidt", F::kDenseLinalg, {3, 7, 3, false, false, 0, 1, 0.65, 0.1}));
+  out.push_back(spec(pb, "doitgen", F::kDenseLinalg, {3, 5, 3, false, false, 0, 0, 0.8, 0.0}));
+  // Matrix-vector, depth-2.
+  out.push_back(spec(pb, "atax", F::kMatVec, {2, 4, 3, false, false, 0, 0, 0.55, 0.0}));
+  out.push_back(spec(pb, "bicg", F::kMatVec, {2, 4, 4, false, false, 0, 0, 0.55, 0.0}));
+  out.push_back(spec(pb, "mvt", F::kMatVec, {2, 4, 3, false, false, 0, 0, 0.6, 0.0}));
+  out.push_back(spec(pb, "gemver", F::kMatVec, {2, 6, 4, false, false, 0, 0, 0.58, 0.0}));
+  out.push_back(spec(pb, "gesummv", F::kMatVec, {2, 5, 4, false, false, 0, 0, 0.5, 0.0}));
+  out.push_back(spec(pb, "durbin", F::kTriSolve, {1, 5, 3, false, false, 0, 0, 0.5, 0.25}));
+  out.push_back(spec(pb, "trisolv", F::kTriSolve, {1, 4, 2, false, false, 0, 0, 0.5, 0.3}));
+  // Stencils.
+  out.push_back(spec(pb, "jacobi-2d", F::kStencil, {2, 4, 2, false, false, 0, 0, 0.82, 0.0}));
+  out.push_back(spec(pb, "seidel-2d", F::kStencil, {2, 5, 1, false, false, 0, 0, 0.8, 0.15}));
+  out.push_back(spec(pb, "fdtd-2d", F::kStencil, {2, 6, 3, false, false, 0, 0, 0.78, 0.0}));
+  out.push_back(spec(pb, "fdtd-apml", F::kStencil, {3, 8, 4, true, false, 0, 0, 0.7, 0.05}));
+  out.push_back(
+      spec(pb, "convolution-2d", F::kStencil, {2, 8, 2, false, false, 0, 0, 0.85, 0.0}));
+  out.push_back(spec(pb, "adi", F::kStencil, {2, 7, 3, false, false, 0, 0, 0.6, 0.1}));
+  // Statistics (reductions).
+  out.push_back(
+      spec(pb, "correlation", F::kReduction, {2, 6, 3, false, true, 0, 1, 0.45, 0.0}));
+  out.push_back(
+      spec(pb, "covariance", F::kReduction, {2, 5, 3, false, true, 0, 0, 0.45, 0.0}));
+  return out;
+}
+
+std::vector<KernelSpec> rodinia_openmp() {
+  using F = Family;
+  std::vector<KernelSpec> out;
+  const std::string rd = "rodinia";
+  out.push_back(spec(rd, "kmeans", F::kDataMining, {2, 5, 3, true, true, 0, 0, 0.5, 0.25}));
+  out.push_back(
+      spec(rd, "streamcluster", F::kDataMining, {2, 6, 4, true, true, 0, 1, 0.4, 0.35}));
+  out.push_back(spec(rd, "backprop", F::kParticle, {2, 6, 3, false, false, 1, 1, 0.6, 0.1}));
+  out.push_back(spec(rd, "nn", F::kDataMining, {1, 5, 2, true, false, 0, 1, 0.45, 0.1}));
+  out.push_back(spec(rd, "bfs", F::kGraph, {1, 3, 3, true, false, 0, 0, 0.15, 0.6}));
+  out.push_back(spec(rd, "hotspot", F::kStencil, {2, 7, 3, true, false, 0, 0, 0.75, 0.05}));
+  out.push_back(spec(rd, "srad", F::kStencil, {2, 9, 3, true, false, 0, 1, 0.7, 0.08}));
+  out.push_back(spec(rd, "lud", F::kDenseLinalg, {3, 5, 2, false, false, 0, 0, 0.7, 0.15}));
+  out.push_back(spec(rd, "nw", F::kGraph, {2, 4, 3, true, false, 0, 0, 0.3, 0.4}));
+  out.push_back(
+      spec(rd, "pathfinder", F::kGraph, {1, 4, 3, true, false, 0, 0, 0.35, 0.3}));
+  out.push_back(spec(rd, "lavaMD", F::kParticle, {2, 10, 4, true, false, 1, 1, 0.55, 0.3}));
+  out.push_back(
+      spec(rd, "particlefilter", F::kParticle, {1, 8, 3, true, false, 1, 1, 0.5, 0.4}));
+  return out;
+}
+
+std::vector<KernelSpec> nas_openmp() {
+  using F = Family;
+  std::vector<KernelSpec> out;
+  const std::string nas = "nas";
+  out.push_back(spec(nas, "BT", F::kDenseLinalg, {3, 9, 4, false, false, 0, 0, 0.7, 0.05}));
+  out.push_back(spec(nas, "CG", F::kMatVec, {2, 4, 4, true, false, 1, 0, 0.3, 0.2}));
+  out.push_back(spec(nas, "EP", F::kMonteCarlo, {1, 8, 1, true, true, 0, 2, 0.9, 0.1}));
+  out.push_back(spec(nas, "FT", F::kSpectral, {2, 6, 3, false, false, 0, 0, 0.5, 0.0}));
+  out.push_back(spec(nas, "LU", F::kDenseLinalg, {3, 7, 3, false, false, 0, 0, 0.65, 0.1}));
+  out.push_back(spec(nas, "MG", F::kStencil, {3, 6, 3, false, false, 0, 0, 0.6, 0.05}));
+  out.push_back(spec(nas, "SP", F::kStencil, {3, 8, 4, false, false, 0, 0, 0.62, 0.05}));
+  return out;
+}
+
+std::vector<KernelSpec> stream_loops() {
+  using F = Family;
+  std::vector<KernelSpec> out;
+  // The four STREAM loops: pure bandwidth, zero reuse.
+  out.push_back(spec("stream", "copy", F::kReduction, {1, 1, 2, false, false, 0, 0, 0.05, 0.0}));
+  out.push_back(spec("stream", "scale", F::kReduction, {1, 2, 2, false, false, 0, 0, 0.05, 0.0}));
+  out.push_back(spec("stream", "add", F::kReduction, {1, 2, 3, false, false, 0, 0, 0.05, 0.0}));
+  out.push_back(spec("stream", "triad", F::kReduction, {1, 3, 3, false, false, 0, 0, 0.05, 0.0}));
+  return out;
+}
+
+std::vector<KernelSpec> drb_loops() {
+  using F = Family;
+  std::vector<KernelSpec> out;
+  const std::string drb = "drb";
+  out.push_back(spec(drb, "DRB045", F::kReduction, {1, 3, 2, false, true, 0, 0, 0.4, 0.0}));
+  out.push_back(spec(drb, "DRB046", F::kStencil, {1, 4, 2, false, false, 0, 0, 0.7, 0.0}));
+  out.push_back(spec(drb, "DRB061", F::kMatVec, {2, 3, 2, false, false, 0, 0, 0.5, 0.0}));
+  out.push_back(spec(drb, "DRB093", F::kReduction, {1, 2, 2, false, true, 0, 0, 0.35, 0.0}));
+  out.push_back(spec(drb, "DRB121", F::kGraph, {1, 3, 2, true, false, 0, 0, 0.25, 0.3}));
+  return out;
+}
+
+KernelSpec lulesh_kernel() {
+  return spec("lulesh", "CalcHourglassControlForElems", Family::kParticle,
+              {2, 12, 4, true, false, 2, 1, 0.55, 0.2});
+}
+
+}  // namespace
+
+std::vector<KernelSpec> polybench_kernels() { return polybench(); }
+
+std::vector<KernelSpec> openmp_suite() {
+  // 45 loops (§4.1's dataset of 45 OpenMP loops x 30 inputs), drawn from all
+  // six Table 1 OpenMP suites: 25 Polybench + 6 Rodinia + 7 NAS + 1 STREAM
+  // (triad) + 5 DataRaceBench + 1 LULESH.
+  std::vector<KernelSpec> out = polybench();
+  const auto rodinia = rodinia_openmp();
+  out.insert(out.end(), rodinia.begin(), rodinia.begin() + 6);
+  const auto nas = nas_openmp();
+  out.insert(out.end(), nas.begin(), nas.end());
+  out.push_back(stream_loops().back());  // triad
+  const auto drb = drb_loops();
+  out.insert(out.end(), drb.begin(), drb.end());
+  out.push_back(lulesh_kernel());
+  MGA_CHECK(out.size() == 45);
+  return out;
+}
+
+std::vector<KernelSpec> large_space_suite() {
+  // Fig. 7's 30 applications: 25 Polybench + backprop, nn, kmeans,
+  // streamcluster + LULESH.
+  std::vector<KernelSpec> out = polybench();
+  for (const auto& k : rodinia_openmp()) {
+    const bool wanted = k.name == "rodinia/backprop" || k.name == "rodinia/nn" ||
+                        k.name == "rodinia/kmeans" || k.name == "rodinia/streamcluster";
+    if (wanted) out.push_back(k);
+  }
+  out.push_back(lulesh_kernel());
+  MGA_CHECK(out.size() == 30);
+  return out;
+}
+
+std::vector<KernelSpec> opencl_suite() {
+  using F = Family;
+  // 256 unique kernels across the seven suites of §4.2.1. Base applications
+  // per suite follow Table 1; each contributes a few variant kernels
+  // (different phases of the same application), produced deterministically.
+  struct App {
+    const char* suite;
+    const char* name;
+    Family family;
+    FamilyParams params;
+    int variants;  // kernels contributed by this application
+  };
+  const std::vector<App> apps = {
+      // AMD SDK (12 apps)
+      {"amd-sdk", "BinomialOption", F::kMonteCarlo, {1, 9, 2, true, false, 0, 2, 0.8, 0.1}, 3},
+      {"amd-sdk", "BitonicSort", F::kSortScan, {2, 4, 1, true, false, 0, 0, 0.4, 0.1}, 3},
+      {"amd-sdk", "BlackScholes", F::kMonteCarlo, {1, 12, 3, true, false, 0, 3, 0.9, 0.0}, 3},
+      {"amd-sdk", "FastWalshTransform", F::kSpectral, {2, 4, 2, false, false, 0, 0, 0.5, 0.0}, 3},
+      {"amd-sdk", "FloydWarshall", F::kGraph, {3, 4, 3, true, false, 0, 0, 0.35, 0.3}, 3},
+      {"amd-sdk", "MatrixMultiplication", F::kDenseLinalg, {3, 6, 3, false, false, 0, 0, 0.85, 0.0}, 3},
+      {"amd-sdk", "MatrixTranspose", F::kMatVec, {2, 2, 2, false, false, 0, 0, 0.3, 0.0}, 3},
+      {"amd-sdk", "PrefixSum", F::kSortScan, {1, 3, 2, false, false, 0, 0, 0.5, 0.05}, 3},
+      {"amd-sdk", "Reduction", F::kReduction, {1, 3, 2, false, true, 0, 0, 0.45, 0.0}, 3},
+      {"amd-sdk", "ScanLargeArrays", F::kSortScan, {1, 4, 3, false, false, 0, 0, 0.45, 0.0}, 3},
+      {"amd-sdk", "SimpleConvolution", F::kStencil, {2, 7, 2, false, false, 0, 0, 0.8, 0.0}, 3},
+      {"amd-sdk", "SobelFilter", F::kStencil, {2, 9, 2, true, false, 0, 0, 0.75, 0.05}, 3},
+      // NPB (7 apps, incl. the makea corner case: call-heavy kernels)
+      {"npb", "BT", F::kDenseLinalg, {3, 9, 4, false, false, 0, 0, 0.7, 0.05}, 5},
+      {"npb", "CG-makea", F::kGraph, {2, 5, 4, true, false, 3, 1, 0.25, 0.4}, 5},
+      {"npb", "EP", F::kMonteCarlo, {1, 8, 1, true, true, 0, 2, 0.9, 0.1}, 5},
+      {"npb", "FT", F::kSpectral, {2, 6, 3, false, false, 0, 0, 0.5, 0.0}, 5},
+      {"npb", "LU", F::kDenseLinalg, {3, 7, 3, false, false, 0, 0, 0.65, 0.1}, 5},
+      {"npb", "MG", F::kStencil, {3, 6, 3, false, false, 0, 0, 0.6, 0.05}, 5},
+      {"npb", "SP", F::kStencil, {3, 8, 4, false, false, 0, 0, 0.62, 0.05}, 5},
+      // NVIDIA SDK (6 apps)
+      {"nvidia-sdk", "DotProduct", F::kReduction, {1, 2, 2, false, true, 0, 0, 0.4, 0.0}, 4},
+      {"nvidia-sdk", "FDTD3D", F::kStencil, {3, 8, 3, false, false, 0, 0, 0.7, 0.0}, 4},
+      {"nvidia-sdk", "MatVecMul", F::kMatVec, {2, 4, 3, false, false, 0, 0, 0.55, 0.0}, 4},
+      {"nvidia-sdk", "MatrixMul", F::kDenseLinalg, {3, 6, 3, false, false, 0, 0, 0.85, 0.0}, 4},
+      {"nvidia-sdk", "MersenneTwister", F::kMonteCarlo, {1, 10, 2, true, false, 0, 1, 0.85, 0.0}, 4},
+      {"nvidia-sdk", "VectorAdd", F::kReduction, {1, 1, 3, false, false, 0, 0, 0.05, 0.0}, 4},
+      // Parboil (6 apps)
+      {"parboil", "BFS", F::kGraph, {1, 3, 3, true, false, 0, 0, 0.15, 0.6}, 4},
+      {"parboil", "cutcp", F::kParticle, {2, 9, 3, true, false, 1, 1, 0.55, 0.25}, 4},
+      {"parboil", "lbm", F::kStencil, {3, 11, 4, false, false, 0, 0, 0.6, 0.05}, 4},
+      {"parboil", "sad", F::kStencil, {2, 6, 2, true, false, 0, 0, 0.65, 0.1}, 4},
+      {"parboil", "spmv", F::kGraph, {1, 4, 4, true, false, 0, 0, 0.2, 0.5}, 4},
+      {"parboil", "stencil", F::kStencil, {3, 6, 2, false, false, 0, 0, 0.75, 0.0}, 4},
+      // Polybench-GPU (8 apps)
+      {"polybench-gpu", "2mm", F::kDenseLinalg, {3, 6, 4, false, false, 0, 0, 0.85, 0.0}, 4},
+      {"polybench-gpu", "gemm", F::kDenseLinalg, {3, 6, 3, false, false, 0, 0, 0.88, 0.0}, 4},
+      {"polybench-gpu", "atax", F::kMatVec, {2, 4, 3, false, false, 0, 0, 0.55, 0.0}, 4},
+      {"polybench-gpu", "bicg", F::kMatVec, {2, 4, 4, false, false, 0, 0, 0.55, 0.0}, 4},
+      {"polybench-gpu", "correlation", F::kReduction, {2, 6, 3, false, true, 0, 1, 0.45, 0.0}, 4},
+      {"polybench-gpu", "convolution-3d", F::kStencil, {3, 9, 2, false, false, 0, 0, 0.8, 0.0}, 4},
+      {"polybench-gpu", "fdtd-2d", F::kStencil, {2, 6, 3, false, false, 0, 0, 0.78, 0.0}, 4},
+      {"polybench-gpu", "syrk", F::kDenseLinalg, {3, 5, 2, false, false, 0, 0, 0.8, 0.0}, 4},
+      // Rodinia-OpenCL (9 apps)
+      {"rodinia-ocl", "b+tree", F::kGraph, {1, 4, 3, true, false, 0, 0, 0.25, 0.5}, 3},
+      {"rodinia-ocl", "cfd", F::kParticle, {2, 12, 4, false, false, 1, 1, 0.55, 0.15}, 3},
+      {"rodinia-ocl", "gaussian", F::kDenseLinalg, {3, 4, 2, false, false, 0, 0, 0.6, 0.2}, 3},
+      {"rodinia-ocl", "hotspot", F::kStencil, {2, 7, 3, true, false, 0, 0, 0.75, 0.05}, 3},
+      {"rodinia-ocl", "kmeans", F::kDataMining, {2, 5, 3, true, true, 0, 0, 0.5, 0.25}, 3},
+      {"rodinia-ocl", "lavaMD", F::kParticle, {2, 10, 4, true, false, 1, 1, 0.55, 0.3}, 3},
+      {"rodinia-ocl", "leukocyte", F::kParticle, {2, 11, 3, true, false, 1, 2, 0.5, 0.2}, 3},
+      {"rodinia-ocl", "needle", F::kGraph, {2, 4, 3, true, false, 0, 0, 0.3, 0.4}, 3},
+      {"rodinia-ocl", "srad", F::kStencil, {2, 9, 3, true, false, 0, 1, 0.7, 0.08}, 3},
+      // SHOC (12 apps)
+      {"shoc", "BFS", F::kGraph, {1, 3, 3, true, false, 0, 0, 0.15, 0.6}, 2},
+      {"shoc", "FFT", F::kSpectral, {2, 6, 3, false, false, 0, 0, 0.5, 0.0}, 2},
+      {"shoc", "GEMM", F::kDenseLinalg, {3, 6, 3, false, false, 0, 0, 0.88, 0.0}, 2},
+      {"shoc", "MD", F::kParticle, {2, 10, 4, true, false, 1, 1, 0.55, 0.3}, 2},
+      {"shoc", "MD5", F::kSortScan, {1, 12, 1, false, false, 0, 0, 0.9, 0.0}, 2},
+      {"shoc", "Reduction", F::kReduction, {1, 3, 2, false, true, 0, 0, 0.45, 0.0}, 2},
+      {"shoc", "S3D", F::kParticle, {1, 14, 5, true, false, 2, 3, 0.6, 0.1}, 2},
+      {"shoc", "Scan", F::kSortScan, {1, 3, 2, false, false, 0, 0, 0.5, 0.05}, 2},
+      {"shoc", "Sort", F::kSortScan, {2, 4, 2, true, false, 0, 0, 0.4, 0.15}, 2},
+      {"shoc", "Spmv", F::kGraph, {1, 4, 4, true, false, 0, 0, 0.2, 0.5}, 2},
+      {"shoc", "Stencil2D", F::kStencil, {2, 6, 2, false, false, 0, 0, 0.75, 0.0}, 2},
+      {"shoc", "Triad", F::kReduction, {1, 3, 3, false, false, 0, 0, 0.05, 0.0}, 2},
+  };
+
+  // Per-app variant counts above give the base pool; remaining kernels up to
+  // 256 are distributed one extra variant per app, round-robin, so every
+  // suite keeps contributing (the published dataset has 256 unique kernels).
+  std::vector<std::pair<const App*, int>> instances;
+  for (const auto& app : apps)
+    for (int variant = 0; variant < app.variants; ++variant)
+      instances.emplace_back(&app, variant);
+  std::size_t app_cursor = 0;
+  std::vector<int> next_variant(apps.size());
+  for (std::size_t i = 0; i < apps.size(); ++i) next_variant[i] = apps[i].variants;
+  while (instances.size() < 256) {
+    const std::size_t which = app_cursor % apps.size();
+    instances.emplace_back(&apps[which], next_variant[which]++);
+    ++app_cursor;
+  }
+
+  std::vector<KernelSpec> out;
+  out.reserve(instances.size());
+  for (const auto& [app, variant] : instances) {
+    KernelSpec s = spec(app->suite, std::string(app->name) + "-k" + std::to_string(variant),
+                        app->family, app->params);
+    // Deterministic per-variant structural perturbation: different phases
+    // of one application differ in body size / array count.
+    util::Rng rng(util::fnv1a(s.name));
+    s.params.arith_chain =
+        std::max(1, s.params.arith_chain + static_cast<int>(rng.uniform_index(5)) - 2);
+    s.params.arrays = std::max(1, s.params.arrays + static_cast<int>(rng.uniform_index(3)) - 1);
+    if (rng.bernoulli(0.2)) s.params.has_branch = !s.params.has_branch;
+    s.params.reuse = std::clamp(s.params.reuse + rng.uniform(-0.1, 0.1), 0.02, 0.98);
+    out.push_back(std::move(s));
+  }
+  MGA_CHECK(out.size() == 256);
+  return out;
+}
+
+KernelSpec find_kernel(const std::string& name) {
+  for (const auto& suite_fn : {openmp_suite, large_space_suite, opencl_suite}) {
+    for (const auto& s : suite_fn())
+      if (s.name == name) return s;
+  }
+  MGA_CHECK_MSG(false, "unknown kernel: " + name);
+  return {};
+}
+
+}  // namespace mga::corpus

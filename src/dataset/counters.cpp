@@ -1,0 +1,144 @@
+#include "dataset/counters.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace mga::dataset {
+
+const std::array<std::string, kCandidateCounters>& candidate_counter_names() {
+  static const std::array<std::string, kCandidateCounters> names = {
+      "PAPI_L1_TCM",  // 0: L1 total cache misses
+      "PAPI_L2_TCM",  // 1: L2 total cache misses
+      "PAPI_L3_LDM",  // 2: L3 load misses
+      "PAPI_BR_INS",  // 3: retired branch instructions
+      "PAPI_BR_MSP",  // 4: mispredicted branches
+      "PAPI_TOT_CYC", // 5: total cycles
+      "PAPI_TOT_INS", // 6: total instructions
+      "PAPI_LD_INS",  // 7: load instructions
+      "PAPI_SR_INS",  // 8: store instructions
+      "PAPI_FP_OPS",  // 9: floating point operations
+      "PAPI_L1_DCA",  // 10: L1 data cache accesses
+      "PAPI_L2_DCA",  // 11: L2 data cache accesses
+      "PAPI_L3_TCA",  // 12: L3 total cache accesses
+      "PAPI_TLB_DM",  // 13: data TLB misses
+      "PAPI_TLB_IM",  // 14: instruction TLB misses
+      "PAPI_RES_STL", // 15: cycles stalled on resources
+      "PAPI_MEM_WCY", // 16: cycles stalled on memory writes
+      "PAPI_STL_ICY", // 17: cycles with no instruction issue
+      "PAPI_BR_TKN",  // 18: taken branches
+      "PAPI_BR_CN",   // 19: conditional branches
+  };
+  return names;
+}
+
+std::array<double, kCandidateCounters> candidate_counters(const hwsim::RunResult& run,
+                                                          const hwsim::KernelWorkload& w,
+                                                          double input_bytes) {
+  const auto& c = run.counters;
+  const double elements = w.elements(input_bytes);
+  const double loads = elements * (w.bytes_per_elem / 8.0) * 0.7;
+  const double stores = elements * (w.bytes_per_elem / 8.0) * 0.3;
+  const double fp_ops = std::pow(elements, w.work_exponent) * w.flops_per_elem;
+  const double total_ins = fp_ops + loads + stores + c.retired_branches * 2.0;
+
+  std::array<double, kCandidateCounters> out{};
+  out[0] = c.l1_cache_misses;
+  out[1] = c.l2_cache_misses;
+  out[2] = c.l3_load_misses;
+  out[3] = c.retired_branches;
+  out[4] = c.mispredicted_branches;
+  out[5] = c.cpu_clock_cycles;
+  out[6] = total_ins;
+  out[7] = loads;
+  out[8] = stores;
+  out[9] = fp_ops;
+  out[10] = loads + stores;              // L1 accesses
+  out[11] = c.l1_cache_misses;           // L2 accesses == L1 misses
+  out[12] = c.l2_cache_misses;           // L3 accesses == L2 misses
+  // Data-TLB misses follow page-granularity coverage (~6 MB with 4 KiB pages
+  // and 1536 entries), a different capacity law than the cache hierarchy.
+  {
+    const double tlb_coverage_bytes = 1536.0 * 4096.0;
+    const double working_set = w.working_set_factor * input_bytes;
+    const double x = std::log(std::max(1.0, working_set) / tlb_coverage_bytes);
+    const double miss_fraction = 1.0 / (1.0 + std::exp(-1.2 * x));
+    out[13] = (loads + stores) * miss_fraction * 0.05;
+  }
+  out[14] = 120.0;                       // i-TLB activity: constant for loops
+  out[15] = c.l2_cache_misses * 14.0 + c.l3_load_misses * 42.0;  // resource stalls
+  out[16] = c.l3_load_misses * 11.0;
+  out[17] = c.mispredicted_branches * 16.0;
+  out[18] = c.retired_branches * 0.55;
+  out[19] = c.retired_branches * 0.8;
+  return out;
+}
+
+CounterSelection select_counters(
+    const std::vector<std::array<double, kCandidateCounters>>& candidates,
+    const std::vector<double>& runtimes, std::size_t keep) {
+  MGA_CHECK(!candidates.empty() && candidates.size() == runtimes.size());
+  MGA_CHECK(keep >= 1 && keep <= kCandidateCounters);
+
+  const std::size_t n = candidates.size();
+  // Correlate in log space: counters and runtimes both span many decades
+  // across the 30 input sizes, and the relationship of interest is
+  // multiplicative.
+  std::vector<double> log_runtime(n);
+  for (std::size_t i = 0; i < n; ++i) log_runtime[i] = std::log(runtimes[i]);
+
+  std::vector<std::vector<double>> log_columns(kCandidateCounters,
+                                               std::vector<double>(n, 0.0));
+  CounterSelection result;
+  result.correlations.resize(kCandidateCounters, 0.0);
+  for (std::size_t c = 0; c < kCandidateCounters; ++c) {
+    for (std::size_t i = 0; i < n; ++i)
+      log_columns[c][i] = std::log1p(std::max(0.0, candidates[i][c]));
+    result.correlations[c] = std::abs(util::pearson(log_columns[c], log_runtime));
+  }
+
+  std::vector<std::size_t> order;
+  for (std::size_t c = 0; c < kCandidateCounters; ++c) {
+    // Cycle-denominated candidates (TOT_CYC and the stall-cycle family,
+    // indices 5 and 15-17) are direct functions of the runtime target;
+    // selecting them as predictors would be target leakage, and the paper's
+    // chosen five are all event counts.
+    if (c == 5 || (c >= 15 && c <= 17)) continue;
+    order.push_back(c);
+  }
+  // Stable sort by correlation: exact-alias candidates (taken branches vs
+  // retired branches) tie, and stability keeps the primary (lower-index,
+  // native) counter ahead of its derived alias.
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return result.correlations[a] > result.correlations[b];
+  });
+
+  // Greedy top-k with redundancy suppression: a candidate whose log-signal is
+  // (nearly) collinear with an already selected one carries no new
+  // information (e.g. PAPI_L2_DCA duplicates PAPI_L1_TCM exactly).
+  for (const std::size_t candidate : order) {
+    if (result.selected.size() == keep) break;
+    bool redundant = false;
+    for (const std::size_t chosen : result.selected) {
+      const double r =
+          std::abs(util::pearson(log_columns[candidate], log_columns[chosen]));
+      if (r > 0.98) {
+        redundant = true;
+        break;
+      }
+    }
+    if (!redundant) result.selected.push_back(candidate);
+  }
+  // Fall back to plain top-k if redundancy suppression was too aggressive.
+  for (const std::size_t candidate : order) {
+    if (result.selected.size() == keep) break;
+    if (std::find(result.selected.begin(), result.selected.end(), candidate) ==
+        result.selected.end())
+      result.selected.push_back(candidate);
+  }
+  return result;
+}
+
+}  // namespace mga::dataset

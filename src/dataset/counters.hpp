@@ -1,0 +1,43 @@
+// Performance-counter candidate set and Pearson-based selection (§4.1.1).
+//
+// The paper starts from ~20 preset PAPI counters per loop and selects the
+// five most correlated with execution time (L1/L2 cache misses, L3 load
+// misses, retired branch instructions, mispredicted branches). We reproduce
+// the pipeline: the simulator's six native counters are expanded into a
+// 20-counter candidate vector (derived counters PAPI also reports — total
+// cache accesses, TLB events, instruction counts, stall estimates, ... — all
+// functions of the native six plus workload structure), Pearson correlation
+// against runtime ranks them, and the top five are kept.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "hwsim/workload.hpp"
+
+namespace mga::dataset {
+
+inline constexpr std::size_t kCandidateCounters = 20;
+
+/// Names of the 20 candidate counters (PAPI preset naming).
+[[nodiscard]] const std::array<std::string, kCandidateCounters>& candidate_counter_names();
+
+/// Expand a simulated run into the 20-candidate vector.
+[[nodiscard]] std::array<double, kCandidateCounters> candidate_counters(
+    const hwsim::RunResult& run, const hwsim::KernelWorkload& workload, double input_bytes);
+
+struct CounterSelection {
+  std::vector<std::size_t> selected;       // indices into the candidate array
+  std::vector<double> correlations;        // |Pearson r| per candidate
+};
+
+/// Rank candidates by |Pearson r| against runtimes and keep the top `keep`,
+/// skipping candidates that are near-duplicates (|r| between the candidate
+/// and an already-selected one > 0.98) so the selection spans distinct
+/// hardware events, as the paper's chosen five do.
+[[nodiscard]] CounterSelection select_counters(
+    const std::vector<std::array<double, kCandidateCounters>>& candidates,
+    const std::vector<double>& runtimes, std::size_t keep = 5);
+
+}  // namespace mga::dataset

@@ -1,0 +1,149 @@
+#include "dataset/dataset.hpp"
+
+#include <cmath>
+
+#include "ir2vec/encoder.hpp"
+#include "programl/builder.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace mga::dataset {
+
+std::vector<double> input_sizes_30() {
+  constexpr double kMin = 3584.0;   // 3.5 KB
+  constexpr double kMax = 0.5e9;    // 0.5 GB
+  std::vector<double> sizes;
+  sizes.reserve(30);
+  for (int i = 0; i < 30; ++i)
+    sizes.push_back(kMin * std::pow(kMax / kMin, static_cast<double>(i) / 29.0));
+  return sizes;
+}
+
+std::vector<hwsim::OmpConfig> thread_space(const hwsim::MachineConfig& machine) {
+  std::vector<hwsim::OmpConfig> space;
+  for (int t = 1; t <= machine.hardware_threads(); ++t)
+    space.push_back({t, hwsim::Schedule::kStatic, 0});
+  return space;
+}
+
+std::vector<hwsim::OmpConfig> large_space(const hwsim::MachineConfig& machine) {
+  // Table 2: threads {1,2,4,8,12,16,20}, schedules {static,dynamic,guided},
+  // chunks {1,8,32,64,128,256,512}.
+  const int candidate_threads[] = {1, 2, 4, 8, 12, 16, 20};
+  const hwsim::Schedule schedules[] = {hwsim::Schedule::kStatic, hwsim::Schedule::kDynamic,
+                                       hwsim::Schedule::kGuided};
+  const int chunks[] = {1, 8, 32, 64, 128, 256, 512};
+  std::vector<hwsim::OmpConfig> space;
+  for (const int threads : candidate_threads) {
+    if (threads > machine.hardware_threads()) continue;
+    for (const auto schedule : schedules)
+      for (const int chunk : chunks) space.push_back({threads, schedule, chunk});
+  }
+  return space;
+}
+
+namespace {
+
+/// Shared representation extraction: graphs + IR2Vec vectors + workloads.
+template <typename Dataset>
+void extract_representations(Dataset& data, const std::vector<corpus::KernelSpec>& specs) {
+  const ir2vec::Encoder encoder;
+  data.kernels = specs;
+  data.graphs.reserve(specs.size());
+  data.vectors.reserve(specs.size());
+  data.workloads.reserve(specs.size());
+  for (const auto& spec : specs) {
+    corpus::GeneratedKernel kernel = corpus::generate(spec);
+    data.graphs.push_back(programl::build_graph(*kernel.module));
+    data.vectors.push_back(encoder.encode_module(*kernel.module));
+    data.workloads.push_back(kernel.workload);
+  }
+}
+
+}  // namespace
+
+OmpDataset build_omp_dataset(const std::vector<corpus::KernelSpec>& specs,
+                             const hwsim::MachineConfig& machine,
+                             const std::vector<hwsim::OmpConfig>& space,
+                             const std::vector<double>& input_sizes) {
+  MGA_CHECK(!specs.empty() && !space.empty() && !input_sizes.empty());
+  OmpDataset data;
+  data.machine = machine;
+  data.space = space;
+  extract_representations(data, specs);
+
+  const hwsim::OmpConfig default_cfg = hwsim::default_config(machine);
+  for (std::size_t k = 0; k < specs.size(); ++k) {
+    for (const double input : input_sizes) {
+      OmpSample sample;
+      sample.kernel_id = static_cast<int>(k);
+      sample.input_bytes = input;
+
+      // One profiling run at the default configuration (the paper's
+      // inference-time cost: §4.1's "needs only two runs" on systems that
+      // cannot gather all five counters at once).
+      const hwsim::RunResult profile =
+          hwsim::cpu_execute(data.workloads[k], machine, input, default_cfg);
+      sample.counters = profile.counters;
+      sample.default_seconds = profile.seconds;
+
+      // Brute-force oracle over the space.
+      sample.seconds.reserve(space.size());
+      double best = 0.0;
+      for (std::size_t c = 0; c < space.size(); ++c) {
+        const double seconds =
+            hwsim::cpu_execute(data.workloads[k], machine, input, space[c]).seconds;
+        sample.seconds.push_back(seconds);
+        if (c == 0 || seconds < best) {
+          best = seconds;
+          sample.label = static_cast<int>(c);
+        }
+      }
+      data.samples.push_back(std::move(sample));
+    }
+  }
+  return data;
+}
+
+OclDataset build_ocl_dataset(const std::vector<corpus::KernelSpec>& specs,
+                             const hwsim::GpuConfig& gpu, const hwsim::MachineConfig& host) {
+  MGA_CHECK(!specs.empty());
+  OclDataset data;
+  data.gpu = gpu;
+  data.host = host;
+  extract_representations(data, specs);
+
+  // 670 points over 256 kernels: every kernel contributes 2 variations, and
+  // a deterministic prefix contributes a third (2*256 + 158 = 670), matching
+  // the published dataset's size.
+  constexpr std::size_t kTargetSamples = 670;
+  const std::size_t extra = kTargetSamples - 2 * specs.size();
+  const double transfer_choices[] = {64.0 * 1024, 1.0 * 1024 * 1024, 16.0 * 1024 * 1024,
+                                     128.0 * 1024 * 1024};
+  const int workgroup_choices[] = {32, 64, 128, 256, 512};
+
+  for (std::size_t k = 0; k < specs.size(); ++k) {
+    util::Rng rng(util::fnv1a(specs[k].name) ^ util::fnv1a(gpu.name));
+    const std::size_t variations = 2 + (k < extra ? 1 : 0);
+    for (std::size_t v = 0; v < variations; ++v) {
+      OclSample sample;
+      sample.kernel_id = static_cast<int>(k);
+      sample.transfer_bytes =
+          transfer_choices[rng.uniform_index(std::size(transfer_choices))];
+      sample.workgroup_size =
+          workgroup_choices[rng.uniform_index(std::size(workgroup_choices))];
+      sample.gpu_seconds = hwsim::gpu_execute(data.workloads[k], gpu, sample.transfer_bytes,
+                                              sample.workgroup_size)
+                               .seconds;
+      sample.cpu_seconds =
+          hwsim::cpu_reference_seconds(data.workloads[k], host, sample.transfer_bytes);
+      sample.label = sample.gpu_seconds < sample.cpu_seconds ? 1 : 0;
+      data.samples.push_back(sample);
+    }
+  }
+  MGA_CHECK(data.samples.size() == kTargetSamples);
+  return data;
+}
+
+}  // namespace mga::dataset

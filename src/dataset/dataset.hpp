@@ -1,0 +1,88 @@
+// Dataset assembly for the two tuning tasks.
+//
+// OpenMP (§4.1): for every (loop, input size) pair, profile the loop once at
+// the default configuration to collect performance counters, and brute-force
+// the configuration space through the simulator to obtain the oracle label
+// and the per-configuration runtime table (the ground truth that search
+// tuners sample and speedup evaluation reads).
+//
+// OpenCL (§4.2): for every kernel, a few (transfer size, workgroup size)
+// variations labeled with the faster device, 670 points per device.
+#pragma once
+
+#include <vector>
+
+#include "corpus/spec.hpp"
+#include "hwsim/cpu_model.hpp"
+#include "hwsim/gpu_model.hpp"
+#include "hwsim/machine.hpp"
+#include "programl/graph.hpp"
+
+namespace mga::dataset {
+
+/// The paper's 30 input sizes: log-spaced 3.5 KB .. 0.5 GB, stressing each
+/// cache level to different degrees (§4.1.1).
+[[nodiscard]] std::vector<double> input_sizes_30();
+
+/// Configuration space of the §4.1.3 thread-prediction task: threads 1..T.
+[[nodiscard]] std::vector<hwsim::OmpConfig> thread_space(const hwsim::MachineConfig& machine);
+
+/// Configuration space of §4.1.4 / Table 2: threads {1,2,4,8,12,16,20} x
+/// {static,dynamic,guided} x chunks {1,8,32,64,128,256,512} (+ default-chunk
+/// static), clipped to the machine's hardware threads.
+[[nodiscard]] std::vector<hwsim::OmpConfig> large_space(const hwsim::MachineConfig& machine);
+
+struct OmpSample {
+  int kernel_id = 0;                  // index into OmpDataset::kernels
+  double input_bytes = 0.0;
+  hwsim::PapiCounters counters;       // profiled at the default configuration
+  int label = 0;                      // argmin over the configuration space
+  std::vector<double> seconds;        // runtime per configuration (oracle table)
+  double default_seconds = 0.0;       // runtime at the default configuration
+};
+
+struct OmpDataset {
+  hwsim::MachineConfig machine;
+  std::vector<corpus::KernelSpec> kernels;
+  std::vector<programl::ProgramGraph> graphs;    // parallel to kernels
+  std::vector<std::vector<float>> vectors;       // IR2Vec embedding per kernel
+  std::vector<hwsim::KernelWorkload> workloads;  // parallel to kernels
+  std::vector<hwsim::OmpConfig> space;
+  std::vector<OmpSample> samples;
+
+  [[nodiscard]] std::size_t num_classes() const noexcept { return space.size(); }
+};
+
+/// Build the OpenMP dataset: representations once per kernel, then one sample
+/// per (kernel, input size).
+[[nodiscard]] OmpDataset build_omp_dataset(const std::vector<corpus::KernelSpec>& specs,
+                                           const hwsim::MachineConfig& machine,
+                                           const std::vector<hwsim::OmpConfig>& space,
+                                           const std::vector<double>& input_sizes);
+
+struct OclSample {
+  int kernel_id = 0;
+  double transfer_bytes = 0.0;
+  int workgroup_size = 0;
+  int label = 0;  // 0 = CPU, 1 = GPU
+  double cpu_seconds = 0.0;
+  double gpu_seconds = 0.0;
+};
+
+struct OclDataset {
+  hwsim::GpuConfig gpu;
+  hwsim::MachineConfig host;
+  std::vector<corpus::KernelSpec> kernels;
+  std::vector<programl::ProgramGraph> graphs;
+  std::vector<std::vector<float>> vectors;
+  std::vector<hwsim::KernelWorkload> workloads;
+  std::vector<OclSample> samples;
+};
+
+/// Build the device-mapping dataset for one GPU: 670 labeled points across
+/// the 256 kernels (matching §4.2.1's dataset size).
+[[nodiscard]] OclDataset build_ocl_dataset(const std::vector<corpus::KernelSpec>& specs,
+                                           const hwsim::GpuConfig& gpu,
+                                           const hwsim::MachineConfig& host);
+
+}  // namespace mga::dataset

@@ -1,0 +1,65 @@
+#include "dataset/export.hpp"
+
+#include <ostream>
+
+namespace mga::dataset {
+
+namespace {
+
+/// Minimal CSV field quoting (names may contain '/'; never commas, but be
+/// defensive for forward compatibility).
+void field(std::ostream& os, const std::string& text) {
+  const bool needs_quotes = text.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) {
+    os << text;
+    return;
+  }
+  os << '"';
+  for (const char c : text) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void export_omp_samples_csv(const OmpDataset& data, std::ostream& os) {
+  os << "kernel,suite,input_bytes,l1_misses,l2_misses,l3_load_misses,retired_branches,"
+        "mispredicted_branches,default_seconds,oracle_threads,oracle_schedule,"
+        "oracle_chunk,oracle_seconds\n";
+  for (const auto& sample : data.samples) {
+    const auto& spec = data.kernels[static_cast<std::size_t>(sample.kernel_id)];
+    const auto& best = data.space[static_cast<std::size_t>(sample.label)];
+    field(os, spec.name);
+    os << ',';
+    field(os, spec.suite);
+    os << ',' << sample.input_bytes << ',' << sample.counters.l1_cache_misses << ','
+       << sample.counters.l2_cache_misses << ',' << sample.counters.l3_load_misses << ','
+       << sample.counters.retired_branches << ','
+       << sample.counters.mispredicted_branches << ',' << sample.default_seconds << ','
+       << best.threads << ',' << hwsim::schedule_name(best.schedule) << ',' << best.chunk
+       << ',' << sample.seconds[static_cast<std::size_t>(sample.label)] << '\n';
+  }
+}
+
+void export_config_space_csv(const std::vector<hwsim::OmpConfig>& space, std::ostream& os) {
+  os << "index,threads,schedule,chunk\n";
+  for (std::size_t c = 0; c < space.size(); ++c)
+    os << c << ',' << space[c].threads << ',' << hwsim::schedule_name(space[c].schedule)
+       << ',' << space[c].chunk << '\n';
+}
+
+void export_ocl_samples_csv(const OclDataset& data, std::ostream& os) {
+  os << "kernel,suite,transfer_bytes,workgroup_size,cpu_seconds,gpu_seconds,label\n";
+  for (const auto& sample : data.samples) {
+    const auto& spec = data.kernels[static_cast<std::size_t>(sample.kernel_id)];
+    field(os, spec.name);
+    os << ',';
+    field(os, spec.suite);
+    os << ',' << sample.transfer_bytes << ',' << sample.workgroup_size << ','
+       << sample.cpu_seconds << ',' << sample.gpu_seconds << ',' << sample.label << '\n';
+  }
+}
+
+}  // namespace mga::dataset

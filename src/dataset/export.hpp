@@ -1,0 +1,23 @@
+// CSV export of datasets and evaluation artifacts, for external analysis and
+// plotting (every bench prints ASCII tables; these writers give the same data
+// in machine-readable form).
+#pragma once
+
+#include <iosfwd>
+
+#include "dataset/dataset.hpp"
+
+namespace mga::dataset {
+
+/// One row per (kernel, input): kernel name, suite, input bytes, the five
+/// selected counters, default seconds, oracle config and oracle seconds.
+void export_omp_samples_csv(const OmpDataset& data, std::ostream& os);
+
+/// One row per configuration in the space: threads, schedule, chunk.
+void export_config_space_csv(const std::vector<hwsim::OmpConfig>& space, std::ostream& os);
+
+/// One row per device-mapping sample: kernel, suite, transfer bytes,
+/// workgroup size, cpu/gpu seconds, label.
+void export_ocl_samples_csv(const OclDataset& data, std::ostream& os);
+
+}  // namespace mga::dataset

@@ -1,0 +1,89 @@
+#include "dataset/scaler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace mga::dataset {
+
+void GaussianRankScaler::fit(const std::vector<std::vector<double>>& rows) {
+  MGA_CHECK_MSG(!rows.empty(), "GaussianRankScaler: empty fit data");
+  const std::size_t cols = rows.front().size();
+  sorted_columns_.assign(cols, {});
+  for (std::size_t c = 0; c < cols; ++c) {
+    auto& column = sorted_columns_[c];
+    column.reserve(rows.size());
+    for (const auto& row : rows) {
+      MGA_CHECK_MSG(row.size() == cols, "GaussianRankScaler: ragged rows");
+      column.push_back(row[c]);
+    }
+    std::sort(column.begin(), column.end());
+  }
+}
+
+std::vector<double> GaussianRankScaler::transform(const std::vector<double>& row) const {
+  MGA_CHECK_MSG(row.size() == sorted_columns_.size(), "GaussianRankScaler: column mismatch");
+  std::vector<double> out(row.size());
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    const auto& column = sorted_columns_[c];
+    const auto n = static_cast<double>(column.size());
+    // Interpolated rank of row[c] among the training values.
+    const auto lower = std::lower_bound(column.begin(), column.end(), row[c]);
+    const auto upper = std::upper_bound(column.begin(), column.end(), row[c]);
+    const double rank =
+        (static_cast<double>(lower - column.begin()) + static_cast<double>(upper - column.begin())) /
+        2.0;
+    // Map to (0,1) with clipping so unseen extremes stay finite.
+    const double quantile = std::clamp((rank + 0.5) / (n + 1.0), 1.0 / (n + 1.0),
+                                       n / (n + 1.0));
+    out[c] = util::inverse_normal_cdf(quantile);
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> GaussianRankScaler::transform_all(
+    const std::vector<std::vector<double>>& rows) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(transform(row));
+  return out;
+}
+
+void MinMaxScaler::fit(const std::vector<std::vector<double>>& rows) {
+  MGA_CHECK_MSG(!rows.empty(), "MinMaxScaler: empty fit data");
+  const std::size_t cols = rows.front().size();
+  minimum_.assign(cols, 0.0);
+  maximum_.assign(cols, 0.0);
+  for (std::size_t c = 0; c < cols; ++c) {
+    minimum_[c] = maximum_[c] = rows.front()[c];
+    for (const auto& row : rows) {
+      MGA_CHECK_MSG(row.size() == cols, "MinMaxScaler: ragged rows");
+      minimum_[c] = std::min(minimum_[c], row[c]);
+      maximum_[c] = std::max(maximum_[c], row[c]);
+    }
+  }
+}
+
+std::vector<double> MinMaxScaler::transform(const std::vector<double>& row) const {
+  MGA_CHECK_MSG(row.size() == minimum_.size(), "MinMaxScaler: column mismatch");
+  std::vector<double> out(row.size());
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    const double span = maximum_[c] - minimum_[c];
+    // Out-of-range test values are clipped to [0,1], matching the paper's
+    // normalization of counters collected on unseen machines (§4.1.5).
+    out[c] = span > 0.0 ? std::clamp((row[c] - minimum_[c]) / span, 0.0, 1.0) : 0.5;
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> MinMaxScaler::transform_all(
+    const std::vector<std::vector<double>>& rows) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(transform(row));
+  return out;
+}
+
+}  // namespace mga::dataset

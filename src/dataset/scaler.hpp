@@ -1,0 +1,48 @@
+// Feature scaling.
+//
+// GaussianRankScaler implements the Gaussian rank transform the paper applies
+// before DAE training (§3.2): each feature value is replaced by
+// Phi^{-1}(rank / (n+1)), yielding a standard-normal marginal regardless of
+// the input distribution. Fit on training data only; transform interpolates
+// ranks for unseen values (clipped to the fitted range).
+//
+// MinMaxScaler covers the paper's [0,1] normalization of the additional
+// features (performance counters / transfer + workgroup sizes) before fusion.
+#pragma once
+
+#include <vector>
+
+namespace mga::dataset {
+
+class GaussianRankScaler {
+ public:
+  /// Fit per-column on a row-major matrix (rows = samples).
+  void fit(const std::vector<std::vector<double>>& rows);
+
+  /// Transform one row; must match the fitted column count.
+  [[nodiscard]] std::vector<double> transform(const std::vector<double>& row) const;
+
+  [[nodiscard]] std::vector<std::vector<double>> transform_all(
+      const std::vector<std::vector<double>>& rows) const;
+
+  [[nodiscard]] std::size_t columns() const noexcept { return sorted_columns_.size(); }
+
+ private:
+  // Sorted training values per column; transform locates the value by binary
+  // search and maps its interpolated rank through the inverse normal CDF.
+  std::vector<std::vector<double>> sorted_columns_;
+};
+
+class MinMaxScaler {
+ public:
+  void fit(const std::vector<std::vector<double>>& rows);
+  [[nodiscard]] std::vector<double> transform(const std::vector<double>& row) const;
+  [[nodiscard]] std::vector<std::vector<double>> transform_all(
+      const std::vector<std::vector<double>>& rows) const;
+
+ private:
+  std::vector<double> minimum_;
+  std::vector<double> maximum_;
+};
+
+}  // namespace mga::dataset

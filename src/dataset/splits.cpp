@@ -1,0 +1,78 @@
+#include "dataset/splits.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace mga::dataset {
+
+std::vector<std::vector<int>> k_fold(std::size_t count, int folds, util::Rng& rng) {
+  MGA_CHECK(folds >= 2 && static_cast<std::size_t>(folds) <= count);
+  std::vector<int> indices(count);
+  for (std::size_t i = 0; i < count; ++i) indices[i] = static_cast<int>(i);
+  rng.shuffle(indices);
+  std::vector<std::vector<int>> result(static_cast<std::size_t>(folds));
+  for (std::size_t i = 0; i < count; ++i)
+    result[i % static_cast<std::size_t>(folds)].push_back(indices[i]);
+  for (auto& fold : result) std::sort(fold.begin(), fold.end());
+  return result;
+}
+
+std::vector<std::vector<int>> stratified_k_fold(const std::vector<int>& labels, int folds,
+                                                util::Rng& rng) {
+  MGA_CHECK(folds >= 2 && static_cast<std::size_t>(folds) <= labels.size());
+  std::unordered_map<int, std::vector<int>> by_label;
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    by_label[labels[i]].push_back(static_cast<int>(i));
+
+  std::vector<std::vector<int>> result(static_cast<std::size_t>(folds));
+  // Deterministic label order, then round-robin within each stratum.
+  std::vector<int> label_keys;
+  for (const auto& [label, _] : by_label) label_keys.push_back(label);
+  std::sort(label_keys.begin(), label_keys.end());
+  std::size_t next_fold = 0;
+  for (const int label : label_keys) {
+    auto& members = by_label[label];
+    rng.shuffle(members);
+    for (const int index : members) {
+      result[next_fold % static_cast<std::size_t>(folds)].push_back(index);
+      ++next_fold;
+    }
+  }
+  for (auto& fold : result) std::sort(fold.begin(), fold.end());
+  return result;
+}
+
+std::vector<std::vector<int>> leave_one_out(std::size_t count) {
+  std::vector<std::vector<int>> result(count);
+  for (std::size_t i = 0; i < count; ++i) result[i] = {static_cast<int>(i)};
+  return result;
+}
+
+HoldoutSplit holdout(std::size_t count, double fraction, util::Rng& rng) {
+  MGA_CHECK(fraction > 0.0 && fraction < 1.0);
+  std::vector<int> indices(count);
+  for (std::size_t i = 0; i < count; ++i) indices[i] = static_cast<int>(i);
+  rng.shuffle(indices);
+  const auto held = static_cast<std::size_t>(
+      std::max<double>(1.0, std::round(fraction * static_cast<double>(count))));
+  HoldoutSplit split;
+  split.held_out.assign(indices.begin(), indices.begin() + static_cast<std::ptrdiff_t>(held));
+  split.retained.assign(indices.begin() + static_cast<std::ptrdiff_t>(held), indices.end());
+  std::sort(split.held_out.begin(), split.held_out.end());
+  std::sort(split.retained.begin(), split.retained.end());
+  return split;
+}
+
+std::vector<int> complement(const std::vector<int>& fold, std::size_t count) {
+  std::unordered_set<int> in_fold(fold.begin(), fold.end());
+  std::vector<int> result;
+  for (std::size_t i = 0; i < count; ++i)
+    if (!in_fold.contains(static_cast<int>(i))) result.push_back(static_cast<int>(i));
+  return result;
+}
+
+}  // namespace mga::dataset

@@ -1,0 +1,36 @@
+// Cross-validation splitters. All splits are over *kernels* (the paper
+// validates on unseen loops), except the stratified split used for device
+// mapping (over samples, stratified by label) and the input-holdout used by
+// §4.1.3's "Varying Input Sizes" study.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mga::dataset {
+
+/// k mutually exclusive folds covering [0, count); fold sizes differ by at
+/// most one. Deterministic given the seed.
+[[nodiscard]] std::vector<std::vector<int>> k_fold(std::size_t count, int folds,
+                                                   util::Rng& rng);
+
+/// Stratified k-fold over integer labels: each fold approximates the global
+/// label distribution (used by the 10-fold device-mapping protocol).
+[[nodiscard]] std::vector<std::vector<int>> stratified_k_fold(const std::vector<int>& labels,
+                                                              int folds, util::Rng& rng);
+
+/// Leave-one-out: fold i = {i} (used by §4.1.4 / §4.1.5).
+[[nodiscard]] std::vector<std::vector<int>> leave_one_out(std::size_t count);
+
+/// Split [0, count) into held-out (fraction) and retained index sets.
+struct HoldoutSplit {
+  std::vector<int> held_out;
+  std::vector<int> retained;
+};
+[[nodiscard]] HoldoutSplit holdout(std::size_t count, double fraction, util::Rng& rng);
+
+/// Complement of `fold` within [0, count).
+[[nodiscard]] std::vector<int> complement(const std::vector<int>& fold, std::size_t count);
+
+}  // namespace mga::dataset

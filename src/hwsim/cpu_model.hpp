@@ -1,0 +1,39 @@
+// Mechanistic multicore execution model. Produces, for a (kernel workload,
+// machine, input size, OpenMP configuration) tuple, a simulated wall-clock
+// time and the PAPI counter set the paper profiles.
+//
+// The model is a roofline core (compute vs. bandwidth ceilings) extended with
+// the phenomena the paper's tuning task hinges on:
+//   * a 3-level cache hierarchy with smooth capacity transitions, so the 30
+//     input sizes stress L1/L2/L3 to different degrees (§4.1.1);
+//   * Amdahl serial fraction + per-schedule load-imbalance and dispatch-
+//     overhead laws, so (threads, schedule, chunk) genuinely trade off;
+//   * thread-spawn and synchronization costs, so small inputs prefer fewer
+//     threads (Fig. 1) and dependency-bound kernels (trisolv) prefer serial;
+//   * branch misprediction penalties feeding the counter model.
+//
+// All randomness is a deterministic ±~2% lognormal "measurement jitter"
+// keyed on (kernel, machine, input, config) so repeated calls agree.
+#pragma once
+
+#include "hwsim/machine.hpp"
+#include "hwsim/workload.hpp"
+
+namespace mga::hwsim {
+
+/// Simulate one execution. `input_bytes` is the kernel's data-set size
+/// (paper range: 3.5 KB – 0.5 GB).
+[[nodiscard]] RunResult cpu_execute(const KernelWorkload& workload,
+                                    const MachineConfig& machine, double input_bytes,
+                                    const OmpConfig& config);
+
+/// The paper's default configuration: all hardware threads, static schedule,
+/// implementation-chosen chunk.
+[[nodiscard]] OmpConfig default_config(const MachineConfig& machine);
+
+/// Smooth capacity-miss transition used by the cache model (exposed for
+/// property tests): fraction of accesses missing a cache of `capacity_bytes`
+/// given a resident working set of `working_set_bytes`.
+[[nodiscard]] double capacity_miss_fraction(double working_set_bytes, double capacity_bytes);
+
+}  // namespace mga::hwsim

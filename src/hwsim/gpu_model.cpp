@@ -1,0 +1,75 @@
+#include "hwsim/gpu_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hwsim/cpu_model.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace mga::hwsim {
+
+GpuRunResult gpu_execute(const KernelWorkload& w, const GpuConfig& gpu,
+                         double transfer_bytes, int workgroup_size) {
+  MGA_CHECK(transfer_bytes > 0.0 && workgroup_size >= 1);
+
+  const double elements = w.elements(transfer_bytes);
+
+  // Host <-> device transfer plus launch latency.
+  const double transfer_seconds =
+      transfer_bytes * 2.0 / (gpu.pcie_bandwidth_gbs * 1e9) + gpu.launch_latency_us * 1e-6;
+
+  // Occupancy: undersized workgroups underfill the SIMD units; oversizing
+  // past the sweet spot costs a little scheduling slack.
+  const double ratio =
+      static_cast<double>(workgroup_size) / static_cast<double>(gpu.preferred_workgroup);
+  const double occupancy =
+      ratio < 1.0 ? 0.25 + 0.75 * ratio : 1.0 / (1.0 + 0.12 * (ratio - 1.0));
+
+  // SIMT divergence: data-dependent branches serialize warp lanes.
+  const double divergence_factor =
+      1.0 + 3.0 * w.gpu_divergence + 1.5 * w.irregularity;
+
+  const double compute_seconds = std::pow(elements, w.work_exponent) * w.flops_per_elem /
+                                 (gpu.peak_gflops * 1e9) * divergence_factor / occupancy;
+  const double memory_seconds =
+      elements * w.bytes_per_elem * (1.0 - 0.5 * w.locality) /
+      (gpu.memory_bandwidth_gbs * 1e9) / occupancy;
+
+  // Device-side function calls: inlined cheaply when rare, but call-heavy
+  // kernels pay per-call overhead that scales with the element count — the
+  // effect that flips large-input call-heavy kernels back to the CPU.
+  const double call_seconds = elements * w.calls_per_elem * gpu.per_call_ns * 1e-9;
+
+  // Synchronization maps to global atomics, far costlier than on CPU.
+  const double sync_seconds = elements * w.sync_per_elem * 400e-9;
+
+  double kernel_seconds =
+      std::max(compute_seconds, memory_seconds) + call_seconds + sync_seconds;
+
+  // Deterministic jitter, as in the CPU model.
+  util::Rng jitter(util::hash_combine(
+      util::hash_combine(util::fnv1a(w.name), util::fnv1a(gpu.name)),
+      static_cast<std::uint64_t>(transfer_bytes) * 8191 +
+          static_cast<std::uint64_t>(workgroup_size)));
+  kernel_seconds *= std::exp(0.02 * jitter.normal());
+
+  GpuRunResult result;
+  result.transfer_seconds = transfer_seconds;
+  result.kernel_seconds = kernel_seconds;
+  result.seconds = transfer_seconds + kernel_seconds;
+  return result;
+}
+
+double cpu_reference_seconds(const KernelWorkload& w, const MachineConfig& host,
+                             double transfer_bytes) {
+  return cpu_execute(w, host, transfer_bytes, default_config(host)).seconds;
+}
+
+bool gpu_wins(const KernelWorkload& w, const GpuConfig& gpu, const MachineConfig& host,
+              double transfer_bytes, int workgroup_size) {
+  const double gpu_seconds = gpu_execute(w, gpu, transfer_bytes, workgroup_size).seconds;
+  return gpu_seconds < cpu_reference_seconds(w, host, transfer_bytes);
+}
+
+}  // namespace mga::hwsim

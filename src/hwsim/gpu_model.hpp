@@ -1,0 +1,37 @@
+// GPU execution model for the §4.2 heterogeneous device-mapping task.
+//
+// The ground truth the paper's dataset encodes is *which device wins* for a
+// (kernel, transfer size, workgroup size) triple. The model captures the
+// effects that decide that contest: PCIe transfer cost and launch latency
+// (small inputs), roofline kernel time scaled by occupancy (workgroup size)
+// and SIMT divergence, and per-call device overhead — the paper's makea
+// corner case, where call-heavy kernels flip from GPU (small inputs) to CPU
+// (large inputs).
+#pragma once
+
+#include "hwsim/machine.hpp"
+#include "hwsim/workload.hpp"
+
+namespace mga::hwsim {
+
+struct GpuRunResult {
+  double seconds = 0.0;
+  double transfer_seconds = 0.0;
+  double kernel_seconds = 0.0;
+};
+
+/// Simulate an OpenCL kernel execution on a GPU.
+[[nodiscard]] GpuRunResult gpu_execute(const KernelWorkload& workload, const GpuConfig& gpu,
+                                       double transfer_bytes, int workgroup_size);
+
+/// CPU-side execution of the same kernel (default OpenMP configuration on the
+/// dataset's i7-3820 host).
+[[nodiscard]] double cpu_reference_seconds(const KernelWorkload& workload,
+                                           const MachineConfig& host, double transfer_bytes);
+
+/// Ground-truth device label: true if the GPU is faster.
+[[nodiscard]] bool gpu_wins(const KernelWorkload& workload, const GpuConfig& gpu,
+                            const MachineConfig& host, double transfer_bytes,
+                            int workgroup_size);
+
+}  // namespace mga::hwsim

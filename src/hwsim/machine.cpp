@@ -1,0 +1,114 @@
+#include "hwsim/machine.hpp"
+
+namespace mga::hwsim {
+
+MachineConfig comet_lake() {
+  MachineConfig m;
+  m.name = "comet-lake";
+  m.cores = 8;
+  m.smt = 1;
+  m.frequency_ghz = 3.8;
+  m.flops_per_cycle = 4.0;
+  m.l1_kb = 32.0;
+  m.l2_kb = 256.0;
+  m.l3_mb = 16.0;
+  m.memory_bandwidth_gbs = 45.0;
+  m.per_thread_bandwidth_gbs = 14.0;
+  m.thread_spawn_us = 22.0;
+  m.chunk_dispatch_us = 0.08;
+  return m;
+}
+
+MachineConfig skylake_sp() {
+  MachineConfig m;
+  m.name = "skylake-sp";
+  m.cores = 10;
+  m.smt = 2;
+  m.frequency_ghz = 2.2;
+  m.flops_per_cycle = 4.0;
+  m.l1_kb = 32.0;
+  m.l2_kb = 1024.0;
+  m.l3_mb = 13.75;
+  m.memory_bandwidth_gbs = 60.0;
+  m.per_thread_bandwidth_gbs = 11.0;
+  m.thread_spawn_us = 24.0;
+  m.chunk_dispatch_us = 0.10;
+  return m;
+}
+
+MachineConfig broadwell() {
+  MachineConfig m;
+  m.name = "broadwell";
+  m.cores = 8;
+  m.smt = 1;
+  m.frequency_ghz = 2.4;
+  m.flops_per_cycle = 4.0;
+  m.l1_kb = 32.0;
+  m.l2_kb = 256.0;
+  m.l3_mb = 20.0;
+  m.memory_bandwidth_gbs = 38.0;
+  m.per_thread_bandwidth_gbs = 10.0;
+  m.thread_spawn_us = 23.0;
+  m.chunk_dispatch_us = 0.09;
+  return m;
+}
+
+MachineConfig sandy_bridge() {
+  MachineConfig m;
+  m.name = "sandy-bridge";
+  m.cores = 8;
+  m.smt = 1;
+  m.frequency_ghz = 2.6;
+  m.flops_per_cycle = 2.0;
+  m.l1_kb = 32.0;
+  m.l2_kb = 256.0;
+  m.l3_mb = 20.0;
+  m.memory_bandwidth_gbs = 32.0;
+  m.per_thread_bandwidth_gbs = 9.0;
+  m.thread_spawn_us = 25.0;
+  m.chunk_dispatch_us = 0.11;
+  return m;
+}
+
+MachineConfig ivy_bridge_i7_3820() {
+  MachineConfig m;
+  m.name = "i7-3820";
+  m.cores = 4;
+  m.smt = 2;
+  m.frequency_ghz = 3.6;
+  m.flops_per_cycle = 2.0;
+  m.l1_kb = 32.0;
+  m.l2_kb = 256.0;
+  m.l3_mb = 10.0;
+  m.memory_bandwidth_gbs = 40.0;
+  m.per_thread_bandwidth_gbs = 12.0;
+  m.thread_spawn_us = 22.0;
+  m.chunk_dispatch_us = 0.09;
+  return m;
+}
+
+GpuConfig tahiti_7970() {
+  GpuConfig g;
+  g.name = "amd-tahiti-7970";
+  g.peak_gflops = 3790.0;
+  g.memory_bandwidth_gbs = 264.0;
+  g.pcie_bandwidth_gbs = 12.0;
+  g.launch_latency_us = 15.0;
+  g.per_call_ns = 28.0;
+  g.preferred_workgroup = 256;
+  return g;
+}
+
+GpuConfig gtx_970() {
+  GpuConfig g;
+  g.name = "nvidia-gtx-970";
+  g.peak_gflops = 3494.0;
+  g.memory_bandwidth_gbs = 224.0;
+  g.pcie_bandwidth_gbs = 12.0;
+  g.launch_latency_us = 10.0;
+  g.per_call_ns = 18.0;
+  g.preferred_workgroup = 128;
+  return g;
+}
+
+}  // namespace mga::hwsim

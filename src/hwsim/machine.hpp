@@ -1,0 +1,69 @@
+// Machine descriptions for the simulated testbeds. The preset values follow
+// the public spec sheets of the CPUs/GPUs named in the paper's §4
+// "Experimental Systems and Software"; what matters for the reproduction is
+// the *relative* structure (cache capacities, bandwidth ceilings, core
+// counts), not absolute accuracy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mga::hwsim {
+
+struct MachineConfig {
+  std::string name;
+  int cores = 8;
+  int smt = 1;  // hardware threads per core
+  double frequency_ghz = 3.8;
+  double flops_per_cycle = 4.0;  // per-core sustained f64 ops/cycle
+
+  // Cache capacities (L1/L2 per core, L3 shared).
+  double l1_kb = 32.0;
+  double l2_kb = 256.0;
+  double l3_mb = 16.0;
+
+  // Memory system.
+  double memory_bandwidth_gbs = 40.0;      // all-core saturated
+  double per_thread_bandwidth_gbs = 12.0;  // single-thread achievable
+
+  // Overheads.
+  double thread_spawn_us = 6.0;       // per-thread fork/join cost
+  double chunk_dispatch_us = 0.18;    // per-chunk cost of dynamic scheduling
+  double sync_op_ns = 60.0;           // per atomic/critical operation
+  double branch_miss_penalty_cycles = 16.0;
+
+  [[nodiscard]] int hardware_threads() const noexcept { return cores * smt; }
+};
+
+/// 8-core Intel i7-10700K (Comet Lake) — §4.1.3 testbed.
+[[nodiscard]] MachineConfig comet_lake();
+
+/// 10-core / 20-thread Intel Xeon Silver 4114 (Skylake-SP) — §4.1.4 testbed.
+[[nodiscard]] MachineConfig skylake_sp();
+
+/// Single-socket 8-core Broadwell (CloudLab) — §4.1.5 portability target.
+[[nodiscard]] MachineConfig broadwell();
+
+/// Single-socket 8-core Sandy Bridge (CloudLab) — §4.1.5 portability target.
+[[nodiscard]] MachineConfig sandy_bridge();
+
+/// Intel Core i7-3820 — CPU side of the §4.2 device-mapping dataset.
+[[nodiscard]] MachineConfig ivy_bridge_i7_3820();
+
+struct GpuConfig {
+  std::string name;
+  double peak_gflops = 3000.0;
+  double memory_bandwidth_gbs = 220.0;
+  double pcie_bandwidth_gbs = 12.0;
+  double launch_latency_us = 12.0;
+  double per_call_ns = 20.0;  // device-side per-call drag (no inlining, spills)
+  int preferred_workgroup = 256;      // occupancy sweet spot
+};
+
+/// AMD Tahiti 7970 — §4.2 device-mapping GPU.
+[[nodiscard]] GpuConfig tahiti_7970();
+
+/// NVIDIA GTX 970 — §4.2 device-mapping GPU.
+[[nodiscard]] GpuConfig gtx_970();
+
+}  // namespace mga::hwsim

@@ -1,0 +1,96 @@
+// Workload descriptors and runtime-configuration types shared by the CPU and
+// GPU execution models.
+//
+// A KernelWorkload is the simulator-facing characterization of a kernel: how
+// much arithmetic and memory traffic it generates per element, how balanced
+// its iterations are, how predictable its branches are, and so on. Corpus
+// generators derive one per kernel, consistent with the IR they emit (the
+// coupling is asserted in tests/test_corpus.cpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace mga::hwsim {
+
+/// OpenMP scheduling policies in the paper's Table 2 search space.
+enum class Schedule : std::uint8_t { kStatic, kDynamic, kGuided };
+
+[[nodiscard]] constexpr const char* schedule_name(Schedule s) noexcept {
+  switch (s) {
+    case Schedule::kStatic: return "static";
+    case Schedule::kDynamic: return "dynamic";
+    case Schedule::kGuided: return "guided";
+  }
+  return "?";
+}
+
+/// An OpenMP runtime configuration (the tuner's prediction target).
+struct OmpConfig {
+  int threads = 1;
+  Schedule schedule = Schedule::kStatic;
+  /// 0 = implementation default (static: N/threads; dynamic/guided: 1).
+  int chunk = 0;
+
+  [[nodiscard]] bool operator==(const OmpConfig&) const = default;
+};
+
+/// Static execution characterization of a parallel kernel / loop.
+struct KernelWorkload {
+  std::string name;
+
+  // Per-element work profile.
+  double flops_per_elem = 1.0;       // arithmetic operations per element
+  double bytes_per_elem = 8.0;       // streamed bytes per element
+  double branches_per_elem = 0.1;    // conditional branches per element
+  double sync_per_elem = 0.0;        // atomics / critical sections per element
+  double calls_per_elem = 0.0;       // function-call overhead per element
+
+  // Structure.
+  double working_set_factor = 1.0;   // working set = factor * input bytes
+  /// Fraction of the working set touched by *every* thread (shared operands
+  /// such as gemm's B matrix); the rest partitions across threads.
+  double shared_fraction = 0.3;
+  double locality = 0.5;             // 0..1; 1 = perfect cache reuse
+  double parallel_fraction = 0.99;   // Amdahl's parallel fraction
+  double irregularity = 0.0;         // 0..1 iteration-cost imbalance
+  double branch_predictability = 0.95;  // 0..1; 1 = never mispredicts
+  double dependency_penalty = 0.0;   // loop-carried-dependence drag per extra thread
+  double gpu_divergence = 0.1;       // 0..1 SIMT divergence on GPUs
+  /// Arithmetic work grows as elements^work_exponent (deep loop nests such
+  /// as gemm do super-linear work per byte of input: N^3 flops on N^2 data).
+  double work_exponent = 1.0;
+
+  /// Elements processed for a given input size (8-byte elements).
+  [[nodiscard]] double elements(double input_bytes) const noexcept {
+    return input_bytes / 8.0;
+  }
+};
+
+/// The five PAPI counters the paper selects by Pearson correlation (§4.1.1),
+/// plus reference cycles (used by Fig. 8 and the portability scaling).
+struct PapiCounters {
+  double l1_cache_misses = 0.0;
+  double l2_cache_misses = 0.0;
+  double l3_load_misses = 0.0;
+  double retired_branches = 0.0;
+  double mispredicted_branches = 0.0;
+  double cpu_clock_cycles = 0.0;
+
+  static constexpr int kNumSelected = 5;  // excludes cpu_clock_cycles
+
+  /// The selected counters as a flat feature vector (model input order).
+  [[nodiscard]] std::array<double, kNumSelected> selected() const noexcept {
+    return {l1_cache_misses, l2_cache_misses, l3_load_misses, retired_branches,
+            mispredicted_branches};
+  }
+};
+
+/// Result of one simulated execution.
+struct RunResult {
+  double seconds = 0.0;
+  PapiCounters counters;
+};
+
+}  // namespace mga::hwsim

@@ -1,0 +1,158 @@
+#include "ir/analysis.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mga::ir {
+
+ControlFlowGraph::ControlFlowGraph(const Function& function) {
+  MGA_CHECK_MSG(!function.is_declaration(), "CFG of a declaration");
+  for (const auto& block : function.blocks()) {
+    block_index_[block.get()] = static_cast<int>(blocks_.size());
+    blocks_.push_back(block.get());
+  }
+  successors_.resize(blocks_.size());
+  predecessors_.resize(blocks_.size());
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    const Instruction* term = blocks_[i]->terminator();
+    if (term == nullptr) continue;
+    for (const BasicBlock* successor : term->successors()) {
+      const int target = block_index_.at(successor);
+      successors_[i].push_back(target);
+      predecessors_[static_cast<std::size_t>(target)].push_back(static_cast<int>(i));
+    }
+  }
+}
+
+std::vector<int> ControlFlowGraph::reverse_postorder() const {
+  std::vector<bool> visited(block_count(), false);
+  std::vector<int> postorder;
+  // Iterative DFS from the entry block (index 0).
+  struct Frame {
+    int block;
+    std::size_t next;
+  };
+  std::vector<Frame> stack;
+  if (block_count() > 0) {
+    stack.push_back({0, 0});
+    visited[0] = true;
+  }
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const auto& succ = successors(frame.block);
+    if (frame.next < succ.size()) {
+      const int next = succ[frame.next++];
+      if (!visited[static_cast<std::size_t>(next)]) {
+        visited[static_cast<std::size_t>(next)] = true;
+        stack.push_back({next, 0});
+      }
+    } else {
+      postorder.push_back(frame.block);
+      stack.pop_back();
+    }
+  }
+  std::vector<int> result(postorder.rbegin(), postorder.rend());
+  // Unreachable blocks last, in index order.
+  for (std::size_t i = 0; i < block_count(); ++i)
+    if (!visited[i]) result.push_back(static_cast<int>(i));
+  return result;
+}
+
+DominatorTree::DominatorTree(const ControlFlowGraph& cfg) {
+  const std::size_t n = cfg.block_count();
+  idom_.assign(n, -1);
+  if (n == 0) return;
+
+  // Cooper-Harvey-Kennedy: iterate intersect() over reverse postorder.
+  const std::vector<int> rpo = cfg.reverse_postorder();
+  std::vector<int> rpo_position(n, -1);
+  for (std::size_t i = 0; i < rpo.size(); ++i)
+    rpo_position[static_cast<std::size_t>(rpo[i])] = static_cast<int>(i);
+
+  idom_[0] = 0;
+  const auto intersect = [&](int a, int b) {
+    while (a != b) {
+      while (rpo_position[static_cast<std::size_t>(a)] >
+             rpo_position[static_cast<std::size_t>(b)])
+        a = idom_[static_cast<std::size_t>(a)];
+      while (rpo_position[static_cast<std::size_t>(b)] >
+             rpo_position[static_cast<std::size_t>(a)])
+        b = idom_[static_cast<std::size_t>(b)];
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const int block : rpo) {
+      if (block == 0) continue;
+      int new_idom = -1;
+      for (const int pred : cfg.predecessors(block)) {
+        if (idom_[static_cast<std::size_t>(pred)] == -1) continue;  // unreachable so far
+        new_idom = new_idom == -1 ? pred : intersect(new_idom, pred);
+      }
+      if (new_idom != -1 && idom_[static_cast<std::size_t>(block)] != new_idom) {
+        idom_[static_cast<std::size_t>(block)] = new_idom;
+        changed = true;
+      }
+    }
+  }
+}
+
+bool DominatorTree::dominates(int a, int b) const {
+  if (a == b) return true;
+  int walk = b;
+  while (walk != -1 && walk != 0) {
+    walk = idom_[static_cast<std::size_t>(walk)];
+    if (walk == a) return true;
+  }
+  return a == 0 && walk == 0;
+}
+
+LoopInfo analyze_loops(const Function& function) {
+  const ControlFlowGraph cfg(function);
+  const DominatorTree dom(cfg);
+
+  LoopInfo info;
+  info.depth.assign(cfg.block_count(), 0);
+
+  // Back edges: t -> h with h dominating t.
+  for (std::size_t t = 0; t < cfg.block_count(); ++t) {
+    for (const int h : cfg.successors(static_cast<int>(t))) {
+      if (!dom.dominates(h, static_cast<int>(t))) continue;
+
+      // Natural loop of the back edge: h plus everything that reaches t
+      // without passing through h (reverse flood fill from t).
+      NaturalLoop loop;
+      loop.header = h;
+      loop.latch = static_cast<int>(t);
+      std::vector<bool> in_loop(cfg.block_count(), false);
+      in_loop[static_cast<std::size_t>(h)] = true;
+      std::vector<int> worklist;
+      if (!in_loop[t]) {
+        in_loop[t] = true;
+        worklist.push_back(static_cast<int>(t));
+      }
+      while (!worklist.empty()) {
+        const int block = worklist.back();
+        worklist.pop_back();
+        for (const int pred : cfg.predecessors(block)) {
+          if (!in_loop[static_cast<std::size_t>(pred)]) {
+            in_loop[static_cast<std::size_t>(pred)] = true;
+            worklist.push_back(pred);
+          }
+        }
+      }
+      loop.body.push_back(h);
+      for (std::size_t b = 0; b < cfg.block_count(); ++b)
+        if (in_loop[b] && static_cast<int>(b) != h) loop.body.push_back(static_cast<int>(b));
+      for (const int b : loop.body) ++info.depth[static_cast<std::size_t>(b)];
+      info.loops.push_back(std::move(loop));
+    }
+  }
+  return info;
+}
+
+}  // namespace mga::ir

@@ -1,0 +1,83 @@
+// Control-flow analyses over mini-IR functions: CFG successor/predecessor
+// views, dominator tree (Cooper-Harvey-Kennedy iterative algorithm) and
+// natural-loop detection via back edges. Used by IRStats consumers (loop
+// depth is a Grewe-style feature) and available to any client that wants
+// structure beyond flat instruction counts.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace mga::ir {
+
+/// Successor/predecessor adjacency over a function's blocks, in function
+/// block order (index = position in Function::blocks()).
+class ControlFlowGraph {
+ public:
+  explicit ControlFlowGraph(const Function& function);
+
+  [[nodiscard]] std::size_t block_count() const noexcept { return successors_.size(); }
+  [[nodiscard]] const std::vector<int>& successors(int block) const {
+    return successors_.at(static_cast<std::size_t>(block));
+  }
+  [[nodiscard]] const std::vector<int>& predecessors(int block) const {
+    return predecessors_.at(static_cast<std::size_t>(block));
+  }
+  [[nodiscard]] int index_of(const BasicBlock* block) const {
+    return block_index_.at(block);
+  }
+  [[nodiscard]] const BasicBlock* block_at(int index) const {
+    return blocks_.at(static_cast<std::size_t>(index));
+  }
+
+  /// Reverse postorder from the entry (unreachable blocks appear last).
+  [[nodiscard]] std::vector<int> reverse_postorder() const;
+
+ private:
+  std::vector<const BasicBlock*> blocks_;
+  std::unordered_map<const BasicBlock*, int> block_index_;
+  std::vector<std::vector<int>> successors_;
+  std::vector<std::vector<int>> predecessors_;
+};
+
+/// Immediate-dominator tree. Entry dominates everything reachable;
+/// unreachable blocks get idom == -1.
+class DominatorTree {
+ public:
+  explicit DominatorTree(const ControlFlowGraph& cfg);
+
+  [[nodiscard]] int immediate_dominator(int block) const {
+    return idom_.at(static_cast<std::size_t>(block));
+  }
+  /// True if `a` dominates `b` (reflexive).
+  [[nodiscard]] bool dominates(int a, int b) const;
+
+ private:
+  std::vector<int> idom_;
+};
+
+struct NaturalLoop {
+  int header = 0;
+  int latch = 0;                // source of the back edge
+  std::vector<int> body;        // blocks in the loop, header first
+};
+
+struct LoopInfo {
+  std::vector<NaturalLoop> loops;
+  /// Nesting depth per block (0 = not in any loop).
+  std::vector<int> depth;
+
+  [[nodiscard]] int max_depth() const {
+    int best = 0;
+    for (const int d : depth) best = std::max(best, d);
+    return best;
+  }
+};
+
+/// Find natural loops (back edges t->h where h dominates t) and compute
+/// per-block nesting depth.
+[[nodiscard]] LoopInfo analyze_loops(const Function& function);
+
+}  // namespace mga::ir

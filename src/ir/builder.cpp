@@ -1,0 +1,173 @@
+#include "ir/builder.hpp"
+
+#include "util/check.hpp"
+
+namespace mga::ir {
+
+Constant* Module::get_constant(Type type, double value) {
+  for (const auto& c : constants_)
+    if (c->type() == type && c->value() == value) return c.get();
+  std::string name = "$c" + std::to_string(constants_.size());
+  constants_.push_back(std::make_unique<Constant>(type, value, std::move(name)));
+  return constants_.back().get();
+}
+
+Instruction* IRBuilder::append(Opcode op, Type type) {
+  MGA_CHECK_MSG(insert_block_ != nullptr, "IRBuilder: no insert point set");
+  auto instr = std::make_unique<Instruction>(
+      op, type, type == Type::kVoid ? std::string{} : next_name());
+  return insert_block_->append(std::move(instr));
+}
+
+Instruction* IRBuilder::binary(Opcode op, Value* lhs, Value* rhs) {
+  MGA_CHECK_MSG(is_arithmetic(op), "binary: not an arithmetic opcode");
+  MGA_CHECK(lhs != nullptr && rhs != nullptr);
+  MGA_CHECK_MSG(lhs->type() == rhs->type(), "binary: operand type mismatch");
+  Instruction* instr = append(op, lhs->type());
+  instr->add_operand(lhs);
+  instr->add_operand(rhs);
+  return instr;
+}
+
+Instruction* IRBuilder::icmp(Value* lhs, Value* rhs) {
+  MGA_CHECK(lhs != nullptr && rhs != nullptr);
+  MGA_CHECK_MSG(is_integer(lhs->type()) && is_integer(rhs->type()),
+                "icmp: integer operands required");
+  Instruction* instr = append(Opcode::kICmp, Type::kI1);
+  instr->add_operand(lhs);
+  instr->add_operand(rhs);
+  return instr;
+}
+
+Instruction* IRBuilder::fcmp(Value* lhs, Value* rhs) {
+  MGA_CHECK(lhs != nullptr && rhs != nullptr);
+  MGA_CHECK_MSG(is_float(lhs->type()) && is_float(rhs->type()),
+                "fcmp: float operands required");
+  Instruction* instr = append(Opcode::kFCmp, Type::kI1);
+  instr->add_operand(lhs);
+  instr->add_operand(rhs);
+  return instr;
+}
+
+Instruction* IRBuilder::alloca_op(Type element_type) {
+  (void)element_type;  // element type is not tracked by the opaque-ptr IR
+  return append(Opcode::kAlloca, Type::kPtr);
+}
+
+Instruction* IRBuilder::load(Type type, Value* pointer) {
+  MGA_CHECK(pointer != nullptr);
+  MGA_CHECK_MSG(pointer->type() == Type::kPtr, "load: pointer operand required");
+  Instruction* instr = append(Opcode::kLoad, type);
+  instr->add_operand(pointer);
+  return instr;
+}
+
+Instruction* IRBuilder::store(Value* value, Value* pointer) {
+  MGA_CHECK(value != nullptr && pointer != nullptr);
+  MGA_CHECK_MSG(pointer->type() == Type::kPtr, "store: pointer operand required");
+  Instruction* instr = append(Opcode::kStore, Type::kVoid);
+  instr->add_operand(value);
+  instr->add_operand(pointer);
+  return instr;
+}
+
+Instruction* IRBuilder::gep(Value* pointer, Value* index) {
+  MGA_CHECK(pointer != nullptr && index != nullptr);
+  MGA_CHECK_MSG(pointer->type() == Type::kPtr, "gep: pointer operand required");
+  MGA_CHECK_MSG(is_integer(index->type()), "gep: integer index required");
+  Instruction* instr = append(Opcode::kGetElementPtr, Type::kPtr);
+  instr->add_operand(pointer);
+  instr->add_operand(index);
+  return instr;
+}
+
+Instruction* IRBuilder::atomic_rmw(Value* pointer, Value* value) {
+  MGA_CHECK(pointer != nullptr && value != nullptr);
+  MGA_CHECK_MSG(pointer->type() == Type::kPtr, "atomic_rmw: pointer operand required");
+  Instruction* instr = append(Opcode::kAtomicRMW, value->type());
+  instr->add_operand(pointer);
+  instr->add_operand(value);
+  return instr;
+}
+
+Instruction* IRBuilder::fence() { return append(Opcode::kFence, Type::kVoid); }
+
+Instruction* IRBuilder::cast(Opcode cast_op, Type to, Value* value) {
+  MGA_CHECK(value != nullptr);
+  switch (cast_op) {
+    case Opcode::kSExt:
+    case Opcode::kZExt:
+    case Opcode::kTrunc:
+    case Opcode::kSIToFP:
+    case Opcode::kFPToSI:
+    case Opcode::kBitcast:
+      break;
+    default:
+      MGA_CHECK_MSG(false, "cast: not a cast opcode");
+  }
+  Instruction* instr = append(cast_op, to);
+  instr->add_operand(value);
+  return instr;
+}
+
+Instruction* IRBuilder::select(Value* cond, Value* if_true, Value* if_false) {
+  MGA_CHECK(cond != nullptr && if_true != nullptr && if_false != nullptr);
+  MGA_CHECK_MSG(cond->type() == Type::kI1, "select: i1 condition required");
+  MGA_CHECK_MSG(if_true->type() == if_false->type(), "select: arm type mismatch");
+  Instruction* instr = append(Opcode::kSelect, if_true->type());
+  instr->add_operand(cond);
+  instr->add_operand(if_true);
+  instr->add_operand(if_false);
+  return instr;
+}
+
+Instruction* IRBuilder::br(BasicBlock* target) {
+  MGA_CHECK(target != nullptr);
+  Instruction* instr = append(Opcode::kBr, Type::kVoid);
+  instr->add_successor(target);
+  return instr;
+}
+
+Instruction* IRBuilder::cond_br(Value* cond, BasicBlock* if_true, BasicBlock* if_false) {
+  MGA_CHECK(cond != nullptr && if_true != nullptr && if_false != nullptr);
+  MGA_CHECK_MSG(cond->type() == Type::kI1, "cond_br: i1 condition required");
+  Instruction* instr = append(Opcode::kCondBr, Type::kVoid);
+  instr->add_operand(cond);
+  instr->add_successor(if_true);
+  instr->add_successor(if_false);
+  return instr;
+}
+
+Instruction* IRBuilder::ret(Value* value) {
+  Instruction* instr = append(Opcode::kRet, Type::kVoid);
+  if (value != nullptr) instr->add_operand(value);
+  return instr;
+}
+
+Instruction* IRBuilder::call(Function* callee, std::vector<Value*> args) {
+  MGA_CHECK(callee != nullptr);
+  Instruction* instr = append(Opcode::kCall, callee->return_type());
+  // Void-returning calls get no SSA name.
+  if (callee->return_type() == Type::kVoid) instr->set_name(std::string{});
+  instr->set_callee(callee);
+  for (Value* arg : args) {
+    MGA_CHECK(arg != nullptr);
+    instr->add_operand(arg);
+  }
+  return instr;
+}
+
+Instruction* IRBuilder::phi(Type type) {
+  MGA_CHECK_MSG(type != Type::kVoid, "phi: void phi is meaningless");
+  return append(Opcode::kPhi, type);
+}
+
+void IRBuilder::add_phi_incoming(Instruction* phi_instr, Value* value, BasicBlock* from) {
+  MGA_CHECK(phi_instr != nullptr && value != nullptr && from != nullptr);
+  MGA_CHECK_MSG(phi_instr->opcode() == Opcode::kPhi, "add_phi_incoming: not a phi");
+  MGA_CHECK_MSG(value->type() == phi_instr->type(), "phi incoming type mismatch");
+  phi_instr->add_operand(value);
+  phi_instr->add_incoming_block(from);
+}
+
+}  // namespace mga::ir

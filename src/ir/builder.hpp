@@ -1,0 +1,73 @@
+// IRBuilder: convenience layer for constructing well-formed mini-IR, used by
+// every corpus kernel generator. Auto-names SSA values (%0, %1, ...), wires
+// successors for branch instructions and interns constants in the module.
+#pragma once
+
+#include <string>
+
+#include "ir/function.hpp"
+
+namespace mga::ir {
+
+class IRBuilder {
+ public:
+  explicit IRBuilder(Module& module) : module_(module) {}
+
+  /// Set the block new instructions are appended to.
+  void set_insert_point(BasicBlock* block) { insert_block_ = block; }
+  [[nodiscard]] BasicBlock* insert_point() const noexcept { return insert_block_; }
+
+  // --- leaf values ---------------------------------------------------------
+
+  [[nodiscard]] Constant* const_i64(long value) {
+    return module_.get_constant(Type::kI64, static_cast<double>(value));
+  }
+  [[nodiscard]] Constant* const_i32(int value) {
+    return module_.get_constant(Type::kI32, static_cast<double>(value));
+  }
+  [[nodiscard]] Constant* const_f64(double value) {
+    return module_.get_constant(Type::kF64, value);
+  }
+  [[nodiscard]] Constant* const_i1(bool value) {
+    return module_.get_constant(Type::kI1, value ? 1.0 : 0.0);
+  }
+
+  // --- instructions --------------------------------------------------------
+
+  Instruction* binary(Opcode op, Value* lhs, Value* rhs);
+  Instruction* icmp(Value* lhs, Value* rhs);
+  Instruction* fcmp(Value* lhs, Value* rhs);
+
+  Instruction* alloca_op(Type element_type);
+  Instruction* load(Type type, Value* pointer);
+  Instruction* store(Value* value, Value* pointer);
+  Instruction* gep(Value* pointer, Value* index);
+  Instruction* atomic_rmw(Value* pointer, Value* value);
+  Instruction* fence();
+
+  Instruction* cast(Opcode cast_op, Type to, Value* value);
+  Instruction* select(Value* cond, Value* if_true, Value* if_false);
+
+  Instruction* br(BasicBlock* target);
+  Instruction* cond_br(Value* cond, BasicBlock* if_true, BasicBlock* if_false);
+  Instruction* ret(Value* value = nullptr);
+
+  Instruction* call(Function* callee, std::vector<Value*> args);
+
+  /// Phi with no incoming values yet; use add_phi_incoming after the loop
+  /// latch exists.
+  Instruction* phi(Type type);
+  static void add_phi_incoming(Instruction* phi_instr, Value* value, BasicBlock* from);
+
+  [[nodiscard]] Module& module() noexcept { return module_; }
+
+ private:
+  Instruction* append(Opcode op, Type type);
+  [[nodiscard]] std::string next_name() { return "%" + std::to_string(value_counter_++); }
+
+  Module& module_;
+  BasicBlock* insert_block_ = nullptr;
+  std::size_t value_counter_ = 0;
+};
+
+}  // namespace mga::ir

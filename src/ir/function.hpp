@@ -1,0 +1,151 @@
+// BasicBlock / Function / Module containers of the mini-IR.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/value.hpp"
+
+namespace mga::ir {
+
+class BasicBlock {
+ public:
+  explicit BasicBlock(std::string label) : label_(std::move(label)) {}
+
+  BasicBlock(const BasicBlock&) = delete;
+  BasicBlock& operator=(const BasicBlock&) = delete;
+
+  [[nodiscard]] const std::string& label() const noexcept { return label_; }
+
+  Instruction* append(std::unique_ptr<Instruction> instr) {
+    instr->set_parent(this);
+    instructions_.push_back(std::move(instr));
+    return instructions_.back().get();
+  }
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Instruction>>& instructions() const noexcept {
+    return instructions_;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return instructions_.empty(); }
+
+  /// Terminator, or nullptr if the block is unterminated (verifier error).
+  [[nodiscard]] Instruction* terminator() const noexcept {
+    if (instructions_.empty()) return nullptr;
+    Instruction* last = instructions_.back().get();
+    return last->is_terminator_instr() ? last : nullptr;
+  }
+
+  [[nodiscard]] Function* parent() const noexcept { return parent_; }
+  void set_parent(Function* fn) noexcept { parent_ = fn; }
+
+ private:
+  std::string label_;
+  std::vector<std::unique_ptr<Instruction>> instructions_;
+  Function* parent_ = nullptr;
+};
+
+class Function {
+ public:
+  Function(std::string name, Type return_type, bool is_declaration = false)
+      : name_(std::move(name)), return_type_(return_type), is_declaration_(is_declaration) {}
+
+  Function(const Function&) = delete;
+  Function& operator=(const Function&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] Type return_type() const noexcept { return return_type_; }
+  [[nodiscard]] bool is_declaration() const noexcept { return is_declaration_; }
+
+  Argument* add_argument(Type type, std::string name) {
+    arguments_.push_back(std::make_unique<Argument>(type, std::move(name), arguments_.size()));
+    return arguments_.back().get();
+  }
+
+  BasicBlock* add_block(std::string label) {
+    blocks_.push_back(std::make_unique<BasicBlock>(std::move(label)));
+    blocks_.back()->set_parent(this);
+    return blocks_.back().get();
+  }
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Argument>>& arguments() const noexcept {
+    return arguments_;
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<BasicBlock>>& blocks() const noexcept {
+    return blocks_;
+  }
+
+  [[nodiscard]] BasicBlock* entry() const noexcept {
+    return blocks_.empty() ? nullptr : blocks_.front().get();
+  }
+
+  /// Total instruction count across all blocks.
+  [[nodiscard]] std::size_t instruction_count() const noexcept {
+    std::size_t count = 0;
+    for (const auto& block : blocks_) count += block->instructions().size();
+    return count;
+  }
+
+ private:
+  std::string name_;
+  Type return_type_;
+  bool is_declaration_;
+  std::vector<std::unique_ptr<Argument>> arguments_;
+  std::vector<std::unique_ptr<BasicBlock>> blocks_;
+};
+
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  Function* add_function(std::string name, Type return_type, bool is_declaration = false) {
+    functions_.push_back(
+        std::make_unique<Function>(std::move(name), return_type, is_declaration));
+    return functions_.back().get();
+  }
+
+  [[nodiscard]] Function* find_function(std::string_view name) const noexcept {
+    for (const auto& fn : functions_)
+      if (fn->name() == name) return fn.get();
+    return nullptr;
+  }
+
+  Global* add_global(std::string name) {
+    globals_.push_back(std::make_unique<Global>(std::move(name)));
+    return globals_.back().get();
+  }
+
+  [[nodiscard]] Global* find_global(std::string_view name) const noexcept {
+    for (const auto& g : globals_)
+      if (g->name() == name) return g.get();
+    return nullptr;
+  }
+
+  /// Interned constant: one Constant node per (type, value) pair, so data
+  /// edges from a repeated literal share a PROGRAML constant vertex.
+  Constant* get_constant(Type type, double value);
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Function>>& functions() const noexcept {
+    return functions_;
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<Global>>& globals() const noexcept {
+    return globals_;
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<Constant>>& constants() const noexcept {
+    return constants_;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Function>> functions_;
+  std::vector<std::unique_ptr<Global>> globals_;
+  std::vector<std::unique_ptr<Constant>> constants_;
+};
+
+}  // namespace mga::ir

@@ -1,0 +1,91 @@
+#include "ir/opcode.hpp"
+#include "ir/type.hpp"
+
+namespace mga::ir {
+
+namespace {
+
+struct OpcodeEntry {
+  Opcode op;
+  std::string_view name;
+};
+
+constexpr std::array<OpcodeEntry, kNumOpcodes> kOpcodeTable = {{
+    {Opcode::kAdd, "add"},
+    {Opcode::kSub, "sub"},
+    {Opcode::kMul, "mul"},
+    {Opcode::kSDiv, "sdiv"},
+    {Opcode::kSRem, "srem"},
+    {Opcode::kFAdd, "fadd"},
+    {Opcode::kFSub, "fsub"},
+    {Opcode::kFMul, "fmul"},
+    {Opcode::kFDiv, "fdiv"},
+    {Opcode::kAnd, "and"},
+    {Opcode::kOr, "or"},
+    {Opcode::kXor, "xor"},
+    {Opcode::kShl, "shl"},
+    {Opcode::kLShr, "lshr"},
+    {Opcode::kICmp, "icmp"},
+    {Opcode::kFCmp, "fcmp"},
+    {Opcode::kAlloca, "alloca"},
+    {Opcode::kLoad, "load"},
+    {Opcode::kStore, "store"},
+    {Opcode::kGetElementPtr, "getelementptr"},
+    {Opcode::kAtomicRMW, "atomicrmw"},
+    {Opcode::kFence, "fence"},
+    {Opcode::kSExt, "sext"},
+    {Opcode::kZExt, "zext"},
+    {Opcode::kTrunc, "trunc"},
+    {Opcode::kSIToFP, "sitofp"},
+    {Opcode::kFPToSI, "fptosi"},
+    {Opcode::kBitcast, "bitcast"},
+    {Opcode::kBr, "br"},
+    {Opcode::kCondBr, "condbr"},
+    {Opcode::kRet, "ret"},
+    {Opcode::kCall, "call"},
+    {Opcode::kPhi, "phi"},
+    {Opcode::kSelect, "select"},
+}};
+
+struct TypeEntry {
+  Type type;
+  std::string_view name;
+};
+
+constexpr std::array<TypeEntry, kNumTypes> kTypeTable = {{
+    {Type::kVoid, "void"},
+    {Type::kI1, "i1"},
+    {Type::kI32, "i32"},
+    {Type::kI64, "i64"},
+    {Type::kF32, "f32"},
+    {Type::kF64, "f64"},
+    {Type::kPtr, "ptr"},
+}};
+
+}  // namespace
+
+std::string_view opcode_name(Opcode op) noexcept {
+  for (const auto& entry : kOpcodeTable)
+    if (entry.op == op) return entry.name;
+  return "<invalid>";
+}
+
+std::optional<Opcode> opcode_from_name(std::string_view name) noexcept {
+  for (const auto& entry : kOpcodeTable)
+    if (entry.name == name) return entry.op;
+  return std::nullopt;
+}
+
+std::string_view type_name(Type type) noexcept {
+  for (const auto& entry : kTypeTable)
+    if (entry.type == type) return entry.name;
+  return "<invalid>";
+}
+
+std::optional<Type> type_from_name(std::string_view name) noexcept {
+  for (const auto& entry : kTypeTable)
+    if (entry.name == name) return entry.type;
+  return std::nullopt;
+}
+
+}  // namespace mga::ir

@@ -1,0 +1,113 @@
+// Opcode set of the mini-IR. A deliberately compact subset of LLVM's
+// instruction set: everything PROGRAML-style graph construction and
+// IR2Vec-style embedding need (arithmetic, memory, control, calls, phis,
+// atomics for reductions), nothing more.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string_view>
+
+namespace mga::ir {
+
+enum class Opcode {
+  // Integer arithmetic
+  kAdd,
+  kSub,
+  kMul,
+  kSDiv,
+  kSRem,
+  // Floating-point arithmetic
+  kFAdd,
+  kFSub,
+  kFMul,
+  kFDiv,
+  // Bitwise / shifts
+  kAnd,
+  kOr,
+  kXor,
+  kShl,
+  kLShr,
+  // Comparisons
+  kICmp,
+  kFCmp,
+  // Memory
+  kAlloca,
+  kLoad,
+  kStore,
+  kGetElementPtr,
+  kAtomicRMW,
+  kFence,
+  // Casts
+  kSExt,
+  kZExt,
+  kTrunc,
+  kSIToFP,
+  kFPToSI,
+  kBitcast,
+  // Control
+  kBr,
+  kCondBr,
+  kRet,
+  kCall,
+  kPhi,
+  kSelect,
+};
+
+inline constexpr std::size_t kNumOpcodes = 34;
+
+/// Lowercase mnemonic used by the printer/parser ("add", "condbr", ...).
+[[nodiscard]] std::string_view opcode_name(Opcode op) noexcept;
+
+/// Inverse of opcode_name; nullopt for unknown mnemonics.
+[[nodiscard]] std::optional<Opcode> opcode_from_name(std::string_view name) noexcept;
+
+/// True for instructions that end a basic block.
+[[nodiscard]] constexpr bool is_terminator(Opcode op) noexcept {
+  return op == Opcode::kBr || op == Opcode::kCondBr || op == Opcode::kRet;
+}
+
+/// True for instructions that touch memory (used by IRStats and the Grewe
+/// feature extractor).
+[[nodiscard]] constexpr bool is_memory_op(Opcode op) noexcept {
+  return op == Opcode::kLoad || op == Opcode::kStore || op == Opcode::kAlloca ||
+         op == Opcode::kGetElementPtr || op == Opcode::kAtomicRMW;
+}
+
+/// True for float/int arithmetic (compute ops in roofline terms).
+[[nodiscard]] constexpr bool is_arithmetic(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kSDiv:
+    case Opcode::kSRem:
+    case Opcode::kFAdd:
+    case Opcode::kFSub:
+    case Opcode::kFMul:
+    case Opcode::kFDiv:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kLShr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+[[nodiscard]] constexpr bool is_float_op(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kFAdd:
+    case Opcode::kFSub:
+    case Opcode::kFMul:
+    case Opcode::kFDiv:
+    case Opcode::kFCmp:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace mga::ir

@@ -1,0 +1,463 @@
+#include "ir/parser.hpp"
+
+#include <charconv>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace mga::ir {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexing: split a line into tokens. Punctuation characters are their own
+// tokens; everything else is a word.
+
+struct Cursor {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::size_t line = 1;
+
+  [[nodiscard]] bool at_end() const noexcept { return pos >= text.size(); }
+
+  /// Next raw line (without trailing newline); empty optional at EOF.
+  std::optional<std::string_view> next_line() {
+    if (at_end()) return std::nullopt;
+    const std::size_t start = pos;
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view result = text.substr(start, end - start);
+    pos = end + 1;
+    ++line;
+    return result;
+  }
+};
+
+[[nodiscard]] bool is_punct(char c) noexcept {
+  return c == ',' || c == '(' || c == ')' || c == '[' || c == ']' || c == '{' || c == '}' ||
+         c == '=';
+}
+
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (line[i] == ' ' || line[i] == '\t') {
+      ++i;
+      continue;
+    }
+    if (is_punct(line[i])) {
+      tokens.push_back(line.substr(i, 1));
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < line.size() && line[j] != ' ' && line[j] != '\t' && !is_punct(line[j])) ++j;
+    tokens.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return tokens;
+}
+
+// ---------------------------------------------------------------------------
+// Token stream helper with positioned errors.
+
+class TokenStream {
+ public:
+  TokenStream(std::vector<std::string_view> tokens, std::size_t line)
+      : tokens_(std::move(tokens)), line_(line) {}
+
+  [[nodiscard]] bool at_end() const noexcept { return index_ >= tokens_.size(); }
+
+  [[nodiscard]] std::string_view peek() const {
+    if (at_end()) throw ParseError(line_, "unexpected end of line");
+    return tokens_[index_];
+  }
+
+  std::string_view take() {
+    std::string_view tok = peek();
+    ++index_;
+    return tok;
+  }
+
+  void expect(std::string_view expected) {
+    const std::string_view tok = take();
+    if (tok != expected)
+      throw ParseError(line_, "expected '" + std::string(expected) + "', got '" +
+                                  std::string(tok) + "'");
+  }
+
+  [[nodiscard]] bool accept(std::string_view candidate) {
+    if (!at_end() && tokens_[index_] == candidate) {
+      ++index_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::vector<std::string_view> tokens_;
+  std::size_t index_ = 0;
+  std::size_t line_;
+};
+
+Type parse_type(TokenStream& ts) {
+  const std::string_view tok = ts.take();
+  const auto type = type_from_name(tok);
+  if (!type) throw ParseError(ts.line(), "unknown type '" + std::string(tok) + "'");
+  return *type;
+}
+
+double parse_number(TokenStream& ts) {
+  const std::string_view tok = ts.take();
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), value);
+  if (ec != std::errc{} || ptr != tok.data() + tok.size())
+    throw ParseError(ts.line(), "bad numeric literal '" + std::string(tok) + "'");
+  return value;
+}
+
+// ---------------------------------------------------------------------------
+// Deferred operand references resolved after all instructions exist.
+
+struct OperandRef {
+  enum class Kind { kSsa, kGlobal, kConstant, kBlock } kind;
+  std::string token;   // %name / global name / block label
+  Type const_type = Type::kVoid;
+  double const_value = 0.0;
+};
+
+struct PendingInstr {
+  Instruction* instr = nullptr;
+  std::vector<OperandRef> operands;
+  std::vector<std::string> successor_labels;
+  std::vector<std::string> incoming_labels;
+  std::string callee_name;
+  std::size_t line = 0;
+};
+
+OperandRef parse_operand_ref(TokenStream& ts) {
+  const std::string_view tok = ts.peek();
+  if (!tok.empty() && tok.front() == '%') {
+    return {OperandRef::Kind::kSsa, std::string(ts.take()), Type::kVoid, 0.0};
+  }
+  if (!tok.empty() && tok.front() == '@') {
+    return {OperandRef::Kind::kGlobal, std::string(ts.take().substr(1)), Type::kVoid, 0.0};
+  }
+  // Typed literal: "<type> <number>".
+  const Type type = parse_type(ts);
+  const double value = parse_number(ts);
+  return {OperandRef::Kind::kConstant, {}, type, value};
+}
+
+// ---------------------------------------------------------------------------
+// Function-body parser.
+
+class FunctionParser {
+ public:
+  FunctionParser(Module& module, Function& function) : module_(module), function_(function) {}
+
+  void define_argument(Argument* arg) { values_[arg->name()] = arg; }
+
+  BasicBlock* get_block(const std::string& label, std::size_t line) {
+    const auto it = blocks_.find(label);
+    if (it == blocks_.end()) throw ParseError(line, "unknown block label '^" + label + "'");
+    return it->second;
+  }
+
+  BasicBlock* add_block(const std::string& label, std::size_t line) {
+    if (blocks_.contains(label)) throw ParseError(line, "duplicate block '^" + label + "'");
+    BasicBlock* block = function_.add_block(label);
+    blocks_[label] = block;
+    return block;
+  }
+
+  void parse_instruction_line(BasicBlock* block, std::string_view line_text, std::size_t line) {
+    TokenStream ts(tokenize(line_text), line);
+    std::string result_name;
+    if (ts.peek().front() == '%') {
+      result_name = std::string(ts.take());
+      ts.expect("=");
+    }
+    const std::string_view mnemonic = ts.take();
+    const auto opcode = opcode_from_name(mnemonic);
+    if (!opcode) throw ParseError(line, "unknown opcode '" + std::string(mnemonic) + "'");
+
+    PendingInstr pending;
+    pending.line = line;
+
+    switch (*opcode) {
+      case Opcode::kBr: {
+        pending.successor_labels.push_back(take_label(ts));
+        pending.instr = append(block, *opcode, Type::kVoid, result_name);
+        break;
+      }
+      case Opcode::kCondBr: {
+        pending.operands.push_back(parse_operand_ref(ts));
+        ts.expect(",");
+        pending.successor_labels.push_back(take_label(ts));
+        ts.expect(",");
+        pending.successor_labels.push_back(take_label(ts));
+        pending.instr = append(block, *opcode, Type::kVoid, result_name);
+        break;
+      }
+      case Opcode::kRet: {
+        if (!ts.at_end()) pending.operands.push_back(parse_operand_ref(ts));
+        pending.instr = append(block, *opcode, Type::kVoid, result_name);
+        break;
+      }
+      case Opcode::kCall: {
+        const Type ret_type = parse_type(ts);
+        std::string_view callee_tok = ts.take();
+        if (callee_tok.empty() || callee_tok.front() != '@')
+          throw ParseError(line, "call: expected @callee");
+        pending.callee_name = std::string(callee_tok.substr(1));
+        ts.expect("(");
+        if (!ts.accept(")")) {
+          for (;;) {
+            pending.operands.push_back(parse_operand_ref(ts));
+            if (ts.accept(")")) break;
+            ts.expect(",");
+          }
+        }
+        pending.instr = append(block, *opcode, ret_type, result_name);
+        break;
+      }
+      case Opcode::kPhi: {
+        const Type type = parse_type(ts);
+        while (ts.accept("[")) {
+          pending.operands.push_back(parse_operand_ref(ts));
+          ts.expect(",");
+          pending.incoming_labels.push_back(take_label(ts));
+          ts.expect("]");
+          if (!ts.accept(",")) break;
+        }
+        pending.instr = append(block, *opcode, type, result_name);
+        break;
+      }
+      case Opcode::kStore: {
+        pending.operands.push_back(parse_operand_ref(ts));
+        ts.expect(",");
+        pending.operands.push_back(parse_operand_ref(ts));
+        pending.instr = append(block, *opcode, Type::kVoid, result_name);
+        break;
+      }
+      case Opcode::kFence: {
+        pending.instr = append(block, *opcode, Type::kVoid, result_name);
+        break;
+      }
+      default: {
+        // Generic: opcode result-type operand {, operand}.
+        const Type type = parse_type(ts);
+        if (!ts.at_end()) {
+          for (;;) {
+            pending.operands.push_back(parse_operand_ref(ts));
+            if (!ts.accept(",")) break;
+          }
+        }
+        pending.instr = append(block, *opcode, type, result_name);
+        break;
+      }
+    }
+
+    if (!result_name.empty()) {
+      if (values_.contains(result_name))
+        throw ParseError(line, "duplicate SSA name '" + result_name + "'");
+      values_[result_name] = pending.instr;
+    }
+    pending_.push_back(std::move(pending));
+  }
+
+  /// Wire operands / successors / callees once every name exists.
+  void resolve() {
+    for (auto& pending : pending_) {
+      for (const auto& ref : pending.operands) {
+        pending.instr->add_operand(resolve_operand(ref, pending.line));
+      }
+      for (const auto& label : pending.successor_labels)
+        pending.instr->add_successor(get_block(label, pending.line));
+      for (const auto& label : pending.incoming_labels)
+        pending.instr->add_incoming_block(get_block(label, pending.line));
+      if (!pending.callee_name.empty()) {
+        Function* callee = module_.find_function(pending.callee_name);
+        if (callee == nullptr)
+          throw ParseError(pending.line, "unknown callee '@" + pending.callee_name + "'");
+        pending.instr->set_callee(callee);
+      }
+    }
+  }
+
+ private:
+  static std::string take_label(TokenStream& ts) {
+    const std::string_view tok = ts.take();
+    if (tok.empty() || tok.front() != '^')
+      throw ParseError(ts.line(), "expected ^label, got '" + std::string(tok) + "'");
+    return std::string(tok.substr(1));
+  }
+
+  Instruction* append(BasicBlock* block, Opcode op, Type type, const std::string& name) {
+    auto instr = std::make_unique<Instruction>(op, type, name);
+    return block->append(std::move(instr));
+  }
+
+  Value* resolve_operand(const OperandRef& ref, std::size_t line) {
+    switch (ref.kind) {
+      case OperandRef::Kind::kSsa: {
+        const auto it = values_.find(ref.token);
+        if (it == values_.end())
+          throw ParseError(line, "unknown SSA value '" + ref.token + "'");
+        return it->second;
+      }
+      case OperandRef::Kind::kGlobal: {
+        Global* global = module_.find_global(ref.token);
+        if (global == nullptr)
+          throw ParseError(line, "unknown global '@" + ref.token + "'");
+        return global;
+      }
+      case OperandRef::Kind::kConstant:
+        return module_.get_constant(ref.const_type, ref.const_value);
+      case OperandRef::Kind::kBlock:
+        break;
+    }
+    throw ParseError(line, "unresolvable operand");
+  }
+
+  Module& module_;
+  Function& function_;
+  std::unordered_map<std::string, Value*> values_;
+  std::unordered_map<std::string, BasicBlock*> blocks_;
+  std::vector<PendingInstr> pending_;
+};
+
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' || s.front() == '\r'))
+    s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r'))
+    s.remove_suffix(1);
+  return s;
+}
+
+}  // namespace
+
+std::unique_ptr<Module> parse_module(std::string_view text) {
+  Cursor cursor{text};
+  std::unique_ptr<Module> module;
+
+  while (auto raw_line = cursor.next_line()) {
+    const std::size_t line_no = cursor.line - 1;
+    const std::string_view line = trim(*raw_line);
+    if (line.empty() || line.starts_with(";")) continue;
+
+    if (line.starts_with("module")) {
+      const std::size_t first_quote = line.find('"');
+      const std::size_t last_quote = line.rfind('"');
+      if (first_quote == std::string_view::npos || last_quote <= first_quote)
+        throw ParseError(line_no, "malformed module header");
+      module = std::make_unique<Module>(
+          std::string(line.substr(first_quote + 1, last_quote - first_quote - 1)));
+      continue;
+    }
+    if (module == nullptr) throw ParseError(line_no, "expected module header first");
+
+    if (line.starts_with("global")) {
+      TokenStream ts(tokenize(line), line_no);
+      ts.expect("global");
+      const std::string_view name = ts.take();
+      if (name.empty() || name.front() != '@')
+        throw ParseError(line_no, "global: expected @name");
+      module->add_global(std::string(name.substr(1)));
+      continue;
+    }
+
+    if (line.starts_with("declare")) {
+      TokenStream ts(tokenize(line), line_no);
+      ts.expect("declare");
+      const std::string_view name = ts.take();
+      if (name.empty() || name.front() != '@')
+        throw ParseError(line_no, "declare: expected @name");
+      ts.expect("(");
+      std::vector<Type> arg_types;
+      if (!ts.accept(")")) {
+        for (;;) {
+          arg_types.push_back(parse_type(ts));
+          if (ts.accept(")")) break;
+          ts.expect(",");
+        }
+      }
+      ts.expect("->");
+      const Type ret_type = parse_type(ts);
+      Function* decl = module->add_function(std::string(name.substr(1)), ret_type,
+                                            /*is_declaration=*/true);
+      for (std::size_t i = 0; i < arg_types.size(); ++i)
+        decl->add_argument(arg_types[i], "%a" + std::to_string(i));
+      continue;
+    }
+
+    if (line.starts_with("func")) {
+      // Header: func @name(type %arg, ...) -> rettype {
+      TokenStream ts(tokenize(line), line_no);
+      ts.expect("func");
+      const std::string_view name = ts.take();
+      if (name.empty() || name.front() != '@')
+        throw ParseError(line_no, "func: expected @name");
+      ts.expect("(");
+      struct ArgDecl {
+        Type type;
+        std::string name;
+      };
+      std::vector<ArgDecl> args;
+      if (!ts.accept(")")) {
+        for (;;) {
+          const Type type = parse_type(ts);
+          const std::string_view arg_name = ts.take();
+          if (arg_name.empty() || arg_name.front() != '%')
+            throw ParseError(line_no, "func: expected %arg name");
+          args.push_back({type, std::string(arg_name)});
+          if (ts.accept(")")) break;
+          ts.expect(",");
+        }
+      }
+      ts.expect("->");
+      const Type ret_type = parse_type(ts);
+      ts.expect("{");
+
+      Function* function = module->add_function(std::string(name.substr(1)), ret_type);
+      FunctionParser fp(*module, *function);
+      for (const auto& arg : args)
+        fp.define_argument(function->add_argument(arg.type, arg.name));
+
+      // Body until "}".
+      BasicBlock* current = nullptr;
+      for (;;) {
+        auto body_raw = cursor.next_line();
+        if (!body_raw) throw ParseError(cursor.line, "unterminated function body");
+        const std::size_t body_line = cursor.line - 1;
+        const std::string_view body = trim(*body_raw);
+        if (body.empty() || body.starts_with(";")) continue;
+        if (body == "}") break;
+        if (body.front() == '^') {
+          if (body.back() != ':')
+            throw ParseError(body_line, "block label must end with ':'");
+          current = fp.add_block(std::string(body.substr(1, body.size() - 2)), body_line);
+          continue;
+        }
+        if (current == nullptr)
+          throw ParseError(body_line, "instruction before first block label");
+        fp.parse_instruction_line(current, body, body_line);
+      }
+      fp.resolve();
+      continue;
+    }
+
+    throw ParseError(line_no, "unrecognized top-level line: '" + std::string(line) + "'");
+  }
+
+  if (module == nullptr) throw ParseError(1, "empty input");
+  return module;
+}
+
+}  // namespace mga::ir

@@ -1,0 +1,30 @@
+// Parser for the textual mini-IR emitted by printer.cpp. Supports forward
+// references (loop phis naming values defined later) via a two-phase
+// create-then-resolve scheme per function.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "ir/function.hpp"
+
+namespace mga::ir {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t line, const std::string& message)
+      : std::runtime_error("IR parse error at line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parse a whole module; throws ParseError on malformed input.
+[[nodiscard]] std::unique_ptr<Module> parse_module(std::string_view text);
+
+}  // namespace mga::ir

@@ -1,0 +1,140 @@
+#include "ir/printer.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace mga::ir {
+
+namespace {
+
+/// Operand syntax: %ssa, @global_or_function, or a typed literal "i64 7".
+void print_operand(const Value& value, std::ostream& os) {
+  switch (value.kind()) {
+    case ValueKind::kInstruction:
+    case ValueKind::kArgument:
+      os << value.name();
+      return;
+    case ValueKind::kGlobal:
+      os << '@' << value.name();
+      return;
+    case ValueKind::kConstant: {
+      const auto& constant = static_cast<const Constant&>(value);
+      os << type_name(constant.type()) << ' ';
+      if (is_integer(constant.type()))
+        os << static_cast<long long>(constant.value());
+      else
+        os << constant.value();
+      return;
+    }
+  }
+}
+
+void print_instruction(const Instruction& instr, std::ostream& os) {
+  os << "  ";
+  if (!instr.name().empty()) os << instr.name() << " = ";
+
+  const Opcode op = instr.opcode();
+  switch (op) {
+    case Opcode::kBr:
+      os << "br ^" << instr.successors().at(0)->label();
+      return;
+    case Opcode::kCondBr:
+      os << "condbr ";
+      print_operand(*instr.operands().at(0), os);
+      os << ", ^" << instr.successors().at(0)->label() << ", ^"
+         << instr.successors().at(1)->label();
+      return;
+    case Opcode::kRet:
+      os << "ret";
+      if (!instr.operands().empty()) {
+        os << ' ';
+        print_operand(*instr.operands()[0], os);
+      }
+      return;
+    case Opcode::kCall: {
+      os << "call " << type_name(instr.type()) << " @" << instr.callee()->name() << '(';
+      for (std::size_t i = 0; i < instr.operands().size(); ++i) {
+        if (i != 0) os << ", ";
+        print_operand(*instr.operands()[i], os);
+      }
+      os << ')';
+      return;
+    }
+    case Opcode::kPhi: {
+      os << "phi " << type_name(instr.type());
+      for (std::size_t i = 0; i < instr.operands().size(); ++i) {
+        os << (i == 0 ? " [ " : ", [ ");
+        print_operand(*instr.operands()[i], os);
+        os << ", ^" << instr.incoming_blocks().at(i)->label() << " ]";
+      }
+      return;
+    }
+    case Opcode::kStore:
+      os << "store ";
+      print_operand(*instr.operands().at(0), os);
+      os << ", ";
+      print_operand(*instr.operands().at(1), os);
+      return;
+    case Opcode::kFence:
+      os << "fence";
+      return;
+    default: {
+      // Generic form: opcode result-type op1, op2, ...
+      os << opcode_name(op) << ' ' << type_name(instr.type());
+      for (std::size_t i = 0; i < instr.operands().size(); ++i) {
+        os << (i == 0 ? " " : ", ");
+        print_operand(*instr.operands()[i], os);
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void print_function(const Function& function, std::ostream& os) {
+  if (function.is_declaration()) {
+    os << "declare @" << function.name() << '(';
+    for (std::size_t i = 0; i < function.arguments().size(); ++i) {
+      if (i != 0) os << ", ";
+      os << type_name(function.arguments()[i]->type());
+    }
+    os << ") -> " << type_name(function.return_type()) << '\n';
+    return;
+  }
+
+  os << "func @" << function.name() << '(';
+  for (std::size_t i = 0; i < function.arguments().size(); ++i) {
+    if (i != 0) os << ", ";
+    const auto& arg = *function.arguments()[i];
+    os << type_name(arg.type()) << ' ' << arg.name();
+  }
+  os << ") -> " << type_name(function.return_type()) << " {\n";
+  for (const auto& block : function.blocks()) {
+    os << '^' << block->label() << ":\n";
+    for (const auto& instr : block->instructions()) {
+      print_instruction(*instr, os);
+      os << '\n';
+    }
+  }
+  os << "}\n";
+}
+
+void print_module(const Module& module, std::ostream& os) {
+  os << "module \"" << module.name() << "\"\n";
+  for (const auto& global : module.globals()) os << "global @" << global->name() << '\n';
+  for (const auto& function : module.functions()) {
+    os << '\n';
+    print_function(*function, os);
+  }
+}
+
+std::string to_string(const Module& module) {
+  std::ostringstream oss;
+  print_module(module, oss);
+  return oss.str();
+}
+
+}  // namespace mga::ir

@@ -1,0 +1,17 @@
+// Textual form of the mini-IR (LLVM-flavoured). print_module's output is
+// accepted unchanged by parse_module (round-trip tested).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ir/function.hpp"
+
+namespace mga::ir {
+
+void print_module(const Module& module, std::ostream& os);
+[[nodiscard]] std::string to_string(const Module& module);
+
+void print_function(const Function& function, std::ostream& os);
+
+}  // namespace mga::ir

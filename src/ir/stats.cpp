@@ -1,0 +1,49 @@
+#include "ir/stats.hpp"
+
+namespace mga::ir {
+
+namespace {
+
+void accumulate(const Function& function, IRStats& stats) {
+  stats.block_count += function.blocks().size();
+  for (const auto& block : function.blocks()) {
+    for (const auto& instr : block->instructions()) {
+      const Opcode op = instr->opcode();
+      ++stats.opcode_histogram[static_cast<std::size_t>(op)];
+      ++stats.instruction_count;
+      if (is_memory_op(op)) ++stats.memory_ops;
+      if (op == Opcode::kLoad) ++stats.load_count;
+      if (op == Opcode::kStore) ++stats.store_count;
+      if (is_arithmetic(op)) {
+        ++stats.arithmetic_ops;
+        if (is_float_op(op))
+          ++stats.float_ops;
+        else
+          ++stats.int_ops;
+      }
+      if (op == Opcode::kCondBr) ++stats.branch_count;
+      if (op == Opcode::kCall) ++stats.call_count;
+      if (op == Opcode::kPhi) ++stats.phi_count;
+      if (op == Opcode::kAtomicRMW || op == Opcode::kFence) ++stats.atomic_count;
+      stats.max_operand_count =
+          std::max(stats.max_operand_count, instr->operands().size());
+    }
+  }
+}
+
+}  // namespace
+
+IRStats compute_stats(const Function& function) {
+  IRStats stats;
+  accumulate(function, stats);
+  return stats;
+}
+
+IRStats compute_stats(const Module& module) {
+  IRStats stats;
+  for (const auto& function : module.functions())
+    if (!function->is_declaration()) accumulate(*function, stats);
+  return stats;
+}
+
+}  // namespace mga::ir

@@ -1,0 +1,50 @@
+// Static feature extraction over mini-IR: opcode histograms and the derived
+// ratios used by (a) the hardware simulator's workload coupling checks and
+// (b) the Grewe et al. handcrafted-feature baseline for device mapping.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "ir/function.hpp"
+
+namespace mga::ir {
+
+struct IRStats {
+  std::array<std::size_t, kNumOpcodes> opcode_histogram{};
+  std::size_t instruction_count = 0;
+  std::size_t block_count = 0;
+  std::size_t memory_ops = 0;     // load/store/gep/alloca/atomics
+  std::size_t load_count = 0;
+  std::size_t store_count = 0;
+  std::size_t arithmetic_ops = 0;
+  std::size_t float_ops = 0;
+  std::size_t int_ops = 0;
+  std::size_t branch_count = 0;   // conditional branches
+  std::size_t call_count = 0;
+  std::size_t phi_count = 0;
+  std::size_t atomic_count = 0;
+  std::size_t max_operand_count = 0;
+
+  /// Grewe-style derived ratios (guarded against division by zero).
+  [[nodiscard]] double compute_to_memory_ratio() const noexcept {
+    return memory_ops == 0 ? static_cast<double>(arithmetic_ops)
+                           : static_cast<double>(arithmetic_ops) /
+                                 static_cast<double>(memory_ops);
+  }
+  [[nodiscard]] double branch_density() const noexcept {
+    return instruction_count == 0 ? 0.0
+                                  : static_cast<double>(branch_count) /
+                                        static_cast<double>(instruction_count);
+  }
+  [[nodiscard]] double float_fraction() const noexcept {
+    return arithmetic_ops == 0 ? 0.0
+                               : static_cast<double>(float_ops) /
+                                     static_cast<double>(arithmetic_ops);
+  }
+};
+
+[[nodiscard]] IRStats compute_stats(const Function& function);
+[[nodiscard]] IRStats compute_stats(const Module& module);
+
+}  // namespace mga::ir

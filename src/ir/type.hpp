@@ -1,0 +1,33 @@
+// Value types of the mini-IR. Pointers are opaque (as in modern LLVM), which
+// is all the graph/embedding consumers need.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace mga::ir {
+
+enum class Type {
+  kVoid,
+  kI1,   // booleans / compare results
+  kI32,
+  kI64,  // induction variables, sizes
+  kF32,
+  kF64,
+  kPtr,
+};
+
+inline constexpr std::size_t kNumTypes = 7;
+
+[[nodiscard]] std::string_view type_name(Type type) noexcept;
+[[nodiscard]] std::optional<Type> type_from_name(std::string_view name) noexcept;
+
+[[nodiscard]] constexpr bool is_integer(Type t) noexcept {
+  return t == Type::kI1 || t == Type::kI32 || t == Type::kI64;
+}
+
+[[nodiscard]] constexpr bool is_float(Type t) noexcept {
+  return t == Type::kF32 || t == Type::kF64;
+}
+
+}  // namespace mga::ir

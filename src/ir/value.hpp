@@ -1,0 +1,114 @@
+// Value hierarchy of the mini-IR: constants, function arguments, globals and
+// instructions are all Values; instructions reference their operands as
+// non-owning Value pointers (ownership lives in Module/Function/BasicBlock).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/opcode.hpp"
+#include "ir/type.hpp"
+
+namespace mga::ir {
+
+class BasicBlock;
+class Function;
+
+enum class ValueKind { kConstant, kArgument, kGlobal, kInstruction };
+
+class Value {
+ public:
+  Value(ValueKind kind, Type type, std::string name)
+      : kind_(kind), type_(type), name_(std::move(name)) {}
+  virtual ~Value() = default;
+
+  Value(const Value&) = delete;
+  Value& operator=(const Value&) = delete;
+
+  [[nodiscard]] ValueKind kind() const noexcept { return kind_; }
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+ private:
+  ValueKind kind_;
+  Type type_;
+  std::string name_;
+};
+
+/// Immediate constant (integer or float payload, by type).
+class Constant final : public Value {
+ public:
+  Constant(Type type, double value, std::string name)
+      : Value(ValueKind::kConstant, type, std::move(name)), value_(value) {}
+
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_;
+};
+
+/// Formal parameter of a function.
+class Argument final : public Value {
+ public:
+  Argument(Type type, std::string name, std::size_t index)
+      : Value(ValueKind::kArgument, type, std::move(name)), index_(index) {}
+
+  [[nodiscard]] std::size_t index() const noexcept { return index_; }
+
+ private:
+  std::size_t index_;
+};
+
+/// Module-level global (arrays the kernels operate on). Always pointer-typed.
+class Global final : public Value {
+ public:
+  explicit Global(std::string name) : Value(ValueKind::kGlobal, Type::kPtr, std::move(name)) {}
+};
+
+/// An SSA instruction. Operands are non-owning; control-flow targets are kept
+/// separately (block pointers), matching how PROGRAML distinguishes data and
+/// control relations.
+class Instruction final : public Value {
+ public:
+  Instruction(Opcode op, Type type, std::string name)
+      : Value(ValueKind::kInstruction, type, std::move(name)), opcode_(op) {}
+
+  [[nodiscard]] Opcode opcode() const noexcept { return opcode_; }
+
+  [[nodiscard]] const std::vector<Value*>& operands() const noexcept { return operands_; }
+  void add_operand(Value* v) { operands_.push_back(v); }
+
+  [[nodiscard]] const std::vector<BasicBlock*>& successors() const noexcept {
+    return successors_;
+  }
+  void add_successor(BasicBlock* block) { successors_.push_back(block); }
+
+  /// For kCall: the callee (may be a declaration). Null otherwise.
+  [[nodiscard]] Function* callee() const noexcept { return callee_; }
+  void set_callee(Function* fn) noexcept { callee_ = fn; }
+
+  /// For kPhi: incoming blocks, parallel to operands().
+  [[nodiscard]] const std::vector<BasicBlock*>& incoming_blocks() const noexcept {
+    return incoming_blocks_;
+  }
+  void add_incoming_block(BasicBlock* block) { incoming_blocks_.push_back(block); }
+
+  /// Owning basic block (set on insertion).
+  [[nodiscard]] BasicBlock* parent() const noexcept { return parent_; }
+  void set_parent(BasicBlock* block) noexcept { parent_ = block; }
+
+  [[nodiscard]] bool is_terminator_instr() const noexcept { return is_terminator(opcode_); }
+
+ private:
+  Opcode opcode_;
+  std::vector<Value*> operands_;
+  std::vector<BasicBlock*> successors_;
+  std::vector<BasicBlock*> incoming_blocks_;
+  Function* callee_ = nullptr;
+  BasicBlock* parent_ = nullptr;
+};
+
+}  // namespace mga::ir

@@ -1,0 +1,105 @@
+#include "ir/verifier.hpp"
+
+#include <unordered_set>
+
+namespace mga::ir {
+
+namespace {
+
+void verify_function(const Function& fn, std::vector<std::string>& errors) {
+  const auto report = [&](const std::string& message) {
+    errors.push_back("@" + fn.name() + ": " + message);
+  };
+
+  if (fn.is_declaration()) {
+    if (!fn.blocks().empty()) report("declaration must not have a body");
+    return;
+  }
+  if (fn.blocks().empty()) {
+    report("definition must have at least one block");
+    return;
+  }
+
+  // Collect blocks for successor validation.
+  std::unordered_set<const BasicBlock*> block_set;
+  for (const auto& block : fn.blocks()) block_set.insert(block.get());
+
+  std::unordered_set<std::string> ssa_names;
+
+  for (const auto& block : fn.blocks()) {
+    const std::string where = "^" + block->label();
+    if (block->empty()) {
+      report(where + ": empty block");
+      continue;
+    }
+    if (block->terminator() == nullptr) report(where + ": missing terminator");
+
+    bool seen_non_phi = false;
+    for (std::size_t idx = 0; idx < block->instructions().size(); ++idx) {
+      const Instruction& instr = *block->instructions()[idx];
+
+      // Terminators only at the end.
+      if (instr.is_terminator_instr() && idx + 1 != block->instructions().size())
+        report(where + ": terminator before end of block");
+
+      // Phis must lead the block.
+      if (instr.opcode() == Opcode::kPhi) {
+        if (seen_non_phi) report(where + ": phi after non-phi instruction");
+        if (instr.operands().size() != instr.incoming_blocks().size() ||
+            instr.operands().empty())
+          report(where + ": phi incoming arity mismatch");
+        for (const Value* incoming : instr.operands())
+          if (incoming->type() != instr.type())
+            report(where + ": phi incoming type mismatch");
+      } else {
+        seen_non_phi = true;
+      }
+
+      // SSA names unique; value-producing instructions must be named.
+      if (instr.type() != Type::kVoid) {
+        if (instr.name().empty())
+          report(where + ": value-producing instruction without a name");
+        else if (!ssa_names.insert(instr.name()).second)
+          report(where + ": duplicate SSA name " + instr.name());
+      }
+
+      // Successor edges must point into this function.
+      for (const BasicBlock* successor : instr.successors())
+        if (!block_set.contains(successor))
+          report(where + ": successor outside function");
+      if (instr.opcode() == Opcode::kBr && instr.successors().size() != 1)
+        report(where + ": br must have exactly one successor");
+      if (instr.opcode() == Opcode::kCondBr && instr.successors().size() != 2)
+        report(where + ": condbr must have exactly two successors");
+
+      // Calls must carry a callee with matching arity.
+      if (instr.opcode() == Opcode::kCall) {
+        if (instr.callee() == nullptr) {
+          report(where + ": call without callee");
+        } else if (instr.callee()->arguments().size() != instr.operands().size()) {
+          report(where + ": call arity mismatch to @" + instr.callee()->name());
+        }
+      }
+
+      // Operand sanity: void values must never be used as operands.
+      for (const Value* operand : instr.operands())
+        if (operand->type() == Type::kVoid)
+          report(where + ": void value used as operand");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> verify_module(const Module& module) {
+  std::vector<std::string> errors;
+  std::unordered_set<std::string> function_names;
+  for (const auto& fn : module.functions()) {
+    if (!function_names.insert(fn->name()).second)
+      errors.push_back("duplicate function @" + fn->name());
+    verify_function(*fn, errors);
+  }
+  return errors;
+}
+
+}  // namespace mga::ir

@@ -1,0 +1,21 @@
+// Structural well-formedness checks for mini-IR modules. The corpus
+// generators run every emitted module through this before it reaches the
+// representation layers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace mga::ir {
+
+/// Collected diagnostics; empty means the module verified clean.
+[[nodiscard]] std::vector<std::string> verify_module(const Module& module);
+
+/// Convenience predicate.
+[[nodiscard]] inline bool is_well_formed(const Module& module) {
+  return verify_module(module).empty();
+}
+
+}  // namespace mga::ir

@@ -1,0 +1,114 @@
+#include "ir2vec/encoder.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace mga::ir2vec {
+
+const std::vector<float>& SeedVocabulary::embedding(const std::string& entity) const {
+  for (const auto& [key, vec] : cache_)
+    if (key == entity) return vec;
+
+  // Deterministic per-entity vector: RNG seeded by the entity's stable hash,
+  // scaled to keep the expected vector norm ~1 regardless of kDim.
+  util::Rng rng(util::fnv1a(entity));
+  std::vector<float> vec(kDim);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(kDim));
+  for (auto& x : vec) x = static_cast<float>(rng.normal(0.0, scale));
+  cache_.emplace_back(entity, std::move(vec));
+  return cache_.back().second;
+}
+
+namespace {
+
+void axpy(std::vector<float>& acc, float alpha, const std::vector<float>& x) {
+  for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += alpha * x[i];
+}
+
+void l2_normalize(std::vector<float>& vec) {
+  double norm_sq = 0.0;
+  for (const float x : vec) norm_sq += static_cast<double>(x) * x;
+  if (norm_sq <= 0.0) return;
+  const auto inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+  for (auto& x : vec) x *= inv;
+}
+
+[[nodiscard]] std::string operand_entity(const ir::Value& operand) {
+  switch (operand.kind()) {
+    case ir::ValueKind::kInstruction:
+      return "arg:ssa";
+    case ir::ValueKind::kArgument:
+      return "arg:param";
+    case ir::ValueKind::kGlobal:
+      return "arg:global";
+    case ir::ValueKind::kConstant:
+      return "arg:const:" + std::string(ir::type_name(operand.type()));
+  }
+  return "arg:unknown";
+}
+
+}  // namespace
+
+std::vector<float> Encoder::encode_function(const ir::Function& function) const {
+  MGA_CHECK_MSG(!function.is_declaration(), "cannot encode a declaration");
+
+  // Symbolic (seed) encoding per instruction.
+  std::vector<const ir::Instruction*> instrs;
+  std::unordered_map<const ir::Instruction*, std::size_t> index;
+  for (const auto& block : function.blocks())
+    for (const auto& instr : block->instructions()) {
+      index[instr.get()] = instrs.size();
+      instrs.push_back(instr.get());
+    }
+
+  std::vector<std::vector<float>> base(instrs.size(), std::vector<float>(kDim, 0.0f));
+  for (std::size_t i = 0; i < instrs.size(); ++i) {
+    const ir::Instruction& instr = *instrs[i];
+    axpy(base[i], kOpcodeWeight,
+         vocabulary_.embedding("opcode:" + std::string(ir::opcode_name(instr.opcode()))));
+    axpy(base[i], kTypeWeight,
+         vocabulary_.embedding("type:" + std::string(ir::type_name(instr.type()))));
+    for (const ir::Value* operand : instr.operands())
+      axpy(base[i], kArgWeight, vocabulary_.embedding(operand_entity(*operand)));
+  }
+
+  // Flow-aware propagation along use-def chains: each pass folds the current
+  // vectors of operand definitions into the user's vector.
+  std::vector<std::vector<float>> current = base;
+  for (int pass = 0; pass < options_.flow_iterations; ++pass) {
+    std::vector<std::vector<float>> next = base;
+    for (std::size_t i = 0; i < instrs.size(); ++i) {
+      for (const ir::Value* operand : instrs[i]->operands()) {
+        if (operand->kind() != ir::ValueKind::kInstruction) continue;
+        const auto it = index.find(static_cast<const ir::Instruction*>(operand));
+        if (it == index.end()) continue;  // defined in another function
+        axpy(next[i], options_.flow_decay, current[it->second]);
+      }
+    }
+    current = std::move(next);
+  }
+
+  // Region vector = sum over instructions, normalized.
+  std::vector<float> region(kDim, 0.0f);
+  for (const auto& vec : current) axpy(region, 1.0f, vec);
+  l2_normalize(region);
+  return region;
+}
+
+std::vector<float> Encoder::encode_module(const ir::Module& module) const {
+  std::vector<float> acc(kDim, 0.0f);
+  bool any = false;
+  for (const auto& fn : module.functions()) {
+    if (fn->is_declaration()) continue;
+    axpy(acc, 1.0f, encode_function(*fn));
+    any = true;
+  }
+  MGA_CHECK_MSG(any, "module has no defined functions");
+  l2_normalize(acc);
+  return acc;
+}
+
+}  // namespace mga::ir2vec

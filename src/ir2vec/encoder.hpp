@@ -1,0 +1,64 @@
+// IR2Vec-style distributed program vectors (VenkataKeerthy et al., TACO'20),
+// the second modality of the MGA tuner.
+//
+// Recipe (scaled-down but structurally faithful):
+//  1. a *seed embedding vocabulary* assigns a deterministic dense vector to
+//     every IR entity (opcode, type, operand kind);
+//  2. each instruction is encoded as Wo·E(opcode) + Wt·E(type) + Wa·ΣE(arg);
+//  3. a *flow-aware* fixpoint propagates operand-definition vectors along
+//     use-def chains (this is what distinguishes IR2Vec from bag-of-opcodes);
+//  4. region/function vectors are the sum of their instruction vectors,
+//     L2-normalized.
+#pragma once
+
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace mga::ir2vec {
+
+/// Embedding dimensionality (paper uses 300; a capacity knob, see DESIGN.md).
+inline constexpr std::size_t kDim = 64;
+
+/// Entity weights from the IR2Vec paper.
+inline constexpr float kOpcodeWeight = 1.0f;
+inline constexpr float kTypeWeight = 0.5f;
+inline constexpr float kArgWeight = 0.2f;
+
+/// Deterministic seed vocabulary: entity string -> dense vector. The same
+/// entity always maps to the same vector across processes and runs.
+class SeedVocabulary {
+ public:
+  SeedVocabulary() = default;
+
+  /// Embedding for an entity key such as "opcode:fmul" or "type:f64".
+  /// Vectors are memoized; lookups after the first are O(1).
+  [[nodiscard]] const std::vector<float>& embedding(const std::string& entity) const;
+
+ private:
+  mutable std::vector<std::pair<std::string, std::vector<float>>> cache_;
+};
+
+struct EncoderOptions {
+  /// Use-def propagation passes (flow-aware component). 0 = symbolic only.
+  int flow_iterations = 2;
+  /// Contribution of operand definitions per pass.
+  float flow_decay = 0.2f;
+};
+
+class Encoder {
+ public:
+  explicit Encoder(EncoderOptions options = {}) : options_(options) {}
+
+  /// Function-level program vector (L2-normalized, dimension kDim).
+  [[nodiscard]] std::vector<float> encode_function(const ir::Function& function) const;
+
+  /// Module vector: sum of defined-function vectors, L2-normalized.
+  [[nodiscard]] std::vector<float> encode_module(const ir::Module& module) const;
+
+ private:
+  SeedVocabulary vocabulary_;
+  EncoderOptions options_;
+};
+
+}  // namespace mga::ir2vec

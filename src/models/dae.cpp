@@ -1,0 +1,95 @@
+#include "models/dae.hpp"
+
+#include "util/check.hpp"
+
+namespace mga::models {
+
+DenoisingAutoencoder::DenoisingAutoencoder(util::Rng& rng, DaeConfig config)
+    : config_(config),
+      encoder_in_(rng, config.input_dim, config.hidden_dim),
+      encoder_code_(rng, config.hidden_dim, config.code_dim),
+      decoder_hidden_(rng, config.code_dim, config.hidden_dim),
+      decoder_out_(rng, config.hidden_dim, config.input_dim) {}
+
+namespace {
+
+nn::Tensor rows_to_tensor(const std::vector<std::vector<float>>& rows) {
+  MGA_CHECK(!rows.empty());
+  const std::size_t cols = rows.front().size();
+  std::vector<float> flat;
+  flat.reserve(rows.size() * cols);
+  for (const auto& row : rows) {
+    MGA_CHECK_MSG(row.size() == cols, "ragged rows");
+    flat.insert(flat.end(), row.begin(), row.end());
+  }
+  return nn::Tensor::from_data(std::move(flat), rows.size(), cols);
+}
+
+}  // namespace
+
+std::vector<std::vector<float>> apply_swap_noise(const std::vector<std::vector<float>>& rows,
+                                                 float probability, util::Rng& rng) {
+  MGA_CHECK(probability >= 0.0f && probability < 1.0f);
+  std::vector<std::vector<float>> corrupted = rows;
+  if (rows.size() < 2) return corrupted;
+  for (std::size_t r = 0; r < rows.size(); ++r)
+    for (std::size_t c = 0; c < rows[r].size(); ++c)
+      if (rng.bernoulli(probability)) {
+        const std::size_t donor = rng.uniform_index(rows.size());
+        corrupted[r][c] = rows[donor][c];
+      }
+  return corrupted;
+}
+
+nn::Tensor DenoisingAutoencoder::encode_tensor(const nn::Tensor& batch) const {
+  const nn::Tensor hidden = nn::sigmoid(encoder_in_.forward(batch));
+  return nn::sigmoid(encoder_code_.forward(hidden));
+}
+
+nn::Tensor DenoisingAutoencoder::reconstruct(const nn::Tensor& batch) const {
+  const nn::Tensor code = encode_tensor(batch);
+  const nn::Tensor hidden = nn::sigmoid(decoder_hidden_.forward(code));
+  return decoder_out_.forward(hidden);
+}
+
+double DenoisingAutoencoder::pretrain(const std::vector<std::vector<float>>& rows,
+                                      util::Rng& rng) {
+  MGA_CHECK_MSG(rows.size() >= 2, "DAE pretraining needs at least two rows");
+  nn::AdamWConfig opt_config;
+  opt_config.learning_rate = config_.learning_rate;
+  nn::AdamW optimizer(parameters(), opt_config);
+
+  const nn::Tensor clean = rows_to_tensor(rows);
+  double last_loss = 0.0;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    const nn::Tensor corrupted =
+        rows_to_tensor(apply_swap_noise(rows, config_.swap_noise, rng));
+    const nn::Tensor output = reconstruct(corrupted);
+    nn::Tensor loss = nn::mse_loss(output, clean);
+    optimizer.zero_grad();
+    loss.backward();
+    optimizer.step();
+    last_loss = loss.item();
+  }
+  return last_loss;
+}
+
+nn::Tensor DenoisingAutoencoder::encode(const std::vector<float>& row) const {
+  return encode_tensor(nn::Tensor::from_data(std::vector<float>(row), 1, row.size()));
+}
+
+nn::Tensor DenoisingAutoencoder::encode_batch(
+    const std::vector<std::vector<float>>& rows) const {
+  return encode_tensor(rows_to_tensor(rows));
+}
+
+std::vector<nn::Tensor> DenoisingAutoencoder::parameters() const {
+  std::vector<nn::Tensor> params;
+  nn::collect(params, encoder_in_.parameters());
+  nn::collect(params, encoder_code_.parameters());
+  nn::collect(params, decoder_hidden_.parameters());
+  nn::collect(params, decoder_out_.parameters());
+  return params;
+}
+
+}  // namespace mga::models

@@ -1,0 +1,63 @@
+// Denoising autoencoder over IR2Vec program vectors (§3.2).
+//
+// Training is self-supervised: inputs are Gaussian-rank scaled, corrupted
+// with *swap noise* (each feature is, with probability p, replaced by the
+// same feature's value in a random other training row — the Porto Seguro
+// recipe the paper cites), and the model reconstructs the uncorrupted input
+// under MSE. The code layer (paper: 3 hidden layers, sigmoid activations)
+// then serves as the frozen vector-modality encoder for late fusion.
+#pragma once
+
+#include <vector>
+
+#include "nn/layers.hpp"
+#include "nn/optim.hpp"
+
+namespace mga::models {
+
+struct DaeConfig {
+  std::size_t input_dim = 64;   // ir2vec::kDim
+  std::size_t hidden_dim = 48;
+  std::size_t code_dim = 24;
+  float swap_noise = 0.10f;     // fraction of features swapped per row
+  double learning_rate = 3e-3;
+  int epochs = 60;
+};
+
+class DenoisingAutoencoder {
+ public:
+  DenoisingAutoencoder(util::Rng& rng, DaeConfig config);
+
+  /// Self-supervised pretraining on row-major (already rank-scaled) data.
+  /// Returns the final reconstruction loss.
+  double pretrain(const std::vector<std::vector<float>>& rows, util::Rng& rng);
+
+  /// Encode one input to its code-layer representation: [1, code_dim].
+  [[nodiscard]] nn::Tensor encode(const std::vector<float>& row) const;
+
+  /// Encode a batch: [n, code_dim].
+  [[nodiscard]] nn::Tensor encode_batch(const std::vector<std::vector<float>>& rows) const;
+
+  /// Full forward (encode + decode) of a batch tensor, used by pretraining
+  /// and reconstruction tests.
+  [[nodiscard]] nn::Tensor reconstruct(const nn::Tensor& batch) const;
+
+  [[nodiscard]] std::vector<nn::Tensor> parameters() const;
+  [[nodiscard]] const DaeConfig& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] nn::Tensor encode_tensor(const nn::Tensor& batch) const;
+
+  DaeConfig config_;
+  nn::Linear encoder_in_;    // input -> hidden
+  nn::Linear encoder_code_;  // hidden -> code
+  nn::Linear decoder_hidden_;  // code -> hidden
+  nn::Linear decoder_out_;   // hidden -> input
+};
+
+/// Swap-noise corruption: for each cell, with probability p substitute the
+/// value of the same column from a random other row. Exposed for tests.
+[[nodiscard]] std::vector<std::vector<float>> apply_swap_noise(
+    const std::vector<std::vector<float>>& rows, float probability, util::Rng& rng);
+
+}  // namespace mga::models

@@ -1,0 +1,143 @@
+#include "models/gnn.hpp"
+
+#include "util/check.hpp"
+
+namespace mga::models {
+
+const char* gnn_kind_name(GnnKind kind) noexcept {
+  switch (kind) {
+    case GnnKind::kGcn: return "gcn";
+    case GnnKind::kSage: return "graphsage";
+    case GnnKind::kGat: return "gat";
+    case GnnKind::kGgnn: return "ggnn";
+  }
+  return "?";
+}
+
+RelationLayer::RelationLayer(util::Rng& rng, GnnKind kind, std::size_t dim)
+    : kind_(kind),
+      message_(rng, dim, dim),
+      attention_src_(nn::Tensor::randn(rng, dim, 1, 0.2f, /*requires_grad=*/true)),
+      attention_dst_(nn::Tensor::randn(rng, dim, 1, 0.2f, /*requires_grad=*/true)) {}
+
+nn::Tensor RelationLayer::forward(const nn::Tensor& node_states,
+                                  const programl::ProgramGraph::RelationEdges& edges,
+                                  std::size_t num_nodes) const {
+  MGA_CHECK(node_states.rows() == num_nodes);
+  if (edges.sources.empty()) {
+    // Relation absent from this graph: contribute a zero message field.
+    return nn::Tensor::zeros(num_nodes, node_states.cols());
+  }
+
+  switch (kind_) {
+    case GnnKind::kGcn:
+    case GnnKind::kSage:
+    case GnnKind::kGgnn: {
+      // m_v = mean_{(u,v) in E} W h_u. (GCN's symmetric normalization is
+      // approximated by mean aggregation; SAGE-mean is exactly this.)
+      const nn::Tensor source_states = nn::gather_rows(node_states, edges.sources);
+      const nn::Tensor messages = message_.forward(source_states);
+      return nn::scatter_mean(messages, edges.targets, num_nodes);
+    }
+    case GnnKind::kGat: {
+      // Single-head additive attention: e_uv = leaky_relu(a_s.Wh_u + a_d.Wh_v),
+      // alpha = softmax over incoming edges of v.
+      const nn::Tensor transformed = message_.forward(node_states);  // [n, d]
+      const nn::Tensor src_h = nn::gather_rows(transformed, edges.sources);  // [m, d]
+      const nn::Tensor score_src = nn::matmul(src_h, attention_src_);        // [m, 1]
+      const nn::Tensor dst_scores = nn::matmul(transformed, attention_dst_); // [n, 1]
+      const nn::Tensor score_dst = nn::gather_rows(dst_scores, edges.targets);
+      const nn::Tensor logits = nn::leaky_relu(nn::add(score_src, score_dst));
+      const nn::Tensor exp_logits = nn::exp_op(logits);                      // [m, 1]
+      const nn::Tensor denom = nn::scatter_sum(exp_logits, edges.targets, num_nodes);
+      const nn::Tensor denom_per_edge = nn::gather_rows(denom, edges.targets);
+      const nn::Tensor alpha = nn::div(exp_logits, denom_per_edge);          // [m, 1]
+      // Broadcast alpha across feature columns.
+      const nn::Tensor alpha_wide = nn::matmul(
+          alpha, nn::Tensor::full(1, src_h.cols(), 1.0f));
+      const nn::Tensor weighted = nn::mul(src_h, alpha_wide);
+      return nn::scatter_sum(weighted, edges.targets, num_nodes);
+    }
+  }
+  MGA_CHECK_MSG(false, "unhandled GnnKind");
+  return {};
+}
+
+std::vector<nn::Tensor> RelationLayer::parameters() const {
+  std::vector<nn::Tensor> params = message_.parameters();
+  if (kind_ == GnnKind::kGat) {
+    params.push_back(attention_src_);
+    params.push_back(attention_dst_);
+  }
+  return params;
+}
+
+HeteroGnn::HeteroGnn(util::Rng& rng, HeteroGnnConfig config)
+    : config_(config),
+      embedding_(nn::Tensor::randn(rng, programl::node_vocabulary_size(), config.hidden_dim,
+                                   0.3f, /*requires_grad=*/true)),
+      readout_(rng, config.hidden_dim, config.output_dim) {
+  MGA_CHECK(config.layers >= 1);
+  for (int layer = 0; layer < config.layers; ++layer) {
+    Layer l;
+    for (std::size_t r = 0; r < programl::kNumEdgeTypes; ++r)
+      l.relations.emplace_back(rng, config.kind, config.hidden_dim);
+    if (config.kind == GnnKind::kGgnn) {
+      l.update = std::make_unique<nn::GruCell>(rng, config.hidden_dim, config.hidden_dim);
+    } else {
+      // Non-gated variants combine self state and messages linearly.
+      l.combine = std::make_unique<nn::Linear>(rng, 2 * config.hidden_dim, config.hidden_dim);
+    }
+    layers_.push_back(std::move(l));
+  }
+}
+
+nn::Tensor HeteroGnn::forward(const programl::ProgramGraph& graph) const {
+  MGA_CHECK_MSG(graph.node_count() > 0, "HeteroGnn: empty graph");
+  const std::size_t n = graph.node_count();
+
+  // Initial node states: vocabulary embedding lookup.
+  std::vector<int> feature_index(n);
+  for (std::size_t i = 0; i < n; ++i)
+    feature_index[i] = static_cast<int>(programl::node_feature_index(graph.nodes[i]));
+  nn::Tensor states = nn::gather_rows(embedding_, feature_index);
+
+  // Per-relation edge lists, extracted once.
+  const std::array<programl::ProgramGraph::RelationEdges, programl::kNumEdgeTypes> edges = {
+      graph.relation(programl::EdgeType::kControl),
+      graph.relation(programl::EdgeType::kData),
+      graph.relation(programl::EdgeType::kCall),
+  };
+
+  for (const Layer& layer : layers_) {
+    // Mean over the three relation fields ("mean" aggregation scheme, §3.2).
+    nn::Tensor aggregated;
+    for (std::size_t r = 0; r < programl::kNumEdgeTypes; ++r) {
+      nn::Tensor field = layer.relations[r].forward(states, edges[r], n);
+      aggregated = aggregated.defined() ? nn::add(aggregated, field) : field;
+    }
+    aggregated = nn::scale(aggregated, 1.0f / static_cast<float>(programl::kNumEdgeTypes));
+
+    if (layer.update != nullptr) {
+      states = layer.update->forward(aggregated, states);
+    } else {
+      states = nn::relu(layer.combine->forward(nn::concat_cols(states, aggregated)));
+    }
+  }
+
+  // Mean-pool readout over all nodes -> graph embedding.
+  return nn::tanh_op(readout_.forward(nn::mean_rows(states)));
+}
+
+std::vector<nn::Tensor> HeteroGnn::parameters() const {
+  std::vector<nn::Tensor> params = {embedding_};
+  for (const Layer& layer : layers_) {
+    for (const auto& relation : layer.relations) nn::collect(params, relation.parameters());
+    if (layer.update != nullptr) nn::collect(params, layer.update->parameters());
+    if (layer.combine != nullptr) nn::collect(params, layer.combine->parameters());
+  }
+  nn::collect(params, readout_.parameters());
+  return params;
+}
+
+}  // namespace mga::models

@@ -1,0 +1,53 @@
+#include "nn/layers.hpp"
+
+#include "util/check.hpp"
+
+namespace mga::nn {
+
+Linear::Linear(util::Rng& rng, std::size_t in_features, std::size_t out_features)
+    : weight_(Tensor::xavier(rng, in_features, out_features)),
+      bias_(Tensor::zeros(1, out_features, /*requires_grad=*/true)) {}
+
+Tensor Linear::forward(const Tensor& x) const {
+  MGA_CHECK_MSG(x.cols() == weight_.rows(), "Linear: input feature size mismatch");
+  return add_bias(matmul(x, weight_), bias_);
+}
+
+GruCell::GruCell(util::Rng& rng, std::size_t input_dim, std::size_t hidden_dim)
+    : w_update_(Tensor::xavier(rng, input_dim, hidden_dim)),
+      u_update_(Tensor::xavier(rng, hidden_dim, hidden_dim)),
+      b_update_(Tensor::zeros(1, hidden_dim, /*requires_grad=*/true)),
+      w_reset_(Tensor::xavier(rng, input_dim, hidden_dim)),
+      u_reset_(Tensor::xavier(rng, hidden_dim, hidden_dim)),
+      b_reset_(Tensor::zeros(1, hidden_dim, /*requires_grad=*/true)),
+      w_cand_(Tensor::xavier(rng, input_dim, hidden_dim)),
+      u_cand_(Tensor::xavier(rng, hidden_dim, hidden_dim)),
+      b_cand_(Tensor::zeros(1, hidden_dim, /*requires_grad=*/true)) {}
+
+Tensor GruCell::forward(const Tensor& input, const Tensor& hidden) const {
+  MGA_CHECK_MSG(input.rows() == hidden.rows(), "GruCell: batch size mismatch");
+  MGA_CHECK_MSG(input.cols() == w_update_.rows(), "GruCell: input dim mismatch");
+  MGA_CHECK_MSG(hidden.cols() == u_update_.rows(), "GruCell: hidden dim mismatch");
+
+  const Tensor z =
+      sigmoid(add_bias(add(matmul(input, w_update_), matmul(hidden, u_update_)), b_update_));
+  const Tensor r =
+      sigmoid(add_bias(add(matmul(input, w_reset_), matmul(hidden, u_reset_)), b_reset_));
+  const Tensor candidate = tanh_op(
+      add_bias(add(matmul(input, w_cand_), matmul(mul(r, hidden), u_cand_)), b_cand_));
+
+  // h' = (1 - z) * h + z * candidate
+  const Tensor ones = Tensor::full(z.rows(), z.cols(), 1.0f);
+  return add(mul(sub(ones, z), hidden), mul(z, candidate));
+}
+
+std::vector<Tensor> GruCell::parameters() const {
+  return {w_update_, u_update_, b_update_, w_reset_, u_reset_,
+          b_reset_,  w_cand_,   u_cand_,   b_cand_};
+}
+
+void collect(std::vector<Tensor>& all_params, const std::vector<Tensor>& layer_params) {
+  all_params.insert(all_params.end(), layer_params.begin(), layer_params.end());
+}
+
+}  // namespace mga::nn

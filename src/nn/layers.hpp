@@ -1,0 +1,50 @@
+// Trainable layers built on the op vocabulary. Layers own their parameter
+// tensors and expose them via parameters() so optimizers can update them.
+#pragma once
+
+#include <vector>
+
+#include "nn/ops.hpp"
+#include "nn/tensor.hpp"
+
+namespace mga::nn {
+
+/// Fully connected layer: y = x W + b.
+class Linear {
+ public:
+  Linear(util::Rng& rng, std::size_t in_features, std::size_t out_features);
+
+  [[nodiscard]] Tensor forward(const Tensor& x) const;
+
+  [[nodiscard]] std::vector<Tensor> parameters() const { return {weight_, bias_}; }
+  [[nodiscard]] std::size_t in_features() const noexcept { return weight_.rows(); }
+  [[nodiscard]] std::size_t out_features() const noexcept { return weight_.cols(); }
+
+ private:
+  Tensor weight_;  // [in, out]
+  Tensor bias_;    // [1, out]
+};
+
+/// GRU cell used by the gated graph convolution (GGNN): given the aggregated
+/// neighbour message m and the previous node state h, computes the gated
+/// update h' = (1-z) * h + z * tanh(...). Operates on [n, dim] batches.
+class GruCell {
+ public:
+  GruCell(util::Rng& rng, std::size_t input_dim, std::size_t hidden_dim);
+
+  [[nodiscard]] Tensor forward(const Tensor& input, const Tensor& hidden) const;
+
+  [[nodiscard]] std::vector<Tensor> parameters() const;
+  [[nodiscard]] std::size_t hidden_dim() const noexcept { return w_update_.cols(); }
+
+ private:
+  // Update gate z, reset gate r, candidate state c.
+  Tensor w_update_, u_update_, b_update_;
+  Tensor w_reset_, u_reset_, b_reset_;
+  Tensor w_cand_, u_cand_, b_cand_;
+};
+
+/// Convenience: append `layer_params` to `all_params`.
+void collect(std::vector<Tensor>& all_params, const std::vector<Tensor>& layer_params);
+
+}  // namespace mga::nn

@@ -1,0 +1,560 @@
+#include "nn/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace mga::nn {
+
+using detail::TensorImpl;
+
+namespace {
+
+/// Build the result node of an op: allocates storage, wires parents, and
+/// enables grad iff any parent needs it.
+Tensor make_result(std::size_t rows, std::size_t cols,
+                   std::initializer_list<Tensor> parents) {
+  bool needs_grad = false;
+  for (const auto& p : parents) needs_grad = needs_grad || p.requires_grad();
+  auto impl = std::make_shared<TensorImpl>();
+  impl->rows = rows;
+  impl->cols = cols;
+  impl->data.assign(rows * cols, 0.0f);
+  impl->requires_grad = needs_grad;
+  if (needs_grad) {
+    impl->grad.assign(rows * cols, 0.0f);
+    for (const auto& p : parents) impl->parents.push_back(p.impl());
+  }
+  return Tensor(std::move(impl));
+}
+
+[[nodiscard]] bool same_shape(const Tensor& a, const Tensor& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols();
+}
+
+/// Register the backward closure on `out` (no-op for grad-free graphs).
+void set_backward(Tensor& out, std::function<void()> fn) {
+  if (out.requires_grad()) out.impl()->backward_fn = std::move(fn);
+}
+
+float* grad_ptr(const Tensor& t) {
+  return t.requires_grad() ? t.impl()->grad.data() : nullptr;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// elementwise
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  MGA_CHECK_MSG(same_shape(a, b), "add: shape mismatch");
+  Tensor out = make_result(a.rows(), a.cols(), {a, b});
+  const auto n = a.numel();
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* po = out.data().data();
+  for (std::size_t i = 0; i < n; ++i) po[i] = pa[i] + pb[i];
+  set_backward(out, [ai = a.impl(), bi = b.impl(), oi = out.impl().get(), n] {
+    for (std::size_t i = 0; i < n; ++i) {
+      const float g = oi->grad[i];
+      if (ai->requires_grad) ai->grad[i] += g;
+      if (bi->requires_grad) bi->grad[i] += g;
+    }
+  });
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  MGA_CHECK_MSG(same_shape(a, b), "sub: shape mismatch");
+  Tensor out = make_result(a.rows(), a.cols(), {a, b});
+  const auto n = a.numel();
+  for (std::size_t i = 0; i < n; ++i) out.data()[i] = a.data()[i] - b.data()[i];
+  set_backward(out, [ai = a.impl(), bi = b.impl(), oi = out.impl().get(), n] {
+    for (std::size_t i = 0; i < n; ++i) {
+      const float g = oi->grad[i];
+      if (ai->requires_grad) ai->grad[i] += g;
+      if (bi->requires_grad) bi->grad[i] -= g;
+    }
+  });
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  MGA_CHECK_MSG(same_shape(a, b), "mul: shape mismatch");
+  Tensor out = make_result(a.rows(), a.cols(), {a, b});
+  const auto n = a.numel();
+  for (std::size_t i = 0; i < n; ++i) out.data()[i] = a.data()[i] * b.data()[i];
+  set_backward(out, [ai = a.impl(), bi = b.impl(), oi = out.impl().get(), n] {
+    for (std::size_t i = 0; i < n; ++i) {
+      const float g = oi->grad[i];
+      if (ai->requires_grad) ai->grad[i] += g * bi->data[i];
+      if (bi->requires_grad) bi->grad[i] += g * ai->data[i];
+    }
+  });
+  return out;
+}
+
+Tensor div(const Tensor& a, const Tensor& b) {
+  MGA_CHECK_MSG(same_shape(a, b), "div: shape mismatch");
+  Tensor out = make_result(a.rows(), a.cols(), {a, b});
+  const auto n = a.numel();
+  for (std::size_t i = 0; i < n; ++i) out.data()[i] = a.data()[i] / b.data()[i];
+  set_backward(out, [ai = a.impl(), bi = b.impl(), oi = out.impl().get(), n] {
+    for (std::size_t i = 0; i < n; ++i) {
+      const float g = oi->grad[i];
+      const float bv = bi->data[i];
+      if (ai->requires_grad) ai->grad[i] += g / bv;
+      if (bi->requires_grad) bi->grad[i] -= g * ai->data[i] / (bv * bv);
+    }
+  });
+  return out;
+}
+
+Tensor scale(const Tensor& a, float factor) {
+  Tensor out = make_result(a.rows(), a.cols(), {a});
+  const auto n = a.numel();
+  for (std::size_t i = 0; i < n; ++i) out.data()[i] = a.data()[i] * factor;
+  set_backward(out, [ai = a.impl(), oi = out.impl().get(), n, factor] {
+    if (!ai->requires_grad) return;
+    for (std::size_t i = 0; i < n; ++i) ai->grad[i] += oi->grad[i] * factor;
+  });
+  return out;
+}
+
+Tensor neg(const Tensor& a) { return scale(a, -1.0f); }
+
+Tensor exp_op(const Tensor& a) {
+  Tensor out = make_result(a.rows(), a.cols(), {a});
+  const auto n = a.numel();
+  for (std::size_t i = 0; i < n; ++i) out.data()[i] = std::exp(a.data()[i]);
+  set_backward(out, [ai = a.impl(), oi = out.impl().get(), n] {
+    if (!ai->requires_grad) return;
+    for (std::size_t i = 0; i < n; ++i) ai->grad[i] += oi->grad[i] * oi->data[i];
+  });
+  return out;
+}
+
+Tensor log_op(const Tensor& a) {
+  Tensor out = make_result(a.rows(), a.cols(), {a});
+  const auto n = a.numel();
+  for (std::size_t i = 0; i < n; ++i) {
+    MGA_CHECK_MSG(a.data()[i] > 0.0f, "log_op: non-positive input");
+    out.data()[i] = std::log(a.data()[i]);
+  }
+  set_backward(out, [ai = a.impl(), oi = out.impl().get(), n] {
+    if (!ai->requires_grad) return;
+    for (std::size_t i = 0; i < n; ++i) ai->grad[i] += oi->grad[i] / ai->data[i];
+  });
+  return out;
+}
+
+Tensor relu(const Tensor& a) {
+  Tensor out = make_result(a.rows(), a.cols(), {a});
+  const auto n = a.numel();
+  for (std::size_t i = 0; i < n; ++i) out.data()[i] = std::max(0.0f, a.data()[i]);
+  set_backward(out, [ai = a.impl(), oi = out.impl().get(), n] {
+    if (!ai->requires_grad) return;
+    for (std::size_t i = 0; i < n; ++i)
+      if (ai->data[i] > 0.0f) ai->grad[i] += oi->grad[i];
+  });
+  return out;
+}
+
+Tensor leaky_relu(const Tensor& a, float negative_slope) {
+  Tensor out = make_result(a.rows(), a.cols(), {a});
+  const auto n = a.numel();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float x = a.data()[i];
+    out.data()[i] = x > 0.0f ? x : negative_slope * x;
+  }
+  set_backward(out, [ai = a.impl(), oi = out.impl().get(), n, negative_slope] {
+    if (!ai->requires_grad) return;
+    for (std::size_t i = 0; i < n; ++i)
+      ai->grad[i] += oi->grad[i] * (ai->data[i] > 0.0f ? 1.0f : negative_slope);
+  });
+  return out;
+}
+
+Tensor sigmoid(const Tensor& a) {
+  Tensor out = make_result(a.rows(), a.cols(), {a});
+  const auto n = a.numel();
+  for (std::size_t i = 0; i < n; ++i)
+    out.data()[i] = 1.0f / (1.0f + std::exp(-a.data()[i]));
+  set_backward(out, [ai = a.impl(), oi = out.impl().get(), n] {
+    if (!ai->requires_grad) return;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float s = oi->data[i];
+      ai->grad[i] += oi->grad[i] * s * (1.0f - s);
+    }
+  });
+  return out;
+}
+
+Tensor tanh_op(const Tensor& a) {
+  Tensor out = make_result(a.rows(), a.cols(), {a});
+  const auto n = a.numel();
+  for (std::size_t i = 0; i < n; ++i) out.data()[i] = std::tanh(a.data()[i]);
+  set_backward(out, [ai = a.impl(), oi = out.impl().get(), n] {
+    if (!ai->requires_grad) return;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float t = oi->data[i];
+      ai->grad[i] += oi->grad[i] * (1.0f - t * t);
+    }
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// linear algebra
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  MGA_CHECK_MSG(a.cols() == b.rows(), "matmul: inner dimensions differ");
+  const std::size_t n = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t m = b.cols();
+  Tensor out = make_result(n, m, {a, b});
+  // ikj loop order keeps the inner loop unit-stride over both B and the
+  // output — the standard cache-friendly ordering for row-major data.
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* po = out.data().data();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float av = pa[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * m;
+      float* orow = po + i * m;
+      for (std::size_t j = 0; j < m; ++j) orow[j] += av * brow[j];
+    }
+  }
+  set_backward(out, [ai = a.impl(), bi = b.impl(), oi = out.impl().get(), n, k, m] {
+    // dA = dOut * B^T ; dB = A^T * dOut
+    if (ai->requires_grad) {
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < m; ++j) {
+          const float g = oi->grad[i * m + j];
+          if (g == 0.0f) continue;
+          for (std::size_t kk = 0; kk < k; ++kk)
+            ai->grad[i * k + kk] += g * bi->data[kk * m + j];
+        }
+    }
+    if (bi->requires_grad) {
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          const float av = ai->data[i * k + kk];
+          if (av == 0.0f) continue;
+          for (std::size_t j = 0; j < m; ++j)
+            bi->grad[kk * m + j] += av * oi->grad[i * m + j];
+        }
+    }
+  });
+  return out;
+}
+
+Tensor add_bias(const Tensor& x, const Tensor& bias) {
+  MGA_CHECK_MSG(bias.rows() == 1 && bias.cols() == x.cols(),
+                "add_bias: bias must be [1, cols(x)]");
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  Tensor out = make_result(n, d, {x, bias});
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < d; ++j)
+      out.data()[i * d + j] = x.data()[i * d + j] + bias.data()[j];
+  set_backward(out, [xi = x.impl(), bi = bias.impl(), oi = out.impl().get(), n, d] {
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < d; ++j) {
+        const float g = oi->grad[i * d + j];
+        if (xi->requires_grad) xi->grad[i * d + j] += g;
+        if (bi->requires_grad) bi->grad[j] += g;
+      }
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// shape
+
+Tensor concat_cols(const Tensor& a, const Tensor& b) {
+  MGA_CHECK_MSG(a.rows() == b.rows(), "concat_cols: row count mismatch");
+  const std::size_t n = a.rows();
+  const std::size_t da = a.cols();
+  const std::size_t db = b.cols();
+  Tensor out = make_result(n, da + db, {a, b});
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < da; ++j) out.data()[i * (da + db) + j] = a.data()[i * da + j];
+    for (std::size_t j = 0; j < db; ++j)
+      out.data()[i * (da + db) + da + j] = b.data()[i * db + j];
+  }
+  set_backward(out, [ai = a.impl(), bi = b.impl(), oi = out.impl().get(), n, da, db] {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (ai->requires_grad)
+        for (std::size_t j = 0; j < da; ++j)
+          ai->grad[i * da + j] += oi->grad[i * (da + db) + j];
+      if (bi->requires_grad)
+        for (std::size_t j = 0; j < db; ++j)
+          bi->grad[i * db + j] += oi->grad[i * (da + db) + da + j];
+    }
+  });
+  return out;
+}
+
+Tensor concat_rows(const Tensor& a, const Tensor& b) {
+  MGA_CHECK_MSG(a.cols() == b.cols(), "concat_rows: column count mismatch");
+  const std::size_t d = a.cols();
+  const std::size_t na = a.rows();
+  const std::size_t nb = b.rows();
+  Tensor out = make_result(na + nb, d, {a, b});
+  std::copy(a.data().begin(), a.data().end(), out.data().begin());
+  std::copy(b.data().begin(), b.data().end(),
+            out.data().begin() + static_cast<std::ptrdiff_t>(na * d));
+  set_backward(out, [ai = a.impl(), bi = b.impl(), oi = out.impl().get(), na, nb, d] {
+    if (ai->requires_grad)
+      for (std::size_t i = 0; i < na * d; ++i) ai->grad[i] += oi->grad[i];
+    if (bi->requires_grad)
+      for (std::size_t i = 0; i < nb * d; ++i) bi->grad[i] += oi->grad[na * d + i];
+  });
+  return out;
+}
+
+Tensor row_repeat(const Tensor& x, std::size_t n) {
+  MGA_CHECK_MSG(x.rows() == 1, "row_repeat: input must be a single row");
+  MGA_CHECK(n > 0);
+  const std::size_t d = x.cols();
+  Tensor out = make_result(n, d, {x});
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < d; ++j) out.data()[i * d + j] = x.data()[j];
+  set_backward(out, [xi = x.impl(), oi = out.impl().get(), n, d] {
+    if (!xi->requires_grad) return;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < d; ++j) xi->grad[j] += oi->grad[i * d + j];
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// gather / scatter
+
+Tensor gather_rows(const Tensor& x, const std::vector<int>& index) {
+  MGA_CHECK(!index.empty());
+  const std::size_t d = x.cols();
+  for (const int i : index)
+    MGA_CHECK_MSG(i >= 0 && static_cast<std::size_t>(i) < x.rows(),
+                  "gather_rows: index out of range");
+  Tensor out = make_result(index.size(), d, {x});
+  for (std::size_t r = 0; r < index.size(); ++r)
+    for (std::size_t j = 0; j < d; ++j)
+      out.data()[r * d + j] = x.data()[static_cast<std::size_t>(index[r]) * d + j];
+  set_backward(out, [xi = x.impl(), oi = out.impl().get(), index, d] {
+    if (!xi->requires_grad) return;
+    for (std::size_t r = 0; r < index.size(); ++r)
+      for (std::size_t j = 0; j < d; ++j)
+        xi->grad[static_cast<std::size_t>(index[r]) * d + j] += oi->grad[r * d + j];
+  });
+  return out;
+}
+
+Tensor scatter_sum(const Tensor& x, const std::vector<int>& index, std::size_t num_rows) {
+  MGA_CHECK_MSG(index.size() == x.rows(), "scatter_sum: one index per input row");
+  const std::size_t d = x.cols();
+  for (const int i : index)
+    MGA_CHECK_MSG(i >= 0 && static_cast<std::size_t>(i) < num_rows,
+                  "scatter_sum: index out of range");
+  Tensor out = make_result(num_rows, d, {x});
+  for (std::size_t r = 0; r < index.size(); ++r)
+    for (std::size_t j = 0; j < d; ++j)
+      out.data()[static_cast<std::size_t>(index[r]) * d + j] += x.data()[r * d + j];
+  set_backward(out, [xi = x.impl(), oi = out.impl().get(), index, d] {
+    if (!xi->requires_grad) return;
+    for (std::size_t r = 0; r < index.size(); ++r)
+      for (std::size_t j = 0; j < d; ++j)
+        xi->grad[r * d + j] += oi->grad[static_cast<std::size_t>(index[r]) * d + j];
+  });
+  return out;
+}
+
+Tensor scatter_mean(const Tensor& x, const std::vector<int>& index, std::size_t num_rows) {
+  MGA_CHECK_MSG(index.size() == x.rows(), "scatter_mean: one index per input row");
+  const std::size_t d = x.cols();
+  std::vector<float> inv_count(num_rows, 0.0f);
+  for (const int i : index) {
+    MGA_CHECK_MSG(i >= 0 && static_cast<std::size_t>(i) < num_rows,
+                  "scatter_mean: index out of range");
+    inv_count[static_cast<std::size_t>(i)] += 1.0f;
+  }
+  for (auto& c : inv_count) c = c > 0.0f ? 1.0f / c : 0.0f;
+
+  Tensor out = make_result(num_rows, d, {x});
+  for (std::size_t r = 0; r < index.size(); ++r) {
+    const auto dst = static_cast<std::size_t>(index[r]);
+    for (std::size_t j = 0; j < d; ++j)
+      out.data()[dst * d + j] += x.data()[r * d + j] * inv_count[dst];
+  }
+  set_backward(out, [xi = x.impl(), oi = out.impl().get(), index, d, inv_count] {
+    if (!xi->requires_grad) return;
+    for (std::size_t r = 0; r < index.size(); ++r) {
+      const auto dst = static_cast<std::size_t>(index[r]);
+      for (std::size_t j = 0; j < d; ++j)
+        xi->grad[r * d + j] += oi->grad[dst * d + j] * inv_count[dst];
+    }
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// reductions
+
+Tensor sum_all(const Tensor& a) {
+  Tensor out = make_result(1, 1, {a});
+  double acc = 0.0;
+  for (const float x : a.data()) acc += x;
+  out.data()[0] = static_cast<float>(acc);
+  set_backward(out, [ai = a.impl(), oi = out.impl().get()] {
+    if (!ai->requires_grad) return;
+    const float g = oi->grad[0];
+    for (auto& gi : ai->grad) gi += g;
+  });
+  return out;
+}
+
+Tensor mean_all(const Tensor& a) {
+  return scale(sum_all(a), 1.0f / static_cast<float>(a.numel()));
+}
+
+Tensor sum_rows(const Tensor& a) {
+  const std::size_t n = a.rows();
+  const std::size_t d = a.cols();
+  Tensor out = make_result(1, d, {a});
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < d; ++j) out.data()[j] += a.data()[i * d + j];
+  set_backward(out, [ai = a.impl(), oi = out.impl().get(), n, d] {
+    if (!ai->requires_grad) return;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < d; ++j) ai->grad[i * d + j] += oi->grad[j];
+  });
+  return out;
+}
+
+Tensor mean_rows(const Tensor& a) {
+  return scale(sum_rows(a), 1.0f / static_cast<float>(a.rows()));
+}
+
+// ---------------------------------------------------------------------------
+// regularization
+
+Tensor dropout(const Tensor& a, float p, util::Rng& rng, bool training) {
+  MGA_CHECK(p >= 0.0f && p < 1.0f);
+  if (!training || p == 0.0f) return a;
+  const auto n = a.numel();
+  std::vector<float> mask(n);
+  const float keep_scale = 1.0f / (1.0f - p);
+  for (auto& m : mask) m = rng.bernoulli(p) ? 0.0f : keep_scale;
+  Tensor out = make_result(a.rows(), a.cols(), {a});
+  for (std::size_t i = 0; i < n; ++i) out.data()[i] = a.data()[i] * mask[i];
+  set_backward(out, [ai = a.impl(), oi = out.impl().get(), mask = std::move(mask), n] {
+    if (!ai->requires_grad) return;
+    for (std::size_t i = 0; i < n; ++i) ai->grad[i] += oi->grad[i] * mask[i];
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// losses
+
+Tensor softmax_cross_entropy(const Tensor& logits, const std::vector<int>& labels) {
+  const std::size_t n = logits.rows();
+  const std::size_t c = logits.cols();
+  MGA_CHECK_MSG(labels.size() == n, "softmax_cross_entropy: one label per row");
+  for (const int y : labels)
+    MGA_CHECK_MSG(y >= 0 && static_cast<std::size_t>(y) < c, "label out of range");
+
+  // Forward computes the loss directly (log-sum-exp stabilized); backward
+  // uses the classic (softmax - onehot)/n shortcut, so we cache the probs.
+  std::vector<float> probs(n * c);
+  double loss_acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = logits.data().data() + i * c;
+    float max_logit = row[0];
+    for (std::size_t j = 1; j < c; ++j) max_logit = std::max(max_logit, row[j]);
+    double denom = 0.0;
+    for (std::size_t j = 0; j < c; ++j) denom += std::exp(static_cast<double>(row[j] - max_logit));
+    const double log_denom = std::log(denom);
+    for (std::size_t j = 0; j < c; ++j)
+      probs[i * c + j] =
+          static_cast<float>(std::exp(static_cast<double>(row[j] - max_logit)) / denom);
+    const auto y = static_cast<std::size_t>(labels[i]);
+    loss_acc += log_denom - static_cast<double>(row[y] - max_logit);
+  }
+
+  Tensor out = make_result(1, 1, {logits});
+  out.data()[0] = static_cast<float>(loss_acc / static_cast<double>(n));
+  set_backward(out, [li = logits.impl(), oi = out.impl().get(), probs = std::move(probs),
+                     labels, n, c] {
+    if (!li->requires_grad) return;
+    const float g = oi->grad[0] / static_cast<float>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto y = static_cast<std::size_t>(labels[i]);
+      for (std::size_t j = 0; j < c; ++j) {
+        const float delta = (j == y) ? 1.0f : 0.0f;
+        li->grad[i * c + j] += g * (probs[i * c + j] - delta);
+      }
+    }
+  });
+  return out;
+}
+
+Tensor mse_loss(const Tensor& prediction, const Tensor& target) {
+  MGA_CHECK_MSG(same_shape(prediction, target), "mse_loss: shape mismatch");
+  const auto n = prediction.numel();
+  Tensor out = make_result(1, 1, {prediction});
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double diff = static_cast<double>(prediction.data()[i]) - target.data()[i];
+    acc += diff * diff;
+  }
+  out.data()[0] = static_cast<float>(acc / static_cast<double>(n));
+  set_backward(out, [pi = prediction.impl(), ti = target.impl(), oi = out.impl().get(), n] {
+    if (!pi->requires_grad) return;
+    const float g = oi->grad[0] * 2.0f / static_cast<float>(n);
+    for (std::size_t i = 0; i < n; ++i)
+      pi->grad[i] += g * (pi->data[i] - ti->data[i]);
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// eval helpers
+
+std::vector<std::vector<double>> softmax_eval(const Tensor& logits) {
+  const std::size_t n = logits.rows();
+  const std::size_t c = logits.cols();
+  std::vector<std::vector<double>> result(n, std::vector<double>(c, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = logits.data().data() + i * c;
+    double max_logit = row[0];
+    for (std::size_t j = 1; j < c; ++j) max_logit = std::max<double>(max_logit, row[j]);
+    double denom = 0.0;
+    for (std::size_t j = 0; j < c; ++j) {
+      result[i][j] = std::exp(static_cast<double>(row[j]) - max_logit);
+      denom += result[i][j];
+    }
+    for (std::size_t j = 0; j < c; ++j) result[i][j] /= denom;
+  }
+  return result;
+}
+
+std::vector<int> argmax_rows(const Tensor& logits) {
+  const std::size_t n = logits.rows();
+  const std::size_t c = logits.cols();
+  std::vector<int> result(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = logits.data().data() + i * c;
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < c; ++j)
+      if (row[j] > row[best]) best = j;
+    result[i] = static_cast<int>(best);
+  }
+  return result;
+}
+
+}  // namespace mga::nn

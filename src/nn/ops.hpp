@@ -1,0 +1,94 @@
+// Differentiable op vocabulary over nn::Tensor. Each function builds a tape
+// node whose backward closure accumulates into the parents' gradients.
+//
+// Conventions:
+//  * all tensors are [rows, cols] float matrices;
+//  * index vectors (gather/scatter/labels) are plain std::vector<int> and are
+//    not differentiated through;
+//  * ops marked "eval" never touch the tape.
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace mga::nn {
+
+// --- elementwise ------------------------------------------------------------
+
+[[nodiscard]] Tensor add(const Tensor& a, const Tensor& b);       // same shape
+[[nodiscard]] Tensor sub(const Tensor& a, const Tensor& b);       // same shape
+[[nodiscard]] Tensor mul(const Tensor& a, const Tensor& b);       // same shape
+[[nodiscard]] Tensor div(const Tensor& a, const Tensor& b);       // same shape, b != 0
+[[nodiscard]] Tensor scale(const Tensor& a, float factor);
+[[nodiscard]] Tensor neg(const Tensor& a);
+[[nodiscard]] Tensor exp_op(const Tensor& a);
+[[nodiscard]] Tensor log_op(const Tensor& a);                     // a > 0
+[[nodiscard]] Tensor relu(const Tensor& a);
+[[nodiscard]] Tensor leaky_relu(const Tensor& a, float negative_slope = 0.2f);
+[[nodiscard]] Tensor sigmoid(const Tensor& a);
+[[nodiscard]] Tensor tanh_op(const Tensor& a);
+
+// --- linear algebra ---------------------------------------------------------
+
+/// [n,k] x [k,m] -> [n,m].
+[[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// [n,d] + broadcast [1,d] bias -> [n,d].
+[[nodiscard]] Tensor add_bias(const Tensor& x, const Tensor& bias);
+
+// --- shape ------------------------------------------------------------------
+
+/// Horizontal concat: [n,a] ++ [n,b] -> [n,a+b].
+[[nodiscard]] Tensor concat_cols(const Tensor& a, const Tensor& b);
+
+/// Vertical concat: [n,d] ++ [m,d] -> [n+m,d].
+[[nodiscard]] Tensor concat_rows(const Tensor& a, const Tensor& b);
+
+/// Repeat a [1,d] row n times -> [n,d] (broadcast for late fusion batches).
+[[nodiscard]] Tensor row_repeat(const Tensor& x, std::size_t n);
+
+// --- gather / scatter (graph message passing) --------------------------------
+
+/// out[i,:] = x[index[i],:]; index values in [0, x.rows()).
+[[nodiscard]] Tensor gather_rows(const Tensor& x, const std::vector<int>& index);
+
+/// out[j,:] = sum over i with index[i]==j of x[i,:]; out has num_rows rows.
+[[nodiscard]] Tensor scatter_sum(const Tensor& x, const std::vector<int>& index,
+                                 std::size_t num_rows);
+
+/// Like scatter_sum but divides each output row by its in-degree (rows with
+/// no contributions stay zero). The "mean" aggregation of the paper's GNN.
+[[nodiscard]] Tensor scatter_mean(const Tensor& x, const std::vector<int>& index,
+                                  std::size_t num_rows);
+
+// --- reductions ---------------------------------------------------------------
+
+[[nodiscard]] Tensor sum_all(const Tensor& a);                    // -> [1,1]
+[[nodiscard]] Tensor mean_all(const Tensor& a);                   // -> [1,1]
+[[nodiscard]] Tensor mean_rows(const Tensor& a);                  // [n,d] -> [1,d]
+[[nodiscard]] Tensor sum_rows(const Tensor& a);                   // [n,d] -> [1,d]
+
+// --- regularization -----------------------------------------------------------
+
+/// Inverted dropout; identity when !training or p == 0.
+[[nodiscard]] Tensor dropout(const Tensor& a, float p, util::Rng& rng, bool training);
+
+// --- losses -------------------------------------------------------------------
+
+/// Mean softmax cross-entropy of [n,c] logits against n integer labels.
+[[nodiscard]] Tensor softmax_cross_entropy(const Tensor& logits,
+                                           const std::vector<int>& labels);
+
+/// Mean squared error against a constant target (not differentiated).
+[[nodiscard]] Tensor mse_loss(const Tensor& prediction, const Tensor& target);
+
+// --- eval-only helpers ----------------------------------------------------------
+
+/// Row-wise softmax probabilities (no tape).
+[[nodiscard]] std::vector<std::vector<double>> softmax_eval(const Tensor& logits);
+
+/// Argmax per row of logits (no tape).
+[[nodiscard]] std::vector<int> argmax_rows(const Tensor& logits);
+
+}  // namespace mga::nn

@@ -1,0 +1,74 @@
+#include "nn/optim.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace mga::nn {
+
+AdamW::AdamW(std::vector<Tensor> params, AdamWConfig config)
+    : params_(std::move(params)), config_(config) {
+  first_moment_.reserve(params_.size());
+  second_moment_.reserve(params_.size());
+  for (const auto& p : params_) {
+    MGA_CHECK_MSG(p.requires_grad(), "AdamW: all parameters must require grad");
+    first_moment_.emplace_back(p.numel(), 0.0f);
+    second_moment_.emplace_back(p.numel(), 0.0f);
+  }
+}
+
+void AdamW::step() {
+  ++step_count_;
+  const double bias1 = 1.0 - std::pow(config_.beta1, step_count_);
+  const double bias2 = 1.0 - std::pow(config_.beta2, step_count_);
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    auto data = params_[pi].data();
+    auto grad = params_[pi].grad();
+    auto& m = first_moment_[pi];
+    auto& v = second_moment_[pi];
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const double g = grad[i];
+      m[i] = static_cast<float>(config_.beta1 * m[i] + (1.0 - config_.beta1) * g);
+      v[i] = static_cast<float>(config_.beta2 * v[i] + (1.0 - config_.beta2) * g * g);
+      const double m_hat = m[i] / bias1;
+      const double v_hat = v[i] / bias2;
+      // Decoupled weight decay: applied directly to the parameter, not the
+      // gradient (the defining difference between AdamW and Adam+L2).
+      data[i] = static_cast<float>(
+          data[i] - config_.learning_rate *
+                        (m_hat / (std::sqrt(v_hat) + config_.epsilon) +
+                         config_.weight_decay * data[i]));
+    }
+  }
+}
+
+void AdamW::zero_grad() {
+  for (auto& p : params_) p.zero_grad();
+}
+
+Sgd::Sgd(std::vector<Tensor> params, double learning_rate, double momentum)
+    : params_(std::move(params)), learning_rate_(learning_rate), momentum_(momentum) {
+  velocity_.reserve(params_.size());
+  for (const auto& p : params_) {
+    MGA_CHECK_MSG(p.requires_grad(), "Sgd: all parameters must require grad");
+    velocity_.emplace_back(p.numel(), 0.0f);
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    auto data = params_[pi].data();
+    auto grad = params_[pi].grad();
+    auto& vel = velocity_[pi];
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      vel[i] = static_cast<float>(momentum_ * vel[i] - learning_rate_ * grad[i]);
+      data[i] += vel[i];
+    }
+  }
+}
+
+void Sgd::zero_grad() {
+  for (auto& p : params_) p.zero_grad();
+}
+
+}  // namespace mga::nn

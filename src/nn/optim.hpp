@@ -1,0 +1,58 @@
+// Optimizers. The paper trains every model with AdamW (§4.1.3); SGD is kept
+// for tests and ablations.
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace mga::nn {
+
+struct AdamWConfig {
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  double weight_decay = 1e-2;
+};
+
+/// Decoupled-weight-decay Adam (Loshchilov & Hutter), matching the paper's
+/// optimizer choice. Holds first/second moment state per parameter tensor.
+class AdamW {
+ public:
+  AdamW(std::vector<Tensor> params, AdamWConfig config = {});
+
+  /// Apply one update from the accumulated gradients.
+  void step();
+
+  /// Clear gradients of all managed parameters.
+  void zero_grad();
+
+  [[nodiscard]] const AdamWConfig& config() const noexcept { return config_; }
+  void set_learning_rate(double lr) noexcept { config_.learning_rate = lr; }
+  [[nodiscard]] std::span<Tensor> parameters() noexcept { return params_; }
+
+ private:
+  std::vector<Tensor> params_;
+  AdamWConfig config_;
+  std::vector<std::vector<float>> first_moment_;
+  std::vector<std::vector<float>> second_moment_;
+  long step_count_ = 0;
+};
+
+/// Plain SGD with optional momentum; used in unit tests as a reference.
+class Sgd {
+ public:
+  Sgd(std::vector<Tensor> params, double learning_rate, double momentum = 0.0);
+
+  void step();
+  void zero_grad();
+
+ private:
+  std::vector<Tensor> params_;
+  double learning_rate_;
+  double momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+}  // namespace mga::nn

@@ -1,0 +1,104 @@
+#include "nn/serialize.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace mga::nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'G', 'A', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, T value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+[[nodiscard]] T read_pod(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  MGA_CHECK_MSG(static_cast<bool>(is), "serialize: truncated input");
+  return value;
+}
+
+}  // namespace
+
+void save_tensors(const NamedTensors& tensors, std::ostream& os) {
+  os.write(kMagic, sizeof(kMagic));
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<std::uint64_t>(tensors.size()));
+  for (const auto& [name, tensor] : tensors) {
+    MGA_CHECK_MSG(tensor.defined(), "serialize: undefined tensor '" + name + "'");
+    write_pod(os, static_cast<std::uint64_t>(name.size()));
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_pod(os, static_cast<std::uint64_t>(tensor.rows()));
+    write_pod(os, static_cast<std::uint64_t>(tensor.cols()));
+    const auto data = tensor.data();
+    os.write(reinterpret_cast<const char*>(data.data()),
+             static_cast<std::streamsize>(data.size() * sizeof(float)));
+  }
+  MGA_CHECK_MSG(static_cast<bool>(os), "serialize: write failed");
+}
+
+void save_tensors_file(const NamedTensors& tensors, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  MGA_CHECK_MSG(os.is_open(), "serialize: cannot open '" + path + "' for writing");
+  save_tensors(tensors, os);
+}
+
+NamedTensors load_tensors(std::istream& is) {
+  char magic[4] = {};
+  is.read(magic, sizeof(magic));
+  MGA_CHECK_MSG(static_cast<bool>(is) && std::memcmp(magic, kMagic, 4) == 0,
+                "serialize: bad magic");
+  const auto version = read_pod<std::uint32_t>(is);
+  MGA_CHECK_MSG(version == kVersion, "serialize: unsupported version");
+  const auto count = read_pod<std::uint64_t>(is);
+  MGA_CHECK_MSG(count < (1ULL << 20), "serialize: implausible tensor count");
+
+  NamedTensors tensors;
+  tensors.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto name_len = read_pod<std::uint64_t>(is);
+    MGA_CHECK_MSG(name_len < 4096, "serialize: implausible name length");
+    std::string name(name_len, '\0');
+    is.read(name.data(), static_cast<std::streamsize>(name_len));
+    const auto rows = read_pod<std::uint64_t>(is);
+    const auto cols = read_pod<std::uint64_t>(is);
+    MGA_CHECK_MSG(rows > 0 && cols > 0 && rows * cols < (1ULL << 28),
+                  "serialize: implausible tensor shape");
+    std::vector<float> values(rows * cols);
+    is.read(reinterpret_cast<char*>(values.data()),
+            static_cast<std::streamsize>(values.size() * sizeof(float)));
+    MGA_CHECK_MSG(static_cast<bool>(is), "serialize: truncated tensor data");
+    tensors.emplace_back(std::move(name),
+                         Tensor::from_data(std::move(values), rows, cols));
+  }
+  return tensors;
+}
+
+NamedTensors load_tensors_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  MGA_CHECK_MSG(is.is_open(), "serialize: cannot open '" + path + "'");
+  return load_tensors(is);
+}
+
+void restore_into(const NamedTensors& source, NamedTensors& target) {
+  for (auto& [name, tensor] : target) {
+    const auto it = std::find_if(source.begin(), source.end(),
+                                 [&](const auto& entry) { return entry.first == name; });
+    MGA_CHECK_MSG(it != source.end(), "restore: missing tensor '" + name + "'");
+    MGA_CHECK_MSG(it->second.rows() == tensor.rows() && it->second.cols() == tensor.cols(),
+                  "restore: shape mismatch for '" + name + "'");
+    std::copy(it->second.data().begin(), it->second.data().end(), tensor.data().begin());
+  }
+}
+
+}  // namespace mga::nn

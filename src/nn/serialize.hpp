@@ -1,0 +1,33 @@
+// Parameter serialization: save/load a named set of tensors to a simple
+// versioned binary container. Enables "train once, tune everywhere" usage of
+// the MgaTuner facade (and checkpointing in general).
+//
+// Format (little-endian):
+//   magic "MGAT" | u32 version | u64 count |
+//   repeat count times: u64 name_len | name bytes | u64 rows | u64 cols |
+//                       rows*cols f32 values
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace mga::nn {
+
+using NamedTensors = std::vector<std::pair<std::string, Tensor>>;
+
+void save_tensors(const NamedTensors& tensors, std::ostream& os);
+void save_tensors_file(const NamedTensors& tensors, const std::string& path);
+
+/// Throws std::invalid_argument on malformed input.
+[[nodiscard]] NamedTensors load_tensors(std::istream& is);
+[[nodiscard]] NamedTensors load_tensors_file(const std::string& path);
+
+/// Copy values from `source` into the same-named tensors of `target`
+/// (shapes must match; missing names throw).
+void restore_into(const NamedTensors& source, NamedTensors& target);
+
+}  // namespace mga::nn

@@ -1,0 +1,184 @@
+#include "nn/tensor.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace mga::nn {
+
+using detail::TensorImpl;
+
+namespace {
+
+std::shared_ptr<TensorImpl> make_impl(std::size_t rows, std::size_t cols, bool requires_grad) {
+  MGA_CHECK_MSG(rows > 0 && cols > 0, "tensor dimensions must be positive");
+  auto impl = std::make_shared<TensorImpl>();
+  impl->rows = rows;
+  impl->cols = cols;
+  impl->data.assign(rows * cols, 0.0f);
+  impl->requires_grad = requires_grad;
+  if (requires_grad) impl->grad.assign(rows * cols, 0.0f);
+  return impl;
+}
+
+}  // namespace
+
+Tensor Tensor::zeros(std::size_t rows, std::size_t cols, bool requires_grad) {
+  return Tensor(make_impl(rows, cols, requires_grad));
+}
+
+Tensor Tensor::full(std::size_t rows, std::size_t cols, float value, bool requires_grad) {
+  auto impl = make_impl(rows, cols, requires_grad);
+  for (auto& x : impl->data) x = value;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::from_data(std::vector<float> values, std::size_t rows, std::size_t cols,
+                         bool requires_grad) {
+  MGA_CHECK_MSG(values.size() == rows * cols, "from_data: size mismatch");
+  auto impl = make_impl(rows, cols, requires_grad);
+  impl->data = std::move(values);
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::randn(util::Rng& rng, std::size_t rows, std::size_t cols, float stddev,
+                     bool requires_grad) {
+  auto impl = make_impl(rows, cols, requires_grad);
+  for (auto& x : impl->data) x = static_cast<float>(rng.normal(0.0, stddev));
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::xavier(util::Rng& rng, std::size_t fan_in, std::size_t fan_out,
+                      bool requires_grad) {
+  auto impl = make_impl(fan_in, fan_out, requires_grad);
+  const double limit = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (auto& x : impl->data) x = static_cast<float>(rng.uniform(-limit, limit));
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::scalar(float value, bool requires_grad) {
+  return full(1, 1, value, requires_grad);
+}
+
+std::size_t Tensor::rows() const noexcept { return impl_ ? impl_->rows : 0; }
+std::size_t Tensor::cols() const noexcept { return impl_ ? impl_->cols : 0; }
+std::size_t Tensor::numel() const noexcept { return impl_ ? impl_->numel() : 0; }
+bool Tensor::requires_grad() const noexcept { return impl_ && impl_->requires_grad; }
+
+std::span<float> Tensor::data() {
+  MGA_CHECK(defined());
+  return impl_->data;
+}
+
+std::span<const float> Tensor::data() const {
+  MGA_CHECK(defined());
+  return impl_->data;
+}
+
+std::span<float> Tensor::grad() {
+  MGA_CHECK(defined() && impl_->requires_grad);
+  return impl_->grad;
+}
+
+std::span<const float> Tensor::grad() const {
+  MGA_CHECK(defined() && impl_->requires_grad);
+  return impl_->grad;
+}
+
+float Tensor::at(std::size_t r, std::size_t c) const {
+  MGA_CHECK(defined() && r < impl_->rows && c < impl_->cols);
+  return impl_->data[r * impl_->cols + c];
+}
+
+void Tensor::set(std::size_t r, std::size_t c, float value) {
+  MGA_CHECK(defined() && r < impl_->rows && c < impl_->cols);
+  impl_->data[r * impl_->cols + c] = value;
+}
+
+float Tensor::item() const {
+  MGA_CHECK_MSG(defined() && numel() == 1, "item() requires a 1x1 tensor");
+  return impl_->data[0];
+}
+
+std::vector<float> Tensor::row(std::size_t r) const {
+  MGA_CHECK(defined() && r < impl_->rows);
+  const auto begin = impl_->data.begin() + static_cast<std::ptrdiff_t>(r * impl_->cols);
+  return {begin, begin + static_cast<std::ptrdiff_t>(impl_->cols)};
+}
+
+void Tensor::zero_grad() {
+  if (impl_ && impl_->requires_grad)
+    std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+}
+
+Tensor Tensor::detach() const {
+  MGA_CHECK(defined());
+  auto impl = make_impl(impl_->rows, impl_->cols, /*requires_grad=*/false);
+  impl->data = impl_->data;
+  return Tensor(std::move(impl));
+}
+
+namespace {
+
+// Iterative post-order DFS producing a topological order of the tape rooted
+// at `root`; children (parents in autograd terms) come before the node.
+void topo_sort(const std::shared_ptr<TensorImpl>& root,
+               std::vector<TensorImpl*>& order) {
+  std::unordered_set<TensorImpl*> visited;
+  struct Frame {
+    TensorImpl* node;
+    std::size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root.get(), 0});
+  visited.insert(root.get());
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_parent < frame.node->parents.size()) {
+      TensorImpl* parent = frame.node->parents[frame.next_parent].get();
+      ++frame.next_parent;
+      if (visited.insert(parent).second) stack.push_back({parent, 0});
+    } else {
+      order.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void Tensor::backward() {
+  MGA_CHECK_MSG(defined() && numel() == 1, "backward() requires a scalar loss");
+  MGA_CHECK_MSG(impl_->requires_grad, "backward() on a tensor without grad");
+
+  std::vector<TensorImpl*> order;
+  topo_sort(impl_, order);
+
+  impl_->grad[0] = 1.0f;
+  // Reverse topological order: every node's grad is complete before its
+  // backward_fn pushes contributions into its parents.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if ((*it)->backward_fn) (*it)->backward_fn();
+  }
+}
+
+double clip_grad_norm(std::span<Tensor> params, double max_norm) {
+  MGA_CHECK(max_norm > 0.0);
+  double sq_sum = 0.0;
+  for (auto& p : params) {
+    if (!p.requires_grad()) continue;
+    for (const float g : p.grad()) sq_sum += static_cast<double>(g) * g;
+  }
+  const double norm = std::sqrt(sq_sum);
+  if (norm > max_norm) {
+    const auto scale = static_cast<float>(max_norm / (norm + 1e-12));
+    for (auto& p : params) {
+      if (!p.requires_grad()) continue;
+      for (float& g : p.grad()) g *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace mga::nn

@@ -1,0 +1,113 @@
+// Minimal dense-tensor + reverse-mode autograd engine.
+//
+// This is the PyTorch substitute for the whole repository (see DESIGN.md §1).
+// Tensors are row-major float matrices ([rows, cols]; vectors are 1xN or Nx1,
+// scalars 1x1). A Tensor is a cheap shared handle onto a node in a dynamic
+// compute tape; calling backward() on a scalar loss topologically sorts the
+// tape and accumulates gradients into every node with requires_grad set.
+//
+// The op vocabulary (ops.hpp) is exactly what the paper's models need: dense
+// layers, GRU gating for GGNN message passing, gather/scatter for graph
+// convolution, concat for late fusion, softmax-CE / MSE losses, dropout and
+// swap-noise support for the DAE.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mga::nn {
+
+class Tensor;
+
+namespace detail {
+
+struct TensorImpl {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<float> data;
+  std::vector<float> grad;   // same size as data when requires_grad
+  bool requires_grad = false;
+  // Backward closure: reads this node's grad, accumulates into parents' grads.
+  std::function<void()> backward_fn;
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+
+  [[nodiscard]] std::size_t numel() const noexcept { return rows * cols; }
+};
+
+}  // namespace detail
+
+/// Shared handle to a tape node. Copying a Tensor aliases the same storage.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  // --- construction -------------------------------------------------------
+
+  [[nodiscard]] static Tensor zeros(std::size_t rows, std::size_t cols,
+                                    bool requires_grad = false);
+  [[nodiscard]] static Tensor full(std::size_t rows, std::size_t cols, float value,
+                                   bool requires_grad = false);
+  [[nodiscard]] static Tensor from_data(std::vector<float> values, std::size_t rows,
+                                        std::size_t cols, bool requires_grad = false);
+  /// i.i.d. normal(0, stddev) entries; the standard parameter initializer.
+  [[nodiscard]] static Tensor randn(util::Rng& rng, std::size_t rows, std::size_t cols,
+                                    float stddev, bool requires_grad = false);
+  /// Xavier/Glorot uniform initialization for a [fan_in, fan_out] weight.
+  [[nodiscard]] static Tensor xavier(util::Rng& rng, std::size_t fan_in, std::size_t fan_out,
+                                     bool requires_grad = true);
+  /// 1x1 scalar convenience.
+  [[nodiscard]] static Tensor scalar(float value, bool requires_grad = false);
+
+  // --- shape / storage access ---------------------------------------------
+
+  [[nodiscard]] bool defined() const noexcept { return impl_ != nullptr; }
+  [[nodiscard]] std::size_t rows() const noexcept;
+  [[nodiscard]] std::size_t cols() const noexcept;
+  [[nodiscard]] std::size_t numel() const noexcept;
+  [[nodiscard]] bool requires_grad() const noexcept;
+
+  [[nodiscard]] std::span<float> data();
+  [[nodiscard]] std::span<const float> data() const;
+  [[nodiscard]] std::span<float> grad();
+  [[nodiscard]] std::span<const float> grad() const;
+
+  [[nodiscard]] float at(std::size_t r, std::size_t c) const;
+  void set(std::size_t r, std::size_t c, float value);
+
+  /// Scalar value of a 1x1 tensor.
+  [[nodiscard]] float item() const;
+
+  /// Copy of row r as a std::vector (no autograd).
+  [[nodiscard]] std::vector<float> row(std::size_t r) const;
+
+  // --- autograd -----------------------------------------------------------
+
+  /// Run reverse-mode differentiation from this (scalar) tensor. Seeds the
+  /// output gradient with 1 and accumulates into every reachable parameter.
+  void backward();
+
+  /// Zero this node's gradient buffer (optimizers zero whole param sets).
+  void zero_grad();
+
+  /// Detached copy: same values, no tape history, no grad.
+  [[nodiscard]] Tensor detach() const;
+
+  // Internal: used by ops.cpp to build tape nodes.
+  [[nodiscard]] const std::shared_ptr<detail::TensorImpl>& impl() const { return impl_; }
+  explicit Tensor(std::shared_ptr<detail::TensorImpl> impl) : impl_(std::move(impl)) {}
+
+ private:
+  std::shared_ptr<detail::TensorImpl> impl_;
+};
+
+/// Global-norm gradient clipping over a parameter set; returns the pre-clip
+/// norm (the GGNN trainer logs it).
+double clip_grad_norm(std::span<Tensor> params, double max_norm);
+
+}  // namespace mga::nn

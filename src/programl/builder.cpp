@@ -1,0 +1,196 @@
+#include "programl/builder.hpp"
+
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace mga::programl {
+
+namespace {
+
+class GraphAssembler {
+ public:
+  explicit GraphAssembler(const ir::Module& module) : module_(module) {}
+
+  ProgramGraph build() {
+    // Pass 1: create instruction nodes for every defined function, variable
+    // nodes for arguments, and stub nodes for external declarations.
+    for (const auto& fn : module_.functions()) {
+      if (fn->is_declaration()) {
+        external_stub_[fn.get()] = add_node(
+            {NodeType::kInstruction, ir::Opcode::kCall, fn->return_type(),
+             "extern:" + fn->name(), /*is_external=*/true});
+        continue;
+      }
+      for (const auto& arg : fn->arguments())
+        value_node_[arg.get()] =
+            add_node({NodeType::kVariable, ir::Opcode::kRet, arg->type(),
+                      "arg:" + arg->name(), false});
+      for (const auto& block : fn->blocks())
+        for (const auto& instr : block->instructions())
+          instr_node_[instr.get()] = add_node(
+              {NodeType::kInstruction, instr->opcode(), instr->type(),
+               std::string(ir::opcode_name(instr->opcode())), false});
+    }
+    for (const auto& global : module_.globals())
+      value_node_[global.get()] = add_node(
+          {NodeType::kVariable, ir::Opcode::kRet, ir::Type::kPtr,
+           "global:" + global->name(), false});
+
+    // Pass 2: relations.
+    for (const auto& fn : module_.functions()) {
+      if (fn->is_declaration()) continue;
+      add_control_edges(*fn);
+      add_data_edges(*fn);
+      add_call_edges(*fn);
+    }
+    return std::move(graph_);
+  }
+
+ private:
+  int add_node(Node node) {
+    graph_.nodes.push_back(std::move(node));
+    return static_cast<int>(graph_.nodes.size() - 1);
+  }
+
+  void add_edge(EdgeType type, int source, int target, int position = 0) {
+    graph_.edges.push_back({type, source, target, position});
+  }
+
+  /// Variable node for an SSA value's result, created lazily: PROGRAML keeps
+  /// data flow through explicit variable vertices rather than instruction-to-
+  /// instruction edges.
+  int result_variable_node(const ir::Instruction* instr) {
+    const auto it = result_var_.find(instr);
+    if (it != result_var_.end()) return it->second;
+    const int node = add_node({NodeType::kVariable, ir::Opcode::kRet, instr->type(),
+                               "var:" + instr->name(), false});
+    result_var_[instr] = node;
+    // def edge: instruction -> its result variable.
+    add_edge(EdgeType::kData, instr_node_.at(instr), node);
+    return node;
+  }
+
+  int constant_node(const ir::Constant* constant) {
+    const auto it = const_node_.find(constant);
+    if (it != const_node_.end()) return it->second;
+    const int node =
+        add_node({NodeType::kConstant, ir::Opcode::kRet, constant->type(),
+                  "const:" + std::string(ir::type_name(constant->type())), false});
+    const_node_[constant] = node;
+    return node;
+  }
+
+  void add_control_edges(const ir::Function& fn) {
+    for (const auto& block : fn.blocks()) {
+      const auto& instrs = block->instructions();
+      for (std::size_t i = 0; i + 1 < instrs.size(); ++i)
+        add_edge(EdgeType::kControl, instr_node_.at(instrs[i].get()),
+                 instr_node_.at(instrs[i + 1].get()));
+      const ir::Instruction* term = block->terminator();
+      if (term == nullptr) continue;
+      for (const ir::BasicBlock* successor : term->successors()) {
+        MGA_CHECK_MSG(!successor->empty(), "successor block must not be empty");
+        add_edge(EdgeType::kControl, instr_node_.at(term),
+                 instr_node_.at(successor->instructions().front().get()));
+      }
+    }
+  }
+
+  void add_data_edges(const ir::Function& fn) {
+    for (const auto& block : fn.blocks()) {
+      for (const auto& instr : block->instructions()) {
+        const int consumer = instr_node_.at(instr.get());
+        int position = 0;
+        for (const ir::Value* operand : instr->operands()) {
+          int source = -1;
+          switch (operand->kind()) {
+            case ir::ValueKind::kInstruction:
+              source = result_variable_node(static_cast<const ir::Instruction*>(operand));
+              break;
+            case ir::ValueKind::kArgument:
+            case ir::ValueKind::kGlobal:
+              source = value_node_.at(operand);
+              break;
+            case ir::ValueKind::kConstant:
+              source = constant_node(static_cast<const ir::Constant*>(operand));
+              break;
+          }
+          add_edge(EdgeType::kData, source, consumer, position++);
+        }
+      }
+    }
+  }
+
+  void add_call_edges(const ir::Function& fn) {
+    for (const auto& block : fn.blocks()) {
+      for (const auto& instr : block->instructions()) {
+        if (instr->opcode() != ir::Opcode::kCall) continue;
+        const int call_site = instr_node_.at(instr.get());
+        const ir::Function* callee = instr->callee();
+        MGA_CHECK(callee != nullptr);
+        if (callee->is_declaration()) {
+          const int stub = external_stub_.at(callee);
+          add_edge(EdgeType::kCall, call_site, stub);
+          add_edge(EdgeType::kCall, stub, call_site);
+          continue;
+        }
+        // Call edge to the callee's entry instruction…
+        const ir::BasicBlock* entry = callee->entry();
+        MGA_CHECK(entry != nullptr && !entry->empty());
+        add_edge(EdgeType::kCall, call_site, instr_node_.at(entry->instructions().front().get()));
+        // …and return edges from every ret back to the call site.
+        for (const auto& callee_block : callee->blocks()) {
+          const ir::Instruction* term = callee_block->terminator();
+          if (term != nullptr && term->opcode() == ir::Opcode::kRet)
+            add_edge(EdgeType::kCall, instr_node_.at(term), call_site);
+        }
+      }
+    }
+  }
+
+  const ir::Module& module_;
+  ProgramGraph graph_;
+  std::unordered_map<const ir::Instruction*, int> instr_node_;
+  std::unordered_map<const ir::Instruction*, int> result_var_;
+  std::unordered_map<const ir::Value*, int> value_node_;
+  std::unordered_map<const ir::Constant*, int> const_node_;
+  std::unordered_map<const ir::Function*, int> external_stub_;
+};
+
+}  // namespace
+
+ProgramGraph build_graph(const ir::Module& module) {
+  return GraphAssembler(module).build();
+}
+
+ProgramGraph::RelationEdges ProgramGraph::relation(EdgeType type) const {
+  RelationEdges result;
+  for (const auto& edge : edges) {
+    if (edge.type != type) continue;
+    result.sources.push_back(edge.source);
+    result.targets.push_back(edge.target);
+  }
+  return result;
+}
+
+std::size_t node_vocabulary_size() noexcept {
+  // Instructions: one slot per opcode (+1 for external stubs).
+  // Variables/constants: one slot per value type each.
+  return ir::kNumOpcodes + 1 + 2 * ir::kNumTypes;
+}
+
+std::size_t node_feature_index(const Node& node) noexcept {
+  switch (node.type) {
+    case NodeType::kInstruction:
+      if (node.is_external) return ir::kNumOpcodes;
+      return static_cast<std::size_t>(node.opcode);
+    case NodeType::kVariable:
+      return ir::kNumOpcodes + 1 + static_cast<std::size_t>(node.value_type);
+    case NodeType::kConstant:
+      return ir::kNumOpcodes + 1 + ir::kNumTypes + static_cast<std::size_t>(node.value_type);
+  }
+  return 0;
+}
+
+}  // namespace mga::programl

@@ -1,0 +1,18 @@
+// Construction of PROGRAML graphs from mini-IR modules.
+#pragma once
+
+#include "ir/function.hpp"
+#include "programl/graph.hpp"
+
+namespace mga::programl {
+
+/// Build the full-module multi-graph:
+///  * control edges: intra-block instruction order + terminator->successor
+///    block heads;
+///  * data edges: def->variable->use (with operand positions), constants and
+///    globals as dedicated vertices;
+///  * call edges: call-site -> callee entry instruction and callee ret ->
+///    call-site; external declarations become a single stub vertex.
+[[nodiscard]] ProgramGraph build_graph(const ir::Module& module);
+
+}  // namespace mga::programl

@@ -1,0 +1,78 @@
+// PROGRAML-style program graph (Cummins et al., ICML'21), the first modality
+// of the MGA tuner. One vertex per instruction; separate vertices for
+// variables and constants; three typed relations — control, data, call —
+// forming the heterogeneous multi-graph the paper's hetero-GNN consumes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/opcode.hpp"
+#include "ir/type.hpp"
+
+namespace mga::programl {
+
+enum class NodeType : std::uint8_t { kInstruction, kVariable, kConstant };
+enum class EdgeType : std::uint8_t { kControl, kData, kCall };
+
+inline constexpr std::size_t kNumEdgeTypes = 3;
+
+struct Node {
+  NodeType type = NodeType::kInstruction;
+  // For instruction nodes: the opcode; meaningless otherwise.
+  ir::Opcode opcode = ir::Opcode::kRet;
+  // Value type (instruction result / variable / constant type).
+  ir::Type value_type = ir::Type::kVoid;
+  // Debug label ("fmul", "var:%3", "const:f64", "extern:sqrt").
+  std::string text;
+  // True for the stub node representing an external (declared) callee.
+  bool is_external = false;
+};
+
+struct Edge {
+  EdgeType type = EdgeType::kControl;
+  std::int32_t source = 0;
+  std::int32_t target = 0;
+  // Operand position for data edges (PROGRAML keeps positions so the model
+  // can distinguish lhs/rhs); 0 for control/call edges.
+  std::int32_t position = 0;
+};
+
+struct ProgramGraph {
+  std::vector<Node> nodes;
+  std::vector<Edge> edges;
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges.size(); }
+
+  [[nodiscard]] std::size_t count_nodes(NodeType type) const noexcept {
+    std::size_t count = 0;
+    for (const auto& node : nodes)
+      if (node.type == type) ++count;
+    return count;
+  }
+
+  [[nodiscard]] std::size_t count_edges(EdgeType type) const noexcept {
+    std::size_t count = 0;
+    for (const auto& edge : edges)
+      if (edge.type == type) ++count;
+    return count;
+  }
+
+  /// Edge lists split per relation as (sources, targets) pairs — the layout
+  /// the heterogeneous GNN's per-relation message passing consumes directly.
+  struct RelationEdges {
+    std::vector<int> sources;
+    std::vector<int> targets;
+  };
+  [[nodiscard]] RelationEdges relation(EdgeType type) const;
+};
+
+/// Initial node-feature vocabulary: maps a node to a stable embedding index.
+/// Instructions key on opcode, variables/constants on value type; external
+/// stubs get their own bucket. Total vocabulary size for embedding tables:
+[[nodiscard]] std::size_t node_vocabulary_size() noexcept;
+[[nodiscard]] std::size_t node_feature_index(const Node& node) noexcept;
+
+}  // namespace mga::programl

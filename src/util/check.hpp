@@ -1,0 +1,37 @@
+// Always-on invariant checking. Unlike <cassert>, MGA_CHECK stays active in
+// release builds: shape mismatches and contract violations in the NN/autograd
+// layer must fail loudly, never corrupt a training run silently. Throws
+// std::invalid_argument so tests can assert on misuse.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mga::util::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& message) {
+  std::ostringstream oss;
+  oss << "MGA_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!message.empty()) oss << " — " << message;
+  throw std::invalid_argument(oss.str());
+}
+
+}  // namespace mga::util::detail
+
+#define MGA_CHECK(expr)                                                      \
+  do {                                                                       \
+    if (!(expr)) ::mga::util::detail::check_failed(#expr, __FILE__, __LINE__, \
+                                                   std::string{});            \
+  } while (false)
+
+#define MGA_CHECK_MSG(expr, msg)                                              \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      std::ostringstream mga_check_oss;                                       \
+      mga_check_oss << msg;                                                   \
+      ::mga::util::detail::check_failed(#expr, __FILE__, __LINE__,            \
+                                        mga_check_oss.str());                 \
+    }                                                                         \
+  } while (false)

@@ -1,0 +1,81 @@
+// Deterministic pseudo-random number generation for the whole project.
+//
+// Every stochastic component (weight init, swap noise, dataset synthesis,
+// search tuners) draws from an explicitly seeded Rng so that experiments are
+// bit-reproducible across runs and platforms. We avoid std::default_random_*
+// distributions because their output is implementation-defined; all
+// distribution transforms here are written out explicitly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace mga::util {
+
+/// SplitMix64 step; used for seeding and cheap stateless hashing.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Stable 64-bit FNV-1a hash of a string (used for vocabulary hashing and
+/// per-kernel deterministic "noise" that must not depend on call order).
+[[nodiscard]] std::uint64_t fnv1a(std::string_view text) noexcept;
+
+/// Combine two hashes (boost-style mix).
+[[nodiscard]] std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// xoshiro256** PRNG with explicit transforms for the distributions we need.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Raw 64 random bits.
+  [[nodiscard]] std::uint64_t next() noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  [[nodiscard]] std::uint64_t uniform_index(std::uint64_t n) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Standard normal via Box-Muller (cached second value).
+  [[nodiscard]] double normal() noexcept;
+
+  /// Normal with given mean / standard deviation.
+  [[nodiscard]] double normal(double mean, double stddev) noexcept;
+
+  /// Bernoulli trial with probability p of true.
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    if (items.size() < 2) return;
+    for (std::size_t i = items.size() - 1; i > 0; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_index(i + 1));
+      using std::swap;
+      swap(items[i], items[j]);
+    }
+  }
+
+  /// k distinct indices drawn from [0, n) (k <= n), in random order.
+  [[nodiscard]] std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                                    std::size_t k) noexcept;
+
+  /// Fork a statistically independent child stream (stable w.r.t. call order
+  /// of other methods only through the parent's own stream position).
+  [[nodiscard]] Rng fork() noexcept;
+
+ private:
+  std::uint64_t state_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace mga::util

@@ -1,0 +1,163 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace mga::util {
+
+double mean(std::span<const double> xs) {
+  assert(!xs.empty());
+  return std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  assert(!xs.empty());
+  const double mu = mean(xs);
+  double acc = 0.0;
+  for (const double x : xs) acc += (x - mu) * (x - mu);
+  return acc / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double geometric_mean(std::span<const double> xs) {
+  assert(!xs.empty());
+  double log_sum = 0.0;
+  for (const double x : xs) {
+    assert(x > 0.0);
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  assert(xs.size() == ys.size());
+  assert(!xs.empty());
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> fractional_ranks(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&xs](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    // Midrank for the tie group [i, j]; ranks are 1-based.
+    const double midrank = (static_cast<double>(i + 1) + static_cast<double>(j + 1)) / 2.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = midrank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double inverse_normal_cdf(double p) {
+  assert(p > 0.0 && p < 1.0);
+  // Acklam's algorithm: rational approximations in three regions.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  constexpr double p_high = 1.0 - p_low;
+
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= p_high) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+std::size_t argmax(std::span<const double> xs) {
+  assert(!xs.empty());
+  return static_cast<std::size_t>(
+      std::distance(xs.begin(), std::max_element(xs.begin(), xs.end())));
+}
+
+std::size_t argmin(std::span<const double> xs) {
+  assert(!xs.empty());
+  return static_cast<std::size_t>(
+      std::distance(xs.begin(), std::min_element(xs.begin(), xs.end())));
+}
+
+std::vector<double> minmax_scale(std::span<const double> xs) {
+  std::vector<double> out(xs.size(), 0.5);
+  if (xs.empty()) return out;
+  const auto [lo_it, hi_it] = std::minmax_element(xs.begin(), xs.end());
+  const double lo = *lo_it;
+  const double hi = *hi_it;
+  if (hi <= lo) return out;
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = (xs[i] - lo) / (hi - lo);
+  return out;
+}
+
+double f1_score(std::span<const int> predicted, std::span<const int> actual) {
+  assert(predicted.size() == actual.size());
+  ConfusionCounts counts;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const bool pred_pos = predicted[i] == 1;
+    const bool true_pos = actual[i] == 1;
+    if (pred_pos && true_pos)
+      ++counts.true_positive;
+    else if (pred_pos && !true_pos)
+      ++counts.false_positive;
+    else if (!pred_pos && true_pos)
+      ++counts.false_negative;
+    else
+      ++counts.true_negative;
+  }
+  const double tp = static_cast<double>(counts.true_positive);
+  const double denom = tp + 0.5 * static_cast<double>(counts.false_positive +
+                                                      counts.false_negative);
+  if (denom <= 0.0) return 0.0;
+  return tp / denom;
+}
+
+double accuracy(std::span<const int> predicted, std::span<const int> actual) {
+  assert(predicted.size() == actual.size());
+  if (predicted.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i)
+    if (predicted[i] == actual[i]) ++hits;
+  return static_cast<double>(hits) / static_cast<double>(predicted.size());
+}
+
+}  // namespace mga::util

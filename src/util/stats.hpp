@@ -1,0 +1,56 @@
+// Small statistics toolkit used across the dataset pipeline and evaluation:
+// Pearson correlation for counter selection (paper §4.1.1), geometric means
+// for speedup reporting (§4.1.3), ranking + inverse normal CDF for the
+// Gaussian-rank scaling the DAE applies before swap noise (§3.2).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mga::util {
+
+[[nodiscard]] double mean(std::span<const double> xs);
+[[nodiscard]] double variance(std::span<const double> xs);  // population variance
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// Geometric mean; requires all inputs > 0.
+[[nodiscard]] double geometric_mean(std::span<const double> xs);
+
+/// Pearson correlation coefficient in [-1, 1]; returns 0 when either input is
+/// constant (correlation undefined, and "no signal" is the right reading for
+/// feature selection).
+[[nodiscard]] double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Fractional ranks in [1, n] with ties averaged (midrank), as used by the
+/// Gaussian rank transform.
+[[nodiscard]] std::vector<double> fractional_ranks(std::span<const double> xs);
+
+/// Inverse CDF of the standard normal (Acklam's rational approximation,
+/// |relative error| < 1.15e-9). Requires p in (0, 1).
+[[nodiscard]] double inverse_normal_cdf(double p);
+
+/// Standard normal CDF (via std::erfc).
+[[nodiscard]] double normal_cdf(double x);
+
+/// Index of the maximum element; first index wins ties. Requires non-empty.
+[[nodiscard]] std::size_t argmax(std::span<const double> xs);
+[[nodiscard]] std::size_t argmin(std::span<const double> xs);
+
+/// Min-max normalization of `xs` to [0, 1]; constant input maps to all 0.5.
+[[nodiscard]] std::vector<double> minmax_scale(std::span<const double> xs);
+
+struct ConfusionCounts {
+  std::size_t true_positive = 0;
+  std::size_t false_positive = 0;
+  std::size_t true_negative = 0;
+  std::size_t false_negative = 0;
+};
+
+/// Binary-classification F1 from predictions/labels (1 = positive class).
+[[nodiscard]] double f1_score(std::span<const int> predicted, std::span<const int> actual);
+
+/// Multi-class accuracy.
+[[nodiscard]] double accuracy(std::span<const int> predicted, std::span<const int> actual);
+
+}  // namespace mga::util

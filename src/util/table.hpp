@@ -1,0 +1,42 @@
+// ASCII table / CSV emission for the benchmark harness. Every bench binary
+// prints the same rows/series the paper's corresponding figure or table
+// reports; this keeps that formatting in one place.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mga::util {
+
+/// Column-aligned ASCII table with a header row. Cells are free-form strings;
+/// numeric formatting is the caller's concern (use `fmt_double`).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column padding and a separator under the header.
+  void print(std::ostream& os) const;
+
+  /// Comma-separated rendering (no escaping; cells must not contain commas).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("3.40", "0.98", ...).
+[[nodiscard]] std::string fmt_double(double value, int precision = 2);
+
+/// "3.40x" style speedup formatting.
+[[nodiscard]] std::string fmt_speedup(double value, int precision = 2);
+
+/// "97.9%" style percent formatting.
+[[nodiscard]] std::string fmt_percent(double fraction, int precision = 1);
+
+}  // namespace mga::util

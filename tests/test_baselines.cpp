@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/decision_tree.hpp"
+#include "baselines/devmap.hpp"
+#include "baselines/mlp_classifier.hpp"
+#include "baselines/search_tuners.hpp"
+#include "util/stats.hpp"
+
+namespace mga::baselines {
+namespace {
+
+std::vector<hwsim::OmpConfig> small_space() {
+  std::vector<hwsim::OmpConfig> space;
+  for (int t : {1, 2, 4, 8})
+    for (const auto schedule : {hwsim::Schedule::kStatic, hwsim::Schedule::kDynamic})
+      for (int chunk : {1, 64}) space.push_back({t, schedule, chunk});
+  return space;
+}
+
+TEST(TuningProblem, CountsEvaluations) {
+  TuningProblem problem(small_space(), [](int) { return 1.0; });
+  EXPECT_EQ(problem.evaluations(), 0u);
+  (void)problem.evaluate(0);
+  (void)problem.evaluate(3);
+  EXPECT_EQ(problem.evaluations(), 2u);
+  problem.reset_evaluations();
+  EXPECT_EQ(problem.evaluations(), 0u);
+}
+
+TEST(TuningProblem, CoordinatesNormalized) {
+  TuningProblem problem(small_space(), [](int) { return 1.0; });
+  for (std::size_t i = 0; i < problem.size(); ++i) {
+    for (const double x : problem.coordinates(static_cast<int>(i))) {
+      EXPECT_GE(x, 0.0);
+      EXPECT_LE(x, 1.0);
+    }
+  }
+}
+
+TEST(TuningProblem, NeighboursDifferInOneDimension) {
+  const auto space = small_space();
+  TuningProblem problem(space, [](int) { return 1.0; });
+  const auto neighbours = problem.neighbours(0);
+  EXPECT_FALSE(neighbours.empty());
+  const auto& base = space[0];
+  for (const int n : neighbours) {
+    const auto& c = space[static_cast<std::size_t>(n)];
+    int diffs = 0;
+    if (c.threads != base.threads) ++diffs;
+    if (c.schedule != base.schedule) ++diffs;
+    if (c.chunk != base.chunk) ++diffs;
+    EXPECT_EQ(diffs, 1);
+  }
+}
+
+/// Smooth single-optimum objective: tuners must land near the optimum.
+double convex_objective(const hwsim::OmpConfig& config) {
+  const double t = config.threads;
+  return 1.0 + std::pow(t - 4.0, 2) * 0.1 +
+         (config.schedule == hwsim::Schedule::kDynamic ? 0.05 : 0.0) +
+         std::abs(config.chunk - 64) * 0.001;
+}
+
+class TunerParam : public ::testing::TestWithParam<int> {
+ protected:
+  TuneResult run(TuningProblem& problem, std::size_t budget, util::Rng& rng) const {
+    switch (GetParam()) {
+      case 0: return open_tuner_like(problem, budget, rng);
+      case 1: return ytopt_like(problem, budget, rng);
+      default: return bliss_like(problem, budget, rng);
+    }
+  }
+};
+
+TEST_P(TunerParam, RespectsBudget) {
+  const auto space = small_space();
+  TuningProblem problem(space, [&space](int i) {
+    return convex_objective(space[static_cast<std::size_t>(i)]);
+  });
+  util::Rng rng(11);
+  const TuneResult result = run(problem, 6, rng);
+  EXPECT_LE(result.evaluations, 6u);
+  EXPECT_GE(result.evaluations, 2u);
+  EXPECT_GE(result.best_index, 0);
+}
+
+TEST_P(TunerParam, FindsNearOptimumOnConvexSpace) {
+  const auto space = small_space();
+  double optimum = 1e30;
+  for (const auto& config : space) optimum = std::min(optimum, convex_objective(config));
+
+  // Average over several seeds: stochastic tuners must usually get close.
+  int successes = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    TuningProblem problem(space, [&space](int i) {
+      return convex_objective(space[static_cast<std::size_t>(i)]);
+    });
+    util::Rng rng(seed);
+    const TuneResult result = run(problem, 10, rng);
+    if (result.best_seconds <= optimum * 1.2) ++successes;
+  }
+  EXPECT_GE(successes, 7);
+}
+
+TEST_P(TunerParam, ExhaustsSmallSpaces) {
+  // Budget larger than the space: the incumbent must be the global optimum.
+  std::vector<hwsim::OmpConfig> space;
+  for (int t = 1; t <= 4; ++t) space.push_back({t, hwsim::Schedule::kStatic, 0});
+  TuningProblem problem(space, [](int i) { return 10.0 - i; });  // best = last
+  util::Rng rng(3);
+  const TuneResult result = run(problem, 16, rng);
+  EXPECT_EQ(result.best_index, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTuners, TunerParam, ::testing::Values(0, 1, 2),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case 0: return "OpenTunerLike";
+                             case 1: return "YtoptLike";
+                             default: return "BlissLike";
+                           }
+                         });
+
+// --- decision tree ---------------------------------------------------------------
+
+TEST(DecisionTree, FitsAxisAlignedConcept) {
+  // label = x0 > 0.5
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  for (int i = 0; i < 40; ++i) {
+    const double x = i / 40.0;
+    rows.push_back({x, 0.3});
+    labels.push_back(x > 0.5 ? 1 : 0);
+  }
+  DecisionTree tree;
+  tree.fit(rows, labels);
+  EXPECT_EQ(tree.predict({0.1, 0.3}), 0);
+  EXPECT_EQ(tree.predict({0.9, 0.3}), 1);
+}
+
+TEST(DecisionTree, FitsTwoFeatureInteraction) {
+  // a AND b: needs one split per feature (greedy CART handles conjunctions;
+  // XOR has zero first-split gain and is out of scope for greedy trees).
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  for (int a = 0; a < 2; ++a)
+    for (int b = 0; b < 2; ++b)
+      for (int rep = 0; rep < 5; ++rep) {
+        rows.push_back({a + rep * 0.01, b + rep * 0.01});
+        labels.push_back(a & b);
+      }
+  DecisionTree tree;
+  tree.fit(rows, labels);
+  const auto predictions = tree.predict_all(rows);
+  EXPECT_DOUBLE_EQ(util::accuracy(predictions, labels), 1.0);
+  EXPECT_GE(tree.node_count(), 5u);  // root + at least two levels
+}
+
+TEST(DecisionTree, RespectsMaxDepth) {
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  util::Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    rows.push_back({rng.uniform(), rng.uniform()});
+    labels.push_back(static_cast<int>(rng.uniform_index(2)));
+  }
+  DecisionTreeConfig config;
+  config.max_depth = 1;
+  DecisionTree tree;
+  tree.fit(rows, labels, config);
+  EXPECT_LE(tree.node_count(), 3u);  // root + two leaves
+}
+
+TEST(DecisionTree, PredictBeforeFitThrows) {
+  DecisionTree tree;
+  EXPECT_THROW((void)tree.predict({1.0}), std::invalid_argument);
+}
+
+// --- MLP classifier ---------------------------------------------------------------
+
+TEST(MlpClassifier, LearnsLinearlySeparableBlobs) {
+  util::Rng rng(5);
+  std::vector<std::vector<float>> rows;
+  std::vector<int> labels;
+  for (int i = 0; i < 60; ++i) {
+    const int label = i % 2;
+    const float cx = label == 0 ? -1.0f : 1.0f;
+    rows.push_back({cx + static_cast<float>(rng.normal(0, 0.2)),
+                    cx + static_cast<float>(rng.normal(0, 0.2))});
+    labels.push_back(label);
+  }
+  MlpClassifier classifier;
+  classifier.fit(rows, labels, 2);
+  EXPECT_GT(util::accuracy(classifier.predict_all(rows), labels), 0.95);
+}
+
+TEST(MlpClassifier, PredictBeforeFitThrows) {
+  MlpClassifier classifier;
+  EXPECT_THROW((void)classifier.predict({1.0f}), std::invalid_argument);
+}
+
+// --- device-mapping baselines -------------------------------------------------------
+
+class DevmapBaselines : public ::testing::Test {
+ protected:
+  static const dataset::OclDataset& data() {
+    static const dataset::OclDataset dataset = dataset::build_ocl_dataset(
+        corpus::opencl_suite(), hwsim::gtx_970(), hwsim::ivy_bridge_i7_3820());
+    return dataset;
+  }
+
+  static std::pair<std::vector<int>, std::vector<int>> split() {
+    std::vector<int> train, val;
+    for (std::size_t i = 0; i < data().samples.size(); ++i) {
+      if (i % 5 == 0)
+        val.push_back(static_cast<int>(i));
+      else
+        train.push_back(static_cast<int>(i));
+    }
+    return {train, val};
+  }
+
+  static double evaluate(DeviceMappingBaseline& model) {
+    const auto [train, val] = split();
+    model.fit(data(), train);
+    const auto predicted = model.predict(data(), val);
+    std::vector<int> actual;
+    for (const int s : val) actual.push_back(data().samples[static_cast<std::size_t>(s)].label);
+    return util::accuracy(predicted, actual);
+  }
+};
+
+TEST_F(DevmapBaselines, StaticMappingMatchesMajority) {
+  StaticMappingBaseline model;
+  const auto [train, val] = split();
+  model.fit(data(), train);
+  const auto predicted = model.predict(data(), val);
+  for (const int p : predicted) EXPECT_EQ(p, model.majority_label());
+}
+
+TEST_F(DevmapBaselines, GreweBeatsStaticMapping) {
+  StaticMappingBaseline static_model;
+  GreweBaseline grewe;
+  EXPECT_GT(evaluate(grewe), evaluate(static_model));
+}
+
+TEST_F(DevmapBaselines, DeepTuneRunsAboveChance) {
+  DeepTuneBaseline model;
+  EXPECT_GT(evaluate(model), 0.6);
+}
+
+TEST_F(DevmapBaselines, Inst2vecRunsAboveChance) {
+  Inst2vecBaseline model;
+  EXPECT_GT(evaluate(model), 0.6);
+}
+
+TEST_F(DevmapBaselines, GreweFeaturesAreFinite) {
+  const auto& sample = data().samples.front();
+  const auto features = GreweBaseline::features(data(), sample);
+  EXPECT_EQ(features.size(), 6u);
+  for (const double f : features) EXPECT_TRUE(std::isfinite(f));
+}
+
+}  // namespace
+}  // namespace mga::baselines

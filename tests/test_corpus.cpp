@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "corpus/spec.hpp"
+#include "ir/printer.hpp"
+#include "ir/stats.hpp"
+#include "ir/verifier.hpp"
+
+namespace mga::corpus {
+namespace {
+
+TEST(Suites, PaperDatasetSizes) {
+  EXPECT_EQ(openmp_suite().size(), 45u);        // §4.1: 45 OpenMP loops
+  EXPECT_EQ(large_space_suite().size(), 30u);   // Fig. 7: 30 applications
+  EXPECT_EQ(opencl_suite().size(), 256u);       // §4.2.1: 256 OpenCL kernels
+  EXPECT_EQ(polybench_kernels().size(), 25u);   // Fig. 9: 25 Polybench kernels
+}
+
+TEST(Suites, NamesAreUnique) {
+  for (const auto& suite : {openmp_suite(), large_space_suite(), opencl_suite()}) {
+    std::unordered_set<std::string> names;
+    for (const auto& spec : suite) EXPECT_TRUE(names.insert(spec.name).second) << spec.name;
+  }
+}
+
+TEST(Suites, CoverAllTable1OpenMpSuites) {
+  std::unordered_set<std::string> suites;
+  for (const auto& spec : openmp_suite()) suites.insert(spec.suite);
+  for (const char* expected : {"polybench", "rodinia", "nas", "stream", "drb", "lulesh"})
+    EXPECT_TRUE(suites.contains(expected)) << expected;
+}
+
+TEST(Suites, CoverAllTable1OpenClSuites) {
+  std::unordered_set<std::string> suites;
+  for (const auto& spec : opencl_suite()) suites.insert(spec.suite);
+  for (const char* expected : {"amd-sdk", "npb", "nvidia-sdk", "parboil", "polybench-gpu",
+                               "rodinia-ocl", "shoc"})
+    EXPECT_TRUE(suites.contains(expected)) << expected;
+}
+
+TEST(Suites, LargeSpaceSuiteMatchesFig7Composition) {
+  const auto suite = large_space_suite();
+  std::size_t polybench_count = 0;
+  std::size_t rodinia_count = 0;
+  std::size_t lulesh_count = 0;
+  for (const auto& spec : suite) {
+    if (spec.suite == "polybench") ++polybench_count;
+    if (spec.suite == "rodinia") ++rodinia_count;
+    if (spec.suite == "lulesh") ++lulesh_count;
+  }
+  EXPECT_EQ(polybench_count, 25u);
+  EXPECT_EQ(rodinia_count, 4u);
+  EXPECT_EQ(lulesh_count, 1u);
+}
+
+TEST(FindKernel, LooksUpAndThrows) {
+  EXPECT_EQ(find_kernel("polybench/2mm").family, Family::kDenseLinalg);
+  EXPECT_EQ(find_kernel("rodinia/bfs").family, Family::kGraph);
+  EXPECT_THROW((void)find_kernel("polybench/nonexistent"), std::invalid_argument);
+}
+
+class GenerateAll : public ::testing::TestWithParam<int> {};
+
+TEST_P(GenerateAll, EmitsVerifiedDeterministicIr) {
+  const auto specs = openmp_suite();
+  const auto& spec = specs[static_cast<std::size_t>(GetParam())];
+  const GeneratedKernel a = generate(spec);
+  const GeneratedKernel b = generate(spec);
+  EXPECT_TRUE(ir::is_well_formed(*a.module));
+  EXPECT_EQ(ir::to_string(*a.module), ir::to_string(*b.module));
+  EXPECT_EQ(a.workload.name, spec.name);
+  EXPECT_DOUBLE_EQ(a.workload.flops_per_elem, b.workload.flops_per_elem);
+}
+
+INSTANTIATE_TEST_SUITE_P(OpenMp, GenerateAll, ::testing::Range(0, 45));
+
+TEST(WorkloadCoupling, BranchySpecsEmitBranchesAndLowPredictability) {
+  const auto kmeans = generate(find_kernel("rodinia/kmeans"));  // has_branch
+  const auto gemm = generate(find_kernel("polybench/gemm"));    // no branch
+  const ir::IRStats kmeans_stats = ir::compute_stats(*kmeans.module);
+  const ir::IRStats gemm_stats = ir::compute_stats(*gemm.module);
+  // A branch-free loop nest carries exactly one condbr per loop level; the
+  // branchy kernel adds a data-dependent diamond on top of its nest.
+  EXPECT_EQ(gemm_stats.branch_count,
+            static_cast<std::size_t>(find_kernel("polybench/gemm").params.nest_depth));
+  EXPECT_GT(kmeans_stats.branch_count,
+            static_cast<std::size_t>(find_kernel("rodinia/kmeans").params.nest_depth));
+  EXPECT_LT(kmeans.workload.branch_predictability, gemm.workload.branch_predictability);
+  EXPECT_GT(kmeans.workload.branches_per_elem, gemm.workload.branches_per_elem);
+}
+
+TEST(WorkloadCoupling, CallSpecsEmitCallsAndCallCost) {
+  const auto lulesh = generate(find_kernel("lulesh/CalcHourglassControlForElems"));
+  const ir::IRStats stats = ir::compute_stats(*lulesh.module);
+  EXPECT_GT(stats.call_count, 0u);
+  EXPECT_GT(lulesh.workload.calls_per_elem, 0.0);
+
+  const auto gemm = generate(find_kernel("polybench/gemm"));
+  EXPECT_DOUBLE_EQ(gemm.workload.calls_per_elem, 0.0);
+}
+
+TEST(WorkloadCoupling, ReductionSpecsEmitAtomics) {
+  const auto correlation = generate(find_kernel("polybench/correlation"));
+  const ir::IRStats stats = ir::compute_stats(*correlation.module);
+  EXPECT_GT(stats.atomic_count, 0u);
+  EXPECT_GT(correlation.workload.sync_per_elem, 0.0);
+}
+
+TEST(WorkloadCoupling, NestDepthRaisesWorkExponentFamilies) {
+  const auto gemm = generate(find_kernel("polybench/gemm"));      // depth 3 linalg
+  const auto triad = generate(find_kernel("stream/triad"));       // depth 1 streaming
+  EXPECT_GT(gemm.workload.work_exponent, triad.workload.work_exponent);
+}
+
+TEST(WorkloadCoupling, TrisolvIsSerialFriendly) {
+  const auto trisolv = generate(find_kernel("polybench/trisolv"));
+  EXPECT_LT(trisolv.workload.parallel_fraction, 0.7);
+  EXPECT_GT(trisolv.workload.dependency_penalty, 0.1);
+}
+
+TEST(WorkloadCoupling, DistinctKernelsDistinctWorkloads) {
+  const auto specs = openmp_suite();
+  std::unordered_set<long long> signatures;
+  for (const auto& spec : specs) {
+    const auto workload = generate(spec).workload;
+    const auto signature =
+        static_cast<long long>(workload.flops_per_elem * 1e6) ^
+        (static_cast<long long>(workload.bytes_per_elem * 1e6) << 20);
+    EXPECT_TRUE(signatures.insert(signature).second) << spec.name;
+  }
+}
+
+TEST(Generate, RejectsInvalidParams) {
+  KernelSpec spec = find_kernel("polybench/gemm");
+  spec.params.nest_depth = 0;
+  EXPECT_THROW((void)generate(spec), std::invalid_argument);
+  spec.params.nest_depth = 4;
+  EXPECT_THROW((void)generate(spec), std::invalid_argument);
+  spec = find_kernel("polybench/gemm");
+  spec.params.arrays = 0;
+  EXPECT_THROW((void)generate(spec), std::invalid_argument);
+}
+
+TEST(FamilyNames, AllDistinct) {
+  std::unordered_set<std::string> names;
+  for (int f = 0; f <= static_cast<int>(Family::kMonteCarlo); ++f)
+    EXPECT_TRUE(names.insert(family_name(static_cast<Family>(f))).second);
+}
+
+class OpenClGeneration : public ::testing::TestWithParam<int> {};
+
+TEST_P(OpenClGeneration, VerifiedIr) {
+  const auto specs = opencl_suite();
+  // Sample every 16th kernel to keep runtime bounded.
+  const auto& spec = specs[static_cast<std::size_t>(GetParam() * 16)];
+  const GeneratedKernel kernel = generate(spec);
+  EXPECT_TRUE(ir::is_well_formed(*kernel.module));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sampled, OpenClGeneration, ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace mga::corpus

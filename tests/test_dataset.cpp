@@ -1,0 +1,325 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+
+#include "dataset/counters.hpp"
+#include "dataset/dataset.hpp"
+#include "dataset/export.hpp"
+#include "dataset/scaler.hpp"
+#include "dataset/splits.hpp"
+#include "util/stats.hpp"
+
+namespace mga::dataset {
+namespace {
+
+TEST(InputSizes, PaperRangeAndCount) {
+  const auto sizes = input_sizes_30();
+  ASSERT_EQ(sizes.size(), 30u);
+  EXPECT_NEAR(sizes.front(), 3584.0, 1.0);     // 3.5 KB
+  EXPECT_NEAR(sizes.back(), 0.5e9, 1e3);       // 0.5 GB
+  for (std::size_t i = 1; i < sizes.size(); ++i) EXPECT_GT(sizes[i], sizes[i - 1]);
+}
+
+TEST(Spaces, ThreadSpaceMatchesMachine) {
+  EXPECT_EQ(thread_space(hwsim::comet_lake()).size(), 8u);
+  EXPECT_EQ(thread_space(hwsim::skylake_sp()).size(), 20u);
+}
+
+TEST(Spaces, LargeSpaceMatchesTable2) {
+  // 7 thread values x 3 schedules x 7 chunks = 147 on the 20-thread Skylake.
+  const auto space = large_space(hwsim::skylake_sp());
+  EXPECT_EQ(space.size(), 147u);
+  // Clipped on an 8-thread machine: threads {1,2,4,8} -> 4 x 3 x 7 = 84.
+  EXPECT_EQ(large_space(hwsim::comet_lake()).size(), 84u);
+}
+
+class OmpDatasetTest : public ::testing::Test {
+ protected:
+  static const OmpDataset& data() {
+    static const OmpDataset dataset = [] {
+      // Small slice: 6 kernels x 5 inputs over the 8-config thread space.
+      auto specs = corpus::openmp_suite();
+      specs.resize(6);
+      std::vector<double> inputs = input_sizes_30();
+      inputs.resize(5);
+      return build_omp_dataset(specs, hwsim::comet_lake(),
+                               thread_space(hwsim::comet_lake()), inputs);
+    }();
+    return dataset;
+  }
+};
+
+TEST_F(OmpDatasetTest, ShapeAndParallelArrays) {
+  EXPECT_EQ(data().kernels.size(), 6u);
+  EXPECT_EQ(data().graphs.size(), 6u);
+  EXPECT_EQ(data().vectors.size(), 6u);
+  EXPECT_EQ(data().workloads.size(), 6u);
+  EXPECT_EQ(data().samples.size(), 30u);  // 6 x 5
+  EXPECT_EQ(data().num_classes(), 8u);
+}
+
+TEST_F(OmpDatasetTest, LabelsAreArgminOfRuntimeTable) {
+  for (const auto& sample : data().samples) {
+    ASSERT_EQ(sample.seconds.size(), data().space.size());
+    const auto label = static_cast<std::size_t>(sample.label);
+    for (std::size_t c = 0; c < sample.seconds.size(); ++c)
+      EXPECT_LE(sample.seconds[label], sample.seconds[c]);
+  }
+}
+
+TEST_F(OmpDatasetTest, DefaultSecondsMatchesDefaultConfig) {
+  // The default configuration (8 threads static) is part of the space; the
+  // profiled default time must equal its table entry.
+  const auto& space = data().space;
+  std::size_t default_index = space.size();
+  for (std::size_t c = 0; c < space.size(); ++c)
+    if (space[c] == hwsim::default_config(data().machine)) default_index = c;
+  ASSERT_LT(default_index, space.size());
+  for (const auto& sample : data().samples)
+    EXPECT_DOUBLE_EQ(sample.default_seconds, sample.seconds[default_index]);
+}
+
+TEST_F(OmpDatasetTest, CountersProfiledAtDefaultArePositive) {
+  for (const auto& sample : data().samples) {
+    for (const double counter : sample.counters.selected()) EXPECT_GT(counter, 0.0);
+  }
+}
+
+TEST(OclDatasetTest, PaperSampleCountAndLabelConsistency) {
+  const OclDataset data =
+      build_ocl_dataset(corpus::opencl_suite(), hwsim::gtx_970(),
+                        hwsim::ivy_bridge_i7_3820());
+  EXPECT_EQ(data.samples.size(), 670u);  // §4.2.1
+  std::size_t gpu_labels = 0;
+  for (const auto& sample : data.samples) {
+    EXPECT_EQ(sample.label, sample.gpu_seconds < sample.cpu_seconds ? 1 : 0);
+    gpu_labels += static_cast<std::size_t>(sample.label);
+  }
+  // Both classes must be represented (otherwise the task is trivial).
+  EXPECT_GT(gpu_labels, 100u);
+  EXPECT_LT(gpu_labels, 570u);
+}
+
+// --- splits -------------------------------------------------------------------
+
+class KFoldParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(KFoldParam, PartitionIsDisjointAndComplete) {
+  const int k = GetParam();
+  util::Rng rng(77);
+  const auto folds = k_fold(45, k, rng);
+  ASSERT_EQ(folds.size(), static_cast<std::size_t>(k));
+  std::unordered_set<int> seen;
+  for (const auto& fold : folds) {
+    EXPECT_FALSE(fold.empty());
+    for (const int index : fold) {
+      EXPECT_TRUE(seen.insert(index).second) << "index in two folds";
+      EXPECT_GE(index, 0);
+      EXPECT_LT(index, 45);
+    }
+  }
+  EXPECT_EQ(seen.size(), 45u);
+  // Balanced: sizes differ by at most one.
+  std::size_t min_size = folds.front().size();
+  std::size_t max_size = folds.front().size();
+  for (const auto& fold : folds) {
+    min_size = std::min(min_size, fold.size());
+    max_size = std::max(max_size, fold.size());
+  }
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KFoldParam, ::testing::Values(2, 3, 5, 9, 10));
+
+TEST(KFold, DeterministicGivenSeed) {
+  util::Rng a(5);
+  util::Rng b(5);
+  EXPECT_EQ(k_fold(20, 4, a), k_fold(20, 4, b));
+}
+
+TEST(StratifiedKFold, PreservesLabelBalance) {
+  std::vector<int> labels;
+  for (int i = 0; i < 100; ++i) labels.push_back(i < 70 ? 0 : 1);
+  util::Rng rng(3);
+  const auto folds = stratified_k_fold(labels, 10, rng);
+  for (const auto& fold : folds) {
+    int positives = 0;
+    for (const int index : fold) positives += labels[static_cast<std::size_t>(index)];
+    EXPECT_GE(positives, 2);  // ~3 expected
+    EXPECT_LE(positives, 4);
+  }
+}
+
+TEST(LeaveOneOut, SingletonFolds) {
+  const auto folds = leave_one_out(7);
+  ASSERT_EQ(folds.size(), 7u);
+  for (std::size_t i = 0; i < folds.size(); ++i) {
+    ASSERT_EQ(folds[i].size(), 1u);
+    EXPECT_EQ(folds[i][0], static_cast<int>(i));
+  }
+}
+
+TEST(Holdout, FractionRespected) {
+  util::Rng rng(4);
+  const auto split = holdout(30, 0.2, rng);
+  EXPECT_EQ(split.held_out.size(), 6u);
+  EXPECT_EQ(split.retained.size(), 24u);
+  std::unordered_set<int> held(split.held_out.begin(), split.held_out.end());
+  for (const int index : split.retained) EXPECT_FALSE(held.contains(index));
+}
+
+TEST(Complement, Correctness) {
+  const std::vector<int> fold = {1, 3};
+  EXPECT_EQ(complement(fold, 5), (std::vector<int>{0, 2, 4}));
+}
+
+// --- scalers -------------------------------------------------------------------
+
+TEST(GaussianRankScaler, OutputIsStandardNormalShaped) {
+  util::Rng rng(9);
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 500; ++i) rows.push_back({std::exp(rng.normal(0.0, 2.0))});
+  GaussianRankScaler scaler;
+  scaler.fit(rows);
+  const auto transformed = scaler.transform_all(rows);
+  std::vector<double> column;
+  for (const auto& row : transformed) column.push_back(row[0]);
+  EXPECT_NEAR(util::mean(column), 0.0, 0.05);
+  EXPECT_NEAR(util::stddev(column), 1.0, 0.1);
+}
+
+TEST(GaussianRankScaler, MonotonicAndBoundedOnUnseenValues) {
+  GaussianRankScaler scaler;
+  scaler.fit({{1.0}, {2.0}, {3.0}, {4.0}, {5.0}});
+  const double low = scaler.transform({-100.0})[0];
+  const double mid = scaler.transform({3.0})[0];
+  const double high = scaler.transform({100.0})[0];
+  EXPECT_LT(low, mid);
+  EXPECT_LT(mid, high);
+  EXPECT_TRUE(std::isfinite(low) && std::isfinite(high));
+  EXPECT_NEAR(mid, 0.0, 0.2);
+}
+
+TEST(GaussianRankScaler, ColumnMismatchThrows) {
+  GaussianRankScaler scaler;
+  scaler.fit({{1.0, 2.0}});
+  EXPECT_THROW((void)scaler.transform({1.0}), std::invalid_argument);
+}
+
+TEST(MinMaxScaler, MapsToUnitIntervalAndClips) {
+  MinMaxScaler scaler;
+  scaler.fit({{0.0, 10.0}, {10.0, 20.0}});
+  const auto mid = scaler.transform({5.0, 15.0});
+  EXPECT_DOUBLE_EQ(mid[0], 0.5);
+  EXPECT_DOUBLE_EQ(mid[1], 0.5);
+  const auto outside = scaler.transform({-5.0, 100.0});
+  EXPECT_DOUBLE_EQ(outside[0], 0.0);
+  EXPECT_DOUBLE_EQ(outside[1], 1.0);
+}
+
+TEST(MinMaxScaler, ConstantColumnMapsToHalf) {
+  MinMaxScaler scaler;
+  scaler.fit({{7.0}, {7.0}});
+  EXPECT_DOUBLE_EQ(scaler.transform({7.0})[0], 0.5);
+}
+
+// --- counter selection ----------------------------------------------------------
+
+TEST(CounterSelection, SelectsThePaperFiveOnRealProfiles) {
+  // Build (candidate, runtime) pairs over the real corpus and verify Pearson
+  // selection recovers the five counters §4.1.1 names: L1/L2 cache misses,
+  // L3 load misses, retired branches, mispredicted branches (indices 0-4).
+  const auto machine = hwsim::comet_lake();
+  auto specs = corpus::openmp_suite();
+  std::vector<std::array<double, kCandidateCounters>> candidates;
+  std::vector<double> runtimes;
+  for (std::size_t k = 0; k < specs.size(); k += 3) {
+    const auto kernel = corpus::generate(specs[k]);
+    for (const double input : {1e4, 1e5, 1e6, 1e7, 1e8}) {
+      const auto run =
+          hwsim::cpu_execute(kernel.workload, machine, input, hwsim::default_config(machine));
+      candidates.push_back(candidate_counters(run, kernel.workload, input));
+      runtimes.push_back(run.seconds);
+    }
+  }
+  const CounterSelection selection = select_counters(candidates, runtimes, 5);
+  ASSERT_EQ(selection.selected.size(), 5u);
+  // The five native counters must dominate the derived/redundant candidates.
+  std::unordered_set<std::size_t> chosen(selection.selected.begin(),
+                                         selection.selected.end());
+  std::size_t native_hits = 0;
+  for (std::size_t i = 0; i < 5; ++i) native_hits += chosen.contains(i) ? 1 : 0;
+  EXPECT_GE(native_hits, 3u);
+  // No near-constant candidate (e.g. i-TLB) may be selected.
+  EXPECT_FALSE(chosen.contains(14u));
+}
+
+TEST(CounterSelection, SuppressesRedundantDuplicates) {
+  // Candidate 11 (L2 accesses) duplicates candidate 0 (L1 misses) exactly;
+  // both must not be selected together in a small keep set.
+  const auto machine = hwsim::comet_lake();
+  const auto kernel = corpus::generate(corpus::find_kernel("polybench/gemm"));
+  std::vector<std::array<double, kCandidateCounters>> candidates;
+  std::vector<double> runtimes;
+  for (const double input : {1e4, 3e4, 1e5, 3e5, 1e6, 3e6, 1e7, 3e7, 1e8}) {
+    const auto run =
+        hwsim::cpu_execute(kernel.workload, machine, input, hwsim::default_config(machine));
+    candidates.push_back(candidate_counters(run, kernel.workload, input));
+    runtimes.push_back(run.seconds);
+  }
+  const CounterSelection selection = select_counters(candidates, runtimes, 3);
+  std::unordered_set<std::size_t> chosen(selection.selected.begin(),
+                                         selection.selected.end());
+  EXPECT_FALSE(chosen.contains(0u) && chosen.contains(11u));
+}
+
+TEST(CounterSelection, CandidateNamesAreComplete) {
+  const auto& names = candidate_counter_names();
+  std::unordered_set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), kCandidateCounters);
+  EXPECT_EQ(names[0], "PAPI_L1_TCM");
+  EXPECT_EQ(names[4], "PAPI_BR_MSP");
+}
+
+
+// --- CSV export -----------------------------------------------------------------
+
+TEST(Export, OmpSamplesCsvShape) {
+  auto specs = corpus::openmp_suite();
+  specs.resize(3);
+  std::vector<double> inputs = {1e5, 1e7};
+  const OmpDataset data = build_omp_dataset(specs, hwsim::comet_lake(),
+                                            thread_space(hwsim::comet_lake()), inputs);
+  std::ostringstream oss;
+  export_omp_samples_csv(data, oss);
+  const std::string text = oss.str();
+  // Header + one row per sample.
+  EXPECT_EQ(static_cast<std::size_t>(std::count(text.begin(), text.end(), '\n')),
+            1 + data.samples.size());
+  EXPECT_NE(text.find("oracle_threads"), std::string::npos);
+  EXPECT_NE(text.find(specs.front().name), std::string::npos);
+}
+
+TEST(Export, ConfigSpaceCsv) {
+  std::ostringstream oss;
+  export_config_space_csv(thread_space(hwsim::comet_lake()), oss);
+  const std::string text = oss.str();
+  EXPECT_EQ(static_cast<std::size_t>(std::count(text.begin(), text.end(), '\n')), 9u);
+  EXPECT_NE(text.find("static"), std::string::npos);
+}
+
+TEST(Export, OclSamplesCsv) {
+  const OclDataset data = build_ocl_dataset(corpus::opencl_suite(), hwsim::gtx_970(),
+                                            hwsim::ivy_bridge_i7_3820());
+  std::ostringstream oss;
+  export_ocl_samples_csv(data, oss);
+  const std::string text = oss.str();
+  EXPECT_EQ(static_cast<std::size_t>(std::count(text.begin(), text.end(), '\n')),
+            1 + data.samples.size());
+}
+
+}  // namespace
+}  // namespace mga::dataset

@@ -1,0 +1,363 @@
+// Property tests on the hardware simulator: the phenomena the paper's tuning
+// task depends on must hold by construction (see DESIGN.md §1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hwsim/cpu_model.hpp"
+#include "hwsim/gpu_model.hpp"
+
+namespace mga::hwsim {
+namespace {
+
+KernelWorkload streaming_workload() {
+  KernelWorkload w;
+  w.name = "streaming";
+  w.flops_per_elem = 2.0;
+  w.bytes_per_elem = 24.0;
+  w.locality = 0.05;
+  w.parallel_fraction = 0.99;
+  return w;
+}
+
+KernelWorkload compute_workload() {
+  KernelWorkload w;
+  w.name = "compute";
+  w.flops_per_elem = 60.0;
+  w.bytes_per_elem = 8.0;
+  w.locality = 0.9;
+  w.parallel_fraction = 0.995;
+  return w;
+}
+
+KernelWorkload irregular_workload() {
+  KernelWorkload w;
+  w.name = "irregular";
+  w.flops_per_elem = 10.0;
+  w.bytes_per_elem = 16.0;
+  w.locality = 0.2;
+  w.irregularity = 0.8;
+  w.branches_per_elem = 0.8;
+  w.branch_predictability = 0.7;
+  return w;
+}
+
+/// Irregular with expensive iterations and a cache-resident footprint:
+/// scheduling effects dominate (the regime where dynamic/guided pay off).
+KernelWorkload irregular_compute_workload() {
+  KernelWorkload w = irregular_workload();
+  w.name = "irregular-compute";
+  w.flops_per_elem = 300.0;
+  w.bytes_per_elem = 8.0;
+  w.locality = 0.9;
+  return w;
+}
+
+TEST(MachinePresets, SaneValues) {
+  for (const auto& machine : {comet_lake(), skylake_sp(), broadwell(), sandy_bridge(),
+                              ivy_bridge_i7_3820()}) {
+    EXPECT_GT(machine.cores, 0) << machine.name;
+    EXPECT_GE(machine.smt, 1);
+    EXPECT_GT(machine.frequency_ghz, 0.0);
+    EXPECT_GT(machine.l1_kb, 0.0);
+    EXPECT_GT(machine.l2_kb, machine.l1_kb);
+    EXPECT_GT(machine.l3_mb * 1024.0, machine.l2_kb);
+    EXPECT_GT(machine.memory_bandwidth_gbs, machine.per_thread_bandwidth_gbs);
+  }
+  EXPECT_EQ(comet_lake().hardware_threads(), 8);
+  EXPECT_EQ(skylake_sp().hardware_threads(), 20);
+}
+
+TEST(CapacityMiss, MonotoneInWorkingSet) {
+  const double capacity = 32.0 * 1024;
+  double previous = 0.0;
+  for (double set = 1024.0; set < 1e9; set *= 2.0) {
+    const double rate = capacity_miss_fraction(set, capacity);
+    EXPECT_GE(rate, previous);
+    EXPECT_GE(rate, 0.0);
+    EXPECT_LE(rate, 1.0);
+    previous = rate;
+  }
+}
+
+TEST(CapacityMiss, LimitsAreCorrect) {
+  EXPECT_LT(capacity_miss_fraction(1024.0, 1e6), 0.01);
+  EXPECT_GT(capacity_miss_fraction(1e9, 32768.0), 0.99);
+  EXPECT_NEAR(capacity_miss_fraction(4096.0, 4096.0), 0.5, 1e-9);
+}
+
+class ThreadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadSweep, PositiveTimeAndCounters) {
+  const MachineConfig machine = comet_lake();
+  const int threads = GetParam();
+  for (const auto& workload :
+       {streaming_workload(), compute_workload(), irregular_workload()}) {
+    for (const double input : {4096.0, 1e6, 1e8}) {
+      const RunResult run =
+          cpu_execute(workload, machine, input, {threads, Schedule::kStatic, 0});
+      EXPECT_GT(run.seconds, 0.0);
+      EXPECT_GT(run.counters.l1_cache_misses, 0.0);
+      EXPECT_GE(run.counters.l2_cache_misses, 0.0);
+      EXPECT_GE(run.counters.l3_load_misses, 0.0);
+      EXPECT_GT(run.counters.retired_branches, 0.0);
+      EXPECT_GE(run.counters.retired_branches, run.counters.mispredicted_branches);
+      EXPECT_NEAR(run.counters.cpu_clock_cycles,
+                  run.seconds * machine.frequency_ghz * 1e9, 1.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads1To8, ThreadSweep, ::testing::Range(1, 9));
+
+TEST(CpuModel, DeterministicRepeatedRuns) {
+  const MachineConfig machine = comet_lake();
+  const KernelWorkload w = streaming_workload();
+  const RunResult a = cpu_execute(w, machine, 1e7, {4, Schedule::kDynamic, 32});
+  const RunResult b = cpu_execute(w, machine, 1e7, {4, Schedule::kDynamic, 32});
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+  EXPECT_DOUBLE_EQ(a.counters.l1_cache_misses, b.counters.l1_cache_misses);
+}
+
+TEST(CpuModel, CountersGrowWithInputSize) {
+  const MachineConfig machine = comet_lake();
+  const KernelWorkload w = streaming_workload();
+  const OmpConfig config = default_config(machine);
+  double previous_l1 = 0.0;
+  double previous_branches = 0.0;
+  for (const double input : {1e4, 1e5, 1e6, 1e7, 1e8}) {
+    const RunResult run = cpu_execute(w, machine, input, config);
+    EXPECT_GT(run.counters.l1_cache_misses, previous_l1);
+    EXPECT_GT(run.counters.retired_branches, previous_branches);
+    previous_l1 = run.counters.l1_cache_misses;
+    previous_branches = run.counters.retired_branches;
+  }
+}
+
+TEST(CpuModel, TinyInputsPreferFewThreads) {
+  // Fork/join overhead dominates at 3.5 KB: one thread must beat all eight
+  // (the Fig. 1b effect).
+  const MachineConfig machine = comet_lake();
+  for (const auto& workload : {streaming_workload(), compute_workload()}) {
+    const double one = cpu_execute(workload, machine, 3584.0, {1, Schedule::kStatic, 0}).seconds;
+    const double eight =
+        cpu_execute(workload, machine, 3584.0, {8, Schedule::kStatic, 0}).seconds;
+    EXPECT_LT(one, eight);
+  }
+}
+
+TEST(CpuModel, LargeComputeBoundInputsScaleWithThreads) {
+  const MachineConfig machine = comet_lake();
+  const KernelWorkload w = compute_workload();
+  const double one = cpu_execute(w, machine, 2e8, {1, Schedule::kStatic, 0}).seconds;
+  const double eight = cpu_execute(w, machine, 2e8, {8, Schedule::kStatic, 0}).seconds;
+  EXPECT_GT(one / eight, 4.0);  // decent parallel efficiency
+  EXPECT_LT(one / eight, 8.5);  // bounded by thread count (plus jitter)
+}
+
+TEST(CpuModel, BandwidthBoundKernelsSaturate) {
+  const MachineConfig machine = comet_lake();
+  const KernelWorkload w = streaming_workload();
+  const double four = cpu_execute(w, machine, 4e8, {4, Schedule::kStatic, 0}).seconds;
+  const double eight = cpu_execute(w, machine, 4e8, {8, Schedule::kStatic, 0}).seconds;
+  // Beyond saturation extra threads do not help much (and may hurt).
+  EXPECT_GT(eight / four, 0.85);
+}
+
+TEST(CpuModel, DependencyBoundKernelPrefersSerial) {
+  // trisolv-like (matches the corpus TriSolve family profile): low parallel
+  // fraction, per-iteration synchronization and loop-carried-dependence drag
+  // make the parallel version slower than serial (§4.1.3 failure case).
+  KernelWorkload w = compute_workload();
+  w.name = "trisolv-like";
+  w.parallel_fraction = 0.55;
+  w.dependency_penalty = 0.35;
+  w.sync_per_elem = 0.02;
+  const MachineConfig machine = comet_lake();
+  const double one = cpu_execute(w, machine, 1e7, {1, Schedule::kStatic, 0}).seconds;
+  const double eight = cpu_execute(w, machine, 1e7, {8, Schedule::kStatic, 0}).seconds;
+  EXPECT_LT(one, eight);
+}
+
+TEST(ScheduleModel, DynamicHelpsIrregularExpensiveLoops) {
+  // Dynamic scheduling pays when the imbalance it removes exceeds its
+  // dispatch cost, i.e. for expensive, irregular iterations.
+  const MachineConfig machine = comet_lake();
+  const KernelWorkload w = irregular_compute_workload();
+  const double input = 1e7;
+  const double static_default =
+      cpu_execute(w, machine, input, {8, Schedule::kStatic, 0}).seconds;
+  const double dynamic_64 =
+      cpu_execute(w, machine, input, {8, Schedule::kDynamic, 64}).seconds;
+  EXPECT_LT(dynamic_64, static_default);
+}
+
+TEST(ScheduleModel, DynamicDispatchNotWorthItForCheapIterations) {
+  // The converse: when iterations are cheap, dispatch overhead wins and
+  // static stays faster — the reason "dynamic everywhere" is not a default.
+  const MachineConfig machine = comet_lake();
+  const KernelWorkload w = streaming_workload();
+  const double static_default =
+      cpu_execute(w, machine, 1e8, {8, Schedule::kStatic, 0}).seconds;
+  const double dynamic_1 =
+      cpu_execute(w, machine, 1e8, {8, Schedule::kDynamic, 1}).seconds;
+  EXPECT_GT(dynamic_1, static_default);
+}
+
+TEST(ScheduleModel, DynamicChunkOneIsExpensiveOnHugeLoops) {
+  const MachineConfig machine = comet_lake();
+  const KernelWorkload w = streaming_workload();
+  const double chunk1 =
+      cpu_execute(w, machine, 4e8, {8, Schedule::kDynamic, 1}).seconds;
+  const double chunk512 =
+      cpu_execute(w, machine, 4e8, {8, Schedule::kDynamic, 512}).seconds;
+  EXPECT_GT(chunk1, 2.0 * chunk512);  // per-chunk dispatch dominates
+}
+
+TEST(ScheduleModel, GuidedCheaperThanDynamicAtSmallChunks) {
+  const MachineConfig machine = comet_lake();
+  const KernelWorkload w = irregular_workload();
+  const double dynamic_1 =
+      cpu_execute(w, machine, 1e8, {8, Schedule::kDynamic, 1}).seconds;
+  const double guided_1 = cpu_execute(w, machine, 1e8, {8, Schedule::kGuided, 1}).seconds;
+  EXPECT_LT(guided_1, dynamic_1);
+}
+
+TEST(ScheduleModel, StaticChunkingImprovesIrregularBalance) {
+  const MachineConfig machine = comet_lake();
+  const KernelWorkload w = irregular_compute_workload();
+  const double block = cpu_execute(w, machine, 1e7, {8, Schedule::kStatic, 0}).seconds;
+  const double interleaved =
+      cpu_execute(w, machine, 1e7, {8, Schedule::kStatic, 8}).seconds;
+  EXPECT_LT(interleaved, block);
+}
+
+TEST(CpuModel, ConfigValidation) {
+  const MachineConfig machine = comet_lake();
+  const KernelWorkload w = streaming_workload();
+  EXPECT_THROW((void)cpu_execute(w, machine, 1e6, {0, Schedule::kStatic, 0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)cpu_execute(w, machine, 1e6, {9, Schedule::kStatic, 0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)cpu_execute(w, machine, -1.0, {1, Schedule::kStatic, 0}),
+               std::invalid_argument);
+}
+
+TEST(CpuModel, DefaultConfigUsesAllHardwareThreads) {
+  EXPECT_EQ(default_config(comet_lake()).threads, 8);
+  EXPECT_EQ(default_config(skylake_sp()).threads, 20);
+  EXPECT_EQ(default_config(comet_lake()).schedule, Schedule::kStatic);
+}
+
+
+// Cross-machine property sweep: the same invariants must hold on every
+// simulated µ-architecture, not just Comet Lake.
+class MachineSweep : public ::testing::TestWithParam<int> {
+ protected:
+  static MachineConfig machine_for(int index) {
+    switch (index) {
+      case 0: return comet_lake();
+      case 1: return skylake_sp();
+      case 2: return broadwell();
+      case 3: return sandy_bridge();
+      default: return ivy_bridge_i7_3820();
+    }
+  }
+};
+
+TEST_P(MachineSweep, TinyInputsPreferFewThreadsEverywhere) {
+  const MachineConfig machine = machine_for(GetParam());
+  const KernelWorkload w = compute_workload();
+  const double one = cpu_execute(w, machine, 3584.0, {1, Schedule::kStatic, 0}).seconds;
+  const double all = cpu_execute(w, machine, 3584.0,
+                                 {machine.hardware_threads(), Schedule::kStatic, 0})
+                         .seconds;
+  EXPECT_LT(one, all) << machine.name;
+}
+
+TEST_P(MachineSweep, LargeComputeBoundInputsScaleEverywhere) {
+  const MachineConfig machine = machine_for(GetParam());
+  const KernelWorkload w = compute_workload();
+  const double one = cpu_execute(w, machine, 2e8, {1, Schedule::kStatic, 0}).seconds;
+  const double all = cpu_execute(w, machine, 2e8,
+                                 {machine.hardware_threads(), Schedule::kStatic, 0})
+                         .seconds;
+  EXPECT_GT(one / all, 2.5) << machine.name;
+}
+
+TEST_P(MachineSweep, CountersScaleWithCacheSizes) {
+  // Bigger L3 -> fewer L3 load misses for an L3-straddling working set; this
+  // is the lever the Fig. 9 portability scaling relies on.
+  const MachineConfig machine = machine_for(GetParam());
+  KernelWorkload w = streaming_workload();
+  w.working_set_factor = 1.0;
+  const double straddling = machine.l3_mb * 1024 * 1024;  // ~L3-sized input
+  const RunResult run =
+      cpu_execute(w, machine, straddling, default_config(machine));
+  EXPECT_GT(run.counters.l3_load_misses, 0.0);
+  EXPECT_LT(run.counters.l3_load_misses, run.counters.l2_cache_misses * 1.0001);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMachines, MachineSweep, ::testing::Range(0, 5));
+
+// --- GPU model ----------------------------------------------------------------
+
+TEST(GpuModel, TransferDominatesSmallInputs) {
+  const GpuConfig gpu = gtx_970();
+  const KernelWorkload w = compute_workload();
+  const GpuRunResult run = gpu_execute(w, gpu, 64.0 * 1024, 256);
+  EXPECT_GT(run.transfer_seconds, run.kernel_seconds);
+}
+
+TEST(GpuModel, OccupancyPeaksAtPreferredWorkgroup) {
+  const GpuConfig gpu = tahiti_7970();
+  const KernelWorkload w = compute_workload();
+  const double tiny = gpu_execute(w, gpu, 1e8, 8).kernel_seconds;
+  const double preferred = gpu_execute(w, gpu, 1e8, gpu.preferred_workgroup).kernel_seconds;
+  const double huge = gpu_execute(w, gpu, 1e8, 4096).kernel_seconds;
+  EXPECT_LT(preferred, tiny);
+  EXPECT_LT(preferred, huge);
+}
+
+TEST(GpuModel, DivergencePenalizesIrregularKernels) {
+  const GpuConfig gpu = gtx_970();
+  KernelWorkload regular = compute_workload();
+  KernelWorkload divergent = compute_workload();
+  divergent.name = "divergent";
+  divergent.gpu_divergence = 0.9;
+  const double r = gpu_execute(regular, gpu, 1e8, 256).kernel_seconds;
+  const double d = gpu_execute(divergent, gpu, 1e8, 256).kernel_seconds;
+  EXPECT_GT(d, 1.5 * r);
+}
+
+TEST(GpuModel, CallHeavyKernelFlipsToCpuAtLargeInputs) {
+  // The §4.2.2 makea corner case: at small inputs the CPU's fork/join floor
+  // dominates and the GPU wins; at large inputs the per-element device-call
+  // overhead (which the CPU amortizes across threads) flips the winner.
+  KernelWorkload w = compute_workload();
+  w.name = "call-heavy";
+  w.calls_per_elem = 2.0;
+  w.flops_per_elem = 20.0;
+  const GpuConfig gpu = gtx_970();
+  const MachineConfig host = ivy_bridge_i7_3820();
+  EXPECT_TRUE(gpu_wins(w, gpu, host, 3e4, 256));
+  EXPECT_FALSE(gpu_wins(w, gpu, host, 2e8, 256));
+}
+
+TEST(GpuModel, HighlyParallelRegularKernelPrefersGpuAtScale) {
+  KernelWorkload w = compute_workload();
+  w.gpu_divergence = 0.02;
+  const GpuConfig gpu = tahiti_7970();
+  const MachineConfig host = ivy_bridge_i7_3820();
+  EXPECT_TRUE(gpu_wins(w, gpu, host, 2e8, 256));
+}
+
+TEST(GpuModel, Validation) {
+  const GpuConfig gpu = gtx_970();
+  const KernelWorkload w = compute_workload();
+  EXPECT_THROW((void)gpu_execute(w, gpu, 0.0, 256), std::invalid_argument);
+  EXPECT_THROW((void)gpu_execute(w, gpu, 1e6, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mga::hwsim

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include "corpus/spec.hpp"
+#include "ir/builder.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "ir/stats.hpp"
+#include "ir/verifier.hpp"
+
+namespace mga::ir {
+namespace {
+
+/// A small, fully featured module: loop with phi, branch, call, memory ops.
+std::unique_ptr<Module> make_loop_module() {
+  auto module = std::make_unique<Module>("test");
+  Global* array = module->add_global("A");
+  Function* sqrt_decl = module->add_function("sqrt", Type::kF64, true);
+  sqrt_decl->add_argument(Type::kF64, "%a0");
+
+  Function* fn = module->add_function("kernel", Type::kVoid);
+  Argument* n = fn->add_argument(Type::kI64, "%n");
+  BasicBlock* entry = fn->add_block("entry");
+  BasicBlock* header = fn->add_block("header");
+  BasicBlock* body = fn->add_block("body");
+  BasicBlock* latch = fn->add_block("latch");
+  BasicBlock* exit = fn->add_block("exit");
+
+  IRBuilder builder(*module);
+  builder.set_insert_point(entry);
+  builder.br(header);
+
+  builder.set_insert_point(header);
+  Instruction* iv = builder.phi(Type::kI64);
+  Instruction* cmp = builder.icmp(iv, n);
+  builder.cond_br(cmp, body, exit);
+  IRBuilder::add_phi_incoming(iv, builder.const_i64(0), entry);
+
+  builder.set_insert_point(body);
+  Value* addr = builder.gep(array, iv);
+  Value* loaded = builder.load(Type::kF64, addr);
+  Value* root = builder.call(sqrt_decl, {loaded});
+  Value* sum = builder.binary(Opcode::kFAdd, root, builder.const_f64(1.5));
+  builder.store(sum, addr);
+  builder.br(latch);
+
+  builder.set_insert_point(latch);
+  Instruction* next = builder.binary(Opcode::kAdd, iv, builder.const_i64(1));
+  builder.br(header);
+  IRBuilder::add_phi_incoming(iv, next, latch);
+
+  builder.set_insert_point(exit);
+  builder.ret();
+  return module;
+}
+
+TEST(OpcodeNames, RoundTripAllOpcodes) {
+  for (std::size_t i = 0; i < kNumOpcodes; ++i) {
+    const auto op = static_cast<Opcode>(i);
+    const auto parsed = opcode_from_name(opcode_name(op));
+    ASSERT_TRUE(parsed.has_value()) << opcode_name(op);
+    EXPECT_EQ(*parsed, op);
+  }
+  EXPECT_FALSE(opcode_from_name("nonsense").has_value());
+}
+
+TEST(TypeNames, RoundTripAllTypes) {
+  for (std::size_t i = 0; i < kNumTypes; ++i) {
+    const auto type = static_cast<Type>(i);
+    const auto parsed = type_from_name(type_name(type));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, type);
+  }
+}
+
+TEST(OpcodePredicates, Classification) {
+  EXPECT_TRUE(is_terminator(Opcode::kRet));
+  EXPECT_TRUE(is_terminator(Opcode::kCondBr));
+  EXPECT_FALSE(is_terminator(Opcode::kAdd));
+  EXPECT_TRUE(is_memory_op(Opcode::kLoad));
+  EXPECT_FALSE(is_memory_op(Opcode::kFAdd));
+  EXPECT_TRUE(is_arithmetic(Opcode::kFMul));
+  EXPECT_FALSE(is_arithmetic(Opcode::kPhi));
+  EXPECT_TRUE(is_float_op(Opcode::kFDiv));
+  EXPECT_FALSE(is_float_op(Opcode::kSDiv));
+}
+
+TEST(Builder, ConstantsAreInterned) {
+  Module module("m");
+  IRBuilder builder(module);
+  EXPECT_EQ(builder.const_i64(7), builder.const_i64(7));
+  EXPECT_NE(builder.const_i64(7), builder.const_i64(8));
+  EXPECT_NE(static_cast<Value*>(builder.const_i64(1)),
+            static_cast<Value*>(builder.const_f64(1.0)));
+}
+
+TEST(Builder, TypeCheckingRejectsMismatches) {
+  Module module("m");
+  Function* fn = module.add_function("f", Type::kVoid);
+  BasicBlock* block = fn->add_block("entry");
+  IRBuilder builder(module);
+  builder.set_insert_point(block);
+  EXPECT_THROW((void)builder.binary(Opcode::kAdd, builder.const_i64(1), builder.const_f64(1.0)),
+               std::invalid_argument);
+  EXPECT_THROW((void)builder.fcmp(builder.const_i64(1), builder.const_i64(2)),
+               std::invalid_argument);
+  EXPECT_THROW((void)builder.load(Type::kF64, builder.const_i64(1)), std::invalid_argument);
+}
+
+TEST(Verifier, AcceptsWellFormedModule) {
+  const auto module = make_loop_module();
+  const auto errors = verify_module(*module);
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors.front());
+}
+
+TEST(Verifier, RejectsMissingTerminator) {
+  Module module("m");
+  Function* fn = module.add_function("f", Type::kVoid);
+  BasicBlock* block = fn->add_block("entry");
+  IRBuilder builder(module);
+  builder.set_insert_point(block);
+  (void)builder.binary(Opcode::kAdd, builder.const_i64(1), builder.const_i64(2));
+  const auto errors = verify_module(module);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors.front().find("terminator"), std::string::npos);
+}
+
+TEST(Verifier, RejectsEmptyFunction) {
+  Module module("m");
+  module.add_function("f", Type::kVoid);
+  EXPECT_FALSE(verify_module(module).empty());
+}
+
+TEST(Verifier, RejectsPhiAfterNonPhi) {
+  Module module("m");
+  Function* fn = module.add_function("f", Type::kVoid);
+  BasicBlock* block = fn->add_block("entry");
+  IRBuilder builder(module);
+  builder.set_insert_point(block);
+  (void)builder.binary(Opcode::kAdd, builder.const_i64(1), builder.const_i64(2));
+  Instruction* phi = builder.phi(Type::kI64);
+  IRBuilder::add_phi_incoming(phi, builder.const_i64(0), block);
+  builder.ret();
+  bool found = false;
+  for (const auto& error : verify_module(module))
+    found = found || error.find("phi after non-phi") != std::string::npos;
+  EXPECT_TRUE(found);
+}
+
+TEST(Verifier, RejectsCallArityMismatch) {
+  Module module("m");
+  Function* callee = module.add_function("g", Type::kVoid, true);
+  callee->add_argument(Type::kF64, "%a0");
+  Function* fn = module.add_function("f", Type::kVoid);
+  BasicBlock* block = fn->add_block("entry");
+  IRBuilder builder(module);
+  builder.set_insert_point(block);
+  (void)builder.call(callee, {});  // missing argument
+  builder.ret();
+  bool found = false;
+  for (const auto& error : verify_module(module))
+    found = found || error.find("arity") != std::string::npos;
+  EXPECT_TRUE(found);
+}
+
+TEST(Printer, ContainsExpectedSyntax) {
+  const auto module = make_loop_module();
+  const std::string text = to_string(*module);
+  EXPECT_NE(text.find("module \"test\""), std::string::npos);
+  EXPECT_NE(text.find("global @A"), std::string::npos);
+  EXPECT_NE(text.find("declare @sqrt(f64) -> f64"), std::string::npos);
+  EXPECT_NE(text.find("func @kernel(i64 %n) -> void {"), std::string::npos);
+  EXPECT_NE(text.find("phi i64"), std::string::npos);
+  EXPECT_NE(text.find("condbr"), std::string::npos);
+  EXPECT_NE(text.find("call f64 @sqrt("), std::string::npos);
+}
+
+TEST(Parser, RoundTripFixedModule) {
+  const auto module = make_loop_module();
+  const std::string first = to_string(*module);
+  const auto reparsed = parse_module(first);
+  EXPECT_TRUE(verify_module(*reparsed).empty());
+  EXPECT_EQ(to_string(*reparsed), first);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  EXPECT_THROW((void)parse_module("garbage"), ParseError);
+  try {
+    (void)parse_module("module \"m\"\nfunc @f() -> void {\n^entry:\n  bogus i64\n}\n");
+    FAIL();
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 4u);
+  }
+}
+
+TEST(Parser, RejectsUnknownSsaName) {
+  const char* text =
+      "module \"m\"\nfunc @f() -> void {\n^entry:\n  %0 = add i64 %missing, i64 1\n  ret\n}\n";
+  EXPECT_THROW((void)parse_module(text), ParseError);
+}
+
+TEST(Parser, RejectsDuplicateBlock) {
+  const char* text =
+      "module \"m\"\nfunc @f() -> void {\n^entry:\n  ret\n^entry:\n  ret\n}\n";
+  EXPECT_THROW((void)parse_module(text), ParseError);
+}
+
+TEST(Stats, CountsLoopModule) {
+  const auto module = make_loop_module();
+  const IRStats stats = compute_stats(*module);
+  EXPECT_EQ(stats.phi_count, 1u);
+  EXPECT_EQ(stats.call_count, 1u);
+  EXPECT_EQ(stats.load_count, 1u);
+  EXPECT_EQ(stats.store_count, 1u);
+  EXPECT_EQ(stats.branch_count, 1u);  // one condbr
+  EXPECT_GT(stats.instruction_count, 10u);
+  EXPECT_GT(stats.compute_to_memory_ratio(), 0.0);
+}
+
+// Round-trip property over the whole OpenMP corpus: print -> parse -> print
+// must be a fixed point, and the reparsed module must verify.
+class CorpusRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(CorpusRoundTrip, PrintParsePrintIsStable) {
+  const auto specs = corpus::openmp_suite();
+  const auto kernel = corpus::generate(specs[static_cast<std::size_t>(GetParam())]);
+  const std::string first = to_string(*kernel.module);
+  const auto reparsed = parse_module(first);
+  EXPECT_TRUE(verify_module(*reparsed).empty());
+  EXPECT_EQ(to_string(*reparsed), first);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpenMpKernels, CorpusRoundTrip, ::testing::Range(0, 45));
+
+}  // namespace
+}  // namespace mga::ir

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "corpus/spec.hpp"
+#include "ir2vec/encoder.hpp"
+
+namespace mga::ir2vec {
+namespace {
+
+double norm(const std::vector<float>& v) {
+  double acc = 0.0;
+  for (const float x : v) acc += static_cast<double>(x) * x;
+  return std::sqrt(acc);
+}
+
+double cosine(const std::vector<float>& a, const std::vector<float>& b) {
+  double dot = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) dot += static_cast<double>(a[i]) * b[i];
+  return dot / (norm(a) * norm(b) + 1e-12);
+}
+
+TEST(SeedVocabulary, DeterministicAcrossInstances) {
+  const SeedVocabulary a;
+  const SeedVocabulary b;
+  EXPECT_EQ(a.embedding("opcode:fmul"), b.embedding("opcode:fmul"));
+}
+
+TEST(SeedVocabulary, DistinctEntitiesDistinctVectors) {
+  const SeedVocabulary vocab;
+  EXPECT_NE(vocab.embedding("opcode:fmul"), vocab.embedding("opcode:fadd"));
+  EXPECT_NE(vocab.embedding("type:f64"), vocab.embedding("type:i64"));
+}
+
+TEST(SeedVocabulary, ApproximatelyUnitNorm) {
+  const SeedVocabulary vocab;
+  for (const char* entity : {"opcode:add", "opcode:load", "type:ptr", "arg:ssa"}) {
+    const double n = norm(vocab.embedding(entity));
+    EXPECT_GT(n, 0.5) << entity;
+    EXPECT_LT(n, 2.0) << entity;
+  }
+}
+
+TEST(Encoder, OutputDimensionAndNormalization) {
+  const auto kernel = corpus::generate(corpus::find_kernel("polybench/gemm"));
+  const Encoder encoder;
+  const auto vec = encoder.encode_module(*kernel.module);
+  EXPECT_EQ(vec.size(), kDim);
+  EXPECT_NEAR(norm(vec), 1.0, 1e-5);
+}
+
+TEST(Encoder, DeterministicForEqualInput) {
+  const auto kernel = corpus::generate(corpus::find_kernel("polybench/gemm"));
+  const Encoder encoder;
+  EXPECT_EQ(encoder.encode_module(*kernel.module), encoder.encode_module(*kernel.module));
+}
+
+TEST(Encoder, DistinctKernelsAreDistinguishable) {
+  const Encoder encoder;
+  const auto gemm = corpus::generate(corpus::find_kernel("polybench/gemm"));
+  const auto bfs = corpus::generate(corpus::find_kernel("rodinia/bfs"));
+  const double similarity =
+      cosine(encoder.encode_module(*gemm.module), encoder.encode_module(*bfs.module));
+  EXPECT_LT(similarity, 0.999);
+}
+
+TEST(Encoder, SameFamilyMoreSimilarThanCrossFamily) {
+  const Encoder encoder;
+  const auto gemm = encoder.encode_module(
+      *corpus::generate(corpus::find_kernel("polybench/gemm")).module);
+  const auto syrk = encoder.encode_module(
+      *corpus::generate(corpus::find_kernel("polybench/syrk")).module);
+  const auto bfs = encoder.encode_module(
+      *corpus::generate(corpus::find_kernel("rodinia/bfs")).module);
+  EXPECT_GT(cosine(gemm, syrk), cosine(gemm, bfs));
+}
+
+TEST(Encoder, FlowAwarenessChangesEncoding) {
+  const auto kernel = corpus::generate(corpus::find_kernel("polybench/gemm"));
+  EncoderOptions no_flow;
+  no_flow.flow_iterations = 0;
+  const Encoder symbolic(no_flow);
+  const Encoder flow_aware;  // default: 2 passes
+  const auto a = symbolic.encode_module(*kernel.module);
+  const auto b = flow_aware.encode_module(*kernel.module);
+  EXPECT_LT(cosine(a, b), 0.99999);
+  EXPECT_GT(cosine(a, b), 0.5);  // still the same program
+}
+
+TEST(Encoder, RejectsDeclarations) {
+  ir::Module module("m");
+  ir::Function* decl = module.add_function("sqrt", ir::Type::kF64, true);
+  decl->add_argument(ir::Type::kF64, "%a0");
+  const Encoder encoder;
+  EXPECT_THROW((void)encoder.encode_function(*decl), std::invalid_argument);
+  EXPECT_THROW((void)encoder.encode_module(module), std::invalid_argument);
+}
+
+class CorpusEncoding : public ::testing::TestWithParam<int> {};
+
+TEST_P(CorpusEncoding, FiniteNormalizedVectors) {
+  const auto specs = corpus::openmp_suite();
+  const auto kernel = corpus::generate(specs[static_cast<std::size_t>(GetParam())]);
+  const Encoder encoder;
+  const auto vec = encoder.encode_module(*kernel.module);
+  EXPECT_NEAR(norm(vec), 1.0, 1e-4);
+  for (const float x : vec) EXPECT_TRUE(std::isfinite(x));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpenMpKernels, CorpusEncoding, ::testing::Range(0, 45));
+
+}  // namespace
+}  // namespace mga::ir2vec

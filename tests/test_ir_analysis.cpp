@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "corpus/spec.hpp"
+#include "ir/analysis.hpp"
+#include "ir/builder.hpp"
+
+namespace mga::ir {
+namespace {
+
+/// Diamond CFG: entry -> {left, right} -> merge.
+std::unique_ptr<Module> diamond_module() {
+  auto module = std::make_unique<Module>("diamond");
+  Function* fn = module->add_function("f", Type::kVoid);
+  BasicBlock* entry = fn->add_block("entry");
+  BasicBlock* left = fn->add_block("left");
+  BasicBlock* right = fn->add_block("right");
+  BasicBlock* merge = fn->add_block("merge");
+  IRBuilder builder(*module);
+  builder.set_insert_point(entry);
+  builder.cond_br(builder.const_i1(true), left, right);
+  builder.set_insert_point(left);
+  builder.br(merge);
+  builder.set_insert_point(right);
+  builder.br(merge);
+  builder.set_insert_point(merge);
+  builder.ret();
+  return module;
+}
+
+TEST(ControlFlowGraph, DiamondAdjacency) {
+  const auto module = diamond_module();
+  const ControlFlowGraph cfg(*module->functions().front());
+  ASSERT_EQ(cfg.block_count(), 4u);
+  EXPECT_EQ(cfg.successors(0), (std::vector<int>{1, 2}));
+  EXPECT_EQ(cfg.successors(1), (std::vector<int>{3}));
+  EXPECT_EQ(cfg.predecessors(3), (std::vector<int>{1, 2}));
+  EXPECT_TRUE(cfg.predecessors(0).empty());
+}
+
+TEST(ControlFlowGraph, ReversePostorderStartsAtEntry) {
+  const auto module = diamond_module();
+  const ControlFlowGraph cfg(*module->functions().front());
+  const auto rpo = cfg.reverse_postorder();
+  ASSERT_EQ(rpo.size(), 4u);
+  EXPECT_EQ(rpo.front(), 0);
+  EXPECT_EQ(rpo.back(), 3);  // merge is last
+}
+
+TEST(DominatorTree, DiamondDominance) {
+  const auto module = diamond_module();
+  const ControlFlowGraph cfg(*module->functions().front());
+  const DominatorTree dom(cfg);
+  // Entry dominates everything; neither branch arm dominates the merge.
+  EXPECT_TRUE(dom.dominates(0, 1));
+  EXPECT_TRUE(dom.dominates(0, 2));
+  EXPECT_TRUE(dom.dominates(0, 3));
+  EXPECT_FALSE(dom.dominates(1, 3));
+  EXPECT_FALSE(dom.dominates(2, 3));
+  EXPECT_TRUE(dom.dominates(3, 3));  // reflexive
+  EXPECT_EQ(dom.immediate_dominator(3), 0);
+  EXPECT_EQ(dom.immediate_dominator(1), 0);
+}
+
+TEST(LoopAnalysis, DiamondHasNoLoops) {
+  const auto module = diamond_module();
+  const LoopInfo info = analyze_loops(*module->functions().front());
+  EXPECT_TRUE(info.loops.empty());
+  EXPECT_EQ(info.max_depth(), 0);
+}
+
+class CorpusLoops : public ::testing::TestWithParam<int> {};
+
+TEST_P(CorpusLoops, NestDepthMatchesSpec) {
+  // The corpus emits perfect loop nests; natural-loop analysis must recover
+  // exactly nest_depth loops in the kernel function, with matching nesting.
+  const auto specs = corpus::openmp_suite();
+  const auto& spec = specs[static_cast<std::size_t>(GetParam())];
+  const auto kernel = corpus::generate(spec);
+  const ir::Function* fn = kernel.module->find_function("kernel");
+  ASSERT_NE(fn, nullptr);
+  const LoopInfo info = analyze_loops(*fn);
+  EXPECT_EQ(info.loops.size(), static_cast<std::size_t>(spec.params.nest_depth))
+      << spec.name;
+  EXPECT_EQ(info.max_depth(), spec.params.nest_depth) << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpenMpKernels, CorpusLoops, ::testing::Range(0, 45));
+
+TEST(LoopAnalysis, LoopBodyContainsHeaderAndLatch) {
+  const auto kernel = corpus::generate(corpus::find_kernel("polybench/gemm"));
+  const ir::Function* fn = kernel.module->find_function("kernel");
+  const LoopInfo info = analyze_loops(*fn);
+  const ControlFlowGraph cfg(*fn);
+  for (const NaturalLoop& loop : info.loops) {
+    EXPECT_EQ(loop.body.front(), loop.header);
+    EXPECT_NE(std::find(loop.body.begin(), loop.body.end(), loop.latch), loop.body.end());
+    // Back edge really exists.
+    const auto& succ = cfg.successors(loop.latch);
+    EXPECT_NE(std::find(succ.begin(), succ.end(), loop.header), succ.end());
+  }
+}
+
+TEST(LoopAnalysis, InnerLoopDeeperThanOuter) {
+  const auto kernel = corpus::generate(corpus::find_kernel("polybench/gemm"));  // depth 3
+  const ir::Function* fn = kernel.module->find_function("kernel");
+  const LoopInfo info = analyze_loops(*fn);
+  // Depth histogram must contain 1, 2 and 3.
+  std::vector<bool> seen(4, false);
+  for (const int d : info.depth)
+    if (d >= 0 && d <= 3) seen[static_cast<std::size_t>(d)] = true;
+  EXPECT_TRUE(seen[1] && seen[2] && seen[3]);
+}
+
+}  // namespace
+}  // namespace mga::ir

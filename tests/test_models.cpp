@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "corpus/spec.hpp"
+#include "models/dae.hpp"
+#include "models/gnn.hpp"
+#include "nn/optim.hpp"
+#include "programl/builder.hpp"
+
+namespace mga::models {
+namespace {
+
+programl::ProgramGraph sample_graph(const char* kernel_name = "polybench/gemm") {
+  const auto kernel = corpus::generate(corpus::find_kernel(kernel_name));
+  return programl::build_graph(*kernel.module);
+}
+
+class GnnKinds : public ::testing::TestWithParam<GnnKind> {};
+
+TEST_P(GnnKinds, ForwardProducesFiniteEmbedding) {
+  util::Rng rng(1);
+  HeteroGnnConfig config;
+  config.kind = GetParam();
+  const HeteroGnn gnn(rng, config);
+  const nn::Tensor embedding = gnn.forward(sample_graph());
+  EXPECT_EQ(embedding.rows(), 1u);
+  EXPECT_EQ(embedding.cols(), config.output_dim);
+  for (const float v : embedding.data()) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, -1.0f);  // tanh readout
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST_P(GnnKinds, DistinctGraphsDistinctEmbeddings) {
+  util::Rng rng(2);
+  HeteroGnnConfig config;
+  config.kind = GetParam();
+  const HeteroGnn gnn(rng, config);
+  const nn::Tensor a = gnn.forward(sample_graph("polybench/gemm"));
+  const nn::Tensor b = gnn.forward(sample_graph("rodinia/bfs"));
+  double difference = 0.0;
+  for (std::size_t i = 0; i < a.numel(); ++i)
+    difference += std::abs(a.data()[i] - b.data()[i]);
+  EXPECT_GT(difference, 1e-3);
+}
+
+TEST_P(GnnKinds, GradientReachesEmbeddingTable) {
+  util::Rng rng(3);
+  HeteroGnnConfig config;
+  config.kind = GetParam();
+  const HeteroGnn gnn(rng, config);
+  nn::Tensor loss = nn::mean_all(gnn.forward(sample_graph()));
+  loss.backward();
+  double grad_norm = 0.0;
+  for (const float g : gnn.parameters().front().grad()) grad_norm += std::abs(g);
+  EXPECT_GT(grad_norm, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, GnnKinds,
+                         ::testing::Values(GnnKind::kGcn, GnnKind::kSage, GnnKind::kGat,
+                                           GnnKind::kGgnn),
+                         [](const auto& info) { return gnn_kind_name(info.param); });
+
+TEST(HeteroGnn, ParameterCountsByKind) {
+  util::Rng rng(4);
+  HeteroGnnConfig ggnn_config;
+  ggnn_config.kind = GnnKind::kGgnn;
+  const HeteroGnn ggnn(rng, ggnn_config);
+  // embedding + 2 layers x (3 relations x 2 linear params + 9 GRU params)
+  // + readout (2).
+  EXPECT_EQ(ggnn.parameters().size(), 1u + 2u * (3u * 2u + 9u) + 2u);
+
+  HeteroGnnConfig gat_config;
+  gat_config.kind = GnnKind::kGat;
+  const HeteroGnn gat(rng, gat_config);
+  // embedding + 2 layers x (3 relations x 4 params + combine 2) + readout.
+  EXPECT_EQ(gat.parameters().size(), 1u + 2u * (3u * 4u + 2u) + 2u);
+}
+
+TEST(HeteroGnn, DeterministicForward) {
+  util::Rng rng(5);
+  const HeteroGnn gnn(rng, {});
+  const auto graph = sample_graph();
+  const nn::Tensor a = gnn.forward(graph);
+  const nn::Tensor b = gnn.forward(graph);
+  for (std::size_t i = 0; i < a.numel(); ++i) EXPECT_FLOAT_EQ(a.data()[i], b.data()[i]);
+}
+
+TEST(HeteroGnn, LearnsToSeparateFamilies) {
+  // Tiny supervised task: classify dense-linalg vs graph kernels from the
+  // structure alone. The GNN must fit this (training accuracy -> 1).
+  const std::vector<const char*> linalg = {"polybench/gemm", "polybench/2mm",
+                                           "polybench/syrk"};
+  const std::vector<const char*> graphs = {"rodinia/bfs", "parboil/BFS-k0", "drb/DRB121"};
+  std::vector<programl::ProgramGraph> inputs;
+  std::vector<int> labels;
+  for (const char* name : linalg) {
+    inputs.push_back(sample_graph(name));
+    labels.push_back(0);
+  }
+  for (const char* name : graphs) {
+    inputs.push_back(sample_graph(name));
+    labels.push_back(1);
+  }
+
+  util::Rng rng(6);
+  HeteroGnnConfig config;
+  config.hidden_dim = 16;
+  config.output_dim = 8;
+  const HeteroGnn gnn(rng, config);
+  const nn::Linear head(rng, config.output_dim, 2);
+  std::vector<nn::Tensor> params = gnn.parameters();
+  nn::collect(params, head.parameters());
+  nn::AdamWConfig opt_config;
+  opt_config.learning_rate = 5e-3;
+  nn::AdamW optimizer(params, opt_config);
+
+  for (int epoch = 0; epoch < 60; ++epoch) {
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      nn::Tensor logits = head.forward(gnn.forward(inputs[i]));
+      nn::Tensor loss = nn::softmax_cross_entropy(logits, {labels[i]});
+      optimizer.zero_grad();
+      loss.backward();
+      optimizer.step();
+    }
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const nn::Tensor logits = head.forward(gnn.forward(inputs[i]));
+    if (nn::argmax_rows(logits).front() == labels[i]) ++correct;
+  }
+  EXPECT_EQ(correct, inputs.size());
+}
+
+TEST(HeteroGnn, RejectsEmptyGraph) {
+  util::Rng rng(7);
+  const HeteroGnn gnn(rng, {});
+  EXPECT_THROW((void)gnn.forward(programl::ProgramGraph{}), std::invalid_argument);
+}
+
+// --- DAE -----------------------------------------------------------------------
+
+TEST(SwapNoise, CorruptsRequestedFraction) {
+  util::Rng rng(8);
+  std::vector<std::vector<float>> rows(50, std::vector<float>(40));
+  for (std::size_t r = 0; r < rows.size(); ++r)
+    for (std::size_t c = 0; c < rows[r].size(); ++c)
+      rows[r][c] = static_cast<float>(r * 100 + c);
+
+  const auto corrupted = apply_swap_noise(rows, 0.10f, rng);
+  std::size_t changed = 0;
+  std::size_t total = 0;
+  for (std::size_t r = 0; r < rows.size(); ++r)
+    for (std::size_t c = 0; c < rows[r].size(); ++c) {
+      ++total;
+      if (corrupted[r][c] != rows[r][c]) ++changed;
+    }
+  // ~10% swaps; some swaps pick the same row, so slightly fewer change.
+  EXPECT_NEAR(static_cast<double>(changed) / total, 0.10, 0.03);
+}
+
+TEST(SwapNoise, SwappedValuesComeFromSameColumn) {
+  util::Rng rng(9);
+  std::vector<std::vector<float>> rows(20, std::vector<float>(5));
+  for (std::size_t r = 0; r < rows.size(); ++r)
+    for (std::size_t c = 0; c < rows[r].size(); ++c)
+      rows[r][c] = static_cast<float>(c * 1000 + r);  // column-coded values
+  const auto corrupted = apply_swap_noise(rows, 0.3f, rng);
+  for (std::size_t r = 0; r < rows.size(); ++r)
+    for (std::size_t c = 0; c < rows[r].size(); ++c) {
+      // Value must still encode the same column.
+      EXPECT_EQ(static_cast<int>(corrupted[r][c]) / 1000, static_cast<int>(c));
+    }
+}
+
+TEST(Dae, PretrainingReducesReconstructionLoss) {
+  util::Rng rng(10);
+  DaeConfig config;
+  config.input_dim = 16;
+  config.hidden_dim = 12;
+  config.code_dim = 6;
+  config.epochs = 120;
+  DenoisingAutoencoder dae(rng, config);
+
+  // Structured data: two latent prototypes + noise.
+  std::vector<std::vector<float>> rows;
+  for (int i = 0; i < 40; ++i) {
+    std::vector<float> row(16);
+    for (int j = 0; j < 16; ++j)
+      row[static_cast<std::size_t>(j)] =
+          (i % 2 == 0 ? 1.0f : -1.0f) * (j % 3 == 0 ? 1.0f : 0.2f) +
+          static_cast<float>(rng.normal(0.0, 0.05));
+    rows.push_back(std::move(row));
+  }
+
+  // Loss before training.
+  std::vector<float> flat;
+  for (const auto& row : rows) flat.insert(flat.end(), row.begin(), row.end());
+  const nn::Tensor batch = nn::Tensor::from_data(flat, rows.size(), 16);
+  const double before = nn::mse_loss(dae.reconstruct(batch), batch).item();
+  const double after = dae.pretrain(rows, rng);
+  EXPECT_LT(after, 0.5 * before);
+}
+
+TEST(Dae, EncodeShapesAndDeterminism) {
+  util::Rng rng(11);
+  DaeConfig config;
+  config.input_dim = 8;
+  config.code_dim = 3;
+  const DenoisingAutoencoder dae(rng, config);
+  const std::vector<float> row = {1, 2, 3, 4, 5, 6, 7, 8};
+  const nn::Tensor code = dae.encode(row);
+  EXPECT_EQ(code.rows(), 1u);
+  EXPECT_EQ(code.cols(), 3u);
+  const nn::Tensor again = dae.encode(row);
+  for (std::size_t i = 0; i < code.numel(); ++i)
+    EXPECT_FLOAT_EQ(code.data()[i], again.data()[i]);
+  // Sigmoid code layer: values in (0,1).
+  for (const float v : code.data()) {
+    EXPECT_GT(v, 0.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(Dae, EncodeBatchMatchesSingleEncodes) {
+  util::Rng rng(12);
+  DaeConfig config;
+  config.input_dim = 4;
+  config.code_dim = 2;
+  const DenoisingAutoencoder dae(rng, config);
+  const std::vector<std::vector<float>> rows = {{1, 2, 3, 4}, {4, 3, 2, 1}};
+  const nn::Tensor batch = dae.encode_batch(rows);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const nn::Tensor single = dae.encode(rows[r]);
+    for (std::size_t c = 0; c < single.cols(); ++c)
+      EXPECT_FLOAT_EQ(batch.at(r, c), single.at(0, c));
+  }
+}
+
+TEST(Dae, PretrainRequiresTwoRows) {
+  util::Rng rng(13);
+  DaeConfig config;
+  config.input_dim = 4;
+  DenoisingAutoencoder dae(rng, config);
+  EXPECT_THROW((void)dae.pretrain({{1, 2, 3, 4}}, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mga::models

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/layers.hpp"
+#include "nn/optim.hpp"
+
+namespace mga::nn {
+namespace {
+
+TEST(Linear, OutputShape) {
+  util::Rng rng(1);
+  const Linear layer(rng, 5, 3);
+  const Tensor y = layer.forward(Tensor::zeros(7, 5));
+  EXPECT_EQ(y.rows(), 7u);
+  EXPECT_EQ(y.cols(), 3u);
+  EXPECT_EQ(layer.in_features(), 5u);
+  EXPECT_EQ(layer.out_features(), 3u);
+}
+
+TEST(Linear, ZeroInputYieldsBias) {
+  util::Rng rng(2);
+  const Linear layer(rng, 4, 2);
+  const Tensor y = layer.forward(Tensor::zeros(1, 4));
+  // Bias initializes to zero.
+  EXPECT_FLOAT_EQ(y.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 0.0f);
+}
+
+TEST(Linear, WrongInputWidthThrows) {
+  util::Rng rng(3);
+  const Linear layer(rng, 4, 2);
+  EXPECT_THROW((void)layer.forward(Tensor::zeros(1, 5)), std::invalid_argument);
+}
+
+TEST(GruCell, OutputShapeAndRange) {
+  util::Rng rng(4);
+  const GruCell cell(rng, 6, 6);
+  util::Rng data_rng(5);
+  const Tensor x = Tensor::randn(data_rng, 3, 6, 1.0f);
+  const Tensor h = Tensor::randn(data_rng, 3, 6, 1.0f);
+  const Tensor out = cell.forward(x, h);
+  EXPECT_EQ(out.rows(), 3u);
+  EXPECT_EQ(out.cols(), 6u);
+  EXPECT_EQ(cell.parameters().size(), 9u);
+}
+
+TEST(GruCell, InterpolatesBetweenHiddenAndCandidate) {
+  // h' = (1-z)h + z*c with z,c in (0,1)/(−1,1): output must stay within the
+  // convex hull of h and tanh range.
+  util::Rng rng(6);
+  const GruCell cell(rng, 4, 4);
+  const Tensor x = Tensor::zeros(2, 4);
+  const Tensor h = Tensor::full(2, 4, 0.5f);
+  const Tensor out = cell.forward(x, h);
+  for (const float v : out.data()) {
+    EXPECT_GT(v, -1.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(GruCell, GradientFlowsToAllParameters) {
+  util::Rng rng(7);
+  const GruCell cell(rng, 3, 3);
+  util::Rng data_rng(8);
+  const Tensor x = Tensor::randn(data_rng, 2, 3, 1.0f);
+  const Tensor h = Tensor::randn(data_rng, 2, 3, 1.0f);
+  Tensor loss = mean_all(cell.forward(x, h));
+  loss.backward();
+  for (auto& p : cell.parameters()) {
+    double norm = 0.0;
+    for (const float g : p.grad()) norm += std::abs(g);
+    EXPECT_GT(norm, 0.0) << "a parameter received no gradient";
+  }
+}
+
+TEST(Xavier, WithinGlorotBounds) {
+  util::Rng rng(9);
+  const Tensor w = Tensor::xavier(rng, 100, 50);
+  const double limit = std::sqrt(6.0 / 150.0);
+  for (const float v : w.data()) {
+    EXPECT_GE(v, -limit);
+    EXPECT_LE(v, limit);
+  }
+}
+
+TEST(AdamW, ConvergesOnLeastSquares) {
+  util::Rng rng(10);
+  // Fit y = 2x + 1.
+  Tensor w = Tensor::zeros(1, 1, true);
+  Tensor b = Tensor::zeros(1, 1, true);
+  AdamWConfig config;
+  config.learning_rate = 0.05;
+  config.weight_decay = 0.0;
+  AdamW optimizer({w, b}, config);
+
+  std::vector<float> xs_data, ys_data;
+  for (int i = 0; i < 16; ++i) {
+    const float x = static_cast<float>(i) / 8.0f - 1.0f;
+    xs_data.push_back(x);
+    ys_data.push_back(2.0f * x + 1.0f);
+  }
+  const Tensor xs = Tensor::from_data(xs_data, 16, 1);
+  const Tensor ys = Tensor::from_data(ys_data, 16, 1);
+
+  for (int step = 0; step < 400; ++step) {
+    Tensor prediction = add_bias(matmul(xs, w), b);
+    Tensor loss = mse_loss(prediction, ys);
+    optimizer.zero_grad();
+    loss.backward();
+    optimizer.step();
+  }
+  EXPECT_NEAR(w.at(0, 0), 2.0f, 0.05f);
+  EXPECT_NEAR(b.at(0, 0), 1.0f, 0.05f);
+}
+
+TEST(AdamW, WeightDecayShrinksUnusedParameter) {
+  // A parameter with zero gradient must still decay toward zero under AdamW
+  // (decoupled decay), unlike Adam+L2 where zero grad means no update.
+  Tensor unused = Tensor::full(1, 1, 1.0f, true);
+  AdamWConfig config;
+  config.learning_rate = 0.1;
+  config.weight_decay = 0.1;
+  AdamW optimizer({unused}, config);
+  for (int i = 0; i < 10; ++i) {
+    optimizer.zero_grad();
+    optimizer.step();
+  }
+  EXPECT_LT(unused.at(0, 0), 1.0f);
+  EXPECT_GT(unused.at(0, 0), 0.8f);
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  Tensor x = Tensor::full(1, 1, 5.0f, true);
+  Sgd optimizer({x}, 0.1, 0.5);
+  for (int i = 0; i < 200; ++i) {
+    Tensor loss = mul(x, x);
+    optimizer.zero_grad();
+    loss.backward();
+    optimizer.step();
+  }
+  EXPECT_NEAR(x.at(0, 0), 0.0f, 1e-3f);
+}
+
+TEST(Mlp, LearnsXor) {
+  util::Rng rng(11);
+  const Linear hidden(rng, 2, 8);
+  const Linear output(rng, 8, 2);
+  std::vector<Tensor> params;
+  collect(params, hidden.parameters());
+  collect(params, output.parameters());
+  AdamWConfig config;
+  config.learning_rate = 0.02;
+  config.weight_decay = 0.0;
+  AdamW optimizer(params, config);
+
+  const Tensor inputs = Tensor::from_data({0, 0, 0, 1, 1, 0, 1, 1}, 4, 2);
+  const std::vector<int> labels = {0, 1, 1, 0};
+  for (int epoch = 0; epoch < 600; ++epoch) {
+    Tensor logits = output.forward(tanh_op(hidden.forward(inputs)));
+    Tensor loss = softmax_cross_entropy(logits, labels);
+    optimizer.zero_grad();
+    loss.backward();
+    optimizer.step();
+  }
+  const Tensor logits = output.forward(tanh_op(hidden.forward(inputs)));
+  EXPECT_EQ(argmax_rows(logits), labels);
+}
+
+}  // namespace
+}  // namespace mga::nn

@@ -1,0 +1,311 @@
+// Autograd correctness: every differentiable op is checked against central
+// finite differences over a parameterized grid of shapes, plus forward-value
+// unit tests and misuse checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/ops.hpp"
+
+namespace mga::nn {
+namespace {
+
+using OpBuilder = std::function<Tensor(const Tensor&, const Tensor&)>;
+
+/// Central-difference gradient check of a scalar-valued function of two
+/// tensors (second may be unused).
+void expect_gradients_match(const OpBuilder& op, std::size_t rows, std::size_t cols,
+                            double tolerance = 2e-2, std::uint64_t seed = 5) {
+  util::Rng rng(seed);
+  Tensor a = Tensor::randn(rng, rows, cols, 0.8f, /*requires_grad=*/true);
+  Tensor b = Tensor::randn(rng, rows, cols, 0.8f, /*requires_grad=*/true);
+  // Keep divisors away from zero for div/log-style ops.
+  for (auto& x : b.data()) x = 1.5f + std::abs(x);
+  for (auto& x : a.data()) x = 0.5f + std::abs(x);
+
+  Tensor loss = mean_all(op(a, b));
+  loss.backward();
+
+  constexpr float kEps = 1e-3f;
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    const float saved = a.data()[i];
+    a.data()[i] = saved + kEps;
+    const double up = mean_all(op(a, b)).item();
+    a.data()[i] = saved - kEps;
+    const double down = mean_all(op(a, b)).item();
+    a.data()[i] = saved;
+    const double numeric = (up - down) / (2.0 * kEps);
+    const double analytic = a.grad()[i];
+    EXPECT_NEAR(analytic, numeric, tolerance * std::max(1.0, std::abs(numeric)))
+        << "element " << i;
+  }
+}
+
+struct OpCase {
+  const char* name;
+  OpBuilder op;
+};
+
+class GradCheck : public ::testing::TestWithParam<std::tuple<OpCase, std::pair<int, int>>> {};
+
+TEST_P(GradCheck, MatchesFiniteDifferences) {
+  const auto& [op_case, shape] = GetParam();
+  expect_gradients_match(op_case.op, static_cast<std::size_t>(shape.first),
+                         static_cast<std::size_t>(shape.second));
+}
+
+const OpCase kElementwiseOps[] = {
+    {"add", [](const Tensor& a, const Tensor& b) { return add(a, b); }},
+    {"sub", [](const Tensor& a, const Tensor& b) { return sub(a, b); }},
+    {"mul", [](const Tensor& a, const Tensor& b) { return mul(a, b); }},
+    {"div", [](const Tensor& a, const Tensor& b) { return div(a, b); }},
+    {"scale", [](const Tensor& a, const Tensor&) { return scale(a, 1.7f); }},
+    {"neg", [](const Tensor& a, const Tensor&) { return neg(a); }},
+    {"exp", [](const Tensor& a, const Tensor&) { return exp_op(a); }},
+    {"log", [](const Tensor& a, const Tensor&) { return log_op(a); }},
+    {"relu", [](const Tensor& a, const Tensor&) { return relu(a); }},
+    {"leaky_relu", [](const Tensor& a, const Tensor&) { return leaky_relu(a, 0.1f); }},
+    {"sigmoid", [](const Tensor& a, const Tensor&) { return sigmoid(a); }},
+    {"tanh", [](const Tensor& a, const Tensor&) { return tanh_op(a); }},
+    {"sum_rows", [](const Tensor& a, const Tensor&) { return sum_rows(a); }},
+    {"mean_rows", [](const Tensor& a, const Tensor&) { return mean_rows(a); }},
+    {"concat_cols", [](const Tensor& a, const Tensor& b) { return concat_cols(a, b); }},
+    {"concat_rows", [](const Tensor& a, const Tensor& b) { return concat_rows(a, b); }},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    OpsByShape, GradCheck,
+    ::testing::Combine(::testing::ValuesIn(kElementwiseOps),
+                       ::testing::Values(std::pair{1, 1}, std::pair{2, 3}, std::pair{4, 5},
+                                         std::pair{1, 8})),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param).name) + "_" +
+             std::to_string(std::get<1>(info.param).first) + "x" +
+             std::to_string(std::get<1>(info.param).second);
+    });
+
+TEST(GradCheckSpecial, MatMul) {
+  util::Rng rng(21);
+  Tensor a = Tensor::randn(rng, 3, 4, 0.6f, true);
+  Tensor b = Tensor::randn(rng, 4, 2, 0.6f, true);
+  Tensor loss = mean_all(matmul(a, b));
+  loss.backward();
+
+  constexpr float kEps = 1e-3f;
+  for (std::size_t i = 0; i < b.numel(); ++i) {
+    const float saved = b.data()[i];
+    b.data()[i] = saved + kEps;
+    const double up = mean_all(matmul(a, b)).item();
+    b.data()[i] = saved - kEps;
+    const double down = mean_all(matmul(a, b)).item();
+    b.data()[i] = saved;
+    EXPECT_NEAR(b.grad()[i], (up - down) / (2.0 * kEps), 1e-2);
+  }
+}
+
+TEST(GradCheckSpecial, AddBias) {
+  util::Rng rng(22);
+  Tensor x = Tensor::randn(rng, 4, 3, 0.5f, true);
+  Tensor bias = Tensor::randn(rng, 1, 3, 0.5f, true);
+  Tensor loss = mean_all(tanh_op(add_bias(x, bias)));
+  loss.backward();
+  constexpr float kEps = 1e-3f;
+  for (std::size_t i = 0; i < bias.numel(); ++i) {
+    const float saved = bias.data()[i];
+    bias.data()[i] = saved + kEps;
+    const double up = mean_all(tanh_op(add_bias(x, bias))).item();
+    bias.data()[i] = saved - kEps;
+    const double down = mean_all(tanh_op(add_bias(x, bias))).item();
+    bias.data()[i] = saved;
+    EXPECT_NEAR(bias.grad()[i], (up - down) / (2.0 * kEps), 1e-2);
+  }
+}
+
+TEST(GradCheckSpecial, GatherScatterRoundTrip) {
+  util::Rng rng(23);
+  Tensor x = Tensor::randn(rng, 5, 3, 0.5f, true);
+  const std::vector<int> idx = {0, 2, 2, 4, 1, 0};
+  Tensor loss = mean_all(scatter_mean(gather_rows(x, idx), idx, 5));
+  loss.backward();
+  constexpr float kEps = 1e-3f;
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    const float saved = x.data()[i];
+    x.data()[i] = saved + kEps;
+    const double up = mean_all(scatter_mean(gather_rows(x, idx), idx, 5)).item();
+    x.data()[i] = saved - kEps;
+    const double down = mean_all(scatter_mean(gather_rows(x, idx), idx, 5)).item();
+    x.data()[i] = saved;
+    EXPECT_NEAR(x.grad()[i], (up - down) / (2.0 * kEps), 1e-2);
+  }
+}
+
+TEST(GradCheckSpecial, RowRepeat) {
+  util::Rng rng(24);
+  Tensor x = Tensor::randn(rng, 1, 4, 0.5f, true);
+  Tensor loss = mean_all(mul(row_repeat(x, 6), row_repeat(x, 6)));
+  loss.backward();
+  constexpr float kEps = 1e-3f;
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    const float saved = x.data()[i];
+    x.data()[i] = saved + kEps;
+    const double up = mean_all(mul(row_repeat(x, 6), row_repeat(x, 6))).item();
+    x.data()[i] = saved - kEps;
+    const double down = mean_all(mul(row_repeat(x, 6), row_repeat(x, 6))).item();
+    x.data()[i] = saved;
+    EXPECT_NEAR(x.grad()[i], (up - down) / (2.0 * kEps), 1e-2);
+  }
+}
+
+TEST(GradCheckSpecial, SoftmaxCrossEntropy) {
+  util::Rng rng(25);
+  Tensor logits = Tensor::randn(rng, 4, 3, 1.0f, true);
+  const std::vector<int> labels = {0, 2, 1, 2};
+  Tensor loss = softmax_cross_entropy(logits, labels);
+  loss.backward();
+  constexpr float kEps = 1e-3f;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    const float saved = logits.data()[i];
+    logits.data()[i] = saved + kEps;
+    const double up = softmax_cross_entropy(logits, labels).item();
+    logits.data()[i] = saved - kEps;
+    const double down = softmax_cross_entropy(logits, labels).item();
+    logits.data()[i] = saved;
+    EXPECT_NEAR(logits.grad()[i], (up - down) / (2.0 * kEps), 1e-2);
+  }
+}
+
+TEST(GradCheckSpecial, MseLoss) {
+  util::Rng rng(26);
+  Tensor prediction = Tensor::randn(rng, 3, 3, 1.0f, true);
+  Tensor target = Tensor::randn(rng, 3, 3, 1.0f);
+  Tensor loss = mse_loss(prediction, target);
+  loss.backward();
+  for (std::size_t i = 0; i < prediction.numel(); ++i) {
+    const double expected =
+        2.0 * (prediction.data()[i] - target.data()[i]) / prediction.numel();
+    EXPECT_NEAR(prediction.grad()[i], expected, 1e-5);
+  }
+}
+
+// --- forward-value unit tests ------------------------------------------------
+
+TEST(OpsForward, AddValues) {
+  const Tensor a = Tensor::from_data({1, 2, 3, 4}, 2, 2);
+  const Tensor b = Tensor::from_data({10, 20, 30, 40}, 2, 2);
+  const Tensor c = add(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 11);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 44);
+}
+
+TEST(OpsForward, MatMulValues) {
+  const Tensor a = Tensor::from_data({1, 2, 3, 4}, 2, 2);
+  const Tensor b = Tensor::from_data({5, 6, 7, 8}, 2, 2);
+  const Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 19);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 22);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 43);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 50);
+}
+
+TEST(OpsForward, ScatterMeanAveragesContributions) {
+  const Tensor x = Tensor::from_data({1, 2, 3, 4, 5, 6}, 3, 2);
+  const Tensor out = scatter_mean(x, {0, 0, 1}, 2);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 2.0f);  // mean(1,3)
+  EXPECT_FLOAT_EQ(out.at(0, 1), 3.0f);  // mean(2,4)
+  EXPECT_FLOAT_EQ(out.at(1, 0), 5.0f);
+}
+
+TEST(OpsForward, ScatterMeanEmptyRowIsZero) {
+  const Tensor x = Tensor::from_data({1, 1}, 1, 2);
+  const Tensor out = scatter_mean(x, {2}, 3);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(out.at(2, 0), 1.0f);
+}
+
+TEST(OpsForward, SoftmaxEvalRowsSumToOne) {
+  util::Rng rng(31);
+  const Tensor logits = Tensor::randn(rng, 5, 7, 2.0f);
+  for (const auto& row : softmax_eval(logits)) {
+    double sum = 0.0;
+    for (const double p : row) {
+      sum += p;
+      EXPECT_GE(p, 0.0);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(OpsForward, ArgmaxRows) {
+  const Tensor logits = Tensor::from_data({0, 5, 1, 9, 2, 3}, 2, 3);
+  EXPECT_EQ(argmax_rows(logits), (std::vector<int>{1, 0}));
+}
+
+TEST(OpsForward, DropoutTrainingStatistics) {
+  util::Rng rng(33);
+  const Tensor x = Tensor::full(100, 100, 1.0f);
+  const Tensor dropped = dropout(x, 0.4f, rng, /*training=*/true);
+  std::size_t zeros = 0;
+  double sum = 0.0;
+  for (const float v : dropped.data()) {
+    if (v == 0.0f) ++zeros;
+    sum += v;
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / dropped.numel(), 0.4, 0.02);
+  // Inverted dropout preserves the expected sum.
+  EXPECT_NEAR(sum / dropped.numel(), 1.0, 0.05);
+}
+
+TEST(OpsForward, DropoutEvalIsIdentity) {
+  util::Rng rng(34);
+  const Tensor x = Tensor::full(4, 4, 2.0f);
+  const Tensor out = dropout(x, 0.5f, rng, /*training=*/false);
+  for (const float v : out.data()) EXPECT_FLOAT_EQ(v, 2.0f);
+}
+
+TEST(OpsForward, GradientAccumulatesOnReuse) {
+  Tensor x = Tensor::from_data({2.0f}, 1, 1, true);
+  Tensor loss = add(mul(x, x), mul(x, x));  // 2x^2 -> d/dx = 4x = 8
+  loss.backward();
+  EXPECT_NEAR(x.grad()[0], 8.0f, 1e-5);
+}
+
+TEST(OpsMisuse, ShapeMismatchThrows) {
+  const Tensor a = Tensor::zeros(2, 2);
+  const Tensor b = Tensor::zeros(2, 3);
+  EXPECT_THROW((void)add(a, b), std::invalid_argument);
+  EXPECT_THROW((void)mul(a, b), std::invalid_argument);
+  EXPECT_THROW((void)matmul(a, Tensor::zeros(3, 2)), std::invalid_argument);
+  EXPECT_THROW((void)add_bias(a, Tensor::zeros(1, 3)), std::invalid_argument);
+}
+
+TEST(OpsMisuse, BackwardRequiresScalar) {
+  Tensor x = Tensor::zeros(2, 2, true);
+  EXPECT_THROW(x.backward(), std::invalid_argument);
+}
+
+TEST(OpsMisuse, GatherOutOfRangeThrows) {
+  const Tensor x = Tensor::zeros(2, 2);
+  EXPECT_THROW((void)gather_rows(x, {0, 5}), std::invalid_argument);
+  EXPECT_THROW((void)scatter_sum(x, {0, 7}, 3), std::invalid_argument);
+}
+
+TEST(OpsMisuse, LabelOutOfRangeThrows) {
+  const Tensor logits = Tensor::zeros(1, 3);
+  EXPECT_THROW((void)softmax_cross_entropy(logits, {3}), std::invalid_argument);
+}
+
+TEST(ClipGradNorm, ScalesDownLargeGradients) {
+  Tensor x = Tensor::from_data({3.0f, 4.0f}, 1, 2, true);
+  Tensor loss = sum_all(mul(x, x));
+  loss.backward();  // grad = (6, 8), norm 10
+  std::vector<Tensor> params = {x};
+  const double norm = clip_grad_norm(params, 5.0);
+  EXPECT_NEAR(norm, 10.0, 1e-4);
+  EXPECT_NEAR(x.grad()[0], 3.0f, 1e-3);
+  EXPECT_NEAR(x.grad()[1], 4.0f, 1e-3);
+}
+
+}  // namespace
+}  // namespace mga::nn

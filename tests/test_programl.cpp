@@ -1,0 +1,154 @@
+// PROGRAML graph construction: schema invariants checked over the whole
+// corpus (parameterized), plus targeted structural tests on a hand-built
+// module.
+#include <gtest/gtest.h>
+
+#include "corpus/spec.hpp"
+#include "programl/builder.hpp"
+
+namespace mga::programl {
+namespace {
+
+class GraphInvariants : public ::testing::TestWithParam<int> {
+ protected:
+  ProgramGraph build() const {
+    const auto specs = corpus::openmp_suite();
+    const auto kernel = corpus::generate(specs[static_cast<std::size_t>(GetParam())]);
+    return build_graph(*kernel.module);
+  }
+};
+
+TEST_P(GraphInvariants, EdgesStayInRange) {
+  const ProgramGraph graph = build();
+  ASSERT_GT(graph.node_count(), 0u);
+  for (const Edge& edge : graph.edges) {
+    EXPECT_GE(edge.source, 0);
+    EXPECT_GE(edge.target, 0);
+    EXPECT_LT(static_cast<std::size_t>(edge.source), graph.node_count());
+    EXPECT_LT(static_cast<std::size_t>(edge.target), graph.node_count());
+  }
+}
+
+TEST_P(GraphInvariants, ControlEdgesConnectInstructions) {
+  const ProgramGraph graph = build();
+  for (const Edge& edge : graph.edges) {
+    if (edge.type != EdgeType::kControl) continue;
+    EXPECT_EQ(graph.nodes[static_cast<std::size_t>(edge.source)].type,
+              NodeType::kInstruction);
+    EXPECT_EQ(graph.nodes[static_cast<std::size_t>(edge.target)].type,
+              NodeType::kInstruction);
+  }
+}
+
+TEST_P(GraphInvariants, DataEdgesTouchOneInstructionSide) {
+  const ProgramGraph graph = build();
+  for (const Edge& edge : graph.edges) {
+    if (edge.type != EdgeType::kData) continue;
+    const Node& source = graph.nodes[static_cast<std::size_t>(edge.source)];
+    const Node& target = graph.nodes[static_cast<std::size_t>(edge.target)];
+    // def edge: instruction -> variable; use edge: variable/constant ->
+    // instruction. Never instruction -> instruction directly.
+    const bool def_edge =
+        source.type == NodeType::kInstruction && target.type == NodeType::kVariable;
+    const bool use_edge =
+        source.type != NodeType::kInstruction && target.type == NodeType::kInstruction;
+    EXPECT_TRUE(def_edge || use_edge);
+  }
+}
+
+TEST_P(GraphInvariants, CallEdgesConnectInstructions) {
+  const ProgramGraph graph = build();
+  for (const Edge& edge : graph.edges) {
+    if (edge.type != EdgeType::kCall) continue;
+    EXPECT_EQ(graph.nodes[static_cast<std::size_t>(edge.source)].type,
+              NodeType::kInstruction);
+    EXPECT_EQ(graph.nodes[static_cast<std::size_t>(edge.target)].type,
+              NodeType::kInstruction);
+  }
+}
+
+TEST_P(GraphInvariants, AllThreeRelationsCountConsistently) {
+  const ProgramGraph graph = build();
+  const std::size_t by_type = graph.count_edges(EdgeType::kControl) +
+                              graph.count_edges(EdgeType::kData) +
+                              graph.count_edges(EdgeType::kCall);
+  EXPECT_EQ(by_type, graph.edge_count());
+  // Every kernel has control flow and data flow.
+  EXPECT_GT(graph.count_edges(EdgeType::kControl), 0u);
+  EXPECT_GT(graph.count_edges(EdgeType::kData), 0u);
+}
+
+TEST_P(GraphInvariants, FeatureIndicesWithinVocabulary) {
+  const ProgramGraph graph = build();
+  for (const Node& node : graph.nodes)
+    EXPECT_LT(node_feature_index(node), node_vocabulary_size());
+}
+
+TEST_P(GraphInvariants, RelationViewMatchesEdgeList) {
+  const ProgramGraph graph = build();
+  for (const EdgeType type :
+       {EdgeType::kControl, EdgeType::kData, EdgeType::kCall}) {
+    const auto relation = graph.relation(type);
+    EXPECT_EQ(relation.sources.size(), graph.count_edges(type));
+    EXPECT_EQ(relation.targets.size(), graph.count_edges(type));
+  }
+}
+
+TEST_P(GraphInvariants, DeterministicConstruction) {
+  const auto specs = corpus::openmp_suite();
+  const auto& spec = specs[static_cast<std::size_t>(GetParam())];
+  const auto kernel_a = corpus::generate(spec);
+  const auto kernel_b = corpus::generate(spec);
+  const ProgramGraph a = build_graph(*kernel_a.module);
+  const ProgramGraph b = build_graph(*kernel_b.module);
+  ASSERT_EQ(a.node_count(), b.node_count());
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (std::size_t i = 0; i < a.edges.size(); ++i) {
+    EXPECT_EQ(a.edges[i].source, b.edges[i].source);
+    EXPECT_EQ(a.edges[i].target, b.edges[i].target);
+    EXPECT_EQ(a.edges[i].type, b.edges[i].type);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpenMpKernels, GraphInvariants, ::testing::Range(0, 45));
+
+TEST(GraphStructure, CallHeavyKernelHasCallEdges) {
+  // The NPB CG makea stand-in is call-heavy by construction (§4.2.2 corner
+  // case); its graph must carry call edges to the helper's body and back.
+  const auto spec = corpus::find_kernel("npb/CG-makea-k0");
+  const auto kernel = corpus::generate(spec);
+  const ProgramGraph graph = build_graph(*kernel.module);
+  EXPECT_GT(graph.count_edges(EdgeType::kCall), 0u);
+}
+
+TEST(GraphStructure, ExternalCalleeBecomesStub) {
+  const auto spec = corpus::find_kernel("nas/EP");  // extern_calls > 0
+  const auto kernel = corpus::generate(spec);
+  const ProgramGraph graph = build_graph(*kernel.module);
+  std::size_t stubs = 0;
+  for (const Node& node : graph.nodes)
+    if (node.is_external) ++stubs;
+  EXPECT_EQ(stubs, 1u);  // one declaration -> one stub vertex
+}
+
+TEST(GraphStructure, ConstantsAreShared) {
+  // Interned constants must map to one vertex each, so repeated literal uses
+  // share a constant node.
+  const auto spec = corpus::find_kernel("polybench/2mm");
+  const auto kernel = corpus::generate(spec);
+  const ProgramGraph graph = build_graph(*kernel.module);
+  EXPECT_EQ(graph.count_nodes(NodeType::kConstant), kernel.module->constants().size());
+}
+
+TEST(Vocabulary, DistinctIndicesForDistinctKinds) {
+  Node instr{NodeType::kInstruction, ir::Opcode::kFMul, ir::Type::kF64, "", false};
+  Node external{NodeType::kInstruction, ir::Opcode::kCall, ir::Type::kF64, "", true};
+  Node variable{NodeType::kVariable, ir::Opcode::kRet, ir::Type::kF64, "", false};
+  Node constant{NodeType::kConstant, ir::Opcode::kRet, ir::Type::kF64, "", false};
+  EXPECT_NE(node_feature_index(instr), node_feature_index(external));
+  EXPECT_NE(node_feature_index(variable), node_feature_index(constant));
+  EXPECT_NE(node_feature_index(instr), node_feature_index(variable));
+}
+
+}  // namespace
+}  // namespace mga::programl

@@ -1,0 +1,117 @@
+// MgaTuner facade + parameter serialization: train / tune / save / load.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/tuner.hpp"
+#include "nn/serialize.hpp"
+
+namespace mga::core {
+namespace {
+
+/// Small options so the facade trains in well under a second.
+MgaTunerOptions tiny_options() {
+  MgaTunerOptions options;
+  auto kernels = corpus::openmp_suite();
+  kernels.resize(8);
+  options.training_kernels = std::move(kernels);
+  std::vector<double> inputs = dataset::input_sizes_30();
+  std::vector<double> subset;
+  for (std::size_t i = 0; i < inputs.size(); i += 6) subset.push_back(inputs[i]);
+  options.input_sizes = std::move(subset);
+  options.training.epochs = 12;
+  return options;
+}
+
+TEST(MgaTunerFacade, TrainsAndTunesUnseenKernel) {
+  const MgaTuner tuner = MgaTuner::train(tiny_options());
+  // lulesh is not among the 8 training kernels.
+  const corpus::KernelSpec unseen = corpus::find_kernel("lulesh/CalcHourglassControlForElems");
+  const hwsim::OmpConfig config = tuner.tune(unseen, 1e6);
+  EXPECT_GE(config.threads, 1);
+  EXPECT_LE(config.threads, tuner.machine().hardware_threads());
+  // Small input: tuned configuration must not be slower than default by much
+  // (and on tiny inputs should be faster).
+  EXPECT_GT(tuner.speedup_over_default(unseen, 64.0 * 1024), 0.8);
+}
+
+TEST(MgaTunerFacade, TunedBeatsDefaultOnTinyInputs) {
+  const MgaTuner tuner = MgaTuner::train(tiny_options());
+  // On a 4 KB input the default (8 threads) pays far more fork/join than
+  // compute; any sane tuner picks fewer threads.
+  const corpus::KernelSpec kernel = corpus::find_kernel("polybench/gemm");
+  const hwsim::OmpConfig config = tuner.tune(kernel, 4096.0);
+  EXPECT_LT(config.threads, tuner.machine().hardware_threads());
+  EXPECT_GT(tuner.speedup_over_default(kernel, 4096.0), 1.5);
+}
+
+TEST(MgaTunerFacade, SaveLoadRoundTripPreservesPredictions) {
+  const std::string path = "/tmp/mga_tuner_test.bin";
+  const MgaTunerOptions options = tiny_options();
+  const MgaTuner trained = MgaTuner::train(options);
+  trained.save(path);
+  const MgaTuner loaded = MgaTuner::load(path, options);
+
+  for (const char* name : {"polybench/gemm", "rodinia/bfs", "stream/triad"}) {
+    const corpus::KernelSpec kernel = corpus::find_kernel(name);
+    for (const double input : {8192.0, 2e6, 1e8}) {
+      const hwsim::OmpConfig a = trained.tune(kernel, input);
+      const hwsim::OmpConfig b = loaded.tune(kernel, input);
+      EXPECT_EQ(a, b) << name << " @ " << input;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, TensorRoundTrip) {
+  util::Rng rng(3);
+  nn::NamedTensors tensors;
+  tensors.emplace_back("weight", nn::Tensor::randn(rng, 4, 7, 1.0f));
+  tensors.emplace_back("bias", nn::Tensor::randn(rng, 1, 7, 1.0f));
+
+  std::stringstream buffer;
+  nn::save_tensors(tensors, buffer);
+  const nn::NamedTensors loaded = nn::load_tensors(buffer);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].first, "weight");
+  EXPECT_EQ(loaded[1].first, "bias");
+  for (std::size_t t = 0; t < tensors.size(); ++t) {
+    ASSERT_EQ(loaded[t].second.rows(), tensors[t].second.rows());
+    ASSERT_EQ(loaded[t].second.cols(), tensors[t].second.cols());
+    for (std::size_t i = 0; i < tensors[t].second.numel(); ++i)
+      EXPECT_FLOAT_EQ(loaded[t].second.data()[i], tensors[t].second.data()[i]);
+  }
+}
+
+TEST(Serialize, RejectsGarbage) {
+  std::stringstream buffer("not a tensor file at all");
+  EXPECT_THROW((void)nn::load_tensors(buffer), std::invalid_argument);
+}
+
+TEST(Serialize, RejectsTruncation) {
+  util::Rng rng(4);
+  nn::NamedTensors tensors;
+  tensors.emplace_back("w", nn::Tensor::randn(rng, 8, 8, 1.0f));
+  std::stringstream buffer;
+  nn::save_tensors(tensors, buffer);
+  std::string bytes = buffer.str();
+  bytes.resize(bytes.size() / 2);
+  std::stringstream truncated(bytes);
+  EXPECT_THROW((void)nn::load_tensors(truncated), std::invalid_argument);
+}
+
+TEST(Serialize, RestoreIntoChecksShapes) {
+  util::Rng rng(5);
+  nn::NamedTensors source;
+  source.emplace_back("w", nn::Tensor::randn(rng, 2, 2, 1.0f));
+  nn::NamedTensors target;
+  target.emplace_back("w", nn::Tensor::zeros(2, 3));
+  EXPECT_THROW(nn::restore_into(source, target), std::invalid_argument);
+  nn::NamedTensors missing;
+  missing.emplace_back("other", nn::Tensor::zeros(2, 2));
+  EXPECT_THROW(nn::restore_into(source, missing), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mga::core

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace mga::util {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differences = 0;
+  for (int i = 0; i < 10; ++i)
+    if (a.next() != b.next()) ++differences;
+  EXPECT_GT(differences, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIndexBounded) {
+  Rng rng(9);
+  for (std::uint64_t n : {1ULL, 2ULL, 7ULL, 100ULL}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.uniform_index(n), n);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sq += z * z;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sq / kN, 1.0, 0.03);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(19);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinct) {
+  Rng rng(23);
+  const auto sample = rng.sample_without_replacement(50, 20);
+  ASSERT_EQ(sample.size(), 20u);
+  auto sorted = sample;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(Hash, Fnv1aStableKnownValue) {
+  // FNV-1a of empty string is the offset basis.
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a("abc"), fnv1a("abc"));
+  EXPECT_NE(fnv1a("abc"), fnv1a("abd"));
+}
+
+TEST(Stats, MeanVarianceStddev) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(variance(xs), 1.25);
+  EXPECT_DOUBLE_EQ(stddev(xs), std::sqrt(1.25));
+}
+
+TEST(Stats, GeometricMean) {
+  const std::vector<double> xs = {1.0, 4.0};
+  EXPECT_DOUBLE_EQ(geometric_mean(xs), 2.0);
+  const std::vector<double> ones = {1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(geometric_mean(ones), 1.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> ys = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg = ys;
+  for (auto& y : neg) y = -y;
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantInputIsZero) {
+  const std::vector<double> xs = {1, 1, 1};
+  const std::vector<double> ys = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Stats, FractionalRanksWithTies) {
+  const std::vector<double> xs = {10.0, 20.0, 20.0, 30.0};
+  const auto ranks = fractional_ranks(xs);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[3], 4.0);
+}
+
+TEST(Stats, InverseNormalCdfRoundTrip) {
+  for (const double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(normal_cdf(inverse_normal_cdf(p)), p, 1e-6) << "p=" << p;
+  }
+}
+
+TEST(Stats, InverseNormalCdfSymmetry) {
+  EXPECT_NEAR(inverse_normal_cdf(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(inverse_normal_cdf(0.25), -inverse_normal_cdf(0.75), 1e-9);
+}
+
+TEST(Stats, ArgmaxArgmin) {
+  const std::vector<double> xs = {3.0, 9.0, 1.0, 9.0};
+  EXPECT_EQ(argmax(xs), 1u);  // first max wins
+  EXPECT_EQ(argmin(xs), 2u);
+}
+
+TEST(Stats, MinMaxScale) {
+  const std::vector<double> xs = {0.0, 5.0, 10.0};
+  const auto scaled = minmax_scale(xs);
+  EXPECT_DOUBLE_EQ(scaled[0], 0.0);
+  EXPECT_DOUBLE_EQ(scaled[1], 0.5);
+  EXPECT_DOUBLE_EQ(scaled[2], 1.0);
+  const std::vector<double> constant = {4.0, 4.0};
+  for (const double v : minmax_scale(constant)) EXPECT_DOUBLE_EQ(v, 0.5);
+}
+
+TEST(Stats, F1AndAccuracy) {
+  const std::vector<int> predicted = {1, 1, 0, 0};
+  const std::vector<int> actual = {1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(accuracy(predicted, actual), 0.5);
+  // tp=1 fp=1 fn=1 -> f1 = 1/(1+0.5*2) = 0.5
+  EXPECT_DOUBLE_EQ(f1_score(predicted, actual), 0.5);
+}
+
+TEST(Table, AlignedRendering) {
+  Table table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer", "2"});
+  std::ostringstream oss;
+  table.print(oss);
+  const std::string text = oss.str();
+  EXPECT_NE(text.find("| name"), std::string::npos);
+  EXPECT_NE(text.find("| longer"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(Table, CsvRendering) {
+  Table table({"a", "b"});
+  table.add_row({"1", "2"});
+  std::ostringstream oss;
+  table.print_csv(oss);
+  EXPECT_EQ(oss.str(), "a,b\n1,2\n");
+}
+
+TEST(Formatting, Helpers) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_speedup(2.5), "2.50x");
+  EXPECT_EQ(fmt_percent(0.979), "97.9%");
+}
+
+TEST(Check, ThrowsOnViolation) {
+  EXPECT_THROW(MGA_CHECK(false), std::invalid_argument);
+  EXPECT_NO_THROW(MGA_CHECK(true));
+  try {
+    MGA_CHECK_MSG(false, "context " << 42);
+    FAIL() << "should have thrown";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("context 42"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace mga::util
