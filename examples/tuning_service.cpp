@@ -1,0 +1,101 @@
+// Tuning-as-a-service: run an async TuningService over a mixed workload.
+//
+// Walkthrough:
+//  1. register per-machine tuners in a ModelRegistry (one trained in-process
+//     per machine; production would `MgaTuner::save` once and use
+//     `add_artifact` for load-on-demand),
+//  2. submit asynchronous TuneRequests — different kernels, input sizes and
+//     target machines, some with pre-collected counters so the service skips
+//     its profiling run,
+//  3. harvest the futures and look at per-request metadata (cache hit, the
+//     micro-batch the request rode in, end-to-end latency),
+//  4. print the service telemetry table.
+#include <iostream>
+
+#include "serve/service.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mga;
+
+  // --- 1. per-machine tuners -------------------------------------------------
+  core::MgaTunerOptions options;
+  auto kernels = corpus::openmp_suite();
+  kernels.resize(10);
+  options.training_kernels = std::move(kernels);
+  std::vector<double> inputs = dataset::input_sizes_30();
+  std::vector<double> subset;
+  for (std::size_t i = 0; i < inputs.size(); i += 6) subset.push_back(inputs[i]);
+  options.input_sizes = std::move(subset);
+  options.training.epochs = 12;
+
+  auto registry = std::make_shared<serve::ModelRegistry>();
+  std::cout << "training the comet-lake tuner...\n";
+  registry->add("comet-lake", core::MgaTuner::train(options));
+  std::cout << "training the skylake-sp tuner...\n";
+  core::MgaTunerOptions skylake_options = options;
+  skylake_options.machine = hwsim::skylake_sp();
+  skylake_options.space.clear();  // re-derive the thread space for 20 threads
+  registry->add("skylake-sp", core::MgaTuner::train(skylake_options));
+
+  serve::ServeOptions serve_options;
+  serve_options.workers = 4;
+  serve_options.default_machine = "comet-lake";
+  serve::TuningService service(registry, serve_options);
+
+  // --- 2. async submission ---------------------------------------------------
+  struct Submitted {
+    std::string label;
+    std::future<serve::TuneResult> future;
+  };
+  std::vector<Submitted> submitted;
+  const std::vector<const char*> traffic = {"polybench/gemm", "rodinia/bfs", "stream/triad",
+                                            "polybench/gemm", "rodinia/kmeans",
+                                            "polybench/gemm", "rodinia/bfs"};
+  const std::vector<double> sizes = {64.0 * 1024, 2e6, 1e8};
+  for (int round = 0; round < 8; ++round) {
+    for (std::size_t k = 0; k < traffic.size(); ++k) {
+      serve::TuneRequest request;
+      request.kernel = corpus::find_kernel(traffic[k]);
+      request.input_bytes = sizes[(static_cast<std::size_t>(round) + k) % sizes.size()];
+      if (k % 2 == 1) request.machine = "skylake-sp";
+      std::string label = std::string(traffic[k]) + " @ " +
+                          util::fmt_double(request.input_bytes / 1024.0, 0) + " KB on " +
+                          (request.machine.empty() ? "comet-lake" : request.machine);
+      submitted.push_back({std::move(label), service.submit(std::move(request))});
+    }
+  }
+
+  // A client that already profiled its loop hands the counters over and
+  // costs the service no simulator run at all.
+  {
+    const corpus::KernelSpec gemm = corpus::find_kernel("polybench/gemm");
+    serve::TuneRequest request;
+    request.kernel = gemm;
+    request.input_bytes = 2e6;
+    request.counters = registry->get("comet-lake")
+                           ->profile_counters(corpus::generate(gemm).workload, 2e6);
+    submitted.push_back(
+        {"polybench/gemm @ 1953 KB on comet-lake (caller-profiled)",
+         service.submit(std::move(request))});
+  }
+
+  // --- 3. harvest ------------------------------------------------------------
+  util::Table results({"request", "predicted config", "cache", "batch", "latency"});
+  for (std::size_t s = 0; s < submitted.size(); s += 9) {
+    serve::TuneResult result = submitted[s].future.get();
+    results.add_row({submitted[s].label,
+                     std::to_string(result.config.threads) + " threads, " +
+                         hwsim::schedule_name(result.config.schedule),
+                     result.cache_hit ? "hit" : "miss", std::to_string(result.batch_size),
+                     util::fmt_double(result.latency_us / 1000.0) + " ms"});
+  }
+  for (std::size_t s = 0; s < submitted.size(); ++s)
+    if (s % 9 != 0) (void)submitted[s].future.get();
+  results.print(std::cout);
+
+  // --- 4. telemetry ----------------------------------------------------------
+  std::cout << "\nservice telemetry:\n";
+  serve::stats_table(service.stats_snapshot()).print(std::cout);
+  return 0;
+}

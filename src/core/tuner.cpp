@@ -1,11 +1,15 @@
 #include "core/tuner.hpp"
 
+#include <bit>
 #include <cmath>
+#include <unordered_map>
 
+#include "ir/printer.hpp"
 #include "ir2vec/encoder.hpp"
 #include "nn/serialize.hpp"
 #include "programl/builder.hpp"
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace mga::core {
 
@@ -122,33 +126,123 @@ MgaTuner MgaTuner::train(MgaTunerOptions options) {
   return MgaTuner(std::move(state));
 }
 
-hwsim::OmpConfig MgaTuner::tune(const corpus::KernelSpec& kernel, double input_bytes) const {
+KernelFeatures MgaTuner::extract_features(const corpus::KernelSpec& kernel) const {
   // Static representations for the (possibly unseen) kernel.
   const corpus::GeneratedKernel generated = corpus::generate(kernel);
-  const programl::ProgramGraph graph = programl::build_graph(*generated.module);
+  KernelFeatures features;
+  features.workload = generated.workload;
+  features.ir_hash = util::fnv1a(ir::to_string(*generated.module));
+  features.graph = programl::build_graph(*generated.module);
+  features.graph_fingerprint = features.graph.fingerprint();
+
   const ir2vec::Encoder encoder;
   std::vector<float> vector = encoder.encode_module(*generated.module);
-  {
-    // Rank-scale with the training distribution: reuse the fitted transform
-    // by appending the kernel to the stored corpus statistics.
-    std::vector<int> train_ids;
-    for (std::size_t k = 0; k < state_->data.kernels.size(); ++k)
-      train_ids.push_back(static_cast<int>(k));
-    auto vectors = state_->data.vectors;
-    vectors.push_back(vector);
-    vector = rank_scaled_vectors(vectors, train_ids).back();
-  }
+  // Rank-scale with the training distribution: reuse the fitted transform
+  // by appending the kernel to the stored corpus statistics.
+  std::vector<int> train_ids;
+  for (std::size_t k = 0; k < state_->data.kernels.size(); ++k)
+    train_ids.push_back(static_cast<int>(k));
+  auto vectors = state_->data.vectors;
+  vectors.push_back(std::move(vector));
+  features.scaled_vector = rank_scaled_vectors(vectors, train_ids).back();
+  return features;
+}
 
+hwsim::PapiCounters MgaTuner::profile_counters(const hwsim::KernelWorkload& workload,
+                                               double input_bytes) const {
   // One profiling run at the default configuration (the paper's two-run
   // budget; one run suffices when the system reports all five counters).
-  const hwsim::RunResult profile =
-      hwsim::cpu_execute(generated.workload, state_->options.machine, input_bytes,
-                         hwsim::default_config(state_->options.machine));
+  return hwsim::cpu_execute(workload, state_->options.machine, input_bytes,
+                            hwsim::default_config(state_->options.machine))
+      .counters;
+}
 
+hwsim::OmpConfig MgaTuner::tune_cached(const KernelFeatures& features,
+                                       const hwsim::PapiCounters& counters) const {
+  return tune_group(features, {counters}).front();
+}
+
+std::vector<hwsim::OmpConfig> MgaTuner::tune_group(
+    const KernelFeatures& features, const std::vector<hwsim::PapiCounters>& counters) const {
+  MGA_CHECK_MSG(!counters.empty(), "tune_group: empty counter batch");
+  std::vector<std::vector<float>> extra;
+  extra.reserve(counters.size());
+  for (const auto& c : counters) extra.push_back(state_->counter_features(c));
   const nn::Tensor logits = state_->model->forward_group(
-      graph, vector, {state_->counter_features(profile.counters)}, 1);
-  const int predicted = nn::argmax_rows(logits).front();
-  return state_->options.space[static_cast<std::size_t>(predicted)];
+      features.graph, features.scaled_vector, extra, extra.size());
+  std::vector<hwsim::OmpConfig> configs;
+  configs.reserve(counters.size());
+  for (const int predicted : nn::argmax_rows(logits))
+    configs.push_back(state_->options.space[static_cast<std::size_t>(predicted)]);
+  return configs;
+}
+
+hwsim::OmpConfig MgaTuner::tune(const corpus::KernelSpec& kernel, double input_bytes) const {
+  const KernelFeatures features = extract_features(kernel);
+  return tune_cached(features, profile_counters(features.workload, input_bytes));
+}
+
+hwsim::OmpConfig MgaTuner::tune(const corpus::KernelSpec& kernel,
+                                const hwsim::PapiCounters& counters) const {
+  return tune_cached(extract_features(kernel), counters);
+}
+
+namespace {
+
+/// Structural hash of a kernel spec (full-spec equality is confirmed with
+/// operator== on bucket collisions).
+[[nodiscard]] std::uint64_t spec_hash(const corpus::KernelSpec& spec) {
+  std::uint64_t h = util::fnv1a(spec.name);
+  h = util::hash_combine(h, util::fnv1a(spec.suite));
+  h = util::hash_combine(h, static_cast<std::uint64_t>(spec.family));
+  const corpus::FamilyParams& p = spec.params;
+  for (const std::uint64_t field :
+       {static_cast<std::uint64_t>(p.nest_depth), static_cast<std::uint64_t>(p.arith_chain),
+        static_cast<std::uint64_t>(p.arrays), static_cast<std::uint64_t>(p.has_branch),
+        static_cast<std::uint64_t>(p.has_reduction),
+        static_cast<std::uint64_t>(p.helper_calls), static_cast<std::uint64_t>(p.extern_calls),
+        std::bit_cast<std::uint64_t>(p.reuse), std::bit_cast<std::uint64_t>(p.imbalance)})
+    h = util::hash_combine(h, field);
+  return h;
+}
+
+}  // namespace
+
+std::vector<hwsim::OmpConfig> MgaTuner::tune_many(const std::vector<TuneJob>& jobs) const {
+  // Group job indices by full kernel spec (generation is deterministic, so
+  // equal specs mean equal features — name alone is not enough, two specs
+  // may share a name with different params), preserving first-appearance
+  // order. Hash buckets keep this O(jobs); equality confirms on collision.
+  std::vector<std::vector<std::size_t>> groups;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets;  // hash -> group ids
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    std::vector<std::size_t>& bucket = buckets[spec_hash(jobs[j].kernel)];
+    std::vector<std::size_t>* group = nullptr;
+    for (const std::size_t g : bucket)
+      if (jobs[groups[g].front()].kernel == jobs[j].kernel) {
+        group = &groups[g];
+        break;
+      }
+    if (group == nullptr) {
+      bucket.push_back(groups.size());
+      group = &groups.emplace_back();
+    }
+    group->push_back(j);
+  }
+
+  std::vector<hwsim::OmpConfig> results(jobs.size());
+  for (const std::vector<std::size_t>& members : groups) {
+    const KernelFeatures features = extract_features(jobs[members.front()].kernel);
+    std::vector<hwsim::PapiCounters> counters;
+    counters.reserve(members.size());
+    for (const std::size_t j : members)
+      counters.push_back(jobs[j].counters ? *jobs[j].counters
+                                          : profile_counters(features.workload,
+                                                             jobs[j].input_bytes));
+    const std::vector<hwsim::OmpConfig> configs = tune_group(features, counters);
+    for (std::size_t i = 0; i < members.size(); ++i) results[members[i]] = configs[i];
+  }
+  return results;
 }
 
 double MgaTuner::speedup_over_default(const corpus::KernelSpec& kernel,

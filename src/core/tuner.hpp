@@ -12,12 +12,37 @@
 // model, and return the predicted configuration.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "core/experiment.hpp"
 
 namespace mga::core {
+
+/// Cacheable handle onto the static (per-kernel) half of the inference
+/// pipeline: the PROGRAML graph, the rank-scaled IR2Vec vector, and the
+/// workload descriptor, plus stable hashes. Extracting one is the expensive
+/// part of `tune`; a handle stays valid for the lifetime of the tuner that
+/// produced it (the scaled vector is fitted against that tuner's training
+/// corpus) and can be reused across any number of input sizes — the memo
+/// the serve-layer FeatureCache stores.
+struct KernelFeatures {
+  std::uint64_t ir_hash = 0;           // FNV-1a of the printed kernel IR
+  std::uint64_t graph_fingerprint = 0; // structural hash of the PROGRAML graph
+  programl::ProgramGraph graph;
+  std::vector<float> scaled_vector;    // Gaussian-rank scaled IR2Vec vector
+  hwsim::KernelWorkload workload;
+};
+
+/// One request of the batched `tune_many` path. When `counters` is set the
+/// profiling run is skipped (the caller already collected them).
+struct TuneJob {
+  corpus::KernelSpec kernel;
+  double input_bytes = 0.0;
+  std::optional<hwsim::PapiCounters> counters;
+};
 
 struct MgaTunerOptions {
   hwsim::MachineConfig machine = hwsim::comet_lake();
@@ -40,6 +65,42 @@ class MgaTuner {
   /// the kernel once (simulated) at the default configuration for counters.
   [[nodiscard]] hwsim::OmpConfig tune(const corpus::KernelSpec& kernel,
                                       double input_bytes) const;
+
+  /// Same prediction from caller-supplied counters: no profiling run. The
+  /// input size enters the model only through the counters, so this is all a
+  /// caller that already profiled (or memoized a profile) needs to provide.
+  [[nodiscard]] hwsim::OmpConfig tune(const corpus::KernelSpec& kernel,
+                                      const hwsim::PapiCounters& counters) const;
+
+  /// Batched tuning: jobs are grouped by kernel so the static modalities are
+  /// extracted and forwarded once per kernel (`MgaModel::forward_group`).
+  /// Results are returned in job order and are bit-identical to calling
+  /// `tune` per job.
+  [[nodiscard]] std::vector<hwsim::OmpConfig> tune_many(const std::vector<TuneJob>& jobs) const;
+
+  // --- serve-path building blocks (used by mga::serve; composable) ---------
+
+  /// The expensive static half of `tune`: generate the kernel, build both
+  /// modality representations and rank-scale the vector against the training
+  /// corpus. Deterministic, and safe to call from concurrent threads.
+  [[nodiscard]] KernelFeatures extract_features(const corpus::KernelSpec& kernel) const;
+
+  /// One simulated profiling run at the default configuration (the paper's
+  /// counter-collection step).
+  [[nodiscard]] hwsim::PapiCounters profile_counters(const hwsim::KernelWorkload& workload,
+                                                     double input_bytes) const;
+
+  /// Inference from pre-extracted features + counters (no generation, no
+  /// profiling). `tune(kernel, input)` ≡ `tune_cached(extract_features(kernel),
+  /// profile_counters(workload, input))`, bit for bit.
+  [[nodiscard]] hwsim::OmpConfig tune_cached(const KernelFeatures& features,
+                                             const hwsim::PapiCounters& counters) const;
+
+  /// Grouped inference: one `forward_group` over all counter rows sharing
+  /// `features`. Row i equals `tune_cached(features, counters[i])` bitwise.
+  [[nodiscard]] std::vector<hwsim::OmpConfig> tune_group(
+      const KernelFeatures& features,
+      const std::vector<hwsim::PapiCounters>& counters) const;
 
   /// Achieved speedup of the tuned configuration over the default (one extra
   /// simulated run; useful for reporting).

@@ -47,6 +47,8 @@ struct FamilyParams {
   int extern_calls = 0;    // calls to external declarations (sqrt/exp)
   double reuse = 0.5;      // 0..1 cache-reuse knob
   double imbalance = 0.0;  // 0..1 iteration-cost variance knob
+
+  [[nodiscard]] bool operator==(const FamilyParams&) const = default;
 };
 
 struct KernelSpec {
@@ -54,6 +56,10 @@ struct KernelSpec {
   std::string suite;  // "polybench"
   Family family = Family::kDenseLinalg;
   FamilyParams params;
+
+  /// Full structural equality — equal specs generate identical IR and
+  /// workloads, which is what batching layers group on.
+  [[nodiscard]] bool operator==(const KernelSpec&) const = default;
 };
 
 struct GeneratedKernel {

@@ -1,6 +1,7 @@
 #include "ir2vec/encoder.hpp"
 
 #include <cmath>
+#include <mutex>
 #include <unordered_map>
 
 #include "util/check.hpp"
@@ -9,8 +10,11 @@
 namespace mga::ir2vec {
 
 const std::vector<float>& SeedVocabulary::embedding(const std::string& entity) const {
-  for (const auto& [key, vec] : cache_)
-    if (key == entity) return vec;
+  {
+    const std::shared_lock<std::shared_mutex> lock(mutex_);
+    const auto it = cache_.find(entity);
+    if (it != cache_.end()) return it->second;
+  }
 
   // Deterministic per-entity vector: RNG seeded by the entity's stable hash,
   // scaled to keep the expected vector norm ~1 regardless of kDim.
@@ -18,8 +22,16 @@ const std::vector<float>& SeedVocabulary::embedding(const std::string& entity) c
   std::vector<float> vec(kDim);
   const double scale = 1.0 / std::sqrt(static_cast<double>(kDim));
   for (auto& x : vec) x = static_cast<float>(rng.normal(0.0, scale));
-  cache_.emplace_back(entity, std::move(vec));
-  return cache_.back().second;
+
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  // A racing thread may have inserted meanwhile; emplace keeps the first
+  // entry (both are identical — the vector is a pure function of the key).
+  return cache_.emplace(entity, std::move(vec)).first->second;
+}
+
+const SeedVocabulary& Encoder::vocabulary() {
+  static const SeedVocabulary shared;
+  return shared;
 }
 
 namespace {
@@ -68,11 +80,11 @@ std::vector<float> Encoder::encode_function(const ir::Function& function) const 
   for (std::size_t i = 0; i < instrs.size(); ++i) {
     const ir::Instruction& instr = *instrs[i];
     axpy(base[i], kOpcodeWeight,
-         vocabulary_.embedding("opcode:" + std::string(ir::opcode_name(instr.opcode()))));
+         vocabulary().embedding("opcode:" + std::string(ir::opcode_name(instr.opcode()))));
     axpy(base[i], kTypeWeight,
-         vocabulary_.embedding("type:" + std::string(ir::type_name(instr.type()))));
+         vocabulary().embedding("type:" + std::string(ir::type_name(instr.type()))));
     for (const ir::Value* operand : instr.operands())
-      axpy(base[i], kArgWeight, vocabulary_.embedding(operand_entity(*operand)));
+      axpy(base[i], kArgWeight, vocabulary().embedding(operand_entity(*operand)));
   }
 
   // Flow-aware propagation along use-def chains: each pass folds the current

@@ -11,6 +11,8 @@
 //     L2-normalized.
 #pragma once
 
+#include <shared_mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "ir/function.hpp"
@@ -27,6 +29,11 @@ inline constexpr float kArgWeight = 0.2f;
 
 /// Deterministic seed vocabulary: entity string -> dense vector. The same
 /// entity always maps to the same vector across processes and runs.
+///
+/// Thread-safe: the serve-layer worker pool encodes kernels concurrently, so
+/// the memo is guarded by a shared_mutex — the hot path (entity already
+/// memoized) takes the lock shared. unordered_map never invalidates
+/// references to mapped values, so returned references stay stable.
 class SeedVocabulary {
  public:
   SeedVocabulary() = default;
@@ -36,7 +43,8 @@ class SeedVocabulary {
   [[nodiscard]] const std::vector<float>& embedding(const std::string& entity) const;
 
  private:
-  mutable std::vector<std::pair<std::string, std::vector<float>>> cache_;
+  mutable std::shared_mutex mutex_;
+  mutable std::unordered_map<std::string, std::vector<float>> cache_;
 };
 
 struct EncoderOptions {
@@ -56,8 +64,12 @@ class Encoder {
   /// Module vector: sum of defined-function vectors, L2-normalized.
   [[nodiscard]] std::vector<float> encode_module(const ir::Module& module) const;
 
+  /// The process-wide seed vocabulary all encoders share: entity vectors are
+  /// pure functions of the entity string, so sharing keeps the memo warm
+  /// across the short-lived Encoder instances on the serve path.
+  [[nodiscard]] static const SeedVocabulary& vocabulary();
+
  private:
-  SeedVocabulary vocabulary_;
   EncoderOptions options_;
 };
 

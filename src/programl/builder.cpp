@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace mga::programl {
 
@@ -172,6 +173,24 @@ ProgramGraph::RelationEdges ProgramGraph::relation(EdgeType type) const {
     result.targets.push_back(edge.target);
   }
   return result;
+}
+
+std::uint64_t ProgramGraph::fingerprint() const noexcept {
+  std::uint64_t h = util::fnv1a("programl-graph");
+  for (const auto& node : nodes) {
+    h = util::hash_combine(h, static_cast<std::uint64_t>(node.type));
+    h = util::hash_combine(h, static_cast<std::uint64_t>(node.opcode));
+    h = util::hash_combine(h, static_cast<std::uint64_t>(node.value_type));
+    h = util::hash_combine(h, util::fnv1a(node.text));
+    h = util::hash_combine(h, node.is_external ? 1u : 0u);
+  }
+  for (const auto& edge : edges) {
+    h = util::hash_combine(h, static_cast<std::uint64_t>(edge.type));
+    h = util::hash_combine(h, static_cast<std::uint64_t>(edge.source));
+    h = util::hash_combine(h, static_cast<std::uint64_t>(edge.target));
+    h = util::hash_combine(h, static_cast<std::uint64_t>(edge.position));
+  }
+  return h;
 }
 
 std::size_t node_vocabulary_size() noexcept {

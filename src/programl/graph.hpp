@@ -67,6 +67,12 @@ struct ProgramGraph {
     std::vector<int> targets;
   };
   [[nodiscard]] RelationEdges relation(EdgeType type) const;
+
+  /// Stable structural hash over all node and edge fields. Construction is
+  /// deterministic, so equal kernels yield equal fingerprints — a cheap
+  /// content check for determinism tests and cache diagnostics (the serve
+  /// feature cache itself keys on the kernel's printed-IR hash).
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept;
 };
 
 /// Initial node-feature vocabulary: maps a node to a stable embedding index.

@@ -1,0 +1,95 @@
+#include "serve/feature_cache.hpp"
+
+#include "ir/printer.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace mga::serve {
+
+std::uint64_t kernel_ir_hash(const corpus::KernelSpec& kernel) {
+  const corpus::GeneratedKernel generated = corpus::generate(kernel);
+  return util::fnv1a(ir::to_string(*generated.module));
+}
+
+FeatureCache::FeatureCache(FeatureCacheOptions options)
+    : options_(options), shards_(options.shards) {
+  MGA_CHECK_MSG(options.shards > 0, "FeatureCache: need at least one shard");
+  MGA_CHECK_MSG(options.capacity_per_shard > 0, "FeatureCache: zero shard capacity");
+}
+
+std::shared_ptr<const FeatureCache::Entry> FeatureCache::get(const corpus::KernelSpec& kernel,
+                                                             const core::MgaTuner& tuner,
+                                                             std::uint64_t tuner_tag,
+                                                             bool* was_hit) {
+  const std::uint64_t key = util::hash_combine(kernel_ir_hash(kernel), tuner_tag);
+  Shard& shard = shards_[key % shards_.size()];
+
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      shard.recency.splice(shard.recency.begin(), shard.recency, it->second.second);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (was_hit != nullptr) *was_hit = true;
+      return it->second.first;
+    }
+  }
+
+  // Miss: compute outside the shard lock (a racing thread may compute the
+  // same entry; extraction is deterministic, so whichever insert wins is
+  // equivalent).
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (was_hit != nullptr) *was_hit = false;
+  auto entry = std::make_shared<Entry>();
+  entry->features = tuner.extract_features(kernel);
+
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
+    shard.recency.splice(shard.recency.begin(), shard.recency, it->second.second);
+    return it->second.first;
+  }
+  shard.recency.push_front(key);
+  shard.entries.emplace(key, std::make_pair(entry, shard.recency.begin()));
+  if (shard.entries.size() > options_.capacity_per_shard) {
+    const std::uint64_t victim = shard.recency.back();
+    shard.recency.pop_back();
+    shard.entries.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return entry;
+}
+
+hwsim::PapiCounters FeatureCache::counters_for(const Entry& entry, const core::MgaTuner& tuner,
+                                               double input_bytes) {
+  {
+    const std::lock_guard<std::mutex> lock(entry.profile_mutex);
+    for (const auto& [bytes, counters] : entry.profiles)
+      if (bytes == input_bytes) {
+        profile_memo_hits_.fetch_add(1, std::memory_order_relaxed);
+        return counters;
+      }
+  }
+  const hwsim::PapiCounters counters = tuner.profile_counters(entry.features.workload, input_bytes);
+  profiles_run_.fetch_add(1, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(entry.profile_mutex);
+  if (entry.profiles.size() < options_.profile_memo_capacity)
+    entry.profiles.emplace_back(input_bytes, counters);
+  return counters;
+}
+
+FeatureCacheStats FeatureCache::stats() const {
+  FeatureCacheStats stats;
+  stats.hits = hits_.load();
+  stats.misses = misses_.load();
+  stats.evictions = evictions_.load();
+  stats.profile_memo_hits = profile_memo_hits_.load();
+  stats.profiles_run = profiles_run_.load();
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    stats.entries += shard.entries.size();
+  }
+  return stats;
+}
+
+}  // namespace mga::serve

@@ -1,0 +1,91 @@
+// Sharded LRU cache over the static half of the tuning pipeline.
+//
+// Key: FNV-1a hash of the kernel's printed IR, mixed with a per-tuner tag
+// (the rank-scaled vector inside KernelFeatures is fitted against one tuner's
+// training corpus, so per-machine tuners must not share entries). Content-
+// addressing means every lookup regenerates and prints the (cheap) mini-IR
+// to compute the key; what a hit skips is the expensive remainder —
+// PROGRAML construction, IR2Vec encoding and corpus rank scaling, the
+// dominant cost of `MgaTuner::tune`. Each entry additionally memoizes the
+// default-config profiling counters per input size, so fully repeated
+// (kernel, input) traffic needs no simulator run either. All determinism is
+// preserved: every memoized value is a pure function of its key.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/tuner.hpp"
+#include "serve/stats.hpp"
+
+namespace mga::serve {
+
+/// Hash of the kernel's generated IR text — the content-addressed identity
+/// the cache keys on (generation is deterministic, so equal specs collide by
+/// construction and differing bodies never do).
+[[nodiscard]] std::uint64_t kernel_ir_hash(const corpus::KernelSpec& kernel);
+
+struct FeatureCacheOptions {
+  std::size_t shards = 8;
+  std::size_t capacity_per_shard = 32;
+  /// Max memoized profiling inputs per entry; further inputs are profiled
+  /// without being stored.
+  std::size_t profile_memo_capacity = 128;
+};
+
+class FeatureCache {
+ public:
+  struct Entry {
+    core::KernelFeatures features;
+    mutable std::mutex profile_mutex;
+    mutable std::vector<std::pair<double, hwsim::PapiCounters>> profiles;
+  };
+
+  explicit FeatureCache(FeatureCacheOptions options = {});
+
+  FeatureCache(const FeatureCache&) = delete;
+  FeatureCache& operator=(const FeatureCache&) = delete;
+
+  /// Features for `kernel` under `tuner`, computed via
+  /// `MgaTuner::extract_features` on a miss. `tuner_tag` disambiguates
+  /// tuners sharing the cache (use the registry name's hash). `was_hit`,
+  /// when non-null, reports whether the lookup hit.
+  [[nodiscard]] std::shared_ptr<const Entry> get(const corpus::KernelSpec& kernel,
+                                                const core::MgaTuner& tuner,
+                                                std::uint64_t tuner_tag,
+                                                bool* was_hit = nullptr);
+
+  /// Default-config profiling counters for (entry, input size): the entry's
+  /// memo when present, else one simulator run (memoized up to the per-entry
+  /// capacity). Deterministic — memoized and fresh values are identical.
+  [[nodiscard]] hwsim::PapiCounters counters_for(const Entry& entry,
+                                                 const core::MgaTuner& tuner,
+                                                 double input_bytes);
+
+  [[nodiscard]] FeatureCacheStats stats() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<std::uint64_t> recency;  // front = most recently used
+    std::unordered_map<std::uint64_t,
+                       std::pair<std::shared_ptr<Entry>, std::list<std::uint64_t>::iterator>>
+        entries;
+  };
+
+  FeatureCacheOptions options_;
+  std::vector<Shard> shards_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  mutable std::atomic<std::uint64_t> evictions_{0};
+  mutable std::atomic<std::uint64_t> profile_memo_hits_{0};
+  mutable std::atomic<std::uint64_t> profiles_run_{0};
+};
+
+}  // namespace mga::serve

@@ -1,0 +1,70 @@
+#include "serve/model_registry.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <utility>
+
+namespace mga::serve {
+
+namespace {
+
+/// Process-wide registration counter: tags stay unique even across
+/// registries, so a cache shared by two of them cannot alias entries.
+std::uint64_t next_tag() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void ModelRegistry::add(const std::string& name, core::MgaTuner tuner) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Slot slot;
+  slot.tuner = std::make_shared<const core::MgaTuner>(std::move(tuner));
+  slot.tag = next_tag();
+  slots_.insert_or_assign(name, std::move(slot));
+}
+
+void ModelRegistry::add_artifact(const std::string& name, const std::string& path,
+                                 core::MgaTunerOptions options) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Slot slot;
+  slot.artifact_path = path;
+  slot.options = std::move(options);
+  slot.tag = next_tag();
+  slots_.insert_or_assign(name, std::move(slot));
+}
+
+ModelRegistry::Resolved ModelRegistry::resolve(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = slots_.find(name);
+  if (it == slots_.end())
+    throw std::out_of_range("ModelRegistry: unknown tuner '" + name + "'");
+  Slot& slot = it->second;
+  if (slot.tuner == nullptr) {
+    // Load-on-demand under the registry lock: concurrent getters for any
+    // name wait rather than loading the same artifact twice.
+    slot.tuner = std::make_shared<const core::MgaTuner>(
+        core::MgaTuner::load(slot.artifact_path, *slot.options));
+  }
+  return {slot.tuner, slot.tag};
+}
+
+std::shared_ptr<const core::MgaTuner> ModelRegistry::get(const std::string& name) const {
+  return resolve(name).tuner;
+}
+
+bool ModelRegistry::contains(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return slots_.find(name) != slots_.end();
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(slots_.size());
+  for (const auto& [name, slot] : slots_) names.push_back(name);
+  return names;
+}
+
+}  // namespace mga::serve

@@ -1,0 +1,65 @@
+// Registry of per-machine trained tuners.
+//
+// The service asks it by name ("comet-lake", "skylake-sp", ...); entries are
+// either tuners handed over ready-trained or `MgaTuner::save` artifacts that
+// are loaded on first use (load rebuilds the dataset statistics from the
+// stored options, so it is slow once and free afterwards). All access is
+// serialized on one mutex: loads are rare and must happen exactly once.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/tuner.hpp"
+
+namespace mga::serve {
+
+class ModelRegistry {
+ public:
+  /// Register a ready-trained tuner under `name` (replaces any previous
+  /// entry with that name).
+  void add(const std::string& name, core::MgaTuner tuner);
+
+  /// Register a saved artifact; `MgaTuner::load(path, options)` runs on the
+  /// first `get(name)`.
+  void add_artifact(const std::string& name, const std::string& path,
+                    core::MgaTunerOptions options = {});
+
+  /// A resolved registry entry: the tuner plus a tag unique to this
+  /// registration. Re-registering a name (hot swap) issues a fresh tag, so
+  /// caches keyed on it cannot serve features derived from the old tuner.
+  struct Resolved {
+    std::shared_ptr<const core::MgaTuner> tuner;
+    std::uint64_t tag = 0;
+  };
+
+  /// The tuner registered under `name`, loading it on demand. Throws
+  /// std::out_of_range for unknown names.
+  [[nodiscard]] std::shared_ptr<const core::MgaTuner> get(const std::string& name) const;
+
+  /// Like `get`, but also returns the registration tag.
+  [[nodiscard]] Resolved resolve(const std::string& name) const;
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// Registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  struct Slot {
+    std::shared_ptr<const core::MgaTuner> tuner;  // null until loaded
+    std::string artifact_path;
+    std::optional<core::MgaTunerOptions> options;
+    std::uint64_t tag = 0;  // unique per registration
+  };
+
+  mutable std::mutex mutex_;
+  mutable std::map<std::string, Slot> slots_;
+};
+
+}  // namespace mga::serve

@@ -1,0 +1,135 @@
+// Bounded multi-producer / multi-consumer queue — the request spine of the
+// tuning service.
+//
+// Blocking `push` gives the service natural backpressure (submitters stall
+// instead of growing an unbounded backlog); `drain_matching` is the hook the
+// micro-batching scheduler uses to pull co-queued requests for the same
+// kernel out of FIFO order while leaving everything else in place.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace mga::serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    MGA_CHECK_MSG(capacity > 0, "BoundedQueue: capacity must be positive");
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Block until there is room (or the queue closes). Returns false — and
+  /// drops the item — when the queue is closed.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; false when full or closed.
+  bool try_push(T item) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Block until an item is available (or the queue closes and drains).
+  /// Returns nullopt only when closed and empty.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop; nullopt when nothing is queued.
+  std::optional<T> try_pop() {
+    std::optional<T> item;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (items_.empty()) return std::nullopt;
+      item = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Extract up to `max` queued items satisfying `pred` (from anywhere in the
+  /// queue, preserving their relative order and the order of what remains),
+  /// appending them to `out`. Returns the number extracted. Never blocks.
+  template <typename Pred>
+  std::size_t drain_matching(Pred&& pred, std::size_t max, std::vector<T>& out) {
+    std::size_t extracted = 0;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      for (auto it = items_.begin(); it != items_.end() && extracted < max;) {
+        if (pred(*it)) {
+          out.push_back(std::move(*it));
+          it = items_.erase(it);
+          ++extracted;
+        } else {
+          ++it;
+        }
+      }
+    }
+    if (extracted > 0) not_full_.notify_all();
+    return extracted;
+  }
+
+  /// Close the queue: pending pops drain the backlog then return nullopt;
+  /// subsequent pushes fail.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  [[nodiscard]] bool closed() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace mga::serve

@@ -1,0 +1,162 @@
+#include "serve/service.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace mga::serve {
+
+namespace {
+
+[[nodiscard]] double micros_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+TuningService::TuningService(std::shared_ptr<ModelRegistry> registry, ServeOptions options)
+    : registry_(std::move(registry)),
+      options_(options),
+      cache_(options.cache),
+      queue_(options.queue_capacity) {
+  MGA_CHECK_MSG(registry_ != nullptr, "TuningService: null registry");
+  MGA_CHECK_MSG(options_.workers > 0, "TuningService: need at least one worker");
+  MGA_CHECK_MSG(options_.max_batch > 0, "TuningService: max_batch must be positive");
+  workers_.reserve(options_.workers);
+  for (std::size_t w = 0; w < options_.workers; ++w)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+TuningService::~TuningService() { shutdown(); }
+
+std::string TuningService::resolve_machine(const TuneRequest& request) const {
+  if (!request.machine.empty()) return request.machine;
+  if (!options_.default_machine.empty()) return options_.default_machine;
+  const std::vector<std::string> names = registry_->names();
+  if (names.size() == 1) return names.front();
+  throw std::invalid_argument(
+      "TuningService: request names no machine and no default is configured");
+}
+
+std::future<TuneResult> TuningService::submit(TuneRequest request) {
+  Pending pending;
+  pending.request = std::move(request);
+  std::future<TuneResult> future = pending.promise.get_future();
+  stats_.record_submit();
+
+  try {
+    pending.request.machine = resolve_machine(pending.request);
+  } catch (...) {
+    // Contract: service errors surface through the future, not the call.
+    pending.promise.set_exception(std::current_exception());
+    stats_.record_failed();
+    return future;
+  }
+  pending.group_key = util::hash_combine(util::fnv1a(pending.request.machine),
+                                         util::fnv1a(pending.request.kernel.name));
+  pending.enqueued = std::chrono::steady_clock::now();
+
+  if (!queue_.push(std::move(pending))) {
+    // Queue already closed: the promise was moved into the dropped item, so
+    // report the rejection through a fresh promise.
+    std::promise<TuneResult> rejected;
+    future = rejected.get_future();
+    rejected.set_exception(std::make_exception_ptr(
+        std::runtime_error("TuningService: submit after shutdown")));
+    stats_.record_failed();
+  }
+  return future;
+}
+
+std::vector<TuneResult> TuningService::tune_all(std::vector<TuneRequest> requests) {
+  std::vector<std::future<TuneResult>> futures;
+  futures.reserve(requests.size());
+  for (auto& request : requests) futures.push_back(submit(std::move(request)));
+  std::vector<TuneResult> results;
+  results.reserve(futures.size());
+  for (auto& future : futures) results.push_back(future.get());
+  return results;
+}
+
+void TuningService::worker_loop() {
+  while (auto first = queue_.pop()) {
+    std::vector<Pending> batch;
+    // Reserve up front: the drain predicate reads refs into batch.front(),
+    // which must not move while drain_matching appends.
+    batch.reserve(options_.max_batch);
+    batch.push_back(std::move(*first));
+    const std::uint64_t key = batch.front().group_key;
+    const corpus::KernelSpec& kernel = batch.front().request.kernel;
+    const std::string& machine = batch.front().request.machine;
+    if (options_.max_batch > 1) {
+      queue_.drain_matching(
+          [&](const Pending& p) {
+            // Full spec equality: a name may be shared by specs with
+            // different params, which must not ride one batch (the hash of
+            // machine+name is only the cheap first-pass reject).
+            return p.group_key == key && p.request.machine == machine &&
+                   p.request.kernel == kernel;
+          },
+          options_.max_batch - 1, batch);
+    }
+    process_batch(batch);
+  }
+}
+
+void TuningService::process_batch(std::vector<Pending>& batch) {
+  std::vector<hwsim::OmpConfig> configs;
+  bool cache_hit = false;
+  try {
+    // Key the cache on the registration tag, not the machine name: a
+    // hot-swapped tuner under the same name must not hit entries whose
+    // scaled vectors were fitted against the old tuner's corpus.
+    const ModelRegistry::Resolved resolved =
+        registry_->resolve(batch.front().request.machine);
+    const std::shared_ptr<const core::MgaTuner>& tuner = resolved.tuner;
+    const std::shared_ptr<const FeatureCache::Entry> entry =
+        cache_.get(batch.front().request.kernel, *tuner, resolved.tag, &cache_hit);
+
+    std::vector<hwsim::PapiCounters> counters;
+    counters.reserve(batch.size());
+    for (const Pending& pending : batch)
+      counters.push_back(pending.request.counters
+                             ? *pending.request.counters
+                             : cache_.counters_for(*entry, *tuner, pending.request.input_bytes));
+    configs = tuner->tune_group(entry->features, counters);
+  } catch (...) {
+    const std::exception_ptr error = std::current_exception();
+    for (Pending& pending : batch) pending.promise.set_exception(error);
+    stats_.record_failed(batch.size());
+    return;
+  }
+
+  stats_.record_batch(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    TuneResult result;
+    result.config = configs[i];
+    result.cache_hit = cache_hit;
+    result.batch_size = batch.size();
+    result.latency_us = micros_since(batch[i].enqueued);
+    stats_.record_completion(result.latency_us);
+    batch[i].promise.set_value(std::move(result));
+  }
+}
+
+void TuningService::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  queue_.close();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+ServiceStatsSnapshot TuningService::stats_snapshot() const {
+  return stats_.snapshot(cache_.stats());
+}
+
+}  // namespace mga::serve

@@ -1,0 +1,106 @@
+// TuningService — batched, multi-threaded tuning-as-a-service.
+//
+// Clients `submit` asynchronous TuneRequests (kernel spec + input size,
+// optionally pre-collected counters) and receive futures. A fixed worker
+// pool consumes a bounded MPMC queue; each worker micro-batches by pulling
+// every co-queued request for the same (machine, kernel) out of the backlog
+// so one `MgaTuner::tune_group` forward amortizes the static GNN/DAE
+// modalities across the batch. The sharded FeatureCache memoizes the static
+// features (and per-input profiling counters), so repeat traffic skips
+// feature extraction and simulation entirely.
+//
+// Determinism contract: for a given trained tuner, a served prediction is
+// bit-identical to calling `MgaTuner::tune` directly with the same (kernel,
+// input size) — batching, caching and threading change throughput, never
+// answers (asserted in tests/test_serve.cpp).
+#pragma once
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/feature_cache.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/queue.hpp"
+#include "serve/stats.hpp"
+
+namespace mga::serve {
+
+struct ServeOptions {
+  std::size_t workers = 4;
+  std::size_t queue_capacity = 1024;
+  /// Max requests fused into one grouped forward.
+  std::size_t max_batch = 32;
+  FeatureCacheOptions cache;
+  /// Registry entry used when a request names no machine. Empty = only
+  /// legal when the registry holds exactly one entry.
+  std::string default_machine;
+};
+
+struct TuneRequest {
+  corpus::KernelSpec kernel;
+  double input_bytes = 0.0;
+  /// Pre-collected profiling counters; when absent the service profiles once
+  /// (memoized per (kernel, input) in the feature cache).
+  std::optional<hwsim::PapiCounters> counters;
+  /// Registry entry to serve this request with; empty = the default.
+  std::string machine;
+};
+
+struct TuneResult {
+  hwsim::OmpConfig config;
+  bool cache_hit = false;        // static features came from the cache
+  std::size_t batch_size = 1;    // size of the grouped forward that served it
+  double latency_us = 0.0;       // submit -> completion
+};
+
+class TuningService {
+ public:
+  explicit TuningService(std::shared_ptr<ModelRegistry> registry, ServeOptions options = {});
+  ~TuningService();
+
+  TuningService(const TuningService&) = delete;
+  TuningService& operator=(const TuningService&) = delete;
+
+  /// Enqueue a request. Blocks while the queue is at capacity
+  /// (backpressure). The future reports service errors (unknown machine,
+  /// failed artifact load) as exceptions.
+  [[nodiscard]] std::future<TuneResult> submit(TuneRequest request);
+
+  /// Convenience: submit everything, wait, and return results in order.
+  [[nodiscard]] std::vector<TuneResult> tune_all(std::vector<TuneRequest> requests);
+
+  /// Close the queue, drain the backlog, join the workers. Idempotent;
+  /// the destructor calls it.
+  void shutdown();
+
+  [[nodiscard]] ServiceStatsSnapshot stats_snapshot() const;
+
+  [[nodiscard]] const ServeOptions& options() const noexcept { return options_; }
+
+ private:
+  struct Pending {
+    TuneRequest request;  // request.machine resolved at submit
+    std::promise<TuneResult> promise;
+    std::uint64_t group_key = 0;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void worker_loop();
+  void process_batch(std::vector<Pending>& batch);
+  [[nodiscard]] std::string resolve_machine(const TuneRequest& request) const;
+
+  std::shared_ptr<ModelRegistry> registry_;
+  ServeOptions options_;
+  FeatureCache cache_;
+  ServiceStats stats_;
+  BoundedQueue<Pending> queue_;
+  std::vector<std::thread> workers_;
+  std::mutex shutdown_mutex_;
+  bool shut_down_ = false;
+};
+
+}  // namespace mga::serve

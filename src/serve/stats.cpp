@@ -1,0 +1,90 @@
+#include "serve/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mga::serve {
+
+namespace {
+
+/// Nearest-rank percentile over a sorted sample.
+[[nodiscard]] double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+void ServiceStats::record_batch(std::size_t size) noexcept {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_requests_.fetch_add(size, std::memory_order_relaxed);
+  std::uint64_t seen = max_batch_.load(std::memory_order_relaxed);
+  while (size > seen && !max_batch_.compare_exchange_weak(seen, size)) {
+  }
+}
+
+void ServiceStats::record_completion(double latency_us) {
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(latency_mutex_);
+  latency_sum_ += latency_us;
+  latency_max_ = std::max(latency_max_, latency_us);
+  if (latency_window_.size() < kLatencyWindow) {
+    latency_window_.push_back(latency_us);
+  } else {
+    latency_window_[latency_next_] = latency_us;
+  }
+  latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+}
+
+ServiceStatsSnapshot ServiceStats::snapshot(const FeatureCacheStats& cache) const {
+  ServiceStatsSnapshot s;
+  s.submitted = submitted_.load();
+  s.completed = completed_.load();
+  s.failed = failed_.load();
+  s.batches = batches_.load();
+  s.max_batch = max_batch_.load();
+  const std::uint64_t batched = batched_requests_.load();
+  s.mean_batch =
+      s.batches == 0 ? 0.0 : static_cast<double>(batched) / static_cast<double>(s.batches);
+  s.cache = cache;
+
+  std::vector<double> window;
+  {
+    const std::lock_guard<std::mutex> lock(latency_mutex_);
+    window = latency_window_;
+    s.latency_max_us = latency_max_;
+    if (s.completed > 0) s.latency_mean_us = latency_sum_ / static_cast<double>(s.completed);
+  }
+  if (!window.empty()) {
+    std::sort(window.begin(), window.end());
+    s.latency_p50_us = percentile(window, 0.50);
+    s.latency_p95_us = percentile(window, 0.95);
+  }
+  return s;
+}
+
+util::Table stats_table(const ServiceStatsSnapshot& s) {
+  util::Table table({"metric", "value"});
+  table.add_row({"requests submitted", std::to_string(s.submitted)});
+  table.add_row({"requests completed", std::to_string(s.completed)});
+  table.add_row({"requests failed", std::to_string(s.failed)});
+  table.add_row({"batches", std::to_string(s.batches)});
+  table.add_row({"mean batch size", util::fmt_double(s.mean_batch)});
+  table.add_row({"max batch size", std::to_string(s.max_batch)});
+  table.add_row({"feature cache hit-rate", util::fmt_percent(s.cache.hit_rate())});
+  table.add_row({"feature cache entries", std::to_string(s.cache.entries)});
+  table.add_row({"feature cache evictions", std::to_string(s.cache.evictions)});
+  table.add_row({"profiling runs", std::to_string(s.cache.profiles_run)});
+  table.add_row({"profile memo hits", std::to_string(s.cache.profile_memo_hits)});
+  table.add_row({"latency mean", util::fmt_double(s.latency_mean_us) + " us"});
+  table.add_row({"latency p50", util::fmt_double(s.latency_p50_us) + " us"});
+  table.add_row({"latency p95", util::fmt_double(s.latency_p95_us) + " us"});
+  table.add_row({"latency max", util::fmt_double(s.latency_max_us) + " us"});
+  return table;
+}
+
+}  // namespace mga::serve

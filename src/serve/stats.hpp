@@ -1,0 +1,84 @@
+// Service telemetry: lock-light counters updated on the request hot path and
+// a snapshot/rendering pair for operators (bench and example binaries print
+// the same table).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace mga::serve {
+
+/// Counters of the sharded feature cache (see feature_cache.hpp). `hits` /
+/// `misses` count static-feature lookups; the profile pair counts the
+/// per-(kernel, input) counter memo that replaces repeat profiling runs.
+struct FeatureCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t profile_memo_hits = 0;
+  std::uint64_t profiles_run = 0;
+  std::size_t entries = 0;
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+/// One coherent view of the service counters (plus the cache block when the
+/// caller provides it — TuningService::stats_snapshot always does).
+struct ServiceStatsSnapshot {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t max_batch = 0;
+  double mean_batch = 0.0;
+  double latency_mean_us = 0.0;  // over all completions
+  double latency_p50_us = 0.0;   // percentiles over the recent window
+  double latency_p95_us = 0.0;
+  double latency_max_us = 0.0;   // over all completions
+  FeatureCacheStats cache;
+};
+
+class ServiceStats {
+ public:
+  void record_submit() noexcept { submitted_.fetch_add(1, std::memory_order_relaxed); }
+  void record_failed(std::uint64_t n = 1) noexcept {
+    failed_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  void record_batch(std::size_t size) noexcept;
+
+  /// Completion + end-to-end latency (submit -> promise fulfilled).
+  void record_completion(double latency_us);
+
+  [[nodiscard]] ServiceStatsSnapshot snapshot(const FeatureCacheStats& cache = {}) const;
+
+ private:
+  /// Latency samples kept for percentiles: a bounded ring of the most
+  /// recent completions, so a long-lived service neither grows without
+  /// bound nor pays more than an O(window log window) sort per snapshot.
+  static constexpr std::size_t kLatencyWindow = 16384;
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batched_requests_{0};
+  std::atomic<std::uint64_t> max_batch_{0};
+  mutable std::mutex latency_mutex_;
+  std::vector<double> latency_window_;
+  std::size_t latency_next_ = 0;
+  double latency_sum_ = 0.0;
+  double latency_max_ = 0.0;
+};
+
+/// Render a snapshot as the operator-facing metric/value table.
+[[nodiscard]] util::Table stats_table(const ServiceStatsSnapshot& snapshot);
+
+}  // namespace mga::serve

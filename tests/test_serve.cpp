@@ -1,0 +1,427 @@
+// mga::serve — bounded MPMC queue semantics, feature-cache hit/eviction and
+// profile memoization, batched facade paths, and the service determinism
+// contract: served predictions are bit-identical to direct `MgaTuner::tune`.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <thread>
+
+#include "serve/queue.hpp"
+#include "serve/service.hpp"
+
+namespace mga::serve {
+namespace {
+
+// --- bounded MPMC queue ------------------------------------------------------
+
+TEST(BoundedQueue, PopsInFifoOrder) {
+  BoundedQueue<int> queue(16);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(queue.push(i));
+  for (int i = 0; i < 10; ++i) {
+    const std::optional<int> item = queue.pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+  EXPECT_FALSE(queue.try_pop().has_value());
+}
+
+TEST(BoundedQueue, TryPushRespectsCapacity) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_FALSE(queue.try_push(3));
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(*queue.try_pop(), 1);
+  EXPECT_TRUE(queue.try_push(3));
+}
+
+TEST(BoundedQueue, PushBlocksUntilPopMakesRoom) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(queue.push(2));
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(pushed.load());  // still blocked on the full queue
+  EXPECT_EQ(*queue.pop(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(*queue.pop(), 2);
+}
+
+TEST(BoundedQueue, CloseDrainsBacklogThenReportsEmpty) {
+  BoundedQueue<int> queue(4);
+  ASSERT_TRUE(queue.push(1));
+  ASSERT_TRUE(queue.push(2));
+  queue.close();
+  EXPECT_FALSE(queue.push(3));
+  EXPECT_EQ(*queue.pop(), 1);
+  EXPECT_EQ(*queue.pop(), 2);
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(BoundedQueue, DrainMatchingExtractsInOrderAndPreservesRest) {
+  BoundedQueue<int> queue(16);
+  for (int i = 1; i <= 8; ++i) ASSERT_TRUE(queue.push(i));
+  std::vector<int> evens;
+  const std::size_t n =
+      queue.drain_matching([](int x) { return x % 2 == 0; }, 2, evens);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(evens, (std::vector<int>{2, 4}));
+  std::vector<int> rest;
+  while (auto item = queue.try_pop()) rest.push_back(*item);
+  EXPECT_EQ(rest, (std::vector<int>{1, 3, 5, 6, 7, 8}));
+}
+
+// --- shared tiny tuner -------------------------------------------------------
+
+/// Small options so training is fast; identical seeds make independently
+/// trained instances bit-identical (the property the registry tests use).
+core::MgaTunerOptions tiny_options() {
+  core::MgaTunerOptions options;
+  auto kernels = corpus::openmp_suite();
+  kernels.resize(8);
+  options.training_kernels = std::move(kernels);
+  std::vector<double> inputs = dataset::input_sizes_30();
+  std::vector<double> subset;
+  for (std::size_t i = 0; i < inputs.size(); i += 6) subset.push_back(inputs[i]);
+  options.input_sizes = std::move(subset);
+  options.training.epochs = 12;
+  return options;
+}
+
+const core::MgaTuner& shared_tuner() {
+  static const core::MgaTuner tuner = core::MgaTuner::train(tiny_options());
+  return tuner;
+}
+
+std::shared_ptr<ModelRegistry> make_registry() {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->add("comet-lake", core::MgaTuner::train(tiny_options()));
+  return registry;
+}
+
+const std::shared_ptr<ModelRegistry>& shared_registry() {
+  static const std::shared_ptr<ModelRegistry> registry = make_registry();
+  return registry;
+}
+
+// --- feature cache -----------------------------------------------------------
+
+TEST(FeatureCache, KernelIrHashIsStablePerKernel) {
+  const corpus::KernelSpec gemm = corpus::find_kernel("polybench/gemm");
+  const corpus::KernelSpec bfs = corpus::find_kernel("rodinia/bfs");
+  EXPECT_EQ(kernel_ir_hash(gemm), kernel_ir_hash(gemm));
+  EXPECT_NE(kernel_ir_hash(gemm), kernel_ir_hash(bfs));
+  const core::KernelFeatures features = shared_tuner().extract_features(gemm);
+  EXPECT_EQ(features.ir_hash, kernel_ir_hash(gemm));
+  EXPECT_EQ(features.graph_fingerprint, shared_tuner().extract_features(gemm).graph_fingerprint);
+}
+
+TEST(FeatureCache, CountsHitsMissesAndEvictsLru) {
+  FeatureCacheOptions options;
+  options.shards = 1;
+  options.capacity_per_shard = 2;
+  FeatureCache cache(options);
+  const core::MgaTuner& tuner = shared_tuner();
+
+  bool hit = true;
+  (void)cache.get(corpus::find_kernel("polybench/gemm"), tuner, 0, &hit);
+  EXPECT_FALSE(hit);
+  (void)cache.get(corpus::find_kernel("polybench/gemm"), tuner, 0, &hit);
+  EXPECT_TRUE(hit);
+  (void)cache.get(corpus::find_kernel("rodinia/bfs"), tuner, 0, &hit);
+  EXPECT_FALSE(hit);
+  (void)cache.get(corpus::find_kernel("stream/triad"), tuner, 0, &hit);  // evicts gemm
+  EXPECT_FALSE(hit);
+
+  FeatureCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+
+  (void)cache.get(corpus::find_kernel("polybench/gemm"), tuner, 0, &hit);
+  EXPECT_FALSE(hit) << "evicted entry must be recomputed";
+}
+
+TEST(FeatureCache, DistinctTunerTagsDoNotShareEntries) {
+  FeatureCache cache{FeatureCacheOptions{}};
+  const core::MgaTuner& tuner = shared_tuner();
+  bool hit = true;
+  (void)cache.get(corpus::find_kernel("polybench/gemm"), tuner, 1, &hit);
+  EXPECT_FALSE(hit);
+  (void)cache.get(corpus::find_kernel("polybench/gemm"), tuner, 2, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(FeatureCache, MemoizesProfilingCounters) {
+  FeatureCache cache{FeatureCacheOptions{}};
+  const core::MgaTuner& tuner = shared_tuner();
+  const corpus::KernelSpec gemm = corpus::find_kernel("polybench/gemm");
+  const auto entry = cache.get(gemm, tuner, 0);
+  const double input = 2e6;
+
+  const hwsim::PapiCounters first = cache.counters_for(*entry, tuner, input);
+  const hwsim::PapiCounters second = cache.counters_for(*entry, tuner, input);
+  const FeatureCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.profiles_run, 1u);
+  EXPECT_EQ(stats.profile_memo_hits, 1u);
+
+  const hwsim::PapiCounters direct = tuner.profile_counters(entry->features.workload, input);
+  EXPECT_EQ(first.selected(), direct.selected());
+  EXPECT_EQ(second.selected(), direct.selected());
+}
+
+// --- batched facade paths ----------------------------------------------------
+
+TEST(BatchedTuner, CounterOverloadMatchesProfiledTune) {
+  const core::MgaTuner& tuner = shared_tuner();
+  for (const char* name : {"polybench/gemm", "rodinia/bfs", "stream/triad"}) {
+    const corpus::KernelSpec kernel = corpus::find_kernel(name);
+    const double input = 4e6;
+    const hwsim::PapiCounters counters =
+        tuner.profile_counters(corpus::generate(kernel).workload, input);
+    EXPECT_EQ(tuner.tune(kernel, counters), tuner.tune(kernel, input)) << name;
+  }
+}
+
+TEST(BatchedTuner, TuneManyIsBitIdenticalToSequentialTune) {
+  const core::MgaTuner& tuner = shared_tuner();
+  std::vector<core::TuneJob> jobs;
+  for (const char* name : {"polybench/gemm", "rodinia/bfs", "polybench/gemm",
+                           "lulesh/CalcHourglassControlForElems", "polybench/gemm"}) {
+    for (const double input : {8192.0, 2e6, 1e8}) {
+      core::TuneJob job;
+      job.kernel = corpus::find_kernel(name);
+      job.input_bytes = input;
+      jobs.push_back(std::move(job));
+    }
+  }
+  const std::vector<hwsim::OmpConfig> batched = tuner.tune_many(jobs);
+  ASSERT_EQ(batched.size(), jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j)
+    EXPECT_EQ(batched[j], tuner.tune(jobs[j].kernel, jobs[j].input_bytes))
+        << jobs[j].kernel.name << " @ " << jobs[j].input_bytes;
+}
+
+TEST(BatchedTuner, SameNameDifferentParamsAreNotMergedIntoOneGroup) {
+  const core::MgaTuner& tuner = shared_tuner();
+  const corpus::KernelSpec a = corpus::find_kernel("polybench/gemm");
+  corpus::KernelSpec b = a;  // same name, structurally different kernel
+  b.params.nest_depth = 1;
+  b.params.arith_chain = 1;
+  b.params.reuse = 0.05;
+  ASSERT_NE(tuner.extract_features(a).ir_hash, tuner.extract_features(b).ir_hash);
+
+  std::vector<core::TuneJob> jobs;
+  for (const corpus::KernelSpec& spec : {a, b, a, b}) {
+    core::TuneJob job;
+    job.kernel = spec;
+    job.input_bytes = 2e6;
+    jobs.push_back(std::move(job));
+  }
+  const std::vector<hwsim::OmpConfig> batched = tuner.tune_many(jobs);
+  EXPECT_EQ(batched[0], tuner.tune(a, 2e6));
+  EXPECT_EQ(batched[1], tuner.tune(b, 2e6));
+  EXPECT_EQ(batched[2], batched[0]);
+  EXPECT_EQ(batched[3], batched[1]);
+}
+
+// --- the service -------------------------------------------------------------
+
+TEST(TuningService, SameNameDifferentParamsServeTheirOwnKernels) {
+  TuningService service(shared_registry(), {});
+  const corpus::KernelSpec a = corpus::find_kernel("polybench/gemm");
+  corpus::KernelSpec b = a;
+  b.params.nest_depth = 1;
+  b.params.arith_chain = 1;
+  b.params.reuse = 0.05;
+
+  std::vector<std::future<TuneResult>> futures;
+  for (const corpus::KernelSpec& spec : {a, b, a, b}) {
+    TuneRequest request;
+    request.kernel = spec;
+    request.input_bytes = 2e6;
+    futures.push_back(service.submit(std::move(request)));
+  }
+  EXPECT_EQ(futures[0].get().config, shared_tuner().tune(a, 2e6));
+  EXPECT_EQ(futures[1].get().config, shared_tuner().tune(b, 2e6));
+  EXPECT_EQ(futures[2].get().config, shared_tuner().tune(a, 2e6));
+  EXPECT_EQ(futures[3].get().config, shared_tuner().tune(b, 2e6));
+}
+
+TEST(TuningService, AmbiguousDefaultMachineFailsTheFutureNotTheCall) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->add_artifact("machine-a", "/nonexistent-a", tiny_options());
+  registry->add_artifact("machine-b", "/nonexistent-b", tiny_options());
+  TuningService service(registry, {});
+  TuneRequest request;
+  request.kernel = corpus::find_kernel("polybench/gemm");
+  request.input_bytes = 8192.0;
+  auto future = service.submit(std::move(request));  // must not throw here
+  EXPECT_THROW((void)future.get(), std::invalid_argument);
+  EXPECT_EQ(service.stats_snapshot().failed, 1u);
+}
+
+TEST(TuningService, ServedPredictionsMatchDirectTuneBitForBit) {
+  ServeOptions options;
+  options.workers = 2;
+  TuningService service(shared_registry(), options);
+
+  for (const char* name : {"polybench/gemm", "rodinia/bfs", "stream/triad",
+                           "lulesh/CalcHourglassControlForElems"}) {
+    for (const double input : {8192.0, 2e6, 1e8}) {
+      TuneRequest request;
+      request.kernel = corpus::find_kernel(name);
+      request.input_bytes = input;
+      const TuneResult result = service.submit(std::move(request)).get();
+      EXPECT_EQ(result.config, shared_tuner().tune(corpus::find_kernel(name), input))
+          << name << " @ " << input;
+    }
+  }
+}
+
+TEST(TuningService, RepeatRequestHitsTheFeatureCache) {
+  TuningService service(shared_registry(), {});
+  TuneRequest request;
+  request.kernel = corpus::find_kernel("polybench/gemm");
+  request.input_bytes = 2e6;
+
+  const TuneResult first = service.submit(TuneRequest(request)).get();
+  const TuneResult second = service.submit(TuneRequest(request)).get();
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(first.config, second.config);
+
+  const ServiceStatsSnapshot stats = service.stats_snapshot();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.cache.profiles_run, 1u);
+  EXPECT_EQ(stats.cache.profile_memo_hits, 1u);
+}
+
+TEST(TuningService, CallerSuppliedCountersSkipProfiling) {
+  TuningService service(shared_registry(), {});
+  const corpus::KernelSpec kernel = corpus::find_kernel("rodinia/bfs");
+  const double input = 4e6;
+
+  TuneRequest request;
+  request.kernel = kernel;
+  request.input_bytes = input;
+  request.counters = shared_tuner().profile_counters(corpus::generate(kernel).workload, input);
+  const TuneResult result = service.submit(std::move(request)).get();
+
+  EXPECT_EQ(result.config, shared_tuner().tune(kernel, input));
+  EXPECT_EQ(service.stats_snapshot().cache.profiles_run, 0u);
+}
+
+TEST(TuningService, ConcurrentMixedWorkloadIsCorrectAndComplete) {
+  const std::vector<const char*> names = {"polybench/gemm", "rodinia/bfs", "stream/triad",
+                                          "polybench/2mm", "rodinia/hotspot",
+                                          "polybench/atax"};
+  const std::vector<double> inputs = {8192.0, 2e6, 3e7, 1e8};
+
+  // Direct answers, once per distinct pair.
+  std::map<std::pair<std::string, double>, hwsim::OmpConfig> expected;
+  for (const char* name : names)
+    for (const double input : inputs)
+      expected[{name, input}] = shared_tuner().tune(corpus::find_kernel(name), input);
+
+  ServeOptions options;
+  options.workers = 4;
+  options.queue_capacity = 64;
+  TuningService service(shared_registry(), options);
+
+  constexpr int kPerThread = 50;
+  constexpr int kThreads = 4;
+  std::vector<std::vector<std::future<TuneResult>>> futures(kThreads);
+  std::vector<std::vector<std::pair<std::string, double>>> keys(kThreads);
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const char* name = names[static_cast<std::size_t>(t + i) % names.size()];
+        const double input = inputs[static_cast<std::size_t>(t + 3 * i) % inputs.size()];
+        TuneRequest request;
+        request.kernel = corpus::find_kernel(name);
+        request.input_bytes = input;
+        futures[static_cast<std::size_t>(t)].push_back(service.submit(std::move(request)));
+        keys[static_cast<std::size_t>(t)].emplace_back(name, input);
+      }
+    });
+  }
+  for (auto& thread : submitters) thread.join();
+
+  for (int t = 0; t < kThreads; ++t)
+    for (int i = 0; i < kPerThread; ++i) {
+      const TuneResult result = futures[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)].get();
+      EXPECT_EQ(result.config, expected[keys[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)]]);
+      EXPECT_GE(result.batch_size, 1u);
+    }
+
+  const ServiceStatsSnapshot stats = service.stats_snapshot();
+  EXPECT_EQ(stats.submitted, static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.cache.entries, names.size());
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_GE(stats.mean_batch, 1.0);
+}
+
+TEST(TuningService, UnknownMachineFailsTheFuture) {
+  TuningService service(shared_registry(), {});
+  TuneRequest request;
+  request.kernel = corpus::find_kernel("polybench/gemm");
+  request.input_bytes = 8192.0;
+  request.machine = "no-such-machine";
+  auto future = service.submit(std::move(request));
+  EXPECT_THROW((void)future.get(), std::out_of_range);
+  EXPECT_EQ(service.stats_snapshot().failed, 1u);
+}
+
+TEST(TuningService, SubmitAfterShutdownFailsTheFuture) {
+  TuningService service(shared_registry(), {});
+  service.shutdown();
+  TuneRequest request;
+  request.kernel = corpus::find_kernel("polybench/gemm");
+  request.input_bytes = 8192.0;
+  auto future = service.submit(std::move(request));
+  EXPECT_THROW((void)future.get(), std::runtime_error);
+}
+
+TEST(ModelRegistry, LoadsArtifactOnDemandAndServesIdentically) {
+  const std::string path = "/tmp/mga_serve_registry_test.bin";
+  shared_tuner().save(path);
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->add_artifact("comet-lake", path, tiny_options());
+  EXPECT_TRUE(registry->contains("comet-lake"));
+
+  TuningService service(registry, {});
+  const corpus::KernelSpec kernel = corpus::find_kernel("stream/triad");
+  TuneRequest request;
+  request.kernel = kernel;
+  request.input_bytes = 2e6;
+  EXPECT_EQ(service.submit(std::move(request)).get().config,
+            shared_tuner().tune(kernel, 2e6));
+  std::remove(path.c_str());
+}
+
+TEST(ServiceStats, TableRendersEveryMetricRow) {
+  TuningService service(shared_registry(), {});
+  TuneRequest request;
+  request.kernel = corpus::find_kernel("polybench/gemm");
+  request.input_bytes = 8192.0;
+  (void)service.submit(std::move(request)).get();
+  const util::Table table = stats_table(service.stats_snapshot());
+  EXPECT_EQ(table.row_count(), 15u);
+}
+
+}  // namespace
+}  // namespace mga::serve
