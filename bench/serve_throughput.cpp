@@ -1,18 +1,29 @@
-// Serve-path throughput: batched, cached TuningService vs sequential
-// `MgaTuner::tune` calls on a 10k-request mixed-kernel workload.
+// Serve-path throughput and QoS: the batched, cached, tiered TuningService
+// vs sequential `MgaTuner::tune` calls on a 10k-request mixed
+// interactive+bulk workload, plus a paced arrival study of the linger
+// window.
 //
-// The sequential baseline pays the full inference pipeline per request
-// (kernel generation, PROGRAML construction, IR2Vec encoding, rank scaling,
-// one profiling run, one forward). The service pays it once per distinct
-// kernel (feature cache), once per distinct (kernel, input) for profiling
-// (memo), and amortizes the static GNN/DAE forward across micro-batches of
-// co-queued same-kernel requests. Predictions are asserted identical.
+// The sequential baseline pays the full inference pipeline per request. The
+// service pays it once per distinct kernel (feature cache), once per
+// distinct (kernel, input) for profiling (memo), and amortizes the static
+// GNN/DAE forward across micro-batches of co-queued same-kernel requests.
+// Three service configurations are compared:
+//   untiered  — every request rides the normal lane (v1-equivalent FIFO)
+//   tiered    — interactive requests ride the interactive lane ahead of the
+//               bulk backlog; their p95 must beat the untiered run
+//   linger    — paced trickle arrivals, drain-only vs a linger window; the
+//               window must form larger mean batches than drain-only
+// Predictions are asserted identical to direct tune for every request (all
+// runs; nothing expires and nothing is cancelled here).
+#include <algorithm>
 #include <chrono>
 #include <iostream>
 #include <map>
+#include <thread>
 
 #include "serve/service.hpp"
 #include "util/rng.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -34,6 +45,59 @@ using Clock = std::chrono::steady_clock;
   options.input_sizes = std::move(subset);
   options.training.epochs = 12;
   return options;
+}
+
+/// Same percentile definition as the service telemetry (util::percentile_sorted).
+[[nodiscard]] double percentile_us(std::vector<double> samples, double p) {
+  std::sort(samples.begin(), samples.end());
+  return mga::util::percentile_sorted(samples, p);
+}
+
+struct RunOutput {
+  std::vector<mga::serve::TuneResult> results;
+  double seconds = 0.0;
+  mga::serve::ServiceStatsSnapshot stats;
+};
+
+/// Submit every request through a fresh service, wait for all outcomes.
+/// `pace` > 0 spaces submissions (paced open-loop arrivals for the linger
+/// study); zero slams the queue (closed-loop backlog for the tier study).
+RunOutput run_service(const std::shared_ptr<mga::serve::ModelRegistry>& registry,
+                      const mga::serve::ServeOptions& options,
+                      const std::vector<mga::serve::TuneRequest>& requests,
+                      std::chrono::microseconds pace = {}) {
+  using namespace mga::serve;
+  TuningService service(registry, options);
+  const Clock::time_point start = Clock::now();
+  std::vector<TuneTicket> tickets;
+  tickets.reserve(requests.size());
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    tickets.push_back(service.submit(TuneRequest(requests[r])));
+    if (pace.count() > 0)
+      std::this_thread::sleep_until(start + (r + 1) * pace);
+  }
+  RunOutput out;
+  out.results.reserve(tickets.size());
+  for (const TuneTicket& ticket : tickets) {
+    TuneOutcome outcome = ticket.get();
+    if (!outcome.ok()) {
+      std::cerr << "unexpected serve error: " << to_string(outcome.error().kind) << ": "
+                << outcome.error().detail << "\n";
+      std::exit(1);
+    }
+    out.results.push_back(std::move(outcome.value()));
+  }
+  out.seconds = seconds_since(start);
+  out.stats = service.stats_snapshot();
+  return out;
+}
+
+[[nodiscard]] std::size_t count_mismatches(const std::vector<mga::serve::TuneResult>& served,
+                                           const std::vector<mga::hwsim::OmpConfig>& expected) {
+  std::size_t mismatches = 0;
+  for (std::size_t r = 0; r < served.size(); ++r)
+    if (!(served[r].config == expected[r])) ++mismatches;
+  return mismatches;
 }
 
 }  // namespace
@@ -60,7 +124,8 @@ int main(int argc, char** argv) {
   const std::shared_ptr<const core::MgaTuner> tuner = registry->get("comet-lake");
 
   // Mixed workload: 16 kernels (half seen in training, half not) x 8 input
-  // sizes, in deterministic shuffled order.
+  // sizes, deterministic shuffled order; every 5th request is interactive
+  // (20%), the rest are bulk backfill.
   const std::vector<corpus::KernelSpec> suite = corpus::openmp_suite();
   std::vector<corpus::KernelSpec> kernels(suite.begin(), suite.begin() + 16);
   const std::vector<double> all_inputs = dataset::input_sizes_30();
@@ -69,15 +134,17 @@ int main(int argc, char** argv) {
 
   util::Rng rng(7);
   std::vector<serve::TuneRequest> requests;
+  std::vector<bool> interactive(num_requests, false);
   requests.reserve(num_requests);
   for (std::size_t r = 0; r < num_requests; ++r) {
     serve::TuneRequest request;
     request.kernel = kernels[rng.uniform_index(kernels.size())];
     request.input_bytes = inputs[rng.uniform_index(inputs.size())];
+    interactive[r] = r % 5 == 0;
     requests.push_back(std::move(request));
   }
   std::cout << "workload: " << num_requests << " requests over " << kernels.size()
-            << " kernels x " << inputs.size() << " input sizes\n\n";
+            << " kernels x " << inputs.size() << " input sizes, 20% interactive\n\n";
 
   // --- sequential baseline ---------------------------------------------------
   std::vector<hwsim::OmpConfig> sequential(requests.size());
@@ -86,32 +153,126 @@ int main(int argc, char** argv) {
     sequential[r] = tuner->tune(requests[r].kernel, requests[r].input_bytes);
   const double seq_seconds = seconds_since(seq_start);
 
-  // --- batched service -------------------------------------------------------
+  // --- untiered service (v1-equivalent: one lane, drain-only) ----------------
   serve::ServeOptions options;
   options.workers = 4;
   options.queue_capacity = 2048;
   options.max_batch = 32;
-  serve::TuningService service(registry, options);
+  const RunOutput untiered = run_service(registry, options, requests);
 
-  const Clock::time_point serve_start = Clock::now();
-  const std::vector<serve::TuneResult> served = service.tune_all(requests);
-  const double serve_seconds = seconds_since(serve_start);
+  // --- tiered service (interactive lane ahead of the bulk backlog) -----------
+  std::vector<serve::TuneRequest> tiered_requests = requests;
+  for (std::size_t r = 0; r < tiered_requests.size(); ++r)
+    tiered_requests[r].options.priority =
+        interactive[r] ? serve::Priority::kInteractive : serve::Priority::kBulk;
+  const RunOutput tiered = run_service(registry, options, tiered_requests);
 
-  std::size_t mismatches = 0;
-  for (std::size_t r = 0; r < requests.size(); ++r)
-    if (!(served[r].config == sequential[r])) ++mismatches;
+  // --- per-tier latency ------------------------------------------------------
+  const auto subset_p95 = [&](const RunOutput& run, bool want_interactive) {
+    std::vector<double> samples;
+    for (std::size_t r = 0; r < run.results.size(); ++r)
+      if (interactive[r] == want_interactive) samples.push_back(run.results[r].latency_us);
+    return percentile_us(std::move(samples), 0.95);
+  };
+  const double untiered_int_p95 = subset_p95(untiered, true);
+  const double untiered_bulk_p95 = subset_p95(untiered, false);
+  const double tiered_int_p95 = subset_p95(tiered, true);
+  const double tiered_bulk_p95 = subset_p95(tiered, false);
 
-  // --- report ----------------------------------------------------------------
-  util::Table table({"mode", "requests", "seconds", "requests/s"});
   const double n = static_cast<double>(num_requests);
-  table.add_row({"sequential tune()", std::to_string(num_requests),
-                 util::fmt_double(seq_seconds), util::fmt_double(n / seq_seconds, 0)});
-  table.add_row({"batched service", std::to_string(num_requests),
-                 util::fmt_double(serve_seconds), util::fmt_double(n / serve_seconds, 0)});
+  util::Table table({"mode", "seconds", "requests/s", "int p95 ms", "bulk p95 ms",
+                     "mean batch"});
+  table.add_row({"sequential tune()", util::fmt_double(seq_seconds),
+                 util::fmt_double(n / seq_seconds, 0), "-", "-", "-"});
+  table.add_row({"service untiered", util::fmt_double(untiered.seconds),
+                 util::fmt_double(n / untiered.seconds, 0),
+                 util::fmt_double(untiered_int_p95 / 1000.0),
+                 util::fmt_double(untiered_bulk_p95 / 1000.0),
+                 util::fmt_double(untiered.stats.mean_batch)});
+  table.add_row({"service tiered", util::fmt_double(tiered.seconds),
+                 util::fmt_double(n / tiered.seconds, 0),
+                 util::fmt_double(tiered_int_p95 / 1000.0),
+                 util::fmt_double(tiered_bulk_p95 / 1000.0),
+                 util::fmt_double(tiered.stats.mean_batch)});
   table.print(std::cout);
-  std::cout << "\nthroughput speedup: " << util::fmt_speedup(seq_seconds / serve_seconds)
-            << "   prediction mismatches: " << mismatches << "\n\n";
+  std::cout << "\nthroughput speedup (untiered vs sequential): "
+            << util::fmt_speedup(seq_seconds / untiered.seconds) << "\n";
 
-  serve::stats_table(service.stats_snapshot()).print(std::cout);
-  return mismatches == 0 ? 0 : 1;
+  // --- linger study: paced arrivals, drain-only vs window --------------------
+  // Open-loop trickle (one request every 200us over 8 kernels) so drain-only
+  // workers stay ahead of arrivals and batches stay near 1; the linger
+  // window instead holds a popped head open for same-kernel co-arrivals.
+  const std::size_t trickle_n = std::min<std::size_t>(2000, num_requests);
+  std::vector<serve::TuneRequest> trickle;
+  trickle.reserve(trickle_n);
+  util::Rng trickle_rng(11);
+  for (std::size_t r = 0; r < trickle_n; ++r) {
+    serve::TuneRequest request;
+    request.kernel = kernels[trickle_rng.uniform_index(8)];
+    request.input_bytes = inputs[trickle_rng.uniform_index(inputs.size())];
+    request.options.priority = serve::Priority::kBulk;
+    trickle.push_back(std::move(request));
+  }
+  const auto pace = std::chrono::microseconds(200);
+  const RunOutput drain_run = run_service(registry, options, trickle, pace);
+  serve::ServeOptions linger_options = options;
+  linger_options.linger = std::chrono::milliseconds(5);
+  const RunOutput linger_run = run_service(registry, linger_options, trickle, pace);
+
+  util::Table linger_table({"arrival mode", "mean batch", "batches", "mean latency ms",
+                            "queue wait ms", "compute ms"});
+  for (const auto& [label, run] :
+       {std::pair<const char*, const RunOutput&>{"drain-only", drain_run},
+        std::pair<const char*, const RunOutput&>{"linger 5ms", linger_run}}) {
+    linger_table.add_row({label, util::fmt_double(run.stats.mean_batch),
+                          std::to_string(run.stats.batches),
+                          util::fmt_double(run.stats.latency_mean_us / 1000.0),
+                          util::fmt_double(run.stats.queue_wait_mean_us / 1000.0),
+                          util::fmt_double(run.stats.compute_mean_us / 1000.0)});
+  }
+  std::cout << "\n";
+  linger_table.print(std::cout);
+
+  // --- identity + acceptance -------------------------------------------------
+  std::size_t mismatches = count_mismatches(untiered.results, sequential);
+  mismatches += count_mismatches(tiered.results, sequential);
+  // Trickle expectations computed directly, memoized per distinct
+  // (kernel, input) pair — the workload repeats a few hundred pairs.
+  std::map<std::pair<std::string, double>, hwsim::OmpConfig> trickle_expected;
+  for (std::size_t r = 0; r < trickle_n; ++r) {
+    const auto key = std::make_pair(trickle[r].kernel.name, trickle[r].input_bytes);
+    auto it = trickle_expected.find(key);
+    if (it == trickle_expected.end())
+      it = trickle_expected
+               .emplace(key, tuner->tune(trickle[r].kernel, trickle[r].input_bytes))
+               .first;
+    if (!(drain_run.results[r].config == it->second)) ++mismatches;
+    if (!(linger_run.results[r].config == it->second)) ++mismatches;
+  }
+
+  std::cout << "\nprediction mismatches vs direct tune: " << mismatches << "\n";
+  std::cout << "interactive p95 tiered vs untiered: "
+            << util::fmt_double(tiered_int_p95 / 1000.0) << " ms vs "
+            << util::fmt_double(untiered_int_p95 / 1000.0) << " ms\n";
+  std::cout << "linger mean batch vs drain-only: "
+            << util::fmt_double(linger_run.stats.mean_batch) << " vs "
+            << util::fmt_double(drain_run.stats.mean_batch) << "\n\n";
+
+  std::cout << "tiered run telemetry:\n";
+  serve::stats_table(tiered.stats).print(std::cout);
+
+  bool ok = true;
+  if (mismatches != 0) {
+    std::cerr << "\nFAIL: served configs diverge from direct tune\n";
+    ok = false;
+  }
+  if (tiered_int_p95 >= untiered_int_p95) {
+    std::cerr << "\nFAIL: tiers did not improve interactive p95\n";
+    ok = false;
+  }
+  if (linger_run.stats.mean_batch <= drain_run.stats.mean_batch) {
+    std::cerr << "\nFAIL: linger did not form larger batches than drain-only\n";
+    ok = false;
+  }
+  return ok ? 0 : 1;
 }

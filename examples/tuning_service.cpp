@@ -1,15 +1,20 @@
-// Tuning-as-a-service: run an async TuningService over a mixed workload.
+// Tuning-as-a-service: run an async, QoS-aware TuningService over a mixed
+// workload.
 //
 // Walkthrough:
 //  1. register per-machine tuners in a ModelRegistry (one trained in-process
 //     per machine; production would `MgaTuner::save` once and use
 //     `add_artifact` for load-on-demand),
-//  2. submit asynchronous TuneRequests — different kernels, input sizes and
-//     target machines, some with pre-collected counters so the service skips
-//     its profiling run,
-//  3. harvest the futures and look at per-request metadata (cache hit, the
-//     micro-batch the request rode in, end-to-end latency),
-//  4. print the service telemetry table.
+//  2. submit asynchronous TuneRequests — different kernels, input sizes,
+//     target machines and QoS classes (interactive vs bulk, deadlines,
+//     admission policies), some with pre-collected counters so the service
+//     skips its profiling run,
+//  3. harvest the TuneTickets: branch on the typed TuneOutcome, look at
+//     per-request metadata (cache hit, the micro-batch the request rode in,
+//     queue-wait/compute latency split), cancel a request that is no longer
+//     needed,
+//  4. print the service telemetry table (per-tier counters included).
+#include <chrono>
 #include <iostream>
 
 #include "serve/service.hpp"
@@ -17,6 +22,7 @@
 
 int main() {
   using namespace mga;
+  using namespace std::chrono_literals;
 
   // --- 1. per-machine tuners -------------------------------------------------
   core::MgaTunerOptions options;
@@ -41,12 +47,13 @@ int main() {
   serve::ServeOptions serve_options;
   serve_options.workers = 4;
   serve_options.default_machine = "comet-lake";
+  serve_options.linger = 2ms;  // hold popped bulk heads open for co-arrivals
   serve::TuningService service(registry, serve_options);
 
   // --- 2. async submission ---------------------------------------------------
   struct Submitted {
     std::string label;
-    std::future<serve::TuneResult> future;
+    serve::TuneTicket ticket;
   };
   std::vector<Submitted> submitted;
   const std::vector<const char*> traffic = {"polybench/gemm", "rodinia/bfs", "stream/triad",
@@ -59,6 +66,10 @@ int main() {
       request.kernel = corpus::find_kernel(traffic[k]);
       request.input_bytes = sizes[(static_cast<std::size_t>(round) + k) % sizes.size()];
       if (k % 2 == 1) request.machine = "skylake-sp";
+      // QoS classes: every third request is an interactive caller (jumps the
+      // bulk backfill, never lingers); the rest ride the bulk lane.
+      request.options.priority =
+          k % 3 == 0 ? serve::Priority::kInteractive : serve::Priority::kBulk;
       std::string label = std::string(traffic[k]) + " @ " +
                           util::fmt_double(request.input_bytes / 1024.0, 0) + " KB on " +
                           (request.machine.empty() ? "comet-lake" : request.machine);
@@ -80,19 +91,68 @@ int main() {
          service.submit(std::move(request))});
   }
 
+  // A deadline-bearing request: served if a worker reaches it in time,
+  // otherwise resolved with kDeadlineExceeded instead of burning a forward.
+  serve::TuneTicket deadline_ticket;
+  {
+    serve::TuneRequest request;
+    request.kernel = corpus::find_kernel("rodinia/hotspot");
+    request.input_bytes = 2e6;
+    request.options.priority = serve::Priority::kInteractive;
+    request.options.deadline = 250ms;
+    deadline_ticket = service.submit(std::move(request));
+  }
+
+  // A caller that changed its mind: cancel is best-effort and the outcome
+  // reports who won the race.
+  serve::TuneTicket cancelled_ticket;
+  {
+    serve::TuneRequest request;
+    request.kernel = corpus::find_kernel("nas/CG");
+    request.input_bytes = 1e8;
+    request.options.priority = serve::Priority::kBulk;
+    cancelled_ticket = service.submit(std::move(request));
+    const bool won = cancelled_ticket.cancel();
+    std::cout << "cancel of nas/CG " << (won ? "won" : "lost")
+              << " the resolution race\n";
+  }
+
   // --- 3. harvest ------------------------------------------------------------
-  util::Table results({"request", "predicted config", "cache", "batch", "latency"});
+  util::Table results(
+      {"request", "predicted config", "cache", "batch", "wait", "compute"});
   for (std::size_t s = 0; s < submitted.size(); s += 9) {
-    serve::TuneResult result = submitted[s].future.get();
+    const serve::TuneOutcome outcome = submitted[s].ticket.get();
+    if (!outcome.ok()) {
+      results.add_row({submitted[s].label,
+                       std::string("error: ") + to_string(outcome.error().kind), "-", "-",
+                       "-", "-"});
+      continue;
+    }
+    const serve::TuneResult& result = outcome.value();
     results.add_row({submitted[s].label,
                      std::to_string(result.config.threads) + " threads, " +
                          hwsim::schedule_name(result.config.schedule),
                      result.cache_hit ? "hit" : "miss", std::to_string(result.batch_size),
-                     util::fmt_double(result.latency_us / 1000.0) + " ms"});
+                     util::fmt_double(result.queue_wait_us / 1000.0) + " ms",
+                     util::fmt_double(result.compute_us / 1000.0) + " ms"});
   }
   for (std::size_t s = 0; s < submitted.size(); ++s)
-    if (s % 9 != 0) (void)submitted[s].future.get();
+    if (s % 9 != 0) (void)submitted[s].ticket.get();
   results.print(std::cout);
+
+  const serve::TuneOutcome deadline_outcome = deadline_ticket.get();
+  std::cout << "\ndeadline request: "
+            << (deadline_outcome.ok()
+                    ? "served in " +
+                          util::fmt_double(deadline_outcome.value().latency_us / 1000.0) +
+                          " ms"
+                    : std::string("missed: ") + to_string(deadline_outcome.error().kind))
+            << "\n";
+  const serve::TuneOutcome cancelled_outcome = cancelled_ticket.get();
+  std::cout << "cancelled request outcome: "
+            << (cancelled_outcome.ok() ? "served (cancel lost)"
+                                       : to_string(cancelled_outcome.error().kind))
+            << "\n";
 
   // --- 4. telemetry ----------------------------------------------------------
   std::cout << "\nservice telemetry:\n";

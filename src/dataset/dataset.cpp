@@ -5,6 +5,7 @@
 #include "ir2vec/encoder.hpp"
 #include "programl/builder.hpp"
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -73,36 +74,43 @@ OmpDataset build_omp_dataset(const std::vector<corpus::KernelSpec>& specs,
   data.space = space;
   extract_representations(data, specs);
 
+  // The brute-force oracle dominates MgaTuner::train time (|specs| x
+  // |input_sizes| x |space| simulator runs), so fan the per-(kernel, input)
+  // samples across threads. Every sample is a pure function of its (k,
+  // input) pair — cpu_execute's jitter is seeded from its arguments — and
+  // each iteration writes only its own slot, so the result is bit-identical
+  // to the serial kernel-major loop.
   const hwsim::OmpConfig default_cfg = hwsim::default_config(machine);
-  for (std::size_t k = 0; k < specs.size(); ++k) {
-    for (const double input : input_sizes) {
-      OmpSample sample;
-      sample.kernel_id = static_cast<int>(k);
-      sample.input_bytes = input;
+  data.samples.resize(specs.size() * input_sizes.size());
+  util::parallel_for(data.samples.size(), [&](std::size_t s) {
+    const std::size_t k = s / input_sizes.size();
+    const double input = input_sizes[s % input_sizes.size()];
+    OmpSample sample;
+    sample.kernel_id = static_cast<int>(k);
+    sample.input_bytes = input;
 
-      // One profiling run at the default configuration (the paper's
-      // inference-time cost: §4.1's "needs only two runs" on systems that
-      // cannot gather all five counters at once).
-      const hwsim::RunResult profile =
-          hwsim::cpu_execute(data.workloads[k], machine, input, default_cfg);
-      sample.counters = profile.counters;
-      sample.default_seconds = profile.seconds;
+    // One profiling run at the default configuration (the paper's
+    // inference-time cost: §4.1's "needs only two runs" on systems that
+    // cannot gather all five counters at once).
+    const hwsim::RunResult profile =
+        hwsim::cpu_execute(data.workloads[k], machine, input, default_cfg);
+    sample.counters = profile.counters;
+    sample.default_seconds = profile.seconds;
 
-      // Brute-force oracle over the space.
-      sample.seconds.reserve(space.size());
-      double best = 0.0;
-      for (std::size_t c = 0; c < space.size(); ++c) {
-        const double seconds =
-            hwsim::cpu_execute(data.workloads[k], machine, input, space[c]).seconds;
-        sample.seconds.push_back(seconds);
-        if (c == 0 || seconds < best) {
-          best = seconds;
-          sample.label = static_cast<int>(c);
-        }
+    // Brute-force oracle over the space.
+    sample.seconds.reserve(space.size());
+    double best = 0.0;
+    for (std::size_t c = 0; c < space.size(); ++c) {
+      const double seconds =
+          hwsim::cpu_execute(data.workloads[k], machine, input, space[c]).seconds;
+      sample.seconds.push_back(seconds);
+      if (c == 0 || seconds < best) {
+        best = seconds;
+        sample.label = static_cast<int>(c);
       }
-      data.samples.push_back(std::move(sample));
     }
-  }
+    data.samples[s] = std::move(sample);
+  });
   return data;
 }
 

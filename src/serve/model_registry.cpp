@@ -44,8 +44,13 @@ ModelRegistry::Resolved ModelRegistry::resolve(const std::string& name) const {
   if (slot.tuner == nullptr) {
     // Load-on-demand under the registry lock: concurrent getters for any
     // name wait rather than loading the same artifact twice.
-    slot.tuner = std::make_shared<const core::MgaTuner>(
-        core::MgaTuner::load(slot.artifact_path, *slot.options));
+    try {
+      slot.tuner = std::make_shared<const core::MgaTuner>(
+          core::MgaTuner::load(slot.artifact_path, *slot.options));
+    } catch (const std::exception& e) {
+      throw LoadError("ModelRegistry: loading '" + name + "' from '" + slot.artifact_path +
+                      "' failed: " + e.what());
+    }
   }
   return {slot.tuner, slot.tag};
 }

@@ -12,12 +12,21 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/tuner.hpp"
 
 namespace mga::serve {
+
+/// Thrown by `get`/`resolve` when a registered artifact fails to load; the
+/// serve layer maps it onto ServeErrorKind::kLoadFailed (as opposed to the
+/// std::out_of_range of an unknown name -> kUnknownMachine).
+class LoadError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 class ModelRegistry {
  public:

@@ -1,14 +1,25 @@
-// Bounded multi-producer / multi-consumer queue — the request spine of the
-// tuning service.
+// Bounded MPMC queues — the request spine of the tuning service.
 //
-// Blocking `push` gives the service natural backpressure (submitters stall
-// instead of growing an unbounded backlog); `drain_matching` is the hook the
-// micro-batching scheduler uses to pull co-queued requests for the same
-// kernel out of FIFO order while leaving everything else in place.
+// `BoundedQueue` is the single-lane primitive: blocking `push` gives natural
+// backpressure (submitters stall instead of growing an unbounded backlog),
+// `push_until` bounds that stall by a deadline, and `drain_matching` pulls
+// co-queued same-kernel requests out of FIFO order for micro-batching while
+// leaving everything else in place.
+//
+// `TieredQueue` is the QoS spine of serve v2: N priority lanes (lane 0
+// highest) with per-lane capacity and admission primitives (`try_push` to
+// reject, `push_shedding` to displace the lane's oldest, `push_until` for
+// deadline-bounded blocking). `pop` serves the highest-priority non-empty
+// lane, except that a lower lane passed over `starvation_limit` times in a
+// row is served next — bulk traffic makes progress under an interactive
+// flood. A push epoch plus `wait_push` lets the worker's linger window sleep
+// until a new arrival might extend its batch.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -34,6 +45,20 @@ class BoundedQueue {
   bool push(T item) {
     std::unique_lock<std::mutex> lock(mutex_);
     not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Like `push`, but waits no longer than `deadline`; false when the
+  /// deadline passes while the queue is still full (or the queue closes).
+  bool push_until(T item, std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!not_full_.wait_until(lock, deadline,
+                              [&] { return closed_ || items_.size() < capacity_; }))
+      return false;
     if (closed_) return false;
     items_.push_back(std::move(item));
     lock.unlock();
@@ -129,6 +154,221 @@ class BoundedQueue {
   std::condition_variable not_empty_;
   std::deque<T> items_;
   std::size_t capacity_;
+  bool closed_ = false;
+};
+
+template <typename T>
+class TieredQueue {
+ public:
+  enum class PushResult { kOk, kFull, kClosed };
+
+  /// `capacities[i]` bounds lane i (lane 0 = highest priority); all must be
+  /// positive. A lane passed over `starvation_limit` consecutive pops while
+  /// non-empty is served next regardless of priority.
+  TieredQueue(std::vector<std::size_t> capacities, std::size_t starvation_limit = 8)
+      : starvation_limit_(starvation_limit) {
+    MGA_CHECK_MSG(!capacities.empty(), "TieredQueue: need at least one lane");
+    MGA_CHECK_MSG(starvation_limit > 0, "TieredQueue: starvation_limit must be positive");
+    lanes_.resize(capacities.size());
+    for (std::size_t i = 0; i < capacities.size(); ++i) {
+      MGA_CHECK_MSG(capacities[i] > 0, "TieredQueue: lane capacity must be positive");
+      lanes_[i].capacity = capacities[i];
+    }
+  }
+
+  TieredQueue(const TieredQueue&) = delete;
+  TieredQueue& operator=(const TieredQueue&) = delete;
+
+  /// Block until lane `lane` has room (or the queue closes).
+  PushResult push(T item, std::size_t lane) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    Lane& target = lanes_.at(lane);
+    not_full_.wait(lock, [&] { return closed_ || target.items.size() < target.capacity; });
+    if (closed_) return PushResult::kClosed;
+    return admit(std::move(item), target, lock);
+  }
+
+  /// Like `push`, but waits no longer than `deadline`.
+  PushResult push_until(T item, std::size_t lane,
+                        std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    Lane& target = lanes_.at(lane);
+    if (!not_full_.wait_until(lock, deadline, [&] {
+          return closed_ || target.items.size() < target.capacity;
+        }))
+      return PushResult::kFull;
+    if (closed_) return PushResult::kClosed;
+    return admit(std::move(item), target, lock);
+  }
+
+  /// Non-blocking push; kFull when the lane is at capacity.
+  PushResult try_push(T item, std::size_t lane) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    Lane& target = lanes_.at(lane);
+    if (closed_) return PushResult::kClosed;
+    if (target.items.size() >= target.capacity) return PushResult::kFull;
+    return admit(std::move(item), target, lock);
+  }
+
+  /// Shed admission: when the lane is full, displace its oldest item into
+  /// `*shed` to make room. Never blocks; always admits unless closed.
+  PushResult push_shedding(T item, std::size_t lane, std::optional<T>& shed) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    Lane& target = lanes_.at(lane);
+    if (closed_) return PushResult::kClosed;
+    if (target.items.size() >= target.capacity) {
+      shed.emplace(std::move(target.items.front()));
+      target.items.pop_front();
+      --total_;
+    }
+    return admit(std::move(item), target, lock);
+  }
+
+  /// Block until an item is available (or the queue closes and drains).
+  /// Serves the highest-priority non-empty lane subject to the starvation
+  /// override. Returns nullopt only when closed and empty.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || total_ > 0; });
+    return pop_locked(lock);
+  }
+
+  /// Non-blocking pop; nullopt when every lane is empty.
+  std::optional<T> try_pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return pop_locked(lock);
+  }
+
+  /// Extract up to `max` queued items satisfying `pred` — scanning lanes in
+  /// priority order, preserving relative order within each lane — appending
+  /// them to `out`. Returns the number extracted. Never blocks.
+  template <typename Pred>
+  std::size_t drain_matching(Pred&& pred, std::size_t max, std::vector<T>& out) {
+    std::size_t extracted = 0;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      for (Lane& lane : lanes_) {
+        for (auto it = lane.items.begin(); it != lane.items.end() && extracted < max;) {
+          if (pred(*it)) {
+            out.push_back(std::move(*it));
+            it = lane.items.erase(it);
+            ++extracted;
+          } else {
+            ++it;
+          }
+        }
+        if (extracted >= max) break;
+      }
+      total_ -= extracted;
+    }
+    if (extracted > 0) not_full_.notify_all();
+    return extracted;
+  }
+
+  /// Monotone counter bumped by every successful push. With `wait_push`
+  /// this is the linger primitive: sample the epoch, drain, then sleep
+  /// until a newer push (which might be batchable) or the deadline.
+  [[nodiscard]] std::uint64_t push_epoch() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return epoch_;
+  }
+
+  /// Wait until a push lands after `seen_epoch`, the queue closes, or
+  /// `deadline` passes. True exactly when a newer push was observed.
+  [[nodiscard]] bool wait_push(std::uint64_t seen_epoch,
+                               std::chrono::steady_clock::time_point deadline) const {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait_until(lock, deadline, [&] { return closed_ || epoch_ > seen_epoch; });
+    return epoch_ > seen_epoch;
+  }
+
+  /// Block until some lane is non-empty or the queue closes.
+  void wait_nonempty() const {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || total_ > 0; });
+  }
+
+  /// Close the queue: pending pops drain the backlog then return nullopt;
+  /// subsequent pushes fail with kClosed.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return total_;
+  }
+
+  [[nodiscard]] std::size_t size(std::size_t lane) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return lanes_.at(lane).items.size();
+  }
+
+  [[nodiscard]] std::size_t lanes() const noexcept { return lanes_.size(); }
+
+  [[nodiscard]] std::size_t capacity(std::size_t lane) const { return lanes_.at(lane).capacity; }
+
+  [[nodiscard]] bool closed() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  struct Lane {
+    std::deque<T> items;
+    std::size_t capacity = 0;
+    /// Consecutive pops that served another lane while this one waited.
+    std::size_t passed_over = 0;
+  };
+
+  /// Enqueue into `target` (room must exist), bump the epoch, notify.
+  PushResult admit(T item, Lane& target, std::unique_lock<std::mutex>& lock) {
+    target.items.push_back(std::move(item));
+    ++total_;
+    ++epoch_;
+    lock.unlock();
+    not_empty_.notify_all();  // all: pop waiters and linger waiters share the cv
+    return PushResult::kOk;
+  }
+
+  std::optional<T> pop_locked(std::unique_lock<std::mutex>& lock) {
+    if (total_ == 0) return std::nullopt;
+    // Highest-priority non-empty lane, unless a starved lower lane (scanned
+    // lowest-priority first: the longest-ignored traffic) takes the slot.
+    std::size_t pick = 0;
+    while (lanes_[pick].items.empty()) ++pick;
+    for (std::size_t i = lanes_.size(); i-- > pick + 1;) {
+      if (!lanes_[i].items.empty() && lanes_[i].passed_over >= starvation_limit_) {
+        pick = i;
+        break;
+      }
+    }
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+      if (i == pick)
+        lanes_[i].passed_over = 0;
+      else if (!lanes_[i].items.empty())
+        ++lanes_[i].passed_over;
+    }
+    T item = std::move(lanes_[pick].items.front());
+    lanes_[pick].items.pop_front();
+    --total_;
+    lock.unlock();
+    not_full_.notify_all();
+    return item;
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  mutable std::condition_variable not_empty_;
+  std::vector<Lane> lanes_;
+  std::size_t total_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::size_t starvation_limit_;
   bool closed_ = false;
 };
 

@@ -1,21 +1,28 @@
-// TuningService — batched, multi-threaded tuning-as-a-service.
+// TuningService — batched, multi-threaded, QoS-aware tuning-as-a-service.
 //
 // Clients `submit` asynchronous TuneRequests (kernel spec + input size,
-// optionally pre-collected counters) and receive futures. A fixed worker
-// pool consumes a bounded MPMC queue; each worker micro-batches by pulling
-// every co-queued request for the same (machine, kernel) out of the backlog
-// so one `MgaTuner::tune_group` forward amortizes the static GNN/DAE
-// modalities across the batch. The sharded FeatureCache memoizes the static
-// features (and per-input profiling counters), so repeat traffic skips
-// feature extraction and simulation entirely.
+// optionally pre-collected counters, plus RequestOptions: priority tier,
+// admission policy, deadline) and receive TuneTickets. A fixed worker pool
+// consumes a three-lane TieredQueue (interactive > normal > bulk, with
+// anti-starvation); each worker micro-batches by pulling every co-queued
+// request for the same (machine, kernel) out of the backlog — and, when a
+// linger window is configured, waits for same-kernel co-arrivals (clamped by
+// the earliest deadline in the batch) — so one `MgaTuner::tune_group`
+// forward amortizes the static GNN/DAE modalities across the batch. Expired
+// and cancelled requests are swept out before feature extraction. The
+// sharded FeatureCache memoizes the static features (and per-input profiling
+// counters), so repeat traffic skips feature extraction and simulation
+// entirely.
 //
 // Determinism contract: for a given trained tuner, a served prediction is
 // bit-identical to calling `MgaTuner::tune` directly with the same (kernel,
-// input size) — batching, caching and threading change throughput, never
-// answers (asserted in tests/test_serve.cpp).
+// input size) — batching, caching, tiering and threading change throughput
+// and completion order, never answers (asserted in tests/test_serve.cpp).
 #pragma once
 
+#include <array>
 #include <chrono>
+#include <condition_variable>
 #include <future>
 #include <memory>
 #include <string>
@@ -26,14 +33,26 @@
 #include "serve/model_registry.hpp"
 #include "serve/queue.hpp"
 #include "serve/stats.hpp"
+#include "serve/ticket.hpp"
 
 namespace mga::serve {
 
 struct ServeOptions {
   std::size_t workers = 4;
+  /// Per-tier lane capacity when the matching `tier_capacity` entry is 0.
   std::size_t queue_capacity = 1024;
+  /// Lane capacity per tier (indexed by Priority); 0 = `queue_capacity`.
+  std::array<std::size_t, kNumTiers> tier_capacity{};
   /// Max requests fused into one grouped forward.
   std::size_t max_batch = 32;
+  /// Time-based micro-batch linger: after popping a request, wait up to this
+  /// long for same-kernel co-arrivals before firing the grouped forward.
+  /// Clamped by the earliest deadline in the batch; zero = drain-only (fire
+  /// immediately); interactive-tier heads never linger.
+  std::chrono::steady_clock::duration linger{};
+  /// Consecutive pops a lower lane may be passed over before it is served
+  /// regardless of priority (see TieredQueue).
+  std::size_t starvation_limit = 8;
   FeatureCacheOptions cache;
   /// Registry entry used when a request names no machine. Empty = only
   /// legal when the registry holds exactly one entry.
@@ -48,13 +67,8 @@ struct TuneRequest {
   std::optional<hwsim::PapiCounters> counters;
   /// Registry entry to serve this request with; empty = the default.
   std::string machine;
-};
-
-struct TuneResult {
-  hwsim::OmpConfig config;
-  bool cache_hit = false;        // static features came from the cache
-  std::size_t batch_size = 1;    // size of the grouped forward that served it
-  double latency_us = 0.0;       // submit -> completion
+  /// QoS: priority tier, admission policy, deadline.
+  RequestOptions options;
 };
 
 class TuningService {
@@ -65,13 +79,31 @@ class TuningService {
   TuningService(const TuningService&) = delete;
   TuningService& operator=(const TuningService&) = delete;
 
-  /// Enqueue a request. Blocks while the queue is at capacity
-  /// (backpressure). The future reports service errors (unknown machine,
-  /// failed artifact load) as exceptions.
-  [[nodiscard]] std::future<TuneResult> submit(TuneRequest request);
+  /// Enqueue a request under its RequestOptions and return the ticket.
+  /// Never throws for service errors: admission refusals, unknown machines
+  /// and shutdown all resolve the ticket with a ServeError. Admission::kBlock
+  /// waits for lane room no longer than the request deadline (forever when
+  /// none is set).
+  [[nodiscard]] TuneTicket submit(TuneRequest request);
+
+  /// Deprecated v1 shim over `submit`: identical to v2 with default
+  /// RequestOptions, reporting errors by rethrowing `ServeError::cause`
+  /// (the legacy exception types) from the future. New code should use
+  /// `submit` and branch on the TuneOutcome.
+  [[nodiscard]] std::future<TuneResult> submit_future(TuneRequest request);
 
   /// Convenience: submit everything, wait, and return results in order.
+  /// Error outcomes surface as exceptions (first failing request wins), so
+  /// this is only suitable for workloads without deadlines or cancellation.
   [[nodiscard]] std::vector<TuneResult> tune_all(std::vector<TuneRequest> requests);
+
+  /// Pause the worker pool: workers finish the batches they already claimed
+  /// and then idle; submissions keep queueing (and admission policies keep
+  /// applying). `resume` (or `shutdown`) releases them. Lets operators
+  /// quiesce the pool around registry hot-swaps — and tests stage queue
+  /// states deterministically.
+  void pause();
+  void resume();
 
   /// Close the queue, drain the backlog, join the workers. Idempotent;
   /// the destructor calls it.
@@ -82,23 +114,39 @@ class TuningService {
   [[nodiscard]] const ServeOptions& options() const noexcept { return options_; }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   struct Pending {
     TuneRequest request;  // request.machine resolved at submit
-    std::promise<TuneResult> promise;
+    std::shared_ptr<TicketState> state;
     std::uint64_t group_key = 0;
-    std::chrono::steady_clock::time_point enqueued;
+    Priority tier = Priority::kNormal;
+    Clock::time_point enqueued;
+    Clock::time_point deadline_at;  // time_point::max() when no deadline
   };
 
   void worker_loop();
+  /// Resolve `pending` when it is cancelled or past its deadline, recording
+  /// the per-tier counter. True when the request was dropped.
+  bool sweep(Pending& pending, Clock::time_point now);
+  /// Wait for same-kernel co-arrivals until the linger window (or the
+  /// earliest batch deadline) closes or the batch fills.
+  template <typename Match>
+  void linger_batch(std::vector<Pending>& batch, const Match& match,
+                    Clock::time_point pop_time);
   void process_batch(std::vector<Pending>& batch);
-  [[nodiscard]] std::string resolve_machine(const TuneRequest& request) const;
+  /// Target machine for `request`, or a resolution ServeError.
+  [[nodiscard]] std::optional<ServeError> resolve_machine(TuneRequest& request) const;
 
   std::shared_ptr<ModelRegistry> registry_;
   ServeOptions options_;
   FeatureCache cache_;
   ServiceStats stats_;
-  BoundedQueue<Pending> queue_;
+  TieredQueue<Pending> queue_;
   std::vector<std::thread> workers_;
+  std::mutex pause_mutex_;
+  std::condition_variable pause_cv_;
+  bool paused_ = false;
   std::mutex shutdown_mutex_;
   bool shut_down_ = false;
 };

@@ -2,19 +2,22 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+
+#include "util/stats.hpp"
 
 namespace mga::serve {
 
 namespace {
 
-/// Nearest-rank percentile over a sorted sample.
-[[nodiscard]] double percentile(const std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  const double rank = p * static_cast<double>(sorted.size() - 1);
-  const auto lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+void push_ring(std::vector<double>& window, std::size_t& next, std::size_t capacity,
+               double sample) {
+  if (window.size() < capacity) {
+    window.push_back(sample);
+  } else {
+    window[next] = sample;
+  }
+  next = (next + 1) % capacity;
 }
 
 }  // namespace
@@ -27,17 +30,18 @@ void ServiceStats::record_batch(std::size_t size) noexcept {
   }
 }
 
-void ServiceStats::record_completion(double latency_us) {
+void ServiceStats::record_completion(double latency_us, double queue_wait_us,
+                                     double compute_us, Priority tier) {
   completed_.fetch_add(1, std::memory_order_relaxed);
+  Tier& t = tiers_[static_cast<std::size_t>(tier)];
+  t.completed.fetch_add(1, std::memory_order_relaxed);
   const std::lock_guard<std::mutex> lock(latency_mutex_);
   latency_sum_ += latency_us;
+  queue_wait_sum_ += queue_wait_us;
+  compute_sum_ += compute_us;
   latency_max_ = std::max(latency_max_, latency_us);
-  if (latency_window_.size() < kLatencyWindow) {
-    latency_window_.push_back(latency_us);
-  } else {
-    latency_window_[latency_next_] = latency_us;
-  }
-  latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+  push_ring(latency_window_, latency_next_, kLatencyWindow, latency_us);
+  push_ring(t.latency_window, t.latency_next, kTierLatencyWindow, latency_us);
 }
 
 ServiceStatsSnapshot ServiceStats::snapshot(const FeatureCacheStats& cache) const {
@@ -53,16 +57,37 @@ ServiceStatsSnapshot ServiceStats::snapshot(const FeatureCacheStats& cache) cons
   s.cache = cache;
 
   std::vector<double> window;
+  std::array<std::vector<double>, kNumTiers> tier_windows;
   {
     const std::lock_guard<std::mutex> lock(latency_mutex_);
     window = latency_window_;
     s.latency_max_us = latency_max_;
-    if (s.completed > 0) s.latency_mean_us = latency_sum_ / static_cast<double>(s.completed);
+    if (s.completed > 0) {
+      const auto n = static_cast<double>(s.completed);
+      s.latency_mean_us = latency_sum_ / n;
+      s.queue_wait_mean_us = queue_wait_sum_ / n;
+      s.compute_mean_us = compute_sum_ / n;
+    }
+    for (std::size_t t = 0; t < kNumTiers; ++t) tier_windows[t] = tiers_[t].latency_window;
   }
   if (!window.empty()) {
     std::sort(window.begin(), window.end());
-    s.latency_p50_us = percentile(window, 0.50);
-    s.latency_p95_us = percentile(window, 0.95);
+    s.latency_p50_us = util::percentile_sorted(window, 0.50);
+    s.latency_p95_us = util::percentile_sorted(window, 0.95);
+  }
+  for (std::size_t t = 0; t < kNumTiers; ++t) {
+    TierStatsSnapshot& tier = s.tiers[t];
+    tier.admitted = tiers_[t].admitted.load();
+    tier.completed = tiers_[t].completed.load();
+    tier.rejected = tiers_[t].rejected.load();
+    tier.shed = tiers_[t].shed.load();
+    tier.expired = tiers_[t].expired.load();
+    tier.cancelled = tiers_[t].cancelled.load();
+    if (!tier_windows[t].empty()) {
+      std::sort(tier_windows[t].begin(), tier_windows[t].end());
+      tier.latency_p50_us = util::percentile_sorted(tier_windows[t], 0.50);
+      tier.latency_p95_us = util::percentile_sorted(tier_windows[t], 0.95);
+    }
   }
   return s;
 }
@@ -84,6 +109,19 @@ util::Table stats_table(const ServiceStatsSnapshot& s) {
   table.add_row({"latency p50", util::fmt_double(s.latency_p50_us) + " us"});
   table.add_row({"latency p95", util::fmt_double(s.latency_p95_us) + " us"});
   table.add_row({"latency max", util::fmt_double(s.latency_max_us) + " us"});
+  table.add_row({"queue wait mean", util::fmt_double(s.queue_wait_mean_us) + " us"});
+  table.add_row({"compute mean", util::fmt_double(s.compute_mean_us) + " us"});
+  for (std::size_t t = 0; t < kNumTiers; ++t) {
+    const TierStatsSnapshot& tier = s.tiers[t];
+    const std::string name = to_string(static_cast<Priority>(t));
+    table.add_row({name + " admitted/completed",
+                   std::to_string(tier.admitted) + " / " + std::to_string(tier.completed)});
+    table.add_row({name + " rej/shed/exp/can",
+                   std::to_string(tier.rejected) + " / " + std::to_string(tier.shed) + " / " +
+                       std::to_string(tier.expired) + " / " + std::to_string(tier.cancelled)});
+    table.add_row({name + " p50/p95", util::fmt_double(tier.latency_p50_us) + " / " +
+                                          util::fmt_double(tier.latency_p95_us) + " us"});
+  }
   return table;
 }
 

@@ -1,13 +1,18 @@
 // Service telemetry: lock-light counters updated on the request hot path and
 // a snapshot/rendering pair for operators (bench and example binaries print
-// the same table).
+// the same table). v2 adds per-tier QoS accounting (admitted / rejected /
+// shed / expired / cancelled, per-tier latency percentiles) and the
+// queue-wait vs. compute latency breakdown that makes linger tuning
+// observable.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <vector>
 
+#include "serve/ticket.hpp"
 #include "util/table.hpp"
 
 namespace mga::serve {
@@ -29,12 +34,30 @@ struct FeatureCacheStats {
   }
 };
 
+/// Per-tier QoS accounting. `admitted` counts requests that entered the
+/// lane; the error counters break down the tier's *QoS* failures by cause
+/// (rejected = admission refusal or shutdown, shed = displaced by a newer
+/// request, expired = deadline, cancelled = caller). Machine-resolution and
+/// artifact-load failures are not tier-attributed: they appear only in the
+/// global `failed`, which therefore can exceed the tier sums. Percentiles
+/// cover the tier's recent completions.
+struct TierStatsSnapshot {
+  std::uint64_t admitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t cancelled = 0;
+  double latency_p50_us = 0.0;
+  double latency_p95_us = 0.0;
+};
+
 /// One coherent view of the service counters (plus the cache block when the
 /// caller provides it — TuningService::stats_snapshot always does).
 struct ServiceStatsSnapshot {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
-  std::uint64_t failed = 0;
+  std::uint64_t failed = 0;  // every error outcome, across all causes
   std::uint64_t batches = 0;
   std::uint64_t max_batch = 0;
   double mean_batch = 0.0;
@@ -42,6 +65,11 @@ struct ServiceStatsSnapshot {
   double latency_p50_us = 0.0;   // percentiles over the recent window
   double latency_p95_us = 0.0;
   double latency_max_us = 0.0;   // over all completions
+  /// Mean split of completion latency: queued (admission + lane + linger)
+  /// vs. inside the grouped forward.
+  double queue_wait_mean_us = 0.0;
+  double compute_mean_us = 0.0;
+  std::array<TierStatsSnapshot, kNumTiers> tiers{};
   FeatureCacheStats cache;
 };
 
@@ -52,10 +80,19 @@ class ServiceStats {
     failed_.fetch_add(n, std::memory_order_relaxed);
   }
 
+  void record_admitted(Priority tier) noexcept { bump(tier, &Tier::admitted); }
+  /// Each of these also counts toward the global `failed` total.
+  void record_rejected(Priority tier) noexcept { bump(tier, &Tier::rejected); record_failed(); }
+  void record_shed(Priority tier) noexcept { bump(tier, &Tier::shed); record_failed(); }
+  void record_expired(Priority tier) noexcept { bump(tier, &Tier::expired); record_failed(); }
+  void record_cancelled(Priority tier) noexcept { bump(tier, &Tier::cancelled); record_failed(); }
+
   void record_batch(std::size_t size) noexcept;
 
-  /// Completion + end-to-end latency (submit -> promise fulfilled).
-  void record_completion(double latency_us);
+  /// Completion, end-to-end latency (submit -> outcome resolved) and its
+  /// queue-wait / compute split, attributed to the request's tier.
+  void record_completion(double latency_us, double queue_wait_us, double compute_us,
+                         Priority tier);
 
   [[nodiscard]] ServiceStatsSnapshot snapshot(const FeatureCacheStats& cache = {}) const;
 
@@ -64,6 +101,23 @@ class ServiceStats {
   /// recent completions, so a long-lived service neither grows without
   /// bound nor pays more than an O(window log window) sort per snapshot.
   static constexpr std::size_t kLatencyWindow = 16384;
+  static constexpr std::size_t kTierLatencyWindow = 4096;
+
+  struct Tier {
+    std::atomic<std::uint64_t> admitted{0};
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> rejected{0};
+    std::atomic<std::uint64_t> shed{0};
+    std::atomic<std::uint64_t> expired{0};
+    std::atomic<std::uint64_t> cancelled{0};
+    // Guarded by latency_mutex_.
+    std::vector<double> latency_window;
+    std::size_t latency_next = 0;
+  };
+
+  void bump(Priority tier, std::atomic<std::uint64_t> Tier::* counter) noexcept {
+    (tiers_[static_cast<std::size_t>(tier)].*counter).fetch_add(1, std::memory_order_relaxed);
+  }
 
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> completed_{0};
@@ -76,6 +130,9 @@ class ServiceStats {
   std::size_t latency_next_ = 0;
   double latency_sum_ = 0.0;
   double latency_max_ = 0.0;
+  double queue_wait_sum_ = 0.0;
+  double compute_sum_ = 0.0;
+  std::array<Tier, kNumTiers> tiers_;
 };
 
 /// Render a snapshot as the operator-facing metric/value table.

@@ -1,0 +1,269 @@
+// QoS request surface of the serve v2 API.
+//
+// A `TuneRequest` carries `RequestOptions` — priority tier, admission policy
+// for a full lane, and an optional deadline — and `TuningService::submit`
+// returns a `TuneTicket`: a handle over the request's shared state with
+// `get` / `wait_for` / `cancel` / `done`. Results are a typed `TuneOutcome`
+// (expected-style: a `TuneResult` value or a `ServeError`) instead of opaque
+// exceptions; the error taxonomy is closed (`ServeErrorKind`) so callers can
+// branch on it, and `ServeError::cause` preserves the original exception for
+// the deprecated future-based shims to rethrow.
+//
+// Resolution discipline: a ticket's state resolves exactly once — the first
+// of {worker completion, cancel, deadline/cancellation sweep, admission
+// rejection} wins and every later attempt is a no-op. That single rule makes
+// `cancel` racing a draining worker safe: the caller observes either the
+// served value or a `kCancelled` error, never both, never neither.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "hwsim/workload.hpp"
+#include "util/check.hpp"
+
+namespace mga::serve {
+
+/// Admission tiers, highest priority first. The tiered queue pops
+/// interactive traffic ahead of normal ahead of bulk (with an
+/// anti-starvation override, see TieredQueue).
+enum class Priority : std::uint8_t { kInteractive = 0, kNormal = 1, kBulk = 2 };
+
+inline constexpr std::size_t kNumTiers = 3;
+
+[[nodiscard]] constexpr const char* to_string(Priority priority) noexcept {
+  switch (priority) {
+    case Priority::kInteractive: return "interactive";
+    case Priority::kNormal: return "normal";
+    case Priority::kBulk: return "bulk";
+  }
+  return "?";
+}
+
+/// What `submit` does when the request's tier lane is at capacity.
+enum class Admission : std::uint8_t {
+  kBlock,   ///< Wait for room (bounded by the request deadline, if any).
+  kReject,  ///< Resolve the ticket immediately with kRejected.
+  kShed,    ///< Displace the oldest request in the lane (which gets
+            ///< kRejected) and admit this one.
+};
+
+struct RequestOptions {
+  Priority priority = Priority::kNormal;
+  Admission admission = Admission::kBlock;
+  /// Relative deadline, measured from submit; zero = none. Enforced at the
+  /// admission gate (Block waits no longer than this) and at the worker
+  /// sweeps before a grouped forward; a request whose compute already
+  /// started is delivered even if it finishes past the deadline.
+  std::chrono::steady_clock::duration deadline{};
+};
+
+enum class ServeErrorKind : std::uint8_t {
+  kRejected,          ///< Admission: lane full (kReject), displaced (kShed),
+                      ///< or submit after shutdown.
+  kDeadlineExceeded,  ///< Deadline elapsed while queued or blocked.
+  kCancelled,         ///< TuneTicket::cancel won the resolution race.
+  kUnknownMachine,    ///< No such registry entry / no default configured.
+  kLoadFailed,        ///< Registry artifact load (or the forward) threw.
+};
+
+[[nodiscard]] constexpr const char* to_string(ServeErrorKind kind) noexcept {
+  switch (kind) {
+    case ServeErrorKind::kRejected: return "rejected";
+    case ServeErrorKind::kDeadlineExceeded: return "deadline-exceeded";
+    case ServeErrorKind::kCancelled: return "cancelled";
+    case ServeErrorKind::kUnknownMachine: return "unknown-machine";
+    case ServeErrorKind::kLoadFailed: return "load-failed";
+  }
+  return "?";
+}
+
+struct ServeError {
+  ServeErrorKind kind = ServeErrorKind::kRejected;
+  std::string detail;
+  /// The original exception when this error wraps one (registry load
+  /// failures, legacy resolve errors); the deprecated future shims rethrow
+  /// it so v1 callers keep seeing the exact exception types they did.
+  std::exception_ptr cause;
+};
+
+struct TuneResult {
+  hwsim::OmpConfig config;
+  bool cache_hit = false;      // static features came from the cache
+  std::size_t batch_size = 1;  // size of the grouped forward that served it
+  double latency_us = 0.0;     // submit -> outcome resolved
+  /// Breakdown of latency_us: time spent queued (admission + lane + linger,
+  /// submit -> batch fire) vs. in the batch itself (registry resolve,
+  /// features, profiling, grouped forward).
+  double queue_wait_us = 0.0;
+  double compute_us = 0.0;
+};
+
+/// Expected-style result of a served request: a value or a ServeError.
+class TuneOutcome {
+ public:
+  /*implicit*/ TuneOutcome(TuneResult value) : state_(std::move(value)) {}
+  /*implicit*/ TuneOutcome(ServeError error) : state_(std::move(error)) {}
+
+  [[nodiscard]] bool ok() const noexcept { return std::holds_alternative<TuneResult>(state_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] const TuneResult& value() const {
+    MGA_CHECK_MSG(ok(), "TuneOutcome::value() on an error outcome");
+    return std::get<TuneResult>(state_);
+  }
+  [[nodiscard]] TuneResult& value() {
+    MGA_CHECK_MSG(ok(), "TuneOutcome::value() on an error outcome");
+    return std::get<TuneResult>(state_);
+  }
+  [[nodiscard]] const ServeError& error() const {
+    MGA_CHECK_MSG(!ok(), "TuneOutcome::error() on a value outcome");
+    return std::get<ServeError>(state_);
+  }
+
+ private:
+  std::variant<TuneResult, ServeError> state_;
+};
+
+/// Shared state behind a TuneTicket: resolve-once outcome cell plus the
+/// cancellation flag the worker sweeps read. Internal to the service; public
+/// only because TuneTicket and TuningService both hold it.
+class TicketState {
+ public:
+  /// First resolve wins; later calls are no-ops. Returns whether this call
+  /// was the one that resolved the ticket.
+  bool resolve(TuneOutcome outcome) {
+    if (!try_claim()) return false;
+    publish(std::move(outcome));
+    return true;
+  }
+
+  /// Two-phase resolution for resolvers that must do accounting before the
+  /// outcome becomes visible (a `get`ter may read a stats snapshot the
+  /// instant it wakes): winner of `try_claim` records its counters, then
+  /// `publish`es. Only the claim winner may publish, exactly once.
+  [[nodiscard]] bool try_claim() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (claimed_) return false;
+    claimed_ = true;
+    return true;
+  }
+
+  void publish(TuneOutcome outcome) {
+    std::function<void(const TuneOutcome&)> continuation;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      outcome_.emplace(outcome);
+      continuation = std::move(continuation_);
+      continuation_ = nullptr;
+    }
+    cv_.notify_all();
+    if (continuation) continuation(outcome);
+  }
+
+  /// Register a callback run exactly once with the outcome — inline on the
+  /// resolving thread, or immediately when already resolved. At most one
+  /// continuation per ticket; keep it cheap and non-throwing (the future
+  /// shim uses it to keep v1's promise-backed readiness semantics).
+  void on_resolved(std::function<void(const TuneOutcome&)> continuation) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (outcome_.has_value()) {
+      const TuneOutcome outcome = *outcome_;
+      lock.unlock();
+      continuation(outcome);
+      return;
+    }
+    continuation_ = std::move(continuation);
+  }
+
+  [[nodiscard]] bool done() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return outcome_.has_value();
+  }
+
+  [[nodiscard]] TuneOutcome get() const {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return outcome_.has_value(); });
+    return *outcome_;
+  }
+
+  [[nodiscard]] bool wait_for(std::chrono::steady_clock::duration timeout) const {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return cv_.wait_for(lock, timeout, [&] { return outcome_.has_value(); });
+  }
+
+  /// Cancellation is advisory until a sweep or the resolve race observes it.
+  void request_cancel() noexcept { cancel_requested_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancel_requested() const noexcept {
+    return cancel_requested_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  bool claimed_ = false;
+  std::optional<TuneOutcome> outcome_;
+  std::function<void(const TuneOutcome&)> continuation_;
+  std::atomic<bool> cancel_requested_{false};
+};
+
+/// Caller-side handle for a submitted request. Copyable (all copies share
+/// the same state); a default-constructed ticket is invalid.
+class TuneTicket {
+ public:
+  TuneTicket() = default;
+  explicit TuneTicket(std::shared_ptr<TicketState> state) : state_(std::move(state)) {}
+
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
+  /// Block until the request resolves; safe to call repeatedly.
+  [[nodiscard]] TuneOutcome get() const {
+    MGA_CHECK_MSG(valid(), "TuneTicket::get() on an invalid ticket");
+    return state_->get();
+  }
+
+  /// True when the outcome is available within `timeout`.
+  [[nodiscard]] bool wait_for(std::chrono::steady_clock::duration timeout) const {
+    MGA_CHECK_MSG(valid(), "TuneTicket::wait_for() on an invalid ticket");
+    return state_->wait_for(timeout);
+  }
+
+  [[nodiscard]] bool done() const {
+    MGA_CHECK_MSG(valid(), "TuneTicket::done() on an invalid ticket");
+    return state_->done();
+  }
+
+  /// Register a one-shot completion callback (see TicketState::on_resolved:
+  /// runs inline on the resolving thread, or immediately when already done).
+  void on_resolved(std::function<void(const TuneOutcome&)> continuation) const {
+    MGA_CHECK_MSG(valid(), "TuneTicket::on_resolved() on an invalid ticket");
+    state_->on_resolved(std::move(continuation));
+  }
+
+  /// Best-effort cancel: resolves the ticket with kCancelled unless the
+  /// outcome is already set. Returns true when the cancel won — the request
+  /// will be dropped by a worker sweep before (or instead of) its grouped
+  /// forward. False means the outcome was already resolved (served, expired,
+  /// or a racing worker finished first); `get` reports which.
+  bool cancel() {
+    MGA_CHECK_MSG(valid(), "TuneTicket::cancel() on an invalid ticket");
+    state_->request_cancel();
+    return state_->resolve(ServeError{ServeErrorKind::kCancelled, "cancelled by caller", nullptr});
+  }
+
+ private:
+  std::shared_ptr<TicketState> state_;
+};
+
+}  // namespace mga::serve

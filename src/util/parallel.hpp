@@ -1,0 +1,69 @@
+// Minimal fork-join helper for embarrassingly parallel index loops.
+//
+// `parallel_for(n, fn)` runs fn(i) for i in [0, n) across a transient pool
+// of std::threads using a static block partition, so callers that write
+// result slot i from iteration i get bit-identical output to the serial
+// loop regardless of thread count — the property dataset construction
+// relies on. Exceptions are captured and the first one rethrown on the
+// calling thread after the join.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace mga::util {
+
+/// Threads `parallel_for` uses for `n` items: min(n, hardware concurrency),
+/// at least 1.
+[[nodiscard]] inline std::size_t parallel_threads(std::size_t n) {
+  const std::size_t hw = std::thread::hardware_concurrency();
+  return std::max<std::size_t>(1, std::min(n, hw == 0 ? 1 : hw));
+}
+
+/// Run fn(i) for every i in [0, n). `fn` must be safe to call concurrently
+/// from distinct threads for distinct i; iteration order across threads is
+/// unspecified, so all determinism must come from fn writing only state
+/// owned by its index.
+template <typename Fn>
+void parallel_for(std::size_t n, Fn&& fn) {
+  const std::size_t threads = parallel_threads(n);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  const std::size_t chunk = (n + threads - 1) / threads;
+  try {
+    for (std::size_t t = 0; t < threads; ++t) {
+      const std::size_t begin = t * chunk;
+      const std::size_t end = std::min(n, begin + chunk);
+      if (begin >= end) break;
+      pool.emplace_back([&, begin, end] {
+        try {
+          for (std::size_t i = begin; i < end; ++i) fn(i);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!error) error = std::current_exception();
+        }
+      });
+    }
+  } catch (...) {
+    // Thread spawn failed (e.g. EAGAIN under a container thread limit):
+    // join what started, then propagate instead of std::terminate-ing via
+    // ~thread on a joinable vector.
+    for (std::thread& worker : pool) worker.join();
+    throw;
+  }
+  for (std::thread& worker : pool) worker.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace mga::util

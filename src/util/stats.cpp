@@ -106,6 +106,15 @@ double inverse_normal_cdf(double p) {
 
 double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
 
+double percentile_sorted(std::span<const double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
 std::size_t argmax(std::span<const double> xs) {
   assert(!xs.empty());
   return static_cast<std::size_t>(

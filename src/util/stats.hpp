@@ -33,6 +33,11 @@ namespace mga::util {
 /// Standard normal CDF (via std::erfc).
 [[nodiscard]] double normal_cdf(double x);
 
+/// Linear-interpolation percentile (p in [0, 1]) over an ascending-sorted
+/// sample; 0 for an empty one. Shared by the serve telemetry and the serve
+/// bench so both report the same percentile definition.
+[[nodiscard]] double percentile_sorted(std::span<const double> sorted, double p);
+
 /// Index of the maximum element; first index wins ties. Requires non-empty.
 [[nodiscard]] std::size_t argmax(std::span<const double> xs);
 [[nodiscard]] std::size_t argmin(std::span<const double> xs);

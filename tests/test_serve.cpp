@@ -1,6 +1,8 @@
-// mga::serve — bounded MPMC queue semantics, feature-cache hit/eviction and
-// profile memoization, batched facade paths, and the service determinism
-// contract: served predictions are bit-identical to direct `MgaTuner::tune`.
+// mga::serve — bounded MPMC queue semantics, the tiered QoS queue, feature
+// cache hit/eviction and profile memoization, batched facade paths, the v2
+// ticket/outcome API (deadlines, cancellation, admission tiers, linger), the
+// deprecated v1 future shims, and the service determinism contract: served
+// predictions are bit-identical to direct `MgaTuner::tune`.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -14,6 +16,8 @@
 
 namespace mga::serve {
 namespace {
+
+using namespace std::chrono_literals;
 
 // --- bounded MPMC queue ------------------------------------------------------
 
@@ -54,6 +58,17 @@ TEST(BoundedQueue, PushBlocksUntilPopMakesRoom) {
   EXPECT_EQ(*queue.pop(), 2);
 }
 
+TEST(BoundedQueue, PushUntilTimesOutOnAFullQueue) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.push(1));
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(queue.push_until(2, start + 30ms));
+  EXPECT_GE(std::chrono::steady_clock::now() - start, 30ms);
+  EXPECT_EQ(*queue.pop(), 1);
+  EXPECT_TRUE(queue.push_until(2, std::chrono::steady_clock::now() + 30ms));
+  EXPECT_EQ(*queue.pop(), 2);
+}
+
 TEST(BoundedQueue, CloseDrainsBacklogThenReportsEmpty) {
   BoundedQueue<int> queue(4);
   ASSERT_TRUE(queue.push(1));
@@ -76,6 +91,142 @@ TEST(BoundedQueue, DrainMatchingExtractsInOrderAndPreservesRest) {
   std::vector<int> rest;
   while (auto item = queue.try_pop()) rest.push_back(*item);
   EXPECT_EQ(rest, (std::vector<int>{1, 3, 5, 6, 7, 8}));
+}
+
+// --- tiered queue ------------------------------------------------------------
+
+using TQ = TieredQueue<int>;
+
+TEST(TieredQueue, PopsHigherLanesFirstFifoWithinLane) {
+  TQ queue({4, 4, 4});
+  EXPECT_EQ(queue.try_push(20, 2), TQ::PushResult::kOk);
+  EXPECT_EQ(queue.try_push(10, 1), TQ::PushResult::kOk);
+  EXPECT_EQ(queue.try_push(0, 0), TQ::PushResult::kOk);
+  EXPECT_EQ(queue.try_push(1, 0), TQ::PushResult::kOk);
+  EXPECT_EQ(*queue.try_pop(), 0);
+  EXPECT_EQ(*queue.try_pop(), 1);
+  EXPECT_EQ(*queue.try_pop(), 10);
+  EXPECT_EQ(*queue.try_pop(), 20);
+  EXPECT_FALSE(queue.try_pop().has_value());
+}
+
+TEST(TieredQueue, PerLaneCapacityIsIndependent) {
+  TQ queue({1, 2, 1});
+  EXPECT_EQ(queue.try_push(0, 0), TQ::PushResult::kOk);
+  EXPECT_EQ(queue.try_push(1, 0), TQ::PushResult::kFull);  // lane 0 full
+  EXPECT_EQ(queue.try_push(2, 1), TQ::PushResult::kOk);    // lane 1 unaffected
+  EXPECT_EQ(queue.try_push(3, 1), TQ::PushResult::kOk);
+  EXPECT_EQ(queue.try_push(4, 1), TQ::PushResult::kFull);
+  EXPECT_EQ(queue.size(), 3u);
+  EXPECT_EQ(queue.size(0), 1u);
+  EXPECT_EQ(queue.size(1), 2u);
+  EXPECT_EQ(queue.size(2), 0u);
+}
+
+TEST(TieredQueue, StarvationLimitBoundsHowLongBulkWaits) {
+  TQ queue({8, 8, 8}, /*starvation_limit=*/3);
+  EXPECT_EQ(queue.try_push(100, 2), TQ::PushResult::kOk);  // one bulk item
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(queue.try_push(i, 0), TQ::PushResult::kOk);
+  // Interactive flood: bulk is passed over starvation_limit times, then must
+  // be served before any further interactive item.
+  std::vector<int> order;
+  while (auto item = queue.try_pop()) order.push_back(*item);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 100, 3, 4, 5}));
+}
+
+TEST(TieredQueue, PushSheddingDisplacesTheLanesOldest) {
+  TQ queue({2, 2, 2});
+  EXPECT_EQ(queue.try_push(1, 1), TQ::PushResult::kOk);
+  EXPECT_EQ(queue.try_push(2, 1), TQ::PushResult::kOk);
+  std::optional<int> shed;
+  EXPECT_EQ(queue.push_shedding(3, 1, shed), TQ::PushResult::kOk);
+  ASSERT_TRUE(shed.has_value());
+  EXPECT_EQ(*shed, 1);  // oldest in the lane
+  EXPECT_EQ(queue.size(1), 2u);
+  EXPECT_EQ(*queue.try_pop(), 2);
+  EXPECT_EQ(*queue.try_pop(), 3);
+
+  shed.reset();
+  EXPECT_EQ(queue.push_shedding(4, 1, shed), TQ::PushResult::kOk);
+  EXPECT_FALSE(shed.has_value()) << "no displacement when the lane has room";
+}
+
+TEST(TieredQueue, PushUntilTimesOutOnAFullLane) {
+  TQ queue({1, 1, 1});
+  EXPECT_EQ(queue.try_push(1, 0), TQ::PushResult::kOk);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(queue.push_until(2, 0, start + 30ms), TQ::PushResult::kFull);
+  EXPECT_GE(std::chrono::steady_clock::now() - start, 30ms);
+  EXPECT_EQ(*queue.try_pop(), 1);
+  EXPECT_EQ(queue.push_until(2, 0, std::chrono::steady_clock::now() + 30ms),
+            TQ::PushResult::kOk);
+}
+
+TEST(TieredQueue, DrainMatchingScansLanesInPriorityOrder) {
+  TQ queue({4, 4, 4});
+  EXPECT_EQ(queue.try_push(21, 2), TQ::PushResult::kOk);
+  EXPECT_EQ(queue.try_push(20, 2), TQ::PushResult::kOk);
+  EXPECT_EQ(queue.try_push(11, 1), TQ::PushResult::kOk);
+  EXPECT_EQ(queue.try_push(1, 0), TQ::PushResult::kOk);
+  std::vector<int> odd;
+  EXPECT_EQ(queue.drain_matching([](int x) { return x % 2 == 1; }, 8, odd), 3u);
+  EXPECT_EQ(odd, (std::vector<int>{1, 11, 21}));  // lane 0, 1, 2
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_EQ(*queue.try_pop(), 20);
+}
+
+TEST(TieredQueue, WaitPushObservesNewArrivals) {
+  TQ queue({4, 4, 4});
+  const std::uint64_t epoch = queue.push_epoch();
+  EXPECT_FALSE(queue.wait_push(epoch, std::chrono::steady_clock::now() + 10ms));
+  EXPECT_EQ(queue.try_push(1, 1), TQ::PushResult::kOk);
+  EXPECT_TRUE(queue.wait_push(epoch, std::chrono::steady_clock::now() + 10ms));
+  EXPECT_FALSE(
+      queue.wait_push(queue.push_epoch(), std::chrono::steady_clock::now() + 10ms));
+}
+
+TEST(TieredQueue, CloseDrainsBacklogThenReportsEmpty) {
+  TQ queue({2, 2, 2});
+  EXPECT_EQ(queue.try_push(1, 0), TQ::PushResult::kOk);
+  EXPECT_EQ(queue.try_push(2, 2), TQ::PushResult::kOk);
+  queue.close();
+  EXPECT_EQ(queue.try_push(3, 1), TQ::PushResult::kClosed);
+  EXPECT_EQ(*queue.pop(), 1);
+  EXPECT_EQ(*queue.pop(), 2);
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+// --- ticket state ------------------------------------------------------------
+
+TEST(TuneTicket, ResolveOnceFirstWriterWins) {
+  auto state = std::make_shared<TicketState>();
+  TuneTicket ticket(state);
+  EXPECT_TRUE(ticket.valid());
+  EXPECT_FALSE(ticket.done());
+  EXPECT_FALSE(ticket.wait_for(1ms));
+
+  TuneResult value;
+  value.batch_size = 7;
+  EXPECT_TRUE(state->resolve(TuneOutcome(value)));
+  EXPECT_FALSE(state->resolve(
+      TuneOutcome(ServeError{ServeErrorKind::kCancelled, "too late", nullptr})));
+  EXPECT_TRUE(ticket.done());
+  EXPECT_TRUE(ticket.wait_for(1ms));
+  const TuneOutcome outcome = ticket.get();
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().batch_size, 7u);
+  EXPECT_FALSE(ticket.cancel()) << "cancel after resolution must lose";
+}
+
+TEST(TuneTicket, CancelResolvesImmediately) {
+  auto state = std::make_shared<TicketState>();
+  TuneTicket ticket(state);
+  EXPECT_TRUE(ticket.cancel());
+  EXPECT_TRUE(ticket.done());
+  const TuneOutcome outcome = ticket.get();
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().kind, ServeErrorKind::kCancelled);
+  EXPECT_TRUE(state->cancel_requested());
 }
 
 // --- shared tiny tuner -------------------------------------------------------
@@ -109,6 +260,14 @@ std::shared_ptr<ModelRegistry> make_registry() {
 const std::shared_ptr<ModelRegistry>& shared_registry() {
   static const std::shared_ptr<ModelRegistry> registry = make_registry();
   return registry;
+}
+
+/// Plain request with default QoS options.
+TuneRequest make_request(const char* kernel, double input_bytes) {
+  TuneRequest request;
+  request.kernel = corpus::find_kernel(kernel);
+  request.input_bytes = input_bytes;
+  return request;
 }
 
 // --- feature cache -----------------------------------------------------------
@@ -234,7 +393,7 @@ TEST(BatchedTuner, SameNameDifferentParamsAreNotMergedIntoOneGroup) {
   EXPECT_EQ(batched[3], batched[1]);
 }
 
-// --- the service -------------------------------------------------------------
+// --- the service: v1 shim paths ----------------------------------------------
 
 TEST(TuningService, SameNameDifferentParamsServeTheirOwnKernels) {
   TuningService service(shared_registry(), {});
@@ -249,7 +408,7 @@ TEST(TuningService, SameNameDifferentParamsServeTheirOwnKernels) {
     TuneRequest request;
     request.kernel = spec;
     request.input_bytes = 2e6;
-    futures.push_back(service.submit(std::move(request)));
+    futures.push_back(service.submit_future(std::move(request)));
   }
   EXPECT_EQ(futures[0].get().config, shared_tuner().tune(a, 2e6));
   EXPECT_EQ(futures[1].get().config, shared_tuner().tune(b, 2e6));
@@ -262,10 +421,7 @@ TEST(TuningService, AmbiguousDefaultMachineFailsTheFutureNotTheCall) {
   registry->add_artifact("machine-a", "/nonexistent-a", tiny_options());
   registry->add_artifact("machine-b", "/nonexistent-b", tiny_options());
   TuningService service(registry, {});
-  TuneRequest request;
-  request.kernel = corpus::find_kernel("polybench/gemm");
-  request.input_bytes = 8192.0;
-  auto future = service.submit(std::move(request));  // must not throw here
+  auto future = service.submit_future(make_request("polybench/gemm", 8192.0));
   EXPECT_THROW((void)future.get(), std::invalid_argument);
   EXPECT_EQ(service.stats_snapshot().failed, 1u);
 }
@@ -278,10 +434,7 @@ TEST(TuningService, ServedPredictionsMatchDirectTuneBitForBit) {
   for (const char* name : {"polybench/gemm", "rodinia/bfs", "stream/triad",
                            "lulesh/CalcHourglassControlForElems"}) {
     for (const double input : {8192.0, 2e6, 1e8}) {
-      TuneRequest request;
-      request.kernel = corpus::find_kernel(name);
-      request.input_bytes = input;
-      const TuneResult result = service.submit(std::move(request)).get();
+      const TuneResult result = service.submit_future(make_request(name, input)).get();
       EXPECT_EQ(result.config, shared_tuner().tune(corpus::find_kernel(name), input))
           << name << " @ " << input;
     }
@@ -290,12 +443,10 @@ TEST(TuningService, ServedPredictionsMatchDirectTuneBitForBit) {
 
 TEST(TuningService, RepeatRequestHitsTheFeatureCache) {
   TuningService service(shared_registry(), {});
-  TuneRequest request;
-  request.kernel = corpus::find_kernel("polybench/gemm");
-  request.input_bytes = 2e6;
+  const TuneRequest request = make_request("polybench/gemm", 2e6);
 
-  const TuneResult first = service.submit(TuneRequest(request)).get();
-  const TuneResult second = service.submit(TuneRequest(request)).get();
+  const TuneResult first = service.submit_future(TuneRequest(request)).get();
+  const TuneResult second = service.submit_future(TuneRequest(request)).get();
   EXPECT_FALSE(first.cache_hit);
   EXPECT_TRUE(second.cache_hit);
   EXPECT_EQ(first.config, second.config);
@@ -312,11 +463,9 @@ TEST(TuningService, CallerSuppliedCountersSkipProfiling) {
   const corpus::KernelSpec kernel = corpus::find_kernel("rodinia/bfs");
   const double input = 4e6;
 
-  TuneRequest request;
-  request.kernel = kernel;
-  request.input_bytes = input;
+  TuneRequest request = make_request("rodinia/bfs", input);
   request.counters = shared_tuner().profile_counters(corpus::generate(kernel).workload, input);
-  const TuneResult result = service.submit(std::move(request)).get();
+  const TuneResult result = service.submit_future(std::move(request)).get();
 
   EXPECT_EQ(result.config, shared_tuner().tune(kernel, input));
   EXPECT_EQ(service.stats_snapshot().cache.profiles_run, 0u);
@@ -349,10 +498,8 @@ TEST(TuningService, ConcurrentMixedWorkloadIsCorrectAndComplete) {
       for (int i = 0; i < kPerThread; ++i) {
         const char* name = names[static_cast<std::size_t>(t + i) % names.size()];
         const double input = inputs[static_cast<std::size_t>(t + 3 * i) % inputs.size()];
-        TuneRequest request;
-        request.kernel = corpus::find_kernel(name);
-        request.input_bytes = input;
-        futures[static_cast<std::size_t>(t)].push_back(service.submit(std::move(request)));
+        futures[static_cast<std::size_t>(t)].push_back(
+            service.submit_future(make_request(name, input)));
         keys[static_cast<std::size_t>(t)].emplace_back(name, input);
       }
     });
@@ -373,15 +520,16 @@ TEST(TuningService, ConcurrentMixedWorkloadIsCorrectAndComplete) {
   EXPECT_EQ(stats.cache.entries, names.size());
   EXPECT_GE(stats.batches, 1u);
   EXPECT_GE(stats.mean_batch, 1.0);
+  const TierStatsSnapshot& normal = stats.tiers[static_cast<std::size_t>(Priority::kNormal)];
+  EXPECT_EQ(normal.admitted, static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(normal.completed, static_cast<std::uint64_t>(kThreads * kPerThread));
 }
 
 TEST(TuningService, UnknownMachineFailsTheFuture) {
   TuningService service(shared_registry(), {});
-  TuneRequest request;
-  request.kernel = corpus::find_kernel("polybench/gemm");
-  request.input_bytes = 8192.0;
+  TuneRequest request = make_request("polybench/gemm", 8192.0);
   request.machine = "no-such-machine";
-  auto future = service.submit(std::move(request));
+  auto future = service.submit_future(std::move(request));
   EXPECT_THROW((void)future.get(), std::out_of_range);
   EXPECT_EQ(service.stats_snapshot().failed, 1u);
 }
@@ -389,11 +537,454 @@ TEST(TuningService, UnknownMachineFailsTheFuture) {
 TEST(TuningService, SubmitAfterShutdownFailsTheFuture) {
   TuningService service(shared_registry(), {});
   service.shutdown();
-  TuneRequest request;
-  request.kernel = corpus::find_kernel("polybench/gemm");
-  request.input_bytes = 8192.0;
-  auto future = service.submit(std::move(request));
+  auto future = service.submit_future(make_request("polybench/gemm", 8192.0));
   EXPECT_THROW((void)future.get(), std::runtime_error);
+}
+
+// --- the service: v2 QoS paths -----------------------------------------------
+
+TEST(TuningService, LegacyShimMatchesV2WithDefaultOptions) {
+  TuningService service(shared_registry(), {});
+  const TuneRequest request = make_request("polybench/gemm", 2e6);
+
+  const TuneResult legacy = service.submit_future(TuneRequest(request)).get();
+  const TuneOutcome outcome = service.submit(TuneRequest(request)).get();
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(legacy.config, outcome.value().config);
+  EXPECT_EQ(legacy.config,
+            shared_tuner().tune(corpus::find_kernel("polybench/gemm"), 2e6));
+
+  // Both rode the default tier with Block admission and no deadline.
+  const ServiceStatsSnapshot stats = service.stats_snapshot();
+  const TierStatsSnapshot& normal = stats.tiers[static_cast<std::size_t>(Priority::kNormal)];
+  EXPECT_EQ(normal.admitted, 2u);
+  EXPECT_EQ(normal.completed, 2u);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(TuningService, UnknownMachineResolvesTicketWithTypedError) {
+  TuningService service(shared_registry(), {});
+  TuneRequest request = make_request("polybench/gemm", 8192.0);
+  request.machine = "no-such-machine";
+  const TuneTicket ticket = service.submit(std::move(request));
+  EXPECT_TRUE(ticket.done()) << "resolution errors must not wait for a worker";
+  const TuneOutcome outcome = ticket.get();
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().kind, ServeErrorKind::kUnknownMachine);
+  EXPECT_NE(outcome.error().cause, nullptr);
+}
+
+TEST(TuningService, DeadlineExpiryBeforeDequeueResolvesExpired) {
+  ServeOptions options;
+  options.workers = 1;
+  TuningService service(shared_registry(), options);
+  service.pause();  // stage the queue deterministically
+
+  TuneRequest dead_request = make_request("polybench/gemm", 8192.0);
+  dead_request.options.deadline = 5ms;
+  const TuneTicket dead = service.submit(std::move(dead_request));
+  const TuneTicket live = service.submit(make_request("rodinia/bfs", 2e6));
+  std::this_thread::sleep_for(20ms);  // deadline passes while still queued
+  service.resume();
+
+  const TuneOutcome live_outcome = live.get();
+  ASSERT_TRUE(live_outcome.ok());
+  const TuneOutcome dead_outcome = dead.get();
+  ASSERT_FALSE(dead_outcome.ok());
+  EXPECT_EQ(dead_outcome.error().kind, ServeErrorKind::kDeadlineExceeded);
+
+  const ServiceStatsSnapshot stats = service.stats_snapshot();
+  const TierStatsSnapshot& normal = stats.tiers[static_cast<std::size_t>(Priority::kNormal)];
+  EXPECT_EQ(normal.admitted, 2u);
+  EXPECT_EQ(normal.expired, 1u);
+  EXPECT_EQ(normal.completed, 1u);
+  // The expired request must not have cost a feature extraction: only the
+  // live kernel is in the cache.
+  EXPECT_EQ(stats.cache.entries, 1u);
+}
+
+TEST(TuningService, DeadlineExpirySweepsDrainedBatchMemberBeforeTheForward) {
+  ServeOptions options;
+  options.workers = 1;
+  TuningService service(shared_registry(), options);
+  service.pause();
+
+  // Head and a same-kernel rider: the rider's deadline passes while queued,
+  // so batch formation drains it and the pre-forward sweep drops it.
+  const TuneTicket head = service.submit(make_request("polybench/gemm", 8192.0));
+  TuneRequest rider_request = make_request("polybench/gemm", 8192.0);
+  rider_request.options.deadline = 5ms;
+  const TuneTicket rider = service.submit(std::move(rider_request));
+  std::this_thread::sleep_for(20ms);
+  service.resume();
+
+  const TuneOutcome head_outcome = head.get();
+  ASSERT_TRUE(head_outcome.ok());
+  EXPECT_EQ(head_outcome.value().batch_size, 1u)
+      << "the swept rider must not widen the grouped forward";
+  const TuneOutcome rider_outcome = rider.get();
+  ASSERT_FALSE(rider_outcome.ok());
+  EXPECT_EQ(rider_outcome.error().kind, ServeErrorKind::kDeadlineExceeded);
+}
+
+TEST(TuningService, CancelBeforeDequeueSkipsComputeAndCounts) {
+  ServeOptions options;
+  options.workers = 1;
+  TuningService service(shared_registry(), options);
+  service.pause();
+
+  TuneTicket victim = service.submit(make_request("polybench/gemm", 8192.0));
+  const TuneTicket live = service.submit(make_request("rodinia/bfs", 2e6));
+  EXPECT_TRUE(victim.cancel());
+  EXPECT_TRUE(victim.done());
+  service.resume();
+
+  ASSERT_TRUE(live.get().ok());
+  const TuneOutcome outcome = victim.get();
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().kind, ServeErrorKind::kCancelled);
+
+  const ServiceStatsSnapshot stats = service.stats_snapshot();
+  const TierStatsSnapshot& normal = stats.tiers[static_cast<std::size_t>(Priority::kNormal)];
+  EXPECT_EQ(normal.cancelled, 1u);
+  EXPECT_EQ(normal.completed, 1u);
+  EXPECT_EQ(stats.cache.entries, 1u) << "cancelled request must skip feature extraction";
+}
+
+TEST(TuningService, CancelRacingDrainingWorkersIsAlwaysCoherent) {
+  const std::vector<const char*> names = {"polybench/gemm", "rodinia/bfs", "stream/triad"};
+  std::map<std::string, hwsim::OmpConfig> expected;
+  for (const char* name : names)
+    expected[name] = shared_tuner().tune(corpus::find_kernel(name), 2e6);
+
+  ServeOptions options;
+  options.workers = 4;
+  TuningService service(shared_registry(), options);
+
+  constexpr std::size_t kRequests = 150;
+  std::vector<TuneTicket> tickets;
+  std::vector<std::string> kernels;
+  tickets.reserve(kRequests);
+  for (std::size_t r = 0; r < kRequests; ++r) {
+    kernels.emplace_back(names[r % names.size()]);
+    tickets.push_back(service.submit(make_request(names[r % names.size()], 2e6)));
+  }
+  // Cancel every third ticket while the workers drain the backlog.
+  std::size_t cancel_won = 0;
+  for (std::size_t r = 0; r < kRequests; r += 3)
+    if (tickets[r].cancel()) ++cancel_won;
+
+  std::size_t served = 0;
+  std::size_t cancelled = 0;
+  for (std::size_t r = 0; r < kRequests; ++r) {
+    const TuneOutcome outcome = tickets[r].get();
+    if (outcome.ok()) {
+      EXPECT_EQ(outcome.value().config, expected[kernels[r]]) << kernels[r];
+      ++served;
+    } else {
+      EXPECT_EQ(outcome.error().kind, ServeErrorKind::kCancelled);
+      ++cancelled;
+    }
+  }
+  EXPECT_EQ(served + cancelled, kRequests);
+  EXPECT_EQ(cancelled, cancel_won);
+  service.shutdown();  // quiesce so the sweep accounting below is final
+
+  const ServiceStatsSnapshot stats = service.stats_snapshot();
+  EXPECT_EQ(stats.completed, served);
+  std::uint64_t cancelled_stat = 0;
+  for (const TierStatsSnapshot& tier : stats.tiers) cancelled_stat += tier.cancelled;
+  EXPECT_EQ(cancelled_stat, cancelled);
+}
+
+TEST(TuningService, RejectAdmissionResolvesImmediatelyWhenLaneFull) {
+  ServeOptions options;
+  options.workers = 1;
+  options.tier_capacity[static_cast<std::size_t>(Priority::kNormal)] = 2;
+  TuningService service(shared_registry(), options);
+  service.pause();
+
+  const TuneTicket first = service.submit(make_request("polybench/gemm", 8192.0));
+  const TuneTicket second = service.submit(make_request("rodinia/bfs", 2e6));
+  TuneRequest rejected_request = make_request("stream/triad", 2e6);
+  rejected_request.options.admission = Admission::kReject;
+  const TuneTicket rejected = service.submit(std::move(rejected_request));
+  EXPECT_TRUE(rejected.done());
+  const TuneOutcome outcome = rejected.get();
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().kind, ServeErrorKind::kRejected);
+
+  // A different lane is unaffected by the full normal lane.
+  TuneRequest interactive_request = make_request("stream/triad", 2e6);
+  interactive_request.options.priority = Priority::kInteractive;
+  interactive_request.options.admission = Admission::kReject;
+  const TuneTicket interactive = service.submit(std::move(interactive_request));
+  EXPECT_FALSE(interactive.done());
+
+  service.resume();
+  ASSERT_TRUE(first.get().ok());
+  ASSERT_TRUE(second.get().ok());
+  ASSERT_TRUE(interactive.get().ok());
+
+  const ServiceStatsSnapshot stats = service.stats_snapshot();
+  EXPECT_EQ(stats.tiers[static_cast<std::size_t>(Priority::kNormal)].rejected, 1u);
+  EXPECT_EQ(stats.tiers[static_cast<std::size_t>(Priority::kInteractive)].admitted, 1u);
+}
+
+TEST(TuningService, ShedAdmissionDisplacesTheOldestQueuedRequest) {
+  ServeOptions options;
+  options.workers = 1;
+  options.tier_capacity[static_cast<std::size_t>(Priority::kBulk)] = 1;
+  TuningService service(shared_registry(), options);
+  service.pause();
+
+  TuneRequest old_request = make_request("polybench/gemm", 8192.0);
+  old_request.options.priority = Priority::kBulk;
+  const TuneTicket displaced = service.submit(std::move(old_request));
+  EXPECT_FALSE(displaced.done());
+
+  TuneRequest new_request = make_request("rodinia/bfs", 2e6);
+  new_request.options.priority = Priority::kBulk;
+  new_request.options.admission = Admission::kShed;
+  const TuneTicket survivor = service.submit(std::move(new_request));
+
+  EXPECT_TRUE(displaced.done());
+  const TuneOutcome outcome = displaced.get();
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().kind, ServeErrorKind::kRejected);
+  EXPECT_NE(outcome.error().detail.find("shed"), std::string::npos);
+
+  service.resume();
+  ASSERT_TRUE(survivor.get().ok());
+
+  const ServiceStatsSnapshot stats = service.stats_snapshot();
+  const TierStatsSnapshot& bulk = stats.tiers[static_cast<std::size_t>(Priority::kBulk)];
+  EXPECT_EQ(bulk.shed, 1u);
+  EXPECT_EQ(bulk.completed, 1u);
+}
+
+TEST(TuningService, BlockAdmissionHonorsTheDeadlineOnAFullLane) {
+  ServeOptions options;
+  options.workers = 1;
+  options.tier_capacity[static_cast<std::size_t>(Priority::kNormal)] = 1;
+  TuningService service(shared_registry(), options);
+  service.pause();
+
+  const TuneTicket occupant = service.submit(make_request("polybench/gemm", 8192.0));
+  TuneRequest blocked_request = make_request("rodinia/bfs", 2e6);
+  blocked_request.options.deadline = 40ms;
+  const auto start = std::chrono::steady_clock::now();
+  const TuneTicket blocked = service.submit(std::move(blocked_request));
+  const auto waited = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(waited, 35ms) << "Block must wait for lane room until the deadline";
+  EXPECT_TRUE(blocked.done());
+  const TuneOutcome outcome = blocked.get();
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().kind, ServeErrorKind::kDeadlineExceeded);
+
+  service.resume();
+  ASSERT_TRUE(occupant.get().ok());
+  EXPECT_EQ(service.stats_snapshot()
+                .tiers[static_cast<std::size_t>(Priority::kNormal)]
+                .expired,
+            1u);
+}
+
+TEST(TuningService, InteractiveOvertakesQueuedBulkBacklog) {
+  ServeOptions options;
+  options.workers = 1;
+  TuningService service(shared_registry(), options);
+  service.pause();
+
+  // Distinct kernels so the bulk backlog cannot ride one batch.
+  std::vector<TuneTicket> bulk;
+  for (const char* name : {"polybench/gemm", "rodinia/bfs", "stream/triad",
+                           "polybench/2mm", "rodinia/hotspot"}) {
+    TuneRequest request = make_request(name, 2e6);
+    request.options.priority = Priority::kBulk;
+    bulk.push_back(service.submit(std::move(request)));
+  }
+  TuneRequest interactive_request = make_request("polybench/atax", 2e6);
+  interactive_request.options.priority = Priority::kInteractive;
+  const TuneTicket interactive = service.submit(std::move(interactive_request));
+  service.resume();
+
+  const TuneOutcome interactive_outcome = interactive.get();
+  ASSERT_TRUE(interactive_outcome.ok());
+  std::vector<TuneOutcome> bulk_outcomes;
+  for (const TuneTicket& ticket : bulk) bulk_outcomes.push_back(ticket.get());
+  // The single worker served the interactive request first even though every
+  // bulk request was queued ahead of it: its queue wait is shorter than any
+  // bulk wait (each bulk request waited at least through its compute).
+  for (const TuneOutcome& outcome : bulk_outcomes) {
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_LT(interactive_outcome.value().queue_wait_us, outcome.value().queue_wait_us);
+  }
+}
+
+TEST(TuningService, LingerFormsLargerBatchesThanDrainOnly) {
+  const char* kernel = "polybench/gemm";
+  const double input = 2e6;
+
+  // Drain-only: the head fires alone because the riders arrive after it was
+  // popped (the pause makes the ordering deterministic).
+  std::size_t drain_head_batch = 0;
+  {
+    ServeOptions options;
+    options.workers = 1;
+    options.max_batch = 8;
+    TuningService service(shared_registry(), options);
+    service.pause();
+    TuneRequest head_request = make_request(kernel, input);
+    head_request.options.priority = Priority::kBulk;
+    const TuneTicket head = service.submit(std::move(head_request));
+    service.resume();
+    const TuneOutcome head_outcome = head.get();
+    ASSERT_TRUE(head_outcome.ok());
+    drain_head_batch = head_outcome.value().batch_size;
+    EXPECT_EQ(drain_head_batch, 1u);
+  }
+
+  // Linger: the worker holds the popped head open for the window, so riders
+  // submitted a moment later join its grouped forward.
+  std::size_t linger_head_batch = 0;
+  {
+    ServeOptions options;
+    options.workers = 1;
+    options.max_batch = 8;
+    options.linger = 300ms;
+    TuningService service(shared_registry(), options);
+    service.pause();
+    TuneRequest head_request = make_request(kernel, input);
+    head_request.options.priority = Priority::kBulk;
+    const TuneTicket head = service.submit(std::move(head_request));
+    service.resume();
+    std::vector<TuneTicket> riders;
+    for (int r = 0; r < 3; ++r) {
+      TuneRequest rider = make_request(kernel, input);
+      rider.options.priority = Priority::kBulk;
+      riders.push_back(service.submit(std::move(rider)));
+    }
+    const TuneOutcome head_outcome = head.get();
+    ASSERT_TRUE(head_outcome.ok());
+    linger_head_batch = head_outcome.value().batch_size;
+    for (const TuneTicket& ticket : riders) {
+      const TuneOutcome outcome = ticket.get();
+      ASSERT_TRUE(outcome.ok());
+      EXPECT_EQ(outcome.value().config, head_outcome.value().config);
+    }
+    EXPECT_EQ(linger_head_batch, 4u) << "riders inside the window must join the batch";
+  }
+  EXPECT_GT(linger_head_batch, drain_head_batch);
+}
+
+TEST(TuningService, LegacyShimFutureBecomesReadyWithoutGet) {
+  TuningService service(shared_registry(), {});
+  std::future<TuneResult> future = service.submit_future(make_request("polybench/gemm", 8192.0));
+  // v1 futures were promise-backed: pollers must observe readiness without
+  // ever calling get().
+  std::future_status status = std::future_status::timeout;
+  for (int spin = 0; spin < 100 && status != std::future_status::ready; ++spin)
+    status = future.wait_for(100ms);
+  EXPECT_EQ(status, std::future_status::ready);
+  EXPECT_EQ(future.get().config,
+            shared_tuner().tune(corpus::find_kernel("polybench/gemm"), 8192.0));
+}
+
+TEST(TuningService, LingerYieldsToArrivingInteractiveTraffic) {
+  ServeOptions options;
+  options.workers = 1;
+  options.max_batch = 8;
+  options.linger = 5s;  // absurd: only the interactive arrival can cut it short
+  TuningService service(shared_registry(), options);
+  service.pause();
+  TuneRequest bulk_request = make_request("polybench/gemm", 8192.0);
+  bulk_request.options.priority = Priority::kBulk;
+  const TuneTicket bulk = service.submit(std::move(bulk_request));
+  service.resume();
+  std::this_thread::sleep_for(50ms);  // let the worker pop the head and linger
+
+  const auto start = std::chrono::steady_clock::now();
+  TuneRequest interactive_request = make_request("rodinia/bfs", 2e6);
+  interactive_request.options.priority = Priority::kInteractive;
+  const TuneTicket interactive = service.submit(std::move(interactive_request));
+  const TuneOutcome interactive_outcome = interactive.get();
+  ASSERT_TRUE(interactive_outcome.ok());
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 2s)
+      << "a lingering worker must abandon its window for interactive traffic";
+  ASSERT_TRUE(bulk.get().ok());
+}
+
+TEST(TuningService, InteractiveRiderFiresTheLingeringBatchImmediately) {
+  ServeOptions options;
+  options.workers = 1;
+  options.max_batch = 8;
+  options.linger = 5s;  // absurd: only the interactive rider can cut it short
+  TuningService service(shared_registry(), options);
+  service.pause();
+  TuneRequest bulk_request = make_request("polybench/gemm", 8192.0);
+  bulk_request.options.priority = Priority::kBulk;
+  const TuneTicket bulk = service.submit(std::move(bulk_request));
+  service.resume();
+  std::this_thread::sleep_for(50ms);  // let the worker pop the head and linger
+
+  // Same kernel: the interactive request is drained into the lingering
+  // batch as a rider — which must fire the batch, not sit out the window.
+  const auto start = std::chrono::steady_clock::now();
+  TuneRequest interactive_request = make_request("polybench/gemm", 8192.0);
+  interactive_request.options.priority = Priority::kInteractive;
+  const TuneTicket interactive = service.submit(std::move(interactive_request));
+  const TuneOutcome interactive_outcome = interactive.get();
+  ASSERT_TRUE(interactive_outcome.ok());
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 2s);
+  const TuneOutcome bulk_outcome = bulk.get();
+  ASSERT_TRUE(bulk_outcome.ok());
+  EXPECT_EQ(bulk_outcome.value().config, interactive_outcome.value().config);
+}
+
+TEST(TuningService, OutOfRangePriorityResolvesInsteadOfThrowing) {
+  TuningService service(shared_registry(), {});
+  TuneRequest request = make_request("polybench/gemm", 8192.0);
+  request.options.priority = static_cast<Priority>(7);
+  const TuneTicket ticket = service.submit(std::move(request));
+  EXPECT_TRUE(ticket.done());
+  const TuneOutcome outcome = ticket.get();
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().kind, ServeErrorKind::kRejected);
+}
+
+TEST(TuningService, LingerWindowIsClampedByTheEarliestDeadline) {
+  ServeOptions options;
+  options.workers = 1;
+  options.max_batch = 8;
+  options.linger = 30s;  // absurd window: only the deadline clamp can fire it
+  TuningService service(shared_registry(), options);
+  service.pause();
+  TuneRequest request = make_request("polybench/gemm", 8192.0);
+  request.options.priority = Priority::kBulk;
+  // Deadline and latency bound are generous (ctest -j oversubscribes this
+  // box heavily) but still far below the linger window, which is the claim.
+  request.options.deadline = 1s;
+  const TuneTicket ticket = service.submit(std::move(request));
+  service.resume();
+  const TuneOutcome outcome = ticket.get();  // must not take 30 seconds
+  ASSERT_TRUE(outcome.ok()) << "the clamp fires the batch, it does not expire it";
+  EXPECT_LT(outcome.value().latency_us, 10e6);
+}
+
+TEST(TuningService, LatencyBreakdownSumsAndRendersEveryMetricRow) {
+  TuningService service(shared_registry(), {});
+  const TuneOutcome outcome = service.submit(make_request("polybench/gemm", 8192.0)).get();
+  ASSERT_TRUE(outcome.ok());
+  const TuneResult& result = outcome.value();
+  EXPECT_GT(result.compute_us, 0.0);
+  EXPECT_GE(result.queue_wait_us, 0.0);
+  EXPECT_NEAR(result.queue_wait_us + result.compute_us, result.latency_us, 1.0);
+
+  const ServiceStatsSnapshot stats = service.stats_snapshot();
+  EXPECT_NEAR(stats.queue_wait_mean_us + stats.compute_mean_us, stats.latency_mean_us, 1.0);
+  const util::Table table = stats_table(stats);
+  EXPECT_EQ(table.row_count(), 26u);
 }
 
 TEST(ModelRegistry, LoadsArtifactOnDemandAndServesIdentically) {
@@ -405,22 +996,19 @@ TEST(ModelRegistry, LoadsArtifactOnDemandAndServesIdentically) {
 
   TuningService service(registry, {});
   const corpus::KernelSpec kernel = corpus::find_kernel("stream/triad");
-  TuneRequest request;
-  request.kernel = kernel;
-  request.input_bytes = 2e6;
-  EXPECT_EQ(service.submit(std::move(request)).get().config,
+  EXPECT_EQ(service.submit_future(make_request("stream/triad", 2e6)).get().config,
             shared_tuner().tune(kernel, 2e6));
   std::remove(path.c_str());
 }
 
-TEST(ServiceStats, TableRendersEveryMetricRow) {
-  TuningService service(shared_registry(), {});
-  TuneRequest request;
-  request.kernel = corpus::find_kernel("polybench/gemm");
-  request.input_bytes = 8192.0;
-  (void)service.submit(std::move(request)).get();
-  const util::Table table = stats_table(service.stats_snapshot());
-  EXPECT_EQ(table.row_count(), 15u);
+TEST(ModelRegistry, ArtifactLoadFailureIsATypedServeError) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->add_artifact("broken", "/nonexistent-artifact", tiny_options());
+  TuningService service(registry, {});
+  const TuneOutcome outcome = service.submit(make_request("polybench/gemm", 8192.0)).get();
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().kind, ServeErrorKind::kLoadFailed);
+  EXPECT_NE(outcome.error().cause, nullptr);
 }
 
 }  // namespace
