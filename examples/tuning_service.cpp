@@ -1,10 +1,12 @@
-// Tuning-as-a-service: run an async, QoS-aware TuningService over a mixed
-// workload.
+// Tuning-as-a-service: run an async, QoS-aware, sharded TuningService over
+// a mixed workload, on the v2 ticket/outcome API.
 //
 // Walkthrough:
 //  1. register per-machine tuners in a ModelRegistry (one trained in-process
 //     per machine; production would `MgaTuner::save` once and use
-//     `add_artifact` for load-on-demand),
+//     `add_artifact` for load-on-demand), and serve them from two shards —
+//     the consistent-hash router pins every (machine, kernel) to one shard,
+//     so repeat traffic always finds its features already cached there,
 //  2. submit asynchronous TuneRequests — different kernels, input sizes,
 //     target machines and QoS classes (interactive vs bulk, deadlines,
 //     admission policies), some with pre-collected counters so the service
@@ -13,7 +15,8 @@
 //     per-request metadata (cache hit, the micro-batch the request rode in,
 //     queue-wait/compute latency split), cancel a request that is no longer
 //     needed,
-//  4. print the service telemetry table (per-tier counters included).
+//  4. print the service telemetry table — per-tier counters plus the
+//     per-shard breakdown (routing balance and per-shard cache locality).
 #include <chrono>
 #include <iostream>
 
@@ -45,9 +48,12 @@ int main() {
   registry->add("skylake-sp", core::MgaTuner::train(skylake_options));
 
   serve::ServeOptions serve_options;
-  serve_options.workers = 4;
+  serve_options.workers = 2;   // per shard: 2 shards x 2 workers = 4 threads
+  serve_options.shards = 2;    // consistent-hash routed (see DESIGN.md §7)
   serve_options.default_machine = "comet-lake";
   serve_options.linger = 2ms;  // hold popped bulk heads open for co-arrivals
+  serve_options.adaptive_linger = true;  // ...but never longer than the
+  // kernel's observed arrival rate justifies (cold kernels skip the window).
   serve::TuningService service(registry, serve_options);
 
   // --- 2. async submission ---------------------------------------------------
@@ -155,7 +161,17 @@ int main() {
             << "\n";
 
   // --- 4. telemetry ----------------------------------------------------------
-  std::cout << "\nservice telemetry:\n";
-  serve::stats_table(service.stats_snapshot()).print(std::cout);
+  // The aggregate block sums both shards; the trailing per-shard rows show
+  // the router's work: each (machine, kernel) is pinned to one shard, so
+  // every cache entry lives on exactly one shard and repeat traffic for a
+  // kernel is all hits on *its* shard — the locality sharding is for.
+  const serve::ServiceStatsSnapshot stats = service.stats_snapshot();
+  std::cout << "\nservice telemetry (aggregate + per-shard breakdown):\n";
+  serve::stats_table(stats).print(std::cout);
+  std::size_t total_entries = 0;
+  for (const serve::ServiceStatsSnapshot& shard : stats.shards)
+    total_entries += shard.cache.entries;
+  std::cout << "\ncache entries across shards: " << total_entries
+            << " (no kernel cached twice: aggregate says " << stats.cache.entries << ")\n";
   return 0;
 }

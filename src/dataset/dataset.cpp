@@ -127,13 +127,24 @@ OclDataset build_ocl_dataset(const std::vector<corpus::KernelSpec>& specs,
   // the published dataset's size.
   constexpr std::size_t kTargetSamples = 670;
   const std::size_t extra = kTargetSamples - 2 * specs.size();
-  const double transfer_choices[] = {64.0 * 1024, 1.0 * 1024 * 1024, 16.0 * 1024 * 1024,
-                                     128.0 * 1024 * 1024};
-  const int workgroup_choices[] = {32, 64, 128, 256, 512};
 
-  for (std::size_t k = 0; k < specs.size(); ++k) {
+  // Fan the per-kernel sample construction across threads. Parallelism is
+  // per *kernel*, not per sample: a kernel's variations share one Rng whose
+  // draws must stay sequential. Kernel k's samples land in the slot range
+  // [2k + min(k, extra), …) — the exact positions the serial kernel-major
+  // loop appended to — and every seconds value is a pure function of its
+  // arguments, so the result is bit-identical to serial construction
+  // (asserted in tests/test_dataset.cpp).
+  const std::size_t total = 2 * specs.size() + std::min(extra, specs.size());
+  MGA_CHECK(total == kTargetSamples);
+  data.samples.resize(total);
+  util::parallel_for(specs.size(), [&](std::size_t k) {
+    const double transfer_choices[] = {64.0 * 1024, 1.0 * 1024 * 1024, 16.0 * 1024 * 1024,
+                                       128.0 * 1024 * 1024};
+    const int workgroup_choices[] = {32, 64, 128, 256, 512};
     util::Rng rng(util::fnv1a(specs[k].name) ^ util::fnv1a(gpu.name));
     const std::size_t variations = 2 + (k < extra ? 1 : 0);
+    const std::size_t slot = 2 * k + std::min(k, extra);
     for (std::size_t v = 0; v < variations; ++v) {
       OclSample sample;
       sample.kernel_id = static_cast<int>(k);
@@ -147,10 +158,9 @@ OclDataset build_ocl_dataset(const std::vector<corpus::KernelSpec>& specs,
       sample.cpu_seconds =
           hwsim::cpu_reference_seconds(data.workloads[k], host, sample.transfer_bytes);
       sample.label = sample.gpu_seconds < sample.cpu_seconds ? 1 : 0;
-      data.samples.push_back(sample);
+      data.samples[slot + v] = sample;
     }
-  }
-  MGA_CHECK(data.samples.size() == kTargetSamples);
+  });
   return data;
 }
 

@@ -10,6 +10,15 @@
 // default-config profiling counters per input size, so fully repeated
 // (kernel, input) traffic needs no simulator run either. All determinism is
 // preserved: every memoized value is a pure function of its key.
+//
+// Ownership under sharded serving: each `ServeShard` constructs its own
+// FeatureCache from `ServeOptions::cache` (the options describe one shard's
+// cache, not a service-wide budget). The consistent-hash router pins every
+// (machine, kernel) to one shard, so per-shard caches partition the keyspace
+// instead of duplicating it — a kernel's features are extracted once
+// service-wide and stay resident on the shard all of its repeat traffic
+// routes to. The `shards` knob *inside* FeatureCacheOptions is unrelated
+// lock striping within one cache.
 #pragma once
 
 #include <atomic>

@@ -6,14 +6,22 @@
 // co-queued same-kernel requests out of FIFO order for micro-batching while
 // leaving everything else in place.
 //
-// `TieredQueue` is the QoS spine of serve v2: N priority lanes (lane 0
-// highest) with per-lane capacity and admission primitives (`try_push` to
-// reject, `push_shedding` to displace the lane's oldest, `push_until` for
-// deadline-bounded blocking). `pop` serves the highest-priority non-empty
-// lane, except that a lower lane passed over `starvation_limit` times in a
-// row is served next — bulk traffic makes progress under an interactive
-// flood. A push epoch plus `wait_push` lets the worker's linger window sleep
-// until a new arrival might extend its batch.
+// `TieredQueue` is the QoS spine of the serve engine layer: N priority lanes
+// (lane 0 highest) with per-lane capacity and admission primitives
+// (`try_push` to reject, `push_shedding` to displace the lane's oldest,
+// `push_until` for deadline-bounded blocking). `pop` serves the
+// highest-priority non-empty lane, except that a lower lane passed over
+// `starvation_limit` times in a row is served next — bulk traffic makes
+// progress under an interactive flood. A push epoch plus `wait_push` lets
+// the worker's linger window sleep until a new arrival might extend its
+// batch.
+//
+// Under sharded serving every `ServeShard` owns a private TieredQueue, so
+// all semantics here — capacity, backpressure, starvation accounting, and
+// in particular `close` (seal, drain, wake waiters) — are shard-local: one
+// shard closing or backing up never stalls another shard's lanes. The
+// facade closes all shard queues before joining any workers, so backlogs
+// drain concurrently.
 #pragma once
 
 #include <chrono>

@@ -1,0 +1,106 @@
+// ShardRouter — the routing layer of the serve stack (see DESIGN.md §6/§7).
+//
+// Maps a `(machine, kernel fingerprint)` routing key onto one of N
+// `ServeShard`s with a consistent-hash ring: every shard contributes
+// `virtual_nodes` pseudo-random points on a 64-bit circle and a key is owned
+// by the first point clockwise from it. Two properties fall out:
+//
+//  * **Affinity.** The mapping is a pure function of the key, so repeat
+//    traffic for a kernel always lands on the shard whose FeatureCache
+//    already holds its features (and whose linger EWMA knows its arrival
+//    rate). No cross-shard cache fills, no duplicated feature extraction —
+//    except the once-per-shard extremes a plain `key % N` would also pay.
+//  * **Stability.** Growing N→M shards only *adds* ring points, so a key
+//    either keeps its shard or moves to one of the new shards; in
+//    expectation only (M−N)/M of keys move (vs. (M−1)/M under modulo
+//    hashing). Virtual nodes keep per-shard load balanced around 1/N.
+//
+// The ring is immutable after construction — routing is a lock-free binary
+// search — which is all the facade needs: shard count is fixed per
+// TuningService instance, and stability across *instances* (restarts,
+// reconfigurations) is what the ring buys.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "corpus/spec.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace mga::serve {
+
+/// Structural fingerprint of a kernel for routing: a stable hash of the full
+/// spec (name, suite, family, every FamilyParams knob). Equal specs — the
+/// batching identity — always collide; unlike `kernel_ir_hash` it needs no
+/// IR generation, so the submit path can afford it per request.
+[[nodiscard]] inline std::uint64_t route_fingerprint(const corpus::KernelSpec& kernel) {
+  std::uint64_t h = util::fnv1a(kernel.name);
+  h = util::hash_combine(h, util::fnv1a(kernel.suite));
+  h = util::hash_combine(h, static_cast<std::uint64_t>(kernel.family));
+  const corpus::FamilyParams& p = kernel.params;
+  h = util::hash_combine(h, static_cast<std::uint64_t>(p.nest_depth));
+  h = util::hash_combine(h, static_cast<std::uint64_t>(p.arith_chain));
+  h = util::hash_combine(h, static_cast<std::uint64_t>(p.arrays));
+  h = util::hash_combine(h, static_cast<std::uint64_t>(p.has_branch));
+  h = util::hash_combine(h, static_cast<std::uint64_t>(p.has_reduction));
+  h = util::hash_combine(h, static_cast<std::uint64_t>(p.helper_calls));
+  h = util::hash_combine(h, static_cast<std::uint64_t>(p.extern_calls));
+  h = util::hash_combine(h, std::bit_cast<std::uint64_t>(p.reuse));
+  h = util::hash_combine(h, std::bit_cast<std::uint64_t>(p.imbalance));
+  return h;
+}
+
+/// Routing key for a request: machine and kernel together, so one kernel's
+/// traffic for different registry entries may spread while repeat traffic
+/// for the same (machine, kernel) is pinned to one shard.
+[[nodiscard]] inline std::uint64_t route_key(std::string_view machine,
+                                             std::uint64_t kernel_fingerprint) {
+  return util::hash_combine(util::fnv1a(machine), kernel_fingerprint);
+}
+
+class ShardRouter {
+ public:
+  static constexpr std::size_t kDefaultVirtualNodes = 128;
+
+  explicit ShardRouter(std::size_t shards,
+                       std::size_t virtual_nodes = kDefaultVirtualNodes)
+      : shards_(shards) {
+    MGA_CHECK_MSG(shards > 0, "ShardRouter: need at least one shard");
+    MGA_CHECK_MSG(virtual_nodes > 0, "ShardRouter: need at least one virtual node");
+    ring_.reserve(shards * virtual_nodes);
+    for (std::size_t s = 0; s < shards; ++s) {
+      for (std::size_t v = 0; v < virtual_nodes; ++v) {
+        // Ring points depend only on (shard, vnode), never on the shard
+        // *count* — the growth-stability property relies on shard s placing
+        // the same points in an N-shard ring and an M-shard ring.
+        std::uint64_t state = (static_cast<std::uint64_t>(s) << 32) | v;
+        ring_.emplace_back(util::splitmix64(state), static_cast<std::uint32_t>(s));
+      }
+    }
+    std::sort(ring_.begin(), ring_.end());
+  }
+
+  /// Owning shard of `key`: the first ring point at or clockwise of it.
+  [[nodiscard]] std::size_t shard_for(std::uint64_t key) const {
+    auto it = std::lower_bound(
+        ring_.begin(), ring_.end(), key,
+        [](const std::pair<std::uint64_t, std::uint32_t>& point, std::uint64_t k) {
+          return point.first < k;
+        });
+    if (it == ring_.end()) it = ring_.begin();  // wrap around the circle
+    return it->second;
+  }
+
+  [[nodiscard]] std::size_t shards() const noexcept { return shards_; }
+
+ private:
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> ring_;  // sorted points
+  std::size_t shards_;
+};
+
+}  // namespace mga::serve

@@ -1,27 +1,13 @@
 #include "serve/service.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 #include "util/check.hpp"
-#include "util/rng.hpp"
 
 namespace mga::serve {
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-[[nodiscard]] double micros_between(Clock::time_point start, Clock::time_point end) {
-  return std::chrono::duration<double, std::micro>(end - start).count();
-}
-
-/// Fire a lingering batch this long before its earliest deadline so the
-/// clamping request is still live at the pre-forward sweep. Sized for the
-/// wake-to-sweep gap on slow, loaded or sanitized builds; the only cost of
-/// generosity is a slightly shorter window for deadline-bearing batches.
-constexpr auto kDeadlineGuard = std::chrono::milliseconds(5);
 
 /// Legacy error surface of the v1 shims: rethrow the wrapped exception when
 /// there is one, else wrap the taxonomy in a runtime_error.
@@ -31,26 +17,17 @@ constexpr auto kDeadlineGuard = std::chrono::milliseconds(5);
                            (error.detail.empty() ? "" : ": " + error.detail));
 }
 
-[[nodiscard]] std::vector<std::size_t> lane_capacities(const ServeOptions& options) {
-  std::vector<std::size_t> capacities(kNumTiers, options.queue_capacity);
-  for (std::size_t t = 0; t < kNumTiers; ++t)
-    if (options.tier_capacity[t] > 0) capacities[t] = options.tier_capacity[t];
-  return capacities;
-}
-
 }  // namespace
 
 TuningService::TuningService(std::shared_ptr<ModelRegistry> registry, ServeOptions options)
     : registry_(std::move(registry)),
       options_(options),
-      cache_(options.cache),
-      queue_(lane_capacities(options), options.starvation_limit) {
+      router_(options.shards == 0 ? 1 : options.shards) {
   MGA_CHECK_MSG(registry_ != nullptr, "TuningService: null registry");
-  MGA_CHECK_MSG(options_.workers > 0, "TuningService: need at least one worker");
-  MGA_CHECK_MSG(options_.max_batch > 0, "TuningService: max_batch must be positive");
-  workers_.reserve(options_.workers);
-  for (std::size_t w = 0; w < options_.workers; ++w)
-    workers_.emplace_back([this] { worker_loop(); });
+  MGA_CHECK_MSG(options_.shards > 0, "TuningService: need at least one shard");
+  shards_.reserve(options_.shards);
+  for (std::size_t s = 0; s < options_.shards; ++s)
+    shards_.push_back(std::make_unique<ServeShard>(registry_, options_));
 }
 
 TuningService::~TuningService() { shutdown(); }
@@ -78,94 +55,29 @@ std::optional<ServeError> TuningService::resolve_machine(TuneRequest& request) c
   return std::nullopt;
 }
 
+ServeShard& TuningService::shard_for(const TuneRequest& request) {
+  return *shards_[router_.shard_for(
+      route_key(request.machine, route_fingerprint(request.kernel)))];
+}
+
 TuneTicket TuningService::submit(TuneRequest request) {
   auto state = std::make_shared<TicketState>();
   TuneTicket ticket(state);
-  stats_.record_submit();
-
-  Pending pending;
-  pending.tier = request.options.priority;
-  pending.enqueued = Clock::now();
-  pending.deadline_at = request.options.deadline.count() > 0
-                            ? pending.enqueued + request.options.deadline
-                            : Clock::time_point::max();
-  pending.state = state;
 
   if (std::optional<ServeError> error = resolve_machine(request)) {
+    // Unroutable in the proper sense (the machine may not exist), but a
+    // deterministic hash of whatever was asked for still attributes the
+    // failure to exactly one shard — so per-shard counters always sum to
+    // the service totals.
+    ServiceStats& stats = shard_for(request).stats();
+    // Stats before resolve: a getter may read a snapshot the instant it
+    // wakes, and must see its own failure already counted.
+    stats.record_submit();
+    stats.record_failed();
     state->resolve(std::move(*error));
-    stats_.record_failed();
     return ticket;
   }
-  if (static_cast<std::size_t>(pending.tier) >= kNumTiers) {
-    // Contract: service errors resolve the ticket, they never throw.
-    state->resolve(ServeError{ServeErrorKind::kRejected,
-                              "invalid priority tier in RequestOptions", nullptr});
-    stats_.record_failed();
-    return ticket;
-  }
-  pending.group_key = util::hash_combine(util::fnv1a(request.machine),
-                                         util::fnv1a(request.kernel.name));
-  const Admission admission = request.options.admission;
-  const auto lane = static_cast<std::size_t>(pending.tier);
-  const Priority tier = pending.tier;
-  const Clock::time_point deadline_at = pending.deadline_at;
-  pending.request = std::move(request);
-
-  auto pushed = TieredQueue<Pending>::PushResult::kClosed;
-  switch (admission) {
-    case Admission::kReject:
-      pushed = queue_.try_push(std::move(pending), lane);
-      break;
-    case Admission::kShed: {
-      std::optional<Pending> shed;
-      pushed = queue_.push_shedding(std::move(pending), lane, shed);
-      if (shed.has_value()) {
-        // Two-phase like every worker path: the victim's getter must see its
-        // own shed in a snapshot taken the moment it wakes — and a victim a
-        // cancel already claimed counts as cancelled, not shed.
-        if (shed->state->try_claim()) {
-          stats_.record_shed(shed->tier);
-          shed->state->publish(ServeError{ServeErrorKind::kRejected,
-                                          "shed: displaced by a newer request", nullptr});
-        } else {
-          stats_.record_cancelled(shed->tier);
-        }
-      }
-      break;
-    }
-    case Admission::kBlock:
-      // Bounded push: the request's own deadline caps how long the caller
-      // stalls on a full lane.
-      pushed = deadline_at == Clock::time_point::max()
-                   ? queue_.push(std::move(pending), lane)
-                   : queue_.push_until(std::move(pending), lane, deadline_at);
-      break;
-  }
-
-  switch (pushed) {
-    case TieredQueue<Pending>::PushResult::kOk:
-      stats_.record_admitted(tier);
-      break;
-    case TieredQueue<Pending>::PushResult::kFull:
-      if (admission == Admission::kBlock) {
-        state->resolve(ServeError{ServeErrorKind::kDeadlineExceeded,
-                                  "deadline elapsed while blocked on a full lane", nullptr});
-        stats_.record_expired(tier);
-      } else {
-        state->resolve(ServeError{
-            ServeErrorKind::kRejected,
-            std::string("lane '") + to_string(tier) + "' is at capacity", nullptr});
-        stats_.record_rejected(tier);
-      }
-      break;
-    case TieredQueue<Pending>::PushResult::kClosed: {
-      const char* detail = "TuningService: submit after shutdown";
-      state->resolve(ServeError{ServeErrorKind::kRejected, detail,
-                                std::make_exception_ptr(std::runtime_error(detail))});
-      stats_.record_rejected(tier);
-      break;
-    }
-  }
+  shard_for(request).submit(std::move(request), std::move(state));
   return ticket;
 }
 
@@ -202,194 +114,12 @@ std::vector<TuneResult> TuningService::tune_all(std::vector<TuneRequest> request
   return results;
 }
 
-bool TuningService::sweep(Pending& pending, Clock::time_point now) {
-  if (pending.state->cancel_requested()) {
-    // The ticket already resolved itself with kCancelled; just account for
-    // it and free the slot.
-    stats_.record_cancelled(pending.tier);
-    return true;
-  }
-  if (now >= pending.deadline_at) {
-    if (pending.state->try_claim()) {
-      stats_.record_expired(pending.tier);
-      pending.state->publish(ServeError{ServeErrorKind::kDeadlineExceeded,
-                                        "deadline expired before the grouped forward",
-                                        nullptr});
-    }
-    return true;
-  }
-  return false;
-}
-
-template <typename Match>
-void TuningService::linger_batch(std::vector<Pending>& batch, const Match& match,
-                                 Clock::time_point pop_time) {
-  const Clock::time_point linger_end = pop_time + options_.linger;
-  const auto interactive_lane = static_cast<std::size_t>(Priority::kInteractive);
-  for (;;) {
-    // A waiting interactive request trumps batch growth: fire now so this
-    // worker frees up to serve the interactive lane. Same for an interactive
-    // rider already drained into this bulk-headed batch — it must not sit
-    // out the window.
-    if (queue_.size(interactive_lane) > 0) return;
-    for (const Pending& pending : batch)
-      if (pending.tier == Priority::kInteractive) return;
-    // Prune dead members now rather than at the final sweep: a cancelled or
-    // expiring rider must neither clamp fire_at nor hold a batch slot.
-    const Clock::time_point now = Clock::now();
-    for (auto it = batch.begin(); it != batch.end();)
-      it = sweep(*it, now) ? batch.erase(it) : it + 1;
-    if (batch.empty()) return;
-    Clock::time_point fire_at = linger_end;
-    for (const Pending& pending : batch)
-      if (pending.deadline_at != Clock::time_point::max())
-        fire_at = std::min(fire_at, pending.deadline_at - kDeadlineGuard);
-    if (batch.size() >= options_.max_batch || now >= fire_at) return;
-    const std::uint64_t epoch = queue_.push_epoch();
-    // Re-drain after every push; a non-matching push just re-arms the wait.
-    if (queue_.drain_matching(match, options_.max_batch - batch.size(), batch) == 0 &&
-        !queue_.wait_push(epoch, fire_at))
-      return;  // window elapsed (or queue closed) with no new arrivals
-  }
-}
-
-void TuningService::worker_loop() {
-  for (;;) {
-    {
-      std::unique_lock<std::mutex> lock(pause_mutex_);
-      pause_cv_.wait(lock, [&] { return !paused_; });
-    }
-    std::optional<Pending> first = queue_.try_pop();
-    if (!first.has_value()) {
-      if (queue_.closed()) return;  // closed and fully drained
-      queue_.wait_nonempty();
-      continue;  // re-check the pause gate before claiming work
-    }
-
-    const Clock::time_point pop_time = Clock::now();
-    if (sweep(*first, pop_time)) continue;
-
-    std::vector<Pending> batch;
-    batch.reserve(options_.max_batch);
-    batch.push_back(std::move(*first));
-    // Copies, not refs into the batch: linger pruning may erase any member
-    // (including the head) while the match predicate stays live.
-    const std::uint64_t key = batch.front().group_key;
-    const corpus::KernelSpec kernel = batch.front().request.kernel;
-    const std::string machine = batch.front().request.machine;
-    const auto match = [&](const Pending& p) {
-      // Full spec equality: a name may be shared by specs with different
-      // params, which must not ride one batch (the hash of machine+name is
-      // only the cheap first-pass reject).
-      return p.group_key == key && p.request.machine == machine && p.request.kernel == kernel;
-    };
-    if (options_.max_batch > 1) {
-      queue_.drain_matching(match, options_.max_batch - 1, batch);
-      // Time-based linger: wait for same-kernel co-arrivals, clamped by the
-      // earliest deadline in the batch. Interactive heads fire immediately —
-      // that tier trades batch size for latency by definition.
-      if (options_.linger.count() > 0 && batch.size() < options_.max_batch &&
-          batch.front().tier != Priority::kInteractive)
-        linger_batch(batch, match, pop_time);
-    }
-
-    // Final sweep before the expensive half: cancelled or expired requests
-    // must not cost a feature extraction or widen the forward.
-    const Clock::time_point fire_time = Clock::now();
-    std::vector<Pending> live;
-    live.reserve(batch.size());
-    for (Pending& pending : batch)
-      if (!sweep(pending, fire_time)) live.push_back(std::move(pending));
-    if (!live.empty()) process_batch(live);
-  }
-}
-
-void TuningService::process_batch(std::vector<Pending>& batch) {
-  const Clock::time_point fire_time = Clock::now();
-  std::vector<hwsim::OmpConfig> configs;
-  bool cache_hit = false;
-  try {
-    // Key the cache on the registration tag, not the machine name: a
-    // hot-swapped tuner under the same name must not hit entries whose
-    // scaled vectors were fitted against the old tuner's corpus.
-    const ModelRegistry::Resolved resolved =
-        registry_->resolve(batch.front().request.machine);
-    const std::shared_ptr<const core::MgaTuner>& tuner = resolved.tuner;
-    const std::shared_ptr<const FeatureCache::Entry> entry =
-        cache_.get(batch.front().request.kernel, *tuner, resolved.tag, &cache_hit);
-
-    std::vector<hwsim::PapiCounters> counters;
-    counters.reserve(batch.size());
-    for (const Pending& pending : batch)
-      counters.push_back(pending.request.counters
-                             ? *pending.request.counters
-                             : cache_.counters_for(*entry, *tuner, pending.request.input_bytes));
-    configs = tuner->tune_group(entry->features, counters);
-  } catch (...) {
-    ServeError error;
-    error.cause = std::current_exception();
-    try {
-      throw;
-    } catch (const LoadError& e) {
-      error.kind = ServeErrorKind::kLoadFailed;
-      error.detail = e.what();
-    } catch (const std::out_of_range& e) {
-      error.kind = ServeErrorKind::kUnknownMachine;
-      error.detail = e.what();
-    } catch (const std::exception& e) {
-      error.kind = ServeErrorKind::kLoadFailed;
-      error.detail = e.what();
-    } catch (...) {
-      error.kind = ServeErrorKind::kLoadFailed;
-      error.detail = "unknown error";
-    }
-    for (Pending& pending : batch) {
-      if (pending.state->try_claim()) {
-        stats_.record_failed();
-        pending.state->publish(error);
-      } else {
-        stats_.record_cancelled(pending.tier);  // a cancel won the race
-      }
-    }
-    return;
-  }
-
-  const Clock::time_point done_time = Clock::now();
-  const double compute_us = micros_between(fire_time, done_time);
-  stats_.record_batch(batch.size());
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    TuneResult result;
-    result.config = configs[i];
-    result.cache_hit = cache_hit;
-    result.batch_size = batch.size();
-    result.latency_us = micros_between(batch[i].enqueued, done_time);
-    result.queue_wait_us = micros_between(batch[i].enqueued, fire_time);
-    result.compute_us = compute_us;
-    if (batch[i].state->try_claim()) {
-      // Stats before publish: a getter may read a snapshot as soon as it
-      // wakes, and must see its own completion in it.
-      stats_.record_completion(result.latency_us, result.queue_wait_us, compute_us,
-                               batch[i].tier);
-      batch[i].state->publish(TuneOutcome(std::move(result)));
-    } else {
-      // A cancel won the race mid-forward: the work is spent, the outcome
-      // is the caller's kCancelled.
-      stats_.record_cancelled(batch[i].tier);
-    }
-  }
-}
-
 void TuningService::pause() {
-  const std::lock_guard<std::mutex> lock(pause_mutex_);
-  paused_ = true;
+  for (const auto& shard : shards_) shard->pause();
 }
 
 void TuningService::resume() {
-  {
-    const std::lock_guard<std::mutex> lock(pause_mutex_);
-    paused_ = false;
-  }
-  pause_cv_.notify_all();
+  for (const auto& shard : shards_) shard->resume();
 }
 
 void TuningService::shutdown() {
@@ -398,13 +128,30 @@ void TuningService::shutdown() {
     if (shut_down_) return;
     shut_down_ = true;
   }
-  queue_.close();
-  resume();  // paused workers must wake to observe the close and drain
-  for (std::thread& worker : workers_) worker.join();
+  // Close every queue first so submitters fail fast and all shards drain
+  // their backlogs concurrently, then reap the worker pools.
+  for (const auto& shard : shards_) shard->close();
+  for (const auto& shard : shards_) shard->join();
 }
 
 ServiceStatsSnapshot TuningService::stats_snapshot() const {
-  return stats_.snapshot(cache_.stats());
+  if (shards_.size() == 1) {
+    // Fast path, and exactly the unsharded service's snapshot (aggregation
+    // would re-derive the means from rounded sums).
+    ServiceStatsSnapshot s = shards_.front()->stats_snapshot();
+    ServiceStatsSnapshot breakdown = s;  // breakdown of one: itself
+    s.shards.push_back(std::move(breakdown));
+    return s;
+  }
+  std::vector<ServiceStatsSnapshot> per_shard;
+  std::vector<LatencyWindows> windows;
+  per_shard.reserve(shards_.size());
+  windows.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    per_shard.push_back(shard->stats_snapshot());
+    windows.push_back(shard->latency_windows());
+  }
+  return aggregate_snapshots(std::move(per_shard), windows);
 }
 
 }  // namespace mga::serve

@@ -1,75 +1,42 @@
-// TuningService — batched, multi-threaded, QoS-aware tuning-as-a-service.
+// TuningService — the facade layer of the serve stack: batched,
+// multi-threaded, QoS-aware, *sharded* tuning-as-a-service.
+//
+// The stack is three layers (see DESIGN.md §6–§7):
+//
+//   facade  TuningService   public v2 API (submit/tickets/outcomes, QoS),
+//                           machine resolution, stats aggregation
+//   router  ShardRouter     consistent-hash ring over (machine, kernel
+//                           fingerprint) with virtual nodes
+//   engine  ServeShard      TieredQueue + worker pool + FeatureCache +
+//                           ServiceStats + linger/sweep/batch logic
 //
 // Clients `submit` asynchronous TuneRequests (kernel spec + input size,
 // optionally pre-collected counters, plus RequestOptions: priority tier,
-// admission policy, deadline) and receive TuneTickets. A fixed worker pool
-// consumes a three-lane TieredQueue (interactive > normal > bulk, with
-// anti-starvation); each worker micro-batches by pulling every co-queued
-// request for the same (machine, kernel) out of the backlog — and, when a
-// linger window is configured, waits for same-kernel co-arrivals (clamped by
-// the earliest deadline in the batch) — so one `MgaTuner::tune_group`
-// forward amortizes the static GNN/DAE modalities across the batch. Expired
-// and cancelled requests are swept out before feature extraction. The
-// sharded FeatureCache memoizes the static features (and per-input profiling
-// counters), so repeat traffic skips feature extraction and simulation
-// entirely.
+// admission policy, deadline) and receive TuneTickets. The facade resolves
+// the target machine and routes the request onto one of
+// `ServeOptions::shards` engines; the ring pins every (machine, kernel) to
+// one shard, so repeat traffic always lands where the feature cache already
+// holds its features. `shards = 1` (the default) is byte-for-byte the
+// unsharded service.
 //
 // Determinism contract: for a given trained tuner, a served prediction is
 // bit-identical to calling `MgaTuner::tune` directly with the same (kernel,
-// input size) — batching, caching, tiering and threading change throughput
-// and completion order, never answers (asserted in tests/test_serve.cpp).
+// input size) — batching, caching, tiering, sharding and threading change
+// throughput and completion order, never answers (asserted in
+// tests/test_serve.cpp, for every shard count the bench runs).
 #pragma once
 
-#include <array>
-#include <chrono>
-#include <condition_variable>
 #include <future>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
-#include <thread>
 #include <vector>
 
-#include "serve/feature_cache.hpp"
-#include "serve/model_registry.hpp"
-#include "serve/queue.hpp"
-#include "serve/stats.hpp"
-#include "serve/ticket.hpp"
+#include "serve/router.hpp"
+#include "serve/shard.hpp"
 
 namespace mga::serve {
-
-struct ServeOptions {
-  std::size_t workers = 4;
-  /// Per-tier lane capacity when the matching `tier_capacity` entry is 0.
-  std::size_t queue_capacity = 1024;
-  /// Lane capacity per tier (indexed by Priority); 0 = `queue_capacity`.
-  std::array<std::size_t, kNumTiers> tier_capacity{};
-  /// Max requests fused into one grouped forward.
-  std::size_t max_batch = 32;
-  /// Time-based micro-batch linger: after popping a request, wait up to this
-  /// long for same-kernel co-arrivals before firing the grouped forward.
-  /// Clamped by the earliest deadline in the batch; zero = drain-only (fire
-  /// immediately); interactive-tier heads never linger.
-  std::chrono::steady_clock::duration linger{};
-  /// Consecutive pops a lower lane may be passed over before it is served
-  /// regardless of priority (see TieredQueue).
-  std::size_t starvation_limit = 8;
-  FeatureCacheOptions cache;
-  /// Registry entry used when a request names no machine. Empty = only
-  /// legal when the registry holds exactly one entry.
-  std::string default_machine;
-};
-
-struct TuneRequest {
-  corpus::KernelSpec kernel;
-  double input_bytes = 0.0;
-  /// Pre-collected profiling counters; when absent the service profiles once
-  /// (memoized per (kernel, input) in the feature cache).
-  std::optional<hwsim::PapiCounters> counters;
-  /// Registry entry to serve this request with; empty = the default.
-  std::string machine;
-  /// QoS: priority tier, admission policy, deadline.
-  RequestOptions options;
-};
 
 class TuningService {
  public:
@@ -97,56 +64,36 @@ class TuningService {
   /// this is only suitable for workloads without deadlines or cancellation.
   [[nodiscard]] std::vector<TuneResult> tune_all(std::vector<TuneRequest> requests);
 
-  /// Pause the worker pool: workers finish the batches they already claimed
-  /// and then idle; submissions keep queueing (and admission policies keep
-  /// applying). `resume` (or `shutdown`) releases them. Lets operators
-  /// quiesce the pool around registry hot-swaps — and tests stage queue
-  /// states deterministically.
+  /// Pause every shard's worker pool: workers finish the batches they
+  /// already claimed and then idle; submissions keep queueing (and admission
+  /// policies keep applying). `resume` (or `shutdown`) releases them. Lets
+  /// operators quiesce the pool around registry hot-swaps — and tests stage
+  /// queue states deterministically.
   void pause();
   void resume();
 
-  /// Close the queue, drain the backlog, join the workers. Idempotent;
-  /// the destructor calls it.
+  /// Close every shard's queue (so all shards drain their backlogs
+  /// concurrently), then join all workers. Idempotent; the destructor
+  /// calls it.
   void shutdown();
 
+  /// Aggregate view over all shards (counters summed, percentiles over the
+  /// pooled sample windows) with the per-shard breakdown attached as
+  /// `ServiceStatsSnapshot::shards`.
   [[nodiscard]] ServiceStatsSnapshot stats_snapshot() const;
 
   [[nodiscard]] const ServeOptions& options() const noexcept { return options_; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-
-  struct Pending {
-    TuneRequest request;  // request.machine resolved at submit
-    std::shared_ptr<TicketState> state;
-    std::uint64_t group_key = 0;
-    Priority tier = Priority::kNormal;
-    Clock::time_point enqueued;
-    Clock::time_point deadline_at;  // time_point::max() when no deadline
-  };
-
-  void worker_loop();
-  /// Resolve `pending` when it is cancelled or past its deadline, recording
-  /// the per-tier counter. True when the request was dropped.
-  bool sweep(Pending& pending, Clock::time_point now);
-  /// Wait for same-kernel co-arrivals until the linger window (or the
-  /// earliest batch deadline) closes or the batch fills.
-  template <typename Match>
-  void linger_batch(std::vector<Pending>& batch, const Match& match,
-                    Clock::time_point pop_time);
-  void process_batch(std::vector<Pending>& batch);
   /// Target machine for `request`, or a resolution ServeError.
   [[nodiscard]] std::optional<ServeError> resolve_machine(TuneRequest& request) const;
+  /// The shard `request` routes to (machine must be final).
+  [[nodiscard]] ServeShard& shard_for(const TuneRequest& request);
 
   std::shared_ptr<ModelRegistry> registry_;
   ServeOptions options_;
-  FeatureCache cache_;
-  ServiceStats stats_;
-  TieredQueue<Pending> queue_;
-  std::vector<std::thread> workers_;
-  std::mutex pause_mutex_;
-  std::condition_variable pause_cv_;
-  bool paused_ = false;
+  ShardRouter router_;
+  std::vector<std::unique_ptr<ServeShard>> shards_;
   std::mutex shutdown_mutex_;
   bool shut_down_ = false;
 };

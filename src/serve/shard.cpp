@@ -1,0 +1,402 @@
+#include "serve/shard.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "serve/router.hpp"  // only for the route_fingerprint spec hash
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace mga::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double micros_between(Clock::time_point start, Clock::time_point end) {
+  return std::chrono::duration<double, std::micro>(end - start).count();
+}
+
+/// Fire a lingering batch this long before its earliest deadline so the
+/// clamping request is still live at the pre-forward sweep. Sized for the
+/// wake-to-sweep gap on slow, loaded or sanitized builds; the only cost of
+/// generosity is a slightly shorter window for deadline-bearing batches.
+constexpr auto kDeadlineGuard = std::chrono::milliseconds(5);
+
+/// Smoothing factor of the per-kernel inter-arrival EWMA: new gaps move the
+/// estimate quickly enough to track a rate change within a few arrivals.
+constexpr double kArrivalEwmaAlpha = 0.3;
+
+/// Bound on the arrival-tracking map. Recycling on overflow only resets the
+/// adaptive clamp to its cold (no-linger) state for evicted kernels — never
+/// correctness — so a crude clear beats LRU bookkeeping on the submit path.
+constexpr std::size_t kMaxArrivalEntries = 4096;
+
+[[nodiscard]] std::vector<std::size_t> lane_capacities(const ServeOptions& options) {
+  std::vector<std::size_t> capacities(kNumTiers, options.queue_capacity);
+  for (std::size_t t = 0; t < kNumTiers; ++t)
+    if (options.tier_capacity[t] > 0) capacities[t] = options.tier_capacity[t];
+  return capacities;
+}
+
+}  // namespace
+
+ServeShard::ServeShard(std::shared_ptr<ModelRegistry> registry, const ServeOptions& options)
+    : registry_(std::move(registry)),
+      options_(options),
+      cache_(options.cache),
+      queue_(lane_capacities(options), options.starvation_limit) {
+  MGA_CHECK_MSG(registry_ != nullptr, "ServeShard: null registry");
+  MGA_CHECK_MSG(options_.workers > 0, "ServeShard: need at least one worker");
+  MGA_CHECK_MSG(options_.max_batch > 0, "ServeShard: max_batch must be positive");
+  workers_.reserve(options_.workers);
+  for (std::size_t w = 0; w < options_.workers; ++w)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ServeShard::~ServeShard() { shutdown(); }
+
+void ServeShard::note_arrival(std::uint64_t linger_key, Clock::time_point now) {
+  const std::lock_guard<std::mutex> lock(arrivals_mutex_);
+  if (arrivals_.size() >= kMaxArrivalEntries && arrivals_.count(linger_key) == 0)
+    arrivals_.clear();
+  ArrivalStats& arrival = arrivals_[linger_key];
+  if (arrival.count > 0) {
+    const double gap_us = micros_between(arrival.last, now);
+    arrival.ewma_us = arrival.count == 1
+                          ? gap_us
+                          : kArrivalEwmaAlpha * gap_us + (1.0 - kArrivalEwmaAlpha) * arrival.ewma_us;
+  }
+  arrival.last = now;
+  ++arrival.count;
+}
+
+Clock::duration ServeShard::effective_linger(std::uint64_t linger_key) const {
+  if (!options_.adaptive_linger) return options_.linger;
+  const std::lock_guard<std::mutex> lock(arrivals_mutex_);
+  const auto it = arrivals_.find(linger_key);
+  // Cold kernel: no inter-arrival history (this is the first request, or
+  // tracking was recycled), so no observed rate predicts a co-arrival —
+  // fire immediately instead of paying the global window.
+  if (it == arrivals_.end() || it->second.count < 2) return Clock::duration::zero();
+  const auto adaptive = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::micro>(options_.linger_ewma_factor *
+                                                it->second.ewma_us));
+  return std::min(options_.linger, adaptive);
+}
+
+void ServeShard::submit(TuneRequest request, std::shared_ptr<TicketState> state) {
+  stats_.record_submit();
+
+  Pending pending;
+  pending.tier = request.options.priority;
+  pending.enqueued = Clock::now();
+  pending.deadline_at = request.options.deadline.count() > 0
+                            ? pending.enqueued + request.options.deadline
+                            : Clock::time_point::max();
+  pending.state = std::move(state);
+
+  if (static_cast<std::size_t>(pending.tier) >= kNumTiers) {
+    // Contract: service errors resolve the ticket, they never throw. Stats
+    // before resolve, here and on every failure path below: a getter may
+    // read a snapshot the instant it wakes, and must see its own outcome
+    // already counted.
+    stats_.record_failed();
+    pending.state->resolve(ServeError{ServeErrorKind::kRejected,
+                                      "invalid priority tier in RequestOptions", nullptr});
+    return;
+  }
+  pending.group_key = util::hash_combine(util::fnv1a(request.machine),
+                                         util::fnv1a(request.kernel.name));
+  if (options_.adaptive_linger && options_.linger.count() > 0) {
+    // Tracked under the *full* structural identity: same-name specs with
+    // different params never share a batch, so sharing an arrival history
+    // would defeat the cold-kernel skip.
+    pending.linger_key = route_key(request.machine, route_fingerprint(request.kernel));
+    note_arrival(pending.linger_key, pending.enqueued);
+  }
+  const Admission admission = request.options.admission;
+  const auto lane = static_cast<std::size_t>(pending.tier);
+  const Priority tier = pending.tier;
+  const Clock::time_point deadline_at = pending.deadline_at;
+  std::shared_ptr<TicketState> pending_state = pending.state;  // survives the move
+  pending.request = std::move(request);
+
+  auto pushed = TieredQueue<Pending>::PushResult::kClosed;
+  switch (admission) {
+    case Admission::kReject:
+      pushed = queue_.try_push(std::move(pending), lane);
+      break;
+    case Admission::kShed: {
+      std::optional<Pending> shed;
+      pushed = queue_.push_shedding(std::move(pending), lane, shed);
+      if (shed.has_value()) {
+        // Two-phase like every worker path: the victim's getter must see its
+        // own shed in a snapshot taken the moment it wakes — and a victim a
+        // cancel already claimed counts as cancelled, not shed.
+        if (shed->state->try_claim()) {
+          stats_.record_shed(shed->tier);
+          shed->state->publish(ServeError{ServeErrorKind::kRejected,
+                                          "shed: displaced by a newer request", nullptr});
+        } else {
+          stats_.record_cancelled(shed->tier);
+        }
+      }
+      break;
+    }
+    case Admission::kBlock:
+      // Bounded push: the request's own deadline caps how long the caller
+      // stalls on a full lane.
+      pushed = deadline_at == Clock::time_point::max()
+                   ? queue_.push(std::move(pending), lane)
+                   : queue_.push_until(std::move(pending), lane, deadline_at);
+      break;
+  }
+
+  switch (pushed) {
+    case TieredQueue<Pending>::PushResult::kOk:
+      stats_.record_admitted(tier);
+      break;
+    case TieredQueue<Pending>::PushResult::kFull:
+      if (admission == Admission::kBlock) {
+        stats_.record_expired(tier);
+        pending_state->resolve(ServeError{ServeErrorKind::kDeadlineExceeded,
+                                          "deadline elapsed while blocked on a full lane",
+                                          nullptr});
+      } else {
+        stats_.record_rejected(tier);
+        pending_state->resolve(ServeError{
+            ServeErrorKind::kRejected,
+            std::string("lane '") + to_string(tier) + "' is at capacity", nullptr});
+      }
+      break;
+    case TieredQueue<Pending>::PushResult::kClosed: {
+      const char* detail = "TuningService: submit after shutdown";
+      stats_.record_rejected(tier);
+      pending_state->resolve(ServeError{ServeErrorKind::kRejected, detail,
+                                        std::make_exception_ptr(std::runtime_error(detail))});
+      break;
+    }
+  }
+}
+
+bool ServeShard::sweep(Pending& pending, Clock::time_point now) {
+  if (pending.state->cancel_requested()) {
+    // The ticket already resolved itself with kCancelled; just account for
+    // it and free the slot.
+    stats_.record_cancelled(pending.tier);
+    return true;
+  }
+  if (now >= pending.deadline_at) {
+    if (pending.state->try_claim()) {
+      stats_.record_expired(pending.tier);
+      pending.state->publish(ServeError{ServeErrorKind::kDeadlineExceeded,
+                                        "deadline expired before the grouped forward",
+                                        nullptr});
+    }
+    return true;
+  }
+  return false;
+}
+
+template <typename Match>
+void ServeShard::linger_batch(std::vector<Pending>& batch, const Match& match,
+                              Clock::time_point pop_time, Clock::duration window) {
+  const Clock::time_point linger_end = pop_time + window;
+  const auto interactive_lane = static_cast<std::size_t>(Priority::kInteractive);
+  for (;;) {
+    // A waiting interactive request trumps batch growth: fire now so this
+    // worker frees up to serve the interactive lane. Same for an interactive
+    // rider already drained into this bulk-headed batch — it must not sit
+    // out the window.
+    if (queue_.size(interactive_lane) > 0) return;
+    for (const Pending& pending : batch)
+      if (pending.tier == Priority::kInteractive) return;
+    // Prune dead members now rather than at the final sweep: a cancelled or
+    // expiring rider must neither clamp fire_at nor hold a batch slot.
+    const Clock::time_point now = Clock::now();
+    for (auto it = batch.begin(); it != batch.end();)
+      it = sweep(*it, now) ? batch.erase(it) : it + 1;
+    if (batch.empty()) return;
+    Clock::time_point fire_at = linger_end;
+    for (const Pending& pending : batch)
+      if (pending.deadline_at != Clock::time_point::max())
+        fire_at = std::min(fire_at, pending.deadline_at - kDeadlineGuard);
+    if (batch.size() >= options_.max_batch || now >= fire_at) return;
+    const std::uint64_t epoch = queue_.push_epoch();
+    // Re-drain after every push; a non-matching push just re-arms the wait.
+    if (queue_.drain_matching(match, options_.max_batch - batch.size(), batch) == 0 &&
+        !queue_.wait_push(epoch, fire_at))
+      return;  // window elapsed (or queue closed) with no new arrivals
+  }
+}
+
+void ServeShard::worker_loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(pause_mutex_);
+      pause_cv_.wait(lock, [&] { return !paused_; });
+    }
+    std::optional<Pending> first = queue_.try_pop();
+    if (!first.has_value()) {
+      if (queue_.closed()) return;  // closed and fully drained
+      queue_.wait_nonempty();
+      continue;  // re-check the pause gate before claiming work
+    }
+
+    const Clock::time_point pop_time = Clock::now();
+    if (sweep(*first, pop_time)) continue;
+
+    std::vector<Pending> batch;
+    batch.reserve(options_.max_batch);
+    batch.push_back(std::move(*first));
+    // Copies, not refs into the batch: linger pruning may erase any member
+    // (including the head) while the match predicate stays live.
+    const std::uint64_t key = batch.front().group_key;
+    const corpus::KernelSpec kernel = batch.front().request.kernel;
+    const std::string machine = batch.front().request.machine;
+    const auto match = [&](const Pending& p) {
+      // Full spec equality: a name may be shared by specs with different
+      // params, which must not ride one batch (the hash of machine+name is
+      // only the cheap first-pass reject).
+      return p.group_key == key && p.request.machine == machine && p.request.kernel == kernel;
+    };
+    if (options_.max_batch > 1) {
+      queue_.drain_matching(match, options_.max_batch - 1, batch);
+      // Time-based linger: wait for same-kernel co-arrivals, clamped by the
+      // earliest deadline in the batch. Interactive heads fire immediately —
+      // that tier trades batch size for latency by definition.
+      if (options_.linger.count() > 0 && batch.size() < options_.max_batch &&
+          batch.front().tier != Priority::kInteractive) {
+        const Clock::duration window = effective_linger(batch.front().linger_key);
+        if (window.count() > 0) linger_batch(batch, match, pop_time, window);
+      }
+    }
+
+    // Final sweep before the expensive half: cancelled or expired requests
+    // must not cost a feature extraction or widen the forward.
+    const Clock::time_point fire_time = Clock::now();
+    std::vector<Pending> live;
+    live.reserve(batch.size());
+    for (Pending& pending : batch)
+      if (!sweep(pending, fire_time)) live.push_back(std::move(pending));
+    if (!live.empty()) process_batch(live);
+  }
+}
+
+void ServeShard::process_batch(std::vector<Pending>& batch) {
+  const Clock::time_point fire_time = Clock::now();
+  std::vector<hwsim::OmpConfig> configs;
+  bool cache_hit = false;
+  try {
+    // Key the cache on the registration tag, not the machine name: a
+    // hot-swapped tuner under the same name must not hit entries whose
+    // scaled vectors were fitted against the old tuner's corpus.
+    const ModelRegistry::Resolved resolved =
+        registry_->resolve(batch.front().request.machine);
+    const std::shared_ptr<const core::MgaTuner>& tuner = resolved.tuner;
+    const std::shared_ptr<const FeatureCache::Entry> entry =
+        cache_.get(batch.front().request.kernel, *tuner, resolved.tag, &cache_hit);
+
+    std::vector<hwsim::PapiCounters> counters;
+    counters.reserve(batch.size());
+    for (const Pending& pending : batch)
+      counters.push_back(pending.request.counters
+                             ? *pending.request.counters
+                             : cache_.counters_for(*entry, *tuner, pending.request.input_bytes));
+    configs = tuner->tune_group(entry->features, counters);
+  } catch (...) {
+    ServeError error;
+    error.cause = std::current_exception();
+    try {
+      throw;
+    } catch (const LoadError& e) {
+      error.kind = ServeErrorKind::kLoadFailed;
+      error.detail = e.what();
+    } catch (const std::out_of_range& e) {
+      error.kind = ServeErrorKind::kUnknownMachine;
+      error.detail = e.what();
+    } catch (const std::exception& e) {
+      error.kind = ServeErrorKind::kLoadFailed;
+      error.detail = e.what();
+    } catch (...) {
+      error.kind = ServeErrorKind::kLoadFailed;
+      error.detail = "unknown error";
+    }
+    for (Pending& pending : batch) {
+      if (pending.state->try_claim()) {
+        stats_.record_failed();
+        pending.state->publish(error);
+      } else {
+        stats_.record_cancelled(pending.tier);  // a cancel won the race
+      }
+    }
+    return;
+  }
+
+  const Clock::time_point done_time = Clock::now();
+  const double compute_us = micros_between(fire_time, done_time);
+  stats_.record_batch(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    TuneResult result;
+    result.config = configs[i];
+    result.cache_hit = cache_hit;
+    result.batch_size = batch.size();
+    result.latency_us = micros_between(batch[i].enqueued, done_time);
+    result.queue_wait_us = micros_between(batch[i].enqueued, fire_time);
+    result.compute_us = compute_us;
+    if (batch[i].state->try_claim()) {
+      // Stats before publish: a getter may read a snapshot as soon as it
+      // wakes, and must see its own completion in it.
+      stats_.record_completion(result.latency_us, result.queue_wait_us, compute_us,
+                               batch[i].tier);
+      batch[i].state->publish(TuneOutcome(std::move(result)));
+    } else {
+      // A cancel won the race mid-forward: the work is spent, the outcome
+      // is the caller's kCancelled.
+      stats_.record_cancelled(batch[i].tier);
+    }
+  }
+}
+
+void ServeShard::pause() {
+  const std::lock_guard<std::mutex> lock(pause_mutex_);
+  paused_ = true;
+}
+
+void ServeShard::resume() {
+  {
+    const std::lock_guard<std::mutex> lock(pause_mutex_);
+    paused_ = false;
+  }
+  pause_cv_.notify_all();
+}
+
+void ServeShard::close() {
+  {
+    const std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    if (closed_) return;
+    closed_ = true;
+  }
+  queue_.close();
+  resume();  // paused workers must wake to observe the close and drain
+}
+
+void ServeShard::join() {
+  close();
+  {
+    const std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    if (joined_) return;
+    joined_ = true;
+  }
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ServeShard::shutdown() { join(); }
+
+ServiceStatsSnapshot ServeShard::stats_snapshot() const {
+  return stats_.snapshot(cache_.stats());
+}
+
+}  // namespace mga::serve

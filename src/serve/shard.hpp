@@ -1,0 +1,182 @@
+// ServeShard — the engine layer of the serve stack (see DESIGN.md §6).
+//
+// One shard is a self-contained serving engine: it owns a three-lane
+// TieredQueue, a fixed worker pool, a FeatureCache, and per-shard
+// ServiceStats. Workers pop requests, micro-batch same-(machine, kernel)
+// co-arrivals (draining the backlog and optionally lingering for a window),
+// sweep out cancelled/expired requests, and fire one `MgaTuner::tune_group`
+// forward per batch. The facade (`TuningService`) resolves machines, routes
+// requests onto shards (`ShardRouter`), and aggregates their stats; the
+// shard itself never looks at another shard — its queue, cache, linger
+// EWMAs, and close/drain lifecycle are all shard-local, which is what keeps
+// its cache hot under consistent-hash routing and makes per-shard quiesce
+// (for future online retraining) possible.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/feature_cache.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/queue.hpp"
+#include "serve/stats.hpp"
+#include "serve/ticket.hpp"
+
+namespace mga::serve {
+
+struct ServeOptions {
+  /// Worker threads *per shard*.
+  std::size_t workers = 4;
+  /// Per-tier lane capacity when the matching `tier_capacity` entry is 0.
+  std::size_t queue_capacity = 1024;
+  /// Lane capacity per tier (indexed by Priority); 0 = `queue_capacity`.
+  std::array<std::size_t, kNumTiers> tier_capacity{};
+  /// Max requests fused into one grouped forward.
+  std::size_t max_batch = 32;
+  /// Time-based micro-batch linger: after popping a request, wait up to this
+  /// long for same-kernel co-arrivals before firing the grouped forward.
+  /// Clamped by the earliest deadline in the batch; zero = drain-only (fire
+  /// immediately); interactive-tier heads never linger.
+  std::chrono::steady_clock::duration linger{};
+  /// Adaptive linger: clamp the effective window per kernel to
+  /// `linger_ewma_factor x` the kernel's EWMA of inter-arrival times, so a
+  /// kernel whose co-arrivals come every 100us stops holding a worker for a
+  /// multi-ms global window. A kernel with no arrival history yet (cold:
+  /// first request since the shard started or since its tracking entry was
+  /// recycled) does not linger at all — there is no observed rate that
+  /// predicts a co-arrival.
+  bool adaptive_linger = false;
+  double linger_ewma_factor = 4.0;
+  /// Consecutive pops a lower lane may be passed over before it is served
+  /// regardless of priority (see TieredQueue).
+  std::size_t starvation_limit = 8;
+  /// Feature-cache shape *per shard* (each ServeShard owns a private cache;
+  /// consistent-hash routing keeps a kernel's traffic on one shard, so
+  /// per-shard caches never duplicate entries in steady state).
+  FeatureCacheOptions cache;
+  /// Facade-level: number of ServeShards. 1 (the default) reproduces the
+  /// unsharded service exactly. Ignored by ServeShard itself.
+  std::size_t shards = 1;
+  /// Facade-level: registry entry used when a request names no machine.
+  /// Empty = only legal when the registry holds exactly one entry. Ignored
+  /// by ServeShard itself (it requires resolved machines).
+  std::string default_machine;
+};
+
+struct TuneRequest {
+  corpus::KernelSpec kernel;
+  double input_bytes = 0.0;
+  /// Pre-collected profiling counters; when absent the service profiles once
+  /// (memoized per (kernel, input) in the feature cache).
+  std::optional<hwsim::PapiCounters> counters;
+  /// Registry entry to serve this request with; empty = the default.
+  std::string machine;
+  /// QoS: priority tier, admission policy, deadline.
+  RequestOptions options;
+};
+
+class ServeShard {
+ public:
+  /// `options.shards` and `options.default_machine` are facade concerns and
+  /// ignored here; everything else shapes this shard's queue, workers, cache
+  /// and linger policy.
+  ServeShard(std::shared_ptr<ModelRegistry> registry, const ServeOptions& options);
+  ~ServeShard();
+
+  ServeShard(const ServeShard&) = delete;
+  ServeShard& operator=(const ServeShard&) = delete;
+
+  /// Admit `request` under its RequestOptions and bind the outcome to
+  /// `state`. Precondition: `request.machine` names a registry entry (the
+  /// facade resolves defaults first). Never throws for service errors —
+  /// admission refusals and shutdown resolve the state with a ServeError.
+  /// Records all submit/admission stats on this shard.
+  void submit(TuneRequest request, std::shared_ptr<TicketState> state);
+
+  /// Pause this shard's workers: they finish the batches they already
+  /// claimed and then idle; submissions keep queueing. `resume` (or
+  /// `shutdown`) releases them.
+  void pause();
+  void resume();
+
+  /// `close` seals the queue and wakes paused workers so they drain;
+  /// `join` reaps them. `shutdown` = close + join; all idempotent. The
+  /// facade closes every shard before joining any, so shards drain their
+  /// backlogs concurrently.
+  void close();
+  void join();
+  void shutdown();
+
+  [[nodiscard]] ServiceStatsSnapshot stats_snapshot() const;
+  /// Raw latency samples for exact cross-shard percentile aggregation.
+  [[nodiscard]] LatencyWindows latency_windows() const { return stats_.latency_windows(); }
+  /// Direct counter access for facade-side accounting (e.g. attributing a
+  /// machine-resolution failure to the shard the request routed to).
+  [[nodiscard]] ServiceStats& stats() noexcept { return stats_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    TuneRequest request;  // request.machine resolved at submit
+    std::shared_ptr<TicketState> state;
+    std::uint64_t group_key = 0;
+    /// Arrival-tracking key for adaptive linger: machine ⊕ full structural
+    /// fingerprint, unlike `group_key`'s cheap machine+name hash — same-name
+    /// specs with different params cannot batch together, so they must not
+    /// share an arrival history either. 0 when adaptive linger is off.
+    std::uint64_t linger_key = 0;
+    Priority tier = Priority::kNormal;
+    Clock::time_point enqueued;
+    Clock::time_point deadline_at;  // time_point::max() when no deadline
+  };
+
+  /// Per-kernel arrival-rate tracking for the adaptive linger clamp.
+  struct ArrivalStats {
+    Clock::time_point last{};
+    double ewma_us = 0.0;
+    std::uint64_t count = 0;
+  };
+
+  void worker_loop();
+  /// Resolve `pending` when it is cancelled or past its deadline, recording
+  /// the per-tier counter. True when the request was dropped.
+  bool sweep(Pending& pending, Clock::time_point now);
+  /// Wait for same-kernel co-arrivals until `window` past `pop_time` (or the
+  /// earliest batch deadline) closes or the batch fills.
+  template <typename Match>
+  void linger_batch(std::vector<Pending>& batch, const Match& match,
+                    Clock::time_point pop_time, Clock::duration window);
+  void process_batch(std::vector<Pending>& batch);
+  /// Fold a new arrival of `linger_key` into its inter-arrival EWMA.
+  void note_arrival(std::uint64_t linger_key, Clock::time_point now);
+  /// Linger window for a batch headed by `linger_key`: `options.linger`, or
+  /// the adaptive clamp `min(linger, factor x EWMA)` (zero when cold).
+  [[nodiscard]] Clock::duration effective_linger(std::uint64_t linger_key) const;
+
+  std::shared_ptr<ModelRegistry> registry_;
+  ServeOptions options_;
+  FeatureCache cache_;
+  ServiceStats stats_;
+  TieredQueue<Pending> queue_;
+  std::vector<std::thread> workers_;
+  std::mutex pause_mutex_;
+  std::condition_variable pause_cv_;
+  bool paused_ = false;
+  std::mutex lifecycle_mutex_;
+  bool closed_ = false;
+  bool joined_ = false;
+  mutable std::mutex arrivals_mutex_;
+  std::unordered_map<std::uint64_t, ArrivalStats> arrivals_;
+};
+
+}  // namespace mga::serve

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <string>
 
+#include "util/check.hpp"
 #include "util/stats.hpp"
 
 namespace mga::serve {
@@ -44,6 +45,14 @@ void ServiceStats::record_completion(double latency_us, double queue_wait_us,
   push_ring(t.latency_window, t.latency_next, kTierLatencyWindow, latency_us);
 }
 
+LatencyWindows ServiceStats::latency_windows() const {
+  LatencyWindows windows;
+  const std::lock_guard<std::mutex> lock(latency_mutex_);
+  windows.global = latency_window_;
+  for (std::size_t t = 0; t < kNumTiers; ++t) windows.tiers[t] = tiers_[t].latency_window;
+  return windows;
+}
+
 ServiceStatsSnapshot ServiceStats::snapshot(const FeatureCacheStats& cache) const {
   ServiceStatsSnapshot s;
   s.submitted = submitted_.load();
@@ -51,9 +60,10 @@ ServiceStatsSnapshot ServiceStats::snapshot(const FeatureCacheStats& cache) cons
   s.failed = failed_.load();
   s.batches = batches_.load();
   s.max_batch = max_batch_.load();
-  const std::uint64_t batched = batched_requests_.load();
-  s.mean_batch =
-      s.batches == 0 ? 0.0 : static_cast<double>(batched) / static_cast<double>(s.batches);
+  s.batched_requests = batched_requests_.load();
+  s.mean_batch = s.batches == 0 ? 0.0
+                                : static_cast<double>(s.batched_requests) /
+                                      static_cast<double>(s.batches);
   s.cache = cache;
 
   std::vector<double> window;
@@ -92,6 +102,76 @@ ServiceStatsSnapshot ServiceStats::snapshot(const FeatureCacheStats& cache) cons
   return s;
 }
 
+ServiceStatsSnapshot aggregate_snapshots(std::vector<ServiceStatsSnapshot> shards,
+                                         const std::vector<LatencyWindows>& windows) {
+  MGA_CHECK_MSG(!shards.empty(), "aggregate_snapshots: need at least one shard");
+  MGA_CHECK_MSG(windows.size() == shards.size(),
+                "aggregate_snapshots: one LatencyWindows per shard snapshot");
+  ServiceStatsSnapshot s;
+  double latency_sum = 0.0, queue_wait_sum = 0.0, compute_sum = 0.0;
+  for (const ServiceStatsSnapshot& shard : shards) {
+    s.submitted += shard.submitted;
+    s.completed += shard.completed;
+    s.failed += shard.failed;
+    s.batches += shard.batches;
+    s.batched_requests += shard.batched_requests;
+    s.max_batch = std::max(s.max_batch, shard.max_batch);
+    // Re-derive the sums the per-shard means were computed from, so the
+    // aggregate mean weights each shard by its completion count.
+    const auto completed = static_cast<double>(shard.completed);
+    latency_sum += shard.latency_mean_us * completed;
+    queue_wait_sum += shard.queue_wait_mean_us * completed;
+    compute_sum += shard.compute_mean_us * completed;
+    s.latency_max_us = std::max(s.latency_max_us, shard.latency_max_us);
+    for (std::size_t t = 0; t < kNumTiers; ++t) {
+      s.tiers[t].admitted += shard.tiers[t].admitted;
+      s.tiers[t].completed += shard.tiers[t].completed;
+      s.tiers[t].rejected += shard.tiers[t].rejected;
+      s.tiers[t].shed += shard.tiers[t].shed;
+      s.tiers[t].expired += shard.tiers[t].expired;
+      s.tiers[t].cancelled += shard.tiers[t].cancelled;
+    }
+    s.cache.hits += shard.cache.hits;
+    s.cache.misses += shard.cache.misses;
+    s.cache.evictions += shard.cache.evictions;
+    s.cache.profile_memo_hits += shard.cache.profile_memo_hits;
+    s.cache.profiles_run += shard.cache.profiles_run;
+    s.cache.entries += shard.cache.entries;
+  }
+  if (s.batches > 0)
+    s.mean_batch = static_cast<double>(s.batched_requests) / static_cast<double>(s.batches);
+  if (s.completed > 0) {
+    const auto n = static_cast<double>(s.completed);
+    s.latency_mean_us = latency_sum / n;
+    s.queue_wait_mean_us = queue_wait_sum / n;
+    s.compute_mean_us = compute_sum / n;
+  }
+
+  // Exact aggregate percentiles: pool the shards' raw sample windows.
+  std::vector<double> pooled;
+  std::array<std::vector<double>, kNumTiers> tier_pooled;
+  for (const LatencyWindows& shard_windows : windows) {
+    pooled.insert(pooled.end(), shard_windows.global.begin(), shard_windows.global.end());
+    for (std::size_t t = 0; t < kNumTiers; ++t)
+      tier_pooled[t].insert(tier_pooled[t].end(), shard_windows.tiers[t].begin(),
+                            shard_windows.tiers[t].end());
+  }
+  if (!pooled.empty()) {
+    std::sort(pooled.begin(), pooled.end());
+    s.latency_p50_us = util::percentile_sorted(pooled, 0.50);
+    s.latency_p95_us = util::percentile_sorted(pooled, 0.95);
+  }
+  for (std::size_t t = 0; t < kNumTiers; ++t) {
+    if (tier_pooled[t].empty()) continue;
+    std::sort(tier_pooled[t].begin(), tier_pooled[t].end());
+    s.tiers[t].latency_p50_us = util::percentile_sorted(tier_pooled[t], 0.50);
+    s.tiers[t].latency_p95_us = util::percentile_sorted(tier_pooled[t], 0.95);
+  }
+
+  s.shards = std::move(shards);
+  return s;
+}
+
 util::Table stats_table(const ServiceStatsSnapshot& s) {
   util::Table table({"metric", "value"});
   table.add_row({"requests submitted", std::to_string(s.submitted)});
@@ -121,6 +201,24 @@ util::Table stats_table(const ServiceStatsSnapshot& s) {
                        std::to_string(tier.expired) + " / " + std::to_string(tier.cancelled)});
     table.add_row({name + " p50/p95", util::fmt_double(tier.latency_p50_us) + " / " +
                                           util::fmt_double(tier.latency_p95_us) + " us"});
+  }
+  // Per-shard breakdown of a sharded service: routing balance and per-shard
+  // cache locality at a glance. A single-shard snapshot renders exactly the
+  // rows it always did.
+  if (s.shards.size() > 1) {
+    for (std::size_t i = 0; i < s.shards.size(); ++i) {
+      const ServiceStatsSnapshot& shard = s.shards[i];
+      const std::string name = "shard " + std::to_string(i);
+      table.add_row({name + " sub/comp/fail", std::to_string(shard.submitted) + " / " +
+                                                  std::to_string(shard.completed) + " / " +
+                                                  std::to_string(shard.failed)});
+      table.add_row({name + " cache hit-rate/entries",
+                     util::fmt_percent(shard.cache.hit_rate()) + " / " +
+                         std::to_string(shard.cache.entries)});
+      table.add_row({name + " mean batch / p95",
+                     util::fmt_double(shard.mean_batch) + " / " +
+                         util::fmt_double(shard.latency_p95_us) + " us"});
+    }
   }
   return table;
 }

@@ -3,7 +3,10 @@
 // the same table). v2 adds per-tier QoS accounting (admitted / rejected /
 // shed / expired / cancelled, per-tier latency percentiles) and the
 // queue-wait vs. compute latency breakdown that makes linger tuning
-// observable.
+// observable. Under sharded serving each ServeShard owns one ServiceStats;
+// the facade merges them with `aggregate_snapshots` (counters summed, means
+// re-weighted, percentiles recomputed over the shards' pooled raw windows)
+// and attaches the per-shard snapshots as `ServiceStatsSnapshot::shards`.
 #pragma once
 
 #include <array>
@@ -59,6 +62,9 @@ struct ServiceStatsSnapshot {
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;  // every error outcome, across all causes
   std::uint64_t batches = 0;
+  /// Requests served across all batches (`mean_batch`'s numerator, carried
+  /// so cross-shard aggregation sums exact integers).
+  std::uint64_t batched_requests = 0;
   std::uint64_t max_batch = 0;
   double mean_batch = 0.0;
   double latency_mean_us = 0.0;  // over all completions
@@ -71,6 +77,18 @@ struct ServiceStatsSnapshot {
   double compute_mean_us = 0.0;
   std::array<TierStatsSnapshot, kNumTiers> tiers{};
   FeatureCacheStats cache;
+  /// Per-shard breakdown when the snapshot aggregates a sharded service:
+  /// one entry per ServeShard, in shard-index order, each with an empty
+  /// `shards` of its own. Empty on a per-shard snapshot.
+  std::vector<ServiceStatsSnapshot> shards;
+};
+
+/// Raw latency samples behind the percentile windows (global + per tier),
+/// exported so a facade can pool several shards' samples and compute exact
+/// aggregate percentiles instead of averaging per-shard quantiles.
+struct LatencyWindows {
+  std::vector<double> global;
+  std::array<std::vector<double>, kNumTiers> tiers;
 };
 
 class ServiceStats {
@@ -95,6 +113,9 @@ class ServiceStats {
                          Priority tier);
 
   [[nodiscard]] ServiceStatsSnapshot snapshot(const FeatureCacheStats& cache = {}) const;
+
+  /// Copies of the bounded latency rings, for cross-shard aggregation.
+  [[nodiscard]] LatencyWindows latency_windows() const;
 
  private:
   /// Latency samples kept for percentiles: a bounded ring of the most
@@ -135,7 +156,16 @@ class ServiceStats {
   std::array<Tier, kNumTiers> tiers_;
 };
 
-/// Render a snapshot as the operator-facing metric/value table.
+/// Merge per-shard snapshots into one service-wide view: counters summed,
+/// means re-weighted by each shard's completion count, max-like fields
+/// maxed, and percentiles recomputed exactly over the pooled `windows`
+/// samples (windows[i] must come from the same ServiceStats as shards[i]).
+/// The inputs are attached verbatim as `result.shards`.
+[[nodiscard]] ServiceStatsSnapshot aggregate_snapshots(
+    std::vector<ServiceStatsSnapshot> shards, const std::vector<LatencyWindows>& windows);
+
+/// Render a snapshot as the operator-facing metric/value table. A multi-shard
+/// snapshot (`shards.size() > 1`) gains a per-shard breakdown section.
 [[nodiscard]] util::Table stats_table(const ServiceStatsSnapshot& snapshot);
 
 }  // namespace mga::serve

@@ -103,6 +103,53 @@ TEST(OclDatasetTest, PaperSampleCountAndLabelConsistency) {
   EXPECT_LT(gpu_labels, 570u);
 }
 
+TEST(OclDatasetTest, ParallelConstructionIsBitIdenticalToSerial) {
+  const std::vector<corpus::KernelSpec> specs = corpus::opencl_suite();
+  const hwsim::GpuConfig gpu = hwsim::gtx_970();
+  const hwsim::MachineConfig host = hwsim::ivy_bridge_i7_3820();
+  const OclDataset data = build_ocl_dataset(specs, gpu, host);
+
+  // Serial reference: the kernel-major append loop build_ocl_dataset ran
+  // before it was parallelized. The parallel build writes kernel k's
+  // variations into the exact slots this loop appends them to, and every
+  // sample is a pure function of (spec, gpu, host), so equality must be
+  // bit-for-bit.
+  const std::size_t extra = 670 - 2 * specs.size();
+  const double transfer_choices[] = {64.0 * 1024, 1.0 * 1024 * 1024, 16.0 * 1024 * 1024,
+                                     128.0 * 1024 * 1024};
+  const int workgroup_choices[] = {32, 64, 128, 256, 512};
+  std::vector<OclSample> serial;
+  for (std::size_t k = 0; k < specs.size(); ++k) {
+    util::Rng rng(util::fnv1a(specs[k].name) ^ util::fnv1a(gpu.name));
+    const std::size_t variations = 2 + (k < extra ? 1 : 0);
+    for (std::size_t v = 0; v < variations; ++v) {
+      OclSample sample;
+      sample.kernel_id = static_cast<int>(k);
+      sample.transfer_bytes =
+          transfer_choices[rng.uniform_index(std::size(transfer_choices))];
+      sample.workgroup_size =
+          workgroup_choices[rng.uniform_index(std::size(workgroup_choices))];
+      sample.gpu_seconds = hwsim::gpu_execute(data.workloads[k], gpu, sample.transfer_bytes,
+                                              sample.workgroup_size)
+                               .seconds;
+      sample.cpu_seconds =
+          hwsim::cpu_reference_seconds(data.workloads[k], host, sample.transfer_bytes);
+      sample.label = sample.gpu_seconds < sample.cpu_seconds ? 1 : 0;
+      serial.push_back(sample);
+    }
+  }
+
+  ASSERT_EQ(data.samples.size(), serial.size());
+  for (std::size_t s = 0; s < serial.size(); ++s) {
+    EXPECT_EQ(data.samples[s].kernel_id, serial[s].kernel_id) << s;
+    EXPECT_EQ(data.samples[s].transfer_bytes, serial[s].transfer_bytes) << s;
+    EXPECT_EQ(data.samples[s].workgroup_size, serial[s].workgroup_size) << s;
+    EXPECT_EQ(data.samples[s].gpu_seconds, serial[s].gpu_seconds) << s;
+    EXPECT_EQ(data.samples[s].cpu_seconds, serial[s].cpu_seconds) << s;
+    EXPECT_EQ(data.samples[s].label, serial[s].label) << s;
+  }
+}
+
 // --- splits -------------------------------------------------------------------
 
 class KFoldParam : public ::testing::TestWithParam<int> {};

@@ -1,8 +1,11 @@
 // mga::serve — bounded MPMC queue semantics, the tiered QoS queue, feature
 // cache hit/eviction and profile memoization, batched facade paths, the v2
 // ticket/outcome API (deadlines, cancellation, admission tiers, linger), the
-// deprecated v1 future shims, and the service determinism contract: served
-// predictions are bit-identical to direct `MgaTuner::tune`.
+// deprecated v1 future shims, the router/shard layering (consistent-hash
+// routing stability, ring rebalance bounds, cross-shard stats aggregation,
+// lifecycle fan-out, adaptive linger), and the service determinism contract:
+// served predictions are bit-identical to direct `MgaTuner::tune` at every
+// shard count.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -12,6 +15,7 @@
 #include <thread>
 
 #include "serve/queue.hpp"
+#include "serve/router.hpp"
 #include "serve/service.hpp"
 
 namespace mga::serve {
@@ -194,6 +198,87 @@ TEST(TieredQueue, CloseDrainsBacklogThenReportsEmpty) {
   EXPECT_EQ(*queue.pop(), 1);
   EXPECT_EQ(*queue.pop(), 2);
   EXPECT_FALSE(queue.pop().has_value());
+}
+
+// --- shard router ------------------------------------------------------------
+
+/// Pseudo-random but deterministic key stream for ring statistics.
+std::vector<std::uint64_t> router_test_keys(std::size_t n) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(n);
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+  for (std::size_t i = 0; i < n; ++i) keys.push_back(util::splitmix64(state));
+  return keys;
+}
+
+TEST(ShardRouter, RoutingIsDeterministicAcrossInstances) {
+  const ShardRouter a(4);
+  const ShardRouter b(4);
+  for (const std::uint64_t key : router_test_keys(2000))
+    EXPECT_EQ(a.shard_for(key), b.shard_for(key));
+}
+
+TEST(ShardRouter, RouteFingerprintIsStructural) {
+  const corpus::KernelSpec gemm = corpus::find_kernel("polybench/gemm");
+  EXPECT_EQ(route_fingerprint(gemm), route_fingerprint(corpus::find_kernel("polybench/gemm")));
+  EXPECT_NE(route_fingerprint(gemm), route_fingerprint(corpus::find_kernel("rodinia/bfs")));
+  // Same name, different params: distinct batching identity, distinct
+  // fingerprint (they never share a cache entry, so they need not share a
+  // shard).
+  corpus::KernelSpec variant = gemm;
+  variant.params.nest_depth = 1;
+  EXPECT_NE(route_fingerprint(gemm), route_fingerprint(variant));
+  // Machine is part of the routing key.
+  EXPECT_NE(route_key("comet-lake", route_fingerprint(gemm)),
+            route_key("skylake-sp", route_fingerprint(gemm)));
+}
+
+TEST(ShardRouter, VirtualNodesBalanceTheLoad) {
+  constexpr std::size_t kShards = 4;
+  const ShardRouter router(kShards);
+  std::array<std::size_t, kShards> counts{};
+  const std::vector<std::uint64_t> keys = router_test_keys(20000);
+  for (const std::uint64_t key : keys) {
+    const std::size_t shard = router.shard_for(key);
+    ASSERT_LT(shard, kShards);
+    ++counts[shard];
+  }
+  // 128 virtual nodes per shard keep every shard within a loose band around
+  // the ideal 1/4 share.
+  for (std::size_t s = 0; s < kShards; ++s) {
+    EXPECT_GT(counts[s], keys.size() / 10) << "shard " << s << " underloaded";
+    EXPECT_LT(counts[s], keys.size() / 2) << "shard " << s << " overloaded";
+  }
+}
+
+TEST(ShardRouter, GrowingTheRingMovesKeysOnlyToNewShards) {
+  const std::vector<std::uint64_t> keys = router_test_keys(20000);
+  // N -> M: ring points of the original shards are unchanged, so a key
+  // either keeps its shard or is claimed by a *new* shard — and only
+  // ~(M-N)/M of keys are claimed. Modulo hashing would reshuffle all but
+  // 1/M of them.
+  const auto check_growth = [&](std::size_t from, std::size_t to) {
+    const ShardRouter small(from);
+    const ShardRouter big(to);
+    std::size_t stayed = 0;
+    for (const std::uint64_t key : keys) {
+      const std::size_t before = small.shard_for(key);
+      const std::size_t after = big.shard_for(key);
+      if (after == before) {
+        ++stayed;
+      } else {
+        EXPECT_GE(after, from) << "a key moved between pre-existing shards";
+      }
+    }
+    const double stay_fraction =
+        static_cast<double>(stayed) / static_cast<double>(keys.size());
+    const double expected = 1.0 - static_cast<double>(to - from) / static_cast<double>(to);
+    EXPECT_GT(stay_fraction, expected - 0.06)
+        << from << " -> " << to << " moved far more keys than the ring predicts";
+  };
+  check_growth(2, 4);
+  check_growth(4, 5);
+  check_growth(4, 8);
 }
 
 // --- ticket state ------------------------------------------------------------
@@ -985,6 +1070,239 @@ TEST(TuningService, LatencyBreakdownSumsAndRendersEveryMetricRow) {
   EXPECT_NEAR(stats.queue_wait_mean_us + stats.compute_mean_us, stats.latency_mean_us, 1.0);
   const util::Table table = stats_table(stats);
   EXPECT_EQ(table.row_count(), 26u);
+}
+
+// --- the service: sharded serving --------------------------------------------
+
+/// One kernel per shard (first match in the openmp suite under machine
+/// "comet-lake"), so lifecycle tests can target every shard deterministically.
+std::vector<corpus::KernelSpec> kernels_per_shard(std::size_t shards) {
+  const ShardRouter router(shards);
+  std::vector<corpus::KernelSpec> picks(shards);
+  std::vector<bool> found(shards, false);
+  for (const corpus::KernelSpec& spec : corpus::openmp_suite()) {
+    const std::size_t s =
+        router.shard_for(route_key("comet-lake", route_fingerprint(spec)));
+    if (!found[s]) {
+      found[s] = true;
+      picks[s] = spec;
+    }
+  }
+  for (const bool f : found) EXPECT_TRUE(f) << "suite does not cover every shard";
+  return picks;
+}
+
+TEST(TuningService, ShardedServingMatchesDirectTuneBitForBit) {
+  for (const std::size_t shards : {2u, 4u}) {
+    ServeOptions options;
+    options.workers = 2;
+    options.shards = shards;
+    TuningService service(shared_registry(), options);
+    std::vector<TuneTicket> tickets;
+    std::vector<std::pair<std::string, double>> keys;
+    for (const char* name : {"polybench/gemm", "rodinia/bfs", "stream/triad",
+                             "lulesh/CalcHourglassControlForElems", "polybench/atax"}) {
+      for (const double input : {8192.0, 2e6, 1e8}) {
+        tickets.push_back(service.submit(make_request(name, input)));
+        keys.emplace_back(name, input);
+      }
+    }
+    for (std::size_t t = 0; t < tickets.size(); ++t) {
+      const TuneOutcome outcome = tickets[t].get();
+      ASSERT_TRUE(outcome.ok());
+      EXPECT_EQ(outcome.value().config,
+                shared_tuner().tune(corpus::find_kernel(keys[t].first), keys[t].second))
+          << shards << " shards: " << keys[t].first << " @ " << keys[t].second;
+    }
+  }
+}
+
+TEST(TuningService, SameKernelAlwaysRoutesToTheSameShard) {
+  ServeOptions options;
+  options.workers = 1;
+  options.shards = 4;
+  const auto submitted_shard = [&](const char* kernel) {
+    TuningService service(shared_registry(), options);
+    for (const double input : {8192.0, 2e6, 3e7})
+      EXPECT_TRUE(service.submit(make_request(kernel, input)).get().ok());
+    const ServiceStatsSnapshot stats = service.stats_snapshot();
+    EXPECT_EQ(stats.shards.size(), 4u);
+    std::size_t shard = stats.shards.size();
+    for (std::size_t s = 0; s < stats.shards.size(); ++s) {
+      if (stats.shards[s].submitted == 0) continue;
+      EXPECT_EQ(shard, stats.shards.size()) << "one kernel's traffic split across shards";
+      EXPECT_EQ(stats.shards[s].submitted, 3u);
+      // All repeat traffic hit this shard's (and only this shard's) cache.
+      EXPECT_EQ(stats.shards[s].cache.entries, 1u);
+      shard = s;
+    }
+    EXPECT_LT(shard, stats.shards.size());
+    return shard;
+  };
+  // Stable across service instances (restarts): the ring is a pure function
+  // of (shards, virtual nodes).
+  EXPECT_EQ(submitted_shard("polybench/gemm"), submitted_shard("polybench/gemm"));
+  EXPECT_EQ(submitted_shard("rodinia/bfs"), submitted_shard("rodinia/bfs"));
+}
+
+TEST(TuningService, AggregateStatsSumPerShardCounters) {
+  ServeOptions options;
+  options.workers = 1;
+  options.shards = 3;
+  TuningService service(shared_registry(), options);
+
+  constexpr std::size_t kRequests = 24;
+  const std::vector<const char*> names = {"polybench/gemm", "rodinia/bfs", "stream/triad",
+                                          "polybench/2mm", "rodinia/hotspot",
+                                          "polybench/atax"};
+  std::vector<TuneTicket> tickets;
+  for (std::size_t r = 0; r < kRequests; ++r)
+    tickets.push_back(service.submit(make_request(names[r % names.size()], 2e6)));
+  TuneRequest unroutable = make_request("polybench/gemm", 2e6);
+  unroutable.machine = "no-such-machine";
+  const TuneTicket failed = service.submit(std::move(unroutable));
+  for (const TuneTicket& ticket : tickets) ASSERT_TRUE(ticket.get().ok());
+  ASSERT_FALSE(failed.get().ok());
+
+  const ServiceStatsSnapshot stats = service.stats_snapshot();
+  ASSERT_EQ(stats.shards.size(), 3u);
+  ServiceStatsSnapshot sum;
+  std::uint64_t tier_admitted = 0, tier_completed = 0;
+  for (const ServiceStatsSnapshot& shard : stats.shards) {
+    EXPECT_TRUE(shard.shards.empty()) << "breakdown entries must not nest";
+    sum.submitted += shard.submitted;
+    sum.completed += shard.completed;
+    sum.failed += shard.failed;
+    sum.batches += shard.batches;
+    sum.cache.hits += shard.cache.hits;
+    sum.cache.misses += shard.cache.misses;
+    sum.cache.entries += shard.cache.entries;
+    for (const TierStatsSnapshot& tier : shard.tiers) {
+      tier_admitted += tier.admitted;
+      tier_completed += tier.completed;
+    }
+  }
+  EXPECT_EQ(stats.submitted, kRequests + 1);
+  EXPECT_EQ(sum.submitted, stats.submitted);
+  EXPECT_EQ(stats.completed, kRequests);
+  EXPECT_EQ(sum.completed, stats.completed);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(sum.failed, stats.failed);
+  EXPECT_EQ(sum.batches, stats.batches);
+  EXPECT_EQ(sum.cache.hits, stats.cache.hits);
+  EXPECT_EQ(sum.cache.misses, stats.cache.misses);
+  EXPECT_EQ(sum.cache.entries, stats.cache.entries);
+  EXPECT_EQ(stats.cache.entries, names.size()) << "each kernel cached on exactly one shard";
+  std::uint64_t aggregate_admitted = 0, aggregate_completed = 0;
+  for (const TierStatsSnapshot& tier : stats.tiers) {
+    aggregate_admitted += tier.admitted;
+    aggregate_completed += tier.completed;
+  }
+  EXPECT_EQ(aggregate_admitted, tier_admitted);
+  EXPECT_EQ(aggregate_completed, tier_completed);
+
+  // The operator table gains a breakdown section only for multi-shard
+  // snapshots: the 26 aggregate rows plus 3 per shard.
+  EXPECT_EQ(stats_table(stats).row_count(), 26u + 3u * stats.shards.size());
+}
+
+TEST(TuningService, LifecycleFansOutToAllShards) {
+  ServeOptions options;
+  options.workers = 1;
+  options.shards = 2;
+  const std::vector<corpus::KernelSpec> per_shard = kernels_per_shard(options.shards);
+  TuningService service(shared_registry(), options);
+
+  // pause() must idle every shard's workers, not just shard 0's.
+  service.pause();
+  std::vector<TuneTicket> tickets;
+  for (const corpus::KernelSpec& kernel : per_shard) {
+    TuneRequest request;
+    request.kernel = kernel;
+    request.input_bytes = 2e6;
+    tickets.push_back(service.submit(std::move(request)));
+  }
+  std::this_thread::sleep_for(100ms);
+  for (const TuneTicket& ticket : tickets)
+    EXPECT_FALSE(ticket.done()) << "a paused shard served a request";
+
+  // resume() must release them all.
+  service.resume();
+  for (const TuneTicket& ticket : tickets) ASSERT_TRUE(ticket.get().ok());
+
+  // shutdown() must close every shard's queue: submissions to any shard
+  // resolve with kRejected instead of queueing forever.
+  service.shutdown();
+  for (const corpus::KernelSpec& kernel : per_shard) {
+    TuneRequest request;
+    request.kernel = kernel;
+    request.input_bytes = 2e6;
+    const TuneTicket rejected = service.submit(std::move(request));
+    ASSERT_TRUE(rejected.done());
+    const TuneOutcome outcome = rejected.get();
+    ASSERT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.error().kind, ServeErrorKind::kRejected);
+  }
+}
+
+// --- the service: adaptive linger ----------------------------------------------
+
+TEST(TuningService, AdaptiveLingerSkipsColdKernels) {
+  ServeOptions options;
+  options.workers = 1;
+  options.max_batch = 8;
+  options.linger = 5s;  // absurd global window
+  options.adaptive_linger = true;
+  TuningService service(shared_registry(), options);
+
+  // First-ever request for this kernel: no arrival history, so the adaptive
+  // clamp fires the batch immediately instead of holding the worker for the
+  // full window (contrast LingerWindowIsClampedByTheEarliestDeadline, where
+  // only a deadline can cut the fixed window short).
+  const auto start = std::chrono::steady_clock::now();
+  TuneRequest request = make_request("polybench/gemm", 8192.0);
+  request.options.priority = Priority::kBulk;
+  const TuneOutcome outcome = service.submit(std::move(request)).get();
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 2s)
+      << "a cold kernel must not pay the global linger window";
+  EXPECT_EQ(outcome.value().config,
+            shared_tuner().tune(corpus::find_kernel("polybench/gemm"), 8192.0));
+}
+
+TEST(TuningService, AdaptiveLingerClampsTheWindowToTheArrivalRate) {
+  ServeOptions options;
+  options.workers = 1;
+  options.max_batch = 8;
+  options.linger = 30s;  // absurd: only the EWMA clamp can close the window
+  options.adaptive_linger = true;
+  options.linger_ewma_factor = 4.0;
+  TuningService service(shared_registry(), options);
+  service.pause();
+
+  // Five same-kernel arrivals ~40ms apart establish an inter-arrival EWMA
+  // while the shard is paused (arrivals are tracked at submit). On resume
+  // the worker drains all five into one batch (< max_batch) and lingers —
+  // but only for ~4 x EWMA, not the 30s global window.
+  std::vector<TuneTicket> tickets;
+  for (int r = 0; r < 5; ++r) {
+    if (r > 0) std::this_thread::sleep_for(40ms);
+    TuneRequest request = make_request("polybench/gemm", 2e6);
+    request.options.priority = Priority::kBulk;
+    tickets.push_back(service.submit(std::move(request)));
+  }
+  service.resume();
+
+  const TuneOutcome head = tickets.front().get();
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ(head.value().batch_size, 5u) << "co-queued arrivals must still ride one batch";
+  EXPECT_LT(head.value().latency_us, 10e6)
+      << "the EWMA clamp must close the window long before the global linger";
+  for (const TuneTicket& ticket : tickets) {
+    const TuneOutcome outcome = ticket.get();
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome.value().config, head.value().config);
+  }
 }
 
 TEST(ModelRegistry, LoadsArtifactOnDemandAndServesIdentically) {
