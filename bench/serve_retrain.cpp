@@ -1,0 +1,260 @@
+// Online retraining under load: serving p95 while a background drift-
+// triggered retrain cycle (snapshot → fine-tune → validate → per-shard
+// quiesce → hot swap) runs must stay within 2x of steady state, and the
+// swapped model must lower prediction regret on the drifted slice.
+//
+// Phases (one service, retrain enabled throughout, so both phases pay the
+// same observation-scoring cost):
+//   steady  — paced traffic over the trained kernels only; no drift, no
+//             retrain cycle; p95 is the baseline
+//   drift   — the same paced background traffic continues while the workload
+//             mix gains a drifted slice (unseen kernels the model
+//             mispredicts); the DriftMonitor fires, the controller
+//             fine-tunes and hot-swaps with only the owning shards
+//             quiesced; p95 of the background traffic across this whole
+//             phase is compared against the baseline
+//
+// Exit is nonzero when: no swap happened, drift-phase background p95
+// exceeds 2x steady-state, or the swapped model does not reduce mean regret
+// on the drifted slice. `--smoke` shrinks the workload for CI.
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hwsim/cpu_model.hpp"
+#include "serve/service.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] mga::core::MgaTunerOptions bench_options() {
+  mga::core::MgaTunerOptions options;
+  auto kernels = mga::corpus::openmp_suite();
+  kernels.resize(8);  // train on the first 8 loops; the drifted slice is unseen
+  options.training_kernels = std::move(kernels);
+  std::vector<double> inputs = mga::dataset::input_sizes_30();
+  std::vector<double> subset;
+  for (std::size_t i = 0; i < inputs.size(); i += 6) subset.push_back(inputs[i]);
+  options.input_sizes = std::move(subset);
+  options.training.epochs = 12;
+  return options;
+}
+
+struct DriftPair {
+  mga::corpus::KernelSpec kernel;
+  double input_bytes = 0.0;
+  mga::hwsim::PapiCounters counters;
+  std::vector<double> seconds;
+  double best_seconds = 0.0;
+  double regret = 0.0;
+};
+
+/// Unseen (kernel, input) pairs the tuner mispredicts, with oracle tables.
+std::vector<DriftPair> find_drifted_pairs(const mga::core::MgaTuner& tuner,
+                                          std::size_t skip, std::size_t max_pairs,
+                                          double min_regret) {
+  const auto suite = mga::corpus::openmp_suite();
+  const std::vector<double> inputs = {2e6, 3e7};
+  std::vector<DriftPair> pairs;
+  for (std::size_t k = skip; k < suite.size() && pairs.size() < max_pairs; ++k) {
+    const mga::core::KernelFeatures features = tuner.extract_features(suite[k]);
+    for (const double input : inputs) {
+      if (pairs.size() >= max_pairs) break;
+      DriftPair pair;
+      pair.kernel = suite[k];
+      pair.input_bytes = input;
+      pair.counters = tuner.profile_counters(features.workload, input);
+      const int label = tuner.predict_labels(features, {pair.counters}).front();
+      for (const mga::hwsim::OmpConfig& config : tuner.space())
+        pair.seconds.push_back(
+            mga::hwsim::cpu_execute(features.workload, tuner.machine(), input, config)
+                .seconds);
+      pair.best_seconds = *std::min_element(pair.seconds.begin(), pair.seconds.end());
+      pair.regret =
+          pair.seconds[static_cast<std::size_t>(label)] / pair.best_seconds - 1.0;
+      if (pair.regret >= min_regret) pairs.push_back(std::move(pair));
+    }
+  }
+  return pairs;
+}
+
+double pairs_regret(const mga::core::MgaTuner& tuner, const std::vector<DriftPair>& pairs) {
+  double total = 0.0;
+  for (const DriftPair& pair : pairs) {
+    const mga::core::KernelFeatures features = tuner.extract_features(pair.kernel);
+    const int label = tuner.predict_labels(features, {pair.counters}).front();
+    total += pair.seconds[static_cast<std::size_t>(label)] / pair.best_seconds - 1.0;
+  }
+  return pairs.empty() ? 0.0 : total / static_cast<double>(pairs.size());
+}
+
+[[nodiscard]] double percentile_us(std::vector<double> samples, double p) {
+  std::sort(samples.begin(), samples.end());
+  return mga::util::percentile_sorted(samples, p);
+}
+
+/// Submit `count` paced background requests over the trained kernels and
+/// return their latencies (all outcomes must be served).
+std::vector<double> run_background(mga::serve::TuningService& service,
+                                   const std::vector<mga::corpus::KernelSpec>& kernels,
+                                   const std::vector<double>& inputs, std::size_t count,
+                                   std::chrono::microseconds pace, std::uint64_t seed) {
+  mga::util::Rng rng(seed);
+  std::vector<mga::serve::TuneTicket> tickets;
+  tickets.reserve(count);
+  const Clock::time_point start = Clock::now();
+  for (std::size_t r = 0; r < count; ++r) {
+    mga::serve::TuneRequest request;
+    request.kernel = kernels[rng.uniform_index(kernels.size())];
+    request.input_bytes = inputs[rng.uniform_index(inputs.size())];
+    tickets.push_back(service.submit(std::move(request)));
+    std::this_thread::sleep_until(start + (r + 1) * pace);
+  }
+  std::vector<double> latencies;
+  latencies.reserve(count);
+  for (const mga::serve::TuneTicket& ticket : tickets) {
+    const mga::serve::TuneOutcome outcome = ticket.get();
+    if (!outcome.ok()) {
+      std::cerr << "unexpected serve error: " << to_string(outcome.error().kind) << "\n";
+      std::exit(1);
+    }
+    latencies.push_back(outcome.value().latency_us);
+  }
+  return latencies;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mga;
+  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  const std::size_t background_n = smoke ? 1200 : 6000;
+  const auto pace = std::chrono::microseconds(smoke ? 250 : 200);
+
+  std::cout << "training the tuner (8 loops x 5 inputs)...\n";
+  auto registry = std::make_shared<serve::ModelRegistry>();
+  registry->add("comet-lake", core::MgaTuner::train(bench_options()));
+  const std::shared_ptr<const core::MgaTuner> tuner = registry->get("comet-lake");
+
+  const std::vector<corpus::KernelSpec> suite = corpus::openmp_suite();
+  const std::vector<corpus::KernelSpec> trained(suite.begin(), suite.begin() + 8);
+  const std::vector<double> all_inputs = dataset::input_sizes_30();
+  std::vector<double> inputs;
+  for (std::size_t i = 2; i < all_inputs.size(); i += 6) inputs.push_back(all_inputs[i]);
+
+  // Place the drift threshold above the worst regret the steady traffic can
+  // realize (trained kernels at the bench inputs), so only the drifted slice
+  // can fire the monitor — the steady phase must be a clean baseline.
+  double steady_regret_ceiling = 0.0;
+  for (const corpus::KernelSpec& kernel : trained) {
+    const core::KernelFeatures features = tuner->extract_features(kernel);
+    for (const double input : inputs) {
+      const hwsim::PapiCounters counters = tuner->profile_counters(features.workload, input);
+      const int label = tuner->predict_labels(features, {counters}).front();
+      std::vector<double> seconds;
+      for (const hwsim::OmpConfig& config : tuner->space())
+        seconds.push_back(
+            hwsim::cpu_execute(features.workload, tuner->machine(), input, config).seconds);
+      const double best = *std::min_element(seconds.begin(), seconds.end());
+      steady_regret_ceiling = std::max(
+          steady_regret_ceiling, seconds[static_cast<std::size_t>(label)] / best - 1.0);
+    }
+  }
+  const double drift_threshold = steady_regret_ceiling + 0.05;
+  const std::vector<DriftPair> pairs =
+      find_drifted_pairs(*tuner, 8, 6, drift_threshold + 0.10);
+  if (pairs.size() < 2) {
+    std::cerr << "FAIL: could not assemble a drifted slice (found " << pairs.size()
+              << " mispredicted pairs above regret "
+              << util::fmt_percent(drift_threshold + 0.10) << ")\n";
+    return 1;
+  }
+  const double pre_regret = pairs_regret(*tuner, pairs);
+  std::cout << "steady regret ceiling " << util::fmt_percent(steady_regret_ceiling)
+            << ", drift threshold " << util::fmt_percent(drift_threshold) << ", slice of "
+            << pairs.size() << " pairs at " << util::fmt_percent(pre_regret)
+            << " mean regret\n";
+
+  serve::ServeOptions options;
+  options.workers = 2;
+  options.shards = 4;
+  options.queue_capacity = 4096;
+  options.retrain.enabled = true;
+  options.retrain.min_snapshot = 6;
+  options.retrain.max_regret_regression = 0.02;
+  options.retrain.drift.regret_threshold = drift_threshold;
+  options.retrain.drift.min_kernel_observations = 4;
+  options.retrain.drift.cooldown = std::chrono::minutes(10);
+  serve::TuningService service(registry, options);
+
+  // --- steady state: trained kernels only, no drift --------------------------
+  std::cout << "steady phase: " << background_n << " paced requests...\n";
+  const std::vector<double> steady = run_background(service, trained, inputs, background_n,
+                                                    pace, /*seed=*/17);
+  const double steady_p95 = percentile_us(steady, 0.95);
+  const std::uint64_t cycles_after_steady = service.retrain()->stats().cycles;
+
+  // --- drift phase: background continues while the drifted slice triggers a
+  // retrain + hot swap in the background --------------------------------------
+  std::cout << "drift phase: background traffic + drifted slice...\n";
+  std::vector<double> drift_phase;
+  std::thread background([&] {
+    drift_phase = run_background(service, trained, inputs, background_n, pace, /*seed=*/23);
+  });
+  std::vector<serve::TuneTicket> drift_tickets;
+  for (int round = 0; round < 8; ++round) {
+    if (service.retrain()->stats().triggers > 0) break;
+    for (const DriftPair& pair : pairs) {
+      serve::TuneRequest request;
+      request.kernel = pair.kernel;
+      request.input_bytes = pair.input_bytes;
+      drift_tickets.push_back(service.submit(std::move(request)));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  const bool swapped = service.retrain()->wait_for_cycles(cycles_after_steady + 1,
+                                                          std::chrono::seconds(120));
+  background.join();
+  for (const serve::TuneTicket& ticket : drift_tickets) (void)ticket.get();
+  const double drift_p95 = percentile_us(drift_phase, 0.95);
+
+  const serve::retrain::RetrainStatsSnapshot rstats = service.retrain()->stats();
+  const std::shared_ptr<const core::MgaTuner> swapped_tuner = registry->get("comet-lake");
+  const double post_regret = pairs_regret(*swapped_tuner, pairs);
+
+  util::Table table({"metric", "value"});
+  table.add_row({"steady p95", util::fmt_double(steady_p95 / 1000.0) + " ms"});
+  table.add_row({"drift-phase p95", util::fmt_double(drift_p95 / 1000.0) + " ms"});
+  table.add_row({"p95 ratio", util::fmt_double(drift_p95 / steady_p95)});
+  table.add_row({"drifted-slice regret (pre -> post swap)",
+                 util::fmt_percent(pre_regret) + " -> " + util::fmt_percent(post_regret)});
+  table.add_row({"deployed generation", std::to_string(registry->generation("comet-lake"))});
+  table.print(std::cout);
+  std::cout << "\nretrain telemetry:\n";
+  serve::retrain::retrain_table(rstats).print(std::cout);
+
+  bool ok = true;
+  if (!swapped || rstats.swaps == 0) {
+    std::cerr << "\nFAIL: the drifted slice never produced a hot swap (triggers="
+              << rstats.triggers << ", aborts=" << rstats.aborted_validation << "/"
+              << rstats.aborted_small_snapshot << ")\n";
+    ok = false;
+  }
+  if (drift_p95 > 2.0 * steady_p95) {
+    std::cerr << "\nFAIL: background p95 during retrain (" << drift_p95 / 1000.0
+              << " ms) exceeds 2x steady state (" << steady_p95 / 1000.0 << " ms)\n";
+    ok = false;
+  }
+  if (rstats.swaps > 0 && post_regret >= pre_regret) {
+    std::cerr << "\nFAIL: the swapped model did not reduce regret on the drifted slice\n";
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -162,19 +162,115 @@ hwsim::OmpConfig MgaTuner::tune_cached(const KernelFeatures& features,
   return tune_group(features, {counters}).front();
 }
 
-std::vector<hwsim::OmpConfig> MgaTuner::tune_group(
+std::vector<int> MgaTuner::predict_labels(
     const KernelFeatures& features, const std::vector<hwsim::PapiCounters>& counters) const {
-  MGA_CHECK_MSG(!counters.empty(), "tune_group: empty counter batch");
+  MGA_CHECK_MSG(!counters.empty(), "predict_labels: empty counter batch");
   std::vector<std::vector<float>> extra;
   extra.reserve(counters.size());
   for (const auto& c : counters) extra.push_back(state_->counter_features(c));
   const nn::Tensor logits = state_->model->forward_group(
       features.graph, features.scaled_vector, extra, extra.size());
+  return nn::argmax_rows(logits);
+}
+
+std::vector<hwsim::OmpConfig> MgaTuner::tune_group(
+    const KernelFeatures& features, const std::vector<hwsim::PapiCounters>& counters) const {
   std::vector<hwsim::OmpConfig> configs;
   configs.reserve(counters.size());
-  for (const int predicted : nn::argmax_rows(logits))
+  for (const int predicted : predict_labels(features, counters))
     configs.push_back(state_->options.space[static_cast<std::size_t>(predicted)]);
   return configs;
+}
+
+MgaTuner MgaTuner::clone() const {
+  auto state = std::make_unique<State>();
+  state->options = state_->options;
+  state->data = state_->data;
+  state->counter_scaler = state_->counter_scaler;
+  state->scaled_vectors = state_->scaled_vectors;
+  // Same recipe as `load`: rebuild the model (weight init from the training
+  // seed), rerun the deterministic DAE pretraining, then copy the trained
+  // parameters over. Only `trainable_parameters` need copying — the DAE is
+  // a pure function of (seed, scaled vectors) and never fine-tuned.
+  {
+    util::Rng rng(state->options.training.seed);
+    state->model = std::make_unique<MgaModel>(rng, state_->model->config());
+  }
+  util::Rng rng(state->options.training.seed);
+  state->model->pretrain_dae(state->scaled_vectors, rng);
+  const nn::NamedTensors source = named_parameters(*state_->model);
+  nn::NamedTensors target = named_parameters(*state->model);
+  nn::restore_into(source, target);
+  return MgaTuner(std::move(state));
+}
+
+FineTuneReport MgaTuner::fine_tune(const std::vector<corpus::KernelSpec>& kernels,
+                                   const std::vector<dataset::OmpSample>& samples,
+                                   const FineTuneOptions& options) {
+  MGA_CHECK_MSG(!kernels.empty(), "fine_tune: no kernels");
+  MGA_CHECK_MSG(!samples.empty(), "fine_tune: no samples");
+  MGA_CHECK_MSG(options.epochs > 0, "fine_tune: epochs must be positive");
+
+  // Group sample indices by kernel — fine-tuning batches by kernel exactly
+  // like initial training, so the static modalities are forwarded once per
+  // kernel per epoch.
+  std::vector<std::vector<std::size_t>> by_kernel(kernels.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const int k = samples[i].kernel_id;
+    MGA_CHECK_MSG(k >= 0 && static_cast<std::size_t>(k) < kernels.size(),
+                  "fine_tune: sample kernel_id out of range");
+    MGA_CHECK_MSG(samples[i].label >= 0 &&
+                      static_cast<std::size_t>(samples[i].label) < state_->options.space.size(),
+                  "fine_tune: sample label outside the configuration space");
+    by_kernel[static_cast<std::size_t>(k)].push_back(i);
+  }
+
+  std::vector<int> order;
+  std::vector<std::optional<KernelFeatures>> features(kernels.size());
+  for (std::size_t k = 0; k < kernels.size(); ++k) {
+    if (by_kernel[k].empty()) continue;
+    features[k] = extract_features(kernels[k]);
+    order.push_back(static_cast<int>(k));
+  }
+
+  nn::AdamWConfig opt_config;
+  opt_config.learning_rate = options.learning_rate;
+  opt_config.weight_decay = options.weight_decay;
+  nn::AdamW optimizer(state_->model->trainable_parameters(), opt_config);
+  auto params = state_->model->trainable_parameters();
+
+  FineTuneReport report;
+  report.kernels = order.size();
+  report.samples = samples.size();
+  util::Rng rng(options.seed);
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    for (const int kernel : order) {
+      const KernelFeatures& kf = *features[static_cast<std::size_t>(kernel)];
+      const std::vector<std::size_t>& members = by_kernel[static_cast<std::size_t>(kernel)];
+      std::vector<std::vector<float>> extra;
+      std::vector<int> labels;
+      extra.reserve(members.size());
+      labels.reserve(members.size());
+      for (const std::size_t i : members) {
+        extra.push_back(state_->counter_features(samples[i].counters));
+        labels.push_back(samples[i].label);
+      }
+      const nn::Tensor logits =
+          state_->model->forward_group(kf.graph, kf.scaled_vector, extra, extra.size());
+      nn::Tensor loss = nn::softmax_cross_entropy(logits, labels);
+      epoch_loss += static_cast<double>(loss.item());
+      optimizer.zero_grad();
+      loss.backward();
+      nn::clip_grad_norm(params, options.grad_clip);
+      optimizer.step();
+    }
+    epoch_loss /= static_cast<double>(order.size());
+    if (epoch == 0) report.initial_loss = epoch_loss;
+    report.final_loss = epoch_loss;
+  }
+  return report;
 }
 
 hwsim::OmpConfig MgaTuner::tune(const corpus::KernelSpec& kernel, double input_bytes) const {

@@ -44,6 +44,31 @@ struct TuneJob {
   std::optional<hwsim::PapiCounters> counters;
 };
 
+/// Knobs of the online fine-tuning pass (`MgaTuner::fine_tune`): a short,
+/// warm-started AdamW run over served-observation rows. Defaults are sized
+/// for "adapt a deployed model to a drifted slice without unlearning the
+/// rest": enough epochs at near-training learning rate to re-converge on the
+/// combined (drifted + replayed background) rows — half measures fix the
+/// slice but leave the background mid-migration — and no weight decay (the
+/// pretrained weights are the regularizer).
+struct FineTuneOptions {
+  int epochs = 60;
+  double learning_rate = 2e-3;
+  double weight_decay = 0.0;
+  double grad_clip = 5.0;
+  /// Seed of the per-epoch kernel-order shuffle; fine-tuning is fully
+  /// deterministic given (model state, rows, options).
+  std::uint64_t seed = 1234;
+};
+
+/// What a fine-tuning pass did (loss is mean grouped cross-entropy).
+struct FineTuneReport {
+  std::size_t kernels = 0;
+  std::size_t samples = 0;
+  double initial_loss = 0.0;  // first epoch's mean loss
+  double final_loss = 0.0;    // last epoch's mean loss
+};
+
 struct MgaTunerOptions {
   hwsim::MachineConfig machine = hwsim::comet_lake();
   /// Configuration space; empty = thread space of `machine`.
@@ -101,6 +126,31 @@ class MgaTuner {
   [[nodiscard]] std::vector<hwsim::OmpConfig> tune_group(
       const KernelFeatures& features,
       const std::vector<hwsim::PapiCounters>& counters) const;
+
+  /// The class indices behind `tune_group`: row i of the grouped forward's
+  /// argmax, i.e. `space()[predict_labels(...)[i]] == tune_group(...)[i]`.
+  /// The serve/retrain layers use the index form to score predictions
+  /// against per-configuration runtime tables without a config->index scan.
+  [[nodiscard]] std::vector<int> predict_labels(
+      const KernelFeatures& features,
+      const std::vector<hwsim::PapiCounters>& counters) const;
+
+  // --- online retraining building blocks (used by mga::serve::retrain) -----
+
+  /// Deep copy: identical options, dataset statistics and parameters, fully
+  /// independent state. The copy's predictions are bit-identical to this
+  /// tuner's until one of them is fine-tuned — the warm start of a retrain
+  /// candidate that must not touch the serving model.
+  [[nodiscard]] MgaTuner clone() const;
+
+  /// Warm-started fine-tuning on observation rows in the dataset row format:
+  /// `samples[i].kernel_id` indexes `kernels`, `label` is the oracle class in
+  /// `space()`, `counters` the profiled feature row. Runs AdamW over
+  /// `trainable_parameters()` with grouped-by-kernel batches (the same scheme
+  /// as initial training); the DAE stays frozen. Deterministic.
+  FineTuneReport fine_tune(const std::vector<corpus::KernelSpec>& kernels,
+                           const std::vector<dataset::OmpSample>& samples,
+                           const FineTuneOptions& options = {});
 
   /// Achieved speedup of the tuned configuration over the default (one extra
   /// simulated run; useful for reporting).

@@ -22,7 +22,9 @@ void ModelRegistry::add(const std::string& name, core::MgaTuner tuner) {
   Slot slot;
   slot.tuner = std::make_shared<const core::MgaTuner>(std::move(tuner));
   slot.tag = next_tag();
-  slots_.insert_or_assign(name, std::move(slot));
+  if (!slots_.emplace(name, std::move(slot)).second)
+    throw std::invalid_argument("ModelRegistry: '" + name +
+                                "' is already registered — use swap() to replace it");
 }
 
 void ModelRegistry::add_artifact(const std::string& name, const std::string& path,
@@ -32,7 +34,22 @@ void ModelRegistry::add_artifact(const std::string& name, const std::string& pat
   slot.artifact_path = path;
   slot.options = std::move(options);
   slot.tag = next_tag();
-  slots_.insert_or_assign(name, std::move(slot));
+  if (!slots_.emplace(name, std::move(slot)).second)
+    throw std::invalid_argument("ModelRegistry: '" + name +
+                                "' is already registered — use swap() to replace it");
+}
+
+std::uint64_t ModelRegistry::swap(const std::string& name, core::MgaTuner tuner) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = slots_.find(name);
+  if (it == slots_.end())
+    throw std::out_of_range("ModelRegistry: cannot swap unknown tuner '" + name + "'");
+  Slot& slot = it->second;
+  slot.tuner = std::make_shared<const core::MgaTuner>(std::move(tuner));
+  slot.artifact_path.clear();  // the slot now holds a live tuner
+  slot.options.reset();
+  slot.tag = next_tag();
+  return ++slot.generation;
 }
 
 ModelRegistry::Resolved ModelRegistry::resolve(const std::string& name) const {
@@ -52,7 +69,15 @@ ModelRegistry::Resolved ModelRegistry::resolve(const std::string& name) const {
                       "' failed: " + e.what());
     }
   }
-  return {slot.tuner, slot.tag};
+  return {slot.tuner, slot.tag, slot.generation};
+}
+
+std::uint64_t ModelRegistry::generation(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = slots_.find(name);
+  if (it == slots_.end())
+    throw std::out_of_range("ModelRegistry: unknown tuner '" + name + "'");
+  return it->second.generation;
 }
 
 std::shared_ptr<const core::MgaTuner> ModelRegistry::get(const std::string& name) const {

@@ -30,21 +30,32 @@ class LoadError : public std::runtime_error {
 
 class ModelRegistry {
  public:
-  /// Register a ready-trained tuner under `name` (replaces any previous
-  /// entry with that name).
+  /// Register a ready-trained tuner under `name`. Names are versioned slots:
+  /// registering an existing name throws std::invalid_argument — replacing a
+  /// live model is an explicit `swap`, never an accidental overwrite.
   void add(const std::string& name, core::MgaTuner tuner);
 
   /// Register a saved artifact; `MgaTuner::load(path, options)` runs on the
-  /// first `get(name)`.
+  /// first `get(name)`. Same no-overwrite rule as `add`.
   void add_artifact(const std::string& name, const std::string& path,
                     core::MgaTunerOptions options = {});
 
-  /// A resolved registry entry: the tuner plus a tag unique to this
-  /// registration. Re-registering a name (hot swap) issues a fresh tag, so
-  /// caches keyed on it cannot serve features derived from the old tuner.
+  /// Hot-swap: atomically replace the tuner in `name`'s slot and bump its
+  /// generation. Throws std::out_of_range for unknown names (a swap cannot
+  /// create a slot). Returns the new generation. In-flight batches that
+  /// already resolved the old entry keep serving it (they hold a shared_ptr);
+  /// every later resolve sees the new tuner, its fresh cache tag, and the
+  /// incremented generation — there is no in-between state.
+  std::uint64_t swap(const std::string& name, core::MgaTuner tuner);
+
+  /// A resolved registry entry: the tuner, a tag unique to this registration
+  /// (hot swaps issue a fresh tag, so caches keyed on it cannot serve
+  /// features derived from the old tuner), and the slot's generation — 1 for
+  /// the initial registration, +1 per `swap`, monotone per name.
   struct Resolved {
     std::shared_ptr<const core::MgaTuner> tuner;
     std::uint64_t tag = 0;
+    std::uint64_t generation = 0;
   };
 
   /// The tuner registered under `name`, loading it on demand. Throws
@@ -56,6 +67,10 @@ class ModelRegistry {
 
   [[nodiscard]] bool contains(const std::string& name) const;
 
+  /// Current generation of `name`'s slot (no load is forced). Throws
+  /// std::out_of_range for unknown names.
+  [[nodiscard]] std::uint64_t generation(const std::string& name) const;
+
   /// Registered names, sorted.
   [[nodiscard]] std::vector<std::string> names() const;
 
@@ -64,7 +79,8 @@ class ModelRegistry {
     std::shared_ptr<const core::MgaTuner> tuner;  // null until loaded
     std::string artifact_path;
     std::optional<core::MgaTunerOptions> options;
-    std::uint64_t tag = 0;  // unique per registration
+    std::uint64_t tag = 0;         // unique per registration (fresh on swap)
+    std::uint64_t generation = 1;  // monotone per name, bumped by swap
   };
 
   mutable std::mutex mutex_;

@@ -1,0 +1,416 @@
+#include "serve/retrain/controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "hwsim/cpu_model.hpp"
+#include "serve/router.hpp"
+#include "util/check.hpp"
+
+namespace mga::serve::retrain {
+
+RetrainController::RetrainController(std::shared_ptr<ModelRegistry> registry,
+                                     RetrainOptions options, Hooks hooks)
+    : registry_(std::move(registry)),
+      options_(std::move(options)),
+      hooks_(std::move(hooks)),
+      log_(options_.log),
+      drift_(options_.drift) {
+  MGA_CHECK_MSG(registry_ != nullptr, "RetrainController: null registry");
+  MGA_CHECK_MSG(hooks_.shard_of && hooks_.pause_shard && hooks_.resume_shard,
+                "RetrainController: all three shard hooks are required");
+  MGA_CHECK_MSG(options_.observe_every > 0,
+                "RetrainController: observe_every must be positive");
+  thread_ = std::thread([this] { controller_loop(); });
+}
+
+RetrainController::~RetrainController() { stop(); }
+
+void RetrainController::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  cycle_cv_.notify_all();  // wait_for_cycles waiters must not sleep out their timeout
+  if (thread_.joinable()) thread_.join();
+}
+
+void RetrainController::record(const ServedSample& sample) {
+  const std::uint64_t n = sample_counter_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.observe_every > 1 && n % options_.observe_every != 0) {
+    sampled_out_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  // Score the served config against the oracle: one simulated run per config
+  // in the space (hwsim is this reproduction's ground truth for "realized").
+  const std::vector<hwsim::OmpConfig>& space = sample.tuner.space();
+  const hwsim::MachineConfig& machine_config = sample.tuner.machine();
+  if (sample.label < 0 || static_cast<std::size_t>(sample.label) >= space.size()) return;
+
+  Observation observation;
+  observation.route_key = route_key(sample.machine, route_fingerprint(sample.kernel));
+  observation.machine = sample.machine;
+  observation.kernel = sample.kernel;
+  observation.input_bytes = sample.input_bytes;
+  observation.counters = sample.counters;
+  observation.served_label = sample.label;
+  observation.model_generation = sample.model_generation;
+  observation.seconds.reserve(space.size());
+  double best = 0.0;
+  for (std::size_t c = 0; c < space.size(); ++c) {
+    const double seconds =
+        hwsim::cpu_execute(sample.workload, machine_config, sample.input_bytes, space[c])
+            .seconds;
+    observation.seconds.push_back(seconds);
+    if (c == 0 || seconds < best) {
+      best = seconds;
+      observation.oracle_label = static_cast<int>(c);
+    }
+  }
+  observation.best_seconds = best;
+  observation.realized_seconds =
+      observation.seconds[static_cast<std::size_t>(sample.label)];
+  observation.default_seconds =
+      hwsim::cpu_execute(sample.workload, machine_config, sample.input_bytes,
+                         hwsim::default_config(machine_config))
+          .seconds;
+  const double regret = observation.regret();
+  const std::uint64_t key = observation.route_key;
+  const std::string machine = observation.machine;
+  log_.append(std::move(observation));
+  observations_.fetch_add(1, std::memory_order_relaxed);
+
+  if (drift_.observe(machine, key, regret)) {
+    {
+      // Dedup against both the queue and the cycle currently running: a
+      // cooldown shorter than a fine-tune must not line up a back-to-back
+      // cycle that runs the instant the swap lands, finds its
+      // generation-filtered snapshot empty, and penalizes the fresh swap
+      // with abort backoff.
+      const std::lock_guard<std::mutex> lock(queue_mutex_);
+      if (machine != in_flight_ &&
+          std::find(pending_.begin(), pending_.end(), machine) == pending_.end())
+        pending_.push_back(machine);
+    }
+    queue_cv_.notify_all();
+  }
+}
+
+void RetrainController::controller_loop() {
+  for (;;) {
+    std::string machine;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !pending_.empty(); });
+      if (stopping_) return;  // discard queued work; a running cycle finished
+      machine = std::move(pending_.front());
+      pending_.pop_front();
+      in_flight_ = machine;
+    }
+    try {
+      run_cycle(machine);
+    } catch (...) {
+      // A cycle that throws (registry load failure, machine removed) must
+      // not kill the controller; the next trigger retries from scratch,
+      // backed off like any other failed cycle.
+      drift_.notify_abort(machine);
+    }
+    {
+      const std::lock_guard<std::mutex> lock(queue_mutex_);
+      in_flight_.clear();
+      cycles_.fetch_add(1, std::memory_order_relaxed);
+    }
+    cycle_cv_.notify_all();
+  }
+}
+
+bool RetrainController::retrain_now(const std::string& machine) {
+  bool swapped = false;
+  try {
+    swapped = run_cycle(machine);
+  } catch (...) {
+    // Same accounting as the trigger-driven path: the cycle completed (by
+    // failing), backoff applies, and wait_for_cycles observers wake — then
+    // the caller sees the error.
+    drift_.notify_abort(machine);
+    {
+      const std::lock_guard<std::mutex> lock(queue_mutex_);
+      cycles_.fetch_add(1, std::memory_order_relaxed);
+    }
+    cycle_cv_.notify_all();
+    throw;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    cycles_.fetch_add(1, std::memory_order_relaxed);
+  }
+  cycle_cv_.notify_all();
+  return swapped;
+}
+
+double RetrainController::mean_predicted_regret(const core::MgaTuner& tuner,
+                                                const std::vector<Observation>& rows) {
+  // One feature extraction + grouped forward per distinct kernel; regret is
+  // scored offline against each row's stored per-config runtime table.
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < rows.size(); ++i) groups[rows[i].route_key].push_back(i);
+  double total = 0.0;
+  std::size_t scored = 0;
+  for (const auto& [key, members] : groups) {
+    const core::KernelFeatures features = tuner.extract_features(rows[members.front()].kernel);
+    std::vector<hwsim::PapiCounters> counters;
+    counters.reserve(members.size());
+    for (const std::size_t i : members) counters.push_back(rows[i].counters);
+    const std::vector<int> labels = tuner.predict_labels(features, counters);
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      const Observation& row = rows[members[m]];
+      const auto label = static_cast<std::size_t>(labels[m]);
+      if (label >= row.seconds.size() || row.best_seconds <= 0.0) continue;
+      total += row.seconds[label] / row.best_seconds - 1.0;
+      ++scored;
+    }
+  }
+  return scored == 0 ? 0.0 : total / static_cast<double>(scored);
+}
+
+bool RetrainController::run_cycle(const std::string& machine) {
+  const std::lock_guard<std::mutex> run_lock(cycle_run_mutex_);
+  // Only rows the *current* generation produced are evidence: a ring that
+  // still holds pre-swap observations must not re-mark routes the last swap
+  // already fixed as drifted (their realized runtimes reflect the old
+  // model's choices). A freshly swapped model therefore re-earns its next
+  // cycle from fresh observations — the same clean-slate rule as the
+  // DriftMonitor reset.
+  const std::uint64_t current_generation = registry_->generation(machine);
+  const std::vector<Observation> all = log_.snapshot();
+  std::vector<Observation> rows;
+  rows.reserve(all.size());
+  for (const Observation& observation : all)
+    if (observation.machine == machine && observation.model_generation == current_generation)
+      rows.push_back(observation);
+  if (rows.size() < options_.min_snapshot) {
+    aborted_small_snapshot_.fetch_add(1, std::memory_order_relaxed);
+    drift_.notify_abort(machine);
+    return false;
+  }
+
+  // The drifted slice: routes whose mean realized regret in the snapshot
+  // crossed the drift threshold. Fine-tuning focuses on these rows — a log
+  // dominated by healthy background traffic must not drown the drift signal
+  // in gradients that just re-confirm what the model already predicts. When
+  // nothing crossed (a volume trigger), the whole snapshot is the slice.
+  std::unordered_map<std::uint64_t, std::pair<double, std::size_t>> route_regret;
+  for (const Observation& row : rows) {
+    auto& [sum, count] = route_regret[row.route_key];
+    sum += row.regret();
+    ++count;
+  }
+  std::set<std::uint64_t> drifted_routes;
+  for (const auto& [key, acc] : route_regret)
+    if (acc.first / static_cast<double>(acc.second) >= options_.drift.regret_threshold)
+      drifted_routes.insert(key);
+  std::vector<Observation> focus;
+  if (drifted_routes.empty()) {
+    // No route's snapshot regret survived over the threshold: a short EWMA
+    // burst armed the trigger but the evidence is gone. Retraining the
+    // fleet on a healthy snapshot would be pure disruption (generation
+    // bump, cache invalidation, quiesce) — abort, unless volume triggering
+    // is enabled, where "fold in everything periodically" is the contract.
+    if (options_.drift.volume_threshold == 0) {
+      aborted_no_drift_.fetch_add(1, std::memory_order_relaxed);
+      drift_.notify_abort(machine);
+      return false;
+    }
+    focus = rows;
+  } else {
+    for (const Observation& row : rows)
+      if (drifted_routes.count(row.route_key) > 0) focus.push_back(row);
+  }
+
+  // Hold back every k-th row of the *full* snapshot for validation — the
+  // gate must catch a candidate that fixes the drifted slice by forgetting
+  // the background — and fine-tune on the focus rows that are not held out.
+  // The snapshot order is deterministic, so the split is too.
+  std::vector<Observation> holdout_rows;
+  std::set<std::uint64_t> held;
+  if (options_.validation_holdout > 0.0) {
+    const auto k = std::max<std::size_t>(
+        2, static_cast<std::size_t>(std::llround(1.0 / options_.validation_holdout)));
+    for (std::size_t i = k - 1; i < rows.size(); i += k) {
+      holdout_rows.push_back(rows[i]);
+      held.insert(rows[i].seq);
+    }
+  }
+  std::vector<Observation> train_rows;
+  for (const Observation& row : focus)
+    if (held.count(row.seq) == 0) train_rows.push_back(row);
+  if (train_rows.empty()) {
+    // Degenerate split: every focus row landed in the holdout. Train on the
+    // slice and drop the gate entirely — validating a candidate on the very
+    // rows it memorized would pass trivially, which is worse than not
+    // gating — and free the held rows for the replay cut below.
+    train_rows = focus;
+    holdout_rows.clear();
+    held.clear();
+  }
+
+  // Replay: anchor the fine-tune with a deterministic spread of background
+  // rows (oracle-labeled, not drifted, not held out), so fixing the slice
+  // cannot silently unlearn the traffic the model already serves well.
+  if (!drifted_routes.empty() && options_.background_replay > 0.0) {
+    // One row per distinct (route, input) — coverage of the background
+    // domain matters more than row count (duplicates add no anchor).
+    std::vector<const Observation*> background;
+    std::set<std::pair<std::uint64_t, double>> seen;
+    for (const Observation& row : rows)
+      if (drifted_routes.count(row.route_key) == 0 && held.count(row.seq) == 0 &&
+          seen.emplace(row.route_key, row.input_bytes).second)
+        background.push_back(&row);
+    const auto budget = static_cast<std::size_t>(
+        std::llround(options_.background_replay * static_cast<double>(train_rows.size())));
+    if (!background.empty() && budget > 0) {
+      const std::size_t stride = std::max<std::size_t>(1, background.size() / budget);
+      for (std::size_t i = 0; i < background.size() && train_rows.size() < focus.size() + budget;
+           i += stride)
+        train_rows.push_back(*background[i]);
+    }
+  }
+
+  const ModelRegistry::Resolved current = registry_->resolve(machine);
+  core::MgaTuner candidate = current.tuner->clone();
+  const ObservationLog::TrainingSlice slice = ObservationLog::to_dataset(train_rows);
+  const core::FineTuneReport report =
+      candidate.fine_tune(slice.kernels, slice.samples, options_.fine_tune);
+
+  // What serving realized on the drifted slice vs. what the candidate would
+  // choose on it.
+  double pre_regret = 0.0;
+  for (const Observation& row : focus) pre_regret += row.regret();
+  pre_regret /= static_cast<double>(focus.size());
+  const double post_regret = mean_predicted_regret(candidate, focus);
+
+  double current_holdout = 0.0, candidate_holdout = 0.0;
+  if (!holdout_rows.empty()) {
+    current_holdout = mean_predicted_regret(*current.tuner, holdout_rows);
+    candidate_holdout = mean_predicted_regret(candidate, holdout_rows);
+    if (candidate_holdout > current_holdout + options_.max_regret_regression) {
+      aborted_validation_.fetch_add(1, std::memory_order_relaxed);
+      drift_.notify_abort(machine);
+      const std::lock_guard<std::mutex> lock(last_cycle_mutex_);
+      last_pre_regret_ = pre_regret;
+      last_post_regret_ = post_regret;
+      last_initial_loss_ = report.initial_loss;
+      last_final_loss_ = report.final_loss;
+      last_generation_ = 0;
+      last_quiesced_shards_.clear();
+      last_holdout_current_ = current_holdout;
+      last_holdout_candidate_ = candidate_holdout;
+      return false;
+    }
+  }
+
+  // Quiesce only the shards that own the drifted routes: pause → swap →
+  // resume. Every other shard keeps serving at full rate; the fresh
+  // registration tag makes the quiesced shards' stale cached features miss
+  // on their next lookup.
+  std::set<std::size_t> affected;
+  for (const Observation& row : focus) affected.insert(hooks_.shard_of(row.route_key));
+  std::uint64_t generation = 0;
+  {
+    // RAII pairing: whatever exits this scope — the swap, a throwing
+    // before_swap hook, a machine yanked from the registry — every paused
+    // shard is resumed. A leaked pause would park its shard forever.
+    struct Quiesce {
+      const std::set<std::size_t>& shards;
+      const Hooks& hooks;
+      Quiesce(const std::set<std::size_t>& shards, const Hooks& hooks)
+          : shards(shards), hooks(hooks) {
+        for (const std::size_t shard : shards) hooks.pause_shard(shard);
+      }
+      ~Quiesce() {
+        for (const std::size_t shard : shards) hooks.resume_shard(shard);
+      }
+    } quiesce(affected, hooks_);
+    if (options_.before_swap) options_.before_swap();
+    generation = registry_->swap(machine, std::move(candidate));
+    drift_.notify_swap(machine);
+  }
+
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(last_cycle_mutex_);
+  last_pre_regret_ = pre_regret;
+  last_post_regret_ = post_regret;
+  last_initial_loss_ = report.initial_loss;
+  last_final_loss_ = report.final_loss;
+  last_generation_ = generation;
+  last_quiesced_shards_.assign(affected.begin(), affected.end());
+  last_holdout_current_ = current_holdout;
+  last_holdout_candidate_ = candidate_holdout;
+  return true;
+}
+
+RetrainStatsSnapshot RetrainController::stats() const {
+  RetrainStatsSnapshot s;
+  s.observations = observations_.load(std::memory_order_relaxed);
+  s.sampled_out = sampled_out_.load(std::memory_order_relaxed);
+  s.triggers = drift_.triggers();
+  s.cycles = cycles_.load(std::memory_order_relaxed);
+  s.swaps = swaps_.load(std::memory_order_relaxed);
+  s.aborted_validation = aborted_validation_.load(std::memory_order_relaxed);
+  s.aborted_small_snapshot = aborted_small_snapshot_.load(std::memory_order_relaxed);
+  s.aborted_no_drift = aborted_no_drift_.load(std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(last_cycle_mutex_);
+  s.last_pre_regret = last_pre_regret_;
+  s.last_post_regret = last_post_regret_;
+  s.last_initial_loss = last_initial_loss_;
+  s.last_final_loss = last_final_loss_;
+  s.last_generation = last_generation_;
+  s.last_quiesced_shards = last_quiesced_shards_;
+  s.last_holdout_current = last_holdout_current_;
+  s.last_holdout_candidate = last_holdout_candidate_;
+  return s;
+}
+
+bool RetrainController::wait_for_cycles(std::uint64_t cycles,
+                                        std::chrono::steady_clock::duration timeout) const {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  (void)cycle_cv_.wait_for(lock, timeout, [&] {
+    return stopping_ || cycles_.load(std::memory_order_relaxed) >= cycles;
+  });
+  return cycles_.load(std::memory_order_relaxed) >= cycles;
+}
+
+util::Table retrain_table(const RetrainStatsSnapshot& s) {
+  util::Table table({"metric", "value"});
+  table.add_row({"observations logged", std::to_string(s.observations)});
+  table.add_row({"sampled out", std::to_string(s.sampled_out)});
+  table.add_row({"drift triggers", std::to_string(s.triggers)});
+  table.add_row({"retrain cycles", std::to_string(s.cycles)});
+  table.add_row({"hot swaps", std::to_string(s.swaps)});
+  table.add_row({"aborts (validation / small snapshot / no drift)",
+                 std::to_string(s.aborted_validation) + " / " +
+                     std::to_string(s.aborted_small_snapshot) + " / " +
+                     std::to_string(s.aborted_no_drift)});
+  table.add_row({"last cycle regret (realized -> candidate)",
+                 util::fmt_percent(s.last_pre_regret) + " -> " +
+                     util::fmt_percent(s.last_post_regret)});
+  table.add_row({"last fine-tune loss", util::fmt_double(s.last_initial_loss) + " -> " +
+                                            util::fmt_double(s.last_final_loss)});
+  table.add_row({"last holdout regret (serving vs candidate)",
+                 util::fmt_percent(s.last_holdout_current) + " vs " +
+                     util::fmt_percent(s.last_holdout_candidate)});
+  table.add_row({"deployed generation", std::to_string(s.last_generation)});
+  std::string quiesced;
+  for (const std::size_t shard : s.last_quiesced_shards)
+    quiesced += (quiesced.empty() ? "" : ", ") + std::to_string(shard);
+  table.add_row({"last quiesced shards", quiesced.empty() ? "-" : quiesced});
+  return table;
+}
+
+}  // namespace mga::serve::retrain

@@ -1,0 +1,166 @@
+// RetrainController — the "learn and deploy" loop of the retrain subsystem
+// (DESIGN.md §8), on its own thread.
+//
+// Shard workers call `record` per served request (sampled by
+// `observe_every`): the controller scores the served config against the
+// oracle over the whole configuration space (one cheap simulated run per
+// config), appends the observation to the ObservationLog and folds its
+// regret into the DriftMonitor. When the monitor arms a trigger, the
+// controller thread runs a retrain cycle:
+//
+//   snapshot the log → isolate the drifted slice (routes whose mean regret
+//   crossed the drift threshold; the whole snapshot for volume triggers) →
+//   warm-start fine-tune a clone of the serving tuner on the slice's
+//   oracle-labeled rows → validate on a held-back cut of the *full* snapshot
+//   (the candidate must not fix the slice by forgetting the background) →
+//   pause only the shards that own the drifted routes → ModelRegistry::swap
+//   (fresh cache tag + bumped generation) → resume.
+//
+// The service keeps taking traffic throughout: non-owning shards never
+// pause, paused shards only queue (their submissions resolve after resume),
+// and in-flight batches keep the old tuner alive via shared_ptr until they
+// publish. The controller reaches the serving fleet exclusively through the
+// `Hooks` callbacks, so it never depends on the facade or engine types.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/model_registry.hpp"
+#include "serve/retrain/drift_monitor.hpp"
+#include "serve/retrain/observation_log.hpp"
+#include "util/table.hpp"
+
+namespace mga::serve::retrain {
+
+/// One coherent view of the retrain loop's counters.
+struct RetrainStatsSnapshot {
+  std::uint64_t observations = 0;  // recorded into the log
+  std::uint64_t sampled_out = 0;   // skipped by observe_every
+  std::uint64_t triggers = 0;      // DriftMonitor triggers armed
+  std::uint64_t cycles = 0;        // retrain cycles completed (any outcome)
+  std::uint64_t swaps = 0;         // cycles that hot-swapped a model
+  std::uint64_t aborted_validation = 0;
+  std::uint64_t aborted_small_snapshot = 0;
+  /// Regret-triggered cycles whose snapshot no longer showed any route over
+  /// the drift threshold (short EWMA burst): aborted instead of retraining
+  /// the fleet on healthy traffic.
+  std::uint64_t aborted_no_drift = 0;
+  /// Last completed cycle, for operators: mean realized regret of the
+  /// snapshot the cycle trained on, the candidate's predicted regret on the
+  /// same slice, the fine-tune loss trajectory, the generation deployed (0
+  /// when the cycle aborted) and which shards were quiesced for the swap.
+  double last_pre_regret = 0.0;
+  double last_post_regret = 0.0;
+  double last_initial_loss = 0.0;
+  double last_final_loss = 0.0;
+  std::uint64_t last_generation = 0;
+  std::vector<std::size_t> last_quiesced_shards;
+  /// The validation gate's inputs: mean holdout regret of the serving model
+  /// vs. the candidate (equal-zero when the gate was skipped).
+  double last_holdout_current = 0.0;
+  double last_holdout_candidate = 0.0;
+};
+
+class RetrainController {
+ public:
+  /// How the controller reaches the serving fleet. All three must be valid;
+  /// they are called only from the controller thread.
+  struct Hooks {
+    std::function<std::size_t(std::uint64_t route_key)> shard_of;
+    std::function<void(std::size_t shard)> pause_shard;
+    std::function<void(std::size_t shard)> resume_shard;
+  };
+
+  RetrainController(std::shared_ptr<ModelRegistry> registry, RetrainOptions options,
+                    Hooks hooks);
+  ~RetrainController();
+
+  RetrainController(const RetrainController&) = delete;
+  RetrainController& operator=(const RetrainController&) = delete;
+
+  /// Score and log one served request; called from shard worker threads
+  /// after the request's outcome is published. May arm a drift trigger,
+  /// which wakes the controller thread. Never throws for scoring problems —
+  /// a request that cannot be scored is simply not logged.
+  void record(const ServedSample& sample);
+
+  /// Synchronous retrain cycle for `machine` (operator / test hook): runs on
+  /// the calling thread, returns true when a swap was deployed. The same
+  /// snapshot / fine-tune / validate / quiesce / swap path the trigger-driven
+  /// cycle takes.
+  bool retrain_now(const std::string& machine);
+
+  /// Stop the controller thread. Idempotent; a cycle in flight completes
+  /// first (its pause/resume pairing is never torn). The destructor calls it.
+  void stop();
+
+  [[nodiscard]] RetrainStatsSnapshot stats() const;
+  [[nodiscard]] const ObservationLog& log() const noexcept { return log_; }
+
+  /// Block until at least `cycles` retrain cycles have completed; false on
+  /// timeout. A cycle counts whether it swapped or aborted.
+  [[nodiscard]] bool wait_for_cycles(std::uint64_t cycles,
+                                     std::chrono::steady_clock::duration timeout) const;
+
+ private:
+  void controller_loop();
+  /// One full snapshot → fine-tune → validate → quiesce → swap pass.
+  /// Serialized on `cycle_run_mutex_`: the trigger-driven controller thread
+  /// and a concurrent `retrain_now` caller must never interleave their
+  /// pause/swap/resume windows.
+  bool run_cycle(const std::string& machine);
+  /// Mean regret `tuner` would realize on `rows`, scored offline against the
+  /// rows' stored per-config runtime tables (no simulator calls).
+  [[nodiscard]] static double mean_predicted_regret(const core::MgaTuner& tuner,
+                                                    const std::vector<Observation>& rows);
+
+  std::shared_ptr<ModelRegistry> registry_;
+  RetrainOptions options_;
+  Hooks hooks_;
+  ObservationLog log_;
+  DriftMonitor drift_;
+
+  std::atomic<std::uint64_t> sample_counter_{0};
+  std::atomic<std::uint64_t> observations_{0};
+  std::atomic<std::uint64_t> sampled_out_{0};
+  std::atomic<std::uint64_t> cycles_{0};
+  std::atomic<std::uint64_t> swaps_{0};
+  std::atomic<std::uint64_t> aborted_validation_{0};
+  std::atomic<std::uint64_t> aborted_small_snapshot_{0};
+  std::atomic<std::uint64_t> aborted_no_drift_{0};
+
+  std::mutex cycle_run_mutex_;           // serializes run_cycle executions
+  mutable std::mutex last_cycle_mutex_;  // guards the last_* block
+  double last_pre_regret_ = 0.0;
+  double last_post_regret_ = 0.0;
+  double last_initial_loss_ = 0.0;
+  double last_final_loss_ = 0.0;
+  std::uint64_t last_generation_ = 0;
+  std::vector<std::size_t> last_quiesced_shards_;
+  double last_holdout_current_ = 0.0;
+  double last_holdout_candidate_ = 0.0;
+
+  mutable std::mutex queue_mutex_;
+  mutable std::condition_variable queue_cv_;   // work arrived / stopping
+  mutable std::condition_variable cycle_cv_;   // a cycle completed
+  std::deque<std::string> pending_;            // machines awaiting a cycle
+  std::string in_flight_;                      // machine whose cycle is running
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+/// Operator-facing rendering of the retrain counters (the analogue of
+/// `stats_table` for the serve counters).
+[[nodiscard]] util::Table retrain_table(const RetrainStatsSnapshot& stats);
+
+}  // namespace mga::serve::retrain

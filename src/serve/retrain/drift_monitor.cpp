@@ -1,0 +1,74 @@
+#include "serve/retrain/drift_monitor.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mga::serve::retrain {
+
+DriftMonitor::DriftMonitor(DriftMonitorOptions options) : options_(options) {
+  MGA_CHECK_MSG(options_.ewma_alpha > 0.0 && options_.ewma_alpha <= 1.0,
+                "DriftMonitor: ewma_alpha must be in (0, 1]");
+  MGA_CHECK_MSG(options_.min_kernel_observations > 0,
+                "DriftMonitor: min_kernel_observations must be positive");
+}
+
+std::optional<DriftTrigger> DriftMonitor::observe(const std::string& machine,
+                                                  std::uint64_t route_key, double regret) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MachineState& state = machines_[machine];
+  KernelState& kernel = state.kernels[route_key];
+  kernel.ewma = kernel.count == 0
+                    ? regret
+                    : options_.ewma_alpha * regret + (1.0 - options_.ewma_alpha) * kernel.ewma;
+  ++kernel.count;
+  ++state.volume;
+
+  // Cooldown gate: within the window, keep folding but never re-arm. Each
+  // aborted cycle doubles the window (capped), so a retrain that keeps
+  // failing validation degrades to a slow background retry instead of a
+  // tight clone/fine-tune loop.
+  const auto now = std::chrono::steady_clock::now();
+  const auto effective_cooldown =
+      options_.cooldown * (1u << std::min<std::uint32_t>(state.abort_streak, 6));
+  if (state.ever_triggered && now - state.last_trigger < effective_cooldown)
+    return std::nullopt;
+
+  DriftTrigger trigger;
+  if (kernel.count >= options_.min_kernel_observations &&
+      kernel.ewma >= options_.regret_threshold) {
+    trigger.route_key = route_key;
+    trigger.ewma_regret = kernel.ewma;
+    trigger.reason = "regret";
+  } else if (options_.volume_threshold > 0 && state.volume >= options_.volume_threshold) {
+    trigger.reason = "volume";
+  } else {
+    return std::nullopt;
+  }
+  trigger.machine = machine;
+  trigger.observations = state.volume;
+  state.last_trigger = now;
+  state.ever_triggered = true;
+  triggers_.fetch_add(1, std::memory_order_relaxed);
+  return trigger;
+}
+
+void DriftMonitor::notify_swap(const std::string& machine) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = machines_.find(machine);
+  if (it == machines_.end()) return;
+  it->second.kernels.clear();
+  it->second.volume = 0;
+  it->second.abort_streak = 0;
+  // The cooldown stamp survives the reset: triggers stay rate-limited even
+  // when swaps complete faster than the cooldown window.
+}
+
+void DriftMonitor::notify_abort(const std::string& machine) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = machines_.find(machine);
+  if (it == machines_.end()) return;
+  if (it->second.abort_streak < 16) ++it->second.abort_streak;
+}
+
+}  // namespace mga::serve::retrain

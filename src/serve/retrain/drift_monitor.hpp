@@ -1,0 +1,86 @@
+// DriftMonitor — the "when to learn" decision of the retrain loop
+// (DESIGN.md §8).
+//
+// Folds each observation's prediction regret into a per-kernel EWMA (keyed
+// by routing key, scoped per machine) and arms a retrain trigger when either
+// (a) a kernel's EWMA crosses `regret_threshold` after at least
+// `min_kernel_observations` samples — the workload drifted onto inputs the
+// model mispredicts — or (b) a machine accumulated `volume_threshold`
+// observations since its last swap — enough fresh signal to be worth folding
+// in even without visible regret. Hysteresis is two-layered: a trigger
+// starts a per-machine cooldown during which no further trigger fires (a
+// persistently drifted kernel must not queue a retrain storm behind the
+// running cycle), and a successful swap resets the machine's EWMAs and
+// volume (`notify_swap`), so the *new* model must re-earn a trigger from
+// scratch.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "serve/retrain/options.hpp"
+
+namespace mga::serve::retrain {
+
+/// Why a retrain fired, for telemetry and logs.
+struct DriftTrigger {
+  std::string machine;
+  std::uint64_t route_key = 0;    // kernel that crossed (0 for volume triggers)
+  double ewma_regret = 0.0;       // that kernel's EWMA at the crossing
+  std::uint64_t observations = 0; // machine volume since the last swap
+  const char* reason = "";        // "regret" | "volume"
+};
+
+class DriftMonitor {
+ public:
+  explicit DriftMonitor(DriftMonitorOptions options = {});
+
+  DriftMonitor(const DriftMonitor&) = delete;
+  DriftMonitor& operator=(const DriftMonitor&) = delete;
+
+  /// Fold one observation; returns a trigger when this observation armed
+  /// one (at most once per machine per cooldown window). Thread-safe.
+  [[nodiscard]] std::optional<DriftTrigger> observe(const std::string& machine,
+                                                    std::uint64_t route_key, double regret);
+
+  /// Reset `machine`'s EWMAs, volume and abort backoff after a successful
+  /// hot swap: the new model's regret starts from a clean slate.
+  void notify_swap(const std::string& machine);
+
+  /// A retrain cycle for `machine` aborted (validation gate, small
+  /// snapshot, or error): exponentially back off the machine's effective
+  /// cooldown (capped at 64x) so a persistently failing retrain cannot burn
+  /// the controller thread in a tight clone/fine-tune loop. Reset by the
+  /// next successful swap.
+  void notify_abort(const std::string& machine);
+
+  /// Triggers armed so far (monotone).
+  [[nodiscard]] std::uint64_t triggers() const noexcept {
+    return triggers_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct KernelState {
+    double ewma = 0.0;
+    std::uint64_t count = 0;
+  };
+  struct MachineState {
+    std::unordered_map<std::uint64_t, KernelState> kernels;
+    std::uint64_t volume = 0;  // observations since the last swap
+    std::chrono::steady_clock::time_point last_trigger{};
+    bool ever_triggered = false;
+    std::uint32_t abort_streak = 0;  // consecutive aborted cycles
+  };
+
+  DriftMonitorOptions options_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, MachineState> machines_;
+  std::atomic<std::uint64_t> triggers_{0};
+};
+
+}  // namespace mga::serve::retrain

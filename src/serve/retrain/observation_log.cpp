@@ -1,0 +1,74 @@
+#include "serve/retrain/observation_log.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace mga::serve::retrain {
+
+ObservationLog::ObservationLog(ObservationLogOptions options)
+    : options_(options), stripes_(options.shards) {
+  MGA_CHECK_MSG(options_.shards > 0, "ObservationLog: need at least one stripe");
+  MGA_CHECK_MSG(options_.capacity_per_shard > 0,
+                "ObservationLog: stripe capacity must be positive");
+  for (Stripe& stripe : stripes_) stripe.ring.reserve(options_.capacity_per_shard);
+}
+
+void ObservationLog::append(Observation observation) {
+  observation.seq = appended_.fetch_add(1, std::memory_order_relaxed);
+  Stripe& stripe = stripes_[observation.route_key % stripes_.size()];
+  const std::lock_guard<std::mutex> lock(stripe.mutex);
+  if (stripe.ring.size() < options_.capacity_per_shard) {
+    stripe.ring.push_back(std::move(observation));
+  } else {
+    stripe.ring[stripe.next] = std::move(observation);
+    stripe.next = (stripe.next + 1) % options_.capacity_per_shard;
+  }
+}
+
+std::size_t ObservationLog::size() const {
+  std::size_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    const std::lock_guard<std::mutex> lock(stripe.mutex);
+    total += stripe.ring.size();
+  }
+  return total;
+}
+
+std::vector<Observation> ObservationLog::snapshot() const {
+  std::vector<Observation> all;
+  for (const Stripe& stripe : stripes_) {
+    const std::lock_guard<std::mutex> lock(stripe.mutex);
+    all.insert(all.end(), stripe.ring.begin(), stripe.ring.end());
+  }
+  std::sort(all.begin(), all.end(), [](const Observation& a, const Observation& b) {
+    if (a.route_key != b.route_key) return a.route_key < b.route_key;
+    if (a.input_bytes != b.input_bytes) return a.input_bytes < b.input_bytes;
+    return a.seq < b.seq;
+  });
+  return all;
+}
+
+ObservationLog::TrainingSlice ObservationLog::to_dataset(
+    const std::vector<Observation>& observations) {
+  TrainingSlice slice;
+  std::unordered_map<std::uint64_t, int> kernel_ids;  // route_key -> kernel_id
+  for (const Observation& observation : observations) {
+    const auto [it, inserted] =
+        kernel_ids.emplace(observation.route_key, static_cast<int>(slice.kernels.size()));
+    if (inserted) slice.kernels.push_back(observation.kernel);
+    dataset::OmpSample sample;
+    sample.kernel_id = it->second;
+    sample.input_bytes = observation.input_bytes;
+    sample.counters = observation.counters;
+    sample.label = observation.oracle_label;
+    sample.seconds = observation.seconds;
+    sample.default_seconds = observation.default_seconds;
+    slice.samples.push_back(std::move(sample));
+  }
+  return slice;
+}
+
+}  // namespace mga::serve::retrain

@@ -1,0 +1,125 @@
+// ObservationLog — the "observe" third of the observe → learn → deploy loop
+// (DESIGN.md §8): a bounded, lock-striped ring of served observations.
+//
+// The ServeShard worker loop appends one observation per served request
+// (after the batch's outcomes are published): the routing key, the dynamic
+// feature row (profiled counters), the configuration the model chose, and
+// the realized runtime of that choice next to the oracle table for the whole
+// configuration space — `hwsim` is this reproduction's ground truth, so
+// "realized" is one simulated run per configuration. Prediction regret
+// (realized / best − 1) is what the DriftMonitor folds into its EWMAs, and
+// the full per-configuration table is exactly the dataset row format
+// (`dataset::OmpSample`), so a snapshot exports into fine-tuning rows with
+// no further simulator work.
+//
+// Appends are O(1): hash the route key onto a stripe, overwrite the oldest
+// slot when the stripe's ring is full. Snapshots copy and return a
+// deterministic order (route key, input size, sequence) so fine-tuning on a
+// snapshot is reproducible regardless of worker interleaving.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "corpus/spec.hpp"
+#include "dataset/dataset.hpp"
+#include "hwsim/workload.hpp"
+#include "serve/retrain/options.hpp"
+
+namespace mga::serve::retrain {
+
+/// What the serve engine hands the retrain subsystem per served request, on
+/// the worker thread, after the request's outcome is published. References
+/// are valid only for the duration of the callback.
+struct ServedSample {
+  const std::string& machine;
+  const corpus::KernelSpec& kernel;
+  const hwsim::KernelWorkload& workload;  // from the cached features: no IR re-generation
+  double input_bytes = 0.0;
+  const hwsim::PapiCounters& counters;
+  int label = 0;  // index of the served config in tuner.space()
+  std::uint64_t model_generation = 0;
+  const core::MgaTuner& tuner;  // the generation that served the request
+};
+
+/// Hook the engine layer calls with each (sampled) served request.
+using ObservationFn = std::function<void(const ServedSample&)>;
+
+/// One logged observation: the request's identity and feature row plus the
+/// scored outcome (realized runtime of the chosen config vs. the oracle
+/// table over the whole space).
+struct Observation {
+  std::uint64_t route_key = 0;  // route_key(machine, route_fingerprint(kernel))
+  std::uint64_t seq = 0;        // global append order
+  std::string machine;
+  corpus::KernelSpec kernel;
+  double input_bytes = 0.0;
+  hwsim::PapiCounters counters;  // the dynamic feature row the model saw
+  int served_label = 0;          // config index the model chose
+  int oracle_label = 0;          // argmin of `seconds`
+  std::uint64_t model_generation = 0;
+  double realized_seconds = 0.0;  // runtime of the served config
+  double best_seconds = 0.0;      // runtime of the oracle config
+  double default_seconds = 0.0;   // runtime of the default config
+  std::vector<double> seconds;    // runtime per config (dataset row format)
+
+  /// Prediction regret: how much slower the served config ran than the best
+  /// config in the space (0 = the model predicted the oracle).
+  [[nodiscard]] double regret() const noexcept {
+    return best_seconds > 0.0 ? realized_seconds / best_seconds - 1.0 : 0.0;
+  }
+};
+
+class ObservationLog {
+ public:
+  explicit ObservationLog(ObservationLogOptions options = {});
+
+  ObservationLog(const ObservationLog&) = delete;
+  ObservationLog& operator=(const ObservationLog&) = delete;
+
+  /// O(1): assigns the observation its sequence number and writes it into
+  /// its stripe's ring, overwriting the stripe's oldest slot on wrap.
+  void append(Observation observation);
+
+  /// Total observations ever appended (monotone; survives ring wraps).
+  [[nodiscard]] std::uint64_t appended() const noexcept {
+    return appended_.load(std::memory_order_relaxed);
+  }
+
+  /// Observations currently resident across all stripes.
+  [[nodiscard]] std::size_t size() const;
+
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return options_.shards * options_.capacity_per_shard;
+  }
+
+  /// Copy of every resident observation in deterministic (route key, input
+  /// size, sequence) order — reproducible fine-tuning input regardless of
+  /// which worker threads fed the log in which interleaving.
+  [[nodiscard]] std::vector<Observation> snapshot() const;
+
+  /// Observations re-shaped into the dataset row format: deduplicated kernel
+  /// specs plus one `OmpSample` per observation, labeled with the *oracle*
+  /// config (the fine-tuning target), `kernel_id` indexing `kernels`.
+  struct TrainingSlice {
+    std::vector<corpus::KernelSpec> kernels;
+    std::vector<dataset::OmpSample> samples;
+  };
+  [[nodiscard]] static TrainingSlice to_dataset(const std::vector<Observation>& observations);
+
+ private:
+  struct Stripe {
+    mutable std::mutex mutex;
+    std::vector<Observation> ring;
+    std::size_t next = 0;  // overwrite cursor once the ring is full
+  };
+
+  ObservationLogOptions options_;
+  std::vector<Stripe> stripes_;
+  std::atomic<std::uint64_t> appended_{0};
+};
+
+}  // namespace mga::serve::retrain

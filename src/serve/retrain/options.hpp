@@ -1,0 +1,83 @@
+// Knobs of the online-retraining subsystem (see DESIGN.md §8).
+//
+// Split into the three parts of the loop: what the ObservationLog retains,
+// when the DriftMonitor declares the serving model stale, and how the
+// RetrainController fine-tunes / validates / hot-swaps a candidate. Kept in
+// their own header so the serve engine layer (`ServeOptions` embeds a
+// `RetrainOptions`) depends only on plain option structs, not on the
+// controller machinery.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "core/tuner.hpp"
+
+namespace mga::serve::retrain {
+
+struct ObservationLogOptions {
+  /// Lock stripes of the ring (append contention, not capacity policy).
+  std::size_t shards = 4;
+  /// Bounded ring per stripe; the oldest observation is overwritten when a
+  /// stripe wraps. Total retention = shards x capacity_per_shard.
+  std::size_t capacity_per_shard = 512;
+};
+
+struct DriftMonitorOptions {
+  /// A kernel whose EWMA of prediction regret reaches this arms a retrain
+  /// trigger (regret 0.10 = the served config runs 10% slower than the best
+  /// config in the space).
+  double regret_threshold = 0.10;
+  /// Smoothing of the per-kernel regret EWMA.
+  double ewma_alpha = 0.25;
+  /// Observations a kernel needs before its EWMA is trusted — one noisy
+  /// sample must not fire a retrain.
+  std::uint64_t min_kernel_observations = 6;
+  /// Volume trigger: retrain after this many observations for a machine
+  /// since its last swap, regardless of regret. 0 disables it.
+  std::uint64_t volume_threshold = 0;
+  /// Hysteresis: after a trigger fires for a machine, no further trigger for
+  /// it until this much time has passed — a persistently drifted kernel must
+  /// not queue a retrain storm while the first cycle is still running.
+  std::chrono::steady_clock::duration cooldown = std::chrono::seconds(5);
+};
+
+struct RetrainOptions {
+  /// Master switch: when false the serve stack records nothing and starts no
+  /// controller thread (zero overhead, the pre-retrain service exactly).
+  bool enabled = false;
+  /// Sample 1-in-N served requests into the observation log (each recorded
+  /// observation costs one simulated run per configuration in the space, on
+  /// the worker thread, after the batch's outcomes are published). 1 = every
+  /// request.
+  std::size_t observe_every = 1;
+  /// A retrain cycle aborts (and counts `aborted_small_snapshot`) when the
+  /// machine has fewer resident observations than this.
+  std::size_t min_snapshot = 8;
+  /// Fraction of the snapshot held back from fine-tuning and used to gate
+  /// the swap. 0 disables the validation gate.
+  double validation_holdout = 0.25;
+  /// The candidate's mean holdout regret may exceed the serving model's by
+  /// at most this before the swap is aborted (counts `aborted_validation`).
+  /// Small but nonzero: a candidate that fixes a badly drifted slice is
+  /// allowed a within-noise wobble on the background, not real forgetting.
+  double max_regret_regression = 0.01;
+  /// Replay against forgetting: mix up to `background_replay x` the drifted
+  /// slice's row count of non-drifted (background) snapshot rows into the
+  /// fine-tune set — deduplicated per (route, input) for domain coverage —
+  /// so gradients that fix the slice are anchored by rows the model already
+  /// serves well. 0 trains on the drifted slice alone.
+  double background_replay = 2.0;
+  ObservationLogOptions log;
+  DriftMonitorOptions drift;
+  core::FineTuneOptions fine_tune;
+  /// Instrumentation seam for tests and operators: runs on the controller
+  /// thread immediately before the registry swap, while the affected shards
+  /// are paused. Tests use it as a barrier to observe the quiesce window
+  /// deterministically; leave empty in production.
+  std::function<void()> before_swap;
+};
+
+}  // namespace mga::serve::retrain

@@ -25,9 +25,24 @@ TuningService::TuningService(std::shared_ptr<ModelRegistry> registry, ServeOptio
       router_(options.shards == 0 ? 1 : options.shards) {
   MGA_CHECK_MSG(registry_ != nullptr, "TuningService: null registry");
   MGA_CHECK_MSG(options_.shards > 0, "TuningService: need at least one shard");
+  retrain::ObservationFn observer;
+  if (options_.retrain.enabled) {
+    // The controller reaches the fleet through these hooks only; they run on
+    // the controller thread, which shutdown() stops before any shard joins,
+    // so `shards_` always outlives every hook invocation.
+    retrain::RetrainController::Hooks hooks;
+    hooks.shard_of = [this](std::uint64_t key) { return router_.shard_for(key); };
+    hooks.pause_shard = [this](std::size_t shard) { shards_[shard]->pause(); };
+    hooks.resume_shard = [this](std::size_t shard) { shards_[shard]->resume(); };
+    retrain_ = std::make_unique<retrain::RetrainController>(registry_, options_.retrain,
+                                                            std::move(hooks));
+    observer = [controller = retrain_.get()](const retrain::ServedSample& sample) {
+      controller->record(sample);
+    };
+  }
   shards_.reserve(options_.shards);
   for (std::size_t s = 0; s < options_.shards; ++s)
-    shards_.push_back(std::make_unique<ServeShard>(registry_, options_));
+    shards_.push_back(std::make_unique<ServeShard>(registry_, options_, observer));
 }
 
 TuningService::~TuningService() { shutdown(); }
@@ -128,8 +143,12 @@ void TuningService::shutdown() {
     if (shut_down_) return;
     shut_down_ = true;
   }
-  // Close every queue first so submitters fail fast and all shards drain
-  // their backlogs concurrently, then reap the worker pools.
+  // Stop the retrain controller first: a cycle in flight completes (its
+  // pause/resume pairing is never torn), queued cycles are discarded, and no
+  // hook can touch a shard after this returns.
+  if (retrain_) retrain_->stop();
+  // Close every queue so submitters fail fast and all shards drain their
+  // backlogs concurrently, then reap the worker pools.
   for (const auto& shard : shards_) shard->close();
   for (const auto& shard : shards_) shard->join();
 }

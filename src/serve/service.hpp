@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "serve/retrain/controller.hpp"
 #include "serve/router.hpp"
 #include "serve/shard.hpp"
 
@@ -84,6 +85,23 @@ class TuningService {
 
   [[nodiscard]] const ServeOptions& options() const noexcept { return options_; }
 
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+
+  /// The shard a (machine, kernel) routes to — the quiesce blast radius of a
+  /// hot swap affecting that route (pure ring lookup, no shard touched).
+  [[nodiscard]] std::size_t shard_index_for(const std::string& machine,
+                                            const corpus::KernelSpec& kernel) const {
+    return router_.shard_for(route_key(machine, route_fingerprint(kernel)));
+  }
+
+  /// The online-retraining loop, when `ServeOptions::retrain.enabled` was
+  /// set; null otherwise. Owned by the service: it is stopped before the
+  /// shards drain on shutdown.
+  [[nodiscard]] retrain::RetrainController* retrain() noexcept { return retrain_.get(); }
+  [[nodiscard]] const retrain::RetrainController* retrain() const noexcept {
+    return retrain_.get();
+  }
+
  private:
   /// Target machine for `request`, or a resolution ServeError.
   [[nodiscard]] std::optional<ServeError> resolve_machine(TuneRequest& request) const;
@@ -93,6 +111,9 @@ class TuningService {
   std::shared_ptr<ModelRegistry> registry_;
   ServeOptions options_;
   ShardRouter router_;
+  /// Declared before `shards_`: the controller's hooks reach shards through
+  /// `this`, and shutdown stops it before any shard joins.
+  std::unique_ptr<retrain::RetrainController> retrain_;
   std::vector<std::unique_ptr<ServeShard>> shards_;
   std::mutex shutdown_mutex_;
   bool shut_down_ = false;

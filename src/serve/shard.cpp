@@ -42,9 +42,11 @@ constexpr std::size_t kMaxArrivalEntries = 4096;
 
 }  // namespace
 
-ServeShard::ServeShard(std::shared_ptr<ModelRegistry> registry, const ServeOptions& options)
+ServeShard::ServeShard(std::shared_ptr<ModelRegistry> registry, const ServeOptions& options,
+                       retrain::ObservationFn observer)
     : registry_(std::move(registry)),
       options_(options),
+      observer_(std::move(observer)),
       cache_(options.cache),
       queue_(lane_capacities(options), options.starvation_limit) {
   MGA_CHECK_MSG(registry_ != nullptr, "ServeShard: null registry");
@@ -122,6 +124,21 @@ void ServeShard::submit(TuneRequest request, std::shared_ptr<TicketState> state)
   const Clock::time_point deadline_at = pending.deadline_at;
   std::shared_ptr<TicketState> pending_state = pending.state;  // survives the move
   pending.request = std::move(request);
+
+  // Shard-aware admission: Reject/Shed consider the whole shard's backlog,
+  // not just their own lane — a backlogged shard refuses sheddable traffic
+  // outright instead of trading one queued request for another. (The check
+  // is advisory across lanes, so a racing admit may land at the boundary;
+  // the limit bounds the steady state, not a single instant.)
+  if (options_.shard_backlog_limit > 0 && admission != Admission::kBlock &&
+      queue_.size() >= options_.shard_backlog_limit) {
+    stats_.record_rejected(tier);
+    pending_state->resolve(ServeError{
+        ServeErrorKind::kRejected,
+        "shard backlog at limit (" + std::to_string(options_.shard_backlog_limit) + ")",
+        nullptr});
+    return;
+  }
 
   auto pushed = TieredQueue<Pending>::PushResult::kClosed;
   switch (admission) {
@@ -236,7 +253,7 @@ void ServeShard::worker_loop() {
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(pause_mutex_);
-      pause_cv_.wait(lock, [&] { return !paused_; });
+      pause_cv_.wait(lock, [&] { return pause_count_ == 0 || draining_; });
     }
     std::optional<Pending> first = queue_.try_pop();
     if (!first.has_value()) {
@@ -288,24 +305,31 @@ void ServeShard::worker_loop() {
 void ServeShard::process_batch(std::vector<Pending>& batch) {
   const Clock::time_point fire_time = Clock::now();
   std::vector<hwsim::OmpConfig> configs;
+  std::vector<int> labels;
+  std::vector<hwsim::PapiCounters> counters;
   bool cache_hit = false;
+  // Resolved exactly once per batch: every member is served by one (tuner,
+  // tag, generation) triple — during a hot swap a batch is consistently
+  // old-model or consistently new-model, never torn.
+  ModelRegistry::Resolved resolved;
+  std::shared_ptr<const FeatureCache::Entry> entry;
   try {
     // Key the cache on the registration tag, not the machine name: a
     // hot-swapped tuner under the same name must not hit entries whose
     // scaled vectors were fitted against the old tuner's corpus.
-    const ModelRegistry::Resolved resolved =
-        registry_->resolve(batch.front().request.machine);
+    resolved = registry_->resolve(batch.front().request.machine);
     const std::shared_ptr<const core::MgaTuner>& tuner = resolved.tuner;
-    const std::shared_ptr<const FeatureCache::Entry> entry =
-        cache_.get(batch.front().request.kernel, *tuner, resolved.tag, &cache_hit);
+    entry = cache_.get(batch.front().request.kernel, *tuner, resolved.tag, &cache_hit);
 
-    std::vector<hwsim::PapiCounters> counters;
     counters.reserve(batch.size());
     for (const Pending& pending : batch)
       counters.push_back(pending.request.counters
                              ? *pending.request.counters
                              : cache_.counters_for(*entry, *tuner, pending.request.input_bytes));
-    configs = tuner->tune_group(entry->features, counters);
+    labels = tuner->predict_labels(entry->features, counters);
+    configs.reserve(labels.size());
+    for (const int label : labels)
+      configs.push_back(tuner->space()[static_cast<std::size_t>(label)]);
   } catch (...) {
     ServeError error;
     error.cause = std::current_exception();
@@ -338,11 +362,14 @@ void ServeShard::process_batch(std::vector<Pending>& batch) {
   const Clock::time_point done_time = Clock::now();
   const double compute_us = micros_between(fire_time, done_time);
   stats_.record_batch(batch.size());
+  std::vector<std::size_t> served;
+  if (observer_) served.reserve(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
     TuneResult result;
     result.config = configs[i];
     result.cache_hit = cache_hit;
     result.batch_size = batch.size();
+    result.model_generation = resolved.generation;
     result.latency_us = micros_between(batch[i].enqueued, done_time);
     result.queue_wait_us = micros_between(batch[i].enqueued, fire_time);
     result.compute_us = compute_us;
@@ -352,23 +379,43 @@ void ServeShard::process_batch(std::vector<Pending>& batch) {
       stats_.record_completion(result.latency_us, result.queue_wait_us, compute_us,
                                batch[i].tier);
       batch[i].state->publish(TuneOutcome(std::move(result)));
+      if (observer_) served.push_back(i);
     } else {
       // A cancel won the race mid-forward: the work is spent, the outcome
       // is the caller's kCancelled.
       stats_.record_cancelled(batch[i].tier);
     }
   }
+
+  // Observation feed (retrain subsystem): after every outcome is published —
+  // the scoring runs per config in the space, and must never sit between a
+  // caller and its result. Cancelled members are not observations: their
+  // prediction was never delivered.
+  if (observer_) {
+    for (const std::size_t i : served) {
+      const retrain::ServedSample sample{batch[i].request.machine,
+                                         batch[i].request.kernel,
+                                         entry->features.workload,
+                                         batch[i].request.input_bytes,
+                                         counters[i],
+                                         labels[i],
+                                         resolved.generation,
+                                         *resolved.tuner};
+      observer_(sample);
+    }
+  }
 }
 
 void ServeShard::pause() {
   const std::lock_guard<std::mutex> lock(pause_mutex_);
-  paused_ = true;
+  ++pause_count_;
 }
 
 void ServeShard::resume() {
   {
     const std::lock_guard<std::mutex> lock(pause_mutex_);
-    paused_ = false;
+    if (pause_count_ > 0) --pause_count_;
+    if (pause_count_ > 0) return;  // other pausers still hold the shard
   }
   pause_cv_.notify_all();
 }
@@ -380,7 +427,14 @@ void ServeShard::close() {
     closed_ = true;
   }
   queue_.close();
-  resume();  // paused workers must wake to observe the close and drain
+  // Paused workers must wake to observe the close and drain — without
+  // consuming anyone's pause: lifecycle overrides quiesce, it does not
+  // unbalance it.
+  {
+    const std::lock_guard<std::mutex> lock(pause_mutex_);
+    draining_ = true;
+  }
+  pause_cv_.notify_all();
 }
 
 void ServeShard::join() {

@@ -28,6 +28,7 @@
 #include "serve/feature_cache.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/queue.hpp"
+#include "serve/retrain/observation_log.hpp"
 #include "serve/stats.hpp"
 #include "serve/ticket.hpp"
 
@@ -59,6 +60,13 @@ struct ServeOptions {
   /// Consecutive pops a lower lane may be passed over before it is served
   /// regardless of priority (see TieredQueue).
   std::size_t starvation_limit = 8;
+  /// Shard-aware admission: when the target shard's *total* backlog (queued
+  /// requests across all lanes) is at or above this, Reject and Shed
+  /// submissions are refused even if their own lane still has room — a shard
+  /// drowning in bulk must not keep accepting sheddable traffic just because
+  /// the interactive lane is empty. Block submissions are unaffected (their
+  /// backpressure is the lane wait itself). 0 disables the check.
+  std::size_t shard_backlog_limit = 0;
   /// Feature-cache shape *per shard* (each ServeShard owns a private cache;
   /// consistent-hash routing keeps a kernel's traffic on one shard, so
   /// per-shard caches never duplicate entries in steady state).
@@ -70,6 +78,11 @@ struct ServeOptions {
   /// Empty = only legal when the registry holds exactly one entry. Ignored
   /// by ServeShard itself (it requires resolved machines).
   std::string default_machine;
+  /// Facade-level: the online-retraining loop (observation logging, drift
+  /// triggers, per-shard quiesce + hot swap — see DESIGN.md §8). Ignored by
+  /// ServeShard itself; the facade owns the RetrainController and hands each
+  /// shard an observation hook.
+  retrain::RetrainOptions retrain;
 };
 
 struct TuneRequest {
@@ -86,10 +99,13 @@ struct TuneRequest {
 
 class ServeShard {
  public:
-  /// `options.shards` and `options.default_machine` are facade concerns and
-  /// ignored here; everything else shapes this shard's queue, workers, cache
-  /// and linger policy.
-  ServeShard(std::shared_ptr<ModelRegistry> registry, const ServeOptions& options);
+  /// `options.shards`, `options.default_machine` and `options.retrain` are
+  /// facade concerns and ignored here; everything else shapes this shard's
+  /// queue, workers, cache and linger policy. `observer`, when set, is
+  /// called once per served request on the worker thread after the batch's
+  /// outcomes are published (the retrain subsystem's observation feed).
+  ServeShard(std::shared_ptr<ModelRegistry> registry, const ServeOptions& options,
+             retrain::ObservationFn observer = {});
   ~ServeShard();
 
   ServeShard(const ServeShard&) = delete;
@@ -103,8 +119,13 @@ class ServeShard {
   void submit(TuneRequest request, std::shared_ptr<TicketState> state);
 
   /// Pause this shard's workers: they finish the batches they already
-  /// claimed and then idle; submissions keep queueing. `resume` (or
-  /// `shutdown`) releases them.
+  /// claimed and then idle; submissions keep queueing. Pauses *count*: the
+  /// facade's operator pause and the retrain controller's quiesce can
+  /// overlap, and the shard runs again only when every pauser has resumed.
+  /// `resume` releases one outstanding hold — callers must pair their own
+  /// calls (an excess resume with no hold outstanding is a no-op, but an
+  /// unpaired one releases whichever hold is left). `shutdown` overrides
+  /// any pause so workers always drain.
   void pause();
   void resume();
 
@@ -165,13 +186,15 @@ class ServeShard {
 
   std::shared_ptr<ModelRegistry> registry_;
   ServeOptions options_;
+  retrain::ObservationFn observer_;  // set at construction, read by workers
   FeatureCache cache_;
   ServiceStats stats_;
   TieredQueue<Pending> queue_;
   std::vector<std::thread> workers_;
   std::mutex pause_mutex_;
   std::condition_variable pause_cv_;
-  bool paused_ = false;
+  std::size_t pause_count_ = 0;  // workers run only when 0 (or draining)
+  bool draining_ = false;        // set by close(): drain regardless of pauses
   std::mutex lifecycle_mutex_;
   bool closed_ = false;
   bool joined_ = false;

@@ -102,6 +102,11 @@ struct TuneResult {
   hwsim::OmpConfig config;
   bool cache_hit = false;      // static features came from the cache
   std::size_t batch_size = 1;  // size of the grouped forward that served it
+  /// ModelRegistry generation of the tuner that served this request. A batch
+  /// resolves the registry exactly once, so every member of a grouped
+  /// forward reports the same generation — during a hot swap a result is
+  /// consistently old-model or consistently new-model, never torn.
+  std::uint64_t model_generation = 0;
   double latency_us = 0.0;     // submit -> outcome resolved
   /// Breakdown of latency_us: time spent queued (admission + lane + linger,
   /// submit -> batch fire) vs. in the batch itself (registry resolve,

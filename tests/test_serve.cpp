@@ -1027,6 +1027,68 @@ TEST(TuningService, InteractiveRiderFiresTheLingeringBatchImmediately) {
   EXPECT_EQ(bulk_outcome.value().config, interactive_outcome.value().config);
 }
 
+TEST(TuningService, PauseIsCountedAcrossIndependentPausers) {
+  ServeOptions options;
+  options.workers = 1;
+  TuningService service(shared_registry(), options);
+  // Two independent pausers (think: an operator pause and a retrain quiesce
+  // overlapping). The shard may only run again when *both* have resumed.
+  service.pause();
+  service.pause();
+  const TuneTicket ticket = service.submit(make_request("polybench/gemm", 8192.0));
+  service.resume();
+  EXPECT_FALSE(ticket.wait_for(150ms)) << "one resume must not release both pauses";
+  service.resume();
+  ASSERT_TRUE(ticket.get().ok());
+}
+
+TEST(TuningService, ShardBacklogLimitRejectsAcrossLanesButNeverBlocks) {
+  ServeOptions options;
+  options.workers = 1;
+  options.shard_backlog_limit = 2;
+  TuningService service(shared_registry(), options);
+  service.pause();  // stage the backlog deterministically
+
+  // Two Block submissions fill the shard to its backlog limit (their own
+  // lane is nowhere near capacity).
+  const TuneTicket first = service.submit(make_request("polybench/gemm", 8192.0));
+  const TuneTicket second = service.submit(make_request("rodinia/bfs", 2e6));
+
+  // Reject admission now fails on *shard* backlog even though the normal
+  // lane has room...
+  TuneRequest rejected_request = make_request("stream/triad", 2e6);
+  rejected_request.options.admission = Admission::kReject;
+  const TuneTicket rejected = service.submit(std::move(rejected_request));
+  ASSERT_TRUE(rejected.done());
+  ASSERT_FALSE(rejected.get().ok());
+  EXPECT_EQ(rejected.get().error().kind, ServeErrorKind::kRejected);
+  EXPECT_NE(rejected.get().error().detail.find("backlog"), std::string::npos);
+
+  // ...and so does Shed, even on a completely empty lane: displacing another
+  // lane's work would not reduce the shard's backlog.
+  TuneRequest shed_request = make_request("stream/triad", 2e6);
+  shed_request.options.priority = Priority::kInteractive;
+  shed_request.options.admission = Admission::kShed;
+  const TuneTicket shed = service.submit(std::move(shed_request));
+  ASSERT_TRUE(shed.done());
+  ASSERT_FALSE(shed.get().ok());
+  EXPECT_EQ(shed.get().error().kind, ServeErrorKind::kRejected);
+
+  // Block admission is exempt: its backpressure is the lane wait itself.
+  const TuneTicket blocked = service.submit(make_request("polybench/atax", 2e6));
+  EXPECT_FALSE(blocked.done());
+
+  service.resume();
+  ASSERT_TRUE(first.get().ok());
+  ASSERT_TRUE(second.get().ok());
+  ASSERT_TRUE(blocked.get().ok());
+
+  const ServiceStatsSnapshot stats = service.stats_snapshot();
+  EXPECT_EQ(stats.tiers[static_cast<std::size_t>(Priority::kNormal)].rejected, 1u);
+  EXPECT_EQ(stats.tiers[static_cast<std::size_t>(Priority::kInteractive)].rejected, 1u);
+  EXPECT_EQ(stats.completed, 3u);
+}
+
 TEST(TuningService, OutOfRangePriorityResolvesInsteadOfThrowing) {
   TuningService service(shared_registry(), {});
   TuneRequest request = make_request("polybench/gemm", 8192.0);

@@ -1,0 +1,866 @@
+// mga::serve::retrain — the observe → learn → deploy loop: ObservationLog
+// ring semantics and dataset export, DriftMonitor trigger/hysteresis,
+// versioned ModelRegistry slots (generation, atomic swap, no silent
+// overwrite), MgaTuner clone/fine_tune, the RetrainController cycle
+// (snapshot → fine-tune → validate → per-shard quiesce → hot swap), and the
+// end-to-end drift scenario: a drifting workload fires the monitor, the
+// swapped model strictly lowers regret on the drifted slice, non-quiesced
+// shards keep serving during the swap, and every served config is
+// bit-identical to direct `tune` for the generation that served it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "hwsim/cpu_model.hpp"
+#include "serve/retrain/controller.hpp"
+#include "serve/router.hpp"
+#include "serve/service.hpp"
+
+namespace mga::serve {
+namespace {
+
+using namespace std::chrono_literals;
+using retrain::DriftMonitor;
+using retrain::DriftMonitorOptions;
+using retrain::Observation;
+using retrain::ObservationLog;
+using retrain::ObservationLogOptions;
+using retrain::RetrainController;
+using retrain::RetrainOptions;
+using retrain::ServedSample;
+
+// --- shared tiny tuner (same shape as tests/test_serve.cpp) ------------------
+
+core::MgaTunerOptions tiny_options() {
+  core::MgaTunerOptions options;
+  auto kernels = corpus::openmp_suite();
+  kernels.resize(8);
+  options.training_kernels = std::move(kernels);
+  std::vector<double> inputs = dataset::input_sizes_30();
+  std::vector<double> subset;
+  for (std::size_t i = 0; i < inputs.size(); i += 6) subset.push_back(inputs[i]);
+  options.input_sizes = std::move(subset);
+  options.training.epochs = 12;
+  return options;
+}
+
+const core::MgaTuner& shared_tuner() {
+  static const core::MgaTuner tuner = core::MgaTuner::train(tiny_options());
+  return tuner;
+}
+
+/// Fresh registry per test (swaps mutate generations): the entry is a cheap
+/// `clone` of the shared tuner, bit-identical to it.
+std::shared_ptr<ModelRegistry> make_registry() {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->add("comet-lake", shared_tuner().clone());
+  return registry;
+}
+
+TuneRequest make_request(const corpus::KernelSpec& kernel, double input_bytes) {
+  TuneRequest request;
+  request.kernel = kernel;
+  request.input_bytes = input_bytes;
+  return request;
+}
+
+/// A (kernel, input) the tuner mispredicts, with its oracle runtime table.
+struct DriftPair {
+  corpus::KernelSpec kernel;
+  double input_bytes = 0.0;
+  hwsim::PapiCounters counters;
+  int predicted_label = 0;
+  std::vector<double> seconds;
+  double best_seconds = 0.0;
+  double regret = 0.0;
+};
+
+/// Scan suite kernels the tuner never trained on for pairs with prediction
+/// regret above `min_regret` — the drifted slice the retrain loop must fix.
+std::vector<DriftPair> find_drifted_pairs(const core::MgaTuner& tuner, std::size_t skip,
+                                          std::size_t max_pairs, double min_regret) {
+  const std::vector<corpus::KernelSpec> suite = corpus::openmp_suite();
+  const std::vector<double> inputs = {2e6, 3e7};
+  std::vector<DriftPair> pairs;
+  for (std::size_t k = skip; k < suite.size() && pairs.size() < max_pairs; ++k) {
+    const core::KernelFeatures features = tuner.extract_features(suite[k]);
+    for (const double input : inputs) {
+      if (pairs.size() >= max_pairs) break;
+      DriftPair pair;
+      pair.kernel = suite[k];
+      pair.input_bytes = input;
+      pair.counters = tuner.profile_counters(features.workload, input);
+      pair.predicted_label = tuner.predict_labels(features, {pair.counters}).front();
+      pair.seconds.reserve(tuner.space().size());
+      for (const hwsim::OmpConfig& config : tuner.space())
+        pair.seconds.push_back(
+            hwsim::cpu_execute(features.workload, tuner.machine(), input, config).seconds);
+      pair.best_seconds = *std::min_element(pair.seconds.begin(), pair.seconds.end());
+      pair.regret =
+          pair.seconds[static_cast<std::size_t>(pair.predicted_label)] / pair.best_seconds -
+          1.0;
+      if (pair.regret >= min_regret) pairs.push_back(std::move(pair));
+    }
+  }
+  return pairs;
+}
+
+/// Mean regret `tuner` realizes on `pairs`, scored against their tables.
+double pairs_regret(const core::MgaTuner& tuner, const std::vector<DriftPair>& pairs) {
+  double total = 0.0;
+  for (const DriftPair& pair : pairs) {
+    const core::KernelFeatures features = tuner.extract_features(pair.kernel);
+    const int label = tuner.predict_labels(features, {pair.counters}).front();
+    total += pair.seconds[static_cast<std::size_t>(label)] / pair.best_seconds - 1.0;
+  }
+  return total / static_cast<double>(pairs.size());
+}
+
+/// The drifted slice, scanned once per test binary (the scan pays a feature
+/// extraction per unseen kernel).
+const std::vector<DriftPair>& shared_drifted_pairs() {
+  static const std::vector<DriftPair> pairs = find_drifted_pairs(shared_tuner(), 8, 6, 0.05);
+  return pairs;
+}
+
+/// Oracle-labeled rows in the dataset format for `pairs` (fine-tune input).
+void build_training_rows(const std::vector<DriftPair>& pairs,
+                         std::vector<corpus::KernelSpec>& kernels,
+                         std::vector<dataset::OmpSample>& samples) {
+  for (const DriftPair& pair : pairs) {
+    int kernel_id = -1;
+    for (std::size_t k = 0; k < kernels.size(); ++k)
+      if (kernels[k] == pair.kernel) kernel_id = static_cast<int>(k);
+    if (kernel_id < 0) {
+      kernel_id = static_cast<int>(kernels.size());
+      kernels.push_back(pair.kernel);
+    }
+    dataset::OmpSample sample;
+    sample.kernel_id = kernel_id;
+    sample.input_bytes = pair.input_bytes;
+    sample.counters = pair.counters;
+    sample.label = static_cast<int>(
+        std::min_element(pair.seconds.begin(), pair.seconds.end()) - pair.seconds.begin());
+    sample.seconds = pair.seconds;
+    samples.push_back(std::move(sample));
+  }
+}
+
+// --- observation log ---------------------------------------------------------
+
+Observation make_observation(std::uint64_t route_key, double input_bytes,
+                             double realized = 2.0, double best = 1.0) {
+  Observation observation;
+  observation.route_key = route_key;
+  observation.machine = "comet-lake";
+  observation.kernel = corpus::find_kernel("polybench/gemm");
+  observation.input_bytes = input_bytes;
+  observation.served_label = 1;
+  observation.oracle_label = 0;
+  observation.realized_seconds = realized;
+  observation.best_seconds = best;
+  observation.default_seconds = realized;
+  observation.seconds = {best, realized};
+  return observation;
+}
+
+TEST(ObservationLog, AppendIsBoundedAndWrapsTheRing) {
+  ObservationLogOptions options;
+  options.shards = 1;
+  options.capacity_per_shard = 4;
+  ObservationLog log(options);
+  for (std::uint64_t i = 0; i < 10; ++i) log.append(make_observation(7, 1000.0 + i));
+
+  EXPECT_EQ(log.appended(), 10u);
+  EXPECT_EQ(log.size(), 4u) << "the ring must stay bounded";
+  EXPECT_EQ(log.capacity(), 4u);
+  const std::vector<Observation> snapshot = log.snapshot();
+  ASSERT_EQ(snapshot.size(), 4u);
+  for (const Observation& observation : snapshot)
+    EXPECT_GE(observation.seq, 6u) << "wrap must overwrite the oldest slots";
+}
+
+TEST(ObservationLog, SnapshotOrderIsDeterministic) {
+  ObservationLogOptions options;
+  options.shards = 2;
+  options.capacity_per_shard = 16;
+  ObservationLog log(options);
+  // Interleaved keys and inputs: snapshot must sort by (key, input, seq).
+  log.append(make_observation(9, 2e6));
+  log.append(make_observation(4, 3e7));
+  log.append(make_observation(9, 8192.0));
+  log.append(make_observation(4, 3e7));
+
+  const std::vector<Observation> snapshot = log.snapshot();
+  ASSERT_EQ(snapshot.size(), 4u);
+  EXPECT_EQ(snapshot[0].route_key, 4u);
+  EXPECT_EQ(snapshot[1].route_key, 4u);
+  EXPECT_LT(snapshot[0].seq, snapshot[1].seq) << "ties break by sequence";
+  EXPECT_EQ(snapshot[2].route_key, 9u);
+  EXPECT_EQ(snapshot[2].input_bytes, 8192.0);
+  EXPECT_EQ(snapshot[3].input_bytes, 2e6);
+}
+
+TEST(ObservationLog, ExportsDatasetRowsWithOracleLabels) {
+  std::vector<Observation> observations = {make_observation(1, 2e6),
+                                           make_observation(1, 3e7),
+                                           make_observation(2, 2e6)};
+  observations[2].kernel = corpus::find_kernel("rodinia/bfs");
+  const ObservationLog::TrainingSlice slice = ObservationLog::to_dataset(observations);
+  ASSERT_EQ(slice.kernels.size(), 2u) << "kernels dedupe by route key";
+  ASSERT_EQ(slice.samples.size(), 3u);
+  EXPECT_EQ(slice.samples[0].kernel_id, 0);
+  EXPECT_EQ(slice.samples[1].kernel_id, 0);
+  EXPECT_EQ(slice.samples[2].kernel_id, 1);
+  EXPECT_EQ(slice.kernels[1].name, "rodinia/bfs");
+  for (const dataset::OmpSample& sample : slice.samples) {
+    EXPECT_EQ(sample.label, 0) << "export labels with the oracle, not the served config";
+    EXPECT_EQ(sample.seconds.size(), 2u);
+  }
+}
+
+// --- drift monitor -----------------------------------------------------------
+
+DriftMonitorOptions tight_drift() {
+  DriftMonitorOptions options;
+  options.regret_threshold = 0.10;
+  options.ewma_alpha = 0.5;
+  options.min_kernel_observations = 3;
+  options.cooldown = std::chrono::hours(1);
+  return options;
+}
+
+TEST(DriftMonitor, TriggersOnlyAfterMinObservationsAndThreshold) {
+  DriftMonitor monitor(tight_drift());
+  // Two high-regret samples: EWMA is over threshold but the count is not.
+  EXPECT_FALSE(monitor.observe("comet-lake", 7, 0.5).has_value());
+  EXPECT_FALSE(monitor.observe("comet-lake", 7, 0.5).has_value());
+  const auto trigger = monitor.observe("comet-lake", 7, 0.5);
+  ASSERT_TRUE(trigger.has_value());
+  EXPECT_EQ(trigger->machine, "comet-lake");
+  EXPECT_EQ(trigger->route_key, 7u);
+  EXPECT_STREQ(trigger->reason, "regret");
+  EXPECT_GE(trigger->ewma_regret, 0.10);
+  EXPECT_EQ(monitor.triggers(), 1u);
+}
+
+TEST(DriftMonitor, LowRegretNeverTriggers) {
+  DriftMonitor monitor(tight_drift());
+  for (int i = 0; i < 50; ++i)
+    EXPECT_FALSE(monitor.observe("comet-lake", 7, 0.01).has_value());
+  EXPECT_EQ(monitor.triggers(), 0u);
+}
+
+TEST(DriftMonitor, CooldownSuppressesRetriggerUntilItExpires) {
+  DriftMonitorOptions options = tight_drift();
+  options.cooldown = 50ms;
+  DriftMonitor monitor(options);
+  for (int i = 0; i < 2; ++i) (void)monitor.observe("comet-lake", 7, 0.5);
+  ASSERT_TRUE(monitor.observe("comet-lake", 7, 0.5).has_value());
+  // Within the window: regret keeps folding, nothing re-arms.
+  for (int i = 0; i < 10; ++i)
+    EXPECT_FALSE(monitor.observe("comet-lake", 7, 0.5).has_value());
+  std::this_thread::sleep_for(80ms);
+  EXPECT_TRUE(monitor.observe("comet-lake", 7, 0.5).has_value())
+      << "an expired cooldown must re-arm a persistent drift";
+  EXPECT_EQ(monitor.triggers(), 2u);
+}
+
+TEST(DriftMonitor, AbortedCyclesBackOffTheCooldownExponentially) {
+  DriftMonitorOptions options = tight_drift();
+  options.cooldown = 200ms;
+  DriftMonitor monitor(options);
+  for (int i = 0; i < 2; ++i) (void)monitor.observe("comet-lake", 7, 0.5);
+  ASSERT_TRUE(monitor.observe("comet-lake", 7, 0.5).has_value());
+
+  // The cycle failed: the effective cooldown doubles to 400ms, so past the
+  // base window but inside the backoff nothing re-arms...
+  monitor.notify_abort("comet-lake");
+  std::this_thread::sleep_for(250ms);
+  EXPECT_FALSE(monitor.observe("comet-lake", 7, 0.5).has_value())
+      << "an aborted cycle must widen the retrigger window";
+  // ...and past the doubled window the persistent drift re-arms.
+  std::this_thread::sleep_for(300ms);
+  EXPECT_TRUE(monitor.observe("comet-lake", 7, 0.5).has_value());
+  EXPECT_EQ(monitor.triggers(), 2u);
+}
+
+TEST(DriftMonitor, SwapResetsTheMachineStateButVolumeTriggerStillWorks) {
+  DriftMonitorOptions options = tight_drift();
+  options.cooldown = std::chrono::steady_clock::duration::zero();
+  options.volume_threshold = 5;
+  DriftMonitor monitor(options);
+  // Volume trigger with zero regret: fires at the 5th observation.
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(monitor.observe("comet-lake", 7, 0.0).has_value());
+  const auto trigger = monitor.observe("comet-lake", 7, 0.0);
+  ASSERT_TRUE(trigger.has_value());
+  EXPECT_STREQ(trigger->reason, "volume");
+
+  // A swap resets volume and EWMAs: the next trigger needs 5 fresh samples.
+  monitor.notify_swap("comet-lake");
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(monitor.observe("comet-lake", 7, 0.0).has_value());
+  EXPECT_TRUE(monitor.observe("comet-lake", 7, 0.0).has_value());
+}
+
+// --- versioned model registry ------------------------------------------------
+
+TEST(ModelRegistry, ReRegisteringANameThrowsInsteadOfSilentlyOverwriting) {
+  ModelRegistry registry;
+  registry.add("comet-lake", shared_tuner().clone());
+  EXPECT_THROW(registry.add("comet-lake", shared_tuner().clone()), std::invalid_argument);
+  EXPECT_THROW(registry.add_artifact("comet-lake", "/nonexistent", tiny_options()),
+               std::invalid_argument);
+  EXPECT_EQ(registry.generation("comet-lake"), 1u) << "the failed add must not bump anything";
+}
+
+TEST(ModelRegistry, SwapBumpsGenerationAndIssuesAFreshTag) {
+  ModelRegistry registry;
+  registry.add("comet-lake", shared_tuner().clone());
+  const ModelRegistry::Resolved before = registry.resolve("comet-lake");
+  EXPECT_EQ(before.generation, 1u);
+
+  EXPECT_EQ(registry.swap("comet-lake", shared_tuner().clone()), 2u);
+  const ModelRegistry::Resolved after = registry.resolve("comet-lake");
+  EXPECT_EQ(after.generation, 2u);
+  EXPECT_EQ(registry.generation("comet-lake"), 2u);
+  EXPECT_NE(after.tag, before.tag) << "caches keyed on the tag must miss after a swap";
+  EXPECT_NE(after.tuner.get(), before.tuner.get());
+  EXPECT_EQ(registry.swap("comet-lake", shared_tuner().clone()), 3u)
+      << "generations are monotone per name";
+
+  EXPECT_THROW((void)registry.swap("no-such-machine", shared_tuner().clone()),
+               std::out_of_range);
+  EXPECT_THROW((void)registry.generation("no-such-machine"), std::out_of_range);
+}
+
+// --- clone / fine_tune -------------------------------------------------------
+
+TEST(RetrainTuner, CloneIsBitIdenticalUntilFineTuned) {
+  const core::MgaTuner clone = shared_tuner().clone();
+  for (const char* name : {"polybench/gemm", "rodinia/bfs", "stream/triad"})
+    for (const double input : {8192.0, 2e6, 1e8})
+      EXPECT_EQ(clone.tune(corpus::find_kernel(name), input),
+                shared_tuner().tune(corpus::find_kernel(name), input))
+          << name << " @ " << input;
+}
+
+TEST(RetrainTuner, FineTuneFixesADriftedSliceWithoutTouchingTheOriginal) {
+  const std::vector<DriftPair>& pairs = shared_drifted_pairs();
+  ASSERT_GE(pairs.size(), 2u) << "the tiny tuner should mispredict some unseen kernels";
+
+  // Rows in the dataset format, labeled with the oracle.
+  std::vector<corpus::KernelSpec> kernels;
+  std::vector<dataset::OmpSample> samples;
+  build_training_rows(pairs, kernels, samples);
+
+  core::MgaTuner candidate = shared_tuner().clone();
+  core::FineTuneOptions options;
+  options.epochs = 40;
+  const core::FineTuneReport report = candidate.fine_tune(kernels, samples, options);
+  EXPECT_EQ(report.kernels, kernels.size());
+  EXPECT_EQ(report.samples, samples.size());
+  EXPECT_LT(report.final_loss, report.initial_loss);
+
+  const double before = pairs_regret(shared_tuner(), pairs);
+  const double after = pairs_regret(candidate, pairs);
+  EXPECT_GT(before, 0.0);
+  EXPECT_LT(after, before) << "fine-tuning on oracle labels must reduce regret";
+
+  // The serving model is untouched: warm start was a deep copy.
+  EXPECT_EQ(pairs_regret(shared_tuner(), pairs), before);
+}
+
+// --- retrain controller ------------------------------------------------------
+
+/// Hooks that log pause/resume calls against a 4-shard fake fleet.
+struct FakeFleet {
+  std::mutex mutex;
+  std::vector<std::size_t> paused, resumed;
+  RetrainController::Hooks hooks() {
+    RetrainController::Hooks hooks;
+    hooks.shard_of = [](std::uint64_t key) { return static_cast<std::size_t>(key % 4); };
+    hooks.pause_shard = [this](std::size_t shard) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      paused.push_back(shard);
+    };
+    hooks.resume_shard = [this](std::size_t shard) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      resumed.push_back(shard);
+    };
+    return hooks;
+  }
+};
+
+/// Feed `controller` one served observation per drift pair repetition.
+void feed_pairs(RetrainController& controller, const std::vector<DriftPair>& pairs,
+                const core::MgaTuner& tuner, int repetitions) {
+  for (int r = 0; r < repetitions; ++r) {
+    for (const DriftPair& pair : pairs) {
+      const corpus::GeneratedKernel generated = corpus::generate(pair.kernel);
+      const std::string machine = "comet-lake";
+      const ServedSample sample{machine,       pair.kernel, generated.workload,
+                                pair.input_bytes, pair.counters, pair.predicted_label,
+                                1,             tuner};
+      controller.record(sample);
+    }
+  }
+}
+
+RetrainOptions controller_options() {
+  RetrainOptions options;
+  options.enabled = true;
+  options.min_snapshot = 4;
+  options.validation_holdout = 0.25;
+  options.max_regret_regression = 0.02;
+  options.drift.regret_threshold = 0.02;
+  options.drift.min_kernel_observations = 3;
+  options.drift.cooldown = std::chrono::hours(1);
+  options.fine_tune.epochs = 40;
+  return options;
+}
+
+TEST(RetrainController, SmallSnapshotAborts) {
+  auto registry = make_registry();
+  FakeFleet fleet;
+  RetrainOptions options = controller_options();
+  options.min_snapshot = 50;
+  options.drift.min_kernel_observations = 1000000;  // no async trigger; retrain_now drives
+  RetrainController controller(registry, options, fleet.hooks());
+
+  const std::vector<DriftPair>& pairs = shared_drifted_pairs();
+  ASSERT_GE(pairs.size(), 1u);
+  feed_pairs(controller, pairs, shared_tuner(), 3);
+  EXPECT_FALSE(controller.retrain_now("comet-lake"));
+  const retrain::RetrainStatsSnapshot stats = controller.stats();
+  EXPECT_EQ(stats.aborted_small_snapshot, 1u);
+  EXPECT_EQ(stats.swaps, 0u);
+  EXPECT_EQ(registry->generation("comet-lake"), 1u);
+  EXPECT_TRUE(fleet.paused.empty()) << "an aborted cycle must not touch any shard";
+}
+
+TEST(RetrainController, ValidationGateAbortsTheSwap) {
+  auto registry = make_registry();
+  FakeFleet fleet;
+  RetrainOptions options = controller_options();
+  options.drift.min_kernel_observations = 1000000;  // no async trigger
+  options.max_regret_regression = -1e9;  // impossible bar: every candidate fails
+  RetrainController controller(registry, options, fleet.hooks());
+
+  const std::vector<DriftPair>& pairs = shared_drifted_pairs();
+  ASSERT_GE(pairs.size(), 1u);
+  feed_pairs(controller, pairs, shared_tuner(), 4);
+  EXPECT_FALSE(controller.retrain_now("comet-lake"));
+  const retrain::RetrainStatsSnapshot stats = controller.stats();
+  EXPECT_EQ(stats.aborted_validation, 1u);
+  EXPECT_EQ(stats.swaps, 0u);
+  EXPECT_EQ(registry->generation("comet-lake"), 1u) << "a failed gate must not deploy";
+  EXPECT_TRUE(fleet.paused.empty());
+}
+
+TEST(RetrainController, RetrainNowFineTunesValidatesAndQuiescesOnlyOwningShards) {
+  auto registry = make_registry();
+  FakeFleet fleet;
+  RetrainOptions options = controller_options();
+  options.drift.min_kernel_observations = 1000000;  // drive the cycle synchronously
+  RetrainController controller(registry, options, fleet.hooks());
+
+  const std::vector<DriftPair>& pairs = shared_drifted_pairs();
+  ASSERT_GE(pairs.size(), 2u);
+  feed_pairs(controller, pairs, shared_tuner(), 3);
+  EXPECT_GT(controller.log().appended(), 0u);
+
+  EXPECT_TRUE(controller.retrain_now("comet-lake"));
+  const retrain::RetrainStatsSnapshot stats = controller.stats();
+  EXPECT_EQ(stats.swaps, 1u);
+  EXPECT_EQ(stats.cycles, 1u);
+  EXPECT_EQ(stats.last_generation, 2u);
+  EXPECT_EQ(registry->generation("comet-lake"), 2u);
+  EXPECT_LT(stats.last_post_regret, stats.last_pre_regret);
+
+  // Quiesce blast radius: exactly the shards owning the observed routes,
+  // paused and resumed in pairs.
+  std::set<std::size_t> expected;
+  for (const DriftPair& pair : pairs)
+    expected.insert(static_cast<std::size_t>(
+        route_key("comet-lake", route_fingerprint(pair.kernel)) % 4));
+  EXPECT_EQ(std::set<std::size_t>(fleet.paused.begin(), fleet.paused.end()), expected);
+  EXPECT_EQ(std::set<std::size_t>(fleet.resumed.begin(), fleet.resumed.end()), expected);
+  EXPECT_EQ(fleet.paused.size(), fleet.resumed.size());
+  EXPECT_LT(expected.size(), 4u) << "a drifted slice must not quiesce the whole fleet";
+
+  // The swapped model serves the drifted slice strictly better.
+  const std::shared_ptr<const core::MgaTuner> swapped = registry->get("comet-lake");
+  EXPECT_LT(pairs_regret(*swapped, pairs), pairs_regret(shared_tuner(), pairs));
+}
+
+TEST(RetrainController, RegretTriggerWithoutSurvivingEvidenceAborts) {
+  auto registry = make_registry();
+  FakeFleet fleet;
+  RetrainOptions options = controller_options();
+  // Threshold above every recorded regret: the snapshot shows no drifted
+  // route, and volume triggering is off — the cycle must abort rather than
+  // retrain (and fleet-wide quiesce) on healthy traffic.
+  options.drift.regret_threshold = 1e9;
+  RetrainController controller(registry, options, fleet.hooks());
+
+  const std::vector<DriftPair>& pairs = shared_drifted_pairs();
+  ASSERT_GE(pairs.size(), 1u);
+  feed_pairs(controller, pairs, shared_tuner(), 3);
+  EXPECT_FALSE(controller.retrain_now("comet-lake"));
+  const retrain::RetrainStatsSnapshot stats = controller.stats();
+  EXPECT_EQ(stats.aborted_no_drift, 1u);
+  EXPECT_EQ(stats.swaps, 0u);
+  EXPECT_EQ(registry->generation("comet-lake"), 1u);
+  EXPECT_TRUE(fleet.paused.empty()) << "no drift evidence must mean no quiesce";
+}
+
+TEST(RetrainController, StopWakesWaitForCyclesPromptly) {
+  auto registry = make_registry();
+  FakeFleet fleet;
+  RetrainOptions options = controller_options();
+  options.drift.min_kernel_observations = 1000000;  // nothing will ever cycle
+  RetrainController controller(registry, options, fleet.hooks());
+
+  std::thread stopper([&] {
+    std::this_thread::sleep_for(100ms);
+    controller.stop();
+  });
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(controller.wait_for_cycles(1, 30s));
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 10s)
+      << "stop() must wake cycle waiters instead of letting them sleep out the timeout";
+  stopper.join();
+}
+
+TEST(RetrainController, InFlightCycleIsNotRequeuedByFreshTriggers) {
+  auto registry = make_registry();
+  FakeFleet fleet;
+  RetrainOptions options = controller_options();
+  options.drift.cooldown = std::chrono::steady_clock::duration::zero();
+  std::mutex barrier_mutex;
+  std::condition_variable barrier_cv;
+  bool in_swap = false, release = false;
+  options.before_swap = [&] {
+    {
+      const std::lock_guard<std::mutex> lock(barrier_mutex);
+      in_swap = true;
+    }
+    barrier_cv.notify_all();
+    std::unique_lock<std::mutex> lock(barrier_mutex);
+    barrier_cv.wait(lock, [&] { return release; });
+  };
+  RetrainController controller(registry, options, fleet.hooks());
+
+  const std::vector<DriftPair>& pairs = shared_drifted_pairs();
+  ASSERT_GE(pairs.size(), 1u);
+  // Keep feeding until a cycle reaches the swap window (early triggers may
+  // resolve as small-snapshot aborts while the log is still filling).
+  const auto feed_deadline = std::chrono::steady_clock::now() + 120s;
+  bool reached = false;
+  while (!reached && std::chrono::steady_clock::now() < feed_deadline) {
+    feed_pairs(controller, pairs, shared_tuner(), 1);
+    std::unique_lock<std::mutex> lock(barrier_mutex);
+    reached = barrier_cv.wait_for(lock, 50ms, [&] { return in_swap; });
+  }
+  ASSERT_TRUE(reached);
+  const retrain::RetrainStatsSnapshot mid = controller.stats();  // in-flight not yet counted
+
+  // With zero cooldown, every further observation re-arms a trigger — but
+  // the machine's cycle is in flight, so none of them may queue a
+  // back-to-back cycle that would run on an empty post-swap snapshot.
+  feed_pairs(controller, pairs, shared_tuner(), 2);
+  {
+    const std::lock_guard<std::mutex> lock(barrier_mutex);
+    release = true;
+  }
+  barrier_cv.notify_all();
+  ASSERT_TRUE(controller.wait_for_cycles(mid.cycles + 1, 120s));
+  std::this_thread::sleep_for(200ms);  // a queued duplicate would run here
+  const retrain::RetrainStatsSnapshot stats = controller.stats();
+  EXPECT_EQ(stats.cycles, mid.cycles + 1)
+      << "the running cycle must absorb mid-flight triggers";
+  EXPECT_EQ(stats.swaps, 1u);
+  EXPECT_EQ(stats.aborted_small_snapshot, mid.aborted_small_snapshot)
+      << "no post-swap cycle may run against the generation-filtered empty snapshot";
+}
+
+TEST(RetrainController, AThrowingBeforeSwapHookNeverLeaksAPausedShard) {
+  auto registry = make_registry();
+  FakeFleet fleet;
+  RetrainOptions options = controller_options();
+  options.drift.min_kernel_observations = 1000000;  // no async trigger
+  options.before_swap = [] { throw std::runtime_error("instrumentation blew up"); };
+  RetrainController controller(registry, options, fleet.hooks());
+
+  const std::vector<DriftPair>& pairs = shared_drifted_pairs();
+  ASSERT_GE(pairs.size(), 1u);
+  feed_pairs(controller, pairs, shared_tuner(), 3);
+  EXPECT_THROW((void)controller.retrain_now("comet-lake"), std::runtime_error);
+  // The quiesce window is RAII-paired: every pause was matched by a resume
+  // even though the cycle aborted mid-window, and nothing was deployed.
+  EXPECT_FALSE(fleet.paused.empty());
+  EXPECT_EQ(std::set<std::size_t>(fleet.paused.begin(), fleet.paused.end()),
+            std::set<std::size_t>(fleet.resumed.begin(), fleet.resumed.end()));
+  EXPECT_EQ(fleet.paused.size(), fleet.resumed.size());
+  EXPECT_EQ(registry->generation("comet-lake"), 1u);
+}
+
+TEST(RetrainController, StalePreSwapObservationsAreNotEvidenceForTheNextCycle) {
+  auto registry = make_registry();
+  FakeFleet fleet;
+  RetrainOptions options = controller_options();
+  options.drift.min_kernel_observations = 1000000;  // no async trigger
+  RetrainController controller(registry, options, fleet.hooks());
+
+  const std::vector<DriftPair>& pairs = shared_drifted_pairs();
+  ASSERT_GE(pairs.size(), 1u);
+  feed_pairs(controller, pairs, shared_tuner(), 3);  // recorded at generation 1
+
+  // An out-of-band swap bumps the generation; the resident generation-1
+  // rows reflect the *old* model's choices and must not drive a cycle
+  // against the new one — the cycle aborts for lack of fresh evidence.
+  (void)registry->swap("comet-lake", shared_tuner().clone());
+  EXPECT_FALSE(controller.retrain_now("comet-lake"));
+  const retrain::RetrainStatsSnapshot stats = controller.stats();
+  EXPECT_EQ(stats.aborted_small_snapshot, 1u);
+  EXPECT_EQ(stats.swaps, 0u);
+  EXPECT_EQ(registry->generation("comet-lake"), 2u) << "only the manual swap happened";
+}
+
+// --- hot swap under concurrent serving ---------------------------------------
+
+TEST(TuningServiceRetrain, HotSwapUnderConcurrentServingKeepsGenerationsConsistent) {
+  auto registry = make_registry();
+  const std::shared_ptr<const core::MgaTuner> old_tuner = registry->get("comet-lake");
+
+  // A candidate whose predictions actually differ on the drifted kernel, so
+  // a torn (features, model) pairing would be visible in the served config.
+  const std::vector<DriftPair>& pairs = shared_drifted_pairs();
+  ASSERT_GE(pairs.size(), 1u);
+  core::MgaTuner candidate = old_tuner->clone();
+  {
+    std::vector<corpus::KernelSpec> kernels;
+    std::vector<dataset::OmpSample> samples;
+    build_training_rows(pairs, kernels, samples);
+    core::FineTuneOptions fine_tune;
+    fine_tune.epochs = 40;
+    (void)candidate.fine_tune(kernels, samples, fine_tune);
+  }
+
+  ServeOptions options;
+  options.workers = 2;
+  options.shards = 2;
+  TuningService service(registry, options);
+
+  // Mixed traffic: a trained kernel plus the drifted slice, submitted from
+  // two threads while the main thread swaps mid-stream.
+  struct Submitted {
+    TuneTicket ticket;
+    corpus::KernelSpec kernel;
+    double input_bytes;
+  };
+  std::vector<std::vector<Submitted>> submitted(2);
+  std::vector<std::thread> submitters;
+  constexpr int kPerThread = 60;
+  for (int t = 0; t < 2; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const DriftPair& pair = pairs[static_cast<std::size_t>(i) % pairs.size()];
+        const bool drifted = i % 2 == t % 2;
+        const corpus::KernelSpec kernel =
+            drifted ? pair.kernel : corpus::find_kernel("polybench/gemm");
+        const double input = drifted ? pair.input_bytes : 2e6;
+        submitted[static_cast<std::size_t>(t)].push_back(
+            {service.submit(make_request(kernel, input)), kernel, input});
+        std::this_thread::sleep_for(1ms);
+      }
+    });
+  }
+  std::this_thread::sleep_for(25ms);  // let both threads get traffic in flight
+  ASSERT_EQ(registry->swap("comet-lake", std::move(candidate)), 2u);
+  for (std::thread& thread : submitters) thread.join();
+
+  const std::shared_ptr<const core::MgaTuner> new_tuner = registry->get("comet-lake");
+  std::size_t old_generation_served = 0, new_generation_served = 0;
+  for (const auto& thread_submissions : submitted) {
+    for (const Submitted& s : thread_submissions) {
+      const TuneOutcome outcome = s.ticket.get();
+      ASSERT_TRUE(outcome.ok());
+      const TuneResult& result = outcome.value();
+      ASSERT_TRUE(result.model_generation == 1 || result.model_generation == 2);
+      // The consistency contract: whichever generation served the request,
+      // the config is bit-identical to direct tune with that generation's
+      // tuner — never a stale-feature / new-model (or vice versa) mix.
+      const core::MgaTuner& expected =
+          result.model_generation == 1 ? *old_tuner : *new_tuner;
+      EXPECT_EQ(result.config, expected.tune(s.kernel, s.input_bytes))
+          << s.kernel.name << " @ " << s.input_bytes << " gen " << result.model_generation;
+      (result.model_generation == 1 ? old_generation_served : new_generation_served) += 1;
+    }
+  }
+  EXPECT_GT(new_generation_served, 0u) << "traffic after the swap must see generation 2";
+}
+
+// --- end-to-end drift scenario -----------------------------------------------
+
+TEST(TuningServiceRetrain, EndToEndDriftTriggersRetrainAndHotSwapWithoutDraining) {
+  auto registry = make_registry();
+  const std::shared_ptr<const core::MgaTuner> old_tuner = registry->get("comet-lake");
+  const std::vector<DriftPair>& pairs = shared_drifted_pairs();
+  ASSERT_GE(pairs.size(), 2u);
+
+  ServeOptions options;
+  options.workers = 1;
+  options.shards = 2;
+  // One request per batch: observations land in strict submission order, so
+  // by the time any kernel reaches its trigger count every drifted pair has
+  // a full round of observations in the log — the retrain snapshot covers
+  // the whole slice deterministically.
+  options.max_batch = 1;
+  options.retrain.enabled = true;
+  options.retrain.observe_every = 1;
+  options.retrain.min_snapshot = 3;
+  options.retrain.validation_holdout = 0.25;
+  options.retrain.max_regret_regression = 0.02;
+  options.retrain.drift.regret_threshold = 0.02;
+  options.retrain.drift.min_kernel_observations = 3;
+  options.retrain.drift.cooldown = std::chrono::hours(1);
+  options.retrain.fine_tune.epochs = 40;
+
+  // Barrier inside the swap window: the controller pauses the owning shards,
+  // then blocks here until the test has probed both sides of the fleet.
+  std::mutex barrier_mutex;
+  std::condition_variable barrier_cv;
+  bool in_swap = false, release = false;
+  options.retrain.before_swap = [&] {
+    {
+      const std::lock_guard<std::mutex> lock(barrier_mutex);
+      in_swap = true;
+    }
+    barrier_cv.notify_all();
+    std::unique_lock<std::mutex> lock(barrier_mutex);
+    barrier_cv.wait(lock, [&] { return release; });
+  };
+  // Whatever happens below, never leave the controller stuck on the barrier.
+  struct Release {
+    std::mutex& mutex;
+    std::condition_variable& cv;
+    bool& flag;
+    ~Release() {
+      {
+        const std::lock_guard<std::mutex> lock(mutex);
+        flag = true;
+      }
+      cv.notify_all();
+    }
+  } releaser{barrier_mutex, barrier_cv, release};
+
+  TuningService service(registry, options);
+
+  // The drifted slice must live on one shard so the other stays hot. Anchor
+  // on the first pair's shard and keep only same-shard pairs.
+  const std::size_t drift_shard = service.shard_index_for("comet-lake", pairs[0].kernel);
+  std::vector<DriftPair> shard_pairs;
+  for (const DriftPair& pair : pairs)
+    if (service.shard_index_for("comet-lake", pair.kernel) == drift_shard)
+      shard_pairs.push_back(pair);
+  ASSERT_GE(shard_pairs.size(), 1u);
+  // A control kernel on the *other* shard (trained, low regret, no trigger).
+  const std::vector<corpus::KernelSpec> suite = corpus::openmp_suite();
+  const corpus::KernelSpec* control = nullptr;
+  for (std::size_t k = 0; k < 8; ++k)
+    if (service.shard_index_for("comet-lake", suite[k]) != drift_shard) {
+      control = &suite[k];
+      break;
+    }
+  ASSERT_NE(control, nullptr);
+
+  // Drift phase: the workload mix shifts onto the mispredicted slice.
+  struct Served {
+    TuneTicket ticket;
+    corpus::KernelSpec kernel;
+    double input_bytes;
+  };
+  std::vector<Served> drift_traffic;
+  for (int round = 0; round < 6; ++round)
+    for (const DriftPair& pair : shard_pairs)
+      drift_traffic.push_back(
+          {service.submit(make_request(pair.kernel, pair.input_bytes)), pair.kernel,
+           pair.input_bytes});
+
+  // The monitor must fire and the controller reach the swap window.
+  {
+    std::unique_lock<std::mutex> lock(barrier_mutex);
+    ASSERT_TRUE(barrier_cv.wait_for(lock, 120s, [&] { return in_swap; }))
+        << "drift never triggered a retrain (triggers="
+        << service.retrain()->stats().triggers
+        << ", aborts=" << service.retrain()->stats().aborted_validation << "/"
+        << service.retrain()->stats().aborted_small_snapshot << ")";
+  }
+
+  // (b) Non-quiesced shards are never blocked: with the owning shard paused
+  // inside the swap window, the other shard serves immediately.
+  const TuneTicket control_ticket = service.submit(make_request(*control, 2e6));
+  EXPECT_TRUE(control_ticket.wait_for(30s))
+      << "a request routed to a non-quiesced shard stalled during the swap";
+  // ...while the quiesced shard only queues (it resolves after resume).
+  const TuneTicket paused_ticket =
+      service.submit(make_request(shard_pairs[0].kernel, shard_pairs[0].input_bytes));
+  EXPECT_FALSE(paused_ticket.wait_for(200ms))
+      << "the owning shard should be paused inside the swap window";
+
+  {
+    const std::lock_guard<std::mutex> lock(barrier_mutex);
+    release = true;
+  }
+  barrier_cv.notify_all();
+
+  retrain::RetrainController* controller = service.retrain();
+  ASSERT_NE(controller, nullptr);
+  ASSERT_TRUE(controller->wait_for_cycles(1, 120s));
+  const retrain::RetrainStatsSnapshot stats = controller->stats();
+  EXPECT_GE(stats.triggers, 1u);
+  EXPECT_EQ(stats.swaps, 1u);
+  EXPECT_EQ(stats.last_generation, 2u);
+  EXPECT_EQ(registry->generation("comet-lake"), 2u);
+  for (const std::size_t shard : stats.last_quiesced_shards)
+    EXPECT_EQ(shard, drift_shard) << "only the owning shard may be quiesced";
+  ASSERT_FALSE(stats.last_quiesced_shards.empty());
+
+  // The queued request resolves once the shard resumes.
+  const TuneOutcome resumed = paused_ticket.get();
+  ASSERT_TRUE(resumed.ok());
+
+  // (c) Every served config is bit-identical to direct tune for the
+  // generation that served it — across the swap.
+  const std::shared_ptr<const core::MgaTuner> new_tuner = registry->get("comet-lake");
+  drift_traffic.push_back({service.submit(make_request(shard_pairs[0].kernel,
+                                                       shard_pairs[0].input_bytes)),
+                           shard_pairs[0].kernel, shard_pairs[0].input_bytes});
+  for (const Served& served : drift_traffic) {
+    const TuneOutcome outcome = served.ticket.get();
+    ASSERT_TRUE(outcome.ok());
+    const TuneResult& result = outcome.value();
+    ASSERT_TRUE(result.model_generation == 1 || result.model_generation == 2);
+    const core::MgaTuner& expected = result.model_generation == 1 ? *old_tuner : *new_tuner;
+    EXPECT_EQ(result.config, expected.tune(served.kernel, served.input_bytes))
+        << served.kernel.name << " @ " << served.input_bytes << " gen "
+        << result.model_generation;
+  }
+
+  // (a) Post-swap prediction regret on the drifted slice is strictly lower.
+  const double pre = pairs_regret(*old_tuner, shard_pairs);
+  const double post = pairs_regret(*new_tuner, shard_pairs);
+  EXPECT_GT(pre, 0.0);
+  EXPECT_LT(post, pre) << "the deployed model must beat the drifted one on its slice";
+  EXPECT_LT(stats.last_post_regret, stats.last_pre_regret);
+}
+
+}  // namespace
+}  // namespace mga::serve
