@@ -1,11 +1,26 @@
 #include "bench_common.hpp"
 
 #include <cmath>
+#include <fstream>
+#include <iomanip>
 #include <map>
 
 #include "util/check.hpp"
 
 namespace mga::bench {
+
+bool write_metrics_json(const std::string& path, const std::string& bench,
+                        const std::vector<std::pair<std::string, double>>& metrics) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n  \"bench\": \"" << bench << "\",\n  \"metrics\": {\n";
+  out << std::setprecision(12);
+  for (std::size_t i = 0; i < metrics.size(); ++i)
+    out << "    \"" << metrics[i].first << "\": " << metrics[i].second
+        << (i + 1 < metrics.size() ? "," : "") << "\n";
+  out << "  }\n}\n";
+  return static_cast<bool>(out);
+}
 
 const char* variant_name(Variant variant) {
   switch (variant) {

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/search_tuners.hpp"
@@ -13,6 +14,15 @@
 #include "dataset/splits.hpp"
 
 namespace mga::bench {
+
+/// Write a flat JSON document `{"bench": <name>, "metrics": {key: value}}`
+/// to `path` — the machine-readable side of a bench run, consumed by the CI
+/// perf-record job (tools/perf_gate.py compares the `*_p95_us` keys against
+/// the checked-in BENCH_serve.json baseline). Returns false when the file
+/// cannot be written; metric keys must be plain identifiers (no escaping is
+/// performed).
+bool write_metrics_json(const std::string& path, const std::string& bench,
+                        const std::vector<std::pair<std::string, double>>& metrics);
 
 /// Named model variants of the paper's comparison.
 enum class Variant {

@@ -10,13 +10,17 @@
 //   drift   — the same paced background traffic continues while the workload
 //             mix gains a drifted slice (unseen kernels the model
 //             mispredicts); the DriftMonitor fires, the controller
-//             fine-tunes and hot-swaps with only the owning shards
-//             quiesced; p95 of the background traffic across this whole
-//             phase is compared against the baseline
+//             fine-tunes, stages the candidate under a provisional
+//             generation, canaries a fraction of the drifted routes'
+//             traffic against the incumbent, and promotes with only the
+//             owning shards quiesced; p95 of the background traffic across
+//             this whole phase is compared against the baseline
 //
-// Exit is nonzero when: no swap happened, drift-phase background p95
-// exceeds 2x steady-state, or the swapped model does not reduce mean regret
-// on the drifted slice. `--smoke` shrinks the workload for CI.
+// Exit is nonzero when: no canary promotion happened, drift-phase background
+// p95 exceeds 2x steady-state, or the deployed model does not reduce mean
+// regret on the drifted slice. `--smoke` shrinks the workload for CI;
+// `--json <path>` additionally writes the headline metrics for the CI perf
+// trajectory (tools/perf_gate.py gates the p95 keys).
 #include <algorithm>
 #include <chrono>
 #include <iostream>
@@ -24,6 +28,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "hwsim/cpu_model.hpp"
 #include "serve/service.hpp"
 #include "util/rng.hpp"
@@ -134,7 +139,19 @@ std::vector<double> run_background(mga::serve::TuningService& service,
 
 int main(int argc, char** argv) {
   using namespace mga;
-  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  bool smoke = false;
+  std::string json_path;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--json" && a + 1 < argc) {
+      json_path = argv[++a];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--smoke] [--json <path>]\n";
+      return 2;
+    }
+  }
   const std::size_t background_n = smoke ? 1200 : 6000;
   const auto pace = std::chrono::microseconds(smoke ? 250 : 200);
 
@@ -192,6 +209,16 @@ int main(int argc, char** argv) {
   options.retrain.drift.regret_threshold = drift_threshold;
   options.retrain.drift.min_kernel_observations = 4;
   options.retrain.drift.cooldown = std::chrono::minutes(10);
+  // Staged rollout: the validated candidate canaries half of each drifted
+  // route's traffic against the incumbent before the full deploy — the
+  // background p95 bound below therefore also covers the split-serving
+  // phase.
+  options.retrain.canary.enabled = true;
+  options.retrain.canary.fraction = 0.5;
+  options.retrain.canary.min_samples = 4;
+  options.retrain.canary.max_regret_margin = 0.02;
+  options.retrain.canary.timeout = std::chrono::seconds(60);
+  options.retrain.canary.poll = std::chrono::milliseconds(5);
   serve::TuningService service(registry, options);
 
   // --- steady state: trained kernels only, no drift --------------------------
@@ -208,9 +235,14 @@ int main(int argc, char** argv) {
   std::thread background([&] {
     drift_phase = run_background(service, trained, inputs, background_n, pace, /*seed=*/23);
   });
+  // Feed the drifted slice until the retrain cycle completes: the canary
+  // phase needs live split traffic on the drifted routes to fill the
+  // judge's sample window (pre-trigger rounds arm the monitor, later
+  // rounds serve both arms).
   std::vector<serve::TuneTicket> drift_tickets;
-  for (int round = 0; round < 8; ++round) {
-    if (service.retrain()->stats().triggers > 0) break;
+  const Clock::time_point drift_deadline = Clock::now() + std::chrono::seconds(110);
+  while (service.retrain()->stats().cycles < cycles_after_steady + 1 &&
+         Clock::now() < drift_deadline) {
     for (const DriftPair& pair : pairs) {
       serve::TuneRequest request;
       request.kernel = pair.kernel;
@@ -235,16 +267,20 @@ int main(int argc, char** argv) {
   table.add_row({"p95 ratio", util::fmt_double(drift_p95 / steady_p95)});
   table.add_row({"drifted-slice regret (pre -> post swap)",
                  util::fmt_percent(pre_regret) + " -> " + util::fmt_percent(post_regret)});
+  table.add_row({"canary verdict (candidate vs incumbent live regret)",
+                 util::fmt_percent(rstats.last_canary_regret) + " vs " +
+                     util::fmt_percent(rstats.last_canary_incumbent_regret)});
   table.add_row({"deployed generation", std::to_string(registry->generation("comet-lake"))});
   table.print(std::cout);
   std::cout << "\nretrain telemetry:\n";
   serve::retrain::retrain_table(rstats).print(std::cout);
 
   bool ok = true;
-  if (!swapped || rstats.swaps == 0) {
-    std::cerr << "\nFAIL: the drifted slice never produced a hot swap (triggers="
-              << rstats.triggers << ", aborts=" << rstats.aborted_validation << "/"
-              << rstats.aborted_small_snapshot << ")\n";
+  if (!swapped || rstats.swaps == 0 || rstats.canary_promoted == 0) {
+    std::cerr << "\nFAIL: the drifted slice never produced a canary promotion (triggers="
+              << rstats.triggers << ", canaries=" << rstats.canaries << ", rollbacks="
+              << rstats.canary_rolled_back << ", aborts=" << rstats.aborted_validation
+              << "/" << rstats.aborted_small_snapshot << ")\n";
     ok = false;
   }
   if (drift_p95 > 2.0 * steady_p95) {
@@ -255,6 +291,25 @@ int main(int argc, char** argv) {
   if (rstats.swaps > 0 && post_regret >= pre_regret) {
     std::cerr << "\nFAIL: the swapped model did not reduce regret on the drifted slice\n";
     ok = false;
+  }
+
+  if (!json_path.empty()) {
+    const std::vector<std::pair<std::string, double>> metrics = {
+        {"steady_p95_us", steady_p95},
+        {"drift_p95_us", drift_p95},
+        {"p95_ratio", drift_p95 / steady_p95},
+        {"pre_regret", pre_regret},
+        {"post_regret", post_regret},
+        {"canary_promoted", static_cast<double>(rstats.canary_promoted)},
+        {"deployed_generation",
+         static_cast<double>(registry->generation("comet-lake"))},
+    };
+    if (!bench::write_metrics_json(json_path, "serve_retrain", metrics)) {
+      std::cerr << "FAIL: could not write " << json_path << "\n";
+      ok = false;
+    } else {
+      std::cout << "metrics written to " << json_path << "\n";
+    }
   }
   return ok ? 0 : 1;
 }

@@ -30,6 +30,7 @@
 #include <string>
 #include <thread>
 
+#include "bench_common.hpp"
 #include "serve/service.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -125,11 +126,20 @@ int main(int argc, char** argv) {
   using namespace mga;
 
   bool smoke = false;
+  std::string json_path;
   std::size_t num_requests = 0;  // 0 = mode default
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
     if (arg == "--smoke") {
       smoke = true;
+      continue;
+    }
+    if (arg == "--json") {
+      if (a + 1 >= argc) {
+        std::cerr << "usage: " << argv[0] << " [--smoke] [--json <path>] [num_requests > 0]\n";
+        return 2;
+      }
+      json_path = argv[++a];
       continue;
     }
     std::size_t parsed = 0;
@@ -138,7 +148,7 @@ int main(int argc, char** argv) {
     } catch (const std::exception&) {
     }
     if (parsed == 0) {
-      std::cerr << "usage: " << argv[0] << " [--smoke] [num_requests > 0]\n";
+      std::cerr << "usage: " << argv[0] << " [--smoke] [--json <path>] [num_requests > 0]\n";
       return 2;
     }
     num_requests = parsed;
@@ -380,6 +390,35 @@ int main(int argc, char** argv) {
   if (mismatches != 0) {
     std::cerr << "\nFAIL: served configs diverge from direct tune\n";
     ok = false;
+  }
+
+  // Machine-readable metrics for the CI perf trajectory: one p95/throughput
+  // pair per shard count (the smoke workload), gated by tools/perf_gate.py
+  // against the checked-in BENCH_serve.json.
+  if (!json_path.empty()) {
+    std::vector<std::pair<std::string, double>> metrics;
+    for (const ShardRun& run : shard_runs) {
+      std::vector<double> latencies;
+      latencies.reserve(run.out.results.size());
+      for (const serve::TuneResult& result : run.out.results)
+        latencies.push_back(result.latency_us);
+      const std::string prefix = "shards" + std::to_string(run.shards);
+      metrics.emplace_back(prefix + "_seconds", run.out.seconds);
+      metrics.emplace_back(prefix + "_requests_per_s", n / run.out.seconds);
+      metrics.emplace_back(prefix + "_p95_us", percentile_us(std::move(latencies), 0.95));
+    }
+    if (!smoke) {
+      metrics.emplace_back("tiered_interactive_p95_us", tiered_int_p95);
+      metrics.emplace_back("untiered_interactive_p95_us", untiered_int_p95);
+      metrics.emplace_back("linger_mean_batch", linger_run.stats.mean_batch);
+      metrics.emplace_back("drain_mean_batch", drain_run.stats.mean_batch);
+    }
+    if (!bench::write_metrics_json(json_path, "serve_throughput", metrics)) {
+      std::cerr << "FAIL: could not write " << json_path << "\n";
+      ok = false;
+    } else {
+      std::cout << "metrics written to " << json_path << "\n";
+    }
   }
   return ok ? 0 : 1;
 }

@@ -19,8 +19,11 @@
 //     per-shard breakdown (routing balance and per-shard cache locality),
 //  5. drift demo: shift the workload mix onto kernels the model mispredicts
 //     and watch the online-retraining loop (observation log → drift monitor
-//     → fine-tune → validate → per-shard quiesce + hot swap) drive regret
-//     back down, with the rest of the fleet serving throughout.
+//     → fine-tune → validate → canary rollout → promote) drive regret back
+//     down: the validated candidate first serves only a fraction of the
+//     drifted routes' traffic under a provisional generation, the live
+//     regret of the two arms decides the promotion, and the rest of the
+//     fleet serves throughout.
 #include <algorithm>
 #include <chrono>
 #include <iostream>
@@ -188,8 +191,12 @@ int main() {
   // observation (config chosen vs. the oracle over the whole space), the
   // DriftMonitor's per-kernel regret EWMA crosses its threshold, and the
   // RetrainController fine-tunes a clone, validates it on held-back rows,
-  // and hot-swaps it into the registry — quiescing only the shards that own
-  // the drifted routes.
+  // then *canaries* it: the candidate is staged under a provisional
+  // generation, half of each drifted route's traffic is routed to it, and
+  // once both arms have a sample window the CanaryJudge promotes it into
+  // the registry (or rolls it back, had it gamed its holdout) — quiescing
+  // only the shards that own the drifted routes, and only for the final
+  // promotion.
   std::cout << "\n--- drift scenario: the workload mix shifts ---\n";
   const std::shared_ptr<const core::MgaTuner> pre_drift = registry->get("comet-lake");
 
@@ -239,6 +246,9 @@ int main() {
   retrain_options.retrain.drift.regret_threshold = 0.10;
   retrain_options.retrain.drift.min_kernel_observations = 4;
   retrain_options.retrain.drift.cooldown = std::chrono::minutes(10);
+  retrain_options.retrain.canary.enabled = true;  // staged rollout, not a blind swap
+  retrain_options.retrain.canary.fraction = 0.5;
+  retrain_options.retrain.canary.min_samples = 4;
   serve::TuningService drift_service(registry, retrain_options);
 
   double slice_regret = 0.0;
@@ -247,10 +257,14 @@ int main() {
             << util::fmt_percent(slice_regret / static_cast<double>(drifted.size()))
             << " mean prediction regret, e.g. " << drifted.front().kernel.name << "\n";
 
-  // Shift the mix: rounds of drifted traffic until the monitor fires.
+  // Shift the mix: rounds of drifted traffic until the cycle completes —
+  // the canary phase needs live split traffic on the drifted routes, so
+  // feeding continues while the two arms fill their sample windows.
   std::vector<serve::TuneTicket> drift_tickets;
-  for (int round = 0; round < 8; ++round) {
-    if (drift_service.retrain()->stats().triggers > 0) break;
+  std::size_t canary_arm_seen = 0;
+  const auto drift_deadline = std::chrono::steady_clock::now() + std::chrono::seconds(110);
+  while (drift_service.retrain()->stats().cycles < 1 &&
+         std::chrono::steady_clock::now() < drift_deadline) {
     for (const Drifted& d : drifted) {
       serve::TuneRequest request;
       request.kernel = d.kernel;
@@ -261,7 +275,13 @@ int main() {
   }
   const bool swapped =
       drift_service.retrain()->wait_for_cycles(1, std::chrono::seconds(120));
-  for (const serve::TuneTicket& ticket : drift_tickets) (void)ticket.get();
+  for (const serve::TuneTicket& ticket : drift_tickets) {
+    const serve::TuneOutcome outcome = ticket.get();
+    if (outcome.ok() && outcome.value().canary) ++canary_arm_seen;
+  }
+  if (canary_arm_seen > 0)
+    std::cout << canary_arm_seen << " drifted requests were served by the provisional "
+              << "canary generation while the incumbent kept the rest\n";
 
   std::cout << "\nretrain telemetry:\n";
   serve::retrain::retrain_table(drift_service.retrain()->stats()).print(std::cout);

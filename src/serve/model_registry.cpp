@@ -39,17 +39,90 @@ void ModelRegistry::add_artifact(const std::string& name, const std::string& pat
                                 "' is already registered — use swap() to replace it");
 }
 
-std::uint64_t ModelRegistry::swap(const std::string& name, core::MgaTuner tuner) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+std::map<std::string, ModelRegistry::Slot>::iterator ModelRegistry::find_for_mutation(
+    const std::string& name, const char* what) {
   const auto it = slots_.find(name);
   if (it == slots_.end())
-    throw std::out_of_range("ModelRegistry: cannot swap unknown tuner '" + name + "'");
-  Slot& slot = it->second;
+    throw LoadError(std::string("ModelRegistry: cannot ") + what + " unknown tuner '" +
+                    name + "' — a slot is created only by add()/add_artifact()");
+  return it;
+}
+
+std::uint64_t ModelRegistry::swap(const std::string& name, core::MgaTuner tuner) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Slot& slot = find_for_mutation(name, "swap")->second;
   slot.tuner = std::make_shared<const core::MgaTuner>(std::move(tuner));
   slot.artifact_path.clear();  // the slot now holds a live tuner
   slot.options.reset();
   slot.tag = next_tag();
-  return ++slot.generation;
+  // An out-of-band swap supersedes a rollout in progress; the candidate's
+  // number stays burned (numbers identify one model forever).
+  slot.canary.reset();
+  slot.canary_tag = 0;
+  slot.canary_generation = 0;
+  slot.generation = ++slot.last_generation;
+  return slot.generation;
+}
+
+std::uint64_t ModelRegistry::stage(const std::string& name, core::MgaTuner tuner) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Slot& slot = find_for_mutation(name, "stage a canary for")->second;
+  if (slot.canary_generation != 0)
+    throw std::invalid_argument("ModelRegistry: '" + name +
+                                "' already has a staged canary (generation " +
+                                std::to_string(slot.canary_generation) +
+                                ") — promote or discard it first");
+  slot.canary = std::make_shared<const core::MgaTuner>(std::move(tuner));
+  slot.canary_tag = next_tag();
+  slot.canary_generation = ++slot.last_generation;
+  return slot.canary_generation;
+}
+
+std::optional<ModelRegistry::Resolved> ModelRegistry::try_resolve_canary(
+    const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = slots_.find(name);
+  if (it == slots_.end())
+    throw std::out_of_range("ModelRegistry: unknown tuner '" + name + "'");
+  const Slot& slot = it->second;
+  if (slot.canary_generation == 0) return std::nullopt;
+  return Resolved{slot.canary, slot.canary_tag, slot.canary_generation, /*canary=*/true};
+}
+
+std::uint64_t ModelRegistry::canary_generation(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = slots_.find(name);
+  if (it == slots_.end())
+    throw std::out_of_range("ModelRegistry: unknown tuner '" + name + "'");
+  return it->second.canary_generation;
+}
+
+std::uint64_t ModelRegistry::promote(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Slot& slot = find_for_mutation(name, "promote")->second;
+  if (slot.canary_generation == 0)
+    throw LoadError("ModelRegistry: cannot promote '" + name + "' — no staged canary");
+  slot.tuner = std::move(slot.canary);
+  slot.artifact_path.clear();
+  slot.options.reset();
+  // Keep the candidate's tag: feature-cache entries warmed while it served
+  // canary traffic were computed against exactly this tuner.
+  slot.tag = slot.canary_tag;
+  slot.generation = slot.canary_generation;
+  slot.canary.reset();
+  slot.canary_tag = 0;
+  slot.canary_generation = 0;
+  return slot.generation;
+}
+
+bool ModelRegistry::discard(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Slot& slot = find_for_mutation(name, "discard a canary for")->second;
+  const bool had_canary = slot.canary_generation != 0;
+  slot.canary.reset();
+  slot.canary_tag = 0;
+  slot.canary_generation = 0;  // the number stays burned via last_generation
+  return had_canary;
 }
 
 ModelRegistry::Resolved ModelRegistry::resolve(const std::string& name) const {
@@ -69,7 +142,7 @@ ModelRegistry::Resolved ModelRegistry::resolve(const std::string& name) const {
                       "' failed: " + e.what());
     }
   }
-  return {slot.tuner, slot.tag, slot.generation};
+  return {slot.tuner, slot.tag, slot.generation, /*canary=*/false};
 }
 
 std::uint64_t ModelRegistry::generation(const std::string& name) const {

@@ -5,6 +5,15 @@
 // are loaded on first use (load rebuilds the dataset statistics from the
 // stored options, so it is slow once and free afterwards). All access is
 // serialized on one mutex: loads are rare and must happen exactly once.
+//
+// Slots are versioned and support a *provisional* generation for canary
+// rollout: `stage` registers a candidate next to the incumbent under the
+// next generation number without touching what `resolve` serves; shards that
+// opt in resolve the candidate explicitly (`try_resolve_canary`) for the
+// canaried fraction of traffic; `promote` makes the candidate the slot's
+// tuner and `discard` drops it. Generation numbers are never reused — a
+// discarded candidate's number is burned, so a `TuneResult::model_generation`
+// identifies exactly one model forever.
 #pragma once
 
 #include <cstdint>
@@ -20,9 +29,13 @@
 
 namespace mga::serve {
 
-/// Thrown by `get`/`resolve` when a registered artifact fails to load; the
+/// Thrown by `get`/`resolve` when a registered artifact fails to load — the
 /// serve layer maps it onto ServeErrorKind::kLoadFailed (as opposed to the
-/// std::out_of_range of an unknown name -> kUnknownMachine).
+/// std::out_of_range of an unknown name -> kUnknownMachine) — and by the
+/// slot-mutating calls (`swap`/`stage`/`promote`/`discard`) on a name that
+/// was never added: a mutation cannot conjure a slot (and with provisional
+/// generations a silently created slot would mint generation numbers for a
+/// model that does not exist).
 class LoadError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
@@ -41,35 +54,71 @@ class ModelRegistry {
                     core::MgaTunerOptions options = {});
 
   /// Hot-swap: atomically replace the tuner in `name`'s slot and bump its
-  /// generation. Throws std::out_of_range for unknown names (a swap cannot
-  /// create a slot). Returns the new generation. In-flight batches that
-  /// already resolved the old entry keep serving it (they hold a shared_ptr);
-  /// every later resolve sees the new tuner, its fresh cache tag, and the
-  /// incremented generation — there is no in-between state.
+  /// generation. Throws LoadError for unknown names (a swap cannot create a
+  /// slot). Returns the new generation. A staged canary candidate, if any,
+  /// is discarded — an out-of-band swap supersedes a rollout in progress.
+  /// In-flight batches that already resolved the old entry keep serving it
+  /// (they hold a shared_ptr); every later resolve sees the new tuner, its
+  /// fresh cache tag, and the incremented generation — no in-between state.
   std::uint64_t swap(const std::string& name, core::MgaTuner tuner);
 
   /// A resolved registry entry: the tuner, a tag unique to this registration
-  /// (hot swaps issue a fresh tag, so caches keyed on it cannot serve
-  /// features derived from the old tuner), and the slot's generation — 1 for
-  /// the initial registration, +1 per `swap`, monotone per name.
+  /// (hot swaps and staged candidates issue fresh tags, so caches keyed on
+  /// it cannot serve features derived from another tuner), the slot's (or
+  /// candidate's) generation, and whether this is a provisional canary.
   struct Resolved {
     std::shared_ptr<const core::MgaTuner> tuner;
     std::uint64_t tag = 0;
     std::uint64_t generation = 0;
+    bool canary = false;
   };
 
   /// The tuner registered under `name`, loading it on demand. Throws
   /// std::out_of_range for unknown names.
   [[nodiscard]] std::shared_ptr<const core::MgaTuner> get(const std::string& name) const;
 
-  /// Like `get`, but also returns the registration tag.
+  /// Like `get`, but also returns the registration tag. Always the
+  /// incumbent — a staged candidate is only reachable via
+  /// `try_resolve_canary`.
   [[nodiscard]] Resolved resolve(const std::string& name) const;
 
   [[nodiscard]] bool contains(const std::string& name) const;
 
-  /// Current generation of `name`'s slot (no load is forced). Throws
-  /// std::out_of_range for unknown names.
+  /// Current generation of `name`'s slot (no load is forced; a staged
+  /// candidate does not change it until promoted). Throws std::out_of_range
+  /// for unknown names.
   [[nodiscard]] std::uint64_t generation(const std::string& name) const;
+
+  // --- provisional generations (canary rollout) ------------------------------
+
+  /// Stage `tuner` as `name`'s canary candidate under a fresh provisional
+  /// generation (always > every generation this slot ever issued, never
+  /// reused even if the candidate is discarded). The incumbent keeps
+  /// serving `resolve`; only explicit `try_resolve_canary` callers see the
+  /// candidate. Throws LoadError for unknown names and std::invalid_argument
+  /// when a candidate is already staged (one rollout at a time per slot).
+  /// Returns the provisional generation.
+  std::uint64_t stage(const std::string& name, core::MgaTuner tuner);
+
+  /// The staged candidate, or nullopt when none is staged. Throws
+  /// std::out_of_range for unknown names.
+  [[nodiscard]] std::optional<Resolved> try_resolve_canary(const std::string& name) const;
+
+  /// The staged candidate's provisional generation, 0 when none. Throws
+  /// std::out_of_range for unknown names.
+  [[nodiscard]] std::uint64_t canary_generation(const std::string& name) const;
+
+  /// Promote the staged candidate: it becomes the slot's tuner and the slot's
+  /// generation becomes its provisional generation. The candidate keeps its
+  /// registration tag, so feature-cache entries warmed during the canary
+  /// phase stay valid after promotion. Throws LoadError when `name` is
+  /// unknown or has no staged candidate. Returns the new generation.
+  std::uint64_t promote(const std::string& name);
+
+  /// Drop the staged candidate (rollback): the incumbent keeps serving and
+  /// the provisional generation number is burned. Returns whether a
+  /// candidate was staged. Throws LoadError for unknown names.
+  bool discard(const std::string& name);
 
   /// Registered names, sorted.
   [[nodiscard]] std::vector<std::string> names() const;
@@ -80,8 +129,21 @@ class ModelRegistry {
     std::string artifact_path;
     std::optional<core::MgaTunerOptions> options;
     std::uint64_t tag = 0;         // unique per registration (fresh on swap)
-    std::uint64_t generation = 1;  // monotone per name, bumped by swap
+    std::uint64_t generation = 1;  // monotone per name, bumped by swap/promote
+    /// High-water mark of generation numbers this slot ever issued
+    /// (including discarded provisional ones) — the source `swap` and
+    /// `stage` draw from, so no two models ever share a number.
+    std::uint64_t last_generation = 1;
+    // Staged canary candidate; generation 0 = none.
+    std::shared_ptr<const core::MgaTuner> canary;
+    std::uint64_t canary_tag = 0;
+    std::uint64_t canary_generation = 0;
   };
+
+  /// `slots_.find` that throws LoadError for mutating callers on a missing
+  /// name (`what` names the operation).
+  [[nodiscard]] std::map<std::string, Slot>::iterator find_for_mutation(
+      const std::string& name, const char* what);
 
   mutable std::mutex mutex_;
   mutable std::map<std::string, Slot> slots_;

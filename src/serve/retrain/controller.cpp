@@ -12,6 +12,26 @@
 
 namespace mga::serve::retrain {
 
+namespace {
+
+/// RAII pause/resume pairing around a deploy: whatever exits the scope —
+/// the swap/promotion, a throwing before_swap hook, a machine yanked from
+/// the registry — every paused shard is resumed. A leaked pause would park
+/// its shard forever.
+struct Quiesce {
+  const std::set<std::size_t>& shards;
+  const RetrainController::Hooks& hooks;
+  Quiesce(const std::set<std::size_t>& shards, const RetrainController::Hooks& hooks)
+      : shards(shards), hooks(hooks) {
+    for (const std::size_t shard : shards) hooks.pause_shard(shard);
+  }
+  ~Quiesce() {
+    for (const std::size_t shard : shards) hooks.resume_shard(shard);
+  }
+};
+
+}  // namespace
+
 RetrainController::RetrainController(std::shared_ptr<ModelRegistry> registry,
                                      RetrainOptions options, Hooks hooks)
     : registry_(std::move(registry)),
@@ -22,8 +42,16 @@ RetrainController::RetrainController(std::shared_ptr<ModelRegistry> registry,
   MGA_CHECK_MSG(registry_ != nullptr, "RetrainController: null registry");
   MGA_CHECK_MSG(hooks_.shard_of && hooks_.pause_shard && hooks_.resume_shard,
                 "RetrainController: all three shard hooks are required");
+  MGA_CHECK_MSG(!options_.canary.enabled || (hooks_.begin_canary && hooks_.end_canary),
+                "RetrainController: canarying needs the begin/end_canary hooks");
   MGA_CHECK_MSG(options_.observe_every > 0,
                 "RetrainController: observe_every must be positive");
+  MGA_CHECK_MSG(!options_.canary.enabled ||
+                    (options_.canary.fraction > 0.0 && options_.canary.fraction <= 1.0),
+                "RetrainController: canary fraction must be in (0, 1]");
+  MGA_CHECK_MSG(!options_.canary.enabled || options_.canary.min_samples > 0,
+                "RetrainController: canary min_samples must be positive — a zero "
+                "window would promote on no evidence");
   thread_ = std::thread([this] { controller_loop(); });
 }
 
@@ -315,44 +343,186 @@ bool RetrainController::run_cycle(const std::string& machine) {
     }
   }
 
-  // Quiesce only the shards that own the drifted routes: pause → swap →
-  // resume. Every other shard keeps serving at full rate; the fresh
-  // registration tag makes the quiesced shards' stale cached features miss
-  // on their next lookup.
+  // Instrumentation seam *after* the holdout gate: what it returns is what
+  // ships — tests substitute a deliberately bad candidate here to model a
+  // fine-tune that games its holdout, exactly what the canary phase exists
+  // to catch.
+  if (options_.transform_candidate)
+    candidate = options_.transform_candidate(std::move(candidate));
+
+  // The blast radius of the deploy: the shards owning the evidence routes.
   std::set<std::size_t> affected;
   for (const Observation& row : focus) affected.insert(hooks_.shard_of(row.route_key));
-  std::uint64_t generation = 0;
-  {
-    // RAII pairing: whatever exits this scope — the swap, a throwing
-    // before_swap hook, a machine yanked from the registry — every paused
-    // shard is resumed. A leaked pause would park its shard forever.
-    struct Quiesce {
-      const std::set<std::size_t>& shards;
-      const Hooks& hooks;
-      Quiesce(const std::set<std::size_t>& shards, const Hooks& hooks)
-          : shards(shards), hooks(hooks) {
-        for (const std::size_t shard : shards) hooks.pause_shard(shard);
-      }
-      ~Quiesce() {
-        for (const std::size_t shard : shards) hooks.resume_shard(shard);
-      }
-    } quiesce(affected, hooks_);
-    if (options_.before_swap) options_.before_swap();
-    generation = registry_->swap(machine, std::move(candidate));
-    drift_.notify_swap(machine);
+
+  if (!options_.canary.enabled) {
+    // Direct deploy: quiesce only the owning shards — pause → swap →
+    // resume. Every other shard keeps serving at full rate; the fresh
+    // registration tag makes the quiesced shards' stale cached features
+    // miss on their next lookup.
+    std::uint64_t generation = 0;
+    {
+      const Quiesce quiesce(affected, hooks_);
+      if (options_.before_swap) options_.before_swap();
+      generation = registry_->swap(machine, std::move(candidate));
+      drift_.notify_swap(machine);
+    }
+
+    swaps_.fetch_add(1, std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> lock(last_cycle_mutex_);
+    last_pre_regret_ = pre_regret;
+    last_post_regret_ = post_regret;
+    last_initial_loss_ = report.initial_loss;
+    last_final_loss_ = report.final_loss;
+    last_generation_ = generation;
+    last_quiesced_shards_.assign(affected.begin(), affected.end());
+    last_holdout_current_ = current_holdout;
+    last_holdout_candidate_ = candidate_holdout;
+    return true;
   }
 
-  swaps_.fetch_add(1, std::memory_order_relaxed);
+  // ---- canary rollout (DESIGN.md §8): stage → split → judge → promote or
+  // roll back --------------------------------------------------------------
+  using Clock = std::chrono::steady_clock;
+  std::vector<std::uint64_t> routes;  // evidence routes, sorted for covers()
+  {
+    std::set<std::uint64_t> keys;
+    for (const Observation& row : focus) keys.insert(row.route_key);
+    routes.assign(keys.begin(), keys.end());
+  }
+
+  // RAII rollback: whatever exits this scope without an explicit promotion
+  // — a rollback verdict, a throwing hook, service shutdown mid-phase —
+  // removes the shard assignments and drops the provisional generation, so
+  // a canary can never outlive its cycle.
+  struct RolloutGuard {
+    const Hooks& hooks;
+    ModelRegistry& registry;
+    const std::string& machine;
+    const std::set<std::size_t>& shards;
+    std::atomic<bool>& active;
+    bool assignments_active = false;
+    bool candidate_staged = false;
+    void end_assignments() {
+      if (!assignments_active) return;
+      assignments_active = false;
+      for (const std::size_t shard : shards) hooks.end_canary(shard, machine);
+    }
+    ~RolloutGuard() {
+      end_assignments();
+      if (candidate_staged) {
+        try {
+          (void)registry.discard(machine);
+        } catch (...) {
+          // The slot vanished mid-phase; nothing left to roll back.
+        }
+      }
+      active.store(false, std::memory_order_relaxed);
+    }
+  } rollout{hooks_, *registry_, machine, affected, canary_active_};
+
+  const std::uint64_t provisional = registry_->stage(machine, std::move(candidate));
+  rollout.candidate_staged = true;
+  canaries_.fetch_add(1, std::memory_order_relaxed);
+  canary_active_.store(true, std::memory_order_relaxed);
+  auto assignment = std::make_shared<const CanaryAssignment>(
+      CanaryAssignment{machine, provisional, options_.canary.fraction, routes});
+  for (const std::size_t shard : affected) hooks_.begin_canary(shard, assignment);
+  rollout.assignments_active = true;
+  if (options_.on_canary_begin) options_.on_canary_begin();
+
+  // Wait for the sample window: the judge needs `min_samples` scored
+  // observations per arm over the evidence routes — canary-served rows
+  // report the provisional generation, incumbent-served rows the current
+  // one (rows from older generations are not evidence for either arm). The
+  // wait is interruptible: shutdown rolls back promptly, and the phase
+  // rolls back on `timeout` if traffic never fills the window.
+  const Clock::time_point deadline = Clock::now() + options_.canary.timeout;
+  std::size_t canary_n = 0, incumbent_n = 0;
+  double canary_sum = 0.0, incumbent_sum = 0.0;
+  bool window_reached = false;
+  const std::set<std::uint64_t> route_set(routes.begin(), routes.end());
+  // Re-scoring the arms means copying the resident log, which contends the
+  // stripe mutexes the shard workers append under — only pay it on polls
+  // where something was actually appended since the last scan.
+  std::uint64_t scanned_appends = log_.appended() + 1;  // force the first scan
+  for (;;) {
+    const std::uint64_t appends = log_.appended();
+    if (appends != scanned_appends) {
+      scanned_appends = appends;
+      canary_n = incumbent_n = 0;
+      canary_sum = incumbent_sum = 0.0;
+      for (const Observation& row : log_.snapshot()) {
+        if (row.machine != machine || route_set.count(row.route_key) == 0) continue;
+        if (row.model_generation == provisional) {
+          ++canary_n;
+          canary_sum += row.regret();
+        } else if (row.model_generation == current_generation) {
+          ++incumbent_n;
+          incumbent_sum += row.regret();
+        }
+      }
+      if (canary_n >= options_.canary.min_samples &&
+          incumbent_n >= options_.canary.min_samples) {
+        window_reached = true;
+        break;
+      }
+    }
+    if (Clock::now() >= deadline) break;
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    if (queue_cv_.wait_for(lock, options_.canary.poll, [&] { return stopping_; })) break;
+  }
+
+  // The judge: live regret of the two arms on the same routes. Promotion
+  // requires the full window — a phase that timed out (or was cut short by
+  // shutdown) rolls back, never ships on partial evidence.
+  const double canary_regret =
+      canary_n == 0 ? 0.0 : canary_sum / static_cast<double>(canary_n);
+  const double incumbent_regret =
+      incumbent_n == 0 ? 0.0 : incumbent_sum / static_cast<double>(incumbent_n);
+  const bool promote =
+      window_reached &&
+      canary_regret <= incumbent_regret + options_.canary.max_regret_margin;
+
+  std::uint64_t generation = 0;
+  if (promote) {
+    // Stop splitting before the promotion quiesce: post-promote traffic is
+    // all-incumbent by construction, not by fallback.
+    rollout.end_assignments();
+    {
+      const Quiesce quiesce(affected, hooks_);
+      if (options_.before_swap) options_.before_swap();
+      generation = registry_->promote(machine);
+      rollout.candidate_staged = false;
+      drift_.notify_swap(machine);
+    }
+    swaps_.fetch_add(1, std::memory_order_relaxed);
+    canary_promoted_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    rollout.end_assignments();
+    (void)registry_->discard(machine);
+    rollout.candidate_staged = false;
+    drift_.notify_abort(machine);  // abort backoff applies to rollbacks
+    canary_rolled_back_.fetch_add(1, std::memory_order_relaxed);
+    if (!window_reached) canary_timeouts_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   const std::lock_guard<std::mutex> lock(last_cycle_mutex_);
   last_pre_regret_ = pre_regret;
   last_post_regret_ = post_regret;
   last_initial_loss_ = report.initial_loss;
   last_final_loss_ = report.final_loss;
   last_generation_ = generation;
-  last_quiesced_shards_.assign(affected.begin(), affected.end());
+  if (promote)
+    last_quiesced_shards_.assign(affected.begin(), affected.end());
+  else
+    last_quiesced_shards_.clear();
   last_holdout_current_ = current_holdout;
   last_holdout_candidate_ = candidate_holdout;
-  return true;
+  last_canary_generation_ = provisional;
+  last_canary_regret_ = canary_regret;
+  last_canary_incumbent_regret_ = incumbent_regret;
+  last_canary_samples_ = canary_n;
+  return promote;
 }
 
 RetrainStatsSnapshot RetrainController::stats() const {
@@ -365,6 +535,11 @@ RetrainStatsSnapshot RetrainController::stats() const {
   s.aborted_validation = aborted_validation_.load(std::memory_order_relaxed);
   s.aborted_small_snapshot = aborted_small_snapshot_.load(std::memory_order_relaxed);
   s.aborted_no_drift = aborted_no_drift_.load(std::memory_order_relaxed);
+  s.canaries = canaries_.load(std::memory_order_relaxed);
+  s.canary_promoted = canary_promoted_.load(std::memory_order_relaxed);
+  s.canary_rolled_back = canary_rolled_back_.load(std::memory_order_relaxed);
+  s.canary_timeouts = canary_timeouts_.load(std::memory_order_relaxed);
+  s.canary_active = canary_active_.load(std::memory_order_relaxed);
   const std::lock_guard<std::mutex> lock(last_cycle_mutex_);
   s.last_pre_regret = last_pre_regret_;
   s.last_post_regret = last_post_regret_;
@@ -374,6 +549,10 @@ RetrainStatsSnapshot RetrainController::stats() const {
   s.last_quiesced_shards = last_quiesced_shards_;
   s.last_holdout_current = last_holdout_current_;
   s.last_holdout_candidate = last_holdout_candidate_;
+  s.last_canary_generation = last_canary_generation_;
+  s.last_canary_regret = last_canary_regret_;
+  s.last_canary_incumbent_regret = last_canary_incumbent_regret_;
+  s.last_canary_samples = last_canary_samples_;
   return s;
 }
 
@@ -405,6 +584,17 @@ util::Table retrain_table(const RetrainStatsSnapshot& s) {
   table.add_row({"last holdout regret (serving vs candidate)",
                  util::fmt_percent(s.last_holdout_current) + " vs " +
                      util::fmt_percent(s.last_holdout_candidate)});
+  table.add_row({"canaries (promoted / rolled back / timeouts)",
+                 std::to_string(s.canaries) + " (" + std::to_string(s.canary_promoted) +
+                     " / " + std::to_string(s.canary_rolled_back) + " / " +
+                     std::to_string(s.canary_timeouts) + ")" +
+                     (s.canary_active ? " [active]" : "")});
+  if (s.canaries > 0)
+    table.add_row({"last canary verdict (candidate vs incumbent, n)",
+                   util::fmt_percent(s.last_canary_regret) + " vs " +
+                       util::fmt_percent(s.last_canary_incumbent_regret) + ", n=" +
+                       std::to_string(s.last_canary_samples) + " @ gen " +
+                       std::to_string(s.last_canary_generation)});
   table.add_row({"deployed generation", std::to_string(s.last_generation)});
   std::string quiesced;
   for (const std::size_t shard : s.last_quiesced_shards)

@@ -13,8 +13,17 @@
 //   warm-start fine-tune a clone of the serving tuner on the slice's
 //   oracle-labeled rows → validate on a held-back cut of the *full* snapshot
 //   (the candidate must not fix the slice by forgetting the background) →
+//   deploy. With `CanaryOptions::enabled` off, deploy is the direct path:
 //   pause only the shards that own the drifted routes → ModelRegistry::swap
-//   (fresh cache tag + bumped generation) → resume.
+//   (fresh cache tag + bumped generation) → resume. With canarying on, the
+//   candidate is *staged* under a provisional generation instead and the
+//   owning shards split each drifted route's traffic between the arms
+//   (`CanaryOptions::fraction`); the CanaryJudge compares the two arms'
+//   live regret from the ObservationLog once each has a minimum sample
+//   window and either promotes (quiesce → ModelRegistry::promote → resume,
+//   monitor reset) or rolls back (registry drops the provisional
+//   generation, abort backoff applies) — a fine-tune that games its holdout
+//   can no longer regress live traffic fleet-wide.
 //
 // The service keeps taking traffic throughout: non-owning shards never
 // pause, paused shards only queue (their submissions resolve after resume),
@@ -48,9 +57,18 @@ struct RetrainStatsSnapshot {
   std::uint64_t sampled_out = 0;   // skipped by observe_every
   std::uint64_t triggers = 0;      // DriftMonitor triggers armed
   std::uint64_t cycles = 0;        // retrain cycles completed (any outcome)
-  std::uint64_t swaps = 0;         // cycles that hot-swapped a model
+  std::uint64_t swaps = 0;         // cycles that deployed (direct swap or promotion)
   std::uint64_t aborted_validation = 0;
   std::uint64_t aborted_small_snapshot = 0;
+  /// Canary rollout counters: phases entered, judged promotions, rollbacks
+  /// (with the subset that rolled back because the sample window never
+  /// filled before `CanaryOptions::timeout`), and whether a phase is open
+  /// right now (a provisional generation is taking split traffic).
+  std::uint64_t canaries = 0;
+  std::uint64_t canary_promoted = 0;
+  std::uint64_t canary_rolled_back = 0;
+  std::uint64_t canary_timeouts = 0;
+  bool canary_active = false;
   /// Regret-triggered cycles whose snapshot no longer showed any route over
   /// the drift threshold (short EWMA burst): aborted instead of retraining
   /// the fleet on healthy traffic.
@@ -69,16 +87,31 @@ struct RetrainStatsSnapshot {
   /// vs. the candidate (equal-zero when the gate was skipped).
   double last_holdout_current = 0.0;
   double last_holdout_candidate = 0.0;
+  /// The last CanaryJudge verdict's inputs: the provisional generation
+  /// judged, mean live regret of the two arms over the drifted routes, and
+  /// the canary-arm sample count the verdict rested on (all zero before the
+  /// first judged phase).
+  std::uint64_t last_canary_generation = 0;
+  double last_canary_regret = 0.0;
+  double last_canary_incumbent_regret = 0.0;
+  std::uint64_t last_canary_samples = 0;
 };
 
 class RetrainController {
  public:
-  /// How the controller reaches the serving fleet. All three must be valid;
-  /// they are called only from the controller thread.
+  /// How the controller reaches the serving fleet. The first three must
+  /// always be valid; the canary pair is required when
+  /// `CanaryOptions::enabled` is set. All are called only from the thread
+  /// running the cycle (the controller thread, or a `retrain_now` caller).
   struct Hooks {
     std::function<std::size_t(std::uint64_t route_key)> shard_of;
     std::function<void(std::size_t shard)> pause_shard;
     std::function<void(std::size_t shard)> resume_shard;
+    /// Install / remove a canary assignment on a shard (the facade maps
+    /// these onto ServeShard::set_canary / clear_canary).
+    std::function<void(std::size_t shard, std::shared_ptr<const CanaryAssignment>)>
+        begin_canary;
+    std::function<void(std::size_t shard, const std::string& machine)> end_canary;
   };
 
   RetrainController(std::shared_ptr<ModelRegistry> registry, RetrainOptions options,
@@ -138,6 +171,11 @@ class RetrainController {
   std::atomic<std::uint64_t> aborted_validation_{0};
   std::atomic<std::uint64_t> aborted_small_snapshot_{0};
   std::atomic<std::uint64_t> aborted_no_drift_{0};
+  std::atomic<std::uint64_t> canaries_{0};
+  std::atomic<std::uint64_t> canary_promoted_{0};
+  std::atomic<std::uint64_t> canary_rolled_back_{0};
+  std::atomic<std::uint64_t> canary_timeouts_{0};
+  std::atomic<bool> canary_active_{false};
 
   std::mutex cycle_run_mutex_;           // serializes run_cycle executions
   mutable std::mutex last_cycle_mutex_;  // guards the last_* block
@@ -149,6 +187,10 @@ class RetrainController {
   std::vector<std::size_t> last_quiesced_shards_;
   double last_holdout_current_ = 0.0;
   double last_holdout_candidate_ = 0.0;
+  std::uint64_t last_canary_generation_ = 0;
+  double last_canary_regret_ = 0.0;
+  double last_canary_incumbent_regret_ = 0.0;
+  std::uint64_t last_canary_samples_ = 0;
 
   mutable std::mutex queue_mutex_;
   mutable std::condition_variable queue_cv_;   // work arrived / stopping

@@ -8,10 +8,13 @@
 // controller machinery.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string>
+#include <vector>
 
 #include "core/tuner.hpp"
 
@@ -44,6 +47,52 @@ struct DriftMonitorOptions {
   std::chrono::steady_clock::duration cooldown = std::chrono::seconds(5);
 };
 
+/// Staged rollout of a validated candidate (DESIGN.md §8): instead of an
+/// immediate full swap, the candidate is registered under a provisional
+/// generation and the owning shards route a fraction of each drifted
+/// route's traffic to it; live regret of the two arms decides promote vs
+/// rollback.
+struct CanaryOptions {
+  /// Master switch. Off = the PR-4 behavior exactly: a validated candidate
+  /// hot-swaps immediately.
+  bool enabled = false;
+  /// Fraction of each drifted route's traffic served by the candidate
+  /// during the canary phase (weighted round-robin per route, so the split
+  /// is deterministic in arrival order and exact in the limit).
+  double fraction = 0.25;
+  /// The judge waits until each arm (canary-served and incumbent-served at
+  /// the current generation, over the drifted routes) has at least this
+  /// many scored observations before comparing live regret.
+  std::size_t min_samples = 8;
+  /// The candidate's live canary regret may exceed the incumbent's by at
+  /// most this before the judge rolls back instead of promoting. Mirrors
+  /// `RetrainOptions::max_regret_regression`, but measured on served
+  /// traffic the candidate could not have memorized.
+  double max_regret_margin = 0.01;
+  /// The canary phase rolls back when the sample window is not reached
+  /// within this long — a candidate that cannot attract traffic must not
+  /// hold a provisional generation (and the controller thread) forever.
+  std::chrono::steady_clock::duration timeout = std::chrono::seconds(60);
+  /// How often the controller re-checks the observation log for canary
+  /// window progress while the phase is open.
+  std::chrono::steady_clock::duration poll = std::chrono::milliseconds(10);
+};
+
+/// What the controller installs on each owning shard for the duration of a
+/// canary phase: which machine and routes are canaried, the provisional
+/// generation to resolve for the canary arm, and the traffic fraction. The
+/// shard keeps its own per-route round-robin counters.
+struct CanaryAssignment {
+  std::string machine;
+  std::uint64_t generation = 0;  // provisional (staged) generation
+  double fraction = 0.25;
+  std::vector<std::uint64_t> routes;  // drifted route keys, sorted
+
+  [[nodiscard]] bool covers(std::uint64_t route_key) const noexcept {
+    return std::binary_search(routes.begin(), routes.end(), route_key);
+  }
+};
+
 struct RetrainOptions {
   /// Master switch: when false the serve stack records nothing and starts no
   /// controller thread (zero overhead, the pre-retrain service exactly).
@@ -73,11 +122,22 @@ struct RetrainOptions {
   ObservationLogOptions log;
   DriftMonitorOptions drift;
   core::FineTuneOptions fine_tune;
+  CanaryOptions canary;
   /// Instrumentation seam for tests and operators: runs on the controller
-  /// thread immediately before the registry swap, while the affected shards
-  /// are paused. Tests use it as a barrier to observe the quiesce window
-  /// deterministically; leave empty in production.
+  /// thread immediately before the registry swap (or canary promotion),
+  /// while the affected shards are paused. Tests use it as a barrier to
+  /// observe the quiesce window deterministically; leave empty in
+  /// production.
   std::function<void()> before_swap;
+  /// Instrumentation seam: maps the fine-tuned candidate *after* the
+  /// holdout validation gate and before it is staged/swapped. Tests use it
+  /// to substitute a deliberately bad candidate — the holdout-gaming model
+  /// the canary phase exists to catch. Leave empty in production.
+  std::function<core::MgaTuner(core::MgaTuner)> transform_candidate;
+  /// Instrumentation seam: runs on the controller thread right after the
+  /// candidate is staged and the canary assignments are installed (the
+  /// moment split traffic begins). Leave empty in production.
+  std::function<void()> on_canary_begin;
 };
 
 }  // namespace mga::serve::retrain

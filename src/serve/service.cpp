@@ -34,6 +34,13 @@ TuningService::TuningService(std::shared_ptr<ModelRegistry> registry, ServeOptio
     hooks.shard_of = [this](std::uint64_t key) { return router_.shard_for(key); };
     hooks.pause_shard = [this](std::size_t shard) { shards_[shard]->pause(); };
     hooks.resume_shard = [this](std::size_t shard) { shards_[shard]->resume(); };
+    hooks.begin_canary = [this](std::size_t shard,
+                                std::shared_ptr<const retrain::CanaryAssignment> assignment) {
+      shards_[shard]->set_canary(std::move(assignment));
+    };
+    hooks.end_canary = [this](std::size_t shard, const std::string& machine) {
+      shards_[shard]->clear_canary(machine);
+    };
     retrain_ = std::make_unique<retrain::RetrainController>(registry_, options_.retrain,
                                                             std::move(hooks));
     observer = [controller = retrain_.get()](const retrain::ServedSample& sample) {

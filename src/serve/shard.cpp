@@ -1,6 +1,7 @@
 #include "serve/shard.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -117,6 +118,41 @@ void ServeShard::submit(TuneRequest request, std::shared_ptr<TicketState> state)
     // would defeat the cold-kernel skip.
     pending.linger_key = route_key(request.machine, route_fingerprint(request.kernel));
     note_arrival(pending.linger_key, pending.enqueued);
+  }
+
+  // Canary split: when an active assignment covers this request's route, a
+  // per-route weighted round-robin draws the arm — deterministic in the
+  // route's arrival order, exact at the fraction in the limit. The arm is
+  // folded into the group key so a grouped forward is all-incumbent or
+  // all-canary, never torn.
+  {
+    std::shared_ptr<const retrain::CanaryAssignment> assignment;
+    {
+      const std::lock_guard<std::mutex> lock(canary_mutex_);
+      assignment = canary_;
+    }
+    if (assignment != nullptr && assignment->machine == request.machine) {
+      const std::uint64_t key = pending.linger_key != 0
+                                    ? pending.linger_key
+                                    : route_key(request.machine,
+                                                route_fingerprint(request.kernel));
+      if (assignment->covers(key)) {
+        pending.canaried_route = true;
+        std::uint64_t n = 0;
+        {
+          const std::lock_guard<std::mutex> lock(canary_mutex_);
+          n = canary_counts_[key]++;
+        }
+        const double f = assignment->fraction;
+        const auto quota = [f](std::uint64_t count) {
+          return static_cast<std::uint64_t>(std::floor(f * static_cast<double>(count)));
+        };
+        if (quota(n + 1) > quota(n)) {
+          pending.canary_generation = assignment->generation;
+          pending.group_key = util::hash_combine(pending.group_key, assignment->generation);
+        }
+      }
+    }
   }
   const Admission admission = request.options.admission;
   const auto lane = static_cast<std::size_t>(pending.tier);
@@ -316,8 +352,20 @@ void ServeShard::process_batch(std::vector<Pending>& batch) {
   try {
     // Key the cache on the registration tag, not the machine name: a
     // hot-swapped tuner under the same name must not hit entries whose
-    // scaled vectors were fitted against the old tuner's corpus.
+    // scaled vectors were fitted against the old tuner's corpus. (Canary
+    // candidates carry their own tag, so the two arms never share entries.)
     resolved = registry_->resolve(batch.front().request.machine);
+    const std::uint64_t want = batch.front().canary_generation;
+    if (want != 0 && want > resolved.generation) {
+      // The batch drew the canary arm at submit. Serve the staged candidate
+      // if it is still the one the arm was drawn for; otherwise the rollout
+      // ended meanwhile — a promoted candidate is the incumbent now (same
+      // generation, caught by the `want > generation` guard), a rolled-back
+      // one is replaced by the incumbent.
+      const std::optional<ModelRegistry::Resolved> canary =
+          registry_->try_resolve_canary(batch.front().request.machine);
+      if (canary.has_value() && canary->generation == want) resolved = *canary;
+    }
     const std::shared_ptr<const core::MgaTuner>& tuner = resolved.tuner;
     entry = cache_.get(batch.front().request.kernel, *tuner, resolved.tag, &cache_hit);
 
@@ -370,6 +418,7 @@ void ServeShard::process_batch(std::vector<Pending>& batch) {
     result.cache_hit = cache_hit;
     result.batch_size = batch.size();
     result.model_generation = resolved.generation;
+    result.canary = resolved.canary;
     result.latency_us = micros_between(batch[i].enqueued, done_time);
     result.queue_wait_us = micros_between(batch[i].enqueued, fire_time);
     result.compute_us = compute_us;
@@ -378,6 +427,13 @@ void ServeShard::process_batch(std::vector<Pending>& batch) {
       // wakes, and must see its own completion in it.
       stats_.record_completion(result.latency_us, result.queue_wait_us, compute_us,
                                batch[i].tier);
+      // Split-path attribution: what actually served the request, not what
+      // the submit-time draw intended (they differ across promote/rollback).
+      if (resolved.canary) {
+        stats_.record_canary_served();
+      } else if (batch[i].canaried_route) {
+        stats_.record_canary_incumbent();
+      }
       batch[i].state->publish(TuneOutcome(std::move(result)));
       if (observer_) served.push_back(i);
     } else {
@@ -448,6 +504,20 @@ void ServeShard::join() {
 }
 
 void ServeShard::shutdown() { join(); }
+
+void ServeShard::set_canary(std::shared_ptr<const retrain::CanaryAssignment> assignment) {
+  const std::lock_guard<std::mutex> lock(canary_mutex_);
+  canary_ = std::move(assignment);
+  canary_counts_.clear();  // each rollout's round-robin starts from zero
+}
+
+void ServeShard::clear_canary(const std::string& machine) {
+  const std::lock_guard<std::mutex> lock(canary_mutex_);
+  if (canary_ != nullptr && canary_->machine == machine) {
+    canary_ = nullptr;
+    canary_counts_.clear();
+  }
+}
 
 ServiceStatsSnapshot ServeShard::stats_snapshot() const {
   return stats_.snapshot(cache_.stats());

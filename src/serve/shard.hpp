@@ -137,6 +137,21 @@ class ServeShard {
   void join();
   void shutdown();
 
+  /// Install a canary assignment: from now on, submissions for the
+  /// assignment's (machine, routes) are split between the incumbent and the
+  /// staged candidate generation by a per-route weighted round-robin at
+  /// `assignment->fraction`. One assignment at a time (retrain cycles are
+  /// serialized); installing resets the round-robin counters. Requests
+  /// already queued keep the arm they were assigned at submit — or the
+  /// incumbent if they predate the assignment.
+  void set_canary(std::shared_ptr<const retrain::CanaryAssignment> assignment);
+
+  /// Remove the active assignment when it belongs to `machine` (no-op
+  /// otherwise). Queued canary-arm requests fall back gracefully at batch
+  /// time: a promoted candidate serves them as the new incumbent, a rolled-
+  /// back one is replaced by the incumbent.
+  void clear_canary(const std::string& machine);
+
   [[nodiscard]] ServiceStatsSnapshot stats_snapshot() const;
   /// Raw latency samples for exact cross-shard percentile aggregation.
   [[nodiscard]] LatencyWindows latency_windows() const { return stats_.latency_windows(); }
@@ -157,6 +172,13 @@ class ServeShard {
     /// share an arrival history either. 0 when adaptive linger is off.
     std::uint64_t linger_key = 0;
     Priority tier = Priority::kNormal;
+    /// Canary arm, decided at submit: 0 = incumbent, else the provisional
+    /// generation to serve this request with. Folded into `group_key`, so a
+    /// batch is all-incumbent or all-canary — never torn.
+    std::uint64_t canary_generation = 0;
+    /// True when an active assignment covered this request's route at
+    /// submit, whichever arm it drew (split-path stats attribution).
+    bool canaried_route = false;
     Clock::time_point enqueued;
     Clock::time_point deadline_at;  // time_point::max() when no deadline
   };
@@ -200,6 +222,11 @@ class ServeShard {
   bool joined_ = false;
   mutable std::mutex arrivals_mutex_;
   std::unordered_map<std::uint64_t, ArrivalStats> arrivals_;
+  /// Active canary assignment (null outside rollout phases) and the
+  /// per-route weighted round-robin cursors behind the traffic split.
+  mutable std::mutex canary_mutex_;
+  std::shared_ptr<const retrain::CanaryAssignment> canary_;
+  std::unordered_map<std::uint64_t, std::uint64_t> canary_counts_;
 };
 
 }  // namespace mga::serve

@@ -58,6 +58,8 @@ ServiceStatsSnapshot ServiceStats::snapshot(const FeatureCacheStats& cache) cons
   s.submitted = submitted_.load();
   s.completed = completed_.load();
   s.failed = failed_.load();
+  s.canary_served = canary_served_.load();
+  s.canary_incumbent_served = canary_incumbent_served_.load();
   s.batches = batches_.load();
   s.max_batch = max_batch_.load();
   s.batched_requests = batched_requests_.load();
@@ -113,6 +115,8 @@ ServiceStatsSnapshot aggregate_snapshots(std::vector<ServiceStatsSnapshot> shard
     s.submitted += shard.submitted;
     s.completed += shard.completed;
     s.failed += shard.failed;
+    s.canary_served += shard.canary_served;
+    s.canary_incumbent_served += shard.canary_incumbent_served;
     s.batches += shard.batches;
     s.batched_requests += shard.batched_requests;
     s.max_batch = std::max(s.max_batch, shard.max_batch);
@@ -177,6 +181,12 @@ util::Table stats_table(const ServiceStatsSnapshot& s) {
   table.add_row({"requests submitted", std::to_string(s.submitted)});
   table.add_row({"requests completed", std::to_string(s.completed)});
   table.add_row({"requests failed", std::to_string(s.failed)});
+  // Canary split-path row only when a rollout ever touched this service —
+  // a snapshot without one renders exactly the rows it always did.
+  if (s.canary_served + s.canary_incumbent_served > 0)
+    table.add_row({"canary served (candidate / incumbent arm)",
+                   std::to_string(s.canary_served) + " / " +
+                       std::to_string(s.canary_incumbent_served)});
   table.add_row({"batches", std::to_string(s.batches)});
   table.add_row({"mean batch size", util::fmt_double(s.mean_batch)});
   table.add_row({"max batch size", std::to_string(s.max_batch)});

@@ -61,6 +61,13 @@ struct ServiceStatsSnapshot {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;  // every error outcome, across all causes
+  /// Split-path accounting during a canary rollout: completions served by a
+  /// provisionally staged candidate vs. by the incumbent while an
+  /// assignment was active on the shard. Both stay 0 outside canary phases
+  /// (`completed - canary_served` is NOT the incumbent arm — most traffic
+  /// never overlaps a rollout).
+  std::uint64_t canary_served = 0;
+  std::uint64_t canary_incumbent_served = 0;
   std::uint64_t batches = 0;
   /// Requests served across all batches (`mean_batch`'s numerator, carried
   /// so cross-shard aggregation sums exact integers).
@@ -107,6 +114,15 @@ class ServiceStats {
 
   void record_batch(std::size_t size) noexcept;
 
+  /// Split-path canary accounting: one completion served by the staged
+  /// candidate / by the incumbent on a route an active assignment covers.
+  void record_canary_served() noexcept {
+    canary_served_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_canary_incumbent() noexcept {
+    canary_incumbent_served_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   /// Completion, end-to-end latency (submit -> outcome resolved) and its
   /// queue-wait / compute split, attributed to the request's tier.
   void record_completion(double latency_us, double queue_wait_us, double compute_us,
@@ -143,6 +159,8 @@ class ServiceStats {
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> canary_served_{0};
+  std::atomic<std::uint64_t> canary_incumbent_served_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> batched_requests_{0};
   std::atomic<std::uint64_t> max_batch_{0};

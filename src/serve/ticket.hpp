@@ -106,7 +106,15 @@ struct TuneResult {
   /// resolves the registry exactly once, so every member of a grouped
   /// forward reports the same generation — during a hot swap a result is
   /// consistently old-model or consistently new-model, never torn.
+  /// Generation numbers are never reused (discarded canary candidates burn
+  /// theirs), so this identifies exactly one model.
   std::uint64_t model_generation = 0;
+  /// True when a provisionally staged canary candidate served this request
+  /// (`model_generation` is then its provisional generation). A request
+  /// assigned to a canary that was promoted or rolled back before its batch
+  /// fired reports the model that actually served it: the promoted model
+  /// (canary = false, same generation) or the incumbent after a rollback.
+  bool canary = false;
   double latency_us = 0.0;     // submit -> outcome resolved
   /// Breakdown of latency_us: time spent queued (admission + lane + linger,
   /// submit -> batch fire) vs. in the batch itself (registry resolve,

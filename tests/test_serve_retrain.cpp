@@ -334,8 +334,11 @@ TEST(ModelRegistry, SwapBumpsGenerationAndIssuesAFreshTag) {
   EXPECT_EQ(registry.swap("comet-lake", shared_tuner().clone()), 3u)
       << "generations are monotone per name";
 
-  EXPECT_THROW((void)registry.swap("no-such-machine", shared_tuner().clone()),
-               std::out_of_range);
+  // A mutation cannot conjure a slot: the typed LoadError (not the
+  // out_of_range of a read) marks the caller bug, and no generation-1 slot
+  // materializes from nothing.
+  EXPECT_THROW((void)registry.swap("no-such-machine", shared_tuner().clone()), LoadError);
+  EXPECT_FALSE(registry.contains("no-such-machine"));
   EXPECT_THROW((void)registry.generation("no-such-machine"), std::out_of_range);
 }
 
@@ -378,10 +381,13 @@ TEST(RetrainTuner, FineTuneFixesADriftedSliceWithoutTouchingTheOriginal) {
 
 // --- retrain controller ------------------------------------------------------
 
-/// Hooks that log pause/resume calls against a 4-shard fake fleet.
+/// Hooks that log pause/resume and canary begin/end calls against a 4-shard
+/// fake fleet.
 struct FakeFleet {
   std::mutex mutex;
   std::vector<std::size_t> paused, resumed;
+  std::vector<std::size_t> canary_begun, canary_ended;
+  std::shared_ptr<const retrain::CanaryAssignment> last_assignment;
   RetrainController::Hooks hooks() {
     RetrainController::Hooks hooks;
     hooks.shard_of = [](std::uint64_t key) { return static_cast<std::size_t>(key % 4); };
@@ -393,20 +399,39 @@ struct FakeFleet {
       const std::lock_guard<std::mutex> lock(mutex);
       resumed.push_back(shard);
     };
+    hooks.begin_canary = [this](std::size_t shard,
+                                std::shared_ptr<const retrain::CanaryAssignment> assignment) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      canary_begun.push_back(shard);
+      last_assignment = std::move(assignment);
+    };
+    hooks.end_canary = [this](std::size_t shard, const std::string&) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      canary_ended.push_back(shard);
+    };
     return hooks;
   }
 };
 
-/// Feed `controller` one served observation per drift pair repetition.
+/// Feed `controller` one served observation per drift pair repetition, as if
+/// generation `generation` served each pair. `oracle_labels` feeds the best
+/// config per pair (zero regret — a perfectly behaving arm) instead of the
+/// incumbent's misprediction.
 void feed_pairs(RetrainController& controller, const std::vector<DriftPair>& pairs,
-                const core::MgaTuner& tuner, int repetitions) {
+                const core::MgaTuner& tuner, int repetitions,
+                std::uint64_t generation = 1, bool oracle_labels = false) {
   for (int r = 0; r < repetitions; ++r) {
     for (const DriftPair& pair : pairs) {
       const corpus::GeneratedKernel generated = corpus::generate(pair.kernel);
       const std::string machine = "comet-lake";
-      const ServedSample sample{machine,       pair.kernel, generated.workload,
-                                pair.input_bytes, pair.counters, pair.predicted_label,
-                                1,             tuner};
+      const int label =
+          oracle_labels
+              ? static_cast<int>(std::min_element(pair.seconds.begin(), pair.seconds.end()) -
+                                 pair.seconds.begin())
+              : pair.predicted_label;
+      const ServedSample sample{machine,       pair.kernel,   generated.workload,
+                                pair.input_bytes, pair.counters, label,
+                                generation,    tuner};
       controller.record(sample);
     }
   }
@@ -860,6 +885,571 @@ TEST(TuningServiceRetrain, EndToEndDriftTriggersRetrainAndHotSwapWithoutDraining
   EXPECT_GT(pre, 0.0);
   EXPECT_LT(post, pre) << "the deployed model must beat the drifted one on its slice";
   EXPECT_LT(stats.last_post_regret, stats.last_pre_regret);
+}
+
+// --- provisional generations (canary staging) --------------------------------
+
+TEST(CanaryRegistry, StageKeepsIncumbentServingAndBurnsGenerationNumbers) {
+  auto registry = make_registry();
+  const ModelRegistry::Resolved incumbent = registry->resolve("comet-lake");
+  ASSERT_EQ(incumbent.generation, 1u);
+  EXPECT_EQ(registry->canary_generation("comet-lake"), 0u);
+
+  // Staging installs the candidate next to the incumbent: resolve() still
+  // serves generation 1, only try_resolve_canary sees the candidate.
+  EXPECT_EQ(registry->stage("comet-lake", shared_tuner().clone()), 2u);
+  EXPECT_EQ(registry->generation("comet-lake"), 1u);
+  EXPECT_EQ(registry->canary_generation("comet-lake"), 2u);
+  const ModelRegistry::Resolved after = registry->resolve("comet-lake");
+  EXPECT_EQ(after.tuner.get(), incumbent.tuner.get());
+  EXPECT_FALSE(after.canary);
+  const std::optional<ModelRegistry::Resolved> canary =
+      registry->try_resolve_canary("comet-lake");
+  ASSERT_TRUE(canary.has_value());
+  EXPECT_TRUE(canary->canary);
+  EXPECT_EQ(canary->generation, 2u);
+  EXPECT_NE(canary->tag, incumbent.tag) << "the two arms must never share cache entries";
+
+  // Rollback burns the number: the next stage gets a fresh generation, so a
+  // TuneResult::model_generation identifies exactly one model forever.
+  EXPECT_TRUE(registry->discard("comet-lake"));
+  EXPECT_FALSE(registry->discard("comet-lake")) << "discard is idempotent";
+  EXPECT_FALSE(registry->try_resolve_canary("comet-lake").has_value());
+  EXPECT_EQ(registry->generation("comet-lake"), 1u);
+  EXPECT_EQ(registry->stage("comet-lake", shared_tuner().clone()), 3u)
+      << "a discarded candidate's generation number is never reused";
+
+  // Promotion: the candidate becomes the slot, keeping its tag so cache
+  // entries warmed during the canary phase stay valid.
+  const std::optional<ModelRegistry::Resolved> staged =
+      registry->try_resolve_canary("comet-lake");
+  ASSERT_TRUE(staged.has_value());
+  EXPECT_EQ(registry->promote("comet-lake"), 3u);
+  const ModelRegistry::Resolved promoted = registry->resolve("comet-lake");
+  EXPECT_EQ(promoted.generation, 3u);
+  EXPECT_EQ(promoted.tag, staged->tag);
+  EXPECT_EQ(promoted.tuner.get(), staged->tuner.get());
+  EXPECT_FALSE(promoted.canary);
+  EXPECT_EQ(registry->canary_generation("comet-lake"), 0u);
+}
+
+TEST(CanaryRegistry, MutationsOnUnknownOrDoubleStagedSlotsThrowTyped) {
+  auto registry = make_registry();
+  EXPECT_THROW((void)registry->stage("no-such-machine", shared_tuner().clone()), LoadError);
+  EXPECT_THROW((void)registry->promote("no-such-machine"), LoadError);
+  EXPECT_THROW((void)registry->discard("no-such-machine"), LoadError);
+  EXPECT_FALSE(registry->contains("no-such-machine"))
+      << "a failed mutation must not create a slot";
+
+  EXPECT_THROW((void)registry->promote("comet-lake"), LoadError)
+      << "promotion without a staged candidate";
+  (void)registry->stage("comet-lake", shared_tuner().clone());
+  EXPECT_THROW((void)registry->stage("comet-lake", shared_tuner().clone()),
+               std::invalid_argument)
+      << "one rollout at a time per slot";
+}
+
+TEST(CanaryRegistry, OutOfBandSwapSupersedesAStagedCanary) {
+  auto registry = make_registry();
+  ASSERT_EQ(registry->stage("comet-lake", shared_tuner().clone()), 2u);
+  EXPECT_EQ(registry->swap("comet-lake", shared_tuner().clone()), 3u)
+      << "the swap draws past the staged candidate's burned number";
+  EXPECT_FALSE(registry->try_resolve_canary("comet-lake").has_value())
+      << "an out-of-band swap discards the rollout in progress";
+  EXPECT_EQ(registry->generation("comet-lake"), 3u);
+}
+
+// --- shard-level canary split ------------------------------------------------
+
+/// A request with the machine already resolved — ServeShard is the engine
+/// layer and requires what the facade normally fills in.
+TuneRequest make_shard_request(const corpus::KernelSpec& kernel, double input_bytes) {
+  TuneRequest request = make_request(kernel, input_bytes);
+  request.machine = "comet-lake";
+  return request;
+}
+
+/// Submit `count` requests for `kernel` through `shard` and return their
+/// outcomes in submission order (all must be served).
+std::vector<TuneResult> submit_and_collect(ServeShard& shard,
+                                           const corpus::KernelSpec& kernel,
+                                           double input_bytes, std::size_t count) {
+  std::vector<TuneTicket> tickets;
+  tickets.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto state = std::make_shared<TicketState>();
+    tickets.emplace_back(state);
+    shard.submit(make_shard_request(kernel, input_bytes), std::move(state));
+  }
+  std::vector<TuneResult> results;
+  results.reserve(count);
+  for (const TuneTicket& ticket : tickets) {
+    TuneOutcome outcome = ticket.get();
+    EXPECT_TRUE(outcome.ok());
+    results.push_back(std::move(outcome.value()));
+  }
+  return results;
+}
+
+TEST(CanarySplit, FractionIsHonoredDeterministicallyPerRoute) {
+  const corpus::KernelSpec kernel = corpus::find_kernel("polybench/gemm");
+  const std::uint64_t key = route_key("comet-lake", route_fingerprint(kernel));
+
+  for (const double fraction : {0.25, 0.5}) {
+    auto registry = make_registry();
+    ASSERT_EQ(registry->stage("comet-lake", shared_tuner().clone()), 2u);
+    ServeOptions options;
+    options.workers = 2;
+    options.max_batch = 1;  // per-request forwards: the split is per request
+    ServeShard shard(registry, options);
+    auto assignment = std::make_shared<const retrain::CanaryAssignment>(
+        retrain::CanaryAssignment{"comet-lake", 2, fraction, {key}});
+    shard.set_canary(assignment);
+
+    constexpr std::size_t kCount = 40;
+    const std::vector<TuneResult> results = submit_and_collect(shard, kernel, 2e6, kCount);
+    std::vector<bool> arms;
+    std::size_t canary_served = 0;
+    for (const TuneResult& result : results) {
+      arms.push_back(result.canary);
+      canary_served += result.canary ? 1 : 0;
+      EXPECT_EQ(result.model_generation, result.canary ? 2u : 1u);
+    }
+    // Weighted round-robin: the split is exact, not stochastic — floor(f*n)
+    // of the first n submissions draw the canary arm.
+    EXPECT_EQ(canary_served,
+              static_cast<std::size_t>(fraction * static_cast<double>(kCount)))
+        << "fraction " << fraction;
+
+    // ...and deterministic: a fresh shard with the same assignment assigns
+    // the same arm to every submission index.
+    ServeShard replay(registry, options);
+    replay.set_canary(assignment);
+    const std::vector<TuneResult> repeat = submit_and_collect(replay, kernel, 2e6, kCount);
+    for (std::size_t i = 0; i < kCount; ++i)
+      EXPECT_EQ(repeat[i].canary, arms[i]) << "submission " << i;
+
+    const ServiceStatsSnapshot stats = shard.stats_snapshot();
+    EXPECT_EQ(stats.canary_served, canary_served);
+    EXPECT_EQ(stats.canary_incumbent_served, kCount - canary_served);
+    shard.shutdown();
+    replay.shutdown();
+  }
+}
+
+TEST(CanarySplit, RequestsOutsideTheAssignmentNeverDrawTheCanary) {
+  auto registry = make_registry();
+  ASSERT_EQ(registry->stage("comet-lake", shared_tuner().clone()), 2u);
+  const corpus::KernelSpec canaried = corpus::find_kernel("polybench/gemm");
+  const corpus::KernelSpec other = corpus::find_kernel("rodinia/bfs");
+  ServeOptions options;
+  options.workers = 1;
+  options.max_batch = 1;
+  ServeShard shard(registry, options);
+
+  // Requests queued before the assignment keep the incumbent arm even when
+  // they are *served* after it was installed.
+  shard.pause();
+  std::vector<TuneTicket> early;
+  for (int i = 0; i < 8; ++i) {
+    auto state = std::make_shared<TicketState>();
+    early.emplace_back(state);
+    shard.submit(make_shard_request(canaried, 2e6), std::move(state));
+  }
+  shard.set_canary(std::make_shared<const retrain::CanaryAssignment>(
+      retrain::CanaryAssignment{"comet-lake", 2, 1.0,
+                                {route_key("comet-lake", route_fingerprint(canaried))}}));
+  shard.resume();
+  for (const TuneTicket& ticket : early) {
+    const TuneOutcome outcome = ticket.get();
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_FALSE(outcome.value().canary) << "pre-assignment submissions serve the incumbent";
+    EXPECT_EQ(outcome.value().model_generation, 1u);
+  }
+
+  // A route the assignment does not cover never splits, even at fraction 1.
+  for (const TuneResult& result : submit_and_collect(shard, other, 2e6, 8)) {
+    EXPECT_FALSE(result.canary);
+    EXPECT_EQ(result.model_generation, 1u);
+  }
+  // The covered route at fraction 1 sends everything to the candidate.
+  for (const TuneResult& result : submit_and_collect(shard, canaried, 2e6, 8)) {
+    EXPECT_TRUE(result.canary);
+    EXPECT_EQ(result.model_generation, 2u);
+  }
+  shard.shutdown();
+}
+
+TEST(CanarySplit, QueuedCanaryArmFallsBackAcrossPromoteAndRollback) {
+  const corpus::KernelSpec kernel = corpus::find_kernel("polybench/gemm");
+  const std::uint64_t key = route_key("comet-lake", route_fingerprint(kernel));
+  ServeOptions options;
+  options.workers = 1;
+  options.max_batch = 1;
+
+  // Rollback: canary-arm requests queued behind a paused shard are served by
+  // the incumbent once the candidate is discarded — never an error, never a
+  // stale model.
+  {
+    auto registry = make_registry();
+    const std::shared_ptr<const core::MgaTuner> incumbent = registry->get("comet-lake");
+    ASSERT_EQ(registry->stage("comet-lake", shared_tuner().clone()), 2u);
+    ServeShard shard(registry, options);
+    shard.set_canary(std::make_shared<const retrain::CanaryAssignment>(
+        retrain::CanaryAssignment{"comet-lake", 2, 1.0, {key}}));
+    shard.pause();
+    auto state = std::make_shared<TicketState>();
+    const TuneTicket ticket{state};
+    shard.submit(make_shard_request(kernel, 2e6), std::move(state));
+    shard.clear_canary("comet-lake");
+    ASSERT_TRUE(registry->discard("comet-lake"));
+    shard.resume();
+    const TuneOutcome outcome = ticket.get();
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_FALSE(outcome.value().canary);
+    EXPECT_EQ(outcome.value().model_generation, 1u);
+    EXPECT_EQ(outcome.value().config, incumbent->tune(kernel, 2e6));
+    shard.shutdown();
+  }
+
+  // Promote: the same queued arm is served by the promoted model — same
+  // generation number the draw targeted, no longer marked canary.
+  {
+    auto registry = make_registry();
+    ASSERT_EQ(registry->stage("comet-lake", shared_tuner().clone()), 2u);
+    const std::shared_ptr<const core::MgaTuner> candidate =
+        registry->try_resolve_canary("comet-lake")->tuner;
+    ServeShard shard(registry, options);
+    shard.set_canary(std::make_shared<const retrain::CanaryAssignment>(
+        retrain::CanaryAssignment{"comet-lake", 2, 1.0, {key}}));
+    shard.pause();
+    auto state = std::make_shared<TicketState>();
+    const TuneTicket ticket{state};
+    shard.submit(make_shard_request(kernel, 2e6), std::move(state));
+    shard.clear_canary("comet-lake");
+    ASSERT_EQ(registry->promote("comet-lake"), 2u);
+    shard.resume();
+    const TuneOutcome outcome = ticket.get();
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_FALSE(outcome.value().canary) << "post-promotion the candidate is the incumbent";
+    EXPECT_EQ(outcome.value().model_generation, 2u);
+    EXPECT_EQ(outcome.value().config, candidate->tune(kernel, 2e6));
+    shard.shutdown();
+  }
+}
+
+// --- controller canary phases ------------------------------------------------
+
+RetrainOptions canary_controller_options() {
+  RetrainOptions options = controller_options();
+  options.canary.enabled = true;
+  options.canary.fraction = 0.5;
+  options.canary.min_samples = 3;
+  options.canary.max_regret_margin = 0.02;
+  options.canary.timeout = 60s;
+  options.canary.poll = 5ms;
+  return options;
+}
+
+TEST(RetrainControllerCanary, WindowTimeoutRollsBackAndBacksOff) {
+  auto registry = make_registry();
+  FakeFleet fleet;
+  RetrainOptions options = canary_controller_options();
+  options.drift.min_kernel_observations = 1000000;  // retrain_now drives
+  options.canary.min_samples = 1000000;             // the window can never fill
+  options.canary.timeout = 200ms;
+  RetrainController controller(registry, options, fleet.hooks());
+
+  const std::vector<DriftPair>& pairs = shared_drifted_pairs();
+  ASSERT_GE(pairs.size(), 1u);
+  feed_pairs(controller, pairs, shared_tuner(), 3);
+  EXPECT_FALSE(controller.retrain_now("comet-lake"));
+
+  const retrain::RetrainStatsSnapshot stats = controller.stats();
+  EXPECT_EQ(stats.canaries, 1u);
+  EXPECT_EQ(stats.canary_rolled_back, 1u);
+  EXPECT_EQ(stats.canary_timeouts, 1u);
+  EXPECT_EQ(stats.canary_promoted, 0u);
+  EXPECT_EQ(stats.swaps, 0u);
+  EXPECT_FALSE(stats.canary_active);
+  EXPECT_EQ(stats.last_generation, 0u);
+  EXPECT_EQ(registry->generation("comet-lake"), 1u) << "a timed-out canary must not deploy";
+  EXPECT_FALSE(registry->try_resolve_canary("comet-lake").has_value());
+
+  // The assignment was installed on exactly the owning shards and removed
+  // again; the promotion quiesce never ran.
+  const std::lock_guard<std::mutex> lock(fleet.mutex);
+  EXPECT_FALSE(fleet.canary_begun.empty());
+  EXPECT_EQ(std::set<std::size_t>(fleet.canary_begun.begin(), fleet.canary_begun.end()),
+            std::set<std::size_t>(fleet.canary_ended.begin(), fleet.canary_ended.end()));
+  EXPECT_TRUE(fleet.paused.empty());
+  ASSERT_NE(fleet.last_assignment, nullptr);
+  EXPECT_EQ(fleet.last_assignment->machine, "comet-lake");
+  EXPECT_EQ(fleet.last_assignment->fraction, 0.5);
+}
+
+TEST(RetrainControllerCanary, CleanCanaryArmIsPromotedAfterTheSampleWindow) {
+  auto registry = make_registry();
+  FakeFleet fleet;
+  RetrainOptions options = canary_controller_options();
+  options.drift.min_kernel_observations = 1000000;  // retrain_now drives
+  std::mutex phase_mutex;
+  std::condition_variable phase_cv;
+  bool phase_open = false;
+  options.on_canary_begin = [&] {
+    {
+      const std::lock_guard<std::mutex> lock(phase_mutex);
+      phase_open = true;
+    }
+    phase_cv.notify_all();
+  };
+  RetrainController controller(registry, options, fleet.hooks());
+
+  const std::vector<DriftPair>& pairs = shared_drifted_pairs();
+  ASSERT_GE(pairs.size(), 1u);
+  feed_pairs(controller, pairs, shared_tuner(), 4);  // incumbent arm evidence
+
+  // Feed the canary arm once the phase opens: oracle-correct labels under
+  // the provisional generation — a candidate that serves its split traffic
+  // perfectly — so the judge promotes.
+  std::thread feeder([&] {
+    {
+      std::unique_lock<std::mutex> lock(phase_mutex);
+      ASSERT_TRUE(phase_cv.wait_for(lock, 120s, [&] { return phase_open; }));
+    }
+    const std::uint64_t provisional = registry->canary_generation("comet-lake");
+    ASSERT_NE(provisional, 0u);
+    feed_pairs(controller, pairs, shared_tuner(), 4, provisional, /*oracle_labels=*/true);
+  });
+  const bool promoted = controller.retrain_now("comet-lake");
+  feeder.join();
+  EXPECT_TRUE(promoted);
+
+  const retrain::RetrainStatsSnapshot stats = controller.stats();
+  EXPECT_EQ(stats.canaries, 1u);
+  EXPECT_EQ(stats.canary_promoted, 1u);
+  EXPECT_EQ(stats.canary_rolled_back, 0u);
+  EXPECT_EQ(stats.swaps, 1u);
+  EXPECT_EQ(stats.last_generation, 2u);
+  EXPECT_EQ(stats.last_canary_generation, 2u);
+  EXPECT_GE(stats.last_canary_samples, 3u);
+  EXPECT_LE(stats.last_canary_regret,
+            stats.last_canary_incumbent_regret + options.canary.max_regret_margin);
+  EXPECT_EQ(registry->generation("comet-lake"), 2u);
+  EXPECT_FALSE(registry->try_resolve_canary("comet-lake").has_value());
+
+  // Promotion quiesced exactly the owning shards, after the split ended.
+  const std::lock_guard<std::mutex> lock(fleet.mutex);
+  EXPECT_FALSE(fleet.paused.empty());
+  EXPECT_EQ(std::set<std::size_t>(fleet.paused.begin(), fleet.paused.end()),
+            std::set<std::size_t>(fleet.resumed.begin(), fleet.resumed.end()));
+  EXPECT_EQ(std::set<std::size_t>(fleet.canary_begun.begin(), fleet.canary_begun.end()),
+            std::set<std::size_t>(fleet.canary_ended.begin(), fleet.canary_ended.end()));
+}
+
+// --- end-to-end canary rollout -----------------------------------------------
+
+/// A candidate that games its holdout: fine-tuned toward the *worst* config
+/// of every drifted pair, so its live canary regret on those routes is far
+/// above the incumbent's. (The validation gate is what the caller disables
+/// or what the transform seam bypasses — this models a candidate that
+/// slipped through.)
+core::MgaTuner make_poisoned(const core::MgaTuner& base, const std::vector<DriftPair>& pairs) {
+  std::vector<corpus::KernelSpec> kernels;
+  std::vector<dataset::OmpSample> samples;
+  build_training_rows(pairs, kernels, samples);
+  for (dataset::OmpSample& sample : samples)
+    sample.label = static_cast<int>(
+        std::max_element(sample.seconds.begin(), sample.seconds.end()) -
+        sample.seconds.begin());
+  core::MgaTuner poisoned = base.clone();
+  core::FineTuneOptions options;
+  options.epochs = 60;
+  (void)poisoned.fine_tune(kernels, samples, options);
+  return poisoned;
+}
+
+/// Built once per binary: the poison fine-tune is the expensive half of the
+/// rollback scenario, and both its uses (the transform seam and the
+/// precondition probe) want the same model.
+const core::MgaTuner& shared_poisoned() {
+  static const core::MgaTuner poisoned =
+      make_poisoned(shared_tuner(), shared_drifted_pairs());
+  return poisoned;
+}
+
+/// ServeOptions for the canary E2E scenarios: 2 shards, single-request
+/// batches (strict observation order), canarying enabled at an even split.
+ServeOptions canary_e2e_options() {
+  ServeOptions options;
+  options.workers = 1;
+  options.shards = 2;
+  options.max_batch = 1;
+  options.retrain.enabled = true;
+  options.retrain.observe_every = 1;
+  options.retrain.min_snapshot = 3;
+  options.retrain.validation_holdout = 0.25;
+  options.retrain.max_regret_regression = 0.02;
+  options.retrain.drift.regret_threshold = 0.02;
+  options.retrain.drift.min_kernel_observations = 3;
+  options.retrain.drift.cooldown = std::chrono::hours(1);
+  options.retrain.fine_tune.epochs = 40;
+  options.retrain.canary.enabled = true;
+  options.retrain.canary.fraction = 0.5;
+  options.retrain.canary.min_samples = 3;
+  options.retrain.canary.max_regret_margin = 0.02;
+  options.retrain.canary.timeout = 60s;
+  options.retrain.canary.poll = 5ms;
+  return options;
+}
+
+/// Drive one drift → retrain → canary cycle through a live service: submit
+/// drifted traffic until the cycle completes (the canary phase needs split
+/// traffic to fill its sample window), then verify every served config is
+/// bit-identical to direct tune with the tuner of the generation that served
+/// it. Returns the number of canary-arm / incumbent-arm completions seen on
+/// the drifted routes while the phase was open.
+struct CanaryE2EOutcome {
+  std::size_t canary_served = 0;
+  std::size_t incumbent_served = 0;
+  retrain::RetrainStatsSnapshot stats;
+};
+
+CanaryE2EOutcome drive_canary_cycle(TuningService& service,
+                                    const std::shared_ptr<ModelRegistry>& registry,
+                                    const std::vector<DriftPair>& pairs,
+                                    const core::MgaTuner& incumbent) {
+  struct Served {
+    TuneTicket ticket;
+    corpus::KernelSpec kernel;
+    double input_bytes;
+  };
+  std::vector<Served> traffic;
+  // The canary tuner, snapped while the phase is open (promotion keeps the
+  // same object; a rollback would otherwise make it unreachable).
+  std::shared_ptr<const core::MgaTuner> candidate;
+
+  retrain::RetrainController* controller = service.retrain();
+  EXPECT_NE(controller, nullptr);
+  const auto deadline = std::chrono::steady_clock::now() + 120s;
+  while (controller->stats().cycles < 1 && std::chrono::steady_clock::now() < deadline) {
+    for (const DriftPair& pair : pairs)
+      traffic.push_back({service.submit(make_request(pair.kernel, pair.input_bytes)),
+                         pair.kernel, pair.input_bytes});
+    if (candidate == nullptr) {
+      const std::optional<ModelRegistry::Resolved> canary =
+          registry->try_resolve_canary("comet-lake");
+      if (canary.has_value()) candidate = canary->tuner;
+    }
+    std::this_thread::sleep_for(10ms);
+  }
+  CanaryE2EOutcome out;
+  EXPECT_TRUE(controller->wait_for_cycles(1, 120s));
+  out.stats = controller->stats();
+  EXPECT_EQ(out.stats.canaries, 1u);
+  EXPECT_TRUE(candidate != nullptr) << "the phase should have staged a candidate";
+
+  // Bit-identity throughout: generation 1 = the incumbent, the provisional
+  // generation = the staged candidate (served as canary while the phase was
+  // open, or as the new incumbent after promotion) — never a torn mix.
+  const std::uint64_t provisional = out.stats.last_canary_generation;
+  for (const Served& served : traffic) {
+    const TuneOutcome outcome = served.ticket.get();
+    EXPECT_TRUE(outcome.ok());
+    if (!outcome.ok()) continue;
+    const TuneResult& result = outcome.value();
+    const bool known_generation =
+        result.model_generation == 1 || result.model_generation == provisional;
+    EXPECT_TRUE(known_generation) << "unexpected generation " << result.model_generation;
+    if (!known_generation || candidate == nullptr) continue;
+    const core::MgaTuner& expected =
+        result.model_generation == 1 ? incumbent : *candidate;
+    EXPECT_EQ(result.config, expected.tune(served.kernel, served.input_bytes))
+        << served.kernel.name << " @ " << served.input_bytes << " gen "
+        << result.model_generation << (result.canary ? " (canary)" : "");
+    if (result.model_generation == provisional && result.canary)
+      ++out.canary_served;
+    else if (result.model_generation == 1)
+      ++out.incumbent_served;
+  }
+  return out;
+}
+
+TEST(TuningServiceCanary, EndToEndGoodCandidateServesBothArmsAndIsPromoted) {
+  auto registry = make_registry();
+  const std::shared_ptr<const core::MgaTuner> incumbent = registry->get("comet-lake");
+  const std::vector<DriftPair>& pairs = shared_drifted_pairs();
+  ASSERT_GE(pairs.size(), 2u);
+
+  TuningService service(registry, canary_e2e_options());
+  const CanaryE2EOutcome out = drive_canary_cycle(service, registry, pairs, *incumbent);
+
+  // The phase served both generations concurrently, then promoted: the
+  // candidate's live regret on its split beat the incumbent's.
+  EXPECT_GT(out.canary_served, 0u) << "the canary arm never served";
+  EXPECT_GT(out.incumbent_served, 0u) << "the incumbent arm never served";
+  EXPECT_EQ(out.stats.canary_promoted, 1u);
+  EXPECT_EQ(out.stats.canary_rolled_back, 0u);
+  EXPECT_EQ(out.stats.swaps, 1u);
+  EXPECT_LT(out.stats.last_canary_regret,
+            out.stats.last_canary_incumbent_regret)
+      << "a fine-tuned candidate must beat the drifted incumbent on its split";
+  EXPECT_EQ(registry->generation("comet-lake"), out.stats.last_canary_generation);
+  EXPECT_FALSE(registry->try_resolve_canary("comet-lake").has_value());
+
+  // The promoted model beats the incumbent on the drifted slice.
+  const std::shared_ptr<const core::MgaTuner> promoted = registry->get("comet-lake");
+  EXPECT_LT(pairs_regret(*promoted, pairs), pairs_regret(*incumbent, pairs));
+
+  // Split-path stats surfaced through the service snapshot (and rendered).
+  const ServiceStatsSnapshot stats = service.stats_snapshot();
+  EXPECT_GT(stats.canary_served, 0u);
+  EXPECT_GT(stats.canary_incumbent_served, 0u);
+  (void)stats_table(stats);
+}
+
+TEST(TuningServiceCanary, EndToEndPoisonedCandidateIsRolledBackUnderServing) {
+  auto registry = make_registry();
+  const std::shared_ptr<const core::MgaTuner> incumbent = registry->get("comet-lake");
+  const std::vector<DriftPair>& pairs = shared_drifted_pairs();
+  ASSERT_GE(pairs.size(), 2u);
+
+  ServeOptions options = canary_e2e_options();
+  // The holdout-gaming candidate: the transform seam swaps the honest
+  // fine-tune for one trained toward the worst configs — past the holdout
+  // gate, into the canary phase, where its live regret gives it away.
+  options.retrain.transform_candidate = [](core::MgaTuner) {
+    return shared_poisoned().clone();
+  };
+  TuningService service(registry, options);
+
+  // Precondition for the verdict: the poison is live-worse than the drifted
+  // incumbent by more than the judge's margin.
+  ASSERT_GT(pairs_regret(shared_poisoned(), pairs),
+            pairs_regret(*incumbent, pairs) + options.retrain.canary.max_regret_margin)
+      << "the poisoned candidate is not bad enough to exercise the rollback";
+
+  const CanaryE2EOutcome out = drive_canary_cycle(service, registry, pairs, *incumbent);
+
+  EXPECT_GT(out.canary_served, 0u) << "the poisoned arm must have served live traffic";
+  EXPECT_EQ(out.stats.canary_rolled_back, 1u);
+  EXPECT_EQ(out.stats.canary_promoted, 0u);
+  EXPECT_EQ(out.stats.swaps, 0u);
+  EXPECT_EQ(out.stats.last_generation, 0u);
+  EXPECT_GT(out.stats.last_canary_regret, out.stats.last_canary_incumbent_regret);
+  EXPECT_EQ(registry->generation("comet-lake"), 1u)
+      << "the incumbent must keep serving after the rollback";
+  EXPECT_FALSE(registry->try_resolve_canary("comet-lake").has_value());
+
+  // Post-rollback traffic is all-incumbent and still bit-identical.
+  for (const DriftPair& pair : pairs) {
+    const TuneOutcome outcome =
+        service.submit(make_request(pair.kernel, pair.input_bytes)).get();
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_FALSE(outcome.value().canary);
+    EXPECT_EQ(outcome.value().model_generation, 1u);
+    EXPECT_EQ(outcome.value().config, incumbent->tune(pair.kernel, pair.input_bytes));
+  }
 }
 
 }  // namespace

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the serve bench metrics.
+
+Merges the per-bench ``--json`` outputs of ``bench_serve_throughput`` and
+``bench_serve_retrain`` into one ``BENCH_serve.json`` document (the perf
+trajectory artifact CI uploads per run) and compares every ``*_p95_us``
+metric against the checked-in baseline: a current value more than
+``--threshold`` (default 2.0) times its baseline fails the gate. Metrics
+missing from either side are reported but do not fail — the baseline is
+reseeded whenever the benches' metric set changes.
+
+Usage:
+  perf_gate.py merge  --out BENCH_serve.json IN.json [IN.json ...]
+  perf_gate.py check  --baseline BENCH_serve.json --current BENCH_serve.json \
+                      [--threshold 2.0]
+
+Stdlib only; exit code 0 = gate passed, 1 = regression, 2 = usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"perf_gate: cannot read {path}: {error}", file=sys.stderr)
+        sys.exit(2)
+
+
+def merge(args):
+    merged = {"benches": {}}
+    for path in args.inputs:
+        doc = load(path)
+        name = doc.get("bench")
+        metrics = doc.get("metrics")
+        if not isinstance(name, str) or not isinstance(metrics, dict):
+            print(f"perf_gate: {path} is not a bench metrics document", file=sys.stderr)
+            sys.exit(2)
+        merged["benches"][name] = metrics
+    try:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(merged, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    except OSError as error:
+        print(f"perf_gate: cannot write {args.out}: {error}", file=sys.stderr)
+        sys.exit(2)
+    print(f"perf_gate: wrote {args.out} ({len(merged['benches'])} benches)")
+
+
+def gated_metrics(doc):
+    """(bench, metric) -> value for every p95 metric in a merged document."""
+    out = {}
+    for bench, metrics in doc.get("benches", {}).items():
+        for key, value in metrics.items():
+            if key.endswith("_p95_us") and isinstance(value, (int, float)):
+                out[(bench, key)] = float(value)
+    return out
+
+
+def check(args):
+    baseline = gated_metrics(load(args.baseline))
+    current = gated_metrics(load(args.current))
+    if not baseline:
+        print(f"perf_gate: no *_p95_us metrics in baseline {args.baseline}", file=sys.stderr)
+        sys.exit(2)
+
+    failures = []
+    for key in sorted(baseline.keys() | current.keys()):
+        bench, metric = key
+        base = baseline.get(key)
+        cur = current.get(key)
+        if base is None or cur is None:
+            side = "baseline" if base is None else "current run"
+            print(f"  [skip] {bench}/{metric}: missing from the {side} "
+                  f"(reseed the baseline if the metric set changed)")
+            continue
+        ratio = cur / base if base > 0 else float("inf")
+        verdict = "FAIL" if ratio > args.threshold else "ok"
+        print(f"  [{verdict:>4}] {bench}/{metric}: {cur:.1f} vs baseline {base:.1f} "
+              f"({ratio:.2f}x, limit {args.threshold:.2f}x)")
+        if ratio > args.threshold:
+            failures.append(key)
+
+    if failures:
+        print(f"perf_gate: {len(failures)} p95 regression(s) beyond "
+              f"{args.threshold}x the checked-in baseline", file=sys.stderr)
+        sys.exit(1)
+    print("perf_gate: all p95 metrics within the regression budget")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    merge_cmd = commands.add_parser("merge", help="merge bench --json outputs")
+    merge_cmd.add_argument("--out", required=True)
+    merge_cmd.add_argument("inputs", nargs="+")
+    merge_cmd.set_defaults(run=merge)
+
+    check_cmd = commands.add_parser("check", help="gate current vs baseline")
+    check_cmd.add_argument("--baseline", required=True)
+    check_cmd.add_argument("--current", required=True)
+    check_cmd.add_argument("--threshold", type=float, default=2.0)
+    check_cmd.set_defaults(run=check)
+
+    args = parser.parse_args()
+    args.run(args)
+
+
+if __name__ == "__main__":
+    main()
