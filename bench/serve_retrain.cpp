@@ -20,7 +20,10 @@
 // p95 exceeds 2x steady-state, or the deployed model does not reduce mean
 // regret on the drifted slice. `--smoke` shrinks the workload for CI;
 // `--json <path>` additionally writes the headline metrics for the CI perf
-// trajectory (tools/perf_gate.py gates the p95 keys).
+// trajectory (tools/perf_gate.py gates the p95 keys). `--trace <path>`
+// enables request tracing for the whole run and writes a Chrome trace whose
+// retrain lifecycle spans (cycle, fine-tune, holdout, canary, swap) sit next
+// to the per-request serve spans — the picture of what a hot swap costs.
 #include <algorithm>
 #include <chrono>
 #include <iostream>
@@ -30,6 +33,8 @@
 
 #include "bench_common.hpp"
 #include "hwsim/cpu_model.hpp"
+#include "obs/probe.hpp"
+#include "obs/trace.hpp"
 #include "serve/service.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -141,19 +146,31 @@ int main(int argc, char** argv) {
   using namespace mga;
   bool smoke = false;
   std::string json_path;
+  std::string trace_path;
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
     if (arg == "--smoke") {
       smoke = true;
     } else if (arg == "--json" && a + 1 < argc) {
       json_path = argv[++a];
+    } else if (arg == "--trace" && a + 1 < argc) {
+      trace_path = argv[++a];
     } else {
-      std::cerr << "usage: " << argv[0] << " [--smoke] [--json <path>]\n";
+      std::cerr << "usage: " << argv[0] << " [--smoke] [--json <path>] [--trace <path>]\n";
       return 2;
     }
   }
   const std::size_t background_n = smoke ? 1200 : 6000;
   const auto pace = std::chrono::microseconds(smoke ? 250 : 200);
+  if (!trace_path.empty()) {
+    // Trace the whole run (both phases + the retrain lifecycle). Unlike the
+    // throughput bench there is no untraced twin here: this bench's bounds
+    // are ratios (drift p95 vs steady p95), both sides equally traced.
+    obs::ObsOptions obs_options;
+    obs_options.enabled = true;
+    obs_options.ring_capacity = std::size_t{1} << 16;
+    obs::configure(obs_options);
+  }
 
   std::cout << "training the tuner (8 loops x 5 inputs)...\n";
   auto registry = std::make_shared<serve::ModelRegistry>();
@@ -276,6 +293,32 @@ int main(int argc, char** argv) {
   serve::retrain::retrain_table(rstats).print(std::cout);
 
   bool ok = true;
+  if (!trace_path.empty()) {
+    obs::disable();
+    std::vector<obs::TraceSection> sections;
+    sections.push_back({"retrain", obs::TraceCollector::instance().snapshot()});
+    const obs::StageSummary summary = obs::summarize_stages(sections.front().events);
+    util::Table stage_table({"stage", "spans", "total ms", "mean us", "max us"});
+    for (std::size_t s = 0; s < obs::kNumStages; ++s) {
+      const obs::StageStats& stats = summary[s];
+      if (stats.count == 0) continue;
+      stage_table.add_row({obs::to_string(static_cast<obs::Stage>(s)),
+                           std::to_string(stats.count),
+                           util::fmt_double(stats.total_us / 1000.0),
+                           util::fmt_double(stats.total_us / static_cast<double>(stats.count)),
+                           util::fmt_double(stats.max_us)});
+    }
+    std::cout << "\ntraced stages (serve + retrain lifecycle):\n";
+    stage_table.print(std::cout);
+    std::cout << "\nlock contention:\n";
+    obs::contention_table().print(std::cout);
+    if (!obs::write_chrome_trace(trace_path, sections)) {
+      std::cerr << "FAIL: could not write trace to " << trace_path << "\n";
+      ok = false;
+    } else {
+      std::cout << "trace written to " << trace_path << " (load in Perfetto)\n";
+    }
+  }
   if (!swapped || rstats.swaps == 0 || rstats.canary_promoted == 0) {
     std::cerr << "\nFAIL: the drifted slice never produced a canary promotion (triggers="
               << rstats.triggers << ", canaries=" << rstats.canaries << ", rollbacks="

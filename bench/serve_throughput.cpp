@@ -23,6 +23,12 @@
 // `--smoke` runs only the sharded sweep on a smaller workload (the identity
 // and cache-locality assertions still gate the exit code) — CI uses it to
 // catch routing regressions that tank cache locality.
+//
+// `--trace <path>` re-runs the sharded sweep with request tracing enabled
+// and writes a combined Chrome trace (one Perfetto process group per shard
+// count), prints the per-stage latency breakdown, and asserts the two obs
+// contracts: the attributed stages cover >= 90% of mean request latency,
+// and tracing costs < 5% throughput vs the untraced run.
 #include <algorithm>
 #include <chrono>
 #include <iostream>
@@ -31,6 +37,8 @@
 #include <thread>
 
 #include "bench_common.hpp"
+#include "obs/probe.hpp"
+#include "obs/trace.hpp"
 #include "serve/service.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -127,7 +135,13 @@ int main(int argc, char** argv) {
 
   bool smoke = false;
   std::string json_path;
+  std::string trace_path;
   std::size_t num_requests = 0;  // 0 = mode default
+  const auto usage = [&] {
+    std::cerr << "usage: " << argv[0]
+              << " [--smoke] [--json <path>] [--trace <path>] [num_requests > 0]\n";
+    return 2;
+  };
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
     if (arg == "--smoke") {
@@ -135,11 +149,13 @@ int main(int argc, char** argv) {
       continue;
     }
     if (arg == "--json") {
-      if (a + 1 >= argc) {
-        std::cerr << "usage: " << argv[0] << " [--smoke] [--json <path>] [num_requests > 0]\n";
-        return 2;
-      }
+      if (a + 1 >= argc) return usage();
       json_path = argv[++a];
+      continue;
+    }
+    if (arg == "--trace") {
+      if (a + 1 >= argc) return usage();
+      trace_path = argv[++a];
       continue;
     }
     std::size_t parsed = 0;
@@ -147,13 +163,19 @@ int main(int argc, char** argv) {
       parsed = std::stoul(arg);
     } catch (const std::exception&) {
     }
-    if (parsed == 0) {
-      std::cerr << "usage: " << argv[0] << " [--smoke] [--json <path>] [num_requests > 0]\n";
-      return 2;
-    }
+    if (parsed == 0) return usage();
     num_requests = parsed;
   }
   if (num_requests == 0) num_requests = smoke ? 2000 : 10000;
+  if (!trace_path.empty()) {
+    // Size the rings for the full run up front (the facade thread records
+    // two spans per request into one ring); tracing stays *disabled* until
+    // the traced re-runs so the baseline numbers are the untraced service.
+    obs::ObsOptions obs_options;
+    obs_options.enabled = false;
+    obs_options.ring_capacity = std::size_t{1} << 16;
+    obs::configure(obs_options);
+  }
 
   std::cout << "training the tuner (8 loops x 5 inputs)...\n";
   auto registry = std::make_shared<serve::ModelRegistry>();
@@ -273,6 +295,96 @@ int main(int argc, char** argv) {
                 << " kernels — repeat traffic is not finding its home shard's cache\n";
       ok = false;
     }
+  }
+
+  // --- traced sweep: re-run each shard count with obs enabled ---------------
+  // The baseline runs above stay untraced (they feed the perf-gate metrics);
+  // each traced re-run becomes one Perfetto process group in the combined
+  // trace, and its per-request stage spans must (a) cover >= 90% of mean
+  // request latency and (b) cost < 5% throughput vs its untraced twin.
+  struct TracedRun {
+    std::size_t shards = 1;
+    double base_seconds = 0.0;
+    RunOutput out;
+    obs::StageSummary summary{};
+  };
+  // Per-request attribution partitions latency_us into exactly these stages
+  // (cache-lookup and feature-extract are alternatives: one span per
+  // request). kSubmit/kRoute/kDequeue/kPublish overlap them or sit outside
+  // latency_us, so they are trace-visible but never attributed.
+  constexpr obs::Stage kAttributed[] = {obs::Stage::kQueueWait, obs::Stage::kCacheLookup,
+                                        obs::Stage::kFeatureExtract, obs::Stage::kProfile,
+                                        obs::Stage::kForward};
+  std::vector<TracedRun> traced_runs;
+  if (!trace_path.empty()) {
+    std::vector<obs::TraceSection> sections;
+    for (const ShardRun& base : shard_runs) {
+      serve::ServeOptions sharded = options;
+      sharded.shards = base.shards;
+      obs::TraceCollector::instance().clear();
+      obs::enable();
+      TracedRun traced;
+      traced.out = run_service(registry, sharded, requests);
+      obs::disable();
+      traced.shards = base.shards;
+      traced.base_seconds = base.out.seconds;
+      std::vector<obs::TraceEvent> events = obs::TraceCollector::instance().snapshot();
+      traced.summary = obs::summarize_stages(events);
+      mismatches += count_mismatches(traced.out.results, expected);
+      sections.push_back({"shards" + std::to_string(base.shards), std::move(events)});
+      traced_runs.push_back(std::move(traced));
+    }
+    if (!obs::write_chrome_trace(trace_path, sections)) {
+      std::cerr << "FAIL: could not write trace to " << trace_path << "\n";
+      ok = false;
+    }
+
+    util::Table breakdown({"shards", "stage", "spans", "mean us/req", "share of latency"});
+    for (const TracedRun& traced : traced_runs) {
+      double latency_total_us = 0.0;
+      for (const serve::TuneResult& result : traced.out.results)
+        latency_total_us += result.latency_us;
+      double attributed_us = 0.0;
+      obs::Stage dominant = obs::Stage::kForward;
+      double dominant_us = -1.0;
+      for (const obs::Stage stage : kAttributed) {
+        const obs::StageStats& s = traced.summary[static_cast<std::size_t>(stage)];
+        attributed_us += s.total_us;
+        if (s.total_us > dominant_us) {
+          dominant_us = s.total_us;
+          dominant = stage;
+        }
+        breakdown.add_row({std::to_string(traced.shards), obs::to_string(stage),
+                           std::to_string(s.count), util::fmt_double(s.total_us / n),
+                           util::fmt_percent(s.total_us / latency_total_us)});
+      }
+      const double coverage = attributed_us / latency_total_us;
+      std::cout << "\nshards=" << traced.shards << ": dominant serialized stage is "
+                << obs::to_string(dominant) << " ("
+                << util::fmt_percent(dominant_us / latency_total_us)
+                << " of total request latency), stage coverage "
+                << util::fmt_percent(coverage) << "\n";
+      if (coverage < 0.90) {
+        std::cerr << "FAIL: " << traced.shards << "-shard traced run attributed only "
+                  << util::fmt_percent(coverage)
+                  << " of request latency to stage spans (need >= 90%)\n";
+        ok = false;
+      }
+      // < 5% throughput cost, plus a small absolute allowance so sub-second
+      // smoke runs don't fail on scheduler noise.
+      if (traced.out.seconds > 1.05 * traced.base_seconds + 0.15) {
+        std::cerr << "FAIL: tracing cost " << traced.shards << "-shard run "
+                  << util::fmt_percent(traced.out.seconds / traced.base_seconds - 1.0)
+                  << " throughput (" << util::fmt_double(traced.base_seconds) << "s -> "
+                  << util::fmt_double(traced.out.seconds) << "s); budget is 5%\n";
+        ok = false;
+      }
+    }
+    std::cout << "\nper-stage latency breakdown (traced runs):\n";
+    breakdown.print(std::cout);
+    std::cout << "\nlock contention (traced runs):\n";
+    obs::contention_table().print(std::cout);
+    std::cout << "trace written to " << trace_path << " (load in Perfetto)\n";
   }
 
   double tiered_int_p95 = 0.0, untiered_int_p95 = 0.0;
@@ -406,6 +518,16 @@ int main(int argc, char** argv) {
       metrics.emplace_back(prefix + "_seconds", run.out.seconds);
       metrics.emplace_back(prefix + "_requests_per_s", n / run.out.seconds);
       metrics.emplace_back(prefix + "_p95_us", percentile_us(std::move(latencies), 0.95));
+    }
+    // Stage means ride along (perf_gate gates only *_p95_us, but prints
+    // the *_stage_* rows on a failure so the regression names its stage).
+    for (const TracedRun& traced : traced_runs) {
+      const std::string prefix = "shards" + std::to_string(traced.shards);
+      for (const obs::Stage stage : kAttributed) {
+        const obs::StageStats& s = traced.summary[static_cast<std::size_t>(stage)];
+        metrics.emplace_back(prefix + "_stage_" + obs::to_string(stage) + "_mean_us",
+                             s.total_us / n);
+      }
     }
     if (!smoke) {
       metrics.emplace_back("tiered_interactive_p95_us", tiered_int_p95);

@@ -16,7 +16,10 @@
 //     queue-wait/compute latency split), cancel a request that is no longer
 //     needed,
 //  4. print the service telemetry table — per-tier counters plus the
-//     per-shard breakdown (routing balance and per-shard cache locality),
+//     per-shard breakdown (routing balance and per-shard cache locality) —
+//     then the observability extras: the lock-contention table (which lock
+//     class serialized the run) and a Chrome trace of every request's
+//     lifecycle spans, loadable in Perfetto (see DESIGN.md §9),
 //  5. drift demo: shift the workload mix onto kernels the model mispredicts
 //     and watch the online-retraining loop (observation log → drift monitor
 //     → fine-tune → validate → canary rollout → promote) drive regret back
@@ -30,6 +33,9 @@
 #include <thread>
 
 #include "hwsim/cpu_model.hpp"
+#include "obs/options.hpp"
+#include "obs/probe.hpp"
+#include "obs/trace.hpp"
 #include "serve/service.hpp"
 #include "util/table.hpp"
 
@@ -65,6 +71,13 @@ int main() {
   serve_options.adaptive_linger = true;  // ...but never longer than the
   // kernel's observed arrival rate justifies (cold kernels skip the window).
   serve::TuningService service(registry, serve_options);
+
+  // Observability on: every submitted request gets a trace id and its
+  // lifecycle spans land in the per-thread rings; every probed lock site
+  // starts attributing its waits. Costs nothing until this call.
+  obs::ObsOptions obs_options;
+  obs_options.enabled = true;
+  obs::configure(obs_options);
 
   // --- 2. async submission ---------------------------------------------------
   struct Submitted {
@@ -184,6 +197,19 @@ int main() {
   std::cout << "\ncache entries across shards: " << total_entries
             << " (no kernel cached twice: aggregate says " << stats.cache.entries << ")\n";
   service.shutdown();
+
+  // Observability harvest: which lock class serialized the run, and the full
+  // request-lifecycle trace. Load trace_example.json in Perfetto
+  // (https://ui.perfetto.dev) or run `tools/trace_report.py` on it.
+  obs::disable();
+  std::cout << "\nlock contention by site (waits attributed per lock class):\n";
+  obs::contention_table().print(std::cout);
+  const std::vector<obs::TraceEvent> trace_events = obs::TraceCollector::instance().snapshot();
+  if (obs::write_chrome_trace("trace_example.json", {{"serve", trace_events}}))
+    std::cout << "\nwrote " << trace_events.size()
+              << " lifecycle spans to trace_example.json (load in Perfetto)\n";
+  obs::TraceCollector::instance().clear();
+  obs::reset_contention();
 
   // --- 5. drift + online retraining ------------------------------------------
   // The comet-lake tuner trained on 10 loops; serve it a workload that

@@ -1,0 +1,91 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mga::obs {
+
+std::size_t LatencyHistogram::bucket_index(double value_us) noexcept {
+  if (!(value_us >= 1.0)) return 0;  // also catches NaN
+  // floor(kSubBuckets * log2(v)) + 1; frexp keeps the octave exact so only the
+  // sub-bucket position goes through floating log2.
+  int exponent = 0;
+  const double mantissa = std::frexp(value_us, &exponent);  // v = m * 2^e, m in [0.5, 1)
+  const int octave = exponent - 1;                          // floor(log2(v))
+  if (octave >= static_cast<int>(kOctaves)) return kNumBuckets - 1;
+  // log2(m) in [-1, 0) → sub-bucket in [0, kSubBuckets).
+  const int sub = std::min(
+      static_cast<int>(kSubBuckets) - 1,
+      static_cast<int>(static_cast<double>(kSubBuckets) * (std::log2(mantissa) + 1.0)));
+  return 1 + static_cast<std::size_t>(octave) * kSubBuckets + static_cast<std::size_t>(sub);
+}
+
+double LatencyHistogram::bucket_lower(std::size_t index) noexcept {
+  if (index == 0) return 0.0;
+  if (index >= kNumBuckets - 1) {
+    return std::exp2(static_cast<double>(kOctaves));
+  }
+  return std::exp2(static_cast<double>(index - 1) / static_cast<double>(kSubBuckets));
+}
+
+double LatencyHistogram::bucket_upper(std::size_t index) noexcept {
+  if (index == 0) return 1.0;
+  if (index >= kNumBuckets - 1) return std::numeric_limits<double>::infinity();
+  return std::exp2(static_cast<double>(index) / static_cast<double>(kSubBuckets));
+}
+
+void LatencyHistogram::record(double value_us) noexcept {
+  counts_[bucket_index(value_us)] += 1;
+  if (count_ == 0) {
+    min_ = value_us;
+    max_ = value_us;
+  } else {
+    min_ = std::min(min_, value_us);
+    max_ = std::max(max_, value_us);
+  }
+  count_ += 1;
+  sum_ += value_us;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) counts_[i] += other.counts_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double LatencyHistogram::percentile(double p) const noexcept {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // The extremes are tracked exactly; bucket interpolation cannot beat them.
+  if (p == 0.0) return min_;
+  if (p == 1.0) return max_;
+  // Nearest-rank target (1-based), then linear interpolation across the
+  // bucket's span by the target's position among that bucket's samples.
+  const double target = p * static_cast<double>(count_ - 1) + 1.0;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    if (counts_[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts_[i];
+    if (static_cast<double>(cumulative) >= target) {
+      const double in_bucket = static_cast<double>(counts_[i]);
+      const double frac = std::clamp((target - before) / in_bucket, 0.0, 1.0);
+      const double lower = bucket_lower(i);
+      const double upper =
+          (i >= kNumBuckets - 1) ? max_ : bucket_upper(i);  // overflow: cap at exact max
+      return std::clamp(lower + (upper - lower) * frac, min_, max_);
+    }
+  }
+  return max_;
+}
+
+}  // namespace mga::obs

@@ -1,0 +1,63 @@
+// Fixed-bucket log-scale latency histogram.
+//
+// Replaces the serve stats' raw latency windows: a window truncated at N
+// samples under-weights busy shards when pooled across shards, whereas
+// histograms merge *exactly* (bucket counts add) in bounded memory, so the
+// facade's cross-shard p50/p95/p99 weight every completion equally no matter
+// how lopsided the per-shard load is.
+//
+// Bucket layout: bucket 0 holds values < 1 us; above that, buckets grow
+// geometrically by 2^(1/4) (four sub-buckets per octave) across 36 octaves
+// (1 us .. ~2^36 us ≈ 19 h), and one final bucket absorbs overflow. A
+// reported percentile is therefore within one bucket width (< 19% relative)
+// of the exact order statistic; exact count/sum/min/max are tracked on the
+// side so means and extremes stay precise.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace mga::obs {
+
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kSubBuckets = 4;   // per octave → 2^(1/4) growth
+  static constexpr std::size_t kOctaves = 36;     // [1 us, 2^36 us)
+  // [0] underflow (< 1 us), [1 .. kSubBuckets*kOctaves] log-scale, [last] overflow.
+  static constexpr std::size_t kNumBuckets = 2 + kSubBuckets * kOctaves;
+
+  /// Index of the bucket containing `value_us` (negatives clamp to bucket 0).
+  [[nodiscard]] static std::size_t bucket_index(double value_us) noexcept;
+  /// Inclusive lower / exclusive upper bound of a bucket, in microseconds.
+  [[nodiscard]] static double bucket_lower(std::size_t index) noexcept;
+  [[nodiscard]] static double bucket_upper(std::size_t index) noexcept;
+
+  void record(double value_us) noexcept;
+
+  /// Exact merge: bucket counts and side stats add. Associative + commutative.
+  void merge(const LatencyHistogram& other) noexcept;
+
+  /// Percentile (p in [0, 1]) interpolated within the bucket holding the
+  /// nearest-rank sample, clamped to the exact [min, max]. 0 when empty.
+  [[nodiscard]] double percentile(double p) const noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept { return count_ == 0 ? 0.0 : sum_ / count_; }
+  [[nodiscard]] double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t index) const noexcept {
+    return counts_[index];
+  }
+
+ private:
+  std::array<std::uint64_t, kNumBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace mga::obs

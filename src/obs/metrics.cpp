@@ -1,0 +1,133 @@
+#include "obs/metrics.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace mga::obs {
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; map everything else to '_'.
+std::string prometheus_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+void append_json_escaped(std::ostringstream& os, const std::string& text) {
+  for (const char c : text) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+}  // namespace
+
+MetricsRegistry::Instrument& MetricsRegistry::intern(const std::string& name,
+                                                     const std::string& help, Kind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = instruments_.try_emplace(name);
+  Instrument& instrument = it->second;
+  if (inserted) {
+    instrument.kind = kind;
+    instrument.help = help;
+    switch (kind) {
+      case Kind::kCounter: instrument.counter = std::make_unique<Counter>(); break;
+      case Kind::kGauge: instrument.gauge = std::make_unique<Gauge>(); break;
+      case Kind::kHistogram: instrument.histogram = std::make_unique<HistogramMetric>(); break;
+    }
+  } else {
+    MGA_CHECK_MSG(instrument.kind == kind,
+                  "MetricsRegistry: instrument '" + name + "' re-registered as another kind");
+  }
+  return instrument;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const std::string& help) {
+  return *intern(name, help, Kind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help) {
+  return *intern(name, help, Kind::kGauge).gauge;
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name, const std::string& help) {
+  return *intern(name, help, Kind::kHistogram).histogram;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, instrument] : instruments_) {
+    if (instrument.kind != Kind::kCounter) continue;
+    os << (first ? "" : ",") << '"';
+    append_json_escaped(os, name);
+    os << "\":" << instrument.counter->value();
+    first = false;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, instrument] : instruments_) {
+    if (instrument.kind != Kind::kGauge) continue;
+    os << (first ? "" : ",") << '"';
+    append_json_escaped(os, name);
+    os << "\":" << instrument.gauge->value();
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, instrument] : instruments_) {
+    if (instrument.kind != Kind::kHistogram) continue;
+    const LatencyHistogram hist = instrument.histogram->snapshot();
+    os << (first ? "" : ",") << '"';
+    append_json_escaped(os, name);
+    os << "\":{\"count\":" << hist.count() << ",\"sum\":" << hist.sum()
+       << ",\"min\":" << hist.min() << ",\"max\":" << hist.max()
+       << ",\"p50\":" << hist.percentile(0.50) << ",\"p95\":" << hist.percentile(0.95)
+       << ",\"p99\":" << hist.percentile(0.99) << "}";
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  for (const auto& [name, instrument] : instruments_) {
+    const std::string prom = prometheus_name(name);
+    if (!instrument.help.empty()) {
+      os << "# HELP " << prom << " " << instrument.help << "\n";
+    }
+    switch (instrument.kind) {
+      case Kind::kCounter:
+        os << "# TYPE " << prom << " counter\n";
+        os << prom << " " << instrument.counter->value() << "\n";
+        break;
+      case Kind::kGauge:
+        os << "# TYPE " << prom << " gauge\n";
+        os << prom << " " << instrument.gauge->value() << "\n";
+        break;
+      case Kind::kHistogram: {
+        const LatencyHistogram hist = instrument.histogram->snapshot();
+        os << "# TYPE " << prom << " summary\n";
+        os << prom << "{quantile=\"0.5\"} " << hist.percentile(0.50) << "\n";
+        os << prom << "{quantile=\"0.95\"} " << hist.percentile(0.95) << "\n";
+        os << prom << "{quantile=\"0.99\"} " << hist.percentile(0.99) << "\n";
+        os << prom << "_sum " << hist.sum() << "\n";
+        os << prom << "_count " << hist.count() << "\n";
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace mga::obs

@@ -1,0 +1,94 @@
+// MetricsRegistry: named counter / gauge / histogram instruments with JSON
+// and Prometheus-text exposition.
+//
+// Instruments are interned by name and live as long as the registry, so hot
+// paths hold a pointer and update relaxed atomics; exposition walks the
+// registry under its registration mutex. Histograms wrap the same
+// LatencyHistogram the serve stats use, so a scraped histogram merges
+// exactly with any other shard's scrape.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/histogram.hpp"
+
+namespace mga::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double value) noexcept { value_.store(value, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+class HistogramMetric {
+ public:
+  void record(double value_us) noexcept {
+    std::lock_guard<std::mutex> lock(mutex_);
+    histogram_.record(value_us);
+  }
+  void merge(const LatencyHistogram& other) noexcept {
+    std::lock_guard<std::mutex> lock(mutex_);
+    histogram_.merge(other);
+  }
+  [[nodiscard]] LatencyHistogram snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return histogram_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  LatencyHistogram histogram_;
+};
+
+class MetricsRegistry {
+ public:
+  /// Intern by name; repeated calls with the same name return the same
+  /// instrument. A name may hold only one instrument kind (checked).
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  HistogramMetric& histogram(const std::string& name, const std::string& help = "");
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,max,
+  /// p50,p95,p99}}}
+  [[nodiscard]] std::string to_json() const;
+
+  /// Prometheus text exposition (counter/gauge samples plus histogram
+  /// quantile summaries as <name>{quantile="..."} lines).
+  [[nodiscard]] std::string to_prometheus() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Instrument {
+    Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<HistogramMetric> histogram;
+  };
+
+  Instrument& intern(const std::string& name, const std::string& help, Kind kind);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Instrument> instruments_;
+};
+
+}  // namespace mga::obs

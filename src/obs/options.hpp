@@ -1,0 +1,38 @@
+// Global enable switch for the observability layer (mga::obs).
+//
+// Every span-emission and probe site in the serve stack guards itself with
+// `obs::enabled()` — a single relaxed atomic load and branch. When the flag is
+// off (the default) the layer costs that one branch and nothing else: no
+// locks, no clock reads, no allocations. Flipping it on at runtime arms
+// request tracing (trace.hpp) and lock-contention probes (probe.hpp) without
+// a rebuild; benches flip it per run to measure the enabled-vs-disabled cost.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+namespace mga::obs {
+
+struct ObsOptions {
+  /// Arm span emission and contention timing.
+  bool enabled = false;
+  /// Per-thread trace ring capacity in events (power of two recommended).
+  std::size_t ring_capacity = 1u << 15;
+};
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// One relaxed load + branch; this is the only cost a disabled span site pays.
+[[nodiscard]] inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+void enable() noexcept;
+void disable() noexcept;
+
+/// Apply the whole options struct (flag + default ring capacity).
+void configure(const ObsOptions& options) noexcept;
+
+}  // namespace mga::obs

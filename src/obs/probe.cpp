@@ -1,0 +1,162 @@
+#include "obs/probe.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+
+#include "util/table.hpp"
+
+namespace mga::obs {
+
+namespace {
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<SiteStats>> sites;
+};
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+[[nodiscard]] std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+void note_wait(SiteStats& stats, std::uint64_t wait_ns) noexcept {
+  stats.contended.fetch_add(1, std::memory_order_relaxed);
+  stats.total_wait_ns.fetch_add(wait_ns, std::memory_order_relaxed);
+  std::uint64_t seen = stats.max_wait_ns.load(std::memory_order_relaxed);
+  while (wait_ns > seen &&
+         !stats.max_wait_ns.compare_exchange_weak(seen, wait_ns, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+SiteStats* register_site(const char* site) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::unique_ptr<SiteStats>& slot = reg.sites[site];
+  if (!slot) slot = std::make_unique<SiteStats>();
+  return slot.get();
+}
+
+std::vector<ContentionSnapshot> contention_snapshot() {
+  Registry& reg = registry();
+  std::vector<ContentionSnapshot> out;
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  out.reserve(reg.sites.size());
+  for (const auto& [name, stats] : reg.sites) {
+    ContentionSnapshot row;
+    row.site = name;
+    row.acquisitions = stats->acquisitions.load(std::memory_order_relaxed);
+    row.shared_acquisitions = stats->shared_acquisitions.load(std::memory_order_relaxed);
+    row.contended = stats->contended.load(std::memory_order_relaxed);
+    row.total_wait_us =
+        static_cast<double>(stats->total_wait_ns.load(std::memory_order_relaxed)) / 1000.0;
+    row.max_wait_us =
+        static_cast<double>(stats->max_wait_ns.load(std::memory_order_relaxed)) / 1000.0;
+    out.push_back(std::move(row));
+  }
+  std::sort(out.begin(), out.end(), [](const ContentionSnapshot& a, const ContentionSnapshot& b) {
+    return a.total_wait_us != b.total_wait_us ? a.total_wait_us > b.total_wait_us
+                                              : a.site < b.site;
+  });
+  return out;
+}
+
+void reset_contention() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& [name, stats] : reg.sites) {
+    (void)name;
+    stats->acquisitions.store(0, std::memory_order_relaxed);
+    stats->shared_acquisitions.store(0, std::memory_order_relaxed);
+    stats->contended.store(0, std::memory_order_relaxed);
+    stats->total_wait_ns.store(0, std::memory_order_relaxed);
+    stats->max_wait_ns.store(0, std::memory_order_relaxed);
+  }
+}
+
+util::Table contention_table() {
+  util::Table table({"lock site", "acquisitions", "shared", "contended", "contended %",
+                     "total wait (ms)", "max wait (us)"});
+  for (const ContentionSnapshot& row : contention_snapshot()) {
+    const std::uint64_t total = row.acquisitions + row.shared_acquisitions;
+    table.add_row({row.site, std::to_string(row.acquisitions),
+                   std::to_string(row.shared_acquisitions), std::to_string(row.contended),
+                   util::fmt_percent(total == 0 ? 0.0
+                                                : static_cast<double>(row.contended) /
+                                                      static_cast<double>(total)),
+                   util::fmt_double(row.total_wait_us / 1000.0, 3),
+                   util::fmt_double(row.max_wait_us, 1)});
+  }
+  return table;
+}
+
+void ProbedMutex::lock() {
+  if (!obs::enabled()) {
+    mutex_.lock();
+    return;
+  }
+  stats_->acquisitions.fetch_add(1, std::memory_order_relaxed);
+  if (mutex_.try_lock()) return;  // uncontended: no clock reads
+  const std::uint64_t start = now_ns();
+  mutex_.lock();
+  note_wait(*stats_, now_ns() - start);
+}
+
+bool ProbedMutex::try_lock() {
+  const bool locked = mutex_.try_lock();
+  if (locked && obs::enabled()) {
+    stats_->acquisitions.fetch_add(1, std::memory_order_relaxed);
+  }
+  return locked;
+}
+
+void ProbedSharedMutex::lock() {
+  if (!obs::enabled()) {
+    mutex_.lock();
+    return;
+  }
+  stats_->acquisitions.fetch_add(1, std::memory_order_relaxed);
+  if (mutex_.try_lock()) return;
+  const std::uint64_t start = now_ns();
+  mutex_.lock();
+  note_wait(*stats_, now_ns() - start);
+}
+
+bool ProbedSharedMutex::try_lock() {
+  const bool locked = mutex_.try_lock();
+  if (locked && obs::enabled()) {
+    stats_->acquisitions.fetch_add(1, std::memory_order_relaxed);
+  }
+  return locked;
+}
+
+void ProbedSharedMutex::lock_shared() {
+  if (!obs::enabled()) {
+    mutex_.lock_shared();
+    return;
+  }
+  stats_->shared_acquisitions.fetch_add(1, std::memory_order_relaxed);
+  if (mutex_.try_lock_shared()) return;
+  const std::uint64_t start = now_ns();
+  mutex_.lock_shared();
+  note_wait(*stats_, now_ns() - start);
+}
+
+bool ProbedSharedMutex::try_lock_shared() {
+  const bool locked = mutex_.try_lock_shared();
+  if (locked && obs::enabled()) {
+    stats_->shared_acquisitions.fetch_add(1, std::memory_order_relaxed);
+  }
+  return locked;
+}
+
+}  // namespace mga::obs

@@ -1,0 +1,111 @@
+// Lock-contention probes: drop-in mutex wrappers that count acquisitions and
+// time lock waits per *named site*, the DPCP-style "blocking time per lock"
+// view the serve stack lacked. Sites sharing a name (e.g. every FeatureCache
+// shard constructs its ProbedMutex as "feature_cache.shard") aggregate into
+// one row of `contention_table()`, so the table reads as "which lock class
+// serializes the stack", not "which of 64 instances".
+//
+// Cost model: with obs disabled a probed lock is exactly the wrapped lock
+// plus one relaxed load + branch. Enabled, the uncontended path is a
+// try_lock + two relaxed counter bumps; only the contended path reads the
+// clock (twice) to attribute wait time. Site stats are plain relaxed
+// atomics — the probes themselves never add a lock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "obs/options.hpp"
+
+namespace mga::util {
+class Table;
+}  // namespace mga::util
+
+namespace mga::obs {
+
+/// Aggregated stats for one named lock site; all counters relaxed atomics.
+struct SiteStats {
+  std::atomic<std::uint64_t> acquisitions{0};         // exclusive locks taken
+  std::atomic<std::uint64_t> shared_acquisitions{0};  // shared locks taken
+  std::atomic<std::uint64_t> contended{0};            // acquisitions that waited
+  std::atomic<std::uint64_t> total_wait_ns{0};
+  std::atomic<std::uint64_t> max_wait_ns{0};
+};
+
+/// Intern a site name → stats row (process-wide registry; same name shares
+/// one row). Cold path: called once per probed-mutex construction.
+[[nodiscard]] SiteStats* register_site(const char* site);
+
+struct ContentionSnapshot {
+  std::string site;
+  std::uint64_t acquisitions = 0;
+  std::uint64_t shared_acquisitions = 0;
+  std::uint64_t contended = 0;
+  double total_wait_us = 0.0;
+  double max_wait_us = 0.0;
+};
+
+/// Rows sorted by total wait, descending.
+[[nodiscard]] std::vector<ContentionSnapshot> contention_snapshot();
+
+/// Zero every site's counters (sites stay registered).
+void reset_contention();
+
+/// Rendered view of contention_snapshot() for bench / example output.
+[[nodiscard]] util::Table contention_table();
+
+/// std::mutex wrapper satisfying Lockable, so std::lock_guard /
+/// std::unique_lock<obs::ProbedMutex> work unchanged at call sites.
+class ProbedMutex {
+ public:
+  explicit ProbedMutex(const char* site) : stats_(register_site(site)) {}
+  ProbedMutex(const ProbedMutex&) = delete;
+  ProbedMutex& operator=(const ProbedMutex&) = delete;
+
+  void lock();
+  bool try_lock();
+  void unlock() { mutex_.unlock(); }
+
+  /// The wrapped mutex, for std::condition_variable waits. Wait-side
+  /// re-acquisitions bypass the probe (uncounted) by design; the initial
+  /// acquisition should go through lock_unique().
+  [[nodiscard]] std::mutex& native() noexcept { return mutex_; }
+
+  /// Timed acquisition returning a lock that adopts the native mutex —
+  /// drop-in for `std::unique_lock<std::mutex> lock(m)` at cv call sites.
+  [[nodiscard]] std::unique_lock<std::mutex> lock_unique() {
+    lock();
+    return std::unique_lock<std::mutex>(mutex_, std::adopt_lock);
+  }
+
+ private:
+  std::mutex mutex_;
+  SiteStats* stats_;
+};
+
+/// std::shared_mutex wrapper satisfying SharedLockable; reader/writer
+/// acquisitions are counted separately.
+class ProbedSharedMutex {
+ public:
+  explicit ProbedSharedMutex(const char* site) : stats_(register_site(site)) {}
+  ProbedSharedMutex(const ProbedSharedMutex&) = delete;
+  ProbedSharedMutex& operator=(const ProbedSharedMutex&) = delete;
+
+  void lock();
+  bool try_lock();
+  void unlock() { mutex_.unlock(); }
+
+  void lock_shared();
+  bool try_lock_shared();
+  void unlock_shared() { mutex_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mutex_;
+  SiteStats* stats_;
+};
+
+}  // namespace mga::obs

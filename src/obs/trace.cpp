@@ -1,0 +1,269 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <set>
+#include <utility>
+
+namespace mga::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+// Default capacity for rings created by TraceCollector::instance(); set via
+// configure() before the first traced span.
+std::atomic<std::size_t> g_default_ring_capacity{ObsOptions{}.ring_capacity};
+// Collector ids are never reused, so a thread-local (collector id → ring)
+// cache can outlive a destroyed collector without ever dereferencing it.
+std::atomic<std::uint64_t> g_next_collector_id{1};
+
+struct TlsRingCache {
+  std::uint64_t collector_id = 0;
+  void* ring = nullptr;
+};
+thread_local TlsRingCache t_ring_cache;
+}  // namespace
+
+void enable() noexcept { detail::g_enabled.store(true, std::memory_order_relaxed); }
+void disable() noexcept { detail::g_enabled.store(false, std::memory_order_relaxed); }
+
+void configure(const ObsOptions& options) noexcept {
+  g_default_ring_capacity.store(options.ring_capacity == 0 ? 1 : options.ring_capacity,
+                                std::memory_order_relaxed);
+  detail::g_enabled.store(options.enabled, std::memory_order_relaxed);
+}
+
+const char* to_string(Stage stage) noexcept {
+  switch (stage) {
+    case Stage::kSubmit: return "submit";
+    case Stage::kRoute: return "route";
+    case Stage::kQueueWait: return "queue_wait";
+    case Stage::kDequeue: return "dequeue";
+    case Stage::kCacheLookup: return "cache_lookup";
+    case Stage::kFeatureExtract: return "feature_extract";
+    case Stage::kProfile: return "profile";
+    case Stage::kForward: return "forward";
+    case Stage::kPublish: return "publish";
+    case Stage::kRetrainCycle: return "retrain_cycle";
+    case Stage::kRetrainFineTune: return "retrain_fine_tune";
+    case Stage::kRetrainHoldout: return "retrain_holdout";
+    case Stage::kRetrainCanary: return "retrain_canary";
+    case Stage::kRetrainSwap: return "retrain_swap";
+    case Stage::kRetrainRollback: return "retrain_rollback";
+  }
+  return "unknown";
+}
+
+struct TraceCollector::Ring {
+  // Per-slot seqlock: odd seq = write in progress. Payload words are relaxed
+  // atomics so a concurrent snapshot reader is race-free; the seq re-check
+  // rejects torn cross-word reads.
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> request_id{0};
+    std::atomic<std::uint64_t> start_ns{0};
+    std::atomic<std::uint64_t> dur_ns{0};
+    std::atomic<std::uint32_t> shard{0};
+    std::atomic<std::uint32_t> stage{0};
+  };
+
+  Ring(std::size_t capacity, std::uint32_t tid_ordinal)
+      : slots(capacity), tid(tid_ordinal) {}
+
+  std::vector<Slot> slots;
+  std::atomic<std::uint64_t> head{0};  // next write position, monotone
+  const std::uint32_t tid;
+};
+
+TraceCollector::TraceCollector(std::size_t ring_capacity)
+    : ring_capacity_(ring_capacity == 0 ? 1 : ring_capacity),
+      collector_id_(g_next_collector_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+TraceCollector::~TraceCollector() = default;
+
+TraceCollector& TraceCollector::instance() {
+  static TraceCollector collector(g_default_ring_capacity.load(std::memory_order_relaxed));
+  return collector;
+}
+
+std::uint64_t TraceCollector::now_ns() const noexcept {
+  return to_ns(std::chrono::steady_clock::now());
+}
+
+std::uint64_t TraceCollector::to_ns(std::chrono::steady_clock::time_point tp) const noexcept {
+  if (tp <= epoch_) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(tp - epoch_).count());
+}
+
+TraceCollector::Ring* TraceCollector::ring_for_this_thread() {
+  if (t_ring_cache.collector_id == collector_id_) {
+    return static_cast<Ring*>(t_ring_cache.ring);
+  }
+  std::lock_guard<std::mutex> lock(rings_mutex_);
+  rings_.push_back(
+      std::make_unique<Ring>(ring_capacity_, static_cast<std::uint32_t>(rings_.size())));
+  Ring* ring = rings_.back().get();
+  t_ring_cache = {collector_id_, ring};
+  return ring;
+}
+
+void TraceCollector::record(std::uint64_t request_id, Stage stage, std::uint32_t shard,
+                            std::uint64_t start_ns, std::uint64_t dur_ns) noexcept {
+  Ring* ring = ring_for_this_thread();
+  const std::uint64_t pos = ring->head.load(std::memory_order_relaxed);
+  Ring::Slot& slot = ring->slots[pos % ring->slots.size()];
+  const std::uint64_t seq = slot.seq.load(std::memory_order_relaxed);
+  slot.seq.store(seq + 1, std::memory_order_relaxed);  // odd: in progress
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.request_id.store(request_id, std::memory_order_relaxed);
+  slot.start_ns.store(start_ns, std::memory_order_relaxed);
+  slot.dur_ns.store(dur_ns, std::memory_order_relaxed);
+  slot.shard.store(shard, std::memory_order_relaxed);
+  slot.stage.store(static_cast<std::uint32_t>(stage), std::memory_order_relaxed);
+  slot.seq.store(seq + 2, std::memory_order_release);
+  ring->head.store(pos + 1, std::memory_order_release);
+}
+
+void TraceCollector::clear() noexcept {
+  std::lock_guard<std::mutex> lock(rings_mutex_);
+  for (const auto& ring : rings_) ring->head.store(0, std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> TraceCollector::snapshot() const {
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> lock(rings_mutex_);
+  for (const auto& ring : rings_) {
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t cap = ring->slots.size();
+    const std::uint64_t count = std::min<std::uint64_t>(head, cap);
+    for (std::uint64_t i = head - count; i < head; ++i) {
+      const Ring::Slot& slot = ring->slots[i % cap];
+      for (int attempt = 0; attempt < 4; ++attempt) {
+        const std::uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+        if (s1 & 1) continue;  // write in progress
+        TraceEvent event;
+        event.request_id = slot.request_id.load(std::memory_order_relaxed);
+        event.start_ns = slot.start_ns.load(std::memory_order_relaxed);
+        event.dur_ns = slot.dur_ns.load(std::memory_order_relaxed);
+        event.shard = slot.shard.load(std::memory_order_relaxed);
+        event.stage = static_cast<Stage>(slot.stage.load(std::memory_order_relaxed));
+        event.tid = ring->tid;
+        std::atomic_thread_fence(std::memory_order_acquire);
+        if (slot.seq.load(std::memory_order_relaxed) != s1) continue;  // torn; retry
+        out.push_back(event);
+        break;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    return a.start_ns != b.start_ns ? a.start_ns < b.start_ns : a.request_id < b.request_id;
+  });
+  return out;
+}
+
+std::uint64_t TraceCollector::recorded() const noexcept {
+  std::lock_guard<std::mutex> lock(rings_mutex_);
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring->head.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t TraceCollector::dropped() const noexcept {
+  std::lock_guard<std::mutex> lock(rings_mutex_);
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) {
+    const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+    const std::uint64_t cap = ring->slots.size();
+    if (head > cap) total += head - cap;
+  }
+  return total;
+}
+
+void TraceCollector::export_json(std::ostream& os) const {
+  write_chrome_trace(os, {TraceSection{"trace", snapshot()}});
+}
+
+bool TraceCollector::export_json(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  export_json(os);
+  return static_cast<bool>(os);
+}
+
+namespace {
+constexpr int kPidStride = 100;      // pid block per section
+constexpr int kOtherPidOffset = 99;  // facade/retrain events within a block
+
+int event_pid(std::size_t section, std::uint32_t shard) {
+  const int base = static_cast<int>(section) * kPidStride;
+  if (shard == kNoShard || shard >= static_cast<std::uint32_t>(kOtherPidOffset)) {
+    return base + kOtherPidOffset;
+  }
+  return base + static_cast<int>(shard);
+}
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const std::vector<TraceSection>& sections) {
+  // Fixed-point microseconds with ns resolution; default float formatting
+  // would collapse distinct timestamps past 6 significant digits.
+  os << std::fixed << std::setprecision(3);
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  // Process-name metadata: one entry per (section, pid) actually used.
+  std::set<std::pair<std::size_t, int>> named;
+  for (std::size_t s = 0; s < sections.size(); ++s) {
+    for (const TraceEvent& event : sections[s].events) {
+      const int pid = event_pid(s, event.shard);
+      if (named.insert({s, pid}).second) {
+        os << (first ? "" : ",") << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
+           << ",\"tid\":0,\"args\":{\"name\":\"" << sections[s].label << "/"
+           << (pid % kPidStride == kOtherPidOffset
+                   ? "other"
+                   : "shard " + std::to_string(pid % kPidStride))
+           << "\"}}";
+        first = false;
+      }
+    }
+  }
+  for (std::size_t s = 0; s < sections.size(); ++s) {
+    for (const TraceEvent& event : sections[s].events) {
+      os << (first ? "" : ",") << "{\"ph\":\"X\",\"name\":\"" << to_string(event.stage)
+         << "\",\"cat\":\"serve\",\"ts\":" << static_cast<double>(event.start_ns) / 1000.0
+         << ",\"dur\":" << static_cast<double>(event.dur_ns) / 1000.0
+         << ",\"pid\":" << event_pid(s, event.shard) << ",\"tid\":" << event.tid
+         << ",\"args\":{\"request_id\":" << event.request_id << ",\"shard\":"
+         << (event.shard == kNoShard ? -1 : static_cast<long long>(event.shard)) << "}}";
+      first = false;
+    }
+  }
+  os << "]}\n";
+}
+
+bool write_chrome_trace(const std::string& path, const std::vector<TraceSection>& sections) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_chrome_trace(os, sections);
+  return static_cast<bool>(os);
+}
+
+StageSummary summarize_stages(const std::vector<TraceEvent>& events) {
+  StageSummary summary{};
+  for (const TraceEvent& event : events) {
+    const std::size_t index = static_cast<std::size_t>(event.stage);
+    if (index >= kNumStages) continue;
+    StageStats& stats = summary[index];
+    const double us = static_cast<double>(event.dur_ns) / 1000.0;
+    stats.count += 1;
+    stats.total_us += us;
+    stats.max_us = std::max(stats.max_us, us);
+  }
+  return summary;
+}
+
+}  // namespace mga::obs

@@ -1,0 +1,152 @@
+// Request tracing: lifecycle spans recorded into per-thread lock-free rings,
+// exportable as Chrome trace-event JSON (load in Perfetto / chrome://tracing).
+//
+// A `TraceContext` (one 64-bit id, 0 = untraced) rides on `TuneRequest`; the
+// facade stamps it at submit and the shard engine emits one span per
+// lifecycle stage as the request moves submit → route → queue-wait →
+// dequeue → feature-extract/cache-lookup → profile → forward → publish.
+// The retrain controller emits cycle-scoped spans (fine-tune, holdout,
+// canary, swap, rollback) under the same collector.
+//
+// Writer path: each thread owns a ring of fixed capacity; a slot is a
+// per-slot seqlock (odd seq = write in progress) whose payload words are
+// relaxed atomics, so concurrent snapshot readers are race-free under TSan
+// and never block a writer. Writers never take a lock after their ring is
+// registered (first record on a thread registers it under a mutex).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/options.hpp"
+
+namespace mga::obs {
+
+/// Lifecycle stages; the order is the order a request experiences them.
+enum class Stage : std::uint8_t {
+  kSubmit = 0,      // facade: resolve + route + admission (whole submit call)
+  kRoute,           // facade: consistent-hash ring lookup
+  kQueueWait,       // enqueue → batch fire (includes linger)
+  kDequeue,         // worker: pop → batch assembled (overlaps queue-wait tail)
+  kCacheLookup,     // resolve + feature-cache hit
+  kFeatureExtract,  // resolve + feature-cache miss (extraction inline)
+  kProfile,         // per-member counter profiling / memoization
+  kForward,         // batched encode + prediction + config decode
+  kPublish,         // ticket resolution + observer feed
+  kRetrainCycle,    // retrain: whole run_cycle
+  kRetrainFineTune,
+  kRetrainHoldout,
+  kRetrainCanary,
+  kRetrainSwap,
+  kRetrainRollback,
+};
+inline constexpr std::size_t kNumStages = 15;
+
+[[nodiscard]] const char* to_string(Stage stage) noexcept;
+
+/// Shard value for events not owned by a serve shard (facade/retrain).
+inline constexpr std::uint32_t kNoShard = 0xffffffffu;
+
+struct TraceContext {
+  std::uint64_t id = 0;  // 0 = untraced
+  [[nodiscard]] explicit operator bool() const noexcept { return id != 0; }
+};
+
+struct TraceEvent {
+  std::uint64_t request_id = 0;
+  std::uint64_t start_ns = 0;  // since collector epoch
+  std::uint64_t dur_ns = 0;
+  std::uint32_t shard = kNoShard;
+  std::uint32_t tid = 0;  // writer-thread ordinal within the collector
+  Stage stage = Stage::kSubmit;
+};
+
+class TraceCollector {
+ public:
+  explicit TraceCollector(std::size_t ring_capacity = ObsOptions{}.ring_capacity);
+  ~TraceCollector();
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// Process-wide collector every serve-stack span site records into.
+  static TraceCollector& instance();
+
+  /// Monotone non-zero request ids for TraceContext stamping.
+  [[nodiscard]] std::uint64_t next_request_id() noexcept {
+    return next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Nanoseconds since this collector's epoch (steady clock).
+  [[nodiscard]] std::uint64_t now_ns() const noexcept;
+  [[nodiscard]] std::uint64_t to_ns(std::chrono::steady_clock::time_point tp) const noexcept;
+
+  /// Record one span. Lock-free after the calling thread's first record.
+  void record(std::uint64_t request_id, Stage stage, std::uint32_t shard,
+              std::uint64_t start_ns, std::uint64_t dur_ns) noexcept;
+
+  /// Convenience: span over two steady-clock points.
+  void record_span(std::uint64_t request_id, Stage stage, std::uint32_t shard,
+                   std::chrono::steady_clock::time_point start,
+                   std::chrono::steady_clock::time_point end) noexcept {
+    const std::uint64_t s = to_ns(start);
+    const std::uint64_t e = to_ns(end);
+    record(request_id, stage, shard, s, e >= s ? e - s : 0);
+  }
+
+  /// Drop all recorded events (rings stay registered; ids keep counting).
+  void clear() noexcept;
+
+  /// Copy out every live event, ordered by start time.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  /// Total events ever recorded / overwritten by ring wrap-around.
+  [[nodiscard]] std::uint64_t recorded() const noexcept;
+  [[nodiscard]] std::uint64_t dropped() const noexcept;
+
+  /// Chrome trace-event JSON for the current snapshot (pid = shard).
+  void export_json(std::ostream& os) const;
+  bool export_json(const std::string& path) const;
+
+ private:
+  struct Ring;
+  Ring* ring_for_this_thread();
+
+  const std::size_t ring_capacity_;
+  const std::uint64_t collector_id_;
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<std::uint64_t> next_request_id_{1};
+  mutable std::mutex rings_mutex_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+/// A named section of trace events (one bench run); sections render as
+/// separate Perfetto process groups so runs don't overlap.
+struct TraceSection {
+  std::string label;
+  std::vector<TraceEvent> events;
+};
+
+/// Write a combined Chrome trace document. Each section's shards map to
+/// pids `base + shard` (base = 100 * section index) with process_name
+/// metadata "<label>/shard N" (facade/retrain events → "<label>/other").
+void write_chrome_trace(std::ostream& os, const std::vector<TraceSection>& sections);
+bool write_chrome_trace(const std::string& path, const std::vector<TraceSection>& sections);
+
+/// Per-stage aggregate over a set of events.
+struct StageStats {
+  std::uint64_t count = 0;
+  double total_us = 0.0;
+  double max_us = 0.0;
+};
+using StageSummary = std::array<StageStats, kNumStages>;
+[[nodiscard]] StageSummary summarize_stages(const std::vector<TraceEvent>& events);
+
+}  // namespace mga::obs

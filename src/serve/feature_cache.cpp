@@ -25,7 +25,7 @@ std::shared_ptr<const FeatureCache::Entry> FeatureCache::get(const corpus::Kerne
   Shard& shard = shards_[key % shards_.size()];
 
   {
-    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const std::lock_guard<obs::ProbedMutex> lock(shard.mutex);
     const auto it = shard.entries.find(key);
     if (it != shard.entries.end()) {
       shard.recency.splice(shard.recency.begin(), shard.recency, it->second.second);
@@ -43,7 +43,7 @@ std::shared_ptr<const FeatureCache::Entry> FeatureCache::get(const corpus::Kerne
   auto entry = std::make_shared<Entry>();
   entry->features = tuner.extract_features(kernel);
 
-  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const std::lock_guard<obs::ProbedMutex> lock(shard.mutex);
   const auto it = shard.entries.find(key);
   if (it != shard.entries.end()) {
     shard.recency.splice(shard.recency.begin(), shard.recency, it->second.second);
@@ -86,7 +86,7 @@ FeatureCacheStats FeatureCache::stats() const {
   stats.profile_memo_hits = profile_memo_hits_.load();
   stats.profiles_run = profiles_run_.load();
   for (const Shard& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const std::lock_guard<obs::ProbedMutex> lock(shard.mutex);
     stats.entries += shard.entries.size();
   }
   return stats;

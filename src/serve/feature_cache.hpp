@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/tuner.hpp"
+#include "obs/probe.hpp"
 #include "serve/stats.hpp"
 
 namespace mga::serve {
@@ -81,7 +82,9 @@ class FeatureCache {
 
  private:
   struct Shard {
-    mutable std::mutex mutex;
+    // All cache stripes share one contention_table() row: the question the
+    // probe answers is whether the cache lock *class* serializes the stack.
+    mutable obs::ProbedMutex mutex{"feature_cache.shard"};
     std::list<std::uint64_t> recency;  // front = most recently used
     std::unordered_map<std::uint64_t,
                        std::pair<std::shared_ptr<Entry>, std::list<std::uint64_t>::iterator>>

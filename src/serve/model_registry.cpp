@@ -1,6 +1,8 @@
 #include "serve/model_registry.hpp"
 
 #include <atomic>
+#include <mutex>
+#include <shared_mutex>
 #include <stdexcept>
 #include <utility>
 
@@ -18,7 +20,7 @@ std::uint64_t next_tag() {
 }  // namespace
 
 void ModelRegistry::add(const std::string& name, core::MgaTuner tuner) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::lock_guard<obs::ProbedSharedMutex> lock(mutex_);
   Slot slot;
   slot.tuner = std::make_shared<const core::MgaTuner>(std::move(tuner));
   slot.tag = next_tag();
@@ -29,7 +31,7 @@ void ModelRegistry::add(const std::string& name, core::MgaTuner tuner) {
 
 void ModelRegistry::add_artifact(const std::string& name, const std::string& path,
                                  core::MgaTunerOptions options) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::lock_guard<obs::ProbedSharedMutex> lock(mutex_);
   Slot slot;
   slot.artifact_path = path;
   slot.options = std::move(options);
@@ -49,7 +51,7 @@ std::map<std::string, ModelRegistry::Slot>::iterator ModelRegistry::find_for_mut
 }
 
 std::uint64_t ModelRegistry::swap(const std::string& name, core::MgaTuner tuner) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::lock_guard<obs::ProbedSharedMutex> lock(mutex_);
   Slot& slot = find_for_mutation(name, "swap")->second;
   slot.tuner = std::make_shared<const core::MgaTuner>(std::move(tuner));
   slot.artifact_path.clear();  // the slot now holds a live tuner
@@ -65,7 +67,7 @@ std::uint64_t ModelRegistry::swap(const std::string& name, core::MgaTuner tuner)
 }
 
 std::uint64_t ModelRegistry::stage(const std::string& name, core::MgaTuner tuner) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::lock_guard<obs::ProbedSharedMutex> lock(mutex_);
   Slot& slot = find_for_mutation(name, "stage a canary for")->second;
   if (slot.canary_generation != 0)
     throw std::invalid_argument("ModelRegistry: '" + name +
@@ -80,7 +82,7 @@ std::uint64_t ModelRegistry::stage(const std::string& name, core::MgaTuner tuner
 
 std::optional<ModelRegistry::Resolved> ModelRegistry::try_resolve_canary(
     const std::string& name) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::shared_lock<obs::ProbedSharedMutex> lock(mutex_);
   const auto it = slots_.find(name);
   if (it == slots_.end())
     throw std::out_of_range("ModelRegistry: unknown tuner '" + name + "'");
@@ -90,7 +92,7 @@ std::optional<ModelRegistry::Resolved> ModelRegistry::try_resolve_canary(
 }
 
 std::uint64_t ModelRegistry::canary_generation(const std::string& name) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::shared_lock<obs::ProbedSharedMutex> lock(mutex_);
   const auto it = slots_.find(name);
   if (it == slots_.end())
     throw std::out_of_range("ModelRegistry: unknown tuner '" + name + "'");
@@ -98,7 +100,7 @@ std::uint64_t ModelRegistry::canary_generation(const std::string& name) const {
 }
 
 std::uint64_t ModelRegistry::promote(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::lock_guard<obs::ProbedSharedMutex> lock(mutex_);
   Slot& slot = find_for_mutation(name, "promote")->second;
   if (slot.canary_generation == 0)
     throw LoadError("ModelRegistry: cannot promote '" + name + "' — no staged canary");
@@ -116,7 +118,7 @@ std::uint64_t ModelRegistry::promote(const std::string& name) {
 }
 
 bool ModelRegistry::discard(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::lock_guard<obs::ProbedSharedMutex> lock(mutex_);
   Slot& slot = find_for_mutation(name, "discard a canary for")->second;
   const bool had_canary = slot.canary_generation != 0;
   slot.canary.reset();
@@ -126,14 +128,27 @@ bool ModelRegistry::discard(const std::string& name) {
 }
 
 ModelRegistry::Resolved ModelRegistry::resolve(const std::string& name) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  {
+    // Fast path: the tuner is already loaded, which is every resolve but the
+    // first per artifact — readers proceed in parallel.
+    const std::shared_lock<obs::ProbedSharedMutex> lock(mutex_);
+    const auto it = slots_.find(name);
+    if (it == slots_.end())
+      throw std::out_of_range("ModelRegistry: unknown tuner '" + name + "'");
+    const Slot& slot = it->second;
+    if (slot.tuner != nullptr)
+      return {slot.tuner, slot.tag, slot.generation, /*canary=*/false};
+  }
+  // Slow path: upgrade to exclusive for the load-on-demand. The slot may
+  // have been loaded (or swapped) between the two locks, so re-check first;
+  // concurrent getters for any name wait here rather than loading the same
+  // artifact twice.
+  const std::lock_guard<obs::ProbedSharedMutex> lock(mutex_);
   const auto it = slots_.find(name);
   if (it == slots_.end())
     throw std::out_of_range("ModelRegistry: unknown tuner '" + name + "'");
   Slot& slot = it->second;
   if (slot.tuner == nullptr) {
-    // Load-on-demand under the registry lock: concurrent getters for any
-    // name wait rather than loading the same artifact twice.
     try {
       slot.tuner = std::make_shared<const core::MgaTuner>(
           core::MgaTuner::load(slot.artifact_path, *slot.options));
@@ -146,7 +161,7 @@ ModelRegistry::Resolved ModelRegistry::resolve(const std::string& name) const {
 }
 
 std::uint64_t ModelRegistry::generation(const std::string& name) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::shared_lock<obs::ProbedSharedMutex> lock(mutex_);
   const auto it = slots_.find(name);
   if (it == slots_.end())
     throw std::out_of_range("ModelRegistry: unknown tuner '" + name + "'");
@@ -158,12 +173,12 @@ std::shared_ptr<const core::MgaTuner> ModelRegistry::get(const std::string& name
 }
 
 bool ModelRegistry::contains(const std::string& name) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::shared_lock<obs::ProbedSharedMutex> lock(mutex_);
   return slots_.find(name) != slots_.end();
 }
 
 std::vector<std::string> ModelRegistry::names() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::shared_lock<obs::ProbedSharedMutex> lock(mutex_);
   std::vector<std::string> names;
   names.reserve(slots_.size());
   for (const auto& [name, slot] : slots_) names.push_back(name);

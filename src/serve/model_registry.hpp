@@ -3,8 +3,9 @@
 // The service asks it by name ("comet-lake", "skylake-sp", ...); entries are
 // either tuners handed over ready-trained or `MgaTuner::save` artifacts that
 // are loaded on first use (load rebuilds the dataset statistics from the
-// stored options, so it is slow once and free afterwards). All access is
-// serialized on one mutex: loads are rare and must happen exactly once.
+// stored options, so it is slow once and free afterwards). Reads (the
+// per-batch registry resolve on every worker) take the mutex shared;
+// mutations and the once-per-artifact lazy load take it exclusive.
 //
 // Slots are versioned and support a *provisional* generation for canary
 // rollout: `stage` registers a candidate next to the incumbent under the
@@ -19,13 +20,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/tuner.hpp"
+#include "obs/probe.hpp"
 
 namespace mga::serve {
 
@@ -145,7 +146,9 @@ class ModelRegistry {
   [[nodiscard]] std::map<std::string, Slot>::iterator find_for_mutation(
       const std::string& name, const char* what);
 
-  mutable std::mutex mutex_;
+  // Reader/writer probe: every batch resolves the registry, so an exclusive
+  // mutex here would serialize all shards during hot swaps and canary churn.
+  mutable obs::ProbedSharedMutex mutex_{"model_registry"};
   mutable std::map<std::string, Slot> slots_;
 };
 

@@ -34,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/probe.hpp"
 #include "util/check.hpp"
 
 namespace mga::serve {
@@ -189,7 +190,7 @@ class TieredQueue {
 
   /// Block until lane `lane` has room (or the queue closes).
   PushResult push(T item, std::size_t lane) {
-    std::unique_lock<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock = mutex_.lock_unique();
     Lane& target = lanes_.at(lane);
     not_full_.wait(lock, [&] { return closed_ || target.items.size() < target.capacity; });
     if (closed_) return PushResult::kClosed;
@@ -199,7 +200,7 @@ class TieredQueue {
   /// Like `push`, but waits no longer than `deadline`.
   PushResult push_until(T item, std::size_t lane,
                         std::chrono::steady_clock::time_point deadline) {
-    std::unique_lock<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock = mutex_.lock_unique();
     Lane& target = lanes_.at(lane);
     if (!not_full_.wait_until(lock, deadline, [&] {
           return closed_ || target.items.size() < target.capacity;
@@ -211,7 +212,7 @@ class TieredQueue {
 
   /// Non-blocking push; kFull when the lane is at capacity.
   PushResult try_push(T item, std::size_t lane) {
-    std::unique_lock<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock = mutex_.lock_unique();
     Lane& target = lanes_.at(lane);
     if (closed_) return PushResult::kClosed;
     if (target.items.size() >= target.capacity) return PushResult::kFull;
@@ -221,7 +222,7 @@ class TieredQueue {
   /// Shed admission: when the lane is full, displace its oldest item into
   /// `*shed` to make room. Never blocks; always admits unless closed.
   PushResult push_shedding(T item, std::size_t lane, std::optional<T>& shed) {
-    std::unique_lock<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock = mutex_.lock_unique();
     Lane& target = lanes_.at(lane);
     if (closed_) return PushResult::kClosed;
     if (target.items.size() >= target.capacity) {
@@ -236,14 +237,14 @@ class TieredQueue {
   /// Serves the highest-priority non-empty lane subject to the starvation
   /// override. Returns nullopt only when closed and empty.
   std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock = mutex_.lock_unique();
     not_empty_.wait(lock, [&] { return closed_ || total_ > 0; });
     return pop_locked(lock);
   }
 
   /// Non-blocking pop; nullopt when every lane is empty.
   std::optional<T> try_pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock = mutex_.lock_unique();
     return pop_locked(lock);
   }
 
@@ -254,7 +255,7 @@ class TieredQueue {
   std::size_t drain_matching(Pred&& pred, std::size_t max, std::vector<T>& out) {
     std::size_t extracted = 0;
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const std::unique_lock<std::mutex> lock = mutex_.lock_unique();
       for (Lane& lane : lanes_) {
         for (auto it = lane.items.begin(); it != lane.items.end() && extracted < max;) {
           if (pred(*it)) {
@@ -277,7 +278,7 @@ class TieredQueue {
   /// this is the linger primitive: sample the epoch, drain, then sleep
   /// until a newer push (which might be batchable) or the deadline.
   [[nodiscard]] std::uint64_t push_epoch() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::unique_lock<std::mutex> lock = mutex_.lock_unique();
     return epoch_;
   }
 
@@ -285,14 +286,14 @@ class TieredQueue {
   /// `deadline` passes. True exactly when a newer push was observed.
   [[nodiscard]] bool wait_push(std::uint64_t seen_epoch,
                                std::chrono::steady_clock::time_point deadline) const {
-    std::unique_lock<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock = mutex_.lock_unique();
     not_empty_.wait_until(lock, deadline, [&] { return closed_ || epoch_ > seen_epoch; });
     return epoch_ > seen_epoch;
   }
 
   /// Block until some lane is non-empty or the queue closes.
   void wait_nonempty() const {
-    std::unique_lock<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock = mutex_.lock_unique();
     not_empty_.wait(lock, [&] { return closed_ || total_ > 0; });
   }
 
@@ -300,7 +301,7 @@ class TieredQueue {
   /// subsequent pushes fail with kClosed.
   void close() {
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const std::unique_lock<std::mutex> lock = mutex_.lock_unique();
       closed_ = true;
     }
     not_empty_.notify_all();
@@ -308,12 +309,12 @@ class TieredQueue {
   }
 
   [[nodiscard]] std::size_t size() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::unique_lock<std::mutex> lock = mutex_.lock_unique();
     return total_;
   }
 
   [[nodiscard]] std::size_t size(std::size_t lane) const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::unique_lock<std::mutex> lock = mutex_.lock_unique();
     return lanes_.at(lane).items.size();
   }
 
@@ -322,7 +323,7 @@ class TieredQueue {
   [[nodiscard]] std::size_t capacity(std::size_t lane) const { return lanes_.at(lane).capacity; }
 
   [[nodiscard]] bool closed() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::unique_lock<std::mutex> lock = mutex_.lock_unique();
     return closed_;
   }
 
@@ -370,7 +371,10 @@ class TieredQueue {
     return item;
   }
 
-  mutable std::mutex mutex_;
+  // Probed so the shard's dominant lock shows up in obs::contention_table();
+  // condition variables wait on the native mutex via lock_unique(), so the
+  // initial acquisition is timed and wait-side re-acquisitions are not.
+  mutable obs::ProbedMutex mutex_{"shard.tiered_queue"};
   std::condition_variable not_full_;
   mutable std::condition_variable not_empty_;
   std::vector<Lane> lanes_;

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "hwsim/cpu_model.hpp"
+#include "obs/trace.hpp"
 #include "serve/router.hpp"
 #include "util/check.hpp"
 
@@ -209,6 +210,25 @@ double RetrainController::mean_predicted_regret(const core::MgaTuner& tuner,
 
 bool RetrainController::run_cycle(const std::string& machine) {
   const std::lock_guard<std::mutex> run_lock(cycle_run_mutex_);
+  using Clock = std::chrono::steady_clock;
+  // Retrain lifecycle spans: request_id is the cycle number (cycles are
+  // serialized on cycle_run_mutex_, so `completed + 1` is this cycle's
+  // ordinal), shard is kNoShard — the trace groups them under their own
+  // process row next to the per-request serve spans.
+  const bool traced = obs::enabled();
+  const std::uint64_t cycle_id = cycles_.load(std::memory_order_relaxed) + 1;
+  const auto span = [&](obs::Stage stage, Clock::time_point start) {
+    if (traced)
+      obs::TraceCollector::instance().record_span(cycle_id, stage, obs::kNoShard, start,
+                                                  Clock::now());
+  };
+  // The whole cycle, recorded on every exit path (early aborts, throwing
+  // hooks) so a trace never shows a cycle that started but has no extent.
+  struct CycleSpan {
+    const decltype(span)& record;
+    Clock::time_point start = Clock::now();
+    ~CycleSpan() { record(obs::Stage::kRetrainCycle, start); }
+  } cycle_span{span};
   // Only rows the *current* generation produced are evidence: a ring that
   // still holds pre-swap observations must not re-mark routes the last swap
   // already fixed as drifted (their realized runtimes reflect the old
@@ -313,8 +333,10 @@ bool RetrainController::run_cycle(const std::string& machine) {
   const ModelRegistry::Resolved current = registry_->resolve(machine);
   core::MgaTuner candidate = current.tuner->clone();
   const ObservationLog::TrainingSlice slice = ObservationLog::to_dataset(train_rows);
+  const Clock::time_point fine_tune_start = Clock::now();
   const core::FineTuneReport report =
       candidate.fine_tune(slice.kernels, slice.samples, options_.fine_tune);
+  span(obs::Stage::kRetrainFineTune, fine_tune_start);
 
   // What serving realized on the drifted slice vs. what the candidate would
   // choose on it.
@@ -325,8 +347,10 @@ bool RetrainController::run_cycle(const std::string& machine) {
 
   double current_holdout = 0.0, candidate_holdout = 0.0;
   if (!holdout_rows.empty()) {
+    const Clock::time_point holdout_start = Clock::now();
     current_holdout = mean_predicted_regret(*current.tuner, holdout_rows);
     candidate_holdout = mean_predicted_regret(candidate, holdout_rows);
+    span(obs::Stage::kRetrainHoldout, holdout_start);
     if (candidate_holdout > current_holdout + options_.max_regret_regression) {
       aborted_validation_.fetch_add(1, std::memory_order_relaxed);
       drift_.notify_abort(machine);
@@ -361,10 +385,12 @@ bool RetrainController::run_cycle(const std::string& machine) {
     // miss on their next lookup.
     std::uint64_t generation = 0;
     {
+      const Clock::time_point swap_start = Clock::now();
       const Quiesce quiesce(affected, hooks_);
       if (options_.before_swap) options_.before_swap();
       generation = registry_->swap(machine, std::move(candidate));
       drift_.notify_swap(machine);
+      span(obs::Stage::kRetrainSwap, swap_start);
     }
 
     swaps_.fetch_add(1, std::memory_order_relaxed);
@@ -382,7 +408,6 @@ bool RetrainController::run_cycle(const std::string& machine) {
 
   // ---- canary rollout (DESIGN.md §8): stage → split → judge → promote or
   // roll back --------------------------------------------------------------
-  using Clock = std::chrono::steady_clock;
   std::vector<std::uint64_t> routes;  // evidence routes, sorted for covers()
   {
     std::set<std::uint64_t> keys;
@@ -420,6 +445,7 @@ bool RetrainController::run_cycle(const std::string& machine) {
     }
   } rollout{hooks_, *registry_, machine, affected, canary_active_};
 
+  const Clock::time_point canary_start = Clock::now();
   const std::uint64_t provisional = registry_->stage(machine, std::move(candidate));
   rollout.candidate_staged = true;
   canaries_.fetch_add(1, std::memory_order_relaxed);
@@ -482,6 +508,9 @@ bool RetrainController::run_cycle(const std::string& machine) {
   const bool promote =
       window_reached &&
       canary_regret <= incumbent_regret + options_.canary.max_regret_margin;
+  // Stage → split → sample window → verdict; the promote/rollback that acts
+  // on the verdict gets its own span below.
+  span(obs::Stage::kRetrainCanary, canary_start);
 
   std::uint64_t generation = 0;
   if (promote) {
@@ -489,19 +518,23 @@ bool RetrainController::run_cycle(const std::string& machine) {
     // all-incumbent by construction, not by fallback.
     rollout.end_assignments();
     {
+      const Clock::time_point swap_start = Clock::now();
       const Quiesce quiesce(affected, hooks_);
       if (options_.before_swap) options_.before_swap();
       generation = registry_->promote(machine);
       rollout.candidate_staged = false;
       drift_.notify_swap(machine);
+      span(obs::Stage::kRetrainSwap, swap_start);
     }
     swaps_.fetch_add(1, std::memory_order_relaxed);
     canary_promoted_.fetch_add(1, std::memory_order_relaxed);
   } else {
+    const Clock::time_point rollback_start = Clock::now();
     rollout.end_assignments();
     (void)registry_->discard(machine);
     rollout.candidate_staged = false;
     drift_.notify_abort(machine);  // abort backoff applies to rollbacks
+    span(obs::Stage::kRetrainRollback, rollback_start);
     canary_rolled_back_.fetch_add(1, std::memory_order_relaxed);
     if (!window_reached) canary_timeouts_.fetch_add(1, std::memory_order_relaxed);
   }

@@ -19,7 +19,7 @@ ObservationLog::ObservationLog(ObservationLogOptions options)
 void ObservationLog::append(Observation observation) {
   observation.seq = appended_.fetch_add(1, std::memory_order_relaxed);
   Stripe& stripe = stripes_[observation.route_key % stripes_.size()];
-  const std::lock_guard<std::mutex> lock(stripe.mutex);
+  const std::lock_guard<obs::ProbedMutex> lock(stripe.mutex);
   if (stripe.ring.size() < options_.capacity_per_shard) {
     stripe.ring.push_back(std::move(observation));
   } else {
@@ -31,7 +31,7 @@ void ObservationLog::append(Observation observation) {
 std::size_t ObservationLog::size() const {
   std::size_t total = 0;
   for (const Stripe& stripe : stripes_) {
-    const std::lock_guard<std::mutex> lock(stripe.mutex);
+    const std::lock_guard<obs::ProbedMutex> lock(stripe.mutex);
     total += stripe.ring.size();
   }
   return total;
@@ -40,7 +40,7 @@ std::size_t ObservationLog::size() const {
 std::vector<Observation> ObservationLog::snapshot() const {
   std::vector<Observation> all;
   for (const Stripe& stripe : stripes_) {
-    const std::lock_guard<std::mutex> lock(stripe.mutex);
+    const std::lock_guard<obs::ProbedMutex> lock(stripe.mutex);
     all.insert(all.end(), stripe.ring.begin(), stripe.ring.end());
   }
   std::sort(all.begin(), all.end(), [](const Observation& a, const Observation& b) {

@@ -27,6 +27,7 @@
 #include "corpus/spec.hpp"
 #include "dataset/dataset.hpp"
 #include "hwsim/workload.hpp"
+#include "obs/probe.hpp"
 #include "serve/retrain/options.hpp"
 
 namespace mga::serve::retrain {
@@ -112,7 +113,7 @@ class ObservationLog {
 
  private:
   struct Stripe {
-    mutable std::mutex mutex;
+    mutable obs::ProbedMutex mutex{"observation_log.stripe"};
     std::vector<Observation> ring;
     std::size_t next = 0;  // overwrite cursor once the ring is full
   };

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace mga::serve {
@@ -48,8 +49,11 @@ TuningService::TuningService(std::shared_ptr<ModelRegistry> registry, ServeOptio
     };
   }
   shards_.reserve(options_.shards);
-  for (std::size_t s = 0; s < options_.shards; ++s)
-    shards_.push_back(std::make_unique<ServeShard>(registry_, options_, observer));
+  for (std::size_t s = 0; s < options_.shards; ++s) {
+    ServeOptions shard_options = options_;
+    shard_options.shard_index = s;  // stamped on the shard's trace spans
+    shards_.push_back(std::make_unique<ServeShard>(registry_, shard_options, observer));
+  }
 }
 
 TuningService::~TuningService() { shutdown(); }
@@ -83,6 +87,13 @@ ServeShard& TuningService::shard_for(const TuneRequest& request) {
 }
 
 TuneTicket TuningService::submit(TuneRequest request) {
+  using SteadyClock = std::chrono::steady_clock;
+  const bool traced = obs::enabled();
+  const SteadyClock::time_point submit_start = traced ? SteadyClock::now()
+                                                      : SteadyClock::time_point{};
+  if (traced && !request.trace) {
+    request.trace.id = obs::TraceCollector::instance().next_request_id();
+  }
   auto state = std::make_shared<TicketState>();
   TuneTicket ticket(state);
 
@@ -99,7 +110,25 @@ TuneTicket TuningService::submit(TuneRequest request) {
     state->resolve(std::move(*error));
     return ticket;
   }
-  shard_for(request).submit(std::move(request), std::move(state));
+  const SteadyClock::time_point route_start = traced ? SteadyClock::now()
+                                                     : SteadyClock::time_point{};
+  const std::size_t shard_index =
+      router_.shard_for(route_key(request.machine, route_fingerprint(request.kernel)));
+  const std::uint64_t trace_id = request.trace.id;
+  if (traced && trace_id != 0) {
+    obs::TraceCollector::instance().record_span(trace_id, obs::Stage::kRoute,
+                                                static_cast<std::uint32_t>(shard_index),
+                                                route_start, SteadyClock::now());
+  }
+  shards_[shard_index]->submit(std::move(request), std::move(state));
+  if (traced && trace_id != 0) {
+    // The whole submit call (resolve + route + admission, including any
+    // blocking-admission stall); overlaps the route span and the head of
+    // queue-wait, so it is trace-visible but never attributed.
+    obs::TraceCollector::instance().record_span(trace_id, obs::Stage::kSubmit,
+                                                static_cast<std::uint32_t>(shard_index),
+                                                submit_start, SteadyClock::now());
+  }
   return ticket;
 }
 
@@ -170,14 +199,9 @@ ServiceStatsSnapshot TuningService::stats_snapshot() const {
     return s;
   }
   std::vector<ServiceStatsSnapshot> per_shard;
-  std::vector<LatencyWindows> windows;
   per_shard.reserve(shards_.size());
-  windows.reserve(shards_.size());
-  for (const auto& shard : shards_) {
-    per_shard.push_back(shard->stats_snapshot());
-    windows.push_back(shard->latency_windows());
-  }
-  return aggregate_snapshots(std::move(per_shard), windows);
+  for (const auto& shard : shards_) per_shard.push_back(shard->stats_snapshot());
+  return aggregate_snapshots(std::move(per_shard));
 }
 
 }  // namespace mga::serve

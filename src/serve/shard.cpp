@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "serve/router.hpp"  // only for the route_fingerprint spec hash
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -334,12 +335,27 @@ void ServeShard::worker_loop() {
     live.reserve(batch.size());
     for (Pending& pending : batch)
       if (!sweep(pending, fire_time)) live.push_back(std::move(pending));
-    if (!live.empty()) process_batch(live);
+    if (live.empty()) continue;
+    if (obs::enabled() && live.front().request.trace) {
+      // One dequeue span per batch (pop → assembled, i.e. drain + linger),
+      // attributed to the head. It overlaps the tail of the members'
+      // queue-wait spans, so stage attribution never double-counts it.
+      obs::TraceCollector::instance().record_span(
+          live.front().request.trace.id, obs::Stage::kDequeue,
+          static_cast<std::uint32_t>(options_.shard_index), pop_time, fire_time);
+    }
+    process_batch(live);
   }
 }
 
 void ServeShard::process_batch(std::vector<Pending>& batch) {
   const Clock::time_point fire_time = Clock::now();
+  // Stage boundaries inside the compute half, always measured (two extra
+  // clock reads per *batch*): resolve+cache → extract_done, profiling memo →
+  // profile_done, forward+decode → done_time. They feed the extract/forward
+  // stage means in ServiceStats and, when tracing is armed, per-member spans.
+  Clock::time_point extract_done = fire_time;
+  Clock::time_point profile_done = fire_time;
   std::vector<hwsim::OmpConfig> configs;
   std::vector<int> labels;
   std::vector<hwsim::PapiCounters> counters;
@@ -368,12 +384,14 @@ void ServeShard::process_batch(std::vector<Pending>& batch) {
     }
     const std::shared_ptr<const core::MgaTuner>& tuner = resolved.tuner;
     entry = cache_.get(batch.front().request.kernel, *tuner, resolved.tag, &cache_hit);
+    extract_done = Clock::now();
 
     counters.reserve(batch.size());
     for (const Pending& pending : batch)
       counters.push_back(pending.request.counters
                              ? *pending.request.counters
                              : cache_.counters_for(*entry, *tuner, pending.request.input_bytes));
+    profile_done = Clock::now();
     labels = tuner->predict_labels(entry->features, counters);
     configs.reserve(labels.size());
     for (const int label : labels)
@@ -409,6 +427,10 @@ void ServeShard::process_batch(std::vector<Pending>& batch) {
 
   const Clock::time_point done_time = Clock::now();
   const double compute_us = micros_between(fire_time, done_time);
+  const double extract_us = micros_between(fire_time, extract_done);
+  const double forward_us = micros_between(profile_done, done_time);
+  const bool traced = obs::enabled();
+  const auto shard_id = static_cast<std::uint32_t>(options_.shard_index);
   stats_.record_batch(batch.size());
   std::vector<std::size_t> served;
   if (observer_) served.reserve(batch.size());
@@ -422,11 +444,25 @@ void ServeShard::process_batch(std::vector<Pending>& batch) {
     result.latency_us = micros_between(batch[i].enqueued, done_time);
     result.queue_wait_us = micros_between(batch[i].enqueued, fire_time);
     result.compute_us = compute_us;
+    result.trace_id = batch[i].request.trace.id;
+    if (traced && batch[i].request.trace) {
+      // Every member carries the full batch-level compute intervals: its own
+      // latency includes the whole grouped forward, so per-request stage
+      // attribution is exact even though the work was shared.
+      obs::TraceCollector& collector = obs::TraceCollector::instance();
+      const std::uint64_t id = batch[i].request.trace.id;
+      collector.record_span(id, obs::Stage::kQueueWait, shard_id, batch[i].enqueued, fire_time);
+      collector.record_span(id,
+                            cache_hit ? obs::Stage::kCacheLookup : obs::Stage::kFeatureExtract,
+                            shard_id, fire_time, extract_done);
+      collector.record_span(id, obs::Stage::kProfile, shard_id, extract_done, profile_done);
+      collector.record_span(id, obs::Stage::kForward, shard_id, profile_done, done_time);
+    }
     if (batch[i].state->try_claim()) {
       // Stats before publish: a getter may read a snapshot as soon as it
       // wakes, and must see its own completion in it.
       stats_.record_completion(result.latency_us, result.queue_wait_us, compute_us,
-                               batch[i].tier);
+                               extract_us, forward_us, batch[i].tier);
       // Split-path attribution: what actually served the request, not what
       // the submit-time draw intended (they differ across promote/rollback).
       if (resolved.canary) {
@@ -441,6 +477,13 @@ void ServeShard::process_batch(std::vector<Pending>& batch) {
       // is the caller's kCancelled.
       stats_.record_cancelled(batch[i].tier);
     }
+  }
+  if (traced && batch.front().request.trace) {
+    // One publish span per batch (done → outcomes delivered); it sits past
+    // the latency endpoint, so it is trace-visible but not attributed.
+    obs::TraceCollector::instance().record_span(batch.front().request.trace.id,
+                                                obs::Stage::kPublish, shard_id, done_time,
+                                                Clock::now());
   }
 
   // Observation feed (retrain subsystem): after every outcome is published —

@@ -25,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "serve/feature_cache.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/queue.hpp"
@@ -74,6 +75,10 @@ struct ServeOptions {
   /// Facade-level: number of ServeShards. 1 (the default) reproduces the
   /// unsharded service exactly. Ignored by ServeShard itself.
   std::size_t shards = 1;
+  /// This shard's index within the facade, stamped on trace spans so a
+  /// Perfetto view groups events per shard. The facade sets it when it
+  /// constructs its shard set; standalone shards keep 0.
+  std::size_t shard_index = 0;
   /// Facade-level: registry entry used when a request names no machine.
   /// Empty = only legal when the registry holds exactly one entry. Ignored
   /// by ServeShard itself (it requires resolved machines).
@@ -95,6 +100,10 @@ struct TuneRequest {
   std::string machine;
   /// QoS: priority tier, admission policy, deadline.
   RequestOptions options;
+  /// Request-tracing context (id 0 = untraced). The facade stamps it at
+  /// submit when obs is enabled; the id rides through to TuneResult so a
+  /// caller can find its request in an exported trace.
+  obs::TraceContext trace;
 };
 
 class ServeShard {
@@ -153,8 +162,6 @@ class ServeShard {
   void clear_canary(const std::string& machine);
 
   [[nodiscard]] ServiceStatsSnapshot stats_snapshot() const;
-  /// Raw latency samples for exact cross-shard percentile aggregation.
-  [[nodiscard]] LatencyWindows latency_windows() const { return stats_.latency_windows(); }
   /// Direct counter access for facade-side accounting (e.g. attributing a
   /// machine-resolution failure to the shard the request routed to).
   [[nodiscard]] ServiceStats& stats() noexcept { return stats_; }

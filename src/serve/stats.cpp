@@ -5,23 +5,8 @@
 #include <string>
 
 #include "util/check.hpp"
-#include "util/stats.hpp"
 
 namespace mga::serve {
-
-namespace {
-
-void push_ring(std::vector<double>& window, std::size_t& next, std::size_t capacity,
-               double sample) {
-  if (window.size() < capacity) {
-    window.push_back(sample);
-  } else {
-    window[next] = sample;
-  }
-  next = (next + 1) % capacity;
-}
-
-}  // namespace
 
 void ServiceStats::record_batch(std::size_t size) noexcept {
   batches_.fetch_add(1, std::memory_order_relaxed);
@@ -32,7 +17,8 @@ void ServiceStats::record_batch(std::size_t size) noexcept {
 }
 
 void ServiceStats::record_completion(double latency_us, double queue_wait_us,
-                                     double compute_us, Priority tier) {
+                                     double compute_us, double extract_us,
+                                     double forward_us, Priority tier) {
   completed_.fetch_add(1, std::memory_order_relaxed);
   Tier& t = tiers_[static_cast<std::size_t>(tier)];
   t.completed.fetch_add(1, std::memory_order_relaxed);
@@ -40,17 +26,10 @@ void ServiceStats::record_completion(double latency_us, double queue_wait_us,
   latency_sum_ += latency_us;
   queue_wait_sum_ += queue_wait_us;
   compute_sum_ += compute_us;
-  latency_max_ = std::max(latency_max_, latency_us);
-  push_ring(latency_window_, latency_next_, kLatencyWindow, latency_us);
-  push_ring(t.latency_window, t.latency_next, kTierLatencyWindow, latency_us);
-}
-
-LatencyWindows ServiceStats::latency_windows() const {
-  LatencyWindows windows;
-  const std::lock_guard<std::mutex> lock(latency_mutex_);
-  windows.global = latency_window_;
-  for (std::size_t t = 0; t < kNumTiers; ++t) windows.tiers[t] = tiers_[t].latency_window;
-  return windows;
+  extract_sum_ += extract_us;
+  forward_sum_ += forward_us;
+  latency_hist_.record(latency_us);
+  t.latency_hist.record(latency_us);
 }
 
 ServiceStatsSnapshot ServiceStats::snapshot(const FeatureCacheStats& cache) const {
@@ -68,25 +47,23 @@ ServiceStatsSnapshot ServiceStats::snapshot(const FeatureCacheStats& cache) cons
                                       static_cast<double>(s.batches);
   s.cache = cache;
 
-  std::vector<double> window;
-  std::array<std::vector<double>, kNumTiers> tier_windows;
   {
     const std::lock_guard<std::mutex> lock(latency_mutex_);
-    window = latency_window_;
-    s.latency_max_us = latency_max_;
+    s.latency_hist = latency_hist_;
     if (s.completed > 0) {
       const auto n = static_cast<double>(s.completed);
       s.latency_mean_us = latency_sum_ / n;
       s.queue_wait_mean_us = queue_wait_sum_ / n;
       s.compute_mean_us = compute_sum_ / n;
+      s.extract_mean_us = extract_sum_ / n;
+      s.forward_mean_us = forward_sum_ / n;
     }
-    for (std::size_t t = 0; t < kNumTiers; ++t) tier_windows[t] = tiers_[t].latency_window;
+    for (std::size_t t = 0; t < kNumTiers; ++t) s.tiers[t].latency_hist = tiers_[t].latency_hist;
   }
-  if (!window.empty()) {
-    std::sort(window.begin(), window.end());
-    s.latency_p50_us = util::percentile_sorted(window, 0.50);
-    s.latency_p95_us = util::percentile_sorted(window, 0.95);
-  }
+  s.latency_max_us = s.latency_hist.max();
+  s.latency_p50_us = s.latency_hist.percentile(0.50);
+  s.latency_p95_us = s.latency_hist.percentile(0.95);
+  s.latency_p99_us = s.latency_hist.percentile(0.99);
   for (std::size_t t = 0; t < kNumTiers; ++t) {
     TierStatsSnapshot& tier = s.tiers[t];
     tier.admitted = tiers_[t].admitted.load();
@@ -95,22 +72,17 @@ ServiceStatsSnapshot ServiceStats::snapshot(const FeatureCacheStats& cache) cons
     tier.shed = tiers_[t].shed.load();
     tier.expired = tiers_[t].expired.load();
     tier.cancelled = tiers_[t].cancelled.load();
-    if (!tier_windows[t].empty()) {
-      std::sort(tier_windows[t].begin(), tier_windows[t].end());
-      tier.latency_p50_us = util::percentile_sorted(tier_windows[t], 0.50);
-      tier.latency_p95_us = util::percentile_sorted(tier_windows[t], 0.95);
-    }
+    tier.latency_p50_us = tier.latency_hist.percentile(0.50);
+    tier.latency_p95_us = tier.latency_hist.percentile(0.95);
   }
   return s;
 }
 
-ServiceStatsSnapshot aggregate_snapshots(std::vector<ServiceStatsSnapshot> shards,
-                                         const std::vector<LatencyWindows>& windows) {
+ServiceStatsSnapshot aggregate_snapshots(std::vector<ServiceStatsSnapshot> shards) {
   MGA_CHECK_MSG(!shards.empty(), "aggregate_snapshots: need at least one shard");
-  MGA_CHECK_MSG(windows.size() == shards.size(),
-                "aggregate_snapshots: one LatencyWindows per shard snapshot");
   ServiceStatsSnapshot s;
   double latency_sum = 0.0, queue_wait_sum = 0.0, compute_sum = 0.0;
+  double extract_sum = 0.0, forward_sum = 0.0;
   for (const ServiceStatsSnapshot& shard : shards) {
     s.submitted += shard.submitted;
     s.completed += shard.completed;
@@ -126,7 +98,10 @@ ServiceStatsSnapshot aggregate_snapshots(std::vector<ServiceStatsSnapshot> shard
     latency_sum += shard.latency_mean_us * completed;
     queue_wait_sum += shard.queue_wait_mean_us * completed;
     compute_sum += shard.compute_mean_us * completed;
+    extract_sum += shard.extract_mean_us * completed;
+    forward_sum += shard.forward_mean_us * completed;
     s.latency_max_us = std::max(s.latency_max_us, shard.latency_max_us);
+    s.latency_hist.merge(shard.latency_hist);
     for (std::size_t t = 0; t < kNumTiers; ++t) {
       s.tiers[t].admitted += shard.tiers[t].admitted;
       s.tiers[t].completed += shard.tiers[t].completed;
@@ -134,6 +109,7 @@ ServiceStatsSnapshot aggregate_snapshots(std::vector<ServiceStatsSnapshot> shard
       s.tiers[t].shed += shard.tiers[t].shed;
       s.tiers[t].expired += shard.tiers[t].expired;
       s.tiers[t].cancelled += shard.tiers[t].cancelled;
+      s.tiers[t].latency_hist.merge(shard.tiers[t].latency_hist);
     }
     s.cache.hits += shard.cache.hits;
     s.cache.misses += shard.cache.misses;
@@ -149,27 +125,19 @@ ServiceStatsSnapshot aggregate_snapshots(std::vector<ServiceStatsSnapshot> shard
     s.latency_mean_us = latency_sum / n;
     s.queue_wait_mean_us = queue_wait_sum / n;
     s.compute_mean_us = compute_sum / n;
+    s.extract_mean_us = extract_sum / n;
+    s.forward_mean_us = forward_sum / n;
   }
 
-  // Exact aggregate percentiles: pool the shards' raw sample windows.
-  std::vector<double> pooled;
-  std::array<std::vector<double>, kNumTiers> tier_pooled;
-  for (const LatencyWindows& shard_windows : windows) {
-    pooled.insert(pooled.end(), shard_windows.global.begin(), shard_windows.global.end());
-    for (std::size_t t = 0; t < kNumTiers; ++t)
-      tier_pooled[t].insert(tier_pooled[t].end(), shard_windows.tiers[t].begin(),
-                            shard_windows.tiers[t].end());
-  }
-  if (!pooled.empty()) {
-    std::sort(pooled.begin(), pooled.end());
-    s.latency_p50_us = util::percentile_sorted(pooled, 0.50);
-    s.latency_p95_us = util::percentile_sorted(pooled, 0.95);
-  }
+  // Exact aggregate percentiles from the merged histograms: unlike the old
+  // pooled raw windows (bounded rings that truncate a busy shard's history),
+  // the merge weighs every completion once.
+  s.latency_p50_us = s.latency_hist.percentile(0.50);
+  s.latency_p95_us = s.latency_hist.percentile(0.95);
+  s.latency_p99_us = s.latency_hist.percentile(0.99);
   for (std::size_t t = 0; t < kNumTiers; ++t) {
-    if (tier_pooled[t].empty()) continue;
-    std::sort(tier_pooled[t].begin(), tier_pooled[t].end());
-    s.tiers[t].latency_p50_us = util::percentile_sorted(tier_pooled[t], 0.50);
-    s.tiers[t].latency_p95_us = util::percentile_sorted(tier_pooled[t], 0.95);
+    s.tiers[t].latency_p50_us = s.tiers[t].latency_hist.percentile(0.50);
+    s.tiers[t].latency_p95_us = s.tiers[t].latency_hist.percentile(0.95);
   }
 
   s.shards = std::move(shards);
@@ -198,9 +166,12 @@ util::Table stats_table(const ServiceStatsSnapshot& s) {
   table.add_row({"latency mean", util::fmt_double(s.latency_mean_us) + " us"});
   table.add_row({"latency p50", util::fmt_double(s.latency_p50_us) + " us"});
   table.add_row({"latency p95", util::fmt_double(s.latency_p95_us) + " us"});
+  table.add_row({"latency p99", util::fmt_double(s.latency_p99_us) + " us"});
   table.add_row({"latency max", util::fmt_double(s.latency_max_us) + " us"});
   table.add_row({"queue wait mean", util::fmt_double(s.queue_wait_mean_us) + " us"});
   table.add_row({"compute mean", util::fmt_double(s.compute_mean_us) + " us"});
+  table.add_row({"extract mean", util::fmt_double(s.extract_mean_us) + " us"});
+  table.add_row({"forward mean", util::fmt_double(s.forward_mean_us) + " us"});
   for (std::size_t t = 0; t < kNumTiers; ++t) {
     const TierStatsSnapshot& tier = s.tiers[t];
     const std::string name = to_string(static_cast<Priority>(t));

@@ -1,12 +1,15 @@
 // Service telemetry: lock-light counters updated on the request hot path and
 // a snapshot/rendering pair for operators (bench and example binaries print
-// the same table). v2 adds per-tier QoS accounting (admitted / rejected /
-// shed / expired / cancelled, per-tier latency percentiles) and the
-// queue-wait vs. compute latency breakdown that makes linger tuning
-// observable. Under sharded serving each ServeShard owns one ServiceStats;
-// the facade merges them with `aggregate_snapshots` (counters summed, means
-// re-weighted, percentiles recomputed over the shards' pooled raw windows)
-// and attaches the per-shard snapshots as `ServiceStatsSnapshot::shards`.
+// the same table). v2 added per-tier QoS accounting and the queue-wait vs.
+// compute latency breakdown; v6 replaces the bounded raw-sample percentile
+// windows with mga::obs log-scale histograms. Histograms merge *exactly*
+// across shards (bucket counts add), so the facade's pooled p50/p95/p99 no
+// longer under-weights a busy shard whose window wrapped — and the snapshot
+// itself carries the histograms, so `aggregate_snapshots` needs no side
+// channel of raw samples. Under sharded serving each ServeShard owns one
+// ServiceStats; the facade merges them with `aggregate_snapshots` (counters
+// summed, means re-weighted, histograms merged, percentiles re-derived) and
+// attaches the per-shard snapshots as `ServiceStatsSnapshot::shards`.
 #pragma once
 
 #include <array>
@@ -15,6 +18,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/histogram.hpp"
 #include "serve/ticket.hpp"
 #include "util/table.hpp"
 
@@ -43,7 +47,7 @@ struct FeatureCacheStats {
 /// request, expired = deadline, cancelled = caller). Machine-resolution and
 /// artifact-load failures are not tier-attributed: they appear only in the
 /// global `failed`, which therefore can exceed the tier sums. Percentiles
-/// cover the tier's recent completions.
+/// are derived from the tier's full-history histogram.
 struct TierStatsSnapshot {
   std::uint64_t admitted = 0;
   std::uint64_t completed = 0;
@@ -53,6 +57,8 @@ struct TierStatsSnapshot {
   std::uint64_t cancelled = 0;
   double latency_p50_us = 0.0;
   double latency_p95_us = 0.0;
+  /// Mergeable latency distribution the percentiles were derived from.
+  obs::LatencyHistogram latency_hist;
 };
 
 /// One coherent view of the service counters (plus the cache block when the
@@ -75,27 +81,27 @@ struct ServiceStatsSnapshot {
   std::uint64_t max_batch = 0;
   double mean_batch = 0.0;
   double latency_mean_us = 0.0;  // over all completions
-  double latency_p50_us = 0.0;   // percentiles over the recent window
+  double latency_p50_us = 0.0;   // histogram-derived, full history
   double latency_p95_us = 0.0;
-  double latency_max_us = 0.0;   // over all completions
+  double latency_p99_us = 0.0;
+  double latency_max_us = 0.0;   // exact, over all completions
   /// Mean split of completion latency: queued (admission + lane + linger)
   /// vs. inside the grouped forward.
   double queue_wait_mean_us = 0.0;
   double compute_mean_us = 0.0;
+  /// Mean split of the compute side by stage: feature/cache resolution vs.
+  /// the batched encode+predict+decode. (compute - extract - forward is the
+  /// per-member profiling/memoization slice.)
+  double extract_mean_us = 0.0;
+  double forward_mean_us = 0.0;
+  /// Mergeable end-to-end latency distribution behind the percentiles.
+  obs::LatencyHistogram latency_hist;
   std::array<TierStatsSnapshot, kNumTiers> tiers{};
   FeatureCacheStats cache;
   /// Per-shard breakdown when the snapshot aggregates a sharded service:
   /// one entry per ServeShard, in shard-index order, each with an empty
   /// `shards` of its own. Empty on a per-shard snapshot.
   std::vector<ServiceStatsSnapshot> shards;
-};
-
-/// Raw latency samples behind the percentile windows (global + per tier),
-/// exported so a facade can pool several shards' samples and compute exact
-/// aggregate percentiles instead of averaging per-shard quantiles.
-struct LatencyWindows {
-  std::vector<double> global;
-  std::array<std::vector<double>, kNumTiers> tiers;
 };
 
 class ServiceStats {
@@ -123,23 +129,15 @@ class ServiceStats {
     canary_incumbent_served_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  /// Completion, end-to-end latency (submit -> outcome resolved) and its
-  /// queue-wait / compute split, attributed to the request's tier.
+  /// Completion, end-to-end latency (submit -> outcome resolved), its
+  /// queue-wait / compute split, and the compute side's extract / forward
+  /// stage split, attributed to the request's tier.
   void record_completion(double latency_us, double queue_wait_us, double compute_us,
-                         Priority tier);
+                         double extract_us, double forward_us, Priority tier);
 
   [[nodiscard]] ServiceStatsSnapshot snapshot(const FeatureCacheStats& cache = {}) const;
 
-  /// Copies of the bounded latency rings, for cross-shard aggregation.
-  [[nodiscard]] LatencyWindows latency_windows() const;
-
  private:
-  /// Latency samples kept for percentiles: a bounded ring of the most
-  /// recent completions, so a long-lived service neither grows without
-  /// bound nor pays more than an O(window log window) sort per snapshot.
-  static constexpr std::size_t kLatencyWindow = 16384;
-  static constexpr std::size_t kTierLatencyWindow = 4096;
-
   struct Tier {
     std::atomic<std::uint64_t> admitted{0};
     std::atomic<std::uint64_t> completed{0};
@@ -148,8 +146,7 @@ class ServiceStats {
     std::atomic<std::uint64_t> expired{0};
     std::atomic<std::uint64_t> cancelled{0};
     // Guarded by latency_mutex_.
-    std::vector<double> latency_window;
-    std::size_t latency_next = 0;
+    obs::LatencyHistogram latency_hist;
   };
 
   void bump(Priority tier, std::atomic<std::uint64_t> Tier::* counter) noexcept {
@@ -165,22 +162,21 @@ class ServiceStats {
   std::atomic<std::uint64_t> batched_requests_{0};
   std::atomic<std::uint64_t> max_batch_{0};
   mutable std::mutex latency_mutex_;
-  std::vector<double> latency_window_;
-  std::size_t latency_next_ = 0;
+  obs::LatencyHistogram latency_hist_;  // guarded by latency_mutex_
   double latency_sum_ = 0.0;
-  double latency_max_ = 0.0;
   double queue_wait_sum_ = 0.0;
   double compute_sum_ = 0.0;
+  double extract_sum_ = 0.0;
+  double forward_sum_ = 0.0;
   std::array<Tier, kNumTiers> tiers_;
 };
 
 /// Merge per-shard snapshots into one service-wide view: counters summed,
 /// means re-weighted by each shard's completion count, max-like fields
-/// maxed, and percentiles recomputed exactly over the pooled `windows`
-/// samples (windows[i] must come from the same ServiceStats as shards[i]).
-/// The inputs are attached verbatim as `result.shards`.
-[[nodiscard]] ServiceStatsSnapshot aggregate_snapshots(
-    std::vector<ServiceStatsSnapshot> shards, const std::vector<LatencyWindows>& windows);
+/// maxed, and percentiles re-derived from the exactly-merged histograms —
+/// every completion weighs equally regardless of how lopsided the per-shard
+/// load was. The inputs are attached verbatim as `result.shards`.
+[[nodiscard]] ServiceStatsSnapshot aggregate_snapshots(std::vector<ServiceStatsSnapshot> shards);
 
 /// Render a snapshot as the operator-facing metric/value table. A multi-shard
 /// snapshot (`shards.size() > 1`) gains a per-shard breakdown section.

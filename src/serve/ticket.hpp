@@ -121,6 +121,10 @@ struct TuneResult {
   /// features, profiling, grouped forward).
   double queue_wait_us = 0.0;
   double compute_us = 0.0;
+  /// Request-tracing id stamped by the facade when obs is enabled (0 =
+  /// untraced); matches the `request_id` arg of this request's spans in an
+  /// exported Chrome trace.
+  std::uint64_t trace_id = 0;
 };
 
 /// Expected-style result of a served request: a value or a ServeError.

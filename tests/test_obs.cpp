@@ -1,0 +1,521 @@
+// mga::obs — the log-scale mergeable histogram (bucket math, exact merge,
+// percentile error bound, the cross-shard aggregation regression the
+// histograms exist to fix), the per-thread seqlock trace rings (wrap
+// determinism, concurrent writers vs. snapshot readers), Chrome-trace export
+// shape, contention probes (wait accounting, shared/exclusive split,
+// disabled-cost contract), the metrics registry expositions, and end-to-end
+// trace propagation through TuningService (trace_id on results, zero events
+// when disabled).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <shared_mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/histogram.hpp"
+#include "obs/metrics.hpp"
+#include "obs/probe.hpp"
+#include "obs/trace.hpp"
+#include "serve/service.hpp"
+#include "serve/stats.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace mga::obs {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Worst-case relative percentile error: one bucket spans a 2^(1/4) growth
+/// factor, so an interpolated percentile is within ~19% of the exact order
+/// statistic.
+constexpr double kBucketGrowth = 1.1892071150027210667;  // 2^(1/4)
+
+/// RAII guard so a test that enables obs can never leak the flag into the
+/// other tests of this binary.
+struct EnabledScope {
+  EnabledScope() { enable(); }
+  ~EnabledScope() { disable(); }
+};
+
+// --- histogram: bucket math ---------------------------------------------------
+
+TEST(ObsHistogram, BucketIndexBracketsEveryValue) {
+  EXPECT_EQ(LatencyHistogram::bucket_index(0.0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(-5.0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(0.999), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(1.0), 1u);
+  // Log-sweep from 1us to ~1h: every value lands in a bucket whose bounds
+  // bracket it, and indices are monotone in the value.
+  std::size_t last_index = 0;
+  for (double v = 1.0; v < 4e9; v *= 1.07) {
+    const std::size_t index = LatencyHistogram::bucket_index(v);
+    ASSERT_GE(LatencyHistogram::kNumBuckets - 1, index);
+    ASSERT_LE(LatencyHistogram::bucket_lower(index), v) << "value " << v;
+    ASSERT_GT(LatencyHistogram::bucket_upper(index), v) << "value " << v;
+    ASSERT_GE(index, last_index) << "index not monotone at " << v;
+    last_index = index;
+  }
+}
+
+TEST(ObsHistogram, BucketBoundsAreExactPowersAtOctaveEdges) {
+  // Octave edges are exact doubles, so the index computed via frexp must put
+  // 2^k exactly at a sub-bucket-0 lower bound.
+  for (int k = 0; k < 30; ++k) {
+    const double edge = std::ldexp(1.0, k);  // 2^k us
+    const std::size_t index = LatencyHistogram::bucket_index(edge);
+    EXPECT_DOUBLE_EQ(LatencyHistogram::bucket_lower(index), edge);
+  }
+}
+
+TEST(ObsHistogram, SideStatsAreExact) {
+  LatencyHistogram hist;
+  EXPECT_TRUE(hist.empty());
+  EXPECT_EQ(hist.percentile(0.5), 0.0);
+  const std::vector<double> values = {4.0, 100.0, 2.5, 9000.0, 1.0, 0.25};
+  for (const double v : values) hist.record(v);
+  EXPECT_EQ(hist.count(), values.size());
+  EXPECT_DOUBLE_EQ(hist.sum(), 9107.75);
+  EXPECT_DOUBLE_EQ(hist.min(), 0.25);
+  EXPECT_DOUBLE_EQ(hist.max(), 9000.0);
+  EXPECT_DOUBLE_EQ(hist.mean(), 9107.75 / 6.0);
+}
+
+TEST(ObsHistogram, PercentileWithinOneBucketOfExact) {
+  util::Rng rng(3);
+  LatencyHistogram hist;
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) {
+    // Log-uniform over [1us, 1s]: exercises many octaves.
+    const double v = std::pow(10.0, 6.0 * rng.uniform());
+    samples.push_back(v);
+    hist.record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (const double p : {0.5, 0.9, 0.95, 0.99}) {
+    const double exact = util::percentile_sorted(samples, p);
+    const double reported = hist.percentile(p);
+    EXPECT_LE(reported, exact * kBucketGrowth) << "p" << p;
+    EXPECT_GE(reported, exact / kBucketGrowth) << "p" << p;
+  }
+  // Extremes clamp to the exact min/max tracked on the side.
+  EXPECT_DOUBLE_EQ(hist.percentile(0.0), samples.front());
+  EXPECT_DOUBLE_EQ(hist.percentile(1.0), samples.back());
+}
+
+TEST(ObsHistogram, MergeIsExactAndAssociative) {
+  util::Rng rng(11);
+  LatencyHistogram a, b, c, pooled;
+  for (int i = 0; i < 700; ++i) {
+    const double v = 1.0 + 50.0 * rng.uniform();
+    a.record(v);
+    pooled.record(v);
+  }
+  for (int i = 0; i < 90; ++i) {
+    const double v = 2000.0 + 9000.0 * rng.uniform();
+    b.record(v);
+    pooled.record(v);
+  }
+  c.record(0.5);
+  pooled.record(0.5);
+
+  LatencyHistogram left = a;   // (a + b) + c
+  left.merge(b);
+  left.merge(c);
+  LatencyHistogram right = b;  // a + (b + c)
+  right.merge(c);
+  LatencyHistogram a_copy = a;
+  a_copy.merge(right);
+
+  for (std::size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    ASSERT_EQ(left.bucket_count(i), a_copy.bucket_count(i)) << "bucket " << i;
+    ASSERT_EQ(left.bucket_count(i), pooled.bucket_count(i)) << "bucket " << i;
+  }
+  EXPECT_EQ(left.count(), pooled.count());
+  EXPECT_DOUBLE_EQ(left.sum(), pooled.sum());
+  EXPECT_DOUBLE_EQ(left.min(), pooled.min());
+  EXPECT_DOUBLE_EQ(left.max(), pooled.max());
+  EXPECT_DOUBLE_EQ(left.percentile(0.95), pooled.percentile(0.95));
+}
+
+TEST(ObsHistogram, OverflowBucketClampsToTrackedMax) {
+  LatencyHistogram hist;
+  hist.record(1e30);  // far beyond 2^36 us
+  hist.record(5.0);
+  EXPECT_EQ(hist.bucket_count(LatencyHistogram::kNumBuckets - 1), 1u);
+  EXPECT_DOUBLE_EQ(hist.percentile(1.0), 1e30);
+  EXPECT_DOUBLE_EQ(hist.max(), 1e30);
+}
+
+// --- the aggregation regression the histograms fix ---------------------------
+
+TEST(ObsStatsAggregation, MergedPercentilesMatchGroundTruthPooledSort) {
+  // Lopsided shards: one busy shard with many fast completions, one idle
+  // shard with a few slow ones. The old bounded raw-sample windows wrapped
+  // on the busy shard, so pooling the windows over-weighted the slow shard;
+  // merged histograms weight every completion equally.
+  util::Rng rng(29);
+  serve::ServiceStats busy, idle;
+  std::vector<double> pooled;
+  for (int i = 0; i < 6000; ++i) {
+    const double latency = 80.0 + 60.0 * rng.uniform();
+    busy.record_completion(latency, latency * 0.25, latency * 0.75, 5.0, 30.0,
+                           serve::Priority::kNormal);
+    pooled.push_back(latency);
+  }
+  for (int i = 0; i < 100; ++i) {
+    const double latency = 30000.0 + 5000.0 * rng.uniform();
+    idle.record_completion(latency, latency * 0.5, latency * 0.5, 100.0, 400.0,
+                           serve::Priority::kBulk);
+    pooled.push_back(latency);
+  }
+  std::vector<serve::ServiceStatsSnapshot> shards;
+  shards.push_back(busy.snapshot());
+  shards.push_back(idle.snapshot());
+  const serve::ServiceStatsSnapshot merged = serve::aggregate_snapshots(std::move(shards));
+
+  std::sort(pooled.begin(), pooled.end());
+  const double mean =
+      std::accumulate(pooled.begin(), pooled.end(), 0.0) / static_cast<double>(pooled.size());
+  EXPECT_EQ(merged.completed, pooled.size());
+  EXPECT_NEAR(merged.latency_mean_us, mean, 1e-6);
+  EXPECT_DOUBLE_EQ(merged.latency_max_us, pooled.back());
+  for (const auto& [p, reported] :
+       {std::pair<double, double>{0.50, merged.latency_p50_us},
+        std::pair<double, double>{0.95, merged.latency_p95_us},
+        std::pair<double, double>{0.99, merged.latency_p99_us}}) {
+    const double exact = util::percentile_sorted(pooled, p);
+    EXPECT_LE(reported, exact * kBucketGrowth) << "p" << p;
+    EXPECT_GE(reported, exact / kBucketGrowth) << "p" << p;
+  }
+  // The 6000 fast completions dominate p50 and p95 (the slow shard is ~1.6%
+  // of traffic); p99 must land in the slow mass. A window-pooled percentile
+  // would have weighted the two shards' windows equally and dragged p50 up.
+  EXPECT_LT(merged.latency_p50_us, 200.0);
+  EXPECT_LT(merged.latency_p95_us, 200.0);
+  EXPECT_GT(merged.latency_p99_us, 10000.0);
+}
+
+// --- trace rings --------------------------------------------------------------
+
+TEST(ObsTraceRing, WrapKeepsTheNewestEventsDeterministically) {
+  TraceCollector collector(/*ring_capacity=*/8);
+  for (std::uint64_t i = 1; i <= 20; ++i)
+    collector.record(/*request_id=*/i, Stage::kForward, /*shard=*/0,
+                     /*start_ns=*/i * 1000, /*dur_ns=*/10);
+  EXPECT_EQ(collector.recorded(), 20u);
+  EXPECT_EQ(collector.dropped(), 12u);  // 20 - capacity
+  const std::vector<TraceEvent> events = collector.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].request_id, 13u + i);  // the newest 8, sorted by start
+    EXPECT_EQ(events[i].stage, Stage::kForward);
+  }
+}
+
+TEST(ObsTraceRing, ClearDropsEventsButKeepsCounting) {
+  TraceCollector collector(/*ring_capacity=*/8);
+  collector.record(1, Stage::kSubmit, kNoShard, 0, 5);
+  ASSERT_EQ(collector.snapshot().size(), 1u);
+  collector.clear();
+  EXPECT_TRUE(collector.snapshot().empty());
+  const std::uint64_t id = collector.next_request_id();
+  EXPECT_GT(collector.next_request_id(), id);  // ids survive clear
+  collector.record(2, Stage::kPublish, 1, 100, 5);
+  ASSERT_EQ(collector.snapshot().size(), 1u);
+  EXPECT_EQ(collector.snapshot().front().stage, Stage::kPublish);
+}
+
+TEST(ObsTraceConcurrent, WritersAndSnapshotsDoNotRace) {
+  TraceCollector collector(/*ring_capacity=*/4096);
+  constexpr int kWriters = 4;
+  constexpr int kEventsPerWriter = 1000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    // Concurrent snapshots: the seqlock skips torn slots instead of
+    // blocking writers; under TSan this is the race detector's target.
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::vector<TraceEvent> events = collector.snapshot();
+      for (const TraceEvent& event : events)
+        ASSERT_NE(event.request_id, 0u);  // never observe a half-written slot
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&collector, w] {
+      for (int i = 0; i < kEventsPerWriter; ++i)
+        collector.record(static_cast<std::uint64_t>(w * kEventsPerWriter + i + 1),
+                         Stage::kQueueWait, static_cast<std::uint32_t>(w),
+                         static_cast<std::uint64_t>(i) * 100, 50);
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  // Each writer thread owns its ring; nothing wrapped, so every event is live.
+  EXPECT_EQ(collector.recorded(), static_cast<std::uint64_t>(kWriters * kEventsPerWriter));
+  EXPECT_EQ(collector.dropped(), 0u);
+  EXPECT_EQ(collector.snapshot().size(),
+            static_cast<std::size_t>(kWriters * kEventsPerWriter));
+}
+
+TEST(ObsTrace, SummarizeAndChromeExportShape) {
+  TraceCollector collector(/*ring_capacity=*/64);
+  collector.record(1, Stage::kQueueWait, 0, 1000, 4000);
+  collector.record(1, Stage::kForward, 0, 5000, 2000);
+  collector.record(2, Stage::kForward, 1, 6000, 6000);
+  collector.record(3, Stage::kRetrainCycle, kNoShard, 0, 9000);
+
+  const std::vector<TraceEvent> events = collector.snapshot();
+  const StageSummary summary = summarize_stages(events);
+  EXPECT_EQ(summary[static_cast<std::size_t>(Stage::kQueueWait)].count, 1u);
+  EXPECT_DOUBLE_EQ(summary[static_cast<std::size_t>(Stage::kQueueWait)].total_us, 4.0);
+  EXPECT_EQ(summary[static_cast<std::size_t>(Stage::kForward)].count, 2u);
+  EXPECT_DOUBLE_EQ(summary[static_cast<std::size_t>(Stage::kForward)].total_us, 8.0);
+  EXPECT_DOUBLE_EQ(summary[static_cast<std::size_t>(Stage::kForward)].max_us, 6.0);
+
+  std::ostringstream os;
+  write_chrome_trace(os, {{"run", events}});
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"queue_wait\""), std::string::npos);
+  EXPECT_NE(json.find("\"retrain_cycle\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("run/shard 0"), std::string::npos);
+  EXPECT_NE(json.find("run/other"), std::string::npos);  // kNoShard group
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+// --- contention probes --------------------------------------------------------
+
+TEST(ObsProbeMutex, CountsAcquisitionsAndContendedWaits) {
+  const EnabledScope obs_on;
+  // A unique site name so parallel test shards never share this row.
+  ProbedMutex mutex("test_obs.probe_wait");
+  reset_contention();
+  std::atomic<bool> held{false};
+  std::thread holder([&] {
+    const std::lock_guard<ProbedMutex> lock(mutex);
+    held.store(true);
+    std::this_thread::sleep_for(60ms);
+  });
+  while (!held.load()) std::this_thread::yield();
+  {
+    const std::lock_guard<ProbedMutex> lock(mutex);  // must wait ~60ms
+  }
+  holder.join();
+
+  bool found = false;
+  for (const ContentionSnapshot& row : contention_snapshot()) {
+    if (row.site != "test_obs.probe_wait") continue;
+    found = true;
+    EXPECT_EQ(row.acquisitions, 2u);
+    EXPECT_GE(row.contended, 1u);
+    EXPECT_GE(row.total_wait_us, 20000.0);  // scheduler slack below 60ms
+    EXPECT_GE(row.max_wait_us, 20000.0);
+    EXPECT_LE(row.max_wait_us, row.total_wait_us + 1.0);
+  }
+  EXPECT_TRUE(found);
+  // The rendered table carries one row per site.
+  EXPECT_GE(contention_table().row_count(), 1u);
+}
+
+TEST(ObsProbeMutex, DisabledProbeCountsNothing) {
+  ASSERT_FALSE(enabled());
+  ProbedMutex mutex("test_obs.probe_disabled");
+  {
+    const std::lock_guard<ProbedMutex> lock(mutex);
+  }
+  for (const ContentionSnapshot& row : contention_snapshot())
+    if (row.site == "test_obs.probe_disabled") {
+      EXPECT_EQ(row.acquisitions, 0u);
+      EXPECT_EQ(row.contended, 0u);
+      EXPECT_EQ(row.total_wait_us, 0.0);
+    }
+}
+
+TEST(ObsProbeMutex, SharedMutexSplitsReaderAndWriterCounts) {
+  const EnabledScope obs_on;
+  ProbedSharedMutex mutex("test_obs.probe_shared");
+  {
+    std::shared_lock<ProbedSharedMutex> r1(mutex);
+    std::shared_lock<ProbedSharedMutex> r2(mutex);  // concurrent readers
+  }
+  {
+    const std::lock_guard<ProbedSharedMutex> w(mutex);
+  }
+  for (const ContentionSnapshot& row : contention_snapshot())
+    if (row.site == "test_obs.probe_shared") {
+      EXPECT_EQ(row.shared_acquisitions, 2u);
+      EXPECT_EQ(row.acquisitions, 1u);
+    }
+}
+
+TEST(ObsProbeMutex, LockUniqueWorksWithConditionVariables) {
+  const EnabledScope obs_on;
+  ProbedMutex mutex("test_obs.probe_cv");
+  std::condition_variable cv;
+  bool ready = false;
+  std::thread signaller([&] {
+    std::this_thread::sleep_for(10ms);
+    {
+      const std::lock_guard<ProbedMutex> lock(mutex);
+      ready = true;
+    }
+    cv.notify_one();
+  });
+  {
+    std::unique_lock<std::mutex> lock = mutex.lock_unique();
+    cv.wait(lock, [&] { return ready; });
+  }
+  signaller.join();
+  EXPECT_TRUE(ready);
+}
+
+// --- metrics registry ---------------------------------------------------------
+
+TEST(ObsMetrics, InternsByNameAndExposesJson) {
+  MetricsRegistry registry;
+  Counter& requests = registry.counter("serve_requests_total", "requests submitted");
+  requests.add(3);
+  registry.counter("serve_requests_total").add(2);  // same instrument
+  EXPECT_EQ(requests.value(), 5u);
+  registry.gauge("serve_shards", "configured shards").set(4.0);
+  HistogramMetric& latency = registry.histogram("serve_latency_us", "e2e latency");
+  for (const double v : {100.0, 200.0, 400.0}) latency.record(v);
+
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"serve_requests_total\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"serve_shards\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(ObsMetrics, PrometheusExpositionHasHelpTypeAndQuantiles) {
+  MetricsRegistry registry;
+  registry.counter("mga_requests_total", "total requests").add(7);
+  registry.gauge("mga_queue_depth", "queued requests").set(12.0);
+  registry.histogram("mga_latency_us", "latency").record(250.0);
+  const std::string text = registry.to_prometheus();
+  EXPECT_NE(text.find("# HELP mga_requests_total total requests"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE mga_requests_total counter"), std::string::npos);
+  EXPECT_NE(text.find("mga_requests_total 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE mga_queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("mga_latency_us{quantile=\"0.95\"}"), std::string::npos);
+  EXPECT_NE(text.find("mga_latency_us_count 1"), std::string::npos);
+  EXPECT_NE(text.find("mga_latency_us_sum"), std::string::npos);
+}
+
+TEST(ObsMetrics, HistogramMergesAShardSnapshot) {
+  MetricsRegistry registry;
+  HistogramMetric& metric = registry.histogram("merged_us");
+  LatencyHistogram shard;
+  shard.record(50.0);
+  shard.record(70.0);
+  metric.record(10.0);
+  metric.merge(shard);
+  const LatencyHistogram merged = metric.snapshot();
+  EXPECT_EQ(merged.count(), 3u);
+  EXPECT_DOUBLE_EQ(merged.sum(), 130.0);
+}
+
+// --- end-to-end propagation through the service -------------------------------
+
+core::MgaTunerOptions tiny_options() {
+  core::MgaTunerOptions options;
+  auto kernels = corpus::openmp_suite();
+  kernels.resize(8);
+  options.training_kernels = std::move(kernels);
+  std::vector<double> inputs = dataset::input_sizes_30();
+  std::vector<double> subset;
+  for (std::size_t i = 0; i < inputs.size(); i += 6) subset.push_back(inputs[i]);
+  options.input_sizes = std::move(subset);
+  options.training.epochs = 12;
+  return options;
+}
+
+const std::shared_ptr<serve::ModelRegistry>& obs_registry() {
+  static const std::shared_ptr<serve::ModelRegistry> registry = [] {
+    auto r = std::make_shared<serve::ModelRegistry>();
+    r->add("comet-lake", core::MgaTuner::train(tiny_options()));
+    return r;
+  }();
+  return registry;
+}
+
+serve::TuneRequest gemm_request() {
+  serve::TuneRequest request;
+  request.kernel = corpus::find_kernel("polybench/gemm");
+  request.input_bytes = 8192.0;
+  return request;
+}
+
+TEST(ObsTracePropagation, DisabledServiceEmitsNoSpansAndNoIds) {
+  ASSERT_FALSE(enabled());
+  TraceCollector::instance().clear();
+  serve::TuningService service(obs_registry(), {});
+  const serve::TuneOutcome outcome = service.submit(gemm_request()).get();
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().trace_id, 0u);
+  EXPECT_TRUE(TraceCollector::instance().snapshot().empty());
+}
+
+TEST(ObsTracePropagation, EnabledServiceStampsIdsAndEmitsLifecycleSpans) {
+  const EnabledScope obs_on;
+  TraceCollector::instance().clear();
+  serve::ServeOptions options;
+  options.shards = 2;
+  serve::TuningService service(obs_registry(), options);
+  std::vector<serve::TuneTicket> tickets;
+  for (int i = 0; i < 4; ++i) tickets.push_back(service.submit(gemm_request()));
+  std::vector<std::uint64_t> ids;
+  for (const serve::TuneTicket& ticket : tickets) {
+    const serve::TuneOutcome outcome = ticket.get();
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_NE(outcome.value().trace_id, 0u);
+    ids.push_back(outcome.value().trace_id);
+  }
+  EXPECT_EQ(std::set<std::uint64_t>(ids.begin(), ids.end()).size(), ids.size());
+
+  const std::vector<TraceEvent> events = TraceCollector::instance().snapshot();
+  // Every request leaves at least submit + route + queue-wait + one of
+  // cache/extract + profile + forward spans under its result's trace_id.
+  for (const std::uint64_t id : ids) {
+    std::set<Stage> stages;
+    for (const TraceEvent& event : events)
+      if (event.request_id == id) stages.insert(event.stage);
+    EXPECT_TRUE(stages.count(Stage::kSubmit)) << "id " << id;
+    EXPECT_TRUE(stages.count(Stage::kRoute)) << "id " << id;
+    EXPECT_TRUE(stages.count(Stage::kQueueWait)) << "id " << id;
+    EXPECT_TRUE(stages.count(Stage::kCacheLookup) || stages.count(Stage::kFeatureExtract))
+        << "id " << id;
+    EXPECT_TRUE(stages.count(Stage::kForward)) << "id " << id;
+  }
+
+  // After disabling, the same service emits nothing new. Publish spans land
+  // after ticket resolution, so join the workers (shutdown) before clearing —
+  // otherwise a straggler span from the traced batch can arrive post-clear.
+  disable();
+  const serve::TuneOutcome untraced = service.submit(gemm_request()).get();
+  ASSERT_TRUE(untraced.ok());
+  EXPECT_EQ(untraced.value().trace_id, 0u);
+  service.shutdown();
+  TraceCollector::instance().clear();
+  EXPECT_TRUE(TraceCollector::instance().snapshot().empty());
+}
+
+}  // namespace
+}  // namespace mga::obs

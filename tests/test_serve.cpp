@@ -1131,7 +1131,7 @@ TEST(TuningService, LatencyBreakdownSumsAndRendersEveryMetricRow) {
   const ServiceStatsSnapshot stats = service.stats_snapshot();
   EXPECT_NEAR(stats.queue_wait_mean_us + stats.compute_mean_us, stats.latency_mean_us, 1.0);
   const util::Table table = stats_table(stats);
-  EXPECT_EQ(table.row_count(), 26u);
+  EXPECT_EQ(table.row_count(), 29u);  // v6: + latency p99, extract/forward means
 }
 
 // --- the service: sharded serving --------------------------------------------
@@ -1265,7 +1265,7 @@ TEST(TuningService, AggregateStatsSumPerShardCounters) {
 
   // The operator table gains a breakdown section only for multi-shard
   // snapshots: the 26 aggregate rows plus 3 per shard.
-  EXPECT_EQ(stats_table(stats).row_count(), 26u + 3u * stats.shards.size());
+  EXPECT_EQ(stats_table(stats).row_count(), 29u + 3u * stats.shards.size());
 }
 
 TEST(TuningService, LifecycleFansOutToAllShards) {

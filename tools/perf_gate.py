@@ -7,7 +7,10 @@ trajectory artifact CI uploads per run) and compares every ``*_p95_us``
 metric against the checked-in baseline: a current value more than
 ``--threshold`` (default 2.0) times its baseline fails the gate. Metrics
 missing from either side are reported but do not fail — the baseline is
-reseeded whenever the benches' metric set changes.
+reseeded whenever the benches' metric set changes. On failure the gate
+additionally prints every ``*_stage_*`` metric (the per-lifecycle-stage
+mean latencies the benches emit under ``--trace``) from both documents,
+so a regression names the stage that moved, not just the p95 that did.
 
 Usage:
   perf_gate.py merge  --out BENCH_serve.json IN.json [IN.json ...]
@@ -61,9 +64,38 @@ def gated_metrics(doc):
     return out
 
 
+def stage_metrics(doc):
+    """(bench, metric) -> value for the per-stage breakdown metrics."""
+    out = {}
+    for bench, metrics in doc.get("benches", {}).items():
+        for key, value in metrics.items():
+            if "_stage_" in key and isinstance(value, (int, float)):
+                out[(bench, key)] = float(value)
+    return out
+
+
+def print_stage_breakdown(baseline_doc, current_doc):
+    baseline = stage_metrics(baseline_doc)
+    current = stage_metrics(current_doc)
+    if not current and not baseline:
+        print("  (no *_stage_* metrics recorded; re-run the benches with --trace)")
+        return
+    print("perf_gate: per-stage breakdown (which stage moved):")
+    for key in sorted(baseline.keys() | current.keys()):
+        bench, metric = key
+        base = baseline.get(key)
+        cur = current.get(key)
+        base_text = f"{base:.1f}" if base is not None else "-"
+        cur_text = f"{cur:.1f}" if cur is not None else "-"
+        ratio_text = f" ({cur / base:.2f}x)" if base and cur is not None else ""
+        print(f"  {bench}/{metric}: {cur_text} vs baseline {base_text}{ratio_text}")
+
+
 def check(args):
-    baseline = gated_metrics(load(args.baseline))
-    current = gated_metrics(load(args.current))
+    baseline_doc = load(args.baseline)
+    current_doc = load(args.current)
+    baseline = gated_metrics(baseline_doc)
+    current = gated_metrics(current_doc)
     if not baseline:
         print(f"perf_gate: no *_p95_us metrics in baseline {args.baseline}", file=sys.stderr)
         sys.exit(2)
@@ -86,6 +118,7 @@ def check(args):
             failures.append(key)
 
     if failures:
+        print_stage_breakdown(baseline_doc, current_doc)
         print(f"perf_gate: {len(failures)} p95 regression(s) beyond "
               f"{args.threshold}x the checked-in baseline", file=sys.stderr)
         sys.exit(1)

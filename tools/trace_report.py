@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Per-stage breakdown of a Chrome trace exported by mga::obs.
+
+Reads one or more trace files written by ``bench_serve_throughput --trace``
+/ ``bench_serve_retrain --trace`` (or ``obs::TraceCollector::export_json``)
+and prints, per process group (= bench section / shard) and stage: span
+count, total time, mean, p50, p95, and max. Use it in CI logs or locally
+when you want the numbers without loading the trace into Perfetto.
+
+Usage:
+  trace_report.py TRACE.json [TRACE.json ...] [--by-shard]
+
+By default stages are aggregated per section (the ``shards1``/``shards2``/
+``retrain`` label); ``--by-shard`` keeps each shard's process row separate.
+
+Stdlib only; exit code 0 = report printed, 2 = usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"trace_report: cannot read {path}: {error}", file=sys.stderr)
+        return None
+
+
+def percentile(sorted_values, p):
+    """Same linear-interpolation definition as util::percentile_sorted."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = p * (len(sorted_values) - 1)
+    low = int(position)
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = position - low
+    return sorted_values[low] * (1.0 - fraction) + sorted_values[high] * fraction
+
+
+def section_of(process_name, by_shard):
+    """'shards4/shard 2' -> 'shards4' unless --by-shard keeps the full row."""
+    if by_shard:
+        return process_name
+    return process_name.split("/", 1)[0]
+
+
+def collect(document, by_shard):
+    process_names = {}
+    for event in document.get("traceEvents", []):
+        if event.get("ph") == "M" and event.get("name") == "process_name":
+            process_names[event.get("pid")] = event.get("args", {}).get("name", "?")
+    durations = {}  # (section, stage) -> [dur_us, ...]
+    for event in document.get("traceEvents", []):
+        if event.get("ph") != "X":
+            continue
+        process = process_names.get(event.get("pid"), f"pid {event.get('pid')}")
+        key = (section_of(process, by_shard), event.get("name", "?"))
+        durations.setdefault(key, []).append(float(event.get("dur", 0.0)))
+    return durations
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("traces", nargs="+", help="Chrome trace JSON files")
+    parser.add_argument("--by-shard", action="store_true",
+                        help="one row per shard process instead of per section")
+    args = parser.parse_args(argv)
+
+    durations = {}
+    for path in args.traces:
+        document = load(path)
+        if document is None:
+            return 2
+        for key, values in collect(document, args.by_shard).items():
+            durations.setdefault(key, []).extend(values)
+    if not durations:
+        print("trace_report: no duration events found", file=sys.stderr)
+        return 2
+
+    rows = [("section", "stage", "spans", "total ms", "mean us", "p50 us",
+             "p95 us", "max us")]
+    for (section, stage) in sorted(durations):
+        values = sorted(durations[(section, stage)])
+        total = sum(values)
+        rows.append((
+            section,
+            stage,
+            str(len(values)),
+            f"{total / 1000.0:.3f}",
+            f"{total / len(values):.1f}",
+            f"{percentile(values, 0.50):.1f}",
+            f"{percentile(values, 0.95):.1f}",
+            f"{values[-1]:.1f}",
+        ))
+    widths = [max(len(row[c]) for row in rows) for c in range(len(rows[0]))]
+    for row in rows:
+        print("  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
