@@ -1,0 +1,214 @@
+// Runtime forward micro-bench: the compiled inference plan (src/runtime) vs
+// the interpreted `MgaTuner::predict_labels` hot path, per serve batch size.
+//
+// The interpreter walks the nn autograd graph op by op, allocating a Tensor
+// per intermediate; the plan executes the same math through fused
+// matmul+bias+activation kernels over a single liveness-planned arena with
+// zero steady-state allocations. Both paths run the identical workload here
+// (same kernels, same profiled counter rows, interleaved to keep the cache
+// treatment fair), every iteration's labels are asserted identical (the plan
+// is bit-exact, so any divergence is a hard failure), and the non-smoke run
+// additionally gates the speedup: the compiled mean must be >= 2x faster at
+// every serve batch size.
+//
+// `--json <path>` writes the machine-readable metrics (plan_compile_ms, the
+// per-batch interpreted/compiled means, p95s and speedups) for the CI
+// perf-record job; `--smoke` shrinks the iteration counts — the identity
+// assertion still gates the exit code, the 2x floor does not (CI boxes are
+// noisy; the checked-in BENCH_serve.json trajectory gates p95 regressions
+// instead).
+#include <chrono>
+#include <cstddef>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/tuner.hpp"
+#include "runtime/compiled.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] mga::core::MgaTunerOptions bench_options() {
+  mga::core::MgaTunerOptions options;
+  auto kernels = mga::corpus::openmp_suite();
+  kernels.resize(8);
+  options.training_kernels = std::move(kernels);
+  std::vector<double> inputs = mga::dataset::input_sizes_30();
+  std::vector<double> subset;
+  for (std::size_t i = 0; i < inputs.size(); i += 6) subset.push_back(inputs[i]);
+  options.input_sizes = std::move(subset);
+  options.training.epochs = 12;
+  return options;
+}
+
+[[nodiscard]] double percentile_us(std::vector<double> samples, double p) {
+  std::sort(samples.begin(), samples.end());
+  return mga::util::percentile_sorted(samples, p);
+}
+
+[[nodiscard]] double mean_us(const std::vector<double>& samples) {
+  double sum = 0.0;
+  for (const double s : samples) sum += s;
+  return samples.empty() ? 0.0 : sum / static_cast<double>(samples.size());
+}
+
+/// One kernel's pre-staged inputs: the forward is what is timed, so feature
+/// extraction and profiling run once up front (in serve those stages are
+/// cached/memoized separately — see bench/serve_throughput.cpp).
+struct Staged {
+  mga::core::KernelFeatures features;
+  std::vector<mga::hwsim::PapiCounters> counters;  // `batch` profiled rows
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--smoke") {
+      smoke = true;
+      continue;
+    }
+    if (arg == "--json") {
+      if (a + 1 >= argc) {
+        std::cerr << "--json needs a path\n";
+        return 1;
+      }
+      json_path = argv[++a];
+      continue;
+    }
+    std::cerr << "usage: " << argv[0] << " [--smoke] [--json <path>]\n";
+    return 1;
+  }
+
+  using namespace mga;
+
+  std::cout << "training tuner (8 kernels, reduced grid)...\n";
+  const core::MgaTuner tuner = core::MgaTuner::train(bench_options());
+
+  const Clock::time_point compile_start = Clock::now();
+  const auto plan = tuner.compile_forward();
+  const double compile_wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - compile_start).count();
+  if (plan == nullptr) {
+    std::cerr << "FAIL: compile_forward returned no plan\n";
+    return 1;
+  }
+  const runtime::CompileInfo& info = plan->info();
+  std::cout << "plan compiled in " << util::fmt_double(info.compile_ms) << " ms ("
+            << info.ops_before << " captured ops -> " << info.ops_after << " after passes: "
+            << info.passes.folded << " folded, " << info.passes.fused << " fused, "
+            << info.passes.absorbed << " absorbed, " << info.passes.inplaced
+            << " in-place, " << info.passes.eliminated << " eliminated)\n";
+
+  // Workload: a spread of suite kernels (trained and unseen — the forward
+  // cost does not depend on which), iterated round-robin so both paths see
+  // identical, interleaved inputs.
+  const std::vector<corpus::KernelSpec> suite = corpus::openmp_suite();
+  std::vector<std::size_t> picks;
+  for (std::size_t i = 0; i < suite.size() && picks.size() < 6; i += 3) picks.push_back(i);
+
+  const std::vector<std::size_t> batch_sizes{1, 4, 8, 32};
+  const std::size_t iterations = smoke ? 40 : 300;
+  const std::size_t warmup = smoke ? 4 : 20;
+
+  bool ok = true;
+  util::Table table({"batch", "interpreted mean", "compiled mean", "interp p95",
+                     "compiled p95", "speedup"});
+  std::vector<std::pair<std::string, double>> metrics;
+  metrics.emplace_back("plan_compile_ms", info.compile_ms);
+  metrics.emplace_back("plan_compile_wall_ms", compile_wall_ms);
+  metrics.emplace_back("plan_ops_before", static_cast<double>(info.ops_before));
+  metrics.emplace_back("plan_ops_after", static_cast<double>(info.ops_after));
+
+  for (const std::size_t batch : batch_sizes) {
+    std::vector<Staged> staged;
+    for (const std::size_t pick : picks) {
+      Staged s;
+      s.features = tuner.extract_features(suite[pick]);
+      for (std::size_t row = 0; row < batch; ++row) {
+        s.counters.push_back(tuner.profile_counters(
+            s.features.workload, 4096.0 * static_cast<double>((row + 1) * (pick + 1))));
+      }
+      staged.push_back(std::move(s));
+    }
+
+    // Warmup both paths (first compiled execute per shape plans the arena
+    // layout; steady-state serve traffic runs on the cached layout).
+    for (std::size_t i = 0; i < warmup; ++i) {
+      const Staged& s = staged[i % staged.size()];
+      (void)tuner.predict_labels(s.features, s.counters);
+      (void)plan->predict_labels(s.features.graph, s.features.scaled_vector, s.counters);
+    }
+
+    std::vector<double> interpreted_us, compiled_us;
+    interpreted_us.reserve(iterations);
+    compiled_us.reserve(iterations);
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < iterations; ++i) {
+      const Staged& s = staged[i % staged.size()];
+      Clock::time_point t0 = Clock::now();
+      const std::vector<int> want = tuner.predict_labels(s.features, s.counters);
+      Clock::time_point t1 = Clock::now();
+      const std::vector<int> got =
+          plan->predict_labels(s.features.graph, s.features.scaled_vector, s.counters);
+      Clock::time_point t2 = Clock::now();
+      interpreted_us.push_back(std::chrono::duration<double, std::micro>(t1 - t0).count());
+      compiled_us.push_back(std::chrono::duration<double, std::micro>(t2 - t1).count());
+      if (got != want) ++mismatches;
+    }
+    if (mismatches != 0) {
+      std::cerr << "FAIL: batch " << batch << ": " << mismatches << "/" << iterations
+                << " compiled predictions diverge from the interpreter\n";
+      ok = false;
+    }
+
+    const double interp_mean = mean_us(interpreted_us);
+    const double comp_mean = mean_us(compiled_us);
+    const double interp_p95 = percentile_us(interpreted_us, 0.95);
+    const double comp_p95 = percentile_us(std::move(compiled_us), 0.95);
+    const double speedup = comp_mean > 0.0 ? interp_mean / comp_mean : 0.0;
+    table.add_row({std::to_string(batch), util::fmt_double(interp_mean) + " us",
+                   util::fmt_double(comp_mean) + " us", util::fmt_double(interp_p95) + " us",
+                   util::fmt_double(comp_p95) + " us", util::fmt_double(speedup) + "x"});
+
+    const std::string prefix = "batch" + std::to_string(batch);
+    metrics.emplace_back(prefix + "_interpreted_mean_us", interp_mean);
+    metrics.emplace_back(prefix + "_compiled_mean_us", comp_mean);
+    metrics.emplace_back(prefix + "_interpreted_p95_us", interp_p95);
+    metrics.emplace_back(prefix + "_compiled_p95_us", comp_p95);
+    metrics.emplace_back(prefix + "_speedup", speedup);
+
+    // The tentpole's acceptance floor: >= 2x at serve batch sizes. Smoke
+    // runs skip it (shared CI boxes jitter); the perf-gate p95 trajectory
+    // catches sustained regressions there instead.
+    if (!smoke && speedup < 2.0) {
+      std::cerr << "FAIL: batch " << batch << " compiled speedup "
+                << util::fmt_double(speedup) << "x is below the 2x floor\n";
+      ok = false;
+    }
+  }
+
+  std::cout << "\ncompiled vs interpreted forward (" << iterations << " iterations, "
+            << picks.size() << " kernels round-robin):\n";
+  table.print(std::cout);
+
+  if (!json_path.empty()) {
+    if (!bench::write_metrics_json(json_path, "runtime_forward", metrics)) {
+      std::cerr << "FAIL: could not write " << json_path << "\n";
+      ok = false;
+    } else {
+      std::cout << "metrics written to " << json_path << "\n";
+    }
+  }
+  return ok ? 0 : 1;
+}

@@ -370,6 +370,28 @@ int main(int argc, char** argv) {
                   << " of request latency to stage spans (need >= 90%)\n";
         ok = false;
       }
+      // The compiled runtime's plan-execute span nests *inside* kForward (it
+      // is deliberately not in kAttributed, so the partition above is
+      // untouched). With compiled_runtime defaulting on, the spans must be
+      // present, and their total can never exceed the forward stage that
+      // contains them.
+      const obs::StageStats& plan_exec =
+          traced.summary[static_cast<std::size_t>(obs::Stage::kPlanExecute)];
+      const obs::StageStats& forward_stage =
+          traced.summary[static_cast<std::size_t>(obs::Stage::kForward)];
+      if (plan_exec.count == 0) {
+        std::cerr << "FAIL: " << traced.shards
+                  << "-shard traced run recorded no plan-execute spans (compiled "
+                     "runtime silently fell back to the interpreter?)\n";
+        ok = false;
+      }
+      if (plan_exec.total_us > forward_stage.total_us) {
+        std::cerr << "FAIL: " << traced.shards << "-shard plan-execute total ("
+                  << util::fmt_double(plan_exec.total_us) << " us) exceeds the forward stage ("
+                  << util::fmt_double(forward_stage.total_us)
+                  << " us) it must nest inside\n";
+        ok = false;
+      }
       // < 5% throughput cost, plus a small absolute allowance so sub-second
       // smoke runs don't fail on scheduler noise.
       if (traced.out.seconds > 1.05 * traced.base_seconds + 0.15) {
@@ -528,6 +550,11 @@ int main(int argc, char** argv) {
         metrics.emplace_back(prefix + "_stage_" + obs::to_string(stage) + "_mean_us",
                              s.total_us / n);
       }
+      // Nested inside the forward stage, not attributed — recorded so the
+      // perf trajectory shows how much of `forward` the compiled plan is.
+      const obs::StageStats& plan_exec =
+          traced.summary[static_cast<std::size_t>(obs::Stage::kPlanExecute)];
+      metrics.emplace_back(prefix + "_stage_plan_execute_mean_us", plan_exec.total_us / n);
     }
     if (!smoke) {
       metrics.emplace_back("tiered_interactive_p95_us", tiered_int_p95);

@@ -68,6 +68,36 @@ nn::Tensor MgaModel::forward_group(const programl::ProgramGraph& graph,
   return fusion_out_.forward(nn::relu(fusion_hidden_.forward(batch)));
 }
 
+runtime::ValueId MgaModel::capture_forward_group(runtime::GraphBuilder& g) const {
+  using runtime::ValueId;
+  // Mirrors forward_group statement for statement: static modalities once,
+  // broadcast across the group, per-sample extras appended.
+  bool have_shared = false;
+  ValueId shared = 0;
+  if (config_.use_graph) {
+    shared = gnn_->capture(g);
+    have_shared = true;
+  }
+  if (config_.use_vector) {
+    const ValueId vector = g.input_vector(config_.dae.input_dim);
+    const ValueId code =
+        config_.vector_passthrough ? vector : dae_->capture_encode(g, vector);
+    shared = have_shared ? g.concat_cols(shared, code) : code;
+    have_shared = true;
+  }
+  bool have_batch = false;
+  ValueId batch = 0;
+  if (have_shared) {
+    batch = g.row_repeat(shared, runtime::Sym::kGroup);
+    have_batch = true;
+  }
+  if (config_.use_extra) {
+    const ValueId extra = g.input_extra(config_.extra_dim);
+    batch = have_batch ? g.concat_cols(batch, extra) : extra;
+  }
+  return fusion_out_.capture(g, g.relu(fusion_hidden_.capture(g, batch)));
+}
+
 std::vector<nn::Tensor> MgaModel::trainable_parameters() const {
   std::vector<nn::Tensor> params;
   if (gnn_ != nullptr) nn::collect(params, gnn_->parameters());

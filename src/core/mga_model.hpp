@@ -46,6 +46,11 @@ class MgaModel {
                                          const std::vector<std::vector<float>>& extra_rows,
                                          std::size_t group_size) const;
 
+  /// Record the full grouped forward into an op graph: the runtime-plan
+  /// capture of `forward_group`, honoring the same modality switches. The
+  /// graph/vector/extra inputs and the group size are bound at execute time.
+  [[nodiscard]] runtime::ValueId capture_forward_group(runtime::GraphBuilder& g) const;
+
   /// Trainable parameters: GNN + fusion MLP. The DAE is pretrained and then
   /// frozen (self-supervised stage), so it is excluded here.
   [[nodiscard]] std::vector<nn::Tensor> trainable_parameters() const;

@@ -1,6 +1,7 @@
 #include "core/tuner.hpp"
 
 #include <bit>
+#include <chrono>
 #include <cmath>
 #include <unordered_map>
 
@@ -8,6 +9,7 @@
 #include "ir2vec/encoder.hpp"
 #include "nn/serialize.hpp"
 #include "programl/builder.hpp"
+#include "runtime/compiled.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -171,6 +173,31 @@ std::vector<int> MgaTuner::predict_labels(
   const nn::Tensor logits = state_->model->forward_group(
       features.graph, features.scaled_vector, extra, extra.size());
   return nn::argmax_rows(logits);
+}
+
+std::shared_ptr<const runtime::CompiledForward> MgaTuner::compile_forward() const {
+  const auto start = std::chrono::steady_clock::now();
+  runtime::GraphBuilder builder;
+  const runtime::ValueId output = state_->model->capture_forward_group(builder);
+  runtime::Graph graph = std::move(builder).finish(output);
+  runtime::CompileInfo info;
+  info.ops_before = graph.size();
+  info.passes = runtime::run_default_passes(graph);
+  info.ops_after = graph.size();
+  const MgaModelConfig& mc = state_->model->config();
+  runtime::ForwardSpec spec;
+  spec.use_graph = mc.use_graph;
+  spec.use_vector = mc.use_vector;
+  spec.use_extra = mc.use_extra;
+  spec.vector_dim = mc.dae.input_dim;
+  spec.extra_dim = mc.extra_dim;
+  spec.num_classes = mc.num_classes;
+  auto compiled = std::make_shared<runtime::CompiledForward>(
+      std::move(graph), state_->counter_scaler, spec, info);
+  compiled->set_compile_ms(std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count());
+  return compiled;
 }
 
 std::vector<hwsim::OmpConfig> MgaTuner::tune_group(

@@ -19,6 +19,10 @@
 
 #include "core/experiment.hpp"
 
+namespace mga::runtime {
+class CompiledForward;
+}
+
 namespace mga::core {
 
 /// Cacheable handle onto the static (per-kernel) half of the inference
@@ -134,6 +138,13 @@ class MgaTuner {
   [[nodiscard]] std::vector<int> predict_labels(
       const KernelFeatures& features,
       const std::vector<hwsim::PapiCounters>& counters) const;
+
+  /// Compile this tuner's grouped forward into an executable runtime plan
+  /// (capture → rewrite passes → memory planning). The plan aliases the live
+  /// model weights: it follows `fine_tune` automatically and stays pinned to
+  /// THIS tuner's parameters (a `clone()` needs its own compile). The result
+  /// is immutable, thread-safe, and bit-identical to `predict_labels`.
+  [[nodiscard]] std::shared_ptr<const runtime::CompiledForward> compile_forward() const;
 
   // --- online retraining building blocks (used by mga::serve::retrain) -----
 

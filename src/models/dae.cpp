@@ -46,6 +46,11 @@ nn::Tensor DenoisingAutoencoder::encode_tensor(const nn::Tensor& batch) const {
   return nn::sigmoid(encoder_code_.forward(hidden));
 }
 
+runtime::ValueId DenoisingAutoencoder::capture_encode(runtime::GraphBuilder& g,
+                                                      runtime::ValueId batch) const {
+  return g.sigmoid(encoder_code_.capture(g, g.sigmoid(encoder_in_.capture(g, batch))));
+}
+
 nn::Tensor DenoisingAutoencoder::reconstruct(const nn::Tensor& batch) const {
   const nn::Tensor code = encode_tensor(batch);
   const nn::Tensor hidden = nn::sigmoid(decoder_hidden_.forward(code));

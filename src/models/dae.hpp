@@ -38,6 +38,10 @@ class DenoisingAutoencoder {
   /// Encode a batch: [n, code_dim].
   [[nodiscard]] nn::Tensor encode_batch(const std::vector<std::vector<float>>& rows) const;
 
+  /// Record the (frozen) encoder into an op graph: batch -> code value.
+  [[nodiscard]] runtime::ValueId capture_encode(runtime::GraphBuilder& g,
+                                                runtime::ValueId batch) const;
+
   /// Full forward (encode + decode) of a batch tensor, used by pretraining
   /// and reconstruction tests.
   [[nodiscard]] nn::Tensor reconstruct(const nn::Tensor& batch) const;

@@ -63,6 +63,42 @@ nn::Tensor RelationLayer::forward(const nn::Tensor& node_states,
   return {};
 }
 
+runtime::ValueId RelationLayer::capture(runtime::GraphBuilder& g, runtime::ValueId states,
+                                        std::size_t relation) const {
+  using runtime::ValueId;
+  const runtime::Sym edges = runtime::edge_sym(relation);
+  const runtime::IndexSource src_index = runtime::sources_index(relation);
+  const runtime::IndexSource dst_index = runtime::targets_index(relation);
+  switch (kind_) {
+    case GnnKind::kGcn:
+    case GnnKind::kSage:
+    case GnnKind::kGgnn: {
+      const ValueId source_states = g.gather(states, src_index, edges);
+      const ValueId messages = message_.capture(g, source_states);
+      return g.scatter_mean(messages, dst_index, runtime::Sym::kNodes);
+    }
+    case GnnKind::kGat: {
+      const ValueId transformed = message_.capture(g, states);
+      const ValueId src_h = g.gather(transformed, src_index, edges);
+      const ValueId score_src = g.matmul(src_h, g.param(attention_src_));
+      const ValueId dst_scores = g.matmul(transformed, g.param(attention_dst_));
+      const ValueId score_dst = g.gather(dst_scores, dst_index, edges);
+      const ValueId logits = g.leaky_relu(g.add(score_src, score_dst));
+      const ValueId exp_logits = g.exp(logits);
+      const ValueId denom = g.scatter_sum(exp_logits, dst_index, runtime::Sym::kNodes);
+      const ValueId denom_per_edge = g.gather(denom, dst_index, edges);
+      const ValueId alpha = g.div(exp_logits, denom_per_edge);
+      const std::size_t d = message_.out_features();
+      const ValueId ones = g.constant(std::vector<float>(d, 1.0f), 1, d);
+      const ValueId alpha_wide = g.matmul(alpha, ones);
+      const ValueId weighted = g.mul(src_h, alpha_wide);
+      return g.scatter_sum(weighted, dst_index, runtime::Sym::kNodes);
+    }
+  }
+  MGA_CHECK_MSG(false, "unhandled GnnKind");
+  return 0;
+}
+
 std::vector<nn::Tensor> RelationLayer::parameters() const {
   std::vector<nn::Tensor> params = message_.parameters();
   if (kind_ == GnnKind::kGat) {
@@ -127,6 +163,27 @@ nn::Tensor HeteroGnn::forward(const programl::ProgramGraph& graph) const {
 
   // Mean-pool readout over all nodes -> graph embedding.
   return nn::tanh_op(readout_.forward(nn::mean_rows(states)));
+}
+
+runtime::ValueId HeteroGnn::capture(runtime::GraphBuilder& g) const {
+  using runtime::ValueId;
+  ValueId states = g.gather(g.param(embedding_), runtime::IndexSource::kFeatureIndex,
+                            runtime::Sym::kNodes);
+  for (const Layer& layer : layers_) {
+    ValueId aggregated = layer.relations[0].capture(g, states, 0);
+    for (std::size_t r = 1; r < programl::kNumEdgeTypes; ++r) {
+      aggregated = g.add(aggregated, layer.relations[r].capture(g, states, r));
+    }
+    aggregated = g.scale(aggregated, 1.0f / static_cast<float>(programl::kNumEdgeTypes));
+    if (layer.update != nullptr) {
+      states = layer.update->capture(g, aggregated, states);
+    } else {
+      states = g.relu(layer.combine->capture(g, g.concat_cols(states, aggregated)));
+    }
+  }
+  // mean_rows = scale(sum_rows, 1/n) with n only known at execute time.
+  const ValueId pooled = g.scale_inv(g.sum_rows(states), runtime::Sym::kNodes);
+  return g.tanh(readout_.capture(g, pooled));
 }
 
 std::vector<nn::Tensor> HeteroGnn::parameters() const {

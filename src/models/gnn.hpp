@@ -31,6 +31,13 @@ class RelationLayer {
                                    const programl::ProgramGraph::RelationEdges& edges,
                                    std::size_t num_nodes) const;
 
+  /// Record the message pass for relation index `relation` into an op graph.
+  /// Edge lists are bound at execute time; an empty relation degenerates to
+  /// the zero field the interpreter's shortcut returns (memset + no-op
+  /// scatter), bit for bit.
+  [[nodiscard]] runtime::ValueId capture(runtime::GraphBuilder& g, runtime::ValueId states,
+                                         std::size_t relation) const;
+
   [[nodiscard]] std::vector<nn::Tensor> parameters() const;
 
  private:
@@ -56,6 +63,10 @@ class HeteroGnn {
 
   /// Whole-graph embedding: [1, output_dim].
   [[nodiscard]] nn::Tensor forward(const programl::ProgramGraph& graph) const;
+
+  /// Record the full forward (embedding gather → message-passing layers →
+  /// mean-pool readout) into an op graph; returns the [1, output_dim] value.
+  [[nodiscard]] runtime::ValueId capture(runtime::GraphBuilder& g) const;
 
   [[nodiscard]] std::vector<nn::Tensor> parameters() const;
   [[nodiscard]] const HeteroGnnConfig& config() const noexcept { return config_; }

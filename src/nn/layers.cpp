@@ -13,6 +13,10 @@ Tensor Linear::forward(const Tensor& x) const {
   return add_bias(matmul(x, weight_), bias_);
 }
 
+runtime::ValueId Linear::capture(runtime::GraphBuilder& g, runtime::ValueId x) const {
+  return g.add_bias(g.matmul(x, g.param(weight_)), g.param(bias_));
+}
+
 GruCell::GruCell(util::Rng& rng, std::size_t input_dim, std::size_t hidden_dim)
     : w_update_(Tensor::xavier(rng, input_dim, hidden_dim)),
       u_update_(Tensor::xavier(rng, hidden_dim, hidden_dim)),
@@ -39,6 +43,22 @@ Tensor GruCell::forward(const Tensor& input, const Tensor& hidden) const {
   // h' = (1 - z) * h + z * candidate
   const Tensor ones = Tensor::full(z.rows(), z.cols(), 1.0f);
   return add(mul(sub(ones, z), hidden), mul(z, candidate));
+}
+
+runtime::ValueId GruCell::capture(runtime::GraphBuilder& g, runtime::ValueId input,
+                                  runtime::ValueId hidden) const {
+  using runtime::ValueId;
+  const auto gate = [&](const Tensor& w, const Tensor& u, const Tensor& b, ValueId state) {
+    return g.add_bias(g.add(g.matmul(input, g.param(w)), g.matmul(state, g.param(u))),
+                      g.param(b));
+  };
+  const ValueId z = g.sigmoid(gate(w_update_, u_update_, b_update_, hidden));
+  const ValueId r = g.sigmoid(gate(w_reset_, u_reset_, b_reset_, hidden));
+  const ValueId candidate =
+      g.tanh(gate(w_cand_, u_cand_, b_cand_, g.mul(r, hidden)));
+  // h' = (1 - z) * h + z * candidate; kOneMinus is the interpreter's
+  // `sub(ones, z)` element for element.
+  return g.add(g.mul(g.one_minus(z), hidden), g.mul(z, candidate));
 }
 
 std::vector<Tensor> GruCell::parameters() const {

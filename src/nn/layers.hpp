@@ -6,6 +6,7 @@
 
 #include "nn/ops.hpp"
 #include "nn/tensor.hpp"
+#include "runtime/graph.hpp"
 
 namespace mga::nn {
 
@@ -15,6 +16,11 @@ class Linear {
   Linear(util::Rng& rng, std::size_t in_features, std::size_t out_features);
 
   [[nodiscard]] Tensor forward(const Tensor& x) const;
+
+  /// Record this layer's forward into an op graph (runtime plan capture).
+  /// The weights are captured as aliasing params: in-place updates (AdamW,
+  /// fine_tune) are visible to a compiled plan without re-capture.
+  [[nodiscard]] runtime::ValueId capture(runtime::GraphBuilder& g, runtime::ValueId x) const;
 
   [[nodiscard]] std::vector<Tensor> parameters() const { return {weight_, bias_}; }
   [[nodiscard]] std::size_t in_features() const noexcept { return weight_.rows(); }
@@ -33,6 +39,10 @@ class GruCell {
   GruCell(util::Rng& rng, std::size_t input_dim, std::size_t hidden_dim);
 
   [[nodiscard]] Tensor forward(const Tensor& input, const Tensor& hidden) const;
+
+  /// Record the gated update into an op graph (see Linear::capture).
+  [[nodiscard]] runtime::ValueId capture(runtime::GraphBuilder& g, runtime::ValueId input,
+                                         runtime::ValueId hidden) const;
 
   [[nodiscard]] std::vector<Tensor> parameters() const;
   [[nodiscard]] std::size_t hidden_dim() const noexcept { return w_update_.cols(); }

@@ -28,6 +28,11 @@ void append_json_escaped(std::ostringstream& os, const std::string& text) {
 
 }  // namespace
 
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
 MetricsRegistry::Instrument& MetricsRegistry::intern(const std::string& name,
                                                      const std::string& help, Kind kind) {
   std::lock_guard<std::mutex> lock(mutex_);

@@ -61,6 +61,11 @@ class HistogramMetric {
 
 class MetricsRegistry {
  public:
+  /// Process-wide registry for cross-cutting instruments (runtime-plan
+  /// compile/execute counters); components that want isolation keep owning
+  /// their own registry instance.
+  static MetricsRegistry& global();
+
   /// Intern by name; repeated calls with the same name return the same
   /// instrument. A name may hold only one instrument kind (checked).
   Counter& counter(const std::string& name, const std::string& help = "");

@@ -54,6 +54,8 @@ const char* to_string(Stage stage) noexcept {
     case Stage::kRetrainCanary: return "retrain_canary";
     case Stage::kRetrainSwap: return "retrain_swap";
     case Stage::kRetrainRollback: return "retrain_rollback";
+    case Stage::kPlanCompile: return "plan_compile";
+    case Stage::kPlanExecute: return "plan_execute";
   }
   return "unknown";
 }

@@ -47,8 +47,10 @@ enum class Stage : std::uint8_t {
   kRetrainCanary,
   kRetrainSwap,
   kRetrainRollback,
+  kPlanCompile,  // registry: runtime-plan compilation for a (new) generation
+  kPlanExecute,  // compiled-plan execution inside the forward stage
 };
-inline constexpr std::size_t kNumStages = 15;
+inline constexpr std::size_t kNumStages = 17;
 
 [[nodiscard]] const char* to_string(Stage stage) noexcept;
 

@@ -1,0 +1,96 @@
+#include "runtime/compiled.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace mga::runtime {
+
+CompiledForward::CompiledForward(Graph rewritten, dataset::MinMaxScaler counter_scaler,
+                                 ForwardSpec spec, CompileInfo info)
+    : plan_(std::move(rewritten)),
+      counter_scaler_(std::move(counter_scaler)),
+      spec_(spec),
+      info_(info) {}
+
+std::span<const float> CompiledForward::forward_logits(
+    const programl::ProgramGraph& graph, const std::vector<float>& scaled_vector,
+    const std::vector<hwsim::PapiCounters>& counters, bool* layout_cache_hit) const {
+  const std::size_t group = counters.size();
+  MGA_CHECK_MSG(group > 0, "CompiledForward: empty counter batch");
+
+  // All per-call staging buffers are thread_local: a steady-state serve
+  // worker reuses them across forwards without allocating.
+  thread_local std::vector<int> feature_index;
+  thread_local std::vector<int> sources[programl::kNumEdgeTypes];
+  thread_local std::vector<int> targets[programl::kNumEdgeTypes];
+  thread_local std::vector<float> extra;
+
+  ExecInputs inputs;
+  inputs.group = group;
+  if (spec_.use_graph) {
+    const std::size_t n = graph.node_count();
+    MGA_CHECK_MSG(n > 0, "CompiledForward: empty graph");
+    inputs.num_nodes = n;
+    feature_index.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      feature_index[i] = static_cast<int>(programl::node_feature_index(graph.nodes[i]));
+    }
+    inputs.feature_index = feature_index.data();
+    for (auto& s : sources) s.clear();
+    for (auto& t : targets) t.clear();
+    for (const programl::Edge& edge : graph.edges) {
+      const auto r = static_cast<std::size_t>(edge.type);
+      sources[r].push_back(edge.source);
+      targets[r].push_back(edge.target);
+    }
+    for (std::size_t r = 0; r < programl::kNumEdgeTypes; ++r) {
+      inputs.sources[r] = sources[r].data();
+      inputs.targets[r] = targets[r].data();
+      inputs.edge_count[r] = sources[r].size();
+    }
+  }
+  if (spec_.use_vector) {
+    MGA_CHECK_MSG(scaled_vector.size() == spec_.vector_dim,
+                  "CompiledForward: vector width mismatch");
+    inputs.vector = scaled_vector.data();
+  }
+  if (spec_.use_extra) {
+    // The interpreter's `counter_features`, verbatim: log1p in double, the
+    // tuner's min-max transform in double, then a narrowing copy to float.
+    extra.clear();
+    extra.reserve(group * spec_.extra_dim);
+    std::vector<double> logged(hwsim::PapiCounters::kNumSelected);
+    for (const hwsim::PapiCounters& c : counters) {
+      const auto raw = c.selected();
+      for (std::size_t i = 0; i < raw.size(); ++i) logged[i] = std::log1p(raw[i]);
+      const std::vector<double> scaled = counter_scaler_.transform(logged);
+      for (const double v : scaled) extra.push_back(static_cast<float>(v));
+    }
+    inputs.extra = extra.data();
+  }
+
+  return plan_.execute(inputs, layout_cache_hit);
+}
+
+std::vector<int> CompiledForward::predict_labels(
+    const programl::ProgramGraph& graph, const std::vector<float>& scaled_vector,
+    const std::vector<hwsim::PapiCounters>& counters, bool* layout_cache_hit) const {
+  const std::span<const float> logits =
+      forward_logits(graph, scaled_vector, counters, layout_cache_hit);
+  // nn::argmax_rows, verbatim: strict >, first maximum wins.
+  const std::size_t c = spec_.num_classes;
+  const std::size_t n = logits.size() / c;
+  std::vector<int> result(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < c; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    result[i] = static_cast<int>(best);
+  }
+  return result;
+}
+
+}  // namespace mga::runtime

@@ -1,0 +1,91 @@
+// CompiledForward — the model-facing entry point of mga::runtime.
+//
+// Wraps a rewritten + memory-planned Plan of one tuner's full grouped
+// forward (GNN ∥ DAE → late fusion → logits) together with everything needed
+// to reproduce `MgaTuner::predict_labels` bit for bit: a copy of the tuner's
+// counter MinMaxScaler (the log1p → min-max pipeline runs in double, exactly
+// as the interpreter's `counter_features`), the modality switches, and the
+// interpreter's first-max-wins argmax.
+//
+// The plan's kParam leaves alias the live weight TensorImpls of the tuner
+// that compiled it: `fine_tune` updates weights in place, so an existing
+// CompiledForward follows a fine-tuned tuner automatically, while `clone()`
+// allocates fresh tensors — a clone needs (and gets, via the registry) its
+// own compile. A CompiledForward is immutable and safe to share across
+// serve workers.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "dataset/scaler.hpp"
+#include "hwsim/workload.hpp"
+#include "programl/graph.hpp"
+#include "runtime/passes.hpp"
+#include "runtime/plan.hpp"
+
+namespace mga::runtime {
+
+/// Which modalities the captured forward consumes (from MgaModelConfig).
+struct ForwardSpec {
+  bool use_graph = true;
+  bool use_vector = true;
+  bool use_extra = true;
+  std::size_t vector_dim = 0;
+  std::size_t extra_dim = 0;
+  std::size_t num_classes = 0;
+};
+
+/// What compilation did (surfaced through obs + the runtime bench).
+struct CompileInfo {
+  double compile_ms = 0.0;
+  std::size_t ops_before = 0;
+  std::size_t ops_after = 0;
+  PassStats passes;
+};
+
+class CompiledForward {
+ public:
+  /// Takes the graph AFTER rewrite passes; plans memory immediately.
+  CompiledForward(Graph rewritten, dataset::MinMaxScaler counter_scaler, ForwardSpec spec,
+                  CompileInfo info);
+
+  CompiledForward(const CompiledForward&) = delete;
+  CompiledForward& operator=(const CompiledForward&) = delete;
+
+  /// `MgaTuner::predict_labels`, compiled: one grouped forward over all
+  /// counter rows sharing the kernel's static modalities, then the
+  /// interpreter's argmax. Sets *layout_cache_hit to whether the shape
+  /// bucket's layout was already planned.
+  [[nodiscard]] std::vector<int> predict_labels(const programl::ProgramGraph& graph,
+                                                const std::vector<float>& scaled_vector,
+                                                const std::vector<hwsim::PapiCounters>& counters,
+                                                bool* layout_cache_hit = nullptr) const;
+
+  /// The grouped logits ([group, num_classes] row-major) behind
+  /// predict_labels — the bit-identity tests pin these against the
+  /// interpreted `MgaModel::forward_group` output. The view is valid on the
+  /// calling thread until its next plan execution.
+  [[nodiscard]] std::span<const float> forward_logits(
+      const programl::ProgramGraph& graph, const std::vector<float>& scaled_vector,
+      const std::vector<hwsim::PapiCounters>& counters,
+      bool* layout_cache_hit = nullptr) const;
+
+  [[nodiscard]] const Plan& plan() const noexcept { return plan_; }
+  [[nodiscard]] const CompileInfo& info() const noexcept { return info_; }
+  [[nodiscard]] const ForwardSpec& spec() const noexcept { return spec_; }
+
+  /// Stamp the end-to-end compile time (capture + passes + plan analysis).
+  /// Called once by the compiling site before the handle goes const.
+  void set_compile_ms(double ms) noexcept { info_.compile_ms = ms; }
+
+ private:
+  Plan plan_;
+  dataset::MinMaxScaler counter_scaler_;
+  ForwardSpec spec_;
+  CompileInfo info_;
+};
+
+}  // namespace mga::runtime

@@ -1,0 +1,294 @@
+#include "runtime/graph.hpp"
+
+#include "util/check.hpp"
+
+namespace mga::runtime {
+
+Sym edge_sym(std::size_t relation) noexcept {
+  switch (relation) {
+    case 0: return Sym::kEdges0;
+    case 1: return Sym::kEdges1;
+    default: return Sym::kEdges2;
+  }
+}
+
+IndexSource sources_index(std::size_t relation) noexcept {
+  switch (relation) {
+    case 0: return IndexSource::kSources0;
+    case 1: return IndexSource::kSources1;
+    default: return IndexSource::kSources2;
+  }
+}
+
+IndexSource targets_index(std::size_t relation) noexcept {
+  switch (relation) {
+    case 0: return IndexSource::kTargets0;
+    case 1: return IndexSource::kTargets1;
+    default: return IndexSource::kTargets2;
+  }
+}
+
+bool is_external(OpKind kind) noexcept {
+  switch (kind) {
+    case OpKind::kConst:
+    case OpKind::kParam:
+    case OpKind::kInputVector:
+    case OpKind::kInputExtra:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_elementwise(OpKind kind) noexcept {
+  switch (kind) {
+    case OpKind::kAdd:
+    case OpKind::kSub:
+    case OpKind::kMul:
+    case OpKind::kDiv:
+    case OpKind::kScale:
+    case OpKind::kOneMinus:
+    case OpKind::kRelu:
+    case OpKind::kLeakyRelu:
+    case OpKind::kSigmoid:
+    case OpKind::kTanh:
+    case OpKind::kExp:
+    case OpKind::kBiasAct:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* to_string(OpKind kind) noexcept {
+  switch (kind) {
+    case OpKind::kConst: return "const";
+    case OpKind::kParam: return "param";
+    case OpKind::kInputVector: return "input_vector";
+    case OpKind::kInputExtra: return "input_extra";
+    case OpKind::kMatmul: return "matmul";
+    case OpKind::kAddBias: return "add_bias";
+    case OpKind::kMatmulBiasAct: return "matmul_bias_act";
+    case OpKind::kBiasAct: return "bias_act";
+    case OpKind::kAdd: return "add";
+    case OpKind::kSub: return "sub";
+    case OpKind::kMul: return "mul";
+    case OpKind::kDiv: return "div";
+    case OpKind::kScale: return "scale";
+    case OpKind::kOneMinus: return "one_minus";
+    case OpKind::kRelu: return "relu";
+    case OpKind::kLeakyRelu: return "leaky_relu";
+    case OpKind::kSigmoid: return "sigmoid";
+    case OpKind::kTanh: return "tanh";
+    case OpKind::kExp: return "exp";
+    case OpKind::kGather: return "gather";
+    case OpKind::kScatterSum: return "scatter_sum";
+    case OpKind::kScatterMean: return "scatter_mean";
+    case OpKind::kConcatCols: return "concat_cols";
+    case OpKind::kRowRepeat: return "row_repeat";
+    case OpKind::kSumRows: return "sum_rows";
+  }
+  return "?";
+}
+
+ValueId GraphBuilder::push(Op op) {
+  graph_.ops.push_back(std::move(op));
+  return static_cast<ValueId>(graph_.ops.size() - 1);
+}
+
+const Op& GraphBuilder::op(ValueId id) const {
+  MGA_CHECK_MSG(id < graph_.ops.size(), "GraphBuilder: value id out of range");
+  return graph_.ops[id];
+}
+
+ValueId GraphBuilder::constant(std::vector<float> values, std::size_t rows, std::size_t cols) {
+  MGA_CHECK_MSG(values.size() == rows * cols, "constant: payload size mismatch");
+  Op op;
+  op.kind = OpKind::kConst;
+  op.rows = Dim::literal(rows);
+  op.cols = cols;
+  op.literal = std::move(values);
+  return push(op);
+}
+
+ValueId GraphBuilder::param(const nn::Tensor& tensor) {
+  MGA_CHECK_MSG(tensor.defined(), "param: undefined tensor");
+  Op op;
+  op.kind = OpKind::kParam;
+  op.rows = Dim::literal(tensor.rows());
+  op.cols = tensor.cols();
+  op.param = tensor.impl();
+  return push(op);
+}
+
+ValueId GraphBuilder::input_vector(std::size_t cols) {
+  Op op;
+  op.kind = OpKind::kInputVector;
+  op.rows = Dim::literal(1);
+  op.cols = cols;
+  return push(op);
+}
+
+ValueId GraphBuilder::input_extra(std::size_t cols) {
+  Op op;
+  op.kind = OpKind::kInputExtra;
+  op.rows = Dim::symbol(Sym::kGroup);
+  op.cols = cols;
+  return push(op);
+}
+
+ValueId GraphBuilder::matmul(ValueId a, ValueId b) {
+  const Op& oa = op(a);
+  const Op& ob = op(b);
+  // B's row count must be a literal equal to A's column count — every matmul
+  // in the captured models multiplies by a weight (or a literal broadcast
+  // row), so B never has a symbolic row count.
+  MGA_CHECK_MSG(ob.rows.sym == Sym::kLiteral && ob.rows.lit == oa.cols,
+                "matmul: inner dimensions differ");
+  Op out;
+  out.kind = OpKind::kMatmul;
+  out.rows = oa.rows;
+  out.cols = ob.cols;
+  out.inputs = {a, b};
+  return push(out);
+}
+
+ValueId GraphBuilder::add_bias(ValueId x, ValueId bias) {
+  const Op& ox = op(x);
+  const Op& obias = op(bias);
+  MGA_CHECK_MSG(obias.rows == Dim::literal(1) && obias.cols == ox.cols,
+                "add_bias: bias must be [1, cols(x)]");
+  Op out;
+  out.kind = OpKind::kAddBias;
+  out.rows = ox.rows;
+  out.cols = ox.cols;
+  out.inputs = {x, bias};
+  return push(out);
+}
+
+ValueId GraphBuilder::binary(OpKind kind, ValueId a, ValueId b) {
+  const Op& oa = op(a);
+  const Op& ob = op(b);
+  MGA_CHECK_MSG(oa.rows == ob.rows && oa.cols == ob.cols, "binary op: shape mismatch");
+  Op out;
+  out.kind = kind;
+  out.rows = oa.rows;
+  out.cols = oa.cols;
+  out.inputs = {a, b};
+  return push(out);
+}
+
+ValueId GraphBuilder::unary(OpKind kind, ValueId a) {
+  const Op& oa = op(a);
+  Op out;
+  out.kind = kind;
+  out.rows = oa.rows;
+  out.cols = oa.cols;
+  out.inputs = {a};
+  return push(out);
+}
+
+ValueId GraphBuilder::add(ValueId a, ValueId b) { return binary(OpKind::kAdd, a, b); }
+ValueId GraphBuilder::sub(ValueId a, ValueId b) { return binary(OpKind::kSub, a, b); }
+ValueId GraphBuilder::mul(ValueId a, ValueId b) { return binary(OpKind::kMul, a, b); }
+ValueId GraphBuilder::div(ValueId a, ValueId b) { return binary(OpKind::kDiv, a, b); }
+
+ValueId GraphBuilder::scale(ValueId a, float factor) {
+  const ValueId id = unary(OpKind::kScale, a);
+  graph_.ops[id].factor = factor;
+  return id;
+}
+
+ValueId GraphBuilder::scale_inv(ValueId a, Sym sym) {
+  MGA_CHECK_MSG(sym != Sym::kLiteral, "scale_inv: needs a symbolic dimension");
+  const ValueId id = unary(OpKind::kScale, a);
+  graph_.ops[id].inv_sym = sym;
+  return id;
+}
+
+ValueId GraphBuilder::one_minus(ValueId a) { return unary(OpKind::kOneMinus, a); }
+ValueId GraphBuilder::relu(ValueId a) { return unary(OpKind::kRelu, a); }
+
+ValueId GraphBuilder::leaky_relu(ValueId a, float negative_slope) {
+  const ValueId id = unary(OpKind::kLeakyRelu, a);
+  graph_.ops[id].factor = negative_slope;
+  return id;
+}
+
+ValueId GraphBuilder::sigmoid(ValueId a) { return unary(OpKind::kSigmoid, a); }
+ValueId GraphBuilder::tanh(ValueId a) { return unary(OpKind::kTanh, a); }
+ValueId GraphBuilder::exp(ValueId a) { return unary(OpKind::kExp, a); }
+
+ValueId GraphBuilder::gather(ValueId x, IndexSource index, Sym out_rows) {
+  const Op& ox = op(x);
+  Op out;
+  out.kind = OpKind::kGather;
+  out.rows = Dim::symbol(out_rows);
+  out.cols = ox.cols;
+  out.inputs = {x};
+  out.index = index;
+  return push(out);
+}
+
+ValueId GraphBuilder::scatter_sum(ValueId x, IndexSource index, Sym out_rows) {
+  const Op& ox = op(x);
+  Op out;
+  out.kind = OpKind::kScatterSum;
+  out.rows = Dim::symbol(out_rows);
+  out.cols = ox.cols;
+  out.inputs = {x};
+  out.index = index;
+  return push(out);
+}
+
+ValueId GraphBuilder::scatter_mean(ValueId x, IndexSource index, Sym out_rows) {
+  const Op& ox = op(x);
+  Op out;
+  out.kind = OpKind::kScatterMean;
+  out.rows = Dim::symbol(out_rows);
+  out.cols = ox.cols;
+  out.inputs = {x};
+  out.index = index;
+  return push(out);
+}
+
+ValueId GraphBuilder::concat_cols(ValueId a, ValueId b) {
+  const Op& oa = op(a);
+  const Op& ob = op(b);
+  MGA_CHECK_MSG(oa.rows == ob.rows, "concat_cols: row count mismatch");
+  Op out;
+  out.kind = OpKind::kConcatCols;
+  out.rows = oa.rows;
+  out.cols = oa.cols + ob.cols;
+  out.inputs = {a, b};
+  return push(out);
+}
+
+ValueId GraphBuilder::row_repeat(ValueId x, Sym rows) {
+  const Op& ox = op(x);
+  MGA_CHECK_MSG(ox.rows == Dim::literal(1), "row_repeat: input must be a single row");
+  Op out;
+  out.kind = OpKind::kRowRepeat;
+  out.rows = Dim::symbol(rows);
+  out.cols = ox.cols;
+  out.inputs = {x};
+  return push(out);
+}
+
+ValueId GraphBuilder::sum_rows(ValueId x) {
+  const Op& ox = op(x);
+  Op out;
+  out.kind = OpKind::kSumRows;
+  out.rows = Dim::literal(1);
+  out.cols = ox.cols;
+  out.inputs = {x};
+  return push(out);
+}
+
+Graph GraphBuilder::finish(ValueId output) && {
+  MGA_CHECK_MSG(output < graph_.ops.size(), "finish: output id out of range");
+  graph_.output = output;
+  return std::move(graph_);
+}
+
+}  // namespace mga::runtime

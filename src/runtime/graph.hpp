@@ -1,0 +1,195 @@
+// mga::runtime — op-graph IR for the compiled inference plan (DESIGN.md §10).
+//
+// The serve hot path ends in the scalar `src/nn` interpreter, which pays a
+// full autograd tape (result + gradient allocation, parent wiring, backward
+// closures) for every op of every inference batch. This subsystem captures
+// the model forward ONCE as an explicit op graph with static shapes, rewrites
+// it (fold / fuse / inplace / DCE, passes.hpp), plans all intermediate
+// storage into one arena (plan.hpp) and executes it with tight kernels
+// (kernels.hpp) — bit-identical to the interpreted forward by construction:
+// every kernel replicates the exact float expression and accumulation order
+// of the matching nn/ops.cpp loop.
+//
+// Shapes: column counts are always compile-time literals (layer widths);
+// only ROW counts vary per request, and only through five symbols — node
+// count, the three per-relation edge counts, and the batch group size. A
+// `Dim` is therefore a symbol (or a literal), and one captured graph serves
+// every (graph, batch) shape without re-capture.
+//
+// Parameters are captured by aliasing the live `nn::detail::TensorImpl` of
+// the model's weight tensors (kParam): `MgaTuner::fine_tune` updates weights
+// in place, so an existing plan tracks a fine-tuned model automatically,
+// while `clone()` allocates fresh tensors and thus pins an old plan to the
+// old weights — exactly the hot-swap semantics the registry needs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace mga::runtime {
+
+/// Symbolic row counts: the only shape quantities not fixed at capture time.
+enum class Sym : std::uint8_t {
+  kLiteral = 0,  // a compile-time constant row count
+  kNodes,        // program-graph node count
+  kEdges0,       // per-relation edge counts (control / data / call)
+  kEdges1,
+  kEdges2,
+  kGroup,        // batch group size (rows of the extra-features input)
+};
+
+/// A row-count dimension: a symbol, or a literal value.
+struct Dim {
+  Sym sym = Sym::kLiteral;
+  std::size_t lit = 0;
+
+  [[nodiscard]] static Dim literal(std::size_t n) noexcept { return {Sym::kLiteral, n}; }
+  [[nodiscard]] static Dim symbol(Sym s) noexcept { return {s, 0}; }
+  [[nodiscard]] bool operator==(const Dim& o) const noexcept {
+    return sym == o.sym && (sym != Sym::kLiteral || lit == o.lit);
+  }
+};
+
+/// Which execute-time index vector a gather/scatter op consumes.
+enum class IndexSource : std::uint8_t {
+  kFeatureIndex = 0,  // per-node vocabulary indices
+  kSources0,          // relation r's edge source list
+  kSources1,
+  kSources2,
+  kTargets0,          // relation r's edge target list
+  kTargets1,
+  kTargets2,
+};
+
+enum class OpKind : std::uint8_t {
+  // Leaves (no compute at execute time).
+  kConst,        // captured literal tensor (owned copy)
+  kParam,        // live model weight (aliases the TensorImpl; data read per execute)
+  kInputVector,  // the [1, dim] scaled IR2Vec vector, bound per execute
+  kInputExtra,   // the [group, dim] counter-feature rows, bound per execute
+  // Dense algebra.
+  kMatmul,        // ikj accumulation with the interpreter's zero-skip
+  kAddBias,       // out[i,j] = x[i,j] + bias[j]
+  kMatmulBiasAct, // fused matmul → add_bias → activation epilogue
+  kBiasAct,       // fused add_bias → activation
+  // Elementwise.
+  kAdd, kSub, kMul, kDiv,
+  kScale,     // out = x * factor (literal, or 1/rows(sym) for mean_rows)
+  kOneMinus,  // out = 1.0f - x   (the GRU gate's `sub(ones, z)`)
+  kRelu, kLeakyRelu, kSigmoid, kTanh, kExp,
+  // Graph message passing.
+  kGather,       // out[r] = x[index[r]]
+  kScatterSum,   // out[index[r]] += x[r], r ascending
+  kScatterMean,  // scatter_sum scaled by per-destination inverse counts
+  // Shape.
+  kConcatCols,
+  kRowRepeat,  // broadcast a [1, d] row to [rows, d]
+  kSumRows,    // out[1, d] = column sums, i ascending
+};
+
+/// Fused activation epilogue of kMatmulBiasAct / kBiasAct.
+enum class Act : std::uint8_t { kNone = 0, kRelu, kSigmoid, kTanh };
+
+using ValueId = std::uint32_t;
+
+/// One op = one output value; `ValueId` is the op's index, so the op list is
+/// topologically ordered by construction.
+struct Op {
+  OpKind kind = OpKind::kConst;
+  Dim rows;
+  std::size_t cols = 0;
+  std::vector<ValueId> inputs;
+
+  // --- kind-specific payload ---
+  std::vector<float> literal;  // kConst
+  std::shared_ptr<nn::detail::TensorImpl> param;  // kParam
+  /// kScale: literal factor, or 1/(float)dim when inv_sym != kLiteral
+  /// (mean_rows over a symbolic row count). kLeakyRelu: negative slope.
+  float factor = 0.0f;
+  Sym inv_sym = Sym::kLiteral;
+  IndexSource index = IndexSource::kFeatureIndex;  // kGather / kScatter*
+  Act act = Act::kNone;  // kMatmulBiasAct / kBiasAct epilogue
+
+  // --- rewrite-pass annotations (consumed by the memory planner) ---
+  /// Elementwise op writes through its first input's buffer.
+  bool inplace = false;
+  /// kConcatCols: input[i] was produced directly into this concat's buffer
+  /// (a strided view) and needs no copy here.
+  bool absorb_a = false;
+  bool absorb_b = false;
+};
+
+struct Graph {
+  std::vector<Op> ops;
+  ValueId output = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return ops.size(); }
+};
+
+/// Shape-checked graph construction. Column counts are checked eagerly
+/// (they are literals); row symbols are checked for equality where an op
+/// requires matching row counts.
+class GraphBuilder {
+ public:
+  ValueId constant(std::vector<float> values, std::size_t rows, std::size_t cols);
+  /// Alias a live weight tensor; requires a defined, materialized tensor.
+  ValueId param(const nn::Tensor& tensor);
+  ValueId input_vector(std::size_t cols);
+  ValueId input_extra(std::size_t cols);
+
+  ValueId matmul(ValueId a, ValueId b);
+  ValueId add_bias(ValueId x, ValueId bias);
+  ValueId add(ValueId a, ValueId b);
+  ValueId sub(ValueId a, ValueId b);
+  ValueId mul(ValueId a, ValueId b);
+  ValueId div(ValueId a, ValueId b);
+  ValueId scale(ValueId a, float factor);
+  /// out = x * (1 / (float)dims[sym]) — `mean_rows` over a symbolic count.
+  ValueId scale_inv(ValueId a, Sym sym);
+  ValueId one_minus(ValueId a);
+  ValueId relu(ValueId a);
+  ValueId leaky_relu(ValueId a, float negative_slope = 0.2f);
+  ValueId sigmoid(ValueId a);
+  ValueId tanh(ValueId a);
+  ValueId exp(ValueId a);
+
+  ValueId gather(ValueId x, IndexSource index, Sym out_rows);
+  ValueId scatter_sum(ValueId x, IndexSource index, Sym out_rows);
+  ValueId scatter_mean(ValueId x, IndexSource index, Sym out_rows);
+
+  ValueId concat_cols(ValueId a, ValueId b);
+  ValueId row_repeat(ValueId x, Sym rows);
+  ValueId sum_rows(ValueId x);
+
+  [[nodiscard]] const Op& op(ValueId id) const;
+
+  /// Seal the graph with its output value.
+  [[nodiscard]] Graph finish(ValueId output) &&;
+
+ private:
+  ValueId push(Op op);
+  ValueId unary(OpKind kind, ValueId a);
+  ValueId binary(OpKind kind, ValueId a, ValueId b);
+
+  Graph graph_;
+};
+
+/// Relation index (0 = control, 1 = data, 2 = call) → its shape symbol and
+/// execute-time index vectors.
+[[nodiscard]] Sym edge_sym(std::size_t relation) noexcept;
+[[nodiscard]] IndexSource sources_index(std::size_t relation) noexcept;
+[[nodiscard]] IndexSource targets_index(std::size_t relation) noexcept;
+
+/// True for leaf ops that carry data instead of computing it.
+[[nodiscard]] bool is_external(OpKind kind) noexcept;
+/// True for per-element ops eligible for inplace rewriting (first input's
+/// shape equals the output's and element i depends only on element i).
+[[nodiscard]] bool is_elementwise(OpKind kind) noexcept;
+
+[[nodiscard]] const char* to_string(OpKind kind) noexcept;
+
+}  // namespace mga::runtime

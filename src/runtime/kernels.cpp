@@ -1,0 +1,202 @@
+#include "runtime/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace mga::runtime::kernels {
+
+namespace {
+
+inline float apply_act(Act act, float v) {
+  switch (act) {
+    case Act::kNone: return v;
+    case Act::kRelu: return std::max(0.0f, v);
+    case Act::kSigmoid: return 1.0f / (1.0f + std::exp(-v));
+    case Act::kTanh: return std::tanh(v);
+  }
+  return v;
+}
+
+inline void zero_rows(float* out, std::size_t ldo, std::size_t n, std::size_t d) {
+  for (std::size_t i = 0; i < n; ++i) std::fill(out + i * ldo, out + i * ldo + d, 0.0f);
+}
+
+/// One A row's contribution for one kk: the interpreter's inner loop
+/// verbatim, including the zero-skip (0 * x is not added, so a -0.0f
+/// accumulator is preserved bitwise).
+inline void axpy_row(float av, const float* brow, float* orow, std::size_t m) {
+  if (av == 0.0f) return;
+  for (std::size_t j = 0; j < m; ++j) orow[j] += av * brow[j];
+}
+
+}  // namespace
+
+void gemm(const float* a, std::size_t lda, const float* b, std::size_t ldb, float* out,
+          std::size_t ldo, std::size_t n, std::size_t k, std::size_t m) {
+  zero_rows(out, ldo, n, m);
+  // Register-block four A rows per sweep of B: each B row is read once per
+  // block instead of once per output row. Per-(i, j) accumulation stays
+  // kk-ascending into a single accumulator — the float result is the
+  // interpreter's, element for element.
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float* a0 = a + (i + 0) * lda;
+    const float* a1 = a + (i + 1) * lda;
+    const float* a2 = a + (i + 2) * lda;
+    const float* a3 = a + (i + 3) * lda;
+    float* o0 = out + (i + 0) * ldo;
+    float* o1 = out + (i + 1) * ldo;
+    float* o2 = out + (i + 2) * ldo;
+    float* o3 = out + (i + 3) * ldo;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float* brow = b + kk * ldb;
+      axpy_row(a0[kk], brow, o0, m);
+      axpy_row(a1[kk], brow, o1, m);
+      axpy_row(a2[kk], brow, o2, m);
+      axpy_row(a3[kk], brow, o3, m);
+    }
+  }
+  for (; i < n; ++i) {
+    const float* arow = a + i * lda;
+    float* orow = out + i * ldo;
+    for (std::size_t kk = 0; kk < k; ++kk) axpy_row(arow[kk], b + kk * ldb, orow, m);
+  }
+}
+
+void gemm_bias_act(const float* a, std::size_t lda, const float* b, std::size_t ldb,
+                   const float* bias, float* out, std::size_t ldo, std::size_t n,
+                   std::size_t k, std::size_t m, Act act) {
+  gemm(a, lda, b, ldb, out, ldo, n, k, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    float* orow = out + i * ldo;
+    for (std::size_t j = 0; j < m; ++j) orow[j] = apply_act(act, orow[j] + bias[j]);
+  }
+}
+
+void bias_act(const float* x, std::size_t ldx, const float* bias, float* out, std::size_t ldo,
+              std::size_t n, std::size_t d, Act act) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* xrow = x + i * ldx;
+    float* orow = out + i * ldo;
+    for (std::size_t j = 0; j < d; ++j) orow[j] = apply_act(act, xrow[j] + bias[j]);
+  }
+}
+
+void binary(OpKind kind, const float* a, std::size_t lda, const float* b, std::size_t ldb,
+            float* out, std::size_t ldo, std::size_t n, std::size_t d) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* pa = a + i * lda;
+    const float* pb = b + i * ldb;
+    float* po = out + i * ldo;
+    switch (kind) {
+      case OpKind::kAdd:
+        for (std::size_t j = 0; j < d; ++j) po[j] = pa[j] + pb[j];
+        break;
+      case OpKind::kSub:
+        for (std::size_t j = 0; j < d; ++j) po[j] = pa[j] - pb[j];
+        break;
+      case OpKind::kMul:
+        for (std::size_t j = 0; j < d; ++j) po[j] = pa[j] * pb[j];
+        break;
+      case OpKind::kDiv:
+        for (std::size_t j = 0; j < d; ++j) po[j] = pa[j] / pb[j];
+        break;
+      default:
+        MGA_CHECK_MSG(false, "kernels::binary: not a binary op");
+    }
+  }
+}
+
+void unary(OpKind kind, const float* a, std::size_t lda, float* out, std::size_t ldo,
+           std::size_t n, std::size_t d, float factor) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* pa = a + i * lda;
+    float* po = out + i * ldo;
+    switch (kind) {
+      case OpKind::kScale:
+        for (std::size_t j = 0; j < d; ++j) po[j] = pa[j] * factor;
+        break;
+      case OpKind::kOneMinus:
+        for (std::size_t j = 0; j < d; ++j) po[j] = 1.0f - pa[j];
+        break;
+      case OpKind::kRelu:
+        for (std::size_t j = 0; j < d; ++j) po[j] = std::max(0.0f, pa[j]);
+        break;
+      case OpKind::kLeakyRelu:
+        for (std::size_t j = 0; j < d; ++j) {
+          const float x = pa[j];
+          po[j] = x > 0.0f ? x : factor * x;
+        }
+        break;
+      case OpKind::kSigmoid:
+        for (std::size_t j = 0; j < d; ++j) po[j] = 1.0f / (1.0f + std::exp(-pa[j]));
+        break;
+      case OpKind::kTanh:
+        for (std::size_t j = 0; j < d; ++j) po[j] = std::tanh(pa[j]);
+        break;
+      case OpKind::kExp:
+        for (std::size_t j = 0; j < d; ++j) po[j] = std::exp(pa[j]);
+        break;
+      default:
+        MGA_CHECK_MSG(false, "kernels::unary: not a unary op");
+    }
+  }
+}
+
+void gather(const float* x, std::size_t ldx, const int* index, std::size_t m, float* out,
+            std::size_t ldo, std::size_t d) {
+  for (std::size_t r = 0; r < m; ++r) {
+    const float* src = x + static_cast<std::size_t>(index[r]) * ldx;
+    float* dst = out + r * ldo;
+    std::copy(src, src + d, dst);
+  }
+}
+
+void scatter_sum(const float* x, std::size_t ldx, const int* index, std::size_t m, float* out,
+                 std::size_t ldo, std::size_t n, std::size_t d) {
+  zero_rows(out, ldo, n, d);
+  for (std::size_t r = 0; r < m; ++r) {
+    const float* src = x + r * ldx;
+    float* dst = out + static_cast<std::size_t>(index[r]) * ldo;
+    for (std::size_t j = 0; j < d; ++j) dst[j] += src[j];
+  }
+}
+
+void scatter_mean(const float* x, std::size_t ldx, const int* index, std::size_t m, float* out,
+                  std::size_t ldo, std::size_t n, std::size_t d,
+                  std::vector<float>& inv_count) {
+  // Float inverse counts, accumulated the interpreter's way (+1.0f per hit,
+  // then reciprocal) so the per-edge weights are the same float values.
+  inv_count.assign(n, 0.0f);
+  for (std::size_t r = 0; r < m; ++r) inv_count[static_cast<std::size_t>(index[r])] += 1.0f;
+  for (auto& c : inv_count) c = c > 0.0f ? 1.0f / c : 0.0f;
+  zero_rows(out, ldo, n, d);
+  for (std::size_t r = 0; r < m; ++r) {
+    const auto dst_row = static_cast<std::size_t>(index[r]);
+    const float w = inv_count[dst_row];
+    const float* src = x + r * ldx;
+    float* dst = out + dst_row * ldo;
+    for (std::size_t j = 0; j < d; ++j) dst[j] += src[j] * w;
+  }
+}
+
+void copy_block(const float* src, std::size_t lds, float* dst, std::size_t ldd, std::size_t n,
+                std::size_t d) {
+  for (std::size_t i = 0; i < n; ++i) std::copy(src + i * lds, src + i * lds + d, dst + i * ldd);
+}
+
+void row_repeat(const float* x, float* out, std::size_t ldo, std::size_t n, std::size_t d) {
+  for (std::size_t i = 0; i < n; ++i) std::copy(x, x + d, out + i * ldo);
+}
+
+void sum_rows(const float* x, std::size_t ldx, float* out, std::size_t n, std::size_t d) {
+  std::fill(out, out + d, 0.0f);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = x + i * ldx;
+    for (std::size_t j = 0; j < d; ++j) out[j] += row[j];
+  }
+}
+
+}  // namespace mga::runtime::kernels

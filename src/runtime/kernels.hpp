@@ -1,0 +1,78 @@
+// Execution kernels of the compiled plan.
+//
+// Every kernel replicates the exact float expression and accumulation order
+// of the matching nn/ops.cpp loop — that is the bit-identity contract the
+// test_runtime.cpp suite pins. What changes versus the interpreter is
+// everything *around* the arithmetic: no tape allocation, no gradient
+// buffers, no shared_ptr churn, outputs written through strided views into a
+// pre-planned arena, and the GEMM processes register blocks of A rows so one
+// pass over B serves four output rows (marian's SGEMM idiom, SNIPPETS.md §1;
+// the inner j loop is unit-stride and auto-vectorizes).
+//
+// All kernels take per-operand leading dimensions (`ld*` = floats between
+// consecutive rows), because the memory planner materializes concat inputs
+// directly inside the concat's buffer (a strided view). Accumulating kernels
+// (gemm, scatter, sum_rows) zero their output region first: arena buffers
+// are reused across ops and arrive dirty.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "runtime/graph.hpp"
+
+namespace mga::runtime::kernels {
+
+/// out[n, m] = a[n, k] * b[k, m]. ikj order with the interpreter's zero-skip
+/// (`a[i,kk] == 0` contributes nothing, preserving -0 accumulators bitwise).
+void gemm(const float* a, std::size_t lda, const float* b, std::size_t ldb, float* out,
+          std::size_t ldo, std::size_t n, std::size_t k, std::size_t m);
+
+/// Fused linear layer: gemm, then per-element `act(out[i,j] + bias[j])` —
+/// the same float ops the interpreted matmul → add_bias → activation chain
+/// performs, applied after the full accumulation exactly as the separate
+/// interpreter passes would.
+void gemm_bias_act(const float* a, std::size_t lda, const float* b, std::size_t ldb,
+                   const float* bias, float* out, std::size_t ldo, std::size_t n,
+                   std::size_t k, std::size_t m, Act act);
+
+/// out[i,j] = act(x[i,j] + bias[j]); bias is [1, d] contiguous.
+void bias_act(const float* x, std::size_t ldx, const float* bias, float* out, std::size_t ldo,
+              std::size_t n, std::size_t d, Act act);
+
+/// Elementwise binary (kAdd/kSub/kMul/kDiv).
+void binary(OpKind kind, const float* a, std::size_t lda, const float* b, std::size_t ldb,
+            float* out, std::size_t ldo, std::size_t n, std::size_t d);
+
+/// Elementwise unary (kScale/kOneMinus/kRelu/kLeakyRelu/kSigmoid/kTanh/kExp);
+/// `factor` is the scale factor or leaky-relu slope.
+void unary(OpKind kind, const float* a, std::size_t lda, float* out, std::size_t ldo,
+           std::size_t n, std::size_t d, float factor);
+
+/// out[r] = x[index[r]] for r in [0, m). Tolerates m == 0 (the interpreter
+/// never gathers an empty relation — it shortcuts to zeros, which the
+/// surrounding memset-then-no-op scatter reproduces bitwise).
+void gather(const float* x, std::size_t ldx, const int* index, std::size_t m, float* out,
+            std::size_t ldo, std::size_t d);
+
+/// out[index[r]] += x[r], r ascending. Zeroes out[n, d] first.
+void scatter_sum(const float* x, std::size_t ldx, const int* index, std::size_t m, float* out,
+                 std::size_t ldo, std::size_t n, std::size_t d);
+
+/// scatter_mean with the interpreter's float inverse-count weights, built in
+/// `inv_count` (resized and reused by the caller as scratch).
+void scatter_mean(const float* x, std::size_t ldx, const int* index, std::size_t m, float* out,
+                  std::size_t ldo, std::size_t n, std::size_t d,
+                  std::vector<float>& inv_count);
+
+/// Strided block copy (concat inputs that were not absorbed into the view).
+void copy_block(const float* src, std::size_t lds, float* dst, std::size_t ldd, std::size_t n,
+                std::size_t d);
+
+/// out[i, :] = x[0, :] for i in [0, n).
+void row_repeat(const float* x, float* out, std::size_t ldo, std::size_t n, std::size_t d);
+
+/// out[1, d] = column sums of x[n, d], i ascending. Zeroes out first.
+void sum_rows(const float* x, std::size_t ldx, float* out, std::size_t n, std::size_t d);
+
+}  // namespace mga::runtime::kernels

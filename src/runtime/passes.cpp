@@ -1,0 +1,280 @@
+#include "runtime/passes.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "runtime/kernels.hpp"
+#include "util/check.hpp"
+
+namespace mga::runtime {
+
+namespace {
+
+/// Uses per value: one per input reference, plus one for the graph output.
+std::vector<std::size_t> use_counts(const Graph& graph) {
+  std::vector<std::size_t> uses(graph.size(), 0);
+  for (const Op& op : graph.ops) {
+    for (ValueId in : op.inputs) uses[in] += 1;
+  }
+  if (!graph.ops.empty()) uses[graph.output] += 1;
+  return uses;
+}
+
+bool all_inputs_const(const Graph& graph, const Op& op) {
+  return std::all_of(op.inputs.begin(), op.inputs.end(), [&](ValueId in) {
+    return graph.ops[in].kind == OpKind::kConst;
+  });
+}
+
+/// Evaluate a foldable op over kConst inputs with the execution kernels
+/// (same float semantics as the plan will use at runtime).
+std::vector<float> eval_const(const Graph& graph, const Op& op) {
+  const std::size_t rows = op.rows.lit;
+  const std::size_t cols = op.cols;
+  std::vector<float> out(rows * cols, 0.0f);
+  const auto in = [&](std::size_t slot) -> const Op& { return graph.ops[op.inputs[slot]]; };
+  switch (op.kind) {
+    case OpKind::kMatmul: {
+      const Op& a = in(0);
+      const Op& b = in(1);
+      kernels::gemm(a.literal.data(), a.cols, b.literal.data(), b.cols, out.data(), cols,
+                    rows, a.cols, cols);
+      break;
+    }
+    case OpKind::kMatmulBiasAct: {
+      const Op& a = in(0);
+      const Op& b = in(1);
+      kernels::gemm_bias_act(a.literal.data(), a.cols, b.literal.data(), b.cols,
+                             in(2).literal.data(), out.data(), cols, rows, a.cols, cols,
+                             op.act);
+      break;
+    }
+    case OpKind::kAddBias:
+      kernels::bias_act(in(0).literal.data(), cols, in(1).literal.data(), out.data(), cols,
+                        rows, cols, Act::kNone);
+      break;
+    case OpKind::kBiasAct:
+      kernels::bias_act(in(0).literal.data(), cols, in(1).literal.data(), out.data(), cols,
+                        rows, cols, op.act);
+      break;
+    case OpKind::kAdd:
+    case OpKind::kSub:
+    case OpKind::kMul:
+    case OpKind::kDiv:
+      kernels::binary(op.kind, in(0).literal.data(), cols, in(1).literal.data(), cols,
+                      out.data(), cols, rows, cols);
+      break;
+    case OpKind::kScale:
+    case OpKind::kOneMinus:
+    case OpKind::kRelu:
+    case OpKind::kLeakyRelu:
+    case OpKind::kSigmoid:
+    case OpKind::kTanh:
+    case OpKind::kExp:
+      kernels::unary(op.kind, in(0).literal.data(), cols, out.data(), cols, rows, cols,
+                     op.factor);
+      break;
+    case OpKind::kConcatCols: {
+      const Op& a = in(0);
+      const Op& b = in(1);
+      kernels::copy_block(a.literal.data(), a.cols, out.data(), cols, rows, a.cols);
+      kernels::copy_block(b.literal.data(), b.cols, out.data() + a.cols, cols, rows, b.cols);
+      break;
+    }
+    case OpKind::kSumRows:
+      kernels::sum_rows(in(0).literal.data(), in(0).cols, out.data(), in(0).rows.lit, cols);
+      break;
+    default:
+      MGA_CHECK_MSG(false, "eval_const: op is not foldable");
+  }
+  return out;
+}
+
+bool is_foldable_kind(const Op& op) {
+  switch (op.kind) {
+    case OpKind::kMatmul:
+    case OpKind::kMatmulBiasAct:
+    case OpKind::kAddBias:
+    case OpKind::kBiasAct:
+    case OpKind::kAdd:
+    case OpKind::kSub:
+    case OpKind::kMul:
+    case OpKind::kDiv:
+    case OpKind::kOneMinus:
+    case OpKind::kRelu:
+    case OpKind::kLeakyRelu:
+    case OpKind::kSigmoid:
+    case OpKind::kTanh:
+    case OpKind::kExp:
+    case OpKind::kConcatCols:
+    case OpKind::kSumRows:
+      return true;
+    case OpKind::kScale:
+      // A symbolic 1/rows factor is only known at execute time.
+      return op.inv_sym == Sym::kLiteral;
+    default:
+      return false;
+  }
+}
+
+Act act_of(OpKind kind) {
+  switch (kind) {
+    case OpKind::kRelu: return Act::kRelu;
+    case OpKind::kSigmoid: return Act::kSigmoid;
+    case OpKind::kTanh: return Act::kTanh;
+    default: return Act::kNone;
+  }
+}
+
+}  // namespace
+
+std::size_t fold_constants(Graph& graph) {
+  std::size_t folded = 0;
+  // Ops are topologically ordered, so one ascending sweep reaches the
+  // fixpoint: a fold at index i can only enable folds at indices > i.
+  for (Op& op : graph.ops) {
+    if (is_external(op.kind)) continue;
+    if (op.rows.sym != Sym::kLiteral) continue;
+    if (!is_foldable_kind(op)) continue;
+    if (!all_inputs_const(graph, op)) continue;
+    std::vector<float> value = eval_const(graph, op);
+    op.kind = OpKind::kConst;
+    op.literal = std::move(value);
+    op.inputs.clear();
+    op.act = Act::kNone;
+    op.inplace = false;
+    op.absorb_a = op.absorb_b = false;
+    ++folded;
+  }
+  return folded;
+}
+
+std::size_t fuse_matmul_bias_act(Graph& graph) {
+  std::size_t fused = 0;
+  std::vector<std::size_t> uses = use_counts(graph);
+  const auto rewire = [&](Op& op, OpKind kind, std::vector<ValueId> inputs, Act act) {
+    for (ValueId in : op.inputs) uses[in] -= 1;
+    for (ValueId in : inputs) uses[in] += 1;
+    op.kind = kind;
+    op.inputs = std::move(inputs);
+    op.act = act;
+    ++fused;
+  };
+  // Ascending sweep; each rewrite targets the LAST op of a chain so its
+  // ValueId — and every consumer — stays valid. Earlier links go dead and
+  // are swept by eliminate_dead_ops.
+  for (ValueId id = 0; id < graph.size(); ++id) {
+    Op& op = graph.ops[id];
+    if (op.kind == OpKind::kAddBias) {
+      const ValueId x = op.inputs[0];
+      const Op& producer = graph.ops[x];
+      if (producer.kind == OpKind::kMatmul && uses[x] == 1) {
+        rewire(op, OpKind::kMatmulBiasAct,
+               {producer.inputs[0], producer.inputs[1], op.inputs[1]}, Act::kNone);
+      }
+      continue;
+    }
+    const Act act = act_of(op.kind);
+    if (act == Act::kNone) continue;
+    const ValueId x = op.inputs[0];
+    const Op& producer = graph.ops[x];
+    if (uses[x] != 1) continue;
+    if (producer.kind == OpKind::kAddBias) {
+      rewire(op, OpKind::kBiasAct, {producer.inputs[0], producer.inputs[1]}, act);
+    } else if (producer.kind == OpKind::kMatmulBiasAct && producer.act == Act::kNone) {
+      rewire(op, OpKind::kMatmulBiasAct, producer.inputs, act);
+    } else if (producer.kind == OpKind::kBiasAct && producer.act == Act::kNone) {
+      rewire(op, OpKind::kBiasAct, producer.inputs, act);
+    }
+  }
+  return fused;
+}
+
+std::size_t rewrite_concat_views(Graph& graph) {
+  std::size_t absorbed = 0;
+  const std::vector<std::size_t> uses = use_counts(graph);
+  const auto absorbable = [&](ValueId v) {
+    // Computed, consumed only by this concat (a use count of 1 also rules
+    // out the graph output and concat(x, x)).
+    return !is_external(graph.ops[v].kind) && uses[v] == 1;
+  };
+  for (Op& op : graph.ops) {
+    if (op.kind != OpKind::kConcatCols) continue;
+    if (absorbable(op.inputs[0])) {
+      op.absorb_a = true;
+      ++absorbed;
+    }
+    if (absorbable(op.inputs[1])) {
+      op.absorb_b = true;
+      ++absorbed;
+    }
+  }
+  return absorbed;
+}
+
+std::size_t rewrite_inplace(Graph& graph) {
+  std::size_t inplaced = 0;
+  const std::vector<std::size_t> uses = use_counts(graph);
+  // Values already absorbed into a concat view have their storage pinned to
+  // the concat's buffer; they cannot also alias their own input.
+  std::vector<bool> view_pinned(graph.size(), false);
+  for (const Op& op : graph.ops) {
+    if (op.kind != OpKind::kConcatCols) continue;
+    if (op.absorb_a) view_pinned[op.inputs[0]] = true;
+    if (op.absorb_b) view_pinned[op.inputs[1]] = true;
+  }
+  for (ValueId id = 0; id < graph.size(); ++id) {
+    Op& op = graph.ops[id];
+    if (!is_elementwise(op.kind) || op.inputs.empty()) continue;
+    if (view_pinned[id]) continue;
+    const ValueId in0 = op.inputs[0];
+    if (is_external(graph.ops[in0].kind)) continue;
+    if (uses[in0] != 1) continue;
+    op.inplace = true;
+    ++inplaced;
+  }
+  return inplaced;
+}
+
+std::size_t eliminate_dead_ops(Graph& graph) {
+  if (graph.ops.empty()) return 0;
+  std::vector<bool> live(graph.size(), false);
+  std::vector<ValueId> stack{graph.output};
+  while (!stack.empty()) {
+    const ValueId id = stack.back();
+    stack.pop_back();
+    if (live[id]) continue;
+    live[id] = true;
+    for (ValueId in : graph.ops[id].inputs) stack.push_back(in);
+  }
+  const std::size_t dead =
+      static_cast<std::size_t>(std::count(live.begin(), live.end(), false));
+  if (dead == 0) return 0;
+  std::vector<ValueId> remap(graph.size(), 0);
+  std::vector<Op> kept;
+  kept.reserve(graph.size() - dead);
+  for (ValueId id = 0; id < graph.size(); ++id) {
+    if (!live[id]) continue;
+    remap[id] = static_cast<ValueId>(kept.size());
+    kept.push_back(std::move(graph.ops[id]));
+  }
+  for (Op& op : kept) {
+    for (ValueId& in : op.inputs) in = remap[in];
+  }
+  graph.ops = std::move(kept);
+  graph.output = remap[graph.output];
+  return dead;
+}
+
+PassStats run_default_passes(Graph& graph) {
+  PassStats stats;
+  stats.folded = fold_constants(graph);
+  stats.fused = fuse_matmul_bias_act(graph);
+  stats.eliminated = eliminate_dead_ops(graph);
+  stats.absorbed = rewrite_concat_views(graph);
+  stats.inplaced = rewrite_inplace(graph);
+  stats.eliminated += eliminate_dead_ops(graph);
+  return stats;
+}
+
+}  // namespace mga::runtime

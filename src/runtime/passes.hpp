@@ -1,0 +1,62 @@
+// Pattern-rewrite passes over the captured op graph (popart's `patterns/`
+// shape, SNIPPETS.md §3): each pass matches a local producer/consumer pattern
+// and rewrites it without changing a single output bit — folding only moves
+// work to compile time, fusion preserves the per-element float expression and
+// accumulation order, view/inplace rewrites only change WHERE results live.
+//
+// Pass order (run_default_passes):
+//   1. fold_constants      — evaluate ops whose inputs are all kConst
+//   2. fuse_matmul_bias_act — matmul→add_bias(→act) and add_bias→act chains
+//   3. eliminate_dead_ops  — drop the orphans the first two passes leave
+//   4. rewrite_concat_views — concat inputs produced directly into the view
+//   5. rewrite_inplace     — elementwise ops writing through their input
+//   6. eliminate_dead_ops  — final compaction (no-op unless 4/5 orphaned)
+//
+// The view/inplace passes run after DCE so their single-consumer checks see
+// real consumers only; they set annotations (absorb_a/absorb_b, inplace) that
+// the memory planner (plan.cpp) turns into buffer aliasing.
+#pragma once
+
+#include <cstddef>
+
+#include "runtime/graph.hpp"
+
+namespace mga::runtime {
+
+/// What each pass did — surfaced through CompileInfo for tests and obs.
+struct PassStats {
+  std::size_t folded = 0;      // ops replaced by kConst
+  std::size_t fused = 0;       // matmul/bias/act chains collapsed
+  std::size_t absorbed = 0;    // concat inputs rewritten to views
+  std::size_t inplaced = 0;    // elementwise ops marked inplace
+  std::size_t eliminated = 0;  // dead ops removed
+};
+
+/// Evaluate every op whose inputs are all kConst and whose output shape is
+/// fully literal, replacing it with a kConst of the result. Params are NOT
+/// folded: they alias live weights that fine_tune may update in place.
+std::size_t fold_constants(Graph& graph);
+
+/// Collapse matmul → add_bias [→ relu/sigmoid/tanh] into kMatmulBiasAct and
+/// add_bias → act into kBiasAct. The LAST op of a chain is rewritten in
+/// place (its ValueId — and thus its consumers — are untouched); skipped
+/// intermediates become dead and are removed by eliminate_dead_ops.
+std::size_t fuse_matmul_bias_act(Graph& graph);
+
+/// Mark concat inputs that can be produced directly into the concat's buffer
+/// as strided views (absorb_a / absorb_b): the input must be computed (not a
+/// leaf), consumed only by this concat, and not the graph output.
+std::size_t rewrite_concat_views(Graph& graph);
+
+/// Mark elementwise ops that may write through their first input's buffer:
+/// the input must be computed, consumed only by this op, and the op must not
+/// itself have been absorbed into a concat view.
+std::size_t rewrite_inplace(Graph& graph);
+
+/// Remove ops unreachable from the output, compacting ValueIds.
+std::size_t eliminate_dead_ops(Graph& graph);
+
+/// Run the full pipeline in the documented order.
+PassStats run_default_passes(Graph& graph);
+
+}  // namespace mga::runtime

@@ -1,0 +1,330 @@
+#include "runtime/plan.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "runtime/kernels.hpp"
+#include "util/check.hpp"
+
+namespace mga::runtime {
+
+namespace {
+
+constexpr std::size_t kLiveForever = std::numeric_limits<std::size_t>::max();
+
+/// Resolved row count of an op for one shape bucket. `dims` is indexed by
+/// Sym (kLiteral slot unused).
+std::size_t rows_of(const Op& op, const std::size_t* dims) {
+  return op.rows.sym == Sym::kLiteral ? op.rows.lit
+                                      : dims[static_cast<std::size_t>(op.rows.sym)];
+}
+
+const int* index_ptr(IndexSource source, const ExecInputs& in) {
+  switch (source) {
+    case IndexSource::kFeatureIndex: return in.feature_index;
+    case IndexSource::kSources0: return in.sources[0];
+    case IndexSource::kSources1: return in.sources[1];
+    case IndexSource::kSources2: return in.sources[2];
+    case IndexSource::kTargets0: return in.targets[0];
+    case IndexSource::kTargets1: return in.targets[1];
+    case IndexSource::kTargets2: return in.targets[2];
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::size_t Plan::KeyHash::operator()(const ShapeKey& k) const noexcept {
+  // FNV-1a over the five dimensions.
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::uint64_t v : {k.nodes, k.edges0, k.edges1, k.edges2, k.group}) {
+    h = (h ^ v) * 1099511628211ull;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+Plan::Plan(Graph graph) : graph_(std::move(graph)) {
+  const std::size_t n = graph_.size();
+  MGA_CHECK_MSG(n > 0, "Plan: empty graph");
+  MGA_CHECK_MSG(graph_.output < n, "Plan: output id out of range");
+
+  // Alias links from the rewrite annotations. Inplace links point to an
+  // EARLIER value (the op's first input); concat-view links point to a LATER
+  // one (the concat). A value has at most one outgoing link, and a chain
+  // descends through inplace links then ascends through concat links, so
+  // following links always terminates.
+  std::vector<ValueId> link(n, 0);
+  std::vector<std::size_t> link_off(n, 0);
+  std::vector<bool> has_link(n, false);
+  for (ValueId id = 0; id < n; ++id) {
+    const Op& op = graph_.ops[id];
+    if (op.kind == OpKind::kConcatCols) {
+      if (op.absorb_a) {
+        has_link[op.inputs[0]] = true;
+        link[op.inputs[0]] = id;
+        link_off[op.inputs[0]] = 0;
+      }
+      if (op.absorb_b) {
+        has_link[op.inputs[1]] = true;
+        link[op.inputs[1]] = id;
+        link_off[op.inputs[1]] = graph_.ops[op.inputs[0]].cols;
+      }
+    }
+    if (op.inplace) {
+      has_link[id] = true;
+      link[id] = op.inputs[0];
+      link_off[id] = 0;
+    }
+  }
+  alias_.resize(n);
+  for (ValueId v = 0; v < n; ++v) {
+    ValueId root = v;
+    std::size_t off = 0;
+    while (has_link[root]) {
+      off += link_off[root];
+      root = link[root];
+    }
+    alias_[v] = {root, off};
+  }
+
+  // Latest reader per VALUE, then def / last_use per ROOT.
+  std::vector<std::size_t> last_consumer(n, 0);
+  for (ValueId id = 0; id < n; ++id) {
+    for (ValueId in : graph_.ops[id].inputs) {
+      last_consumer[in] = std::max(last_consumer[in], static_cast<std::size_t>(id));
+    }
+  }
+  last_consumer[graph_.output] = kLiveForever;
+  def_.assign(n, kLiveForever);
+  last_use_.assign(n, 0);
+  for (ValueId v = 0; v < n; ++v) {
+    if (is_external(graph_.ops[v].kind)) continue;
+    const ValueId root = alias_[v].root;
+    def_[root] = std::min(def_[root], static_cast<std::size_t>(v));
+    last_use_[root] = std::max(last_use_[root], last_consumer[v]);
+  }
+  for (ValueId v = 0; v < n; ++v) {
+    if (!is_external(graph_.ops[v].kind) && alias_[v].root == v) root_order_.push_back(v);
+  }
+  std::sort(root_order_.begin(), root_order_.end(),
+            [&](ValueId a, ValueId b) { return def_[a] < def_[b]; });
+}
+
+Plan::BucketLayout Plan::build_layout(const ShapeKey& key) const {
+  const std::size_t dims[6] = {0, key.nodes, key.edges0, key.edges1, key.edges2, key.group};
+  const std::size_t n = graph_.size();
+  BucketLayout layout;
+  layout.values.resize(n);
+
+  // First-fit arena allocation over roots in def order: a slot is reusable
+  // once its previous occupant's last read is STRICTLY before the new
+  // root's def (an op must never overwrite a buffer it still reads).
+  struct Slot {
+    std::size_t offset;
+    std::size_t floats;
+    std::size_t last_use;
+  };
+  std::vector<Slot> slots;
+  std::vector<std::size_t> root_offset(n, 0);
+  for (ValueId r : root_order_) {
+    const std::size_t size = rows_of(graph_.ops[r], dims) * graph_.ops[r].cols;
+    if (size == 0) continue;  // zero-row value: never written nor read
+    bool placed = false;
+    for (Slot& slot : slots) {
+      if (slot.last_use < def_[r] && slot.floats >= size) {
+        root_offset[r] = slot.offset;
+        slot.last_use = last_use_[r];
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      root_offset[r] = layout.arena_floats;
+      slots.push_back({layout.arena_floats, size, last_use_[r]});
+      layout.arena_floats += size;
+    }
+  }
+
+  for (ValueId v = 0; v < n; ++v) {
+    const Op& op = graph_.ops[v];
+    ValueLayout& vl = layout.values[v];
+    vl.rows = rows_of(op, dims);
+    if (is_external(op.kind)) {
+      vl.external = true;
+      vl.ld = op.cols;
+    } else {
+      const AliasInfo& a = alias_[v];
+      vl.offset = root_offset[a.root] + a.col_off;
+      vl.ld = graph_.ops[a.root].cols;
+    }
+  }
+  return layout;
+}
+
+std::shared_ptr<const Plan::BucketLayout> Plan::layout_for(const ShapeKey& key,
+                                                           bool& hit) const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto it = cache_index_.find(key);
+  if (it != cache_index_.end()) {
+    hit = true;
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+  }
+  hit = false;
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  auto layout = std::make_shared<const BucketLayout>(build_layout(key));
+  lru_.emplace_front(key, layout);
+  cache_index_[key] = lru_.begin();
+  if (lru_.size() > kMaxCachedLayouts) {
+    cache_index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  return layout;
+}
+
+Plan::CacheStats Plan::cache_stats() const {
+  CacheStats stats;
+  stats.hits = cache_hits_.load(std::memory_order_relaxed);
+  stats.misses = cache_misses_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  stats.entries = lru_.size();
+  return stats;
+}
+
+std::size_t Plan::arena_floats(const ShapeKey& key) const {
+  bool hit = false;
+  return layout_for(key, hit)->arena_floats;
+}
+
+std::span<const float> Plan::execute(const ExecInputs& in, bool* layout_cache_hit) const {
+  const ShapeKey key{in.num_nodes, in.edge_count[0], in.edge_count[1], in.edge_count[2],
+                     in.group};
+  bool hit = false;
+  const std::shared_ptr<const BucketLayout> layout = layout_for(key, hit);
+  if (layout_cache_hit != nullptr) *layout_cache_hit = hit;
+
+  const std::size_t dims[6] = {0, in.num_nodes, in.edge_count[0], in.edge_count[1],
+                               in.edge_count[2], in.group};
+
+  // All execute-time storage is thread_local and grows monotonically, so a
+  // steady-state serve worker does zero allocations per forward.
+  thread_local std::vector<float> arena;
+  thread_local std::vector<float> inv_count;
+  thread_local std::vector<float> out_buf;
+  if (arena.size() < layout->arena_floats) arena.resize(layout->arena_floats);
+  float* const base = arena.data();
+
+  const auto rp = [&](ValueId v) -> const float* {
+    const ValueLayout& vl = layout->values[v];
+    if (!vl.external) return base + vl.offset;
+    const Op& op = graph_.ops[v];
+    switch (op.kind) {
+      case OpKind::kConst: return op.literal.data();
+      case OpKind::kParam: return op.param->data.data();
+      case OpKind::kInputVector: return in.vector;
+      default: return in.extra;
+    }
+  };
+  const auto ld = [&](ValueId v) { return layout->values[v].ld; };
+
+  const std::size_t count = graph_.size();
+  for (ValueId id = 0; id < count; ++id) {
+    const Op& op = graph_.ops[id];
+    if (is_external(op.kind)) continue;
+    const ValueLayout& vl = layout->values[id];
+    float* const out = base + vl.offset;
+    switch (op.kind) {
+      case OpKind::kMatmul: {
+        const ValueId a = op.inputs[0];
+        const ValueId b = op.inputs[1];
+        kernels::gemm(rp(a), ld(a), rp(b), ld(b), out, vl.ld, vl.rows, graph_.ops[a].cols,
+                      op.cols);
+        break;
+      }
+      case OpKind::kMatmulBiasAct: {
+        const ValueId a = op.inputs[0];
+        const ValueId b = op.inputs[1];
+        kernels::gemm_bias_act(rp(a), ld(a), rp(b), ld(b), rp(op.inputs[2]), out, vl.ld,
+                               vl.rows, graph_.ops[a].cols, op.cols, op.act);
+        break;
+      }
+      case OpKind::kAddBias:
+        kernels::bias_act(rp(op.inputs[0]), ld(op.inputs[0]), rp(op.inputs[1]), out, vl.ld,
+                          vl.rows, op.cols, Act::kNone);
+        break;
+      case OpKind::kBiasAct:
+        kernels::bias_act(rp(op.inputs[0]), ld(op.inputs[0]), rp(op.inputs[1]), out, vl.ld,
+                          vl.rows, op.cols, op.act);
+        break;
+      case OpKind::kAdd:
+      case OpKind::kSub:
+      case OpKind::kMul:
+      case OpKind::kDiv:
+        kernels::binary(op.kind, rp(op.inputs[0]), ld(op.inputs[0]), rp(op.inputs[1]),
+                        ld(op.inputs[1]), out, vl.ld, vl.rows, op.cols);
+        break;
+      case OpKind::kScale: {
+        const float factor = op.inv_sym == Sym::kLiteral
+                                 ? op.factor
+                                 : 1.0f / static_cast<float>(
+                                       dims[static_cast<std::size_t>(op.inv_sym)]);
+        kernels::unary(op.kind, rp(op.inputs[0]), ld(op.inputs[0]), out, vl.ld, vl.rows,
+                       op.cols, factor);
+        break;
+      }
+      case OpKind::kOneMinus:
+      case OpKind::kRelu:
+      case OpKind::kLeakyRelu:
+      case OpKind::kSigmoid:
+      case OpKind::kTanh:
+      case OpKind::kExp:
+        kernels::unary(op.kind, rp(op.inputs[0]), ld(op.inputs[0]), out, vl.ld, vl.rows,
+                       op.cols, op.factor);
+        break;
+      case OpKind::kGather:
+        kernels::gather(rp(op.inputs[0]), ld(op.inputs[0]), index_ptr(op.index, in), vl.rows,
+                        out, vl.ld, op.cols);
+        break;
+      case OpKind::kScatterSum:
+        kernels::scatter_sum(rp(op.inputs[0]), ld(op.inputs[0]), index_ptr(op.index, in),
+                             layout->values[op.inputs[0]].rows, out, vl.ld, vl.rows, op.cols);
+        break;
+      case OpKind::kScatterMean:
+        kernels::scatter_mean(rp(op.inputs[0]), ld(op.inputs[0]), index_ptr(op.index, in),
+                              layout->values[op.inputs[0]].rows, out, vl.ld, vl.rows, op.cols,
+                              inv_count);
+        break;
+      case OpKind::kConcatCols: {
+        const ValueId a = op.inputs[0];
+        const ValueId b = op.inputs[1];
+        const std::size_t cols_a = graph_.ops[a].cols;
+        if (!op.absorb_a) kernels::copy_block(rp(a), ld(a), out, vl.ld, vl.rows, cols_a);
+        if (!op.absorb_b) {
+          kernels::copy_block(rp(b), ld(b), out + cols_a, vl.ld, vl.rows,
+                              graph_.ops[b].cols);
+        }
+        break;
+      }
+      case OpKind::kRowRepeat:
+        kernels::row_repeat(rp(op.inputs[0]), out, vl.ld, vl.rows, op.cols);
+        break;
+      case OpKind::kSumRows:
+        kernels::sum_rows(rp(op.inputs[0]), ld(op.inputs[0]),
+                          out, layout->values[op.inputs[0]].rows, op.cols);
+        break;
+      default:
+        MGA_CHECK_MSG(false, "Plan::execute: unhandled op kind");
+    }
+  }
+
+  // Copy the output into a contiguous per-thread buffer: it may be a strided
+  // view, and the arena is reused by the next execute() on this thread.
+  const ValueLayout& ol = layout->values[graph_.output];
+  const std::size_t out_cols = graph_.ops[graph_.output].cols;
+  out_buf.resize(ol.rows * out_cols);
+  kernels::copy_block(rp(graph_.output), ol.ld, out_buf.data(), out_cols, ol.rows, out_cols);
+  return {out_buf.data(), out_buf.size()};
+}
+
+}  // namespace mga::runtime

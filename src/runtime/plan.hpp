@@ -1,0 +1,134 @@
+// Compile-time memory planning + execution of a rewritten op graph.
+//
+// A Plan is immutable and thread-safe after construction. Construction does
+// the shape-independent analysis once:
+//   * alias resolution — follow the rewrite passes' inplace / concat-view
+//     annotations to a storage ROOT per value (plus a column offset for
+//     concat views);
+//   * liveness — per root, def = earliest op index writing any aliased
+//     value, last_use = latest op index reading one (the output root is
+//     pinned live forever).
+//
+// Row counts depend on the request (node/edge counts, group size), so the
+// actual buffer layout is computed per shape bucket — a `ShapeKey` of the
+// five symbolic dimensions — and cached in a small mutex-guarded LRU
+// (marian's allocate-on-graph idea, SNIPPETS.md §1, applied per bucket).
+// Layout building walks roots in def order and first-fit reuses any arena
+// slot whose previous occupant died strictly before the new root's def; the
+// whole forward then runs out of one arena with zero allocations (all
+// execute-time scratch is thread_local and reused across calls).
+//
+// Cache hit/miss counts are exposed (`cache_stats`) and surfaced as the
+// serve-layer plan-cache metrics.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/graph.hpp"
+
+namespace mga::runtime {
+
+/// The five symbolic dimensions that pick a layout bucket.
+struct ShapeKey {
+  std::size_t nodes = 0;
+  std::size_t edges0 = 0;
+  std::size_t edges1 = 0;
+  std::size_t edges2 = 0;
+  std::size_t group = 0;
+
+  [[nodiscard]] bool operator==(const ShapeKey&) const noexcept = default;
+};
+
+/// Execute-time bindings for the graph's external values and index vectors.
+/// Pointers may be null when the matching count is zero / input is unused.
+struct ExecInputs {
+  std::size_t num_nodes = 0;
+  const int* feature_index = nullptr;      // [num_nodes]
+  const int* sources[3] = {nullptr, nullptr, nullptr};
+  const int* targets[3] = {nullptr, nullptr, nullptr};
+  std::size_t edge_count[3] = {0, 0, 0};
+  const float* vector = nullptr;           // [1, vector_cols]
+  const float* extra = nullptr;            // [group, extra_cols], row-major
+  std::size_t group = 0;
+};
+
+class Plan {
+ public:
+  /// Analyze a rewritten graph (run passes first; an un-rewritten graph also
+  /// executes correctly, just without views/inplace reuse).
+  explicit Plan(Graph graph);
+
+  Plan(const Plan&) = delete;
+  Plan& operator=(const Plan&) = delete;
+
+  /// Run the plan. Returns a view of the output matrix (row-major,
+  /// `output_cols()` wide), valid on the calling thread until its next
+  /// execute() call. Sets *layout_cache_hit to whether the shape bucket's
+  /// layout was already cached.
+  std::span<const float> execute(const ExecInputs& inputs,
+                                 bool* layout_cache_hit = nullptr) const;
+
+  [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
+  [[nodiscard]] std::size_t output_cols() const noexcept {
+    return graph_.ops[graph_.output].cols;
+  }
+
+  struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::size_t entries = 0;
+  };
+  [[nodiscard]] CacheStats cache_stats() const;
+
+  /// Arena float count for one shape bucket (introspection for tests/bench).
+  [[nodiscard]] std::size_t arena_floats(const ShapeKey& key) const;
+
+  static constexpr std::size_t kMaxCachedLayouts = 64;
+
+ private:
+  struct AliasInfo {
+    ValueId root = 0;
+    std::size_t col_off = 0;
+  };
+  /// Where one value's data lives for a given shape bucket.
+  struct ValueLayout {
+    std::size_t offset = 0;  // into the arena (non-external only)
+    std::size_t ld = 0;      // floats between consecutive rows
+    std::size_t rows = 0;    // resolved row count
+    bool external = false;   // bound to const/param/input storage instead
+  };
+  struct BucketLayout {
+    std::vector<ValueLayout> values;
+    std::size_t arena_floats = 0;
+  };
+
+  [[nodiscard]] std::shared_ptr<const BucketLayout> layout_for(const ShapeKey& key,
+                                                               bool& hit) const;
+  [[nodiscard]] BucketLayout build_layout(const ShapeKey& key) const;
+
+  Graph graph_;
+  std::vector<AliasInfo> alias_;      // per value, fully resolved
+  std::vector<std::size_t> def_;      // per ROOT: earliest writing op index
+  std::vector<std::size_t> last_use_; // per ROOT: latest reading op index
+  std::vector<ValueId> root_order_;   // arena roots sorted by def
+
+  mutable std::mutex cache_mutex_;
+  using LruEntry = std::pair<ShapeKey, std::shared_ptr<const BucketLayout>>;
+  mutable std::list<LruEntry> lru_;
+  struct KeyHash {
+    std::size_t operator()(const ShapeKey& k) const noexcept;
+  };
+  mutable std::unordered_map<ShapeKey, std::list<LruEntry>::iterator, KeyHash> cache_index_;
+  mutable std::atomic<std::uint64_t> cache_hits_{0};
+  mutable std::atomic<std::uint64_t> cache_misses_{0};
+};
+
+}  // namespace mga::runtime

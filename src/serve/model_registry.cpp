@@ -1,10 +1,15 @@
 #include "serve/model_registry.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <shared_mutex>
 #include <stdexcept>
 #include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "runtime/compiled.hpp"
 
 namespace mga::serve {
 
@@ -19,11 +24,39 @@ std::uint64_t next_tag() {
 
 }  // namespace
 
+std::shared_ptr<const runtime::CompiledForward> ModelRegistry::compile_plan(
+    const core::MgaTuner& tuner) noexcept {
+  const auto start = std::chrono::steady_clock::now();
+  std::shared_ptr<const runtime::CompiledForward> plan;
+  try {
+    plan = tuner.compile_forward();
+  } catch (...) {
+    plan = nullptr;  // serve falls back to the interpreter for this generation
+  }
+  auto& metrics = obs::MetricsRegistry::global();
+  if (plan != nullptr) {
+    metrics.counter("runtime.plan_compiles", "runtime plans compiled").add();
+    metrics
+        .gauge("runtime.last_plan_compile_ms", "latest plan compile wall time (ms)")
+        .set(plan->info().compile_ms);
+  } else {
+    metrics.counter("runtime.plan_compile_failures", "runtime plan compiles that fell back")
+        .add();
+  }
+  if (obs::enabled()) {
+    auto& collector = obs::TraceCollector::instance();
+    collector.record_span(collector.next_request_id(), obs::Stage::kPlanCompile,
+                          obs::kNoShard, start, std::chrono::steady_clock::now());
+  }
+  return plan;
+}
+
 void ModelRegistry::add(const std::string& name, core::MgaTuner tuner) {
-  const std::lock_guard<obs::ProbedSharedMutex> lock(mutex_);
   Slot slot;
   slot.tuner = std::make_shared<const core::MgaTuner>(std::move(tuner));
+  slot.plan = compile_plan(*slot.tuner);
   slot.tag = next_tag();
+  const std::lock_guard<obs::ProbedSharedMutex> lock(mutex_);
   if (!slots_.emplace(name, std::move(slot)).second)
     throw std::invalid_argument("ModelRegistry: '" + name +
                                 "' is already registered — use swap() to replace it");
@@ -51,15 +84,21 @@ std::map<std::string, ModelRegistry::Slot>::iterator ModelRegistry::find_for_mut
 }
 
 std::uint64_t ModelRegistry::swap(const std::string& name, core::MgaTuner tuner) {
+  // Compile before taking the lock: plan compilation is pure per-tuner work
+  // and must not serialize the per-batch shared resolves.
+  auto incoming = std::make_shared<const core::MgaTuner>(std::move(tuner));
+  auto incoming_plan = compile_plan(*incoming);
   const std::lock_guard<obs::ProbedSharedMutex> lock(mutex_);
   Slot& slot = find_for_mutation(name, "swap")->second;
-  slot.tuner = std::make_shared<const core::MgaTuner>(std::move(tuner));
+  slot.tuner = std::move(incoming);
+  slot.plan = std::move(incoming_plan);
   slot.artifact_path.clear();  // the slot now holds a live tuner
   slot.options.reset();
   slot.tag = next_tag();
   // An out-of-band swap supersedes a rollout in progress; the candidate's
   // number stays burned (numbers identify one model forever).
   slot.canary.reset();
+  slot.canary_plan.reset();
   slot.canary_tag = 0;
   slot.canary_generation = 0;
   slot.generation = ++slot.last_generation;
@@ -67,6 +106,8 @@ std::uint64_t ModelRegistry::swap(const std::string& name, core::MgaTuner tuner)
 }
 
 std::uint64_t ModelRegistry::stage(const std::string& name, core::MgaTuner tuner) {
+  auto candidate = std::make_shared<const core::MgaTuner>(std::move(tuner));
+  auto candidate_plan = compile_plan(*candidate);
   const std::lock_guard<obs::ProbedSharedMutex> lock(mutex_);
   Slot& slot = find_for_mutation(name, "stage a canary for")->second;
   if (slot.canary_generation != 0)
@@ -74,7 +115,8 @@ std::uint64_t ModelRegistry::stage(const std::string& name, core::MgaTuner tuner
                                 "' already has a staged canary (generation " +
                                 std::to_string(slot.canary_generation) +
                                 ") — promote or discard it first");
-  slot.canary = std::make_shared<const core::MgaTuner>(std::move(tuner));
+  slot.canary = std::move(candidate);
+  slot.canary_plan = std::move(candidate_plan);
   slot.canary_tag = next_tag();
   slot.canary_generation = ++slot.last_generation;
   return slot.canary_generation;
@@ -88,7 +130,8 @@ std::optional<ModelRegistry::Resolved> ModelRegistry::try_resolve_canary(
     throw std::out_of_range("ModelRegistry: unknown tuner '" + name + "'");
   const Slot& slot = it->second;
   if (slot.canary_generation == 0) return std::nullopt;
-  return Resolved{slot.canary, slot.canary_tag, slot.canary_generation, /*canary=*/true};
+  return Resolved{slot.canary, slot.canary_plan, slot.canary_tag, slot.canary_generation,
+                  /*canary=*/true};
 }
 
 std::uint64_t ModelRegistry::canary_generation(const std::string& name) const {
@@ -105,6 +148,7 @@ std::uint64_t ModelRegistry::promote(const std::string& name) {
   if (slot.canary_generation == 0)
     throw LoadError("ModelRegistry: cannot promote '" + name + "' — no staged canary");
   slot.tuner = std::move(slot.canary);
+  slot.plan = std::move(slot.canary_plan);  // compiled when the candidate was staged
   slot.artifact_path.clear();
   slot.options.reset();
   // Keep the candidate's tag: feature-cache entries warmed while it served
@@ -122,6 +166,7 @@ bool ModelRegistry::discard(const std::string& name) {
   Slot& slot = find_for_mutation(name, "discard a canary for")->second;
   const bool had_canary = slot.canary_generation != 0;
   slot.canary.reset();
+  slot.canary_plan.reset();
   slot.canary_tag = 0;
   slot.canary_generation = 0;  // the number stays burned via last_generation
   return had_canary;
@@ -137,7 +182,7 @@ ModelRegistry::Resolved ModelRegistry::resolve(const std::string& name) const {
       throw std::out_of_range("ModelRegistry: unknown tuner '" + name + "'");
     const Slot& slot = it->second;
     if (slot.tuner != nullptr)
-      return {slot.tuner, slot.tag, slot.generation, /*canary=*/false};
+      return {slot.tuner, slot.plan, slot.tag, slot.generation, /*canary=*/false};
   }
   // Slow path: upgrade to exclusive for the load-on-demand. The slot may
   // have been loaded (or swapped) between the two locks, so re-check first;
@@ -156,8 +201,10 @@ ModelRegistry::Resolved ModelRegistry::resolve(const std::string& name) const {
       throw LoadError("ModelRegistry: loading '" + name + "' from '" + slot.artifact_path +
                       "' failed: " + e.what());
     }
+    // Lazy loads compile here, once, alongside the (already slow) load.
+    slot.plan = compile_plan(*slot.tuner);
   }
-  return {slot.tuner, slot.tag, slot.generation, /*canary=*/false};
+  return {slot.tuner, slot.plan, slot.tag, slot.generation, /*canary=*/false};
 }
 
 std::uint64_t ModelRegistry::generation(const std::string& name) const {

@@ -28,6 +28,10 @@
 #include "core/tuner.hpp"
 #include "obs/probe.hpp"
 
+namespace mga::runtime {
+class CompiledForward;
+}
+
 namespace mga::serve {
 
 /// Thrown by `get`/`resolve` when a registered artifact fails to load — the
@@ -69,6 +73,11 @@ class ModelRegistry {
   /// candidate's) generation, and whether this is a provisional canary.
   struct Resolved {
     std::shared_ptr<const core::MgaTuner> tuner;
+    /// The tuner's compiled runtime plan, cached per generation (compiled
+    /// when the generation enters the registry, carried through
+    /// stage/promote with the tuner it was compiled against). Null when
+    /// compilation failed — the serve forward falls back to the interpreter.
+    std::shared_ptr<const runtime::CompiledForward> plan;
     std::uint64_t tag = 0;
     std::uint64_t generation = 0;
     bool canary = false;
@@ -127,6 +136,7 @@ class ModelRegistry {
  private:
   struct Slot {
     std::shared_ptr<const core::MgaTuner> tuner;  // null until loaded
+    std::shared_ptr<const runtime::CompiledForward> plan;  // null = interpret
     std::string artifact_path;
     std::optional<core::MgaTunerOptions> options;
     std::uint64_t tag = 0;         // unique per registration (fresh on swap)
@@ -137,9 +147,16 @@ class ModelRegistry {
     std::uint64_t last_generation = 1;
     // Staged canary candidate; generation 0 = none.
     std::shared_ptr<const core::MgaTuner> canary;
+    std::shared_ptr<const runtime::CompiledForward> canary_plan;
     std::uint64_t canary_tag = 0;
     std::uint64_t canary_generation = 0;
   };
+
+  /// Compile `tuner`'s runtime plan; never throws — a failed compile logs
+  /// through the global metrics registry and returns null (interpreter
+  /// fallback). Records an obs kPlanCompile span when tracing is enabled.
+  [[nodiscard]] static std::shared_ptr<const runtime::CompiledForward> compile_plan(
+      const core::MgaTuner& tuner) noexcept;
 
   /// `slots_.find` that throws LoadError for mutating callers on a missing
   /// name (`what` names the operation).

@@ -5,7 +5,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "runtime/compiled.hpp"
 #include "serve/router.hpp"  // only for the route_fingerprint spec hash
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -356,10 +358,13 @@ void ServeShard::process_batch(std::vector<Pending>& batch) {
   // stage means in ServiceStats and, when tracing is armed, per-member spans.
   Clock::time_point extract_done = fire_time;
   Clock::time_point profile_done = fire_time;
+  Clock::time_point labels_done = fire_time;
   std::vector<hwsim::OmpConfig> configs;
   std::vector<int> labels;
   std::vector<hwsim::PapiCounters> counters;
   bool cache_hit = false;
+  bool used_compiled = false;
+  bool plan_layout_hit = false;
   // Resolved exactly once per batch: every member is served by one (tuner,
   // tag, generation) triple — during a hot swap a batch is consistently
   // old-model or consistently new-model, never torn.
@@ -392,7 +397,22 @@ void ServeShard::process_batch(std::vector<Pending>& batch) {
                              ? *pending.request.counters
                              : cache_.counters_for(*entry, *tuner, pending.request.input_bytes));
     profile_done = Clock::now();
-    labels = tuner->predict_labels(entry->features, counters);
+    // Forward stage: the compiled plan when the resolved generation carries
+    // one (bit-identical to the interpreter — see tests/test_runtime.cpp),
+    // the interpreter when compilation failed for this generation, when a
+    // plan execution throws, or when compiled_runtime is off.
+    if (options_.compiled_runtime && resolved.plan != nullptr) {
+      try {
+        labels = resolved.plan->predict_labels(entry->features.graph,
+                                               entry->features.scaled_vector, counters,
+                                               &plan_layout_hit);
+        used_compiled = true;
+      } catch (...) {
+        labels.clear();  // fall back; the split counters make this visible
+      }
+    }
+    if (!used_compiled) labels = tuner->predict_labels(entry->features, counters);
+    labels_done = Clock::now();
     configs.reserve(labels.size());
     for (const int label : labels)
       configs.push_back(tuner->space()[static_cast<std::size_t>(label)]);
@@ -432,6 +452,24 @@ void ServeShard::process_batch(std::vector<Pending>& batch) {
   const bool traced = obs::enabled();
   const auto shard_id = static_cast<std::uint32_t>(options_.shard_index);
   stats_.record_batch(batch.size());
+  stats_.record_forward_path(used_compiled, plan_layout_hit);
+  {
+    // Process-wide mirror of the per-shard split (one relaxed add per batch;
+    // the instruments are interned once).
+    auto& registry = obs::MetricsRegistry::global();
+    static obs::Counter& compiled_total = registry.counter(
+        "runtime.forwards_compiled", "grouped forwards executed by the compiled plan");
+    static obs::Counter& interpreted_total = registry.counter(
+        "runtime.forwards_interpreted", "grouped forwards executed by the interpreter");
+    (used_compiled ? compiled_total : interpreted_total).add();
+    if (used_compiled) {
+      static obs::Counter& layout_hits = registry.counter(
+          "runtime.plan_layout_hits", "plan shape-bucket layouts reused from cache");
+      static obs::Counter& layout_misses = registry.counter(
+          "runtime.plan_layout_misses", "plan shape-bucket layouts planned on first sight");
+      (plan_layout_hit ? layout_hits : layout_misses).add();
+    }
+  }
   std::vector<std::size_t> served;
   if (observer_) served.reserve(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -457,6 +495,12 @@ void ServeShard::process_batch(std::vector<Pending>& batch) {
                             shard_id, fire_time, extract_done);
       collector.record_span(id, obs::Stage::kProfile, shard_id, extract_done, profile_done);
       collector.record_span(id, obs::Stage::kForward, shard_id, profile_done, done_time);
+      // Plan execution nests inside the forward span (it is the
+      // predict_labels slice, before config decode); the stage partition
+      // keeps attributing the full window to kForward.
+      if (used_compiled)
+        collector.record_span(id, obs::Stage::kPlanExecute, shard_id, profile_done,
+                              labels_done);
     }
     if (batch[i].state->try_claim()) {
       // Stats before publish: a getter may read a snapshot as soon as it

@@ -79,6 +79,12 @@ struct ServeOptions {
   /// Perfetto view groups events per shard. The facade sets it when it
   /// constructs its shard set; standalone shards keep 0.
   std::size_t shard_index = 0;
+  /// Execute the forward stage through the registry's compiled runtime plan
+  /// when the resolved generation carries one (see src/runtime). The
+  /// interpreter remains the fallback for generations whose compile failed
+  /// (or threw at execute time) and the bit-identity reference — flipping
+  /// this off changes timing, never results.
+  bool compiled_runtime = true;
   /// Facade-level: registry entry used when a request names no machine.
   /// Empty = only legal when the registry holds exactly one entry. Ignored
   /// by ServeShard itself (it requires resolved machines).

@@ -39,6 +39,10 @@ ServiceStatsSnapshot ServiceStats::snapshot(const FeatureCacheStats& cache) cons
   s.failed = failed_.load();
   s.canary_served = canary_served_.load();
   s.canary_incumbent_served = canary_incumbent_served_.load();
+  s.forwards_compiled = forwards_compiled_.load();
+  s.forwards_interpreted = forwards_interpreted_.load();
+  s.plan_layout_hits = plan_layout_hits_.load();
+  s.plan_layout_misses = plan_layout_misses_.load();
   s.batches = batches_.load();
   s.max_batch = max_batch_.load();
   s.batched_requests = batched_requests_.load();
@@ -89,6 +93,10 @@ ServiceStatsSnapshot aggregate_snapshots(std::vector<ServiceStatsSnapshot> shard
     s.failed += shard.failed;
     s.canary_served += shard.canary_served;
     s.canary_incumbent_served += shard.canary_incumbent_served;
+    s.forwards_compiled += shard.forwards_compiled;
+    s.forwards_interpreted += shard.forwards_interpreted;
+    s.plan_layout_hits += shard.plan_layout_hits;
+    s.plan_layout_misses += shard.plan_layout_misses;
     s.batches += shard.batches;
     s.batched_requests += shard.batched_requests;
     s.max_batch = std::max(s.max_batch, shard.max_batch);
@@ -156,6 +164,17 @@ util::Table stats_table(const ServiceStatsSnapshot& s) {
                    std::to_string(s.canary_served) + " / " +
                        std::to_string(s.canary_incumbent_served)});
   table.add_row({"batches", std::to_string(s.batches)});
+  // Forward path split only once a forward actually ran — it surfaces the
+  // compiled runtime's silent interpreter fallback, and a service that never
+  // forwarded renders exactly the rows it always did.
+  if (s.forwards_compiled + s.forwards_interpreted > 0) {
+    table.add_row({"forwards (compiled / interpreted)",
+                   std::to_string(s.forwards_compiled) + " / " +
+                       std::to_string(s.forwards_interpreted)});
+    table.add_row({"plan layout cache (hits / misses)",
+                   std::to_string(s.plan_layout_hits) + " / " +
+                       std::to_string(s.plan_layout_misses)});
+  }
   table.add_row({"mean batch size", util::fmt_double(s.mean_batch)});
   table.add_row({"max batch size", std::to_string(s.max_batch)});
   table.add_row({"feature cache hit-rate", util::fmt_percent(s.cache.hit_rate())});

@@ -74,6 +74,17 @@ struct ServiceStatsSnapshot {
   /// never overlaps a rollout).
   std::uint64_t canary_served = 0;
   std::uint64_t canary_incumbent_served = 0;
+  /// Forward-stage path split, counted per grouped forward (batch), not per
+  /// request: batches executed through the compiled runtime plan vs. through
+  /// the interpreter. Interpreted forwards while `compiled_runtime` is on
+  /// mean the resolved generation had no plan (compile failed) or the plan
+  /// threw at execute time — the silent fallback made visible.
+  std::uint64_t forwards_compiled = 0;
+  std::uint64_t forwards_interpreted = 0;
+  /// Plan shape-bucket layout cache: hits reuse a planned arena layout,
+  /// misses planned one (first sight of a batch-size bucket).
+  std::uint64_t plan_layout_hits = 0;
+  std::uint64_t plan_layout_misses = 0;
   std::uint64_t batches = 0;
   /// Requests served across all batches (`mean_batch`'s numerator, carried
   /// so cross-shard aggregation sums exact integers).
@@ -129,6 +140,18 @@ class ServiceStats {
     canary_incumbent_served_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// One grouped forward executed: which path served it and, when compiled,
+  /// whether the plan's shape-bucket layout was already cached.
+  void record_forward_path(bool compiled, bool layout_hit) noexcept {
+    if (compiled) {
+      forwards_compiled_.fetch_add(1, std::memory_order_relaxed);
+      (layout_hit ? plan_layout_hits_ : plan_layout_misses_)
+          .fetch_add(1, std::memory_order_relaxed);
+    } else {
+      forwards_interpreted_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
   /// Completion, end-to-end latency (submit -> outcome resolved), its
   /// queue-wait / compute split, and the compute side's extract / forward
   /// stage split, attributed to the request's tier.
@@ -158,6 +181,10 @@ class ServiceStats {
   std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> canary_served_{0};
   std::atomic<std::uint64_t> canary_incumbent_served_{0};
+  std::atomic<std::uint64_t> forwards_compiled_{0};
+  std::atomic<std::uint64_t> forwards_interpreted_{0};
+  std::atomic<std::uint64_t> plan_layout_hits_{0};
+  std::atomic<std::uint64_t> plan_layout_misses_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> batched_requests_{0};
   std::atomic<std::uint64_t> max_batch_{0};

@@ -1,0 +1,631 @@
+// mga::runtime — the compiled inference plan. The contract under test is
+// BIT-identity: the plan's output must equal the interpreted forward float
+// for float (compared as bit patterns, so a -0.0f / 0.0f divergence fails),
+// for every GNN kind, every modality ablation, every batch size, after
+// in-place fine-tuning, across registry swap/canary generations, and through
+// the serve stack. Rewrite passes are additionally tested one by one on
+// synthetic graphs, and the memory planner's arena reuse and layout-cache
+// accounting are pinned directly.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/mga_model.hpp"
+#include "core/tuner.hpp"
+#include "corpus/spec.hpp"
+#include "dataset/dataset.hpp"
+#include "programl/builder.hpp"
+#include "runtime/compiled.hpp"
+#include "runtime/graph.hpp"
+#include "runtime/kernels.hpp"
+#include "runtime/passes.hpp"
+#include "runtime/plan.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/service.hpp"
+
+namespace mga {
+namespace {
+
+using runtime::Act;
+using runtime::ExecInputs;
+using runtime::Graph;
+using runtime::GraphBuilder;
+using runtime::OpKind;
+using runtime::Plan;
+using runtime::Sym;
+using runtime::ValueId;
+
+/// Bitwise float comparison: EXPECT_EQ(0.0f, -0.0f) passes, this does not.
+void expect_bits_equal(std::span<const float> got, std::span<const float> want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<std::uint32_t>(got[i]), std::bit_cast<std::uint32_t>(want[i]))
+        << "element " << i << ": " << got[i] << " vs " << want[i];
+  }
+}
+
+/// Copy a plan execution out of its thread_local output buffer (two plans on
+/// one thread share it, so results must be copied before the next execute).
+std::vector<float> run_plan(const Plan& plan, const ExecInputs& inputs) {
+  const std::span<const float> out = plan.execute(inputs);
+  return {out.begin(), out.end()};
+}
+
+// --- rewrite passes, individually -------------------------------------------
+
+TEST(RuntimePasses, FoldConstantsCollapsesConstSubgraphs) {
+  GraphBuilder g;
+  const ValueId a = g.constant({1.0f, -2.0f, 0.0f, 3.5f}, 2, 2);
+  const ValueId b = g.constant({0.5f, 0.25f, -1.0f, 2.0f}, 2, 2);
+  Graph graph = std::move(g).finish(g.relu(g.add(a, b)));
+  const Graph reference = graph;
+
+  EXPECT_EQ(runtime::fold_constants(graph), 2u);  // add, then relu over it
+  EXPECT_EQ(graph.ops[graph.output].kind, OpKind::kConst);
+  EXPECT_EQ(runtime::eliminate_dead_ops(graph), 3u);  // both leaves + the add
+  EXPECT_EQ(graph.size(), 1u);
+
+  const Plan folded(std::move(graph));
+  const Plan interpreted{Graph(reference)};
+  const std::vector<float> got = run_plan(folded, {});
+  expect_bits_equal(got, run_plan(interpreted, {}));
+}
+
+TEST(RuntimePasses, FoldStopsAtParamsAndSymbolicScales) {
+  util::Rng rng(7);
+  const nn::Tensor weight = nn::Tensor::randn(rng, 2, 2, 0.5f);
+  GraphBuilder g;
+  const ValueId p = g.param(weight);
+  const ValueId c = g.constant({2.0f, -1.0f, 0.5f, 4.0f}, 2, 2);
+  // A param input and a symbolic 1/group factor are only known at execute
+  // time; neither op may fold even though every shape is literal.
+  const ValueId mean = g.scale_inv(c, Sym::kGroup);
+  Graph graph = std::move(g).finish(g.add(p, mean));
+
+  EXPECT_EQ(runtime::fold_constants(graph), 0u);
+  EXPECT_EQ(graph.ops[mean].kind, OpKind::kScale);
+  EXPECT_EQ(graph.ops[graph.output].kind, OpKind::kAdd);
+
+  ExecInputs inputs;
+  inputs.group = 4;
+  const Plan plan(std::move(graph));
+  const std::vector<float> got = run_plan(plan, inputs);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const float c_val = std::array{2.0f, -1.0f, 0.5f, 4.0f}[i];
+    const float want = weight.data()[i] + c_val * (1.0f / 4.0f);
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(got[i]), std::bit_cast<std::uint32_t>(want));
+  }
+}
+
+TEST(RuntimePasses, FusesMatmulBiasActChainIntoOneOp) {
+  GraphBuilder g;
+  const ValueId x = g.input_vector(4);
+  const ValueId w = g.constant({0.1f, -0.2f, 0.3f, 0.0f, 1.5f, -0.7f, 0.25f, 2.0f, -1.0f,
+                                0.5f, 0.75f, -0.5f},
+                               4, 3);
+  const ValueId bias = g.constant({0.01f, -0.02f, 0.03f}, 1, 3);
+  Graph graph = std::move(g).finish(g.relu(g.add_bias(g.matmul(x, w), bias)));
+  const Graph reference = graph;
+
+  // The add_bias absorbs the matmul, then the relu absorbs the fused op —
+  // each rewrite lands on the LAST op of its chain, so consumer ids and the
+  // graph output stay valid.
+  EXPECT_EQ(runtime::fuse_matmul_bias_act(graph), 2u);
+  EXPECT_EQ(graph.ops[graph.output].kind, OpKind::kMatmulBiasAct);
+  EXPECT_EQ(graph.ops[graph.output].act, Act::kRelu);
+  (void)runtime::eliminate_dead_ops(graph);
+  EXPECT_EQ(graph.size(), 4u);  // input, weight, bias, fused op
+
+  const std::vector<float> vec{0.5f, -1.0f, 0.0f, 2.0f};  // the zero hits the skip path
+  ExecInputs inputs;
+  inputs.vector = vec.data();
+  const Plan fused(std::move(graph));
+  const Plan interpreted{Graph(reference)};
+  const std::vector<float> got = run_plan(fused, inputs);
+  expect_bits_equal(got, run_plan(interpreted, inputs));
+}
+
+TEST(RuntimePasses, FuseLeavesSharedIntermediatesAlone) {
+  GraphBuilder g;
+  const ValueId x = g.input_vector(4);
+  const ValueId w = g.constant(std::vector<float>(4 * 3, 0.25f), 4, 3);
+  const ValueId bias = g.constant({1.0f, 2.0f, 3.0f}, 1, 3);
+  const ValueId mm = g.matmul(x, w);
+  const ValueId biased = g.add_bias(mm, bias);
+  // `mm` has a second consumer, so folding it into the add_bias would
+  // compute the matmul twice. The pass must leave the chain unfused.
+  Graph graph = std::move(g).finish(g.add(biased, mm));
+  EXPECT_EQ(runtime::fuse_matmul_bias_act(graph), 0u);
+  EXPECT_EQ(graph.ops[biased].kind, OpKind::kAddBias);
+}
+
+TEST(RuntimePasses, ConcatAbsorbsSingleUseProducers) {
+  GraphBuilder g;
+  const ValueId x = g.input_extra(3);
+  const ValueId left = g.sigmoid(x);
+  const ValueId right = g.tanh(x);
+  Graph graph = std::move(g).finish(g.concat_cols(left, right));
+  const Graph reference = graph;
+
+  EXPECT_EQ(runtime::rewrite_concat_views(graph), 2u);
+  EXPECT_TRUE(graph.ops[graph.output].absorb_a);
+  EXPECT_TRUE(graph.ops[graph.output].absorb_b);
+  // Producers now write straight into the concat's buffer; they must not
+  // additionally be rewritten to alias their own (external) input.
+  EXPECT_EQ(runtime::rewrite_inplace(graph), 0u);
+
+  const std::vector<float> extra{0.5f, -2.0f, 0.0f, 1.0f, 3.0f, -0.25f};
+  ExecInputs inputs;
+  inputs.extra = extra.data();
+  inputs.group = 2;
+  const Plan views(std::move(graph));
+  const Plan interpreted{Graph(reference)};
+  const std::vector<float> got = run_plan(views, inputs);
+  expect_bits_equal(got, run_plan(interpreted, inputs));
+}
+
+TEST(RuntimePasses, InplaceRewritesSingleUseElementwiseChains) {
+  GraphBuilder g;
+  const ValueId x = g.input_extra(3);
+  const ValueId doubled = g.mul(x, x);  // first input external: not in place
+  const ValueId squashed = g.sigmoid(doubled);
+  Graph graph = std::move(g).finish(g.one_minus(squashed));
+  const Graph reference = graph;
+
+  EXPECT_EQ(runtime::rewrite_inplace(graph), 2u);
+  EXPECT_FALSE(graph.ops[doubled].inplace);
+  EXPECT_TRUE(graph.ops[squashed].inplace);
+  EXPECT_TRUE(graph.ops[graph.output].inplace);
+
+  const std::vector<float> extra{0.5f, -2.0f, 0.0f, 1.0f, 3.0f, -0.25f};
+  ExecInputs inputs;
+  inputs.extra = extra.data();
+  inputs.group = 2;
+  const Plan inplaced(std::move(graph));
+  const Plan interpreted{Graph(reference)};
+  // The whole chain shares one arena buffer.
+  EXPECT_EQ(inplaced.arena_floats({0, 0, 0, 0, 2}), 6u);
+  const std::vector<float> got = run_plan(inplaced, inputs);
+  expect_bits_equal(got, run_plan(interpreted, inputs));
+}
+
+TEST(RuntimePasses, DeadOpsEliminatedAndIdsRemapped) {
+  GraphBuilder g;
+  const ValueId x = g.input_extra(2);
+  const ValueId live = g.relu(x);
+  (void)g.sigmoid(x);  // never consumed
+  (void)g.tanh(x);     // never consumed
+  Graph graph = std::move(g).finish(g.exp(live));
+  const Graph reference = graph;  // dead ops included — output is unaffected
+
+  EXPECT_EQ(runtime::eliminate_dead_ops(graph), 2u);
+  EXPECT_EQ(graph.size(), 3u);
+  EXPECT_EQ(graph.ops[graph.output].kind, OpKind::kExp);
+
+  const std::vector<float> extra{0.25f, -1.0f};
+  ExecInputs inputs;
+  inputs.extra = extra.data();
+  inputs.group = 1;
+  const Plan pruned(std::move(graph));
+  const Plan interpreted{Graph(reference)};
+  const std::vector<float> got = run_plan(pruned, inputs);
+  expect_bits_equal(got, run_plan(interpreted, inputs));
+}
+
+// --- memory planning ---------------------------------------------------------
+
+TEST(PlanMemory, ArenaReusesBuffersAfterLastUse) {
+  GraphBuilder g;
+  // A pure chain of same-size values ping-pongs between two slots: value i
+  // dies as soon as value i+1 is produced.
+  const ValueId x = g.input_extra(8);
+  ValueId v = g.sigmoid(x);
+  for (int i = 0; i < 3; ++i) v = g.sigmoid(v);
+  Graph graph = std::move(g).finish(v);  // NOT rewritten: no inplace aliasing
+
+  const Plan plan(std::move(graph));
+  const std::size_t per_value = 4 * 8;
+  EXPECT_EQ(plan.arena_floats({0, 0, 0, 0, 4}), 2 * per_value)
+      << "4 chained values must ping-pong through 2 slots";
+}
+
+TEST(PlanMemory, LayoutCacheCountsHitsMissesAndEntries) {
+  GraphBuilder g;
+  const ValueId x = g.input_extra(4);
+  Graph graph = std::move(g).finish(g.relu(x));
+  const Plan plan(std::move(graph));
+
+  const std::vector<float> extra(4 * 8, 1.0f);
+  for (const std::size_t group : {1u, 3u, 1u, 3u, 8u, 1u}) {
+    ExecInputs inputs;
+    inputs.extra = extra.data();
+    inputs.group = group;
+    bool hit = true;
+    (void)plan.execute(inputs, &hit);
+    (void)hit;
+  }
+  const Plan::CacheStats stats = plan.cache_stats();
+  EXPECT_EQ(stats.misses, 3u);  // group 1, 3, 8 each planned once
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.entries, 3u);
+  ASSERT_LE(stats.entries, Plan::kMaxCachedLayouts);
+}
+
+// --- model-level bit identity ------------------------------------------------
+
+programl::ProgramGraph sample_graph(const char* kernel_name = "polybench/gemm") {
+  const auto kernel = corpus::generate(corpus::find_kernel(kernel_name));
+  return programl::build_graph(*kernel.module);
+}
+
+/// Deterministic fake inputs: values spread over the activations' sensitive
+/// ranges, with exact zeros to exercise the matmul zero-skip path.
+std::vector<float> fake_row(std::size_t n, float seed) {
+  std::vector<float> row(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    row[i] = (i % 5 == 0) ? 0.0f : seed * 0.37f * static_cast<float>(i % 11) - 1.2f;
+  }
+  return row;
+}
+
+/// Execute-time bindings for one (graph, vector, extra) request; the staging
+/// vectors must outlive the ExecInputs.
+struct ModelInputs {
+  std::vector<int> feature_index;
+  std::array<programl::ProgramGraph::RelationEdges, programl::kNumEdgeTypes> relations;
+  std::vector<float> vector;
+  std::vector<std::vector<float>> extra_rows;
+  std::vector<float> extra_flat;
+
+  ExecInputs bind(const core::MgaModelConfig& config, const programl::ProgramGraph* graph,
+                  std::size_t group) {
+    ExecInputs inputs;
+    inputs.group = group;
+    if (config.use_graph) {
+      const std::size_t n = graph->node_count();
+      feature_index.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        feature_index[i] = static_cast<int>(programl::node_feature_index(graph->nodes[i]));
+      }
+      inputs.num_nodes = n;
+      inputs.feature_index = feature_index.data();
+      for (std::size_t r = 0; r < programl::kNumEdgeTypes; ++r) {
+        relations[r] = graph->relation(static_cast<programl::EdgeType>(r));
+        inputs.sources[r] = relations[r].sources.data();
+        inputs.targets[r] = relations[r].targets.data();
+        inputs.edge_count[r] = relations[r].sources.size();
+      }
+    }
+    if (config.use_vector) inputs.vector = vector.data();
+    if (config.use_extra) {
+      extra_flat.clear();
+      for (const auto& row : extra_rows)
+        extra_flat.insert(extra_flat.end(), row.begin(), row.end());
+      inputs.extra = extra_flat.data();
+    }
+    return inputs;
+  }
+};
+
+/// Capture `model`, run it compiled (both raw and fully rewritten) against
+/// the interpreter for each group size, comparing logits bit for bit.
+void expect_model_identity(const core::MgaModel& model, const programl::ProgramGraph& graph,
+                           std::initializer_list<std::size_t> group_sizes) {
+  const core::MgaModelConfig& config = model.config();
+  GraphBuilder builder;
+  Graph captured = std::move(builder).finish(model.capture_forward_group(builder));
+  Graph rewritten = captured;
+  const runtime::PassStats stats = runtime::run_default_passes(rewritten);
+  EXPECT_GT(stats.fused, 0u);  // every Linear chain must fuse
+  EXPECT_LE(rewritten.size(), captured.size());
+  const Plan raw(std::move(captured));
+  const Plan optimized(std::move(rewritten));
+
+  ModelInputs staging;
+  staging.vector = fake_row(config.dae.input_dim, 1.0f);
+  for (const std::size_t group : group_sizes) {
+    staging.extra_rows.clear();
+    for (std::size_t i = 0; i < group; ++i)
+      staging.extra_rows.push_back(fake_row(config.extra_dim, 0.3f + static_cast<float>(i)));
+    const nn::Tensor want =
+        model.forward_group(graph, staging.vector, staging.extra_rows, group);
+    const ExecInputs inputs = staging.bind(config, &graph, group);
+    ASSERT_EQ(want.numel(), group * config.num_classes);
+    expect_bits_equal(run_plan(raw, inputs), want.data());
+    expect_bits_equal(run_plan(optimized, inputs), want.data());
+  }
+}
+
+class RuntimeModelIdentity : public ::testing::TestWithParam<models::GnnKind> {};
+
+TEST_P(RuntimeModelIdentity, LogitsBitIdenticalAcrossBatchSizes) {
+  util::Rng rng(11);
+  core::MgaModelConfig config;
+  config.gnn.kind = GetParam();
+  const core::MgaModel model(rng, config);
+  expect_model_identity(model, sample_graph(), {1, 3, 8, 32});
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, RuntimeModelIdentity,
+                         ::testing::Values(models::GnnKind::kGcn, models::GnnKind::kSage,
+                                           models::GnnKind::kGat, models::GnnKind::kGgnn),
+                         [](const auto& info) { return models::gnn_kind_name(info.param); });
+
+TEST(RuntimeModelIdentityAblations, EveryModalitySubsetBitIdentical) {
+  struct Ablation {
+    bool use_graph, use_vector, use_extra, passthrough;
+  };
+  const Ablation ablations[] = {
+      {true, true, true, true},    // no-DAE passthrough variant
+      {false, true, true, false},  // IR2Vec-only static modality
+      {true, false, true, false},  // PROGRAML-only static modality
+      {true, true, false, false},  // static-only (no dynamic features)
+      {false, false, true, false}, // dynamic-only
+  };
+  int seed = 21;
+  for (const Ablation& a : ablations) {
+    util::Rng rng(static_cast<std::uint64_t>(seed++));
+    core::MgaModelConfig config;
+    config.use_graph = a.use_graph;
+    config.use_vector = a.use_vector;
+    config.use_extra = a.use_extra;
+    config.vector_passthrough = a.passthrough;
+    const core::MgaModel model(rng, config);
+    expect_model_identity(model, sample_graph(), {1, 4});
+  }
+}
+
+TEST(RuntimeModelIdentityAblations, EmptyRelationsMatchInterpreterZeros) {
+  // A synthetic graph with control edges only: the data and call relations
+  // are empty, so their gathers produce [0, d] values and their scatters
+  // must produce exactly the interpreter's zero tensors.
+  programl::ProgramGraph graph;
+  for (int i = 0; i < 5; ++i) {
+    programl::Node node;
+    node.type = i % 2 == 0 ? programl::NodeType::kInstruction : programl::NodeType::kVariable;
+    node.opcode = ir::Opcode::kRet;
+    graph.nodes.push_back(node);
+  }
+  for (int i = 0; i + 1 < 5; ++i) {
+    programl::Edge edge;
+    edge.type = programl::EdgeType::kControl;
+    edge.source = i;
+    edge.target = i + 1;
+    graph.edges.push_back(edge);
+  }
+  for (const models::GnnKind kind :
+       {models::GnnKind::kGcn, models::GnnKind::kGat, models::GnnKind::kGgnn}) {
+    util::Rng rng(31);
+    core::MgaModelConfig config;
+    config.gnn.kind = kind;
+    const core::MgaModel model(rng, config);
+    expect_model_identity(model, graph, {1, 2});
+  }
+}
+
+// --- tuner-level: compile_forward against predict_labels ---------------------
+
+core::MgaTunerOptions tiny_options() {
+  core::MgaTunerOptions options;
+  auto kernels = corpus::openmp_suite();
+  kernels.resize(8);
+  options.training_kernels = std::move(kernels);
+  std::vector<double> inputs = dataset::input_sizes_30();
+  std::vector<double> subset;
+  for (std::size_t i = 0; i < inputs.size(); i += 6) subset.push_back(inputs[i]);
+  options.input_sizes = std::move(subset);
+  options.training.epochs = 12;
+  return options;
+}
+
+const core::MgaTuner& shared_tuner() {
+  static const core::MgaTuner tuner = core::MgaTuner::train(tiny_options());
+  return tuner;
+}
+
+/// Profiled counter rows for `kernel` at a spread of batch sizes.
+std::vector<hwsim::PapiCounters> profiled_rows(const core::MgaTuner& tuner,
+                                               const core::KernelFeatures& features,
+                                               std::size_t count) {
+  std::vector<hwsim::PapiCounters> rows;
+  rows.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    rows.push_back(
+        tuner.profile_counters(features.workload, 1e5 * static_cast<double>(i + 1)));
+  }
+  return rows;
+}
+
+TEST(RuntimeCompiled, TunerPredictLabelsMatchAcrossBatchSizes) {
+  const core::MgaTuner& tuner = shared_tuner();
+  const auto plan = tuner.compile_forward();
+  ASSERT_NE(plan, nullptr);
+  EXPECT_GT(plan->info().ops_before, plan->info().ops_after);
+  EXPECT_GT(plan->info().passes.fused, 0u);
+
+  for (const char* name : {"polybench/gemm", "rodinia/bfs", "stream/triad"}) {
+    const core::KernelFeatures features = tuner.extract_features(corpus::find_kernel(name));
+    for (const std::size_t batch : {1u, 4u, 32u}) {
+      const std::vector<hwsim::PapiCounters> counters = profiled_rows(tuner, features, batch);
+      const std::vector<int> want = tuner.predict_labels(features, counters);
+      EXPECT_EQ(plan->predict_labels(features.graph, features.scaled_vector, counters), want)
+          << name << " @ batch " << batch;
+    }
+  }
+}
+
+TEST(RuntimeCompiled, PlanFollowsInPlaceFineTune) {
+  core::MgaTuner tuner = shared_tuner().clone();
+  const auto plan = tuner.compile_forward();
+  ASSERT_NE(plan, nullptr);
+
+  const std::vector<corpus::KernelSpec>& kernels = tiny_options().training_kernels;
+  const core::KernelFeatures features = tuner.extract_features(kernels.front());
+  const std::vector<hwsim::PapiCounters> counters = profiled_rows(tuner, features, 4);
+  const std::span<const float> before_view =
+      plan->forward_logits(features.graph, features.scaled_vector, counters);
+  const std::vector<float> before(before_view.begin(), before_view.end());
+
+  std::vector<dataset::OmpSample> samples;
+  for (int i = 0; i < 6; ++i) {
+    dataset::OmpSample sample;
+    sample.kernel_id = 0;
+    sample.input_bytes = 1e5 * (i + 1);
+    sample.counters = tuner.profile_counters(features.workload, sample.input_bytes);
+    sample.label = i % static_cast<int>(tuner.space().size());
+    samples.push_back(sample);
+  }
+  core::FineTuneOptions ft;
+  ft.epochs = 4;
+  (void)tuner.fine_tune(kernels, samples, ft);
+
+  // The plan aliases the live weights: fine_tune moved them, so the plan's
+  // logits move with them — and stay bit-identical to the interpreter.
+  const std::span<const float> after_view =
+      plan->forward_logits(features.graph, features.scaled_vector, counters);
+  const std::vector<float> after(after_view.begin(), after_view.end());
+  EXPECT_NE(before, after) << "fine_tune must shift the compiled logits";
+  EXPECT_EQ(plan->predict_labels(features.graph, features.scaled_vector, counters),
+            tuner.predict_labels(features, counters));
+}
+
+TEST(RuntimeCompiled, CloneFineTunePinsOriginalPlanToOldWeights) {
+  core::MgaTuner original = shared_tuner().clone();
+  const auto plan = original.compile_forward();
+  ASSERT_NE(plan, nullptr);
+
+  const std::vector<corpus::KernelSpec>& kernels = tiny_options().training_kernels;
+  const core::KernelFeatures features = original.extract_features(kernels.front());
+  const std::vector<hwsim::PapiCounters> counters = profiled_rows(original, features, 3);
+  const std::span<const float> before_view =
+      plan->forward_logits(features.graph, features.scaled_vector, counters);
+  const std::vector<float> before(before_view.begin(), before_view.end());
+
+  // A clone gets fresh tensors: fine-tuning it must not leak into the
+  // original tuner's plan.
+  core::MgaTuner cloned = original.clone();
+  std::vector<dataset::OmpSample> samples;
+  for (int i = 0; i < 4; ++i) {
+    dataset::OmpSample sample;
+    sample.kernel_id = 0;
+    sample.input_bytes = 2e5 * (i + 1);
+    sample.counters = cloned.profile_counters(features.workload, sample.input_bytes);
+    sample.label = (i + 1) % static_cast<int>(cloned.space().size());
+    samples.push_back(sample);
+  }
+  core::FineTuneOptions ft;
+  ft.epochs = 4;
+  (void)cloned.fine_tune(kernels, samples, ft);
+
+  const std::span<const float> after_view =
+      plan->forward_logits(features.graph, features.scaled_vector, counters);
+  expect_bits_equal(after_view, before);
+}
+
+// --- registry plan lifecycle -------------------------------------------------
+
+TEST(PlanRegistry, AddAndSwapCompileFreshPlans) {
+  serve::ModelRegistry registry;
+  registry.add("comet-lake", shared_tuner().clone());
+  const serve::ModelRegistry::Resolved first = registry.resolve("comet-lake");
+  ASSERT_NE(first.plan, nullptr);
+
+  const core::KernelFeatures features =
+      shared_tuner().extract_features(corpus::find_kernel("polybench/gemm"));
+  const std::vector<hwsim::PapiCounters> counters =
+      profiled_rows(*first.tuner, features, 2);
+  EXPECT_EQ(first.plan->predict_labels(features.graph, features.scaled_vector, counters),
+            first.tuner->predict_labels(features, counters));
+
+  (void)registry.swap("comet-lake", shared_tuner().clone());
+  const serve::ModelRegistry::Resolved second = registry.resolve("comet-lake");
+  ASSERT_NE(second.plan, nullptr);
+  EXPECT_NE(second.plan.get(), first.plan.get()) << "swap must compile its own plan";
+  EXPECT_GT(second.generation, first.generation);
+}
+
+TEST(PlanRegistry, CanaryLifecycleCarriesPlansThroughPromoteAndDiscard) {
+  serve::ModelRegistry registry;
+  registry.add("comet-lake", shared_tuner().clone());
+  const auto incumbent_plan = registry.resolve("comet-lake").plan;
+  ASSERT_NE(incumbent_plan, nullptr);
+
+  // Stage: the candidate gets its own plan; the incumbent keeps its own.
+  (void)registry.stage("comet-lake", shared_tuner().clone());
+  const std::optional<serve::ModelRegistry::Resolved> canary =
+      registry.try_resolve_canary("comet-lake");
+  ASSERT_TRUE(canary.has_value());
+  ASSERT_NE(canary->plan, nullptr);
+  EXPECT_NE(canary->plan.get(), incumbent_plan.get());
+  EXPECT_EQ(registry.resolve("comet-lake").plan.get(), incumbent_plan.get());
+
+  // Promote: the candidate's plan (compiled at stage time) becomes the
+  // slot's plan, with no recompile.
+  (void)registry.promote("comet-lake");
+  EXPECT_EQ(registry.resolve("comet-lake").plan.get(), canary->plan.get());
+  EXPECT_FALSE(registry.try_resolve_canary("comet-lake").has_value());
+
+  // Discard: the rolled-back candidate's plan is dropped, the incumbent's
+  // plan is untouched.
+  const auto promoted_plan = registry.resolve("comet-lake").plan;
+  (void)registry.stage("comet-lake", shared_tuner().clone());
+  EXPECT_TRUE(registry.discard("comet-lake"));
+  EXPECT_EQ(registry.resolve("comet-lake").plan.get(), promoted_plan.get());
+  EXPECT_FALSE(registry.try_resolve_canary("comet-lake").has_value());
+}
+
+// --- serve-level: compiled on vs off ----------------------------------------
+
+serve::TuneRequest make_request(const char* kernel, double input_bytes) {
+  serve::TuneRequest request;
+  request.kernel = corpus::find_kernel(kernel);
+  request.input_bytes = input_bytes;
+  return request;
+}
+
+TEST(RuntimeServe, CompiledServiceMatchesInterpreterAndSplitsStats) {
+  auto registry = std::make_shared<serve::ModelRegistry>();
+  registry->add("comet-lake", shared_tuner().clone());
+
+  serve::ServeOptions compiled_options;
+  compiled_options.workers = 2;
+  ASSERT_TRUE(compiled_options.compiled_runtime) << "compiled runtime must default on";
+  serve::ServeOptions interpreted_options = compiled_options;
+  interpreted_options.compiled_runtime = false;
+
+  serve::TuningService compiled(registry, compiled_options);
+  serve::TuningService interpreted(registry, interpreted_options);
+
+  for (const char* name : {"polybench/gemm", "rodinia/bfs", "stream/triad"}) {
+    for (const double input : {8192.0, 2e6, 1e8}) {
+      const serve::TuneResult got = compiled.submit_future(make_request(name, input)).get();
+      const serve::TuneResult want =
+          interpreted.submit_future(make_request(name, input)).get();
+      EXPECT_EQ(got.config, want.config) << name << " @ " << input;
+      EXPECT_EQ(got.config, shared_tuner().tune(corpus::find_kernel(name), input))
+          << name << " @ " << input;
+    }
+  }
+
+  // The forward split makes a silent interpreter fallback visible: with a
+  // healthy plan the compiled service must never fall back.
+  const serve::ServiceStatsSnapshot compiled_stats = compiled.stats_snapshot();
+  EXPECT_GT(compiled_stats.forwards_compiled, 0u);
+  EXPECT_EQ(compiled_stats.forwards_interpreted, 0u);
+  EXPECT_EQ(compiled_stats.plan_layout_hits + compiled_stats.plan_layout_misses,
+            compiled_stats.forwards_compiled);
+  EXPECT_GT(compiled_stats.plan_layout_hits, 0u)
+      << "repeat batch shapes must reuse cached layouts";
+
+  const serve::ServiceStatsSnapshot interpreted_stats = interpreted.stats_snapshot();
+  EXPECT_EQ(interpreted_stats.forwards_compiled, 0u);
+  EXPECT_GT(interpreted_stats.forwards_interpreted, 0u);
+}
+
+}  // namespace
+}  // namespace mga

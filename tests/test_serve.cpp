@@ -1131,7 +1131,9 @@ TEST(TuningService, LatencyBreakdownSumsAndRendersEveryMetricRow) {
   const ServiceStatsSnapshot stats = service.stats_snapshot();
   EXPECT_NEAR(stats.queue_wait_mean_us + stats.compute_mean_us, stats.latency_mean_us, 1.0);
   const util::Table table = stats_table(stats);
-  EXPECT_EQ(table.row_count(), 29u);  // v6: + latency p99, extract/forward means
+  // v6: + latency p99, extract/forward means; v7: + the compiled/interpreted
+  // forward split and plan layout cache rows (a forward ran, so they render).
+  EXPECT_EQ(table.row_count(), 31u);
 }
 
 // --- the service: sharded serving --------------------------------------------
@@ -1264,8 +1266,9 @@ TEST(TuningService, AggregateStatsSumPerShardCounters) {
   EXPECT_EQ(aggregate_completed, tier_completed);
 
   // The operator table gains a breakdown section only for multi-shard
-  // snapshots: the 26 aggregate rows plus 3 per shard.
-  EXPECT_EQ(stats_table(stats).row_count(), 29u + 3u * stats.shards.size());
+  // snapshots: the 31 aggregate rows (v7 adds the forward-path split pair)
+  // plus 3 per shard.
+  EXPECT_EQ(stats_table(stats).row_count(), 31u + 3u * stats.shards.size());
 }
 
 TEST(TuningService, LifecycleFansOutToAllShards) {
