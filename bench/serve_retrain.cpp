@@ -145,18 +145,22 @@ std::vector<double> run_background(mga::serve::TuningService& service,
 int main(int argc, char** argv) {
   using namespace mga;
   bool smoke = false;
+  bool pipeline = true;
   std::string json_path;
   std::string trace_path;
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
     if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--no-pipeline") {
+      pipeline = false;  // A/B lever: retrain cycle over the legacy engine
     } else if (arg == "--json" && a + 1 < argc) {
       json_path = argv[++a];
     } else if (arg == "--trace" && a + 1 < argc) {
       trace_path = argv[++a];
     } else {
-      std::cerr << "usage: " << argv[0] << " [--smoke] [--json <path>] [--trace <path>]\n";
+      std::cerr << "usage: " << argv[0]
+                << " [--smoke] [--no-pipeline] [--json <path>] [--trace <path>]\n";
       return 2;
     }
   }
@@ -218,6 +222,7 @@ int main(int argc, char** argv) {
 
   serve::ServeOptions options;
   options.workers = 2;
+  options.pipeline = pipeline;
   options.shards = 4;
   options.queue_capacity = 4096;
   options.retrain.enabled = true;

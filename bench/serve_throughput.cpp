@@ -134,18 +134,27 @@ int main(int argc, char** argv) {
   using namespace mga;
 
   bool smoke = false;
+  bool pipeline = true;
   std::string json_path;
   std::string trace_path;
   std::size_t num_requests = 0;  // 0 = mode default
   const auto usage = [&] {
     std::cerr << "usage: " << argv[0]
-              << " [--smoke] [--json <path>] [--trace <path>] [num_requests > 0]\n";
+              << " [--smoke] [--no-pipeline] [--json <path>] [--trace <path>]"
+                 " [num_requests > 0]\n";
     return 2;
   };
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
     if (arg == "--smoke") {
       smoke = true;
+      continue;
+    }
+    if (arg == "--no-pipeline") {
+      // A/B lever for CI: the same workload through the legacy
+      // one-batch-per-worker engine. Metrics are emitted under the same
+      // names, so a pipeline-off baseline must go to its own --json file.
+      pipeline = false;
       continue;
     }
     if (arg == "--json") {
@@ -234,6 +243,8 @@ int main(int argc, char** argv) {
   options.workers = 4;
   options.queue_capacity = 2048;
   options.max_batch = 32;
+  options.pipeline = pipeline;
+  if (!pipeline) std::cout << "engine: legacy one-batch-per-worker (--no-pipeline)\n";
 
   std::size_t mismatches = 0;
   bool ok = true;
@@ -297,6 +308,39 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- paced sweep: queue-wait share under feasible offered load ------------
+  // The closed-loop runs above slam every request at t=0, so their mean
+  // queue_wait is offered backlog (at saturation the share of latency tends
+  // to 1 for any engine). The dispatch contract the pipelined engine exists
+  // for — waiting happens inside the overlapped pipe, not blocked on the
+  // shared queue — is only observable when the offered load is feasible, so
+  // the gated share metric comes from this paced open-loop sweep instead:
+  // 400us spacing (2.5k req/s) keeps the offer feasible even for a
+  // single-hardware-thread runner serving unamortized batch-of-one
+  // requests, making queue_wait pure dispatch overhead (admission wakeup +
+  // ring hand-off), not backlog.
+  std::vector<ShardRun> paced_runs;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    serve::ServeOptions sharded = options;
+    sharded.shards = shards;
+    paced_runs.push_back(
+        {shards, run_service(registry, sharded, requests, std::chrono::microseconds{400})});
+    mismatches += count_mismatches(paced_runs.back().out.results, expected);
+  }
+  util::Table paced_table(
+      {"shards", "mean latency us", "mean queue wait us", "queue-wait share"});
+  for (const ShardRun& run : paced_runs) {
+    const double share = run.out.stats.latency_mean_us > 0.0
+                             ? run.out.stats.queue_wait_mean_us / run.out.stats.latency_mean_us
+                             : 0.0;
+    paced_table.add_row({std::to_string(run.shards),
+                         util::fmt_double(run.out.stats.latency_mean_us),
+                         util::fmt_double(run.out.stats.queue_wait_mean_us),
+                         util::fmt_percent(share)});
+  }
+  std::cout << "\npaced arrivals (400us spacing; queue wait = dispatch overhead):\n";
+  paced_table.print(std::cout);
+
   // --- traced sweep: re-run each shard count with obs enabled ---------------
   // The baseline runs above stay untraced (they feed the perf-gate metrics);
   // each traced re-run becomes one Perfetto process group in the combined
@@ -310,11 +354,16 @@ int main(int argc, char** argv) {
   };
   // Per-request attribution partitions latency_us into exactly these stages
   // (cache-lookup and feature-extract are alternatives: one span per
-  // request). kSubmit/kRoute/kDequeue/kPublish overlap them or sit outside
+  // request; likewise the pipelined engine emits the admission/linger/
+  // dispatch split of queue wait while the legacy loop emits kQueueWait —
+  // the two sets never coexist in one run, so there is no double-count).
+  // kSubmit/kRoute/kDequeue/kPublish overlap them or sit outside
   // latency_us, so they are trace-visible but never attributed.
-  constexpr obs::Stage kAttributed[] = {obs::Stage::kQueueWait, obs::Stage::kCacheLookup,
-                                        obs::Stage::kFeatureExtract, obs::Stage::kProfile,
-                                        obs::Stage::kForward};
+  constexpr obs::Stage kAttributed[] = {
+      obs::Stage::kQueueWait,     obs::Stage::kAdmissionWait,
+      obs::Stage::kLingerWait,    obs::Stage::kDispatchWait,
+      obs::Stage::kCacheLookup,   obs::Stage::kFeatureExtract,
+      obs::Stage::kProfile,       obs::Stage::kForward};
   std::vector<TracedRun> traced_runs;
   if (!trace_path.empty()) {
     std::vector<obs::TraceSection> sections;
@@ -531,6 +580,12 @@ int main(int argc, char** argv) {
   // against the checked-in BENCH_serve.json.
   if (!json_path.empty()) {
     std::vector<std::pair<std::string, double>> metrics;
+    // The scaling-ratio gate (shards4 vs shards1 throughput) is hardware-
+    // aware: perf_gate keys its required ratio off the recording machine's
+    // core count, so a 2-core runner is not asked for a 4-shard speedup the
+    // silicon cannot produce.
+    metrics.emplace_back("hardware_concurrency",
+                         static_cast<double>(std::thread::hardware_concurrency()));
     for (const ShardRun& run : shard_runs) {
       std::vector<double> latencies;
       latencies.reserve(run.out.results.size());
@@ -541,20 +596,43 @@ int main(int argc, char** argv) {
       metrics.emplace_back(prefix + "_requests_per_s", n / run.out.seconds);
       metrics.emplace_back(prefix + "_p95_us", percentile_us(std::move(latencies), 0.95));
     }
-    // Stage means ride along (perf_gate gates only *_p95_us, but prints
-    // the *_stage_* rows on a failure so the regression names its stage).
+    // Queue-wait trio from the paced sweep (see the comment there): under
+    // feasible offered load, queue_wait is the engine's dispatch overhead
+    // rather than closed-loop backlog. The share is gated < 0.5 by
+    // perf_gate as a first-class CI metric.
+    for (const ShardRun& run : paced_runs) {
+      const std::string prefix = "shards" + std::to_string(run.shards);
+      metrics.emplace_back(prefix + "_paced_latency_mean_us",
+                           run.out.stats.latency_mean_us);
+      metrics.emplace_back(prefix + "_paced_queue_wait_mean_us",
+                           run.out.stats.queue_wait_mean_us);
+      metrics.emplace_back(prefix + "_queue_wait_share",
+                           run.out.stats.latency_mean_us > 0.0
+                               ? run.out.stats.queue_wait_mean_us /
+                                     run.out.stats.latency_mean_us
+                               : 0.0);
+    }
+    // Stage means ride along (perf_gate prints the *_stage_* rows on a
+    // failure so the regression names its stage). Each mean is weighted by
+    // the stage's own span count — dividing by num_requests understated any
+    // stage that only a subset of requests pass through (feature-extract
+    // runs once per cold kernel, not once per request), making cold-path
+    // regressions look 10x smaller than they are.
     for (const TracedRun& traced : traced_runs) {
       const std::string prefix = "shards" + std::to_string(traced.shards);
       for (const obs::Stage stage : kAttributed) {
         const obs::StageStats& s = traced.summary[static_cast<std::size_t>(stage)];
+        if (s.count == 0) continue;  // the other engine's spans: absent this run
         metrics.emplace_back(prefix + "_stage_" + obs::to_string(stage) + "_mean_us",
-                             s.total_us / n);
+                             s.total_us / static_cast<double>(s.count));
       }
       // Nested inside the forward stage, not attributed — recorded so the
       // perf trajectory shows how much of `forward` the compiled plan is.
       const obs::StageStats& plan_exec =
           traced.summary[static_cast<std::size_t>(obs::Stage::kPlanExecute)];
-      metrics.emplace_back(prefix + "_stage_plan_execute_mean_us", plan_exec.total_us / n);
+      if (plan_exec.count > 0)
+        metrics.emplace_back(prefix + "_stage_plan_execute_mean_us",
+                             plan_exec.total_us / static_cast<double>(plan_exec.count));
     }
     if (!smoke) {
       metrics.emplace_back("tiered_interactive_p95_us", tiered_int_p95);

@@ -56,6 +56,9 @@ const char* to_string(Stage stage) noexcept {
     case Stage::kRetrainRollback: return "retrain_rollback";
     case Stage::kPlanCompile: return "plan_compile";
     case Stage::kPlanExecute: return "plan_execute";
+    case Stage::kAdmissionWait: return "admission_wait";
+    case Stage::kLingerWait: return "linger_wait";
+    case Stage::kDispatchWait: return "dispatch_wait";
   }
   return "unknown";
 }

@@ -49,8 +49,14 @@ enum class Stage : std::uint8_t {
   kRetrainRollback,
   kPlanCompile,  // registry: runtime-plan compilation for a (new) generation
   kPlanExecute,  // compiled-plan execution inside the forward stage
+  // Pipelined-engine split of kQueueWait (the pipelined shard emits these
+  // three instead of one queue_wait span, so a breakdown names which
+  // scheduler phase dominates; appended so older stage indices stay stable):
+  kAdmissionWait,  // enqueue → dispatcher pop (time spent in the TieredQueue)
+  kLingerWait,     // dispatcher pop → batch sealed (batch-formation window)
+  kDispatchWait,   // sealed → stage pickup (one span per inter-stage handoff)
 };
-inline constexpr std::size_t kNumStages = 17;
+inline constexpr std::size_t kNumStages = 20;
 
 [[nodiscard]] const char* to_string(Stage stage) noexcept;
 

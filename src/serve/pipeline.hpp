@@ -1,0 +1,174 @@
+// Pipeline primitives for the staged ServeShard engine (see DESIGN.md §11).
+//
+// `StageRing` is the inter-stage conduit: a bounded MPMC ring in the Vyukov
+// style — one cache-line-padded sequence word per cell, producers and
+// consumers claim cells with a single CAS on their own cursor and never
+// touch a shared mutex. A full or empty ring fails fast (`try_push` /
+// `try_pop` return immediately); blocking policy lives with the caller,
+// which is what lets every stage worker combine "wait for my home ring" and
+// "steal from a sibling ring" under one shard-wide `WorkSignal`.
+//
+// `WorkSignal` is the shard-wide eventcount the rings deliberately do not
+// contain: every push (and every pop that frees space a blocked dispatcher
+// may be waiting for) bumps an epoch and notifies. An idle worker samples
+// the epoch, re-polls every ring it may serve, and parks only if the epoch
+// is unchanged — the classic prepare/check/park pattern, so a push between
+// the poll and the park can never be missed.
+//
+// The design follows the DPCP-p observation (PAPERS.md) that distributing
+// queue-protocol work across stages — instead of funneling every worker
+// through one mutex/CV spine — is what bounds tail wait: in the pipelined
+// engine only the dispatcher touches the TieredQueue's lock, and the stage
+// hand-offs here are lock-free.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace mga::serve {
+
+/// Bounded lock-free MPMC ring. Capacity is rounded up to a power of two.
+/// Element type must be movable; a moved-out slot is destroyed lazily when
+/// the cell is reused (the ring holds `std::optional<T>` payloads).
+template <typename T>
+class StageRing {
+ public:
+  explicit StageRing(std::size_t capacity) {
+    MGA_CHECK_MSG(capacity > 0, "StageRing: capacity must be positive");
+    // Minimum 2: with a single cell the sequence arithmetic is ambiguous
+    // (seq = pos+1 marks both "published, unconsumed" and "free for the
+    // next producer"), so a second push would overwrite an unconsumed item.
+    std::size_t pow2 = 2;
+    while (pow2 < capacity) pow2 <<= 1;
+    mask_ = pow2 - 1;
+    cells_ = std::vector<Cell>(pow2);
+    for (std::size_t i = 0; i < pow2; ++i)
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+  }
+
+  StageRing(const StageRing&) = delete;
+  StageRing& operator=(const StageRing&) = delete;
+
+  /// Non-blocking push; false when the ring is full. Takes the item by
+  /// reference and moves from it only on success, so a failed push leaves
+  /// the caller's item intact for retry (the payloads here are unique_ptr
+  /// batches that must not be dropped on a full ring).
+  bool try_push(T& item) {
+    Cell* cell = nullptr;
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) break;
+      } else if (diff < 0) {
+        return false;  // the cell still holds an unconsumed item: full
+      } else {
+        pos = head_.load(std::memory_order_relaxed);  // lost the claim race
+      }
+    }
+    cell->payload.emplace(std::move(item));
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Non-blocking pop; nullopt when the ring is empty.
+  std::optional<T> try_pop() {
+    Cell* cell = nullptr;
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const auto diff =
+          static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) break;
+      } else if (diff < 0) {
+        return std::nullopt;  // the cell has not been published yet: empty
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);  // lost the claim race
+      }
+    }
+    std::optional<T> item(std::move(cell->payload));
+    cell->payload.reset();
+    cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return item;
+  }
+
+  /// Instantaneous occupancy — advisory only under concurrency (cursors are
+  /// read independently); exact once producers and consumers have quiesced,
+  /// which is when the drain logic consults it.
+  [[nodiscard]] std::size_t size_approx() const noexcept {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return head >= tail ? head - tail : 0;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+ private:
+  // One sequence word + payload per cell, padded so neighbouring cells do
+  // not false-share under producer/consumer cursors sweeping the ring.
+  struct alignas(64) Cell {
+    std::atomic<std::size_t> seq{0};
+    std::optional<T> payload;
+  };
+
+  std::vector<Cell> cells_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};  // producer cursor
+  alignas(64) std::atomic<std::size_t> tail_{0};  // consumer cursor
+};
+
+/// Shard-wide eventcount: `notify` after any state change a parked thread
+/// may be waiting on (ring push, ring pop freeing space, lifecycle flags).
+/// Waiters use prepare/check/park: sample `epoch()`, re-poll their rings,
+/// then `wait(sampled)` — a notify between poll and park is never missed
+/// because it advances the epoch the wait predicate re-reads under the lock.
+class WorkSignal {
+ public:
+  [[nodiscard]] std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  void notify() noexcept {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      epoch_.fetch_add(1, std::memory_order_release);
+    }
+    cv_.notify_all();
+  }
+
+  /// Park until the epoch moves past `seen`. Spurious wakes are fine — the
+  /// caller re-polls its rings regardless.
+  void wait(std::uint64_t seen) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return epoch_.load(std::memory_order_relaxed) != seen; });
+  }
+
+  /// Bounded park for callers that also watch a deadline (the dispatcher's
+  /// linger flush). Returns after a notify, the deadline, or spuriously.
+  void wait_until(std::uint64_t seen, std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait_until(lock, deadline,
+                   [&] { return epoch_.load(std::memory_order_relaxed) != seen; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::atomic<std::uint64_t> epoch_{0};
+};
+
+}  // namespace mga::serve

@@ -459,7 +459,13 @@ bool RetrainController::run_cycle(const std::string& machine) {
   // Wait for the sample window: the judge needs `min_samples` scored
   // observations per arm over the evidence routes — canary-served rows
   // report the provisional generation, incumbent-served rows the current
-  // one (rows from older generations are not evidence for either arm). The
+  // one (rows from older generations are not evidence for either arm) —
+  // AND every evidence route scored at least once in each arm. The count
+  // floor alone is not a verdict-worthy window: completions land in the
+  // log in whatever order the pipelined shards drain, so the first
+  // `min_samples` canary rows can all come from the routes a candidate
+  // happens to serve well, and a mean over that slice would promote a
+  // model whose damage is concentrated on the routes still in flight. The
   // wait is interruptible: shutdown rolls back promptly, and the phase
   // rolls back on `timeout` if traffic never fills the window.
   const Clock::time_point deadline = Clock::now() + options_.canary.timeout;
@@ -477,18 +483,23 @@ bool RetrainController::run_cycle(const std::string& machine) {
       scanned_appends = appends;
       canary_n = incumbent_n = 0;
       canary_sum = incumbent_sum = 0.0;
+      std::set<std::uint64_t> canary_routes, incumbent_routes;
       for (const Observation& row : log_.snapshot()) {
         if (row.machine != machine || route_set.count(row.route_key) == 0) continue;
         if (row.model_generation == provisional) {
           ++canary_n;
           canary_sum += row.regret();
+          canary_routes.insert(row.route_key);
         } else if (row.model_generation == current_generation) {
           ++incumbent_n;
           incumbent_sum += row.regret();
+          incumbent_routes.insert(row.route_key);
         }
       }
       if (canary_n >= options_.canary.min_samples &&
-          incumbent_n >= options_.canary.min_samples) {
+          incumbent_n >= options_.canary.min_samples &&
+          canary_routes.size() == route_set.size() &&
+          incumbent_routes.size() == route_set.size()) {
         window_reached = true;
         break;
       }

@@ -44,6 +44,29 @@ constexpr std::size_t kMaxArrivalEntries = 4096;
   return capacities;
 }
 
+/// Classify the in-flight exception into a typed ServeError. Must be called
+/// from inside a catch block (it rethrows to dispatch on the dynamic type).
+[[nodiscard]] ServeError classify_batch_exception() {
+  ServeError error;
+  error.cause = std::current_exception();
+  try {
+    throw;
+  } catch (const LoadError& e) {
+    error.kind = ServeErrorKind::kLoadFailed;
+    error.detail = e.what();
+  } catch (const std::out_of_range& e) {
+    error.kind = ServeErrorKind::kUnknownMachine;
+    error.detail = e.what();
+  } catch (const std::exception& e) {
+    error.kind = ServeErrorKind::kLoadFailed;
+    error.detail = e.what();
+  } catch (...) {
+    error.kind = ServeErrorKind::kLoadFailed;
+    error.detail = "unknown error";
+  }
+  return error;
+}
+
 }  // namespace
 
 ServeShard::ServeShard(std::shared_ptr<ModelRegistry> registry, const ServeOptions& options,
@@ -56,9 +79,31 @@ ServeShard::ServeShard(std::shared_ptr<ModelRegistry> registry, const ServeOptio
   MGA_CHECK_MSG(registry_ != nullptr, "ServeShard: null registry");
   MGA_CHECK_MSG(options_.workers > 0, "ServeShard: need at least one worker");
   MGA_CHECK_MSG(options_.max_batch > 0, "ServeShard: max_batch must be positive");
-  workers_.reserve(options_.workers);
-  for (std::size_t w = 0; w < options_.workers; ++w)
-    workers_.emplace_back([this] { worker_loop(); });
+  if (options_.pipeline) {
+    MGA_CHECK_MSG(options_.stage_queue_capacity > 0,
+                  "ServeShard: stage_queue_capacity must be positive");
+    for (std::unique_ptr<BatchRing>& ring : rings_)
+      ring = std::make_unique<BatchRing>(options_.stage_queue_capacity);
+    std::size_t extract_n = options_.extract_workers;
+    std::size_t forward_n = options_.forward_workers;
+    if (extract_n == 0 && forward_n == 0) {
+      // Default split: extract gets the odd worker (it feeds the pipe; the
+      // steal path rebalances when forward is the bottleneck). One worker
+      // homes on extract and serves every stage through steals.
+      extract_n = (options_.workers + 1) / 2;
+      forward_n = options_.workers / 2;
+    }
+    workers_.reserve(extract_n + forward_n);
+    for (std::size_t w = 0; w < extract_n; ++w)
+      workers_.emplace_back([this] { stage_worker_loop(kPipelineExtract); });
+    for (std::size_t w = 0; w < forward_n; ++w)
+      workers_.emplace_back([this] { stage_worker_loop(kPipelineForward); });
+    dispatcher_ = std::thread([this] { dispatcher_loop(); });
+  } else {
+    workers_.reserve(options_.workers);
+    for (std::size_t w = 0; w < options_.workers; ++w)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
 }
 
 ServeShard::~ServeShard() { shutdown(); }
@@ -417,23 +462,7 @@ void ServeShard::process_batch(std::vector<Pending>& batch) {
     for (const int label : labels)
       configs.push_back(tuner->space()[static_cast<std::size_t>(label)]);
   } catch (...) {
-    ServeError error;
-    error.cause = std::current_exception();
-    try {
-      throw;
-    } catch (const LoadError& e) {
-      error.kind = ServeErrorKind::kLoadFailed;
-      error.detail = e.what();
-    } catch (const std::out_of_range& e) {
-      error.kind = ServeErrorKind::kUnknownMachine;
-      error.detail = e.what();
-    } catch (const std::exception& e) {
-      error.kind = ServeErrorKind::kLoadFailed;
-      error.detail = e.what();
-    } catch (...) {
-      error.kind = ServeErrorKind::kLoadFailed;
-      error.detail = "unknown error";
-    }
+    const ServeError error = classify_batch_exception();
     for (Pending& pending : batch) {
       if (pending.state->try_claim()) {
         stats_.record_failed();
@@ -549,6 +578,458 @@ void ServeShard::process_batch(std::vector<Pending>& batch) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Pipelined engine (DESIGN.md §11).
+//
+// The dispatcher is the queue's only consumer: it pops arrivals into
+// per-group forming batches, runs the whole batching policy there (linger
+// windows, deadline clamp, interactive expedite, max_batch seal), and hands
+// sealed batches to the extract ring. This kills the two scaling costs of
+// the legacy loop in one move — workers no longer contend on the queue's
+// mutex/CV at all, and batch formation is a per-item O(1) map insert
+// instead of each worker's O(queue-depth) drain_matching scan.
+
+void ServeShard::dispatcher_loop() {
+  struct Forming {
+    std::vector<Pending> members;
+    corpus::KernelSpec kernel;  // copies: full-spec match within a hash chain
+    std::string machine;
+    Clock::time_point fire_at;
+  };
+  // group_key → forming batches. A chain holds hash-colliding groups (and
+  // same-name specs with different params) side by side, exactly like the
+  // legacy full-spec match predicate.
+  std::unordered_map<std::uint64_t, std::vector<Forming>> forming;
+  std::size_t forming_count = 0;
+
+  const auto seal = [&](Forming& f) {
+    auto batch = std::make_unique<PipelineBatch>();
+    batch->members = std::move(f.members);
+    batch->sealed = Clock::now();
+    stats_.record_dispatched();
+    in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    for (;;) {
+      const std::uint64_t epoch = work_signal_.epoch();
+      if (rings_[kPipelineExtract]->try_push(batch)) break;
+      // Extract ring full: park until a worker frees a slot. Workers never
+      // park while work exists (they help drain full rings), so this wait
+      // always terminates — and backpressure lands where it belongs, on the
+      // queue the admission policy watches.
+      work_signal_.wait(epoch);
+    }
+    work_signal_.notify();
+  };
+
+  // Seal every batch that is due (window closed, full, or deadline-clamped)
+  // — or everything, on the final flush. Sealing order is lane order, then
+  // head age: the rings are FIFO, so an expedited interactive batch must
+  // enter the extract ring ahead of the bulk batches sealed in the same
+  // pass, or the priority the TieredQueue gave it evaporates here.
+  const auto seal_due = [&](Clock::time_point now, bool flush_all) {
+    std::vector<Forming> due;
+    for (auto it = forming.begin(); it != forming.end();) {
+      std::vector<Forming>& chain = it->second;
+      for (auto f = chain.begin(); f != chain.end();) {
+        // Prune members that died while the window was open: a cancelled or
+        // expiring rider must neither clamp fire_at nor hold a batch slot.
+        for (auto m = f->members.begin(); m != f->members.end();)
+          m = sweep(*m, now) ? f->members.erase(m) : m + 1;
+        if (f->members.empty()) {
+          f = chain.erase(f);
+          --forming_count;
+        } else if (flush_all || now >= f->fire_at ||
+                   f->members.size() >= options_.max_batch) {
+          due.push_back(std::move(*f));
+          f = chain.erase(f);
+          --forming_count;
+        } else {
+          ++f;
+        }
+      }
+      it = chain.empty() ? forming.erase(it) : std::next(it);
+    }
+    if (due.empty()) return;
+    const auto rank = [](const Forming& f) {
+      std::size_t lane = kNumTiers;
+      Clock::time_point oldest = Clock::time_point::max();
+      for (const Pending& p : f.members) {
+        lane = std::min(lane, static_cast<std::size_t>(p.tier));
+        oldest = std::min(oldest, p.enqueued);
+      }
+      return std::make_pair(lane, oldest);
+    };
+    std::sort(due.begin(), due.end(),
+              [&](const Forming& a, const Forming& b) { return rank(a) < rank(b); });
+    for (Forming& f : due) seal(f);
+  };
+
+  // Folds one popped request into its forming window. Returns true when the
+  // window just reached max_batch — the drain loop must seal due batches
+  // *before* popping further, or a deep backlog would grow windows without
+  // bound (the seal-time size check alone only fires once per drain pass).
+  const auto ingest = [&](Pending&& p, Clock::time_point now) -> bool {
+    std::vector<Forming>& chain = forming[p.group_key];
+    Forming* home = nullptr;
+    for (Forming& f : chain) {
+      // Full spec equality: a name may be shared by specs with different
+      // params, which must not ride one batch (the machine+name hash is only
+      // the cheap first-pass reject).
+      if (f.machine == p.request.machine && f.kernel == p.request.kernel) {
+        home = &f;
+        break;
+      }
+    }
+    const bool interactive = p.tier == Priority::kInteractive;
+    if (home == nullptr) {
+      Forming f;
+      f.kernel = p.request.kernel;
+      f.machine = p.request.machine;
+      // Interactive heads and drain-only configs fire in this pass; bulk
+      // heads open their (adaptively clamped) linger window.
+      Clock::duration window = Clock::duration::zero();
+      if (!interactive && options_.max_batch > 1 && options_.linger.count() > 0)
+        window = effective_linger(p.linger_key);
+      f.fire_at = now + window;
+      if (p.deadline_at != Clock::time_point::max())
+        f.fire_at = std::min(f.fire_at, p.deadline_at - kDeadlineGuard);
+      f.members.push_back(std::move(p));
+      chain.push_back(std::move(f));
+      ++forming_count;
+      home = &chain.back();
+    } else {
+      if (p.deadline_at != Clock::time_point::max())
+        home->fire_at = std::min(home->fire_at, p.deadline_at - kDeadlineGuard);
+      // An interactive rider seals the batch it joins — it must not sit out
+      // a bulk head's window.
+      if (interactive) home->fire_at = now;
+      home->members.push_back(std::move(p));
+    }
+    if (interactive) {
+      // Parity with the legacy yield rule: queued interactive traffic cuts
+      // every open linger window so the pipe turns over to serve it.
+      for (auto& [key, group] : forming)
+        for (Forming& f : group) f.fire_at = std::min(f.fire_at, now);
+    }
+    return home->members.size() >= options_.max_batch;
+  };
+
+  for (;;) {
+    {
+      // The pause gate sits between the wait and the pop: while paused the
+      // dispatcher parks *without* holding a blocking pop, so submissions
+      // stay in the TieredQueue where admission limits can see them.
+      std::unique_lock<std::mutex> lock(pause_mutex_);
+      pause_cv_.wait(lock, [&] { return pause_count_ == 0 || draining_; });
+    }
+    const std::uint64_t epoch = queue_.push_epoch();
+    while (std::optional<Pending> p = queue_.try_pop()) {
+      const Clock::time_point now = Clock::now();
+      p->popped = now;
+      // A window hitting max_batch seals mid-drain (lane-sorted, so a
+      // pending interactive window still enters the ring first); windows
+      // merely *due* keep forming until the drain pass ends, which is what
+      // lets a drained backlog fill batches even with linger == 0.
+      if (!sweep(*p, now) && ingest(std::move(*p), now)) seal_due(now, false);
+    }
+    seal_due(Clock::now(), /*flush_all=*/false);
+    if (queue_.closed() && queue_.size() == 0) {
+      seal_due(Clock::now(), /*flush_all=*/true);
+      break;
+    }
+    Clock::time_point next_fire = Clock::time_point::max();
+    for (const auto& [key, chain] : forming)
+      for (const Forming& f : chain) next_fire = std::min(next_fire, f.fire_at);
+    // Idle bound instead of time_point::max(): some wait_until
+    // implementations overflow on max(); an hourly spurious wake is free.
+    if (next_fire == Clock::time_point::max())
+      next_fire = Clock::now() + std::chrono::hours(1);
+    (void)queue_.wait_push(epoch, next_fire);
+  }
+  dispatcher_done_.store(true, std::memory_order_release);
+  work_signal_.notify();
+}
+
+void ServeShard::stage_worker_loop(std::size_t home) {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(pause_mutex_);
+      pause_cv_.wait(lock, [&] { return pause_count_ == 0 || draining_; });
+    }
+    const std::uint64_t epoch = work_signal_.epoch();
+    if (claim_and_run(home)) continue;
+    if (dispatcher_done_.load(std::memory_order_acquire) &&
+        in_flight_.load(std::memory_order_acquire) == 0)
+      return;  // pipeline drained: nothing in the rings, nothing coming
+    work_signal_.wait(epoch);
+  }
+}
+
+bool ServeShard::claim_and_run(std::size_t home) {
+  // Publish first — finished work must reach its caller (and frees a batch)
+  // before new work is admitted deeper into the pipe — then the home ring,
+  // then steal from the sibling stage so a skewed extract/forward mix
+  // cannot stall half the pool.
+  const std::size_t sibling =
+      home == kPipelineExtract ? kPipelineForward : kPipelineExtract;
+  for (const std::size_t stage : {kPipelinePublish, home, sibling}) {
+    std::optional<std::unique_ptr<PipelineBatch>> batch = rings_[stage]->try_pop();
+    if (!batch.has_value()) continue;
+    if (stage == sibling) stats_.record_steal();
+    work_signal_.notify();  // the freed slot may unblock a pusher
+    run_stage(stage, std::move(*batch));
+    return true;
+  }
+  return false;
+}
+
+void ServeShard::run_stage(std::size_t stage, std::unique_ptr<PipelineBatch> batch) {
+  switch (stage) {
+    case kPipelineExtract:
+      run_extract(std::move(batch));
+      break;
+    case kPipelineForward:
+      run_forward(std::move(batch));
+      break;
+    default:
+      run_publish(std::move(batch));
+      break;
+  }
+}
+
+void ServeShard::push_or_help(std::size_t dest, std::unique_ptr<PipelineBatch> batch) {
+  for (;;) {
+    const std::uint64_t epoch = work_signal_.epoch();
+    if (rings_[dest]->try_push(batch)) {
+      work_signal_.notify();
+      return;
+    }
+    // Ring full. Parking here can deadlock a small pool — this thread may be
+    // the destination ring's only consumer — so help instead: run one batch
+    // from the full ring (which may recursively help the next ring; the
+    // chain terminates at publish), then retry the push.
+    if (std::optional<std::unique_ptr<PipelineBatch>> helped = rings_[dest]->try_pop()) {
+      work_signal_.notify();
+      run_stage(dest, std::move(*helped));
+      continue;
+    }
+    work_signal_.wait(epoch);  // raced with other helpers: wait for space
+  }
+}
+
+void ServeShard::fail_batch(PipelineBatch& batch, const ServeError& error) {
+  for (Pending& pending : batch.members) {
+    if (pending.state->try_claim()) {
+      stats_.record_failed();
+      pending.state->publish(error);
+    } else {
+      stats_.record_cancelled(pending.tier);  // a cancel won the race
+    }
+  }
+}
+
+void ServeShard::finish_batch() {
+  in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  work_signal_.notify();  // drain waiters re-check the exit condition
+}
+
+void ServeShard::run_extract(std::unique_ptr<PipelineBatch> batch) {
+  const Clock::time_point start = Clock::now();
+  batch->extract_start = start;
+  // Final sweep at stage entry: members cancelled or expired while the batch
+  // sat sealed in the ring must not cost an extraction or widen the forward.
+  std::vector<Pending>& members = batch->members;
+  for (auto it = members.begin(); it != members.end();)
+    it = sweep(*it, start) ? members.erase(it) : it + 1;
+  if (members.empty()) {
+    finish_batch();
+    return;
+  }
+  try {
+    // Resolved exactly once per batch (same contract as the legacy path):
+    // every member is served by one (tuner, tag, generation) triple, so a
+    // batch is consistently old-model or new-model across a hot swap.
+    batch->resolved = registry_->resolve(members.front().request.machine);
+    const std::uint64_t want = members.front().canary_generation;
+    if (want != 0 && want > batch->resolved.generation) {
+      const std::optional<ModelRegistry::Resolved> canary =
+          registry_->try_resolve_canary(members.front().request.machine);
+      if (canary.has_value() && canary->generation == want) batch->resolved = *canary;
+    }
+    const std::shared_ptr<const core::MgaTuner>& tuner = batch->resolved.tuner;
+    batch->entry = cache_.get(members.front().request.kernel, *tuner, batch->resolved.tag,
+                              &batch->cache_hit);
+    batch->cache_done = Clock::now();
+    batch->counters.reserve(members.size());
+    for (const Pending& pending : members)
+      batch->counters.push_back(
+          pending.request.counters
+              ? *pending.request.counters
+              : cache_.counters_for(*batch->entry, *tuner, pending.request.input_bytes));
+    batch->profile_done = Clock::now();
+  } catch (...) {
+    fail_batch(*batch, classify_batch_exception());
+    stats_.record_stage_busy(kPipelineExtract, micros_between(start, Clock::now()));
+    finish_batch();
+    return;
+  }
+  stats_.record_stage_busy(kPipelineExtract, micros_between(start, batch->profile_done));
+  push_or_help(kPipelineForward, std::move(batch));
+}
+
+void ServeShard::run_forward(std::unique_ptr<PipelineBatch> batch) {
+  const Clock::time_point start = Clock::now();
+  batch->forward_start = start;
+  try {
+    const std::shared_ptr<const core::MgaTuner>& tuner = batch->resolved.tuner;
+    // Compiled plan when the resolved generation carries one; interpreter as
+    // the fallback and the bit-identity reference — same split as legacy.
+    if (options_.compiled_runtime && batch->resolved.plan != nullptr) {
+      try {
+        batch->labels = batch->resolved.plan->predict_labels(
+            batch->entry->features.graph, batch->entry->features.scaled_vector,
+            batch->counters, &batch->plan_layout_hit);
+        batch->used_compiled = true;
+      } catch (...) {
+        batch->labels.clear();  // fall back; the split counters make this visible
+      }
+    }
+    if (!batch->used_compiled)
+      batch->labels = tuner->predict_labels(batch->entry->features, batch->counters);
+    batch->labels_done = Clock::now();
+    batch->configs.reserve(batch->labels.size());
+    for (const int label : batch->labels)
+      batch->configs.push_back(tuner->space()[static_cast<std::size_t>(label)]);
+  } catch (...) {
+    fail_batch(*batch, classify_batch_exception());
+    stats_.record_stage_busy(kPipelineForward, micros_between(start, Clock::now()));
+    finish_batch();
+    return;
+  }
+  batch->forward_done = Clock::now();
+  stats_.record_stage_busy(kPipelineForward, micros_between(start, batch->forward_done));
+  push_or_help(kPipelinePublish, std::move(batch));
+}
+
+void ServeShard::run_publish(std::unique_ptr<PipelineBatch> batch) {
+  const Clock::time_point publish_start = Clock::now();
+  std::vector<Pending>& members = batch->members;
+  // Per-member timing (pipelined semantics): latency runs to publish pickup,
+  // queue_wait to extract pickup, and compute is the span between — the
+  // three sum exactly, with inter-stage ring time inside compute where the
+  // dispatch_wait trace sub-spans break it out.
+  const double compute_us = micros_between(batch->extract_start, publish_start);
+  const double extract_us = micros_between(batch->extract_start, batch->cache_done);
+  const double forward_us = micros_between(batch->forward_start, batch->forward_done);
+  const bool traced = obs::enabled();
+  const auto shard_id = static_cast<std::uint32_t>(options_.shard_index);
+  stats_.record_batch(members.size());
+  stats_.record_forward_path(batch->used_compiled, batch->plan_layout_hit);
+  {
+    // Process-wide mirror of the per-shard split (one relaxed add per batch;
+    // the instruments are interned once).
+    auto& registry = obs::MetricsRegistry::global();
+    static obs::Counter& compiled_total = registry.counter(
+        "runtime.forwards_compiled", "grouped forwards executed by the compiled plan");
+    static obs::Counter& interpreted_total = registry.counter(
+        "runtime.forwards_interpreted", "grouped forwards executed by the interpreter");
+    (batch->used_compiled ? compiled_total : interpreted_total).add();
+    if (batch->used_compiled) {
+      static obs::Counter& layout_hits = registry.counter(
+          "runtime.plan_layout_hits", "plan shape-bucket layouts reused from cache");
+      static obs::Counter& layout_misses = registry.counter(
+          "runtime.plan_layout_misses", "plan shape-bucket layouts planned on first sight");
+      (batch->plan_layout_hit ? layout_hits : layout_misses).add();
+    }
+  }
+  std::vector<std::size_t> served;
+  if (observer_) served.reserve(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    Pending& member = members[i];
+    TuneResult result;
+    result.config = batch->configs[i];
+    result.cache_hit = batch->cache_hit;
+    result.batch_size = members.size();
+    result.model_generation = batch->resolved.generation;
+    result.canary = batch->resolved.canary;
+    result.latency_us = micros_between(member.enqueued, publish_start);
+    result.queue_wait_us = micros_between(member.enqueued, batch->extract_start);
+    result.compute_us = compute_us;
+    result.trace_id = member.request.trace.id;
+    if (traced && member.request.trace) {
+      // The legacy kQueueWait span is split into its three scheduler phases
+      // (admission_wait / linger_wait / dispatch_wait); together with the
+      // stage spans they partition the member's full latency, so per-request
+      // attribution stays exact even though the work was shared.
+      obs::TraceCollector& collector = obs::TraceCollector::instance();
+      const std::uint64_t id = member.request.trace.id;
+      collector.record_span(id, obs::Stage::kAdmissionWait, shard_id, member.enqueued,
+                            member.popped);
+      collector.record_span(id, obs::Stage::kLingerWait, shard_id, member.popped,
+                            batch->sealed);
+      collector.record_span(id, obs::Stage::kDispatchWait, shard_id, batch->sealed,
+                            batch->extract_start);
+      collector.record_span(
+          id, batch->cache_hit ? obs::Stage::kCacheLookup : obs::Stage::kFeatureExtract,
+          shard_id, batch->extract_start, batch->cache_done);
+      collector.record_span(id, obs::Stage::kProfile, shard_id, batch->cache_done,
+                            batch->profile_done);
+      collector.record_span(id, obs::Stage::kDispatchWait, shard_id, batch->profile_done,
+                            batch->forward_start);
+      collector.record_span(id, obs::Stage::kForward, shard_id, batch->forward_start,
+                            batch->forward_done);
+      // Plan execution nests inside the forward span (the predict_labels
+      // slice, before config decode), exactly as in the legacy path.
+      if (batch->used_compiled)
+        collector.record_span(id, obs::Stage::kPlanExecute, shard_id, batch->forward_start,
+                              batch->labels_done);
+      collector.record_span(id, obs::Stage::kDispatchWait, shard_id, batch->forward_done,
+                            publish_start);
+    }
+    if (member.state->try_claim()) {
+      // Stats before publish: a getter may read a snapshot as soon as it
+      // wakes, and must see its own completion in it.
+      stats_.record_completion(result.latency_us, result.queue_wait_us, compute_us,
+                               extract_us, forward_us, member.tier);
+      // Split-path attribution: what actually served the request, not what
+      // the submit-time draw intended (they differ across promote/rollback).
+      if (batch->resolved.canary) {
+        stats_.record_canary_served();
+      } else if (member.canaried_route) {
+        stats_.record_canary_incumbent();
+      }
+      member.state->publish(TuneOutcome(std::move(result)));
+      if (observer_) served.push_back(i);
+    } else {
+      stats_.record_cancelled(member.tier);  // a cancel won the race mid-pipe
+    }
+  }
+  if (traced && members.front().request.trace) {
+    // One publish span per batch (pickup → outcomes delivered); it sits past
+    // the latency endpoint, so it is trace-visible but not attributed.
+    obs::TraceCollector::instance().record_span(members.front().request.trace.id,
+                                                obs::Stage::kPublish, shard_id,
+                                                publish_start, Clock::now());
+  }
+  // Observation feed (retrain subsystem): after every outcome is published —
+  // the scoring runs per config in the space, and must never sit between a
+  // caller and its result. Cancelled members are not observations.
+  if (observer_) {
+    for (const std::size_t i : served) {
+      const retrain::ServedSample sample{members[i].request.machine,
+                                         members[i].request.kernel,
+                                         batch->entry->features.workload,
+                                         members[i].request.input_bytes,
+                                         batch->counters[i],
+                                         batch->labels[i],
+                                         batch->resolved.generation,
+                                         *batch->resolved.tuner};
+      observer_(sample);
+    }
+  }
+  stats_.record_stage_busy(kPipelinePublish, micros_between(publish_start, Clock::now()));
+  finish_batch();
+}
+
 void ServeShard::pause() {
   const std::lock_guard<std::mutex> lock(pause_mutex_);
   ++pause_count_;
@@ -578,6 +1059,9 @@ void ServeShard::close() {
     draining_ = true;
   }
   pause_cv_.notify_all();
+  // Parked stage workers re-poll; they exit once the dispatcher (woken by
+  // the queue close) has flushed its forming batches and the rings drain.
+  work_signal_.notify();
 }
 
 void ServeShard::join() {
@@ -587,6 +1071,7 @@ void ServeShard::join() {
     if (joined_) return;
     joined_ = true;
   }
+  if (dispatcher_.joinable()) dispatcher_.join();
   for (std::thread& worker : workers_) worker.join();
 }
 

@@ -1,19 +1,26 @@
-// ServeShard — the engine layer of the serve stack (see DESIGN.md §6).
+// ServeShard — the engine layer of the serve stack (see DESIGN.md §6, §11).
 //
 // One shard is a self-contained serving engine: it owns a three-lane
-// TieredQueue, a fixed worker pool, a FeatureCache, and per-shard
-// ServiceStats. Workers pop requests, micro-batch same-(machine, kernel)
-// co-arrivals (draining the backlog and optionally lingering for a window),
-// sweep out cancelled/expired requests, and fire one `MgaTuner::tune_group`
-// forward per batch. The facade (`TuningService`) resolves machines, routes
-// requests onto shards (`ShardRouter`), and aggregates their stats; the
-// shard itself never looks at another shard — its queue, cache, linger
-// EWMAs, and close/drain lifecycle are all shard-local, which is what keeps
-// its cache hot under consistent-hash routing and makes per-shard quiesce
-// (for future online retraining) possible.
+// TieredQueue, a FeatureCache, per-shard ServiceStats, and (by default) a
+// staged software pipeline. A dedicated dispatcher thread forms micro-
+// batches of same-(machine, kernel) co-arrivals off the TieredQueue —
+// deadline-clamped linger windows, interactive expedite, adaptive EWMA
+// clamp all live there — and hands sealed batches through lock-free stage
+// rings: feature-extract → forward → publish. Stage workers have a home
+// ring and steal from sibling rings when idle, so extraction of batch N+1
+// overlaps the compiled-plan forward of batch N and no worker ever
+// contends on the shared queue's mutex. `ServeOptions::pipeline = false`
+// selects the v7 one-batch-per-worker loop (bit-identical results).
+// The facade (`TuningService`) resolves machines, routes requests onto
+// shards (`ShardRouter`), and aggregates their stats; the shard itself
+// never looks at another shard — its queue, cache, linger EWMAs, and
+// close/drain lifecycle are all shard-local, which is what keeps its cache
+// hot under consistent-hash routing and makes per-shard quiesce (for
+// online retraining) possible.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -28,6 +35,7 @@
 #include "obs/trace.hpp"
 #include "serve/feature_cache.hpp"
 #include "serve/model_registry.hpp"
+#include "serve/pipeline.hpp"
 #include "serve/queue.hpp"
 #include "serve/retrain/observation_log.hpp"
 #include "serve/stats.hpp"
@@ -36,8 +44,28 @@
 namespace mga::serve {
 
 struct ServeOptions {
-  /// Worker threads *per shard*.
+  /// Worker threads *per shard*. Under the pipelined engine these are the
+  /// stage workers (split between the extract and forward home rings when
+  /// the explicit per-stage counts below are 0); the dispatcher thread is
+  /// additional. Under `pipeline = false` this is the v7 pool size.
   std::size_t workers = 4;
+  /// Staged pipeline engine (v8): a dedicated dispatcher forms batches off
+  /// the TieredQueue and hands them through extract → forward → publish
+  /// stage rings, so extraction of batch N+1 overlaps the forward of batch
+  /// N and workers never touch the shared queue's mutex. `false` selects
+  /// the v7 one-batch-per-worker loop (kept for A/B runs and as the
+  /// contention baseline; results are bit-identical either way).
+  bool pipeline = true;
+  /// Stage workers homed on the extract / forward rings. 0/0 = split
+  /// `workers` between the stages (extract gets the odd one; a single
+  /// worker homes on extract and steals the rest). Idle stage workers
+  /// steal from sibling rings, so a skewed mix cannot stall the pipe.
+  std::size_t extract_workers = 0;
+  std::size_t forward_workers = 0;
+  /// Capacity (in batches) of each inter-stage ring, rounded up to a power
+  /// of two. Deliberately small: the rings are conduits, not backlogs —
+  /// the backlog belongs in the TieredQueue where admission policy sees it.
+  std::size_t stage_queue_capacity = 64;
   /// Per-tier lane capacity when the matching `tier_capacity` entry is 0.
   std::size_t queue_capacity = 1024;
   /// Lane capacity per tier (indexed by Priority); 0 = `queue_capacity`.
@@ -194,6 +222,34 @@ class ServeShard {
     bool canaried_route = false;
     Clock::time_point enqueued;
     Clock::time_point deadline_at;  // time_point::max() when no deadline
+    /// When the dispatcher popped this request off the TieredQueue — the
+    /// admission_wait / linger_wait trace boundary. Unused in legacy mode.
+    Clock::time_point popped{};
+  };
+
+  /// A sealed micro-batch travelling through the stage rings. Built by the
+  /// dispatcher (members only), filled in by the extract stage (resolution,
+  /// cached features, per-member counters), consumed by the forward stage
+  /// (labels → configs), and retired by the publish stage. Timestamps mark
+  /// every stage boundary so publish can attribute the full latency —
+  /// including inter-stage ring time — as trace sub-spans.
+  struct PipelineBatch {
+    std::vector<Pending> members;
+    Clock::time_point sealed{};
+    Clock::time_point extract_start{};
+    Clock::time_point cache_done{};
+    Clock::time_point profile_done{};
+    Clock::time_point forward_start{};
+    Clock::time_point labels_done{};
+    Clock::time_point forward_done{};
+    ModelRegistry::Resolved resolved;
+    std::shared_ptr<const FeatureCache::Entry> entry;
+    std::vector<hwsim::PapiCounters> counters;
+    std::vector<int> labels;
+    std::vector<hwsim::OmpConfig> configs;
+    bool cache_hit = false;
+    bool used_compiled = false;
+    bool plan_layout_hit = false;
   };
 
   /// Per-kernel arrival-rate tracking for the adaptive linger clamp.
@@ -204,6 +260,27 @@ class ServeShard {
   };
 
   void worker_loop();
+  /// Pipelined engine (DESIGN.md §11). The dispatcher is the only thread
+  /// that ever touches the TieredQueue's lock: it pops arrivals, groups
+  /// them into forming batches per group_key (full-spec match within a
+  /// hash chain), runs the linger/deadline/expedite policy, and seals
+  /// batches into the extract ring. Stage workers claim publish-first,
+  /// then their home ring, then steal the sibling's; a worker that cannot
+  /// push downstream helps drain the full ring instead of parking (with a
+  /// small pool it may be that ring's only consumer).
+  void dispatcher_loop();
+  void stage_worker_loop(std::size_t home);
+  bool claim_and_run(std::size_t home);
+  void run_stage(std::size_t stage, std::unique_ptr<PipelineBatch> batch);
+  void run_extract(std::unique_ptr<PipelineBatch> batch);
+  void run_forward(std::unique_ptr<PipelineBatch> batch);
+  void run_publish(std::unique_ptr<PipelineBatch> batch);
+  void push_or_help(std::size_t dest, std::unique_ptr<PipelineBatch> batch);
+  /// Resolve every still-claimable member with `error`; the rest are
+  /// cancelled. The batch leaves the pipeline without reaching publish.
+  void fail_batch(PipelineBatch& batch, const ServeError& error);
+  /// One batch left the pipeline (published, failed, or fully swept).
+  void finish_batch();
   /// Resolve `pending` when it is cancelled or past its deadline, recording
   /// the per-tier counter. True when the request was dropped.
   bool sweep(Pending& pending, Clock::time_point now);
@@ -225,6 +302,15 @@ class ServeShard {
   FeatureCache cache_;
   ServiceStats stats_;
   TieredQueue<Pending> queue_;
+  /// Inter-stage conduits (pipelined mode only), indexed by kPipeline*.
+  using BatchRing = StageRing<std::unique_ptr<PipelineBatch>>;
+  std::array<std::unique_ptr<BatchRing>, kNumPipelineStages> rings_;
+  WorkSignal work_signal_;
+  std::thread dispatcher_;
+  /// Batches sealed into the rings and not yet retired. Workers exit when
+  /// `dispatcher_done_` and this reaches zero — the pipeline is drained.
+  std::atomic<std::size_t> in_flight_{0};
+  std::atomic<bool> dispatcher_done_{false};
   std::vector<std::thread> workers_;
   std::mutex pause_mutex_;
   std::condition_variable pause_cv_;

@@ -50,6 +50,14 @@ ServiceStatsSnapshot ServiceStats::snapshot(const FeatureCacheStats& cache) cons
                                 : static_cast<double>(s.batched_requests) /
                                       static_cast<double>(s.batches);
   s.cache = cache;
+  s.pipeline.dispatched = pipeline_dispatched_.load();
+  s.pipeline.steals = pipeline_steals_.load();
+  s.pipeline.extract_busy_us =
+      static_cast<double>(stage_busy_ns_[kPipelineExtract].load()) / 1000.0;
+  s.pipeline.forward_busy_us =
+      static_cast<double>(stage_busy_ns_[kPipelineForward].load()) / 1000.0;
+  s.pipeline.publish_busy_us =
+      static_cast<double>(stage_busy_ns_[kPipelinePublish].load()) / 1000.0;
 
   {
     const std::lock_guard<std::mutex> lock(latency_mutex_);
@@ -100,6 +108,11 @@ ServiceStatsSnapshot aggregate_snapshots(std::vector<ServiceStatsSnapshot> shard
     s.batches += shard.batches;
     s.batched_requests += shard.batched_requests;
     s.max_batch = std::max(s.max_batch, shard.max_batch);
+    s.pipeline.dispatched += shard.pipeline.dispatched;
+    s.pipeline.steals += shard.pipeline.steals;
+    s.pipeline.extract_busy_us += shard.pipeline.extract_busy_us;
+    s.pipeline.forward_busy_us += shard.pipeline.forward_busy_us;
+    s.pipeline.publish_busy_us += shard.pipeline.publish_busy_us;
     // Re-derive the sums the per-shard means were computed from, so the
     // aggregate mean weights each shard by its completion count.
     const auto completed = static_cast<double>(shard.completed);
@@ -177,6 +190,17 @@ util::Table stats_table(const ServiceStatsSnapshot& s) {
   }
   table.add_row({"mean batch size", util::fmt_double(s.mean_batch)});
   table.add_row({"max batch size", std::to_string(s.max_batch)});
+  // Pipelined-engine occupancy only when the staged engine ran — a legacy
+  // (pipeline=false) service renders exactly the rows it always did.
+  if (s.pipeline.dispatched > 0) {
+    table.add_row({"pipeline batches (dispatched / stolen)",
+                   std::to_string(s.pipeline.dispatched) + " / " +
+                       std::to_string(s.pipeline.steals)});
+    table.add_row({"pipeline stage busy (ext/fwd/pub)",
+                   util::fmt_double(s.pipeline.extract_busy_us) + " / " +
+                       util::fmt_double(s.pipeline.forward_busy_us) + " / " +
+                       util::fmt_double(s.pipeline.publish_busy_us) + " us"});
+  }
   table.add_row({"feature cache hit-rate", util::fmt_percent(s.cache.hit_rate())});
   table.add_row({"feature cache entries", std::to_string(s.cache.entries)});
   table.add_row({"feature cache evictions", std::to_string(s.cache.evictions)});

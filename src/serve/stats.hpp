@@ -61,6 +61,24 @@ struct TierStatsSnapshot {
   obs::LatencyHistogram latency_hist;
 };
 
+/// Pipelined-engine occupancy (all zero when the shard runs the legacy
+/// one-batch-per-worker loop). Busy times are per-stage wall time actually
+/// spent executing batches; `steals` counts stage executions a worker
+/// claimed from a ring that is not its home stage.
+struct PipelineStatsSnapshot {
+  std::uint64_t dispatched = 0;  // batches sealed and handed to the pipeline
+  std::uint64_t steals = 0;
+  double extract_busy_us = 0.0;
+  double forward_busy_us = 0.0;
+  double publish_busy_us = 0.0;
+};
+
+/// Pipeline stage index for `ServiceStats::record_stage_busy`.
+inline constexpr std::size_t kPipelineExtract = 0;
+inline constexpr std::size_t kPipelineForward = 1;
+inline constexpr std::size_t kPipelinePublish = 2;
+inline constexpr std::size_t kNumPipelineStages = 3;
+
 /// One coherent view of the service counters (plus the cache block when the
 /// caller provides it — TuningService::stats_snapshot always does).
 struct ServiceStatsSnapshot {
@@ -107,6 +125,8 @@ struct ServiceStatsSnapshot {
   double forward_mean_us = 0.0;
   /// Mergeable end-to-end latency distribution behind the percentiles.
   obs::LatencyHistogram latency_hist;
+  /// Staged-engine occupancy; all-zero under the legacy worker loop.
+  PipelineStatsSnapshot pipeline;
   std::array<TierStatsSnapshot, kNumTiers> tiers{};
   FeatureCacheStats cache;
   /// Per-shard breakdown when the snapshot aggregates a sharded service:
@@ -158,6 +178,18 @@ class ServiceStats {
   void record_completion(double latency_us, double queue_wait_us, double compute_us,
                          double extract_us, double forward_us, Priority tier);
 
+  /// Pipelined-engine occupancy: one sealed batch handed to the pipeline /
+  /// one stage execution claimed off a non-home ring / `busy_us` spent
+  /// executing pipeline stage `stage` (kPipelineExtract..kPipelinePublish).
+  void record_dispatched() noexcept {
+    pipeline_dispatched_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_steal() noexcept { pipeline_steals_.fetch_add(1, std::memory_order_relaxed); }
+  void record_stage_busy(std::size_t stage, double busy_us) noexcept {
+    stage_busy_ns_[stage].fetch_add(static_cast<std::uint64_t>(busy_us * 1000.0),
+                                    std::memory_order_relaxed);
+  }
+
   [[nodiscard]] ServiceStatsSnapshot snapshot(const FeatureCacheStats& cache = {}) const;
 
  private:
@@ -188,6 +220,9 @@ class ServiceStats {
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> batched_requests_{0};
   std::atomic<std::uint64_t> max_batch_{0};
+  std::atomic<std::uint64_t> pipeline_dispatched_{0};
+  std::atomic<std::uint64_t> pipeline_steals_{0};
+  std::array<std::atomic<std::uint64_t>, kNumPipelineStages> stage_busy_ns_{};
   mutable std::mutex latency_mutex_;
   obs::LatencyHistogram latency_hist_;  // guarded by latency_mutex_
   double latency_sum_ = 0.0;

@@ -493,13 +493,16 @@ TEST(ObsTracePropagation, EnabledServiceStampsIdsAndEmitsLifecycleSpans) {
   const std::vector<TraceEvent> events = TraceCollector::instance().snapshot();
   // Every request leaves at least submit + route + queue-wait + one of
   // cache/extract + profile + forward spans under its result's trace_id.
+  // The pipelined engine (the default) splits queue-wait into its scheduler
+  // phases, so admission_wait stands in for the legacy kQueueWait span.
   for (const std::uint64_t id : ids) {
     std::set<Stage> stages;
     for (const TraceEvent& event : events)
       if (event.request_id == id) stages.insert(event.stage);
     EXPECT_TRUE(stages.count(Stage::kSubmit)) << "id " << id;
     EXPECT_TRUE(stages.count(Stage::kRoute)) << "id " << id;
-    EXPECT_TRUE(stages.count(Stage::kQueueWait)) << "id " << id;
+    EXPECT_TRUE(stages.count(Stage::kQueueWait) || stages.count(Stage::kAdmissionWait))
+        << "id " << id;
     EXPECT_TRUE(stages.count(Stage::kCacheLookup) || stages.count(Stage::kFeatureExtract))
         << "id " << id;
     EXPECT_TRUE(stages.count(Stage::kForward)) << "id " << id;

@@ -1,0 +1,335 @@
+// mga::serve pipelined engine — StageRing/WorkSignal primitive semantics and
+// the staged ServeShard engine's behavioural contract: bit-identity with the
+// legacy loop and with direct tune at every shard count, counted pause
+// holding batches mid-pipeline, retrain-style quiesce + hot swap with work
+// resident in the queue, close() draining every stage, and degenerate worker
+// splits (single worker serving all stages through steals).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "serve/pipeline.hpp"
+#include "serve/service.hpp"
+
+namespace mga::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+// --- StageRing ---------------------------------------------------------------
+
+TEST(StageRing, FifoOrderAndPowerOfTwoCapacity) {
+  StageRing<int> ring(5);
+  EXPECT_EQ(ring.capacity(), 8u);  // rounded up
+  for (int i = 0; i < 8; ++i) {
+    int item = i;
+    ASSERT_TRUE(ring.try_push(item));
+  }
+  EXPECT_EQ(ring.size_approx(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    const std::optional<int> item = ring.try_pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+  EXPECT_FALSE(ring.try_pop().has_value());
+}
+
+TEST(StageRing, FailedPushLeavesTheItemIntact) {
+  StageRing<std::unique_ptr<int>> ring(1);
+  EXPECT_EQ(ring.capacity(), 2u) << "single-cell rings are ambiguous; minimum is 2";
+  for (int i = 0; i < static_cast<int>(ring.capacity()); ++i) {
+    auto item = std::make_unique<int>(i);
+    ASSERT_TRUE(ring.try_push(item));
+    EXPECT_EQ(item, nullptr) << "successful push must consume the item";
+  }
+  auto overflow = std::make_unique<int>(99);
+  ASSERT_FALSE(ring.try_push(overflow));
+  ASSERT_NE(overflow, nullptr) << "failed push must not destroy the item";
+  EXPECT_EQ(*overflow, 99);
+
+  EXPECT_EQ(**ring.try_pop(), 0);
+  ASSERT_TRUE(ring.try_push(overflow));
+  EXPECT_EQ(**ring.try_pop(), 1);
+  EXPECT_EQ(**ring.try_pop(), 99);
+}
+
+TEST(StageRing, SlotsAreReusableAcrossWrapAround) {
+  StageRing<int> ring(2);
+  for (int round = 0; round < 100; ++round) {
+    int a = 2 * round;
+    int b = 2 * round + 1;
+    ASSERT_TRUE(ring.try_push(a));
+    ASSERT_TRUE(ring.try_push(b));
+    int c = -1;
+    EXPECT_FALSE(ring.try_push(c));  // full
+    EXPECT_EQ(*ring.try_pop(), 2 * round);
+    EXPECT_EQ(*ring.try_pop(), 2 * round + 1);
+  }
+  EXPECT_FALSE(ring.try_pop().has_value());
+}
+
+TEST(StageRing, ConcurrentProducersConsumersDeliverEveryItemExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 2000;
+  StageRing<int> ring(64);
+  std::atomic<long long> sum{0};
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kProducers + kConsumers);
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        int item = p * kPerProducer + i;
+        while (!ring.try_push(item)) std::this_thread::yield();
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (consumed.load(std::memory_order_acquire) < kProducers * kPerProducer) {
+        const std::optional<int> item = ring.try_pop();
+        if (!item.has_value()) {
+          std::this_thread::yield();
+          continue;
+        }
+        sum.fetch_add(*item, std::memory_order_relaxed);
+        consumed.fetch_add(1, std::memory_order_acq_rel);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const long long n = kProducers * kPerProducer;
+  EXPECT_EQ(consumed.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+  EXPECT_FALSE(ring.try_pop().has_value());
+}
+
+// --- WorkSignal --------------------------------------------------------------
+
+TEST(WorkSignal, NotifyAdvancesTheEpochAndReleasesAWaiter) {
+  WorkSignal signal;
+  const std::uint64_t seen = signal.epoch();
+  std::atomic<bool> released{false};
+  std::thread waiter([&] {
+    signal.wait(seen);
+    released.store(true);
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(released.load()) << "wait must park until the epoch moves";
+  signal.notify();
+  waiter.join();
+  EXPECT_TRUE(released.load());
+  EXPECT_GT(signal.epoch(), seen);
+}
+
+TEST(WorkSignal, WaitReturnsImmediatelyOnAStaleEpoch) {
+  WorkSignal signal;
+  const std::uint64_t seen = signal.epoch();
+  signal.notify();  // between the caller's poll and its park
+  signal.wait(seen);  // must not block: the epoch already moved
+  SUCCEED();
+}
+
+TEST(WorkSignal, BoundedWaitReturnsAtTheDeadlineWithoutANotify) {
+  WorkSignal signal;
+  const auto start = std::chrono::steady_clock::now();
+  signal.wait_until(signal.epoch(), start + 30ms);
+  EXPECT_GE(std::chrono::steady_clock::now() - start, 30ms);
+}
+
+// --- pipelined ServeShard engine ---------------------------------------------
+
+core::MgaTunerOptions tiny_options() {
+  core::MgaTunerOptions options;
+  auto kernels = corpus::openmp_suite();
+  kernels.resize(8);
+  options.training_kernels = std::move(kernels);
+  std::vector<double> inputs = dataset::input_sizes_30();
+  std::vector<double> subset;
+  for (std::size_t i = 0; i < inputs.size(); i += 6) subset.push_back(inputs[i]);
+  options.input_sizes = std::move(subset);
+  options.training.epochs = 12;
+  return options;
+}
+
+const std::shared_ptr<ModelRegistry>& shared_registry() {
+  static const std::shared_ptr<ModelRegistry> registry = [] {
+    auto r = std::make_shared<ModelRegistry>();
+    r->add("comet-lake", core::MgaTuner::train(tiny_options()));
+    return r;
+  }();
+  return registry;
+}
+
+TuneRequest make_request(const char* kernel, double input_bytes) {
+  TuneRequest request;
+  request.kernel = corpus::find_kernel(kernel);
+  request.input_bytes = input_bytes;
+  return request;
+}
+
+constexpr const char* kKernels[] = {"polybench/gemm", "rodinia/bfs", "stream/triad",
+                                    "lulesh/CalcHourglassControlForElems",
+                                    "polybench/atax"};
+
+TEST(PipelineServe, ServedMatchesDirectTuneBitForBitAtEveryShardCount) {
+  const std::shared_ptr<const core::MgaTuner> tuner = shared_registry()->get("comet-lake");
+  for (const std::size_t shards : {1u, 4u}) {
+    ServeOptions options;
+    options.workers = 2;
+    options.shards = shards;
+    ASSERT_TRUE(options.pipeline) << "the pipelined engine must be the default";
+    TuningService service(shared_registry(), options);
+    std::vector<TuneTicket> tickets;
+    std::vector<std::pair<std::string, double>> keys;
+    for (const char* name : kKernels) {
+      for (const double input : {8192.0, 2e6, 1e8}) {
+        tickets.push_back(service.submit(make_request(name, input)));
+        keys.emplace_back(name, input);
+      }
+    }
+    for (std::size_t t = 0; t < tickets.size(); ++t) {
+      const TuneOutcome outcome = tickets[t].get();
+      ASSERT_TRUE(outcome.ok());
+      EXPECT_EQ(outcome.value().config,
+                tuner->tune(corpus::find_kernel(keys[t].first.c_str()), keys[t].second))
+          << shards << " shards: " << keys[t].first << " @ " << keys[t].second;
+    }
+  }
+}
+
+TEST(PipelineServe, PipelinedAndLegacyEnginesAgreeBitForBit) {
+  std::vector<hwsim::OmpConfig> per_engine[2];
+  for (const bool pipelined : {false, true}) {
+    ServeOptions options;
+    options.workers = 2;
+    options.pipeline = pipelined;
+    TuningService service(shared_registry(), options);
+    std::vector<TuneTicket> tickets;
+    for (const char* name : kKernels)
+      for (const double input : {8192.0, 2e6})
+        tickets.push_back(service.submit(make_request(name, input)));
+    for (TuneTicket& ticket : tickets) {
+      const TuneOutcome outcome = ticket.get();
+      ASSERT_TRUE(outcome.ok());
+      per_engine[pipelined ? 1 : 0].push_back(outcome.value().config);
+    }
+  }
+  EXPECT_EQ(per_engine[0], per_engine[1]);
+}
+
+TEST(PipelineServe, CountedPauseHoldsWorkAndResumeDeliversIt) {
+  ServeOptions options;
+  options.workers = 2;
+  TuningService service(shared_registry(), options);
+  // Warm the pipe so the pause lands on a running engine, not a cold one.
+  ASSERT_TRUE(service.submit(make_request("polybench/gemm", 8192.0)).get().ok());
+
+  service.pause();
+  service.pause();  // two independent pausers
+  std::vector<TuneTicket> tickets;
+  for (const char* name : kKernels)
+    tickets.push_back(service.submit(make_request(name, 2e6)));
+  service.resume();  // one of them releases; the other still holds the shard
+  std::this_thread::sleep_for(100ms);
+  for (const TuneTicket& ticket : tickets)
+    EXPECT_FALSE(ticket.done()) << "a single resume must not release a double pause";
+  const ServiceStatsSnapshot held = service.stats_snapshot();
+  EXPECT_EQ(held.completed, 1u) << "paused engine must not complete queued work";
+
+  service.resume();
+  for (TuneTicket& ticket : tickets) EXPECT_TRUE(ticket.get().ok());
+}
+
+TEST(PipelineServe, QuiesceSwapResumeServesTheNewGenerationConsistently) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->add("comet-lake", core::MgaTuner::train(tiny_options()));
+  ServeOptions options;
+  options.workers = 2;
+  TuningService service(registry, options);
+  ASSERT_TRUE(service.submit(make_request("polybench/gemm", 8192.0)).get().ok());
+
+  // The retrain controller's quiesce protocol: pause, hot-swap the slot,
+  // resume. Requests admitted during the pause sit in the TieredQueue (and,
+  // in-pipeline, in the stage rings); every batch resolves its model exactly
+  // once at the extract stage, so everything served after the swap is
+  // consistently generation 2 — never torn.
+  service.pause();
+  std::vector<TuneTicket> tickets;
+  for (const char* name : kKernels)
+    for (const double input : {8192.0, 2e6})
+      tickets.push_back(service.submit(make_request(name, input)));
+  const std::uint64_t new_generation =
+      registry->swap("comet-lake", core::MgaTuner::train(tiny_options()));
+  EXPECT_EQ(new_generation, 2u);
+  service.resume();
+
+  const std::shared_ptr<const core::MgaTuner> swapped = registry->get("comet-lake");
+  std::size_t t = 0;
+  for (const char* name : kKernels) {
+    for (const double input : {8192.0, 2e6}) {
+      const TuneOutcome outcome = tickets[t++].get();
+      ASSERT_TRUE(outcome.ok());
+      EXPECT_EQ(outcome.value().model_generation, new_generation);
+      EXPECT_EQ(outcome.value().config, swapped->tune(corpus::find_kernel(name), input));
+    }
+  }
+}
+
+TEST(PipelineServe, CloseDrainsEveryStageAndResolvesEveryTicket) {
+  ServeOptions options;
+  options.workers = 2;
+  TuningService service(shared_registry(), options);
+  // Build a multi-batch backlog under pause so close() finds work in the
+  // queue, in the dispatcher's forming map, and (once draining starts) in
+  // the inter-stage rings — none of it may be dropped or left unresolved.
+  service.pause();
+  std::vector<TuneTicket> tickets;
+  for (int round = 0; round < 4; ++round)
+    for (const char* name : kKernels)
+      tickets.push_back(service.submit(make_request(name, 2e6)));
+  service.shutdown();  // close + join: drains regardless of the pause
+  for (TuneTicket& ticket : tickets) {
+    ASSERT_TRUE(ticket.done()) << "shutdown must resolve every admitted ticket";
+    EXPECT_TRUE(ticket.get().ok()) << "a drained backlog is served, not rejected";
+  }
+  const ServiceStatsSnapshot stats = service.stats_snapshot();
+  EXPECT_EQ(stats.completed, tickets.size());
+  EXPECT_GE(stats.pipeline.dispatched, 5u) << "one batch per distinct kernel at least";
+}
+
+TEST(PipelineServe, SingleWorkerServesAllStagesThroughSteals) {
+  ServeOptions options;
+  options.workers = 1;  // homes on extract; forward/publish reached by steals
+  TuningService service(shared_registry(), options);
+  std::vector<TuneTicket> tickets;
+  for (const char* name : kKernels)
+    for (const double input : {8192.0, 2e6})
+      tickets.push_back(service.submit(make_request(name, input)));
+  for (TuneTicket& ticket : tickets) EXPECT_TRUE(ticket.get().ok());
+}
+
+TEST(PipelineServe, ExplicitStageSplitServesTraffic) {
+  ServeOptions options;
+  options.workers = 3;  // ignored when the explicit split is given
+  options.extract_workers = 1;
+  options.forward_workers = 2;
+  TuningService service(shared_registry(), options);
+  std::vector<TuneTicket> tickets;
+  for (const char* name : kKernels)
+    tickets.push_back(service.submit(make_request(name, 2e6)));
+  for (TuneTicket& ticket : tickets) EXPECT_TRUE(ticket.get().ok());
+  const ServiceStatsSnapshot stats = service.stats_snapshot();
+  EXPECT_EQ(stats.completed, tickets.size());
+  EXPECT_GT(stats.pipeline.extract_busy_us + stats.pipeline.forward_busy_us +
+                stats.pipeline.publish_busy_us,
+            0.0);
+}
+
+}  // namespace
+}  // namespace mga::serve

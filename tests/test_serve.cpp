@@ -1132,8 +1132,10 @@ TEST(TuningService, LatencyBreakdownSumsAndRendersEveryMetricRow) {
   EXPECT_NEAR(stats.queue_wait_mean_us + stats.compute_mean_us, stats.latency_mean_us, 1.0);
   const util::Table table = stats_table(stats);
   // v6: + latency p99, extract/forward means; v7: + the compiled/interpreted
-  // forward split and plan layout cache rows (a forward ran, so they render).
-  EXPECT_EQ(table.row_count(), 31u);
+  // forward split and plan layout cache rows (a forward ran, so they render);
+  // v8: + the pipeline dispatch and stage-occupancy rows (the pipelined
+  // engine is the default, so batches were dispatched and they render).
+  EXPECT_EQ(table.row_count(), 33u);
 }
 
 // --- the service: sharded serving --------------------------------------------
@@ -1266,9 +1268,9 @@ TEST(TuningService, AggregateStatsSumPerShardCounters) {
   EXPECT_EQ(aggregate_completed, tier_completed);
 
   // The operator table gains a breakdown section only for multi-shard
-  // snapshots: the 31 aggregate rows (v7 adds the forward-path split pair)
-  // plus 3 per shard.
-  EXPECT_EQ(stats_table(stats).row_count(), 31u + 3u * stats.shards.size());
+  // snapshots: the 33 aggregate rows (v7 adds the forward-path split pair,
+  // v8 the pipeline dispatch/occupancy pair) plus 3 per shard.
+  EXPECT_EQ(stats_table(stats).row_count(), 33u + 3u * stats.shards.size());
 }
 
 TEST(TuningService, LifecycleFansOutToAllShards) {

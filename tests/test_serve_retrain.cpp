@@ -752,7 +752,11 @@ TEST(TuningServiceRetrain, EndToEndDriftTriggersRetrainAndHotSwapWithoutDraining
   options.retrain.observe_every = 1;
   options.retrain.min_snapshot = 3;
   options.retrain.validation_holdout = 0.25;
-  options.retrain.max_regret_regression = 0.02;
+  // Loose holdout gate: these scenarios exercise the canary phase, so the
+  // honest fine-tune must reliably reach it — with min_snapshot = 3 the
+  // holdout can be a single unlucky row, and a strict gate would abort the
+  // cycle before staging (the gate's own behavior is pinned elsewhere).
+  options.retrain.max_regret_regression = 1.0;
   options.retrain.drift.regret_threshold = 0.02;
   options.retrain.drift.min_kernel_observations = 3;
   options.retrain.drift.cooldown = std::chrono::hours(1);
@@ -1289,7 +1293,11 @@ ServeOptions canary_e2e_options() {
   options.retrain.observe_every = 1;
   options.retrain.min_snapshot = 3;
   options.retrain.validation_holdout = 0.25;
-  options.retrain.max_regret_regression = 0.02;
+  // Loose holdout gate: these scenarios exercise the canary phase, so the
+  // honest fine-tune must reliably reach it — with min_snapshot = 3 the
+  // holdout can be a single unlucky row, and a strict gate would abort the
+  // cycle before staging (the gate's own behavior is pinned elsewhere).
+  options.retrain.max_regret_regression = 1.0;
   options.retrain.drift.regret_threshold = 0.02;
   options.retrain.drift.min_kernel_observations = 3;
   options.retrain.drift.cooldown = std::chrono::hours(1);
@@ -1346,7 +1354,14 @@ CanaryE2EOutcome drive_canary_cycle(TuningService& service,
   CanaryE2EOutcome out;
   EXPECT_TRUE(controller->wait_for_cycles(1, 120s));
   out.stats = controller->stats();
-  EXPECT_EQ(out.stats.canaries, 1u);
+  EXPECT_EQ(out.stats.canaries, 1u)
+      << "aborted_validation=" << out.stats.aborted_validation
+      << " aborted_small_snapshot=" << out.stats.aborted_small_snapshot
+      << " aborted_no_drift=" << out.stats.aborted_no_drift
+      << " triggers=" << out.stats.triggers
+      << " observations=" << out.stats.observations
+      << " holdout cur/cand=" << out.stats.last_holdout_current
+      << "/" << out.stats.last_holdout_candidate;
   EXPECT_TRUE(candidate != nullptr) << "the phase should have staged a candidate";
 
   // Bit-identity throughout: generation 1 = the incumbent, the provisional

@@ -3,14 +3,33 @@
 
 Merges the per-bench ``--json`` outputs of ``bench_serve_throughput`` and
 ``bench_serve_retrain`` into one ``BENCH_serve.json`` document (the perf
-trajectory artifact CI uploads per run) and compares every ``*_p95_us``
-metric against the checked-in baseline: a current value more than
-``--threshold`` (default 2.0) times its baseline fails the gate. Metrics
-missing from either side are reported but do not fail — the baseline is
-reseeded whenever the benches' metric set changes. On failure the gate
-additionally prints every ``*_stage_*`` metric (the per-lifecycle-stage
-mean latencies the benches emit under ``--trace``) from both documents,
-so a regression names the stage that moved, not just the p95 that did.
+trajectory artifact CI uploads per run) and gates the current run against
+the checked-in baseline on four first-class metric families:
+
+  * ``*_p95_us``          — higher is worse; fails when current exceeds
+                            ``--threshold`` (default 2.0) times baseline.
+  * ``*_requests_per_s``  — lower is worse; fails when current drops below
+                            baseline divided by ``--threshold``.
+  * ``*_queue_wait_share``— absolute gate, no baseline needed: the mean
+                            queue wait (admission + linger + dispatch) must
+                            stay under 50% of mean request latency at every
+                            shard count, or the engine is queue-bound again.
+  * scaling ratio         — ``shards4_requests_per_s / shards1_requests_per_s``
+                            computed from the *current* run. The required
+                            minimum is hardware-aware, keyed off the
+                            ``hardware_concurrency`` metric the throughput
+                            bench emits: 2.0x on >=8 hw threads, 1.3x on
+                            >=4, 1.0x on >=2, and 0.85x on a single-core
+                            runner (where four shards' worth of threads can
+                            only add scheduling overhead; the gate then just
+                            bounds how much).
+
+Metrics missing from either side are reported but do not fail — the
+baseline is reseeded whenever the benches' metric set changes. On failure
+the gate additionally prints every ``*_stage_*`` metric (the
+per-lifecycle-stage mean latencies the benches emit under ``--trace``)
+from both documents, so a regression names the stage that moved, not just
+the headline number that did.
 
 Usage:
   perf_gate.py merge  --out BENCH_serve.json IN.json [IN.json ...]
@@ -23,6 +42,18 @@ Stdlib only; exit code 0 = gate passed, 1 = regression, 2 = usage/IO error.
 import argparse
 import json
 import sys
+
+# Mean queue wait may not exceed this share of mean request latency.
+QUEUE_WAIT_SHARE_LIMIT = 0.5
+
+# (minimum hardware_concurrency, required shards4/shards1 throughput ratio).
+# Checked top-down; the first row whose hw floor the runner meets applies.
+SCALING_FLOORS = [
+    (8, 2.0),
+    (4, 1.3),
+    (2, 1.0),
+    (1, 0.85),
+]
 
 
 def load(path):
@@ -54,12 +85,12 @@ def merge(args):
     print(f"perf_gate: wrote {args.out} ({len(merged['benches'])} benches)")
 
 
-def gated_metrics(doc):
-    """(bench, metric) -> value for every p95 metric in a merged document."""
+def suffixed_metrics(doc, suffix):
+    """(bench, metric) -> value for every metric ending in `suffix`."""
     out = {}
     for bench, metrics in doc.get("benches", {}).items():
         for key, value in metrics.items():
-            if key.endswith("_p95_us") and isinstance(value, (int, float)):
+            if key.endswith(suffix) and isinstance(value, (int, float)):
                 out[(bench, key)] = float(value)
     return out
 
@@ -91,15 +122,10 @@ def print_stage_breakdown(baseline_doc, current_doc):
         print(f"  {bench}/{metric}: {cur_text} vs baseline {base_text}{ratio_text}")
 
 
-def check(args):
-    baseline_doc = load(args.baseline)
-    current_doc = load(args.current)
-    baseline = gated_metrics(baseline_doc)
-    current = gated_metrics(current_doc)
-    if not baseline:
-        print(f"perf_gate: no *_p95_us metrics in baseline {args.baseline}", file=sys.stderr)
-        sys.exit(2)
-
+def check_relative(baseline_doc, current_doc, suffix, threshold, lower_is_worse):
+    """Gate one metric family against the baseline; returns failed keys."""
+    baseline = suffixed_metrics(baseline_doc, suffix)
+    current = suffixed_metrics(current_doc, suffix)
     failures = []
     for key in sorted(baseline.keys() | current.keys()):
         bench, metric = key
@@ -110,19 +136,96 @@ def check(args):
             print(f"  [skip] {bench}/{metric}: missing from the {side} "
                   f"(reseed the baseline if the metric set changed)")
             continue
-        ratio = cur / base if base > 0 else float("inf")
-        verdict = "FAIL" if ratio > args.threshold else "ok"
+        if lower_is_worse:
+            # Throughput-style: fail when current < baseline / threshold.
+            ratio = base / cur if cur > 0 else float("inf")
+        else:
+            # Latency-style: fail when current > baseline * threshold.
+            ratio = cur / base if base > 0 else float("inf")
+        verdict = "FAIL" if ratio > threshold else "ok"
         print(f"  [{verdict:>4}] {bench}/{metric}: {cur:.1f} vs baseline {base:.1f} "
-              f"({ratio:.2f}x, limit {args.threshold:.2f}x)")
-        if ratio > args.threshold:
+              f"({ratio:.2f}x, limit {threshold:.2f}x)")
+        if ratio > threshold:
             failures.append(key)
+    return failures
+
+
+def check_queue_wait_share(current_doc):
+    """Absolute gate: queue wait must stay a minority of request latency."""
+    current = suffixed_metrics(current_doc, "_queue_wait_share")
+    failures = []
+    if not current:
+        print("  [skip] no *_queue_wait_share metrics in the current run "
+              "(reseed the baseline if the metric set changed)")
+        return failures
+    for key in sorted(current):
+        bench, metric = key
+        share = current[key]
+        verdict = "FAIL" if share >= QUEUE_WAIT_SHARE_LIMIT else "ok"
+        print(f"  [{verdict:>4}] {bench}/{metric}: {share:.3f} "
+              f"(limit {QUEUE_WAIT_SHARE_LIMIT:.2f}, absolute)")
+        if share >= QUEUE_WAIT_SHARE_LIMIT:
+            failures.append(key)
+    return failures
+
+
+def required_scaling(hw_threads):
+    for floor, ratio in SCALING_FLOORS:
+        if hw_threads >= floor:
+            return ratio
+    return SCALING_FLOORS[-1][1]
+
+
+def check_scaling(current_doc):
+    """Hardware-aware shard-scaling gate on the current run; returns failures."""
+    failures = []
+    benches = current_doc.get("benches", {})
+    found = False
+    for bench, metrics in sorted(benches.items()):
+        one = metrics.get("shards1_requests_per_s")
+        four = metrics.get("shards4_requests_per_s")
+        if not isinstance(one, (int, float)) or not isinstance(four, (int, float)):
+            continue
+        found = True
+        hw = metrics.get("hardware_concurrency")
+        hw = int(hw) if isinstance(hw, (int, float)) and hw >= 1 else 1
+        need = required_scaling(hw)
+        ratio = four / one if one > 0 else 0.0
+        verdict = "FAIL" if ratio < need else "ok"
+        print(f"  [{verdict:>4}] {bench}/shards4:shards1 scaling: {ratio:.2f}x "
+              f"(need >= {need:.2f}x at hardware_concurrency={hw})")
+        if ratio < need:
+            failures.append((bench, "shards4:shards1"))
+    if not found:
+        print("  [skip] no shards1/shards4 requests_per_s pair in the current run")
+    return failures
+
+
+def check(args):
+    baseline_doc = load(args.baseline)
+    current_doc = load(args.current)
+    if not suffixed_metrics(baseline_doc, "_p95_us"):
+        print(f"perf_gate: no *_p95_us metrics in baseline {args.baseline}", file=sys.stderr)
+        sys.exit(2)
+
+    failures = []
+    print("perf_gate: p95 latency (higher is worse):")
+    failures += check_relative(baseline_doc, current_doc, "_p95_us",
+                               args.threshold, lower_is_worse=False)
+    print("perf_gate: throughput (lower is worse):")
+    failures += check_relative(baseline_doc, current_doc, "_requests_per_s",
+                               args.threshold, lower_is_worse=True)
+    print("perf_gate: queue-wait share of request latency:")
+    failures += check_queue_wait_share(current_doc)
+    print("perf_gate: shard scaling (current run, hardware-aware):")
+    failures += check_scaling(current_doc)
 
     if failures:
         print_stage_breakdown(baseline_doc, current_doc)
-        print(f"perf_gate: {len(failures)} p95 regression(s) beyond "
-              f"{args.threshold}x the checked-in baseline", file=sys.stderr)
+        print(f"perf_gate: {len(failures)} gate failure(s) — p95, throughput, "
+              f"queue-wait share, or shard scaling out of budget", file=sys.stderr)
         sys.exit(1)
-    print("perf_gate: all p95 metrics within the regression budget")
+    print("perf_gate: all metrics within the regression budget")
 
 
 def main():

@@ -13,12 +13,23 @@ Usage:
 By default stages are aggregated per section (the ``shards1``/``shards2``/
 ``retrain`` label); ``--by-shard`` keeps each shard's process row separate.
 
+The pipelined serve engine splits the legacy ``queue_wait`` span into
+``admission_wait`` / ``linger_wait`` / ``dispatch_wait`` sub-spans; after
+the table a per-section rollup sums whichever of those (or the legacy
+span) are present, so total time-not-computing stays comparable across
+engines and across the trajectory.
+
 Stdlib only; exit code 0 = report printed, 2 = usage/IO error.
 """
 
 import argparse
 import json
 import sys
+
+# The legacy single span plus the pipelined engine's split. A trace holds
+# either the first or the last three, never both.
+QUEUE_WAIT_STAGES = ("queue_wait", "admission_wait", "linger_wait",
+                     "dispatch_wait")
 
 
 def load(path):
@@ -101,6 +112,14 @@ def main(argv):
     widths = [max(len(row[c]) for row in rows) for c in range(len(rows[0]))]
     for row in rows:
         print("  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip())
+
+    rollup = {}  # section -> total queue-wait us across legacy + split spans
+    for (section, stage), values in durations.items():
+        if stage in QUEUE_WAIT_STAGES:
+            rollup[section] = rollup.get(section, 0.0) + sum(values)
+    for section in sorted(rollup):
+        print(f"queue-wait rollup: {section}: {rollup[section] / 1000.0:.3f} ms "
+              f"total across {'/'.join(QUEUE_WAIT_STAGES)}")
     return 0
 
 
