@@ -29,15 +29,32 @@
 // count), prints the per-stage latency breakdown, and asserts the two obs
 // contracts: the attributed stages cover >= 90% of mean request latency,
 // and tracing costs < 5% throughput vs the untraced run.
+//
+// Telemetry-plane levers (the always-on obs v2 plane):
+//   --telemetry-off       disable the whole plane (SLO windows, exemplars,
+//                         watchdog). Metrics go to the same names but the
+//                         bench self-reports as `serve_throughput_telemetry_off`,
+//                         so CI merges the twin runs into one document and
+//                         perf_gate gates the on-vs-off throughput delta <= 2%.
+//   --metrics-dump <path> scrape the 4-shard run's live /metrics endpoint
+//                         over a real loopback socket and save the body
+//                         (CI pipes it through tools/prom_lint.py).
+//   --exemplars <path>    export the 4-shard run's tail-sampled exemplar
+//                         reservoir as a Chrome trace — the always-on
+//                         stand-in for a full --trace run.
 #include <algorithm>
 #include <chrono>
+#include <fstream>
+#include <functional>
 #include <iostream>
 #include <map>
 #include <string>
 #include <thread>
 
 #include "bench_common.hpp"
+#include "obs/exemplar.hpp"
 #include "obs/probe.hpp"
+#include "obs/server.hpp"
 #include "obs/trace.hpp"
 #include "serve/service.hpp"
 #include "util/rng.hpp"
@@ -80,10 +97,14 @@ struct RunOutput {
 /// Submit every request through a fresh service, wait for all outcomes.
 /// `pace` > 0 spaces submissions (paced open-loop arrivals for the linger
 /// study); zero slams the queue (closed-loop backlog for the tier study).
+/// `inspect` runs against the still-live service after every outcome has
+/// resolved but before teardown — the hook the telemetry-plane exports
+/// (live /metrics scrape, exemplar dump) hang off.
 RunOutput run_service(const std::shared_ptr<mga::serve::ModelRegistry>& registry,
                       const mga::serve::ServeOptions& options,
                       const std::vector<mga::serve::TuneRequest>& requests,
-                      std::chrono::microseconds pace = {}) {
+                      std::chrono::microseconds pace = {},
+                      const std::function<void(mga::serve::TuningService&)>& inspect = {}) {
   using namespace mga::serve;
   TuningService service(registry, options);
   const Clock::time_point start = Clock::now();
@@ -106,6 +127,7 @@ RunOutput run_service(const std::shared_ptr<mga::serve::ModelRegistry>& registry
     out.results.push_back(std::move(outcome.value()));
   }
   out.seconds = seconds_since(start);
+  if (inspect) inspect(service);
   out.stats = service.stats_snapshot();
   return out;
 }
@@ -135,12 +157,16 @@ int main(int argc, char** argv) {
 
   bool smoke = false;
   bool pipeline = true;
+  bool telemetry_off = false;
   std::string json_path;
   std::string trace_path;
+  std::string metrics_dump_path;
+  std::string exemplars_path;
   std::size_t num_requests = 0;  // 0 = mode default
   const auto usage = [&] {
     std::cerr << "usage: " << argv[0]
-              << " [--smoke] [--no-pipeline] [--json <path>] [--trace <path>]"
+              << " [--smoke] [--no-pipeline] [--telemetry-off] [--json <path>]"
+                 " [--trace <path>] [--metrics-dump <path>] [--exemplars <path>]"
                  " [num_requests > 0]\n";
     return 2;
   };
@@ -157,6 +183,14 @@ int main(int argc, char** argv) {
       pipeline = false;
       continue;
     }
+    if (arg == "--telemetry-off") {
+      // A/B lever for the telemetry-overhead gate: the same workload with
+      // the always-on plane (SLO windows, exemplar reservoir, watchdog)
+      // disabled. Self-reports under a `_telemetry_off` bench name so the
+      // twin documents merge cleanly.
+      telemetry_off = true;
+      continue;
+    }
     if (arg == "--json") {
       if (a + 1 >= argc) return usage();
       json_path = argv[++a];
@@ -165,6 +199,16 @@ int main(int argc, char** argv) {
     if (arg == "--trace") {
       if (a + 1 >= argc) return usage();
       trace_path = argv[++a];
+      continue;
+    }
+    if (arg == "--metrics-dump") {
+      if (a + 1 >= argc) return usage();
+      metrics_dump_path = argv[++a];
+      continue;
+    }
+    if (arg == "--exemplars") {
+      if (a + 1 >= argc) return usage();
+      exemplars_path = argv[++a];
       continue;
     }
     std::size_t parsed = 0;
@@ -244,7 +288,15 @@ int main(int argc, char** argv) {
   options.queue_capacity = 2048;
   options.max_batch = 32;
   options.pipeline = pipeline;
+  options.telemetry.enabled = !telemetry_off;
   if (!pipeline) std::cout << "engine: legacy one-batch-per-worker (--no-pipeline)\n";
+  if (telemetry_off) {
+    std::cout << "telemetry plane disabled (--telemetry-off)\n";
+    if (!metrics_dump_path.empty() || !exemplars_path.empty()) {
+      std::cerr << "--metrics-dump / --exemplars need the telemetry plane on\n";
+      return 2;
+    }
+  }
 
   std::size_t mismatches = 0;
   bool ok = true;
@@ -259,7 +311,45 @@ int main(int argc, char** argv) {
   for (const std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
     serve::ServeOptions sharded = options;
     sharded.shards = shards;
-    shard_runs.push_back({shards, run_service(registry, sharded, requests)});
+    // The 4-shard run doubles as the telemetry-plane export vehicle: scrape
+    // its live /metrics over a real loopback socket (CI lints the body) and
+    // dump its tail-sampled exemplar reservoir as a Chrome trace.
+    std::function<void(serve::TuningService&)> inspect;
+    if (shards == 4 && (!metrics_dump_path.empty() || !exemplars_path.empty())) {
+      if (!metrics_dump_path.empty()) {
+        sharded.telemetry.http = true;
+        sharded.telemetry.http_port = 0;  // ephemeral; the service reports it
+      }
+      inspect = [&](serve::TuningService& service) {
+        if (!metrics_dump_path.empty()) {
+          const auto response =
+              obs::http_get("127.0.0.1", service.telemetry_port(), "/metrics");
+          std::ofstream dump(metrics_dump_path);
+          if (!response || response->status != 200 || !(dump << response->body)) {
+            std::cerr << "FAIL: could not scrape /metrics on port "
+                      << service.telemetry_port() << " into " << metrics_dump_path
+                      << "\n";
+            ok = false;
+          } else {
+            std::cout << "live /metrics scrape (port " << service.telemetry_port()
+                      << ") written to " << metrics_dump_path << "\n";
+          }
+        }
+        if (!exemplars_path.empty()) {
+          const std::vector<obs::Exemplar> exemplars = service.exemplar_snapshot();
+          if (!obs::write_chrome_trace(
+                  exemplars_path,
+                  {obs::TraceSection{"exemplar", obs::exemplar_trace_events(exemplars)}})) {
+            std::cerr << "FAIL: could not write exemplars to " << exemplars_path << "\n";
+            ok = false;
+          } else {
+            std::cout << exemplars.size() << " tail exemplars written to "
+                      << exemplars_path << "\n";
+          }
+        }
+      };
+    }
+    shard_runs.push_back({shards, run_service(registry, sharded, requests, {}, inspect)});
   }
   const RunOutput& untiered = shard_runs.front().out;  // shards=1, normal lane
 
@@ -640,7 +730,12 @@ int main(int argc, char** argv) {
       metrics.emplace_back("linger_mean_batch", linger_run.stats.mean_batch);
       metrics.emplace_back("drain_mean_batch", drain_run.stats.mean_batch);
     }
-    if (!bench::write_metrics_json(json_path, "serve_throughput", metrics)) {
+    // The telemetry-off twin self-reports under its own bench name, so both
+    // documents coexist in one merged BENCH_serve.json and perf_gate can
+    // compute the on-vs-off overhead without positional conventions.
+    const std::string bench_name =
+        telemetry_off ? "serve_throughput_telemetry_off" : "serve_throughput";
+    if (!bench::write_metrics_json(json_path, bench_name, metrics)) {
       std::cerr << "FAIL: could not write " << json_path << "\n";
       ok = false;
     } else {

@@ -15,11 +15,15 @@
 //     per-request metadata (cache hit, the micro-batch the request rode in,
 //     queue-wait/compute latency split), cancel a request that is no longer
 //     needed,
-//  4. print the service telemetry table — per-tier counters plus the
-//     per-shard breakdown (routing balance and per-shard cache locality) —
-//     then the observability extras: the lock-contention table (which lock
-//     class serialized the run) and a Chrome trace of every request's
-//     lifecycle spans, loadable in Perfetto (see DESIGN.md §9),
+//  4. print the service telemetry table — now headed by the always-on
+//     telemetry plane's rows (uptime, aggregated HealthState, SLO
+//     compliance over the long burn-rate window, per-shard health) next to
+//     the per-tier counters and per-shard breakdown — then the
+//     observability extras: the tail-sampled exemplar reservoir (the worst
+//     requests' full span chains, kept without ever enabling tracing), the
+//     lock-contention table (which lock class serialized the run) and a
+//     Chrome trace of every request's lifecycle spans, loadable in
+//     Perfetto (see DESIGN.md §9),
 //  5. drift demo: shift the workload mix onto kernels the model mispredicts
 //     and watch the online-retraining loop (observation log → drift monitor
 //     → fine-tune → validate → canary rollout → promote) drive regret back
@@ -29,10 +33,12 @@
 //     fleet serves throughout.
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <iostream>
 #include <thread>
 
 #include "hwsim/cpu_model.hpp"
+#include "obs/exemplar.hpp"
 #include "obs/options.hpp"
 #include "obs/probe.hpp"
 #include "obs/trace.hpp"
@@ -184,30 +190,56 @@ int main() {
             << "\n";
 
   // --- 4. telemetry ----------------------------------------------------------
-  // The aggregate block sums both shards; the trailing per-shard rows show
+  // The table opens with the always-on plane's header — uptime, the
+  // aggregated HealthState (worst of the per-shard SLO verdicts and the
+  // stall watchdog), SLO compliance over the long burn-rate window — and
+  // each per-shard section carries that shard's health. Below: the
+  // aggregate block sums both shards; the trailing per-shard rows show
   // the router's work: each (machine, kernel) is pinned to one shard, so
   // every cache entry lives on exactly one shard and repeat traffic for a
   // kernel is all hits on *its* shard — the locality sharding is for.
   const serve::ServiceStatsSnapshot stats = service.stats_snapshot();
-  std::cout << "\nservice telemetry (aggregate + per-shard breakdown):\n";
+  std::cout << "\nservice telemetry (SLO header + aggregate + per-shard breakdown):\n";
   serve::stats_table(stats).print(std::cout);
   std::size_t total_entries = 0;
   for (const serve::ServiceStatsSnapshot& shard : stats.shards)
     total_entries += shard.cache.entries;
   std::cout << "\ncache entries across shards: " << total_entries
             << " (no kernel cached twice: aggregate says " << stats.cache.entries << ")\n";
+
+  // Tail-based exemplars: the reservoir kept the worst requests' span
+  // chains while the service ran — no tracing flag, no curl. The same data
+  // serves `/exemplars` when ServeOptions::telemetry.http is on.
+  const std::vector<obs::Exemplar> exemplars = service.exemplar_snapshot();
+  std::cout << "\ntail exemplars held by the always-on reservoir: " << exemplars.size()
+            << "\n";
+  for (std::size_t e = 0; e < std::min<std::size_t>(exemplars.size(), 3); ++e) {
+    const obs::Exemplar& exemplar = exemplars[e];
+    std::cout << "  trace " << exemplar.trace_id << ": "
+              << util::fmt_double(exemplar.latency_us / 1000.0) << " ms, "
+              << exemplar.spans.size() << " spans"
+              << (exemplar.kind == obs::Exemplar::Kind::kSlow ? "" : " (error/deadline)")
+              << "\n";
+  }
   service.shutdown();
 
   // Observability harvest: which lock class serialized the run, and the full
-  // request-lifecycle trace. Load trace_example.json in Perfetto
-  // (https://ui.perfetto.dev) or run `tools/trace_report.py` on it.
+  // request-lifecycle trace. Load examples/trace_example.json in Perfetto
+  // (https://ui.perfetto.dev) or run `tools/trace_report.py --top 5` on it.
   obs::disable();
   std::cout << "\nlock contention by site (waits attributed per lock class):\n";
   obs::contention_table().print(std::cout);
   const std::vector<obs::TraceEvent> trace_events = obs::TraceCollector::instance().snapshot();
-  if (obs::write_chrome_trace("trace_example.json", {{"serve", trace_events}}))
-    std::cout << "\nwrote " << trace_events.size()
-              << " lifecycle spans to trace_example.json (load in Perfetto)\n";
+  // Land the regenerated trace under examples/ (not the repo root) when the
+  // example runs from a checkout; fall back to the cwd elsewhere.
+  const std::string trace_path = [] {
+    std::error_code ec;
+    return std::filesystem::is_directory("examples", ec) ? "examples/trace_example.json"
+                                                         : "trace_example.json";
+  }();
+  if (obs::write_chrome_trace(trace_path, {{"serve", trace_events}}))
+    std::cout << "\nwrote " << trace_events.size() << " lifecycle spans to " << trace_path
+              << " (load in Perfetto)\n";
   obs::TraceCollector::instance().clear();
   obs::reset_contention();
 

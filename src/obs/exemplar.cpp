@@ -1,0 +1,113 @@
+#include "obs/exemplar.hpp"
+
+#include <algorithm>
+
+namespace mga::obs {
+
+namespace {
+
+// Min-heap on latency: the root is the cheapest seat, evicted first.
+const auto kSlowHeapCmp = [](const Exemplar& a, const Exemplar& b) {
+  return a.latency_us > b.latency_us;
+};
+
+}  // namespace
+
+ExemplarReservoir::ExemplarReservoir(ExemplarOptions options)
+    : options_(options), bucket_exemplar_(LatencyHistogram::kNumBuckets, 0) {
+  if (options_.slow_capacity == 0) options_.slow_capacity = 1;
+}
+
+void ExemplarReservoir::refresh_threshold_locked() noexcept {
+  // Below capacity anything enters; at capacity the bar is the heap root.
+  admit_threshold_us_.store(current_.slow.size() < options_.slow_capacity
+                                ? -1.0
+                                : current_.slow.front().latency_us,
+                            std::memory_order_relaxed);
+}
+
+void ExemplarReservoir::rotate_locked(Clock::time_point now) {
+  if (options_.window.count() <= 0) return;
+  if (!window_started_) {
+    window_started_ = true;
+    window_start_ = now;
+    return;
+  }
+  if (now - window_start_ < options_.window) return;
+  previous_ = std::move(current_);
+  current_ = Generation{};
+  window_start_ = now;
+  refresh_threshold_locked();
+}
+
+void ExemplarReservoir::offer(Exemplar exemplar, Clock::time_point now) {
+  exemplar.bucket = LatencyHistogram::bucket_index(exemplar.latency_us);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  rotate_locked(now);
+  if (exemplar.trace_id != 0 && exemplar.bucket < bucket_exemplar_.size())
+    bucket_exemplar_[exemplar.bucket] = exemplar.trace_id;
+  if (exemplar.kind != Exemplar::Kind::kSlow) {
+    if (options_.error_capacity == 0) return;
+    if (current_.errors.size() < options_.error_capacity) {
+      current_.errors.push_back(std::move(exemplar));
+    } else {
+      current_.errors[current_.error_next] = std::move(exemplar);
+      current_.error_next = (current_.error_next + 1) % options_.error_capacity;
+    }
+    return;
+  }
+  std::vector<Exemplar>& heap = current_.slow;
+  if (heap.size() < options_.slow_capacity) {
+    heap.push_back(std::move(exemplar));
+    std::push_heap(heap.begin(), heap.end(), kSlowHeapCmp);
+  } else if (exemplar.latency_us > heap.front().latency_us) {
+    std::pop_heap(heap.begin(), heap.end(), kSlowHeapCmp);
+    heap.back() = std::move(exemplar);
+    std::push_heap(heap.begin(), heap.end(), kSlowHeapCmp);
+  }
+  refresh_threshold_locked();
+}
+
+std::vector<Exemplar> ExemplarReservoir::snapshot(Clock::time_point now) {
+  std::vector<Exemplar> out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    rotate_locked(now);
+    out.reserve(current_.slow.size() + previous_.slow.size() + current_.errors.size() +
+                previous_.errors.size());
+    for (const Generation* generation : {&current_, &previous_})
+      out.insert(out.end(), generation->slow.begin(), generation->slow.end());
+    const std::size_t slow_count = out.size();
+    std::sort(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(slow_count),
+              [](const Exemplar& a, const Exemplar& b) { return a.latency_us > b.latency_us; });
+    for (const Generation* generation : {&current_, &previous_})
+      out.insert(out.end(), generation->errors.begin(), generation->errors.end());
+  }
+  return out;
+}
+
+std::uint64_t ExemplarReservoir::exemplar_for_bucket(std::size_t bucket) const noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return bucket < bucket_exemplar_.size() ? bucket_exemplar_[bucket] : 0;
+}
+
+void ExemplarReservoir::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  current_ = Generation{};
+  previous_ = Generation{};
+  std::fill(bucket_exemplar_.begin(), bucket_exemplar_.end(), 0);
+  window_started_ = false;
+  admit_threshold_us_.store(-1.0, std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> exemplar_trace_events(const std::vector<Exemplar>& exemplars) {
+  std::vector<TraceEvent> events;
+  for (const Exemplar& exemplar : exemplars)
+    events.insert(events.end(), exemplar.spans.begin(), exemplar.spans.end());
+  std::sort(events.begin(), events.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    return a.start_ns != b.start_ns ? a.start_ns < b.start_ns : a.request_id < b.request_id;
+  });
+  return events;
+}
+
+}  // namespace mga::obs

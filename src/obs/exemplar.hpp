@@ -1,0 +1,115 @@
+// Tail-based exemplar sampling: always-on capture of the requests worth
+// looking at.
+//
+// Aggregate histograms say *that* the tail moved; an exemplar says *why* —
+// it keeps the full span chain (admission wait, linger, per-stage compute,
+// inter-stage ring time) of a slow request, so the per-site blocking that
+// dominates tail behavior stays attributable without ever arming full
+// tracing. One reservoir per serve shard:
+//
+//   - a bounded worst-k reservoir of the slowest completions (a min-heap on
+//     latency; the cheap `would_admit` pre-filter reads one relaxed atomic,
+//     so the publish hot path builds a span chain only for requests that
+//     would actually enter),
+//   - a bounded ring of the most recent deadline-exceeded / error requests
+//     (tail latency is not the only tail).
+//
+// Each exemplar records the LatencyHistogram bucket its latency landed in,
+// so a scraped histogram can answer "give me a trace id from *that* bucket"
+// (`exemplar_for_bucket`). Snapshots cover two reservoir generations — the
+// last completed window and the currently-filling one — and export as
+// Chrome-trace JSON through the existing write_chrome_trace.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "obs/histogram.hpp"
+#include "obs/trace.hpp"
+
+namespace mga::obs {
+
+struct Exemplar {
+  enum class Kind : std::uint8_t { kSlow = 0, kDeadline = 1, kError = 2 };
+
+  std::uint64_t trace_id = 0;
+  double latency_us = 0.0;
+  std::size_t bucket = 0;  // LatencyHistogram::bucket_index(latency_us)
+  std::uint32_t shard = kNoShard;
+  std::size_t tier = 0;
+  std::uint64_t route = 0;
+  Kind kind = Kind::kSlow;
+  /// Full span chain (TraceEvent timestamps are ns since the process trace
+  /// collector's epoch, so exemplar exports align with --trace exports).
+  std::vector<TraceEvent> spans;
+};
+
+struct ExemplarOptions {
+  std::size_t slow_capacity = 16;   // worst-k slowest per window
+  std::size_t error_capacity = 16;  // most recent deadline/error exemplars
+  /// Reservoir generation length: on the first offer/snapshot past this,
+  /// the filling generation becomes "previous" and a fresh one starts, so
+  /// the slowest-of-window set tracks current behavior instead of pinning
+  /// on a startup outlier forever. <= 0 disables rotation.
+  std::chrono::milliseconds window{60000};
+};
+
+class ExemplarReservoir {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit ExemplarReservoir(ExemplarOptions options = {});
+
+  /// Cheap hot-path pre-filter: true when a kSlow exemplar at `latency_us`
+  /// would enter the current reservoir (heap not full, or slower than its
+  /// current minimum). One relaxed load; may transiently say yes around a
+  /// rotation — `offer` re-checks under the lock.
+  [[nodiscard]] bool would_admit(double latency_us) const noexcept {
+    return latency_us > admit_threshold_us_.load(std::memory_order_relaxed);
+  }
+
+  /// Insert one exemplar. kSlow competes on latency for the worst-k seats;
+  /// kDeadline/kError overwrite the oldest seat of the error ring.
+  void offer(Exemplar exemplar, Clock::time_point now = Clock::now());
+
+  /// Both generations (previous window + current), slow exemplars first,
+  /// sorted by latency descending, then the error ring. Non-const: taking a
+  /// snapshot past the window boundary rotates the generations.
+  [[nodiscard]] std::vector<Exemplar> snapshot(Clock::time_point now = Clock::now());
+
+  /// Trace id of the most recent exemplar whose latency landed in histogram
+  /// bucket `bucket`; 0 when none (or out of range).
+  [[nodiscard]] std::uint64_t exemplar_for_bucket(std::size_t bucket) const noexcept;
+
+  void clear();
+
+ private:
+  struct Generation {
+    std::vector<Exemplar> slow;  // min-heap on latency_us
+    std::vector<Exemplar> errors;
+    std::size_t error_next = 0;  // ring cursor into `errors`
+  };
+
+  void rotate_locked(Clock::time_point now);
+  void refresh_threshold_locked() noexcept;
+
+  ExemplarOptions options_;
+  std::atomic<double> admit_threshold_us_{-1.0};  // -1: anything enters
+  mutable std::mutex mutex_;
+  Generation current_;
+  Generation previous_;
+  Clock::time_point window_start_{};
+  bool window_started_ = false;
+  /// Last exemplar trace id per histogram bucket (both kinds contribute).
+  std::vector<std::uint64_t> bucket_exemplar_;
+};
+
+/// Flatten exemplar span chains into one event list (for write_chrome_trace
+/// or summarize_stages).
+[[nodiscard]] std::vector<TraceEvent> exemplar_trace_events(
+    const std::vector<Exemplar>& exemplars);
+
+}  // namespace mga::obs

@@ -1,5 +1,6 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "util/check.hpp"
@@ -19,6 +20,56 @@ std::string prometheus_name(const std::string& name) {
   return out;
 }
 
+// Label names are a strict subset of metric names (no colon).
+std::string prometheus_label_name(const std::string& name) {
+  std::string out = prometheus_name(name);
+  std::replace(out.begin(), out.end(), ':', '_');
+  return out;
+}
+
+// Label values escape backslash, double quote, and line feed per the
+// exposition format.
+void append_label_value(std::string& out, const std::string& value) {
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+/// Canonical `k="v",k2="v2"` rendering; doubles as the series map key so
+/// label order never splits a series.
+std::string render_labels(const Labels& labels) {
+  Labels sorted = labels;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::string out;
+  for (const auto& [key, value] : sorted) {
+    if (!out.empty()) out += ',';
+    out += prometheus_label_name(key);
+    out += "=\"";
+    append_label_value(out, value);
+    out += '"';
+  }
+  return out;
+}
+
+/// `name` or `name{labels}`; `extra` appends one more label (quantile).
+std::string series_name(const std::string& prom, const std::string& labels,
+                        const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return prom;
+  std::string out = prom;
+  out += '{';
+  out += labels;
+  if (!labels.empty() && !extra.empty()) out += ',';
+  out += extra;
+  out += '}';
+  return out;
+}
+
 void append_json_escaped(std::ostringstream& os, const std::string& text) {
   for (const char c : text) {
     if (c == '"' || c == '\\') os << '\\';
@@ -33,71 +84,106 @@ MetricsRegistry& MetricsRegistry::global() {
   return registry;
 }
 
-MetricsRegistry::Instrument& MetricsRegistry::intern(const std::string& name,
-                                                     const std::string& help, Kind kind) {
+MetricsRegistry::Series& MetricsRegistry::intern(const std::string& name, const Labels& labels,
+                                                 const std::string& help, Kind kind) {
+  const std::string key = render_labels(labels);
   std::lock_guard<std::mutex> lock(mutex_);
-  auto [it, inserted] = instruments_.try_emplace(name);
-  Instrument& instrument = it->second;
-  if (inserted) {
-    instrument.kind = kind;
-    instrument.help = help;
-    switch (kind) {
-      case Kind::kCounter: instrument.counter = std::make_unique<Counter>(); break;
-      case Kind::kGauge: instrument.gauge = std::make_unique<Gauge>(); break;
-      case Kind::kHistogram: instrument.histogram = std::make_unique<HistogramMetric>(); break;
-    }
+  auto [family_it, family_inserted] = families_.try_emplace(name);
+  Family& family = family_it->second;
+  if (family_inserted) {
+    family.kind = kind;
+    family.help = help;
   } else {
-    MGA_CHECK_MSG(instrument.kind == kind,
+    MGA_CHECK_MSG(family.kind == kind,
                   "MetricsRegistry: instrument '" + name + "' re-registered as another kind");
+    if (family.help.empty() && !help.empty()) family.help = help;
   }
-  return instrument;
+  auto [series_it, series_inserted] = family.series.try_emplace(key);
+  Series& series = series_it->second;
+  if (series_inserted) {
+    switch (kind) {
+      case Kind::kCounter: series.counter = std::make_unique<Counter>(); break;
+      case Kind::kGauge: series.gauge = std::make_unique<Gauge>(); break;
+      case Kind::kHistogram: series.histogram = std::make_unique<HistogramMetric>(); break;
+    }
+  }
+  return series;
 }
 
 Counter& MetricsRegistry::counter(const std::string& name, const std::string& help) {
-  return *intern(name, help, Kind::kCounter).counter;
+  return *intern(name, {}, help, Kind::kCounter).counter;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const Labels& labels,
+                                  const std::string& help) {
+  return *intern(name, labels, help, Kind::kCounter).counter;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help) {
-  return *intern(name, help, Kind::kGauge).gauge;
+  return *intern(name, {}, help, Kind::kGauge).gauge;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels,
+                              const std::string& help) {
+  return *intern(name, labels, help, Kind::kGauge).gauge;
 }
 
 HistogramMetric& MetricsRegistry::histogram(const std::string& name, const std::string& help) {
-  return *intern(name, help, Kind::kHistogram).histogram;
+  return *intern(name, {}, help, Kind::kHistogram).histogram;
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name, const Labels& labels,
+                                            const std::string& help) {
+  return *intern(name, labels, help, Kind::kHistogram).histogram;
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  families_.clear();
 }
 
 std::string MetricsRegistry::to_json() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream os;
+  const auto json_key = [](const std::string& name, const std::string& labels) {
+    return labels.empty() ? name : name + "{" + labels + "}";
+  };
   os << "{\"counters\":{";
   bool first = true;
-  for (const auto& [name, instrument] : instruments_) {
-    if (instrument.kind != Kind::kCounter) continue;
-    os << (first ? "" : ",") << '"';
-    append_json_escaped(os, name);
-    os << "\":" << instrument.counter->value();
-    first = false;
+  for (const auto& [name, family] : families_) {
+    if (family.kind != Kind::kCounter) continue;
+    for (const auto& [labels, series] : family.series) {
+      os << (first ? "" : ",") << '"';
+      append_json_escaped(os, json_key(name, labels));
+      os << "\":" << series.counter->value();
+      first = false;
+    }
   }
   os << "},\"gauges\":{";
   first = true;
-  for (const auto& [name, instrument] : instruments_) {
-    if (instrument.kind != Kind::kGauge) continue;
-    os << (first ? "" : ",") << '"';
-    append_json_escaped(os, name);
-    os << "\":" << instrument.gauge->value();
-    first = false;
+  for (const auto& [name, family] : families_) {
+    if (family.kind != Kind::kGauge) continue;
+    for (const auto& [labels, series] : family.series) {
+      os << (first ? "" : ",") << '"';
+      append_json_escaped(os, json_key(name, labels));
+      os << "\":" << series.gauge->value();
+      first = false;
+    }
   }
   os << "},\"histograms\":{";
   first = true;
-  for (const auto& [name, instrument] : instruments_) {
-    if (instrument.kind != Kind::kHistogram) continue;
-    const LatencyHistogram hist = instrument.histogram->snapshot();
-    os << (first ? "" : ",") << '"';
-    append_json_escaped(os, name);
-    os << "\":{\"count\":" << hist.count() << ",\"sum\":" << hist.sum()
-       << ",\"min\":" << hist.min() << ",\"max\":" << hist.max()
-       << ",\"p50\":" << hist.percentile(0.50) << ",\"p95\":" << hist.percentile(0.95)
-       << ",\"p99\":" << hist.percentile(0.99) << "}";
-    first = false;
+  for (const auto& [name, family] : families_) {
+    if (family.kind != Kind::kHistogram) continue;
+    for (const auto& [labels, series] : family.series) {
+      const LatencyHistogram hist = series.histogram->snapshot();
+      os << (first ? "" : ",") << '"';
+      append_json_escaped(os, json_key(name, labels));
+      os << "\":{\"count\":" << hist.count() << ",\"sum\":" << hist.sum()
+         << ",\"min\":" << hist.min() << ",\"max\":" << hist.max()
+         << ",\"p50\":" << hist.percentile(0.50) << ",\"p95\":" << hist.percentile(0.95)
+         << ",\"p99\":" << hist.percentile(0.99) << "}";
+      first = false;
+    }
   }
   os << "}}";
   return os.str();
@@ -106,29 +192,36 @@ std::string MetricsRegistry::to_json() const {
 std::string MetricsRegistry::to_prometheus() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream os;
-  for (const auto& [name, instrument] : instruments_) {
+  for (const auto& [name, family] : families_) {
     const std::string prom = prometheus_name(name);
-    if (!instrument.help.empty()) {
-      os << "# HELP " << prom << " " << instrument.help << "\n";
+    if (!family.help.empty()) {
+      os << "# HELP " << prom << " " << family.help << "\n";
     }
-    switch (instrument.kind) {
-      case Kind::kCounter:
-        os << "# TYPE " << prom << " counter\n";
-        os << prom << " " << instrument.counter->value() << "\n";
-        break;
-      case Kind::kGauge:
-        os << "# TYPE " << prom << " gauge\n";
-        os << prom << " " << instrument.gauge->value() << "\n";
-        break;
-      case Kind::kHistogram: {
-        const LatencyHistogram hist = instrument.histogram->snapshot();
-        os << "# TYPE " << prom << " summary\n";
-        os << prom << "{quantile=\"0.5\"} " << hist.percentile(0.50) << "\n";
-        os << prom << "{quantile=\"0.95\"} " << hist.percentile(0.95) << "\n";
-        os << prom << "{quantile=\"0.99\"} " << hist.percentile(0.99) << "\n";
-        os << prom << "_sum " << hist.sum() << "\n";
-        os << prom << "_count " << hist.count() << "\n";
-        break;
+    switch (family.kind) {
+      case Kind::kCounter: os << "# TYPE " << prom << " counter\n"; break;
+      case Kind::kGauge: os << "# TYPE " << prom << " gauge\n"; break;
+      case Kind::kHistogram: os << "# TYPE " << prom << " summary\n"; break;
+    }
+    for (const auto& [labels, series] : family.series) {
+      switch (family.kind) {
+        case Kind::kCounter:
+          os << series_name(prom, labels) << " " << series.counter->value() << "\n";
+          break;
+        case Kind::kGauge:
+          os << series_name(prom, labels) << " " << series.gauge->value() << "\n";
+          break;
+        case Kind::kHistogram: {
+          const LatencyHistogram hist = series.histogram->snapshot();
+          os << series_name(prom, labels, "quantile=\"0.5\"") << " " << hist.percentile(0.50)
+             << "\n";
+          os << series_name(prom, labels, "quantile=\"0.95\"") << " " << hist.percentile(0.95)
+             << "\n";
+          os << series_name(prom, labels, "quantile=\"0.99\"") << " " << hist.percentile(0.99)
+             << "\n";
+          os << series_name(prom + "_sum", labels) << " " << hist.sum() << "\n";
+          os << series_name(prom + "_count", labels) << " " << hist.count() << "\n";
+          break;
+        }
       }
     }
   }

@@ -1,11 +1,16 @@
 // MetricsRegistry: named counter / gauge / histogram instruments with JSON
 // and Prometheus-text exposition.
 //
-// Instruments are interned by name and live as long as the registry, so hot
-// paths hold a pointer and update relaxed atomics; exposition walks the
-// registry under its registration mutex. Histograms wrap the same
-// LatencyHistogram the serve stats use, so a scraped histogram merges
-// exactly with any other shard's scrape.
+// Instruments are interned by (name, labels) and live as long as the
+// registry, so hot paths hold a pointer and update relaxed atomics;
+// exposition walks the registry under its registration mutex. A name owns a
+// *family*: one kind, one help string, many labeled series — which is what
+// lets `/metrics` expose per-shard / per-tier dimensions
+// (`mga_serve_requests_total{shard="2",tier="interactive"}`) while emitting
+// `# HELP` / `# TYPE` exactly once per family, as the Prometheus exposition
+// format requires. Histograms wrap the same LatencyHistogram the serve
+// stats use, so a scraped histogram merges exactly with any other shard's
+// scrape.
 #pragma once
 
 #include <atomic>
@@ -14,10 +19,17 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/histogram.hpp"
 
 namespace mga::obs {
+
+/// Label dimensions for one series, e.g. {{"shard","0"},{"tier","batch"}}.
+/// Order does not matter: labels are canonicalized (sorted by key) before
+/// interning, so {{a,1},{b,2}} and {{b,2},{a,1}} are the same series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
 
 class Counter {
  public:
@@ -66,34 +78,49 @@ class MetricsRegistry {
   /// their own registry instance.
   static MetricsRegistry& global();
 
-  /// Intern by name; repeated calls with the same name return the same
-  /// instrument. A name may hold only one instrument kind (checked).
+  /// Intern by (name, labels); repeated calls with the same pair return the
+  /// same instrument. A name may hold only one instrument kind and keeps the
+  /// first non-empty help string (checked).
   Counter& counter(const std::string& name, const std::string& help = "");
+  Counter& counter(const std::string& name, const Labels& labels, const std::string& help = "");
   Gauge& gauge(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const Labels& labels, const std::string& help = "");
   HistogramMetric& histogram(const std::string& name, const std::string& help = "");
+  HistogramMetric& histogram(const std::string& name, const Labels& labels,
+                             const std::string& help = "");
+
+  /// Drop every family and series (tests; between bench sweeps).
+  void clear();
 
   /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,max,
-  /// p50,p95,p99}}}
+  /// p50,p95,p99}}}; labeled series keyed as name{k="v",...}.
   [[nodiscard]] std::string to_json() const;
 
-  /// Prometheus text exposition (counter/gauge samples plus histogram
-  /// quantile summaries as <name>{quantile="..."} lines).
+  /// Prometheus text exposition: `# HELP` / `# TYPE` once per family, then
+  /// one sample per labeled series (histograms as summaries — per-series
+  /// quantile lines plus _sum/_count).
   [[nodiscard]] std::string to_prometheus() const;
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram };
-  struct Instrument {
-    Kind kind;
-    std::string help;
+  struct Series {
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<HistogramMetric> histogram;
   };
+  struct Family {
+    Kind kind = Kind::kCounter;
+    std::string help;
+    /// Keyed by the canonical rendered label string (`k="v",k2="v2"` or ""),
+    /// which doubles as the exposition suffix.
+    std::map<std::string, Series> series;
+  };
 
-  Instrument& intern(const std::string& name, const std::string& help, Kind kind);
+  Series& intern(const std::string& name, const Labels& labels, const std::string& help,
+                 Kind kind);
 
   mutable std::mutex mutex_;
-  std::map<std::string, Instrument> instruments_;
+  std::map<std::string, Family> families_;
 };
 
 }  // namespace mga::obs

@@ -1,0 +1,259 @@
+#include "obs/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace mga::obs {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 16 * 1024;
+constexpr int kListenBacklog = 16;
+
+void set_io_timeout(int fd, std::chrono::milliseconds timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "OK";
+  }
+}
+
+std::string render_response(const HttpResponse& response) {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << response.status << " " << status_text(response.status) << "\r\n"
+     << "Content-Type: " << response.content_type << "\r\n"
+     << "Content-Length: " << response.body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << response.body;
+  return os.str();
+}
+
+/// Read from `fd` until the header terminator (requests here carry no body).
+/// False on timeout, oversized request, or peer reset.
+bool read_request_head(int fd, std::string& head) {
+  char buffer[2048];
+  while (head.find("\r\n\r\n") == std::string::npos) {
+    if (head.size() > kMaxRequestBytes) return false;
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) return false;
+    head.append(buffer, static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+bool parse_request_line(const std::string& head, HttpRequest& request) {
+  const std::size_t line_end = head.find("\r\n");
+  if (line_end == std::string::npos) return false;
+  const std::string line = head.substr(0, line_end);
+  const std::size_t method_end = line.find(' ');
+  if (method_end == std::string::npos) return false;
+  const std::size_t target_end = line.find(' ', method_end + 1);
+  if (target_end == std::string::npos) return false;
+  request.method = line.substr(0, method_end);
+  request.target = line.substr(method_end + 1, target_end - method_end - 1);
+  return !request.method.empty() && !request.target.empty();
+}
+
+}  // namespace
+
+ObsServer::ObsServer(ObsServerOptions options) : options_(std::move(options)) {}
+
+ObsServer::~ObsServer() { stop(); }
+
+void ObsServer::handle(std::string path, HttpHandler handler) {
+  handlers_[std::move(path)] = std::move(handler);
+}
+
+void ObsServer::start() {
+  if (listen_fd_ >= 0) return;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("ObsServer: socket() failed");
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("ObsServer: bad bind address '" + options_.bind_address + "'");
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, kListenBacklog) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("ObsServer: cannot listen on " + options_.bind_address + ":" +
+                             std::to_string(options_.port) + ": " + detail);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0)
+    port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+  stopping_.store(false, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+bool ObsServer::running() const noexcept { return listen_fd_ >= 0; }
+
+void ObsServer::stop() {
+  if (listen_fd_ < 0) return;
+  stopping_.store(true, std::memory_order_release);
+  // shutdown() breaks the blocking accept; close() frees the descriptor.
+  (void)::shutdown(listen_fd_, SHUT_RDWR);
+  (void)::close(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listen_fd_ = -1;
+  std::vector<Connection> reap;
+  {
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    reap.swap(connections_);
+  }
+  for (Connection& connection : reap)
+    if (connection.thread.joinable()) connection.thread.join();
+}
+
+void ObsServer::reap_finished_locked() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (it->done->load(std::memory_order_acquire)) {
+      if (it->thread.joinable()) it->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ObsServer::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_acquire)) return;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // listener gone
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    set_io_timeout(fd, options_.io_timeout);
+    Connection connection;
+    connection.done = std::make_shared<std::atomic<bool>>(false);
+    connection.thread = std::thread([this, fd, done = connection.done] {
+      serve_connection(fd);
+      done->store(true, std::memory_order_release);
+    });
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    reap_finished_locked();  // finished threads are joined as new ones arrive
+    connections_.push_back(std::move(connection));
+  }
+}
+
+void ObsServer::serve_connection(int fd) {
+  std::string head;
+  HttpRequest request;
+  HttpResponse response;
+  if (!read_request_head(fd, head) || !parse_request_line(head, request)) {
+    response = HttpResponse{400, "text/plain; charset=utf-8", "bad request\n"};
+  } else if (request.method != "GET" && request.method != "HEAD") {
+    response = HttpResponse{405, "text/plain; charset=utf-8", "method not allowed\n"};
+  } else {
+    // Exact-path dispatch; a query string does not change the handler.
+    std::string path = request.target.substr(0, request.target.find('?'));
+    const auto it = handlers_.find(path);
+    if (it == handlers_.end()) {
+      response = HttpResponse{404, "text/plain; charset=utf-8", "not found\n"};
+    } else {
+      try {
+        response = it->second(request);
+      } catch (const std::exception& error) {
+        response = HttpResponse{503, "text/plain; charset=utf-8",
+                                std::string("handler error: ") + error.what() + "\n"};
+      } catch (...) {
+        response = HttpResponse{503, "text/plain; charset=utf-8", "handler error\n"};
+      }
+    }
+    if (request.method == "HEAD") response.body.clear();
+  }
+  (void)send_all(fd, render_response(response));
+  ::close(fd);
+}
+
+std::optional<HttpResponse> http_get(const std::string& host, std::uint16_t port,
+                                     const std::string& target,
+                                     std::chrono::milliseconds timeout) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  set_io_timeout(fd, timeout);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  const std::string request =
+      "GET " + target + " HTTP/1.1\r\nHost: " + host + "\r\nConnection: close\r\n\r\n";
+  if (!send_all(fd, request)) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  std::string raw;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    if (n == 0) break;
+    raw.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos || raw.rfind("HTTP/", 0) != 0) return std::nullopt;
+  HttpResponse response;
+  const std::size_t status_at = raw.find(' ');
+  if (status_at == std::string::npos || status_at + 4 > head_end) return std::nullopt;
+  response.status = std::atoi(raw.c_str() + status_at + 1);
+  // Pull Content-Type through; everything else about the head is dropped.
+  const std::string head = raw.substr(0, head_end);
+  const std::size_t type_at = head.find("Content-Type: ");
+  if (type_at != std::string::npos) {
+    const std::size_t line_end = head.find("\r\n", type_at);
+    response.content_type = head.substr(type_at + 14, line_end - type_at - 14);
+  }
+  response.body = raw.substr(head_end + 4);
+  return response;
+}
+
+}  // namespace mga::obs

@@ -1,0 +1,104 @@
+// ObsServer: minimal embedded HTTP/1.1 introspection endpoint.
+//
+// Deliberately small: blocking POSIX sockets, one accept thread, one
+// (tracked, joined) thread per connection, `Connection: close` semantics,
+// loopback bind by default. That is the right shape for a scrape surface —
+// a Prometheus scrape or a curl of /healthz every few seconds, not a user-
+// facing proxy — and it is the exact per-process surface each shard will
+// expose when the router fronts N shard processes (ROADMAP: multi-process
+// sharding). Handlers are plain callables registered per path before
+// start(); requests for unregistered paths get 404. Port 0 binds an
+// ephemeral port (report it via port()), which is what keeps endpoint tests
+// parallel-safe.
+//
+// `http_get` is the matching minimal client, used by tests and by the bench
+// to scrape its own /metrics for the lint gate — the plane is validated
+// through a real socket, not a function call.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mga::obs {
+
+struct HttpRequest {
+  std::string method;
+  std::string target;  // path only; the query string (if any) is kept as-is
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+struct ObsServerOptions {
+  /// Loopback by default: the plane exposes internals; fronting it to a
+  /// fleet is a deliberate operator decision.
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = ephemeral (read the bound port via port())
+  /// Per-connection socket send/receive timeout; a stuck client costs one
+  /// connection thread for at most this long.
+  std::chrono::milliseconds io_timeout{2000};
+};
+
+class ObsServer {
+ public:
+  explicit ObsServer(ObsServerOptions options = {});
+  ~ObsServer();
+
+  ObsServer(const ObsServer&) = delete;
+  ObsServer& operator=(const ObsServer&) = delete;
+
+  /// Register `handler` for exact path `path` (before start()).
+  void handle(std::string path, HttpHandler handler);
+
+  /// Bind + listen + spawn the accept thread. Throws std::runtime_error
+  /// when the bind fails (address in use, privileged port, ...).
+  void start();
+  /// Stop accepting, close the listener, join every connection thread.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept;
+  /// The actually-bound port (resolves port 0), 0 before start().
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] const std::string& address() const noexcept { return options_.bind_address; }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  void reap_finished_locked();
+
+  ObsServerOptions options_;
+  std::map<std::string, HttpHandler> handlers_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::mutex connections_mutex_;
+  struct Connection {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::vector<Connection> connections_;
+  std::atomic<bool> stopping_{false};
+};
+
+/// Minimal blocking HTTP/1.1 GET against `host:port`; nullopt on connect /
+/// IO / parse failure. `timeout` bounds connect and each socket operation.
+[[nodiscard]] std::optional<HttpResponse> http_get(
+    const std::string& host, std::uint16_t port, const std::string& target,
+    std::chrono::milliseconds timeout = std::chrono::milliseconds(2000));
+
+}  // namespace mga::obs

@@ -1,0 +1,207 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mga::obs {
+
+const char* to_string(HealthState state) noexcept {
+  switch (state) {
+    case HealthState::kOk: return "ok";
+    case HealthState::kDegraded: return "degraded";
+    case HealthState::kViolating: return "violating";
+  }
+  return "?";
+}
+
+double SloTracker::Snapshot::long_window_compliance() const noexcept {
+  std::uint64_t total = 0, bad = 0;
+  for (const TierVerdict& tier : tiers) {
+    total += tier.long_window.total;
+    bad += tier.long_window.errors + tier.long_window.latency_bad;
+  }
+  if (total == 0) return 1.0;
+  return 1.0 - static_cast<double>(std::min(bad, total)) / static_cast<double>(total);
+}
+
+SloTracker::SloTracker(SloOptions options, std::vector<SloObjective> objectives,
+                       std::size_t num_tiers)
+    : options_(options) {
+  MGA_CHECK_MSG(options_.bucket.count() > 0, "SloTracker: bucket must be positive");
+  MGA_CHECK_MSG(options_.short_buckets > 0 && options_.long_buckets >= options_.short_buckets,
+                "SloTracker: need short_buckets <= long_buckets, both positive");
+  MGA_CHECK_MSG(num_tiers > 0, "SloTracker: need at least one tier");
+  objectives.resize(num_tiers);
+  objectives_ = std::move(objectives);
+  tiers_.resize(num_tiers);
+  // long_buckets full buckets plus the currently-filling one.
+  for (Tier& tier : tiers_) tier.ring.resize(options_.long_buckets + 1);
+}
+
+std::uint64_t SloTracker::bucket_epoch(Clock::time_point now) const noexcept {
+  const auto since = now.time_since_epoch();
+  return static_cast<std::uint64_t>(since / options_.bucket);
+}
+
+void SloTracker::record(std::size_t tier, std::uint64_t route, double latency_us, bool error,
+                        Clock::time_point now) {
+  if (tier >= tiers_.size()) tier = tiers_.size() - 1;
+  const std::uint64_t epoch = bucket_epoch(now);
+  const SloObjective& objective = objectives_[tier];
+  const bool latency_bad =
+      !error && objective.latency_p95_us > 0.0 && latency_us > objective.latency_p95_us;
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Bucket>& ring = tiers_[tier].ring;
+  Bucket& bucket = ring[epoch % ring.size()];
+  if (bucket.epoch != epoch) {
+    // The slot last held a bucket a full ring-length ago: it has aged out of
+    // every window, so reset in place (no background sweeper needed).
+    bucket = Bucket{};
+    bucket.epoch = epoch;
+  }
+  bucket.counts.total += 1;
+  bucket.counts.errors += error ? 1 : 0;
+  bucket.counts.latency_bad += latency_bad ? 1 : 0;
+  // The windowed percentile covers completions only; errors (rejections,
+  // expiries, load failures) carry no meaningful service latency.
+  if (!error) bucket.hist.record(latency_us);
+
+  if (route != 0) {
+    if (routes_.size() >= options_.max_routes && routes_.count(route) == 0) routes_.clear();
+    RouteWindow& window = routes_[route];
+    if (epoch >= window.window_start + options_.long_buckets) {
+      window.window_start = epoch;
+      window.total = 0;
+      window.bad = 0;
+    }
+    window.total += 1;
+    window.bad += (error || latency_bad) ? 1 : 0;
+  }
+}
+
+double SloTracker::burn_rate(const SloObjective& objective, const WindowCounts& counts) noexcept {
+  if (counts.total == 0) return 0.0;
+  const auto total = static_cast<double>(counts.total);
+  double burn = 0.0;
+  if (objective.latency_p95_us > 0.0) {
+    // p95 objective => 5% of requests are allowed past the target.
+    const double slow_fraction = static_cast<double>(counts.latency_bad) / total;
+    burn = std::max(burn, slow_fraction / 0.05);
+  }
+  if (objective.error_budget > 0.0) {
+    const double error_fraction = static_cast<double>(counts.errors) / total;
+    burn = std::max(burn, error_fraction / objective.error_budget);
+  }
+  return burn;
+}
+
+HealthState SloTracker::classify(const SloOptions& options, double short_burn,
+                                 double long_burn) noexcept {
+  if (short_burn >= options.violating_burn && long_burn >= options.violating_burn)
+    return HealthState::kViolating;
+  if (short_burn >= options.degraded_burn || long_burn >= options.degraded_burn)
+    return HealthState::kDegraded;
+  return HealthState::kOk;
+}
+
+SloTracker::Snapshot SloTracker::evaluate(Clock::time_point now) const {
+  const std::uint64_t epoch = bucket_epoch(now);
+  Snapshot snapshot;
+  snapshot.tiers.resize(tiers_.size());
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t t = 0; t < tiers_.size(); ++t) {
+    TierVerdict& verdict = snapshot.tiers[t];
+    verdict.objective = objectives_[t];
+    LatencyHistogram long_hist;
+    const std::vector<Bucket>& ring = tiers_[t].ring;
+    // A window covers the current (partial) bucket plus the N-1 before it.
+    for (const Bucket& bucket : ring) {
+      if (bucket.epoch > epoch || bucket.counts.total == 0) continue;
+      const std::uint64_t age = epoch - bucket.epoch;
+      if (age >= options_.long_buckets) continue;
+      verdict.long_window.total += bucket.counts.total;
+      verdict.long_window.errors += bucket.counts.errors;
+      verdict.long_window.latency_bad += bucket.counts.latency_bad;
+      long_hist.merge(bucket.hist);
+      if (age < options_.short_buckets) {
+        verdict.short_window.total += bucket.counts.total;
+        verdict.short_window.errors += bucket.counts.errors;
+        verdict.short_window.latency_bad += bucket.counts.latency_bad;
+      }
+    }
+    verdict.p95_us = long_hist.percentile(0.95);
+    verdict.short_burn = burn_rate(verdict.objective, verdict.short_window);
+    verdict.long_burn = burn_rate(verdict.objective, verdict.long_window);
+    verdict.state = objectives_[t].enabled()
+                        ? classify(options_, verdict.short_burn, verdict.long_burn)
+                        : HealthState::kOk;
+    snapshot.state = worse(snapshot.state, verdict.state);
+  }
+
+  std::vector<RouteVerdict> routes;
+  routes.reserve(routes_.size());
+  for (const auto& [route, window] : routes_) {
+    // A tumbling window that started a full period ago holds stale counts.
+    if (window.total == 0 || epoch >= window.window_start + 2 * options_.long_buckets)
+      continue;
+    routes.push_back(RouteVerdict{route, window.total, window.bad});
+  }
+  std::sort(routes.begin(), routes.end(), [](const RouteVerdict& a, const RouteVerdict& b) {
+    if (a.bad_fraction() != b.bad_fraction()) return a.bad_fraction() > b.bad_fraction();
+    return a.total > b.total;
+  });
+  if (routes.size() > options_.top_routes) routes.resize(options_.top_routes);
+  snapshot.routes = std::move(routes);
+  return snapshot;
+}
+
+SloTracker::Snapshot SloTracker::aggregate(const std::vector<Snapshot>& shards,
+                                           const SloOptions& options) {
+  Snapshot out;
+  if (shards.empty()) return out;
+  out.tiers.resize(shards.front().tiers.size());
+  std::unordered_map<std::uint64_t, RouteVerdict> routes;
+  for (const Snapshot& shard : shards) {
+    for (std::size_t t = 0; t < out.tiers.size() && t < shard.tiers.size(); ++t) {
+      TierVerdict& verdict = out.tiers[t];
+      const TierVerdict& in = shard.tiers[t];
+      verdict.objective = in.objective;
+      verdict.short_window.total += in.short_window.total;
+      verdict.short_window.errors += in.short_window.errors;
+      verdict.short_window.latency_bad += in.short_window.latency_bad;
+      verdict.long_window.total += in.long_window.total;
+      verdict.long_window.errors += in.long_window.errors;
+      verdict.long_window.latency_bad += in.long_window.latency_bad;
+      verdict.p95_us = std::max(verdict.p95_us, in.p95_us);
+    }
+    for (const RouteVerdict& route : shard.routes) {
+      RouteVerdict& merged = routes[route.route];
+      merged.route = route.route;
+      merged.total += route.total;
+      merged.bad += route.bad;
+    }
+  }
+  for (TierVerdict& verdict : out.tiers) {
+    verdict.short_burn = burn_rate(verdict.objective, verdict.short_window);
+    verdict.long_burn = burn_rate(verdict.objective, verdict.long_window);
+    verdict.state = verdict.objective.enabled()
+                        ? classify(options, verdict.short_burn, verdict.long_burn)
+                        : HealthState::kOk;
+    out.state = worse(out.state, verdict.state);
+  }
+  out.routes.reserve(routes.size());
+  for (const auto& [key, route] : routes) out.routes.push_back(route);
+  std::sort(out.routes.begin(), out.routes.end(),
+            [](const RouteVerdict& a, const RouteVerdict& b) {
+              if (a.bad_fraction() != b.bad_fraction())
+                return a.bad_fraction() > b.bad_fraction();
+              return a.total > b.total;
+            });
+  if (out.routes.size() > options.top_routes) out.routes.resize(options.top_routes);
+  return out;
+}
+
+}  // namespace mga::obs

@@ -1,0 +1,177 @@
+// SLO tracker: sliding latency/error windows with multi-window burn rates.
+//
+// One tracker watches one stream of completions (a serve shard keeps one and
+// feeds it per published request, tier-attributed). Time is divided into
+// fixed buckets; each bucket holds a LatencyHistogram plus good/bad event
+// counts, and a window is the exact merge of the buckets it covers — the
+// same mergeable-histogram trick the serve stats use, so the windowed p95 is
+// as precise as the full-history one. Objectives follow the SRE "good
+// events / budget" formulation: a latency objective `p95 < X us` means at
+// most 5% of requests may exceed X, so the burn rate is
+// (observed slow fraction) / 0.05; an error objective `errors < Y` burns at
+// (observed error fraction) / Y. Two windows (short + long) gate the typed
+// verdict: a burn spike must show in *both* to count as violating (the
+// classic multi-window rule that ignores single-bucket blips), while a
+// short-window burn past the degraded threshold flags early.
+//
+// Clocks are injected (every entry point takes `now`) so the window math is
+// unit-testable without sleeping; callers default to steady_clock::now().
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace mga::obs {
+
+/// Typed health verdict, ordered by severity so verdicts combine with max.
+enum class HealthState : std::uint8_t { kOk = 0, kDegraded = 1, kViolating = 2 };
+
+[[nodiscard]] const char* to_string(HealthState state) noexcept;
+
+[[nodiscard]] constexpr HealthState worse(HealthState a, HealthState b) noexcept {
+  return static_cast<std::uint8_t>(a) >= static_cast<std::uint8_t>(b) ? a : b;
+}
+
+/// Objectives for one stream (a serve tier). Both default off: a tracker
+/// without objectives still keeps windows (for compliance/percentile rows)
+/// but always reports kOk.
+struct SloObjective {
+  /// p95 latency target in microseconds; <= 0 disables the latency
+  /// objective. The implied budget: 5% of requests may run slower.
+  double latency_p95_us = 0.0;
+  /// Allowed error fraction per window (e.g. 0.01 = 1%); <= 0 disables.
+  double error_budget = 0.0;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return latency_p95_us > 0.0 || error_budget > 0.0;
+  }
+};
+
+struct SloOptions {
+  /// Window granularity. The short window spans `short_buckets` of these,
+  /// the long window `long_buckets` (which also bounds tracker memory:
+  /// long_buckets + 1 histograms per tier).
+  std::chrono::milliseconds bucket{1000};
+  std::size_t short_buckets = 5;
+  std::size_t long_buckets = 60;
+  /// Burn thresholds: short-window burn >= degraded_burn flags kDegraded;
+  /// burn >= violating_burn in BOTH windows flags kViolating.
+  double degraded_burn = 1.0;
+  double violating_burn = 2.0;
+  /// Bound on the per-route compliance map (crude clear on overflow, like
+  /// the shard's arrival tracking — the map informs /slo, never admission).
+  std::size_t max_routes = 512;
+  /// Worst routes surfaced per snapshot.
+  std::size_t top_routes = 8;
+};
+
+class SloTracker {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Raw good/bad counts over one window — carried in verdicts so a facade
+  /// can aggregate shards exactly (sum counts, recompute burns) instead of
+  /// averaging pre-computed rates.
+  struct WindowCounts {
+    std::uint64_t total = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t latency_bad = 0;  // completions slower than the objective
+  };
+
+  struct TierVerdict {
+    HealthState state = HealthState::kOk;
+    SloObjective objective;
+    WindowCounts short_window;
+    WindowCounts long_window;
+    double p95_us = 0.0;  // long-window windowed percentile
+    double short_burn = 0.0;
+    double long_burn = 0.0;
+  };
+
+  /// Coarse per-route compliance (tumbling long window, counts only).
+  struct RouteVerdict {
+    std::uint64_t route = 0;
+    std::uint64_t total = 0;
+    std::uint64_t bad = 0;  // errors + latency-objective misses
+
+    [[nodiscard]] double bad_fraction() const noexcept {
+      return total == 0 ? 0.0 : static_cast<double>(bad) / static_cast<double>(total);
+    }
+  };
+
+  struct Snapshot {
+    HealthState state = HealthState::kOk;
+    std::vector<TierVerdict> tiers;
+    /// Worst routes by bad fraction (then volume), at most `top_routes`.
+    std::vector<RouteVerdict> routes;
+
+    /// Long-window compliance across all tiers: fraction of completions
+    /// that were good (no error, within the latency objective). 1 when the
+    /// windows are empty.
+    [[nodiscard]] double long_window_compliance() const noexcept;
+  };
+
+  /// `objectives[t]` applies to stream/tier t; `num_tiers` fixes the tier
+  /// dimension for the tracker's lifetime (extra objectives are ignored,
+  /// missing ones default to disabled).
+  SloTracker(SloOptions options, std::vector<SloObjective> objectives,
+             std::size_t num_tiers);
+
+  /// One completion (or terminal failure) on tier `tier`. `route` attributes
+  /// it to the per-route compliance map (0 = unattributed, skipped).
+  /// `error` marks QoS failures (rejected / shed / expired / load-failed);
+  /// caller-cancelled requests should not be recorded.
+  void record(std::size_t tier, std::uint64_t route, double latency_us, bool error,
+              Clock::time_point now = Clock::now());
+
+  /// Evaluate every tier's windows as of `now`. O(windows * buckets)
+  /// histogram merges — scrape-path cost, not submit-path.
+  [[nodiscard]] Snapshot evaluate(Clock::time_point now = Clock::now()) const;
+
+  /// Exact cross-shard aggregation: window counts sum per tier, burns and
+  /// verdicts recompute from the sums under `options`' thresholds, windowed
+  /// p95 is the max over shards (conservative: histograms are not carried),
+  /// route entries merge and re-rank.
+  [[nodiscard]] static Snapshot aggregate(const std::vector<Snapshot>& shards,
+                                          const SloOptions& options);
+
+  [[nodiscard]] const SloOptions& options() const noexcept { return options_; }
+
+ private:
+  struct Bucket {
+    std::uint64_t epoch = 0;  // bucket index since clock epoch; stale = reset
+    WindowCounts counts;
+    LatencyHistogram hist;
+  };
+
+  struct Tier {
+    std::vector<Bucket> ring;
+  };
+
+  struct RouteWindow {
+    std::uint64_t window_start = 0;  // bucket epoch the tumbling window began
+    std::uint64_t total = 0;
+    std::uint64_t bad = 0;
+  };
+
+  [[nodiscard]] std::uint64_t bucket_epoch(Clock::time_point now) const noexcept;
+  [[nodiscard]] static HealthState classify(const SloOptions& options, double short_burn,
+                                            double long_burn) noexcept;
+  /// Burn rates for `counts` under `objective` (max of latency and error
+  /// burn; 0 when the window is empty or the objective is disabled).
+  [[nodiscard]] static double burn_rate(const SloObjective& objective,
+                                        const WindowCounts& counts) noexcept;
+
+  SloOptions options_;
+  std::vector<SloObjective> objectives_;  // one per tier
+  mutable std::mutex mutex_;
+  std::vector<Tier> tiers_;
+  std::unordered_map<std::uint64_t, RouteWindow> routes_;
+};
+
+}  // namespace mga::obs

@@ -1,0 +1,99 @@
+#include "obs/watchdog.hpp"
+
+namespace mga::obs {
+
+const char* to_string(StageHealth health) noexcept {
+  switch (health) {
+    case StageHealth::kIdle: return "idle";
+    case StageHealth::kActive: return "active";
+    case StageHealth::kSuspended: return "suspended";
+    case StageHealth::kStalled: return "stalled";
+  }
+  return "?";
+}
+
+StallWatchdog::StallWatchdog(Options options) : options_(options) {}
+
+StallWatchdog::~StallWatchdog() { stop(); }
+
+void StallWatchdog::add_probe(WatchdogProbe probe) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ProbeState state;
+  state.probe = std::move(probe);
+  probes_.push_back(std::move(state));
+}
+
+StallWatchdog::Snapshot StallWatchdog::check(Clock::time_point now) {
+  Snapshot snapshot;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  snapshot.probes.reserve(probes_.size());
+  for (ProbeState& state : probes_) {
+    const WatchdogProbe& probe = state.probe;
+    ProbeVerdict verdict;
+    verdict.name = probe.name;
+    verdict.beats = probe.heartbeat != nullptr ? probe.heartbeat->count() : 0;
+    verdict.pending = probe.pending ? probe.pending() : 0;
+    const bool suspended = probe.suspended && probe.suspended();
+    const bool progressed = !state.primed || verdict.beats != state.last_beats;
+    if (progressed || suspended || verdict.pending == 0) {
+      // Progress, legitimate standstill, or nothing to do: stall clock
+      // resets. (First sight of a probe primes it without judging.)
+      state.last_progress = now;
+    }
+    state.last_beats = verdict.beats;
+    state.primed = true;
+    const Clock::duration leash =
+        probe.stall_after.count() > 0 ? probe.stall_after : options_.stall_after;
+    const Clock::duration quiet = now - state.last_progress;
+    verdict.since_progress_s = std::chrono::duration<double>(quiet).count();
+    if (suspended) {
+      verdict.health = StageHealth::kSuspended;
+    } else if (verdict.pending > 0 && quiet >= leash) {
+      verdict.health = StageHealth::kStalled;
+    } else if (verdict.pending > 0 || progressed) {
+      verdict.health = StageHealth::kActive;
+    } else {
+      verdict.health = StageHealth::kIdle;
+    }
+    if (verdict.health == StageHealth::kStalled)
+      snapshot.state = HealthState::kViolating;
+    snapshot.probes.push_back(std::move(verdict));
+  }
+  published_ = snapshot;
+  health_.store(static_cast<std::uint8_t>(snapshot.state), std::memory_order_relaxed);
+  return snapshot;
+}
+
+StallWatchdog::Snapshot StallWatchdog::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return published_;
+}
+
+void StallWatchdog::start() {
+  const std::lock_guard<std::mutex> lock(thread_mutex_);
+  if (thread_.joinable()) return;
+  stopping_ = false;
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(thread_mutex_);
+    while (!stopping_) {
+      lock.unlock();
+      (void)check(Clock::now());
+      lock.lock();
+      thread_cv_.wait_for(lock, options_.period, [this] { return stopping_; });
+    }
+  });
+}
+
+void StallWatchdog::stop() {
+  std::thread reap;
+  {
+    const std::lock_guard<std::mutex> lock(thread_mutex_);
+    if (!thread_.joinable()) return;
+    stopping_ = true;
+    reap = std::move(thread_);
+  }
+  thread_cv_.notify_all();
+  reap.join();
+}
+
+}  // namespace mga::obs

@@ -1,0 +1,141 @@
+// Stall watchdog: liveness detection for staged/pooled components.
+//
+// Each watched stage registers a probe: a monotone progress Heartbeat (beat
+// = one unit of real work retired — a pop, a sealed batch, a stage
+// execution; never a bare loop iteration, so a livelocked spin that retires
+// nothing reads as no progress), a `pending` gauge (work visibly waiting for
+// that stage: queue depth, ring occupancy), and a `suspended` predicate
+// (operator pause, retrain quiesce, drain-complete — states in which
+// standing still is legitimate). A detector thread samples every probe each
+// period and applies one rule:
+//
+//   stalled  <=>  pending work has been visible AND the heartbeat has not
+//                 advanced AND the probe was not suspended, continuously
+//                 for `stall_after`.
+//
+// Idle (no pending work), suspended, and freshly-progressed probes all
+// reset the stall clock — which is exactly what keeps the watchdog quiet
+// across pause/resume, retrain quiesce, and close/drain: paused stages
+// report suspended, drained stages report no pending work. Any stalled
+// probe flips the watchdog's HealthState to kViolating until the stage
+// beats again. `check()` runs one detector pass synchronously for tests.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/slo.hpp"
+
+namespace mga::obs {
+
+/// Monotone progress counter; relaxed increments, safe from any thread.
+class Heartbeat {
+ public:
+  void beat(std::uint64_t n = 1) noexcept { count_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+};
+
+enum class StageHealth : std::uint8_t { kIdle = 0, kActive, kSuspended, kStalled };
+
+[[nodiscard]] const char* to_string(StageHealth health) noexcept;
+
+struct WatchdogProbe {
+  std::string name;
+  /// Must outlive the watchdog's use of this probe (stop() before teardown).
+  Heartbeat* heartbeat = nullptr;
+  /// Work visibly waiting for the stage; null = always 0 (pure-liveness
+  /// probes never stall, they only report activity).
+  std::function<std::size_t()> pending;
+  /// True while standing still is legitimate (paused / quiesced / closed).
+  std::function<bool()> suspended;
+  /// Per-probe override of Options::stall_after; zero = use the default
+  /// (stages with legitimately long silent phases get a longer leash).
+  std::chrono::steady_clock::duration stall_after{};
+};
+
+class StallWatchdog {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Options {
+    Clock::duration period = std::chrono::milliseconds(100);
+    /// Continuous (pending && no-progress && !suspended) time that flags a
+    /// stall. Must exceed the worst legitimate service time of one work
+    /// unit on the slowest watched stage.
+    Clock::duration stall_after = std::chrono::seconds(1);
+  };
+
+  struct ProbeVerdict {
+    std::string name;
+    StageHealth health = StageHealth::kIdle;
+    std::uint64_t beats = 0;
+    std::size_t pending = 0;
+    double since_progress_s = 0.0;
+  };
+
+  struct Snapshot {
+    HealthState state = HealthState::kOk;
+    std::vector<ProbeVerdict> probes;
+  };
+
+  StallWatchdog() : StallWatchdog(Options()) {}
+  explicit StallWatchdog(Options options);
+  ~StallWatchdog();
+
+  StallWatchdog(const StallWatchdog&) = delete;
+  StallWatchdog& operator=(const StallWatchdog&) = delete;
+
+  /// Register a probe. Allowed before start() or between stop()s; not
+  /// concurrently with a running detector.
+  void add_probe(WatchdogProbe probe);
+
+  /// Start / stop the detector thread (idempotent; destructor stops).
+  void start();
+  void stop();
+
+  /// One synchronous detector pass as of `now`; updates the published
+  /// verdict exactly like a thread pass. Safe alongside a running detector.
+  Snapshot check(Clock::time_point now = Clock::now());
+
+  /// Most recently published verdict (kOk with no probes before any pass).
+  [[nodiscard]] Snapshot snapshot() const;
+  /// Cheap (one relaxed load): kViolating while any probe is stalled.
+  [[nodiscard]] HealthState health() const noexcept {
+    return static_cast<HealthState>(health_.load(std::memory_order_relaxed));
+  }
+
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+ private:
+  struct ProbeState {
+    WatchdogProbe probe;
+    std::uint64_t last_beats = 0;
+    Clock::time_point last_progress{};  // last beat / idle / suspended sight
+    bool primed = false;
+  };
+
+  Options options_;
+  mutable std::mutex mutex_;  // probes_ + published snapshot
+  std::vector<ProbeState> probes_;
+  Snapshot published_;
+  std::atomic<std::uint8_t> health_{0};
+
+  std::mutex thread_mutex_;
+  std::condition_variable thread_cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace mga::obs

@@ -142,6 +142,7 @@ void RetrainController::controller_loop() {
       pending_.pop_front();
       in_flight_ = machine;
     }
+    heartbeat_.beat();  // one dequeued trigger = one retired intake unit
     try {
       run_cycle(machine);
     } catch (...) {
@@ -155,8 +156,14 @@ void RetrainController::controller_loop() {
       in_flight_.clear();
       cycles_.fetch_add(1, std::memory_order_relaxed);
     }
+    heartbeat_.beat();  // one completed cycle (any outcome)
     cycle_cv_.notify_all();
   }
+}
+
+std::size_t RetrainController::pending_count() const {
+  const std::lock_guard<std::mutex> lock(queue_mutex_);
+  return pending_.size() + (in_flight_.empty() ? 0 : 1);
 }
 
 bool RetrainController::retrain_now(const std::string& machine) {
@@ -505,6 +512,7 @@ bool RetrainController::run_cycle(const std::string& machine) {
       }
     }
     if (Clock::now() >= deadline) break;
+    heartbeat_.beat();  // a live canary sample window is progress, not a stall
     std::unique_lock<std::mutex> lock(queue_mutex_);
     if (queue_cv_.wait_for(lock, options_.canary.poll, [&] { return stopping_; })) break;
   }

@@ -44,6 +44,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/watchdog.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/retrain/drift_monitor.hpp"
 #include "serve/retrain/observation_log.hpp"
@@ -145,6 +146,14 @@ class RetrainController {
   [[nodiscard]] bool wait_for_cycles(std::uint64_t cycles,
                                      std::chrono::steady_clock::duration timeout) const;
 
+  /// Stall-watchdog wiring: the controller's liveness heartbeat (advances
+  /// per dequeued trigger, per completed cycle, and on every canary poll,
+  /// so a long sample window is progress, not a stall) and the work the
+  /// watchdog should treat as pending (queued machines plus the cycle in
+  /// flight).
+  [[nodiscard]] obs::Heartbeat& heartbeat() noexcept { return heartbeat_; }
+  [[nodiscard]] std::size_t pending_count() const;
+
  private:
   void controller_loop();
   /// One full snapshot → fine-tune → validate → quiesce → swap pass.
@@ -176,6 +185,7 @@ class RetrainController {
   std::atomic<std::uint64_t> canary_rolled_back_{0};
   std::atomic<std::uint64_t> canary_timeouts_{0};
   std::atomic<bool> canary_active_{false};
+  obs::Heartbeat heartbeat_;
 
   std::mutex cycle_run_mutex_;           // serializes run_cycle executions
   mutable std::mutex last_cycle_mutex_;  // guards the last_* block

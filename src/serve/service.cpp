@@ -1,9 +1,12 @@
 #include "serve/service.hpp"
 
+#include <iterator>
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/telemetry.hpp"
 #include "util/check.hpp"
 
 namespace mga::serve {
@@ -26,6 +29,12 @@ TuningService::TuningService(std::shared_ptr<ModelRegistry> registry, ServeOptio
       router_(options.shards == 0 ? 1 : options.shards) {
   MGA_CHECK_MSG(registry_ != nullptr, "TuningService: null registry");
   MGA_CHECK_MSG(options_.shards > 0, "TuningService: need at least one shard");
+  if (options_.telemetry.enabled) {
+    obs::StallWatchdog::Options watchdog_options;
+    watchdog_options.period = options_.telemetry.watchdog_period;
+    watchdog_options.stall_after = options_.telemetry.watchdog_stall_after;
+    watchdog_ = std::make_unique<obs::StallWatchdog>(watchdog_options);
+  }
   retrain::ObservationFn observer;
   if (options_.retrain.enabled) {
     // The controller reaches the fleet through these hooks only; they run on
@@ -47,13 +56,36 @@ TuningService::TuningService(std::shared_ptr<ModelRegistry> registry, ServeOptio
     observer = [controller = retrain_.get()](const retrain::ServedSample& sample) {
       controller->record(sample);
     };
+    if (watchdog_) {
+      // The controller is a watched stage too: a deadlocked cycle (a hook
+      // that never returns, a wedged quiesce) shows up as a stalled probe.
+      // Long leash — a cycle legitimately spends tens of seconds in a
+      // fine-tune or a canary sample window between beats.
+      obs::WatchdogProbe probe;
+      probe.name = "retrain/controller";
+      probe.heartbeat = &retrain_->heartbeat();
+      probe.pending = [controller = retrain_.get()] { return controller->pending_count(); };
+      probe.stall_after = std::chrono::seconds(60);
+      watchdog_->add_probe(std::move(probe));
+    }
   }
   shards_.reserve(options_.shards);
   for (std::size_t s = 0; s < options_.shards; ++s) {
     ServeOptions shard_options = options_;
     shard_options.shard_index = s;  // stamped on the shard's trace spans
-    shards_.push_back(std::make_unique<ServeShard>(registry_, shard_options, observer));
+    shards_.push_back(
+        std::make_unique<ServeShard>(registry_, shard_options, observer, watchdog_.get()));
   }
+  if (watchdog_) watchdog_->start();
+  if (options_.telemetry.enabled && options_.telemetry.http) {
+    obs::ObsServerOptions server_options;
+    server_options.bind_address = options_.telemetry.http_address;
+    server_options.port = options_.telemetry.http_port;
+    server_ = std::make_unique<obs::ObsServer>(server_options);
+    register_telemetry_endpoints(*server_, *this);
+    server_->start();  // throws on bind failure — surfaced to the creator
+  }
+  started_ = std::chrono::steady_clock::now();
 }
 
 TuningService::~TuningService() { shutdown(); }
@@ -112,8 +144,10 @@ TuneTicket TuningService::submit(TuneRequest request) {
   }
   const SteadyClock::time_point route_start = traced ? SteadyClock::now()
                                                      : SteadyClock::time_point{};
-  const std::size_t shard_index =
-      router_.shard_for(route_key(request.machine, route_fingerprint(request.kernel)));
+  // Stamped once and reused: the router, the canary split, and the SLO
+  // tracker's per-route windows all key on the same value.
+  request.route = route_key(request.machine, route_fingerprint(request.kernel));
+  const std::size_t shard_index = router_.shard_for(request.route);
   const std::uint64_t trace_id = request.trace.id;
   if (traced && trace_id != 0) {
     obs::TraceCollector::instance().record_span(trace_id, obs::Stage::kRoute,
@@ -179,9 +213,14 @@ void TuningService::shutdown() {
     if (shut_down_) return;
     shut_down_ = true;
   }
-  // Stop the retrain controller first: a cycle in flight completes (its
-  // pause/resume pairing is never torn), queued cycles are discarded, and no
-  // hook can touch a shard after this returns.
+  // Telemetry plane first: no scrape may observe a half-dead fleet, and the
+  // watchdog's probe lambdas read shard/controller state, so both must be
+  // quiet before anything they watch is torn down.
+  if (server_) server_->stop();
+  if (watchdog_) watchdog_->stop();
+  // Stop the retrain controller before the shards: a cycle in flight
+  // completes (its pause/resume pairing is never torn), queued cycles are
+  // discarded, and no hook can touch a shard after this returns.
   if (retrain_) retrain_->stop();
   // Close every queue so submitters fail fast and all shards drain their
   // backlogs concurrently, then reap the worker pools.
@@ -190,18 +229,93 @@ void TuningService::shutdown() {
 }
 
 ServiceStatsSnapshot TuningService::stats_snapshot() const {
+  ServiceStatsSnapshot s;
   if (shards_.size() == 1) {
     // Fast path, and exactly the unsharded service's snapshot (aggregation
     // would re-derive the means from rounded sums).
-    ServiceStatsSnapshot s = shards_.front()->stats_snapshot();
+    s = shards_.front()->stats_snapshot();
     ServiceStatsSnapshot breakdown = s;  // breakdown of one: itself
     s.shards.push_back(std::move(breakdown));
-    return s;
+  } else {
+    std::vector<ServiceStatsSnapshot> per_shard;
+    per_shard.reserve(shards_.size());
+    for (const auto& shard : shards_) per_shard.push_back(shard->stats_snapshot());
+    s = aggregate_snapshots(std::move(per_shard));
   }
-  std::vector<ServiceStatsSnapshot> per_shard;
-  per_shard.reserve(shards_.size());
-  for (const auto& shard : shards_) per_shard.push_back(shard->stats_snapshot());
-  return aggregate_snapshots(std::move(per_shard));
+  if (options_.telemetry.enabled) {
+    // Stamp the telemetry header: uptime, per-shard and combined health,
+    // and the SLO long-window totals behind the compliance row.
+    const double uptime = uptime_seconds();
+    const std::vector<obs::SloTracker::Snapshot> per_shard = shard_slo_snapshots();
+    for (std::size_t i = 0; i < s.shards.size() && i < per_shard.size(); ++i) {
+      s.shards[i].uptime_seconds = uptime;
+      s.shards[i].health = per_shard[i].state;
+      for (const obs::SloTracker::TierVerdict& tier : per_shard[i].tiers) {
+        s.shards[i].slo_window_total += tier.long_window.total;
+        s.shards[i].slo_window_bad += tier.long_window.errors + tier.long_window.latency_bad;
+      }
+    }
+    const obs::SloTracker::Snapshot aggregate =
+        obs::SloTracker::aggregate(per_shard, options_.telemetry.slo);
+    s.uptime_seconds = uptime;
+    s.health = obs::worse(aggregate.state,
+                          watchdog_ ? watchdog_->health() : obs::HealthState::kOk);
+    for (const obs::SloTracker::TierVerdict& tier : aggregate.tiers) {
+      s.slo_window_total += tier.long_window.total;
+      s.slo_window_bad += tier.long_window.errors + tier.long_window.latency_bad;
+    }
+  }
+  return s;
+}
+
+obs::HealthState TuningService::health() const {
+  obs::HealthState state = slo_snapshot().state;
+  if (watchdog_) state = obs::worse(state, watchdog_->health());
+  return state;
+}
+
+std::vector<obs::SloTracker::Snapshot> TuningService::shard_slo_snapshots() const {
+  // One `now` across shards, so the aggregate merges the same windows.
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<obs::SloTracker::Snapshot> snapshots;
+  snapshots.reserve(shards_.size());
+  for (const auto& shard : shards_) snapshots.push_back(shard->slo_snapshot(now));
+  return snapshots;
+}
+
+obs::SloTracker::Snapshot TuningService::slo_snapshot() const {
+  return obs::SloTracker::aggregate(shard_slo_snapshots(), options_.telemetry.slo);
+}
+
+std::vector<obs::Exemplar> TuningService::exemplar_snapshot() const {
+  std::vector<obs::Exemplar> exemplars;
+  for (const auto& shard : shards_) {
+    if (obs::ExemplarReservoir* reservoir = shard->exemplars()) {
+      std::vector<obs::Exemplar> mine = reservoir->snapshot();
+      exemplars.insert(exemplars.end(), std::make_move_iterator(mine.begin()),
+                       std::make_move_iterator(mine.end()));
+    }
+  }
+  return exemplars;
+}
+
+std::string TuningService::metrics_prometheus() const {
+  obs::MetricsRegistry registry;
+  export_service_metrics(registry, stats_snapshot());
+  if (options_.telemetry.enabled) {
+    const std::vector<obs::SloTracker::Snapshot> per_shard = shard_slo_snapshots();
+    export_slo_metrics(registry,
+                       obs::SloTracker::aggregate(per_shard, options_.telemetry.slo),
+                       per_shard);
+    if (watchdog_) export_watchdog_metrics(registry, watchdog_->snapshot());
+  }
+  // Cross-cutting process instruments (runtime-plan compile/execute
+  // counters) ride along, so one scrape covers serve + runtime.
+  return registry.to_prometheus() + obs::MetricsRegistry::global().to_prometheus();
+}
+
+double TuningService::uptime_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - started_).count();
 }
 
 }  // namespace mga::serve

@@ -26,6 +26,7 @@
 // tests/test_serve.cpp, for every shard count the bench runs).
 #pragma once
 
+#include <chrono>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -33,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/server.hpp"
 #include "serve/retrain/controller.hpp"
 #include "serve/router.hpp"
 #include "serve/shard.hpp"
@@ -102,6 +104,33 @@ class TuningService {
     return retrain_.get();
   }
 
+  // ---- telemetry plane (DESIGN.md §12) ----------------------------------
+
+  /// Combined health verdict: worst of the aggregated SLO windows and the
+  /// stall watchdog. Always kOk when telemetry is disabled.
+  [[nodiscard]] obs::HealthState health() const;
+  /// Service-wide SLO verdict (exact cross-shard aggregation) and the
+  /// per-shard verdicts it was built from.
+  [[nodiscard]] obs::SloTracker::Snapshot slo_snapshot() const;
+  [[nodiscard]] std::vector<obs::SloTracker::Snapshot> shard_slo_snapshots() const;
+  /// Current exemplars across every shard's reservoir (slowest first per
+  /// shard). Empty when telemetry is disabled.
+  [[nodiscard]] std::vector<obs::Exemplar> exemplar_snapshot() const;
+  /// The stall watchdog, null when telemetry is disabled.
+  [[nodiscard]] obs::StallWatchdog* watchdog() noexcept { return watchdog_.get(); }
+  [[nodiscard]] const obs::StallWatchdog* watchdog() const noexcept { return watchdog_.get(); }
+  /// One full Prometheus scrape: serve counters (per shard / per tier), SLO
+  /// and watchdog verdicts, plus the process-global registry (runtime-plan
+  /// counters) appended.
+  [[nodiscard]] std::string metrics_prometheus() const;
+  /// Seconds since construction.
+  [[nodiscard]] double uptime_seconds() const;
+  /// The bound introspection port; 0 unless `telemetry.http` was set (use
+  /// with `TelemetryOptions::http_port = 0` for an ephemeral port).
+  [[nodiscard]] std::uint16_t telemetry_port() const noexcept {
+    return server_ ? server_->port() : 0;
+  }
+
  private:
   /// Target machine for `request`, or a resolution ServeError.
   [[nodiscard]] std::optional<ServeError> resolve_machine(TuneRequest& request) const;
@@ -115,6 +144,12 @@ class TuningService {
   /// `this`, and shutdown stops it before any shard joins.
   std::unique_ptr<retrain::RetrainController> retrain_;
   std::vector<std::unique_ptr<ServeShard>> shards_;
+  /// Declared after `shards_` (and stopped first in shutdown): the probe
+  /// lambdas and endpoint handlers read shard / controller state, so both
+  /// must be quiet before any of it is torn down.
+  std::unique_ptr<obs::StallWatchdog> watchdog_;
+  std::unique_ptr<obs::ObsServer> server_;
+  std::chrono::steady_clock::time_point started_{};
   std::mutex shutdown_mutex_;
   bool shut_down_ = false;
 };

@@ -70,7 +70,7 @@ constexpr std::size_t kMaxArrivalEntries = 4096;
 }  // namespace
 
 ServeShard::ServeShard(std::shared_ptr<ModelRegistry> registry, const ServeOptions& options,
-                       retrain::ObservationFn observer)
+                       retrain::ObservationFn observer, obs::StallWatchdog* watchdog)
     : registry_(std::move(registry)),
       options_(options),
       observer_(std::move(observer)),
@@ -79,6 +79,21 @@ ServeShard::ServeShard(std::shared_ptr<ModelRegistry> registry, const ServeOptio
   MGA_CHECK_MSG(registry_ != nullptr, "ServeShard: null registry");
   MGA_CHECK_MSG(options_.workers > 0, "ServeShard: need at least one worker");
   MGA_CHECK_MSG(options_.max_batch > 0, "ServeShard: max_batch must be positive");
+  if (options_.telemetry.enabled) {
+    // Telemetry plane, built before any thread starts: workers read slo_ /
+    // exemplars_ without synchronization beyond construction ordering.
+    const TelemetryOptions& telemetry = options_.telemetry;
+    slo_ = std::make_unique<obs::SloTracker>(
+        telemetry.slo,
+        std::vector<obs::SloObjective>(telemetry.objectives.begin(), telemetry.objectives.end()),
+        kNumTiers);
+    obs::ExemplarOptions exemplar_options;
+    exemplar_options.slow_capacity = telemetry.exemplar_slow;
+    exemplar_options.error_capacity = telemetry.exemplar_errors;
+    exemplar_options.window = telemetry.exemplar_window;
+    exemplars_ = std::make_unique<obs::ExemplarReservoir>(exemplar_options);
+    if (watchdog != nullptr) register_probes(*watchdog);
+  }
   if (options_.pipeline) {
     MGA_CHECK_MSG(options_.stage_queue_capacity > 0,
                   "ServeShard: stage_queue_capacity must be positive");
@@ -139,7 +154,6 @@ Clock::duration ServeShard::effective_linger(std::uint64_t linger_key) const {
 
 void ServeShard::submit(TuneRequest request, std::shared_ptr<TicketState> state) {
   stats_.record_submit();
-
   Pending pending;
   pending.tier = request.options.priority;
   pending.enqueued = Clock::now();
@@ -206,8 +220,15 @@ void ServeShard::submit(TuneRequest request, std::shared_ptr<TicketState> state)
   const auto lane = static_cast<std::size_t>(pending.tier);
   const Priority tier = pending.tier;
   const Clock::time_point deadline_at = pending.deadline_at;
+  const std::uint64_t route = request.route;
   std::shared_ptr<TicketState> pending_state = pending.state;  // survives the move
   pending.request = std::move(request);
+  // Admission refusals burn the SLO error budget: a rejected request is a
+  // QoS failure whether or not a worker ever saw it. (The latency argument
+  // is ignored for errors — the windowed p95 covers completions only.)
+  const auto record_slo_error = [&] {
+    if (slo_ != nullptr) slo_->record(lane, route, 0.0, /*error=*/true);
+  };
 
   // Shard-aware admission: Reject/Shed consider the whole shard's backlog,
   // not just their own lane — a backlogged shard refuses sheddable traffic
@@ -217,6 +238,7 @@ void ServeShard::submit(TuneRequest request, std::shared_ptr<TicketState> state)
   if (options_.shard_backlog_limit > 0 && admission != Admission::kBlock &&
       queue_.size() >= options_.shard_backlog_limit) {
     stats_.record_rejected(tier);
+    record_slo_error();
     pending_state->resolve(ServeError{
         ServeErrorKind::kRejected,
         "shard backlog at limit (" + std::to_string(options_.shard_backlog_limit) + ")",
@@ -238,6 +260,9 @@ void ServeShard::submit(TuneRequest request, std::shared_ptr<TicketState> state)
         // cancel already claimed counts as cancelled, not shed.
         if (shed->state->try_claim()) {
           stats_.record_shed(shed->tier);
+          if (slo_ != nullptr)
+            slo_->record(static_cast<std::size_t>(shed->tier), shed->request.route, 0.0,
+                         /*error=*/true);
           shed->state->publish(ServeError{ServeErrorKind::kRejected,
                                           "shed: displaced by a newer request", nullptr});
         } else {
@@ -262,11 +287,13 @@ void ServeShard::submit(TuneRequest request, std::shared_ptr<TicketState> state)
     case TieredQueue<Pending>::PushResult::kFull:
       if (admission == Admission::kBlock) {
         stats_.record_expired(tier);
+        record_slo_error();
         pending_state->resolve(ServeError{ServeErrorKind::kDeadlineExceeded,
                                           "deadline elapsed while blocked on a full lane",
                                           nullptr});
       } else {
         stats_.record_rejected(tier);
+        record_slo_error();
         pending_state->resolve(ServeError{
             ServeErrorKind::kRejected,
             std::string("lane '") + to_string(tier) + "' is at capacity", nullptr});
@@ -275,6 +302,7 @@ void ServeShard::submit(TuneRequest request, std::shared_ptr<TicketState> state)
     case TieredQueue<Pending>::PushResult::kClosed: {
       const char* detail = "TuningService: submit after shutdown";
       stats_.record_rejected(tier);
+      record_slo_error();
       pending_state->resolve(ServeError{ServeErrorKind::kRejected, detail,
                                         std::make_exception_ptr(std::runtime_error(detail))});
       break;
@@ -292,6 +320,8 @@ bool ServeShard::sweep(Pending& pending, Clock::time_point now) {
   if (now >= pending.deadline_at) {
     if (pending.state->try_claim()) {
       stats_.record_expired(pending.tier);
+      record_outcome(pending, micros_between(pending.enqueued, now), /*error=*/true,
+                     obs::Exemplar::Kind::kDeadline, now, nullptr);
       pending.state->publish(ServeError{ServeErrorKind::kDeadlineExceeded,
                                         "deadline expired before the grouped forward",
                                         nullptr});
@@ -347,6 +377,7 @@ void ServeShard::worker_loop() {
     }
 
     const Clock::time_point pop_time = Clock::now();
+    worker_beat_.beat();  // one pop = one retired work unit
     if (sweep(*first, pop_time)) continue;
 
     std::vector<Pending> batch;
@@ -463,9 +494,12 @@ void ServeShard::process_batch(std::vector<Pending>& batch) {
       configs.push_back(tuner->space()[static_cast<std::size_t>(label)]);
   } catch (...) {
     const ServeError error = classify_batch_exception();
+    const Clock::time_point now = Clock::now();
     for (Pending& pending : batch) {
       if (pending.state->try_claim()) {
         stats_.record_failed();
+        record_outcome(pending, micros_between(pending.enqueued, now), /*error=*/true,
+                       obs::Exemplar::Kind::kError, now, nullptr);
         pending.state->publish(error);
       } else {
         stats_.record_cancelled(pending.tier);  // a cancel won the race
@@ -536,6 +570,10 @@ void ServeShard::process_batch(std::vector<Pending>& batch) {
       // wakes, and must see its own completion in it.
       stats_.record_completion(result.latency_us, result.queue_wait_us, compute_us,
                                extract_us, forward_us, batch[i].tier);
+      // Legacy engine: no PipelineBatch timestamps, so a slow exemplar keeps
+      // the coarse whole-life span only.
+      record_outcome(batch[i], result.latency_us, /*error=*/false,
+                     obs::Exemplar::Kind::kSlow, done_time, nullptr);
       // Split-path attribution: what actually served the request, not what
       // the submit-time draw intended (they differ across promote/rollback).
       if (resolved.canary) {
@@ -600,13 +638,13 @@ void ServeShard::dispatcher_loop() {
   // same-name specs with different params) side by side, exactly like the
   // legacy full-spec match predicate.
   std::unordered_map<std::uint64_t, std::vector<Forming>> forming;
-  std::size_t forming_count = 0;
 
   const auto seal = [&](Forming& f) {
     auto batch = std::make_unique<PipelineBatch>();
     batch->members = std::move(f.members);
     batch->sealed = Clock::now();
     stats_.record_dispatched();
+    dispatcher_beat_.beat();  // one sealed batch = one retired dispatch unit
     in_flight_.fetch_add(1, std::memory_order_acq_rel);
     for (;;) {
       const std::uint64_t epoch = work_signal_.epoch();
@@ -636,12 +674,12 @@ void ServeShard::dispatcher_loop() {
           m = sweep(*m, now) ? f->members.erase(m) : m + 1;
         if (f->members.empty()) {
           f = chain.erase(f);
-          --forming_count;
+          forming_count_.fetch_sub(1, std::memory_order_relaxed);
         } else if (flush_all || now >= f->fire_at ||
                    f->members.size() >= options_.max_batch) {
           due.push_back(std::move(*f));
           f = chain.erase(f);
-          --forming_count;
+          forming_count_.fetch_sub(1, std::memory_order_relaxed);
         } else {
           ++f;
         }
@@ -694,7 +732,7 @@ void ServeShard::dispatcher_loop() {
         f.fire_at = std::min(f.fire_at, p.deadline_at - kDeadlineGuard);
       f.members.push_back(std::move(p));
       chain.push_back(std::move(f));
-      ++forming_count;
+      forming_count_.fetch_add(1, std::memory_order_relaxed);
       home = &chain.back();
     } else {
       if (p.deadline_at != Clock::time_point::max())
@@ -725,6 +763,7 @@ void ServeShard::dispatcher_loop() {
     while (std::optional<Pending> p = queue_.try_pop()) {
       const Clock::time_point now = Clock::now();
       p->popped = now;
+      dispatcher_beat_.beat();  // one pop = one retired intake unit
       // A window hitting max_batch seals mid-drain (lane-sorted, so a
       // pending interactive window still enters the ring first); windows
       // merely *due* keep forming until the drain pass ends, which is what
@@ -783,6 +822,9 @@ bool ServeShard::claim_and_run(std::size_t home) {
 }
 
 void ServeShard::run_stage(std::size_t stage, std::unique_ptr<PipelineBatch> batch) {
+  // Test seam: a hook that blocks here wedges this stage with the batch
+  // already claimed — exactly the stall shape the watchdog must catch.
+  if (options_.stage_hook) options_.stage_hook(stage);
   switch (stage) {
     case kPipelineExtract:
       run_extract(std::move(batch));
@@ -794,6 +836,7 @@ void ServeShard::run_stage(std::size_t stage, std::unique_ptr<PipelineBatch> bat
       run_publish(std::move(batch));
       break;
   }
+  stage_beats_[stage].beat();  // one batch retired through this stage
 }
 
 void ServeShard::push_or_help(std::size_t dest, std::unique_ptr<PipelineBatch> batch) {
@@ -817,9 +860,12 @@ void ServeShard::push_or_help(std::size_t dest, std::unique_ptr<PipelineBatch> b
 }
 
 void ServeShard::fail_batch(PipelineBatch& batch, const ServeError& error) {
+  const Clock::time_point now = Clock::now();
   for (Pending& pending : batch.members) {
     if (pending.state->try_claim()) {
       stats_.record_failed();
+      record_outcome(pending, micros_between(pending.enqueued, now), /*error=*/true,
+                     obs::Exemplar::Kind::kError, now, nullptr);
       pending.state->publish(error);
     } else {
       stats_.record_cancelled(pending.tier);  // a cancel won the race
@@ -990,6 +1036,8 @@ void ServeShard::run_publish(std::unique_ptr<PipelineBatch> batch) {
       // wakes, and must see its own completion in it.
       stats_.record_completion(result.latency_us, result.queue_wait_us, compute_us,
                                extract_us, forward_us, member.tier);
+      record_outcome(member, result.latency_us, /*error=*/false, obs::Exemplar::Kind::kSlow,
+                     publish_start, batch.get());
       // Split-path attribution: what actually served the request, not what
       // the submit-time draw intended (they differ across promote/rollback).
       if (batch->resolved.canary) {
@@ -1089,6 +1137,107 @@ void ServeShard::clear_canary(const std::string& machine) {
     canary_ = nullptr;
     canary_counts_.clear();
   }
+}
+
+void ServeShard::register_probes(obs::StallWatchdog& watchdog) {
+  const std::string prefix = "shard" + std::to_string(options_.shard_index) + "/";
+  // Paused-but-not-draining is the one legitimate standstill with pending
+  // work (operator pause, retrain quiesce); close() sets draining_, so a
+  // draining shard is again expected to make progress.
+  const auto suspended = [this] {
+    const std::lock_guard<std::mutex> lock(pause_mutex_);
+    return pause_count_ > 0 && !draining_;
+  };
+  const auto leash = std::chrono::duration_cast<obs::StallWatchdog::Clock::duration>(
+      options_.telemetry.watchdog_stall_after);
+  if (options_.pipeline) {
+    // The dispatcher's pending work is the queue backlog plus requests it
+    // already popped into forming (unsealed) windows.
+    watchdog.add_probe(
+        {prefix + "dispatcher", &dispatcher_beat_,
+         [this] { return queue_.size() + forming_count_.load(std::memory_order_relaxed); },
+         suspended, leash});
+    static constexpr const char* kStageNames[kNumPipelineStages] = {"extract", "forward",
+                                                                    "publish"};
+    for (std::size_t stage = 0; stage < kNumPipelineStages; ++stage)
+      watchdog.add_probe({prefix + kStageNames[stage], &stage_beats_[stage],
+                          [this, stage] { return rings_[stage]->size_approx(); }, suspended,
+                          leash});
+  } else {
+    watchdog.add_probe({prefix + "workers", &worker_beat_, [this] { return queue_.size(); },
+                        suspended, leash});
+  }
+}
+
+obs::SloTracker::Snapshot ServeShard::slo_snapshot(
+    std::chrono::steady_clock::time_point now) const {
+  return slo_ != nullptr ? slo_->evaluate(now) : obs::SloTracker::Snapshot{};
+}
+
+std::vector<obs::TraceEvent> ServeShard::exemplar_spans(const Pending& pending,
+                                                        std::uint64_t id,
+                                                        Clock::time_point now,
+                                                        const PipelineBatch* batch) const {
+  std::vector<obs::TraceEvent> spans;
+  obs::TraceCollector& collector = obs::TraceCollector::instance();
+  const auto shard_id = static_cast<std::uint32_t>(options_.shard_index);
+  const auto push = [&](obs::Stage stage, Clock::time_point start, Clock::time_point end) {
+    if (end < start) end = start;
+    obs::TraceEvent event;
+    event.request_id = id;
+    event.stage = stage;
+    event.shard = shard_id;
+    event.start_ns = collector.to_ns(start);
+    event.dur_ns = collector.to_ns(end) - event.start_ns;
+    spans.push_back(event);
+  };
+  if (batch == nullptr) {
+    // Never reached (or never left) a batch: the whole life was queue wait.
+    push(obs::Stage::kAdmissionWait, pending.enqueued, now);
+    return spans;
+  }
+  // Same partition the trace path records: scheduler phases, then the stage
+  // compute spans with the inter-stage ring time broken out.
+  const Clock::time_point popped =
+      pending.popped != Clock::time_point{} ? pending.popped : batch->sealed;
+  push(obs::Stage::kAdmissionWait, pending.enqueued, popped);
+  push(obs::Stage::kLingerWait, popped, batch->sealed);
+  push(obs::Stage::kDispatchWait, batch->sealed, batch->extract_start);
+  push(batch->cache_hit ? obs::Stage::kCacheLookup : obs::Stage::kFeatureExtract,
+       batch->extract_start, batch->cache_done);
+  push(obs::Stage::kProfile, batch->cache_done, batch->profile_done);
+  push(obs::Stage::kDispatchWait, batch->profile_done, batch->forward_start);
+  push(obs::Stage::kForward, batch->forward_start, batch->forward_done);
+  push(obs::Stage::kDispatchWait, batch->forward_done, now);
+  return spans;
+}
+
+void ServeShard::record_outcome(const Pending& pending, double latency_us, bool error,
+                                obs::Exemplar::Kind kind, Clock::time_point now,
+                                const PipelineBatch* batch) {
+  if (slo_ == nullptr) return;
+  slo_->record(static_cast<std::size_t>(pending.tier), pending.request.route, latency_us,
+               error, now);
+  if (exemplars_ == nullptr) return;
+  // Slow exemplars compete on latency; the relaxed pre-filter keeps the
+  // publish hot path at one load per request once the reservoir warms up.
+  // Deadline/error exemplars always enter their ring.
+  if (kind == obs::Exemplar::Kind::kSlow && !exemplars_->would_admit(latency_us)) return;
+  obs::Exemplar exemplar;
+  // Exemplars need an identity even when full tracing is off (bucket ->
+  // trace-id lookups, /exemplars exports). An untraced request gets one
+  // minted here, for the exemplar only — its outcome still reports
+  // trace_id 0, preserving the disabled-tracing contract.
+  exemplar.trace_id = pending.request.trace.id != 0
+                          ? pending.request.trace.id
+                          : obs::TraceCollector::instance().next_request_id();
+  exemplar.latency_us = latency_us;
+  exemplar.shard = static_cast<std::uint32_t>(options_.shard_index);
+  exemplar.tier = static_cast<std::size_t>(pending.tier);
+  exemplar.route = pending.request.route;
+  exemplar.kind = kind;
+  exemplar.spans = exemplar_spans(pending, exemplar.trace_id, now, batch);
+  exemplars_->offer(std::move(exemplar), now);
 }
 
 ServiceStatsSnapshot ServeShard::stats_snapshot() const {

@@ -24,6 +24,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -32,7 +33,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/exemplar.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "serve/feature_cache.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/pipeline.hpp"
@@ -42,6 +46,35 @@
 #include "serve/ticket.hpp"
 
 namespace mga::serve {
+
+/// The always-on telemetry plane (DESIGN.md §12): SLO windows, tail-sampled
+/// exemplar traces, the stall watchdog, and the optional HTTP introspection
+/// endpoint. `enabled = true` keeps the cheap instruments live on every
+/// request (heartbeats, SLO window counters, exemplar threshold checks);
+/// verdicts only carry teeth once objectives are set, so a service with
+/// default options is instrumented but never "violating" by accident.
+struct TelemetryOptions {
+  bool enabled = true;
+  /// Per-tier objectives (indexed by Priority). Default-constructed
+  /// objectives are disabled: the tier is tracked but never judged.
+  std::array<obs::SloObjective, kNumTiers> objectives{};
+  /// Window shape / burn thresholds for the SLO tracker.
+  obs::SloOptions slo;
+  /// Tail-sampling reservoir capacities (worst-k slow + error ring), per
+  /// shard per window.
+  std::size_t exemplar_slow = 16;
+  std::size_t exemplar_errors = 16;
+  std::chrono::milliseconds exemplar_window{60000};
+  /// Stall watchdog cadence and default leash.
+  std::chrono::milliseconds watchdog_period{100};
+  std::chrono::milliseconds watchdog_stall_after{1000};
+  /// Embedded HTTP endpoint (/metrics, /healthz, /slo, /exemplars).
+  /// Off by default: the plane is always *collected*; serving it over a
+  /// socket is an operator opt-in. Port 0 binds an ephemeral port.
+  bool http = false;
+  std::uint16_t http_port = 0;
+  std::string http_address = "127.0.0.1";
+};
 
 struct ServeOptions {
   /// Worker threads *per shard*. Under the pipelined engine these are the
@@ -122,6 +155,13 @@ struct ServeOptions {
   /// ServeShard itself; the facade owns the RetrainController and hands each
   /// shard an observation hook.
   retrain::RetrainOptions retrain;
+  /// Always-on telemetry plane (SLO windows, exemplars, watchdog, /metrics).
+  TelemetryOptions telemetry;
+  /// Test seam: invoked at the top of every pipelined stage execution with
+  /// the stage index (kPipelineExtract/...). Lets a test wedge one stage
+  /// (block in the hook) to validate the stall watchdog without touching
+  /// production code paths. Null in production.
+  std::function<void(std::size_t)> stage_hook;
 };
 
 struct TuneRequest {
@@ -138,6 +178,11 @@ struct TuneRequest {
   /// submit when obs is enabled; the id rides through to TuneResult so a
   /// caller can find its request in an exported trace.
   obs::TraceContext trace;
+  /// Route key (machine ⊕ kernel fingerprint), stamped by the facade at
+  /// submit — the same key the router and the canary split use. The SLO
+  /// tracker uses it for per-route worst-offender windows; 0 = unrouted
+  /// (standalone-shard submissions), which the tracker skips.
+  std::uint64_t route = 0;
 };
 
 class ServeShard {
@@ -147,8 +192,12 @@ class ServeShard {
   /// queue, workers, cache and linger policy. `observer`, when set, is
   /// called once per served request on the worker thread after the batch's
   /// outcomes are published (the retrain subsystem's observation feed).
+  /// `watchdog`, when set, receives this shard's liveness probes
+  /// (dispatcher, stage pools, legacy worker pool) at construction; it must
+  /// be stopped before the shard is destroyed (the facade owns both and
+  /// tears the watchdog down first).
   ServeShard(std::shared_ptr<ModelRegistry> registry, const ServeOptions& options,
-             retrain::ObservationFn observer = {});
+             retrain::ObservationFn observer = {}, obs::StallWatchdog* watchdog = nullptr);
   ~ServeShard();
 
   ServeShard(const ServeShard&) = delete;
@@ -199,6 +248,13 @@ class ServeShard {
   /// Direct counter access for facade-side accounting (e.g. attributing a
   /// machine-resolution failure to the shard the request routed to).
   [[nodiscard]] ServiceStats& stats() noexcept { return stats_; }
+
+  /// Telemetry plane accessors; null when telemetry is disabled.
+  [[nodiscard]] const obs::SloTracker* slo() const noexcept { return slo_.get(); }
+  [[nodiscard]] obs::ExemplarReservoir* exemplars() noexcept { return exemplars_.get(); }
+  /// This shard's SLO verdict as of `now` (kOk snapshot when disabled).
+  [[nodiscard]] obs::SloTracker::Snapshot slo_snapshot(
+      std::chrono::steady_clock::time_point now = std::chrono::steady_clock::now()) const;
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -296,12 +352,36 @@ class ServeShard {
   /// the adaptive clamp `min(linger, factor x EWMA)` (zero when cold).
   [[nodiscard]] Clock::duration effective_linger(std::uint64_t linger_key) const;
 
+  /// Register this shard's liveness probes with `watchdog` (ctor-time).
+  void register_probes(obs::StallWatchdog& watchdog);
+  /// Telemetry tail work for one served/failed request: SLO window record
+  /// plus (threshold-gated) exemplar capture. No-ops when telemetry is off.
+  void record_outcome(const Pending& pending, double latency_us, bool error,
+                      obs::Exemplar::Kind kind, Clock::time_point now,
+                      const PipelineBatch* batch);
+  /// Build the span chain for an exemplar from batch stage timestamps,
+  /// stamped with the exemplar's trace id (minted when the request carried
+  /// none).
+  [[nodiscard]] std::vector<obs::TraceEvent> exemplar_spans(const Pending& pending,
+                                                           std::uint64_t id,
+                                                           Clock::time_point now,
+                                                           const PipelineBatch* batch) const;
+
   std::shared_ptr<ModelRegistry> registry_;
   ServeOptions options_;
   retrain::ObservationFn observer_;  // set at construction, read by workers
   FeatureCache cache_;
   ServiceStats stats_;
   TieredQueue<Pending> queue_;
+  /// Telemetry plane (null/zeroed when options.telemetry.enabled is false).
+  std::unique_ptr<obs::SloTracker> slo_;
+  std::unique_ptr<obs::ExemplarReservoir> exemplars_;
+  obs::Heartbeat dispatcher_beat_;
+  std::array<obs::Heartbeat, kNumPipelineStages> stage_beats_;
+  obs::Heartbeat worker_beat_;  // legacy (pipeline=false) pool
+  /// Requests popped off the queue and held in forming (unsealed) batches —
+  /// dispatcher-pending work the queue depth no longer shows.
+  std::atomic<std::size_t> forming_count_{0};
   /// Inter-stage conduits (pipelined mode only), indexed by kPipeline*.
   using BatchRing = StageRing<std::unique_ptr<PipelineBatch>>;
   std::array<std::unique_ptr<BatchRing>, kNumPipelineStages> rings_;

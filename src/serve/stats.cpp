@@ -138,6 +138,10 @@ ServiceStatsSnapshot aggregate_snapshots(std::vector<ServiceStatsSnapshot> shard
     s.cache.profile_memo_hits += shard.cache.profile_memo_hits;
     s.cache.profiles_run += shard.cache.profiles_run;
     s.cache.entries += shard.cache.entries;
+    s.uptime_seconds = std::max(s.uptime_seconds, shard.uptime_seconds);
+    s.health = obs::worse(s.health, shard.health);
+    s.slo_window_total += shard.slo_window_total;
+    s.slo_window_bad += shard.slo_window_bad;
   }
   if (s.batches > 0)
     s.mean_batch = static_cast<double>(s.batched_requests) / static_cast<double>(s.batches);
@@ -167,6 +171,21 @@ ServiceStatsSnapshot aggregate_snapshots(std::vector<ServiceStatsSnapshot> shard
 
 util::Table stats_table(const ServiceStatsSnapshot& s) {
   util::Table table({"metric", "value"});
+  // Telemetry-plane header only when the facade stamped one (uptime > 0) —
+  // a hand-built or per-shard snapshot renders exactly the rows it always
+  // did. Compliance is the SLO long window: good / total across tiers.
+  if (s.uptime_seconds > 0.0) {
+    table.add_row({"uptime", util::fmt_double(s.uptime_seconds) + " s"});
+    table.add_row({"health", obs::to_string(s.health)});
+    const double compliance =
+        s.slo_window_total == 0
+            ? 1.0
+            : 1.0 - static_cast<double>(std::min(s.slo_window_bad, s.slo_window_total)) /
+                        static_cast<double>(s.slo_window_total);
+    table.add_row({"slo compliance (long window)",
+                   util::fmt_percent(compliance) + " (" + std::to_string(s.slo_window_bad) +
+                       " / " + std::to_string(s.slo_window_total) + " bad)"});
+  }
   table.add_row({"requests submitted", std::to_string(s.submitted)});
   table.add_row({"requests completed", std::to_string(s.completed)});
   table.add_row({"requests failed", std::to_string(s.failed)});
@@ -242,6 +261,8 @@ util::Table stats_table(const ServiceStatsSnapshot& s) {
       table.add_row({name + " mean batch / p95",
                      util::fmt_double(shard.mean_batch) + " / " +
                          util::fmt_double(shard.latency_p95_us) + " us"});
+      if (shard.uptime_seconds > 0.0)
+        table.add_row({name + " health", obs::to_string(shard.health)});
     }
   }
   return table;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "obs/histogram.hpp"
+#include "obs/slo.hpp"
 #include "serve/ticket.hpp"
 #include "util/table.hpp"
 
@@ -129,6 +130,16 @@ struct ServiceStatsSnapshot {
   PipelineStatsSnapshot pipeline;
   std::array<TierStatsSnapshot, kNumTiers> tiers{};
   FeatureCacheStats cache;
+  /// Telemetry-plane summary, stamped by the TuningService facade (zero /
+  /// kOk on a raw ServiceStats::snapshot): service uptime, the combined
+  /// health verdict (worst of SLO windows and the stall watchdog), and the
+  /// SLO long-window totals behind the compliance row. `uptime_seconds > 0`
+  /// is the "telemetry plane present" marker that gates the extra table
+  /// rows, so hand-built snapshots render exactly as before.
+  double uptime_seconds = 0.0;
+  obs::HealthState health = obs::HealthState::kOk;
+  std::uint64_t slo_window_total = 0;
+  std::uint64_t slo_window_bad = 0;
   /// Per-shard breakdown when the snapshot aggregates a sharded service:
   /// one entry per ServeShard, in shard-index order, each with an empty
   /// `shards` of its own. Empty on a per-shard snapshot.

@@ -1,0 +1,314 @@
+#include "serve/telemetry.hpp"
+
+#include <cstddef>
+#include <iomanip>
+#include <sstream>
+
+#include "obs/trace.hpp"
+#include "serve/service.hpp"
+
+namespace mga::serve {
+
+namespace {
+
+std::string tier_name(std::size_t tier) {
+  return to_string(static_cast<Priority>(tier));
+}
+
+std::string route_hex(std::uint64_t route) {
+  std::ostringstream os;
+  os << "0x" << std::hex << route;
+  return os.str();
+}
+
+void append_json_string(std::ostringstream& os, const std::string& text) {
+  os << '"';
+  for (const char c : text) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+void append_window_json(std::ostringstream& os, const obs::SloTracker::WindowCounts& window) {
+  os << "{\"total\":" << window.total << ",\"errors\":" << window.errors
+     << ",\"latency_bad\":" << window.latency_bad << "}";
+}
+
+}  // namespace
+
+void export_service_metrics(obs::MetricsRegistry& registry,
+                            const ServiceStatsSnapshot& snapshot) {
+  registry.gauge("mga_serve_uptime_seconds", "Seconds since the service started.")
+      .set(snapshot.uptime_seconds);
+  registry
+      .gauge("mga_serve_health",
+             "Combined service health (0=ok, 1=degraded, 2=violating): worst of the SLO "
+             "windows and the stall watchdog.")
+      .set(static_cast<double>(snapshot.health));
+
+  // Per-shard counters come from the breakdown the facade attaches; a
+  // hand-built snapshot without one exports itself as shard 0, so the
+  // per-shard families are never empty.
+  const std::vector<ServiceStatsSnapshot>* shards = &snapshot.shards;
+  std::vector<ServiceStatsSnapshot> self;
+  if (shards->empty()) {
+    self.push_back(snapshot);
+    self.back().shards.clear();
+    shards = &self;
+  }
+  for (std::size_t i = 0; i < shards->size(); ++i) {
+    const ServiceStatsSnapshot& shard = (*shards)[i];
+    const obs::Labels labels{{"shard", std::to_string(i)}};
+    const auto with = [&](const char* key, const std::string& value) {
+      obs::Labels out = labels;
+      out.emplace_back(key, value);
+      return out;
+    };
+    auto& requests = registry.counter(
+        "mga_serve_requests_total", with("outcome", "submitted"),
+        "Requests by terminal accounting outcome, per shard.");
+    requests.add(shard.submitted);
+    registry.counter("mga_serve_requests_total", with("outcome", "completed"))
+        .add(shard.completed);
+    registry.counter("mga_serve_requests_total", with("outcome", "failed")).add(shard.failed);
+    registry
+        .counter("mga_serve_batches_total", labels,
+                 "Grouped forwards executed (batches), per shard.")
+        .add(shard.batches);
+    registry
+        .counter("mga_serve_pipeline_batches_total", labels,
+                 "Batches sealed and dispatched to the staged pipeline, per shard.")
+        .add(shard.pipeline.dispatched);
+    registry
+        .counter("mga_serve_pipeline_steals_total", labels,
+                 "Pipeline stage executions claimed off a non-home ring, per shard.")
+        .add(shard.pipeline.steals);
+    registry.counter("mga_serve_cache_events_total", with("event", "hit"),
+                     "Feature-cache events, per shard.")
+        .add(shard.cache.hits);
+    registry.counter("mga_serve_cache_events_total", with("event", "miss"))
+        .add(shard.cache.misses);
+    registry.counter("mga_serve_cache_events_total", with("event", "eviction"))
+        .add(shard.cache.evictions);
+    registry
+        .gauge("mga_serve_cache_entries", labels, "Resident feature-cache entries, per shard.")
+        .set(static_cast<double>(shard.cache.entries));
+    registry
+        .histogram("mga_serve_latency_us", labels,
+                   "End-to-end completion latency in microseconds, per shard.")
+        .merge(shard.latency_hist);
+  }
+
+  for (std::size_t t = 0; t < kNumTiers; ++t) {
+    const TierStatsSnapshot& tier = snapshot.tiers[t];
+    const obs::Labels labels{{"tier", tier_name(t)}};
+    const auto with = [&](const char* value) {
+      obs::Labels out = labels;
+      out.emplace_back("outcome", value);
+      return out;
+    };
+    registry.counter("mga_serve_tier_requests_total", with("admitted"),
+                     "Per-tier QoS accounting by outcome.")
+        .add(tier.admitted);
+    registry.counter("mga_serve_tier_requests_total", with("completed")).add(tier.completed);
+    registry.counter("mga_serve_tier_requests_total", with("rejected")).add(tier.rejected);
+    registry.counter("mga_serve_tier_requests_total", with("shed")).add(tier.shed);
+    registry.counter("mga_serve_tier_requests_total", with("expired")).add(tier.expired);
+    registry.counter("mga_serve_tier_requests_total", with("cancelled")).add(tier.cancelled);
+    registry
+        .histogram("mga_serve_tier_latency_us", labels,
+                   "End-to-end completion latency in microseconds, per tier.")
+        .merge(tier.latency_hist);
+  }
+
+  registry.counter("mga_serve_forwards_total", obs::Labels{{"path", "compiled"}},
+                   "Grouped forwards by execution path.")
+      .add(snapshot.forwards_compiled);
+  registry.counter("mga_serve_forwards_total", obs::Labels{{"path", "interpreted"}})
+      .add(snapshot.forwards_interpreted);
+}
+
+void export_slo_metrics(obs::MetricsRegistry& registry,
+                        const obs::SloTracker::Snapshot& service,
+                        const std::vector<obs::SloTracker::Snapshot>& shards) {
+  registry
+      .gauge("mga_slo_health", obs::Labels{{"scope", "service"}},
+             "SLO verdict (0=ok, 1=degraded, 2=violating), service-wide and per shard.")
+      .set(static_cast<double>(service.state));
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    registry
+        .gauge("mga_slo_health",
+               obs::Labels{{"scope", "shard"}, {"shard", std::to_string(i)}})
+        .set(static_cast<double>(shards[i].state));
+  }
+  for (std::size_t t = 0; t < service.tiers.size(); ++t) {
+    const obs::SloTracker::TierVerdict& tier = service.tiers[t];
+    const obs::Labels labels{{"tier", tier_name(t)}};
+    const auto with = [&](const char* key, const char* value) {
+      obs::Labels out = labels;
+      out.emplace_back(key, value);
+      return out;
+    };
+    registry
+        .gauge("mga_slo_burn_rate", with("window", "short"),
+               "Error-budget burn rate per tier and window (1.0 = burning exactly the "
+               "budget).")
+        .set(tier.short_burn);
+    registry.gauge("mga_slo_burn_rate", with("window", "long")).set(tier.long_burn);
+    registry
+        .gauge("mga_slo_window_p95_us", labels,
+               "Long-window p95 completion latency in microseconds, per tier.")
+        .set(tier.p95_us);
+    registry
+        .gauge("mga_slo_tier_health", labels,
+               "Per-tier SLO verdict (0=ok, 1=degraded, 2=violating).")
+        .set(static_cast<double>(tier.state));
+    registry.counter("mga_slo_window_requests_total", with("class", "total"),
+                     "Long-window event counts per tier.")
+        .add(tier.long_window.total);
+    registry.counter("mga_slo_window_requests_total", with("class", "errors"))
+        .add(tier.long_window.errors);
+    registry.counter("mga_slo_window_requests_total", with("class", "latency_bad"))
+        .add(tier.long_window.latency_bad);
+  }
+  for (const obs::SloTracker::RouteVerdict& route : service.routes) {
+    const obs::Labels labels{{"route", route_hex(route.route)}};
+    const auto with = [&](const char* value) {
+      obs::Labels out = labels;
+      out.emplace_back("class", value);
+      return out;
+    };
+    registry.counter("mga_slo_route_requests_total", with("total"),
+                     "Tumbling-window event counts for the worst routes.")
+        .add(route.total);
+    registry.counter("mga_slo_route_requests_total", with("bad")).add(route.bad);
+  }
+}
+
+void export_watchdog_metrics(obs::MetricsRegistry& registry,
+                             const obs::StallWatchdog::Snapshot& snapshot) {
+  registry
+      .gauge("mga_watchdog_health",
+             "Stall-watchdog verdict (0=ok, 2=violating while any probe is stalled).")
+      .set(static_cast<double>(snapshot.state));
+  for (const obs::StallWatchdog::ProbeVerdict& probe : snapshot.probes) {
+    const obs::Labels labels{{"probe", probe.name}};
+    registry
+        .counter("mga_watchdog_beats_total", labels,
+                 "Progress heartbeats retired per watched stage.")
+        .add(probe.beats);
+    registry
+        .gauge("mga_watchdog_pending", labels, "Work visibly waiting per watched stage.")
+        .set(static_cast<double>(probe.pending));
+    registry
+        .gauge("mga_watchdog_stage_health", labels,
+               "Per-stage liveness (0=idle, 1=active, 2=suspended, 3=stalled).")
+        .set(static_cast<double>(probe.health));
+    registry
+        .gauge("mga_watchdog_since_progress_seconds", labels,
+               "Seconds since the stage last made visible progress (or was legitimately "
+               "idle/suspended).")
+        .set(probe.since_progress_s);
+  }
+}
+
+std::string slo_to_json(const obs::SloTracker::Snapshot& service,
+                        const std::vector<obs::SloTracker::Snapshot>& shards,
+                        const obs::StallWatchdog::Snapshot& watchdog,
+                        double uptime_seconds) {
+  std::ostringstream os;
+  os << "{\"health\":";
+  append_json_string(os, obs::to_string(obs::worse(service.state, watchdog.state)));
+  os << ",\"slo_state\":";
+  append_json_string(os, obs::to_string(service.state));
+  os << ",\"uptime_seconds\":" << uptime_seconds;
+  os << ",\"compliance\":" << service.long_window_compliance();
+  os << ",\"tiers\":[";
+  for (std::size_t t = 0; t < service.tiers.size(); ++t) {
+    const obs::SloTracker::TierVerdict& tier = service.tiers[t];
+    if (t > 0) os << ',';
+    os << "{\"tier\":";
+    append_json_string(os, tier_name(t));
+    os << ",\"state\":";
+    append_json_string(os, obs::to_string(tier.state));
+    os << ",\"objective_p95_us\":" << tier.objective.latency_p95_us
+       << ",\"error_budget\":" << tier.objective.error_budget
+       << ",\"p95_us\":" << tier.p95_us << ",\"short_burn\":" << tier.short_burn
+       << ",\"long_burn\":" << tier.long_burn << ",\"short_window\":";
+    append_window_json(os, tier.short_window);
+    os << ",\"long_window\":";
+    append_window_json(os, tier.long_window);
+    os << "}";
+  }
+  os << "],\"routes\":[";
+  for (std::size_t i = 0; i < service.routes.size(); ++i) {
+    const obs::SloTracker::RouteVerdict& route = service.routes[i];
+    if (i > 0) os << ',';
+    os << "{\"route\":";
+    append_json_string(os, route_hex(route.route));
+    os << ",\"total\":" << route.total << ",\"bad\":" << route.bad
+       << ",\"bad_fraction\":" << route.bad_fraction() << "}";
+  }
+  os << "],\"shards\":[";
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (i > 0) os << ',';
+    os << "{\"shard\":" << i << ",\"state\":";
+    append_json_string(os, obs::to_string(shards[i].state));
+    os << "}";
+  }
+  os << "],\"watchdog\":{\"state\":";
+  append_json_string(os, obs::to_string(watchdog.state));
+  os << ",\"probes\":[";
+  for (std::size_t i = 0; i < watchdog.probes.size(); ++i) {
+    const obs::StallWatchdog::ProbeVerdict& probe = watchdog.probes[i];
+    if (i > 0) os << ',';
+    os << "{\"name\":";
+    append_json_string(os, probe.name);
+    os << ",\"health\":";
+    append_json_string(os, obs::to_string(probe.health));
+    os << ",\"beats\":" << probe.beats << ",\"pending\":" << probe.pending
+       << ",\"since_progress_s\":" << probe.since_progress_s << "}";
+  }
+  os << "]}}";
+  return os.str();
+}
+
+void register_telemetry_endpoints(obs::ObsServer& server, TuningService& service) {
+  server.handle("/metrics", [&service](const obs::HttpRequest&) {
+    obs::HttpResponse response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = service.metrics_prometheus();
+    return response;
+  });
+  server.handle("/healthz", [&service](const obs::HttpRequest&) {
+    obs::HttpResponse response;
+    const obs::HealthState health = service.health();
+    // Degraded still answers 200: it is an early-warning state, not an
+    // outage — only a violating service should fail a load-balancer check.
+    response.status = health == obs::HealthState::kViolating ? 503 : 200;
+    response.body = std::string(obs::to_string(health)) + "\n";
+    return response;
+  });
+  server.handle("/slo", [&service](const obs::HttpRequest&) {
+    obs::HttpResponse response;
+    response.content_type = "application/json; charset=utf-8";
+    obs::StallWatchdog::Snapshot watchdog;
+    if (service.watchdog() != nullptr) watchdog = service.watchdog()->snapshot();
+    response.body = slo_to_json(service.slo_snapshot(), service.shard_slo_snapshots(),
+                                watchdog, service.uptime_seconds());
+    return response;
+  });
+  server.handle("/exemplars", [&service](const obs::HttpRequest&) {
+    obs::HttpResponse response;
+    response.content_type = "application/json; charset=utf-8";
+    std::ostringstream os;
+    obs::write_chrome_trace(
+        os, {obs::TraceSection{"exemplar",
+                               obs::exemplar_trace_events(service.exemplar_snapshot())}});
+    response.body = os.str();
+    return response;
+  });
+}
+
+}  // namespace mga::serve

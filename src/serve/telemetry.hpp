@@ -1,0 +1,63 @@
+// Serve-side exporters of the telemetry plane (DESIGN.md §12): translate
+// the serve snapshots (stats, SLO verdicts, watchdog verdicts) into labeled
+// Prometheus families / operator JSON, and wire the standard endpoint set
+// (/metrics, /healthz, /slo, /exemplars) onto an ObsServer.
+//
+// The exporters are pure snapshot -> registry functions so they are
+// testable without a running service and reusable by a future per-process
+// shard endpoint (ROADMAP: multi-process sharding). The facade calls them
+// on the scrape path with a fresh local registry, then appends
+// MetricsRegistry::global() (runtime-plan compile/execute counters), so one
+// scrape covers serve + runtime + SLO + watchdog.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/server.hpp"
+#include "obs/slo.hpp"
+#include "obs/watchdog.hpp"
+#include "serve/stats.hpp"
+
+namespace mga::serve {
+
+class TuningService;
+
+/// mga_serve_* families from one aggregated stats snapshot: request /
+/// batch / cache / pipeline counters and latency summaries per shard
+/// (`shard` label; a single-shard service exports shard="0"), QoS counters
+/// and latency summaries per tier (`tier` label), forward-path split, and
+/// the service uptime / health gauges.
+void export_service_metrics(obs::MetricsRegistry& registry,
+                            const ServiceStatsSnapshot& snapshot);
+
+/// mga_slo_* families: per-tier burn rates, windowed p95, long-window
+/// good/bad counts and verdicts from the service-level aggregate, plus a
+/// per-shard health gauge and the worst-route window counts.
+void export_slo_metrics(obs::MetricsRegistry& registry,
+                        const obs::SloTracker::Snapshot& service,
+                        const std::vector<obs::SloTracker::Snapshot>& shards);
+
+/// mga_watchdog_* families: overall liveness verdict plus per-probe beats,
+/// pending gauge, stage health, and seconds since progress.
+void export_watchdog_metrics(obs::MetricsRegistry& registry,
+                             const obs::StallWatchdog::Snapshot& snapshot);
+
+/// Operator JSON for /slo: service + per-tier SLO verdicts, worst routes,
+/// per-shard health, and the watchdog probe table.
+[[nodiscard]] std::string slo_to_json(const obs::SloTracker::Snapshot& service,
+                                      const std::vector<obs::SloTracker::Snapshot>& shards,
+                                      const obs::StallWatchdog::Snapshot& watchdog,
+                                      double uptime_seconds);
+
+/// Register the standard endpoint set on `server`:
+///   /metrics    Prometheus text (serve + runtime + SLO + watchdog)
+///   /healthz    "ok"/"degraded" with 200; "violating" with 503
+///   /exemplars  Chrome-trace JSON of the current exemplar reservoirs
+///   /slo        the slo_to_json document
+/// `service` must outlive the server (the facade owns both and stops the
+/// server first on shutdown).
+void register_telemetry_endpoints(obs::ObsServer& server, TuningService& service);
+
+}  // namespace mga::serve

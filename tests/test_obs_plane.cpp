@@ -1,0 +1,560 @@
+// mga::obs v2 — the always-on telemetry plane: SLO multi-window burn-rate
+// math (injected clocks, no sleeps), the tail-based exemplar reservoir's
+// worst-k contract under concurrent publish, stall-watchdog classification
+// (quiet across idle/suspended/progressing, loud on a real stall), the
+// embedded HTTP endpoint, and the full plane wired through a live
+// TuningService: /metrics scraped over a real socket, /healthz flipping 503
+// when a pipeline stage is wedged through the stage_hook test seam, and
+// recovering once the stage moves again.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/exemplar.hpp"
+#include "obs/server.hpp"
+#include "obs/slo.hpp"
+#include "obs/watchdog.hpp"
+#include "serve/service.hpp"
+
+namespace mga::obs {
+namespace {
+
+using namespace std::chrono_literals;
+using Clock = std::chrono::steady_clock;
+
+// --- SLO tracker: burn-rate window math --------------------------------------
+
+SloOptions slo_options() {
+  SloOptions options;
+  options.bucket = 1000ms;
+  options.short_buckets = 5;
+  options.long_buckets = 60;
+  options.degraded_burn = 1.0;
+  options.violating_burn = 2.0;
+  return options;
+}
+
+/// One tier with a p95 < 1000us objective (implied budget: 5% may be slower).
+std::vector<SloObjective> p95_objective() {
+  SloObjective objective;
+  objective.latency_p95_us = 1000.0;
+  return {objective};
+}
+
+TEST(SloTracker, NoObjectiveMeansTrackedButNeverJudged) {
+  SloTracker tracker(slo_options(), {}, 1);
+  const Clock::time_point t0 = Clock::now();
+  for (int i = 0; i < 100; ++i) tracker.record(0, 0, 1e6, /*error=*/true, t0);
+  const SloTracker::Snapshot snapshot = tracker.evaluate(t0);
+  EXPECT_EQ(snapshot.state, HealthState::kOk);
+  ASSERT_EQ(snapshot.tiers.size(), 1u);
+  EXPECT_EQ(snapshot.tiers[0].long_window.total, 100u);
+  EXPECT_EQ(snapshot.tiers[0].long_window.errors, 100u);
+  EXPECT_EQ(snapshot.tiers[0].short_burn, 0.0);
+}
+
+TEST(SloTracker, LatencyBurnIsSlowFractionOverBudget) {
+  SloTracker tracker(slo_options(), p95_objective(), 1);
+  const Clock::time_point t0 = Clock::now();
+  // 10% of completions breach the 1000us objective: burn = 0.10 / 0.05 = 2,
+  // in both windows (all traffic lands in one bucket) -> violating.
+  for (int i = 0; i < 90; ++i) tracker.record(0, 7, 500.0, false, t0);
+  for (int i = 0; i < 10; ++i) tracker.record(0, 7, 2000.0, false, t0);
+  const SloTracker::Snapshot snapshot = tracker.evaluate(t0);
+  ASSERT_EQ(snapshot.tiers.size(), 1u);
+  const SloTracker::TierVerdict& tier = snapshot.tiers[0];
+  EXPECT_EQ(tier.long_window.total, 100u);
+  EXPECT_EQ(tier.long_window.latency_bad, 10u);
+  EXPECT_DOUBLE_EQ(tier.short_burn, 2.0);
+  EXPECT_DOUBLE_EQ(tier.long_burn, 2.0);
+  EXPECT_EQ(tier.state, HealthState::kViolating);
+  EXPECT_EQ(snapshot.state, HealthState::kViolating);
+  EXPECT_DOUBLE_EQ(snapshot.long_window_compliance(), 0.90);
+}
+
+TEST(SloTracker, MultiWindowRuleIgnoresAnOldBurstOnceTheShortWindowClears) {
+  SloTracker tracker(slo_options(), p95_objective(), 1);
+  const Clock::time_point t0 = Clock::now();
+  // A hard burst at t0: every completion breaches the objective. Long-window
+  // burn stays sky-high for a minute, but 8s later the short window (last
+  // 5 buckets) holds only healthy traffic — the multi-window rule must not
+  // call that violating (no *ongoing* burn), only degraded (budget spent).
+  for (int i = 0; i < 200; ++i) tracker.record(0, 7, 5000.0, false, t0);
+  const Clock::time_point t8 = t0 + 8s;
+  for (int i = 0; i < 100; ++i) tracker.record(0, 7, 200.0, false, t8);
+  const SloTracker::Snapshot snapshot = tracker.evaluate(t8);
+  ASSERT_EQ(snapshot.tiers.size(), 1u);
+  const SloTracker::TierVerdict& tier = snapshot.tiers[0];
+  EXPECT_DOUBLE_EQ(tier.short_burn, 0.0);
+  EXPECT_GT(tier.long_burn, 2.0);
+  EXPECT_EQ(tier.state, HealthState::kDegraded);
+  EXPECT_EQ(snapshot.state, HealthState::kDegraded);
+}
+
+TEST(SloTracker, ErrorBudgetBurnsIndependentlyOfLatency) {
+  SloOptions options = slo_options();
+  std::vector<SloObjective> objectives(1);
+  objectives[0].error_budget = 0.01;  // 1% errors allowed
+  SloTracker tracker(options, objectives, 1);
+  const Clock::time_point t0 = Clock::now();
+  // 5% errors = 5x budget: violating in both windows; latency plays no part
+  // (no latency objective is set).
+  for (int i = 0; i < 95; ++i) tracker.record(0, 3, 100.0, false, t0);
+  for (int i = 0; i < 5; ++i) tracker.record(0, 3, 100.0, true, t0);
+  const SloTracker::Snapshot snapshot = tracker.evaluate(t0);
+  ASSERT_EQ(snapshot.tiers.size(), 1u);
+  EXPECT_DOUBLE_EQ(snapshot.tiers[0].long_burn, 5.0);
+  EXPECT_EQ(snapshot.state, HealthState::kViolating);
+}
+
+TEST(SloTracker, WindowsExpireOnceTheLongWindowPasses) {
+  SloTracker tracker(slo_options(), p95_objective(), 1);
+  const Clock::time_point t0 = Clock::now();
+  for (int i = 0; i < 100; ++i) tracker.record(0, 7, 5000.0, false, t0);
+  EXPECT_EQ(tracker.evaluate(t0).state, HealthState::kViolating);
+  // 61 buckets later every ring slot has lapped: clean slate.
+  const SloTracker::Snapshot later = tracker.evaluate(t0 + 61s);
+  EXPECT_EQ(later.state, HealthState::kOk);
+  ASSERT_EQ(later.tiers.size(), 1u);
+  EXPECT_EQ(later.tiers[0].long_window.total, 0u);
+  EXPECT_DOUBLE_EQ(later.long_window_compliance(), 1.0);
+}
+
+TEST(SloTracker, AggregateSumsWindowCountsAndReclassifies) {
+  // Shard A alone violates (10% slow); shard B is clean and twice the
+  // volume. The aggregate must re-derive its verdict from the *summed*
+  // counts (30 bad / 900 total -> burn 0.67 -> ok), not vote or average.
+  SloTracker a(slo_options(), p95_objective(), 1);
+  SloTracker b(slo_options(), p95_objective(), 1);
+  const Clock::time_point t0 = Clock::now();
+  for (int i = 0; i < 270; ++i) a.record(0, 7, 500.0, false, t0);
+  for (int i = 0; i < 30; ++i) a.record(0, 7, 2000.0, false, t0);
+  for (int i = 0; i < 600; ++i) b.record(0, 9, 500.0, false, t0);
+  const SloTracker::Snapshot sa = a.evaluate(t0);
+  const SloTracker::Snapshot sb = b.evaluate(t0);
+  EXPECT_EQ(sa.state, HealthState::kViolating);
+  EXPECT_EQ(sb.state, HealthState::kOk);
+  const SloTracker::Snapshot merged = SloTracker::aggregate({sa, sb}, slo_options());
+  ASSERT_EQ(merged.tiers.size(), 1u);
+  EXPECT_EQ(merged.tiers[0].long_window.total, 900u);
+  EXPECT_EQ(merged.tiers[0].long_window.latency_bad, 30u);
+  EXPECT_NEAR(merged.tiers[0].long_burn, (30.0 / 900.0) / 0.05, 1e-9);
+  EXPECT_EQ(merged.state, HealthState::kOk);
+}
+
+TEST(SloTracker, RouteComplianceRanksWorstRoutesFirst)
+{
+  SloTracker tracker(slo_options(), p95_objective(), 1);
+  const Clock::time_point t0 = Clock::now();
+  for (int i = 0; i < 10; ++i) tracker.record(0, 11, 500.0, false, t0);   // clean
+  for (int i = 0; i < 8; ++i) tracker.record(0, 22, 2000.0, false, t0);   // all bad
+  for (int i = 0; i < 10; ++i) tracker.record(0, 33, 500.0, i < 5, t0);   // half bad
+  const SloTracker::Snapshot snapshot = tracker.evaluate(t0);
+  ASSERT_GE(snapshot.routes.size(), 3u);
+  EXPECT_EQ(snapshot.routes[0].route, 22u);
+  EXPECT_DOUBLE_EQ(snapshot.routes[0].bad_fraction(), 1.0);
+  EXPECT_EQ(snapshot.routes[1].route, 33u);
+  EXPECT_DOUBLE_EQ(snapshot.routes[1].bad_fraction(), 0.5);
+}
+
+// --- exemplar reservoir ------------------------------------------------------
+
+Exemplar slow_exemplar(std::uint64_t id, double latency_us) {
+  Exemplar exemplar;
+  exemplar.trace_id = id;
+  exemplar.latency_us = latency_us;
+  exemplar.bucket = LatencyHistogram::bucket_index(latency_us);
+  exemplar.kind = Exemplar::Kind::kSlow;
+  return exemplar;
+}
+
+TEST(ExemplarReservoir, KeepsTheTrueWorstKUnderConcurrentPublish) {
+  ExemplarOptions options;
+  options.slow_capacity = 8;
+  options.error_capacity = 0;
+  options.window = std::chrono::milliseconds(0);  // no rotation mid-test
+  ExemplarReservoir reservoir(options);
+
+  // 8 publishers x 500 offers with globally unique latencies. The admit
+  // threshold pre-filter races by design; the worst-k heap under the lock
+  // must still end up with exactly the 8 slowest of all 4000.
+  constexpr std::size_t kThreads = 8, kPerThread = 500;
+  std::vector<std::thread> publishers;
+  publishers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    publishers.emplace_back([&reservoir, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        const auto id = static_cast<std::uint64_t>(t * kPerThread + i + 1);
+        // Interleave thread values so every thread owns some of the tail.
+        const double latency_us = 10.0 + static_cast<double>(i * kThreads + t);
+        reservoir.offer(slow_exemplar(id, latency_us));
+      }
+    });
+  }
+  for (std::thread& thread : publishers) thread.join();
+
+  const std::vector<Exemplar> kept = reservoir.snapshot();
+  ASSERT_EQ(kept.size(), 8u);
+  // The 8 slowest offered latencies are the top 8 of i*kThreads+t, i.e. the
+  // last 8 values of the global sequence 10 + [0 .. 4000).
+  std::vector<double> latencies;
+  for (const Exemplar& exemplar : kept) latencies.push_back(exemplar.latency_us);
+  std::sort(latencies.begin(), latencies.end());
+  for (std::size_t k = 0; k < 8; ++k) {
+    const double expected = 10.0 + static_cast<double>(kThreads * kPerThread - 8 + k);
+    EXPECT_DOUBLE_EQ(latencies[k], expected);
+  }
+  // Snapshot is sorted slowest-first.
+  const std::vector<Exemplar> again = reservoir.snapshot();
+  for (std::size_t k = 1; k < again.size(); ++k)
+    EXPECT_GE(again[k - 1].latency_us, again[k].latency_us);
+}
+
+TEST(ExemplarReservoir, ErrorRingKeepsTheMostRecentAndBucketMapResolves) {
+  ExemplarOptions options;
+  options.slow_capacity = 2;
+  options.error_capacity = 3;
+  options.window = std::chrono::milliseconds(0);
+  ExemplarReservoir reservoir(options);
+  for (std::uint64_t id = 1; id <= 10; ++id) {
+    Exemplar exemplar = slow_exemplar(id, 50.0);
+    exemplar.kind = Exemplar::Kind::kError;
+    reservoir.offer(exemplar);
+  }
+  std::vector<std::uint64_t> error_ids;
+  for (const Exemplar& exemplar : reservoir.snapshot())
+    if (exemplar.kind == Exemplar::Kind::kError) error_ids.push_back(exemplar.trace_id);
+  std::sort(error_ids.begin(), error_ids.end());
+  EXPECT_EQ(error_ids, (std::vector<std::uint64_t>{8, 9, 10}));
+
+  // Bucket map: the most recent exemplar in a latency bucket is findable by
+  // the bucket index its latency hashed to (the histogram<->trace join).
+  reservoir.offer(slow_exemplar(77, 123456.0));
+  EXPECT_EQ(reservoir.exemplar_for_bucket(LatencyHistogram::bucket_index(123456.0)), 77u);
+  EXPECT_EQ(reservoir.exemplar_for_bucket(LatencyHistogram::bucket_index(1.0)), 0u);
+}
+
+TEST(ExemplarReservoir, WindowRotationRetiresTheStartupOutlier) {
+  ExemplarOptions options;
+  options.slow_capacity = 2;
+  options.error_capacity = 0;
+  options.window = std::chrono::milliseconds(1000);
+  ExemplarReservoir reservoir(options);
+  const Clock::time_point t0 = Clock::now();
+  reservoir.offer(slow_exemplar(1, 1e9), t0);  // startup outlier
+  // Two rotations later the outlier has aged out of both generations; the
+  // snapshot covers the previous window (id 2) and the current one (id 3),
+  // slowest first, and the 1e9us outlier no longer pins the reservoir.
+  reservoir.offer(slow_exemplar(2, 100.0), t0 + 1500ms);
+  reservoir.offer(slow_exemplar(3, 200.0), t0 + 3500ms);
+  const std::vector<Exemplar> kept = reservoir.snapshot(t0 + 3600ms);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].trace_id, 3u);
+  EXPECT_EQ(kept[1].trace_id, 2u);
+}
+
+// --- stall watchdog ----------------------------------------------------------
+
+TEST(StallWatchdog, ClassifiesIdleSuspendedActiveAndStalled) {
+  StallWatchdog::Options options;
+  options.period = 10ms;
+  options.stall_after = 100ms;
+  StallWatchdog watchdog(options);  // no start(): check() drives, no sleeps
+
+  Heartbeat heartbeat;
+  std::atomic<std::size_t> pending{0};
+  std::atomic<bool> suspended{false};
+  watchdog.add_probe({"stage", &heartbeat, [&] { return pending.load(); },
+                      [&] { return suspended.load(); }, {}});
+
+  const Clock::time_point t0 = Clock::now();
+  // First sight primes the probe (counts as progress -> kActive, never a
+  // verdict); from then on no pending work + no beats = idle, forever quiet.
+  EXPECT_EQ(watchdog.check(t0).probes.at(0).health, StageHealth::kActive);
+  EXPECT_EQ(watchdog.check(t0 + 5s).probes.at(0).health, StageHealth::kIdle);
+  EXPECT_EQ(watchdog.check(t0 + 10s).state, HealthState::kOk);
+
+  // Pending + suspended (pause/quiesce): standing still is legitimate.
+  pending.store(4);
+  suspended.store(true);
+  EXPECT_EQ(watchdog.check(t0 + 11s).probes.at(0).health, StageHealth::kSuspended);
+  EXPECT_EQ(watchdog.check(t0 + 30s).state, HealthState::kOk);
+
+  // Resumed and beating: active, and the stall clock keeps resetting.
+  suspended.store(false);
+  heartbeat.beat();
+  EXPECT_EQ(watchdog.check(t0 + 31s).probes.at(0).health, StageHealth::kActive);
+  heartbeat.beat();
+  EXPECT_EQ(watchdog.check(t0 + 32s).state, HealthState::kOk);
+
+  // Pending, unsuspended, silent: stalled only once the leash runs out.
+  EXPECT_EQ(watchdog.check(t0 + 32s + 50ms).state, HealthState::kOk);
+  const StallWatchdog::Snapshot stalled = watchdog.check(t0 + 32s + 150ms);
+  EXPECT_EQ(stalled.probes.at(0).health, StageHealth::kStalled);
+  EXPECT_EQ(stalled.state, HealthState::kViolating);
+  EXPECT_EQ(watchdog.health(), HealthState::kViolating);
+
+  // One beat clears it.
+  heartbeat.beat();
+  EXPECT_EQ(watchdog.check(t0 + 33s).state, HealthState::kOk);
+  EXPECT_EQ(watchdog.health(), HealthState::kOk);
+
+  // Re-suspending mid-backlog resets the clock too (close/drain hand-off).
+  EXPECT_EQ(watchdog.check(t0 + 40s).state, HealthState::kViolating);
+  suspended.store(true);
+  EXPECT_EQ(watchdog.check(t0 + 41s).state, HealthState::kOk);
+}
+
+TEST(StallWatchdog, PerProbeLeashOverridesTheDefault) {
+  StallWatchdog::Options options;
+  options.stall_after = 100ms;
+  StallWatchdog watchdog(options);
+  Heartbeat fast_beat, slow_beat;
+  std::atomic<std::size_t> pending{1};
+  watchdog.add_probe({"fast", &fast_beat, [&] { return pending.load(); }, {}, {}});
+  watchdog.add_probe({"slow-lane", &slow_beat, [&] { return pending.load(); }, {}, 10s});
+  const Clock::time_point t0 = Clock::now();
+  (void)watchdog.check(t0);  // prime
+  const StallWatchdog::Snapshot snapshot = watchdog.check(t0 + 1s);
+  EXPECT_EQ(snapshot.probes.at(0).health, StageHealth::kStalled);
+  EXPECT_EQ(snapshot.probes.at(1).health, StageHealth::kActive);
+}
+
+// --- embedded HTTP server ----------------------------------------------------
+
+TEST(ObsServer, ServesHandlersOverARealSocketAnd404sUnknownPaths) {
+  ObsServer server;  // port 0: ephemeral
+  server.handle("/ping", [](const HttpRequest& request) {
+    HttpResponse response;
+    response.body = "pong " + request.target;
+    return response;
+  });
+  server.start();
+  ASSERT_NE(server.port(), 0);
+
+  const std::optional<HttpResponse> ok = http_get("127.0.0.1", server.port(), "/ping");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->status, 200);
+  EXPECT_EQ(ok->body, "pong /ping");
+
+  const std::optional<HttpResponse> missing =
+      http_get("127.0.0.1", server.port(), "/nope");
+  ASSERT_TRUE(missing.has_value());
+  EXPECT_EQ(missing->status, 404);
+
+  server.stop();
+  server.stop();  // idempotent
+}
+
+}  // namespace
+}  // namespace mga::obs
+
+// --- the plane wired through a live service ----------------------------------
+
+namespace mga::serve {
+namespace {
+
+using namespace std::chrono_literals;
+using obs::HealthState;
+
+core::MgaTunerOptions plane_tiny_options() {
+  core::MgaTunerOptions options;
+  auto kernels = corpus::openmp_suite();
+  kernels.resize(8);
+  options.training_kernels = std::move(kernels);
+  std::vector<double> inputs = dataset::input_sizes_30();
+  std::vector<double> subset;
+  for (std::size_t i = 0; i < inputs.size(); i += 6) subset.push_back(inputs[i]);
+  options.input_sizes = std::move(subset);
+  options.training.epochs = 12;
+  return options;
+}
+
+const std::shared_ptr<ModelRegistry>& plane_registry() {
+  static const std::shared_ptr<ModelRegistry> registry = [] {
+    auto r = std::make_shared<ModelRegistry>();
+    r->add("comet-lake", core::MgaTuner::train(plane_tiny_options()));
+    return r;
+  }();
+  return registry;
+}
+
+TuneRequest plane_request(const char* kernel, double input_bytes = 2e6) {
+  TuneRequest request;
+  request.kernel = corpus::find_kernel(kernel);
+  request.input_bytes = input_bytes;
+  return request;
+}
+
+/// Poll /healthz until its status matches, bounded by `deadline_after`.
+bool wait_for_healthz(std::uint16_t port, int status,
+                      std::chrono::milliseconds deadline_after) {
+  const auto deadline = std::chrono::steady_clock::now() + deadline_after;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const std::optional<obs::HttpResponse> response =
+        obs::http_get("127.0.0.1", port, "/healthz");
+    if (response && response->status == status) return true;
+    std::this_thread::sleep_for(5ms);
+  }
+  return false;
+}
+
+TEST(TelemetryPlane, WatchdogStaysQuietAcrossPauseResumeAndClose) {
+  ServeOptions options;
+  options.workers = 2;
+  options.shards = 2;
+  options.telemetry.watchdog_period = 20ms;
+  options.telemetry.watchdog_stall_after = 80ms;
+  TuningService service(plane_registry(), options);
+
+  std::vector<TuneTicket> tickets;
+  tickets.push_back(service.submit(plane_request("polybench/gemm")));
+  tickets.push_back(service.submit(plane_request("rodinia/bfs")));
+  for (TuneTicket& ticket : tickets) ASSERT_TRUE(ticket.get().ok());
+  EXPECT_EQ(service.health(), HealthState::kOk);
+
+  // Pause with work queued: pending is visible and nothing progresses for
+  // many stall_after periods — the suspended predicate must keep the
+  // watchdog quiet (operator pause and retrain quiesce ride this path).
+  service.pause();
+  TuneTicket queued = service.submit(plane_request("stream/triad"));
+  std::this_thread::sleep_for(400ms);  // 5x the leash, 20 detector passes
+  EXPECT_EQ(service.health(), HealthState::kOk)
+      << "watchdog fired on a paused (suspended) service";
+  service.resume();
+  ASSERT_TRUE(queued.get().ok());
+  EXPECT_EQ(service.health(), HealthState::kOk);
+
+  // Close/drain: the backlog retires, probes go idle, never stalled.
+  service.shutdown();
+  EXPECT_EQ(service.health(), HealthState::kOk);
+}
+
+TEST(TelemetryPlane, HealthzFlips503WhileAForwardStageIsWedgedAndRecovers) {
+  // The stage_hook seam blocks *every* executor of the forward stage (home
+  // worker and stealers alike) while armed, so sealed batches pile up in
+  // the rings: visible pending + silent heartbeat + not suspended = stall.
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool wedged = false;
+
+  ServeOptions options;
+  options.workers = 2;
+  options.shards = 1;
+  options.linger = 0ms;
+  options.telemetry.watchdog_period = 25ms;
+  options.telemetry.watchdog_stall_after = 100ms;
+  options.telemetry.http = true;  // port 0: ephemeral
+  options.stage_hook = [&](std::size_t stage) {
+    if (stage != kPipelineForward) return;
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return !wedged; });
+  };
+  TuningService service(plane_registry(), options);
+  const std::uint16_t port = service.telemetry_port();
+  ASSERT_NE(port, 0);
+
+  // Warm the pipe (also proves 200 while healthy), then wedge.
+  ASSERT_TRUE(service.submit(plane_request("polybench/gemm")).get().ok());
+  ASSERT_TRUE(wait_for_healthz(port, 200, 2000ms));
+  {
+    const std::lock_guard<std::mutex> lock(gate_mutex);
+    wedged = true;
+  }
+  // Distinct kernels => distinct batches: the first two occupy both stage
+  // workers inside the wedge, the rest stay visibly pending in the rings.
+  std::vector<TuneTicket> tickets;
+  for (const char* kernel : {"polybench/gemm", "rodinia/bfs", "stream/triad",
+                             "rodinia/kmeans", "polybench/syrk", "rodinia/hotspot"})
+    tickets.push_back(service.submit(plane_request(kernel)));
+
+  // stall_after (100ms) + one detector period (25ms) is the nominal flip
+  // latency; the bound is generous for loaded CI runners, the property is
+  // not: the endpoint must go non-200 while the stage is wedged.
+  EXPECT_TRUE(wait_for_healthz(port, 503, 5000ms))
+      << "/healthz never flipped while the forward stage was stalled";
+  const std::optional<obs::HttpResponse> sick =
+      obs::http_get("127.0.0.1", port, "/healthz");
+  ASSERT_TRUE(sick.has_value());
+  EXPECT_NE(sick->body.find("violating"), std::string::npos);
+
+  // Release the wedge: the backlog drains, every outcome is served, and the
+  // endpoint returns to 200 once the stage beats again.
+  {
+    const std::lock_guard<std::mutex> lock(gate_mutex);
+    wedged = false;
+  }
+  gate_cv.notify_all();
+  for (TuneTicket& ticket : tickets) ASSERT_TRUE(ticket.get().ok());
+  EXPECT_TRUE(wait_for_healthz(port, 200, 5000ms))
+      << "/healthz stayed sick after the stage recovered";
+  service.shutdown();
+}
+
+TEST(TelemetryPlane, EndpointsServeMetricsSloAndExemplars) {
+  ServeOptions options;
+  options.workers = 2;
+  options.shards = 2;
+  options.telemetry.http = true;
+  TuningService service(plane_registry(), options);
+  const std::uint16_t port = service.telemetry_port();
+  ASSERT_NE(port, 0);
+
+  std::vector<TuneTicket> tickets;
+  tickets.push_back(service.submit(plane_request("polybench/gemm")));
+  tickets.push_back(service.submit(plane_request("rodinia/bfs")));
+  for (TuneTicket& ticket : tickets) ASSERT_TRUE(ticket.get().ok());
+
+  const std::optional<obs::HttpResponse> metrics =
+      obs::http_get("127.0.0.1", port, "/metrics");
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_EQ(metrics->status, 200);
+  EXPECT_NE(metrics->content_type.find("version=0.0.4"), std::string::npos);
+  // Serve counters with shard labels, SLO and watchdog families, and the
+  // process-global runtime registry all ride one exposition.
+  EXPECT_NE(metrics->body.find("# TYPE mga_serve_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("mga_serve_requests_total{outcome=\"completed\",shard=\"1\"}"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("mga_slo_health"), std::string::npos);
+  EXPECT_NE(metrics->body.find("mga_watchdog_health"), std::string::npos);
+  EXPECT_NE(metrics->body.find("mga_serve_latency_us{shard=\"0\",quantile=\"0.95\"}"),
+            std::string::npos);
+
+  const std::optional<obs::HttpResponse> slo = obs::http_get("127.0.0.1", port, "/slo");
+  ASSERT_TRUE(slo.has_value());
+  EXPECT_EQ(slo->status, 200);
+  EXPECT_NE(slo->body.find("\"health\""), std::string::npos);
+  EXPECT_NE(slo->body.find("\"watchdog\""), std::string::npos);
+
+  const std::optional<obs::HttpResponse> exemplars =
+      obs::http_get("127.0.0.1", port, "/exemplars");
+  ASSERT_TRUE(exemplars.has_value());
+  EXPECT_EQ(exemplars->status, 200);
+  EXPECT_NE(exemplars->body.find("\"traceEvents\""), std::string::npos);
+  // The reservoir held at least one exemplar with spans for the traffic.
+  EXPECT_FALSE(service.exemplar_snapshot().empty());
+  service.shutdown();
+}
+
+TEST(TelemetryPlane, DisabledPlaneLeavesNoInstrumentsAndNoHeaderRows) {
+  ServeOptions options;
+  options.workers = 1;
+  options.telemetry.enabled = false;
+  TuningService service(plane_registry(), options);
+  EXPECT_EQ(service.telemetry_port(), 0);
+  ASSERT_TRUE(service.submit(plane_request("polybench/gemm")).get().ok());
+  EXPECT_TRUE(service.exemplar_snapshot().empty());
+  EXPECT_EQ(service.health(), HealthState::kOk);
+  const ServiceStatsSnapshot stats = service.stats_snapshot();
+  EXPECT_EQ(stats.uptime_seconds, 0.0);  // gates the telemetry header rows off
+}
+
+}  // namespace
+}  // namespace mga::serve

@@ -1134,8 +1134,10 @@ TEST(TuningService, LatencyBreakdownSumsAndRendersEveryMetricRow) {
   // v6: + latency p99, extract/forward means; v7: + the compiled/interpreted
   // forward split and plan layout cache rows (a forward ran, so they render);
   // v8: + the pipeline dispatch and stage-occupancy rows (the pipelined
-  // engine is the default, so batches were dispatched and they render).
-  EXPECT_EQ(table.row_count(), 33u);
+  // engine is the default, so batches were dispatched and they render);
+  // v9: + the telemetry header (uptime, health, SLO compliance — telemetry
+  // is on by default, so the facade stamps them).
+  EXPECT_EQ(table.row_count(), 36u);
 }
 
 // --- the service: sharded serving --------------------------------------------
@@ -1268,9 +1270,11 @@ TEST(TuningService, AggregateStatsSumPerShardCounters) {
   EXPECT_EQ(aggregate_completed, tier_completed);
 
   // The operator table gains a breakdown section only for multi-shard
-  // snapshots: the 33 aggregate rows (v7 adds the forward-path split pair,
-  // v8 the pipeline dispatch/occupancy pair) plus 3 per shard.
-  EXPECT_EQ(stats_table(stats).row_count(), 33u + 3u * stats.shards.size());
+  // snapshots: the 36 aggregate rows (v7 adds the forward-path split pair,
+  // v8 the pipeline dispatch/occupancy pair, v9 the telemetry header —
+  // uptime, health, SLO compliance) plus 4 per shard (v9 adds the per-shard
+  // health row).
+  EXPECT_EQ(stats_table(stats).row_count(), 36u + 4u * stats.shards.size());
 }
 
 TEST(TuningService, LifecycleFansOutToAllShards) {

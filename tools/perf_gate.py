@@ -23,6 +23,14 @@ the checked-in baseline on four first-class metric families:
                             runner (where four shards' worth of threads can
                             only add scheduling overhead; the gate then just
                             bounds how much).
+  * telemetry overhead    — absolute gate, current run only: when the merged
+                            document holds a bench ``X`` next to its
+                            ``X_telemetry_off`` twin (the same workload run
+                            with ``--telemetry-off``), every shared
+                            ``*_requests_per_s`` metric must show the
+                            always-on telemetry plane costing at most
+                            ``--telemetry-overhead-limit`` (default 2%) of
+                            the telemetry-off throughput.
 
 Metrics missing from either side are reported but do not fail — the
 baseline is reseeded whenever the benches' metric set changes. On failure
@@ -30,6 +38,11 @@ the gate additionally prints every ``*_stage_*`` metric (the
 per-lifecycle-stage mean latencies the benches emit under ``--trace``)
 from both documents, so a regression names the stage that moved, not just
 the headline number that did.
+
+``merge`` folds repeated documents from the *same* bench best-of-N:
+throughput metrics keep their max, time-like metrics their min — CI runs
+each twin of the telemetry-overhead pair several times and gates the
+best-of comparison, not one noisy sample.
 
 Usage:
   perf_gate.py merge  --out BENCH_serve.json IN.json [IN.json ...]
@@ -45,6 +58,9 @@ import sys
 
 # Mean queue wait may not exceed this share of mean request latency.
 QUEUE_WAIT_SHARE_LIMIT = 0.5
+
+# Bench-name suffix marking a telemetry-off twin run of the same workload.
+TELEMETRY_OFF_SUFFIX = "_telemetry_off"
 
 # (minimum hardware_concurrency, required shards4/shards1 throughput ratio).
 # Checked top-down; the first row whose hw floor the runner meets applies.
@@ -65,6 +81,22 @@ def load(path):
         sys.exit(2)
 
 
+def best_of(metric, old, new):
+    """Best-of-N fold when the same bench was run repeatedly: throughput
+    keeps its max, time-like metrics (latency, seconds, shares) their min.
+    Everything else (environment facts like hardware_concurrency) last-wins.
+    Comparing best-of runs is how the tight gates (telemetry overhead <= 2%)
+    stay meaningful on noisy shared runners: a single sample's scheduler
+    jitter dwarfs the effect being measured."""
+    if not isinstance(old, (int, float)) or not isinstance(new, (int, float)):
+        return new
+    if metric.endswith("_requests_per_s") or metric.endswith("_mean_batch"):
+        return max(old, new)
+    if metric.endswith(("_us", "_seconds", "_share")):
+        return min(old, new)
+    return new
+
+
 def merge(args):
     merged = {"benches": {}}
     for path in args.inputs:
@@ -74,7 +106,12 @@ def merge(args):
         if not isinstance(name, str) or not isinstance(metrics, dict):
             print(f"perf_gate: {path} is not a bench metrics document", file=sys.stderr)
             sys.exit(2)
-        merged["benches"][name] = metrics
+        existing = merged["benches"].get(name)
+        if existing is None:
+            merged["benches"][name] = dict(metrics)
+        else:
+            for key, value in metrics.items():
+                existing[key] = best_of(key, existing.get(key), value)
     try:
         with open(args.out, "w", encoding="utf-8") as handle:
             json.dump(merged, handle, indent=2, sort_keys=True)
@@ -169,6 +206,42 @@ def check_queue_wait_share(current_doc):
     return failures
 
 
+def check_telemetry_overhead(current_doc, limit):
+    """Absolute gate on the always-on telemetry plane: for every bench that
+    also ran as its `_telemetry_off` twin, throughput with telemetry on must
+    stay within `limit` of throughput with it off. Returns failed keys."""
+    failures = []
+    benches = current_doc.get("benches", {})
+    found = False
+    for off_name in sorted(benches):
+        if not off_name.endswith(TELEMETRY_OFF_SUFFIX):
+            continue
+        on_name = off_name[: -len(TELEMETRY_OFF_SUFFIX)]
+        on_metrics = benches.get(on_name)
+        if not isinstance(on_metrics, dict):
+            print(f"  [skip] {off_name} has no telemetry-on twin {on_name!r}")
+            continue
+        for key in sorted(benches[off_name]):
+            if not key.endswith("_requests_per_s"):
+                continue
+            off_value = benches[off_name][key]
+            on_value = on_metrics.get(key)
+            if not isinstance(off_value, (int, float)) or \
+                    not isinstance(on_value, (int, float)) or off_value <= 0:
+                continue
+            found = True
+            overhead = (off_value - on_value) / off_value
+            verdict = "FAIL" if overhead > limit else "ok"
+            print(f"  [{verdict:>4}] {on_name}/{key}: {on_value:.1f} on vs "
+                  f"{off_value:.1f} off = {overhead * 100.0:+.2f}% overhead "
+                  f"(limit {limit * 100.0:.1f}%)")
+            if overhead > limit:
+                failures.append((on_name, key))
+    if not found:
+        print("  [skip] no bench/_telemetry_off twin pair in the current run")
+    return failures
+
+
 def required_scaling(hw_threads):
     for floor, ratio in SCALING_FLOORS:
         if hw_threads >= floor:
@@ -219,11 +292,14 @@ def check(args):
     failures += check_queue_wait_share(current_doc)
     print("perf_gate: shard scaling (current run, hardware-aware):")
     failures += check_scaling(current_doc)
+    print("perf_gate: always-on telemetry overhead (on vs --telemetry-off):")
+    failures += check_telemetry_overhead(current_doc, args.telemetry_overhead_limit)
 
     if failures:
         print_stage_breakdown(baseline_doc, current_doc)
         print(f"perf_gate: {len(failures)} gate failure(s) — p95, throughput, "
-              f"queue-wait share, or shard scaling out of budget", file=sys.stderr)
+              f"queue-wait share, shard scaling, or telemetry overhead out of "
+              f"budget", file=sys.stderr)
         sys.exit(1)
     print("perf_gate: all metrics within the regression budget")
 
@@ -241,6 +317,9 @@ def main():
     check_cmd.add_argument("--baseline", required=True)
     check_cmd.add_argument("--current", required=True)
     check_cmd.add_argument("--threshold", type=float, default=2.0)
+    check_cmd.add_argument("--telemetry-overhead-limit", type=float, default=0.02,
+                           help="max fractional throughput cost of always-on "
+                                "telemetry vs the --telemetry-off twin run")
     check_cmd.set_defaults(run=check)
 
     args = parser.parse_args()

@@ -1,0 +1,288 @@
+#!/usr/bin/env python3
+"""Prometheus text-exposition linter for the mga `/metrics` endpoint.
+
+Validates the 0.0.4 text format that ``MetricsRegistry::to_prometheus()``
+(and the ``ObsServer`` ``/metrics`` handler built on it) emits: line
+syntax, metric and label name grammar, label-value escaping, sample
+values, HELP/TYPE placement, family grouping, duplicate series, and the
+summary-type invariants (quantile in [0,1], ``_sum``/``_count`` present).
+CI scrapes the live endpoint of a running service and pipes the body
+through this linter, so a malformed exposition fails the build before a
+real Prometheus server ever sees it.
+
+Usage:
+  prom_lint.py FILE [FILE ...] [--require FAMILY ...] [--strict]
+  prom_lint.py --url http://127.0.0.1:PORT/metrics [--require FAMILY ...]
+  some_producer | prom_lint.py -
+
+``--require NAME`` (repeatable) additionally fails unless a family with
+that exact name carries at least one sample — CI uses it to pin the
+serve / runtime / SLO families into the scrape. ``--strict`` promotes
+convention warnings (counters not ending in ``_total``) to errors.
+
+Stdlib only; exit code 0 = clean, 1 = lint errors, 2 = usage/IO error.
+"""
+
+import argparse
+import re
+import sys
+import urllib.request
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+# Escapes legal inside a quoted label value: backslash, double-quote, \n.
+VALUE_ESCAPE = re.compile(r"\\(?![\\\"n])")
+SAMPLE_VALUE = re.compile(r"^[+-]?(?:[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?|Inf)$|^NaN$")
+
+
+class Lint:
+    """Accumulates findings with source positions."""
+
+    def __init__(self):
+        self.errors = []
+        self.warnings = []
+
+    def error(self, line_no, message):
+        self.errors.append(f"line {line_no}: {message}")
+
+    def warn(self, line_no, message):
+        self.warnings.append(f"line {line_no}: {message}")
+
+
+def parse_labels(raw, line_no, lint):
+    """'{a="x",b="y"}' body -> dict, reporting grammar errors. None on parse
+    failure (the caller skips series-level checks for that sample)."""
+    labels = {}
+    pos = 0
+    while pos < len(raw):
+        match = re.match(r'\s*([^=,{}"\s]+)\s*=\s*"', raw[pos:])
+        if not match:
+            lint.error(line_no, f"malformed label pair at ...{raw[pos:pos + 20]!r}")
+            return None
+        name = match.group(1)
+        if not LABEL_NAME.match(name):
+            lint.error(line_no, f"invalid label name {name!r}")
+        if name in labels:
+            lint.error(line_no, f"duplicate label name {name!r}")
+        pos += match.end()
+        value = []
+        closed = False
+        while pos < len(raw):
+            ch = raw[pos]
+            if ch == "\\":
+                if pos + 1 >= len(raw) or raw[pos + 1] not in '\\"n':
+                    lint.error(line_no, f"illegal escape in label {name!r} value")
+                value.append(raw[pos:pos + 2])
+                pos += 2
+                continue
+            if ch == '"':
+                closed = True
+                pos += 1
+                break
+            if ch == "\n":
+                break
+            value.append(ch)
+            pos += 1
+        if not closed:
+            lint.error(line_no, f"unterminated value for label {name!r}")
+            return None
+        labels[name] = "".join(value)
+        rest = raw[pos:].lstrip()
+        if rest.startswith(","):
+            pos = len(raw) - len(rest) + 1
+        elif rest == "":
+            pos = len(raw)
+        else:
+            lint.error(line_no, f"expected ',' between labels, got ...{rest[:20]!r}")
+            return None
+    return labels
+
+
+def base_family(name, families):
+    """Attribute `X_sum` / `X_count` / `X_bucket` samples to their typed
+    family when one exists; everything else is its own family."""
+    for suffix in ("_sum", "_count", "_bucket"):
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if families.get(base, {}).get("type") in ("summary", "histogram"):
+                return base
+    return name
+
+
+def lint_exposition(text, lint):
+    """Parse + check one exposition body; returns {family: sample_count}."""
+    families = {}  # name -> {"type", "help", "samples", "closed", "line"}
+    series_seen = {}  # (family, name, canonical labels) -> line_no
+    current_family = None
+
+    if text and not text.endswith("\n"):
+        lint.error(text.count("\n") + 1, "exposition must end with a newline")
+
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if line != line.rstrip("\r"):
+            lint.error(line_no, "carriage return in exposition (must be LF-only)")
+            line = line.rstrip("\r")
+        if not line.strip():
+            continue
+
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                if len(parts) < 3:
+                    lint.error(line_no, f"# {parts[1]} without a metric name")
+                    continue
+                name = parts[2]
+                if not METRIC_NAME.match(name):
+                    lint.error(line_no, f"invalid metric name {name!r} in # {parts[1]}")
+                family = families.setdefault(
+                    name, {"type": None, "help": None, "samples": 0,
+                           "closed": False, "line": line_no})
+                if parts[1] == "HELP":
+                    if family["help"] is not None:
+                        lint.error(line_no, f"second # HELP for family {name!r}")
+                    family["help"] = parts[3] if len(parts) > 3 else ""
+                else:
+                    kind = parts[3].strip() if len(parts) > 3 else ""
+                    if kind not in TYPES:
+                        lint.error(line_no, f"unknown TYPE {kind!r} for {name!r} "
+                                            f"(one of {'/'.join(TYPES)})")
+                    if family["type"] is not None:
+                        lint.error(line_no, f"second # TYPE for family {name!r}")
+                    if family["samples"] > 0:
+                        lint.error(line_no, f"# TYPE for {name!r} after its samples")
+                    family["type"] = kind
+                if family["closed"]:
+                    lint.error(line_no, f"family {name!r} reopened (families must "
+                                        f"be contiguous)")
+                if current_family not in (None, name):
+                    families[current_family]["closed"] = True
+                current_family = name
+            # Any other "#" line is a free-form comment: always legal.
+            continue
+
+        match = re.match(r"^([^\s{]+)(\{(.*)\})?\s+(\S+)(\s+(-?\d+))?\s*$", line)
+        if not match:
+            lint.error(line_no, f"unparseable sample line: {line[:60]!r}")
+            continue
+        name, _, raw_labels, value, _, _timestamp = match.groups()
+        if not METRIC_NAME.match(name):
+            lint.error(line_no, f"invalid metric name {name!r}")
+        if not SAMPLE_VALUE.match(value):
+            lint.error(line_no, f"invalid sample value {value!r}")
+
+        labels = parse_labels(raw_labels, line_no, lint) if raw_labels else {}
+
+        family_name = base_family(name, families)
+        family = families.setdefault(
+            family_name, {"type": None, "help": None, "samples": 0,
+                          "closed": False, "line": line_no})
+        if family["closed"]:
+            lint.error(line_no, f"family {family_name!r} reopened (families must "
+                                f"be contiguous)")
+        if current_family != family_name:
+            if current_family is not None:
+                families[current_family]["closed"] = True
+            current_family = family_name
+        family["samples"] += 1
+
+        if labels is not None:
+            canonical = tuple(sorted(labels.items()))
+            key = (family_name, name, canonical)
+            if key in series_seen:
+                lint.error(line_no, f"duplicate series {name!r} with labels "
+                                    f"{dict(canonical)} (first at line "
+                                    f"{series_seen[key]})")
+            else:
+                series_seen[key] = line_no
+            if family["type"] == "summary" and name == family_name:
+                quantile = labels.get("quantile")
+                if quantile is None:
+                    lint.error(line_no, f"summary sample {name!r} without a "
+                                        f"quantile label")
+                else:
+                    try:
+                        as_float = float(quantile)
+                    except ValueError:
+                        as_float = -1.0
+                    if not 0.0 <= as_float <= 1.0:
+                        lint.error(line_no, f"quantile {quantile!r} outside [0, 1]")
+            if family["type"] == "counter" and not name.endswith("_total"):
+                lint.warn(line_no, f"counter {name!r} does not end in '_total'")
+
+    for name, family in families.items():
+        if family["type"] in ("summary", "histogram") and family["samples"] > 0:
+            suffixes = {
+                key[1][len(name):]
+                for key in series_seen if key[0] == name and key[1] != name
+            }
+            for required in ("_sum", "_count"):
+                if required not in suffixes:
+                    lint.error(family["line"],
+                               f"{family['type']} family {name!r} missing "
+                               f"{name}{required}")
+        if family["type"] is not None and family["samples"] == 0:
+            lint.warn(family["line"], f"family {name!r} declared but has no samples")
+    return {name: family["samples"] for name, family in families.items()}
+
+
+def read_sources(args):
+    bodies = []
+    if args.url:
+        try:
+            with urllib.request.urlopen(args.url, timeout=10) as response:
+                bodies.append((args.url, response.read().decode("utf-8")))
+        except (OSError, ValueError) as error:
+            print(f"prom_lint: cannot fetch {args.url}: {error}", file=sys.stderr)
+            sys.exit(2)
+    for path in args.files:
+        try:
+            if path == "-":
+                bodies.append(("<stdin>", sys.stdin.read()))
+            else:
+                with open(path, "r", encoding="utf-8") as handle:
+                    bodies.append((path, handle.read()))
+        except OSError as error:
+            print(f"prom_lint: cannot read {path}: {error}", file=sys.stderr)
+            sys.exit(2)
+    if not bodies:
+        print("prom_lint: no input (pass FILE, '-', or --url)", file=sys.stderr)
+        sys.exit(2)
+    return bodies
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*", help="exposition files ('-' = stdin)")
+    parser.add_argument("--url", help="scrape this URL instead of reading files")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="FAMILY",
+                        help="fail unless this family has at least one sample")
+    parser.add_argument("--strict", action="store_true",
+                        help="promote convention warnings to errors")
+    args = parser.parse_args(argv)
+
+    exit_code = 0
+    for source, body in read_sources(args):
+        lint = Lint()
+        samples = lint_exposition(body, lint)
+        for name in args.require:
+            if samples.get(name, 0) == 0:
+                lint.errors.append(f"required family {name!r} has no samples")
+        if args.strict:
+            lint.errors += lint.warnings
+            lint.warnings = []
+        for finding in lint.warnings:
+            print(f"prom_lint: {source}: warning: {finding}")
+        for finding in lint.errors:
+            print(f"prom_lint: {source}: error: {finding}")
+        total = sum(samples.values())
+        print(f"prom_lint: {source}: {len(samples)} families, {total} samples, "
+              f"{len(lint.errors)} error(s), {len(lint.warnings)} warning(s)")
+        if lint.errors:
+            exit_code = 1
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -8,10 +8,14 @@ count, total time, mean, p50, p95, and max. Use it in CI logs or locally
 when you want the numbers without loading the trace into Perfetto.
 
 Usage:
-  trace_report.py TRACE.json [TRACE.json ...] [--by-shard]
+  trace_report.py TRACE.json [TRACE.json ...] [--by-shard] [--top N]
 
 By default stages are aggregated per section (the ``shards1``/``shards2``/
 ``retrain`` label); ``--by-shard`` keeps each shard's process row separate.
+``--top N`` appends the N slowest individual requests (grouped by the
+``request_id`` every span carries) with their per-stage breakdown — it
+works on full ``--trace`` exports and on the always-on ``/exemplars``
+endpoint's tail-sampled exports alike, since both carry request ids.
 
 The pipelined serve engine splits the legacy ``queue_wait`` span into
 ``admission_wait`` / ``linger_wait`` / ``dispatch_wait`` sub-spans; after
@@ -67,13 +71,46 @@ def collect(document, by_shard):
         if event.get("ph") == "M" and event.get("name") == "process_name":
             process_names[event.get("pid")] = event.get("args", {}).get("name", "?")
     durations = {}  # (section, stage) -> [dur_us, ...]
+    requests = {}   # (section, request_id) -> [(start_us, dur_us, stage), ...]
     for event in document.get("traceEvents", []):
         if event.get("ph") != "X":
             continue
         process = process_names.get(event.get("pid"), f"pid {event.get('pid')}")
-        key = (section_of(process, by_shard), event.get("name", "?"))
-        durations.setdefault(key, []).append(float(event.get("dur", 0.0)))
-    return durations
+        section = section_of(process, by_shard)
+        stage = event.get("name", "?")
+        durations.setdefault((section, stage), []).append(float(event.get("dur", 0.0)))
+        request_id = event.get("args", {}).get("request_id", 0)
+        if request_id:  # id 0 = span not tied to a request (retrain, facade)
+            requests.setdefault((section, request_id), []).append(
+                (float(event.get("ts", 0.0)), float(event.get("dur", 0.0)), stage))
+    return durations, requests
+
+
+def print_top_requests(requests, top):
+    """The `top` slowest requests (wall span of their events) with the
+    per-stage breakdown, slowest first."""
+    ranked = []
+    for (section, request_id), spans in requests.items():
+        start = min(ts for ts, _, _ in spans)
+        end = max(ts + dur for ts, dur, _ in spans)
+        ranked.append((end - start, section, request_id, spans))
+    ranked.sort(key=lambda entry: -entry[0])
+    if not ranked:
+        print("top requests: no request-tagged spans in the trace", file=sys.stderr)
+        return
+    print(f"top {min(top, len(ranked))} slowest requests "
+          f"(of {len(ranked)} with spans):")
+    rows = [("rank", "section", "request", "wall us", "stages (us)")]
+    for rank, (wall, section, request_id, spans) in enumerate(ranked[:top], start=1):
+        stages = {}
+        for _, dur, stage in spans:
+            stages[stage] = stages.get(stage, 0.0) + dur
+        breakdown = " ".join(f"{stage}={stages[stage]:.1f}"
+                             for stage in sorted(stages, key=stages.get, reverse=True))
+        rows.append((str(rank), section, str(request_id), f"{wall:.1f}", breakdown))
+    widths = [max(len(row[c]) for row in rows) for c in range(len(rows[0]))]
+    for row in rows:
+        print("  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip())
 
 
 def main(argv):
@@ -81,15 +118,22 @@ def main(argv):
     parser.add_argument("traces", nargs="+", help="Chrome trace JSON files")
     parser.add_argument("--by-shard", action="store_true",
                         help="one row per shard process instead of per section")
+    parser.add_argument("--top", type=int, default=0, metavar="N",
+                        help="also list the N slowest requests with their "
+                             "per-stage breakdown")
     args = parser.parse_args(argv)
 
     durations = {}
+    requests = {}
     for path in args.traces:
         document = load(path)
         if document is None:
             return 2
-        for key, values in collect(document, args.by_shard).items():
+        collected, per_request = collect(document, args.by_shard)
+        for key, values in collected.items():
             durations.setdefault(key, []).extend(values)
+        for key, spans in per_request.items():
+            requests.setdefault(key, []).extend(spans)
     if not durations:
         print("trace_report: no duration events found", file=sys.stderr)
         return 2
@@ -120,6 +164,9 @@ def main(argv):
     for section in sorted(rollup):
         print(f"queue-wait rollup: {section}: {rollup[section] / 1000.0:.3f} ms "
               f"total across {'/'.join(QUEUE_WAIT_STAGES)}")
+    if args.top > 0:
+        print()
+        print_top_requests(requests, args.top)
     return 0
 
 
