@@ -1,0 +1,395 @@
+// Production scenario harness (DESIGN.md §13): trace replay + multi-tenant
+// QoS + chaos, end to end against the live service.
+//
+// Three scenarios, each self-calibrated against the machine's measured
+// service rate so the offered loads mean the same thing on a laptop and a
+// loaded CI runner:
+//
+//   flash crowd   three weighted tenants (gold 4 / silver 2 / bronze 1)
+//                 offer *equal* open-loop load through a FlashCrowdShaper
+//                 spike at ~3x the service rate. The tenant governor's
+//                 weighted fair admission must hold each tenant's goodput
+//                 share of spike-window completions within 0.15 (absolute)
+//                 of its weight share — gated in CI by tools/perf_gate.py
+//                 (`*_fairness_max_weight_deviation`).
+//
+//   chaos kill    a steady replay at ~35% of capacity while shard 0's
+//                 dispatcher is chaos-killed and revived. Zero tickets may
+//                 be lost (`*_lost_tickets`), the stall watchdog should
+//                 observe the outage, and the windowed completion p95 must
+//                 return to its pre-kill band within the watchdog leash
+//                 after the revive (`*_recovery_within_leash`).
+//
+//   round trip    the flash-crowd trace survives save_trace/load_trace
+//                 bit-exactly (the incident-repro path OPERATIONS.md
+//                 documents).
+//
+// Usage: bench_scenario_replay [--smoke] [--json <path>] [--trace-out <path>]
+//   --smoke       shorter spike/outage windows for the CI perf-record job.
+//   --json        machine-readable metrics (merged into BENCH_serve.json).
+//   --trace-out   keep the flash-crowd trace on disk instead of a temp file.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "serve/load/replay.hpp"
+#include "serve/load/shaper.hpp"
+#include "serve/load/trace.hpp"
+#include "serve/service.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using namespace mga;
+
+[[nodiscard]] core::MgaTunerOptions bench_options() {
+  core::MgaTunerOptions options;
+  auto kernels = corpus::openmp_suite();
+  kernels.resize(8);
+  options.training_kernels = std::move(kernels);
+  std::vector<double> inputs = dataset::input_sizes_30();
+  std::vector<double> subset;
+  for (std::size_t i = 0; i < inputs.size(); i += 6) subset.push_back(inputs[i]);
+  options.input_sizes = std::move(subset);
+  options.training.epochs = 12;
+  return options;
+}
+
+[[nodiscard]] serve::load::ReplayCatalog make_catalog() {
+  serve::load::ReplayCatalog catalog;
+  const std::vector<corpus::KernelSpec> suite = corpus::openmp_suite();
+  // Two kernels seen in training, two unseen — the serve bench's mix.
+  for (const std::size_t k : {std::size_t{0}, std::size_t{3}, std::size_t{9}, std::size_t{12}})
+    catalog.kernels.push_back(suite[k]);
+  const std::vector<double> inputs = dataset::input_sizes_30();
+  catalog.input_bytes = {inputs[4], inputs[20]};
+  return catalog;
+}
+
+/// Measured service rate (completions per second) for this machine and
+/// catalog: a short back-to-back replay against an untenanted service. The
+/// scenarios key their offered loads off this so "3x capacity" is true on
+/// any hardware.
+[[nodiscard]] double calibrate_service_rate(
+    const std::shared_ptr<serve::ModelRegistry>& registry,
+    const serve::load::ReplayCatalog& catalog, std::size_t n) {
+  serve::load::LoadTrace trace;
+  trace.records.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    trace.records[i].arrival_us = i;  // order only; speed=0 ignores pacing
+    trace.records[i].route =
+        ((i % catalog.kernels.size()) << serve::load::kRouteInputBits) |
+        (i % catalog.input_bytes.size());
+  }
+  serve::TuningService service(registry, {});
+  serve::load::ReplayOptions options;
+  options.speed = 0.0;
+  const serve::load::ReplayReport report =
+      serve::load::replay(service, trace, catalog, options);
+  service.shutdown();
+  if (report.completed == 0 || report.duration_s <= 0.0) {
+    std::cerr << "FAIL: calibration run completed nothing\n";
+    std::exit(1);
+  }
+  return static_cast<double>(report.completed) / report.duration_s;
+}
+
+/// p95 of `samples` (copied; percentile over the sorted window).
+[[nodiscard]] double p95_us(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return util::percentile_sorted(samples, 0.95);
+}
+
+struct FairnessResult {
+  double max_deviation = 1.0;
+  std::vector<double> shares;   // per tenant, spike-window completions
+  std::uint64_t spike_done = 0;
+  serve::load::LoadTrace trace;  // kept for the round-trip scenario
+};
+
+/// Flash-crowd fairness: equal offered load from three weighted tenants
+/// through a spike at ~3x capacity; goodput shares of spike-window arrivals
+/// must track the weights.
+[[nodiscard]] FairnessResult run_flash_crowd(
+    const std::shared_ptr<serve::ModelRegistry>& registry,
+    const serve::load::ReplayCatalog& catalog, double service_rate, bool smoke) {
+  const double spike_start_s = smoke ? 0.3 : 0.5;
+  const double spike_s = smoke ? 0.8 : 2.0;
+  const double total_s = spike_start_s + spike_s + (smoke ? 0.2 : 0.5);
+  const std::vector<double> weights = {4.0, 2.0, 1.0};
+
+  serve::load::SynthesisOptions synth;
+  synth.rate_per_s = 0.6 * service_rate;  // baseline under capacity...
+  synth.duration_s = total_s;
+  synth.kernels = catalog.kernels.size();
+  synth.inputs = catalog.input_bytes.size();
+  synth.tenant_mix = {1.0, 1.0, 1.0};  // ...offered EQUALLY per tenant
+  const serve::load::FlashCrowdShaper shaper(spike_start_s, spike_s,
+                                             /*magnitude=*/5.0);  // -> 3x capacity
+  FairnessResult out;
+  out.trace = serve::load::synthesize(shaper, synth);
+
+  serve::ServeOptions options;
+  options.tenant.tenants = {{"gold", weights[0], 0},
+                            {"silver", weights[1], 0},
+                            {"bronze", weights[2], 0}};
+  // Tuned against the engine's batch granularity: completions publish (and
+  // release) up to max_batch=32 at a time, so the contention threshold must
+  // exceed its own hysteresis band plus one batch, or every published batch
+  // would unlatch fairness. The per-weight bank cap just needs to cover a
+  // scheduler quantum's worth of release gulps.
+  options.tenant.fair_threshold = 128;
+  options.tenant.burst_credit = 32.0;
+  serve::TuningService service(registry, options);
+
+  serve::load::ReplayOptions replay_options;
+  replay_options.tenant_names = {"gold", "silver", "bronze"};
+  const serve::load::ReplayReport report =
+      serve::load::replay(service, out.trace, catalog, replay_options);
+  serve::stats_table(service.stats_snapshot()).print(std::cout);
+  service.shutdown();
+
+  // Goodput share per tenant over completions whose *arrival* fell inside
+  // the spike (skipping the first quarter, where the burst grants and the
+  // pre-spike backlog still distort admission).
+  const auto lo = static_cast<std::uint64_t>((spike_start_s + 0.25 * spike_s) * 1e6);
+  const auto hi = static_cast<std::uint64_t>((spike_start_s + spike_s) * 1e6);
+  std::vector<std::uint64_t> done(weights.size(), 0);
+  for (const serve::load::ReplaySample& sample : report.samples)
+    if (sample.ok && sample.arrival_us >= lo && sample.arrival_us < hi &&
+        sample.tenant < done.size())
+      ++done[sample.tenant];
+  const double total =
+      static_cast<double>(done[0] + done[1] + done[2]);
+  const double weight_sum = weights[0] + weights[1] + weights[2];
+  out.max_deviation = 1.0;
+  if (total > 0) {
+    out.max_deviation = 0.0;
+    for (std::size_t t = 0; t < weights.size(); ++t) {
+      out.shares.push_back(static_cast<double>(done[t]) / total);
+      out.max_deviation = std::max(
+          out.max_deviation, std::abs(out.shares.back() - weights[t] / weight_sum));
+    }
+  }
+  out.spike_done = done[0] + done[1] + done[2];
+  return out;
+}
+
+struct ChaosResult {
+  double recovery_seconds = -1.0;
+  bool within_leash = false;
+  bool watchdog_tripped = false;
+  bool watchdog_recovered = false;
+  std::uint64_t lost_tickets = 0;
+  double pre_kill_p95_us = 0.0;
+};
+
+/// Steady replay at ~35% of capacity while the dispatcher is killed and
+/// revived; windowed completion p95 must return to the pre-kill band within
+/// the watchdog leash of the revive, and no ticket may be lost.
+[[nodiscard]] ChaosResult run_chaos_kill(
+    const std::shared_ptr<serve::ModelRegistry>& registry,
+    const serve::load::ReplayCatalog& catalog, double service_rate, bool smoke) {
+  const double kill_at_s = smoke ? 0.7 : 1.0;
+  const double outage_s = smoke ? 0.5 : 1.3;
+  const double total_s = kill_at_s + outage_s + (smoke ? 1.0 : 2.0);
+  const auto leash =
+      smoke ? std::chrono::milliseconds(400) : std::chrono::milliseconds(1000);
+
+  serve::load::SynthesisOptions synth;
+  synth.rate_per_s = 0.35 * service_rate;
+  synth.duration_s = total_s;
+  synth.kernels = catalog.kernels.size();
+  synth.inputs = catalog.input_bytes.size();
+  const serve::load::LoadTrace trace =
+      serve::load::synthesize(serve::load::SteadyShaper(), synth);
+
+  serve::ServeOptions options;
+  options.telemetry.watchdog_stall_after = leash;
+  serve::TuningService service(registry, options);
+
+  serve::load::ReplayReport report;
+  std::thread driver([&] {
+    report = serve::load::replay(service, trace, catalog, {});
+  });
+
+  const Clock::time_point start = Clock::now();
+  std::this_thread::sleep_until(
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(kill_at_s)));
+  const Clock::time_point kill_time = Clock::now();
+  if (!service.chaos_kill_dispatcher(0)) {
+    std::cerr << "FAIL: chaos_kill_dispatcher refused\n";
+    std::exit(1);
+  }
+  // Poll health through the outage: the watchdog should see the dispatcher's
+  // pending-with-no-beats stall once the leash expires.
+  ChaosResult out;
+  const Clock::time_point revive_time = kill_time + std::chrono::duration_cast<Clock::duration>(
+                                                        std::chrono::duration<double>(outage_s));
+  while (Clock::now() < revive_time) {
+    if (service.health() == obs::HealthState::kViolating) out.watchdog_tripped = true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  if (!service.revive_shard(0)) {
+    std::cerr << "FAIL: revive_shard refused\n";
+    std::exit(1);
+  }
+  driver.join();
+  // Post-drain the watchdog must settle again (beats resumed, queue empty).
+  for (int i = 0; i < 50 && !out.watchdog_recovered; ++i) {
+    if (service.health() != obs::HealthState::kViolating) out.watchdog_recovered = true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  service.shutdown();
+
+  out.lost_tickets =
+      report.submitted - (report.completed + report.rejected + report.failed);
+  const double kill_off_us =
+      std::chrono::duration<double, std::micro>(kill_time - start).count();
+  const double revive_off_us =
+      std::chrono::duration<double, std::micro>(revive_time - start).count();
+
+  // Pre-kill band: p95 over everything that completed before the kill.
+  std::vector<double> pre;
+  for (const serve::load::ReplaySample& s : report.samples)
+    if (s.ok && s.done_offset_us < kill_off_us) pre.push_back(s.latency_us);
+  out.pre_kill_p95_us = p95_us(std::move(pre));
+  // Recovered = first 100ms completion window at/after the revive whose p95
+  // is back within 3x the pre-kill band (floor 1ms: an idle-fast baseline
+  // must not demand sub-scheduler-quantum recovery).
+  const double band_us = std::max(3.0 * out.pre_kill_p95_us, 1000.0);
+  constexpr double kWindowUs = 100e3;
+  std::vector<std::vector<double>> windows;
+  for (const serve::load::ReplaySample& s : report.samples) {
+    if (!s.ok || s.done_offset_us < revive_off_us) continue;
+    const auto w = static_cast<std::size_t>((s.done_offset_us - revive_off_us) / kWindowUs);
+    if (windows.size() <= w) windows.resize(w + 1);
+    windows[w].push_back(s.latency_us);
+  }
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    if (windows[w].size() < 5) continue;  // too thin to judge
+    if (p95_us(std::move(windows[w])) <= band_us) {
+      out.recovery_seconds = static_cast<double>(w + 1) * kWindowUs * 1e-6;
+      break;
+    }
+  }
+  out.within_leash =
+      out.recovery_seconds >= 0.0 &&
+      out.recovery_seconds <= std::chrono::duration<double>(leash).count();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  std::string trace_out;
+  const auto usage = [&] {
+    std::cerr << "usage: " << argv[0] << " [--smoke] [--json <path>] [--trace-out <path>]\n";
+    return 2;
+  };
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--json" && a + 1 < argc) {
+      json_path = argv[++a];
+    } else if (arg == "--trace-out" && a + 1 < argc) {
+      trace_out = argv[++a];
+    } else {
+      return usage();
+    }
+  }
+
+  std::cout << "training the tuner (8 loops x 5 inputs)...\n";
+  auto registry = std::make_shared<serve::ModelRegistry>();
+  registry->add("comet-lake", core::MgaTuner::train(bench_options()));
+  const serve::load::ReplayCatalog catalog = make_catalog();
+
+  const double service_rate =
+      calibrate_service_rate(registry, catalog, smoke ? 1500 : 4000);
+  std::cout << "calibrated service rate: " << static_cast<std::size_t>(service_rate)
+            << " req/s" << (smoke ? " [smoke]" : "") << "\n\n";
+
+  bool ok = true;
+
+  std::cout << "--- flash crowd: weighted fairness under 3x overload ---\n";
+  const FairnessResult fairness =
+      run_flash_crowd(registry, catalog, service_rate, smoke);
+  const char* names[] = {"gold(4)", "silver(2)", "bronze(1)"};
+  for (std::size_t t = 0; t < fairness.shares.size(); ++t)
+    std::cout << "  " << names[t] << " goodput share: " << fairness.shares[t] << "\n";
+  std::cout << "  spike-window completions: " << fairness.spike_done
+            << ", max |share - weight share| = " << fairness.max_deviation << "\n";
+  if (fairness.max_deviation >= 0.15) {
+    std::cerr << "FAIL: tenant goodput deviates from weight share by >= 0.15\n";
+    ok = false;
+  }
+
+  std::cout << "\n--- chaos: dispatcher kill + revive under steady load ---\n";
+  const ChaosResult chaos = run_chaos_kill(registry, catalog, service_rate, smoke);
+  std::cout << "  pre-kill p95: " << chaos.pre_kill_p95_us << " us\n"
+            << "  watchdog tripped during outage: " << chaos.watchdog_tripped
+            << ", recovered after revive: " << chaos.watchdog_recovered << "\n"
+            << "  p95 recovery after revive: " << chaos.recovery_seconds
+            << " s (leash " << (smoke ? 0.4 : 1.0) << " s)\n"
+            << "  lost tickets: " << chaos.lost_tickets << "\n";
+  if (!chaos.within_leash) {
+    std::cerr << "FAIL: p95 did not recover within the watchdog leash\n";
+    ok = false;
+  }
+  if (chaos.lost_tickets != 0) {
+    std::cerr << "FAIL: tickets lost across the kill/revive\n";
+    ok = false;
+  }
+
+  std::cout << "\n--- trace round trip (incident-repro path) ---\n";
+  const std::string trace_path =
+      trace_out.empty() ? std::string("/tmp/mga_scenario_trace.mgat") : trace_out;
+  bool roundtrip_ok = false;
+  try {
+    serve::load::save_trace(fairness.trace, trace_path);
+    const serve::load::LoadTrace loaded = serve::load::load_trace(trace_path);
+    roundtrip_ok = loaded.records.size() == fairness.trace.records.size();
+    std::cout << "  " << loaded.records.size() << " records round-tripped through "
+              << trace_path << "\n";
+  } catch (const std::exception& error) {
+    std::cerr << "FAIL: trace round trip: " << error.what() << "\n";
+  }
+  if (trace_out.empty()) std::remove(trace_path.c_str());
+  if (!roundtrip_ok) ok = false;
+
+  if (!json_path.empty()) {
+    std::vector<std::pair<std::string, double>> metrics;
+    metrics.emplace_back("flash_fairness_max_weight_deviation", fairness.max_deviation);
+    metrics.emplace_back("flash_spike_completions",
+                         static_cast<double>(fairness.spike_done));
+    for (std::size_t t = 0; t < fairness.shares.size(); ++t)
+      metrics.emplace_back(std::string("flash_share_") + std::to_string(t),
+                           fairness.shares[t]);
+    metrics.emplace_back("chaos_recovery_within_leash", chaos.within_leash ? 1.0 : 0.0);
+    metrics.emplace_back("chaos_lost_tickets", static_cast<double>(chaos.lost_tickets));
+    metrics.emplace_back("chaos_recovery_time_s",
+                         chaos.recovery_seconds < 0 ? 99.0 : chaos.recovery_seconds);
+    metrics.emplace_back("chaos_watchdog_tripped", chaos.watchdog_tripped ? 1.0 : 0.0);
+    metrics.emplace_back("scenario_service_rate_per_s", service_rate);
+    if (!bench::write_metrics_json(json_path, "scenario_replay", metrics)) {
+      std::cerr << "FAIL: could not write " << json_path << "\n";
+      ok = false;
+    } else {
+      std::cout << "metrics written to " << json_path << "\n";
+    }
+  }
+  std::cout << (ok ? "\nscenario harness: PASS\n" : "\nscenario harness: FAIL\n");
+  return ok ? 0 : 1;
+}

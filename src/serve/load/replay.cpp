@@ -1,0 +1,142 @@
+#include "serve/load/replay.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "serve/load/shaper.hpp"
+#include "util/check.hpp"
+
+namespace mga::serve::load {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Outcome collector shared with every ticket continuation. Samples are
+/// written by index into a pre-sized vector (each continuation owns its
+/// slot, so no lock on the outcome path); the per-slot `done` flag
+/// publishes the write so a no-wait caller can read resolved slots while
+/// stragglers are still in flight, and the mutex/cv pair only backs the
+/// final wait.
+struct Collector {
+  struct Slot {
+    ReplaySample sample;
+    std::atomic<bool> done{false};
+  };
+  explicit Collector(std::size_t n) : slots(n) {}
+  std::vector<Slot> slots;  // sized once, never reallocated
+  std::atomic<std::size_t> resolved{0};
+  std::mutex mutex;
+  std::condition_variable cv;
+};
+
+}  // namespace
+
+ReplayReport replay(TuningService& service, const LoadTrace& trace,
+                    const ReplayCatalog& catalog, const ReplayOptions& options) {
+  MGA_CHECK_MSG(!catalog.kernels.empty(), "replay: catalog needs at least one kernel");
+  MGA_CHECK_MSG(!catalog.input_bytes.empty(), "replay: catalog needs at least one input");
+  ReplayReport report;
+  const std::size_t n = trace.records.size();
+  auto collector = std::make_shared<Collector>(n);
+  const Clock::time_point start = Clock::now();
+  constexpr std::uint64_t kInputMask = (std::uint64_t{1} << kRouteInputBits) - 1;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const TraceRecord& record = trace.records[i];
+    if (options.speed > 0.0) {
+      const auto offset = std::chrono::microseconds(
+          static_cast<std::uint64_t>(static_cast<double>(record.arrival_us) / options.speed));
+      std::this_thread::sleep_until(start + offset);
+    }
+    TuneRequest request;
+    request.kernel =
+        catalog.kernels[(record.route >> kRouteInputBits) % catalog.kernels.size()];
+    request.input_bytes =
+        catalog.input_bytes[(record.route & kInputMask) % catalog.input_bytes.size()];
+    request.machine = catalog.machine;
+    request.options.priority = static_cast<Priority>(
+        std::min<std::uint8_t>(record.tier, static_cast<std::uint8_t>(kNumTiers - 1)));
+    request.options.admission = options.admission;
+    if (record.deadline_us > 0)
+      request.options.deadline = std::chrono::microseconds(record.deadline_us);
+    if (record.tenant < options.tenant_names.size())
+      request.options.tenant = options.tenant_names[record.tenant];
+
+    Collector::Slot& slot = collector->slots[i];
+    slot.sample.arrival_us = record.arrival_us;
+    slot.sample.tenant = record.tenant;
+    service.submit(std::move(request))
+        .on_resolved([collector, i, start](const TuneOutcome& outcome) {
+          Collector::Slot& mine = collector->slots[i];
+          ReplaySample& s = mine.sample;
+          s.done_offset_us =
+              std::chrono::duration<double, std::micro>(Clock::now() - start).count();
+          if (outcome.ok()) {
+            s.ok = true;
+            s.latency_us = outcome.value().latency_us;
+          } else {
+            s.rejected = outcome.error().kind == ServeErrorKind::kRejected;
+          }
+          mine.done.store(true, std::memory_order_release);
+          if (collector->resolved.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+              collector->slots.size()) {
+            const std::lock_guard<std::mutex> lock(collector->mutex);
+            collector->cv.notify_all();
+          }
+        });
+  }
+
+  if (options.wait_for_outcomes && n > 0) {
+    std::unique_lock<std::mutex> lock(collector->mutex);
+    collector->cv.wait(lock, [&] {
+      return collector->resolved.load(std::memory_order_acquire) == n;
+    });
+  }
+  report.duration_s = std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::uint32_t max_tenant = 0;
+  for (const TraceRecord& record : trace.records)
+    max_tenant = std::max(max_tenant, record.tenant);
+  report.tenants.resize(n == 0 ? 0 : max_tenant + 1);
+  for (std::size_t t = 0; t < report.tenants.size(); ++t)
+    report.tenants[t].name =
+        t < options.tenant_names.size() ? options.tenant_names[t] : "default";
+
+  report.submitted = n;
+  report.samples.reserve(n);
+  for (Collector::Slot& slot : collector->slots) {
+    const bool done = slot.done.load(std::memory_order_acquire);
+    ReplaySample s;
+    if (done) {
+      s = slot.sample;
+    } else {
+      // Still in flight (wait_for_outcomes = false): read the submission
+      // fields only — the continuation may be writing the rest right now,
+      // and those are the only members the submitting thread wrote.
+      s.arrival_us = slot.sample.arrival_us;
+      s.tenant = slot.sample.tenant;
+    }
+    TenantReplayStats& tenant = report.tenants[s.tenant];
+    ++tenant.submitted;
+    if (s.ok) {
+      ++report.completed;
+      ++tenant.completed;
+    } else if (s.rejected) {
+      ++report.rejected;
+      ++tenant.rejected;
+    } else if (done) {
+      ++report.failed;
+      ++tenant.failed;
+    }
+    report.samples.push_back(s);
+  }
+  return report;
+}
+
+}  // namespace mga::serve::load

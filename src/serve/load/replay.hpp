@@ -1,0 +1,95 @@
+// Replay engine: drive a TuningService through a LoadTrace (DESIGN.md §13).
+//
+// `replay` is the open-loop half of the scenario harness: it walks a trace
+// (recorded in production via TraceRecorder, or synthesized by a shaper),
+// maps each record onto a concrete TuneRequest through a ReplayCatalog, and
+// submits on the trace's own schedule — never waiting for outcomes before
+// the next arrival, so an overloaded service sees exactly the pressure the
+// original traffic applied (closed-loop benches self-throttle and hide
+// saturation behavior; this one does not). Outcomes land asynchronously in
+// a sample log the caller mines afterwards (windowed p95, per-tenant
+// goodput, recovery curves).
+//
+// Determinism: with `speed = 0` (no pacing) the submissions happen in trace
+// order on the calling thread, so every admission decision — tenant
+// governor, lane capacity, backlog limit — is a pure function of the trace
+// and the service configuration. Replaying the same trace against a paused
+// service twice yields identical per-tenant admission counts
+// (tests/test_scenario.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/load/trace.hpp"
+#include "serve/service.hpp"
+
+namespace mga::serve::load {
+
+/// Maps a trace's route encodings onto submittable work. Synthetic routes
+/// decode as kernel = (route >> kRouteInputBits) % kernels.size(), input =
+/// (route & mask) % input_bytes.size(); recorded production route keys are
+/// hashes, which the same decode spreads across the catalog — route
+/// diversity survives, exact kernel identity does not (it cannot: a trace
+/// stores keys, not specs).
+struct ReplayCatalog {
+  std::vector<corpus::KernelSpec> kernels;
+  std::vector<double> input_bytes;
+  /// Registry entry every replayed request targets; empty = service default.
+  std::string machine;
+};
+
+struct ReplayOptions {
+  /// Time dilation: 1 = the trace's own pacing, 2 = twice as fast, 0 = no
+  /// sleeps at all (every submission back-to-back, the deterministic mode).
+  double speed = 1.0;
+  /// Admission mode stamped on every request. Open-loop replay defaults to
+  /// kReject: a blocking submit would stall the arrival schedule and turn
+  /// the replay closed-loop.
+  Admission admission = Admission::kReject;
+  /// Tenant index → RequestOptions::tenant name. Empty (or out-of-range)
+  /// indices submit unnamed and land on the service's default tenant.
+  std::vector<std::string> tenant_names;
+  /// Wait for every outcome before returning (off lets a test submit
+  /// against a paused service and inspect admission state mid-flight).
+  bool wait_for_outcomes = true;
+};
+
+/// One replayed request's fate.
+struct ReplaySample {
+  std::uint64_t arrival_us = 0;   ///< Scheduled offset (from the trace).
+  double done_offset_us = 0.0;    ///< Resolution time, offset from replay start.
+  double latency_us = 0.0;        ///< Completion latency; 0 for error outcomes.
+  std::uint32_t tenant = 0;
+  bool ok = false;
+  bool rejected = false;  ///< Typed kRejected (admission/quota/share/shed).
+};
+
+struct TenantReplayStats {
+  std::string name;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t failed = 0;  ///< Non-rejected error outcomes.
+};
+
+struct ReplayReport {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t failed = 0;
+  double duration_s = 0.0;  ///< Wall time of the replay (submit → last outcome).
+  /// Indexed by trace tenant id (size = max id seen + 1).
+  std::vector<TenantReplayStats> tenants;
+  /// Every request's fate, submission order. `submitted` always equals
+  /// `samples.size()` once outcomes were waited for.
+  std::vector<ReplaySample> samples;
+};
+
+/// Run the trace against `service`. Requires a non-empty catalog.
+[[nodiscard]] ReplayReport replay(TuningService& service, const LoadTrace& trace,
+                                  const ReplayCatalog& catalog,
+                                  const ReplayOptions& options = {});
+
+}  // namespace mga::serve::load

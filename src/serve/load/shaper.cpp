@@ -1,0 +1,114 @@
+#include "serve/load/shaper.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace mga::serve::load {
+
+std::uint64_t Shaper::pick(util::Rng& rng, std::size_t kernels, std::size_t inputs) const {
+  const std::uint64_t kernel = rng.uniform_index(kernels == 0 ? 1 : kernels);
+  const std::uint64_t input = rng.uniform_index(inputs == 0 ? 1 : inputs);
+  return (kernel << kRouteInputBits) | input;
+}
+
+DiurnalShaper::DiurnalShaper(double period_s, double depth)
+    : period_s_(period_s), depth_(depth) {
+  MGA_CHECK_MSG(period_s_ > 0.0, "DiurnalShaper: period must be positive");
+  MGA_CHECK_MSG(depth_ >= 0.0 && depth_ < 1.0, "DiurnalShaper: depth must be in [0, 1)");
+}
+
+double DiurnalShaper::rate_multiplier(double t_s) const {
+  constexpr double kTwoPi = 6.283185307179586;
+  return 1.0 + depth_ * std::sin(kTwoPi * t_s / period_s_);
+}
+
+FlashCrowdShaper::FlashCrowdShaper(double start_s, double duration_s, double magnitude)
+    : start_s_(start_s), duration_s_(duration_s), magnitude_(magnitude) {
+  MGA_CHECK_MSG(duration_s_ > 0.0, "FlashCrowdShaper: duration must be positive");
+  MGA_CHECK_MSG(magnitude_ >= 1.0, "FlashCrowdShaper: magnitude must be >= 1");
+}
+
+double FlashCrowdShaper::rate_multiplier(double t_s) const {
+  return t_s >= start_s_ && t_s < start_s_ + duration_s_ ? magnitude_ : 1.0;
+}
+
+ZipfShaper::ZipfShaper(double exponent, std::size_t max_ranks)
+    : exponent_(exponent), max_ranks_(max_ranks) {
+  MGA_CHECK_MSG(exponent_ > 0.0, "ZipfShaper: exponent must be positive");
+  MGA_CHECK_MSG(max_ranks_ > 0, "ZipfShaper: max_ranks must be positive");
+}
+
+std::uint64_t ZipfShaper::pick(util::Rng& rng, std::size_t kernels,
+                               std::size_t inputs) const {
+  const std::size_t ranks = std::min(std::max<std::size_t>(kernels, 1), max_ranks_);
+  if (cdf_ranks_ != ranks) {
+    // Only called from synthesize's single thread; a second catalog size
+    // just rebuilds.
+    cdf_.resize(ranks);
+    double sum = 0.0;
+    for (std::size_t r = 0; r < ranks; ++r) {
+      sum += 1.0 / std::pow(static_cast<double>(r + 1), exponent_);
+      cdf_[r] = sum;
+    }
+    for (double& c : cdf_) c /= sum;
+    cdf_ranks_ = ranks;
+  }
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  const auto kernel = static_cast<std::uint64_t>(it - cdf_.begin());
+  const std::uint64_t input = rng.uniform_index(inputs == 0 ? 1 : inputs);
+  return (kernel << kRouteInputBits) | input;
+}
+
+std::uint64_t CacheBusterShaper::pick(util::Rng&, std::size_t kernels,
+                                      std::size_t inputs) const {
+  const std::uint64_t n = cursor_++;
+  const std::uint64_t k = kernels == 0 ? 1 : kernels;
+  const std::uint64_t i = inputs == 0 ? 1 : inputs;
+  // Stride through kernels fastest: adjacent arrivals always change kernel,
+  // and the input cycles once per full kernel sweep — no two consecutive
+  // requests share a batch group or a cache entry (for k > 1).
+  return ((n % k) << kRouteInputBits) | ((n / k) % i);
+}
+
+LoadTrace synthesize(const Shaper& shaper, const SynthesisOptions& options) {
+  MGA_CHECK_MSG(options.rate_per_s > 0.0, "synthesize: rate must be positive");
+  MGA_CHECK_MSG(options.duration_s > 0.0, "synthesize: duration must be positive");
+  util::Rng rng(options.seed);
+  const auto draw_mix = [&rng](const std::vector<double>& mix) -> std::size_t {
+    if (mix.empty()) return 0;
+    double total = 0.0;
+    for (const double w : mix) total += w;
+    if (total <= 0.0) return 0;
+    double u = rng.uniform() * total;
+    for (std::size_t i = 0; i < mix.size(); ++i) {
+      u -= mix[i];
+      if (u < 0.0) return i;
+    }
+    return mix.size() - 1;
+  };
+  LoadTrace trace;
+  double t_s = 0.0;
+  for (;;) {
+    // Non-homogeneous Poisson by local rate: exponential gap at the rate in
+    // effect *now*. For the step/smooth shapers here that tracks the target
+    // curve within one inter-arrival gap, which is all replay needs.
+    const double rate = options.rate_per_s * std::max(shaper.rate_multiplier(t_s), 1e-9);
+    const double u = std::max(rng.uniform(), 1e-12);  // avoid log(0)
+    t_s += -std::log(u) / rate;
+    if (t_s >= options.duration_s) break;
+    TraceRecord r;
+    r.arrival_us = static_cast<std::uint64_t>(t_s * 1e6);
+    r.route = shaper.pick(rng, options.kernels, options.inputs);
+    r.deadline_us = options.deadline_us;
+    r.tenant = static_cast<std::uint32_t>(draw_mix(options.tenant_mix));
+    r.tier = options.tier_mix.empty() ? std::uint8_t{1}
+                                      : static_cast<std::uint8_t>(draw_mix(options.tier_mix));
+    trace.records.push_back(r);
+  }
+  return trace;
+}
+
+}  // namespace mga::serve::load

@@ -1,0 +1,132 @@
+// Traffic shapers: synthetic LoadTrace generators (DESIGN.md §13).
+//
+// A `Shaper` bends an open-loop Poisson arrival process two ways: a
+// time-varying rate multiplier (diurnal ramp, flash crowd) and a popularity
+// law over the synthetic route catalog (Zipf skew, adversarial
+// cache-busting). `synthesize` folds one shaper plus a base rate and tenant
+// mix into a LoadTrace, so the scenario bench and tests drive the *same*
+// replay machinery whether the trace came from production recording or from
+// a generator — a flash crowd is just a trace nobody had to suffer through
+// first.
+//
+// Synthetic routes use the catalog encoding `(kernel_idx << 20) | input_idx`
+// that ReplayCatalog (replay.hpp) decodes; real recorded routes hash into
+// the same decode modulo the catalog, so replaying a production trace
+// against a synthetic catalog still exercises realistic route diversity.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "serve/load/trace.hpp"
+#include "util/rng.hpp"
+
+namespace mga::serve::load {
+
+/// Shift synthetic route encodings by: route = (kernel << kRouteInputBits) | input.
+inline constexpr std::uint64_t kRouteInputBits = 20;
+
+class Shaper {
+ public:
+  virtual ~Shaper() = default;
+  /// Arrival-rate multiplier at `t_s` seconds into the trace (>= 0; 1 = the
+  /// base rate).
+  [[nodiscard]] virtual double rate_multiplier(double t_s) const = 0;
+  /// Draw one (kernel_idx, input_idx) pair from the popularity law.
+  [[nodiscard]] virtual std::uint64_t pick(util::Rng& rng, std::size_t kernels,
+                                           std::size_t inputs) const;
+};
+
+/// Uniform popularity, flat rate — the control arm every other shaper is
+/// compared against.
+class SteadyShaper : public Shaper {
+ public:
+  [[nodiscard]] double rate_multiplier(double) const override { return 1.0; }
+};
+
+/// Sinusoidal day curve compressed into the trace duration: rate swings
+/// between (1 - depth) and (1 + depth) of base over `period_s`.
+class DiurnalShaper : public Shaper {
+ public:
+  DiurnalShaper(double period_s, double depth);
+  [[nodiscard]] double rate_multiplier(double t_s) const override;
+
+ private:
+  double period_s_;
+  double depth_;
+};
+
+/// Flash crowd: flat base rate, then a `magnitude`x spike over
+/// [start_s, start_s + duration_s) — the tenant-fairness stress shape (the
+/// spike saturates admission, which is when the governor's weighted shares
+/// must hold).
+class FlashCrowdShaper : public Shaper {
+ public:
+  FlashCrowdShaper(double start_s, double duration_s, double magnitude);
+  [[nodiscard]] double rate_multiplier(double t_s) const override;
+
+ private:
+  double start_s_;
+  double duration_s_;
+  double magnitude_;
+};
+
+/// Zipf(s) popularity over the kernel catalog: rank-r kernel drawn with
+/// probability ∝ 1/r^s. Flat rate. High skew concentrates traffic on few
+/// routes — the feature cache's best case and the batcher's densest groups.
+class ZipfShaper : public Shaper {
+ public:
+  ZipfShaper(double exponent, std::size_t max_ranks = 1024);
+  [[nodiscard]] double rate_multiplier(double) const override { return 1.0; }
+  [[nodiscard]] std::uint64_t pick(util::Rng& rng, std::size_t kernels,
+                                   std::size_t inputs) const override;
+
+ private:
+  double exponent_;
+  std::size_t max_ranks_;
+  /// Normalized CDF over min(kernels, max_ranks) ranks, built lazily per
+  /// catalog size (the bench uses one size; keep it simple and rebuild).
+  mutable std::vector<double> cdf_;
+  mutable std::size_t cdf_ranks_ = 0;
+};
+
+/// Adversarial cache-buster: walks the (kernel, input) catalog round-robin
+/// so consecutive arrivals never share a feature-cache entry or a batch
+/// group — the worst case for both. Flat rate.
+class CacheBusterShaper : public Shaper {
+ public:
+  [[nodiscard]] double rate_multiplier(double) const override { return 1.0; }
+  [[nodiscard]] std::uint64_t pick(util::Rng& rng, std::size_t kernels,
+                                   std::size_t inputs) const override;
+
+ private:
+  mutable std::uint64_t cursor_ = 0;
+};
+
+struct SynthesisOptions {
+  /// Base arrival rate (requests/second) before the shaper's multiplier.
+  double rate_per_s = 1000.0;
+  double duration_s = 1.0;
+  /// Synthetic catalog shape the route encodings draw from.
+  std::size_t kernels = 8;
+  std::size_t inputs = 4;
+  /// Per-tenant arrival weights; index = tenant id in the trace. Empty = all
+  /// traffic on tenant 0. These weight *offered* load (who asks), not the
+  /// TenantPolicy's admission weights (who gets in) — the fairness bench
+  /// deliberately offers equal load to unequal-weight tenants.
+  std::vector<double> tenant_mix;
+  /// Tier mix (indexed by Priority); empty = everything kNormal.
+  std::vector<double> tier_mix;
+  /// Deadline stamped on every request; 0 = none.
+  std::uint64_t deadline_us = 0;
+  std::uint64_t seed = 42;
+};
+
+/// Generate a trace: exponential inter-arrivals thinned/boosted by the
+/// shaper's rate multiplier, routes from its popularity law, tenants and
+/// tiers drawn from the mixes. Deterministic in (options.seed, shaper).
+[[nodiscard]] LoadTrace synthesize(const Shaper& shaper, const SynthesisOptions& options);
+
+}  // namespace mga::serve::load

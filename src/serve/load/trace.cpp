@@ -1,0 +1,138 @@
+#include "serve/load/trace.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace mga::serve::load {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4d474154;  // "MGAT"
+constexpr std::uint32_t kVersion = 1;
+/// Packed on-disk record: arrival_us, route, deadline_us, tenant, tier.
+constexpr std::size_t kRecordBytes = 8 + 8 + 8 + 4 + 1;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+[[nodiscard]] std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+[[nodiscard]] std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::size_t capacity) : capacity_(capacity) {
+  MGA_CHECK_MSG(capacity_ > 0, "TraceRecorder: capacity must be positive");
+  ring_.reserve(capacity_);
+}
+
+void TraceRecorder::record(std::uint64_t now_us, std::uint64_t route,
+                           std::uint64_t deadline_us, std::uint32_t tenant,
+                           std::uint8_t tier) {
+  TraceRecord r;
+  r.arrival_us = now_us;  // absolute until snapshot rebases
+  r.route = route;
+  r.deadline_us = deadline_us;
+  r.tenant = tenant;
+  r.tier = tier;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(r);
+  } else {
+    // Ring wrap: overwrite the oldest — the retained window slides forward,
+    // which is exactly the "last N arrivals before the incident" semantics.
+    ring_[head_] = r;
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+  }
+}
+
+LoadTrace TraceRecorder::snapshot() const {
+  LoadTrace trace;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    trace.records.reserve(ring_.size());
+    // Oldest first: [head_, end) then [0, head_) once the ring has wrapped.
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+      trace.records.push_back(ring_[(head_ + i) % ring_.size()]);
+    trace.dropped = dropped_;
+  }
+  if (trace.records.empty()) return trace;
+  // Rebase to the window's first arrival; recorded clocks are monotone per
+  // submitter but submits race, so clamp the occasional out-of-order pair.
+  const std::uint64_t base = trace.records.front().arrival_us;
+  for (TraceRecord& r : trace.records)
+    r.arrival_us = r.arrival_us >= base ? r.arrival_us - base : 0;
+  return trace;
+}
+
+std::size_t TraceRecorder::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+void save_trace(const LoadTrace& trace, const std::string& path) {
+  std::string out;
+  out.reserve(16 + trace.records.size() * kRecordBytes);
+  put_u32(out, kMagic);
+  put_u32(out, kVersion);
+  put_u64(out, trace.records.size());
+  for (const TraceRecord& r : trace.records) {
+    put_u64(out, r.arrival_us);
+    put_u64(out, r.route);
+    put_u64(out, r.deadline_us);
+    put_u32(out, r.tenant);
+    out.push_back(static_cast<char>(r.tier));
+  }
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) throw std::runtime_error("save_trace: cannot open '" + path + "'");
+  file.write(out.data(), static_cast<std::streamsize>(out.size()));
+  if (!file) throw std::runtime_error("save_trace: write to '" + path + "' failed");
+}
+
+LoadTrace load_trace(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("load_trace: cannot open '" + path + "'");
+  std::string data((std::istreambuf_iterator<char>(file)), std::istreambuf_iterator<char>());
+  const auto* p = reinterpret_cast<const unsigned char*>(data.data());
+  if (data.size() < 16 || get_u32(p) != kMagic)
+    throw std::runtime_error("load_trace: '" + path + "' is not a load trace");
+  if (get_u32(p + 4) != kVersion)
+    throw std::runtime_error("load_trace: '" + path + "' has an unsupported version");
+  const std::uint64_t count = get_u64(p + 8);
+  if (data.size() != 16 + count * kRecordBytes)
+    throw std::runtime_error("load_trace: '" + path + "' is truncated or corrupt");
+  LoadTrace trace;
+  trace.records.reserve(count);
+  const unsigned char* r = p + 16;
+  for (std::uint64_t i = 0; i < count; ++i, r += kRecordBytes) {
+    TraceRecord record;
+    record.arrival_us = get_u64(r);
+    record.route = get_u64(r + 8);
+    record.deadline_us = get_u64(r + 16);
+    record.tenant = get_u32(r + 24);
+    record.tier = r[28];
+    trace.records.push_back(record);
+  }
+  return trace;
+}
+
+}  // namespace mga::serve::load

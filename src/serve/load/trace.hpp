@@ -1,0 +1,76 @@
+// Load traces: the production-scenario sibling of the retrain
+// ObservationLog (DESIGN.md §13).
+//
+// A `LoadTrace` is the arrival schedule of a serving workload, stripped to
+// what replay needs: per-request arrival offset, route key, tier, deadline
+// and tenant. A `TraceRecorder` captures one on the live submit path (one
+// lock-guarded ring push per request — cheap enough to leave on in
+// production via ServeOptions::record_trace), `save_trace`/`load_trace`
+// round-trip it through a small versioned binary format, and the
+// ReplayEngine (replay.hpp) drives a service through it again — which is
+// how an incident's traffic shape becomes a reproducible bench input.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mga::serve::load {
+
+/// One recorded arrival. Offsets are relative to the trace's start so a
+/// trace is position-independent; routes are the service's route_key
+/// (machine ⊕ kernel fingerprint) for recorded traffic, or a synthetic
+/// catalog encoding for generated traces (see shaper.hpp).
+struct TraceRecord {
+  std::uint64_t arrival_us = 0;   ///< Offset from the first recorded arrival.
+  std::uint64_t route = 0;        ///< Route key / catalog encoding.
+  std::uint64_t deadline_us = 0;  ///< Request deadline; 0 = none.
+  std::uint32_t tenant = 0;       ///< Tenant index under the trace's policy.
+  std::uint8_t tier = 1;          ///< Priority tier (kNumTiers-bounded).
+};
+
+struct LoadTrace {
+  std::vector<TraceRecord> records;
+  /// Arrivals the recorder dropped once its ring wrapped (oldest first out).
+  std::uint64_t dropped = 0;
+};
+
+/// Bounded MPMC recorder for the facade's submit path. Keeps the most
+/// recent `capacity` arrivals (ring semantics: a full recorder overwrites
+/// its oldest record), so "save the last minutes of traffic after an
+/// incident" works without unbounded memory.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity);
+
+  /// Record one arrival at `now_us` (absolute microseconds on the caller's
+  /// clock; the recorder rebases to the first arrival on snapshot).
+  void record(std::uint64_t now_us, std::uint64_t route, std::uint64_t deadline_us,
+              std::uint32_t tenant, std::uint8_t tier);
+
+  /// The retained window, oldest first, offsets rebased to its first record.
+  [[nodiscard]] LoadTrace snapshot() const;
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<TraceRecord> ring_;  // absolute arrival_us until snapshot
+  std::size_t head_ = 0;           // next write position once full
+  std::uint64_t dropped_ = 0;
+};
+
+/// Serialize `trace` to `path` (magic + version + count + packed records,
+/// little-endian). Throws std::runtime_error on I/O failure.
+void save_trace(const LoadTrace& trace, const std::string& path);
+
+/// Load a trace written by `save_trace`. Throws std::runtime_error on I/O
+/// failure, bad magic, unsupported version, or a truncated record section —
+/// a corrupt trace must fail loudly, not replay garbage.
+[[nodiscard]] LoadTrace load_trace(const std::string& path);
+
+}  // namespace mga::serve::load

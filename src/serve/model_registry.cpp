@@ -172,7 +172,29 @@ bool ModelRegistry::discard(const std::string& name) {
   return had_canary;
 }
 
+void ModelRegistry::inject_resolve_fault(const std::string& name, std::size_t count) {
+  const std::lock_guard<obs::ProbedSharedMutex> lock(mutex_);
+  const std::size_t prior = resolve_faults_[name];
+  resolve_faults_[name] = count;
+  fault_total_.fetch_add(count, std::memory_order_relaxed);
+  fault_total_.fetch_sub(prior, std::memory_order_relaxed);
+  if (count == 0) resolve_faults_.erase(name);
+}
+
+bool ModelRegistry::consume_fault(const std::string& name) const {
+  const std::lock_guard<obs::ProbedSharedMutex> lock(mutex_);
+  const auto it = resolve_faults_.find(name);
+  if (it == resolve_faults_.end() || it->second == 0) return false;
+  if (--it->second == 0) resolve_faults_.erase(it);
+  fault_total_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
 ModelRegistry::Resolved ModelRegistry::resolve(const std::string& name) const {
+  // Chaos seam: an armed fault fails this resolve before the slot is
+  // touched, exactly like a corrupted artifact. One relaxed load when idle.
+  if (fault_total_.load(std::memory_order_relaxed) > 0 && consume_fault(name))
+    throw LoadError("ModelRegistry: injected resolve fault for '" + name + "'");
   {
     // Fast path: the tuner is already loaded, which is every resolve but the
     // first per artifact — readers proceed in parallel.

@@ -17,6 +17,8 @@
 // identifies exactly one model forever.
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -133,6 +135,14 @@ class ModelRegistry {
   /// Registered names, sorted.
   [[nodiscard]] std::vector<std::string> names() const;
 
+  /// Chaos seam (bench/test only — DESIGN.md §13): the next `count` resolves
+  /// of `name` throw LoadError before touching the slot, as if the backing
+  /// artifact had gone bad, then resolution self-heals. The serve layer must
+  /// surface each as a typed kLoadFailed outcome; the entry itself (and any
+  /// shared_ptr an in-flight batch already holds) is untouched. Costs one
+  /// relaxed atomic load per resolve when no fault is armed.
+  void inject_resolve_fault(const std::string& name, std::size_t count);
+
  private:
   struct Slot {
     std::shared_ptr<const core::MgaTuner> tuner;  // null until loaded
@@ -163,10 +173,18 @@ class ModelRegistry {
   [[nodiscard]] std::map<std::string, Slot>::iterator find_for_mutation(
       const std::string& name, const char* what);
 
+  /// Consume one injected fault for `name` (exclusive lock); false when none
+  /// is armed. Only called when `fault_total_` says a fault exists somewhere.
+  [[nodiscard]] bool consume_fault(const std::string& name) const;
+
   // Reader/writer probe: every batch resolves the registry, so an exclusive
   // mutex here would serialize all shards during hot swaps and canary churn.
   mutable obs::ProbedSharedMutex mutex_{"model_registry"};
   mutable std::map<std::string, Slot> slots_;
+  /// Armed chaos faults (guarded by mutex_) and their total, kept as an
+  /// atomic so the un-faulted resolve hot path never takes the lock for it.
+  mutable std::map<std::string, std::size_t> resolve_faults_;
+  mutable std::atomic<std::size_t> fault_total_{0};
 };
 
 }  // namespace mga::serve

@@ -297,6 +297,19 @@ class TieredQueue {
     not_empty_.wait(lock, [&] { return closed_ || total_ > 0; });
   }
 
+  /// Wake `wait_push` / `wait_nonempty` waiters without enqueueing anything:
+  /// the epoch bump makes a parked consumer re-drain (it finds nothing new)
+  /// and re-check its exit conditions. Used by the chaos seams to deliver a
+  /// kill/revive signal to an idle dispatcher that would otherwise sleep
+  /// until the next real push.
+  void poke() {
+    {
+      const std::unique_lock<std::mutex> lock = mutex_.lock_unique();
+      ++epoch_;
+    }
+    not_empty_.notify_all();
+  }
+
   /// Close the queue: pending pops drain the backlog then return nullopt;
   /// subsequent pushes fail with kClosed.
   void close() {

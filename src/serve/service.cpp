@@ -29,6 +29,28 @@ TuningService::TuningService(std::shared_ptr<ModelRegistry> registry, ServeOptio
       router_(options.shards == 0 ? 1 : options.shards) {
   MGA_CHECK_MSG(registry_ != nullptr, "TuningService: null registry");
   MGA_CHECK_MSG(options_.shards > 0, "TuningService: need at least one shard");
+  if (!options_.tenant.tenants.empty()) {
+    // Normalize the TenantPolicy before any shard copies it: guarantee a
+    // "default" tenant (prepended at index 0 unless one is listed), then
+    // build the name → index map submit resolves through. Every shard runs
+    // the identical normalized policy, so per-tenant stats merge by index.
+    bool has_default = false;
+    for (const TenantSpec& spec : options_.tenant.tenants)
+      if (spec.name == "default") has_default = true;
+    if (!has_default) {
+      TenantSpec implicit;
+      implicit.name = "default";  // weight 1, no quota
+      options_.tenant.tenants.insert(options_.tenant.tenants.begin(), implicit);
+    }
+    for (std::size_t i = 0; i < options_.tenant.tenants.size(); ++i) {
+      const std::string& name = options_.tenant.tenants[i].name;
+      MGA_CHECK_MSG(tenant_index_.emplace(name, static_cast<std::uint32_t>(i)).second,
+                    "TuningService: duplicate tenant name in TenantPolicy");
+      if (name == "default") default_tenant_ = static_cast<std::uint32_t>(i);
+    }
+  }
+  if (options_.record_trace)
+    recorder_ = std::make_unique<load::TraceRecorder>(options_.record_trace_capacity);
   if (options_.telemetry.enabled) {
     obs::StallWatchdog::Options watchdog_options;
     watchdog_options.period = options_.telemetry.watchdog_period;
@@ -147,6 +169,26 @@ TuneTicket TuningService::submit(TuneRequest request) {
   // Stamped once and reused: the router, the canary split, and the SLO
   // tracker's per-route windows all key on the same value.
   request.route = route_key(request.machine, route_fingerprint(request.kernel));
+  if (!tenant_index_.empty()) {
+    // Resolve the caller's tenant name to its policy index; empty or
+    // unknown names bill the default tenant (never an error — QoS must not
+    // reject traffic for a typo, just account it conservatively).
+    const auto it = tenant_index_.find(request.options.tenant);
+    request.tenant = it != tenant_index_.end() ? it->second : default_tenant_;
+  }
+  if (recorder_ != nullptr) {
+    // Absolute arrival stamp; the recorder rebases a snapshot to its first
+    // retained record, so only deltas ever leave the process.
+    const auto now_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            SteadyClock::now().time_since_epoch())
+            .count());
+    const auto deadline_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(request.options.deadline)
+            .count());
+    recorder_->record(now_us, request.route, deadline_us, request.tenant,
+                      static_cast<std::uint8_t>(request.options.priority));
+  }
   const std::size_t shard_index = router_.shard_for(request.route);
   const std::uint64_t trace_id = request.trace.id;
   if (traced && trace_id != 0) {
@@ -197,6 +239,14 @@ std::vector<TuneResult> TuningService::tune_all(std::vector<TuneRequest> request
     results.push_back(std::move(outcome.value()));
   }
   return results;
+}
+
+bool TuningService::chaos_kill_dispatcher(std::size_t index) {
+  return index < shards_.size() && shards_[index]->chaos_kill_dispatcher();
+}
+
+bool TuningService::revive_shard(std::size_t index) {
+  return index < shards_.size() && shards_[index]->revive_dispatcher();
 }
 
 void TuningService::pause() {

@@ -32,9 +32,11 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "obs/server.hpp"
+#include "serve/load/trace.hpp"
 #include "serve/retrain/controller.hpp"
 #include "serve/router.hpp"
 #include "serve/shard.hpp"
@@ -96,6 +98,23 @@ class TuningService {
     return router_.shard_for(route_key(machine, route_fingerprint(kernel)));
   }
 
+  /// The submit-path trace recorder, when `ServeOptions::record_trace` was
+  /// set; null otherwise. Snapshot it (and `load::save_trace` the result)
+  /// to capture the current arrival window for incident replay.
+  [[nodiscard]] load::TraceRecorder* trace_recorder() noexcept { return recorder_.get(); }
+
+  // ---- chaos seams (bench/test only — DESIGN.md §13) --------------------
+
+  /// Kill / revive shard `index`'s dispatcher (see
+  /// ServeShard::chaos_kill_dispatcher). False for out-of-range indices or
+  /// when the shard refuses (legacy engine, closed, kill already pending).
+  bool chaos_kill_dispatcher(std::size_t index);
+  bool revive_shard(std::size_t index);
+
+  /// Direct shard access for scenario tooling (governor state, shard-level
+  /// probes). Index must be < shard_count().
+  [[nodiscard]] const ServeShard& shard(std::size_t index) const { return *shards_[index]; }
+
   /// The online-retraining loop, when `ServeOptions::retrain.enabled` was
   /// set; null otherwise. Owned by the service: it is stopped before the
   /// shards drain on shutdown.
@@ -140,6 +159,12 @@ class TuningService {
   std::shared_ptr<ModelRegistry> registry_;
   ServeOptions options_;
   ShardRouter router_;
+  /// Tenant name → policy index under the normalized TenantPolicy (the ctor
+  /// guarantees a "default" entry). Empty when multi-tenancy is off.
+  std::unordered_map<std::string, std::uint32_t> tenant_index_;
+  std::uint32_t default_tenant_ = 0;
+  /// Submit-path arrival recorder; null unless options.record_trace.
+  std::unique_ptr<load::TraceRecorder> recorder_;
   /// Declared before `shards_`: the controller's hooks reach shards through
   /// `this`, and shutdown stops it before any shard joins.
   std::unique_ptr<retrain::RetrainController> retrain_;

@@ -79,6 +79,17 @@ ServeShard::ServeShard(std::shared_ptr<ModelRegistry> registry, const ServeOptio
   MGA_CHECK_MSG(registry_ != nullptr, "ServeShard: null registry");
   MGA_CHECK_MSG(options_.workers > 0, "ServeShard: need at least one worker");
   MGA_CHECK_MSG(options_.max_batch > 0, "ServeShard: max_batch must be positive");
+  if (!options_.tenant.tenants.empty()) {
+    // Multi-tenant gate, built before any thread starts (same ordering
+    // contract as the telemetry plane below). The per-tenant stats slots are
+    // sized here too, so the recorders stay branch-only on the hot path.
+    governor_ = std::make_unique<TenantGovernor>(options_.tenant);
+    std::vector<std::pair<std::string, double>> tenants;
+    tenants.reserve(options_.tenant.tenants.size());
+    for (const TenantSpec& spec : options_.tenant.tenants)
+      tenants.emplace_back(spec.name, spec.weight);
+    stats_.configure_tenants(tenants);
+  }
   if (options_.telemetry.enabled) {
     // Telemetry plane, built before any thread starts: workers read slo_ /
     // exemplars_ without synchronization beyond construction ordering.
@@ -172,6 +183,34 @@ void ServeShard::submit(TuneRequest request, std::shared_ptr<TicketState> state)
                                       "invalid priority tier in RequestOptions", nullptr});
     return;
   }
+  if (governor_ != nullptr) {
+    // Multi-tenant admission gate (DESIGN.md §13): quota, then weighted fair
+    // share. Out-of-range indices bill the default tenant, same as the
+    // facade's unknown-name fallback.
+    if (request.tenant >= governor_->tenant_count()) request.tenant = 0;
+    const std::uint32_t tenant = request.tenant;
+    stats_.record_tenant_submitted(tenant);
+    const TenantGovernor::Verdict verdict = governor_->try_admit(tenant);
+    if (verdict != TenantGovernor::Verdict::kAdmit) {
+      const bool quota = verdict == TenantGovernor::Verdict::kQuotaExceeded;
+      stats_.record_tenant_rejected(tenant, quota);
+      stats_.record_rejected(pending.tier);
+      if (slo_ != nullptr)
+        slo_->record(static_cast<std::size_t>(pending.tier), request.route, 0.0,
+                     /*error=*/true);
+      pending.state->resolve(ServeError{
+          ServeErrorKind::kRejected,
+          std::string("tenant '") + governor_->spec(tenant).name +
+              (quota ? "' is at its in-flight quota" : "' is over its fair share"),
+          nullptr});
+      return;
+    }
+    // Balance the admission charge on *every* resolution path: publish runs
+    // the cleanup hook exactly once, whatever resolves the ticket (served,
+    // rejected downstream, expired, cancelled, shutdown). Set before the
+    // state is shared with any other thread.
+    pending.state->set_cleanup([this, tenant] { governor_->release(tenant); });
+  }
   pending.group_key = util::hash_combine(util::fnv1a(request.machine),
                                          util::fnv1a(request.kernel.name));
   if (options_.adaptive_linger && options_.linger.count() > 0) {
@@ -221,6 +260,7 @@ void ServeShard::submit(TuneRequest request, std::shared_ptr<TicketState> state)
   const Priority tier = pending.tier;
   const Clock::time_point deadline_at = pending.deadline_at;
   const std::uint64_t route = request.route;
+  const std::uint32_t tenant_ix = request.tenant;  // clamped by the gate above
   std::shared_ptr<TicketState> pending_state = pending.state;  // survives the move
   pending.request = std::move(request);
   // Admission refusals burn the SLO error budget: a rejected request is a
@@ -238,6 +278,7 @@ void ServeShard::submit(TuneRequest request, std::shared_ptr<TicketState> state)
   if (options_.shard_backlog_limit > 0 && admission != Admission::kBlock &&
       queue_.size() >= options_.shard_backlog_limit) {
     stats_.record_rejected(tier);
+    stats_.record_tenant_failed(tenant_ix);
     record_slo_error();
     pending_state->resolve(ServeError{
         ServeErrorKind::kRejected,
@@ -258,6 +299,7 @@ void ServeShard::submit(TuneRequest request, std::shared_ptr<TicketState> state)
         // Two-phase like every worker path: the victim's getter must see its
         // own shed in a snapshot taken the moment it wakes — and a victim a
         // cancel already claimed counts as cancelled, not shed.
+        stats_.record_tenant_failed(shed->request.tenant);
         if (shed->state->try_claim()) {
           stats_.record_shed(shed->tier);
           if (slo_ != nullptr)
@@ -283,8 +325,10 @@ void ServeShard::submit(TuneRequest request, std::shared_ptr<TicketState> state)
   switch (pushed) {
     case TieredQueue<Pending>::PushResult::kOk:
       stats_.record_admitted(tier);
+      stats_.record_tenant_admitted(tenant_ix);
       break;
     case TieredQueue<Pending>::PushResult::kFull:
+      stats_.record_tenant_failed(tenant_ix);
       if (admission == Admission::kBlock) {
         stats_.record_expired(tier);
         record_slo_error();
@@ -302,6 +346,7 @@ void ServeShard::submit(TuneRequest request, std::shared_ptr<TicketState> state)
     case TieredQueue<Pending>::PushResult::kClosed: {
       const char* detail = "TuningService: submit after shutdown";
       stats_.record_rejected(tier);
+      stats_.record_tenant_failed(tenant_ix);
       record_slo_error();
       pending_state->resolve(ServeError{ServeErrorKind::kRejected, detail,
                                         std::make_exception_ptr(std::runtime_error(detail))});
@@ -315,11 +360,13 @@ bool ServeShard::sweep(Pending& pending, Clock::time_point now) {
     // The ticket already resolved itself with kCancelled; just account for
     // it and free the slot.
     stats_.record_cancelled(pending.tier);
+    stats_.record_tenant_failed(pending.request.tenant);
     return true;
   }
   if (now >= pending.deadline_at) {
     if (pending.state->try_claim()) {
       stats_.record_expired(pending.tier);
+      stats_.record_tenant_failed(pending.request.tenant);
       record_outcome(pending, micros_between(pending.enqueued, now), /*error=*/true,
                      obs::Exemplar::Kind::kDeadline, now, nullptr);
       pending.state->publish(ServeError{ServeErrorKind::kDeadlineExceeded,
@@ -496,6 +543,7 @@ void ServeShard::process_batch(std::vector<Pending>& batch) {
     const ServeError error = classify_batch_exception();
     const Clock::time_point now = Clock::now();
     for (Pending& pending : batch) {
+      stats_.record_tenant_failed(pending.request.tenant);
       if (pending.state->try_claim()) {
         stats_.record_failed();
         record_outcome(pending, micros_between(pending.enqueued, now), /*error=*/true,
@@ -570,6 +618,7 @@ void ServeShard::process_batch(std::vector<Pending>& batch) {
       // wakes, and must see its own completion in it.
       stats_.record_completion(result.latency_us, result.queue_wait_us, compute_us,
                                extract_us, forward_us, batch[i].tier);
+      stats_.record_tenant_completed(batch[i].request.tenant, result.latency_us);
       // Legacy engine: no PipelineBatch timestamps, so a slow exemplar keeps
       // the coarse whole-life span only.
       record_outcome(batch[i], result.latency_us, /*error=*/false,
@@ -587,6 +636,7 @@ void ServeShard::process_batch(std::vector<Pending>& batch) {
       // A cancel won the race mid-forward: the work is spent, the outcome
       // is the caller's kCancelled.
       stats_.record_cancelled(batch[i].tier);
+      stats_.record_tenant_failed(batch[i].request.tenant);
     }
   }
   if (traced && batch.front().request.trace) {
@@ -751,7 +801,39 @@ void ServeShard::dispatcher_loop() {
     return home->members.size() >= options_.max_batch;
   };
 
+  // Revive path: a chaos-killed predecessor stashed its forming members.
+  // Re-ingest them first — they re-open windows and seal when due, so no
+  // admitted ticket is ever lost to a kill/revive cycle.
+  {
+    std::vector<Pending> orphans;
+    {
+      const std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+      orphans.swap(orphaned_);
+      orphaned_count_.store(0, std::memory_order_relaxed);
+    }
+    const Clock::time_point now = Clock::now();
+    for (Pending& p : orphans)
+      if (!sweep(p, now) && ingest(std::move(p), now)) seal_due(now, false);
+  }
+
   for (;;) {
+    if (chaos_dispatcher_kill_.load(std::memory_order_acquire)) {
+      // Chaos seam: die like a crashed thread. Forming members are stashed
+      // for the next incarnation; dispatcher_done_ stays false, so stage
+      // workers park exactly as they would behind a truly dead dispatcher
+      // and the watchdog's pending-with-no-beats probe turns kViolating.
+      std::vector<Pending> orphans;
+      for (auto& [key, chain] : forming)
+        for (Forming& f : chain)
+          for (Pending& m : f.members) orphans.push_back(std::move(m));
+      forming.clear();
+      forming_count_.store(0, std::memory_order_relaxed);
+      const std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+      for (Pending& m : orphans) orphaned_.push_back(std::move(m));
+      orphaned_count_.store(orphaned_.size(), std::memory_order_relaxed);
+      dispatcher_dead_ = true;
+      return;
+    }
     {
       // The pause gate sits between the wait and the pop: while paused the
       // dispatcher parks *without* holding a blocking pop, so submissions
@@ -862,6 +944,7 @@ void ServeShard::push_or_help(std::size_t dest, std::unique_ptr<PipelineBatch> b
 void ServeShard::fail_batch(PipelineBatch& batch, const ServeError& error) {
   const Clock::time_point now = Clock::now();
   for (Pending& pending : batch.members) {
+    stats_.record_tenant_failed(pending.request.tenant);
     if (pending.state->try_claim()) {
       stats_.record_failed();
       record_outcome(pending, micros_between(pending.enqueued, now), /*error=*/true,
@@ -1036,6 +1119,7 @@ void ServeShard::run_publish(std::unique_ptr<PipelineBatch> batch) {
       // wakes, and must see its own completion in it.
       stats_.record_completion(result.latency_us, result.queue_wait_us, compute_us,
                                extract_us, forward_us, member.tier);
+      stats_.record_tenant_completed(member.request.tenant, result.latency_us);
       record_outcome(member, result.latency_us, /*error=*/false, obs::Exemplar::Kind::kSlow,
                      publish_start, batch.get());
       // Split-path attribution: what actually served the request, not what
@@ -1049,6 +1133,7 @@ void ServeShard::run_publish(std::unique_ptr<PipelineBatch> batch) {
       if (observer_) served.push_back(i);
     } else {
       stats_.record_cancelled(member.tier);  // a cancel won the race mid-pipe
+      stats_.record_tenant_failed(member.request.tenant);
     }
   }
   if (traced && members.front().request.trace) {
@@ -1093,6 +1178,10 @@ void ServeShard::resume() {
 }
 
 void ServeShard::close() {
+  // A chaos-killed dispatcher must come back before the queue seals: the
+  // drain contract (every admitted ticket resolves before join returns)
+  // needs a live dispatcher to flush the queue and the stashed orphans.
+  revive_dispatcher();
   {
     const std::lock_guard<std::mutex> lock(lifecycle_mutex_);
     if (closed_) return;
@@ -1125,6 +1214,42 @@ void ServeShard::join() {
 
 void ServeShard::shutdown() { join(); }
 
+bool ServeShard::chaos_kill_dispatcher() {
+  if (!options_.pipeline) return false;
+  {
+    const std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    if (closed_) return false;
+    if (chaos_dispatcher_kill_.exchange(true, std::memory_order_acq_rel))
+      return false;  // a kill is already in effect
+  }
+  // Wake a parked dispatcher so the kill lands now rather than at the next
+  // arrival. (A dispatcher blocked pushing into a full extract ring sees it
+  // once the workers free a slot — workers never park while work exists.)
+  queue_.poke();
+  return true;
+}
+
+bool ServeShard::revive_dispatcher() {
+  if (!options_.pipeline) return false;
+  std::thread dead;
+  {
+    const std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    if (!chaos_dispatcher_kill_.load(std::memory_order_acquire)) return false;
+    dead = std::move(dispatcher_);
+  }
+  // Join outside the lock: the dying dispatcher takes lifecycle_mutex_ to
+  // stash its orphans, and this join may have to wait out a kill that is
+  // still landing.
+  if (dead.joinable()) dead.join();
+  {
+    const std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    chaos_dispatcher_kill_.store(false, std::memory_order_release);
+    dispatcher_dead_ = false;
+    dispatcher_ = std::thread([this] { dispatcher_loop(); });
+  }
+  return true;
+}
+
 void ServeShard::set_canary(std::shared_ptr<const retrain::CanaryAssignment> assignment) {
   const std::lock_guard<std::mutex> lock(canary_mutex_);
   canary_ = std::move(assignment);
@@ -1152,10 +1277,14 @@ void ServeShard::register_probes(obs::StallWatchdog& watchdog) {
       options_.telemetry.watchdog_stall_after);
   if (options_.pipeline) {
     // The dispatcher's pending work is the queue backlog plus requests it
-    // already popped into forming (unsealed) windows.
+    // already popped into forming (unsealed) windows — plus members a chaos
+    // kill stashed, which are exactly the work a dead dispatcher strands.
     watchdog.add_probe(
         {prefix + "dispatcher", &dispatcher_beat_,
-         [this] { return queue_.size() + forming_count_.load(std::memory_order_relaxed); },
+         [this] {
+           return queue_.size() + forming_count_.load(std::memory_order_relaxed) +
+                  orphaned_count_.load(std::memory_order_relaxed);
+         },
          suspended, leash});
     static constexpr const char* kStageNames[kNumPipelineStages] = {"extract", "forward",
                                                                     "publish"};

@@ -43,6 +43,7 @@
 #include "serve/queue.hpp"
 #include "serve/retrain/observation_log.hpp"
 #include "serve/stats.hpp"
+#include "serve/tenant.hpp"
 #include "serve/ticket.hpp"
 
 namespace mga::serve {
@@ -155,6 +156,18 @@ struct ServeOptions {
   /// ServeShard itself; the facade owns the RetrainController and hands each
   /// shard an observation hook.
   retrain::RetrainOptions retrain;
+  /// Multi-tenant QoS (DESIGN.md §13): per-tenant in-flight quotas plus
+  /// weighted fair admission under contention, enforced at each shard's
+  /// admission gate. An empty tenant list disables the layer entirely (no
+  /// governor, no per-tenant stats — the submit path is untouched). The
+  /// facade normalizes the policy (implicit "default" tenant at index 0)
+  /// before shards copy it.
+  TenantPolicy tenant;
+  /// Facade-level: record every routed submit into a bounded in-memory
+  /// trace ring (load::TraceRecorder) for later save/replay — the serve-side
+  /// sibling of the retrain ObservationLog. Ignored by ServeShard itself.
+  bool record_trace = false;
+  std::size_t record_trace_capacity = std::size_t{1} << 16;
   /// Always-on telemetry plane (SLO windows, exemplars, watchdog, /metrics).
   TelemetryOptions telemetry;
   /// Test seam: invoked at the top of every pipelined stage execution with
@@ -183,6 +196,11 @@ struct TuneRequest {
   /// tracker uses it for per-route worst-offender windows; 0 = unrouted
   /// (standalone-shard submissions), which the tracker skips.
   std::uint64_t route = 0;
+  /// Tenant index under the service's TenantPolicy, resolved by the facade
+  /// from `options.tenant` (0 = the default tenant). ServeShard trusts it
+  /// the way it trusts `machine`; out-of-range values are billed to the
+  /// default tenant.
+  std::uint32_t tenant = 0;
 };
 
 class ServeShard {
@@ -248,6 +266,28 @@ class ServeShard {
   /// Direct counter access for facade-side accounting (e.g. attributing a
   /// machine-resolution failure to the shard the request routed to).
   [[nodiscard]] ServiceStats& stats() noexcept { return stats_; }
+
+  /// The tenant admission governor; null when no TenantPolicy is set.
+  [[nodiscard]] const TenantGovernor* tenants() const noexcept { return governor_.get(); }
+
+  // ---- chaos seams (bench/test only — DESIGN.md §13) --------------------
+  //
+  // Simulate a dispatcher crash: the dispatcher thread exits at its next
+  // wake WITHOUT signalling completion — exactly what a wedged or dead
+  // thread looks like from outside. Queued and forming requests are NOT
+  // lost: forming members are stashed and re-ingested by `revive`, queued
+  // ones sit in the TieredQueue until then (or are swept/typed-resolved on
+  // shutdown — `close` revives a dead dispatcher so the drain contract
+  // holds). The watchdog's dispatcher probe sees pending work with no
+  // heartbeats and turns kViolating after its leash; revive restores beats
+  // and the verdict recovers. Not meaningful under `pipeline = false`.
+
+  /// Returns false when the engine is legacy, the shard is closed, or a
+  /// kill is already in effect.
+  bool chaos_kill_dispatcher();
+  /// Restart after a chaos kill: joins the dead thread, re-ingests stashed
+  /// forming members, resumes dispatch. False when no kill is in effect.
+  bool revive_dispatcher();
 
   /// Telemetry plane accessors; null when telemetry is disabled.
   [[nodiscard]] const obs::SloTracker* slo() const noexcept { return slo_.get(); }
@@ -372,6 +412,8 @@ class ServeShard {
   retrain::ObservationFn observer_;  // set at construction, read by workers
   FeatureCache cache_;
   ServiceStats stats_;
+  /// Multi-tenant admission gate; null when options.tenant is empty.
+  std::unique_ptr<TenantGovernor> governor_;
   TieredQueue<Pending> queue_;
   /// Telemetry plane (null/zeroed when options.telemetry.enabled is false).
   std::unique_ptr<obs::SloTracker> slo_;
@@ -399,6 +441,15 @@ class ServeShard {
   std::mutex lifecycle_mutex_;
   bool closed_ = false;
   bool joined_ = false;
+  /// Chaos seam: when set, the dispatcher exits at its next wake without
+  /// setting dispatcher_done_ (so the shard looks exactly like one whose
+  /// dispatcher thread died). Forming members are stashed in `orphaned_`
+  /// for re-ingest on revive.
+  std::atomic<bool> chaos_dispatcher_kill_{false};
+  bool dispatcher_dead_ = false;  // guarded by lifecycle_mutex_
+  std::vector<Pending> orphaned_;  // guarded by lifecycle_mutex_
+  /// Mirror of orphaned_.size() for the watchdog's lock-free pending probe.
+  std::atomic<std::size_t> orphaned_count_{0};
   mutable std::mutex arrivals_mutex_;
   std::unordered_map<std::uint64_t, ArrivalStats> arrivals_;
   /// Active canary assignment (null outside rollout phases) and the

@@ -8,6 +8,26 @@
 
 namespace mga::serve {
 
+void ServiceStats::configure_tenants(
+    const std::vector<std::pair<std::string, double>>& tenants) {
+  MGA_CHECK_MSG(tenants_.empty(), "ServiceStats: tenants already configured");
+  tenants_.reserve(tenants.size());
+  for (const auto& [name, weight] : tenants) {
+    auto slot = std::make_unique<TenantSlot>();
+    slot->name = name;
+    slot->weight = weight;
+    tenants_.push_back(std::move(slot));
+  }
+}
+
+void ServiceStats::record_tenant_completed(std::uint32_t tenant, double latency_us) {
+  if (tenant >= tenants_.size()) return;
+  TenantSlot& slot = *tenants_[tenant];
+  slot.completed.fetch_add(1, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(latency_mutex_);
+  slot.latency_hist.record(latency_us);
+}
+
 void ServiceStats::record_batch(std::size_t size) noexcept {
   batches_.fetch_add(1, std::memory_order_relaxed);
   batched_requests_.fetch_add(size, std::memory_order_relaxed);
@@ -71,6 +91,9 @@ ServiceStatsSnapshot ServiceStats::snapshot(const FeatureCacheStats& cache) cons
       s.forward_mean_us = forward_sum_ / n;
     }
     for (std::size_t t = 0; t < kNumTiers; ++t) s.tiers[t].latency_hist = tiers_[t].latency_hist;
+    s.tenants.resize(tenants_.size());
+    for (std::size_t t = 0; t < tenants_.size(); ++t)
+      s.tenants[t].latency_hist = tenants_[t]->latency_hist;
   }
   s.latency_max_us = s.latency_hist.max();
   s.latency_p50_us = s.latency_hist.percentile(0.50);
@@ -86,6 +109,20 @@ ServiceStatsSnapshot ServiceStats::snapshot(const FeatureCacheStats& cache) cons
     tier.cancelled = tiers_[t].cancelled.load();
     tier.latency_p50_us = tier.latency_hist.percentile(0.50);
     tier.latency_p95_us = tier.latency_hist.percentile(0.95);
+  }
+  for (std::size_t t = 0; t < tenants_.size(); ++t) {
+    TenantStatsSnapshot& tenant = s.tenants[t];
+    const TenantSlot& slot = *tenants_[t];
+    tenant.name = slot.name;
+    tenant.weight = slot.weight;
+    tenant.submitted = slot.submitted.load();
+    tenant.admitted = slot.admitted.load();
+    tenant.completed = slot.completed.load();
+    tenant.rejected_quota = slot.rejected_quota.load();
+    tenant.rejected_share = slot.rejected_share.load();
+    tenant.failed = slot.failed.load();
+    tenant.latency_p50_us = tenant.latency_hist.percentile(0.50);
+    tenant.latency_p95_us = tenant.latency_hist.percentile(0.95);
   }
   return s;
 }
@@ -132,6 +169,22 @@ ServiceStatsSnapshot aggregate_snapshots(std::vector<ServiceStatsSnapshot> shard
       s.tiers[t].cancelled += shard.tiers[t].cancelled;
       s.tiers[t].latency_hist.merge(shard.tiers[t].latency_hist);
     }
+    // Tenant blocks merge by index: every shard runs the same normalized
+    // TenantPolicy, so index i is the same tenant everywhere.
+    if (s.tenants.size() < shard.tenants.size()) s.tenants.resize(shard.tenants.size());
+    for (std::size_t t = 0; t < shard.tenants.size(); ++t) {
+      TenantStatsSnapshot& into = s.tenants[t];
+      const TenantStatsSnapshot& from = shard.tenants[t];
+      into.name = from.name;
+      into.weight = from.weight;
+      into.submitted += from.submitted;
+      into.admitted += from.admitted;
+      into.completed += from.completed;
+      into.rejected_quota += from.rejected_quota;
+      into.rejected_share += from.rejected_share;
+      into.failed += from.failed;
+      into.latency_hist.merge(from.latency_hist);
+    }
     s.cache.hits += shard.cache.hits;
     s.cache.misses += shard.cache.misses;
     s.cache.evictions += shard.cache.evictions;
@@ -163,6 +216,10 @@ ServiceStatsSnapshot aggregate_snapshots(std::vector<ServiceStatsSnapshot> shard
   for (std::size_t t = 0; t < kNumTiers; ++t) {
     s.tiers[t].latency_p50_us = s.tiers[t].latency_hist.percentile(0.50);
     s.tiers[t].latency_p95_us = s.tiers[t].latency_hist.percentile(0.95);
+  }
+  for (TenantStatsSnapshot& tenant : s.tenants) {
+    tenant.latency_p50_us = tenant.latency_hist.percentile(0.50);
+    tenant.latency_p95_us = tenant.latency_hist.percentile(0.95);
   }
 
   s.shards = std::move(shards);
@@ -244,6 +301,21 @@ util::Table stats_table(const ServiceStatsSnapshot& s) {
                        std::to_string(tier.expired) + " / " + std::to_string(tier.cancelled)});
     table.add_row({name + " p50/p95", util::fmt_double(tier.latency_p50_us) + " / " +
                                           util::fmt_double(tier.latency_p95_us) + " us"});
+  }
+  // Per-tenant QoS breakdown only when the service runs a TenantPolicy — an
+  // untenanted snapshot renders exactly the rows it always did.
+  for (const TenantStatsSnapshot& tenant : s.tenants) {
+    const std::string name = "tenant '" + tenant.name + "'";
+    table.add_row({name + " weight / sub/adm/comp",
+                   util::fmt_double(tenant.weight) + " / " + std::to_string(tenant.submitted) +
+                       " / " + std::to_string(tenant.admitted) + " / " +
+                       std::to_string(tenant.completed)});
+    table.add_row({name + " rej quota/share, failed",
+                   std::to_string(tenant.rejected_quota) + " / " +
+                       std::to_string(tenant.rejected_share) + ", " +
+                       std::to_string(tenant.failed)});
+    table.add_row({name + " p50/p95", util::fmt_double(tenant.latency_p50_us) + " / " +
+                                          util::fmt_double(tenant.latency_p95_us) + " us"});
   }
   // Per-shard breakdown of a sharded service: routing balance and per-shard
   // cache locality at a glance. A single-shard snapshot renders exactly the

@@ -15,7 +15,10 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/histogram.hpp"
@@ -56,6 +59,28 @@ struct TierStatsSnapshot {
   std::uint64_t shed = 0;
   std::uint64_t expired = 0;
   std::uint64_t cancelled = 0;
+  double latency_p50_us = 0.0;
+  double latency_p95_us = 0.0;
+  /// Mergeable latency distribution the percentiles were derived from.
+  obs::LatencyHistogram latency_hist;
+};
+
+/// Per-tenant QoS accounting (DESIGN.md §13); populated only when the
+/// service runs with a TenantPolicy. `submitted` counts arrivals billed to
+/// the tenant; `rejected_quota` / `rejected_share` are the governor's two
+/// refusal kinds; `failed` is every other non-completion outcome after the
+/// gate (lane-full, shed, expired, cancelled, load error, shutdown), so
+/// submitted = admitted + rejected_* and admitted = completed + failed once
+/// the pipe drains.
+struct TenantStatsSnapshot {
+  std::string name;
+  double weight = 1.0;
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected_quota = 0;
+  std::uint64_t rejected_share = 0;
+  std::uint64_t failed = 0;
   double latency_p50_us = 0.0;
   double latency_p95_us = 0.0;
   /// Mergeable latency distribution the percentiles were derived from.
@@ -129,6 +154,9 @@ struct ServiceStatsSnapshot {
   /// Staged-engine occupancy; all-zero under the legacy worker loop.
   PipelineStatsSnapshot pipeline;
   std::array<TierStatsSnapshot, kNumTiers> tiers{};
+  /// Per-tenant accounting, in TenantPolicy order; empty when the service
+  /// runs without one (the extra table rows are gated on non-empty).
+  std::vector<TenantStatsSnapshot> tenants;
   FeatureCacheStats cache;
   /// Telemetry-plane summary, stamped by the TuningService facade (zero /
   /// kOk on a raw ServiceStats::snapshot): service uptime, the combined
@@ -201,6 +229,32 @@ class ServiceStats {
                                     std::memory_order_relaxed);
   }
 
+  /// Size the per-tenant slots (name, weight per tenant, TenantPolicy
+  /// order). Must be called before any thread records — the shard ctor does
+  /// it — and at most once. Without it every record_tenant_* is a no-op and
+  /// snapshots carry no tenant block, so untenanted services pay nothing.
+  void configure_tenants(const std::vector<std::pair<std::string, double>>& tenants);
+
+  /// Per-tenant recorders; all no-op when unconfigured or out of range.
+  void record_tenant_submitted(std::uint32_t tenant) noexcept {
+    if (tenant < tenants_.size())
+      tenants_[tenant]->submitted.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_tenant_admitted(std::uint32_t tenant) noexcept {
+    if (tenant < tenants_.size())
+      tenants_[tenant]->admitted.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_tenant_rejected(std::uint32_t tenant, bool quota) noexcept {
+    if (tenant < tenants_.size())
+      (quota ? tenants_[tenant]->rejected_quota : tenants_[tenant]->rejected_share)
+          .fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_tenant_failed(std::uint32_t tenant) noexcept {
+    if (tenant < tenants_.size())
+      tenants_[tenant]->failed.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_tenant_completed(std::uint32_t tenant, double latency_us);
+
   [[nodiscard]] ServiceStatsSnapshot snapshot(const FeatureCacheStats& cache = {}) const;
 
  private:
@@ -211,6 +265,21 @@ class ServiceStats {
     std::atomic<std::uint64_t> shed{0};
     std::atomic<std::uint64_t> expired{0};
     std::atomic<std::uint64_t> cancelled{0};
+    // Guarded by latency_mutex_.
+    obs::LatencyHistogram latency_hist;
+  };
+
+  /// One tenant's counters. Heap-allocated (atomics are not movable) and
+  /// sized once by configure_tenants before any recorder runs.
+  struct TenantSlot {
+    std::string name;
+    double weight = 1.0;
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> admitted{0};
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> rejected_quota{0};
+    std::atomic<std::uint64_t> rejected_share{0};
+    std::atomic<std::uint64_t> failed{0};
     // Guarded by latency_mutex_.
     obs::LatencyHistogram latency_hist;
   };
@@ -242,6 +311,9 @@ class ServiceStats {
   double extract_sum_ = 0.0;
   double forward_sum_ = 0.0;
   std::array<Tier, kNumTiers> tiers_;
+  /// Set once before threads start, then never resized (recorders index it
+  /// lock-free); empty on an untenanted service.
+  std::vector<std::unique_ptr<TenantSlot>> tenants_;
 };
 
 /// Merge per-shard snapshots into one service-wide view: counters summed,

@@ -122,6 +122,34 @@ void export_service_metrics(obs::MetricsRegistry& registry,
         .merge(tier.latency_hist);
   }
 
+  for (const TenantStatsSnapshot& tenant : snapshot.tenants) {
+    const obs::Labels labels{{"tenant", tenant.name}};
+    const auto with = [&](const char* value) {
+      obs::Labels out = labels;
+      out.emplace_back("outcome", value);
+      return out;
+    };
+    registry.counter("mga_serve_tenant_requests_total", with("submitted"),
+                     "Per-tenant QoS accounting by outcome (DESIGN.md §13).")
+        .add(tenant.submitted);
+    registry.counter("mga_serve_tenant_requests_total", with("admitted")).add(tenant.admitted);
+    registry.counter("mga_serve_tenant_requests_total", with("completed"))
+        .add(tenant.completed);
+    registry.counter("mga_serve_tenant_requests_total", with("rejected_quota"))
+        .add(tenant.rejected_quota);
+    registry.counter("mga_serve_tenant_requests_total", with("rejected_share"))
+        .add(tenant.rejected_share);
+    registry.counter("mga_serve_tenant_requests_total", with("failed")).add(tenant.failed);
+    registry
+        .gauge("mga_serve_tenant_weight", labels,
+               "Configured fair-share weight per tenant.")
+        .set(tenant.weight);
+    registry
+        .histogram("mga_serve_tenant_latency_us", labels,
+                   "End-to-end completion latency in microseconds, per tenant.")
+        .merge(tenant.latency_hist);
+  }
+
   registry.counter("mga_serve_forwards_total", obs::Labels{{"path", "compiled"}},
                    "Grouped forwards by execution path.")
       .add(snapshot.forwards_compiled);

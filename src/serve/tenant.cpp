@@ -1,0 +1,106 @@
+#include "serve/tenant.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace mga::serve {
+
+TenantGovernor::TenantGovernor(TenantPolicy policy) : policy_(std::move(policy)) {
+  MGA_CHECK_MSG(!policy_.tenants.empty(), "TenantGovernor: need at least one tenant");
+  states_.resize(policy_.tenants.size());
+  for (std::size_t t = 0; t < policy_.tenants.size(); ++t) {
+    MGA_CHECK_MSG(policy_.tenants[t].weight > 0.0,
+                  "TenantGovernor: tenant weights must be positive");
+    // Full burst grant up front: the pipe fills before releases start
+    // minting, and a single-tenant cold start is never share-clipped.
+    states_[t].credit = cap(t);
+  }
+}
+
+TenantGovernor::Verdict TenantGovernor::try_admit(std::uint32_t tenant) {
+  const std::uint32_t t = clamp(tenant);
+  const std::lock_guard<obs::ProbedMutex> lock(mutex_);
+  State& state = states_[t];
+  const TenantSpec& spec = policy_.tenants[t];
+  // Quota before fairness: banked credit must not buy past the hard cap.
+  if (spec.quota > 0 && state.outstanding >= spec.quota)
+    return Verdict::kQuotaExceeded;
+  // Contention latches with hysteresis (cleared in `release` once the
+  // backlog halves). Without the latch, every release at saturation dips
+  // `total_` just below the threshold and the next arrival is admitted
+  // without spending credit — at the boundary *all* admissions ride that
+  // free slot and the weighted clip never engages at all.
+  if (!contended_ && total_ >= policy_.fair_threshold) contended_ = true;
+  if (states_.size() > 1 && contended_) {
+    if (state.credit < 1.0) {
+      state.hungry = true;  // keep earning minted credit while clipped
+      return Verdict::kOverShare;
+    }
+    state.credit -= 1.0;
+  }
+  state.hungry = false;
+  ++state.outstanding;
+  ++total_;
+  return Verdict::kAdmit;
+}
+
+void TenantGovernor::release(std::uint32_t tenant) noexcept {
+  const std::uint32_t t = clamp(tenant);
+  const std::lock_guard<obs::ProbedMutex> lock(mutex_);
+  State& state = states_[t];
+  // Defensive: an unbalanced release (there should be none — the cleanup
+  // hook fires exactly once per admitted ticket) must not underflow.
+  if (state.outstanding == 0) return;
+  --state.outstanding;
+  --total_;
+  if (contended_ && total_ <= policy_.fair_threshold / 2) contended_ = false;
+  if (states_.size() < 2) return;
+  // Mint one admission credit at the release: under saturation this ties
+  // the total admission rate to the service rate, and splitting it by
+  // weight across the tenants still contending (in flight, or clipped and
+  // waiting) is what makes per-tenant goodput converge to the weight
+  // share. A release with no one left contending mints nothing — the
+  // burst grant covers the next cold start.
+  const auto active = [&](std::size_t i) {
+    return states_[i].outstanding > 0 || states_[i].hungry;
+  };
+  double active_weight = 0.0;
+  for (std::size_t i = 0; i < states_.size(); ++i)
+    if (active(i)) active_weight += policy_.tenants[i].weight;
+  if (active_weight <= 0.0) return;
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    if (!active(i)) continue;
+    states_[i].credit =
+        std::min(states_[i].credit + policy_.tenants[i].weight / active_weight, cap(i));
+  }
+}
+
+double TenantGovernor::cap(std::size_t tenant) const noexcept {
+  // The bank cap must scale with weight, not be uniform: releases arrive in
+  // gulps (batched publishes, scheduler quanta on small machines), and a
+  // uniform cap clips every tenant's gulp accrual to the same ceiling —
+  // equalizing admission shares exactly when fairness is under the most
+  // pressure. With cap ∝ weight the fill time constant (cap / mint rate =
+  // burst_credit x Σweights / release rate) is identical for every tenant,
+  // so the caps bind together or not at all and banked ratios stay weighted.
+  return policy_.burst_credit * policy_.tenants[tenant].weight;
+}
+
+const TenantSpec& TenantGovernor::spec(std::uint32_t tenant) const noexcept {
+  return policy_.tenants[clamp(tenant)];
+}
+
+std::size_t TenantGovernor::outstanding(std::uint32_t tenant) const {
+  const std::lock_guard<obs::ProbedMutex> lock(mutex_);
+  return states_[clamp(tenant)].outstanding;
+}
+
+std::size_t TenantGovernor::total_outstanding() const {
+  const std::lock_guard<obs::ProbedMutex> lock(mutex_);
+  return total_;
+}
+
+}  // namespace mga::serve

@@ -1,0 +1,127 @@
+// Multi-tenant QoS at the admission gate (DESIGN.md §13).
+//
+// A `TenantPolicy` names the tenants a service admits and gives each a
+// weight and an optional in-flight quota. Every shard enforces the policy
+// at its own admission gate through a `TenantGovernor` — the DPCP-p idea of
+// enforcing per-task shares at the contention point instead of by global
+// coordination: no cross-shard state, no coordinator, and consistent-hash
+// routing keeps a (machine, kernel)'s traffic on one shard anyway.
+//
+// Two independent controls, checked in order:
+//
+//   quota      hard cap on a tenant's *outstanding* requests (admitted but
+//              not yet resolved). Checked first, always — a tenant cannot
+//              buy past its quota with saved-up fairness credit.
+//   fairness   weighted deficit round robin, active only under contention
+//              (total outstanding >= fair_threshold). Credits are minted at
+//              the *release* rate — each resolved request distributes one
+//              admission credit across the tenants that still have work in
+//              flight, proportional to weight — so under saturation each
+//              tenant's admission rate converges to weight/total_weight of
+//              the service rate, and an uncontested tenant inherits the
+//              idle share (work conservation). `burst_credit` bounds how
+//              much unused share a tenant can bank.
+//
+// Refused admissions resolve the ticket with a typed kRejected naming the
+// tenant; both refusal kinds are counted per tenant in ServiceStats.
+// Everything here is deterministic in arrival/release order, which is what
+// makes trace replay reproducible (tests/test_scenario.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/probe.hpp"
+
+namespace mga::serve {
+
+struct TenantSpec {
+  std::string name;
+  /// Relative share of admissions under contention. Must be positive.
+  double weight = 1.0;
+  /// Max outstanding (admitted, unresolved) requests; 0 = unlimited.
+  std::size_t quota = 0;
+};
+
+struct TenantPolicy {
+  /// Empty = multi-tenant admission off (zero cost on the submit path).
+  /// The facade prepends an implicit {"default", 1.0, no quota} tenant at
+  /// index 0 unless one named "default" is already listed; requests that
+  /// name no tenant (or an unknown one) are accounted there.
+  std::vector<TenantSpec> tenants;
+  /// Total outstanding at/above which the fairness clip engages (with
+  /// hysteresis: once engaged it stays on until the backlog falls to half
+  /// this). Below it only quotas apply — an uncontended service never
+  /// rejects on share.
+  std::size_t fair_threshold = 128;
+  /// Admission credit a tenant can bank *per unit of weight* while
+  /// under-using its share (a weight-2 tenant banks up to twice this); also
+  /// the initial grant, so admission bursts ride through a cold start.
+  /// Scaling the cap by weight keeps banked ratios weighted even when
+  /// releases arrive in gulps large enough to fill every bank.
+  double burst_credit = 64.0;
+};
+
+class TenantGovernor {
+ public:
+  enum class Verdict : std::uint8_t {
+    kAdmit,
+    kQuotaExceeded,  ///< Outstanding at quota.
+    kOverShare,      ///< Contended and out of fairness credit.
+  };
+
+  /// Validates the policy: at least one tenant, positive weights.
+  explicit TenantGovernor(TenantPolicy policy);
+
+  /// Admission decision for one arrival. On kAdmit the tenant's outstanding
+  /// count is charged; the caller must balance it with exactly one
+  /// `release` when the request resolves (the shard wires this through
+  /// TicketState's cleanup hook, so every resolution path pays it).
+  [[nodiscard]] Verdict try_admit(std::uint32_t tenant);
+
+  /// One admitted request resolved (served, rejected downstream, expired,
+  /// cancelled — any typed outcome). Mints one fairness credit across the
+  /// tenants still in flight, proportional to weight.
+  void release(std::uint32_t tenant) noexcept;
+
+  [[nodiscard]] std::size_t tenant_count() const noexcept { return states_.size(); }
+  /// Spec of `tenant` (clamped to the default tenant when out of range).
+  [[nodiscard]] const TenantSpec& spec(std::uint32_t tenant) const noexcept;
+  [[nodiscard]] std::size_t outstanding(std::uint32_t tenant) const;
+  [[nodiscard]] std::size_t total_outstanding() const;
+
+ private:
+  struct State {
+    std::size_t outstanding = 0;
+    double credit = 0.0;
+    /// Share-rejected since its last admit: still competing, so it keeps
+    /// receiving minted credit even with nothing in flight — without this a
+    /// clipped tenant whose pipe drained would never earn its way back in.
+    bool hungry = false;
+  };
+
+  [[nodiscard]] std::uint32_t clamp(std::uint32_t tenant) const noexcept {
+    return tenant < states_.size() ? tenant : 0;
+  }
+
+  /// Bank cap for one tenant: `burst_credit x weight` (see TenantPolicy).
+  [[nodiscard]] double cap(std::size_t tenant) const noexcept;
+
+  TenantPolicy policy_;
+  // One short critical section per arrival/release, O(#tenants). Probed so
+  // a tenant-heavy deployment sees this gate in obs::contention_table().
+  mutable obs::ProbedMutex mutex_{"shard.tenant_governor"};
+  std::vector<State> states_;
+  std::size_t total_ = 0;
+  /// Contention latch: set when `total_` reaches `fair_threshold`, cleared
+  /// only once it falls back to half of it. The hysteresis matters — at
+  /// saturation the outstanding count oscillates exactly at the threshold
+  /// (every release frees one slot the next arrival takes), and an
+  /// unlatched >= test would hand out that slot credit-free every time,
+  /// disabling weighted fairness precisely when it is needed.
+  bool contended_ = false;
+};
+
+}  // namespace mga::serve

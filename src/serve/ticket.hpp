@@ -67,6 +67,11 @@ struct RequestOptions {
   /// sweeps before a grouped forward; a request whose compute already
   /// started is delivered even if it finishes past the deadline.
   std::chrono::steady_clock::duration deadline{};
+  /// Tenant this request is billed to under a TenantPolicy (quota + weighted
+  /// fair admission — DESIGN.md §13). Empty or unknown names land on the
+  /// implicit "default" tenant; ignored entirely when the service has no
+  /// tenant policy.
+  std::string tenant;
 };
 
 enum class ServeErrorKind : std::uint8_t {
@@ -178,15 +183,31 @@ class TicketState {
   }
 
   void publish(TuneOutcome outcome) {
+    std::function<void()> cleanup;
     std::function<void(const TuneOutcome&)> continuation;
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       outcome_.emplace(outcome);
+      cleanup = std::move(cleanup_);
+      cleanup_ = nullptr;
       continuation = std::move(continuation_);
       continuation_ = nullptr;
     }
     cv_.notify_all();
+    if (cleanup) cleanup();
     if (continuation) continuation(outcome);
+  }
+
+  /// Service-side accounting hook, run exactly once inside `publish` after
+  /// the outcome is stored (before any caller continuation). The admission
+  /// layer uses it to return per-tenant in-flight charges whichever path
+  /// resolves the ticket — worker, sweep, shed, cancel, or the submit call
+  /// itself. Must be set before the state is shared with any resolver (the
+  /// shard sets it pre-enqueue, on the submitting thread); separate from
+  /// `on_resolved` so the caller's continuation slot stays free.
+  void set_cleanup(std::function<void()> cleanup) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    cleanup_ = std::move(cleanup);
   }
 
   /// Register a callback run exactly once with the outcome — inline on the
@@ -231,6 +252,7 @@ class TicketState {
   mutable std::condition_variable cv_;
   bool claimed_ = false;
   std::optional<TuneOutcome> outcome_;
+  std::function<void()> cleanup_;
   std::function<void(const TuneOutcome&)> continuation_;
   std::atomic<bool> cancel_requested_{false};
 };

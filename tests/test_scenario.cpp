@@ -1,0 +1,580 @@
+// Scenario harness (DESIGN.md §13): trace record/save/load round-trips,
+// shaper synthesis, the tenant governor's quota + weighted-fairness
+// semantics (unit and end-to-end through the service), replay determinism
+// (same trace + same config => identical per-tenant admission counts), and
+// the chaos seams (dispatcher kill/revive with zero lost tickets, injected
+// registry resolve faults surfacing as typed kLoadFailed then self-healing).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "serve/load/replay.hpp"
+#include "serve/load/shaper.hpp"
+#include "serve/load/trace.hpp"
+#include "serve/service.hpp"
+#include "serve/tenant.hpp"
+
+namespace mga::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+// --- shared tiny tuner (same shape as test_serve.cpp) ------------------------
+
+core::MgaTunerOptions tiny_options() {
+  core::MgaTunerOptions options;
+  auto kernels = corpus::openmp_suite();
+  kernels.resize(8);
+  options.training_kernels = std::move(kernels);
+  std::vector<double> inputs = dataset::input_sizes_30();
+  std::vector<double> subset;
+  for (std::size_t i = 0; i < inputs.size(); i += 6) subset.push_back(inputs[i]);
+  options.input_sizes = std::move(subset);
+  options.training.epochs = 12;
+  return options;
+}
+
+const std::shared_ptr<ModelRegistry>& shared_registry() {
+  static const std::shared_ptr<ModelRegistry> registry = [] {
+    auto r = std::make_shared<ModelRegistry>();
+    r->add("comet-lake", core::MgaTuner::train(tiny_options()));
+    return r;
+  }();
+  return registry;
+}
+
+TuneRequest make_request(const char* kernel, double input_bytes) {
+  TuneRequest request;
+  request.kernel = corpus::find_kernel(kernel);
+  request.input_bytes = input_bytes;
+  return request;
+}
+
+/// Catalog over a few real kernels — enough route diversity for replay.
+load::ReplayCatalog small_catalog() {
+  load::ReplayCatalog catalog;
+  for (const char* name : {"polybench/gemm", "rodinia/bfs", "stream/triad"})
+    catalog.kernels.push_back(corpus::find_kernel(name));
+  catalog.input_bytes = {8192.0, 2e6};
+  return catalog;
+}
+
+// --- trace recorder + binary round-trip --------------------------------------
+
+TEST(ScenarioTrace, RecorderKeepsNewestAndCountsDrops) {
+  load::TraceRecorder recorder(4);
+  for (std::uint64_t i = 0; i < 6; ++i)
+    recorder.record(/*now_us=*/1000 + i * 10, /*route=*/i, /*deadline_us=*/0,
+                    /*tenant=*/0, /*tier=*/1);
+  EXPECT_EQ(recorder.size(), 4u);
+  const load::LoadTrace trace = recorder.snapshot();
+  ASSERT_EQ(trace.records.size(), 4u);
+  EXPECT_EQ(trace.dropped, 2u);
+  // Oldest-first, rebased to the first surviving record.
+  EXPECT_EQ(trace.records.front().arrival_us, 0u);
+  EXPECT_EQ(trace.records.front().route, 2u);
+  EXPECT_EQ(trace.records.back().arrival_us, 30u);
+  EXPECT_EQ(trace.records.back().route, 5u);
+}
+
+TEST(ScenarioTrace, SaveLoadRoundTripsEveryField) {
+  load::LoadTrace trace;
+  for (std::uint64_t i = 0; i < 17; ++i) {
+    load::TraceRecord r;
+    r.arrival_us = i * 137;
+    r.route = (i << load::kRouteInputBits) | (i % 3);
+    r.deadline_us = i % 2 == 0 ? 5000 : 0;
+    r.tenant = static_cast<std::uint32_t>(i % 4);
+    r.tier = static_cast<std::uint8_t>(i % 3);
+    trace.records.push_back(r);
+  }
+  const std::string path = ::testing::TempDir() + "scenario_roundtrip.mgat";
+  load::save_trace(trace, path);
+  const load::LoadTrace loaded = load::load_trace(path);
+  ASSERT_EQ(loaded.records.size(), trace.records.size());
+  for (std::size_t i = 0; i < trace.records.size(); ++i) {
+    EXPECT_EQ(loaded.records[i].arrival_us, trace.records[i].arrival_us) << i;
+    EXPECT_EQ(loaded.records[i].route, trace.records[i].route) << i;
+    EXPECT_EQ(loaded.records[i].deadline_us, trace.records[i].deadline_us) << i;
+    EXPECT_EQ(loaded.records[i].tenant, trace.records[i].tenant) << i;
+    EXPECT_EQ(loaded.records[i].tier, trace.records[i].tier) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ScenarioTrace, LoadRejectsMissingCorruptAndTruncatedFiles) {
+  EXPECT_THROW((void)load::load_trace("/nonexistent/trace.mgat"), std::runtime_error);
+
+  const std::string garbage = ::testing::TempDir() + "scenario_garbage.mgat";
+  {
+    std::FILE* f = std::fopen(garbage.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a trace", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW((void)load::load_trace(garbage), std::runtime_error);
+  std::remove(garbage.c_str());
+
+  load::LoadTrace trace;
+  trace.records.resize(3);
+  const std::string truncated = ::testing::TempDir() + "scenario_truncated.mgat";
+  load::save_trace(trace, truncated);
+  {
+    // Chop the last record's tail off.
+    std::FILE* f = std::fopen(truncated.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(::truncate(truncated.c_str(), size - 5), 0);
+  }
+  EXPECT_THROW((void)load::load_trace(truncated), std::runtime_error);
+  std::remove(truncated.c_str());
+}
+
+// --- shapers -----------------------------------------------------------------
+
+TEST(ScenarioShaper, SynthesisIsDeterministicInTheSeed) {
+  load::SynthesisOptions options;
+  options.rate_per_s = 5000;
+  options.duration_s = 0.5;
+  options.tenant_mix = {1.0, 2.0};
+  options.tier_mix = {0.2, 0.6, 0.2};
+  const load::DiurnalShaper shaper(/*period_s=*/0.25, /*depth=*/0.5);
+  const load::LoadTrace a = load::synthesize(shaper, options);
+  const load::LoadTrace b = load::synthesize(shaper, options);
+  ASSERT_FALSE(a.records.empty());
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].arrival_us, b.records[i].arrival_us);
+    EXPECT_EQ(a.records[i].route, b.records[i].route);
+    EXPECT_EQ(a.records[i].tenant, b.records[i].tenant);
+    EXPECT_EQ(a.records[i].tier, b.records[i].tier);
+  }
+  options.seed += 1;
+  const load::LoadTrace c = load::synthesize(shaper, options);
+  EXPECT_NE(a.records.size(), c.records.size());
+}
+
+TEST(ScenarioShaper, FlashCrowdSpikesTheArrivalRate) {
+  load::SynthesisOptions options;
+  options.rate_per_s = 2000;
+  options.duration_s = 3.0;
+  const load::FlashCrowdShaper shaper(/*start_s=*/1.0, /*duration_s=*/1.0,
+                                      /*magnitude=*/8.0);
+  const load::LoadTrace trace = load::synthesize(shaper, options);
+  std::size_t before = 0;
+  std::size_t during = 0;
+  for (const load::TraceRecord& r : trace.records) {
+    const double t = static_cast<double>(r.arrival_us) * 1e-6;
+    if (t < 1.0) ++before;
+    else if (t < 2.0) ++during;
+  }
+  // The spike window should hold ~8x the baseline window's arrivals.
+  EXPECT_GT(during, before * 4);
+}
+
+TEST(ScenarioShaper, ZipfConcentratesOnLowRanks) {
+  load::SynthesisOptions options;
+  options.rate_per_s = 20000;
+  options.duration_s = 1.0;
+  options.kernels = 64;
+  const load::ZipfShaper shaper(/*exponent=*/1.2);
+  const load::LoadTrace trace = load::synthesize(shaper, options);
+  std::map<std::uint64_t, std::size_t> by_kernel;
+  for (const load::TraceRecord& r : trace.records)
+    ++by_kernel[r.route >> load::kRouteInputBits];
+  ASSERT_FALSE(by_kernel.empty());
+  // Rank 0 must dominate any deep rank by a wide margin.
+  EXPECT_GT(by_kernel[0], 4 * (by_kernel.count(32) ? by_kernel[32] : 0) + 8);
+}
+
+TEST(ScenarioShaper, CacheBusterNeverRepeatsAdjacentRoutes) {
+  load::SynthesisOptions options;
+  options.rate_per_s = 5000;
+  options.duration_s = 0.2;
+  options.kernels = 7;
+  options.inputs = 3;
+  const load::CacheBusterShaper shaper;
+  const load::LoadTrace trace = load::synthesize(shaper, options);
+  ASSERT_GT(trace.records.size(), 10u);
+  for (std::size_t i = 1; i < trace.records.size(); ++i)
+    EXPECT_NE(trace.records[i].route, trace.records[i - 1].route) << i;
+}
+
+// --- tenant governor (units) -------------------------------------------------
+
+TenantPolicy two_tenants(std::size_t fair_threshold, double burst_credit) {
+  TenantPolicy policy;
+  policy.tenants = {{"default", 1.0, 0}, {"bulk", 1.0, 0}};
+  policy.fair_threshold = fair_threshold;
+  policy.burst_credit = burst_credit;
+  return policy;
+}
+
+TEST(TenantGovernor, QuotaCapsOutstandingAndReleasesRestoreIt) {
+  TenantPolicy policy;
+  policy.tenants = {{"default", 1.0, 0}, {"capped", 1.0, 2}};
+  TenantGovernor governor(policy);
+  EXPECT_EQ(governor.try_admit(1), TenantGovernor::Verdict::kAdmit);
+  EXPECT_EQ(governor.try_admit(1), TenantGovernor::Verdict::kAdmit);
+  EXPECT_EQ(governor.try_admit(1), TenantGovernor::Verdict::kQuotaExceeded);
+  EXPECT_EQ(governor.outstanding(1), 2u);
+  governor.release(1);
+  EXPECT_EQ(governor.try_admit(1), TenantGovernor::Verdict::kAdmit);
+  // The unlimited tenant is untouched by its sibling's quota.
+  EXPECT_EQ(governor.try_admit(0), TenantGovernor::Verdict::kAdmit);
+}
+
+TEST(TenantGovernor, FairnessOnlyEngagesAtTheContentionThreshold) {
+  TenantGovernor governor(two_tenants(/*fair_threshold=*/4, /*burst_credit=*/1.0));
+  // Below the threshold, credit is never spent — admissions are free.
+  for (int i = 0; i < 4; ++i)
+    ASSERT_EQ(governor.try_admit(0), TenantGovernor::Verdict::kAdmit) << i;
+  // At the threshold the clip engages: tenant 0 has 1.0 banked credit, so
+  // one more admission passes, then it is out.
+  EXPECT_EQ(governor.try_admit(0), TenantGovernor::Verdict::kAdmit);
+  EXPECT_EQ(governor.try_admit(0), TenantGovernor::Verdict::kOverShare);
+  // Tenant 1 still holds its own burst credit.
+  EXPECT_EQ(governor.try_admit(1), TenantGovernor::Verdict::kAdmit);
+}
+
+TEST(TenantGovernor, ReleasesMintCreditProportionalToWeight) {
+  TenantPolicy policy;
+  policy.tenants = {{"default", 1.0, 0}, {"gold", 3.0, 0}};
+  policy.fair_threshold = 0;  // always contended
+  policy.burst_credit = 1.0;
+  TenantGovernor governor(policy);
+  // The initial grant scales with weight: gold opens with 3 credits to
+  // default's 1. Spend them all.
+  ASSERT_EQ(governor.try_admit(0), TenantGovernor::Verdict::kAdmit);
+  for (int i = 0; i < 3; ++i)
+    ASSERT_EQ(governor.try_admit(1), TenantGovernor::Verdict::kAdmit) << i;
+  ASSERT_EQ(governor.try_admit(0), TenantGovernor::Verdict::kOverShare);
+  ASSERT_EQ(governor.try_admit(1), TenantGovernor::Verdict::kOverShare);
+  // Both are hungry (default 1 in flight, gold 3). Each release mints one
+  // credit split 1:3 — after one release gold holds 0.75, default 0.25.
+  governor.release(0);
+  EXPECT_EQ(governor.try_admit(1), TenantGovernor::Verdict::kOverShare);
+  governor.release(1);  // gold reaches 1.5, default 0.5
+  EXPECT_EQ(governor.try_admit(1), TenantGovernor::Verdict::kAdmit);
+  EXPECT_EQ(governor.try_admit(0), TenantGovernor::Verdict::kOverShare);
+  governor.release(1);  // default reaches 0.75, gold banks its own share
+  governor.release(1);  // default reaches 1.0
+  EXPECT_EQ(governor.try_admit(0), TenantGovernor::Verdict::kAdmit);
+}
+
+TEST(TenantGovernor, HungryTenantWithEmptyPipeStillEarnsCredit) {
+  TenantGovernor governor(two_tenants(/*fair_threshold=*/0, /*burst_credit=*/1.0));
+  // Tenant 1 admits once, gets clipped, and then its pipe drains fully.
+  ASSERT_EQ(governor.try_admit(1), TenantGovernor::Verdict::kAdmit);
+  ASSERT_EQ(governor.try_admit(1), TenantGovernor::Verdict::kOverShare);
+  governor.release(1);
+  EXPECT_EQ(governor.outstanding(1), 0u);
+  // Tenant 0 keeps churning; the minted credit must still reach tenant 1
+  // (it is hungry) or it could never re-enter.
+  ASSERT_EQ(governor.try_admit(0), TenantGovernor::Verdict::kAdmit);
+  governor.release(0);
+  EXPECT_EQ(governor.try_admit(1), TenantGovernor::Verdict::kAdmit);
+}
+
+TEST(TenantGovernor, IdleTenantDoesNotBankCreditBeyondItsBurst) {
+  TenantGovernor governor(two_tenants(/*fair_threshold=*/0, /*burst_credit=*/2.0));
+  // Pin one of tenant 0's requests in flight so its own releases mint back
+  // to it (it stays the only active tenant) and the churn can run forever.
+  ASSERT_EQ(governor.try_admit(0), TenantGovernor::Verdict::kAdmit);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(governor.try_admit(0), TenantGovernor::Verdict::kAdmit) << i;
+    governor.release(0);
+  }
+  governor.release(0);
+  // Tenant 1 idled through all of it (not hungry, nothing in flight): no
+  // minted credit reached it, so it still holds only its initial burst and
+  // cannot open with an unbounded backlog of banked admissions.
+  EXPECT_EQ(governor.try_admit(1), TenantGovernor::Verdict::kAdmit);
+  EXPECT_EQ(governor.try_admit(1), TenantGovernor::Verdict::kAdmit);
+  EXPECT_EQ(governor.try_admit(1), TenantGovernor::Verdict::kOverShare);
+}
+
+// --- tenant QoS through the service ------------------------------------------
+
+TEST(TenantService, QuotaExhaustionReturnsTypedRejectedAndIsCountedPerTenant) {
+  ServeOptions options;
+  options.workers = 2;
+  options.tenant.tenants = {{"alpha", 1.0, 2}, {"beta", 1.0, 0}};
+  TuningService service(shared_registry(), options);
+  service.pause();  // nothing resolves, so alpha's outstanding count sticks
+
+  std::vector<TuneTicket> held;
+  const auto submit_as = [&](const char* tenant) {
+    TuneRequest request = make_request("polybench/gemm", 2e6);
+    request.options.tenant = tenant;
+    request.options.admission = Admission::kReject;
+    return service.submit(std::move(request));
+  };
+  held.push_back(submit_as("alpha"));
+  held.push_back(submit_as("alpha"));
+  TuneTicket refused = submit_as("alpha");
+  ASSERT_TRUE(refused.done()) << "quota refusal must resolve synchronously";
+  const TuneOutcome outcome = refused.get();
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().kind, ServeErrorKind::kRejected);
+  EXPECT_NE(outcome.error().detail.find("alpha"), std::string::npos)
+      << "refusal must name the tenant: " << outcome.error().detail;
+  EXPECT_NE(outcome.error().detail.find("quota"), std::string::npos);
+
+  // Beta (no quota) is unaffected.
+  held.push_back(submit_as("beta"));
+  EXPECT_FALSE(held.back().done());
+
+  ServiceStatsSnapshot stats = service.stats_snapshot();
+  // Normalized policy prepends the implicit default tenant at index 0.
+  ASSERT_EQ(stats.tenants.size(), 3u);
+  EXPECT_EQ(stats.tenants[0].name, "default");
+  ASSERT_EQ(stats.tenants[1].name, "alpha");
+  EXPECT_EQ(stats.tenants[1].submitted, 3u);
+  EXPECT_EQ(stats.tenants[1].admitted, 2u);
+  EXPECT_EQ(stats.tenants[1].rejected_quota, 1u);
+  EXPECT_EQ(stats.tenants[1].rejected_share, 0u);
+  EXPECT_EQ(stats.tenants[2].name, "beta");
+  EXPECT_EQ(stats.tenants[2].admitted, 1u);
+
+  service.resume();
+  for (TuneTicket& ticket : held) EXPECT_TRUE(ticket.get().ok());
+  service.shutdown();
+
+  // Quota slots were released on resolution: per-tenant completions landed
+  // and the books balance (admitted = completed + failed).
+  stats = service.stats_snapshot();
+  EXPECT_EQ(stats.tenants[1].completed, 2u);
+  EXPECT_EQ(stats.tenants[1].admitted,
+            stats.tenants[1].completed + stats.tenants[1].failed);
+}
+
+TEST(TenantService, UnknownAndEmptyTenantsBillTheDefault) {
+  ServeOptions options;
+  options.tenant.tenants = {{"alpha", 1.0, 0}};
+  TuningService service(shared_registry(), options);
+  TuneRequest anonymous = make_request("polybench/gemm", 2e6);
+  TuneRequest typo = make_request("rodinia/bfs", 2e6);
+  typo.options.tenant = "alhpa";  // QoS must not reject traffic for a typo
+  EXPECT_TRUE(service.submit(std::move(anonymous)).get().ok());
+  EXPECT_TRUE(service.submit(std::move(typo)).get().ok());
+  service.shutdown();
+  const ServiceStatsSnapshot stats = service.stats_snapshot();
+  ASSERT_EQ(stats.tenants.size(), 2u);
+  EXPECT_EQ(stats.tenants[0].name, "default");
+  EXPECT_EQ(stats.tenants[0].completed, 2u);
+  EXPECT_EQ(stats.tenants[1].completed, 0u);
+}
+
+TEST(TenantService, UntenantedServiceReportsNoTenantRows) {
+  TuningService service(shared_registry(), {});
+  EXPECT_TRUE(service.submit(make_request("polybench/gemm", 2e6)).get().ok());
+  EXPECT_TRUE(service.stats_snapshot().tenants.empty());
+  EXPECT_EQ(service.shard(0).tenants(), nullptr);
+}
+
+TEST(TenantService, PerTenantRowsSurviveCrossShardAggregation) {
+  ServeOptions options;
+  options.shards = 3;
+  options.tenant.tenants = {{"alpha", 2.0, 0}, {"beta", 1.0, 0}};
+  TuningService service(shared_registry(), options);
+  std::vector<TuneTicket> tickets;
+  for (const char* name : {"polybench/gemm", "rodinia/bfs", "stream/triad"})
+    for (const char* tenant : {"alpha", "alpha", "beta"}) {
+      TuneRequest request = make_request(name, 2e6);
+      request.options.tenant = tenant;
+      tickets.push_back(service.submit(std::move(request)));
+    }
+  for (TuneTicket& ticket : tickets) EXPECT_TRUE(ticket.get().ok());
+  service.shutdown();
+  const ServiceStatsSnapshot stats = service.stats_snapshot();
+  ASSERT_EQ(stats.tenants.size(), 3u);
+  EXPECT_EQ(stats.tenants[1].name, "alpha");
+  EXPECT_DOUBLE_EQ(stats.tenants[1].weight, 2.0);
+  EXPECT_EQ(stats.tenants[1].completed, 6u);
+  EXPECT_EQ(stats.tenants[2].completed, 3u);
+  EXPECT_GT(stats.tenants[1].latency_p95_us, 0.0);
+}
+
+// --- replay ------------------------------------------------------------------
+
+/// Per-tenant admission counts after replaying `trace` into a fresh paused
+/// service — the determinism probe (nothing resolves, so counts are a pure
+/// function of trace order and policy).
+std::vector<std::uint64_t> admissions_after_replay(const load::LoadTrace& trace) {
+  ServeOptions options;
+  options.tenant.tenants = {{"alpha", 1.0, 6}, {"beta", 2.0, 0}};
+  options.tenant.fair_threshold = 16;
+  options.tenant.burst_credit = 8.0;
+  TuningService service(shared_registry(), options);
+  service.pause();
+  load::ReplayOptions replay_options;
+  replay_options.speed = 0.0;  // deterministic: trace order, no pacing
+  replay_options.wait_for_outcomes = false;
+  replay_options.tenant_names = {"alpha", "beta"};
+  const load::ReplayReport report =
+      load::replay(service, trace, small_catalog(), replay_options);
+  EXPECT_EQ(report.submitted, trace.records.size());
+  const ServiceStatsSnapshot stats = service.stats_snapshot();
+  std::vector<std::uint64_t> admitted;
+  for (const TenantStatsSnapshot& tenant : stats.tenants)
+    admitted.push_back(tenant.admitted);
+  service.resume();
+  service.shutdown();
+  return admitted;
+}
+
+TEST(ReplayDeterminism, SameTraceAndConfigYieldIdenticalAdmissions) {
+  load::SynthesisOptions synth;
+  synth.rate_per_s = 50000;
+  synth.duration_s = 0.05;
+  synth.kernels = 3;
+  synth.inputs = 2;
+  synth.tenant_mix = {1.0, 1.0};
+  const load::LoadTrace trace =
+      load::synthesize(load::SteadyShaper(), synth);
+  ASSERT_GT(trace.records.size(), 50u);
+
+  const std::vector<std::uint64_t> first = admissions_after_replay(trace);
+  const std::vector<std::uint64_t> second = admissions_after_replay(trace);
+  ASSERT_EQ(first.size(), 3u);  // default + alpha + beta
+  EXPECT_EQ(first, second);
+  // Alpha's quota of 6 bit with nothing resolving.
+  EXPECT_EQ(first[1], 6u);
+}
+
+TEST(ReplayDeterminism, ReportAccountsEveryRecordOnce) {
+  load::SynthesisOptions synth;
+  synth.rate_per_s = 20000;
+  synth.duration_s = 0.05;
+  synth.tenant_mix = {1.0, 1.0, 1.0};
+  const load::LoadTrace trace = load::synthesize(load::SteadyShaper(), synth);
+  TuningService service(shared_registry(), {});
+  load::ReplayOptions options;
+  options.speed = 0.0;
+  options.tenant_names = {"a", "b", "c"};
+  const load::ReplayReport report =
+      load::replay(service, trace, small_catalog(), options);
+  service.shutdown();
+  EXPECT_EQ(report.submitted, trace.records.size());
+  EXPECT_EQ(report.samples.size(), trace.records.size());
+  EXPECT_EQ(report.completed + report.rejected + report.failed, report.submitted);
+  std::uint64_t per_tenant = 0;
+  for (const load::TenantReplayStats& tenant : report.tenants)
+    per_tenant += tenant.submitted;
+  EXPECT_EQ(per_tenant, report.submitted);
+}
+
+TEST(ReplayDeterminism, RecordedServiceTrafficRoundTripsThroughReplay) {
+  ServeOptions options;
+  options.record_trace = true;
+  options.record_trace_capacity = 64;
+  TuningService service(shared_registry(), options);
+  ASSERT_NE(service.trace_recorder(), nullptr);
+  std::vector<TuneTicket> tickets;
+  for (int i = 0; i < 10; ++i)
+    tickets.push_back(service.submit(
+        make_request(i % 2 == 0 ? "polybench/gemm" : "rodinia/bfs", 2e6)));
+  for (TuneTicket& ticket : tickets) ASSERT_TRUE(ticket.get().ok());
+  const load::LoadTrace trace = service.trace_recorder()->snapshot();
+  service.shutdown();
+  ASSERT_EQ(trace.records.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(
+      trace.records.begin(), trace.records.end(),
+      [](const auto& a, const auto& b) { return a.arrival_us < b.arrival_us; }));
+
+  TuningService replica(shared_registry(), {});
+  load::ReplayOptions replay_options;
+  replay_options.speed = 0.0;
+  const load::ReplayReport report =
+      load::replay(replica, trace, small_catalog(), replay_options);
+  replica.shutdown();
+  EXPECT_EQ(report.completed, 10u);
+}
+
+// --- chaos seams -------------------------------------------------------------
+
+TEST(ScenarioChaos, DispatcherKillAndReviveLosesNoTickets) {
+  ServeOptions options;
+  options.workers = 2;
+  TuningService service(shared_registry(), options);
+  std::vector<TuneTicket> tickets;
+  for (int i = 0; i < 8; ++i)
+    tickets.push_back(service.submit(make_request("polybench/gemm", 2e6)));
+  ASSERT_TRUE(service.chaos_kill_dispatcher(0));
+  EXPECT_FALSE(service.chaos_kill_dispatcher(0)) << "second kill while down";
+  EXPECT_FALSE(service.chaos_kill_dispatcher(7)) << "out-of-range shard";
+  // Submissions during the outage queue up behind the dead dispatcher.
+  for (int i = 0; i < 8; ++i)
+    tickets.push_back(service.submit(make_request("rodinia/bfs", 2e6)));
+  ASSERT_TRUE(service.revive_shard(0));
+  for (TuneTicket& ticket : tickets) EXPECT_TRUE(ticket.get().ok());
+  service.shutdown();
+  const ServiceStatsSnapshot stats = service.stats_snapshot();
+  EXPECT_EQ(stats.completed, tickets.size());
+  EXPECT_EQ(stats.submitted, stats.completed + stats.failed);
+}
+
+TEST(ScenarioChaos, ShutdownWithDeadDispatcherStillDrainsTheBacklog) {
+  TuningService service(shared_registry(), {});
+  std::vector<TuneTicket> tickets;
+  for (int i = 0; i < 6; ++i)
+    tickets.push_back(service.submit(make_request("stream/triad", 2e6)));
+  ASSERT_TRUE(service.chaos_kill_dispatcher(0));
+  service.shutdown();  // close() revives the dispatcher first — zero lost
+  for (TuneTicket& ticket : tickets) {
+    const TuneOutcome outcome = ticket.get();
+    EXPECT_TRUE(outcome.ok() || !outcome.ok()) << "every ticket must resolve";
+  }
+}
+
+TEST(ScenarioChaos, KillRefusedOnTheLegacyEngine) {
+  ServeOptions options;
+  options.pipeline = false;
+  TuningService service(shared_registry(), options);
+  EXPECT_FALSE(service.chaos_kill_dispatcher(0));
+  EXPECT_FALSE(service.revive_shard(0));
+}
+
+TEST(ScenarioChaos, InjectedResolveFaultSurfacesAsLoadFailedThenHeals) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->add("comet-lake", core::MgaTuner::train(tiny_options()));
+  TuningService service(registry, {});
+  registry->inject_resolve_fault("comet-lake", 1);
+  const TuneOutcome faulted =
+      service.submit(make_request("polybench/gemm", 2e6)).get();
+  ASSERT_FALSE(faulted.ok());
+  EXPECT_EQ(faulted.error().kind, ServeErrorKind::kLoadFailed);
+  EXPECT_NE(faulted.error().detail.find("injected"), std::string::npos);
+  // The fault was one-shot: the registry self-heals.
+  EXPECT_TRUE(service.submit(make_request("polybench/gemm", 2e6)).get().ok());
+  service.shutdown();
+}
+
+TEST(ScenarioChaos, InjectedFaultFailuresAreBilledToTheTenant) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->add("comet-lake", core::MgaTuner::train(tiny_options()));
+  ServeOptions options;
+  options.tenant.tenants = {{"alpha", 1.0, 0}};
+  TuningService service(registry, options);
+  registry->inject_resolve_fault("comet-lake", 1);
+  TuneRequest request = make_request("polybench/gemm", 2e6);
+  request.options.tenant = "alpha";
+  ASSERT_FALSE(service.submit(std::move(request)).get().ok());
+  service.shutdown();
+  const ServiceStatsSnapshot stats = service.stats_snapshot();
+  ASSERT_EQ(stats.tenants.size(), 2u);
+  EXPECT_EQ(stats.tenants[1].failed, 1u);
+  EXPECT_EQ(stats.tenants[1].admitted,
+            stats.tenants[1].completed + stats.tenants[1].failed);
+}
+
+}  // namespace
+}  // namespace mga::serve

@@ -23,6 +23,16 @@ the checked-in baseline on four first-class metric families:
                             runner (where four shards' worth of threads can
                             only add scheduling overhead; the gate then just
                             bounds how much).
+  * scenario harness      — absolute gates, current run only, over the
+                            ``bench_scenario_replay`` metrics: every
+                            ``*_fairness_max_weight_deviation`` must stay
+                            under 0.15 (no tenant's goodput share may drift
+                            further than that from its configured weight
+                            share under a flash crowd), every
+                            ``*_recovery_within_leash`` must be 1 (windowed
+                            p95 back inside the pre-kill band within the
+                            watchdog leash after a chaos dispatcher kill),
+                            and every ``*_lost_tickets`` must be 0.
   * telemetry overhead    — absolute gate, current run only: when the merged
                             document holds a bench ``X`` next to its
                             ``X_telemetry_off`` twin (the same workload run
@@ -62,6 +72,10 @@ QUEUE_WAIT_SHARE_LIMIT = 0.5
 # Bench-name suffix marking a telemetry-off twin run of the same workload.
 TELEMETRY_OFF_SUFFIX = "_telemetry_off"
 
+# No tenant's goodput share may deviate from its weight share by more than
+# this (absolute) under the scenario bench's flash crowd.
+FAIRNESS_DEVIATION_LIMIT = 0.15
+
 # (minimum hardware_concurrency, required shards4/shards1 throughput ratio).
 # Checked top-down; the first row whose hw floor the runner meets applies.
 SCALING_FLOORS = [
@@ -93,6 +107,12 @@ def best_of(metric, old, new):
     if metric.endswith("_requests_per_s") or metric.endswith("_mean_batch"):
         return max(old, new)
     if metric.endswith(("_us", "_seconds", "_share")):
+        return min(old, new)
+    # Scenario gates: best-of keeps the most favorable sample per family.
+    if metric.endswith("_recovery_within_leash"):
+        return max(old, new)
+    if metric.endswith(("_fairness_max_weight_deviation", "_lost_tickets",
+                        "_recovery_time_s")):
         return min(old, new)
     return new
 
@@ -242,6 +262,33 @@ def check_telemetry_overhead(current_doc, limit):
     return failures
 
 
+def check_scenario(current_doc):
+    """Absolute gates on the scenario harness (fairness under flash crowd,
+    chaos recovery, ticket conservation); current run only. Returns failed
+    keys. Skips quietly when the scenario bench did not run."""
+    failures = []
+    checks = [
+        ("_fairness_max_weight_deviation",
+         lambda v: v < FAIRNESS_DEVIATION_LIMIT,
+         f"limit {FAIRNESS_DEVIATION_LIMIT:.2f}, absolute"),
+        ("_recovery_within_leash", lambda v: v == 1.0, "must be 1"),
+        ("_lost_tickets", lambda v: v == 0.0, "must be 0"),
+    ]
+    found = False
+    for suffix, passes, limit_text in checks:
+        for key, value in sorted(suffixed_metrics(current_doc, suffix).items()):
+            bench, metric = key
+            found = True
+            verdict = "ok" if passes(value) else "FAIL"
+            print(f"  [{verdict:>4}] {bench}/{metric}: {value:.3f} ({limit_text})")
+            if verdict == "FAIL":
+                failures.append(key)
+    if not found:
+        print("  [skip] no scenario metrics in the current run "
+              "(bench_scenario_replay did not report)")
+    return failures
+
+
 def required_scaling(hw_threads):
     for floor, ratio in SCALING_FLOORS:
         if hw_threads >= floor:
@@ -292,14 +339,17 @@ def check(args):
     failures += check_queue_wait_share(current_doc)
     print("perf_gate: shard scaling (current run, hardware-aware):")
     failures += check_scaling(current_doc)
+    print("perf_gate: scenario harness (fairness / chaos recovery / ticket "
+          "conservation):")
+    failures += check_scenario(current_doc)
     print("perf_gate: always-on telemetry overhead (on vs --telemetry-off):")
     failures += check_telemetry_overhead(current_doc, args.telemetry_overhead_limit)
 
     if failures:
         print_stage_breakdown(baseline_doc, current_doc)
         print(f"perf_gate: {len(failures)} gate failure(s) — p95, throughput, "
-              f"queue-wait share, shard scaling, or telemetry overhead out of "
-              f"budget", file=sys.stderr)
+              f"queue-wait share, shard scaling, scenario harness, or "
+              f"telemetry overhead out of budget", file=sys.stderr)
         sys.exit(1)
     print("perf_gate: all metrics within the regression budget")
 

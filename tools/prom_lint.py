@@ -251,8 +251,28 @@ def read_sources(args):
     return bodies
 
 
+EXAMPLES = """\
+examples:
+  # lint a captured exposition file
+  prom_lint.py metrics.txt
+
+  # scrape a live service and require the serve families to be present
+  prom_lint.py --url http://127.0.0.1:9090/metrics \\
+      --require mga_serve_requests_total --require mga_slo_window_seconds
+
+  # pipe straight from curl; '-' reads stdin
+  curl -s http://127.0.0.1:9090/metrics | prom_lint.py -
+
+  # treat convention warnings (counters not ending in _total) as errors
+  prom_lint.py metrics.txt --strict
+"""
+
+
 def main(argv):
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        epilog=EXAMPLES,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("files", nargs="*", help="exposition files ('-' = stdin)")
     parser.add_argument("--url", help="scrape this URL instead of reading files")
     parser.add_argument("--require", action="append", default=[],
@@ -265,7 +285,15 @@ def main(argv):
     exit_code = 0
     for source, body in read_sources(args):
         lint = Lint()
-        samples = lint_exposition(body, lint)
+        if not body.strip():
+            # A zero-byte (or whitespace-only) exposition is a legal body —
+            # a registry with no metrics exports nothing — so report it
+            # plainly instead of tripping format checks. --require still
+            # bites below: a pinned family is absent from an empty scrape.
+            print(f"prom_lint: {source}: empty exposition — nothing to lint")
+            samples = {}
+        else:
+            samples = lint_exposition(body, lint)
         for name in args.require:
             if samples.get(name, 0) == 0:
                 lint.errors.append(f"required family {name!r} has no samples")

@@ -23,7 +23,8 @@ the table a per-section rollup sums whichever of those (or the legacy
 span) are present, so total time-not-computing stays comparable across
 engines and across the trajectory.
 
-Stdlib only; exit code 0 = report printed, 2 = usage/IO error.
+Stdlib only; exit code 0 = report printed (including the "nothing to
+report" case of a readable trace with zero spans), 2 = usage/IO error.
 """
 
 import argparse
@@ -113,8 +114,27 @@ def print_top_requests(requests, top):
         print("  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip())
 
 
+EXAMPLES = """\
+examples:
+  # per-section stage table for one bench trace
+  trace_report.py build/serve_trace.json
+
+  # keep each shard's rows separate and list the 5 slowest requests
+  trace_report.py build/serve_trace.json --by-shard --top 5
+
+  # merge several runs (CI keeps one trace per job) into one report
+  trace_report.py artifacts/*.trace.json
+
+  # tail exemplars from a live service work too (spans carry request ids)
+  curl -s http://127.0.0.1:9090/exemplars > ex.json && trace_report.py ex.json --top 10
+"""
+
+
 def main(argv):
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        epilog=EXAMPLES,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("traces", nargs="+", help="Chrome trace JSON files")
     parser.add_argument("--by-shard", action="store_true",
                         help="one row per shard process instead of per section")
@@ -135,8 +155,12 @@ def main(argv):
         for key, spans in per_request.items():
             requests.setdefault(key, []).extend(spans)
     if not durations:
-        print("trace_report: no duration events found", file=sys.stderr)
-        return 2
+        # An empty (but readable) trace is a fact to report, not a failure:
+        # a service that served nothing exports no spans, and CI pipelines
+        # glob optional artifacts. Unreadable files still exit 2 above.
+        print("trace_report: no duration events in "
+              f"{len(args.traces)} trace file(s) — nothing to report")
+        return 0
 
     rows = [("section", "stage", "spans", "total ms", "mean us", "p50 us",
              "p95 us", "max us")]
